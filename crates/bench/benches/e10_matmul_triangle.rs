@@ -1,0 +1,43 @@
+//! E10 — matrix multiplication (§8): naive vs Strassen, and the triangle
+//! detectors they power.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::matmul::{BoolMatrix, IntMatrix};
+use lowerbounds::graphalg::triangle::{find_triangle_matmul, find_triangle_naive};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_matmul");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let g = generators::gnp(n, 0.5, n as u64);
+        let a = IntMatrix::adjacency(&g);
+        group.bench_with_input(BenchmarkId::new("naive", n), &a, |b, a| {
+            b.iter(|| a.multiply_naive(a).trace())
+        });
+        group.bench_with_input(BenchmarkId::new("strassen", n), &a, |b, a| {
+            b.iter(|| a.multiply_strassen(a).trace())
+        });
+        let bm = BoolMatrix::adjacency(&g);
+        group.bench_with_input(BenchmarkId::new("boolean_bitset", n), &bm, |b, bm| {
+            b.iter(|| bm.multiply(bm).intersects(bm))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e10a_triangle_dense");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let g = generators::gnp(n, 0.02, n as u64); // sparse-ish: detection nontrivial
+        group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+            b.iter(|| find_triangle_naive(g).is_some())
+        });
+        group.bench_with_input(BenchmarkId::new("matmul", n), &g, |b, g| {
+            b.iter(|| find_triangle_matmul(g).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

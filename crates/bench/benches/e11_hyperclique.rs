@@ -1,0 +1,26 @@
+//! E11 — hyperclique conjecture (§8): k-hyperclique search in 3-uniform
+//! hypergraphs (no matmul shortcut) vs k-clique in graphs (matmul helps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::clique::find_clique_neipol;
+use lowerbounds::graphalg::hyperclique::find_hyperclique;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_hyperclique");
+    group.sample_size(10);
+    for n in [24usize, 36] {
+        let h = generators::random_uniform_hypergraph(n, 3, 0.6, n as u64);
+        group.bench_with_input(BenchmarkId::new("d3_brute_k5", n), &h, |b, h| {
+            b.iter(|| find_hyperclique(h, 5).is_some())
+        });
+        let g = generators::gnp(n, 0.6, n as u64);
+        group.bench_with_input(BenchmarkId::new("d2_neipol_k5", n), &g, |b, g| {
+            b.iter(|| find_clique_neipol(g, 5).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E12 — strong triangle conjecture (§8): Alon–Yuster–Zwick on sparse
+//! graphs vs naive edge scans, and the Boolean triangle join query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::triangle::{find_triangle_ayz, find_triangle_naive};
+use lowerbounds::join::{boolean, generators as jgen, JoinQuery};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_sparse_triangle");
+    group.sample_size(10);
+    for m in [4000usize, 16000] {
+        let g = generators::gnm(m / 2, m, m as u64);
+        group.bench_with_input(BenchmarkId::new("ayz", m), &g, |b, g| {
+            b.iter(|| find_triangle_ayz(g).is_some())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", m), &g, |b, g| {
+            b.iter(|| find_triangle_naive(g).is_some())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e12a_boolean_triangle_join");
+    group.sample_size(10);
+    let q = JoinQuery::triangle();
+    let db = jgen::random_binary_database(&q, 2000, 900, 9);
+    group.bench_function("generic_join_early_exit", |b| {
+        b.iter(|| boolean::is_answer_empty(&q, &db).unwrap())
+    });
+    let (g, _) = boolean::triangle_database_to_graph(&q, &db).unwrap();
+    group.bench_function("ayz_on_tripartite_graph", |b| {
+        b.iter(|| find_triangle_ayz(&g).is_some())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E13 — acyclic queries (§4): Yannakakis vs generic join vs binary plan
+//! on dead-end path queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::join::acyclic::{is_empty_acyclic, yannakakis};
+use lowerbounds::join::{binary, wcoj, Atom, Database, JoinQuery, Table};
+
+fn dead_end_path(s: u64) -> (JoinQuery, Database) {
+    let q = JoinQuery::new(
+        (0..3)
+            .map(|i| Atom {
+                relation: format!("R{i}"),
+                attrs: vec![format!("x{i}"), format!("x{}", i + 1)],
+            })
+            .collect(),
+    );
+    let mut grid = Table::new(2);
+    for i in 0..s {
+        for j in 0..s {
+            grid.push(vec![i, j]);
+        }
+    }
+    grid.normalize();
+    let mut db = Database::new();
+    db.insert("R0", grid.clone());
+    db.insert("R1", grid);
+    db.insert("R2", Table::from_rows(2, vec![vec![u64::MAX - 1, 0]]));
+    (q, db)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_acyclic_dead_end");
+    group.sample_size(10);
+    for s in [60u64, 120] {
+        let (q, db) = dead_end_path(s);
+        let n = s * s;
+        group.bench_with_input(BenchmarkId::new("yannakakis", n), &(q.clone(), db.clone()), |b, (q, db)| {
+            b.iter(|| yannakakis(q, db).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("emptiness_sweep", n), &(q.clone(), db.clone()), |b, (q, db)| {
+            b.iter(|| is_empty_acyclic(q, db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("generic_join", n), &(q.clone(), db.clone()), |b, (q, db)| {
+            b.iter(|| wcoj::count(q, db, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("binary_plan", n), &(q, db), |b, (q, db)| {
+            b.iter(|| binary::left_deep_join(q, db).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E1 — AGM bound (Theorems 3.1–3.2): construct the worst-case database
+//! and materialize its N^{ρ*} answer, per query family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::join::{agm, wcoj, JoinQuery};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_agm_worst_case");
+    group.sample_size(10);
+    for (name, q) in [
+        ("triangle", JoinQuery::triangle()),
+        ("lw4", JoinQuery::loomis_whitney(4)),
+        ("cycle4", JoinQuery::cycle(4)),
+    ] {
+        for n in [256u64, 1024] {
+            let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(q.clone(), db, predicted),
+                |b, (q, db, predicted)| {
+                    b.iter(|| {
+                        let count = wcoj::count(q, db, None).unwrap();
+                        assert_eq!(count as u128, *predicted);
+                        count
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E2 — worst-case optimal join vs binary hash-join plan (Theorem 3.3) on
+//! the adversarial triangle databases where pairwise plans blow up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::adversarial_triangle_db;
+use lowerbounds::join::{binary, wcoj};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_triangle_adversarial");
+    group.sample_size(10);
+    for n in [1600u64, 6400, 25600] {
+        let (q, db, answer) = adversarial_triangle_db(n);
+        group.bench_with_input(
+            BenchmarkId::new("generic_join", n),
+            &(q.clone(), db.clone(), answer),
+            |b, (q, db, answer)| {
+                b.iter(|| {
+                    let c = wcoj::count(q, db, None).unwrap();
+                    assert_eq!(c, *answer);
+                    c
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_plan", n),
+            &(q, db, answer),
+            |b, (q, db, answer)| {
+                b.iter(|| {
+                    let (ans, _) = binary::left_deep_join(q, db).unwrap();
+                    assert_eq!(ans.len() as u64, *answer);
+                    ans.len()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Ablation: variable ordering inside Generic Join. On the adversarial
+    // database the "diagonal first" orders bind b and c together early.
+    let mut group = c.benchmark_group("e2a_wcoj_order_ablation");
+    group.sample_size(10);
+    let (q, db, answer) = adversarial_triangle_db(6400);
+    for order in [["a", "b", "c"], ["b", "c", "a"], ["c", "a", "b"]] {
+        let ord: Vec<String> = order.iter().map(|s| s.to_string()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("order", order.join("")),
+            &ord,
+            |b, ord| {
+                b.iter(|| {
+                    let c = wcoj::count(&q, &db, Some(ord)).unwrap();
+                    assert_eq!(c, answer);
+                    c
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E3 — Freuder's treewidth DP (Theorem 4.2): |D|^{k+1} scaling on k-tree
+//! CSPs, with the decomposition-heuristic ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::ktree_csp;
+use lowerbounds::csp::solver::treewidth_dp;
+use lowerbounds::graph::treewidth::{from_elimination_order, min_degree_order, min_fill_order};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_freuder_dp");
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        for d in [3usize, 6] {
+            let inst = ktree_csp(k, 24, d, 7);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), d),
+                &inst,
+                |b, inst| b.iter(|| treewidth_dp::solve_auto(inst).count),
+            );
+        }
+    }
+    group.finish();
+
+    // Ablation: which heuristic feeds the DP.
+    let mut group = c.benchmark_group("e3a_heuristic_ablation");
+    group.sample_size(10);
+    let inst = ktree_csp(3, 24, 4, 7);
+    let primal = inst.primal_graph();
+    for (name, order) in [
+        ("min_degree", min_degree_order(&primal)),
+        ("min_fill", min_fill_order(&primal)),
+    ] {
+        let td = from_elimination_order(&primal, &order);
+        group.bench_with_input(BenchmarkId::new(name, td.width()), &td, |b, td| {
+            b.iter(|| treewidth_dp::solve_with_decomposition(&inst, td).count)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E4 — Schaefer dichotomy (§4): polynomial tractable-class solvers vs
+//! exponential DPLL, with the DPLL feature ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::sat::schaefer::{
+    solve_in_class, BoolCspInstance, BooleanRelation, SchaeferClass,
+};
+use lowerbounds::sat::{generators as sgen, Branching, DpllConfig, DpllSolver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn horn_instance(n: usize, m: usize, seed: u64) -> BoolCspInstance {
+    let rel = |arity: usize, rows: &[&[u8]]| -> BooleanRelation {
+        BooleanRelation::new(
+            arity,
+            rows.iter()
+                .map(|r| r.iter().map(|&b| b == 1).collect())
+                .collect(),
+        )
+    };
+    let lib = vec![
+        rel(2, &[&[0, 0], &[0, 1], &[1, 1]]),
+        rel(3, &[&[0, 0, 0], &[0, 0, 1], &[0, 1, 1], &[1, 1, 1], &[0, 1, 0]]),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let constraints = (0..m)
+        .map(|_| {
+            let r = rng.gen_range(0..lib.len());
+            let scope = (0..lib[r].arity()).map(|_| rng.gen_range(0..n)).collect();
+            (scope, r)
+        })
+        .collect();
+    BoolCspInstance {
+        num_vars: n,
+        relations: lib,
+        constraints,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_schaefer_tractable");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let inst = horn_instance(n, 3 * n, n as u64);
+        group.bench_with_input(BenchmarkId::new("horn_fixpoint", n), &inst, |b, inst| {
+            b.iter(|| solve_in_class(inst, SchaeferClass::Horn).is_some())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e4a_dpll_ablation");
+    group.sample_size(10);
+    let f = sgen::sparse_3sat(22, 4.27, 99);
+    for (name, cfg) in [
+        ("full", DpllConfig::default()),
+        (
+            "no_unit_prop",
+            DpllConfig {
+                unit_propagation: false,
+                pure_literal: true,
+                branching: Branching::MostFrequent,
+            },
+        ),
+        (
+            "plain",
+            DpllConfig {
+                unit_propagation: false,
+                pure_literal: false,
+                branching: Branching::FirstUnassigned,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 22), &f, |b, f| {
+            let solver = DpllSolver::new(cfg);
+            b.iter(|| solver.solve(f).0.is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E5 — SPECIAL CSP (Definition 4.3): quasipolynomial solver through the
+//! Clique → Special reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::csp::solver::special::solve_special;
+use lowerbounds::graph::generators;
+use lowerbounds::reductions::clique_to_special;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_special_csp");
+    group.sample_size(10);
+    let g = generators::gnp(14, 0.5, 5);
+    for k in [3usize, 4, 5] {
+        let inst = clique_to_special::reduce(&g, k);
+        group.bench_with_input(
+            BenchmarkId::new("quasipoly_solver", format!("k{k}_vars{}", inst.num_vars)),
+            &inst,
+            |b, inst| b.iter(|| solve_special(inst).unwrap().count),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

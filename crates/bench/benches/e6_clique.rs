@@ -1,0 +1,30 @@
+//! E6 — k-Clique (Theorem 6.3 / k-clique conjecture): branch-and-prune
+//! brute force vs the Nešetřil–Poljak matrix-multiplication route.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::clique::{find_clique, find_clique_neipol};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_kclique");
+    group.sample_size(10);
+    for k in [3usize, 6] {
+        for n in [40usize, 60] {
+            let g = generators::gnp(n, 0.3, (n + k) as u64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("brute_k{k}"), n),
+                &g,
+                |b, g| b.iter(|| find_clique(g, k).is_some()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("neipol_k{k}"), n),
+                &g,
+                |b, g| b.iter(|| find_clique_neipol(g, k).is_some()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

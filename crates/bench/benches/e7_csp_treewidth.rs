@@ -1,0 +1,39 @@
+//! E7 — binary CSP on clique primal graphs (Theorems 6.4–6.7): the
+//! treewidth DP pays |D|^{tw+1}; backtracking feature ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::partitioned_clique_csp;
+use lowerbounds::csp::solver::{backtracking, treewidth_dp, BacktrackConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_csp_clique_primal");
+    group.sample_size(10);
+    for k in [3usize, 4] {
+        for d in [8usize, 14] {
+            let inst = partitioned_clique_csp(k, d, 0.3, 11);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dp_k{k}"), d),
+                &inst,
+                |b, inst| b.iter(|| treewidth_dp::solve_auto(inst).count),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e7a_backtracking_ablation");
+    group.sample_size(10);
+    let inst = partitioned_clique_csp(4, 14, 0.3, 11);
+    for (name, cfg) in [
+        ("mrv_fc", BacktrackConfig { mrv: true, forward_checking: true }),
+        ("mrv_only", BacktrackConfig { mrv: true, forward_checking: false }),
+        ("plain", BacktrackConfig { mrv: false, forward_checking: false }),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 14), &inst, |b, inst| {
+            b.iter(|| backtracking::solve(inst, cfg).0.is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

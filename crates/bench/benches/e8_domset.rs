@@ -1,0 +1,41 @@
+//! E8 — k-Dominating-Set (Theorems 7.1/7.2): n^k subset enumeration, the
+//! branching variant, and the treewidth-k CSP route.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::csp::solver::treewidth_dp;
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::domset::{find_dominating_set_branching, find_dominating_set_brute};
+use lowerbounds::reductions::domset_to_csp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_domset");
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        for n in [25usize, 40] {
+            let g = generators::gnm(n, n, (n * k) as u64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("brute_k{k}"), n),
+                &g,
+                |b, g| b.iter(|| find_dominating_set_brute(g, k).is_some()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("branching_k{k}"), n),
+                &g,
+                |b, g| b.iter(|| find_dominating_set_branching(g, k).is_some()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8a_theorem72_csp_route");
+    group.sample_size(10);
+    let g = generators::gnp(8, 0.3, 1);
+    let inst = domset_to_csp::reduce(&g, 2);
+    group.bench_function("freuder_on_reduction", |b| {
+        b.iter(|| treewidth_dp::solve_auto(&inst).solution.is_some())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

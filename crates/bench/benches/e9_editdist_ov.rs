@@ -1,0 +1,45 @@
+//! E9 — fine-grained SETH targets (§7): the O(n²) edit distance DP and the
+//! quadratic Orthogonal Vectors scan, plus the SAT→OV reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::{random_strings, random_vector_sets};
+use lowerbounds::graphalg::editdist::{edit_distance, edit_distance_banded};
+use lowerbounds::graphalg::ov::find_orthogonal_pair;
+use lowerbounds::reductions::sat_to_ov;
+use lowerbounds::sat::generators as sgen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_edit_distance");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let (a, b) = random_strings(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("full_dp", n), &(a.clone(), b.clone()), |bn, (a, b)| {
+            bn.iter(|| edit_distance(a, b))
+        });
+        group.bench_with_input(BenchmarkId::new("banded_64", n), &(a, b), |bn, (a, b)| {
+            bn.iter(|| edit_distance_banded(a, b, 64))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e9a_orthogonal_vectors");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let (a, b) = random_vector_sets(n, 64, 0.35, n as u64);
+        group.bench_with_input(BenchmarkId::new("pair_scan", n), &(a, b), |bn, (a, b)| {
+            bn.iter(|| find_orthogonal_pair(a, b).is_some())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e9b_sat_to_ov");
+    group.sample_size(10);
+    let f = sgen::random_ksat(14, 60, 3, 4);
+    group.bench_function("decide_n14", |b| {
+        b.iter(|| sat_to_ov::decide_via_ov(&f).is_some())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Experiment workloads shared by the `experiments` binary (which prints
+//! the EXPERIMENTS.md tables) and the Criterion benches (one per
+//! experiment, `benches/e*.rs`).
+//!
+//! Each `eN` module owns the workload generators and sweep logic for one
+//! experiment of DESIGN.md's index; the binary formats the results, the
+//! benches time the same closures under Criterion.
+
+pub mod workloads;
+
+pub use workloads::*;

@@ -1,0 +1,192 @@
+//! `lbtool` — command-line access to the workspace's solvers.
+//!
+//! ```text
+//! lbtool sat <file.cnf>            solve a DIMACS CNF with DPLL
+//! lbtool 2sat <file.cnf>           solve a width-≤2 DIMACS CNF in linear time
+//! lbtool treewidth <file.graph>    treewidth bounds (exact when n ≤ 22)
+//! lbtool rho-star "<query>"        ρ* and the AGM bound of a join query
+//! lbtool claims [hypothesis]       the paper's lower-bound claims
+//! ```
+//!
+//! Graph files: first line `n`, then one `u v` edge per line (0-based).
+//! Query syntax: whitespace-separated atoms like `R(a,b) S(a,c) T(b,c)`.
+
+use lowerbounds::graph::{treewidth, Graph};
+use lowerbounds::hypotheses::Hypothesis;
+use lowerbounds::join::{agm, Atom, JoinQuery};
+use lowerbounds::sat::{solve_2sat, CnfFormula, DpllSolver};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sat") => cmd_sat(&args[1..], false),
+        Some("2sat") => cmd_sat(&args[1..], true),
+        Some("count") => cmd_count(&args[1..]),
+        Some("treewidth") => cmd_treewidth(&args[1..]),
+        Some("rho-star") => cmd_rho_star(&args[1..]),
+        Some("claims") => cmd_claims(&args[1..]),
+        _ => {
+            eprintln!("usage: lbtool <sat|2sat|count|treewidth|rho-star|claims> ...");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_sat(args: &[String], two: bool) -> Result<(), String> {
+    let path = args.first().ok_or("missing CNF file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let f = CnfFormula::from_dimacs(&text)?;
+    let model = if two {
+        if !f.is_ksat(2) {
+            return Err("formula has clauses wider than 2; use `lbtool sat`".into());
+        }
+        solve_2sat(&f)
+    } else {
+        let (model, stats) = DpllSolver::default().solve(&f);
+        eprintln!(
+            "decisions: {}, propagations: {}, conflicts: {}",
+            stats.decisions, stats.propagations, stats.conflicts
+        );
+        model
+    };
+    match model {
+        Some(m) => {
+            let lits: Vec<String> = m
+                .iter()
+                .enumerate()
+                .map(|(v, &b)| format!("{}{}", if b { "" } else { "-" }, v + 1))
+                .collect();
+            println!("SATISFIABLE\nv {} 0", lits.join(" "));
+        }
+        None => println!("UNSATISFIABLE"),
+    }
+    Ok(())
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing CNF file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let f = CnfFormula::from_dimacs(&text)?;
+    let count = lowerbounds::sat::count_models(&f);
+    println!("{count}");
+    Ok(())
+}
+
+fn parse_graph(text: &str) -> Result<Graph, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let n: usize = lines
+        .next()
+        .ok_or("empty graph file")?
+        .parse()
+        .map_err(|e| format!("bad vertex count: {e}"))?;
+    let mut edges = Vec::new();
+    for line in lines {
+        let mut it = line.split_whitespace();
+        let u: usize = it
+            .next()
+            .ok_or("bad edge line")?
+            .parse()
+            .map_err(|e| format!("bad edge: {e}"))?;
+        let v: usize = it
+            .next()
+            .ok_or("bad edge line")?
+            .parse()
+            .map_err(|e| format!("bad edge: {e}"))?;
+        edges.push((u, v));
+    }
+    if edges.iter().any(|&(u, v)| u >= n || v >= n) {
+        return Err("edge endpoint out of range".into());
+    }
+    Ok(Graph::from_edges(n, &edges))
+}
+
+fn cmd_treewidth(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing graph file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let g = parse_graph(&text)?;
+    let lo = treewidth::treewidth_lower_bound(&g);
+    let (hi, td) = treewidth::treewidth_upper_bound(&g);
+    println!("n = {}, m = {}", g.num_vertices(), g.num_edges());
+    println!("MMD lower bound:        {lo}");
+    println!("heuristic upper bound:  {hi} ({} bags)", td.num_bags());
+    if g.num_vertices() <= treewidth::exact::MAX_EXACT_N {
+        let tw = treewidth::treewidth_exact(&g);
+        println!("exact treewidth:        {tw}");
+    } else {
+        println!("exact treewidth:        (skipped, n > {})", treewidth::exact::MAX_EXACT_N);
+    }
+    Ok(())
+}
+
+/// Parses `R(a,b) S(a,c) T(b,c)` into a [`JoinQuery`].
+fn parse_query(spec: &str) -> Result<JoinQuery, String> {
+    let mut atoms = Vec::new();
+    for token in spec.split_whitespace() {
+        let open = token.find('(').ok_or_else(|| format!("atom `{token}` missing ("))?;
+        if !token.ends_with(')') {
+            return Err(format!("atom `{token}` missing )"));
+        }
+        let name = &token[..open];
+        let inner = &token[open + 1..token.len() - 1];
+        if name.is_empty() || inner.is_empty() {
+            return Err(format!("malformed atom `{token}`"));
+        }
+        let attrs: Vec<&str> = inner.split(',').map(str::trim).collect();
+        atoms.push(Atom::new(name, &attrs));
+    }
+    if atoms.is_empty() {
+        return Err("empty query".into());
+    }
+    Ok(JoinQuery::new(atoms))
+}
+
+fn cmd_rho_star(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("missing query string")?;
+    let q = parse_query(spec)?;
+    let rho = agm::rho_star(&q).map_err(|e| e.to_string())?;
+    println!("query:   {spec}");
+    println!("ρ*:      {rho} (= {:.4})", rho.to_f64());
+    for n in [1000u64, 1_000_000] {
+        println!(
+            "AGM bound at N = {n}: {:.0} tuples",
+            agm::agm_bound(&q, n).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(())
+}
+
+fn cmd_claims(args: &[String]) -> Result<(), String> {
+    let claims = match args.first().map(String::as_str) {
+        None => lowerbounds::claims::all_claims(),
+        Some(name) => {
+            let h = Hypothesis::ALL
+                .into_iter()
+                .find(|h| h.name().eq_ignore_ascii_case(name) || format!("{h:?}").eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    format!(
+                        "unknown hypothesis `{name}`; known: {:?}",
+                        Hypothesis::ALL.map(|h| format!("{h:?}"))
+                    )
+                })?;
+            lowerbounds::claims::claims_under(h)
+        }
+    };
+    for c in claims {
+        let hyp = c.hypothesis.map_or("unconditional".to_string(), |h| h.name().to_string());
+        println!("{:<44} [{hyp}]", c.id);
+        println!("    {}", c.statement);
+        println!("    rules out: {} | witness: {}", c.rules_out, c.witness);
+    }
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! The paper's theorems as typed claims.
+//!
+//! Each [`LowerBoundClaim`] records: which hypothesis it is conditioned on,
+//! what running time it rules out, which algorithm it certifies as optimal
+//! (the matching upper bound), which module implements the witnessing
+//! reduction, and which experiment (E1–E12, see `EXPERIMENTS.md`)
+//! demonstrates the claimed shape empirically.
+
+use crate::hypotheses::Hypothesis;
+
+/// A lower-bound statement from the paper, with full provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LowerBoundClaim {
+    /// Identifier from the paper, e.g. "Theorem 6.5".
+    pub id: &'static str,
+    /// The hypothesis the claim is conditional on (`None` = unconditional).
+    pub hypothesis: Option<Hypothesis>,
+    /// What the claim says.
+    pub statement: &'static str,
+    /// The running time the claim rules out.
+    pub rules_out: &'static str,
+    /// The matching upper bound (the algorithm certified optimal).
+    pub upper_bound: &'static str,
+    /// Workspace path of the witnessing implementation.
+    pub witness: &'static str,
+    /// Experiment id in EXPERIMENTS.md (E1–E12).
+    pub experiment: &'static str,
+}
+
+/// Every theorem the paper discusses, in paper order.
+pub fn all_claims() -> Vec<LowerBoundClaim> {
+    vec![
+        LowerBoundClaim {
+            id: "Theorem 3.2 (AGM lower bound)",
+            hypothesis: None,
+            statement: "For infinitely many N there are databases with relations of ≤ N tuples whose answer has N^{ρ*} tuples.",
+            rules_out: "full-answer computation in o(N^{ρ*})",
+            upper_bound: "Generic Join / LFTJ in Õ(N^{ρ*}) (Theorem 3.3)",
+            witness: "lb-join::agm::worst_case_database",
+            experiment: "E1",
+        },
+        LowerBoundClaim {
+            id: "Theorem 3.3 (worst-case optimal joins)",
+            hypothesis: None,
+            statement: "The answer can be computed in O(N^{ρ*}), matching Theorem 3.2.",
+            rules_out: "(upper bound; optimality by Theorem 3.2)",
+            upper_bound: "lb-join::wcoj",
+            witness: "lb-join::wcoj::join",
+            experiment: "E2",
+        },
+        LowerBoundClaim {
+            id: "Schaefer's dichotomy (§4)",
+            hypothesis: Some(Hypothesis::PNeqNp),
+            statement: "CSP(R) over the Boolean domain is in P for the six tractable classes and NP-hard otherwise.",
+            rules_out: "polynomial time outside the six classes",
+            upper_bound: "dedicated solvers per class",
+            witness: "lb-sat::schaefer",
+            experiment: "E4",
+        },
+        LowerBoundClaim {
+            id: "Theorem 4.2 (Freuder)",
+            hypothesis: None,
+            statement: "CSP is solvable in O(|V|·|D|^{k+1}) given a width-k tree decomposition of the primal graph.",
+            rules_out: "(upper bound; optimality by Theorems 6.5/7.2)",
+            upper_bound: "lb-csp::solver::treewidth_dp",
+            witness: "lb-csp::solver::treewidth_dp::solve_with_decomposition",
+            experiment: "E3",
+        },
+        LowerBoundClaim {
+            id: "Theorem 5.2 (Grohe–Schwentick–Segoufin)",
+            hypothesis: Some(Hypothesis::FptNeqW1),
+            statement: "CSP(G) is polynomial-time solvable iff G has bounded treewidth.",
+            rules_out: "FPT algorithms for CSP(G) with unbounded-treewidth G",
+            upper_bound: "treewidth DP on bounded-treewidth classes",
+            witness: "lb-reductions::clique_to_csp (W[1]-hardness direction)",
+            experiment: "E7",
+        },
+        LowerBoundClaim {
+            id: "Theorem 5.3 (Grohe)",
+            hypothesis: Some(Hypothesis::FptNeqW1),
+            statement: "HOM(A, _) is polynomial-time solvable iff the cores of A have bounded treewidth.",
+            rules_out: "polynomial time for unbounded-core-treewidth classes",
+            upper_bound: "solve on the core via treewidth DP",
+            witness: "lb-structure::core::compute_core",
+            experiment: "E7",
+        },
+        LowerBoundClaim {
+            id: "SPECIAL CSP (Definition 4.3, §5–§6)",
+            hypothesis: Some(Hypothesis::Eth),
+            statement: "SPECIAL CSP is W[1]-hard yet solvable in n^{O(log n)}; no f(|V|)·n^{o(log |V|)} algorithm under ETH.",
+            rules_out: "f(|V|)·n^{o(log |V|)}",
+            upper_bound: "lb-csp::solver::special (quasipolynomial)",
+            witness: "lb-reductions::clique_to_special",
+            experiment: "E5",
+        },
+        LowerBoundClaim {
+            id: "Theorem 6.3 (Chen et al.)",
+            hypothesis: Some(Hypothesis::Eth),
+            statement: "Clique has no f(k)·n^{o(k)} algorithm.",
+            rules_out: "f(k)·n^{o(k)}",
+            upper_bound: "n^{ωk/3} Nešetřil–Poljak / n^k brute force",
+            witness: "lb-graphalg::clique",
+            experiment: "E6",
+        },
+        LowerBoundClaim {
+            id: "Theorem 6.4",
+            hypothesis: Some(Hypothesis::Eth),
+            statement: "Binary CSP has no f(|V|)·|D|^{o(|V|)}·n^{O(1)} algorithm.",
+            rules_out: "f(|V|)·|D|^{o(|V|)}",
+            upper_bound: "|D|^{|V|} brute force",
+            witness: "lb-reductions::clique_to_csp",
+            experiment: "E7",
+        },
+        LowerBoundClaim {
+            id: "Theorems 6.5–6.7",
+            hypothesis: Some(Hypothesis::Eth),
+            statement: "No f(|V|)·n^{o(k)} algorithm for binary CSP with primal treewidth k; for any fixed graph of treewidth k ≥ 2, no O(|D|^{αk/log k}).",
+            rules_out: "n^{o(k)} / |D|^{o(k/log k)}",
+            upper_bound: "Freuder's |D|^{k+1} DP (Theorem 4.2)",
+            witness: "lb-reductions::clique_to_csp + lb-csp::solver::treewidth_dp",
+            experiment: "E7",
+        },
+        LowerBoundClaim {
+            id: "Theorem 7.1 (Patrascu–Williams)",
+            hypothesis: Some(Hypothesis::Seth),
+            statement: "k-Dominating-Set (k ≥ 3) in O(n^{k−ε}) would refute the SETH.",
+            rules_out: "O(n^{k−ε})",
+            upper_bound: "n^{k+o(1)} subset enumeration",
+            witness: "lb-graphalg::domset",
+            experiment: "E8",
+        },
+        LowerBoundClaim {
+            id: "Theorem 7.2",
+            hypothesis: Some(Hypothesis::Seth),
+            statement: "CSP with primal treewidth k in O(|V|^c·|D|^{k−ε}) would refute the SETH.",
+            rules_out: "O(|V|^c·|D|^{k−ε})",
+            upper_bound: "Freuder's |D|^{k+1} DP",
+            witness: "lb-reductions::domset_to_csp (incl. grouping)",
+            experiment: "E8",
+        },
+        LowerBoundClaim {
+            id: "Edit distance (Backurs–Indyk, §7)",
+            hypothesis: Some(Hypothesis::Seth),
+            statement: "Edit distance has no O(n^{2−ε}) algorithm.",
+            rules_out: "O(n^{2−ε})",
+            upper_bound: "the O(n²) dynamic program",
+            witness: "lb-graphalg::editdist + lb-reductions::sat_to_ov",
+            experiment: "E9",
+        },
+        LowerBoundClaim {
+            id: "k-clique conjecture (§8)",
+            hypothesis: Some(Hypothesis::KClique),
+            statement: "CSP with k variables has no |D|^{(ω−ε)k/3+c} algorithm.",
+            rules_out: "|D|^{(ω−ε)k/3+c}",
+            upper_bound: "n^{ωk/3} via triangle detection on t-clique graphs",
+            witness: "lb-graphalg::clique::find_clique_neipol",
+            experiment: "E6/E10",
+        },
+        LowerBoundClaim {
+            id: "Hyperclique conjecture (§8)",
+            hypothesis: Some(Hypothesis::HyperClique),
+            statement: "CSP with arity-3 constraints has no f(|V|)·|D|^{(1−ε)|V|+c} algorithm.",
+            rules_out: "|D|^{(1−ε)|V|}",
+            upper_bound: "brute force |D|^{|V|}",
+            witness: "lb-graphalg::hyperclique",
+            experiment: "E11",
+        },
+        LowerBoundClaim {
+            id: "Strong triangle conjecture (§8)",
+            hypothesis: Some(Hypothesis::StrongTriangle),
+            statement: "Boolean triangle join query emptiness needs m^{2ω/(ω+1)} in the relation size.",
+            rules_out: "O(m^{2ω/(ω+1)−ε})",
+            upper_bound: "Alon–Yuster–Zwick",
+            witness: "lb-graphalg::triangle::find_triangle_ayz + lb-join::boolean",
+            experiment: "E12",
+        },
+    ]
+}
+
+/// The claims conditioned on hypotheses implied by `h` (i.e. everything
+/// that holds if `h` holds), including unconditional claims.
+pub fn claims_under(h: Hypothesis) -> Vec<LowerBoundClaim> {
+    all_claims()
+        .into_iter()
+        .filter(|c| match c.hypothesis {
+            None => true,
+            Some(ch) => h.implies(ch),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated() {
+        let claims = all_claims();
+        assert!(claims.len() >= 14);
+        for c in &claims {
+            assert!(!c.id.is_empty());
+            assert!(!c.statement.is_empty());
+            assert!(c.experiment.starts_with('E'));
+        }
+    }
+
+    #[test]
+    fn seth_yields_eth_claims() {
+        let under_seth = claims_under(Hypothesis::Seth);
+        // All ETH claims and all SETH claims and unconditional ones.
+        assert!(under_seth.iter().any(|c| c.id.contains("6.3")));
+        assert!(under_seth.iter().any(|c| c.id.contains("7.1")));
+        assert!(under_seth.iter().any(|c| c.id.contains("3.2")));
+        // But not the §8 conjectures.
+        assert!(!under_seth.iter().any(|c| c.id.contains("Strong triangle")));
+    }
+
+    #[test]
+    fn pneqnp_yields_only_weak_claims() {
+        let under = claims_under(Hypothesis::PNeqNp);
+        assert!(under.iter().any(|c| c.id.contains("Schaefer")));
+        assert!(!under.iter().any(|c| c.id.contains("7.1")));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let claims = all_claims();
+        for (i, a) in claims.iter().enumerate() {
+            for b in &claims[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The complexity hypotheses of the paper, with their implication DAG.
+//!
+//! "The general theme of conditional lower bounds is to transform a
+//! relatively specialized question to a more fundamental question" (§9).
+//! This module is the registry of those fundamental questions as they
+//! appear in the paper, ordered §4 → §8, together with which hypothesis
+//! implies which — so a claim conditioned on ETH is automatically known to
+//! hold under SETH as well.
+
+use std::fmt;
+
+/// A complexity hypothesis used by some lower bound in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Hypothesis {
+    /// P ≠ NP (§4): no polynomial-time algorithm for an NP-hard problem.
+    PNeqNp,
+    /// FPT ≠ W\[1\] (§5): Clique is not fixed-parameter tractable.
+    FptNeqW1,
+    /// The Exponential-Time Hypothesis (§6): 3SAT has no 2^{o(n)} algorithm.
+    Eth,
+    /// The Strong ETH (§7): CNF-SAT has no (2−ε)^n·m^{O(1)} algorithm.
+    Seth,
+    /// The k-clique conjecture (§8): no O(n^{(ω−ε)k/3+c}) k-clique
+    /// algorithm.
+    KClique,
+    /// The d-uniform hyperclique conjecture (§8): no O(n^{(1−ε)k+c})
+    /// k-hyperclique algorithm for any d ≥ 3.
+    HyperClique,
+    /// The Strong Triangle Conjecture (§8): triangle detection needs
+    /// m^{2ω/(ω+1)} in terms of the edge count.
+    StrongTriangle,
+}
+
+impl Hypothesis {
+    /// All hypotheses, in paper order.
+    pub const ALL: [Hypothesis; 7] = [
+        Hypothesis::PNeqNp,
+        Hypothesis::FptNeqW1,
+        Hypothesis::Eth,
+        Hypothesis::Seth,
+        Hypothesis::KClique,
+        Hypothesis::HyperClique,
+        Hypothesis::StrongTriangle,
+    ];
+
+    /// Short name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hypothesis::PNeqNp => "P ≠ NP",
+            Hypothesis::FptNeqW1 => "FPT ≠ W[1]",
+            Hypothesis::Eth => "ETH",
+            Hypothesis::Seth => "SETH",
+            Hypothesis::KClique => "k-clique conjecture",
+            Hypothesis::HyperClique => "d-uniform hyperclique conjecture",
+            Hypothesis::StrongTriangle => "strong triangle conjecture",
+        }
+    }
+
+    /// One-sentence statement.
+    pub fn statement(self) -> &'static str {
+        match self {
+            Hypothesis::PNeqNp => "NP-hard problems have no polynomial-time algorithm.",
+            Hypothesis::FptNeqW1 => "Clique admits no f(k)·n^O(1) algorithm.",
+            Hypothesis::Eth => "3SAT with n variables cannot be solved in 2^o(n) time.",
+            Hypothesis::Seth => {
+                "CNF-SAT with n variables cannot be solved in (2−ε)^n·m^O(1) time for any ε > 0."
+            }
+            Hypothesis::KClique => {
+                "k-Clique cannot be solved in O(n^((ω−ε)k/3+c)) time for any ε, c > 0."
+            }
+            Hypothesis::HyperClique => {
+                "k-hyperclique in d-uniform hypergraphs (d ≥ 3) cannot be solved in O(n^((1−ε)k+c))."
+            }
+            Hypothesis::StrongTriangle => {
+                "Triangle detection cannot be solved in O(m^(2ω/(ω+1)−ε)) time."
+            }
+        }
+    }
+
+    /// Direct implications: `self` implies each returned hypothesis
+    /// (failure of the returned one would refute `self`).
+    ///
+    /// The edges encoded are the standard ones the paper relies on:
+    /// SETH ⇒ ETH ⇒ FPT ≠ W\[1\] ⇒ P ≠ NP.
+    pub fn directly_implies(self) -> &'static [Hypothesis] {
+        match self {
+            Hypothesis::Seth => &[Hypothesis::Eth],
+            Hypothesis::Eth => &[Hypothesis::FptNeqW1],
+            Hypothesis::FptNeqW1 => &[Hypothesis::PNeqNp],
+            _ => &[],
+        }
+    }
+
+    /// Transitive implication test: does assuming `self` yield `other`?
+    pub fn implies(self, other: Hypothesis) -> bool {
+        if self == other {
+            return true;
+        }
+        let mut stack = vec![self];
+        let mut seen = Vec::new();
+        while let Some(h) = stack.pop() {
+            if seen.contains(&h) {
+                continue;
+            }
+            seen.push(h);
+            for &next in h.directly_implies() {
+                if next == other {
+                    return true;
+                }
+                stack.push(next);
+            }
+        }
+        false
+    }
+
+    /// Relative strength: hypotheses that imply `self` are *stronger*
+    /// assumptions (more likely to be false, more explanatory power).
+    pub fn stronger_assumptions(self) -> Vec<Hypothesis> {
+        Hypothesis::ALL
+            .into_iter()
+            .filter(|&h| h != self && h.implies(self))
+            .collect()
+    }
+}
+
+impl fmt::Display for Hypothesis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implication_chain() {
+        assert!(Hypothesis::Seth.implies(Hypothesis::Eth));
+        assert!(Hypothesis::Seth.implies(Hypothesis::FptNeqW1));
+        assert!(Hypothesis::Seth.implies(Hypothesis::PNeqNp));
+        assert!(Hypothesis::Eth.implies(Hypothesis::PNeqNp));
+        assert!(!Hypothesis::PNeqNp.implies(Hypothesis::Eth));
+        assert!(!Hypothesis::Eth.implies(Hypothesis::Seth));
+    }
+
+    #[test]
+    fn self_implication() {
+        for h in Hypothesis::ALL {
+            assert!(h.implies(h));
+        }
+    }
+
+    #[test]
+    fn section8_conjectures_are_incomparable_here() {
+        assert!(!Hypothesis::KClique.implies(Hypothesis::Eth));
+        assert!(!Hypothesis::StrongTriangle.implies(Hypothesis::KClique));
+        assert!(!Hypothesis::HyperClique.implies(Hypothesis::Seth));
+    }
+
+    #[test]
+    fn stronger_assumptions_of_pneqnp() {
+        let stronger = Hypothesis::PNeqNp.stronger_assumptions();
+        assert!(stronger.contains(&Hypothesis::Seth));
+        assert!(stronger.contains(&Hypothesis::Eth));
+        assert!(stronger.contains(&Hypothesis::FptNeqW1));
+        assert!(!stronger.contains(&Hypothesis::KClique));
+    }
+
+    #[test]
+    fn names_and_statements_nonempty() {
+        for h in Hypothesis::ALL {
+            assert!(!h.name().is_empty());
+            assert!(!h.statement().is_empty());
+            assert_eq!(format!("{h}"), h.name());
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Local consistency: AC-3 arc consistency (with a generalized-arc variant
+//! for non-binary constraints).
+//!
+//! Consistency propagation is the polynomial-time workhorse underneath
+//! every CSP algorithm the paper discusses: Freuder's theorem originally
+//! combined tree decompositions with consistency, and the tractable
+//! Schaefer classes all admit consistency-style solvers. AC-3 removes
+//! values with no *support* — a value d of variable x is supported by a
+//! constraint c if some allowed tuple of c assigns d to x and only
+//! still-possible values elsewhere. Enforcing it is sound (no solution is
+//! lost) and often shrinks the search exponentially; on trees it decides
+//! satisfiability outright.
+
+use crate::instance::{CspInstance, Value};
+
+/// The result of enforcing arc consistency.
+#[derive(Clone, Debug)]
+pub struct AcResult {
+    /// `domains[v][d]` — whether value d of variable v survived.
+    pub domains: Vec<Vec<bool>>,
+    /// Total values removed.
+    pub removed: usize,
+    /// True iff some variable's domain was wiped out (no solution exists).
+    pub wiped_out: bool,
+}
+
+impl AcResult {
+    /// Remaining domain of `v` as a value list.
+    pub fn domain(&self, v: usize) -> Vec<Value> {
+        self.domains[v]
+            .iter()
+            .enumerate()
+            .filter(|(_, &ok)| ok)
+            .map(|(d, _)| d as Value)
+            .collect()
+    }
+
+    /// True iff every variable has exactly one value left (the instance is
+    /// solved by propagation alone).
+    pub fn is_singleton(&self) -> bool {
+        self.domains
+            .iter()
+            .all(|dom| dom.iter().filter(|&&ok| ok).count() == 1)
+    }
+}
+
+/// Enforces (generalized) arc consistency with an AC-3-style worklist.
+///
+/// Every solution of the instance survives: a removed value appears in no
+/// solution. If `wiped_out` is true the instance is unsatisfiable.
+pub fn enforce_arc_consistency(inst: &CspInstance) -> AcResult {
+    let n = inst.num_vars;
+    let d = inst.domain_size;
+    let mut domains = vec![vec![true; d]; n];
+    let mut removed = 0usize;
+
+    // Constraint index per variable.
+    let mut by_var: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, c) in inst.constraints.iter().enumerate() {
+        let mut scope = c.scope.clone();
+        scope.sort_unstable();
+        scope.dedup();
+        for v in scope {
+            by_var[v].push(ci);
+        }
+    }
+
+    // Worklist of (constraint, variable-position-in-scope) pairs to revise.
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for (ci, c) in inst.constraints.iter().enumerate() {
+        for pos in 0..c.scope.len() {
+            queue.push((ci, pos));
+        }
+    }
+    let mut queued: Vec<Vec<bool>> = inst
+        .constraints
+        .iter()
+        .map(|c| vec![true; c.scope.len()])
+        .collect();
+
+    while let Some((ci, pos)) = queue.pop() {
+        queued[ci][pos] = false;
+        let c = &inst.constraints[ci];
+        let x = c.scope[pos];
+        let mut changed = false;
+        for val in 0..d as Value {
+            if !domains[x][val as usize] {
+                continue;
+            }
+            // Support: an allowed tuple with `val` at `pos` whose other
+            // coordinates are all still in their domains. (If x repeats in
+            // the scope, every occurrence must carry `val`.)
+            let supported = c.relation.tuples().iter().any(|t| {
+                t[pos] == val
+                    && c.scope.iter().zip(t).all(|(&v, &tv)| {
+                        domains[v][tv as usize] && (v != x || tv == val)
+                    })
+            });
+            if !supported {
+                domains[x][val as usize] = false;
+                removed += 1;
+                changed = true;
+            }
+        }
+        if changed {
+            if domains[x].iter().all(|&ok| !ok) {
+                return AcResult {
+                    domains,
+                    removed,
+                    wiped_out: true,
+                };
+            }
+            // Requeue every (constraint, position) that watches x.
+            for &cj in &by_var[x] {
+                let cc = &inst.constraints[cj];
+                for (p, &v) in cc.scope.iter().enumerate() {
+                    if !(cj == ci && p == pos) && v != x && !queued[cj][p] {
+                        queued[cj][p] = true;
+                        queue.push((cj, p));
+                    }
+                }
+            }
+        }
+    }
+
+    AcResult {
+        domains,
+        removed,
+        wiped_out: false,
+    }
+}
+
+/// Restricts the instance to the surviving domains: values are renumbered
+/// densely per the global (shared) domain. Returns the filtered instance
+/// (same variables, same domain indices — relations just lose tuples).
+pub fn restrict_to(inst: &CspInstance, ac: &AcResult) -> CspInstance {
+    use crate::instance::{Constraint, Relation};
+    use std::sync::Arc;
+    let mut out = CspInstance::new(inst.num_vars, inst.domain_size);
+    for c in &inst.constraints {
+        let tuples: Vec<Vec<Value>> = c
+            .relation
+            .tuples()
+            .iter()
+            .filter(|t| {
+                c.scope
+                    .iter()
+                    .zip(t.iter())
+                    .all(|(&v, &tv)| ac.domains[v][tv as usize])
+            })
+            .cloned()
+            .collect();
+        out.add_constraint(Constraint::new(
+            c.scope.clone(),
+            Arc::new(Relation::new(c.scope.len(), tuples)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Constraint, Relation};
+    use crate::solver::bruteforce;
+    use std::sync::Arc;
+
+    #[test]
+    fn equality_chain_propagates_singleton() {
+        // x0 = 3 pinned; x0 = x1 = x2 = x3 → all domains collapse to {3}.
+        let mut inst = CspInstance::new(4, 5);
+        inst.add_constraint(Constraint::new(
+            vec![0],
+            Arc::new(Relation::new(1, vec![vec![3]])),
+        ));
+        let eq = Arc::new(Relation::equality(5));
+        for i in 0..3 {
+            inst.add_constraint(Constraint::new(vec![i, i + 1], eq.clone()));
+        }
+        let ac = enforce_arc_consistency(&inst);
+        assert!(!ac.wiped_out);
+        assert!(ac.is_singleton());
+        for v in 0..4 {
+            assert_eq!(ac.domain(v), vec![3]);
+        }
+        assert_eq!(ac.removed, 4 * 4);
+    }
+
+    #[test]
+    fn wipeout_detects_unsat() {
+        // x = 1 and x = 2 simultaneously.
+        let mut inst = CspInstance::new(1, 3);
+        inst.add_constraint(Constraint::new(
+            vec![0],
+            Arc::new(Relation::new(1, vec![vec![1]])),
+        ));
+        inst.add_constraint(Constraint::new(
+            vec![0],
+            Arc::new(Relation::new(1, vec![vec![2]])),
+        ));
+        let ac = enforce_arc_consistency(&inst);
+        assert!(ac.wiped_out);
+    }
+
+    #[test]
+    fn never_removes_solution_values() {
+        for seed in 0..15u64 {
+            let g = lb_graph::generators::gnp(6, 0.5, seed);
+            let inst = crate::generators::random_binary_csp(&g, 3, 0.4, seed);
+            let ac = enforce_arc_consistency(&inst);
+            let solutions = bruteforce::enumerate(&inst);
+            if ac.wiped_out {
+                assert!(solutions.is_empty(), "seed {seed}");
+                continue;
+            }
+            for s in &solutions {
+                for (v, &val) in s.iter().enumerate() {
+                    assert!(
+                        ac.domains[v][val as usize],
+                        "seed {seed}: AC removed a solution value"
+                    );
+                }
+            }
+            // Restriction preserves the solution set exactly.
+            let restricted = restrict_to(&inst, &ac);
+            assert_eq!(
+                bruteforce::enumerate(&restricted),
+                solutions,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_instances_decided_by_ac() {
+        // On trees (and forests), non-wipeout AC implies satisfiability.
+        for seed in 0..10u64 {
+            let g = lb_graph::generators::k_tree(1, 8, seed); // a tree
+            let inst = crate::generators::random_binary_csp(&g, 3, 0.5, seed);
+            let ac = enforce_arc_consistency(&inst);
+            let sat = bruteforce::solve(&inst).is_some();
+            assert_eq!(!ac.wiped_out, sat, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ternary_constraints_supported() {
+        // x + y + z = 2 over D = {0,1,2}, x pinned to 2 → y + z = 0 →
+        // y = z = 0.
+        let mut inst = CspInstance::new(3, 3);
+        inst.add_constraint(Constraint::new(
+            vec![0],
+            Arc::new(Relation::new(1, vec![vec![2]])),
+        ));
+        inst.add_constraint(Constraint::new(
+            vec![0, 1, 2],
+            Arc::new(Relation::from_fn(3, 3, |t| t[0] + t[1] + t[2] == 2)),
+        ));
+        let ac = enforce_arc_consistency(&inst);
+        assert!(ac.is_singleton());
+        assert_eq!(ac.domain(1), vec![0]);
+        assert_eq!(ac.domain(2), vec![0]);
+    }
+
+    #[test]
+    fn repeated_scope_variable() {
+        // (x, x) ∈ {(0,1)} is unsupported everywhere → wipeout.
+        let mut inst = CspInstance::new(1, 2);
+        inst.add_constraint(Constraint::new(
+            vec![0, 0],
+            Arc::new(Relation::new(2, vec![vec![0, 1]])),
+        ));
+        let ac = enforce_arc_consistency(&inst);
+        assert!(ac.wiped_out);
+    }
+}

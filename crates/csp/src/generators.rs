@@ -1,0 +1,118 @@
+//! Random CSP instance generators for the experiments.
+//!
+//! Each generator takes a seed; the experiment harness sweeps sizes with
+//! fixed seeds so runs are reproducible.
+
+use crate::instance::{Constraint, CspInstance, Relation, Value};
+use lb_graph::special::special_graph;
+use lb_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random binary CSP whose primal graph is exactly `g`: one constraint
+/// per edge, each pair of values forbidden independently with probability
+/// `tightness`.
+pub fn random_binary_csp(g: &Graph, domain_size: usize, tightness: f64, seed: u64) -> CspInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = CspInstance::new(g.num_vertices(), domain_size);
+    for (u, v) in g.edges() {
+        let rel = random_binary_relation(&mut rng, domain_size, tightness);
+        inst.add_constraint(Constraint::new(vec![u, v], Arc::new(rel)));
+    }
+    inst
+}
+
+/// A random binary CSP on a random k-tree primal graph: treewidth exactly
+/// k, the workload of experiment E3 (Freuder's algorithm).
+pub fn random_ktree_csp(
+    k: usize,
+    num_vars: usize,
+    domain_size: usize,
+    tightness: f64,
+    seed: u64,
+) -> CspInstance {
+    let g = lb_graph::generators::k_tree(k, num_vars, seed);
+    random_binary_csp(&g, domain_size, tightness, seed.wrapping_add(1))
+}
+
+/// The skeleton of a special CSP instance (Definition 4.3): clique part on
+/// variables `0..k` with *full* binary relations, path part on
+/// `k..k + 2^k` with full binary relations. Callers overwrite/add
+/// constraints to make it interesting; the primal graph is special by
+/// construction.
+pub fn special_csp_skeleton(k: usize, domain_size: usize) -> CspInstance {
+    let g = special_graph(k);
+    let mut inst = CspInstance::new(g.num_vertices(), domain_size);
+    let full = Arc::new(Relation::full(2, domain_size));
+    for (u, v) in g.edges() {
+        inst.add_constraint(Constraint::new(vec![u, v], full.clone()));
+    }
+    inst
+}
+
+/// A random special CSP instance: random relations on the clique edges,
+/// random relations on the path edges.
+pub fn random_special_csp(k: usize, domain_size: usize, tightness: f64, seed: u64) -> CspInstance {
+    let g = special_graph(k);
+    random_binary_csp(&g, domain_size, tightness, seed)
+}
+
+fn random_binary_relation(rng: &mut StdRng, domain_size: usize, tightness: f64) -> Relation {
+    let mut tuples = Vec::new();
+    for a in 0..domain_size as Value {
+        for b in 0..domain_size as Value {
+            if rng.gen::<f64>() >= tightness {
+                tuples.push(vec![a, b]);
+            }
+        }
+    }
+    Relation::new(2, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primal_graph_matches_generator_graph() {
+        let g = lb_graph::generators::cycle(6);
+        let inst = random_binary_csp(&g, 3, 0.0, 4);
+        // tightness 0 → all relations full → primal graph = g.
+        assert_eq!(inst.primal_graph().edges(), g.edges());
+    }
+
+    #[test]
+    fn tight_relations_forbid_everything() {
+        let g = lb_graph::generators::path(3);
+        let inst = random_binary_csp(&g, 2, 1.0, 4);
+        assert!(inst.constraints.iter().all(|c| c.relation.is_empty()));
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let g = lb_graph::generators::gnp(8, 0.5, 1);
+        let a = random_binary_csp(&g, 3, 0.3, 7);
+        let b = random_binary_csp(&g, 3, 0.3, 7);
+        assert_eq!(a.constraints.len(), b.constraints.len());
+        for (ca, cb) in a.constraints.iter().zip(&b.constraints) {
+            assert_eq!(ca.scope, cb.scope);
+            assert_eq!(ca.relation.tuples(), cb.relation.tuples());
+        }
+    }
+
+    #[test]
+    fn ktree_csp_has_treewidth_k() {
+        let inst = random_ktree_csp(2, 9, 2, 0.0, 3);
+        let g = inst.primal_graph();
+        assert_eq!(lb_graph::treewidth::treewidth_exact(&g), 2);
+    }
+
+    #[test]
+    fn special_skeleton_is_special() {
+        let inst = special_csp_skeleton(3, 2);
+        let g = inst.primal_graph();
+        assert!(lb_graph::special::recognize_special(&g).is_some());
+        assert_eq!(inst.num_vars, 3 + 8);
+    }
+}

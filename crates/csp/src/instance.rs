@@ -1,0 +1,376 @@
+//! CSP instances: variables, domain, constraints (paper §2.2).
+
+use lb_graph::{Graph, Hypergraph};
+use std::sync::Arc;
+
+/// A domain value. Domains are always `0..domain_size`.
+pub type Value = u32;
+
+/// A full assignment: `assignment[var]` is the value of variable `var`.
+pub type Assignment = Vec<Value>;
+
+/// A relation: the set of allowed tuples, all of the same arity.
+///
+/// Tuples are kept sorted for O(log t) membership tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Builds a relation from tuples (sorted and deduplicated).
+    ///
+    /// # Panics
+    /// Panics if some tuple has the wrong arity.
+    pub fn new(arity: usize, mut tuples: Vec<Vec<Value>>) -> Self {
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation { arity, tuples }
+    }
+
+    /// The empty relation (always unsatisfiable).
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: Vec::new() }
+    }
+
+    /// The full relation over `domain_size` values.
+    ///
+    /// # Panics
+    /// Panics if `domain_size.pow(arity)` would exceed 10^7 tuples — build
+    /// such constraints implicitly instead.
+    pub fn full(arity: usize, domain_size: usize) -> Self {
+        let total = (domain_size as u64).checked_pow(arity as u32).unwrap_or(u64::MAX);
+        assert!(total <= 10_000_000, "full relation too large to materialize");
+        let mut tuples = Vec::with_capacity(total as usize);
+        let mut t = vec![0 as Value; arity];
+        loop {
+            tuples.push(t.clone());
+            // Odometer increment.
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    return Relation { arity, tuples };
+                }
+                i -= 1;
+                t[i] += 1;
+                if (t[i] as usize) < domain_size {
+                    break;
+                }
+                t[i] = 0;
+                if i == 0 {
+                    return Relation { arity, tuples };
+                }
+            }
+        }
+    }
+
+    /// Builds a relation from a predicate over tuples.
+    pub fn from_fn<F: FnMut(&[Value]) -> bool>(
+        arity: usize,
+        domain_size: usize,
+        mut pred: F,
+    ) -> Self {
+        let mut tuples = Vec::new();
+        let mut t = vec![0 as Value; arity];
+        'outer: loop {
+            if pred(&t) {
+                tuples.push(t.clone());
+            }
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    break 'outer;
+                }
+                i -= 1;
+                t[i] += 1;
+                if (t[i] as usize) < domain_size {
+                    break;
+                }
+                t[i] = 0;
+                if i == 0 {
+                    break 'outer;
+                }
+            }
+        }
+        Relation { arity, tuples }
+    }
+
+    /// The binary disequality relation over `domain_size` values.
+    pub fn disequality(domain_size: usize) -> Self {
+        Relation::from_fn(2, domain_size, |t| t[0] != t[1])
+    }
+
+    /// The binary equality relation over `domain_size` values.
+    pub fn equality(domain_size: usize) -> Self {
+        Relation::from_fn(2, domain_size, |t| t[0] == t[1])
+    }
+
+    /// The binary relation of a graph's edge set (symmetric closure):
+    /// `(u, v)` allowed iff `{u, v} ∈ E(G)`.
+    pub fn graph_adjacency(g: &Graph) -> Self {
+        let mut tuples = Vec::with_capacity(2 * g.num_edges());
+        for (u, v) in g.edges() {
+            tuples.push(vec![u as Value, v as Value]);
+            tuples.push(vec![v as Value, u as Value]);
+        }
+        Relation::new(2, tuples)
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Allowed tuples, sorted.
+    pub fn tuples(&self) -> &[Vec<Value>] {
+        &self.tuples
+    }
+
+    /// Number of allowed tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff no tuple is allowed.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn allows(&self, t: &[Value]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        self.tuples.binary_search_by(|u| u.as_slice().cmp(t)).is_ok()
+    }
+}
+
+/// A constraint ⟨scope, relation⟩: the variables in `scope` must jointly
+/// take a tuple of `relation`. Relations are `Arc`-shared because reductions
+/// often reuse one relation across many constraints.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// The constraint scope (variables, in relation-column order; repeats
+    /// are allowed).
+    pub scope: Vec<usize>,
+    /// The allowed tuples.
+    pub relation: Arc<Relation>,
+}
+
+impl Constraint {
+    /// Builds a constraint.
+    ///
+    /// # Panics
+    /// Panics if the scope length differs from the relation arity.
+    pub fn new(scope: Vec<usize>, relation: Arc<Relation>) -> Self {
+        assert_eq!(scope.len(), relation.arity(), "scope/arity mismatch");
+        Constraint { scope, relation }
+    }
+
+    /// True iff the assignment (restricted to the scope) is allowed.
+    pub fn satisfied_by(&self, assignment: &[Value]) -> bool {
+        let t: Vec<Value> = self.scope.iter().map(|&v| assignment[v]).collect();
+        self.relation.allows(&t)
+    }
+}
+
+/// A CSP instance I = (V, D, C) with V = `0..num_vars` and D = `0..domain_size`.
+#[derive(Clone, Debug)]
+pub struct CspInstance {
+    /// |V|.
+    pub num_vars: usize,
+    /// |D|.
+    pub domain_size: usize,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl CspInstance {
+    /// Creates an instance with no constraints.
+    pub fn new(num_vars: usize, domain_size: usize) -> Self {
+        CspInstance {
+            num_vars,
+            domain_size,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    /// Panics if a scope variable is out of range or a relation value is
+    /// outside the domain.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        assert!(
+            c.scope.iter().all(|&v| v < self.num_vars),
+            "scope variable out of range"
+        );
+        debug_assert!(
+            c.relation
+                .tuples()
+                .iter()
+                .all(|t| t.iter().all(|&x| (x as usize) < self.domain_size)),
+            "relation value outside domain"
+        );
+        self.constraints.push(c);
+    }
+
+    /// True iff every constraint is binary (paper §2.2 "binary CSP").
+    pub fn is_binary(&self) -> bool {
+        self.constraints.iter().all(|c| c.scope.len() == 2)
+    }
+
+    /// Maximum constraint arity.
+    pub fn arity(&self) -> usize {
+        self.constraints.iter().map(|c| c.scope.len()).max().unwrap_or(0)
+    }
+
+    /// Evaluates a full assignment.
+    pub fn eval(&self, assignment: &[Value]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.constraints.iter().all(|c| c.satisfied_by(assignment))
+    }
+
+    /// The primal (Gaifman) graph: variables adjacent iff they co-occur in
+    /// some constraint scope (§2.2).
+    pub fn primal_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_vars);
+        for c in &self.constraints {
+            for (i, &u) in c.scope.iter().enumerate() {
+                for &v in &c.scope[i + 1..] {
+                    if u != v && !g.has_edge(u, v) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The hypergraph: one hyperedge per constraint scope (§2.2).
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut h = Hypergraph::new(self.num_vars);
+        for c in &self.constraints {
+            let mut scope = c.scope.clone();
+            scope.sort_unstable();
+            scope.dedup();
+            h.add_edge(scope);
+        }
+        h
+    }
+
+    /// Total size of the instance: Σ |scope| + Σ tuple cells, the `n` the
+    /// paper's running-time bounds are stated in.
+    pub fn size(&self) -> usize {
+        self.constraints
+            .iter()
+            .map(|c| c.scope.len() + c.relation.len() * c.relation.arity())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relation_basics() {
+        let r = Relation::new(2, vec![vec![1, 0], vec![0, 1], vec![1, 0]]);
+        assert_eq!(r.len(), 2);
+        assert!(r.allows(&[0, 1]));
+        assert!(!r.allows(&[1, 1]));
+        assert!(Relation::empty(3).is_empty());
+    }
+
+    #[test]
+    fn full_relation() {
+        let r = Relation::full(2, 3);
+        assert_eq!(r.len(), 9);
+        assert!(r.allows(&[2, 2]));
+        let r1 = Relation::full(1, 4);
+        assert_eq!(r1.len(), 4);
+    }
+
+    #[test]
+    fn from_fn_and_named_relations() {
+        let neq = Relation::disequality(3);
+        assert_eq!(neq.len(), 6);
+        assert!(!neq.allows(&[1, 1]));
+        let eq = Relation::equality(3);
+        assert_eq!(eq.len(), 3);
+        assert!(eq.allows(&[2, 2]));
+    }
+
+    #[test]
+    fn graph_adjacency_relation() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = Relation::graph_adjacency(&g);
+        assert_eq!(r.len(), 4);
+        assert!(r.allows(&[0, 1]) && r.allows(&[1, 0]));
+        assert!(!r.allows(&[0, 2]));
+    }
+
+    #[test]
+    fn instance_eval() {
+        // Two variables over D = {0,1,2}, must differ and sum to 2.
+        let mut inst = CspInstance::new(2, 3);
+        inst.add_constraint(Constraint::new(
+            vec![0, 1],
+            Arc::new(Relation::disequality(3)),
+        ));
+        inst.add_constraint(Constraint::new(
+            vec![0, 1],
+            Arc::new(Relation::from_fn(2, 3, |t| t[0] + t[1] == 2)),
+        ));
+        assert!(inst.eval(&[0, 2]));
+        assert!(!inst.eval(&[1, 1]));
+        assert!(inst.is_binary());
+        assert_eq!(inst.arity(), 2);
+    }
+
+    #[test]
+    fn primal_graph_and_hypergraph() {
+        let mut inst = CspInstance::new(4, 2);
+        let r3 = Arc::new(Relation::full(3, 2));
+        inst.add_constraint(Constraint::new(vec![0, 1, 2], r3));
+        let g = inst.primal_graph();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        let h = inst.hypergraph();
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.edge(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn repeated_scope_variable() {
+        // Constraint x ≠ x is unsatisfiable.
+        let mut inst = CspInstance::new(1, 2);
+        inst.add_constraint(Constraint::new(
+            vec![0, 0],
+            Arc::new(Relation::disequality(2)),
+        ));
+        assert!(!inst.eval(&[0]));
+        assert!(!inst.eval(&[1]));
+        // Primal graph has no self-loop.
+        assert_eq!(inst.primal_graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn size_counts_cells() {
+        let mut inst = CspInstance::new(2, 2);
+        inst.add_constraint(Constraint::new(
+            vec![0, 1],
+            Arc::new(Relation::equality(2)),
+        ));
+        // scope 2 + 2 tuples × 2 cells = 6.
+        assert_eq!(inst.size(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "scope/arity mismatch")]
+    fn scope_arity_mismatch() {
+        let _ = Constraint::new(vec![0], Arc::new(Relation::full(2, 2)));
+    }
+}

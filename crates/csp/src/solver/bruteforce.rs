@@ -1,0 +1,153 @@
+//! Brute-force CSP solving: all |D|^|V| assignments.
+//!
+//! The baseline of Theorem 6.4: assuming the ETH, no algorithm solves binary
+//! CSP in f(|V|) · |D|^{o(|V|)} time, i.e. the exponent of this loop is
+//! essentially optimal in general. Used as the testing oracle for every
+//! other solver.
+
+use crate::instance::{Assignment, CspInstance, Value};
+
+/// Guard against astronomically large enumerations in tests.
+fn check_feasible(inst: &CspInstance) {
+    let total = (inst.domain_size as f64).powi(inst.num_vars as i32);
+    assert!(
+        total <= 1e9,
+        "brute force would enumerate {total:.2e} assignments; use another solver"
+    );
+}
+
+/// Finds one solution by exhaustive enumeration.
+pub fn solve(inst: &CspInstance) -> Option<Assignment> {
+    check_feasible(inst);
+    let mut found = None;
+    enumerate_until(inst, |a| {
+        found = Some(a.to_vec());
+        true
+    });
+    found
+}
+
+/// Counts all solutions.
+pub fn count(inst: &CspInstance) -> u64 {
+    check_feasible(inst);
+    let mut n = 0u64;
+    enumerate_until(inst, |_| {
+        n += 1;
+        false
+    });
+    n
+}
+
+/// Enumerates all solutions into a vector (sorted lexicographically by
+/// construction).
+pub fn enumerate(inst: &CspInstance) -> Vec<Assignment> {
+    check_feasible(inst);
+    let mut out = Vec::new();
+    enumerate_until(inst, |a| {
+        out.push(a.to_vec());
+        false
+    });
+    out
+}
+
+/// Core enumeration: calls `visit` on each solution in lexicographic order;
+/// stops early if `visit` returns `true`.
+pub fn enumerate_until<F: FnMut(&[Value]) -> bool>(inst: &CspInstance, mut visit: F) {
+    let n = inst.num_vars;
+    let d = inst.domain_size as Value;
+    if d == 0 && n > 0 {
+        return; // empty domain, no assignments
+    }
+    let mut a: Assignment = vec![0; n];
+    loop {
+        if inst.eval(&a) && visit(&a) {
+            return;
+        }
+        // Odometer increment (most significant digit first for lex order).
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            a[i] += 1;
+            if a[i] < d {
+                break;
+            }
+            a[i] = 0;
+            if i == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Constraint, Relation};
+    use std::sync::Arc;
+
+    fn neq_chain(n: usize, d: usize) -> CspInstance {
+        let mut inst = CspInstance::new(n, d);
+        let neq = Arc::new(Relation::disequality(d));
+        for i in 0..n - 1 {
+            inst.add_constraint(Constraint::new(vec![i, i + 1], neq.clone()));
+        }
+        inst
+    }
+
+    #[test]
+    fn counts_proper_colorings_of_path() {
+        // Path with k colors: k·(k−1)^(n−1) proper colorings.
+        let inst = neq_chain(4, 3);
+        assert_eq!(count(&inst), 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn unsat_when_domain_too_small() {
+        // Triangle of disequalities with 2 colors.
+        let mut inst = CspInstance::new(3, 2);
+        let neq = Arc::new(Relation::disequality(2));
+        inst.add_constraint(Constraint::new(vec![0, 1], neq.clone()));
+        inst.add_constraint(Constraint::new(vec![1, 2], neq.clone()));
+        inst.add_constraint(Constraint::new(vec![0, 2], neq));
+        assert!(solve(&inst).is_none());
+        assert_eq!(count(&inst), 0);
+    }
+
+    #[test]
+    fn enumerate_is_sorted_and_complete() {
+        let inst = neq_chain(3, 2);
+        let sols = enumerate(&inst);
+        assert_eq!(sols.len(), 2); // 010 and 101
+        assert!(sols.windows(2).all(|w| w[0] < w[1]));
+        for s in &sols {
+            assert!(inst.eval(s));
+        }
+    }
+
+    #[test]
+    fn no_constraints_counts_all() {
+        let inst = CspInstance::new(3, 4);
+        assert_eq!(count(&inst), 64);
+    }
+
+    #[test]
+    fn zero_vars_one_empty_solution() {
+        let inst = CspInstance::new(0, 5);
+        assert_eq!(count(&inst), 1);
+        assert_eq!(solve(&inst), Some(vec![]));
+    }
+
+    #[test]
+    fn early_exit_on_first() {
+        let inst = CspInstance::new(2, 10);
+        let mut seen = 0;
+        enumerate_until(&inst, |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 1);
+    }
+}

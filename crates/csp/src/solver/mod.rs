@@ -1,0 +1,25 @@
+//! CSP solvers: brute force, backtracking, treewidth DP, special.
+//!
+//! Every solver exposes the same three operations — decide/find one
+//! (`solve`-style free functions), count, and enumerate — and they
+//! are cross-checked against each other in tests. Their *scaling* differs,
+//! which is exactly what the paper's lower bounds are about.
+
+pub mod backtracking;
+pub mod bruteforce;
+pub mod special;
+pub mod treewidth_dp;
+
+pub use backtracking::{BacktrackConfig, BacktrackStats};
+
+use crate::instance::{Assignment, CspInstance};
+
+/// Convenience dispatch: solve with backtracking under default settings.
+pub fn solve(inst: &CspInstance) -> Option<Assignment> {
+    backtracking::solve(inst, BacktrackConfig::default()).0
+}
+
+/// Convenience dispatch: count solutions with backtracking.
+pub fn count(inst: &CspInstance) -> u64 {
+    backtracking::count(inst, BacktrackConfig::default()).0
+}

@@ -1,0 +1,412 @@
+//! Graph and hypergraph generators for the experiment harness.
+//!
+//! Deterministic families (paths, cycles, cliques, grids, k-trees) exercise
+//! the treewidth machinery; random families (G(n, p), random d-uniform
+//! hypergraphs) drive the scaling experiments E6–E12. All random generators
+//! take an explicit seed so experiments are reproducible.
+
+use crate::graph::Graph;
+use crate::hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path on `n` vertices: edges `{i, i+1}`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete graph K_n.
+pub fn clique(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// Star with center 0 and `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let edges: Vec<(usize, usize)> = (1..=leaves).map(|i| (0, i)).collect();
+    Graph::from_edges(leaves + 1, &edges)
+}
+
+/// Complete bipartite graph K_{a,b}: sides `0..a` and `a..a+b`.
+///
+/// Used in the Theorem 7.2 reduction (dominating set → CSP), whose primal
+/// graph is complete bipartite with treewidth min(a, b).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            g.add_edge(i, a + j);
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (10 vertices, 15 edges, treewidth 4).
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5 {
+        g.add_edge(i, (i + 1) % 5); // outer cycle
+        g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        g.add_edge(i, 5 + i); // spokes
+    }
+    g
+}
+
+/// The Turán graph T(n, r): complete r-partite with near-equal classes.
+/// Dense (the densest graph possible) yet K_{r+1}-free — the canonical
+/// worst-case NO instance for (r+1)-clique search.
+pub fn turan(n: usize, r: usize) -> Graph {
+    assert!(r >= 1);
+    let class = |v: usize| v % r;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if class(u) != class(v) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The d-uniform Turán-style hypergraph on r classes: every d-set with at
+/// most one vertex per class is a hyperedge. For r = k−1 it has no
+/// k-hyperclique (two of any k vertices share a class, and the triple
+/// containing both is missing), yet it is as dense as that allows.
+pub fn turan_hypergraph(n: usize, d: usize, r: usize) -> Hypergraph {
+    assert!(r >= d, "need at least d classes for rainbow d-sets");
+    let class = |v: usize| v % r;
+    let mut h = Hypergraph::new(n);
+    let mut edge: Vec<usize> = (0..d).collect();
+    loop {
+        let mut classes: Vec<usize> = edge.iter().map(|&v| class(v)).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() == d {
+            h.add_edge(edge.clone());
+        }
+        // Next d-combination.
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return h;
+            }
+            i -= 1;
+            if edge[i] != i + n - d {
+                break;
+            }
+            if i == 0 {
+                return h;
+            }
+        }
+        edge[i] += 1;
+        for j in (i + 1)..d {
+            edge[j] = edge[j - 1] + 1;
+        }
+    }
+}
+
+/// Erdős–Rényi G(n, p) with a fixed seed.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// A random graph with exactly `m` edges chosen uniformly (G(n, m) model).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A random k-tree on `n ≥ k+1` vertices: start from a (k+1)-clique, then
+/// attach each new vertex to a random existing k-clique. Treewidth exactly k
+/// (for n > k).
+pub fn k_tree(k: usize, n: usize, seed: u64) -> Graph {
+    assert!(n > k, "k-tree needs at least k+1 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Track the k-cliques available for attachment.
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for i in 0..=k {
+        for j in (i + 1)..=k {
+            g.add_edge(i, j);
+        }
+    }
+    // All k-subsets of the initial (k+1)-clique.
+    for skip in 0..=k {
+        let c: Vec<usize> = (0..=k).filter(|&v| v != skip).collect();
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let c = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &c {
+            g.add_edge(v, u);
+        }
+        // New k-cliques: c with one vertex swapped for v.
+        for skip in 0..c.len() {
+            let mut nc = c.clone();
+            nc[skip] = v;
+            nc.sort_unstable();
+            cliques.push(nc);
+        }
+    }
+    g
+}
+
+/// A graph guaranteed to contain a planted k-clique, plus G(n, p) noise.
+/// Returns `(graph, planted_clique_vertices)`.
+pub fn planted_clique(n: usize, k: usize, p: f64, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Random vertex subset for the clique.
+    let mut verts: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        verts.swap(i, j);
+    }
+    let planted: Vec<usize> = {
+        let mut p: Vec<usize> = verts[..k].to_vec();
+        p.sort_unstable();
+        p
+    };
+    for (i, &u) in planted.iter().enumerate() {
+        for &v in &planted[i + 1..] {
+            g.add_edge(u, v);
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !g.has_edge(i, j) && rng.gen::<f64>() < p {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    (g, planted)
+}
+
+/// Random `d`-uniform hypergraph: each of the C(n, d) possible hyperedges is
+/// present independently with probability `p`.
+pub fn random_uniform_hypergraph(n: usize, d: usize, p: f64, seed: u64) -> Hypergraph {
+    assert!(d >= 1 && d <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = Hypergraph::new(n);
+    let mut edge: Vec<usize> = (0..d).collect();
+    loop {
+        if rng.gen::<f64>() < p {
+            h.add_edge(edge.clone());
+        }
+        // Next d-combination of 0..n in lexicographic order.
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return h;
+            }
+            i -= 1;
+            if edge[i] != i + n - d {
+                break;
+            }
+            if i == 0 {
+                return h;
+            }
+        }
+        edge[i] += 1;
+        for j in (i + 1)..d {
+            edge[j] = edge[j - 1] + 1;
+        }
+    }
+}
+
+/// A `d`-uniform hypergraph with a planted k-hyperclique (all C(k, d)
+/// hyperedges among the first k vertices) plus random noise hyperedges.
+/// Returns `(hypergraph, planted_vertices)`.
+pub fn planted_hyperclique(n: usize, d: usize, k: usize, p: f64, seed: u64) -> (Hypergraph, Vec<usize>) {
+    assert!(d <= k && k <= n);
+    let mut h = random_uniform_hypergraph(n, d, p, seed);
+    // Plant on vertices 0..k: add every d-subset (duplicates are fine).
+    let mut edge: Vec<usize> = (0..d).collect();
+    loop {
+        h.add_edge(edge.clone());
+        let mut i = d;
+        let mut done = false;
+        loop {
+            if i == 0 {
+                done = true;
+                break;
+            }
+            i -= 1;
+            if edge[i] != i + k - d {
+                break;
+            }
+            if i == 0 {
+                done = true;
+                break;
+            }
+        }
+        if done {
+            break;
+        }
+        edge[i] += 1;
+        for j in (i + 1)..d {
+            edge[j] = edge[j - 1] + 1;
+        }
+    }
+    (h, (0..k).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_families_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(clique(5).num_edges(), 10);
+        assert_eq!(star(4).num_edges(), 4);
+        assert_eq!(grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(complete_bipartite(2, 3).num_edges(), 6);
+        let p = petersen();
+        assert_eq!((p.num_vertices(), p.num_edges()), (10, 15));
+        assert!((0..10).all(|v| p.degree(v) == 3));
+    }
+
+    #[test]
+    fn turan_is_clique_free() {
+        let g = turan(12, 3);
+        // Complete 3-partite: no K4.
+        for a in 0..12 {
+            for b in (a + 1)..12 {
+                for c in (b + 1)..12 {
+                    for d in (c + 1)..12 {
+                        assert!(!g.is_clique(&[a, b, c, d]));
+                    }
+                }
+            }
+        }
+        // But plenty of triangles across classes.
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn turan_hypergraph_shape() {
+        let h = turan_hypergraph(8, 3, 4);
+        assert!(h.is_uniform(3));
+        // Edge {0,1,2}: classes 0,1,2 distinct → present.
+        assert!(h.edges().iter().any(|e| e == &vec![0, 1, 2]));
+        // Edge {0,4,1}: 0 and 4 share class 0 → absent.
+        assert!(!h.edges().iter().any(|e| e == &vec![0, 1, 4]));
+    }
+
+    #[test]
+    fn gnp_is_seeded() {
+        let a = gnp(20, 0.4, 1);
+        let b = gnp(20, 0.4, 1);
+        let c = gnp(20, 0.4, 2);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 3).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 3).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_edges() {
+        let g = gnm(15, 30, 9);
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn k_tree_structure() {
+        let g = k_tree(2, 10, 5);
+        // 2-tree on n vertices has 2n - 3 edges.
+        assert_eq!(g.num_edges(), 2 * 10 - 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn planted_clique_is_clique() {
+        let (g, planted) = planted_clique(30, 6, 0.2, 11);
+        assert_eq!(planted.len(), 6);
+        assert!(g.is_clique(&planted));
+    }
+
+    #[test]
+    fn random_hypergraph_uniformity() {
+        let h = random_uniform_hypergraph(8, 3, 0.5, 13);
+        assert!(h.is_uniform(3));
+        assert!(h.num_edges() > 0 && h.num_edges() < 56);
+    }
+
+    #[test]
+    fn planted_hyperclique_complete() {
+        let (h, planted) = planted_hyperclique(10, 3, 5, 0.1, 17);
+        assert_eq!(planted, vec![0, 1, 2, 3, 4]);
+        // All C(5,3) = 10 hyperedges among 0..5 must be present.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                for c in (b + 1)..5 {
+                    let want = vec![a, b, c];
+                    assert!(
+                        h.edges().iter().any(|e| e == &want),
+                        "missing hyperedge {want:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Simple undirected graphs.
+//!
+//! Vertices are `0..n`. The representation keeps both a sorted adjacency list
+//! per vertex (for iteration) and a bitset adjacency matrix (for O(1) edge
+//! tests), which is the right trade-off for the dense combinatorial
+//! algorithms in this workspace (clique search, treewidth elimination,
+//! partitioned subgraph isomorphism).
+
+use std::fmt;
+
+/// A word-packed bitset used for adjacency rows and vertex subsets.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Universe size this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        !present
+    }
+
+    /// Removes `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] >> b & 1 == 1;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Size of the intersection, without materializing it.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True iff the two sets share an element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Smallest member, if any.
+    pub fn min(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects into a bitset whose universe is the max element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// A simple undirected graph on vertices `0..n`.
+///
+/// Self-loops and parallel edges are rejected by [`Graph::add_edge`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    rows: Vec<BitSet>,
+    m: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj: vec![Vec::new(); n],
+            rows: (0..n).map(|_| BitSet::new(n)).collect(),
+            m: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Adds edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(!self.has_edge(u, v), "duplicate edge {{{u}, {v}}}");
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.rows[u].insert(v);
+        self.rows[v].insert(u);
+        self.m += 1;
+    }
+
+    /// O(1) adjacency test.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.rows[u].contains(v)
+    }
+
+    /// Neighbors of `u` in insertion order.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Neighborhood of `u` as a bitset row.
+    pub fn neighbor_set(&self, u: usize) -> &BitSet {
+        &self.rows[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// All edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.m);
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Closed neighborhood `N[u] = N(u) ∪ {u}` (paper §7, dominating set).
+    pub fn closed_neighborhood(&self, u: usize) -> BitSet {
+        let mut s = self.rows[u].clone();
+        s.insert(u);
+        s
+    }
+
+    /// The complement graph.
+    pub fn complement(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Induced subgraph on `verts`; returns the subgraph and the map
+    /// from new vertex ids to original ids.
+    pub fn induced_subgraph(&self, verts: &[usize]) -> (Graph, Vec<usize>) {
+        let mut index = vec![usize::MAX; self.n];
+        for (i, &v) in verts.iter().enumerate() {
+            index[v] = i;
+        }
+        let mut g = Graph::new(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            for &w in &self.adj[v] {
+                let j = index[w];
+                if j != usize::MAX && i < j {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        (g, verts.to_vec())
+    }
+
+    /// True iff `verts` induces a clique.
+    pub fn is_clique(&self, verts: &[usize]) -> bool {
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True iff `verts` is a dominating set: every vertex is in `verts`
+    /// or adjacent to a member.
+    pub fn is_dominating_set(&self, verts: &[usize]) -> bool {
+        let mut dominated = BitSet::new(self.n);
+        for &v in verts {
+            dominated.union_with(&self.closed_neighborhood(v));
+        }
+        dominated.count() == self.n
+    }
+
+    /// True iff `verts` is a vertex cover: every edge has an endpoint in it.
+    pub fn is_vertex_cover(&self, verts: &[usize]) -> bool {
+        let mut cover = BitSet::new(self.n);
+        for &v in verts {
+            cover.insert(v);
+        }
+        self.edges()
+            .iter()
+            .all(|&(u, v)| cover.contains(u) || cover.contains(v))
+    }
+
+    /// Connected components, each a sorted vertex list.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            let mut stack = vec![s];
+            seen[s] = true;
+            let mut comp = Vec::new();
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// True iff the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// True iff the component induces a simple path (in some vertex order).
+    ///
+    /// Used to recognize the path component of a "special" graph
+    /// (Definition 4.3).
+    pub fn component_is_path(&self, comp: &[usize]) -> bool {
+        if comp.len() == 1 {
+            return true;
+        }
+        let mut deg1 = 0;
+        for &v in comp {
+            match self.degree(v) {
+                1 => deg1 += 1,
+                2 => {}
+                _ => return false,
+            }
+        }
+        // A connected component with max degree 2 and exactly two endpoints
+        // is a path; with zero degree-1 vertices it would be a cycle.
+        deg1 == 2 && self.component_edge_count(comp) == comp.len() - 1
+    }
+
+    fn component_edge_count(&self, comp: &[usize]) -> usize {
+        comp.iter().map(|&v| self.degree(v)).sum::<usize>() / 2
+    }
+
+    /// Greedy proper coloring (first-fit in vertex order); returns the colors.
+    pub fn greedy_coloring(&self) -> Vec<usize> {
+        let mut color = vec![usize::MAX; self.n];
+        for u in 0..self.n {
+            let mut used: Vec<usize> = self.adj[u]
+                .iter()
+                .map(|&v| color[v])
+                .filter(|&c| c != usize::MAX)
+                .collect();
+            used.sort_unstable();
+            used.dedup();
+            let mut c = 0;
+            for &uc in &used {
+                if uc == c {
+                    c += 1;
+                } else if uc > c {
+                    break;
+                }
+            }
+            color[u] = c;
+        }
+        color
+    }
+
+    /// Validates a proper coloring.
+    pub fn is_proper_coloring(&self, color: &[usize]) -> bool {
+        color.len() == self.n && self.edges().iter().all(|&(u, v)| color[u] != color[v])
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}, edges={:?})", self.n, self.m, self.edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_basic_ops() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn bitset_set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 64].into_iter().collect();
+        let b: BitSet = [2usize, 64].into_iter().collect();
+        let mut a2 = a.clone();
+        // Universes differ (4+1=65 vs 65): same here.
+        a2.intersect_with(&b);
+        assert_eq!(a2.iter().collect::<Vec<_>>(), vec![2, 64]);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn triangle_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(g.is_connected());
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn no_self_loops() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let gc = g.complement();
+        assert_eq!(g.num_edges() + gc.num_edges(), 5 * 4 / 2);
+        assert_eq!(gc.complement(), g);
+    }
+
+    #[test]
+    fn components_and_paths() {
+        // Path 0-1-2 plus triangle 3-4-5.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5), (3, 5)]);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert!(g.component_is_path(&comps[0]));
+        assert!(!g.component_is_path(&comps[1]));
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn cycle_is_not_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 1);
+        assert!(!g.component_is_path(&comps[0]));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_edges() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let (h, map) = g.induced_subgraph(&[0, 1, 4]);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 2); // {0,1} and {0,4}
+        assert_eq!(map, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn dominating_and_cover_checks() {
+        // Star with center 0.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!(g.is_dominating_set(&[0]));
+        assert!(!g.is_dominating_set(&[1]));
+        assert!(g.is_vertex_cover(&[0]));
+        assert!(!g.is_vertex_cover(&[1, 2]));
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let c = g.greedy_coloring();
+        assert!(g.is_proper_coloring(&c));
+    }
+
+    #[test]
+    fn closed_neighborhood_contains_self() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let n0 = g.closed_neighborhood(0);
+        assert!(n0.contains(0) && n0.contains(1) && !n0.contains(2));
+    }
+}

@@ -1,0 +1,260 @@
+//! Hypergraphs: the shared shape of join queries and CSP instances.
+//!
+//! Paper §2.1–§2.2: the hypergraph of a join query has the attributes as
+//! vertices and one hyperedge per relation; the hypergraph of a CSP instance
+//! has the variables as vertices and one hyperedge per constraint scope.
+//! The fractional edge cover number ρ*(H) of this hypergraph governs the
+//! worst-case answer size (the AGM bound, Theorems 3.1–3.3); it is computed
+//! by `lb-lp` from the incidence data exposed here.
+
+use crate::graph::Graph;
+
+/// A hypergraph on vertices `0..n` with an ordered list of hyperedges.
+///
+/// Hyperedges store sorted, deduplicated vertex lists. Empty hyperedges are
+/// rejected; duplicate hyperedges are allowed (two relations over the same
+/// attribute set are legitimate in a query).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with no hyperedges on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Hypergraph { n, edges: Vec::new() }
+    }
+
+    /// Builds a hypergraph from hyperedge vertex lists.
+    pub fn from_edges(n: usize, edges: &[Vec<usize>]) -> Self {
+        let mut h = Hypergraph::new(n);
+        for e in edges {
+            h.add_edge(e.clone());
+        }
+        h
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a hyperedge; the vertex list is sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics if the edge is empty or an endpoint is out of range.
+    pub fn add_edge(&mut self, mut verts: Vec<usize>) {
+        verts.sort_unstable();
+        verts.dedup();
+        assert!(!verts.is_empty(), "empty hyperedge");
+        assert!(
+            verts.iter().all(|&v| v < self.n),
+            "hyperedge vertex out of range"
+        );
+        self.edges.push(verts);
+    }
+
+    /// The `i`-th hyperedge (sorted vertex list).
+    pub fn edge(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
+
+    /// All hyperedges.
+    pub fn edges(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// Indices of hyperedges containing vertex `v`.
+    pub fn edges_containing(&self, v: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.binary_search(&v).is_ok())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True iff every vertex lies in at least one hyperedge.
+    ///
+    /// The fractional-edge-cover LP is infeasible exactly when this fails.
+    pub fn covers_all_vertices(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        for e in &self.edges {
+            for &v in e {
+                seen[v] = true;
+            }
+        }
+        seen.into_iter().all(|b| b)
+    }
+
+    /// True iff every hyperedge has exactly `d` vertices (paper §8,
+    /// the d-uniform hyperclique conjecture).
+    pub fn is_uniform(&self, d: usize) -> bool {
+        self.edges.iter().all(|e| e.len() == d)
+    }
+
+    /// Maximum hyperedge arity.
+    pub fn arity(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// The primal (Gaifman) graph: vertices of the hypergraph, with an edge
+    /// between two vertices whenever some hyperedge contains both (§2.2).
+    pub fn primal_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for e in &self.edges {
+            for (i, &u) in e.iter().enumerate() {
+                for &v in &e[i + 1..] {
+                    if !g.has_edge(u, v) {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// True iff `set` contains all of hyperedge `i`'s vertices.
+    pub fn edge_inside(&self, i: usize, set: &[usize]) -> bool {
+        self.edges[i].iter().all(|v| set.binary_search(v).is_ok())
+    }
+
+    /// The triangle hypergraph: 3 vertices, edges {0,1}, {0,2}, {1,2}.
+    ///
+    /// This is the running example of the paper (§3 and §8): ρ* = 3/2,
+    /// AGM bound N^{3/2}.
+    pub fn triangle() -> Self {
+        Hypergraph::from_edges(3, &[vec![0, 1], vec![0, 2], vec![1, 2]])
+    }
+
+    /// The k-cycle hypergraph: vertices 0..k, binary edges {i, i+1 mod k}.
+    pub fn cycle(k: usize) -> Self {
+        assert!(k >= 3, "cycle needs at least 3 vertices");
+        let edges: Vec<Vec<usize>> = (0..k).map(|i| vec![i, (i + 1) % k]).collect();
+        Hypergraph::from_edges(k, &edges)
+    }
+
+    /// The star query hypergraph: center 0, binary edges {0, i} for i in 1..=k.
+    pub fn star(k: usize) -> Self {
+        let edges: Vec<Vec<usize>> = (1..=k).map(|i| vec![0, i]).collect();
+        Hypergraph::from_edges(k + 1, &edges)
+    }
+
+    /// The Loomis–Whitney hypergraph LW(n): n vertices, and for each vertex v
+    /// the hyperedge containing all vertices except v. ρ* = n/(n−1).
+    ///
+    /// LW(3) is the triangle. These are the canonical examples where the AGM
+    /// bound has a fractional exponent.
+    pub fn loomis_whitney(n: usize) -> Self {
+        assert!(n >= 3, "Loomis-Whitney needs n >= 3");
+        let edges: Vec<Vec<usize>> = (0..n)
+            .map(|skip| (0..n).filter(|&v| v != skip).collect())
+            .collect();
+        Hypergraph::from_edges(n, &edges)
+    }
+
+    /// The k-clique hypergraph: all 2-element subsets of 0..k as edges.
+    /// This is the primal structure of the Clique→CSP reduction (§5).
+    pub fn clique(k: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push(vec![i, j]);
+            }
+        }
+        Hypergraph::from_edges(k, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_shape() {
+        let h = Hypergraph::triangle();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3);
+        assert!(h.is_uniform(2));
+        assert!(h.covers_all_vertices());
+        let g = h.primal_graph();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn edges_containing_vertex() {
+        let h = Hypergraph::triangle();
+        assert_eq!(h.edges_containing(0), vec![0, 1]);
+        assert_eq!(h.edges_containing(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn loomis_whitney_3_is_triangle() {
+        let mut lw = Hypergraph::loomis_whitney(3).edges().to_vec();
+        let mut tri = Hypergraph::triangle().edges().to_vec();
+        lw.sort();
+        tri.sort();
+        assert_eq!(lw, tri);
+    }
+
+    #[test]
+    fn loomis_whitney_4_arity() {
+        let h = Hypergraph::loomis_whitney(4);
+        assert_eq!(h.num_edges(), 4);
+        assert!(h.is_uniform(3));
+        assert_eq!(h.arity(), 3);
+    }
+
+    #[test]
+    fn star_coverage() {
+        let h = Hypergraph::star(4);
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 4);
+        assert!(h.covers_all_vertices());
+        // Primal graph of a star query is a star graph.
+        let g = h.primal_graph();
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn uncovered_vertex_detected() {
+        let h = Hypergraph::from_edges(3, &[vec![0, 1]]);
+        assert!(!h.covers_all_vertices());
+    }
+
+    #[test]
+    fn hyperedge_sorted_dedup() {
+        let mut h = Hypergraph::new(5);
+        h.add_edge(vec![3, 1, 3, 2]);
+        assert_eq!(h.edge(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clique_hypergraph_edge_count() {
+        let h = Hypergraph::clique(5);
+        assert_eq!(h.num_edges(), 10);
+        assert!(h.primal_graph().is_clique(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn edge_inside_check() {
+        let h = Hypergraph::triangle();
+        assert!(h.edge_inside(0, &[0, 1, 2]));
+        assert!(h.edge_inside(0, &[0, 1]));
+        assert!(!h.edge_inside(1, &[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hyperedge")]
+    fn empty_edge_rejected() {
+        let mut h = Hypergraph::new(2);
+        h.add_edge(vec![]);
+    }
+}

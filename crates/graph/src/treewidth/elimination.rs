@@ -1,0 +1,191 @@
+//! Tree decompositions from elimination orderings.
+//!
+//! Every elimination ordering of a graph yields a tree decomposition whose
+//! width is the maximum back-degree in the fill-in graph; conversely every
+//! tree decomposition induces an ordering of no larger width, so treewidth
+//! equals the minimum over orderings. This is the bridge between the
+//! ordering-based heuristics/exact DP and the bag-based Definition 4.1.
+
+use super::TreeDecomposition;
+use crate::graph::{BitSet, Graph};
+
+/// Builds a tree decomposition from an elimination `order`
+/// (`order[0]` is eliminated first).
+///
+/// The bag of the vertex `v` eliminated at step `t` is `{v} ∪ N_fill(v)`
+/// where `N_fill(v)` is v's neighborhood among not-yet-eliminated vertices in
+/// the fill-in graph. The bag of `v` is attached to the bag of the earliest
+/// eliminated vertex in `N_fill(v)`.
+///
+/// # Panics
+/// Panics unless `order` is a permutation of `0..g.num_vertices()`.
+pub fn from_elimination_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order must mention every vertex exactly once");
+    let mut position = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        assert!(v < n && position[v] == usize::MAX, "order is not a permutation");
+        position[v] = i;
+    }
+    if n == 0 {
+        return TreeDecomposition::new(vec![vec![]], vec![]);
+    }
+
+    // Fill-in neighborhoods, maintained as bitsets over remaining vertices.
+    let mut nbr: Vec<BitSet> = (0..n).map(|v| g.neighbor_set(v).clone()).collect();
+    let mut eliminated = BitSet::new(n);
+
+    let mut bags: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut tree_edges: Vec<(usize, usize)> = Vec::new();
+    // bag_of[v] = index of the bag created when v was eliminated.
+    let mut bag_of = vec![usize::MAX; n];
+
+    for (step, &v) in order.iter().enumerate() {
+        // Remaining (not yet eliminated) fill-neighbors of v.
+        let mut rem = nbr[v].clone();
+        rem.difference_with(&eliminated);
+        let higher: Vec<usize> = rem.iter().collect();
+
+        let mut bag = higher.clone();
+        bag.push(v);
+        bag.sort_unstable();
+        let bag_idx = bags.len();
+        bags.push(bag);
+        bag_of[v] = bag_idx;
+
+        // Connect fill-neighbors pairwise (simulate elimination of v).
+        for (i, &a) in higher.iter().enumerate() {
+            for &b in &higher[i + 1..] {
+                nbr[a].insert(b);
+                nbr[b].insert(a);
+            }
+        }
+        eliminated.insert(v);
+
+        // Attach this bag to the bag of the first-to-be-eliminated
+        // remaining neighbor. If none (isolated / last vertex), attach to the
+        // bag of the next vertex in the order once it exists.
+        if let Some(&succ) = higher.iter().min_by_key(|&&w| position[w]) {
+            // succ is eliminated later, so its bag doesn't exist yet; record
+            // a pending edge keyed by succ.
+            pending_attach(&mut tree_edges, bag_idx, succ, step, order, &bag_of);
+        } else if step + 1 < n {
+            // Keep the tree connected across graph components: chain to the
+            // next eliminated vertex's bag.
+            pending_attach(&mut tree_edges, bag_idx, order[step + 1], step, order, &bag_of);
+        }
+    }
+
+    // Resolve pending attachments: during the loop, bag indices for later
+    // vertices weren't known, so edges were stored as (bag, vertex) with the
+    // vertex in the high half. Fix them up now.
+    let tree_edges = tree_edges
+        .into_iter()
+        .map(|(b, v_marker)| (b, bag_of[v_marker - MARKER]))
+        .collect();
+
+    TreeDecomposition::new(bags, tree_edges)
+}
+
+/// Offset distinguishing "vertex id" markers from bag indices inside the
+/// temporary edge list (bag indices are < n ≤ MARKER).
+const MARKER: usize = usize::MAX / 2;
+
+fn pending_attach(
+    tree_edges: &mut Vec<(usize, usize)>,
+    bag_idx: usize,
+    target_vertex: usize,
+    _step: usize,
+    _order: &[usize],
+    _bag_of: &[usize],
+) {
+    tree_edges.push((bag_idx, MARKER + target_vertex));
+}
+
+/// Width of an elimination ordering: the maximum back-degree over the
+/// fill-in process. Equals the width of [`from_elimination_order`]'s result.
+pub fn elimination_width(g: &Graph, order: &[usize]) -> usize {
+    let n = g.num_vertices();
+    let mut nbr: Vec<BitSet> = (0..n).map(|v| g.neighbor_set(v).clone()).collect();
+    let mut eliminated = BitSet::new(n);
+    let mut width = 0usize;
+    for &v in order {
+        let mut rem = nbr[v].clone();
+        rem.difference_with(&eliminated);
+        let higher: Vec<usize> = rem.iter().collect();
+        width = width.max(higher.len());
+        for (i, &a) in higher.iter().enumerate() {
+            for &b in &higher[i + 1..] {
+                nbr[a].insert(b);
+                nbr[b].insert(a);
+            }
+        }
+        eliminated.insert(v);
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_identity_order_width_1() {
+        let g = generators::path(6);
+        let order: Vec<usize> = (0..6).collect();
+        assert_eq!(elimination_width(&g, &order), 1);
+        let td = from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn clique_any_order_width_k_minus_1() {
+        let g = generators::clique(5);
+        let order: Vec<usize> = (0..5).collect();
+        let td = from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 4);
+    }
+
+    #[test]
+    fn cycle_width_2() {
+        let g = generators::cycle(7);
+        let order: Vec<usize> = (0..7).collect();
+        let td = from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn bad_order_still_valid_decomposition() {
+        // Eliminating the middle of a path first inflates width but must
+        // still produce a *valid* decomposition.
+        let g = generators::path(5);
+        let order = vec![2, 0, 1, 3, 4];
+        let td = from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width() , elimination_width(&g, &order));
+    }
+
+    #[test]
+    fn disconnected_graph_stays_a_tree() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let order: Vec<usize> = (0..6).collect();
+        let td = from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = Graph::new(4);
+        let order: Vec<usize> = (0..4).collect();
+        let td = from_elimination_order(&g, &order);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 0);
+    }
+
+    use crate::graph::Graph;
+}

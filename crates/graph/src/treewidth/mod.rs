@@ -1,0 +1,257 @@
+//! Tree decompositions and treewidth (paper Definition 4.1).
+//!
+//! Treewidth drives the tractability landscape of the whole paper:
+//! CSP(𝒢) is polynomial-time solvable iff 𝒢 has bounded treewidth
+//! (Theorem 5.2), Freuder's algorithm solves CSPs in |V| · |D|^{k+1} given a
+//! width-k decomposition (Theorem 4.2), and the ETH/SETH lower bounds of
+//! §6–§7 show the exponent k is essentially optimal.
+//!
+//! This module provides:
+//! * [`TreeDecomposition`] with full validity checking;
+//! * construction from elimination orderings ([`elimination`]);
+//! * the min-degree and min-fill heuristics ([`heuristics`]);
+//! * exact treewidth for small graphs by dynamic programming over vertex
+//!   subsets ([`exact`]);
+//! * *nice* tree decompositions ([`nice`]) consumed by the CSP dynamic
+//!   program in `lb-csp`.
+
+pub mod elimination;
+pub mod exact;
+pub mod heuristics;
+pub mod nice;
+
+pub use elimination::from_elimination_order;
+pub use exact::{treewidth_exact, treewidth_exact_order};
+pub use heuristics::{min_degree_order, min_fill_order, treewidth_lower_bound, treewidth_upper_bound};
+pub use nice::{NiceDecomposition, NiceNode};
+
+use crate::graph::Graph;
+
+/// A tree decomposition (Definition 4.1): a tree whose nodes carry *bags* of
+/// vertices such that (1) bags cover all vertices, (2) every edge is inside
+/// some bag, and (3) the nodes containing any fixed vertex form a subtree.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// Bag contents; each bag is sorted and deduplicated.
+    bags: Vec<Vec<usize>>,
+    /// Tree edges between bag indices.
+    tree_edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from raw parts; bags are sorted/deduplicated.
+    ///
+    /// # Panics
+    /// Panics if there are no bags or a tree edge index is out of range.
+    /// Structural validity against a graph is checked by [`Self::validate`].
+    pub fn new(mut bags: Vec<Vec<usize>>, tree_edges: Vec<(usize, usize)>) -> Self {
+        assert!(!bags.is_empty(), "a tree decomposition needs at least one bag");
+        for b in &mut bags {
+            b.sort_unstable();
+            b.dedup();
+        }
+        for &(a, b) in &tree_edges {
+            assert!(a < bags.len() && b < bags.len(), "tree edge out of range");
+        }
+        TreeDecomposition { bags, tree_edges }
+    }
+
+    /// A trivial decomposition: one bag containing every vertex. Width n−1.
+    pub fn trivial(n: usize) -> Self {
+        TreeDecomposition::new(vec![(0..n).collect()], vec![])
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[Vec<usize>] {
+        &self.bags
+    }
+
+    /// The tree edges (pairs of bag indices).
+    pub fn tree_edges(&self) -> &[(usize, usize)] {
+        &self.tree_edges
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Width: `max |bag| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Checks the three conditions of Definition 4.1 against `g`, plus that
+    /// the tree edges actually form a tree (connected, acyclic) when there is
+    /// more than one bag.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        let n = g.num_vertices();
+        // The tree must be a tree.
+        if self.bags.len() > 1 {
+            if self.tree_edges.len() != self.bags.len() - 1 {
+                return Err(format!(
+                    "tree has {} edges for {} bags; a tree needs exactly {}",
+                    self.tree_edges.len(),
+                    self.bags.len(),
+                    self.bags.len() - 1
+                ));
+            }
+            if !self.tree_is_connected() {
+                return Err("decomposition tree is not connected".to_string());
+            }
+        }
+        // (1) Bags cover all vertices.
+        let mut covered = vec![false; n];
+        for b in &self.bags {
+            for &v in b {
+                if v >= n {
+                    return Err(format!("bag vertex {v} out of range (n = {n})"));
+                }
+                covered[v] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(format!("vertex {v} appears in no bag"));
+        }
+        // (2) Every edge is inside some bag.
+        'edges: for (u, v) in g.edges() {
+            for b in &self.bags {
+                if b.binary_search(&u).is_ok() && b.binary_search(&v).is_ok() {
+                    continue 'edges;
+                }
+            }
+            return Err(format!("edge {{{u}, {v}}} is in no bag"));
+        }
+        // (3) Occurrences of each vertex form a connected subtree.
+        for v in 0..n {
+            if !self.vertex_occurrences_connected(v) {
+                return Err(format!("occurrences of vertex {v} are not connected"));
+            }
+        }
+        Ok(())
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.tree_edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    fn tree_is_connected(&self) -> bool {
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.bags.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut cnt = 1;
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    cnt += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        cnt == self.bags.len()
+    }
+
+    fn vertex_occurrences_connected(&self, v: usize) -> bool {
+        let holders: Vec<usize> = (0..self.bags.len())
+            .filter(|&i| self.bags[i].binary_search(&v).is_ok())
+            .collect();
+        if holders.len() <= 1 {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut in_holders = vec![false; self.bags.len()];
+        for &h in &holders {
+            in_holders[h] = true;
+        }
+        let mut seen = vec![false; self.bags.len()];
+        let mut stack = vec![holders[0]];
+        seen[holders[0]] = true;
+        let mut cnt = 1;
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if in_holders[y] && !seen[y] {
+                    seen[y] = true;
+                    cnt += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        cnt == holders.len()
+    }
+
+    /// Converts to a *nice* decomposition rooted at bag 0 (see [`nice`]).
+    pub fn to_nice(&self, num_graph_vertices: usize) -> NiceDecomposition {
+        nice::make_nice(self, num_graph_vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn trivial_decomposition_is_valid() {
+        let g = generators::clique(5);
+        let td = TreeDecomposition::trivial(5);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 4);
+    }
+
+    #[test]
+    fn path_decomposition() {
+        // Path 0-1-2-3: bags {0,1},{1,2},{2,3} in a path.
+        let g = generators::path(4);
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![2, 3]],
+            vec![(0, 1), (1, 2)],
+        );
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn missing_edge_detected() {
+        let g = generators::clique(3);
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2]], vec![(0, 1)]);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("edge"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn disconnected_occurrences_detected() {
+        let g = generators::path(3);
+        // Vertex 0 appears in bags 0 and 2 but not 1 → not a subtree.
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![(0, 1), (1, 2)],
+        );
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("not connected"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn non_tree_detected() {
+        let g = generators::path(3);
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![1]],
+            vec![(0, 1)],
+        );
+        assert!(td.validate(&g).is_err());
+    }
+
+    #[test]
+    fn uncovered_vertex_detected() {
+        let g = Graph::new(3); // edgeless
+        let td = TreeDecomposition::new(vec![vec![0, 1]], vec![]);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("no bag"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,244 @@
+//! k-Clique: brute force vs. Nešetřil–Poljak (paper §5, §6.3, §8).
+//!
+//! * [`find_clique`] / [`count_cliques`] — branch-and-prune enumeration of
+//!   k-cliques, the n^k baseline that Theorem 6.3 (ETH) says cannot be
+//!   improved to n^{o(k)};
+//! * [`find_clique_neipol`] — the Nešetřil–Poljak reduction: a 3t-clique in
+//!   G is a triangle in the auxiliary graph whose vertices are the
+//!   t-cliques of G, detected by boolean matrix multiplication — running
+//!   time n^{ωk/3}. The k-clique conjecture (§8) says the ω/3 factor is
+//!   optimal. k ≢ 0 (mod 3) is handled by guessing k mod 3 vertices first.
+
+use crate::triangle::find_triangle_matmul;
+use lb_graph::graph::BitSet;
+use lb_graph::Graph;
+
+/// Finds a k-clique by branch-and-prune enumeration.
+pub fn find_clique(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let mut found = None;
+    enumerate_cliques(g, k, &mut |c| {
+        found = Some(c.to_vec());
+        true
+    });
+    found
+}
+
+/// Counts the k-cliques of `g`.
+pub fn count_cliques(g: &Graph, k: usize) -> u64 {
+    let mut n = 0u64;
+    enumerate_cliques(g, k, &mut |_| {
+        n += 1;
+        false
+    });
+    n
+}
+
+/// Enumerates k-cliques (vertices ascending within each clique) through a
+/// callback; returning `true` stops.
+pub fn enumerate_cliques<F: FnMut(&[usize]) -> bool>(g: &Graph, k: usize, visit: &mut F) {
+    if k == 0 {
+        visit(&[]);
+        return;
+    }
+    let n = g.num_vertices();
+    let mut full = BitSet::new(n);
+    for v in 0..n {
+        full.insert(v);
+    }
+    let mut current = Vec::with_capacity(k);
+    extend(g, k, &full, &mut current, visit);
+}
+
+fn extend<F: FnMut(&[usize]) -> bool>(
+    g: &Graph,
+    k: usize,
+    candidates: &BitSet,
+    current: &mut Vec<usize>,
+    visit: &mut F,
+) -> bool {
+    if current.len() == k {
+        return visit(current);
+    }
+    let need = k - current.len();
+    if candidates.count() < need {
+        return false;
+    }
+    let start = current.last().map_or(0, |&v| v + 1);
+    for v in candidates.iter() {
+        if v < start {
+            continue;
+        }
+        let mut next = candidates.clone();
+        next.intersect_with(g.neighbor_set(v));
+        current.push(v);
+        if extend(g, k, &next, current, visit) {
+            return true;
+        }
+        current.pop();
+    }
+    false
+}
+
+/// Finds a k-clique via the Nešetřil–Poljak construction (n^{ωk/3}).
+///
+/// For `k = 3t`: build the auxiliary graph on all t-cliques (adjacent iff
+/// their union is a 2t-clique) and detect a triangle by matrix
+/// multiplication. For `k = 3t+1` / `3t+2`: guess the extra vertex / edge
+/// and recurse into the common neighborhood.
+pub fn find_clique_neipol(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    match k {
+        0 => Some(vec![]),
+        1 => (g.num_vertices() > 0).then(|| vec![0]),
+        2 => g.edges().first().map(|&(u, v)| vec![u, v]),
+        _ => match k % 3 {
+            0 => neipol_3t(g, k / 3),
+            1 => {
+                // Guess one vertex, search a (k−1)-clique in its
+                // neighborhood.
+                for v in 0..g.num_vertices() {
+                    let nbrs: Vec<usize> = g.neighbors(v).to_vec();
+                    let (sub, map) = g.induced_subgraph(&nbrs);
+                    if let Some(c) = find_clique_neipol(&sub, k - 1) {
+                        let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
+                        out.push(v);
+                        out.sort_unstable();
+                        return Some(out);
+                    }
+                }
+                None
+            }
+            _ => {
+                // Guess an edge, search a (k−2)-clique in the common
+                // neighborhood.
+                for (u, v) in g.edges() {
+                    let mut common = g.neighbor_set(u).clone();
+                    common.intersect_with(g.neighbor_set(v));
+                    let verts: Vec<usize> = common.iter().collect();
+                    let (sub, map) = g.induced_subgraph(&verts);
+                    if let Some(c) = find_clique_neipol(&sub, k - 2) {
+                        let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
+                        out.push(u);
+                        out.push(v);
+                        out.sort_unstable();
+                        return Some(out);
+                    }
+                }
+                None
+            }
+        },
+    }
+}
+
+fn neipol_3t(g: &Graph, t: usize) -> Option<Vec<usize>> {
+    // Enumerate all t-cliques.
+    let mut t_cliques: Vec<Vec<usize>> = Vec::new();
+    enumerate_cliques(g, t, &mut |c| {
+        t_cliques.push(c.to_vec());
+        false
+    });
+    if t_cliques.is_empty() {
+        return None;
+    }
+    // Auxiliary graph: i ~ j iff union is a 2t-clique (disjoint + all cross
+    // edges present).
+    let na = t_cliques.len();
+    let mut aux = Graph::new(na);
+    for i in 0..na {
+        for j in (i + 1)..na {
+            if cliques_compatible(g, &t_cliques[i], &t_cliques[j]) {
+                aux.add_edge(i, j);
+            }
+        }
+    }
+    let tri = find_triangle_matmul(&aux)?;
+    let mut out: Vec<usize> = tri
+        .iter()
+        .flat_map(|&i| t_cliques[i].iter().copied())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    debug_assert_eq!(out.len(), 3 * t);
+    debug_assert!(g.is_clique(&out));
+    Some(out)
+}
+
+fn cliques_compatible(g: &Graph, a: &[usize], b: &[usize]) -> bool {
+    for &x in a {
+        for &y in b {
+            if x == y || !g.has_edge(x, y) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::generators;
+
+    #[test]
+    fn brute_force_on_known_graphs() {
+        let k5 = generators::clique(5);
+        assert!(find_clique(&k5, 5).is_some());
+        assert!(find_clique(&k5, 6).is_none());
+        assert_eq!(count_cliques(&k5, 3), 10);
+        assert_eq!(count_cliques(&k5, 5), 1);
+        let c5 = generators::cycle(5);
+        assert!(find_clique(&c5, 3).is_none());
+        assert_eq!(count_cliques(&c5, 2), 5);
+    }
+
+    #[test]
+    fn found_cliques_are_cliques() {
+        let (g, planted) = generators::planted_clique(25, 6, 0.3, 5);
+        let c = find_clique(&g, 6).unwrap();
+        assert!(g.is_clique(&c));
+        assert_eq!(planted.len(), 6);
+    }
+
+    #[test]
+    fn neipol_agrees_with_brute_force() {
+        for seed in 0..10u64 {
+            let g = generators::gnp(18, 0.5, seed);
+            for k in 1..=6 {
+                let brute = find_clique(&g, k);
+                let neipol = find_clique_neipol(&g, k);
+                assert_eq!(brute.is_some(), neipol.is_some(), "seed {seed}, k {k}");
+                if let Some(c) = neipol {
+                    assert_eq!(c.len(), k);
+                    assert!(g.is_clique(&c), "seed {seed}, k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neipol_finds_planted_clique() {
+        for k in [3usize, 4, 5, 6] {
+            let (g, _) = generators::planted_clique(20, k, 0.2, k as u64);
+            let c = find_clique_neipol(&g, k).unwrap();
+            assert!(g.is_clique(&c));
+            assert_eq!(c.len(), k);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_cliques() {
+        let g = generators::path(3);
+        assert_eq!(find_clique(&g, 0), Some(vec![]));
+        assert_eq!(count_cliques(&g, 1), 3);
+        assert_eq!(find_clique_neipol(&g, 0), Some(vec![]));
+        assert!(find_clique_neipol(&g, 1).is_some());
+    }
+
+    #[test]
+    fn clique_numbers_of_petersen() {
+        // The Petersen graph is triangle-free with clique number 2.
+        let g = generators::petersen();
+        assert!(find_clique(&g, 3).is_none());
+        assert!(find_clique_neipol(&g, 3).is_none());
+        assert!(find_clique_neipol(&g, 2).is_some());
+    }
+}

@@ -1,0 +1,162 @@
+//! k-Dominating Set (paper §7, Theorem 7.1).
+//!
+//! The trivial algorithm enumerates all O(n^k) k-subsets and checks each in
+//! O(n²); Patrascu–Williams (Theorem 7.1) show that an O(n^{k−ε}) algorithm
+//! for any k ≥ 3 would refute the SETH, so the exponent k is tight. Both a
+//! plain enumerator and a closed-neighborhood branching variant (better in
+//! practice, same worst-case exponent) are provided; experiment E8 measures
+//! the n^k scaling and feeds the Theorem 7.2 reduction in `lb-reductions`.
+
+use lb_graph::graph::BitSet;
+use lb_graph::Graph;
+
+/// Finds a dominating set of size ≤ k by enumerating subsets in increasing
+/// lexicographic order (the paper's n^{k+O(1)} baseline).
+pub fn find_dominating_set_brute(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(vec![]);
+    }
+    if k == 0 {
+        return None;
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    brute_rec(g, k, 0, &mut chosen)
+}
+
+fn brute_rec(g: &Graph, k: usize, start: usize, chosen: &mut Vec<usize>) -> Option<Vec<usize>> {
+    if g.is_dominating_set(chosen) {
+        return Some(chosen.clone());
+    }
+    if chosen.len() == k {
+        return None;
+    }
+    for v in start..g.num_vertices() {
+        chosen.push(v);
+        if let Some(s) = brute_rec(g, k, v + 1, chosen) {
+            return Some(s);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+/// Finds a dominating set of size ≤ k by branching on an undominated
+/// vertex's closed neighborhood (one of N\[v\] must be selected).
+pub fn find_dominating_set_branching(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.num_vertices();
+    let mut dominated = BitSet::new(n);
+    let mut chosen = Vec::with_capacity(k);
+    branch_rec(g, k, &mut dominated, &mut chosen)
+}
+
+fn branch_rec(
+    g: &Graph,
+    k: usize,
+    dominated: &mut BitSet,
+    chosen: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    // First undominated vertex.
+    let v = (0..g.num_vertices()).find(|&v| !dominated.contains(v));
+    let Some(v) = v else {
+        return Some(chosen.clone());
+    };
+    if chosen.len() == k {
+        return None;
+    }
+    // One of N[v] must be in the solution.
+    let mut candidates: Vec<usize> = vec![v];
+    candidates.extend_from_slice(g.neighbors(v));
+    for c in candidates {
+        let closed = g.closed_neighborhood(c);
+        // Record which vertices become newly dominated, for undo.
+        let newly: Vec<usize> = closed.iter().filter(|&x| !dominated.contains(x)).collect();
+        for &x in &newly {
+            dominated.insert(x);
+        }
+        chosen.push(c);
+        if let Some(s) = branch_rec(g, k, dominated, chosen) {
+            return Some(s);
+        }
+        chosen.pop();
+        for &x in &newly {
+            dominated.remove(x);
+        }
+    }
+    None
+}
+
+/// The minimum dominating set size (exponential; for small test graphs).
+pub fn domination_number(g: &Graph) -> usize {
+    for k in 0..=g.num_vertices() {
+        if find_dominating_set_branching(g, k).is_some() {
+            return k;
+        }
+    }
+    unreachable!("V(G) always dominates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::generators;
+
+    #[test]
+    fn star_dominated_by_center() {
+        let g = generators::star(6);
+        let s = find_dominating_set_brute(&g, 1).unwrap();
+        assert_eq!(s, vec![0]);
+        assert_eq!(domination_number(&g), 1);
+    }
+
+    #[test]
+    fn path_domination_number() {
+        // γ(P_n) = ⌈n/3⌉.
+        for n in [3usize, 4, 6, 7, 9] {
+            let g = generators::path(n);
+            assert_eq!(domination_number(&g), n.div_ceil(3), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn brute_and_branching_agree() {
+        for seed in 0..15u64 {
+            let g = generators::gnp(10, 0.25, seed);
+            for k in 1..=4 {
+                let a = find_dominating_set_brute(&g, k);
+                let b = find_dominating_set_branching(&g, k);
+                assert_eq!(a.is_some(), b.is_some(), "seed {seed}, k {k}");
+                if let Some(s) = a {
+                    assert!(g.is_dominating_set(&s));
+                }
+                if let Some(s) = b {
+                    assert!(g.is_dominating_set(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_domination() {
+        // γ(C_6) = 2.
+        let g = generators::cycle(6);
+        assert!(find_dominating_set_brute(&g, 1).is_none());
+        let s = find_dominating_set_brute(&g, 2).unwrap();
+        assert!(g.is_dominating_set(&s));
+    }
+
+    #[test]
+    fn empty_graph_trivially_dominated() {
+        let g = lb_graph::Graph::new(0);
+        assert_eq!(find_dominating_set_brute(&g, 0), Some(vec![]));
+        assert_eq!(find_dominating_set_branching(&g, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn isolated_vertices_must_be_chosen() {
+        let g = lb_graph::Graph::new(3); // three isolated vertices
+        assert!(find_dominating_set_branching(&g, 2).is_none());
+        let s = find_dominating_set_branching(&g, 3).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Edit distance (paper §7): the O(n²) DP that SETH makes optimal.
+//!
+//! Backurs–Indyk: an O(n^{2−ε}) algorithm for edit distance would refute
+//! the SETH. This module implements the textbook dynamic program (with a
+//! rolling row, so memory is O(n)) plus a banded variant that is
+//! exact whenever the true distance is within the band — experiment E9
+//! measures the quadratic scaling.
+
+/// Levenshtein distance between two byte strings (unit costs).
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    let n = a.len();
+    let mut prev: Vec<usize> = (0..=n).collect();
+    let mut cur = vec![0usize; n + 1];
+    for (j, &bc) in b.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, &ac) in a.iter().enumerate() {
+            let sub = prev[i] + (ac != bc) as usize;
+            let del = prev[i + 1] + 1;
+            let ins = cur[i] + 1;
+            cur[i + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Banded edit distance: exact if the true distance is ≤ `band`, otherwise
+/// returns `None`. Runs in O(band · max(n, m)).
+#[allow(clippy::needless_range_loop)] // index used across several arrays
+pub fn edit_distance_banded(a: &[u8], b: &[u8], band: usize) -> Option<usize> {
+    let n = a.len();
+    let m = b.len();
+    if n.abs_diff(m) > band {
+        return None;
+    }
+    const INF: usize = usize::MAX / 2;
+    // dp over diagonally-banded rows: row i covers j in [i−band, i+band].
+    let lo = |i: usize| i.saturating_sub(band);
+    let hi = |i: usize| (i + band).min(m);
+    let width = 2 * band + 1;
+    let idx = |i: usize, j: usize| j - lo(i);
+    let mut prev = vec![INF; width + 1];
+    let mut cur = vec![INF; width + 1];
+    for j in 0..=hi(0) {
+        prev[j] = j; // row 0
+    }
+    for i in 1..=n {
+        cur.iter_mut().for_each(|x| *x = INF);
+        for j in lo(i)..=hi(i) {
+            let mut best = INF;
+            if j > 0 {
+                // substitution / match from (i−1, j−1)
+                if j > lo(i - 1) && j - 1 <= hi(i - 1) {
+                    let c = prev[idx(i - 1, j - 1)] + (a[i - 1] != b[j - 1]) as usize;
+                    best = best.min(c);
+                }
+                // insertion from (i, j−1)
+                if j > lo(i) {
+                    best = best.min(cur[idx(i, j - 1)] + 1);
+                }
+            }
+            // deletion from (i−1, j)
+            if j >= lo(i - 1) && j <= hi(i - 1) {
+                best = best.min(prev[idx(i - 1, j)] + 1);
+            }
+            cur[idx(i, j)] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[idx(n, m)];
+    (d <= band).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance(b"abc", b"acb"), 2);
+        assert_eq!(edit_distance(b"a", b""), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(edit_distance(b"flaw", b"lawn"), edit_distance(b"lawn", b"flaw"));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let s: Vec<Vec<u8>> = (0..3)
+                .map(|_| (0..rng.gen_range(0..15)).map(|_| rng.gen_range(b'a'..=b'c')).collect())
+                .collect();
+            let dab = edit_distance(&s[0], &s[1]);
+            let dbc = edit_distance(&s[1], &s[2]);
+            let dac = edit_distance(&s[0], &s[2]);
+            assert!(dac <= dab + dbc);
+        }
+    }
+
+    #[test]
+    fn banded_matches_full_when_wide_enough() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let a: Vec<u8> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+            let b: Vec<u8> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+            let full = edit_distance(&a, &b);
+            let banded = edit_distance_banded(&a, &b, 20).unwrap();
+            assert_eq!(full, banded, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn banded_rejects_distant_pairs() {
+        assert_eq!(edit_distance_banded(b"aaaa", b"bbbb", 2), None);
+        assert_eq!(edit_distance_banded(b"aaaaaaa", b"a", 2), None);
+        assert_eq!(edit_distance_banded(b"abcd", b"abed", 2), Some(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! k-clique in d-uniform hypergraphs (paper §8, hyperclique conjecture).
+//!
+//! A k-hyperclique is a k-vertex set containing all C(k, d) possible
+//! hyperedges. For d ≥ 3 no matrix-multiplication speedup analogous to
+//! Nešetřil–Poljak is known, and the conjecture states none exists — brute
+//! force n^{(1-ε)k} cannot be beaten. Experiment E11 contrasts the d = 2
+//! case (where [`crate::clique::find_clique_neipol`] wins) with d = 3.
+
+use lb_graph::Hypergraph;
+use std::collections::HashSet;
+
+/// Precomputed hyperedge set for O(1) membership tests.
+pub struct HyperedgeIndex {
+    d: usize,
+    edges: HashSet<Vec<usize>>,
+}
+
+impl HyperedgeIndex {
+    /// Indexes a d-uniform hypergraph.
+    ///
+    /// # Panics
+    /// Panics if the hypergraph is not d-uniform for its own max arity.
+    pub fn new(h: &Hypergraph) -> Self {
+        let d = h.arity();
+        assert!(h.is_uniform(d), "hypergraph must be uniform");
+        HyperedgeIndex {
+            d,
+            edges: h.edges().iter().cloned().collect(),
+        }
+    }
+
+    /// The uniformity d.
+    pub fn uniformity(&self) -> usize {
+        self.d
+    }
+
+    /// Is the (sorted) d-set a hyperedge?
+    pub fn contains(&self, e: &[usize]) -> bool {
+        self.edges.contains(e)
+    }
+}
+
+/// Finds a k-hyperclique by ordered backtracking with incremental
+/// d-subset checking: when vertex v joins the partial set S, only the
+/// subsets that include v need checking.
+pub fn find_hyperclique(h: &Hypergraph, k: usize) -> Option<Vec<usize>> {
+    let idx = HyperedgeIndex::new(h);
+    let mut found = None;
+    enumerate_hypercliques(h, &idx, k, &mut |s| {
+        found = Some(s.to_vec());
+        true
+    });
+    found
+}
+
+/// Counts k-hypercliques.
+pub fn count_hypercliques(h: &Hypergraph, k: usize) -> u64 {
+    let idx = HyperedgeIndex::new(h);
+    let mut n = 0u64;
+    enumerate_hypercliques(h, &idx, k, &mut |_| {
+        n += 1;
+        false
+    });
+    n
+}
+
+fn enumerate_hypercliques<F: FnMut(&[usize]) -> bool>(
+    h: &Hypergraph,
+    idx: &HyperedgeIndex,
+    k: usize,
+    visit: &mut F,
+) {
+    if k < idx.d {
+        // Any k-set vacuously contains all of its (zero) d-subsets.
+        let mut current = Vec::with_capacity(k);
+        enumerate_ksets(h.num_vertices(), k, 0, &mut current, visit);
+        return;
+    }
+    let mut current = Vec::with_capacity(k);
+    extend(h, idx, k, 0, &mut current, visit);
+}
+
+fn enumerate_ksets<F: FnMut(&[usize]) -> bool>(
+    n: usize,
+    k: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    visit: &mut F,
+) -> bool {
+    if current.len() == k {
+        return visit(current);
+    }
+    for v in start..n {
+        current.push(v);
+        if enumerate_ksets(n, k, v + 1, current, visit) {
+            return true;
+        }
+        current.pop();
+    }
+    false
+}
+
+fn extend<F: FnMut(&[usize]) -> bool>(
+    h: &Hypergraph,
+    idx: &HyperedgeIndex,
+    k: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    visit: &mut F,
+) -> bool {
+    if current.len() == k {
+        return visit(current);
+    }
+    let n = h.num_vertices();
+    // Not enough vertices left to finish.
+    if n - start < k - current.len() {
+        return false;
+    }
+    'vertices: for v in start..n {
+        // Incremental check: if |current| ≥ d−1, every (d−1)-subset of
+        // current together with v must be a hyperedge.
+        if current.len() >= idx.d - 1 {
+            let mut subset = vec![0usize; idx.d - 1];
+            if !check_subsets(idx, current, v, &mut subset, 0, 0) {
+                continue 'vertices;
+            }
+        }
+        current.push(v);
+        if extend(h, idx, k, v + 1, current, visit) {
+            return true;
+        }
+        current.pop();
+    }
+    false
+}
+
+/// Checks that every (d−1)-subset of `current`, extended by `v`, forms a
+/// hyperedge.
+fn check_subsets(
+    idx: &HyperedgeIndex,
+    current: &[usize],
+    v: usize,
+    subset: &mut Vec<usize>,
+    pos: usize,
+    start: usize,
+) -> bool {
+    if pos == subset.len() {
+        let mut e: Vec<usize> = subset.clone();
+        e.push(v);
+        e.sort_unstable();
+        return idx.contains(&e);
+    }
+    for i in start..current.len() {
+        subset[pos] = current[i];
+        if !check_subsets(idx, current, v, subset, pos + 1, i + 1) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::generators;
+
+    #[test]
+    fn planted_hyperclique_found() {
+        let (h, planted) = generators::planted_hyperclique(12, 3, 5, 0.05, 3);
+        let found = find_hyperclique(&h, 5).unwrap();
+        assert_eq!(found, planted);
+    }
+
+    #[test]
+    fn sparse_hypergraph_has_none() {
+        // Very sparse random 3-uniform hypergraph: no 5-hyperclique
+        // (needs C(5,3) = 10 specific edges).
+        let h = generators::random_uniform_hypergraph(12, 3, 0.02, 7);
+        assert!(find_hyperclique(&h, 5).is_none());
+    }
+
+    #[test]
+    fn count_matches_naive_enumeration() {
+        for seed in 0..5u64 {
+            let h = generators::random_uniform_hypergraph(9, 3, 0.5, seed);
+            let idx = HyperedgeIndex::new(&h);
+            // Naive: all 4-subsets, check all C(4,3) = 4 edges.
+            let mut naive = 0u64;
+            for a in 0..9 {
+                for b in (a + 1)..9 {
+                    for c in (b + 1)..9 {
+                        for d in (c + 1)..9 {
+                            let sets =
+                                [[a, b, c], [a, b, d], [a, c, d], [b, c, d]];
+                            if sets.iter().all(|s| idx.contains(s.as_ref())) {
+                                naive += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_hypercliques(&h, 4), naive, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k_equal_d_is_edge_search() {
+        let h = generators::random_uniform_hypergraph(10, 3, 0.1, 11);
+        assert_eq!(count_hypercliques(&h, 3), h.num_edges() as u64);
+    }
+
+    #[test]
+    fn graph_case_matches_clique_module() {
+        // d = 2: hypercliques are ordinary cliques.
+        for seed in 0..5u64 {
+            let g = generators::gnp(10, 0.5, seed);
+            let mut h = Hypergraph::new(10);
+            for (u, v) in g.edges() {
+                h.add_edge(vec![u, v]);
+            }
+            if h.num_edges() == 0 {
+                continue;
+            }
+            for k in 2..=4 {
+                assert_eq!(
+                    count_hypercliques(&h, k),
+                    crate::clique::count_cliques(&g, k),
+                    "seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Matrix multiplication: the ω inside every §8 conjecture.
+//!
+//! Two multipliers are provided:
+//!
+//! * [`BoolMatrix`] — boolean matrices with bit-packed rows; the product
+//!   runs in O(n³/64) word operations, which is the workhorse behind the
+//!   triangle and clique detectors.
+//! * [`IntMatrix`] — exact i64 matrices with naive O(n³) and Strassen
+//!   O(n^{2.807}) multiplication. Strassen stands in for the fast
+//!   rectangular methods of Alman–Vassilevska Williams: what matters for
+//!   reproducing the paper's *shape* is only that ω < 3.
+
+/// A square boolean matrix with bit-packed rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoolMatrix {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// The n×n zero matrix.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64).max(1);
+        BoolMatrix {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
+    }
+
+    /// Builds from an adjacency predicate.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(n: usize, mut f: F) -> Self {
+        let mut m = BoolMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// The adjacency matrix of a graph.
+    pub fn adjacency(g: &lb_graph::Graph) -> Self {
+        let mut m = BoolMatrix::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            m.set(u, v, true);
+            m.set(v, u, true);
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets entry (i, j).
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        let idx = i * self.words + j / 64;
+        if value {
+            self.rows[idx] |= 1 << (j % 64);
+        } else {
+            self.rows[idx] &= !(1 << (j % 64));
+        }
+    }
+
+    /// Gets entry (i, j).
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Boolean product `self · other` in O(n³ / 64) word ops.
+    pub fn multiply(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let w = self.words;
+        let mut out = BoolMatrix::new(n);
+        for i in 0..n {
+            let arow = &self.rows[i * w..(i + 1) * w];
+            let orow_start = i * w;
+            for (kw, &bits) in arow.iter().enumerate() {
+                let mut b = bits;
+                while b != 0 {
+                    let k = kw * 64 + b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    let brow = &other.rows[k * w..(k + 1) * w];
+                    for (j, &bw) in brow.iter().enumerate() {
+                        out.rows[orow_start + j] |= bw;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True iff some entry is set in both matrices — used for the
+    /// `A² ∧ A ≠ 0` triangle test.
+    pub fn intersects(&self, other: &BoolMatrix) -> bool {
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// A common witness entry `(i, j)` set in both matrices, if any.
+    pub fn intersection_witness(&self, other: &BoolMatrix) -> Option<(usize, usize)> {
+        for i in 0..self.n {
+            for w in 0..self.words {
+                let bits = self.rows[i * self.words + w] & other.rows[i * self.words + w];
+                if bits != 0 {
+                    let j = w * 64 + bits.trailing_zeros() as usize;
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A square exact integer matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntMatrix {
+    n: usize,
+    data: Vec<i64>,
+}
+
+impl IntMatrix {
+    /// The n×n zero matrix.
+    pub fn new(n: usize) -> Self {
+        IntMatrix {
+            n,
+            data: vec![0; n * n],
+        }
+    }
+
+    /// Builds from an entry function.
+    pub fn from_fn<F: FnMut(usize, usize) -> i64>(n: usize, mut f: F) -> Self {
+        let mut m = IntMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// The 0/1 adjacency matrix of a graph.
+    pub fn adjacency(g: &lb_graph::Graph) -> Self {
+        IntMatrix::from_fn(g.num_vertices(), |i, j| g.has_edge(i, j) as i64)
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry (i, j).
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets entry (i, j).
+    pub fn set(&mut self, i: usize, j: usize, v: i64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Naive O(n³) product with a transposed inner loop (cache-friendly).
+    pub fn multiply_naive(&self, other: &IntMatrix) -> IntMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = IntMatrix::new(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.data[i * n + k];
+                if a == 0 {
+                    continue;
+                }
+                let brow = &other.data[k * n..(k + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Strassen's O(n^{2.807}) product (exact; falls back to naive below a
+    /// threshold). This is the fast-matrix-multiplication stand-in for the
+    /// §8 conjectures.
+    pub fn multiply_strassen(&self, other: &IntMatrix) -> IntMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        // Pad to the next power of two.
+        let m = n.next_power_of_two();
+        let a = self.padded(m);
+        let b = other.padded(m);
+        let c = strassen_rec(&a, &b, m);
+        let mut out = IntMatrix::new(n);
+        for i in 0..n {
+            out.data[i * n..(i + 1) * n].copy_from_slice(&c[i * m..i * m + n]);
+        }
+        out
+    }
+
+    fn padded(&self, m: usize) -> Vec<i64> {
+        let n = self.n;
+        let mut out = vec![0i64; m * m];
+        for i in 0..n {
+            out[i * m..i * m + n].copy_from_slice(&self.data[i * n..(i + 1) * n]);
+        }
+        out
+    }
+
+    /// Trace of the matrix.
+    pub fn trace(&self) -> i64 {
+        (0..self.n).map(|i| self.get(i, i)).sum()
+    }
+}
+
+const STRASSEN_CUTOFF: usize = 64;
+
+fn strassen_rec(a: &[i64], b: &[i64], n: usize) -> Vec<i64> {
+    if n <= STRASSEN_CUTOFF {
+        let mut c = vec![0i64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let av = a[i * n + k];
+                if av == 0 {
+                    continue;
+                }
+                for j in 0..n {
+                    c[i * n + j] += av * b[k * n + j];
+                }
+            }
+        }
+        return c;
+    }
+    let h = n / 2;
+    let quad = |m: &[i64], qi: usize, qj: usize| -> Vec<i64> {
+        let mut out = vec![0i64; h * h];
+        for i in 0..h {
+            let src = (qi * h + i) * n + qj * h;
+            out[i * h..(i + 1) * h].copy_from_slice(&m[src..src + h]);
+        }
+        out
+    };
+    let add = |x: &[i64], y: &[i64]| -> Vec<i64> {
+        x.iter().zip(y).map(|(&a, &b)| a + b).collect()
+    };
+    let sub = |x: &[i64], y: &[i64]| -> Vec<i64> {
+        x.iter().zip(y).map(|(&a, &b)| a - b).collect()
+    };
+
+    let a11 = quad(a, 0, 0);
+    let a12 = quad(a, 0, 1);
+    let a21 = quad(a, 1, 0);
+    let a22 = quad(a, 1, 1);
+    let b11 = quad(b, 0, 0);
+    let b12 = quad(b, 0, 1);
+    let b21 = quad(b, 1, 0);
+    let b22 = quad(b, 1, 1);
+
+    let m1 = strassen_rec(&add(&a11, &a22), &add(&b11, &b22), h);
+    let m2 = strassen_rec(&add(&a21, &a22), &b11, h);
+    let m3 = strassen_rec(&a11, &sub(&b12, &b22), h);
+    let m4 = strassen_rec(&a22, &sub(&b21, &b11), h);
+    let m5 = strassen_rec(&add(&a11, &a12), &b22, h);
+    let m6 = strassen_rec(&sub(&a21, &a11), &add(&b11, &b12), h);
+    let m7 = strassen_rec(&sub(&a12, &a22), &add(&b21, &b22), h);
+
+    let c11 = add(&sub(&add(&m1, &m4), &m5), &m7);
+    let c12 = add(&m3, &m5);
+    let c21 = add(&m2, &m4);
+    let c22 = add(&add(&sub(&m1, &m2), &m3), &m6);
+
+    let mut c = vec![0i64; n * n];
+    for i in 0..h {
+        c[i * n..i * n + h].copy_from_slice(&c11[i * h..(i + 1) * h]);
+        c[i * n + h..i * n + n].copy_from_slice(&c12[i * h..(i + 1) * h]);
+        c[(i + h) * n..(i + h) * n + h].copy_from_slice(&c21[i * h..(i + 1) * h]);
+        c[(i + h) * n + h..(i + h) * n + n].copy_from_slice(&c22[i * h..(i + 1) * h]);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bool_multiply_small() {
+        // Permutation-like: A maps 0→1, 1→2; B maps 1→2, 2→0.
+        let mut a = BoolMatrix::new(3);
+        a.set(0, 1, true);
+        a.set(1, 2, true);
+        let mut b = BoolMatrix::new(3);
+        b.set(1, 2, true);
+        b.set(2, 0, true);
+        let c = a.multiply(&b);
+        assert!(c.get(0, 2));
+        assert!(c.get(1, 0));
+        assert!(!c.get(0, 0));
+    }
+
+    #[test]
+    fn bool_multiply_matches_definition() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let n = 70; // crosses the 64-bit word boundary
+            let a = BoolMatrix::from_fn(n, |_, _| rng.gen::<f64>() < 0.2);
+            let b = BoolMatrix::from_fn(n, |_, _| rng.gen::<f64>() < 0.2);
+            let c = a.multiply(&b);
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = (0..n).any(|k| a.get(i, k) && b.get(k, j));
+                    assert_eq!(c.get(i, j), expect, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_strassen_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [1usize, 7, 33, 70, 100] {
+            let a = IntMatrix::from_fn(n, |_, _| rng.gen_range(-5..=5));
+            let b = IntMatrix::from_fn(n, |_, _| rng.gen_range(-5..=5));
+            assert_eq!(a.multiply_naive(&b), a.multiply_strassen(&b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn trace_of_cube_counts_triangles() {
+        // Triangle graph: trace(A³) = 6 (each triangle counted 6 times).
+        let g = lb_graph::generators::clique(3);
+        let a = IntMatrix::adjacency(&g);
+        let a3 = a.multiply_naive(&a).multiply_naive(&a);
+        assert_eq!(a3.trace(), 6);
+    }
+
+    #[test]
+    fn intersection_witness() {
+        let g = lb_graph::generators::clique(3);
+        let a = BoolMatrix::adjacency(&g);
+        let a2 = a.multiply(&a);
+        assert!(a2.intersects(&a));
+        let (i, j) = a2.intersection_witness(&a).unwrap();
+        assert!(a.get(i, j));
+        assert!(a2.get(i, j));
+    }
+
+    #[test]
+    fn no_triangle_no_intersection() {
+        let g = lb_graph::generators::cycle(4);
+        let a = BoolMatrix::adjacency(&g);
+        let a2 = a.multiply(&a);
+        assert!(!a2.intersects(&a));
+    }
+}

@@ -1,0 +1,174 @@
+//! Orthogonal Vectors (paper §7, fine-grained complexity).
+//!
+//! Given two sets of d-dimensional 0/1 vectors, decide whether some pair
+//! (one from each set) is orthogonal. The OV conjecture — implied by the
+//! SETH via the split-and-encode reduction in
+//! `lb-reductions::sat_to_ov` — says the quadratic pair scan cannot be
+//! improved to n^{2−ε}·poly(d). Vectors are bit-packed so a pair test costs
+//! d/64 word-ANDs.
+
+/// A set of bit-packed 0/1 vectors of common dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorSet {
+    dim: usize,
+    words: usize,
+    data: Vec<u64>,
+    len: usize,
+}
+
+impl VectorSet {
+    /// Creates an empty set of vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        VectorSet {
+            dim,
+            words: dim.div_ceil(64).max(1),
+            data: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds from explicit bool vectors.
+    pub fn from_bools(dim: usize, vectors: &[Vec<bool>]) -> Self {
+        let mut s = VectorSet::new(dim);
+        for v in vectors {
+            s.push_bools(v);
+        }
+        s
+    }
+
+    /// Appends a vector given as bools.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn push_bools(&mut self, v: &[bool]) {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let mut words = vec![0u64; self.words];
+        for (i, &b) in v.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        self.data.extend_from_slice(&words);
+        self.len += 1;
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn words_of(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words..(i + 1) * self.words]
+    }
+
+    /// True iff vectors `i` (of self) and `j` (of other) are orthogonal.
+    pub fn orthogonal(&self, i: usize, other: &VectorSet, j: usize) -> bool {
+        self.words_of(i)
+            .iter()
+            .zip(other.words_of(j))
+            .all(|(&a, &b)| a & b == 0)
+    }
+}
+
+/// Finds an orthogonal pair (index into `a`, index into `b`) by the
+/// quadratic scan — the algorithm the OV conjecture says is essentially
+/// optimal.
+pub fn find_orthogonal_pair(a: &VectorSet, b: &VectorSet) -> Option<(usize, usize)> {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            if a.orthogonal(i, b, j) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Counts orthogonal pairs.
+pub fn count_orthogonal_pairs(a: &VectorSet, b: &VectorSet) -> u64 {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let mut n = 0u64;
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            if a.orthogonal(i, b, j) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(bits: &[u8]) -> Vec<bool> {
+        bits.iter().map(|&b| b == 1).collect()
+    }
+
+    #[test]
+    fn small_cases() {
+        let a = VectorSet::from_bools(3, &[v(&[1, 0, 1]), v(&[0, 1, 0])]);
+        let b = VectorSet::from_bools(3, &[v(&[0, 1, 0]), v(&[1, 1, 1])]);
+        // a[0]·b[0] = 0 → orthogonal; every other pair overlaps.
+        assert_eq!(find_orthogonal_pair(&a, &b), Some((0, 0)));
+        assert_eq!(count_orthogonal_pairs(&a, &b), 1);
+    }
+
+    #[test]
+    fn count_explicit() {
+        let a = VectorSet::from_bools(2, &[v(&[1, 0]), v(&[0, 1])]);
+        let b = VectorSet::from_bools(2, &[v(&[0, 1]), v(&[1, 0])]);
+        // Orthogonal pairs: (a0,b0), (a1,b1).
+        assert_eq!(count_orthogonal_pairs(&a, &b), 2);
+    }
+
+    #[test]
+    fn no_orthogonal_pair() {
+        let a = VectorSet::from_bools(2, &[v(&[1, 1])]);
+        let b = VectorSet::from_bools(2, &[v(&[1, 0]), v(&[0, 1])]);
+        assert_eq!(find_orthogonal_pair(&a, &b), None);
+    }
+
+    #[test]
+    fn zero_vector_is_orthogonal_to_all() {
+        let a = VectorSet::from_bools(4, &[v(&[0, 0, 0, 0])]);
+        let b = VectorSet::from_bools(4, &[v(&[1, 1, 1, 1])]);
+        assert!(find_orthogonal_pair(&a, &b).is_some());
+    }
+
+    #[test]
+    fn wide_vectors_cross_word_boundary() {
+        let dim = 130;
+        let mut x = vec![false; dim];
+        let mut y = vec![false; dim];
+        x[129] = true;
+        y[129] = true;
+        let a = VectorSet::from_bools(dim, &[x.clone()]);
+        let b = VectorSet::from_bools(dim, &[y]);
+        assert_eq!(find_orthogonal_pair(&a, &b), None);
+        // Flip one coordinate: now orthogonal.
+        x[129] = false;
+        let a2 = VectorSet::from_bools(dim, &[x]);
+        assert!(find_orthogonal_pair(&a2, &b).is_some());
+    }
+
+    #[test]
+    fn empty_sets() {
+        let a = VectorSet::new(3);
+        let b = VectorSet::from_bools(3, &[v(&[0, 0, 0])]);
+        assert_eq!(find_orthogonal_pair(&a, &b), None);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Triangle detection three ways (paper §8).
+//!
+//! * [`find_triangle_naive`] — edge iteration with neighborhood-bitset
+//!   intersection, O(m·n/64);
+//! * [`find_triangle_matmul`] — the A²∧A test via boolean matrix
+//!   multiplication, O(n^ω) (the k-clique-conjecture route);
+//! * [`find_triangle_ayz`] — Alon–Yuster–Zwick: split vertices at degree
+//!   Δ = m^{(ω−1)/(ω+1)}; light triangles by enumerating two-paths through
+//!   light vertices, heavy triangles by dense matrix multiplication on the
+//!   ≤ 2m/Δ heavy vertices; total m^{2ω/(ω+1)} — conjecturally optimal in
+//!   m (the Strong Triangle Conjecture).
+//!
+//! All three return a witness triangle and are cross-checked against each
+//! other.
+
+use crate::matmul::BoolMatrix;
+use lb_graph::Graph;
+
+/// Naive detection: for each edge, intersect the endpoints' neighborhoods.
+pub fn find_triangle_naive(g: &Graph) -> Option<[usize; 3]> {
+    for (u, v) in g.edges() {
+        let nu = g.neighbor_set(u);
+        let nv = g.neighbor_set(v);
+        let mut common = nu.clone();
+        common.intersect_with(nv);
+        if let Some(w) = common.min() {
+            return Some(sorted3(u, v, w));
+        }
+    }
+    None
+}
+
+/// Matrix-multiplication detection: a triangle exists iff (A²∧A) ≠ 0.
+pub fn find_triangle_matmul(g: &Graph) -> Option<[usize; 3]> {
+    let a = BoolMatrix::adjacency(g);
+    let a2 = a.multiply(&a);
+    let (i, j) = a2.intersection_witness(&a)?;
+    // Find the middle vertex.
+    let w = g
+        .neighbor_set(i)
+        .iter()
+        .find(|&w| g.has_edge(w, j))
+        .expect("A²[i][j] set ⇒ a common neighbor exists");
+    Some(sorted3(i, j, w))
+}
+
+/// Alon–Yuster–Zwick detection in m^{2ω/(ω+1)}.
+///
+/// `omega` is the matrix-multiplication exponent used for the degree
+/// threshold; pass 2.807 for Strassen (the default via
+/// [`find_triangle_ayz`]).
+pub fn find_triangle_ayz_with_omega(g: &Graph, omega: f64) -> Option<[usize; 3]> {
+    let m = g.num_edges();
+    if m == 0 {
+        return None;
+    }
+    let delta = (m as f64).powf((omega - 1.0) / (omega + 1.0)).ceil() as usize;
+
+    // Light triangles: some vertex has degree ≤ Δ; enumerate two-paths
+    // centered at light vertices.
+    for v in 0..g.num_vertices() {
+        if g.degree(v) > delta {
+            continue;
+        }
+        let nbrs = g.neighbors(v);
+        for (i, &x) in nbrs.iter().enumerate() {
+            for &y in &nbrs[i + 1..] {
+                if g.has_edge(x, y) {
+                    return Some(sorted3(v, x, y));
+                }
+            }
+        }
+    }
+
+    // Heavy triangles: all three vertices heavy; ≤ 2m/Δ of them, dense MM.
+    let heavy: Vec<usize> = (0..g.num_vertices())
+        .filter(|&v| g.degree(v) > delta)
+        .collect();
+    if heavy.len() < 3 {
+        return None;
+    }
+    let (h, map) = g.induced_subgraph(&heavy);
+    find_triangle_matmul(&h).map(|t| sorted3(map[t[0]], map[t[1]], map[t[2]]))
+}
+
+/// AYZ with the Strassen exponent ω = log₂7 ≈ 2.807.
+pub fn find_triangle_ayz(g: &Graph) -> Option<[usize; 3]> {
+    find_triangle_ayz_with_omega(g, 2.807)
+}
+
+/// Counts triangles exactly via trace-free enumeration (for tests and the
+/// counting experiments): Σ over edges of |N(u) ∩ N(v)| / 3.
+pub fn count_triangles(g: &Graph) -> u64 {
+    let mut total = 0u64;
+    for (u, v) in g.edges() {
+        total += g.neighbor_set(u).intersection_count(g.neighbor_set(v)) as u64;
+    }
+    total / 3
+}
+
+fn sorted3(a: usize, b: usize, c: usize) -> [usize; 3] {
+    let mut t = [a, b, c];
+    t.sort_unstable();
+    t
+}
+
+/// Validates a triangle witness.
+pub fn is_triangle(g: &Graph, t: &[usize; 3]) -> bool {
+    t[0] != t[1]
+        && t[1] != t[2]
+        && g.has_edge(t[0], t[1])
+        && g.has_edge(t[1], t[2])
+        && g.has_edge(t[0], t[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::generators;
+
+    fn all_detectors(g: &Graph) -> [Option<[usize; 3]>; 3] {
+        [
+            find_triangle_naive(g),
+            find_triangle_matmul(g),
+            find_triangle_ayz(g),
+        ]
+    }
+
+    #[test]
+    fn clique_has_triangle() {
+        let g = generators::clique(5);
+        for t in all_detectors(&g) {
+            assert!(is_triangle(&g, &t.unwrap()));
+        }
+        assert_eq!(count_triangles(&g), 10);
+    }
+
+    #[test]
+    fn bipartite_has_none() {
+        let g = generators::complete_bipartite(4, 4);
+        for t in all_detectors(&g) {
+            assert!(t.is_none());
+        }
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn detectors_agree_on_random_graphs() {
+        for seed in 0..20u64 {
+            let g = generators::gnp(30, 0.12, seed);
+            let results = all_detectors(&g);
+            let has = results[0].is_some();
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.is_some(), has, "seed {seed}, detector {i}");
+                if let Some(t) = r {
+                    assert!(is_triangle(&g, t), "seed {seed}, detector {i}");
+                }
+            }
+            assert_eq!(has, count_triangles(&g) > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_graphs_with_heavy_hubs() {
+        // A star plus one edge between two leaves: the triangle passes
+        // through the heavy hub.
+        let mut g = generators::star(50);
+        g.add_edge(1, 2);
+        for t in all_detectors(&g) {
+            assert!(is_triangle(&g, &t.unwrap()));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        assert!(find_triangle_ayz(&Graph::new(0)).is_none());
+        assert!(find_triangle_naive(&Graph::new(2)).is_none());
+        assert!(find_triangle_matmul(&generators::path(3)).is_none());
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        for seed in 0..10u64 {
+            let g = generators::gnp(15, 0.4, seed);
+            let mut brute = 0u64;
+            for a in 0..15 {
+                for b in (a + 1)..15 {
+                    for c in (b + 1)..15 {
+                        if g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c) {
+                            brute += 1;
+                        }
+                    }
+                }
+            }
+            assert_eq!(count_triangles(&g), brute, "seed {seed}");
+        }
+    }
+
+    use lb_graph::Graph;
+}

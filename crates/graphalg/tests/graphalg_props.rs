@@ -1,0 +1,115 @@
+//! Property tests for the §5–§8 algorithm zoo: independent implementations
+//! agree, FPT answers match brute-force optima, and witnesses verify.
+
+use lb_graph::generators;
+use lb_graphalg::clique::{count_cliques, find_clique, find_clique_neipol};
+use lb_graphalg::domset::{find_dominating_set_branching, find_dominating_set_brute};
+use lb_graphalg::editdist::{edit_distance, edit_distance_banded};
+use lb_graphalg::matmul::{BoolMatrix, IntMatrix};
+use lb_graphalg::triangle::{
+    count_triangles, find_triangle_ayz, find_triangle_matmul, find_triangle_naive, is_triangle,
+};
+use lb_graphalg::vertexcover::{min_vertex_cover_brute, vertex_cover_fpt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clique: brute force, Nešetřil–Poljak, and the count agree.
+    #[test]
+    fn clique_routes_agree(n in 4usize..14, p in 0.2f64..0.8, seed in 0u64..10_000, k in 2usize..5) {
+        let g = generators::gnp(n, p, seed);
+        let brute = find_clique(&g, k);
+        let neipol = find_clique_neipol(&g, k);
+        prop_assert_eq!(brute.is_some(), neipol.is_some());
+        prop_assert_eq!(brute.is_some(), count_cliques(&g, k) > 0);
+        if let Some(c) = neipol {
+            prop_assert!(g.is_clique(&c));
+            prop_assert_eq!(c.len(), k);
+        }
+    }
+
+    /// Triangles: all three detectors and the counter agree; witnesses are
+    /// real triangles.
+    #[test]
+    fn triangle_detectors_agree(n in 3usize..20, p in 0.05f64..0.6, seed in 0u64..10_000) {
+        let g = generators::gnp(n, p, seed);
+        let nv = find_triangle_naive(&g);
+        let mm = find_triangle_matmul(&g);
+        let ayz = find_triangle_ayz(&g);
+        prop_assert_eq!(nv.is_some(), mm.is_some());
+        prop_assert_eq!(nv.is_some(), ayz.is_some());
+        prop_assert_eq!(nv.is_some(), count_triangles(&g) > 0);
+        for w in [nv, mm, ayz].into_iter().flatten() {
+            prop_assert!(is_triangle(&g, &w));
+        }
+    }
+
+    /// Strassen = naive on random integer matrices.
+    #[test]
+    fn strassen_matches_naive(n in 1usize..40, seed in 0u64..10_000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = IntMatrix::from_fn(n, |_, _| rng.gen_range(-4..=4));
+        let b = IntMatrix::from_fn(n, |_, _| rng.gen_range(-4..=4));
+        prop_assert_eq!(a.multiply_naive(&b), a.multiply_strassen(&b));
+    }
+
+    /// Boolean matmul matches the definition.
+    #[test]
+    fn bool_matmul_definition(n in 1usize..30, seed in 0u64..10_000) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BoolMatrix::from_fn(n, |_, _| rng.gen::<f64>() < 0.3);
+        let b = BoolMatrix::from_fn(n, |_, _| rng.gen::<f64>() < 0.3);
+        let c = a.multiply(&b);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = (0..n).any(|k| a.get(i, k) && b.get(k, j));
+                prop_assert_eq!(c.get(i, j), expect);
+            }
+        }
+    }
+
+    /// Dominating set: brute and branching agree; answers verify.
+    #[test]
+    fn domset_routes_agree(n in 3usize..10, p in 0.1f64..0.6, seed in 0u64..10_000, k in 1usize..4) {
+        let g = generators::gnp(n, p, seed);
+        let a = find_dominating_set_brute(&g, k);
+        let b = find_dominating_set_branching(&g, k);
+        prop_assert_eq!(a.is_some(), b.is_some());
+        for s in [a, b].into_iter().flatten() {
+            prop_assert!(g.is_dominating_set(&s));
+            prop_assert!(s.len() <= k);
+        }
+    }
+
+    /// Vertex cover FPT pipeline matches the brute-force optimum exactly.
+    #[test]
+    fn vertex_cover_threshold(n in 3usize..11, p in 0.1f64..0.7, seed in 0u64..10_000) {
+        let g = generators::gnp(n, p, seed);
+        let opt = min_vertex_cover_brute(&g).len();
+        for k in 0..=n {
+            let fpt = vertex_cover_fpt(&g, k);
+            prop_assert_eq!(fpt.is_some(), k >= opt);
+            if let Some(c) = fpt {
+                prop_assert!(g.is_vertex_cover(&c));
+            }
+        }
+    }
+
+    /// Edit distance: metric axioms and banded agreement.
+    #[test]
+    fn edit_distance_metric(sa in "[ab]{0,12}", sb in "[ab]{0,12}") {
+        let a = sa.as_bytes();
+        let b = sb.as_bytes();
+        let d = edit_distance(a, b);
+        prop_assert_eq!(edit_distance(b, a), d);
+        prop_assert_eq!(d == 0, a == b);
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert_eq!(edit_distance_banded(a, b, 12), Some(d));
+    }
+}

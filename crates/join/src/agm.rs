@@ -1,0 +1,196 @@
+//! The AGM bound and its worst-case witnesses (paper Theorems 3.1–3.2).
+//!
+//! For a join query Q with hypergraph H and relations of at most N tuples,
+//! the answer has at most N^{ρ*(H)} tuples (Theorem 3.1), and for infinitely
+//! many N a database achieving N^{ρ*(H)} exists (Theorem 3.2). The witness
+//! construction is the classical one from LP duality: take optimal
+//! fractional vertex-packing weights y(v) (Σ_{v∈e} y(v) ≤ 1 per edge,
+//! Σ_v y(v) = ρ*), give attribute v a domain of ⌊N^{y(v)}⌋ values, and make
+//! every relation the full cross product of its attributes' domains. Each
+//! relation then has at most N tuples while the answer is the full cross
+//! product of all domains, of size ≈ N^{ρ*}.
+
+use crate::database::{Database, Table};
+use crate::query::JoinQuery;
+use crate::Value;
+use lb_lp::covers::{fractional_edge_cover, fractional_vertex_packing, CoverError};
+use lb_lp::Rational;
+
+/// The fractional edge cover number ρ* of the query's hypergraph, exactly.
+pub fn rho_star(q: &JoinQuery) -> Result<Rational, CoverError> {
+    let (h, _) = q.hypergraph();
+    fractional_edge_cover(&h).map(|s| s.value)
+}
+
+/// The AGM bound N^{ρ*} as a float (for display and plotting).
+pub fn agm_bound(q: &JoinQuery, n: u64) -> Result<f64, CoverError> {
+    Ok((n as f64).powf(rho_star(q)?.to_f64()))
+}
+
+/// The worst-case database of Theorem 3.2 for size parameter `n`: every
+/// relation has at most `n` tuples, and the answer size is the product of
+/// the per-attribute domain sizes ⌊n^{y(v)}⌋ ≈ n^{ρ*}.
+///
+/// Returns the database and the exact answer size.
+pub fn worst_case_database(q: &JoinQuery, n: u64) -> Result<(Database, u128), CoverError> {
+    let (h, attrs) = q.hypergraph();
+    let pack = fractional_vertex_packing(&h)?;
+    // Domain sizes: s_v = max(1, ⌊n^{y_v}⌋). A small epsilon guards against
+    // f64 rounding just below an exact integer power.
+    let sizes: Vec<u64> = pack
+        .weights
+        .iter()
+        .map(|y| {
+            let s = (n as f64).powf(y.to_f64());
+            (s + 1e-9).floor().max(1.0) as u64
+        })
+        .collect();
+
+    let mut db = Database::new();
+    for atom in &q.atoms {
+        // Distinct attributes of the atom, in column order of first
+        // occurrence; repeated columns copy the same value (diagonal), so
+        // the table size stays Π over *distinct* attrs ≤ n.
+        let mut distinct: Vec<&str> = Vec::new();
+        for a in &atom.attrs {
+            if !distinct.contains(&a.as_str()) {
+                distinct.push(a);
+            }
+        }
+        let dims: Vec<u64> = distinct
+            .iter()
+            .map(|a| sizes[attr_index(&attrs, a)])
+            .collect();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut counter = vec![0u64; dims.len()];
+        'gen: loop {
+            let row: Vec<Value> = atom
+                .attrs
+                .iter()
+                .map(|a| {
+                    let di = distinct.iter().position(|d| d == a).expect("distinct");
+                    counter[di]
+                })
+                .collect();
+            rows.push(row);
+            // Odometer over dims.
+            let mut i = dims.len();
+            loop {
+                if i == 0 {
+                    break 'gen;
+                }
+                i -= 1;
+                counter[i] += 1;
+                if counter[i] < dims[i] {
+                    break;
+                }
+                counter[i] = 0;
+                if i == 0 {
+                    break 'gen;
+                }
+            }
+        }
+        let table = Table::from_rows(atom.attrs.len(), rows);
+        debug_assert!(
+            table.len() as u64 <= n,
+            "worst-case relation exceeded n: {} > {n}",
+            table.len()
+        );
+        db.insert(&atom.relation, table);
+    }
+    let answer: u128 = sizes.iter().map(|&s| s as u128).product();
+    Ok((db, answer))
+}
+
+fn attr_index(attrs: &[String], name: &str) -> usize {
+    attrs
+        .binary_search_by(|a| a.as_str().cmp(name))
+        .expect("attribute present")
+}
+
+/// Checks Theorem 3.1 on a concrete (query, database, answer-size) triple:
+/// `answer_size ≤ N^{ρ*}` with N the largest relation.
+pub fn agm_bound_holds(q: &JoinQuery, db: &Database, answer_size: u128) -> Result<bool, CoverError> {
+    let n = db.max_table_size() as u64;
+    let bound = agm_bound(q, n)?;
+    // Tolerate f64 slack on the bound side.
+    Ok((answer_size as f64) <= bound * (1.0 + 1e-9) + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcoj;
+
+    #[test]
+    fn triangle_rho_star() {
+        let q = JoinQuery::triangle();
+        assert_eq!(rho_star(&q).unwrap(), Rational::new(3, 2));
+        assert!((agm_bound(&q, 100).unwrap() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_case_triangle_database() {
+        let q = JoinQuery::triangle();
+        for n in [4u64, 16, 100] {
+            let (db, answer) = worst_case_database(&q, n).unwrap();
+            // Every relation ≤ n rows.
+            assert!(db.max_table_size() as u64 <= n);
+            // Answer ≈ n^{3/2}: with square n it is exact.
+            let s = (n as f64).sqrt().floor() as u128;
+            assert_eq!(answer, s * s * s, "n = {n}");
+            // And the materialized join agrees.
+            let tuples = wcoj::join(&q, &db, None).unwrap();
+            assert_eq!(tuples.len() as u128, answer, "n = {n}");
+            assert!(agm_bound_holds(&q, &db, answer).unwrap());
+        }
+    }
+
+    #[test]
+    fn worst_case_star_database() {
+        // Star with k leaves: ρ* = k; worst case puts everything on the
+        // leaves (y_center = 0, y_leaf = 1): answer = n^k.
+        let q = JoinQuery::star(2);
+        let (db, answer) = worst_case_database(&q, 10).unwrap();
+        assert!(db.max_table_size() <= 10);
+        assert_eq!(answer, 100);
+        let tuples = wcoj::join(&q, &db, None).unwrap();
+        assert_eq!(tuples.len() as u128, answer);
+    }
+
+    #[test]
+    fn worst_case_loomis_whitney() {
+        let q = JoinQuery::loomis_whitney(3);
+        let (db, answer) = worst_case_database(&q, 64).unwrap();
+        assert!(db.max_table_size() <= 64);
+        // y = 1/2 everywhere: answer = 8³ = 512 = 64^{3/2}.
+        assert_eq!(answer, 512);
+        assert!(agm_bound_holds(&q, &db, answer).unwrap());
+    }
+
+    #[test]
+    fn bound_detects_violations() {
+        // A fake "answer size" larger than the bound must be rejected.
+        let q = JoinQuery::triangle();
+        let (db, answer) = worst_case_database(&q, 16).unwrap();
+        assert!(agm_bound_holds(&q, &db, answer).unwrap());
+        assert!(!agm_bound_holds(&q, &db, answer * 10).unwrap());
+    }
+
+    #[test]
+    fn repeated_attribute_atom() {
+        // R(a,a) ⋈ S(a,b): hyperedges {a}, {a,b}; ρ* = 1 (edge {a,b} covers
+        // all). Worst case: s_a·s_b ≤ n with answer n.
+        let q = JoinQuery::new(vec![
+            crate::query::Atom::new("R", &["a", "a"]),
+            crate::query::Atom::new("S", &["a", "b"]),
+        ]);
+        assert_eq!(rho_star(&q).unwrap(), Rational::ONE);
+        let (db, answer) = worst_case_database(&q, 9).unwrap();
+        assert!(db.max_table_size() <= 9);
+        assert!(answer <= 9);
+        // Diagonal property: R's rows all have equal columns.
+        let r = db.table("R").unwrap();
+        assert!(r.rows().iter().all(|row| row[0] == row[1]));
+    }
+}

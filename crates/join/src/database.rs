@@ -1,0 +1,170 @@
+//! Database instances: named tables of tuples (paper §2.1).
+
+use crate::query::JoinQuery;
+use crate::Value;
+use std::collections::BTreeMap;
+
+/// A table: rows of fixed arity. Rows are deduplicated on insertion order
+/// via [`Table::normalize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    arity: usize,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Table { arity, rows: Vec::new() }
+    }
+
+    /// Builds from rows, normalizing (sort + dedup).
+    ///
+    /// # Panics
+    /// Panics if a row has the wrong arity.
+    pub fn from_rows(arity: usize, rows: Vec<Vec<Value>>) -> Self {
+        let mut t = Table { arity, rows };
+        for r in &t.rows {
+            assert_eq!(r.len(), arity, "row arity mismatch");
+        }
+        t.normalize();
+        t
+    }
+
+    /// Adds a row (no dedup; call [`Table::normalize`] after bulk loads).
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Sorts rows lexicographically and removes duplicates.
+    pub fn normalize(&mut self) {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+
+    /// Arity (number of columns).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows (sorted if normalized).
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Membership test (requires normalized rows).
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+    }
+
+    /// Rows re-ordered by a column permutation: row'[(i)] = row[perm\[i\]],
+    /// sorted lexicographically. Used by the WCOJ trie iterators.
+    pub fn projected_sorted(&self, perm: &[usize]) -> Vec<Vec<Value>> {
+        assert_eq!(perm.len(), self.arity);
+        let mut out: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .map(|r| perm.iter().map(|&i| r[i]).collect())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A database: a mapping from relation names to tables.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a table.
+    pub fn insert(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// The largest relation size N (paper: every relation has ≤ N tuples).
+    pub fn max_table_size(&self) -> usize {
+        self.tables.values().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Checks that every atom of `q` has a table of matching arity.
+    pub fn validate_for(&self, q: &JoinQuery) -> Result<(), String> {
+        for atom in &q.atoms {
+            let t = self
+                .table(&atom.relation)
+                .ok_or_else(|| format!("missing table {}", atom.relation))?;
+            if t.arity() != atom.attrs.len() {
+                return Err(format!(
+                    "table {} has arity {}, atom expects {}",
+                    atom.relation,
+                    t.arity(),
+                    atom.attrs.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, JoinQuery};
+
+    #[test]
+    fn table_normalize_dedup() {
+        let t = Table::from_rows(2, vec![vec![2, 1], vec![1, 2], vec![2, 1]]);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&[1, 2]));
+        assert!(!t.contains(&[3, 3]));
+    }
+
+    #[test]
+    fn projected_sorted_permutes() {
+        let t = Table::from_rows(2, vec![vec![1, 9], vec![2, 5]]);
+        let p = t.projected_sorted(&[1, 0]);
+        assert_eq!(p, vec![vec![5, 2], vec![9, 1]]);
+    }
+
+    #[test]
+    fn database_validation() {
+        let q = JoinQuery::new(vec![Atom::new("R", &["a", "b"])]);
+        let mut db = Database::new();
+        assert!(db.validate_for(&q).is_err());
+        db.insert("R", Table::new(3));
+        assert!(db.validate_for(&q).is_err());
+        db.insert("R", Table::new(2));
+        assert!(db.validate_for(&q).is_ok());
+        assert_eq!(db.max_table_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(2);
+        t.push(vec![1]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Random database generators for join experiments.
+
+use crate::database::{Database, Table};
+use crate::query::JoinQuery;
+use crate::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random database for a query with **binary** atoms: each relation gets
+/// `rows_per_relation` uniform random pairs over `[0, domain)`.
+pub fn random_binary_database(
+    q: &JoinQuery,
+    rows_per_relation: usize,
+    domain: u64,
+    seed: u64,
+) -> Database {
+    assert!(q.atoms.iter().all(|a| a.attrs.len() == 2), "binary atoms only");
+    random_database(q, rows_per_relation, domain, seed)
+}
+
+/// A random database for an arbitrary query: each relation gets up to
+/// `rows_per_relation` uniform random tuples over `[0, domain)` per column.
+pub fn random_database(
+    q: &JoinQuery,
+    rows_per_relation: usize,
+    domain: u64,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for atom in &q.atoms {
+        let arity = atom.attrs.len();
+        let mut rows = Vec::with_capacity(rows_per_relation);
+        for _ in 0..rows_per_relation {
+            rows.push((0..arity).map(|_| rng.gen_range(0..domain) as Value).collect());
+        }
+        db.insert(&atom.relation, Table::from_rows(arity, rows));
+    }
+    db
+}
+
+/// A triangle-query database guaranteed to contain at least one answer:
+/// random pairs plus the planted triangle (0, 0, 0).
+pub fn planted_triangle_database(rows_per_relation: usize, domain: u64, seed: u64) -> Database {
+    let q = JoinQuery::triangle();
+    let mut db = random_binary_database(&q, rows_per_relation.saturating_sub(1), domain, seed);
+    for name in ["R", "S", "T"] {
+        let mut t = db.table(name).expect("present").clone();
+        t.push(vec![0, 0]);
+        t.normalize();
+        db.insert(name, t);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcoj;
+
+    #[test]
+    fn random_db_validates() {
+        let q = JoinQuery::triangle();
+        let db = random_binary_database(&q, 50, 20, 1);
+        db.validate_for(&q).unwrap();
+        assert!(db.max_table_size() <= 50);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let q = JoinQuery::cycle(4);
+        let a = random_binary_database(&q, 10, 5, 2);
+        let b = random_binary_database(&q, 10, 5, 2);
+        for atom in &q.atoms {
+            assert_eq!(
+                a.table(&atom.relation).unwrap().rows(),
+                b.table(&atom.relation).unwrap().rows()
+            );
+        }
+    }
+
+    #[test]
+    fn planted_triangle_is_found() {
+        let q = JoinQuery::triangle();
+        let db = planted_triangle_database(10, 100, 7);
+        let ans = wcoj::join(&q, &db, None).unwrap();
+        assert!(ans.contains(&vec![0, 0, 0]));
+    }
+
+    #[test]
+    fn higher_arity_database() {
+        let q = JoinQuery::loomis_whitney(4);
+        let db = random_database(&q, 30, 4, 5);
+        db.validate_for(&q).unwrap();
+    }
+}

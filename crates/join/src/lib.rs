@@ -1,0 +1,35 @@
+//! Join queries and worst-case optimal join evaluation (paper §2.1, §3, §8).
+//!
+//! A join query `R₁(a…) ⋈ … ⋈ R_m(a…)` over a database maps each relation
+//! name to a table; the answer is the set of tuples over all attributes
+//! whose projections land in every relation. This crate implements the full
+//! §3 story:
+//!
+//! * [`agm`] — the AGM bound (Theorem 3.1): `|answer| ≤ N^{ρ*}` with ρ* the
+//!   fractional edge cover number (computed exactly by `lb-lp`), **and** the
+//!   matching worst-case database construction of Theorem 3.2 from the
+//!   optimal dual (vertex-packing) weights;
+//! * [`wcoj`] — a Generic-Join-style worst-case optimal join (Theorem 3.3,
+//!   Ngo–Porat–Ré–Rudra / Veldhuizen) running in Õ(N^{ρ*}): sorted
+//!   relations, per-variable intersection by galloping binary search;
+//! * [`binary`] — the classical baseline: a left-deep plan of pairwise hash
+//!   joins, which materializes Ω(N²) intermediates on the AGM-worst-case
+//!   triangle inputs (experiment E2's contrast);
+//! * [`boolean`] — the Boolean Join Query problem (emptiness), the decision
+//!   version §8's triangle conjecture speaks about.
+
+pub mod acyclic;
+pub mod agm;
+pub mod binary;
+pub mod boolean;
+pub mod database;
+pub mod generators;
+pub mod query;
+pub mod wcoj;
+
+pub use database::{Database, Table};
+pub use acyclic::{is_acyclic, yannakakis};
+pub use query::{Atom, JoinQuery};
+
+/// A database value.
+pub type Value = u64;

@@ -1,0 +1,462 @@
+//! Worst-case optimal join: Generic Join over sorted relations
+//! (paper Theorem 3.3; Ngo–Porat–Ré–Rudra, Veldhuizen's Leapfrog Triejoin).
+//!
+//! The algorithm fixes a global variable order and proceeds one variable at
+//! a time: the candidate values of the current variable are the
+//! intersection of the matching "trie levels" of every relation containing
+//! it, computed by iterating the smallest relation's distinct values and
+//! binary-searching the others. Its running time is within a log factor of
+//! N^{ρ*} — matching the unconditional lower bound of Theorem 3.2, which is
+//! what makes it *worst-case optimal*.
+
+use crate::database::Database;
+use crate::query::{AnswerTuple, JoinQuery};
+use crate::Value;
+
+/// Errors from join evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JoinError {
+    /// The database is missing a table or has an arity mismatch.
+    BadDatabase(String),
+    /// A supplied variable order is not a permutation of the attributes.
+    BadOrder(String),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::BadDatabase(m) => write!(f, "bad database: {m}"),
+            JoinError::BadOrder(m) => write!(f, "bad variable order: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// A prepared atom: rows re-sorted so columns follow the global variable
+/// order, repeated attributes collapsed to their diagonal.
+struct PreparedAtom {
+    /// Global variable ranks of this atom's (distinct) attributes, ascending.
+    var_ranks: Vec<usize>,
+    /// Rows sorted lexicographically in `var_ranks` column order.
+    rows: Vec<Vec<Value>>,
+}
+
+struct Prepared {
+    atoms: Vec<PreparedAtom>,
+    num_vars: usize,
+}
+
+fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Prepared, JoinError> {
+    db.validate_for(q).map_err(JoinError::BadDatabase)?;
+    let attrs = q.attributes();
+    let order: Vec<String> = match order {
+        Some(o) => {
+            let mut sorted = o.to_vec();
+            sorted.sort();
+            if sorted != attrs {
+                return Err(JoinError::BadOrder(format!(
+                    "order {o:?} is not a permutation of {attrs:?}"
+                )));
+            }
+            o.to_vec()
+        }
+        None => attrs.clone(),
+    };
+    let rank_of = |name: &str| order.iter().position(|a| a == name).expect("validated");
+
+    let mut atoms = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let table = db.table(&atom.relation).expect("validated");
+        // Distinct attributes with their first column position.
+        let mut distinct: Vec<(usize, usize)> = Vec::new(); // (rank, column)
+        for (col, a) in atom.attrs.iter().enumerate() {
+            let r = rank_of(a);
+            if !distinct.iter().any(|&(dr, _)| dr == r) {
+                distinct.push((r, col));
+            }
+        }
+        distinct.sort_unstable();
+        let var_ranks: Vec<usize> = distinct.iter().map(|&(r, _)| r).collect();
+        // Filter diagonal rows (repeated attributes must agree), project to
+        // distinct columns in rank order.
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        'rows: for row in table.rows() {
+            // Check repeated attributes agree.
+            for (col, a) in atom.attrs.iter().enumerate() {
+                let r = rank_of(a);
+                let first_col = distinct
+                    .iter()
+                    .find(|&&(dr, _)| dr == r)
+                    .expect("present")
+                    .1;
+                if row[col] != row[first_col] {
+                    continue 'rows;
+                }
+            }
+            rows.push(distinct.iter().map(|&(_, col)| row[col]).collect());
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        atoms.push(PreparedAtom { var_ranks, rows });
+    }
+    Ok(Prepared {
+        atoms,
+        num_vars: attrs.len(),
+    })
+}
+
+/// Active range of an atom's sorted rows during the recursion.
+#[derive(Clone, Copy)]
+struct Range {
+    lo: usize,
+    hi: usize,
+    depth: usize,
+}
+
+/// Runs Generic Join; calls `visit` with each answer tuple **in the global
+/// variable order** (not attribute order). Returning `true` stops early.
+fn generic_join<F: FnMut(&[Value]) -> bool>(p: &Prepared, visit: &mut F) {
+    let mut ranges: Vec<Range> = p
+        .atoms
+        .iter()
+        .map(|a| Range {
+            lo: 0,
+            hi: a.rows.len(),
+            depth: 0,
+        })
+        .collect();
+    let mut tuple: Vec<Value> = vec![0; p.num_vars];
+    recurse(p, 0, &mut ranges, &mut tuple, visit);
+}
+
+fn recurse<F: FnMut(&[Value]) -> bool>(
+    p: &Prepared,
+    level: usize,
+    ranges: &mut Vec<Range>,
+    tuple: &mut Vec<Value>,
+    visit: &mut F,
+) -> bool {
+    if level == p.num_vars {
+        return visit(tuple);
+    }
+    // Atoms whose next unbound column is this variable.
+    let participants: Vec<usize> = (0..p.atoms.len())
+        .filter(|&i| {
+            let r = ranges[i];
+            r.depth < p.atoms[i].var_ranks.len() && p.atoms[i].var_ranks[r.depth] == level
+        })
+        .collect();
+    debug_assert!(
+        !participants.is_empty(),
+        "every variable occurs in some atom"
+    );
+    // Smallest active range drives the intersection.
+    let driver = *participants
+        .iter()
+        .min_by_key(|&&i| ranges[i].hi - ranges[i].lo)
+        .expect("nonempty");
+
+    let (mut lo, hi, depth) = {
+        let r = ranges[driver];
+        (r.lo, r.hi, r.depth)
+    };
+    while lo < hi {
+        let v = p.atoms[driver].rows[lo][depth];
+        let lo_end = upper_bound(&p.atoms[driver].rows, lo, hi, depth, v);
+
+        // Narrow every participant to value v.
+        let saved: Vec<Range> = participants.iter().map(|&i| ranges[i]).collect();
+        let mut ok = true;
+        for &i in &participants {
+            let r = ranges[i];
+            let (nl, nh) = if i == driver {
+                (lo, lo_end)
+            } else {
+                equal_range(&p.atoms[i].rows, r.lo, r.hi, r.depth, v)
+            };
+            if nl == nh {
+                ok = false;
+                break;
+            }
+            ranges[i] = Range {
+                lo: nl,
+                hi: nh,
+                depth: r.depth + 1,
+            };
+        }
+        if ok {
+            tuple[level] = v;
+            if recurse(p, level + 1, ranges, tuple, visit) {
+                return true;
+            }
+        }
+        // Restore.
+        for (&i, &r) in participants.iter().zip(&saved) {
+            ranges[i] = r;
+        }
+        lo = lo_end;
+    }
+    false
+}
+
+/// First index in [lo, hi) where `rows[idx][col] > v` (rows sorted, columns
+/// before `col` constant on the range).
+fn upper_bound(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> usize {
+    lo + rows[lo..hi].partition_point(|r| r[col] <= v)
+}
+
+fn equal_range(
+    rows: &[Vec<Value>],
+    lo: usize,
+    hi: usize,
+    col: usize,
+    v: Value,
+) -> (usize, usize) {
+    let start = lo + rows[lo..hi].partition_point(|r| r[col] < v);
+    let end = start + rows[start..hi].partition_point(|r| r[col] == v);
+    (start, end)
+}
+
+/// Computes the full answer; tuples are in [`JoinQuery::attributes`] order,
+/// sorted lexicographically.
+pub fn join(
+    q: &JoinQuery,
+    db: &Database,
+    order: Option<&[String]>,
+) -> Result<Vec<AnswerTuple>, JoinError> {
+    let attrs = q.attributes();
+    let ord: Vec<String> = order.map(|o| o.to_vec()).unwrap_or_else(|| attrs.clone());
+    let p = prepare(q, db, order)?;
+    // Position of each attribute (sorted order) within the variable order.
+    let pos_of: Vec<usize> = attrs
+        .iter()
+        .map(|a| ord.iter().position(|x| x == a).expect("validated"))
+        .collect();
+    let mut out = Vec::new();
+    generic_join(&p, &mut |t| {
+        out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
+        false
+    });
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Counts answer tuples without materializing them.
+pub fn count(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<u64, JoinError> {
+    let p = prepare(q, db, order)?;
+    let mut n = 0u64;
+    generic_join(&p, &mut |_| {
+        n += 1;
+        false
+    });
+    Ok(n)
+}
+
+/// Decides emptiness with early exit (the BOOLEAN JOIN QUERY problem).
+pub fn is_empty(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<bool, JoinError> {
+    let p = prepare(q, db, order)?;
+    let mut nonempty = false;
+    generic_join(&p, &mut |_| {
+        nonempty = true;
+        true
+    });
+    Ok(!nonempty)
+}
+
+/// Testing oracle: joins the atoms one at a time by scanning all pairs
+/// (no hashing, no sorting tricks). Exponentially slower but obviously
+/// correct; output matches [`join`]'s order.
+pub fn nested_loop_join(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, JoinError> {
+    db.validate_for(q).map_err(JoinError::BadDatabase)?;
+    let attrs = q.attributes();
+    // Partial tuples: map attr index → value, grown atom by atom.
+    let mut partial: Vec<Vec<Option<Value>>> = vec![vec![None; attrs.len()]];
+    for atom in &q.atoms {
+        let table = db.table(&atom.relation).expect("validated");
+        let cols: Vec<usize> = atom
+            .attrs
+            .iter()
+            .map(|a| attrs.binary_search(a).expect("known"))
+            .collect();
+        let mut next = Vec::new();
+        for pt in &partial {
+            'rows: for row in table.rows() {
+                let mut cand = pt.clone();
+                for (&ai, &v) in cols.iter().zip(row) {
+                    match cand[ai] {
+                        None => cand[ai] = Some(v),
+                        Some(existing) if existing == v => {}
+                        Some(_) => continue 'rows,
+                    }
+                }
+                next.push(cand);
+            }
+        }
+        partial = next;
+    }
+    let mut out: Vec<AnswerTuple> = partial
+        .into_iter()
+        .map(|pt| pt.into_iter().map(|o| o.expect("all attrs covered")).collect())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Table;
+    use crate::generators;
+    use crate::query::Atom;
+
+    fn tiny_triangle_db() -> Database {
+        // Edges of a 4-cycle + chord: triangles {0,1,2}.
+        let pairs = vec![vec![0u64, 1], vec![1, 2], vec![0, 2], vec![2, 3]];
+        let mut db = Database::new();
+        for name in ["R", "S", "T"] {
+            let mut rows = pairs.clone();
+            // Symmetric closure so orientation doesn't matter.
+            let rev: Vec<Vec<u64>> = pairs.iter().map(|p| vec![p[1], p[0]]).collect();
+            rows.extend(rev);
+            db.insert(name, Table::from_rows(2, rows));
+        }
+        db
+    }
+
+    #[test]
+    fn triangle_join_finds_triangles() {
+        let q = JoinQuery::triangle();
+        let db = tiny_triangle_db();
+        let ans = join(&q, &db, None).unwrap();
+        // Triangle {0,1,2} in all 6 orientations.
+        assert_eq!(ans.len(), 6);
+        assert!(ans.contains(&vec![0, 1, 2]));
+        assert_eq!(count(&q, &db, None).unwrap(), 6);
+        assert!(!is_empty(&q, &db, None).unwrap());
+    }
+
+    #[test]
+    fn matches_nested_loop_on_random_inputs() {
+        for seed in 0..10u64 {
+            let q = JoinQuery::triangle();
+            let db = generators::random_binary_database(&q, 30, 8, seed);
+            let a = join(&q, &db, None).unwrap();
+            let b = nested_loop_join(&q, &db).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_nested_loop_on_cycle_query() {
+        for seed in 0..5u64 {
+            let q = JoinQuery::cycle(4);
+            let db = generators::random_binary_database(&q, 20, 6, seed);
+            assert_eq!(
+                join(&q, &db, None).unwrap(),
+                nested_loop_join(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_nested_loop_on_loomis_whitney() {
+        for seed in 0..5u64 {
+            let q = JoinQuery::loomis_whitney(3);
+            let db = generators::random_database(&q, 25, 5, seed);
+            assert_eq!(
+                join(&q, &db, None).unwrap(),
+                nested_loop_join(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_variable_orders_agree() {
+        let q = JoinQuery::triangle();
+        let db = generators::random_binary_database(&q, 40, 10, 3);
+        let base = join(&q, &db, None).unwrap();
+        for ord in [
+            vec!["a".to_string(), "b".into(), "c".into()],
+            vec!["c".to_string(), "b".into(), "a".into()],
+            vec!["b".to_string(), "c".into(), "a".into()],
+        ] {
+            assert_eq!(join(&q, &db, Some(&ord)).unwrap(), base, "order {ord:?}");
+        }
+    }
+
+    #[test]
+    fn bad_order_rejected() {
+        let q = JoinQuery::triangle();
+        let db = tiny_triangle_db();
+        let ord = vec!["a".to_string(), "b".into()];
+        assert!(matches!(
+            join(&q, &db, Some(&ord)),
+            Err(JoinError::BadOrder(_))
+        ));
+    }
+
+    #[test]
+    fn empty_relation_empty_answer() {
+        let q = JoinQuery::triangle();
+        let mut db = tiny_triangle_db();
+        db.insert("S", Table::new(2));
+        assert!(is_empty(&q, &db, None).unwrap());
+        assert_eq!(count(&q, &db, None).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_atom_query_returns_table() {
+        let q = JoinQuery::new(vec![Atom::new("R", &["x", "y"])]);
+        let mut db = Database::new();
+        db.insert("R", Table::from_rows(2, vec![vec![1, 2], vec![3, 4]]));
+        let ans = join(&q, &db, None).unwrap();
+        assert_eq!(ans, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn repeated_attribute_diagonal() {
+        // R(a, a) keeps only diagonal rows.
+        let q = JoinQuery::new(vec![Atom::new("R", &["a", "a"])]);
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Table::from_rows(2, vec![vec![1, 1], vec![1, 2], vec![3, 3]]),
+        );
+        let ans = join(&q, &db, None).unwrap();
+        assert_eq!(ans, vec![vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn atoms_with_unsorted_attribute_order() {
+        // R(b, a) ⋈ S(a, c): columns must be permuted into global variable
+        // order during preparation.
+        let q = JoinQuery::new(vec![
+            Atom::new("R", &["b", "a"]),
+            Atom::new("S", &["a", "c"]),
+        ]);
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Table::from_rows(2, vec![vec![10, 1], vec![20, 2]]), // (b, a)
+        );
+        db.insert(
+            "S",
+            Table::from_rows(2, vec![vec![1, 100], vec![2, 200], vec![3, 300]]),
+        );
+        let ans = join(&q, &db, None).unwrap();
+        // Attributes sorted: [a, b, c].
+        assert_eq!(ans, vec![vec![1, 10, 100], vec![2, 20, 200]]);
+        assert_eq!(ans, nested_loop_join(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn worst_case_count_equals_prediction() {
+        let q = JoinQuery::triangle();
+        let (db, predicted) = crate::agm::worst_case_database(&q, 49).unwrap();
+        assert_eq!(count(&q, &db, None).unwrap() as u128, predicted);
+    }
+}

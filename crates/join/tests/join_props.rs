@@ -1,0 +1,79 @@
+//! Property tests for the join engines: all evaluators agree, the AGM
+//! bound holds, and Yannakakis matches on acyclic queries.
+
+use lb_join::acyclic::{is_acyclic, yannakakis};
+use lb_join::{agm, binary, generators, wcoj, Atom, JoinQuery};
+use proptest::prelude::*;
+
+fn path_query(len: usize) -> JoinQuery {
+    JoinQuery::new(
+        (0..len)
+            .map(|i| Atom {
+                relation: format!("R{i}"),
+                attrs: vec![format!("x{i}"), format!("x{}", i + 1)],
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// WCOJ = binary plan = nested loop on random triangle databases, and
+    /// the answer never exceeds the AGM bound.
+    #[test]
+    fn triangle_engines_agree(rows in 3usize..25, dom in 2u64..9, seed in 0u64..10_000) {
+        let q = JoinQuery::triangle();
+        let db = generators::random_binary_database(&q, rows, dom, seed);
+        let a = wcoj::join(&q, &db, None).unwrap();
+        let (b, _) = binary::left_deep_join(&q, &db).unwrap();
+        let c = wcoj::nested_loop_join(&q, &db).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert!(agm::agm_bound_holds(&q, &db, a.len() as u128).unwrap());
+        prop_assert_eq!(wcoj::count(&q, &db, None).unwrap() as usize, a.len());
+        prop_assert_eq!(wcoj::is_empty(&q, &db, None).unwrap(), a.is_empty());
+    }
+
+    /// On acyclic (path) queries Yannakakis agrees with everything.
+    #[test]
+    fn yannakakis_agrees_on_paths(len in 2usize..5, rows in 3usize..20, dom in 2u64..7, seed in 0u64..10_000) {
+        let q = path_query(len);
+        prop_assert!(is_acyclic(&q));
+        let db = generators::random_binary_database(&q, rows, dom, seed);
+        let a = wcoj::join(&q, &db, None).unwrap();
+        let y = yannakakis(&q, &db).unwrap();
+        prop_assert_eq!(a, y);
+    }
+
+    /// Worst-case databases: relation sizes respect N and the prediction is
+    /// exact, on every query family.
+    #[test]
+    fn worst_case_witness_exact(n in 4u64..40, family in 0usize..3) {
+        let q = match family {
+            0 => JoinQuery::triangle(),
+            1 => JoinQuery::cycle(4),
+            _ => JoinQuery::loomis_whitney(3),
+        };
+        let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
+        prop_assert!(db.max_table_size() as u64 <= n);
+        let count = wcoj::count(&q, &db, None).unwrap();
+        prop_assert_eq!(count as u128, predicted);
+        prop_assert!(agm::agm_bound_holds(&q, &db, predicted).unwrap());
+    }
+
+    /// Variable order never changes the answer.
+    #[test]
+    fn order_invariance(rows in 3usize..20, dom in 2u64..7, seed in 0u64..10_000, perm in 0usize..6) {
+        let q = JoinQuery::triangle();
+        let db = generators::random_binary_database(&q, rows, dom, seed);
+        let orders: [[&str; 3]; 6] = [
+            ["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"],
+            ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
+        ];
+        let ord: Vec<String> = orders[perm].iter().map(|s| s.to_string()).collect();
+        let base = wcoj::join(&q, &db, None).unwrap();
+        let other = wcoj::join(&q, &db, Some(&ord)).unwrap();
+        prop_assert_eq!(base, other);
+    }
+}

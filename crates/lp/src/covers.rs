@@ -1,0 +1,279 @@
+//! Fractional covers and packings of hypergraphs (paper §3).
+//!
+//! For a hypergraph H:
+//!
+//! * **fractional edge cover** ρ*(H): min Σ_e f(e) with Σ_{e ∋ v} f(e) ≥ 1
+//!   for every vertex v — the AGM exponent of Theorems 3.1–3.3;
+//! * **fractional vertex packing** (its LP dual): max Σ_v y(v) with
+//!   Σ_{v ∈ e} y(v) ≤ 1 for every edge e — by strong duality the optimum is
+//!   again ρ*(H), and the optimal y builds the worst-case database of
+//!   Theorem 3.2 (attribute v gets a domain of size N^{y(v)});
+//! * **fractional vertex cover** τ*(H) and **fractional matching** ν*(H) —
+//!   the other dual pair, included for completeness of the toolkit.
+//!
+//! All four are computed exactly with one simplex call each on the packing
+//! side; the covering optimum is read off the dual certificate.
+
+use crate::rational::Rational;
+use crate::simplex::{solve_packing, LpError};
+use lb_graph::Hypergraph;
+
+/// An optimal fractional cover/packing: the optimum and the weight vector
+/// (indexed by edges for edge quantities, by vertices for vertex quantities).
+#[derive(Clone, Debug)]
+pub struct CoverSolution {
+    /// The LP optimum (e.g. ρ* or τ*).
+    pub value: Rational,
+    /// Optimal weights.
+    pub weights: Vec<Rational>,
+}
+
+/// Errors from cover computations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverError {
+    /// Some vertex lies in no hyperedge, so no edge cover exists.
+    UncoveredVertex(usize),
+    /// Internal LP failure (should not happen for well-formed hypergraphs).
+    Lp(String),
+}
+
+impl std::fmt::Display for CoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverError::UncoveredVertex(v) => {
+                write!(f, "vertex {v} lies in no hyperedge; edge cover LP is infeasible")
+            }
+            CoverError::Lp(m) => write!(f, "LP failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+fn first_uncovered(h: &Hypergraph) -> Option<usize> {
+    let mut seen = vec![false; h.num_vertices()];
+    for e in h.edges() {
+        for &v in e {
+            seen[v] = true;
+        }
+    }
+    seen.iter().position(|&s| !s)
+}
+
+/// Incidence matrix rows = edges, columns = vertices.
+fn edge_by_vertex(h: &Hypergraph) -> Vec<Vec<Rational>> {
+    let n = h.num_vertices();
+    h.edges()
+        .iter()
+        .map(|e| {
+            let mut row = vec![Rational::ZERO; n];
+            for &v in e {
+                row[v] = Rational::ONE;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Incidence matrix rows = vertices, columns = edges.
+fn vertex_by_edge(h: &Hypergraph) -> Vec<Vec<Rational>> {
+    let n = h.num_vertices();
+    let m = h.num_edges();
+    let mut a = vec![vec![Rational::ZERO; m]; n];
+    for (j, e) in h.edges().iter().enumerate() {
+        for &v in e {
+            a[v][j] = Rational::ONE;
+        }
+    }
+    a
+}
+
+/// The fractional edge cover number ρ*(H) with optimal edge weights.
+///
+/// This is the exponent of the AGM bound: the answer to a join query with
+/// hypergraph H over relations of size ≤ N has at most N^{ρ*} tuples.
+pub fn fractional_edge_cover(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
+    if let Some(v) = first_uncovered(h) {
+        return Err(CoverError::UncoveredVertex(v));
+    }
+    // Solve the packing dual: max 1·y s.t. (edge×vertex) y ≤ 1, y ≥ 0.
+    let a = edge_by_vertex(h);
+    let b = vec![Rational::ONE; h.num_edges()];
+    let c = vec![Rational::ONE; h.num_vertices()];
+    let sol = solve_packing(&a, &b, &c).map_err(map_lp_err)?;
+    Ok(CoverSolution {
+        value: sol.value,
+        weights: sol.dual,
+    })
+}
+
+/// The fractional vertex packing optimum (equal to ρ* by duality) with
+/// optimal vertex weights — the construction vector of Theorem 3.2.
+pub fn fractional_vertex_packing(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
+    if let Some(v) = first_uncovered(h) {
+        return Err(CoverError::UncoveredVertex(v));
+    }
+    let a = edge_by_vertex(h);
+    let b = vec![Rational::ONE; h.num_edges()];
+    let c = vec![Rational::ONE; h.num_vertices()];
+    let sol = solve_packing(&a, &b, &c).map_err(map_lp_err)?;
+    Ok(CoverSolution {
+        value: sol.value,
+        weights: sol.primal,
+    })
+}
+
+/// The fractional matching number ν*(H) with optimal edge weights.
+pub fn fractional_matching(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
+    let a = vertex_by_edge(h);
+    let b = vec![Rational::ONE; h.num_vertices()];
+    let c = vec![Rational::ONE; h.num_edges()];
+    let sol = solve_packing(&a, &b, &c).map_err(map_lp_err)?;
+    Ok(CoverSolution {
+        value: sol.value,
+        weights: sol.primal,
+    })
+}
+
+/// The fractional vertex cover number τ*(H) with optimal vertex weights.
+pub fn fractional_vertex_cover(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
+    let a = vertex_by_edge(h);
+    let b = vec![Rational::ONE; h.num_vertices()];
+    let c = vec![Rational::ONE; h.num_edges()];
+    let sol = solve_packing(&a, &b, &c).map_err(map_lp_err)?;
+    Ok(CoverSolution {
+        value: sol.value,
+        weights: sol.dual,
+    })
+}
+
+fn map_lp_err(e: LpError) -> CoverError {
+    CoverError::Lp(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::Hypergraph;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// Sanity: cover weights really cover, packing weights really pack, and
+    /// objectives match.
+    fn check_duality(h: &Hypergraph) {
+        let cover = fractional_edge_cover(h).unwrap();
+        let pack = fractional_vertex_packing(h).unwrap();
+        assert_eq!(cover.value, pack.value, "strong duality");
+        // Cover feasibility: each vertex covered with total ≥ 1.
+        for v in 0..h.num_vertices() {
+            let total = h
+                .edges_containing(v)
+                .into_iter()
+                .fold(Rational::ZERO, |acc, e| acc + cover.weights[e]);
+            assert!(total >= Rational::ONE, "vertex {v} undercovered");
+        }
+        // Packing feasibility: each edge total ≤ 1.
+        for e in h.edges() {
+            let total = e
+                .iter()
+                .fold(Rational::ZERO, |acc, &v| acc + pack.weights[v]);
+            assert!(total <= Rational::ONE);
+        }
+        // Objectives are the weight sums.
+        let csum = cover
+            .weights
+            .iter()
+            .fold(Rational::ZERO, |acc, &w| acc + w);
+        assert_eq!(csum, cover.value);
+    }
+
+    #[test]
+    fn triangle_rho_star_is_three_halves() {
+        let h = Hypergraph::triangle();
+        let sol = fractional_edge_cover(&h).unwrap();
+        assert_eq!(sol.value, r(3, 2));
+        check_duality(&h);
+    }
+
+    #[test]
+    fn loomis_whitney_rho_star() {
+        // ρ*(LW(n)) = n / (n−1).
+        for n in 3..=5 {
+            let h = Hypergraph::loomis_whitney(n);
+            let sol = fractional_edge_cover(&h).unwrap();
+            assert_eq!(sol.value, r(n as i128, n as i128 - 1), "n = {n}");
+            check_duality(&h);
+        }
+    }
+
+    #[test]
+    fn star_rho_star_is_k() {
+        // Star query with k binary edges {0,i}: each leaf needs its own
+        // edge at weight 1, so ρ* = k.
+        for k in 1..=4 {
+            let h = Hypergraph::star(k);
+            let sol = fractional_edge_cover(&h).unwrap();
+            assert_eq!(sol.value, Rational::from_int(k as i64), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn cycle_rho_star_is_half_length() {
+        // Even cycle C_{2t}: perfect matching gives ρ* = t; odd cycle
+        // C_{2t+1}: ρ* = (2t+1)/2.
+        let sol4 = fractional_edge_cover(&Hypergraph::cycle(4)).unwrap();
+        assert_eq!(sol4.value, Rational::from_int(2));
+        let sol5 = fractional_edge_cover(&Hypergraph::cycle(5)).unwrap();
+        assert_eq!(sol5.value, r(5, 2));
+        check_duality(&Hypergraph::cycle(5));
+    }
+
+    #[test]
+    fn single_edge_covers_everything() {
+        let h = Hypergraph::from_edges(3, &[vec![0, 1, 2]]);
+        let sol = fractional_edge_cover(&h).unwrap();
+        assert_eq!(sol.value, Rational::ONE);
+        assert_eq!(sol.weights, vec![Rational::ONE]);
+    }
+
+    #[test]
+    fn uncovered_vertex_error() {
+        let h = Hypergraph::from_edges(3, &[vec![0, 1]]);
+        assert_eq!(
+            fractional_edge_cover(&h).unwrap_err(),
+            CoverError::UncoveredVertex(2)
+        );
+    }
+
+    #[test]
+    fn matching_vs_vertex_cover_duality() {
+        let h = Hypergraph::cycle(5);
+        let m = fractional_matching(&h).unwrap();
+        let vc = fractional_vertex_cover(&h).unwrap();
+        assert_eq!(m.value, vc.value);
+        assert_eq!(m.value, r(5, 2));
+    }
+
+    #[test]
+    fn clique_hypergraph_rho_star() {
+        // K_k with binary edges: ρ* = k/2 (each vertex needs total 1, each
+        // edge covers 2 vertices).
+        let h = Hypergraph::clique(6);
+        let sol = fractional_edge_cover(&h).unwrap();
+        assert_eq!(sol.value, Rational::from_int(3));
+        let h5 = Hypergraph::clique(5);
+        let sol5 = fractional_edge_cover(&h5).unwrap();
+        assert_eq!(sol5.value, r(5, 2));
+    }
+
+    #[test]
+    fn packing_weights_build_agm_witness() {
+        // Triangle: the optimal packing puts 1/2 on every attribute, which
+        // is the construction of Theorem 3.2 (domains of size N^{1/2}).
+        let h = Hypergraph::triangle();
+        let pack = fractional_vertex_packing(&h).unwrap();
+        assert_eq!(pack.weights, vec![r(1, 2); 3]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Exact linear programming for fractional covers.
+//!
+//! The AGM bound (paper Theorems 3.1–3.3) is `N^{ρ*(H)}` where `ρ*(H)` is
+//! the *fractional edge cover number* of the query hypergraph — the optimum
+//! of a small linear program. Because ρ* appears in an exponent, a floating
+//! point solver is not acceptable: this crate implements a primal simplex
+//! over **exact rational arithmetic** (packing LPs have a feasible slack
+//! basis, so no phase one is needed) with Bland's rule to rule out cycling.
+//!
+//! * [`rational`] — exact rationals over `i128` (plenty for the tiny LPs of
+//!   query hypergraphs; overflow panics rather than corrupting an exponent).
+//! * [`simplex`] — `max { c·x : Ax ≤ b, x ≥ 0 }` with `b ≥ 0`, returning the
+//!   optimal value, a primal solution, and the complementary dual solution.
+//! * [`covers`] — the four fractional quantities of hypergraph combinatorics:
+//!   edge cover ρ*, vertex packing (its LP dual, used to build the AGM
+//!   worst-case database), vertex cover τ*, and matching ν*.
+
+pub mod covers;
+pub mod rational;
+pub mod simplex;
+
+pub use covers::{
+    fractional_edge_cover, fractional_matching, fractional_vertex_cover,
+    fractional_vertex_packing, CoverSolution,
+};
+pub use rational::Rational;
+pub use simplex::{solve_packing, PackingSolution};

@@ -1,0 +1,310 @@
+//! Exact primal simplex for packing LPs.
+//!
+//! Solves `max { c·x : Ax ≤ b, x ≥ 0 }` with `b ≥ 0`. Since `b ≥ 0`, the
+//! slack basis is feasible and no phase-one is needed; Bland's rule makes
+//! termination unconditional. Alongside the primal optimum the solver
+//! returns the optimal **dual** solution `y` (read off the reduced costs of
+//! the slack columns), which by strong duality is the optimal solution of
+//! `min { b·y : Aᵀy ≥ c, y ≥ 0 }`. The covering LPs of [`crate::covers`]
+//! (fractional edge cover ρ*, fractional vertex cover τ*) are obtained this
+//! way from their packing duals in a single simplex run.
+
+use crate::rational::Rational;
+
+/// Result of a packing LP solve: both the primal and the dual optimum.
+#[derive(Clone, Debug)]
+pub struct PackingSolution {
+    /// Optimal objective value (shared by primal and dual — strong duality).
+    pub value: Rational,
+    /// Optimal primal solution `x` (length = number of variables).
+    pub primal: Vec<Rational>,
+    /// Optimal dual solution `y` (length = number of constraints).
+    pub dual: Vec<Rational>,
+}
+
+/// Errors from the simplex solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// The objective is unbounded above over the feasible region.
+    Unbounded,
+    /// Malformed input (dimension mismatch or negative right-hand side).
+    BadInput(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "LP is unbounded"),
+            LpError::BadInput(msg) => write!(f, "bad LP input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Solves `max { c·x : Ax ≤ b, x ≥ 0 }` exactly. Requires `b ≥ 0`.
+///
+/// `a` is row-major: `a[i]` is the i-th constraint row (length = `c.len()`).
+#[allow(clippy::needless_range_loop)] // index used across several arrays
+pub fn solve_packing(
+    a: &[Vec<Rational>],
+    b: &[Rational],
+    c: &[Rational],
+) -> Result<PackingSolution, LpError> {
+    let m = a.len();
+    let n = c.len();
+    if b.len() != m {
+        return Err(LpError::BadInput(format!(
+            "b has length {} but A has {} rows",
+            b.len(),
+            m
+        )));
+    }
+    for (i, row) in a.iter().enumerate() {
+        if row.len() != n {
+            return Err(LpError::BadInput(format!(
+                "row {i} has length {} but c has length {n}",
+                row.len()
+            )));
+        }
+    }
+    if let Some(i) = b.iter().position(|v| v.is_negative()) {
+        return Err(LpError::BadInput(format!(
+            "b[{i}] is negative; packing form needs b ≥ 0"
+        )));
+    }
+
+    // Tableau: m rows × (n + m + 1) columns. Columns 0..n are original
+    // variables, n..n+m slacks, last column the RHS. Objective row stores
+    // reduced costs (we maximize, so we start with -c and pivot until no
+    // negative entries remain).
+    let cols = n + m + 1;
+    let mut t: Vec<Vec<Rational>> = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        let mut row = vec![Rational::ZERO; cols];
+        row[..n].copy_from_slice(&a[i]);
+        row[n + i] = Rational::ONE;
+        row[cols - 1] = b[i];
+        t.push(row);
+    }
+    let mut obj = vec![Rational::ZERO; cols];
+    for j in 0..n {
+        obj[j] = -c[j];
+    }
+    t.push(obj);
+
+    // basis[i] = variable index basic in row i. Start with slacks.
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Bland's rule: entering variable = lowest index with negative
+    // reduced cost; stop at optimality (no negative reduced cost).
+    while let Some(enter) = (0..n + m).find(|&j| t[m][j].is_negative()) {
+        // Ratio test; ties broken by smallest basis variable (Bland).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = Rational::ZERO;
+        for i in 0..m {
+            if t[i][enter].is_positive() {
+                let ratio = t[i][cols - 1] / t[i][enter];
+                let better = match leave {
+                    None => true,
+                    Some(cur) => {
+                        ratio < best_ratio || (ratio == best_ratio && basis[i] < basis[cur])
+                    }
+                };
+                if better {
+                    leave = Some(i);
+                    best_ratio = ratio;
+                }
+            }
+        }
+        let leave = leave.ok_or(LpError::Unbounded)?;
+
+        // Pivot on (leave, enter).
+        let pivot = t[leave][enter];
+        let inv = pivot.recip();
+        for v in t[leave].iter_mut() {
+            *v = *v * inv;
+        }
+        for i in 0..=m {
+            if i == leave || t[i][enter].is_zero() {
+                continue;
+            }
+            let factor = t[i][enter];
+            for j in 0..cols {
+                let delta = factor * t[leave][j];
+                t[i][j] -= delta;
+            }
+        }
+        basis[leave] = enter;
+    }
+
+    let mut primal = vec![Rational::ZERO; n];
+    for i in 0..m {
+        if basis[i] < n {
+            primal[basis[i]] = t[i][cols - 1];
+        }
+    }
+    // Dual values are the reduced costs of the slack columns.
+    let dual: Vec<Rational> = (0..m).map(|i| t[m][n + i]).collect();
+    let value = t[m][cols - 1];
+    Ok(PackingSolution { value, primal, dual })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+    fn ri(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// Checks primal feasibility, dual feasibility, and matching objectives.
+    fn check_certificates(
+        a: &[Vec<Rational>],
+        b: &[Rational],
+        c: &[Rational],
+        sol: &PackingSolution,
+    ) {
+        // Primal feasible: Ax ≤ b, x ≥ 0.
+        for x in &sol.primal {
+            assert!(!x.is_negative());
+        }
+        for (row, &bi) in a.iter().zip(b) {
+            let lhs = row
+                .iter()
+                .zip(&sol.primal)
+                .fold(Rational::ZERO, |acc, (&aij, &xj)| acc + aij * xj);
+            assert!(lhs <= bi, "primal infeasible: {lhs} > {bi}");
+        }
+        // Dual feasible: Aᵀy ≥ c, y ≥ 0.
+        for y in &sol.dual {
+            assert!(!y.is_negative());
+        }
+        for j in 0..c.len() {
+            let lhs = (0..a.len()).fold(Rational::ZERO, |acc, i| acc + a[i][j] * sol.dual[i]);
+            assert!(lhs >= c[j], "dual infeasible at column {j}");
+        }
+        // Objectives match (strong duality).
+        let pv = c
+            .iter()
+            .zip(&sol.primal)
+            .fold(Rational::ZERO, |acc, (&cj, &xj)| acc + cj * xj);
+        let dv = b
+            .iter()
+            .zip(&sol.dual)
+            .fold(Rational::ZERO, |acc, (&bi, &yi)| acc + bi * yi);
+        assert_eq!(pv, sol.value);
+        assert_eq!(dv, sol.value);
+    }
+
+    #[test]
+    fn textbook_2d() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → optimum 36.
+        let a = vec![
+            vec![ri(1), ri(0)],
+            vec![ri(0), ri(2)],
+            vec![ri(3), ri(2)],
+        ];
+        let b = vec![ri(4), ri(12), ri(18)];
+        let c = vec![ri(3), ri(5)];
+        let sol = solve_packing(&a, &b, &c).unwrap();
+        assert_eq!(sol.value, ri(36));
+        assert_eq!(sol.primal, vec![ri(2), ri(6)]);
+        check_certificates(&a, &b, &c, &sol);
+    }
+
+    #[test]
+    fn triangle_packing_is_three_halves() {
+        // Fractional vertex packing of the triangle hypergraph:
+        // max y0+y1+y2 s.t. y0+y1 ≤ 1, y0+y2 ≤ 1, y1+y2 ≤ 1.
+        let a = vec![
+            vec![ri(1), ri(1), ri(0)],
+            vec![ri(1), ri(0), ri(1)],
+            vec![ri(0), ri(1), ri(1)],
+        ];
+        let b = vec![ri(1); 3];
+        let c = vec![ri(1); 3];
+        let sol = solve_packing(&a, &b, &c).unwrap();
+        assert_eq!(sol.value, r(3, 2));
+        assert_eq!(sol.primal, vec![r(1, 2); 3]);
+        // Dual = fractional edge cover of the triangle: all weights 1/2.
+        assert_eq!(sol.dual, vec![r(1, 2); 3]);
+        check_certificates(&a, &b, &c, &sol);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraint touching x.
+        let a = vec![vec![ri(0)]];
+        let b = vec![ri(5)];
+        let c = vec![ri(1)];
+        assert_eq!(solve_packing(&a, &b, &c).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective() {
+        let a = vec![vec![ri(1)]];
+        let b = vec![ri(1)];
+        let c = vec![ri(0)];
+        let sol = solve_packing(&a, &b, &c).unwrap();
+        assert_eq!(sol.value, ri(0));
+    }
+
+    #[test]
+    fn negative_rhs_rejected() {
+        let a = vec![vec![ri(1)]];
+        let b = vec![ri(-1)];
+        let c = vec![ri(1)];
+        assert!(matches!(
+            solve_packing(&a, &b, &c),
+            Err(LpError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = vec![vec![ri(1), ri(2)]];
+        let b = vec![ri(1)];
+        let c = vec![ri(1)];
+        assert!(matches!(
+            solve_packing(&a, &b, &c),
+            Err(LpError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate instance; Bland's rule must not cycle.
+        let a = vec![
+            vec![r(1, 4), ri(-8), ri(-1), ri(9)],
+            vec![r(1, 2), ri(-12), r(-1, 2), ri(3)],
+            vec![ri(0), ri(0), ri(1), ri(0)],
+        ];
+        let b = vec![ri(0), ri(0), ri(1)];
+        let c = vec![r(3, 4), ri(-20), r(1, 2), ri(-6)];
+        let sol = solve_packing(&a, &b, &c).unwrap();
+        assert_eq!(sol.value, r(5, 4));
+        check_certificates(&a, &b, &c, &sol);
+    }
+
+    #[test]
+    fn many_variable_lp() {
+        // max Σ x_i s.t. x_i + x_{i+1} ≤ 1 (path packing), n = 9 vertices,
+        // 8 constraints. Optimum: 5 (alternate endpoints).
+        let n = 9;
+        let m = 8;
+        let mut a = vec![vec![ri(0); n]; m];
+        for i in 0..m {
+            a[i][i] = ri(1);
+            a[i][i + 1] = ri(1);
+        }
+        let b = vec![ri(1); m];
+        let c = vec![ri(1); n];
+        let sol = solve_packing(&a, &b, &c).unwrap();
+        assert_eq!(sol.value, ri(5));
+        check_certificates(&a, &b, &c, &sol);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the exact LP layer: strong duality and feasibility on
+//! random hypergraphs, and rational arithmetic laws.
+
+use lb_graph::generators::random_uniform_hypergraph;
+use lb_lp::covers::{
+    fractional_edge_cover, fractional_matching, fractional_vertex_cover,
+    fractional_vertex_packing,
+};
+use lb_lp::Rational;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Strong duality: ρ* computed via the cover equals the packing optimum,
+    /// and both certificates are feasible.
+    #[test]
+    fn cover_packing_duality(n in 3usize..8, d in 2usize..4, seed in 0u64..10_000) {
+        let mut h = random_uniform_hypergraph(n, d, 0.6, seed);
+        // Ensure coverage: add singleton-fixing edge over all vertices if needed.
+        if !h.covers_all_vertices() {
+            h.add_edge((0..n).collect());
+        }
+        let cover = fractional_edge_cover(&h).unwrap();
+        let pack = fractional_vertex_packing(&h).unwrap();
+        prop_assert_eq!(cover.value, pack.value);
+        // Cover feasibility.
+        for v in 0..n {
+            let total = h.edges_containing(v).into_iter()
+                .fold(Rational::ZERO, |acc, e| acc + cover.weights[e]);
+            prop_assert!(total >= Rational::ONE);
+        }
+        // Packing feasibility.
+        for e in h.edges() {
+            let total = e.iter().fold(Rational::ZERO, |acc, &v| acc + pack.weights[v]);
+            prop_assert!(total <= Rational::ONE);
+        }
+        // ρ* is between 1 (one edge could cover everything) and n.
+        prop_assert!(cover.value >= Rational::ONE);
+        prop_assert!(cover.value <= Rational::from_int(n as i64));
+    }
+
+    /// Matching/vertex-cover duality, plus ν* ≤ τ* trivially as equality.
+    #[test]
+    fn matching_cover_duality(n in 3usize..8, seed in 0u64..10_000) {
+        let h = random_uniform_hypergraph(n, 2, 0.5, seed);
+        if h.num_edges() == 0 {
+            return Ok(());
+        }
+        let m = fractional_matching(&h).unwrap();
+        let vc = fractional_vertex_cover(&h).unwrap();
+        prop_assert_eq!(m.value, vc.value);
+        prop_assert!(!m.value.is_negative());
+    }
+
+    /// Rational arithmetic: field laws on random small fractions.
+    #[test]
+    fn rational_field_laws(a in -50i64..50, b in 1i64..50, c in -50i64..50, d in 1i64..50) {
+        let x = Rational::new(a as i128, b as i128);
+        let y = Rational::new(c as i128, d as i128);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x + y) - y, x);
+        if !y.is_zero() {
+            prop_assert_eq!((x / y) * y, x);
+        }
+        prop_assert_eq!(x * (y + Rational::ONE), x * y + x);
+    }
+
+    /// Ordering is total and consistent with subtraction sign.
+    #[test]
+    fn rational_order(a in -50i64..50, b in 1i64..50, c in -50i64..50, d in 1i64..50) {
+        let x = Rational::new(a as i128, b as i128);
+        let y = Rational::new(c as i128, d as i128);
+        prop_assert_eq!(x < y, (x - y).is_negative());
+        prop_assert_eq!(x == y, (x - y).is_zero());
+    }
+}

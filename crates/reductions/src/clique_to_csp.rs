@@ -1,0 +1,115 @@
+//! k-Clique → binary CSP with k variables (paper §5, Theorem 6.4).
+//!
+//! The instance has k variables over domain V(G) and C(k, 2) adjacency
+//! constraints; solutions are exactly the (ordered) k-cliques of G. The
+//! reduction is a *parameterized* reduction (k' = k), so W\[1\]-hardness of
+//! CSP parameterized by |V| follows from W\[1\]-hardness of Clique, and
+//! Theorem 6.3 (ETH) transfers to Theorem 6.4: no f(|V|)·|D|^{o(|V|)}
+//! algorithm.
+
+use lb_csp::{Constraint, CspInstance, Relation, Value};
+use lb_graph::Graph;
+use std::sync::Arc;
+
+/// Builds the CSP: k variables, domain V(G), adjacency constraints on every
+/// variable pair. To avoid counting each clique k! times, the constraints
+/// additionally enforce ascending vertex order (this also yields
+/// injectivity for free).
+pub fn reduce(g: &Graph, k: usize) -> CspInstance {
+    let n = g.num_vertices();
+    let mut inst = CspInstance::new(k, n);
+    if k < 2 {
+        return inst;
+    }
+    let adjacent_lt = Arc::new(Relation::from_fn(2, n, |t| {
+        t[0] < t[1] && g.has_edge(t[0] as usize, t[1] as usize)
+    }));
+    for i in 0..k {
+        for j in (i + 1)..k {
+            inst.add_constraint(Constraint::new(vec![i, j], adjacent_lt.clone()));
+        }
+    }
+    inst
+}
+
+/// Maps a CSP solution back to a clique (vertex list, ascending).
+pub fn solution_back(solution: &[Value]) -> Vec<usize> {
+    solution.iter().map(|&v| v as usize).collect()
+}
+
+/// Maps a clique (ascending vertices) forward to a CSP solution.
+pub fn solution_forward(clique: &[usize]) -> Vec<Value> {
+    clique.iter().map(|&v| v as Value).collect()
+}
+
+/// Decides k-Clique through the CSP route (for the correctness tests and
+/// experiment E7).
+pub fn has_clique_via_csp(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let inst = reduce(g, k);
+    lb_csp::solver::solve(&inst).map(|s| solution_back(&s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::generators;
+    use lb_graphalg::clique;
+
+    #[test]
+    fn matches_direct_clique_search() {
+        for seed in 0..12u64 {
+            let g = generators::gnp(10, 0.5, seed);
+            for k in 2..=4 {
+                let direct = clique::find_clique(&g, k);
+                let via_csp = has_clique_via_csp(&g, k);
+                assert_eq!(direct.is_some(), via_csp.is_some(), "seed {seed}, k {k}");
+                if let Some(c) = via_csp {
+                    assert!(g.is_clique(&c), "seed {seed}, k {k}");
+                    assert_eq!(c.len(), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solution_counts_are_clique_counts() {
+        for seed in 0..8u64 {
+            let g = generators::gnp(9, 0.6, seed);
+            for k in 2..=4 {
+                let inst = reduce(&g, k);
+                assert_eq!(
+                    lb_csp::solver::count(&inst),
+                    clique::count_cliques(&g, k),
+                    "seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primal_graph_is_clique() {
+        let g = generators::gnp(8, 0.5, 1);
+        let inst = reduce(&g, 4);
+        let primal = inst.primal_graph();
+        assert!(primal.is_clique(&[0, 1, 2, 3]));
+        // Treewidth of K_k is k−1 — the quantity in Theorem 6.5.
+        assert_eq!(lb_graph::treewidth::treewidth_exact(&primal), 3);
+    }
+
+    #[test]
+    fn forward_mapping() {
+        let (g, planted) = generators::planted_clique(15, 4, 0.2, 2);
+        let inst = reduce(&g, 4);
+        assert!(inst.eval(&solution_forward(&planted)));
+    }
+
+    #[test]
+    fn parameter_is_preserved() {
+        // The parameterized reduction keeps k' = k (Definition 5.1(3)).
+        let g = generators::gnp(20, 0.3, 5);
+        let inst = reduce(&g, 6);
+        assert_eq!(inst.num_vars, 6);
+        assert_eq!(inst.domain_size, 20);
+        assert_eq!(inst.constraints.len(), 15);
+    }
+}

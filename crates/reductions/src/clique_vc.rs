@@ -1,0 +1,94 @@
+//! Clique ↔ Vertex Cover via graph complement (paper §5's FPT / W\[1\]
+//! contrast made concrete).
+//!
+//! G has a k-clique iff its complement has a vertex cover of size n − k —
+//! a *polynomial-time* reduction, but **not** a parameterized one: the new
+//! parameter n − k is not bounded by any f(k) (Definition 5.1 (3) fails).
+//! This is precisely why Vertex Cover being FPT does not make Clique FPT,
+//! the asymmetry at the heart of §5. The tests demonstrate both the
+//! correctness of the reduction and the parameter blow-up.
+
+use lb_graph::Graph;
+
+/// Clique(G, k) → VertexCover(Ḡ, n − k).
+///
+/// Returns the complement graph and the cover budget.
+pub fn clique_to_vertex_cover(g: &Graph, k: usize) -> (Graph, usize) {
+    let n = g.num_vertices();
+    assert!(k <= n);
+    (g.complement(), n - k)
+}
+
+/// Maps a vertex cover of Ḡ of size ≤ n − k back to a clique of size ≥ k
+/// in G: the complement of the cover is an independent set of Ḡ = clique
+/// of G.
+pub fn cover_to_clique(g: &Graph, cover: &[usize]) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut in_cover = vec![false; n];
+    for &v in cover {
+        in_cover[v] = true;
+    }
+    let clique: Vec<usize> = (0..n).filter(|&v| !in_cover[v]).collect();
+    debug_assert!(g.is_clique(&clique));
+    clique
+}
+
+/// Decides k-Clique through the FPT vertex cover solver on the complement.
+/// Correct, but the "parameter" handed to the FPT algorithm is n − k — so
+/// the running time is 2^{n−k}, exponential in n: no free lunch.
+pub fn has_clique_via_vertex_cover(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let (gc, budget) = clique_to_vertex_cover(g, k);
+    let cover = lb_graphalg::vertexcover::vertex_cover_fpt(&gc, budget)?;
+    let clique = cover_to_clique(g, &cover);
+    // The clique has ≥ k vertices; trim to exactly k.
+    Some(clique.into_iter().take(k).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_graph::generators;
+    use lb_graphalg::clique::find_clique;
+
+    #[test]
+    fn agrees_with_direct_clique_search() {
+        for seed in 0..12u64 {
+            let g = generators::gnp(10, 0.5, seed);
+            for k in 2..=5 {
+                let direct = find_clique(&g, k).is_some();
+                let via = has_clique_via_vertex_cover(&g, k);
+                assert_eq!(via.is_some(), direct, "seed {seed}, k {k}");
+                if let Some(c) = via {
+                    assert_eq!(c.len(), k);
+                    assert!(g.is_clique(&c), "seed {seed}, k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_blowup_is_visible() {
+        // k = 3 on a 50-vertex graph: the cover budget is 47 — the
+        // reduction is polynomial but *not* parameterized.
+        let g = generators::gnp(50, 0.2, 1);
+        let (_, budget) = clique_to_vertex_cover(&g, 3);
+        assert_eq!(budget, 47);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let g = generators::clique(5);
+        let (gc, budget) = clique_to_vertex_cover(&g, 5);
+        assert_eq!(gc.num_edges(), 0);
+        assert_eq!(budget, 0);
+        let clique = cover_to_clique(&g, &[]);
+        assert_eq!(clique.len(), 5);
+    }
+
+    #[test]
+    fn turan_has_no_large_clique() {
+        let g = generators::turan(12, 3);
+        assert!(has_clique_via_vertex_cover(&g, 4).is_none());
+        assert!(has_clique_via_vertex_cover(&g, 3).is_some());
+    }
+}

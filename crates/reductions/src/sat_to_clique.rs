@@ -1,0 +1,155 @@
+//! 3SAT → Clique: the textbook NP-hardness reduction (paper §4), which is
+//! also where the *partitioned* clique structure of §2.3 comes from.
+//!
+//! For a formula with m clauses, build one vertex per (clause, literal)
+//! occurrence; connect two vertices iff they come from different clauses
+//! and their literals are non-contradictory. The graph has an m-clique iff
+//! the formula is satisfiable — and because any clique takes at most one
+//! vertex per clause, the clause blocks form exactly the vertex partition
+//! of PARTITIONED CLIQUE.
+
+use lb_graph::Graph;
+use lb_sat::{CnfFormula, Lit};
+
+/// The reduction output: the graph, the target clique size (= number of
+/// clauses), the partition into clause blocks, and each vertex's literal.
+#[derive(Clone, Debug)]
+pub struct CliqueInstance {
+    /// The compatibility graph.
+    pub graph: Graph,
+    /// Target clique size k = number of clauses.
+    pub k: usize,
+    /// `blocks[c]` = vertex ids of clause c's literal occurrences.
+    pub blocks: Vec<Vec<usize>>,
+    /// `literal[v]` = the literal vertex v stands for.
+    pub literal: Vec<Lit>,
+}
+
+/// Builds the compatibility graph of a CNF formula.
+pub fn reduce(f: &CnfFormula) -> CliqueInstance {
+    let mut literal: Vec<Lit> = Vec::new();
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    for clause in f.clauses() {
+        let mut block = Vec::with_capacity(clause.len());
+        for &l in clause {
+            block.push(literal.len());
+            literal.push(l);
+        }
+        blocks.push(block);
+    }
+    let n = literal.len();
+    let mut graph = Graph::new(n);
+    for (c1, b1) in blocks.iter().enumerate() {
+        for b2 in blocks.iter().skip(c1 + 1) {
+            for &u in b1 {
+                for &v in b2 {
+                    if literal[u] != literal[v].negated() {
+                        graph.add_edge(u, v);
+                    }
+                }
+            }
+        }
+    }
+    CliqueInstance {
+        graph,
+        k: f.num_clauses(),
+        blocks,
+        literal,
+    }
+}
+
+/// Maps an m-clique of the compatibility graph back to a satisfying
+/// assignment (unconstrained variables default to false).
+pub fn clique_to_assignment(f: &CnfFormula, inst: &CliqueInstance, clique: &[usize]) -> Vec<bool> {
+    let mut assignment = vec![false; f.num_vars()];
+    let mut forced = vec![false; f.num_vars()];
+    for &v in clique {
+        let l = inst.literal[v];
+        assignment[l.var()] = l.is_positive();
+        forced[l.var()] = true;
+    }
+    let _ = forced;
+    assignment
+}
+
+/// Decides satisfiability through the clique instance (brute-force clique
+/// search on the compatibility graph).
+pub fn decide_via_clique(f: &CnfFormula) -> Option<Vec<bool>> {
+    if f.num_clauses() == 0 {
+        return Some(vec![false; f.num_vars()]);
+    }
+    let inst = reduce(f);
+    lb_graphalg::clique::find_clique(&inst.graph, inst.k)
+        .map(|clique| clique_to_assignment(f, &inst, &clique))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_sat::{brute, generators};
+
+    #[test]
+    fn equisatisfiable_on_random_formulas() {
+        for seed in 0..15u64 {
+            let f = generators::random_ksat(6, 10, 3, seed);
+            let expect = brute::solve(&f).is_some();
+            let got = decide_via_clique(&f);
+            assert_eq!(got.is_some(), expect, "seed {seed}");
+            if let Some(a) = got {
+                assert!(f.eval(&a), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_shape_is_linear_in_formula() {
+        let f = generators::random_ksat(10, 25, 3, 1);
+        let inst = reduce(&f);
+        assert_eq!(inst.graph.num_vertices(), 3 * 25);
+        assert_eq!(inst.k, 25);
+        assert_eq!(inst.blocks.len(), 25);
+        // No edges inside a block.
+        for block in &inst.blocks {
+            for (i, &u) in block.iter().enumerate() {
+                for &v in &block[i + 1..] {
+                    assert!(!inst.graph.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contradictory_literals_not_adjacent() {
+        use lb_sat::Lit;
+        let f = CnfFormula::from_clauses(
+            1,
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        );
+        let inst = reduce(&f);
+        assert_eq!(inst.graph.num_edges(), 0);
+        assert!(decide_via_clique(&f).is_none());
+    }
+
+    #[test]
+    fn partitioned_structure_feeds_subiso() {
+        // The blocks are a PARTITIONED CLIQUE instance (§2.3): solve it
+        // with the partitioned subgraph isomorphism solver and get the
+        // same answer.
+        for seed in 0..8u64 {
+            let f = generators::random_ksat(5, 8, 3, seed);
+            let inst = reduce(&f);
+            let pattern = lb_graph::generators::clique(inst.k);
+            let via_subiso = lb_graphalg::subiso::partitioned_subgraph_iso(
+                &pattern,
+                &inst.graph,
+                &inst.blocks,
+            );
+            let expect = brute::solve(&f).is_some();
+            assert_eq!(via_subiso.is_some(), expect, "seed {seed}");
+            if let Some(m) = via_subiso {
+                let a = clique_to_assignment(&f, &inst, &m);
+                assert!(f.eval(&a), "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! 3SAT → 3-Coloring → binary CSP with |D| = 3 (paper Corollary 6.2).
+//!
+//! The textbook gadget reduction with O(n + m) vertices and edges:
+//!
+//! * a palette triangle {T, F, B};
+//! * per variable x, a triangle {vₓ, v¬ₓ, B}, so the two literal vertices
+//!   take colors {T, F} in complementary fashion;
+//! * per clause (l₁ ∨ l₂ ∨ l₃), two chained OR-gadgets (each a triangle
+//!   with inputs wired to the literal vertices) whose output is adjacent to
+//!   both F and B, forcing it to color T — achievable iff some literal is
+//!   colored T.
+//!
+//! Because the blowup is linear, Hypothesis 2 (ETH + Sparsification) rules
+//! out 2^{o(|V| + |C|)} algorithms for binary CSP with |D| = 3.
+
+use lb_csp::{Constraint, CspInstance, Relation, Value};
+use lb_graph::Graph;
+use lb_sat::{CnfFormula, Lit};
+use std::sync::Arc;
+
+/// The output of the reduction: the graph plus the bookkeeping needed to
+/// map colorings back to assignments.
+#[derive(Clone, Debug)]
+pub struct ColoringInstance {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// Palette vertices (true, false, base).
+    pub palette: (usize, usize, usize),
+    /// `literal_vertex[v]` = (positive-literal vertex, negative-literal
+    /// vertex) of SAT variable v.
+    pub literal_vertex: Vec<(usize, usize)>,
+}
+
+/// Reduces a CNF formula with clauses of width ≤ 3 to 3-Coloring.
+///
+/// # Panics
+/// Panics if some clause has more than 3 literals.
+pub fn reduce(f: &CnfFormula) -> ColoringInstance {
+    assert!(f.is_ksat(3), "reduction requires width ≤ 3");
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut next = 0usize;
+    let mut fresh = || {
+        next += 1;
+        next - 1
+    };
+
+    // Palette triangle.
+    let t = fresh();
+    let fv = fresh();
+    let b = fresh();
+    edges.push((t, fv));
+    edges.push((t, b));
+    edges.push((fv, b));
+
+    // Variable gadgets.
+    let mut literal_vertex = Vec::with_capacity(f.num_vars());
+    for _ in 0..f.num_vars() {
+        let pos = fresh();
+        let neg = fresh();
+        edges.push((pos, neg));
+        edges.push((pos, b));
+        edges.push((neg, b));
+        literal_vertex.push((pos, neg));
+    }
+    let lit_vertex = |l: Lit| -> usize {
+        let (p, n) = literal_vertex[l.var()];
+        if l.is_positive() {
+            p
+        } else {
+            n
+        }
+    };
+
+    // Clause gadgets: out = OR(OR(l1, l2), l3); out adjacent to F and B.
+    for clause in f.clauses() {
+        let lits: Vec<usize> = clause.iter().map(|&l| lit_vertex(l)).collect();
+        // Pad to 3 inputs by repeating the last literal (OR is idempotent).
+        let l1 = lits[0];
+        let l2 = *lits.get(1).unwrap_or(&lits[0]);
+        let l3 = *lits.get(2).unwrap_or(&lits[lits.len() - 1]);
+
+        let mut or_gadget = |a: usize, bb: usize, edges: &mut Vec<(usize, usize)>| -> usize {
+            let i1 = fresh();
+            let i2 = fresh();
+            let c = fresh();
+            edges.push((i1, a));
+            edges.push((i2, bb));
+            edges.push((i1, i2));
+            edges.push((i1, c));
+            edges.push((i2, c));
+            c
+        };
+        let c1 = or_gadget(l1, l2, &mut edges);
+        let out = or_gadget(c1, l3, &mut edges);
+        edges.push((out, fv));
+        edges.push((out, b));
+    }
+
+    let graph = Graph::from_edges(next, &edges);
+    ColoringInstance {
+        graph,
+        palette: (t, fv, b),
+        literal_vertex,
+    }
+}
+
+/// Maps a proper 3-coloring of the gadget graph back to a satisfying
+/// assignment of the formula.
+pub fn coloring_to_assignment(inst: &ColoringInstance, coloring: &[usize]) -> Vec<bool> {
+    let t_color = coloring[inst.palette.0];
+    inst.literal_vertex
+        .iter()
+        .map(|&(pos, _)| coloring[pos] == t_color)
+        .collect()
+}
+
+/// Maps a satisfying assignment to a proper 3-coloring of the gadget graph
+/// (the constructive direction of the reduction proof).
+pub fn assignment_to_coloring(
+    inst: &ColoringInstance,
+    f: &CnfFormula,
+    assignment: &[bool],
+) -> Option<Vec<usize>> {
+    if !f.eval(assignment) {
+        return None;
+    }
+    // Solve the coloring CSP with palette and literal vertices pinned;
+    // OR-gadget internals are filled in by search (linear-size instance,
+    // each gadget has constant search space).
+    let g = &inst.graph;
+    let mut csp = three_coloring_to_csp(g);
+    let pin = |csp: &mut CspInstance, v: usize, c: Value| {
+        csp.add_constraint(Constraint::new(
+            vec![v],
+            Arc::new(Relation::new(1, vec![vec![c]])),
+        ));
+    };
+    let (t, fv, b) = inst.palette;
+    pin(&mut csp, t, 0);
+    pin(&mut csp, fv, 1);
+    pin(&mut csp, b, 2);
+    for (v, &(pos, neg)) in inst.literal_vertex.iter().enumerate() {
+        let (cp, cn) = if assignment[v] { (0, 1) } else { (1, 0) };
+        pin(&mut csp, pos, cp);
+        pin(&mut csp, neg, cn);
+    }
+    lb_csp::solver::treewidth_dp::solve_auto(&csp)
+        .solution
+        .map(|s| s.into_iter().map(|v| v as usize).collect())
+}
+
+/// 3-Coloring as a binary CSP with |D| = 3: one disequality constraint per
+/// edge (the final step of Corollary 6.2).
+pub fn three_coloring_to_csp(g: &Graph) -> CspInstance {
+    let mut inst = CspInstance::new(g.num_vertices(), 3);
+    let neq = Arc::new(Relation::disequality(3));
+    for (u, v) in g.edges() {
+        inst.add_constraint(Constraint::new(vec![u, v], neq.clone()));
+    }
+    inst
+}
+
+/// The coloring CSP of a gadget graph with the palette colors pinned to
+/// (T, F, B) = (0, 1, 2). Pinning is sound — colorability is invariant
+/// under permuting colors — and breaks the 6-fold symmetry that otherwise
+/// makes backtracking search on the gadget graph explode.
+pub fn gadget_csp_pinned(inst: &ColoringInstance) -> CspInstance {
+    let mut csp = three_coloring_to_csp(&inst.graph);
+    let (t, fv, b) = inst.palette;
+    for (v, c) in [(t, 0), (fv, 1), (b, 2)] {
+        csp.add_constraint(Constraint::new(
+            vec![v],
+            Arc::new(Relation::new(1, vec![vec![c]])),
+        ));
+    }
+    csp
+}
+
+/// End-to-end: is the formula satisfiable, decided via the coloring CSP?
+///
+/// The gadget graph has small treewidth (the palette vertices are
+/// near-universal, everything else is a chain of triangles), so the
+/// instance is solved with Freuder's dynamic program rather than
+/// backtracking — chronological backtracking thrashes across the many
+/// loosely-coupled OR gadgets.
+pub fn decide_via_coloring(f: &CnfFormula) -> bool {
+    let inst = reduce(f);
+    let csp = gadget_csp_pinned(&inst);
+    lb_csp::solver::treewidth_dp::solve_auto(&csp).solution.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_sat::{brute, generators};
+
+    #[test]
+    fn linear_size() {
+        let f = generators::random_ksat(20, 60, 3, 1);
+        let inst = reduce(&f);
+        // 3 palette + 2n literals + 6 per clause.
+        assert_eq!(inst.graph.num_vertices(), 3 + 2 * 20 + 6 * 60);
+        // 3 + 3n + (10 + 2) per clause.
+        assert_eq!(inst.graph.num_edges(), 3 + 3 * 20 + 12 * 60);
+    }
+
+    #[test]
+    fn equisatisfiable_on_random_formulas() {
+        for seed in 0..12u64 {
+            let f = generators::random_ksat(5, 18, 3, seed);
+            let expect = brute::solve(&f).is_some();
+            assert_eq!(decide_via_coloring(&f), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coloring_maps_back_to_satisfying_assignment() {
+        for seed in 0..8u64 {
+            let (f, _) = generators::planted_ksat(5, 15, 3, seed);
+            let inst = reduce(&f);
+            let csp = gadget_csp_pinned(&inst);
+            let coloring: Vec<usize> = lb_csp::solver::treewidth_dp::solve_auto(&csp)
+                .solution
+                .expect("satisfiable formula ⇒ colorable gadget")
+                .into_iter()
+                .map(|v| v as usize)
+                .collect();
+            assert!(inst.graph.is_proper_coloring(&coloring));
+            let a = coloring_to_assignment(&inst, &coloring);
+            assert!(f.eval(&a), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn assignment_maps_forward_to_coloring() {
+        for seed in 0..8u64 {
+            let (f, plant) = generators::planted_ksat(6, 20, 3, seed);
+            let inst = reduce(&f);
+            let coloring = assignment_to_coloring(&inst, &f, &plant)
+                .expect("satisfying assignment must extend to a coloring");
+            assert!(inst.graph.is_proper_coloring(&coloring), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsat_formula_not_colorable() {
+        // x ∧ ¬x via width-1 clauses.
+        let f = CnfFormula::from_clauses(
+            1,
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        );
+        assert!(!decide_via_coloring(&f));
+    }
+
+    #[test]
+    fn short_clauses_padded() {
+        // Width-2 and width-1 clauses exercise the padding path.
+        let f = CnfFormula::from_clauses(
+            2,
+            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0)]],
+        );
+        assert!(decide_via_coloring(&f));
+        let g = CnfFormula::from_clauses(
+            1,
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        );
+        assert!(!decide_via_coloring(&g));
+    }
+}

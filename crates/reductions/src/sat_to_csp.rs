@@ -1,0 +1,92 @@
+//! 3SAT → CSP with |D| = 2 and arity ≤ 3 (paper Corollary 6.1).
+//!
+//! The translation is direct: variables map to variables, each clause
+//! becomes one constraint whose relation contains the satisfying tuples.
+//! Together with Hypothesis 1 it yields: assuming ETH, CSP cannot be solved
+//! in 2^{o(|V|)}·n^{O(1)} even with |D| = 2 and arity ≤ 3.
+
+use lb_csp::{Assignment, Constraint, CspInstance, Relation, Value};
+use lb_sat::CnfFormula;
+use std::sync::Arc;
+
+/// Reduces a k-SAT formula to a CSP instance over domain {0, 1}.
+///
+/// Satisfying assignments correspond bijectively to CSP solutions
+/// (0 = false, 1 = true).
+pub fn reduce(f: &CnfFormula) -> CspInstance {
+    let mut inst = CspInstance::new(f.num_vars(), 2);
+    for clause in f.clauses() {
+        let scope: Vec<usize> = clause.iter().map(|l| l.var()).collect();
+        let signs: Vec<bool> = clause.iter().map(|l| l.is_positive()).collect();
+        let relation = Relation::from_fn(scope.len(), 2, |t| {
+            t.iter()
+                .zip(&signs)
+                .any(|(&v, &pos)| (v == 1) == pos)
+        });
+        inst.add_constraint(Constraint::new(scope, Arc::new(relation)));
+    }
+    inst
+}
+
+/// Maps a CSP solution back to a SAT assignment.
+pub fn solution_back(solution: &[Value]) -> Vec<bool> {
+    solution.iter().map(|&v| v == 1).collect()
+}
+
+/// Maps a SAT assignment forward to a CSP assignment.
+pub fn solution_forward(assignment: &[bool]) -> Assignment {
+    assignment.iter().map(|&b| b as Value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_sat::generators;
+    use lb_sat::{brute, DpllSolver};
+
+    #[test]
+    fn equisatisfiable_on_random_3sat() {
+        for seed in 0..20u64 {
+            let f = generators::random_ksat(8, 34, 3, seed);
+            let inst = reduce(&f);
+            assert_eq!(inst.domain_size, 2);
+            assert!(inst.arity() <= 3);
+            let sat = brute::solve(&f).is_some();
+            let csp = lb_csp::solver::solve(&inst);
+            assert_eq!(csp.is_some(), sat, "seed {seed}");
+            if let Some(s) = csp {
+                assert!(f.eval(&solution_back(&s)), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_counts_match() {
+        for seed in 0..10u64 {
+            let f = generators::random_ksat(7, 20, 3, seed);
+            let inst = reduce(&f);
+            assert_eq!(lb_csp::solver::count(&inst), brute::count(&f), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forward_mapping_preserves_satisfaction() {
+        let (f, plant) = generators::planted_ksat(10, 40, 3, 3);
+        let inst = reduce(&f);
+        assert!(inst.eval(&solution_forward(&plant)));
+    }
+
+    #[test]
+    fn dpll_and_csp_agree() {
+        for seed in 20..30u64 {
+            let f = generators::random_ksat(9, 38, 3, seed);
+            let inst = reduce(&f);
+            let (m, _) = DpllSolver::default().solve(&f);
+            assert_eq!(
+                lb_csp::solver::solve(&inst).is_some(),
+                m.is_some(),
+                "seed {seed}"
+            );
+        }
+    }
+}

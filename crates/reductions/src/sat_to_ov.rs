@@ -1,0 +1,149 @@
+//! CNF-SAT → Orthogonal Vectors (paper §7, fine-grained complexity).
+//!
+//! The split-and-encode reduction behind the OV conjecture: split the n
+//! variables into halves, enumerate the 2^{n/2} assignments of each half,
+//! and encode each half-assignment as an m-bit vector with a 1 in
+//! coordinate c iff the half-assignment does **not** satisfy clause c.
+//! A pair of vectors is orthogonal iff every clause is satisfied by one of
+//! the halves — i.e. iff the combined assignment satisfies the formula.
+//! An O(N^{2−ε}) OV algorithm would therefore solve SAT in
+//! (2^{n/2})^{2−ε} = 2^{(1−ε/2)n}, refuting the SETH.
+
+use lb_graphalg::ov::{find_orthogonal_pair, VectorSet};
+use lb_sat::CnfFormula;
+
+/// The reduction output: two vector sets of dimension m, plus the
+/// bookkeeping to map an orthogonal pair back to an assignment.
+#[derive(Clone, Debug)]
+pub struct OvInstance {
+    /// Vectors of the first half's assignments.
+    pub left: VectorSet,
+    /// Vectors of the second half's assignments.
+    pub right: VectorSet,
+    /// Number of variables in the first half.
+    pub split: usize,
+    /// Total number of variables.
+    pub num_vars: usize,
+}
+
+/// Largest variable count accepted (2^{n/2} vectors are materialized).
+pub const MAX_VARS: usize = 40;
+
+/// Builds the OV instance of a CNF formula.
+///
+/// # Panics
+/// Panics if the formula has more than [`MAX_VARS`] variables.
+pub fn reduce(f: &CnfFormula) -> OvInstance {
+    let n = f.num_vars();
+    assert!(n <= MAX_VARS, "2^(n/2) blowup too large");
+    let split = n / 2;
+    let m = f.num_clauses();
+
+    let encode = |vars: std::ops::Range<usize>| -> VectorSet {
+        let count = vars.len();
+        let mut set = VectorSet::new(m);
+        for bits in 0u64..(1u64 << count) {
+            // Coordinate c = 1 iff this half-assignment leaves clause c
+            // unsatisfied.
+            let vec: Vec<bool> = f
+                .clauses()
+                .iter()
+                .map(|clause| {
+                    !clause.iter().any(|l| {
+                        let v = l.var();
+                        vars.contains(&v) && {
+                            let value = bits >> (v - vars.start) & 1 == 1;
+                            value == l.is_positive()
+                        }
+                    })
+                })
+                .collect();
+            set.push_bools(&vec);
+        }
+        set
+    };
+
+    OvInstance {
+        left: encode(0..split),
+        right: encode(split..n),
+        split,
+        num_vars: n,
+    }
+}
+
+/// Maps an orthogonal pair (indices into left/right) back to a satisfying
+/// assignment.
+pub fn solution_back(inst: &OvInstance, pair: (usize, usize)) -> Vec<bool> {
+    let (i, j) = pair;
+    let mut a = Vec::with_capacity(inst.num_vars);
+    for b in 0..inst.split {
+        a.push(i >> b & 1 == 1);
+    }
+    for b in 0..inst.num_vars - inst.split {
+        a.push(j >> b & 1 == 1);
+    }
+    a
+}
+
+/// Decides satisfiability through the OV instance.
+pub fn decide_via_ov(f: &CnfFormula) -> Option<Vec<bool>> {
+    let inst = reduce(f);
+    find_orthogonal_pair(&inst.left, &inst.right).map(|p| solution_back(&inst, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_sat::{brute, generators};
+
+    #[test]
+    fn equisatisfiable_on_random_formulas() {
+        for seed in 0..20u64 {
+            let f = generators::random_ksat(10, 35, 3, seed);
+            let expect = brute::solve(&f).is_some();
+            let got = decide_via_ov(&f);
+            assert_eq!(got.is_some(), expect, "seed {seed}");
+            if let Some(a) = got {
+                assert!(f.eval(&a), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_clause_sat() {
+        // OV handles unbounded clause width (unlike the 3SAT reductions).
+        let f = generators::random_ksat(10, 12, 7, 3);
+        let expect = brute::solve(&f).is_some();
+        assert_eq!(decide_via_ov(&f).is_some(), expect);
+    }
+
+    #[test]
+    fn vector_set_sizes() {
+        let f = generators::random_ksat(9, 20, 3, 1);
+        let inst = reduce(&f);
+        assert_eq!(inst.left.len(), 1 << 4);
+        assert_eq!(inst.right.len(), 1 << 5);
+        assert_eq!(inst.left.dim(), 20);
+    }
+
+    #[test]
+    fn unsat_has_no_orthogonal_pair() {
+        use lb_sat::Lit;
+        let f = CnfFormula::from_clauses(
+            2,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0)],
+                vec![Lit::pos(1)],
+            ],
+        );
+        assert!(decide_via_ov(&f).is_none());
+    }
+
+    #[test]
+    fn odd_variable_count_split() {
+        let (f, _) = generators::planted_ksat(7, 25, 3, 5);
+        let a = decide_via_ov(&f).expect("planted satisfiable");
+        assert!(f.eval(&a));
+    }
+}

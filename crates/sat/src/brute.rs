@@ -1,0 +1,83 @@
+//! Brute-force SAT: the 2^n baseline the SETH is about.
+//!
+//! Hypothesis 3 (paper §7) states CNF-SAT has no (2−ε)^n · m^{O(1)}
+//! algorithm — i.e. that asymptotically one cannot do much better than this
+//! module. Experiment E4/E9 measure its scaling against DPLL.
+
+use crate::cnf::CnfFormula;
+
+/// Tries all 2^n assignments; returns the first satisfying one.
+///
+/// # Panics
+/// Panics if the formula has more than 63 variables (the enumeration
+/// counter is a `u64`) — far beyond anything feasible anyway.
+pub fn solve(f: &CnfFormula) -> Option<Vec<bool>> {
+    let n = f.num_vars();
+    assert!(n <= 63, "brute force limited to 63 variables");
+    let mut assignment = vec![false; n];
+    for bits in 0u64..(1u64 << n) {
+        for (v, a) in assignment.iter_mut().enumerate() {
+            *a = bits >> v & 1 == 1;
+        }
+        if f.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Counts satisfying assignments by full enumeration.
+pub fn count(f: &CnfFormula) -> u64 {
+    let n = f.num_vars();
+    assert!(n <= 63, "brute force limited to 63 variables");
+    let mut assignment = vec![false; n];
+    let mut total = 0u64;
+    for bits in 0u64..(1u64 << n) {
+        for (v, a) in assignment.iter_mut().enumerate() {
+            *a = bits >> v & 1 == 1;
+        }
+        if f.eval(&assignment) {
+            total += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+
+    fn l(v: i64) -> Lit {
+        Lit::new(v.unsigned_abs() as usize - 1, v > 0)
+    }
+
+    #[test]
+    fn satisfiable_formula() {
+        let f = CnfFormula::from_clauses(2, vec![vec![l(1)], vec![l(-2)]]);
+        let a = solve(&f).unwrap();
+        assert!(f.eval(&a));
+        assert_eq!(a, vec![true, false]);
+    }
+
+    #[test]
+    fn unsatisfiable_formula() {
+        let f = CnfFormula::from_clauses(1, vec![vec![l(1)], vec![l(-1)]]);
+        assert!(solve(&f).is_none());
+        assert_eq!(count(&f), 0);
+    }
+
+    #[test]
+    fn count_xor_like() {
+        // (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): exactly the two assignments with x1 ≠ x2.
+        let f = CnfFormula::from_clauses(2, vec![vec![l(1), l(2)], vec![l(-1), l(-2)]]);
+        assert_eq!(count(&f), 2);
+    }
+
+    #[test]
+    fn empty_formula_all_assignments() {
+        let f = CnfFormula::new(3);
+        assert_eq!(count(&f), 8);
+        assert!(solve(&f).is_some());
+    }
+}

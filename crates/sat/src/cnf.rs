@@ -1,0 +1,295 @@
+//! CNF formulas: literals, clauses, evaluation, DIMACS I/O.
+
+use std::fmt;
+
+/// A literal: variable index `0..n` plus a sign.
+///
+/// Internally encoded as `2·var + negated`, so literals pack densely into
+/// implication-graph vertex ids (see `twosat`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit((var as u32) << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit(((var as u32) << 1) | 1)
+    }
+
+    /// Builds from a variable and a sign (`true` = positive).
+    pub fn new(var: usize, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// True iff this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense code in `0..2n` (used as an implication-graph vertex id).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Evaluates under an assignment (`assignment[var]` is the value).
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var()] == self.is_positive()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.is_positive() { "" } else { "¬" }, self.var())
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula over variables `0..num_vars`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// An empty formula (trivially satisfiable).
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Builds from clause data; deduplicates literals within a clause.
+    ///
+    /// # Panics
+    /// Panics if a clause mentions a variable ≥ `num_vars` or is empty
+    /// after deduplication (an empty clause makes the formula trivially
+    /// unsatisfiable — represent that case explicitly if you need it).
+    pub fn from_clauses(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        let mut f = CnfFormula::new(num_vars);
+        for c in clauses {
+            f.add_clause(c);
+        }
+        f
+    }
+
+    /// Adds a clause (literals are sorted and deduplicated).
+    pub fn add_clause(&mut self, mut clause: Clause) {
+        clause.sort_unstable();
+        clause.dedup();
+        assert!(!clause.is_empty(), "empty clause");
+        for &l in &clause {
+            assert!(l.var() < self.num_vars, "literal variable out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Maximum clause width (k of "k-SAT").
+    pub fn width(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// True iff every clause has at most `k` literals.
+    pub fn is_ksat(&self, k: usize) -> bool {
+        self.width() <= k
+    }
+
+    /// Evaluates the formula under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|&l| l.eval(assignment)))
+    }
+
+    /// A clause is *tautological* if it contains both a literal and its
+    /// negation; removes such clauses (they constrain nothing).
+    pub fn remove_tautologies(&mut self) {
+        self.clauses
+            .retain(|c| !c.iter().any(|&l| c.contains(&l.negated())));
+    }
+
+    /// Serializes in DIMACS CNF format (variables are 1-based there).
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                let v = (l.var() + 1) as i64;
+                let signed = if l.is_positive() { v } else { -v };
+                out.push_str(&signed.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses DIMACS CNF. Lines starting with `c` are comments.
+    pub fn from_dimacs(text: &str) -> Result<Self, String> {
+        let mut num_vars: Option<usize> = None;
+        let mut declared_clauses = 0usize;
+        let mut clauses: Vec<Clause> = Vec::new();
+        let mut current: Clause = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p cnf") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 2 {
+                    return Err(format!("malformed problem line: {line}"));
+                }
+                num_vars = Some(parts[0].parse().map_err(|e| format!("bad var count: {e}"))?);
+                declared_clauses = parts[1].parse().map_err(|e| format!("bad clause count: {e}"))?;
+                continue;
+            }
+            let nv = num_vars.ok_or("clause before problem line")?;
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|e| format!("bad literal {tok}: {e}"))?;
+                if v == 0 {
+                    if current.is_empty() {
+                        return Err("empty clause in DIMACS input".into());
+                    }
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let var = v.unsigned_abs() as usize - 1;
+                    if var >= nv {
+                        return Err(format!("literal {v} out of declared range"));
+                    }
+                    current.push(Lit::new(var, v > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err("unterminated clause (missing trailing 0)".into());
+        }
+        let nv = num_vars.ok_or("missing problem line")?;
+        if clauses.len() != declared_clauses {
+            return Err(format!(
+                "declared {declared_clauses} clauses, found {}",
+                clauses.len()
+            ));
+        }
+        Ok(CnfFormula::from_clauses(nv, clauses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(v: i64) -> Lit {
+        Lit::new(v.unsigned_abs() as usize - 1, v > 0)
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let p = Lit::pos(3);
+        let n = Lit::neg(3);
+        assert_eq!(p.var(), 3);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn eval_simple() {
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+        let f = CnfFormula::from_clauses(3, vec![vec![l(1), l(-2)], vec![l(2), l(3)]]);
+        assert!(f.eval(&[true, true, false]));
+        assert!(!f.eval(&[false, true, false]));
+        assert_eq!(f.width(), 2);
+        assert!(f.is_ksat(2));
+        assert!(!f.is_ksat(1));
+    }
+
+    #[test]
+    fn clause_dedup() {
+        let f = CnfFormula::from_clauses(2, vec![vec![l(1), l(1), l(2)]]);
+        assert_eq!(f.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn tautology_removal() {
+        let mut f = CnfFormula::from_clauses(2, vec![vec![l(1), l(-1)], vec![l(2)]]);
+        f.remove_tautologies();
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![vec![l(1), l(-3), l(2)], vec![l(-1), l(2)], vec![l(3)]],
+        );
+        let text = f.to_dimacs();
+        let g = CnfFormula::from_dimacs(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn dimacs_with_comments() {
+        let text = "c a comment\np cnf 2 2\n1 -2 0\n2 0\n";
+        let f = CnfFormula::from_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.num_clauses(), 2);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(CnfFormula::from_dimacs("1 2 0").is_err());
+        assert!(CnfFormula::from_dimacs("p cnf 1 1\n2 0\n").is_err());
+        assert!(CnfFormula::from_dimacs("p cnf 2 2\n1 0\n").is_err());
+        assert!(CnfFormula::from_dimacs("p cnf 2 1\n1 2\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clause")]
+    fn empty_clause_rejected() {
+        let _ = CnfFormula::from_clauses(1, vec![vec![]]);
+    }
+}

@@ -1,0 +1,348 @@
+//! DPLL: backtracking SAT with unit propagation and pure literals.
+//!
+//! This is the "real" solver whose still-exponential scaling experiment E4
+//! measures against the 2^n brute force; the ETH (§6) asserts the
+//! exponential cannot be removed. Unit propagation and pure-literal
+//! elimination can be toggled off individually — the ablation axis called
+//! out in DESIGN.md.
+
+use crate::cnf::{CnfFormula, Lit};
+
+/// Branching heuristics for the DPLL search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Branching {
+    /// Pick the lowest-numbered unassigned variable.
+    FirstUnassigned,
+    /// Pick the unassigned variable occurring in the most unresolved clauses.
+    MostFrequent,
+}
+
+/// Feature toggles for ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct DpllConfig {
+    /// Propagate unit clauses before branching.
+    pub unit_propagation: bool,
+    /// Assign pure literals (variables occurring with one polarity only).
+    pub pure_literal: bool,
+    /// Branching heuristic.
+    pub branching: Branching,
+}
+
+impl Default for DpllConfig {
+    fn default() -> Self {
+        DpllConfig {
+            unit_propagation: true,
+            pure_literal: true,
+            branching: Branching::MostFrequent,
+        }
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DpllStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation or pure-literal elimination.
+    pub propagations: u64,
+    /// Dead ends encountered.
+    pub conflicts: u64,
+}
+
+/// A configurable DPLL solver.
+#[derive(Clone, Debug, Default)]
+pub struct DpllSolver {
+    config: DpllConfig,
+}
+
+/// Clause status under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(Lit),
+    /// Two or more literals unassigned.
+    Open,
+}
+
+impl DpllSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: DpllConfig) -> Self {
+        DpllSolver { config }
+    }
+
+    /// Decides satisfiability; returns a model if satisfiable, plus stats.
+    pub fn solve(&self, f: &CnfFormula) -> (Option<Vec<bool>>, DpllStats) {
+        let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars()];
+        let mut stats = DpllStats::default();
+        let sat = self.search(f, &mut assignment, &mut stats);
+        let model = sat.then(|| {
+            assignment
+                .iter()
+                .map(|a| a.unwrap_or(false)) // unconstrained vars: any value
+                .collect()
+        });
+        (model, stats)
+    }
+
+    fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+        let mut unassigned: Option<Lit> = None;
+        let mut unassigned_count = 0usize;
+        for &l in clause {
+            match assignment[l.var()] {
+                Some(v) if v == l.is_positive() => return ClauseState::Satisfied,
+                Some(_) => {}
+                None => {
+                    unassigned = Some(l);
+                    unassigned_count += 1;
+                }
+            }
+        }
+        match unassigned_count {
+            0 => ClauseState::Conflict,
+            1 => ClauseState::Unit(unassigned.expect("counted one")),
+            _ => ClauseState::Open,
+        }
+    }
+
+    /// Returns true if satisfiable with the current partial assignment.
+    fn search(
+        &self,
+        f: &CnfFormula,
+        assignment: &mut Vec<Option<bool>>,
+        stats: &mut DpllStats,
+    ) -> bool {
+        // Trail of variables assigned at this level, for backtracking.
+        let mut trail: Vec<usize> = Vec::new();
+        let undo = |assignment: &mut Vec<Option<bool>>, trail: &[usize]| {
+            for &v in trail {
+                assignment[v] = None;
+            }
+        };
+
+        // Simplification loop: unit propagation + pure literals to fixpoint.
+        loop {
+            let mut changed = false;
+            let mut conflict = false;
+            if self.config.unit_propagation {
+                for clause in f.clauses() {
+                    match Self::clause_state(clause, assignment) {
+                        ClauseState::Conflict => {
+                            conflict = true;
+                            break;
+                        }
+                        ClauseState::Unit(l) => {
+                            assignment[l.var()] = Some(l.is_positive());
+                            trail.push(l.var());
+                            stats.propagations += 1;
+                            changed = true;
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                // Still must detect conflicts to terminate branches.
+                conflict = f.clauses().iter().any(|c| {
+                    matches!(Self::clause_state(c, assignment), ClauseState::Conflict)
+                });
+            }
+            if conflict {
+                stats.conflicts += 1;
+                undo(assignment, &trail);
+                return false;
+            }
+            if self.config.pure_literal && !changed {
+                // Polarities over unresolved clauses.
+                let n = f.num_vars();
+                let mut pos = vec![false; n];
+                let mut neg = vec![false; n];
+                for clause in f.clauses() {
+                    if matches!(Self::clause_state(clause, assignment), ClauseState::Satisfied) {
+                        continue;
+                    }
+                    for &l in clause {
+                        if assignment[l.var()].is_none() {
+                            if l.is_positive() {
+                                pos[l.var()] = true;
+                            } else {
+                                neg[l.var()] = true;
+                            }
+                        }
+                    }
+                }
+                for v in 0..n {
+                    if assignment[v].is_none() && (pos[v] ^ neg[v]) {
+                        assignment[v] = Some(pos[v]);
+                        trail.push(v);
+                        stats.propagations += 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // All clauses satisfied?
+        let all_satisfied = f
+            .clauses()
+            .iter()
+            .all(|c| matches!(Self::clause_state(c, assignment), ClauseState::Satisfied));
+        if all_satisfied {
+            return true;
+        }
+
+        // Branch.
+        let var = match self.config.branching {
+            Branching::FirstUnassigned => {
+                (0..f.num_vars()).find(|&v| assignment[v].is_none())
+            }
+            Branching::MostFrequent => {
+                let mut count = vec![0usize; f.num_vars()];
+                for clause in f.clauses() {
+                    if matches!(Self::clause_state(clause, assignment), ClauseState::Satisfied) {
+                        continue;
+                    }
+                    for &l in clause {
+                        if assignment[l.var()].is_none() {
+                            count[l.var()] += 1;
+                        }
+                    }
+                }
+                (0..f.num_vars())
+                    .filter(|&v| assignment[v].is_none())
+                    .max_by_key(|&v| count[v])
+            }
+        };
+        let var = match var {
+            Some(v) => v,
+            None => {
+                // No unassigned variables but not all clauses satisfied.
+                stats.conflicts += 1;
+                undo(assignment, &trail);
+                return false;
+            }
+        };
+
+        stats.decisions += 1;
+        for value in [true, false] {
+            assignment[var] = Some(value);
+            if self.search(f, assignment, stats) {
+                return true;
+            }
+        }
+        assignment[var] = None;
+        undo(assignment, &trail);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::cnf::Lit;
+    use crate::generators;
+
+    fn l(v: i64) -> Lit {
+        Lit::new(v.unsigned_abs() as usize - 1, v > 0)
+    }
+
+    fn all_configs() -> Vec<DpllConfig> {
+        let mut out = Vec::new();
+        for up in [false, true] {
+            for pl in [false, true] {
+                for br in [Branching::FirstUnassigned, Branching::MostFrequent] {
+                    out.push(DpllConfig {
+                        unit_propagation: up,
+                        pure_literal: pl,
+                        branching: br,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simple_sat() {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![vec![l(1), l(2)], vec![l(-1), l(3)], vec![l(-2), l(-3)]],
+        );
+        for cfg in all_configs() {
+            let (model, _) = DpllSolver::new(cfg).solve(&f);
+            let m = model.expect("satisfiable");
+            assert!(f.eval(&m));
+        }
+    }
+
+    #[test]
+    fn simple_unsat() {
+        // (x1) ∧ (¬x1 ∨ x2) ∧ (¬x2) is unsatisfiable.
+        let f = CnfFormula::from_clauses(2, vec![vec![l(1)], vec![l(-1), l(2)], vec![l(-2)]]);
+        for cfg in all_configs() {
+            let (model, _) = DpllSolver::new(cfg).solve(&f);
+            assert!(model.is_none());
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_3sat() {
+        for seed in 0..20u64 {
+            let f = generators::random_ksat(8, 30, 3, seed);
+            let brute_sat = brute::solve(&f).is_some();
+            for cfg in all_configs() {
+                let (model, _) = DpllSolver::new(cfg).solve(&f);
+                assert_eq!(model.is_some(), brute_sat, "seed {seed}, cfg {cfg:?}");
+                if let Some(m) = model {
+                    assert!(f.eval(&m), "invalid model, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_propagation_reduces_decisions() {
+        // Chain of implications: x1, x1→x2, ..., x9→x10. Pure DPLL without
+        // propagation needs decisions; with it, zero.
+        let mut clauses = vec![vec![l(1)]];
+        for i in 1..10 {
+            clauses.push(vec![Lit::neg(i - 1), Lit::pos(i)]);
+        }
+        let f = CnfFormula::from_clauses(10, clauses);
+        let with = DpllSolver::new(DpllConfig {
+            unit_propagation: true,
+            pure_literal: false,
+            branching: Branching::FirstUnassigned,
+        });
+        let (model, stats) = with.solve(&f);
+        assert!(model.is_some());
+        assert_eq!(stats.decisions, 0);
+        assert!(stats.propagations >= 10);
+    }
+
+    #[test]
+    fn pure_literal_solves_monotone_formula() {
+        // All-positive clauses: every variable is pure.
+        let f = CnfFormula::from_clauses(4, vec![vec![l(1), l(2)], vec![l(3), l(4)]]);
+        let solver = DpllSolver::new(DpllConfig {
+            unit_propagation: false,
+            pure_literal: true,
+            branching: Branching::FirstUnassigned,
+        });
+        let (model, stats) = solver.solve(&f);
+        assert!(model.is_some());
+        assert_eq!(stats.decisions, 0);
+    }
+
+    #[test]
+    fn planted_instance_is_satisfied() {
+        let (f, planted) = generators::planted_ksat(12, 40, 3, 7);
+        assert!(f.eval(&planted));
+        let (model, _) = DpllSolver::default().solve(&f);
+        assert!(f.eval(&model.unwrap()));
+    }
+}

@@ -1,0 +1,107 @@
+//! Random SAT instance generators for the scaling experiments.
+
+use crate::cnf::{CnfFormula, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random k-SAT: `m` clauses, each with `k` distinct variables and
+/// random polarities.
+///
+/// # Panics
+/// Panics if `k > n` or `k == 0`.
+pub fn random_ksat(n: usize, m: usize, k: usize, seed: u64) -> CnfFormula {
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = CnfFormula::new(n);
+    for _ in 0..m {
+        f.add_clause(random_clause(&mut rng, n, k));
+    }
+    f
+}
+
+/// Random k-SAT planted around a hidden satisfying assignment: every clause
+/// is checked to be satisfied by the plant, so the instance is always
+/// satisfiable. Returns `(formula, planted_assignment)`.
+pub fn planted_ksat(n: usize, m: usize, k: usize, seed: u64) -> (CnfFormula, Vec<bool>) {
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plant: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let mut f = CnfFormula::new(n);
+    for _ in 0..m {
+        loop {
+            let clause = random_clause(&mut rng, n, k);
+            if clause.iter().any(|&l| l.eval(&plant)) {
+                f.add_clause(clause);
+                break;
+            }
+        }
+    }
+    (f, plant)
+}
+
+/// A "sparsified" 3SAT instance in the sense relevant to Hypothesis 2
+/// (paper §6): the number of clauses is linear in the number of variables,
+/// `m = ⌈c·n⌉`. The ratio `c = 4.27` sits near the 3SAT phase transition,
+/// where random instances are empirically hardest.
+pub fn sparse_3sat(n: usize, clause_ratio: f64, seed: u64) -> CnfFormula {
+    let m = (clause_ratio * n as f64).ceil() as usize;
+    random_ksat(n, m, 3, seed)
+}
+
+fn random_clause(rng: &mut StdRng, n: usize, k: usize) -> Vec<Lit> {
+    // k distinct variables by partial Fisher–Yates over a small reservoir.
+    let mut vars: Vec<usize> = Vec::with_capacity(k);
+    while vars.len() < k {
+        let v = rng.gen_range(0..n);
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    vars.into_iter()
+        .map(|v| Lit::new(v, rng.gen()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let f = random_ksat(10, 30, 3, 1);
+        assert_eq!(f.num_vars(), 10);
+        assert_eq!(f.num_clauses(), 30);
+        assert!(f.clauses().iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_ksat(8, 20, 3, 5), random_ksat(8, 20, 3, 5));
+        assert_ne!(random_ksat(8, 20, 3, 5), random_ksat(8, 20, 3, 6));
+    }
+
+    #[test]
+    fn planted_is_satisfiable() {
+        for seed in 0..10 {
+            let (f, plant) = planted_ksat(15, 60, 3, seed);
+            assert!(f.eval(&plant), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_linear_clause_count() {
+        let f = sparse_3sat(100, 4.27, 3);
+        assert_eq!(f.num_clauses(), 427);
+    }
+
+    #[test]
+    fn distinct_vars_in_clause() {
+        let f = random_ksat(5, 50, 3, 9);
+        for c in f.clauses() {
+            let mut vars: Vec<usize> = c.iter().map(|l| l.var()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+}

@@ -1,0 +1,846 @@
+//! Schaefer's dichotomy (paper §4).
+//!
+//! Schaefer's theorem: for a finite set ℛ of Boolean relations, CSP(ℛ) is
+//! polynomial-time solvable iff every relation in ℛ is 0-valid, or every one
+//! is 1-valid, or all are Horn (closed under AND), or all are dual-Horn
+//! (closed under OR), or all are affine (closed under ternary XOR), or all
+//! are bijunctive (closed under majority); otherwise CSP(ℛ) is NP-hard.
+//!
+//! This module implements the *whole algorithmic content* of the theorem:
+//! the closure-property classifier, and a dedicated polynomial-time solver
+//! for each of the six tractable classes:
+//!
+//! * 0-valid / 1-valid — constant assignment;
+//! * Horn — least-fixpoint of lower bounds (generalized unit propagation;
+//!   AND-closure guarantees a unique minimal consistent tuple per constraint);
+//! * dual-Horn — the mirror image with upper bounds;
+//! * affine — each relation *is* an affine subspace of GF(2)^r; extract its
+//!   linear equations and solve the global system by Gaussian elimination;
+//! * bijunctive — majority-closed relations are 2-decomposable, so the
+//!   instance reduces to 2SAT over the binary projections.
+//!
+//! Experiment E4 runs these against DPLL/brute-force to exhibit the
+//! polynomial/NP-hard gap empirically.
+
+use crate::cnf::{CnfFormula, Lit};
+use crate::twosat::solve_2sat;
+
+/// A Boolean relation: a set of allowed tuples of fixed arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BooleanRelation {
+    arity: usize,
+    tuples: Vec<Vec<bool>>,
+}
+
+impl BooleanRelation {
+    /// Builds a relation; tuples are sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics if a tuple has the wrong arity.
+    pub fn new(arity: usize, mut tuples: Vec<Vec<bool>>) -> Self {
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        BooleanRelation { arity, tuples }
+    }
+
+    /// The relation of a SAT clause over `arity` positions: all tuples
+    /// except the single falsifying one. `signs[i]` is the polarity of
+    /// position i in the clause.
+    pub fn clause(signs: &[bool]) -> Self {
+        let arity = signs.len();
+        let forbidden: Vec<bool> = signs.iter().map(|&s| !s).collect();
+        let mut tuples = Vec::with_capacity((1 << arity) - 1);
+        for bits in 0u32..(1u32 << arity) {
+            let t: Vec<bool> = (0..arity).map(|i| bits >> i & 1 == 1).collect();
+            if t != forbidden {
+                tuples.push(t);
+            }
+        }
+        BooleanRelation::new(arity, tuples)
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Allowed tuples (sorted).
+    pub fn tuples(&self) -> &[Vec<bool>] {
+        &self.tuples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &[bool]) -> bool {
+        self.tuples.binary_search_by(|u| u.as_slice().cmp(t)).is_ok()
+    }
+
+    /// True iff no tuple is allowed (any constraint with it is unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Contains the all-false tuple.
+    pub fn is_zero_valid(&self) -> bool {
+        self.contains(&vec![false; self.arity])
+    }
+
+    /// Contains the all-true tuple.
+    pub fn is_one_valid(&self) -> bool {
+        self.contains(&vec![true; self.arity])
+    }
+
+    /// Closed under componentwise AND (definable by Horn clauses).
+    pub fn is_horn(&self) -> bool {
+        self.closed_under_binary(|a, b| a & b)
+    }
+
+    /// Closed under componentwise OR (definable by dual-Horn clauses).
+    pub fn is_dual_horn(&self) -> bool {
+        self.closed_under_binary(|a, b| a | b)
+    }
+
+    /// Closed under ternary XOR (an affine subspace of GF(2)^arity).
+    pub fn is_affine(&self) -> bool {
+        self.closed_under_ternary(|a, b, c| a ^ b ^ c)
+    }
+
+    /// Closed under ternary majority (definable by 2-clauses).
+    pub fn is_bijunctive(&self) -> bool {
+        self.closed_under_ternary(|a, b, c| (a & b) | (a & c) | (b & c))
+    }
+
+    fn closed_under_binary(&self, op: fn(bool, bool) -> bool) -> bool {
+        for t in &self.tuples {
+            for u in &self.tuples {
+                let combined: Vec<bool> =
+                    t.iter().zip(u).map(|(&a, &b)| op(a, b)).collect();
+                if !self.contains(&combined) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn closed_under_ternary(&self, op: fn(bool, bool, bool) -> bool) -> bool {
+        for t in &self.tuples {
+            for u in &self.tuples {
+                for v in &self.tuples {
+                    let combined: Vec<bool> = t
+                        .iter()
+                        .zip(u)
+                        .zip(v)
+                        .map(|((&a, &b), &c)| op(a, b, c))
+                        .collect();
+                    if !self.contains(&combined) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Projection onto positions `(i, j)`.
+    fn project2(&self, i: usize, j: usize) -> Vec<(bool, bool)> {
+        let mut out: Vec<(bool, bool)> = self.tuples.iter().map(|t| (t[i], t[j])).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Projection onto position `i`.
+    fn project1(&self, i: usize) -> Vec<bool> {
+        let mut out: Vec<bool> = self.tuples.iter().map(|t| t[i]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The six tractable classes of Schaefer's theorem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchaeferClass {
+    /// Every relation contains the all-false tuple.
+    ZeroValid,
+    /// Every relation contains the all-true tuple.
+    OneValid,
+    /// Every relation is closed under AND.
+    Horn,
+    /// Every relation is closed under OR.
+    DualHorn,
+    /// Every relation is closed under ternary XOR.
+    Affine,
+    /// Every relation is closed under majority.
+    Bijunctive,
+}
+
+impl SchaeferClass {
+    /// All six classes, in the order the solver dispatch prefers them
+    /// (cheapest solvers first).
+    pub const ALL: [SchaeferClass; 6] = [
+        SchaeferClass::ZeroValid,
+        SchaeferClass::OneValid,
+        SchaeferClass::Horn,
+        SchaeferClass::DualHorn,
+        SchaeferClass::Affine,
+        SchaeferClass::Bijunctive,
+    ];
+
+    fn holds_for(self, r: &BooleanRelation) -> bool {
+        match self {
+            SchaeferClass::ZeroValid => r.is_zero_valid(),
+            SchaeferClass::OneValid => r.is_one_valid(),
+            SchaeferClass::Horn => r.is_horn(),
+            SchaeferClass::DualHorn => r.is_dual_horn(),
+            SchaeferClass::Affine => r.is_affine(),
+            SchaeferClass::Bijunctive => r.is_bijunctive(),
+        }
+    }
+}
+
+/// Classifies a relation set: returns every tractable class that all
+/// relations satisfy. Empty result = CSP(ℛ) is NP-hard (Schaefer).
+pub fn classify_relation_set(rels: &[BooleanRelation]) -> Vec<SchaeferClass> {
+    SchaeferClass::ALL
+        .into_iter()
+        .filter(|class| rels.iter().all(|r| class.holds_for(r)))
+        .collect()
+}
+
+/// A Boolean CSP instance over a fixed relation set (the CSP(ℛ) form of §4).
+#[derive(Clone, Debug)]
+pub struct BoolCspInstance {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The relation set ℛ.
+    pub relations: Vec<BooleanRelation>,
+    /// Constraints: (scope, index into `relations`).
+    pub constraints: Vec<(Vec<usize>, usize)>,
+}
+
+impl BoolCspInstance {
+    /// Validates scopes and relation indices.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, (scope, rel)) in self.constraints.iter().enumerate() {
+            if *rel >= self.relations.len() {
+                return Err(format!("constraint {i}: relation index out of range"));
+            }
+            if scope.len() != self.relations[*rel].arity() {
+                return Err(format!("constraint {i}: scope/arity mismatch"));
+            }
+            if scope.iter().any(|&v| v >= self.num_vars) {
+                return Err(format!("constraint {i}: variable out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.constraints.iter().all(|(scope, rel)| {
+            let t: Vec<bool> = scope.iter().map(|&v| assignment[v]).collect();
+            self.relations[*rel].contains(&t)
+        })
+    }
+
+    /// Brute-force solver (testing oracle).
+    pub fn solve_brute(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 25, "brute force limited to 25 variables");
+        let n = self.num_vars;
+        for bits in 0u32..(1u32 << n) {
+            let a: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+            if self.eval(&a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+/// Solves an instance whose relation set lies in the given tractable class,
+/// in polynomial time.
+///
+/// # Panics
+/// Panics (in debug builds) if the relations do not actually satisfy the
+/// class's closure property — the solvers are only correct under it.
+pub fn solve_in_class(inst: &BoolCspInstance, class: SchaeferClass) -> Option<Vec<bool>> {
+    debug_assert!(
+        inst.relations.iter().all(|r| class.holds_for(r)),
+        "relation set is not {class:?}"
+    );
+    if inst.constraints.iter().any(|(_, r)| inst.relations[*r].is_empty()) {
+        return None;
+    }
+    match class {
+        SchaeferClass::ZeroValid => Some(vec![false; inst.num_vars]),
+        SchaeferClass::OneValid => Some(vec![true; inst.num_vars]),
+        SchaeferClass::Horn => solve_horn(inst, false),
+        SchaeferClass::DualHorn => solve_horn(inst, true),
+        SchaeferClass::Affine => solve_affine(inst),
+        SchaeferClass::Bijunctive => solve_bijunctive(inst),
+    }
+}
+
+/// Classifies and solves: `Ok(model_option)` if some tractable class
+/// applies, `Err(())` if the relation set is NP-hard per Schaefer.
+#[allow(clippy::result_unit_err)] // Err carries no data: "NP-hard" is the whole message
+pub fn solve_schaefer(inst: &BoolCspInstance) -> Result<Option<Vec<bool>>, ()> {
+    match classify_relation_set(&inst.relations).first() {
+        Some(&class) => Ok(solve_in_class(inst, class)),
+        None => Err(()),
+    }
+}
+
+/// Horn fixpoint solver. With `dual = false`: raise lower bounds using AND
+/// closure (least model); with `dual = true`: lower upper bounds using OR
+/// closure (greatest model), implemented by negating the roles of the
+/// bounds.
+fn solve_horn(inst: &BoolCspInstance, dual: bool) -> Option<Vec<bool>> {
+    // bound[v]: current forced value in the extremal model. For Horn, start
+    // all-false and raise; for dual-Horn, start all-true and lower.
+    let start = dual;
+    let mut bound = vec![start; inst.num_vars];
+    loop {
+        let mut changed = false;
+        for (scope, rel_idx) in &inst.constraints {
+            let rel = &inst.relations[*rel_idx];
+            // Find the extremal tuple consistent with the current bounds:
+            // Horn: AND of all tuples t with t ≥ bound|scope;
+            // dual: OR of all tuples t with t ≤ bound|scope.
+            let mut acc: Option<Vec<bool>> = None;
+            for t in rel.tuples() {
+                let consistent = if dual {
+                    // t ≤ bound: wherever bound is false, t must be false.
+                    scope.iter().zip(t).all(|(&v, &tv)| !tv || bound[v])
+                } else {
+                    // t ≥ bound: wherever bound is true, t must be true.
+                    scope.iter().zip(t).all(|(&v, &tv)| tv || !bound[v])
+                };
+                if !consistent {
+                    continue;
+                }
+                acc = Some(match acc {
+                    None => t.clone(),
+                    Some(prev) => prev
+                        .iter()
+                        .zip(t)
+                        .map(|(&a, &b)| if dual { a | b } else { a & b })
+                        .collect(),
+                });
+            }
+            let extremal = acc?; // no consistent tuple → unsatisfiable
+            for (&v, &tv) in scope.iter().zip(&extremal) {
+                if bound[v] != tv {
+                    // Horn only raises (false→true); dual only lowers.
+                    debug_assert_eq!(bound[v], start);
+                    bound[v] = tv;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(inst.eval(&bound));
+    Some(bound)
+}
+
+/// Affine solver: each relation equals its affine hull over GF(2); extract
+/// the defining linear equations and solve the union by Gaussian
+/// elimination.
+fn solve_affine(inst: &BoolCspInstance) -> Option<Vec<bool>> {
+    let n = inst.num_vars;
+    // Equations: bitmask over variables (Vec<u64>) plus RHS bit.
+    let words = n.div_ceil(64).max(1);
+    let mut rows: Vec<(Vec<u64>, bool)> = Vec::new();
+    for (scope, rel_idx) in &inst.constraints {
+        let rel = &inst.relations[*rel_idx];
+        for (coeffs_local, rhs) in affine_equations(rel) {
+            let mut row = vec![0u64; words];
+            let mut r = rhs;
+            for (pos, &on) in coeffs_local.iter().enumerate() {
+                if on {
+                    let v = scope[pos];
+                    row[v / 64] ^= 1 << (v % 64);
+                }
+            }
+            // Repeated variables in a scope XOR-cancel correctly because we
+            // used ^= above; rhs unchanged.
+            let _ = &mut r;
+            rows.push((row, rhs));
+        }
+    }
+    gaussian_solve_gf2(rows, n, words)
+}
+
+/// The defining equations of an affine relation: all (a, c) with a·t = c for
+/// every tuple t, where a ranges over a basis of the orthogonal complement
+/// of span{t ⊕ t0}.
+fn affine_equations(rel: &BooleanRelation) -> Vec<(Vec<bool>, bool)> {
+    let r = rel.arity();
+    let tuples = rel.tuples();
+    assert!(!tuples.is_empty());
+    let t0 = &tuples[0];
+    // Basis of span{t ⊕ t0} by Gaussian elimination over positions.
+    let mut basis: Vec<u64> = Vec::new(); // r ≤ 64 assumed for relations
+    assert!(r <= 64, "relation arity limited to 64");
+    let to_mask = |t: &[bool]| -> u64 {
+        t.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    };
+    let m0 = to_mask(t0);
+    for t in tuples {
+        let mut v = to_mask(t) ^ m0;
+        for &b in &basis {
+            let pivot = 63 - b.leading_zeros();
+            if v >> pivot & 1 == 1 {
+                v ^= b;
+            }
+        }
+        if v != 0 {
+            basis.push(v);
+            basis.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    // Orthogonal complement: all a ∈ GF(2)^r with a·b = 0 for each basis b.
+    // Solve by elimination: treat basis vectors as rows of a matrix; the
+    // null space vectors are the equations' coefficient vectors.
+    let null_basis = null_space(&basis, r);
+    null_basis
+        .into_iter()
+        .map(|a| {
+            let coeffs: Vec<bool> = (0..r).map(|i| a >> i & 1 == 1).collect();
+            let c = (a & m0).count_ones() % 2 == 1;
+            (coeffs, c)
+        })
+        .collect()
+}
+
+/// Null space of the row space spanned by `rows` inside GF(2)^dim.
+fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
+    // Row-reduce `rows` to echelon form with pivot tracking.
+    let mut ech: Vec<u64> = Vec::new();
+    for &row in rows {
+        let mut v = row;
+        for &e in &ech {
+            let pivot = 63 - e.leading_zeros();
+            if v >> pivot & 1 == 1 {
+                v ^= e;
+            }
+        }
+        if v != 0 {
+            ech.push(v);
+            ech.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    let pivots: Vec<usize> = ech.iter().map(|&e| (63 - e.leading_zeros()) as usize).collect();
+    let free: Vec<usize> = (0..dim).filter(|i| !pivots.contains(i)).collect();
+    // For each free column f, the null vector has a 1 at f and at each pivot
+    // row whose reduced equation involves f.
+    let mut out = Vec::new();
+    // Fully reduce echelon form (back-substitution) for clean reads.
+    let mut reduced = ech.clone();
+    for i in 0..reduced.len() {
+        let pivot = 63 - reduced[i].leading_zeros();
+        for j in 0..reduced.len() {
+            if i != j && reduced[j] >> pivot & 1 == 1 {
+                reduced[j] ^= reduced[i];
+            }
+        }
+    }
+    for &f in &free {
+        let mut v: u64 = 1 << f;
+        for row in &reduced {
+            let pivot = (63 - row.leading_zeros()) as usize;
+            if row >> f & 1 == 1 {
+                v |= 1 << pivot;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Solves a GF(2) linear system; returns any solution.
+fn gaussian_solve_gf2(
+    mut rows: Vec<(Vec<u64>, bool)>,
+    n: usize,
+    words: usize,
+) -> Option<Vec<bool>> {
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row index, pivot col)
+    let mut rank = 0usize;
+    for col in 0..n {
+        let (w, b) = (col / 64, col % 64);
+        // Find a row at or below `rank` with a 1 in this column.
+        let found = (rank..rows.len()).find(|&i| rows[i].0[w] >> b & 1 == 1);
+        let Some(i) = found else { continue };
+        rows.swap(rank, i);
+        for j in 0..rows.len() {
+            if j != rank && rows[j].0[w] >> b & 1 == 1 {
+                let (head, tail) = rows.split_at_mut(rank.max(j));
+                let (src, dst) = if j < rank {
+                    (&tail[0], &mut head[j])
+                } else {
+                    (&head[rank], &mut tail[0])
+                };
+                for k in 0..words {
+                    dst.0[k] ^= src.0[k];
+                }
+                dst.1 ^= src.1;
+            }
+        }
+        pivots.push((rank, col));
+        rank += 1;
+    }
+    // Inconsistent if some zero row has RHS 1.
+    for (row, rhs) in rows.iter().skip(rank) {
+        if *rhs && row.iter().all(|&w| w == 0) {
+            return None;
+        }
+    }
+    // Also check rows within 0..rank that became zero (cannot happen: they
+    // have pivots), and any remaining zero=1 rows above.
+    for (row, rhs) in rows.iter().take(rank) {
+        if *rhs && row.iter().all(|&w| w == 0) {
+            return None;
+        }
+    }
+    let mut x = vec![false; n];
+    // Free variables default to false; pivots read off the (fully reduced)
+    // rows: x[pivot] = rhs ⊕ Σ_{free j in row} x[j] = rhs (free are false).
+    for &(ri, col) in &pivots {
+        x[col] = rows[ri].1;
+    }
+    Some(x)
+}
+
+/// Bijunctive solver: 2-decompose every constraint into its unary and binary
+/// projections and solve the resulting 2SAT instance.
+#[allow(clippy::needless_range_loop)] // index used across several arrays
+fn solve_bijunctive(inst: &BoolCspInstance) -> Option<Vec<bool>> {
+    let mut f = CnfFormula::new(inst.num_vars);
+    for (scope, rel_idx) in &inst.constraints {
+        let rel = &inst.relations[*rel_idx];
+        let r = rel.arity();
+        for i in 0..r {
+            let proj = rel.project1(i);
+            match proj.as_slice() {
+                [] => return None,
+                [only] => f.add_clause(vec![Lit::new(scope[i], *only)]),
+                _ => {}
+            }
+        }
+        for i in 0..r {
+            for j in (i + 1)..r {
+                let allowed = rel.project2(i, j);
+                for a in [false, true] {
+                    for b in [false, true] {
+                        if !allowed.contains(&(a, b)) {
+                            if scope[i] == scope[j] {
+                                // Same variable twice: forbidden (a,b) with
+                                // a == b forces a unit clause; a != b is
+                                // vacuous.
+                                if a == b {
+                                    f.add_clause(vec![Lit::new(scope[i], !a)]);
+                                }
+                            } else {
+                                f.add_clause(vec![
+                                    Lit::new(scope[i], !a),
+                                    Lit::new(scope[j], !b),
+                                ]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let model = solve_2sat(&f)?;
+    debug_assert!(inst.eval(&model), "2-decomposition must be exact for majority-closed relations");
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(bits: &[u8]) -> Vec<bool> {
+        bits.iter().map(|&b| b == 1).collect()
+    }
+
+    fn rel(arity: usize, rows: &[&[u8]]) -> BooleanRelation {
+        BooleanRelation::new(arity, rows.iter().map(|r| t(r)).collect())
+    }
+
+    /// x ∨ y (the 2SAT clause relation).
+    fn or2() -> BooleanRelation {
+        rel(2, &[&[0, 1], &[1, 0], &[1, 1]])
+    }
+
+    /// x ⊕ y = 1.
+    fn xor2() -> BooleanRelation {
+        rel(2, &[&[0, 1], &[1, 0]])
+    }
+
+    /// Horn implication ¬x ∨ y (x → y).
+    fn imp() -> BooleanRelation {
+        rel(2, &[&[0, 0], &[0, 1], &[1, 1]])
+    }
+
+    /// The 3SAT clause (x ∨ y ∨ z).
+    fn or3() -> BooleanRelation {
+        BooleanRelation::clause(&[true, true, true])
+    }
+
+    /// 1-in-3 SAT relation (NP-hard with Schaefer).
+    fn one_in_three() -> BooleanRelation {
+        rel(3, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+    }
+
+    #[test]
+    fn closure_properties() {
+        assert!(imp().is_horn());
+        assert!(imp().is_dual_horn());
+        assert!(imp().is_zero_valid() && imp().is_one_valid());
+        assert!(xor2().is_affine());
+        assert!(!xor2().is_horn());
+        assert!(!xor2().is_dual_horn());
+        assert!(or2().is_bijunctive());
+        assert!(or2().is_dual_horn());
+        assert!(!or2().is_horn());
+        assert!(!or3().is_horn());
+        assert!(or3().is_one_valid());
+        assert!(!one_in_three().is_affine());
+        assert!(!one_in_three().is_bijunctive());
+    }
+
+    #[test]
+    fn clause_relation_shape() {
+        let c = BooleanRelation::clause(&[true, false]);
+        // (x ∨ ¬y): forbidden tuple is (0, 1).
+        assert!(!c.contains(&t(&[0, 1])));
+        assert_eq!(c.tuples().len(), 3);
+    }
+
+    #[test]
+    fn classify_examples() {
+        // 2SAT relations: bijunctive (and dual-Horn for or2).
+        assert!(classify_relation_set(&[or2(), imp()]).contains(&SchaeferClass::Bijunctive));
+        // XOR system: affine (and also bijunctive — binary XOR is
+        // majority-closed), but not Horn and not 0/1-valid.
+        assert_eq!(
+            classify_relation_set(&[xor2()]),
+            vec![SchaeferClass::Affine, SchaeferClass::Bijunctive]
+        );
+        // 1-in-3 SAT: NP-hard.
+        assert!(classify_relation_set(&[one_in_three()]).is_empty());
+        // 3SAT clauses with mixed polarities: NP-hard.
+        let all_pols: Vec<BooleanRelation> = (0..8u8)
+            .map(|m| BooleanRelation::clause(&[(m & 1) != 0, (m & 2) != 0, (m & 4) != 0]))
+            .collect();
+        assert!(classify_relation_set(&all_pols).is_empty());
+    }
+
+    fn check_solver_matches_brute(inst: &BoolCspInstance) {
+        inst.validate().unwrap();
+        let classes = classify_relation_set(&inst.relations);
+        assert!(!classes.is_empty(), "test instance must be tractable");
+        let brute = inst.solve_brute();
+        for &class in &classes {
+            let got = solve_in_class(inst, class);
+            assert_eq!(got.is_some(), brute.is_some(), "class {class:?}");
+            if let Some(m) = got {
+                assert!(inst.eval(&m), "class {class:?} returned non-model");
+            }
+        }
+    }
+
+    #[test]
+    fn horn_solver_sat() {
+        // x0, x0→x1, x1→x2 : minimal model 111.
+        let unit = rel(1, &[&[1]]);
+        let inst = BoolCspInstance {
+            num_vars: 3,
+            relations: vec![unit, imp()],
+            constraints: vec![
+                (vec![0], 0),
+                (vec![0, 1], 1),
+                (vec![1, 2], 1),
+            ],
+        };
+        let m = solve_in_class(&inst, SchaeferClass::Horn).unwrap();
+        assert_eq!(m, vec![true, true, true]);
+        check_solver_matches_brute(&inst);
+    }
+
+    #[test]
+    fn horn_solver_unsat() {
+        // x0 ∧ (x0 → x1) ∧ ¬x1.
+        let unit_t = rel(1, &[&[1]]);
+        let unit_f = rel(1, &[&[0]]);
+        let inst = BoolCspInstance {
+            num_vars: 2,
+            relations: vec![unit_t, unit_f, imp()],
+            constraints: vec![(vec![0], 0), (vec![0, 1], 2), (vec![1], 1)],
+        };
+        assert!(solve_in_class(&inst, SchaeferClass::Horn).is_none());
+        assert!(inst.solve_brute().is_none());
+    }
+
+    #[test]
+    fn dual_horn_solver() {
+        // Dual-Horn: clauses with at most one negative literal... mirrored.
+        // (x0 ∨ x1) is dual-Horn; ¬x0 forces x1.
+        let unit_f = rel(1, &[&[0]]);
+        let inst = BoolCspInstance {
+            num_vars: 2,
+            relations: vec![or2(), unit_f],
+            constraints: vec![(vec![0, 1], 0), (vec![0], 1)],
+        };
+        let m = solve_in_class(&inst, SchaeferClass::DualHorn).unwrap();
+        assert!(inst.eval(&m));
+        assert!(!m[0] && m[1]);
+    }
+
+    #[test]
+    fn affine_solver_sat() {
+        // x0⊕x1 = 1, x1⊕x2 = 1 → x0 = x2, x1 = ¬x0. Satisfiable.
+        let inst = BoolCspInstance {
+            num_vars: 3,
+            relations: vec![xor2()],
+            constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0)],
+        };
+        let m = solve_in_class(&inst, SchaeferClass::Affine).unwrap();
+        assert!(inst.eval(&m));
+        check_solver_matches_brute(&inst);
+    }
+
+    #[test]
+    fn affine_solver_unsat() {
+        // Odd XOR cycle: x0⊕x1 = 1, x1⊕x2 = 1, x2⊕x0 = 1 is unsatisfiable.
+        let inst = BoolCspInstance {
+            num_vars: 3,
+            relations: vec![xor2()],
+            constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0), (vec![2, 0], 0)],
+        };
+        assert!(solve_in_class(&inst, SchaeferClass::Affine).is_none());
+        assert!(inst.solve_brute().is_none());
+    }
+
+    #[test]
+    fn affine_equations_of_xor() {
+        // xor2 = {(0,1),(1,0)}: single equation x + y = 1.
+        let eqs = affine_equations(&xor2());
+        assert_eq!(eqs.len(), 1);
+        let (coeffs, rhs) = &eqs[0];
+        assert_eq!(coeffs, &vec![true, true]);
+        assert!(*rhs);
+    }
+
+    #[test]
+    fn bijunctive_solver() {
+        // or2 constraints forming an implication structure.
+        let inst = BoolCspInstance {
+            num_vars: 4,
+            relations: vec![or2(), xor2()],
+            constraints: vec![(vec![0, 1], 0), (vec![1, 2], 1), (vec![2, 3], 1)],
+        };
+        // xor2 is also bijunctive? majority(001,010,100)... xor2 tuples are
+        // (0,1),(1,0): maj((0,1),(0,1),(1,0)) = (0,1) ✓; any triple majority
+        // stays in the set. So the set {or2, xor2} is bijunctive.
+        assert!(xor2().is_bijunctive());
+        check_solver_matches_brute(&inst);
+    }
+
+    #[test]
+    fn bijunctive_unsat() {
+        // x0⊕x1 = 1, x1⊕x2 = 1, x0⊕x2 = 1 via 2-decomposable xor2.
+        let inst = BoolCspInstance {
+            num_vars: 3,
+            relations: vec![xor2()],
+            constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0), (vec![0, 2], 0)],
+        };
+        assert!(solve_in_class(&inst, SchaeferClass::Bijunctive).is_none());
+    }
+
+    #[test]
+    fn zero_and_one_valid() {
+        let zv = rel(2, &[&[0, 0], &[1, 1]]);
+        let inst = BoolCspInstance {
+            num_vars: 2,
+            relations: vec![zv],
+            constraints: vec![(vec![0, 1], 0)],
+        };
+        let m0 = solve_in_class(&inst, SchaeferClass::ZeroValid).unwrap();
+        assert_eq!(m0, vec![false, false]);
+        let m1 = solve_in_class(&inst, SchaeferClass::OneValid).unwrap();
+        assert_eq!(m1, vec![true, true]);
+    }
+
+    #[test]
+    fn solve_schaefer_dispatch() {
+        let inst_tractable = BoolCspInstance {
+            num_vars: 2,
+            relations: vec![xor2()],
+            constraints: vec![(vec![0, 1], 0)],
+        };
+        assert!(solve_schaefer(&inst_tractable).unwrap().is_some());
+
+        let inst_hard = BoolCspInstance {
+            num_vars: 3,
+            relations: vec![one_in_three()],
+            constraints: vec![(vec![0, 1, 2], 0)],
+        };
+        assert!(solve_schaefer(&inst_hard).is_err());
+    }
+
+    #[test]
+    fn randomized_cross_check_all_classes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        // For each class, a small library of relations in that class.
+        let libraries: Vec<(SchaeferClass, Vec<BooleanRelation>)> = vec![
+            (SchaeferClass::Horn, vec![imp(), rel(1, &[&[1]]), rel(1, &[&[0]]),
+                rel(3, &[&[0,0,0],&[0,0,1],&[0,1,1],&[1,1,1],&[0,1,0]])]),
+            (SchaeferClass::Affine, vec![xor2(), rel(2, &[&[0,0],&[1,1]]),
+                rel(3, &[&[0,0,0],&[1,1,0],&[1,0,1],&[0,1,1]])]),
+            (SchaeferClass::Bijunctive, vec![or2(), xor2(), imp()]),
+            (SchaeferClass::DualHorn, vec![or2(), imp(), rel(1, &[&[0]])]),
+        ];
+        for (class, lib) in libraries {
+            // Check library membership first.
+            for r in &lib {
+                assert!(class.holds_for(r), "{class:?}: {r:?}");
+            }
+            for _ in 0..30 {
+                let num_vars = 6;
+                let mut constraints = Vec::new();
+                for _ in 0..rng.gen_range(1..8) {
+                    let ri = rng.gen_range(0..lib.len());
+                    let arity = lib[ri].arity();
+                    let scope: Vec<usize> =
+                        (0..arity).map(|_| rng.gen_range(0..num_vars)).collect();
+                    constraints.push((scope, ri));
+                }
+                let inst = BoolCspInstance {
+                    num_vars,
+                    relations: lib.clone(),
+                    constraints,
+                };
+                let got = solve_in_class(&inst, class);
+                let brute = inst.solve_brute();
+                assert_eq!(got.is_some(), brute.is_some(), "{class:?}");
+                if let Some(m) = got {
+                    assert!(inst.eval(&m), "{class:?} produced non-model");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Clause-width reduction: CNF-SAT → 3SAT (paper §6).
+//!
+//! The ETH is stated for 3SAT; the standard width reduction splits a wide
+//! clause (l₁ ∨ … ∨ l_k) into a chain
+//! (l₁ ∨ l₂ ∨ y₁) ∧ (¬y₁ ∨ l₃ ∨ y₂) ∧ … ∧ (¬y_{k−3} ∨ l_{k−1} ∨ l_k)
+//! with k − 3 fresh variables. The output is equisatisfiable, linear in the
+//! input size, and any model restricted to the original variables satisfies
+//! the original formula — which is why ETH lower bounds proved against 3SAT
+//! apply to CNF-SAT with arbitrary clause width too (in terms of n + m).
+
+use crate::cnf::{CnfFormula, Lit};
+
+/// The result of a width reduction.
+#[derive(Clone, Debug)]
+pub struct WidthReduction {
+    /// The 3SAT formula (original variables come first).
+    pub formula: CnfFormula,
+    /// Number of original variables (the prefix of any model that maps
+    /// back).
+    pub original_vars: usize,
+}
+
+/// Reduces an arbitrary-width CNF to 3SAT.
+pub fn reduce_to_3sat(f: &CnfFormula) -> WidthReduction {
+    let mut next_aux = f.num_vars();
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for clause in f.clauses() {
+        if clause.len() <= 3 {
+            clauses.push(clause.clone());
+            continue;
+        }
+        // Chain split.
+        let k = clause.len();
+        let mut fresh = || {
+            next_aux += 1;
+            next_aux - 1
+        };
+        let first_aux = fresh();
+        clauses.push(vec![clause[0], clause[1], Lit::pos(first_aux)]);
+        let mut prev = first_aux;
+        for &lit in &clause[2..k - 2] {
+            let aux = fresh();
+            clauses.push(vec![Lit::neg(prev), lit, Lit::pos(aux)]);
+            prev = aux;
+        }
+        clauses.push(vec![Lit::neg(prev), clause[k - 2], clause[k - 1]]);
+    }
+    WidthReduction {
+        formula: CnfFormula::from_clauses(next_aux, clauses),
+        original_vars: f.num_vars(),
+    }
+}
+
+/// Restricts a model of the reduced formula to the original variables.
+pub fn model_back(r: &WidthReduction, model: &[bool]) -> Vec<bool> {
+    model[..r.original_vars].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute, generators, DpllSolver};
+
+    #[test]
+    fn narrow_clauses_untouched() {
+        let f = generators::random_ksat(6, 15, 3, 1);
+        let r = reduce_to_3sat(&f);
+        assert_eq!(r.formula, f);
+    }
+
+    #[test]
+    fn equisatisfiable_on_wide_formulas() {
+        for seed in 0..15u64 {
+            let f = generators::random_ksat(8, 10, 6, seed);
+            let r = reduce_to_3sat(&f);
+            assert!(r.formula.is_ksat(3));
+            let expect = brute::solve(&f).is_some();
+            let (model, _) = DpllSolver::default().solve(&r.formula);
+            assert_eq!(model.is_some(), expect, "seed {seed}");
+            if let Some(m) = model {
+                assert!(f.eval(&model_back(&r, &m)), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_blowup() {
+        // One clause of width k becomes k − 2 clauses with k − 3 aux vars.
+        let f = generators::random_ksat(10, 1, 8, 3);
+        let r = reduce_to_3sat(&f);
+        assert_eq!(r.formula.num_clauses(), 6);
+        assert_eq!(r.formula.num_vars(), 10 + 5);
+    }
+
+    #[test]
+    fn width_four_boundary() {
+        let f = generators::random_ksat(5, 4, 4, 9);
+        let r = reduce_to_3sat(&f);
+        assert!(r.formula.is_ksat(3));
+        assert_eq!(
+            brute::solve(&f).is_some(),
+            brute::solve(&r.formula).is_some()
+        );
+    }
+
+    #[test]
+    fn every_original_model_extends() {
+        // The other direction of equisatisfiability: a model of f extends
+        // to one of the reduction (set y_i = "no satisfied literal yet").
+        for seed in 0..10u64 {
+            let (f, plant) = generators::planted_ksat(7, 8, 5, seed);
+            let r = reduce_to_3sat(&f);
+            let (model, _) = DpllSolver::default().solve(&r.formula);
+            let m = model.expect("satisfiable original ⇒ satisfiable reduction");
+            assert!(f.eval(&model_back(&r, &m)));
+            assert!(f.eval(&plant));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! CSP ⇄ homomorphism translations (paper §2.4).
+//!
+//! Every CSP instance I = (V, D, C) with constraints c_i = ⟨s_i, R_i⟩
+//! becomes a pair of structures over a vocabulary with one symbol Q_i per
+//! constraint: A has universe V with Q_i^A = {s_i}, B has universe D with
+//! Q_i^B = R_i. Then solutions of I are exactly the homomorphisms A → B.
+//! The inverse translation turns any structure pair back into a CSP. These
+//! are the bridges the integration tests drive end-to-end.
+
+use crate::structure::{Structure, Vocabulary};
+use lb_csp::{Constraint, CspInstance, Relation, Value};
+use std::sync::Arc;
+
+/// The structure pair (A, B) of a CSP instance: solutions of the instance
+/// correspond one-to-one with homomorphisms A → B.
+pub fn csp_to_structures(inst: &CspInstance) -> (Vocabulary, Structure, Structure) {
+    let voc = Vocabulary::new(
+        (0..inst.constraints.len())
+            .map(|i| (format!("Q{i}"), inst.constraints[i].scope.len()))
+            .collect(),
+    );
+    let mut a = Structure::new(&voc, inst.num_vars);
+    let mut b = Structure::new(&voc, inst.domain_size);
+    for (i, c) in inst.constraints.iter().enumerate() {
+        a.add_tuple(i, c.scope.clone());
+        for t in c.relation.tuples() {
+            b.add_tuple(i, t.iter().map(|&x| x as usize).collect());
+        }
+    }
+    (voc, a, b)
+}
+
+/// The CSP instance of a structure pair (A, B) over a shared vocabulary:
+/// variables = universe of A, domain = universe of B, one constraint per
+/// A-tuple with the corresponding B-relation.
+pub fn structures_to_csp(a: &Structure, b: &Structure) -> CspInstance {
+    assert_eq!(
+        a.num_relations(),
+        b.num_relations(),
+        "structures must share a vocabulary"
+    );
+    let mut inst = CspInstance::new(a.universe(), b.universe());
+    for sym in 0..a.num_relations() {
+        let rel = Arc::new(Relation::new(
+            arity_of(a, b, sym),
+            b.tuples(sym)
+                .iter()
+                .map(|t| t.iter().map(|&x| x as Value).collect())
+                .collect(),
+        ));
+        for t in a.tuples(sym) {
+            inst.add_constraint(Constraint::new(t.clone(), rel.clone()));
+        }
+    }
+    inst
+}
+
+fn arity_of(a: &Structure, b: &Structure, sym: usize) -> usize {
+    a.tuples(sym)
+        .first()
+        .or_else(|| b.tuples(sym).first())
+        .map(|t| t.len())
+        .unwrap_or(1)
+}
+
+/// Graph homomorphism as CSP (paper §2.3): variables = V(H), domain = V(G),
+/// one adjacency constraint per edge of H. Solutions = homomorphisms H → G.
+pub fn graph_hom_to_csp(h: &lb_graph::Graph, g: &lb_graph::Graph) -> CspInstance {
+    let mut inst = CspInstance::new(h.num_vertices(), g.num_vertices());
+    let adj = Arc::new(Relation::graph_adjacency(g));
+    for (u, v) in h.edges() {
+        inst.add_constraint(Constraint::new(vec![u, v], adj.clone()));
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::{count_homomorphisms, find_homomorphism};
+    use lb_csp::solver::bruteforce;
+    use lb_graph::generators;
+
+    #[test]
+    fn csp_solutions_equal_homomorphisms() {
+        for seed in 0..5u64 {
+            let g = generators::gnp(5, 0.5, seed);
+            let inst = lb_csp::generators::random_binary_csp(&g, 3, 0.3, seed);
+            let (_, a, b) = csp_to_structures(&inst);
+            assert_eq!(
+                bruteforce::count(&inst),
+                count_homomorphisms(&a, &b),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn hom_found_is_csp_solution() {
+        let g = generators::cycle(5);
+        let inst = lb_csp::generators::random_binary_csp(&g, 3, 0.2, 9);
+        let (_, a, b) = csp_to_structures(&inst);
+        if let Some(h) = find_homomorphism(&a, &b) {
+            let assignment: Vec<Value> = h.iter().map(|&x| x as Value).collect();
+            assert!(inst.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn roundtrip_csp_structures_csp() {
+        let g = generators::path(4);
+        let inst = lb_csp::generators::random_binary_csp(&g, 2, 0.4, 3);
+        let (_, a, b) = csp_to_structures(&inst);
+        let back = structures_to_csp(&a, &b);
+        assert_eq!(bruteforce::count(&inst), bruteforce::count(&back));
+    }
+
+    #[test]
+    fn graph_hom_csp_counts_colorings() {
+        // Homomorphisms C5 → K3 = proper 3-colorings of C5 = 30.
+        let inst = graph_hom_to_csp(&generators::cycle(5), &generators::clique(3));
+        assert_eq!(bruteforce::count(&inst), 30);
+    }
+
+    #[test]
+    fn graph_hom_csp_matches_structure_hom() {
+        let h = generators::path(4);
+        let g = generators::cycle(6);
+        let inst = graph_hom_to_csp(&h, &g);
+        let sh = Structure::from_graph(&h);
+        let sg = Structure::from_graph(&g);
+        assert_eq!(bruteforce::count(&inst), count_homomorphisms(&sh, &sg));
+    }
+}

@@ -1,0 +1,199 @@
+//! Cores of relational structures (paper §5, Theorem 5.3).
+//!
+//! A structure A' is a *retract* of A if A' is an induced substructure and
+//! there is a homomorphism A → A' fixing A' — equivalently (up to
+//! homomorphic equivalence) just a hom A → A' into the substructure. The
+//! *core* of A is its smallest retract; it is unique up to isomorphism, and
+//! Grohe's Theorem 5.3 says HOM(𝒜, _) is tractable iff the cores of 𝒜 have
+//! bounded treewidth. This module computes cores by iterated retraction:
+//! repeatedly find an endomorphism onto a proper induced substructure until
+//! none exists.
+
+use crate::hom::{enumerate_homomorphisms, find_homomorphism};
+use crate::structure::Structure;
+
+/// True iff `a` is a core: it admits no homomorphism onto a proper induced
+/// substructure — equivalently, every endomorphism of `a` is surjective.
+pub fn is_core(a: &Structure) -> bool {
+    let n = a.universe();
+    if n <= 1 {
+        return true;
+    }
+    let mut found_noninjective = false;
+    enumerate_homomorphisms(a, a, &mut |h| {
+        let mut seen = vec![false; n];
+        for &v in h {
+            seen[v] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            found_noninjective = true;
+            true // stop
+        } else {
+            false
+        }
+    });
+    !found_noninjective
+}
+
+/// Computes the core of `a`: returns the core structure and the list of
+/// original element ids it retains (`map[new] = old`).
+///
+/// Strategy: while some endomorphism misses an element, restrict to the
+/// image and recurse. Each step shrinks the universe, so at most |A| rounds
+/// of homomorphism search run.
+pub fn compute_core(a: &Structure) -> (Structure, Vec<usize>) {
+    let mut current = a.clone();
+    // old-id of each current element.
+    let mut ids: Vec<usize> = (0..a.universe()).collect();
+    loop {
+        let n = current.universe();
+        if n <= 1 {
+            return (current, ids);
+        }
+        // Find a non-surjective endomorphism, if any.
+        let mut image: Option<Vec<usize>> = None;
+        enumerate_homomorphisms(&current, &current, &mut |h| {
+            let mut seen = vec![false; n];
+            for &v in h {
+                seen[v] = true;
+            }
+            if seen.iter().any(|&s| !s) {
+                image = Some(h.to_vec());
+                true
+            } else {
+                false
+            }
+        });
+        let Some(h) = image else {
+            return (current, ids);
+        };
+        // Restrict to the image elements.
+        let mut img: Vec<usize> = h.clone();
+        img.sort_unstable();
+        img.dedup();
+        // The restriction of a non-surjective endomorphism need not itself
+        // be a retraction of the substructure, but homomorphic equivalence
+        // is preserved: current → sub (via h) and sub → current (inclusion),
+        // so iterating still converges to the core.
+        let (sub, kept) = current.induced_substructure(&img);
+        debug_assert!(
+            find_homomorphism(&current, &sub).is_some(),
+            "h maps current into the substructure"
+        );
+        ids = kept.iter().map(|&k| ids[k]).collect();
+        current = sub;
+    }
+}
+
+/// True iff `a` and `b` are homomorphically equivalent (have homs both ways)
+/// — the equivalence under which the core is the canonical representative.
+pub fn hom_equivalent(a: &Structure, b: &Structure) -> bool {
+    find_homomorphism(a, b).is_some() && find_homomorphism(b, a).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{Structure, Vocabulary};
+    use lb_graph::generators;
+
+    fn gs(g: &lb_graph::Graph) -> Structure {
+        Structure::from_graph(g)
+    }
+
+    #[test]
+    fn cliques_are_cores() {
+        for k in 1..=4 {
+            assert!(is_core(&gs(&generators::clique(k))), "K{k}");
+        }
+    }
+
+    #[test]
+    fn odd_cycles_are_cores() {
+        assert!(is_core(&gs(&generators::cycle(5))));
+        assert!(is_core(&gs(&generators::cycle(7))));
+    }
+
+    #[test]
+    fn even_cycle_core_is_edge() {
+        // Bipartite graphs with an edge retract to K2.
+        let (core, _) = compute_core(&gs(&generators::cycle(6)));
+        assert_eq!(core.universe(), 2);
+        assert!(hom_equivalent(&core, &gs(&generators::clique(2))));
+    }
+
+    #[test]
+    fn path_core_is_edge() {
+        let (core, ids) = compute_core(&gs(&generators::path(5)));
+        assert_eq!(core.universe(), 2);
+        assert_eq!(ids.len(), 2);
+        assert!(is_core(&core));
+    }
+
+    #[test]
+    fn core_is_hom_equivalent_to_original() {
+        let g = generators::grid(2, 3); // bipartite
+        let s = gs(&g);
+        let (core, _) = compute_core(&s);
+        assert!(hom_equivalent(&s, &core));
+        assert!(is_core(&core));
+        assert_eq!(core.universe(), 2);
+    }
+
+    #[test]
+    fn disjoint_clique_and_triangle() {
+        // K3 + K2 (disjoint): core is K3 (K2 maps into K3).
+        let mut g = lb_graph::Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(3, 4);
+        let (core, _) = compute_core(&gs(&g));
+        assert_eq!(core.universe(), 3);
+        assert!(hom_equivalent(&core, &gs(&generators::clique(3))));
+    }
+
+    #[test]
+    fn single_vertex_is_core() {
+        let s = gs(&lb_graph::Graph::new(1));
+        assert!(is_core(&s));
+        let (core, ids) = compute_core(&s);
+        assert_eq!(core.universe(), 1);
+        assert_eq!(ids, vec![0]);
+    }
+
+    #[test]
+    fn edgeless_graph_core_is_single_vertex() {
+        let s = gs(&lb_graph::Graph::new(4));
+        let (core, _) = compute_core(&s);
+        assert_eq!(core.universe(), 1);
+    }
+
+    #[test]
+    fn directed_path_core() {
+        // Directed path 0→1→2→3 is hom-equivalent to... itself? A directed
+        // path of length 3 has no shorter retract (height argument), and is
+        // a core iff every endomorphism is onto. For the transitive-free
+        // path, the only endomorphism is the identity.
+        let voc = Vocabulary::digraph();
+        let mut p = Structure::new(&voc, 4);
+        p.add_tuple(0, vec![0, 1]);
+        p.add_tuple(0, vec![1, 2]);
+        p.add_tuple(0, vec![2, 3]);
+        assert!(is_core(&p));
+    }
+
+    #[test]
+    fn theorem_5_3_parameter_core_treewidth() {
+        // The quantity Theorem 5.3 cares about: treewidth of the core. For
+        // a big bipartite grid the core is K2 with treewidth 1, even though
+        // the grid itself has larger treewidth.
+        let g = generators::grid(3, 3);
+        let s = gs(&g);
+        let (core, _) = compute_core(&s);
+        let core_tw = lb_graph::treewidth::treewidth_exact(&core.gaifman_graph());
+        assert_eq!(core_tw, 1);
+        let grid_tw = lb_graph::treewidth::treewidth_exact(&g);
+        assert!(grid_tw > core_tw);
+    }
+}

@@ -1,0 +1,271 @@
+//! Homomorphism search between relational structures.
+//!
+//! Backtracking over the elements of A with candidate pruning: before the
+//! search, a fixpoint of arc-consistency over the constraint "every tuple of
+//! A must map into a tuple of B" shrinks each element's candidate set. The
+//! search itself is the |B|^{|A|} brute force that Theorem 5.3 says cannot
+//! be beaten in general (unless the cores of the A-side have bounded
+//! treewidth).
+
+use crate::structure::Structure;
+
+/// Finds a homomorphism from `a` to `b`, if one exists.
+pub fn find_homomorphism(a: &Structure, b: &Structure) -> Option<Vec<usize>> {
+    let mut result = None;
+    search(a, b, &mut |h| {
+        result = Some(h.to_vec());
+        true
+    });
+    result
+}
+
+/// Counts all homomorphisms from `a` to `b`.
+pub fn count_homomorphisms(a: &Structure, b: &Structure) -> u64 {
+    let mut n = 0u64;
+    search(a, b, &mut |_| {
+        n += 1;
+        false
+    });
+    n
+}
+
+/// Enumerates homomorphisms through a callback; `true` stops the search.
+pub fn enumerate_homomorphisms<F: FnMut(&[usize]) -> bool>(
+    a: &Structure,
+    b: &Structure,
+    visit: &mut F,
+) {
+    search(a, b, visit);
+}
+
+/// True iff `a` maps homomorphically into `b`.
+pub fn hom_exists(a: &Structure, b: &Structure) -> bool {
+    find_homomorphism(a, b).is_some()
+}
+
+fn search<F: FnMut(&[usize]) -> bool>(a: &Structure, b: &Structure, visit: &mut F) {
+    assert_eq!(
+        a.num_relations(),
+        b.num_relations(),
+        "structures must share a vocabulary"
+    );
+    let na = a.universe();
+    let nb = b.universe();
+    if na == 0 {
+        visit(&[]);
+        return;
+    }
+    if nb == 0 {
+        return;
+    }
+
+    // Candidate sets after arc-consistency pre-pruning.
+    let mut candidates: Vec<Vec<bool>> = vec![vec![true; nb]; na];
+    if !prune(a, b, &mut candidates) {
+        return;
+    }
+
+    let mut h: Vec<Option<usize>> = vec![None; na];
+    backtrack(a, b, &candidates, &mut h, visit);
+}
+
+/// Arc-consistency fixpoint: x can map to v only if every A-tuple through x
+/// extends to a B-tuple with v at x's position (checking each tuple
+/// position-wise against B's tuples). Returns false if a candidate set
+/// empties.
+fn prune(a: &Structure, b: &Structure, candidates: &mut [Vec<bool>]) -> bool {
+    loop {
+        let mut changed = false;
+        for sym in 0..a.num_relations() {
+            for t in a.tuples(sym) {
+                for (pos, &x) in t.iter().enumerate() {
+                    for v in 0..b.universe() {
+                        if !candidates[x][v] {
+                            continue;
+                        }
+                        // Is there a B-tuple with v at `pos` whose other
+                        // coordinates are still candidates?
+                        let supported = b.tuples(sym).iter().any(|u| {
+                            u[pos] == v
+                                && t.iter()
+                                    .zip(u)
+                                    .all(|(&ax, &bv)| candidates[ax][bv])
+                        });
+                        if !supported {
+                            candidates[x][v] = false;
+                            changed = true;
+                        }
+                    }
+                    if candidates[x].iter().all(|&c| !c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn backtrack<F: FnMut(&[usize]) -> bool>(
+    a: &Structure,
+    b: &Structure,
+    candidates: &[Vec<bool>],
+    h: &mut Vec<Option<usize>>,
+    visit: &mut F,
+) -> bool {
+    // Most-constrained element first.
+    let next = (0..a.universe())
+        .filter(|&x| h[x].is_none())
+        .min_by_key(|&x| candidates[x].iter().filter(|&&c| c).count());
+    let x = match next {
+        Some(x) => x,
+        None => {
+            let full: Vec<usize> = h.iter().map(|o| o.expect("complete")).collect();
+            debug_assert!(a.is_homomorphism_to(b, &full));
+            return visit(&full);
+        }
+    };
+    for v in 0..b.universe() {
+        if !candidates[x][v] {
+            continue;
+        }
+        h[x] = Some(v);
+        if consistent(a, b, h, x) && backtrack(a, b, candidates, h, visit) {
+            return true;
+        }
+    }
+    h[x] = None;
+    false
+}
+
+/// Checks every A-tuple that involves `x`: if fully mapped it must land in
+/// B; if partially mapped some compatible B-tuple must remain.
+fn consistent(a: &Structure, b: &Structure, h: &[Option<usize>], x: usize) -> bool {
+    for sym in 0..a.num_relations() {
+        for t in a.tuples(sym) {
+            if !t.contains(&x) {
+                continue;
+            }
+            let compatible = b.tuples(sym).iter().any(|u| {
+                t.iter()
+                    .zip(u)
+                    .all(|(&ax, &bv)| h[ax].is_none_or(|hv| hv == bv))
+            });
+            if !compatible {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{Structure, Vocabulary};
+    use lb_graph::generators;
+
+    fn graph_structure(g: &lb_graph::Graph) -> Structure {
+        Structure::from_graph(g)
+    }
+
+    #[test]
+    fn graph_coloring_as_homomorphism() {
+        // G → K_k homomorphisms = proper k-colorings. C5 is 3-chromatic.
+        let c5 = graph_structure(&generators::cycle(5));
+        let k2 = graph_structure(&generators::clique(2));
+        let k3 = graph_structure(&generators::clique(3));
+        assert!(!hom_exists(&c5, &k2));
+        assert!(hom_exists(&c5, &k3));
+        // Count: proper 3-colorings of C5 = (3−1)^5 + (−1)^5·(3−1) = 30.
+        assert_eq!(count_homomorphisms(&c5, &k3), 30);
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let c6 = graph_structure(&generators::cycle(6));
+        let k2 = graph_structure(&generators::clique(2));
+        assert!(hom_exists(&c6, &k2));
+        // 2-colorings of an even cycle: 2.
+        assert_eq!(count_homomorphisms(&c6, &k2), 2);
+    }
+
+    #[test]
+    fn clique_to_smaller_clique_fails() {
+        let k4 = graph_structure(&generators::clique(4));
+        let k3 = graph_structure(&generators::clique(3));
+        assert!(!hom_exists(&k4, &k3));
+        assert!(hom_exists(&k3, &k4));
+        // Injective maps K3 → K4: 4·3·2 = 24.
+        assert_eq!(count_homomorphisms(&k3, &k4), 24);
+    }
+
+    #[test]
+    fn homomorphism_is_verified() {
+        let p3 = graph_structure(&generators::path(3));
+        let k2 = graph_structure(&generators::clique(2));
+        let h = find_homomorphism(&p3, &k2).unwrap();
+        assert!(p3.is_homomorphism_to(&k2, &h));
+    }
+
+    #[test]
+    fn directed_structures() {
+        // Directed path 0→1→2 has no hom into a single arc 0→1 (needs the
+        // image of 1 to have an out-arc), but maps into a 2-cycle.
+        let voc = Vocabulary::digraph();
+        let mut dpath = Structure::new(&voc, 3);
+        dpath.add_tuple(0, vec![0, 1]);
+        dpath.add_tuple(0, vec![1, 2]);
+        let mut arc = Structure::new(&voc, 2);
+        arc.add_tuple(0, vec![0, 1]);
+        assert!(!hom_exists(&dpath, &arc));
+        let mut two_cycle = Structure::new(&voc, 2);
+        two_cycle.add_tuple(0, vec![0, 1]);
+        two_cycle.add_tuple(0, vec![1, 0]);
+        assert!(hom_exists(&dpath, &two_cycle));
+    }
+
+    #[test]
+    fn empty_a_has_one_hom() {
+        let voc = Vocabulary::digraph();
+        let a = Structure::new(&voc, 0);
+        let b = Structure::new(&voc, 3);
+        assert_eq!(count_homomorphisms(&a, &b), 1);
+    }
+
+    #[test]
+    fn empty_b_has_none() {
+        let voc = Vocabulary::digraph();
+        let a = Structure::new(&voc, 2);
+        let b = Structure::new(&voc, 0);
+        assert_eq!(count_homomorphisms(&a, &b), 0);
+    }
+
+    #[test]
+    fn no_tuples_means_all_maps() {
+        let voc = Vocabulary::digraph();
+        let a = Structure::new(&voc, 3);
+        let b = Structure::new(&voc, 4);
+        assert_eq!(count_homomorphisms(&a, &b), 64);
+    }
+
+    #[test]
+    fn multi_symbol_vocabulary() {
+        // Two unary-ish… use two binary symbols R, S; A requires R-arc and
+        // S-arc between the same pair; B has them on different pairs.
+        let voc = Vocabulary::new(vec![("R".into(), 2), ("S".into(), 2)]);
+        let mut a = Structure::new(&voc, 2);
+        a.add_tuple(0, vec![0, 1]);
+        a.add_tuple(1, vec![0, 1]);
+        let mut b = Structure::new(&voc, 3);
+        b.add_tuple(0, vec![0, 1]);
+        b.add_tuple(1, vec![1, 2]);
+        assert!(!hom_exists(&a, &b));
+        let mut b2 = Structure::new(&voc, 3);
+        b2.add_tuple(0, vec![0, 1]);
+        b2.add_tuple(1, vec![0, 1]);
+        assert!(hom_exists(&a, &b2));
+    }
+}

@@ -1,0 +1,280 @@
+//! Vocabularies and relational structures (paper §2.4).
+
+use lb_graph::Graph;
+
+/// A vocabulary: named relation symbols with fixed arities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vocabulary {
+    symbols: Vec<(String, usize)>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate symbol names or zero arities.
+    pub fn new(symbols: Vec<(String, usize)>) -> Self {
+        for (i, (name, arity)) in symbols.iter().enumerate() {
+            assert!(*arity >= 1, "symbol {name} has arity 0");
+            assert!(
+                symbols[i + 1..].iter().all(|(n, _)| n != name),
+                "duplicate symbol {name}"
+            );
+        }
+        Vocabulary { symbols }
+    }
+
+    /// The vocabulary of digraphs: one binary symbol `E`.
+    pub fn digraph() -> Self {
+        Vocabulary::new(vec![("E".to_string(), 2)])
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True iff there are no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Arity of symbol `i`.
+    pub fn arity(&self, i: usize) -> usize {
+        self.symbols[i].1
+    }
+
+    /// Name of symbol `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.symbols[i].0
+    }
+
+    /// Maximum arity over all symbols (the paper's "arity of τ").
+    pub fn max_arity(&self) -> usize {
+        self.symbols.iter().map(|&(_, a)| a).max().unwrap_or(0)
+    }
+}
+
+/// A τ-structure: universe `0..universe` and, for each symbol, a set of
+/// tuples over the universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Structure {
+    universe: usize,
+    /// `relations[sym]` is the sorted tuple set of symbol `sym`.
+    relations: Vec<Vec<Vec<usize>>>,
+}
+
+impl Structure {
+    /// Creates a structure with all relations empty.
+    pub fn new(vocabulary: &Vocabulary, universe: usize) -> Self {
+        Structure {
+            universe,
+            relations: vec![Vec::new(); vocabulary.len()],
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of relations (must match the vocabulary).
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Adds a tuple to symbol `sym`.
+    ///
+    /// # Panics
+    /// Panics if an element is outside the universe.
+    pub fn add_tuple(&mut self, sym: usize, tuple: Vec<usize>) {
+        assert!(
+            tuple.iter().all(|&x| x < self.universe),
+            "tuple element outside universe"
+        );
+        let rel = &mut self.relations[sym];
+        match rel.binary_search(&tuple) {
+            Ok(_) => {}
+            Err(pos) => rel.insert(pos, tuple),
+        }
+    }
+
+    /// The tuples of symbol `sym` (sorted).
+    pub fn tuples(&self, sym: usize) -> &[Vec<usize>] {
+        &self.relations[sym]
+    }
+
+    /// Membership test.
+    pub fn contains(&self, sym: usize, tuple: &[usize]) -> bool {
+        self.relations[sym]
+            .binary_search_by(|t| t.as_slice().cmp(tuple))
+            .is_ok()
+    }
+
+    /// Total number of tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Validates a mapping `h` as a homomorphism from `self` to `other`.
+    pub fn is_homomorphism_to(&self, other: &Structure, h: &[usize]) -> bool {
+        if h.len() != self.universe || self.relations.len() != other.relations.len() {
+            return false;
+        }
+        if h.iter().any(|&x| x >= other.universe) {
+            return false;
+        }
+        for (sym, rel) in self.relations.iter().enumerate() {
+            for t in rel {
+                let image: Vec<usize> = t.iter().map(|&x| h[x]).collect();
+                if !other.contains(sym, &image) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The induced substructure on `elements`, with elements renumbered in
+    /// the given order. Tuples mentioning dropped elements are removed.
+    /// Returns the substructure and the old-id list (`map[new] = old`).
+    pub fn induced_substructure(&self, elements: &[usize]) -> (Structure, Vec<usize>) {
+        let mut new_of = vec![usize::MAX; self.universe];
+        for (new, &old) in elements.iter().enumerate() {
+            new_of[old] = new;
+        }
+        let relations = self
+            .relations
+            .iter()
+            .map(|rel| {
+                let mut out: Vec<Vec<usize>> = rel
+                    .iter()
+                    .filter(|t| t.iter().all(|&x| new_of[x] != usize::MAX))
+                    .map(|t| t.iter().map(|&x| new_of[x]).collect())
+                    .collect();
+                out.sort_unstable();
+                out
+            })
+            .collect();
+        (
+            Structure {
+                universe: elements.len(),
+                relations,
+            },
+            elements.to_vec(),
+        )
+    }
+
+    /// A directed graph as a structure over [`Vocabulary::digraph`]: arcs in
+    /// both directions for each undirected edge.
+    pub fn from_graph(g: &Graph) -> Structure {
+        let mut s = Structure {
+            universe: g.num_vertices(),
+            relations: vec![Vec::new()],
+        };
+        for (u, v) in g.edges() {
+            s.add_tuple(0, vec![u, v]);
+            s.add_tuple(0, vec![v, u]);
+        }
+        s
+    }
+
+    /// The Gaifman graph of the structure: elements adjacent iff they
+    /// co-occur in a tuple.
+    pub fn gaifman_graph(&self) -> Graph {
+        let mut g = Graph::new(self.universe);
+        for rel in &self.relations {
+            for t in rel {
+                for (i, &u) in t.iter().enumerate() {
+                    for &v in &t[i + 1..] {
+                        if u != v && !g.has_edge(u, v) {
+                            g.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_basics() {
+        let voc = Vocabulary::new(vec![("R".into(), 2), ("S".into(), 3)]);
+        assert_eq!(voc.len(), 2);
+        assert_eq!(voc.arity(1), 3);
+        assert_eq!(voc.max_arity(), 3);
+        assert_eq!(voc.name(0), "R");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn duplicate_symbol_rejected() {
+        let _ = Vocabulary::new(vec![("R".into(), 2), ("R".into(), 2)]);
+    }
+
+    #[test]
+    fn structure_tuples() {
+        let voc = Vocabulary::digraph();
+        let mut s = Structure::new(&voc, 3);
+        s.add_tuple(0, vec![0, 1]);
+        s.add_tuple(0, vec![0, 1]); // dedup
+        s.add_tuple(0, vec![1, 2]);
+        assert_eq!(s.total_tuples(), 2);
+        assert!(s.contains(0, &[0, 1]));
+        assert!(!s.contains(0, &[1, 0]));
+    }
+
+    #[test]
+    fn homomorphism_check() {
+        // Path 0→1→2 maps into a single loop-free edge 0→1? No. Into an
+        // alternating structure with 1→0 as well? Yes via 0,1,0.
+        let voc = Vocabulary::digraph();
+        let mut path = Structure::new(&voc, 3);
+        path.add_tuple(0, vec![0, 1]);
+        path.add_tuple(0, vec![1, 2]);
+        let mut edge2 = Structure::new(&voc, 2);
+        edge2.add_tuple(0, vec![0, 1]);
+        edge2.add_tuple(0, vec![1, 0]);
+        assert!(path.is_homomorphism_to(&edge2, &[0, 1, 0]));
+        assert!(!path.is_homomorphism_to(&edge2, &[0, 1, 1]));
+        let mut one_arc = Structure::new(&voc, 2);
+        one_arc.add_tuple(0, vec![0, 1]);
+        assert!(!path.is_homomorphism_to(&one_arc, &[0, 1, 0]));
+    }
+
+    #[test]
+    fn induced_substructure_filters_tuples() {
+        let voc = Vocabulary::digraph();
+        let mut s = Structure::new(&voc, 4);
+        s.add_tuple(0, vec![0, 1]);
+        s.add_tuple(0, vec![1, 2]);
+        s.add_tuple(0, vec![2, 3]);
+        let (sub, map) = s.induced_substructure(&[1, 2]);
+        assert_eq!(sub.universe(), 2);
+        assert_eq!(sub.tuples(0), &[vec![0, 1]]); // old (1,2) renamed
+        assert_eq!(map, vec![1, 2]);
+    }
+
+    #[test]
+    fn graph_roundtrip_and_gaifman() {
+        let g = lb_graph::generators::cycle(4);
+        let s = Structure::from_graph(&g);
+        assert_eq!(s.total_tuples(), 8);
+        let gg = s.gaifman_graph();
+        assert_eq!(gg.edges(), g.edges());
+    }
+
+    #[test]
+    fn is_homomorphism_rejects_bad_shapes() {
+        let voc = Vocabulary::digraph();
+        let s = Structure::new(&voc, 2);
+        let t = Structure::new(&voc, 2);
+        assert!(!s.is_homomorphism_to(&t, &[0])); // wrong length
+        assert!(!s.is_homomorphism_to(&t, &[0, 5])); // out of range
+    }
+}

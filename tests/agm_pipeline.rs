@@ -1,0 +1,81 @@
+//! Integration: Theorems 3.1–3.3 across query families.
+//!
+//! For each query family: compute ρ* exactly, build the worst-case witness
+//! database, join it with both engines, and verify (a) the bound is met
+//! with equality by the witness, (b) the bound is never violated on random
+//! databases, (c) both engines agree everywhere.
+
+use lowerbounds::join::{agm, binary, generators as jgen, wcoj, JoinQuery};
+use lowerbounds::lp::Rational;
+
+fn families() -> Vec<(JoinQuery, Rational)> {
+    vec![
+        (JoinQuery::triangle(), Rational::new(3, 2)),
+        (JoinQuery::cycle(4), Rational::new(2, 1)),
+        (JoinQuery::cycle(5), Rational::new(5, 2)),
+        (JoinQuery::star(3), Rational::new(3, 1)),
+        (JoinQuery::loomis_whitney(3), Rational::new(3, 2)),
+        (JoinQuery::loomis_whitney(4), Rational::new(4, 3)),
+    ]
+}
+
+#[test]
+fn rho_star_values_are_exact() {
+    for (q, expected) in families() {
+        assert_eq!(agm::rho_star(&q).unwrap(), expected, "query {q:?}");
+    }
+}
+
+#[test]
+fn worst_case_witnesses_meet_the_bound() {
+    for (q, _) in families() {
+        for n in [16u64, 81, 256] {
+            let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
+            assert!(db.max_table_size() as u64 <= n, "{q:?} n={n}");
+            let count = wcoj::count(&q, &db, None).unwrap();
+            assert_eq!(count as u128, predicted, "{q:?} n={n}");
+            assert!(
+                agm::agm_bound_holds(&q, &db, predicted).unwrap(),
+                "{q:?} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn agm_bound_never_violated_on_random_databases() {
+    for (q, _) in families() {
+        for seed in 0..4u64 {
+            let db = jgen::random_database(&q, 40, 8, seed);
+            let count = wcoj::count(&q, &db, None).unwrap();
+            assert!(
+                agm::agm_bound_holds(&q, &db, count as u128).unwrap(),
+                "{q:?} seed {seed}: answer {count} exceeds AGM bound"
+            );
+        }
+    }
+}
+
+#[test]
+fn both_engines_agree_on_every_family() {
+    for (q, _) in families() {
+        for seed in 0..3u64 {
+            let db = jgen::random_database(&q, 30, 6, seed);
+            let a = wcoj::join(&q, &db, None).unwrap();
+            let (b, _) = binary::left_deep_join(&q, &db).unwrap();
+            assert_eq!(a, b, "{q:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn boolean_emptiness_agrees_with_count() {
+    for (q, _) in families() {
+        for seed in 10..13u64 {
+            let db = jgen::random_database(&q, 20, 10, seed);
+            let empty = lowerbounds::join::boolean::is_answer_empty(&q, &db).unwrap();
+            let count = wcoj::count(&q, &db, None).unwrap();
+            assert_eq!(empty, count == 0, "{q:?} seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration: the §2 four-domain equivalences, end to end.
+//!
+//! One instance is pushed through all four formalisms — join query, CSP,
+//! partitioned subgraph isomorphism, relational-structure homomorphism —
+//! and every route must report the same solution count.
+
+use lowerbounds::csp::solver::bruteforce;
+use lowerbounds::graphalg::subiso::partitioned_subgraph_iso;
+use lowerbounds::join::{generators as jgen, wcoj, JoinQuery};
+use lowerbounds::reductions::fourdomains;
+use lowerbounds::structure::convert as sconvert;
+use lowerbounds::structure::hom;
+
+#[test]
+fn all_four_domains_agree_on_triangle_instances() {
+    for seed in 0..6u64 {
+        // Domain 1: join query + database.
+        let q = JoinQuery::triangle();
+        let db = jgen::random_binary_database(&q, 18, 6, seed);
+        let join_count = wcoj::count(&q, &db, None).unwrap();
+
+        // Domain 2: CSP.
+        let (csp, _values) = fourdomains::join_to_csp(&q, &db).unwrap();
+        let csp_count = bruteforce::count(&csp);
+        assert_eq!(csp_count, join_count, "CSP vs join, seed {seed}");
+
+        // Domain 3: relational structures / homomorphism.
+        let (_, a, b) = sconvert::csp_to_structures(&csp);
+        let hom_count = hom::count_homomorphisms(&a, &b);
+        assert_eq!(hom_count, join_count, "hom vs join, seed {seed}");
+
+        // Domain 4: partitioned subgraph isomorphism (decision only — the
+        // mapping is a bijection on solutions, here we check emptiness).
+        let (pattern, host, classes) = fourdomains::binary_csp_to_partitioned_subiso(&csp);
+        let subiso = partitioned_subgraph_iso(&pattern, &host, &classes);
+        assert_eq!(subiso.is_some(), join_count > 0, "subiso vs join, seed {seed}");
+        if let Some(f) = subiso {
+            let assignment = fourdomains::subiso_solution_to_assignment(csp.domain_size, &f);
+            assert!(csp.eval(&assignment), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn graph_homomorphism_equals_csp_on_cycles() {
+    // Hom(C5 → K3) = proper 3-colorings of C5 = 30, via all routes.
+    let c5 = lowerbounds::graph::generators::cycle(5);
+    let k3 = lowerbounds::graph::generators::clique(3);
+
+    let inst = sconvert::graph_hom_to_csp(&c5, &k3);
+    assert_eq!(bruteforce::count(&inst), 30);
+
+    let sa = lowerbounds::structure::Structure::from_graph(&c5);
+    let sb = lowerbounds::structure::Structure::from_graph(&k3);
+    assert_eq!(hom::count_homomorphisms(&sa, &sb), 30);
+
+    // And through the join-query domain.
+    let (q, db) = fourdomains::csp_to_join(&inst);
+    assert_eq!(wcoj::count(&q, &db, None).unwrap(), 30);
+}
+
+#[test]
+fn csp_to_join_and_back_preserves_counts() {
+    for seed in 0..6u64 {
+        let g = lowerbounds::graph::generators::k_tree(2, 7, seed);
+        let inst = lowerbounds::csp::generators::random_binary_csp(&g, 3, 0.3, seed);
+        let direct = bruteforce::count(&inst);
+        let (q, db) = fourdomains::csp_to_join(&inst);
+        let via_join = wcoj::count(&q, &db, None).unwrap();
+        assert_eq!(via_join, direct, "seed {seed}");
+        let (back, _) = fourdomains::join_to_csp(&q, &db).unwrap();
+        assert_eq!(bruteforce::count(&back), direct, "seed {seed}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration: the lower-bound reductions chained end to end, solved by
+//! the algorithms whose optimality they certify.
+
+use lowerbounds::csp::solver::treewidth_dp;
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::{clique, domset};
+use lowerbounds::reductions::{
+    clique_to_csp, clique_to_special, domset_to_csp, sat_to_coloring, sat_to_csp, sat_to_ov,
+};
+use lowerbounds::sat::{brute, generators as sgen};
+
+#[test]
+fn sat_through_three_routes() {
+    // 3SAT decided directly, via CSP, via 3-coloring, and via OV — all
+    // four answers must coincide.
+    for seed in 0..8u64 {
+        let f = sgen::random_ksat(6, 22, 3, seed);
+        let direct = brute::solve(&f).is_some();
+
+        let csp = sat_to_csp::reduce(&f);
+        assert_eq!(
+            lowerbounds::csp::solver::solve(&csp).is_some(),
+            direct,
+            "CSP route, seed {seed}"
+        );
+
+        assert_eq!(
+            sat_to_coloring::decide_via_coloring(&f),
+            direct,
+            "coloring route, seed {seed}"
+        );
+
+        let ov = sat_to_ov::decide_via_ov(&f);
+        assert_eq!(ov.is_some(), direct, "OV route, seed {seed}");
+        if let Some(a) = ov {
+            assert!(f.eval(&a), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn clique_through_csp_and_special_routes() {
+    for seed in 0..6u64 {
+        let g = generators::gnp(10, 0.5, seed);
+        for k in 3..=4 {
+            let direct = clique::find_clique(&g, k).is_some();
+            assert_eq!(
+                clique_to_csp::has_clique_via_csp(&g, k).is_some(),
+                direct,
+                "CSP route, seed {seed}, k {k}"
+            );
+            assert_eq!(
+                clique_to_special::has_clique_via_special(&g, k).is_some(),
+                direct,
+                "special route, seed {seed}, k {k}"
+            );
+            // And the Nešetřil–Poljak matrix-multiplication route.
+            assert_eq!(
+                clique::find_clique_neipol(&g, k).is_some(),
+                direct,
+                "NP route, seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_7_2_pipeline_dominating_set_via_treewidth_dp() {
+    // The SETH-tightness argument, executed: t-DomSet → CSP of treewidth t,
+    // solved by Freuder's DP (the algorithm the theorem says is optimal),
+    // for both the plain and the grouped form.
+    for seed in 0..5u64 {
+        let g = generators::gnp(6, 0.35, seed);
+        let t = 2;
+        let direct = domset::find_dominating_set_branching(&g, t).is_some();
+
+        let inst = domset_to_csp::reduce(&g, t);
+        let dp = treewidth_dp::solve_auto(&inst);
+        assert_eq!(dp.solution.is_some(), direct, "plain, seed {seed}");
+        if let Some(s) = dp.solution {
+            let ds = domset_to_csp::solution_back(t, &s);
+            assert!(g.is_dominating_set(&ds));
+        }
+
+        let grouped = domset_to_csp::reduce_grouped(&g, t, 2);
+        let dp2 = treewidth_dp::solve_auto(&grouped);
+        assert_eq!(dp2.solution.is_some(), direct, "grouped, seed {seed}");
+        if let Some(s) = dp2.solution {
+            let ds = domset_to_csp::solution_back_grouped(&g, t, 2, &s);
+            assert!(g.is_dominating_set(&ds));
+        }
+    }
+}
+
+#[test]
+fn grouped_reduction_trades_treewidth_for_domain() {
+    // The Theorem 7.2 trick quantified: grouping divides the treewidth by g
+    // and raises the domain to n^g.
+    let g = generators::gnp(5, 0.5, 3);
+    let t = 4;
+    let plain = domset_to_csp::reduce(&g, t);
+    let grouped = domset_to_csp::reduce_grouped(&g, t, 2);
+    let tw_plain =
+        lowerbounds::graph::treewidth::treewidth_upper_bound(&plain.primal_graph()).0;
+    let tw_grouped =
+        lowerbounds::graph::treewidth::treewidth_upper_bound(&grouped.primal_graph()).0;
+    assert_eq!(tw_plain, 4);
+    assert_eq!(tw_grouped, 2);
+    assert_eq!(grouped.domain_size, 5 * 5);
+}
+
+#[test]
+fn core_computation_feeds_theorem_5_3() {
+    // Theorem 5.3's parameter: tw(core(A)). For bipartite pattern graphs
+    // the core collapses to an edge, so HOM(A, _) is easy even though A
+    // itself has large treewidth.
+    use lowerbounds::structure::{compute_core, Structure};
+    let grid = generators::grid(3, 4);
+    let a = Structure::from_graph(&grid);
+    let (core, _) = compute_core(&a);
+    assert_eq!(core.universe(), 2);
+    let tw_core =
+        lowerbounds::graph::treewidth::treewidth_exact(&core.gaifman_graph());
+    assert_eq!(tw_core, 1);
+    // The odd cycle is its own core: the parameter stays 2.
+    let c5 = Structure::from_graph(&generators::cycle(5));
+    let (core5, _) = compute_core(&c5);
+    assert_eq!(core5.universe(), 5);
+}

@@ -1,0 +1,106 @@
+//! Property-based integration tests (proptest): the core invariants of the
+//! workspace, checked on randomized inputs across crate boundaries.
+
+use proptest::prelude::*;
+
+use lowerbounds::csp::solver::{backtracking, bruteforce, treewidth_dp, BacktrackConfig};
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::triangle;
+use lowerbounds::join::{agm, wcoj, JoinQuery};
+use lowerbounds::sat::{brute, generators as sgen, DpllConfig, DpllSolver};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three CSP solvers count the same number of solutions.
+    #[test]
+    fn csp_solvers_agree(seed in 0u64..10_000, n in 4usize..8, d in 2usize..4, p in 0.2f64..0.6) {
+        let g = generators::gnp(n, p, seed);
+        let inst = lowerbounds::csp::generators::random_binary_csp(&g, d, 0.4, seed);
+        let expect = bruteforce::count(&inst);
+        let (bt, _) = backtracking::count(&inst, BacktrackConfig::default());
+        prop_assert_eq!(bt, expect);
+        let dp = treewidth_dp::solve_auto(&inst);
+        prop_assert_eq!(dp.count, expect);
+        if expect > 0 {
+            prop_assert!(inst.eval(&dp.solution.unwrap()));
+        }
+    }
+
+    /// DPLL agrees with brute force on random 3SAT.
+    #[test]
+    fn dpll_sound_and_complete(seed in 0u64..10_000, n in 4usize..9, m in 5usize..30) {
+        let f = sgen::random_ksat(n, m, 3.min(n), seed);
+        let expect = brute::solve(&f).is_some();
+        let (model, _) = DpllSolver::new(DpllConfig::default()).solve(&f);
+        prop_assert_eq!(model.is_some(), expect);
+        if let Some(a) = model {
+            prop_assert!(f.eval(&a));
+        }
+    }
+
+    /// The AGM bound holds on arbitrary random triangle databases, and the
+    /// join output is correct vs the nested-loop oracle.
+    #[test]
+    fn agm_bound_and_join_correctness(seed in 0u64..10_000, rows in 5usize..30, dom in 3u64..10) {
+        let q = JoinQuery::triangle();
+        let db = lowerbounds::join::generators::random_binary_database(&q, rows, dom, seed);
+        let fast = wcoj::join(&q, &db, None).unwrap();
+        let slow = wcoj::nested_loop_join(&q, &db).unwrap();
+        prop_assert_eq!(&fast, &slow);
+        prop_assert!(agm::agm_bound_holds(&q, &db, fast.len() as u128).unwrap());
+    }
+
+    /// Triangle detectors agree on random graphs.
+    #[test]
+    fn triangle_detectors_agree(seed in 0u64..10_000, n in 3usize..25, p in 0.05f64..0.5) {
+        let g = generators::gnp(n, p, seed);
+        let a = triangle::find_triangle_naive(&g).is_some();
+        let b = triangle::find_triangle_matmul(&g).is_some();
+        let c = triangle::find_triangle_ayz(&g).is_some();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+        prop_assert_eq!(a, triangle::count_triangles(&g) > 0);
+    }
+
+    /// Tree decompositions from any heuristic validate and never beat the
+    /// exact treewidth.
+    #[test]
+    fn decompositions_valid_and_above_exact(seed in 0u64..10_000, n in 3usize..11, p in 0.15f64..0.6) {
+        let g = generators::gnp(n, p, seed);
+        let (w, td) = lowerbounds::graph::treewidth::treewidth_upper_bound(&g);
+        prop_assert!(td.validate(&g).is_ok());
+        let exact = lowerbounds::graph::treewidth::treewidth_exact(&g);
+        prop_assert!(w >= exact);
+        // Nice form stays valid and has the same width or less... (width
+        // can only be preserved: morphing adds no larger bags).
+        let nice = td.to_nice(n);
+        prop_assert!(nice.validate().is_ok());
+        prop_assert_eq!(nice.width(), td.width());
+    }
+
+    /// 2SAT linear solver agrees with DPLL.
+    #[test]
+    fn twosat_agrees_with_dpll(seed in 0u64..10_000, n in 2usize..10, m in 2usize..25) {
+        let f = sgen::random_ksat(n, m, 2.min(n), seed);
+        let fast = lowerbounds::sat::solve_2sat(&f);
+        let (slow, _) = DpllSolver::new(DpllConfig::default()).solve(&f);
+        prop_assert_eq!(fast.is_some(), slow.is_some());
+        if let Some(a) = fast {
+            prop_assert!(f.eval(&a));
+        }
+    }
+
+    /// Cores: hom-equivalent to the original and themselves cores.
+    #[test]
+    fn core_invariants(seed in 0u64..10_000, n in 2usize..7, p in 0.2f64..0.8) {
+        use lowerbounds::structure::{compute_core, is_core, Structure};
+        use lowerbounds::structure::core::hom_equivalent;
+        let g = generators::gnp(n, p, seed);
+        let s = Structure::from_graph(&g);
+        let (core, kept) = compute_core(&s);
+        prop_assert!(is_core(&core));
+        prop_assert!(hom_equivalent(&s, &core));
+        prop_assert!(kept.len() <= n);
+    }
+}
