@@ -34,18 +34,26 @@ fn bench(c: &mut Criterion) {
     for s in [60u64, 120] {
         let (q, db) = dead_end_path(s);
         let n = s * s;
-        group.bench_with_input(BenchmarkId::new("yannakakis", n), &(q.clone(), db.clone()), |b, (q, db)| {
-            b.iter(|| yannakakis(q, db).unwrap().len())
-        });
-        group.bench_with_input(BenchmarkId::new("emptiness_sweep", n), &(q.clone(), db.clone()), |b, (q, db)| {
-            b.iter(|| is_empty_acyclic(q, db).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("generic_join", n), &(q.clone(), db.clone()), |b, (q, db)| {
-            b.iter(|| wcoj::count(q, db, None).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("binary_plan", n), &(q, db), |b, (q, db)| {
-            b.iter(|| binary::left_deep_join(q, db).unwrap().0.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis", n),
+            &(q.clone(), db.clone()),
+            |b, (q, db)| b.iter(|| yannakakis(q, db).unwrap().len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("emptiness_sweep", n),
+            &(q.clone(), db.clone()),
+            |b, (q, db)| b.iter(|| is_empty_acyclic(q, db).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("generic_join", n),
+            &(q.clone(), db.clone()),
+            |b, (q, db)| b.iter(|| wcoj::count(q, db, None).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_plan", n),
+            &(q, db),
+            |b, (q, db)| b.iter(|| binary::left_deep_join(q, db).unwrap().0.len()),
+        );
     }
     group.finish();
 }

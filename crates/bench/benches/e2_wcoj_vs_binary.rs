@@ -42,17 +42,13 @@ fn bench(c: &mut Criterion) {
     let (q, db, answer) = adversarial_triangle_db(6400);
     for order in [["a", "b", "c"], ["b", "c", "a"], ["c", "a", "b"]] {
         let ord: Vec<String> = order.iter().map(|s| s.to_string()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("order", order.join("")),
-            &ord,
-            |b, ord| {
-                b.iter(|| {
-                    let c = wcoj::count(&q, &db, Some(ord)).unwrap();
-                    assert_eq!(c, answer);
-                    c
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("order", order.join("")), &ord, |b, ord| {
+            b.iter(|| {
+                let c = wcoj::count(&q, &db, Some(ord)).unwrap();
+                assert_eq!(c, answer);
+                c
+            })
+        });
     }
     group.finish();
 }

@@ -12,11 +12,9 @@ fn bench(c: &mut Criterion) {
     for k in [2usize, 3] {
         for d in [3usize, 6] {
             let inst = ktree_csp(k, 24, d, 7);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), d),
-                &inst,
-                |b, inst| b.iter(|| treewidth_dp::solve_auto(inst).count),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), d), &inst, |b, inst| {
+                b.iter(|| treewidth_dp::solve_auto(inst).count)
+            });
         }
     }
     group.finish();

@@ -2,9 +2,7 @@
 //! exponential DPLL, with the DPLL feature ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lowerbounds::sat::schaefer::{
-    solve_in_class, BoolCspInstance, BooleanRelation, SchaeferClass,
-};
+use lowerbounds::sat::schaefer::{solve_in_class, BoolCspInstance, BooleanRelation, SchaeferClass};
 use lowerbounds::sat::{generators as sgen, Branching, DpllConfig, DpllSolver};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +18,10 @@ fn horn_instance(n: usize, m: usize, seed: u64) -> BoolCspInstance {
     };
     let lib = vec![
         rel(2, &[&[0, 0], &[0, 1], &[1, 1]]),
-        rel(3, &[&[0, 0, 0], &[0, 0, 1], &[0, 1, 1], &[1, 1, 1], &[0, 1, 0]]),
+        rel(
+            3,
+            &[&[0, 0, 0], &[0, 0, 1], &[0, 1, 1], &[1, 1, 1], &[0, 1, 0]],
+        ),
     ];
     let mut rng = StdRng::seed_from_u64(seed);
     let constraints = (0..m)

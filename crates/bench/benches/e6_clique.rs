@@ -11,16 +11,12 @@ fn bench(c: &mut Criterion) {
     for k in [3usize, 6] {
         for n in [40usize, 60] {
             let g = generators::gnp(n, 0.3, (n + k) as u64);
-            group.bench_with_input(
-                BenchmarkId::new(format!("brute_k{k}"), n),
-                &g,
-                |b, g| b.iter(|| find_clique(g, k).is_some()),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("neipol_k{k}"), n),
-                &g,
-                |b, g| b.iter(|| find_clique_neipol(g, k).is_some()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("brute_k{k}"), n), &g, |b, g| {
+                b.iter(|| find_clique(g, k).is_some())
+            });
+            group.bench_with_input(BenchmarkId::new(format!("neipol_k{k}"), n), &g, |b, g| {
+                b.iter(|| find_clique_neipol(g, k).is_some())
+            });
         }
     }
     group.finish();

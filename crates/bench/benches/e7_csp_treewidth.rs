@@ -11,11 +11,9 @@ fn bench(c: &mut Criterion) {
     for k in [3usize, 4] {
         for d in [8usize, 14] {
             let inst = partitioned_clique_csp(k, d, 0.3, 11);
-            group.bench_with_input(
-                BenchmarkId::new(format!("dp_k{k}"), d),
-                &inst,
-                |b, inst| b.iter(|| treewidth_dp::solve_auto(inst).count),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("dp_k{k}"), d), &inst, |b, inst| {
+                b.iter(|| treewidth_dp::solve_auto(inst).count)
+            });
         }
     }
     group.finish();
@@ -24,9 +22,27 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let inst = partitioned_clique_csp(4, 14, 0.3, 11);
     for (name, cfg) in [
-        ("mrv_fc", BacktrackConfig { mrv: true, forward_checking: true }),
-        ("mrv_only", BacktrackConfig { mrv: true, forward_checking: false }),
-        ("plain", BacktrackConfig { mrv: false, forward_checking: false }),
+        (
+            "mrv_fc",
+            BacktrackConfig {
+                mrv: true,
+                forward_checking: true,
+            },
+        ),
+        (
+            "mrv_only",
+            BacktrackConfig {
+                mrv: true,
+                forward_checking: false,
+            },
+        ),
+        (
+            "plain",
+            BacktrackConfig {
+                mrv: false,
+                forward_checking: false,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new(name, 14), &inst, |b, inst| {
             b.iter(|| backtracking::solve(inst, cfg).0.is_some())

@@ -13,11 +13,9 @@ fn bench(c: &mut Criterion) {
     for k in [2usize, 3] {
         for n in [25usize, 40] {
             let g = generators::gnm(n, n, (n * k) as u64);
-            group.bench_with_input(
-                BenchmarkId::new(format!("brute_k{k}"), n),
-                &g,
-                |b, g| b.iter(|| find_dominating_set_brute(g, k).is_some()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("brute_k{k}"), n), &g, |b, g| {
+                b.iter(|| find_dominating_set_brute(g, k).is_some())
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("branching_k{k}"), n),
                 &g,

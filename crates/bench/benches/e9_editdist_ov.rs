@@ -13,9 +13,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [500usize, 2000] {
         let (a, b) = random_strings(n, n as u64);
-        group.bench_with_input(BenchmarkId::new("full_dp", n), &(a.clone(), b.clone()), |bn, (a, b)| {
-            bn.iter(|| edit_distance(a, b))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_dp", n),
+            &(a.clone(), b.clone()),
+            |bn, (a, b)| bn.iter(|| edit_distance(a, b)),
+        );
         group.bench_with_input(BenchmarkId::new("banded_64", n), &(a, b), |bn, (a, b)| {
             bn.iter(|| edit_distance_banded(a, b, 64))
         });

@@ -6,7 +6,9 @@
 //! quantity the corresponding theorem of the paper speaks about.
 
 use lb_bench::{adversarial_triangle_db, ktree_csp, partitioned_clique_csp, random_strings};
-use lowerbounds::experiments::{fit_exponent, fmt_duration, print_table, time, time_min, SamplePoint};
+use lowerbounds::experiments::{
+    fit_exponent, fmt_duration, print_table, time, time_min, SamplePoint,
+};
 use lowerbounds::graph::generators;
 use lowerbounds::join::{agm, binary, wcoj, JoinQuery};
 
@@ -96,11 +98,18 @@ fn e13_acyclic() {
         // Binary plan materializes s³ tuples; keep it to small sizes.
         let bin_cell = if s <= 200 {
             let ((_, stats), t_bin) = time(|| binary::left_deep_join(&q, &db).unwrap());
-            format!("{} ({} tuples)", fmt_duration(t_bin), stats.total_materialized)
+            format!(
+                "{} ({} tuples)",
+                fmt_duration(t_bin),
+                stats.total_materialized
+            )
         } else {
             "—".to_string()
         };
-        yk_pts.push(SamplePoint { size: n, value: t_yk.as_secs_f64() });
+        yk_pts.push(SamplePoint {
+            size: n,
+            value: t_yk.as_secs_f64(),
+        });
         rows.push(vec![
             format!("{}", s * s),
             fmt_duration(t_yk),
@@ -121,7 +130,13 @@ fn e13_acyclic() {
         "{}",
         print_table(
             "E13 — acyclic queries: Yannakakis linear time vs unreduced plans (§4)",
-            &["N per relation", "Yannakakis", "emptiness sweep", "generic join", "binary plan"],
+            &[
+                "N per relation",
+                "Yannakakis",
+                "emptiness sweep",
+                "generic join",
+                "binary plan"
+            ],
             &rows
         )
     );
@@ -147,7 +162,10 @@ fn e1_agm_bound() {
             let measured = wcoj::count(&q, &db, None).unwrap();
             assert_eq!(measured as u128, predicted);
             let bound = agm::agm_bound(&q, n).unwrap();
-            pts.push(SamplePoint { size: n as f64, value: measured as f64 });
+            pts.push(SamplePoint {
+                size: n as f64,
+                value: measured as f64,
+            });
             rows.push(vec![
                 name.to_string(),
                 n.to_string(),
@@ -190,8 +208,14 @@ fn e2_wcoj_vs_binary() {
         let (count, t_wcoj) = time_min(3, || wcoj::count(&q, &db, None).unwrap());
         assert_eq!(count, answer);
         let ((_, stats), t_bin) = time_min(3, || binary::left_deep_join(&q, &db).unwrap());
-        wcoj_pts.push(SamplePoint { size: n as f64, value: t_wcoj.as_secs_f64() });
-        bin_pts.push(SamplePoint { size: n as f64, value: t_bin.as_secs_f64() });
+        wcoj_pts.push(SamplePoint {
+            size: n as f64,
+            value: t_wcoj.as_secs_f64(),
+        });
+        bin_pts.push(SamplePoint {
+            size: n as f64,
+            value: t_bin.as_secs_f64(),
+        });
         rows.push(vec![
             n.to_string(),
             answer.to_string(),
@@ -204,7 +228,13 @@ fn e2_wcoj_vs_binary() {
         "{}",
         print_table(
             "E2 — worst-case optimal join vs binary plan (Theorem 3.3)",
-            &["N", "answer", "generic join", "binary plan", "max intermediate"],
+            &[
+                "N",
+                "answer",
+                "generic join",
+                "binary plan",
+                "max intermediate"
+            ],
             &rows
         )
     );
@@ -227,7 +257,10 @@ fn e3_freuder() {
         for d in [2usize, 3, 4, 6, 8] {
             let inst = ktree_csp(k, 24, d, 7 + k as u64);
             let (result, t) = time_min(3, || treewidth_dp::solve_auto(&inst));
-            pts.push(SamplePoint { size: d as f64, value: t.as_secs_f64() });
+            pts.push(SamplePoint {
+                size: d as f64,
+                value: t.as_secs_f64(),
+            });
             rows.push(vec![
                 k.to_string(),
                 d.to_string(),
@@ -272,7 +305,9 @@ fn e3_freuder() {
 /// E4 — Schaefer (§4): polynomial classes vs NP-hard 3SAT, plus the DPLL
 /// feature ablation.
 fn e4_schaefer() {
-    use lowerbounds::sat::schaefer::{solve_in_class, BoolCspInstance, BooleanRelation, SchaeferClass};
+    use lowerbounds::sat::schaefer::{
+        solve_in_class, BoolCspInstance, BooleanRelation, SchaeferClass,
+    };
     use lowerbounds::sat::{generators as sgen, Branching, DpllConfig, DpllSolver};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -287,7 +322,10 @@ fn e4_schaefer() {
     };
     let horn_lib = vec![
         rel(2, &[&[0, 0], &[0, 1], &[1, 1]]),
-        rel(3, &[&[0, 0, 0], &[0, 0, 1], &[0, 1, 1], &[1, 1, 1], &[0, 1, 0]]),
+        rel(
+            3,
+            &[&[0, 0, 0], &[0, 0, 1], &[0, 1, 1], &[1, 1, 1], &[0, 1, 0]],
+        ),
     ];
     let xor_lib = vec![rel(2, &[&[0, 1], &[1, 0]]), rel(2, &[&[0, 0], &[1, 1]])];
 
@@ -382,7 +420,13 @@ fn e5_special() {
         "{}",
         print_table(
             "E5 — SPECIAL CSP: n^{O(log n)} solver through the Clique reduction (k ≤ log₂ n)",
-            &["k", "|V| = k + 2^k", "clique found", "special solver", "log₂|V|"],
+            &[
+                "k",
+                "|V| = k + 2^k",
+                "clique found",
+                "special solver",
+                "log₂|V|"
+            ],
             &rows
         )
     );
@@ -406,8 +450,14 @@ fn e6_clique() {
             let (found_b, t_b) = time(|| find_clique(&g, k).is_some());
             let (found_np, t_np) = time(|| find_clique_neipol(&g, k).is_some());
             assert!(!found_b && !found_np, "Turán graph is K_k-free");
-            brute_pts.push(SamplePoint { size: n as f64, value: t_b.as_secs_f64().max(1e-9) });
-            np_pts.push(SamplePoint { size: n as f64, value: t_np.as_secs_f64().max(1e-9) });
+            brute_pts.push(SamplePoint {
+                size: n as f64,
+                value: t_b.as_secs_f64().max(1e-9),
+            });
+            np_pts.push(SamplePoint {
+                size: n as f64,
+                value: t_np.as_secs_f64().max(1e-9),
+            });
             rows.push(vec![
                 k.to_string(),
                 n.to_string(),
@@ -456,7 +506,10 @@ fn e7_csp_treewidth() {
             // |D|^j worst case instead of collapsing by pruning.
             let inst = partitioned_clique_csp(k, d, 0.5, 11);
             let (res, t) = time_min(2, || treewidth_dp::solve_auto(&inst));
-            pts.push(SamplePoint { size: d as f64, value: t.as_secs_f64().max(1e-9) });
+            pts.push(SamplePoint {
+                size: d as f64,
+                value: t.as_secs_f64().max(1e-9),
+            });
             rows.push(vec![
                 k.to_string(),
                 (k - 1).to_string(),
@@ -487,7 +540,10 @@ fn e7_csp_treewidth() {
     let mut ab = Vec::new();
     let inst = partitioned_clique_csp(4, 16, 0.3, 11);
     for (mrv, fc) in [(false, false), (true, false), (false, true), (true, true)] {
-        let cfg = BacktrackConfig { mrv, forward_checking: fc };
+        let cfg = BacktrackConfig {
+            mrv,
+            forward_checking: fc,
+        };
         let ((_, stats), t) = time(|| backtracking::solve(&inst, cfg));
         ab.push(vec![
             mrv.to_string(),
@@ -518,7 +574,10 @@ fn e8_domset() {
             // Sparse graphs: no small dominating set → full enumeration.
             let g = generators::gnm(n, n, (n * k) as u64);
             let (found, t) = time(|| find_dominating_set_brute(&g, k).is_some());
-            pts.push(SamplePoint { size: n as f64, value: t.as_secs_f64().max(1e-9) });
+            pts.push(SamplePoint {
+                size: n as f64,
+                value: t.as_secs_f64().max(1e-9),
+            });
             rows.push(vec![
                 k.to_string(),
                 n.to_string(),
@@ -549,8 +608,7 @@ fn e8_domset() {
         let t = 2;
         let inst = domset_to_csp::reduce(&g, t);
         let (res, dt) = time(|| lowerbounds::csp::solver::treewidth_dp::solve_auto(&inst));
-        let direct =
-            lowerbounds::graphalg::domset::find_dominating_set_branching(&g, t).is_some();
+        let direct = lowerbounds::graphalg::domset::find_dominating_set_branching(&g, t).is_some();
         assert_eq!(res.solution.is_some(), direct);
         rows.push(vec![
             seed.to_string(),
@@ -578,7 +636,10 @@ fn e9_editdist_ov() {
     for &n in &[500usize, 1000, 2000, 4000] {
         let (a, b) = random_strings(n, n as u64);
         let (d, t) = time_min(3, || edit_distance(&a, &b));
-        pts.push(SamplePoint { size: n as f64, value: t.as_secs_f64() });
+        pts.push(SamplePoint {
+            size: n as f64,
+            value: t.as_secs_f64(),
+        });
         rows.push(vec![n.to_string(), d.to_string(), fmt_duration(t)]);
     }
     let fit = fit_exponent(&pts);
@@ -604,7 +665,10 @@ fn e9_editdist_ov() {
         let (a, b) = lb_bench::random_vector_sets_no_pair(n, 64, 0.35, n as u64);
         let (found, t) = time_min(3, || find_orthogonal_pair(&a, &b).is_some());
         assert!(!found);
-        pts.push(SamplePoint { size: n as f64, value: t.as_secs_f64().max(1e-9) });
+        pts.push(SamplePoint {
+            size: n as f64,
+            value: t.as_secs_f64().max(1e-9),
+        });
         rows.push(vec![n.to_string(), found.to_string(), fmt_duration(t)]);
     }
     let fit = fit_exponent(&pts);
@@ -624,7 +688,10 @@ fn e9_editdist_ov() {
     // SAT → OV spot check.
     let f = lowerbounds::sat::generators::random_ksat(16, 70, 3, 4);
     let (sat, t) = time(|| lowerbounds::reductions::sat_to_ov::decide_via_ov(&f).is_some());
-    println!("  SAT→OV on n=16, m=70: satisfiable = {sat}, decided via 2·2^8 vectors in {}", fmt_duration(t));
+    println!(
+        "  SAT→OV on n=16, m=70: satisfiable = {sat}, decided via 2·2^8 vectors in {}",
+        fmt_duration(t)
+    );
     println!();
 }
 
@@ -640,8 +707,14 @@ fn e10_matmul_triangle() {
         let a = IntMatrix::adjacency(&g);
         let (_, t_naive) = time(|| a.multiply_naive(&a));
         let (_, t_strassen) = time(|| a.multiply_strassen(&a));
-        naive_pts.push(SamplePoint { size: n as f64, value: t_naive.as_secs_f64() });
-        strassen_pts.push(SamplePoint { size: n as f64, value: t_strassen.as_secs_f64() });
+        naive_pts.push(SamplePoint {
+            size: n as f64,
+            value: t_naive.as_secs_f64(),
+        });
+        strassen_pts.push(SamplePoint {
+            size: n as f64,
+            value: t_strassen.as_secs_f64(),
+        });
         let (tri_mm, t_mm) = time(|| find_triangle_matmul(&g).is_some());
         let (tri_nv, t_nv) = time(|| find_triangle_naive(&g).is_some());
         assert_eq!(tri_mm, tri_nv);
@@ -666,7 +739,13 @@ fn e10_matmul_triangle() {
         "{}",
         print_table(
             "E10 — matrix multiplication and triangle detection (§8, ω)",
-            &["n", "naive MM", "Strassen MM", "naive triangle", "boolean-MM triangle"],
+            &[
+                "n",
+                "naive MM",
+                "Strassen MM",
+                "naive triangle",
+                "boolean-MM triangle"
+            ],
             &rows
         )
     );
@@ -689,7 +768,10 @@ fn e11_hyperclique() {
         let g = generators::turan(n, k - 1);
         let (found2, t2) = time(|| find_clique_neipol(&g, k).is_some());
         assert!(!found2);
-        pts3.push(SamplePoint { size: n as f64, value: t3.as_secs_f64().max(1e-9) });
+        pts3.push(SamplePoint {
+            size: n as f64,
+            value: t3.as_secs_f64().max(1e-9),
+        });
         rows.push(vec![n.to_string(), fmt_duration(t3), fmt_duration(t2)]);
     }
     let fit = fit_exponent(&pts3);
@@ -731,7 +813,10 @@ fn e12_ayz_sparse() {
         } else {
             "—".to_string()
         };
-        ayz_pts.push(SamplePoint { size: m as f64, value: t_ayz.as_secs_f64().max(1e-9) });
+        ayz_pts.push(SamplePoint {
+            size: m as f64,
+            value: t_ayz.as_secs_f64().max(1e-9),
+        });
         rows.push(vec![
             m.to_string(),
             r_ayz.to_string(),

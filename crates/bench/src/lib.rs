@@ -6,6 +6,8 @@
 //! experiment of DESIGN.md's index; the binary formats the results, the
 //! benches time the same closures under Criterion.
 
+#![forbid(unsafe_code)]
+
 pub mod workloads;
 
 pub use workloads::*;

@@ -124,7 +124,10 @@ fn cmd_treewidth(args: &[String]) -> Result<(), String> {
         let tw = treewidth::treewidth_exact(&g);
         println!("exact treewidth:        {tw}");
     } else {
-        println!("exact treewidth:        (skipped, n > {})", treewidth::exact::MAX_EXACT_N);
+        println!(
+            "exact treewidth:        (skipped, n > {})",
+            treewidth::exact::MAX_EXACT_N
+        );
     }
     Ok(())
 }
@@ -133,7 +136,9 @@ fn cmd_treewidth(args: &[String]) -> Result<(), String> {
 fn parse_query(spec: &str) -> Result<JoinQuery, String> {
     let mut atoms = Vec::new();
     for token in spec.split_whitespace() {
-        let open = token.find('(').ok_or_else(|| format!("atom `{token}` missing ("))?;
+        let open = token
+            .find('(')
+            .ok_or_else(|| format!("atom `{token}` missing ("))?;
         if !token.ends_with(')') {
             return Err(format!("atom `{token}` missing )"));
         }
@@ -172,7 +177,10 @@ fn cmd_claims(args: &[String]) -> Result<(), String> {
         Some(name) => {
             let h = Hypothesis::ALL
                 .into_iter()
-                .find(|h| h.name().eq_ignore_ascii_case(name) || format!("{h:?}").eq_ignore_ascii_case(name))
+                .find(|h| {
+                    h.name().eq_ignore_ascii_case(name)
+                        || format!("{h:?}").eq_ignore_ascii_case(name)
+                })
                 .ok_or_else(|| {
                     format!(
                         "unknown hypothesis `{name}`; known: {:?}",
@@ -183,7 +191,9 @@ fn cmd_claims(args: &[String]) -> Result<(), String> {
         }
     };
     for c in claims {
-        let hyp = c.hypothesis.map_or("unconditional".to_string(), |h| h.name().to_string());
+        let hyp = c
+            .hypothesis
+            .map_or("unconditional".to_string(), |h| h.name().to_string());
         println!("{:<44} [{hyp}]", c.id);
         println!("    {}", c.statement);
         println!("    rules out: {} | witness: {}", c.rules_out, c.witness);

@@ -26,6 +26,7 @@ pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
         out = Some(r);
         best = Some(best.map_or(d, |b| b.min(d)));
     }
+    // lb-lint: allow(no-panic) -- invariant: reps >= 1 so the measurement loop always sets out and best
     (out.expect("reps ≥ 1"), best.expect("reps ≥ 1"))
 }
 
@@ -74,7 +75,11 @@ pub fn fit_exponent(points: &[SamplePoint]) -> ExponentFit {
         .zip(&ys)
         .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     ExponentFit {
         exponent: slope,
         constant: intercept.exp(),
@@ -199,6 +204,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn fit_needs_points() {
-        let _ = fit_exponent(&[SamplePoint { size: 1.0, value: 1.0 }]);
+        let _ = fit_exponent(&[SamplePoint {
+            size: 1.0,
+            value: 1.0,
+        }]);
     }
 }

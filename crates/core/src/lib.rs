@@ -39,26 +39,28 @@
 //! assert_eq!(answer.len() as u128, expected); // = 1000 = 100^{3/2}
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod claims;
 pub mod experiments;
 pub mod hypotheses;
 
-/// Graphs, hypergraphs, treewidth (re-export of `lb-graph`).
-pub use lb_graph as graph;
-/// Exact LP: fractional covers (re-export of `lb-lp`).
-pub use lb_lp as lp;
-/// SAT toolkit (re-export of `lb-sat`).
-pub use lb_sat as sat;
 /// CSP instances and solvers (re-export of `lb-csp`).
 pub use lb_csp as csp;
-/// Relational structures, homomorphisms, cores (re-export of `lb-structure`).
-pub use lb_structure as structure;
-/// Join queries, AGM bound, worst-case optimal joins (re-export of `lb-join`).
-pub use lb_join as join;
+/// Graphs, hypergraphs, treewidth (re-export of `lb-graph`).
+pub use lb_graph as graph;
 /// Graph algorithms under study (re-export of `lb-graphalg`).
 pub use lb_graphalg as graphalg;
+/// Join queries, AGM bound, worst-case optimal joins (re-export of `lb-join`).
+pub use lb_join as join;
+/// Exact LP: fractional covers (re-export of `lb-lp`).
+pub use lb_lp as lp;
 /// Executable reductions (re-export of `lb-reductions`).
 pub use lb_reductions as reductions;
+/// SAT toolkit (re-export of `lb-sat`).
+pub use lb_sat as sat;
+/// Relational structures, homomorphisms, cores (re-export of `lb-structure`).
+pub use lb_structure as structure;
 
 pub use claims::{all_claims, LowerBoundClaim};
 pub use hypotheses::Hypothesis;

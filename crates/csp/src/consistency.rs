@@ -92,9 +92,10 @@ pub fn enforce_arc_consistency(inst: &CspInstance) -> AcResult {
             // the scope, every occurrence must carry `val`.)
             let supported = c.relation.tuples().iter().any(|t| {
                 t[pos] == val
-                    && c.scope.iter().zip(t).all(|(&v, &tv)| {
-                        domains[v][tv as usize] && (v != x || tv == val)
-                    })
+                    && c.scope
+                        .iter()
+                        .zip(t)
+                        .all(|(&v, &tv)| domains[v][tv as usize] && (v != x || tv == val))
             });
             if !supported {
                 domains[x][val as usize] = false;
@@ -223,11 +224,7 @@ mod tests {
             }
             // Restriction preserves the solution set exactly.
             let restricted = restrict_to(&inst, &ac);
-            assert_eq!(
-                bruteforce::enumerate(&restricted),
-                solutions,
-                "seed {seed}"
-            );
+            assert_eq!(bruteforce::enumerate(&restricted), solutions, "seed {seed}");
         }
     }
 

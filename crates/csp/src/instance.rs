@@ -34,7 +34,10 @@ impl Relation {
 
     /// The empty relation (always unsatisfiable).
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, tuples: Vec::new() }
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
     }
 
     /// The full relation over `domain_size` values.
@@ -43,8 +46,13 @@ impl Relation {
     /// Panics if `domain_size.pow(arity)` would exceed 10^7 tuples — build
     /// such constraints implicitly instead.
     pub fn full(arity: usize, domain_size: usize) -> Self {
-        let total = (domain_size as u64).checked_pow(arity as u32).unwrap_or(u64::MAX);
-        assert!(total <= 10_000_000, "full relation too large to materialize");
+        let total = (domain_size as u64)
+            .checked_pow(arity as u32)
+            .unwrap_or(u64::MAX);
+        assert!(
+            total <= 10_000_000,
+            "full relation too large to materialize"
+        );
         let mut tuples = Vec::with_capacity(total as usize);
         let mut t = vec![0 as Value; arity];
         loop {
@@ -143,7 +151,9 @@ impl Relation {
     /// Membership test.
     pub fn allows(&self, t: &[Value]) -> bool {
         debug_assert_eq!(t.len(), self.arity);
-        self.tuples.binary_search_by(|u| u.as_slice().cmp(t)).is_ok()
+        self.tuples
+            .binary_search_by(|u| u.as_slice().cmp(t))
+            .is_ok()
     }
 }
 
@@ -224,7 +234,11 @@ impl CspInstance {
 
     /// Maximum constraint arity.
     pub fn arity(&self) -> usize {
-        self.constraints.iter().map(|c| c.scope.len()).max().unwrap_or(0)
+        self.constraints
+            .iter()
+            .map(|c| c.scope.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluates a full assignment.
@@ -360,10 +374,7 @@ mod tests {
     #[test]
     fn size_counts_cells() {
         let mut inst = CspInstance::new(2, 2);
-        inst.add_constraint(Constraint::new(
-            vec![0, 1],
-            Arc::new(Relation::equality(2)),
-        ));
+        inst.add_constraint(Constraint::new(vec![0, 1], Arc::new(Relation::equality(2))));
         // scope 2 + 2 tuples × 2 cells = 6.
         assert_eq!(inst.size(), 6);
     }

@@ -89,6 +89,7 @@ impl<'a> Searcher<'a> {
                 let t: Vec<Value> = c
                     .scope
                     .iter()
+                    // lb-lint: allow(no-panic) -- invariant: the solver projects only variables it has already assigned
                     .map(|&v| self.assigned[v].expect("checked"))
                     .collect();
                 if !c.relation.allows(&t) {
@@ -166,6 +167,7 @@ impl<'a> Searcher<'a> {
                 let solution: Assignment = self
                     .assigned
                     .iter()
+                    // lb-lint: allow(no-panic) -- invariant: a complete solution assigns every variable
                     .map(|a| a.expect("all assigned"))
                     .collect();
                 debug_assert!(self.inst.eval(&solution));

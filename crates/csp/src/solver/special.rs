@@ -37,6 +37,7 @@ impl std::error::Error for NotSpecial {}
 ///
 /// Returns `Err(NotSpecial)` if the primal graph is not a k-clique plus a
 /// 2^k-vertex path.
+#[must_use = "the result carries both the solution and the reason the instance is not special"]
 pub fn solve_special(inst: &CspInstance) -> Result<SpecialResult, NotSpecial> {
     let primal = inst.primal_graph();
     let SpecialGraph { clique, path, .. } = recognize_special(&primal).ok_or(NotSpecial)?;
@@ -172,9 +173,11 @@ fn path_dp(inst: &CspInstance) -> (u64, Option<Assignment>) {
     }
     // Trace one solution backwards.
     let mut sol = vec![0 as Value; len];
+    // lb-lint: allow(no-panic) -- invariant: count > 0 here, so some frequency entry is positive
     let last = f.iter().position(|&x| x > 0).expect("count > 0");
     sol[len - 1] = last as Value;
     for i in (1..len).rev() {
+        // lb-lint: allow(no-panic) -- invariant: the DP backtrace only visits reachable states, which record a parent
         sol[i - 1] = choice[i][sol[i] as usize].expect("reachable state has a parent");
     }
     (count, Some(sol))

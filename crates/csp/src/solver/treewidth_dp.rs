@@ -35,12 +35,10 @@ pub struct TreewidthDpResult {
 ///
 /// # Panics
 /// Panics if the decomposition is invalid for the primal graph.
-pub fn solve_with_decomposition(
-    inst: &CspInstance,
-    td: &TreeDecomposition,
-) -> TreewidthDpResult {
+pub fn solve_with_decomposition(inst: &CspInstance, td: &TreeDecomposition) -> TreewidthDpResult {
     let primal = inst.primal_graph();
     td.validate(&primal)
+        // lb-lint: allow(no-panic) -- invariant: the decomposition was built from this instance's primal graph above
         .expect("tree decomposition invalid for the instance's primal graph");
     let nice = td.to_nice(inst.num_vars);
     solve_with_nice(inst, &nice)
@@ -93,6 +91,7 @@ pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> Treewidt
             NiceNode::Introduce { child, var } => {
                 let pos = nice.bags[i]
                     .binary_search(&var)
+                    // lb-lint: allow(no-panic) -- invariant: niceness puts the introduced variable in the node's bag
                     .expect("introduced var in bag");
                 let mut t = Table::new();
                 // Each (child assignment, value) pair yields a distinct
@@ -111,6 +110,7 @@ pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> Treewidt
             NiceNode::Forget { child, var } => {
                 let pos = nice.bags[child]
                     .binary_search(&var)
+                    // lb-lint: allow(no-panic) -- invariant: niceness puts the forgotten variable in the child's bag
                     .expect("forgotten var in child bag");
                 let mut t = Table::new();
                 for (assign, &cnt) in &tables[child] {
@@ -156,6 +156,7 @@ fn constraints_ok(
             .scope
             .iter()
             .map(|v| {
+                // lb-lint: allow(no-panic) -- invariant: constraint scopes are subsets of their assigned node's bag
                 let pos = bag.binary_search(v).expect("scope inside bag");
                 bag_assign[pos]
             })
@@ -168,11 +169,7 @@ fn constraints_ok(
 }
 
 /// Top-down extraction of one solution from the stored tables.
-fn extract_solution(
-    inst: &CspInstance,
-    nice: &NiceDecomposition,
-    tables: &[Table],
-) -> Assignment {
+fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Table]) -> Assignment {
     let mut solution: Vec<Option<Value>> = vec![None; inst.num_vars];
     // Stack of (node, chosen bag assignment).
     let mut stack: Vec<(usize, Vec<Value>)> = vec![(nice.root, Vec::new())];
@@ -181,6 +178,7 @@ fn extract_solution(
         match nice.kinds[node] {
             NiceNode::Leaf => {}
             NiceNode::Introduce { child, var } => {
+                // lb-lint: allow(no-panic) -- invariant: niceness puts the introduced variable in the node's bag
                 let pos = nice.bags[node].binary_search(&var).expect("var in bag");
                 let val = assign[pos];
                 match solution[var] {
@@ -195,7 +193,10 @@ fn extract_solution(
                 stack.push((child, child_assign));
             }
             NiceNode::Forget { child, var } => {
-                let pos = nice.bags[child].binary_search(&var).expect("var in child bag");
+                let pos = nice.bags[child]
+                    .binary_search(&var)
+                    // lb-lint: allow(no-panic) -- invariant: niceness puts the forgotten variable in the child's bag
+                    .expect("var in child bag");
                 // Find any child value with a positive count.
                 let d = inst.domain_size as Value;
                 let mut found = None;
@@ -207,7 +208,11 @@ fn extract_solution(
                         break;
                     }
                 }
-                stack.push((child, found.expect("forget sum positive ⇒ some child entry positive")));
+                stack.push((
+                    child,
+                    // lb-lint: allow(no-panic) -- invariant: a positive forget sum implies some child entry is positive
+                    found.expect("forget sum positive ⇒ some child entry positive"),
+                ));
             }
             NiceNode::Join { left, right } => {
                 stack.push((left, assign.clone()));
@@ -217,9 +222,13 @@ fn extract_solution(
     }
     let out: Assignment = solution
         .into_iter()
+        // lb-lint: allow(no-panic) -- invariant: a tree decomposition covers every variable in some bag
         .map(|v| v.expect("every variable appears in some bag"))
         .collect();
-    debug_assert!(inst.eval(&out), "extracted assignment must satisfy the instance");
+    debug_assert!(
+        inst.eval(&out),
+        "extracted assignment must satisfy the instance"
+    );
     out
 }
 
@@ -275,7 +284,11 @@ mod tests {
         for seed in 0..10u64 {
             let g = lb_graph::generators::gnp(7, 0.4, seed);
             let inst = generators::random_binary_csp(&g, 2, 0.5, seed + 100);
-            assert_eq!(solve_auto(&inst).count, bruteforce::count(&inst), "seed {seed}");
+            assert_eq!(
+                solve_auto(&inst).count,
+                bruteforce::count(&inst),
+                "seed {seed}"
+            );
         }
     }
 
@@ -295,10 +308,7 @@ mod tests {
         // 3 variables, one binary constraint, D = 2: the free variable
         // multiplies the count by 2.
         let mut inst = CspInstance::new(3, 2);
-        inst.add_constraint(Constraint::new(
-            vec![0, 1],
-            Arc::new(Relation::equality(2)),
-        ));
+        inst.add_constraint(Constraint::new(vec![0, 1], Arc::new(Relation::equality(2))));
         let r = solve_auto(&inst);
         assert_eq!(r.count, 2 * 2);
     }
@@ -322,10 +332,7 @@ mod tests {
     #[should_panic(expected = "invalid")]
     fn bad_decomposition_rejected() {
         let mut inst = CspInstance::new(3, 2);
-        inst.add_constraint(Constraint::new(
-            vec![0, 2],
-            Arc::new(Relation::equality(2)),
-        ));
+        inst.add_constraint(Constraint::new(vec![0, 2], Arc::new(Relation::equality(2))));
         // Decomposition missing the {0,2} edge.
         let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2]], vec![(0, 1)]);
         let _ = solve_with_decomposition(&inst, &td);

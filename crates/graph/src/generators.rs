@@ -271,7 +271,13 @@ pub fn random_uniform_hypergraph(n: usize, d: usize, p: f64, seed: u64) -> Hyper
 /// A `d`-uniform hypergraph with a planted k-hyperclique (all C(k, d)
 /// hyperedges among the first k vertices) plus random noise hyperedges.
 /// Returns `(hypergraph, planted_vertices)`.
-pub fn planted_hyperclique(n: usize, d: usize, k: usize, p: f64, seed: u64) -> (Hypergraph, Vec<usize>) {
+pub fn planted_hyperclique(
+    n: usize,
+    d: usize,
+    k: usize,
+    p: f64,
+    seed: u64,
+) -> (Hypergraph, Vec<usize>) {
     assert!(d <= k && k <= n);
     let mut h = random_uniform_hypergraph(n, d, p, seed);
     // Plant on vertices 0..k: add every d-subset (duplicates are fine).

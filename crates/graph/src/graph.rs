@@ -103,7 +103,10 @@ impl BitSet {
 
     /// True iff `self ⊆ other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in increasing order.
@@ -400,7 +403,13 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, edges={:?})", self.n, self.m, self.edges())
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.n,
+            self.m,
+            self.edges()
+        )
     }
 }
 

@@ -23,7 +23,10 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Creates a hypergraph with no hyperedges on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Hypergraph { n, edges: Vec::new() }
+        Hypergraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a hypergraph from hyperedge vertex lists.

@@ -36,7 +36,10 @@ pub const MAX_SPECIAL_K: usize = 24;
 /// Panics if `k == 0` or `k > MAX_SPECIAL_K`.
 pub fn special_graph(k: usize) -> Graph {
     assert!(k >= 1, "Definition 4.3 requires k >= 1");
-    assert!(k <= MAX_SPECIAL_K, "special graph for k > {MAX_SPECIAL_K} would be enormous");
+    assert!(
+        k <= MAX_SPECIAL_K,
+        "special graph for k > {MAX_SPECIAL_K} would be enormous"
+    );
     let path_len = 1usize << k;
     let n = k + path_len;
     let mut g = Graph::new(n);
@@ -97,6 +100,7 @@ fn order_path(g: &Graph, comp: &[usize]) -> Vec<usize> {
     let start = *comp
         .iter()
         .find(|&&v| g.degree(v) == 1)
+        // lb-lint: allow(no-panic) -- invariant: a nonempty path graph has an endpoint of degree <= 1
         .expect("path has an endpoint");
     let mut order = Vec::with_capacity(comp.len());
     let mut prev = usize::MAX;

@@ -21,10 +21,17 @@ use crate::graph::{BitSet, Graph};
 /// Panics unless `order` is a permutation of `0..g.num_vertices()`.
 pub fn from_elimination_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
     let n = g.num_vertices();
-    assert_eq!(order.len(), n, "order must mention every vertex exactly once");
+    assert_eq!(
+        order.len(),
+        n,
+        "order must mention every vertex exactly once"
+    );
     let mut position = vec![usize::MAX; n];
     for (i, &v) in order.iter().enumerate() {
-        assert!(v < n && position[v] == usize::MAX, "order is not a permutation");
+        assert!(
+            v < n && position[v] == usize::MAX,
+            "order is not a permutation"
+        );
         position[v] = i;
     }
     if n == 0 {
@@ -72,7 +79,14 @@ pub fn from_elimination_order(g: &Graph, order: &[usize]) -> TreeDecomposition {
         } else if step + 1 < n {
             // Keep the tree connected across graph components: chain to the
             // next eliminated vertex's bag.
-            pending_attach(&mut tree_edges, bag_idx, order[step + 1], step, order, &bag_of);
+            pending_attach(
+                &mut tree_edges,
+                bag_idx,
+                order[step + 1],
+                step,
+                order,
+                &bag_of,
+            );
         }
     }
 
@@ -166,7 +180,7 @@ mod tests {
         let order = vec![2, 0, 1, 3, 4];
         let td = from_elimination_order(&g, &order);
         td.validate(&g).unwrap();
-        assert_eq!(td.width() , elimination_width(&g, &order));
+        assert_eq!(td.width(), elimination_width(&g, &order));
     }
 
     #[test]

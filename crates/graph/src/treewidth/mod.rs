@@ -22,7 +22,9 @@ pub mod nice;
 
 pub use elimination::from_elimination_order;
 pub use exact::{treewidth_exact, treewidth_exact_order};
-pub use heuristics::{min_degree_order, min_fill_order, treewidth_lower_bound, treewidth_upper_bound};
+pub use heuristics::{
+    min_degree_order, min_fill_order, treewidth_lower_bound, treewidth_upper_bound,
+};
 pub use nice::{NiceDecomposition, NiceNode};
 
 use crate::graph::Graph;
@@ -45,7 +47,10 @@ impl TreeDecomposition {
     /// Panics if there are no bags or a tree edge index is out of range.
     /// Structural validity against a graph is checked by [`Self::validate`].
     pub fn new(mut bags: Vec<Vec<usize>>, tree_edges: Vec<(usize, usize)>) -> Self {
-        assert!(!bags.is_empty(), "a tree decomposition needs at least one bag");
+        assert!(
+            !bags.is_empty(),
+            "a tree decomposition needs at least one bag"
+        );
         for b in &mut bags {
             b.sort_unstable();
             b.dedup();
@@ -78,7 +83,12 @@ impl TreeDecomposition {
 
     /// Width: `max |bag| − 1`.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Checks the three conditions of Definition 4.1 against `g`, plus that
@@ -240,10 +250,7 @@ mod tests {
     #[test]
     fn non_tree_detected() {
         let g = generators::path(3);
-        let td = TreeDecomposition::new(
-            vec![vec![0, 1], vec![1, 2], vec![1]],
-            vec![(0, 1)],
-        );
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2], vec![1]], vec![(0, 1)]);
         assert!(td.validate(&g).is_err());
     }
 

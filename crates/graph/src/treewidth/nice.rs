@@ -40,7 +40,12 @@ pub struct NiceDecomposition {
 impl NiceDecomposition {
     /// Width: `max |bag| − 1` (an all-empty decomposition has width 0).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(1).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
     }
 
     /// Number of nodes.
@@ -73,7 +78,9 @@ impl NiceDecomposition {
                     }
                     let mut expect = self.bags[child].clone();
                     if expect.binary_search(&var).is_ok() {
-                        return Err(format!("introduce node {i}: var {var} already in child bag"));
+                        return Err(format!(
+                            "introduce node {i}: var {var} already in child bag"
+                        ));
                     }
                     expect.push(var);
                     expect.sort_unstable();
@@ -161,7 +168,11 @@ pub fn make_nice(td: &TreeDecomposition, _num_graph_vertices: usize) -> NiceDeco
     // For each td bag, the nice node index whose bag equals it.
     let mut nice_of = vec![usize::MAX; nb];
 
-    let push = |bags: &mut Vec<Vec<usize>>, kinds: &mut Vec<NiceNode>, bag: Vec<usize>, kind: NiceNode| -> usize {
+    let push = |bags: &mut Vec<Vec<usize>>,
+                kinds: &mut Vec<NiceNode>,
+                bag: Vec<usize>,
+                kind: NiceNode|
+     -> usize {
         bags.push(bag);
         kinds.push(kind);
         bags.len() - 1
@@ -183,11 +194,15 @@ pub fn make_nice(td: &TreeDecomposition, _num_graph_vertices: usize) -> NiceDeco
             .filter(|v| to_bag.binary_search(v).is_err())
             .collect();
         for v in to_forget {
+            // lb-lint: allow(no-panic) -- invariant: v was inserted into cur before this search
             let pos = cur.binary_search(&v).expect("var present");
             cur.remove(pos);
             node = {
                 bags.push(cur.clone());
-                kinds.push(NiceNode::Forget { child: node, var: v });
+                kinds.push(NiceNode::Forget {
+                    child: node,
+                    var: v,
+                });
                 bags.len() - 1
             };
         }
@@ -202,7 +217,10 @@ pub fn make_nice(td: &TreeDecomposition, _num_graph_vertices: usize) -> NiceDeco
             cur.insert(pos, v);
             node = {
                 bags.push(cur.clone());
-                kinds.push(NiceNode::Introduce { child: node, var: v });
+                kinds.push(NiceNode::Introduce {
+                    child: node,
+                    var: v,
+                });
                 bags.len() - 1
             };
         }
@@ -225,7 +243,10 @@ pub fn make_nice(td: &TreeDecomposition, _num_graph_vertices: usize) -> NiceDeco
                         &mut bags,
                         &mut kinds,
                         target.clone(),
-                        NiceNode::Join { left: prev, right: morphed },
+                        NiceNode::Join {
+                            left: prev,
+                            right: morphed,
+                        },
                     )
                 }
             });

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(edit_distance(b"flaw", b"lawn"), edit_distance(b"lawn", b"flaw"));
+        assert_eq!(
+            edit_distance(b"flaw", b"lawn"),
+            edit_distance(b"lawn", b"flaw")
+        );
     }
 
     #[test]
@@ -97,7 +100,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let s: Vec<Vec<u8>> = (0..3)
-                .map(|_| (0..rng.gen_range(0..15)).map(|_| rng.gen_range(b'a'..=b'c')).collect())
+                .map(|_| {
+                    (0..rng.gen_range(0..15))
+                        .map(|_| rng.gen_range(b'a'..=b'c'))
+                        .collect()
+                })
                 .collect();
             let dab = edit_distance(&s[0], &s[1]);
             let dbc = edit_distance(&s[1], &s[2]);
@@ -110,8 +117,12 @@ mod tests {
     fn banded_matches_full_when_wide_enough() {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..30 {
-            let a: Vec<u8> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(b'a'..=b'd')).collect();
-            let b: Vec<u8> = (0..rng.gen_range(0..20)).map(|_| rng.gen_range(b'a'..=b'd')).collect();
+            let a: Vec<u8> = (0..rng.gen_range(0..20))
+                .map(|_| rng.gen_range(b'a'..=b'd'))
+                .collect();
+            let b: Vec<u8> = (0..rng.gen_range(0..20))
+                .map(|_| rng.gen_range(b'a'..=b'd'))
+                .collect();
             let full = edit_distance(&a, &b);
             let banded = edit_distance_banded(&a, &b, 20).unwrap();
             assert_eq!(full, banded, "{a:?} vs {b:?}");

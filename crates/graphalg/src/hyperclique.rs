@@ -190,8 +190,7 @@ mod tests {
                 for b in (a + 1)..9 {
                     for c in (b + 1)..9 {
                         for d in (c + 1)..9 {
-                            let sets =
-                                [[a, b, c], [a, b, d], [a, c, d], [b, c, d]];
+                            let sets = [[a, b, c], [a, b, d], [a, c, d], [b, c, d]];
                             if sets.iter().all(|s| idx.contains(s.as_ref())) {
                                 naive += 1;
                             }

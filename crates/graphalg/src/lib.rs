@@ -23,6 +23,8 @@
 //! * [`ov`] — Orthogonal Vectors, the canonical intermediate problem of
 //!   fine-grained complexity (§7).
 
+#![forbid(unsafe_code)]
+
 pub mod clique;
 pub mod domset;
 pub mod editdist;

@@ -99,10 +99,7 @@ impl BoolMatrix {
     /// True iff some entry is set in both matrices — used for the
     /// `A² ∧ A ≠ 0` triangle test.
     pub fn intersects(&self, other: &BoolMatrix) -> bool {
-        self.rows
-            .iter()
-            .zip(&other.rows)
-            .any(|(&a, &b)| a & b != 0)
+        self.rows.iter().zip(&other.rows).any(|(&a, &b)| a & b != 0)
     }
 
     /// A common witness entry `(i, j)` set in both matrices, if any.
@@ -248,12 +245,10 @@ fn strassen_rec(a: &[i64], b: &[i64], n: usize) -> Vec<i64> {
         }
         out
     };
-    let add = |x: &[i64], y: &[i64]| -> Vec<i64> {
-        x.iter().zip(y).map(|(&a, &b)| a + b).collect()
-    };
-    let sub = |x: &[i64], y: &[i64]| -> Vec<i64> {
-        x.iter().zip(y).map(|(&a, &b)| a - b).collect()
-    };
+    let add =
+        |x: &[i64], y: &[i64]| -> Vec<i64> { x.iter().zip(y).map(|(&a, &b)| a + b).collect() };
+    let sub =
+        |x: &[i64], y: &[i64]| -> Vec<i64> { x.iter().zip(y).map(|(&a, &b)| a - b).collect() };
 
     let a11 = quad(a, 0, 0);
     let a12 = quad(a, 0, 1);

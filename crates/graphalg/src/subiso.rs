@@ -19,7 +19,11 @@ pub fn partitioned_subgraph_iso(
     g: &Graph,
     classes: &[Vec<usize>],
 ) -> Option<Vec<usize>> {
-    assert_eq!(classes.len(), h.num_vertices(), "one class per pattern vertex");
+    assert_eq!(
+        classes.len(),
+        h.num_vertices(),
+        "one class per pattern vertex"
+    );
     for c in classes {
         assert!(
             c.iter().all(|&v| v < g.num_vertices()),
@@ -42,6 +46,7 @@ fn backtrack(
     assignment: &mut Vec<Option<usize>>,
 ) -> Option<Vec<usize>> {
     if pos == order.len() {
+        // lb-lint: allow(no-panic) -- invariant: reaching full depth means every pattern vertex was assigned
         return Some(assignment.iter().map(|a| a.expect("complete")).collect());
     }
     let hv = order[pos];
@@ -113,8 +118,7 @@ mod tests {
                 assert_eq!(found.is_some(), expect, "seed {seed}, k {k}");
                 if let Some(f) = found {
                     // Decode: class i's vertex maps back to g-vertex f[i] mod n.
-                    let verts: Vec<usize> =
-                        f.iter().map(|&x| x % g.num_vertices()).collect();
+                    let verts: Vec<usize> = f.iter().map(|&x| x % g.num_vertices()).collect();
                     assert!(g.is_clique(&verts), "seed {seed}, k {k}");
                 }
             }

@@ -40,6 +40,7 @@ pub fn find_triangle_matmul(g: &Graph) -> Option<[usize; 3]> {
         .neighbor_set(i)
         .iter()
         .find(|&w| g.has_edge(w, j))
+        // lb-lint: allow(no-panic) -- invariant: A^2[i][j] > 0 certifies a common neighbor exists
         .expect("A²[i][j] set ⇒ a common neighbor exists");
     Some(sorted3(i, j, w))
 }

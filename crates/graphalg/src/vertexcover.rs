@@ -27,9 +27,7 @@ fn branch(
     k: usize,
 ) -> bool {
     // First uncovered edge.
-    let uncovered = edges
-        .iter()
-        .find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
+    let uncovered = edges.iter().find(|&&(u, v)| !in_cover[u] && !in_cover[v]);
     let Some(&(u, v)) = uncovered else {
         return true;
     };
@@ -123,6 +121,7 @@ pub fn min_vertex_cover_brute(g: &Graph) -> Vec<usize> {
             best = Some(set);
         }
     }
+    // lb-lint: allow(no-panic) -- invariant: V(G) is always a vertex cover, so best is set
     best.expect("V(G) is always a cover")
 }
 

@@ -83,10 +83,7 @@ pub fn gyo_join_tree(q: &JoinQuery) -> Option<JoinTree> {
                 if w == e || !alive[w] {
                     continue;
                 }
-                if shared
-                    .iter()
-                    .all(|a| attr_sets[w].contains(*a))
-                {
+                if shared.iter().all(|a| attr_sets[w].contains(*a)) {
                     // e is an ear with witness w.
                     alive[e] = false;
                     parent[e] = w;
@@ -189,6 +186,7 @@ fn join_pair(left: &Ann, right: &Ann) -> Ann {
 /// answer, so the running time is O(input + output) up to hashing.
 ///
 /// Returns `Err` if the query is cyclic or the database malformed.
+#[must_use = "dropping the result discards the join answers or the failure"]
 pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
     let tree = gyo_join_tree(q).ok_or_else(|| {
@@ -198,6 +196,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
     // Load annotated relations, normalizing repeated attributes.
     let mut anns: Vec<Ann> = Vec::with_capacity(q.atoms.len());
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
         let table: &Table = db.table(&atom.relation).expect("validated");
         let mut attrs: Vec<String> = Vec::new();
         let mut cols: Vec<usize> = Vec::new();
@@ -212,6 +211,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
             .iter()
             .filter(|row| {
                 atom.attrs.iter().enumerate().all(|(c, a)| {
+                    // lb-lint: allow(no-panic) -- invariant: a is drawn from atom.attrs
                     let first = atom.attrs.iter().position(|x| x == a).expect("present");
                     row[c] == row[first]
                 })
@@ -257,6 +257,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
                         .attrs
                         .iter()
                         .position(|x| x == a)
+                        // lb-lint: allow(no-panic) -- invariant: a join tree covers every attribute of the query
                         .expect("join tree covers all attributes")
                 })
                 .collect();
@@ -278,11 +279,13 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
             }
         }
     }
+    // lb-lint: allow(no-panic) -- invariant: tree.order always ends at the root
     unreachable!("tree.order always ends at the root");
 }
 
 /// Decides emptiness of an acyclic query with the upward semi-join sweep
 /// only — strictly linear time, no output-size term.
+#[must_use = "dropping the result discards the emptiness answer or the failure"]
 pub fn is_empty_acyclic(q: &JoinQuery, db: &Database) -> Result<bool, JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
     let tree = gyo_join_tree(q).ok_or_else(|| {
@@ -292,6 +295,7 @@ pub fn is_empty_acyclic(q: &JoinQuery, db: &Database) -> Result<bool, JoinError>
         .atoms
         .iter()
         .map(|atom| {
+            // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
             let table = db.table(&atom.relation).expect("validated");
             Ann {
                 attrs: atom.attrs.clone(),
@@ -308,6 +312,7 @@ pub fn is_empty_acyclic(q: &JoinQuery, db: &Database) -> Result<bool, JoinError>
             return Ok(anns[e].rows.is_empty());
         }
     }
+    // lb-lint: allow(no-panic) -- invariant: tree.order always ends at the root
     unreachable!("order ends at the root");
 }
 
@@ -338,7 +343,10 @@ mod tests {
         // cyclic for all n ≥ 3.
         assert!(!is_acyclic(&JoinQuery::loomis_whitney(3)));
         // A single atom is trivially acyclic.
-        assert!(is_acyclic(&JoinQuery::new(vec![Atom::new("R", &["a", "b"])])));
+        assert!(is_acyclic(&JoinQuery::new(vec![Atom::new(
+            "R",
+            &["a", "b"]
+        )])));
         // Ternary "path" R(a,b,c) ⋈ S(c,d) is acyclic.
         assert!(is_acyclic(&JoinQuery::new(vec![
             Atom::new("R", &["a", "b", "c"]),
@@ -447,7 +455,10 @@ mod tests {
             "R",
             Table::from_rows(2, vec![vec![1, 1], vec![1, 2], vec![3, 3]]),
         );
-        db.insert("S", Table::from_rows(2, vec![vec![1, 7], vec![3, 8], vec![2, 9]]));
+        db.insert(
+            "S",
+            Table::from_rows(2, vec![vec![1, 7], vec![3, 8], vec![2, 9]]),
+        );
         let ans = yannakakis(&q, &db).unwrap();
         assert_eq!(ans, vec![vec![1, 7], vec![3, 8]]);
     }

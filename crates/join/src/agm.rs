@@ -9,42 +9,112 @@
 //! every relation the full cross product of its attributes' domains. Each
 //! relation then has at most N tuples while the answer is the full cross
 //! product of all domains, of size ≈ N^{ρ*}.
+//!
+//! All sizes and bound checks here are **exact**: domain sizes come from
+//! [`lb_lp::intpow::floor_rational_pow`] (integer q-th roots, no `f64`), and
+//! [`agm_bound_holds`] compares `answer^q` against `N^p` with exact big
+//! integer arithmetic instead of an epsilon-tolerant float comparison.
 
 use crate::database::{Database, Table};
 use crate::query::JoinQuery;
 use crate::Value;
+use lb_lp::convert::u64_to_f64_lossy;
 use lb_lp::covers::{fractional_edge_cover, fractional_vertex_packing, CoverError};
+use lb_lp::intpow::{cmp_pow, floor_rational_pow, PowError};
 use lb_lp::Rational;
 
+/// Errors from AGM computations: LP failures, exact-power failures, or an
+/// answer size that exceeds `u128`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AgmError {
+    /// The underlying cover/packing LP failed.
+    Cover(CoverError),
+    /// An exact power computation failed (overflow or bad exponent).
+    Pow(PowError),
+    /// The exact answer size `Π ⌊n^{y(v)}⌋` exceeds `u128::MAX`.
+    AnswerOverflow {
+        /// The size parameter the witness was requested for.
+        n: u64,
+    },
+}
+
+impl std::fmt::Display for AgmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgmError::Cover(e) => write!(f, "cover LP failure: {e}"),
+            AgmError::Pow(e) => write!(f, "exact power failure: {e}"),
+            AgmError::AnswerOverflow { n } => {
+                write!(f, "worst-case answer size for n = {n} exceeds u128::MAX")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgmError {}
+
+impl From<CoverError> for AgmError {
+    fn from(e: CoverError) -> Self {
+        AgmError::Cover(e)
+    }
+}
+
+impl From<PowError> for AgmError {
+    fn from(e: PowError) -> Self {
+        AgmError::Pow(e)
+    }
+}
+
 /// The fractional edge cover number ρ* of the query's hypergraph, exactly.
+#[must_use = "ρ* is the AGM exponent; dropping it discards the bound"]
 pub fn rho_star(q: &JoinQuery) -> Result<Rational, CoverError> {
     let (h, _) = q.hypergraph();
     fractional_edge_cover(&h).map(|s| s.value)
 }
 
-/// The AGM bound N^{ρ*} as a float (for display and plotting).
+/// The AGM bound N^{ρ*} as a float — **for display and plotting only**.
+/// Exact comparisons must go through [`agm_bound_holds`] or
+/// [`worst_case_domain_sizes`], never through this value.
+#[must_use = "the displayed bound should be used, not dropped"]
 pub fn agm_bound(q: &JoinQuery, n: u64) -> Result<f64, CoverError> {
-    Ok((n as f64).powf(rho_star(q)?.to_f64()))
+    let rho = rho_star(q)?;
+    Ok(u64_to_f64_lossy(n).powf(rho.to_f64()))
+}
+
+/// The exact per-attribute domain sizes `max(1, ⌊n^{y(v)}⌋)` of the
+/// Theorem 3.2 witness, indexed like the sorted attribute list of
+/// [`JoinQuery::hypergraph`].
+///
+/// Separated from [`worst_case_database`] so the exact arithmetic can be
+/// exercised for adversarial `n` (near `u64::MAX`) without materializing
+/// tables.
+#[must_use = "domain sizes are the witness construction; dropping them discards the computation"]
+pub fn worst_case_domain_sizes(q: &JoinQuery, n: u64) -> Result<Vec<u64>, AgmError> {
+    let (h, _) = q.hypergraph();
+    let pack = fractional_vertex_packing(&h)?;
+    pack.weights
+        .iter()
+        .map(|y| Ok(floor_rational_pow(n, y)?.max(1)))
+        .collect()
+}
+
+/// The exact answer size `Π sizes` of the witness, checked in `u128`.
+fn exact_answer_size(sizes: &[u64], n: u64) -> Result<u128, AgmError> {
+    sizes.iter().try_fold(1u128, |acc, &s| {
+        acc.checked_mul(u128::from(s))
+            .ok_or(AgmError::AnswerOverflow { n })
+    })
 }
 
 /// The worst-case database of Theorem 3.2 for size parameter `n`: every
 /// relation has at most `n` tuples, and the answer size is the product of
-/// the per-attribute domain sizes ⌊n^{y(v)}⌋ ≈ n^{ρ*}.
+/// the per-attribute domain sizes ⌊n^{y(v)}⌋ ≈ n^{ρ*}, computed exactly.
 ///
 /// Returns the database and the exact answer size.
-pub fn worst_case_database(q: &JoinQuery, n: u64) -> Result<(Database, u128), CoverError> {
-    let (h, attrs) = q.hypergraph();
-    let pack = fractional_vertex_packing(&h)?;
-    // Domain sizes: s_v = max(1, ⌊n^{y_v}⌋). A small epsilon guards against
-    // f64 rounding just below an exact integer power.
-    let sizes: Vec<u64> = pack
-        .weights
-        .iter()
-        .map(|y| {
-            let s = (n as f64).powf(y.to_f64());
-            (s + 1e-9).floor().max(1.0) as u64
-        })
-        .collect();
+#[must_use = "the witness database and its exact answer size should be used, not dropped"]
+pub fn worst_case_database(q: &JoinQuery, n: u64) -> Result<(Database, u128), AgmError> {
+    let (_, attrs) = q.hypergraph();
+    let sizes = worst_case_domain_sizes(q, n)?;
+    let answer = exact_answer_size(&sizes, n)?;
 
     let mut db = Database::new();
     for atom in &q.atoms {
@@ -68,6 +138,7 @@ pub fn worst_case_database(q: &JoinQuery, n: u64) -> Result<(Database, u128), Co
                 .attrs
                 .iter()
                 .map(|a| {
+                    // lb-lint: allow(no-panic) -- invariant: `distinct` was built from `atom.attrs` just above
                     let di = distinct.iter().position(|d| d == a).expect("distinct");
                     counter[di]
                 })
@@ -92,29 +163,36 @@ pub fn worst_case_database(q: &JoinQuery, n: u64) -> Result<(Database, u128), Co
         }
         let table = Table::from_rows(atom.attrs.len(), rows);
         debug_assert!(
-            table.len() as u64 <= n,
+            u64::try_from(table.len()).unwrap_or(u64::MAX) <= n,
             "worst-case relation exceeded n: {} > {n}",
             table.len()
         );
         db.insert(&atom.relation, table);
     }
-    let answer: u128 = sizes.iter().map(|&s| s as u128).product();
     Ok((db, answer))
 }
 
 fn attr_index(attrs: &[String], name: &str) -> usize {
     attrs
         .binary_search_by(|a| a.as_str().cmp(name))
+        // lb-lint: allow(no-panic) -- invariant: callers pass attribute names drawn from the same hypergraph
         .expect("attribute present")
 }
 
 /// Checks Theorem 3.1 on a concrete (query, database, answer-size) triple:
-/// `answer_size ≤ N^{ρ*}` with N the largest relation.
-pub fn agm_bound_holds(q: &JoinQuery, db: &Database, answer_size: u128) -> Result<bool, CoverError> {
-    let n = db.max_table_size() as u64;
-    let bound = agm_bound(q, n)?;
-    // Tolerate f64 slack on the bound side.
-    Ok((answer_size as f64) <= bound * (1.0 + 1e-9) + 1e-9)
+/// `answer_size ≤ N^{ρ*}` with N the largest relation — **exactly**, by
+/// comparing `answer_size^q` with `N^p` for ρ* = p/q in big-integer
+/// arithmetic. No floating point, no epsilon.
+#[must_use = "the bound verdict should be checked, not dropped"]
+pub fn agm_bound_holds(q: &JoinQuery, db: &Database, answer_size: u128) -> Result<bool, AgmError> {
+    let n = u64::try_from(db.max_table_size()).unwrap_or(u64::MAX);
+    let rho = rho_star(q)?;
+    let p = u32::try_from(rho.numer())
+        .map_err(|_| AgmError::Pow(PowError::Overflow { base: n, exp: rho }))?;
+    let qden = u32::try_from(rho.denom())
+        .map_err(|_| AgmError::Pow(PowError::Overflow { base: n, exp: rho }))?;
+    // answer ≤ n^{p/q}  ⇔  answer^q ≤ n^p.
+    Ok(cmp_pow(answer_size, qden, u128::from(n), p) != std::cmp::Ordering::Greater)
 }
 
 #[cfg(test)]
@@ -175,6 +253,34 @@ mod tests {
         let (db, answer) = worst_case_database(&q, 16).unwrap();
         assert!(agm_bound_holds(&q, &db, answer).unwrap());
         assert!(!agm_bound_holds(&q, &db, answer * 10).unwrap());
+    }
+
+    #[test]
+    fn bound_check_is_tight_not_fuzzy() {
+        // The triangle witness at n = 16 has answer exactly 4³ = 64 = 16^{3/2}.
+        // One more tuple must already violate the bound: an epsilon-tolerant
+        // float check would wave `answer + 1` through.
+        let q = JoinQuery::triangle();
+        let (db, answer) = worst_case_database(&q, 16).unwrap();
+        assert_eq!(answer, 64);
+        assert!(agm_bound_holds(&q, &db, answer).unwrap());
+        assert!(!agm_bound_holds(&q, &db, answer + 1).unwrap());
+    }
+
+    #[test]
+    fn domain_sizes_exact_at_adversarial_scale() {
+        // Triangle weights are (1/2, 1/2, 1/2); at n = u64::MAX the sizes
+        // must be exactly ⌊√(2^64−1)⌋ = 2^32 − 1 with no float drift.
+        let q = JoinQuery::triangle();
+        let sizes = worst_case_domain_sizes(&q, u64::MAX).unwrap();
+        assert_eq!(sizes, vec![4_294_967_295; 3]);
+        // Perfect square n = (10^9)^2: sizes exactly 10^9.
+        let n = 1_000_000_000u64 * 1_000_000_000;
+        let sizes = worst_case_domain_sizes(&q, n).unwrap();
+        assert_eq!(sizes, vec![1_000_000_000; 3]);
+        // And one below: floor drops to 10^9 − 1.
+        let sizes = worst_case_domain_sizes(&q, n - 1).unwrap();
+        assert_eq!(sizes, vec![999_999_999; 3]);
     }
 
     #[test]

@@ -30,12 +30,17 @@ struct Intermediate {
 
 /// Evaluates the query left-to-right with pairwise hash joins. Returns the
 /// answer (attribute order = [`JoinQuery::attributes`], sorted) and stats.
-pub fn left_deep_join(q: &JoinQuery, db: &Database) -> Result<(Vec<AnswerTuple>, JoinStats), JoinError> {
+#[must_use = "dropping the result discards the join answers and statistics or the failure"]
+pub fn left_deep_join(
+    q: &JoinQuery,
+    db: &Database,
+) -> Result<(Vec<AnswerTuple>, JoinStats), JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
     let mut stats = JoinStats::default();
 
     let mut acc: Option<Intermediate> = None;
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
         let table = db.table(&atom.relation).expect("validated");
         // Normalize the atom to distinct attributes (diagonal filter).
         let mut attrs: Vec<String> = Vec::new();
@@ -51,6 +56,7 @@ pub fn left_deep_join(q: &JoinQuery, db: &Database) -> Result<(Vec<AnswerTuple>,
             .iter()
             .filter(|row| {
                 atom.attrs.iter().enumerate().all(|(c, a)| {
+                    // lb-lint: allow(no-panic) -- invariant: a is drawn from atom.attrs
                     let first = atom.attrs.iter().position(|x| x == a).expect("present");
                     row[c] == row[first]
                 })
@@ -70,12 +76,19 @@ pub fn left_deep_join(q: &JoinQuery, db: &Database) -> Result<(Vec<AnswerTuple>,
         });
     }
 
+    // lb-lint: allow(no-panic) -- invariant: validated queries have at least one atom
     let acc = acc.expect("query has atoms");
     // Re-order columns to sorted attribute order and sort rows.
     let attrs = q.attributes();
     let perm: Vec<usize> = attrs
         .iter()
-        .map(|a| acc.attrs.iter().position(|x| x == a).expect("all attrs joined"))
+        .map(|a| {
+            acc.attrs
+                .iter()
+                .position(|x| x == a)
+                // lb-lint: allow(no-panic) -- invariant: the accumulator's schema contains every joined attribute
+                .expect("all attrs joined")
+        })
         .collect();
     let mut out: Vec<AnswerTuple> = acc
         .rows
@@ -93,13 +106,7 @@ fn hash_join(left: &Intermediate, right: &Intermediate) -> Intermediate {
         .attrs
         .iter()
         .enumerate()
-        .filter_map(|(li, a)| {
-            right
-                .attrs
-                .iter()
-                .position(|b| b == a)
-                .map(|ri| (li, ri))
-        })
+        .filter_map(|(li, a)| right.attrs.iter().position(|b| b == a).map(|ri| (li, ri)))
         .collect();
     let right_extra: Vec<usize> = (0..right.attrs.len())
         .filter(|ri| !common.iter().any(|&(_, r)| r == *ri))
@@ -197,8 +204,14 @@ mod tests {
             crate::query::Atom::new("S", &["b"]),
         ]);
         let mut db = Database::new();
-        db.insert("R", crate::database::Table::from_rows(1, vec![vec![1], vec![2]]));
-        db.insert("S", crate::database::Table::from_rows(1, vec![vec![7], vec![8]]));
+        db.insert(
+            "R",
+            crate::database::Table::from_rows(1, vec![vec![1], vec![2]]),
+        );
+        db.insert(
+            "S",
+            crate::database::Table::from_rows(1, vec![vec![7], vec![8]]),
+        );
         let (ans, _) = left_deep_join(&q, &db).unwrap();
         assert_eq!(ans.len(), 4);
         assert_eq!(ans, wcoj::join(&q, &db, None).unwrap());

@@ -15,6 +15,7 @@ use lb_graph::Graph;
 use std::collections::BTreeMap;
 
 /// Decides whether the answer is empty, with Generic Join's early exit.
+#[must_use = "dropping the result discards the emptiness answer or the failure"]
 pub fn is_answer_empty(q: &JoinQuery, db: &Database) -> Result<bool, JoinError> {
     wcoj::is_empty(q, db, None)
 }
@@ -26,6 +27,7 @@ pub fn is_answer_empty(q: &JoinQuery, db: &Database) -> Result<bool, JoinError> 
 /// graph, is just "has a triangle".
 ///
 /// Returns the graph and, for reference, the number of vertices per class.
+#[must_use = "dropping the result discards the extracted graph or the failure"]
 pub fn triangle_database_to_graph(
     q: &JoinQuery,
     db: &Database,
@@ -40,8 +42,10 @@ pub fn triangle_database_to_graph(
     // Dense value remapping per attribute.
     let mut value_ids: Vec<BTreeMap<u64, usize>> = vec![BTreeMap::new(); 3];
     let attr_idx =
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every attribute name up front
         |name: &str| attrs.iter().position(|a| a == name).expect("validated");
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation up front
         let table = db.table(&atom.relation).expect("validated");
         let cols: Vec<usize> = atom.attrs.iter().map(|a| attr_idx(a)).collect();
         for row in table.rows() {
@@ -56,6 +60,7 @@ pub fn triangle_database_to_graph(
     let n = sizes.iter().sum();
     let mut g = Graph::new(n);
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation up front
         let table = db.table(&atom.relation).expect("validated");
         let cols: Vec<usize> = atom.attrs.iter().map(|a| attr_idx(a)).collect();
         for row in table.rows() {

@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table of the given arity.
     pub fn new(arity: usize) -> Self {
-        Table { arity, rows: Vec::new() }
+        Table {
+            arity,
+            rows: Vec::new(),
+        }
     }
 
     /// Builds from rows, normalizing (sort + dedup).
@@ -65,7 +68,9 @@ impl Table {
 
     /// Membership test (requires normalized rows).
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+        self.rows
+            .binary_search_by(|r| r.as_slice().cmp(row))
+            .is_ok()
     }
 
     /// Rows re-ordered by a column permutation: row'[(i)] = row[perm\[i\]],
@@ -111,6 +116,7 @@ impl Database {
     }
 
     /// Checks that every atom of `q` has a table of matching arity.
+    #[must_use = "a dropped validation result defeats the check entirely"]
     pub fn validate_for(&self, q: &JoinQuery) -> Result<(), String> {
         for atom in &q.atoms {
             let t = self

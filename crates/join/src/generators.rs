@@ -14,7 +14,10 @@ pub fn random_binary_database(
     domain: u64,
     seed: u64,
 ) -> Database {
-    assert!(q.atoms.iter().all(|a| a.attrs.len() == 2), "binary atoms only");
+    assert!(
+        q.atoms.iter().all(|a| a.attrs.len() == 2),
+        "binary atoms only"
+    );
     random_database(q, rows_per_relation, domain, seed)
 }
 
@@ -32,7 +35,11 @@ pub fn random_database(
         let arity = atom.attrs.len();
         let mut rows = Vec::with_capacity(rows_per_relation);
         for _ in 0..rows_per_relation {
-            rows.push((0..arity).map(|_| rng.gen_range(0..domain) as Value).collect());
+            rows.push(
+                (0..arity)
+                    .map(|_| rng.gen_range(0..domain) as Value)
+                    .collect(),
+            );
         }
         db.insert(&atom.relation, Table::from_rows(arity, rows));
     }
@@ -45,6 +52,7 @@ pub fn planted_triangle_database(rows_per_relation: usize, domain: u64, seed: u6
     let q = JoinQuery::triangle();
     let mut db = random_binary_database(&q, rows_per_relation.saturating_sub(1), domain, seed);
     for name in ["R", "S", "T"] {
+        // lb-lint: allow(no-panic) -- invariant: the table named name was inserted into db just above
         let mut t = db.table(name).expect("present").clone();
         t.push(vec![0, 0]);
         t.normalize();

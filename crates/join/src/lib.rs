@@ -18,6 +18,8 @@
 //! * [`boolean`] — the Boolean Join Query problem (emptiness), the decision
 //!   version §8's triangle conjecture speaks about.
 
+#![forbid(unsafe_code)]
+
 pub mod acyclic;
 pub mod agm;
 pub mod binary;
@@ -27,8 +29,8 @@ pub mod generators;
 pub mod query;
 pub mod wcoj;
 
-pub use database::{Database, Table};
 pub use acyclic::{is_acyclic, yannakakis};
+pub use database::{Database, Table};
 pub use query::{Atom, JoinQuery};
 
 /// A database value.

@@ -66,7 +66,12 @@ impl JoinQuery {
     /// hypergraph and the attribute order used.
     pub fn hypergraph(&self) -> (Hypergraph, Vec<String>) {
         let attrs = self.attributes();
-        let index = |name: &str| attrs.binary_search_by(|a| a.as_str().cmp(name)).expect("known attr");
+        let index = |name: &str| {
+            attrs
+                .binary_search_by(|a| a.as_str().cmp(name))
+                // lb-lint: allow(no-panic) -- invariant: attrs collects every attribute of every atom by construction
+                .expect("known attr")
+        };
         let mut h = Hypergraph::new(attrs.len());
         for atom in &self.atoms {
             let e: Vec<usize> = atom.attrs.iter().map(|a| index(a)).collect();

@@ -63,10 +63,12 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
         }
         None => attrs.clone(),
     };
+    // lb-lint: allow(no-panic) -- invariant: join() verified the order covers every query attribute
     let rank_of = |name: &str| order.iter().position(|a| a == name).expect("validated");
 
     let mut atoms = Vec::with_capacity(q.atoms.len());
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
         let table = db.table(&atom.relation).expect("validated");
         // Distinct attributes with their first column position.
         let mut distinct: Vec<(usize, usize)> = Vec::new(); // (rank, column)
@@ -88,6 +90,7 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
                 let first_col = distinct
                     .iter()
                     .find(|&&(dr, _)| dr == r)
+                    // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
                     .expect("present")
                     .1;
                 if row[col] != row[first_col] {
@@ -155,6 +158,7 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
     let driver = *participants
         .iter()
         .min_by_key(|&&i| ranges[i].hi - ranges[i].lo)
+        // lb-lint: allow(no-panic) -- invariant: the iterator set at this depth is nonempty by construction
         .expect("nonempty");
 
     let (mut lo, hi, depth) = {
@@ -206,13 +210,7 @@ fn upper_bound(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) 
     lo + rows[lo..hi].partition_point(|r| r[col] <= v)
 }
 
-fn equal_range(
-    rows: &[Vec<Value>],
-    lo: usize,
-    hi: usize,
-    col: usize,
-    v: Value,
-) -> (usize, usize) {
+fn equal_range(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> (usize, usize) {
     let start = lo + rows[lo..hi].partition_point(|r| r[col] < v);
     let end = start + rows[start..hi].partition_point(|r| r[col] == v);
     (start, end)
@@ -220,6 +218,7 @@ fn equal_range(
 
 /// Computes the full answer; tuples are in [`JoinQuery::attributes`] order,
 /// sorted lexicographically.
+#[must_use = "dropping the result discards the join answers or the failure"]
 pub fn join(
     q: &JoinQuery,
     db: &Database,
@@ -231,6 +230,7 @@ pub fn join(
     // Position of each attribute (sorted order) within the variable order.
     let pos_of: Vec<usize> = attrs
         .iter()
+        // lb-lint: allow(no-panic) -- invariant: the chosen order covers every atom attribute
         .map(|a| ord.iter().position(|x| x == a).expect("validated"))
         .collect();
     let mut out = Vec::new();
@@ -243,6 +243,7 @@ pub fn join(
 }
 
 /// Counts answer tuples without materializing them.
+#[must_use = "dropping the result discards the answer count or the failure"]
 pub fn count(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<u64, JoinError> {
     let p = prepare(q, db, order)?;
     let mut n = 0u64;
@@ -254,6 +255,7 @@ pub fn count(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<u
 }
 
 /// Decides emptiness with early exit (the BOOLEAN JOIN QUERY problem).
+#[must_use = "dropping the result discards the emptiness answer or the failure"]
 pub fn is_empty(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<bool, JoinError> {
     let p = prepare(q, db, order)?;
     let mut nonempty = false;
@@ -267,16 +269,19 @@ pub fn is_empty(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Resul
 /// Testing oracle: joins the atoms one at a time by scanning all pairs
 /// (no hashing, no sorting tricks). Exponentially slower but obviously
 /// correct; output matches [`join`]'s order.
+#[must_use = "dropping the result discards the join answers or the failure"]
 pub fn nested_loop_join(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
     let attrs = q.attributes();
     // Partial tuples: map attr index → value, grown atom by atom.
     let mut partial: Vec<Vec<Option<Value>>> = vec![vec![None; attrs.len()]];
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
         let table = db.table(&atom.relation).expect("validated");
         let cols: Vec<usize> = atom
             .attrs
             .iter()
+            // lb-lint: allow(no-panic) -- invariant: atom attributes are drawn from the sorted attribute set
             .map(|a| attrs.binary_search(a).expect("known"))
             .collect();
         let mut next = Vec::new();
@@ -297,7 +302,12 @@ pub fn nested_loop_join(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>
     }
     let mut out: Vec<AnswerTuple> = partial
         .into_iter()
-        .map(|pt| pt.into_iter().map(|o| o.expect("all attrs covered")).collect())
+        .map(|pt| {
+            pt.into_iter()
+                // lb-lint: allow(no-panic) -- invariant: a full variable order assigns every attribute
+                .map(|o| o.expect("all attrs covered"))
+                .collect()
+        })
         .collect();
     out.sort_unstable();
     out.dedup();

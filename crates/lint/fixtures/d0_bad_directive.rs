@@ -1,0 +1,13 @@
+//! Directive fixture: allow directives missing the mandatory `-- reason`
+//! justification, or naming an unknown rule. Both are themselves violations,
+//! and a reasonless allow does NOT suppress the underlying finding.
+
+pub fn head(xs: &[u32]) -> u32 {
+    // lb-lint: allow(no-panic)
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    // lb-lint: allow(not-a-rule) -- the rule name is wrong
+    xs[1]
+}

@@ -1,0 +1,16 @@
+//! Directive fixture: well-formed directives — standalone-line form,
+//! trailing form, and a multi-rule allow — all with justifications.
+
+pub fn standalone(xs: &[u32]) -> u32 {
+    // lb-lint: allow(no-panic) -- invariant: callers guarantee xs is nonempty
+    *xs.first().unwrap()
+}
+
+pub fn trailing(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lb-lint: allow(no-panic) -- invariant: callers guarantee xs is nonempty
+}
+
+pub fn multi(n: u64) -> f64 {
+    // lb-lint: allow(no-panic, no-lossy-cast) -- display-only: panics and rounding both acceptable in this demo
+    f64::from(u32::try_from(n).unwrap())
+}

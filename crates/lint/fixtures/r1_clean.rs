@@ -1,0 +1,27 @@
+//! R1 fixture: every panicking call is test-only, allowlisted with a
+//! justification, or inside a string/comment (which the lexer must mask).
+
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn always_first(xs: &[u32]) -> u32 {
+    // The string below mentions unwrap() but is data, not code.
+    let _doc = "never call unwrap() on user input";
+    // lb-lint: allow(no-panic) -- invariant: callers guarantee xs is nonempty
+    *xs.first().unwrap()
+}
+
+pub fn trailing_form(xs: &[u32]) -> u32 {
+    *xs.first().expect("nonempty") // lb-lint: allow(no-panic) -- invariant: callers guarantee xs is nonempty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(head(&[7]).unwrap(), 7);
+    }
+}

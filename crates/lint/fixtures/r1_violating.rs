@@ -1,0 +1,13 @@
+//! R1 fixture: panicking calls in library code, no allow directives.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn lookup(m: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *m.get(&k).expect("key present")
+}
+
+pub fn later() -> ! {
+    todo!("not yet written")
+}

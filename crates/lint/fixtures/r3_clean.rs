@@ -1,0 +1,5 @@
+//! R3 fixture: a crate root that forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

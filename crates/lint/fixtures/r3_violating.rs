@@ -1,0 +1,4 @@
+//! R3 fixture: a crate root (linted under the path `.../src/lib.rs`) that
+//! never declares `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

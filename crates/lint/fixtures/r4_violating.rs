@@ -1,0 +1,13 @@
+//! R4 fixture: fallible public entry points (linted under an entry-point
+//! path) returning `Result` without `#[must_use]`.
+
+pub fn solve(input: &str) -> Result<u64, String> {
+    input.parse().map_err(|_| "bad input".to_string())
+}
+
+pub fn solve_multiline(
+    input: &str,
+    base: u64,
+) -> Result<u64, String> {
+    input.parse::<u64>().map(|x| x + base).map_err(|_| "bad input".to_string())
+}

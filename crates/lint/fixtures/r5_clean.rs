@@ -1,0 +1,10 @@
+//! R5 fixture: the same `process::exit` call is fine when the file lives
+//! under `src/bin/` (the self-test lints this content under a bin path).
+
+use std::process;
+
+fn main() {
+    if std::env::args().any(|a| a == "--fail") {
+        process::exit(1);
+    }
+}

@@ -1,0 +1,6 @@
+//! R5 fixture: `std::process::exit` from library code.
+
+pub fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,69 @@
+//! The `lb-lint` CLI.
+//!
+//! ```text
+//! cargo run -p lb-lint [-- --format json|text] [--root PATH]
+//! ```
+//!
+//! Exit code: a bitmask of violated rules (R1 = 1, R2 = 2, R3 = 4, R4 = 8,
+//! R5 = 16, malformed directives = 32, usage/IO error = 64); 0 when clean.
+
+use lb_lint::{clean_summary, exit_code, lint_workspace, render_json, render_text, Config};
+use std::path::PathBuf;
+use std::process;
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => usage_error(&format!("--format expects json|text, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage_error("--root expects a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: lb-lint [--format json|text] [--root PATH]");
+                println!("exit code: bitmask R1=1 R2=2 R3=4 R4=8 R5=16 directives=32 io=64");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(|| lb_lint::default_workspace_root().to_path_buf());
+    let config = Config::default();
+    match lint_workspace(&root, &config) {
+        Ok((violations, files)) => {
+            match format {
+                Format::Text => {
+                    if violations.is_empty() {
+                        print!("{}", clean_summary(files));
+                    } else {
+                        print!("{}", render_text(&violations));
+                    }
+                }
+                Format::Json => print!("{}", render_json(&violations)),
+            }
+            process::exit(exit_code(&violations));
+        }
+        Err(e) => {
+            eprintln!("lb-lint: IO error: {e}");
+            process::exit(64);
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("lb-lint: {msg}");
+    eprintln!("usage: lb-lint [--format json|text] [--root PATH]");
+    process::exit(64);
+}

@@ -1,0 +1,78 @@
+//! `lb-lint` — a zero-dependency static-analysis gate for solver and
+//! reduction soundness.
+//!
+//! This repo's value is machine-checked correctness of reductions and
+//! optimal algorithms; a panic on malformed input or a lossy float cast in
+//! AGM/ρ* arithmetic silently corrupts exactly the quantities the paper
+//! proves theorems about. `lb-lint` makes the repo's conventions enforced
+//! invariants. It walks every `.rs` file in the workspace with its own
+//! lightweight lexer (string-, comment-, and `#[cfg(test)]`-aware; no `syn`,
+//! because the build environment is offline) and enforces:
+//!
+//! * **R1 `no-panic`** — no `unwrap()`/`expect()`/`panic!`/`todo!`/
+//!   `unreachable!` in non-test library code;
+//! * **R2 `no-lossy-cast`** — no lossy `as` casts between floats and
+//!   integers in bound-arithmetic modules (`lb-join::agm`, `lb-lp`);
+//! * **R3 `forbid-unsafe`** — `#![forbid(unsafe_code)]` in every crate root;
+//! * **R4 `must-use-result`** — fallible public solver/join/reduction entry
+//!   points return `Result` and carry `#[must_use]`;
+//! * **R5 `no-process-exit`** — no `std::process::exit` outside `src/bin/`.
+//!
+//! Escape hatch: a trailing comment of the form
+//! `lb-lint: allow(rule) -- reason` (the justification after `--` is
+//! mandatory; an allow without one is itself reported). A directive alone on
+//! a line applies to the next code line.
+//!
+//! The gate is wired three ways: the `lb-lint` CLI (`cargo run -p lb-lint`),
+//! the workspace test `tests/lint_gate.rs` (so plain `cargo test` enforces
+//! it), and CI (`.github/workflows/ci.yml`).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{clean_summary, exit_code, render_json, render_text};
+pub use rules::{lint_source, Config, FileKind, Rule, Violation};
+
+use std::io;
+use std::path::Path;
+
+/// Lints every `.rs` file under `root` (skipping `target`, `.git`, and lint
+/// `fixtures`). Returns all violations plus the number of files checked.
+pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<(Vec<Violation>, usize)> {
+    let files = walk::rust_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let rel_str = walk::rel_display(rel);
+        let source = std::fs::read_to_string(root.join(rel))?;
+        violations.extend(rules::lint_source(&rel_str, &source, config));
+    }
+    Ok((violations, files.len()))
+}
+
+/// The workspace root as seen from this crate (two levels above the crate
+/// manifest). This is correct both under `cargo run -p lb-lint` and from
+/// workspace tests.
+pub fn default_workspace_root() -> &'static Path {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_contains_cargo_toml() {
+        assert!(default_workspace_root().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn lint_workspace_runs() {
+        let (_, files) = lint_workspace(default_workspace_root(), &Config::default()).unwrap();
+        assert!(files > 50, "expected a real workspace, saw {files} files");
+    }
+}

@@ -1,0 +1,142 @@
+//! Violation reporting: text and JSON rendering, per-rule exit codes.
+
+use crate::rules::{Rule, Violation};
+
+/// The process exit code for a set of violations: a bitmask with one bit per
+/// rule (R1 = 1, R2 = 2, R3 = 4, R4 = 8, R5 = 16, malformed directives = 32),
+/// so CI logs show *which* gates failed from the code alone. Zero means clean.
+pub fn exit_code(violations: &[Violation]) -> i32 {
+    violations.iter().fold(0, |acc, v| acc | v.rule.exit_bit())
+}
+
+/// Renders violations as human-readable text, one block per violation.
+pub fn render_text(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "lb-lint: no violations\n".to_string();
+    }
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.path, v.line, v.rule, v.message, v.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "lb-lint: {} violation{} ({} file{})\n",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" },
+        count_files(violations),
+        if count_files(violations) == 1 {
+            ""
+        } else {
+            "s"
+        },
+    ));
+    out
+}
+
+/// Renders violations as a JSON array (hand-rolled: the linter is
+/// zero-dependency by design).
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": {}, \"code\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_string(v.rule.name()),
+            json_string(v.rule.code()),
+            json_string(&v.path),
+            v.line,
+            json_string(&v.message),
+            json_string(&v.snippet),
+        ));
+    }
+    out.push_str(if violations.is_empty() {
+        "]\n"
+    } else {
+        "\n]\n"
+    });
+    out
+}
+
+fn count_files(violations: &[Violation]) -> usize {
+    let mut paths: Vec<&str> = violations.iter().map(|v| v.path.as_str()).collect();
+    paths.sort_unstable();
+    paths.dedup();
+    paths.len()
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Summary line for a clean run, naming every enforced rule.
+pub fn clean_summary(files_checked: usize) -> String {
+    let rules: Vec<String> = Rule::ALL.iter().map(|r| r.to_string()).collect();
+    format!(
+        "lb-lint: {files_checked} files clean under {}\n",
+        rules.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{lint_source, Config};
+
+    fn sample() -> Vec<Violation> {
+        lint_source(
+            "crates/x/src/foo.rs",
+            "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+            &Config::default(),
+        )
+    }
+
+    #[test]
+    fn exit_code_bits() {
+        let v = sample();
+        assert_eq!(exit_code(&v), 1);
+        assert_eq!(exit_code(&[]), 0);
+    }
+
+    #[test]
+    fn text_mentions_path_line_rule() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/x/src/foo.rs:1"));
+        assert!(text.contains("R1"));
+        assert!(text.contains("no-panic"));
+        assert!(text.contains("1 violation"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let json = render_json(&sample());
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"rule\": \"no-panic\""));
+        assert!(json.contains("\"line\": 1"));
+        // The snippet contains quotes that must be escaped.
+        assert!(!json.contains("\"snippet\": \"pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\"\n"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn json_escapes_special_chars() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,709 @@
+//! The five repo-specific lint rules and the per-file checking engine.
+//!
+//! Rules operate on the masked lines produced by [`crate::lexer::scan`], so
+//! they never fire inside strings or comments, and they respect the
+//! `// lb-lint: allow(rule) -- reason` escape hatch (a justification after
+//! `--` is mandatory; an allow without one is itself a violation).
+
+use crate::lexer::{scan, ScannedFile};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// The enforced rules. Codes R1–R5 index the per-rule exit-code bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// R1: no `unwrap()`/`expect()`/`panic!`/`todo!`/`unreachable!` in
+    /// non-test library code.
+    NoPanic,
+    /// R2: no lossy `as` casts between floats and integers in
+    /// bound-arithmetic modules.
+    NoLossyCast,
+    /// R3: every crate root carries `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// R4: public `Result`-returning solver/join/reduction entry points
+    /// carry `#[must_use]`.
+    MustUseResult,
+    /// R5: no `std::process::exit` outside `src/bin/`.
+    NoProcessExit,
+    /// D0: a malformed `lb-lint:` directive (unknown rule, missing reason).
+    BadDirective,
+}
+
+impl Rule {
+    /// All real rules (excludes the directive pseudo-rule).
+    pub const ALL: [Rule; 5] = [
+        Rule::NoPanic,
+        Rule::NoLossyCast,
+        Rule::ForbidUnsafe,
+        Rule::MustUseResult,
+        Rule::NoProcessExit,
+    ];
+
+    /// The stable kebab-case name used in `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoLossyCast => "no-lossy-cast",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::MustUseResult => "must-use-result",
+            Rule::NoProcessExit => "no-process-exit",
+            Rule::BadDirective => "bad-directive",
+        }
+    }
+
+    /// The short code (R1–R5, D0 for directives).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "R1",
+            Rule::NoLossyCast => "R2",
+            Rule::ForbidUnsafe => "R3",
+            Rule::MustUseResult => "R4",
+            Rule::NoProcessExit => "R5",
+            Rule::BadDirective => "D0",
+        }
+    }
+
+    /// The exit-code bit for this rule.
+    pub fn exit_bit(self) -> i32 {
+        match self {
+            Rule::NoPanic => 1,
+            Rule::NoLossyCast => 2,
+            Rule::ForbidUnsafe => 4,
+            Rule::MustUseResult => 8,
+            Rule::NoProcessExit => 16,
+            Rule::BadDirective => 32,
+        }
+    }
+
+    /// Parses a directive rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// How a file participates in linting, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Ordinary library code: all rules apply.
+    Library,
+    /// Test or bench code (`tests/`, `benches/`): R1/R2/R4/R5 exempt.
+    TestOrBench,
+    /// Example code (`examples/`): exempt like tests — demo code may unwrap.
+    Example,
+    /// Binary code (`src/bin/`, `src/main.rs`): R5 exempt, R1 applies.
+    Bin,
+}
+
+impl FileKind {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(rel_path: &str) -> FileKind {
+        let p = rel_path.replace('\\', "/");
+        if p.contains("/tests/") || p.contains("/benches/") || p.starts_with("tests/") {
+            FileKind::TestOrBench
+        } else if p.contains("/examples/") || p.starts_with("examples/") {
+            FileKind::Example
+        } else if p.contains("/src/bin/") || p.ends_with("/src/main.rs") || p == "src/main.rs" {
+            FileKind::Bin
+        } else {
+            FileKind::Library
+        }
+    }
+}
+
+/// One violation found by the linter.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Linter configuration: which paths are bound-math (R2) and entry-point
+/// (R4) modules.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path substrings whose files carry the `no-lossy-cast` rule
+    /// (bound-arithmetic modules).
+    pub bound_math_paths: Vec<String>,
+    /// Path substrings whose public `Result`-returning fns must be
+    /// `#[must_use]` (solver/join/reduction entry points).
+    pub entry_point_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            bound_math_paths: vec!["crates/join/src/agm.rs".into(), "crates/lp/src/".into()],
+            entry_point_paths: vec![
+                "crates/csp/src/solver/".into(),
+                "crates/sat/src/".into(),
+                "crates/join/src/".into(),
+                "crates/lp/src/".into(),
+                "crates/reductions/src/".into(),
+                "crates/graphalg/src/".into(),
+            ],
+        }
+    }
+}
+
+/// Allows parsed from `lb-lint:` directives: line → rules allowed there.
+struct Allows {
+    by_line: HashMap<usize, BTreeSet<Rule>>,
+    errors: Vec<(usize, String)>,
+}
+
+/// Parses every `lb-lint:` directive in the file.
+///
+/// Syntax: `lb-lint: allow(rule[, rule…]) -- reason`. A directive on a line
+/// with code applies to that line; a directive alone on a line applies to
+/// the next line carrying code.
+fn parse_allows(file: &ScannedFile) -> Allows {
+    let mut by_line: HashMap<usize, BTreeSet<Rule>> = HashMap::new();
+    let mut errors = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        // Only a comment that *starts* with `lb-lint:` is a directive; prose
+        // that merely mentions the syntax (docs, reasons) is ignored.
+        let trimmed = line.comment.trim_start();
+        let Some(directive) = trimmed.strip_prefix("lb-lint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let Some(rest) = directive.strip_prefix("allow") else {
+            errors.push((lineno, format!("unknown lb-lint directive {directive:?}; only `allow(rule) -- reason` is supported")));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            errors.push((lineno, "malformed allow: missing `)`".into()));
+            continue;
+        };
+        let Some(inner) = rest[..close].strip_prefix('(') else {
+            errors.push((lineno, "malformed allow: missing `(`".into()));
+            continue;
+        };
+        let after = rest[close + 1..].trim();
+        let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            errors.push((
+                lineno,
+                "allow directive requires a justification: `-- reason`".into(),
+            ));
+            continue;
+        }
+        let mut rules = BTreeSet::new();
+        let mut ok = true;
+        for name in inner.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match Rule::from_name(name) {
+                Some(r) => {
+                    rules.insert(r);
+                }
+                None => {
+                    errors.push((lineno, format!("unknown rule {name:?} in allow directive")));
+                    ok = false;
+                }
+            }
+        }
+        if !ok || rules.is_empty() {
+            if rules.is_empty() && ok {
+                errors.push((lineno, "allow directive names no rules".into()));
+            }
+            continue;
+        }
+        // Standalone comment line → the allow targets the next code line.
+        let target = if line.code.trim().is_empty() {
+            file.lines[idx + 1..]
+                .iter()
+                .position(|l| !l.code.trim().is_empty())
+                .map(|off| lineno + 1 + off)
+                .unwrap_or(lineno)
+        } else {
+            lineno
+        };
+        by_line.entry(target).or_default().extend(rules);
+    }
+    Allows { by_line, errors }
+}
+
+/// Lints one file's source text. `rel_path` is the workspace-relative path
+/// used for classification and reporting.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violation> {
+    let kind = FileKind::classify(rel_path);
+    let file = scan(source);
+    let allows = parse_allows(&file);
+    let mut out = Vec::new();
+
+    for (lineno, msg) in &allows.errors {
+        out.push(Violation {
+            rule: Rule::BadDirective,
+            path: rel_path.to_string(),
+            line: *lineno,
+            message: msg.clone(),
+            snippet: snippet_at(source, *lineno),
+        });
+    }
+
+    let allowed = |lineno: usize, rule: Rule| {
+        allows
+            .by_line
+            .get(&lineno)
+            .is_some_and(|set| set.contains(&rule))
+    };
+
+    // R1 — no panics in non-test library code.
+    if kind == FileKind::Library {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let lineno = idx + 1;
+            for (needle, what) in [
+                (".unwrap()", "`unwrap()`"),
+                (".expect(", "`expect()`"),
+                ("panic!", "`panic!`"),
+                ("todo!", "`todo!`"),
+                ("unreachable!", "`unreachable!`"),
+            ] {
+                if contains_token(&line.code, needle) && !allowed(lineno, Rule::NoPanic) {
+                    out.push(Violation {
+                        rule: Rule::NoPanic,
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "{what} in library code can panic on malformed input; return a typed error or add `// lb-lint: allow(no-panic) -- reason`"
+                        ),
+                        snippet: snippet_at(source, lineno),
+                    });
+                }
+            }
+        }
+    }
+
+    // R2 — no lossy float↔int casts in bound-math modules.
+    let is_bound_math = config
+        .bound_math_paths
+        .iter()
+        .any(|p| rel_path.contains(p.as_str()));
+    if is_bound_math && kind == FileKind::Library {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(msg) = lossy_cast_in(&line.code) {
+                if !allowed(lineno, Rule::NoLossyCast) {
+                    out.push(Violation {
+                        rule: Rule::NoLossyCast,
+                        path: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "{msg} in bound arithmetic; use the checked helpers in `lb_lp::convert`/`lb_lp::intpow` or add `// lb-lint: allow(no-lossy-cast) -- reason`"
+                        ),
+                        snippet: snippet_at(source, lineno),
+                    });
+                }
+            }
+        }
+    }
+
+    // R3 — crate roots must forbid unsafe code.
+    let is_crate_root = rel_path.ends_with("src/lib.rs") || rel_path.ends_with("src/main.rs");
+    if is_crate_root {
+        let has_forbid = file
+            .lines
+            .iter()
+            .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+        if !has_forbid && !allowed(1, Rule::ForbidUnsafe) {
+            out.push(Violation {
+                rule: Rule::ForbidUnsafe,
+                path: rel_path.to_string(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+                snippet: snippet_at(source, 1),
+            });
+        }
+    }
+
+    // R4 — public Result-returning entry points must be #[must_use].
+    let is_entry_point = config
+        .entry_point_paths
+        .iter()
+        .any(|p| rel_path.contains(p.as_str()));
+    if is_entry_point && kind == FileKind::Library {
+        for sig in public_fn_signatures(&file) {
+            if sig.in_test || !sig.returns_result {
+                continue;
+            }
+            if !sig.has_must_use && !allowed(sig.line, Rule::MustUseResult) {
+                out.push(Violation {
+                    rule: Rule::MustUseResult,
+                    path: rel_path.to_string(),
+                    line: sig.line,
+                    message: format!(
+                        "public fallible entry point `{}` returns `Result` without `#[must_use]`; callers silently dropping the result would discard both the value and the error",
+                        sig.name
+                    ),
+                    snippet: snippet_at(source, sig.line),
+                });
+            }
+        }
+    }
+
+    // R5 — no process::exit outside binaries.
+    if kind != FileKind::Bin && kind != FileKind::TestOrBench {
+        for (idx, line) in file.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if line.code.contains("process::exit") && !allowed(lineno, Rule::NoProcessExit) {
+                out.push(Violation {
+                    rule: Rule::NoProcessExit,
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    message: "`std::process::exit` outside `src/bin/` skips destructors and poisons library reuse; return an error instead".into(),
+                    snippet: snippet_at(source, lineno),
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// True when `needle` occurs in `code` on an identifier boundary: when the
+/// needle starts with an identifier character, the preceding character must
+/// not be one (so `my_panic!` does not match `panic!`). Needles starting
+/// with punctuation (`.unwrap()`) match anywhere.
+fn contains_token(code: &str, needle: &str) -> bool {
+    let needs_boundary = needle
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let abs = start + pos;
+        let prev = code[..abs].chars().next_back();
+        let boundary = !needs_boundary || !prev.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Detects a lossy float↔int `as` cast on a masked code line, returning a
+/// description of the cast if found.
+fn lossy_cast_in(code: &str) -> Option<String> {
+    let float_evidence = [
+        "f64", "f32", ".floor()", ".ceil()", ".round()", ".powf(", ".powi(", ".sqrt()", "to_f64",
+    ];
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(" as ") {
+        let abs = search + pos;
+        let after = &code[abs + 4..];
+        let ty: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ty == "f64" || ty == "f32" {
+            return Some(format!("`as {ty}` cast (int→float or float narrowing)"));
+        }
+        if INT_TYPES.contains(&ty.as_str()) {
+            let before = &code[..abs];
+            if float_evidence.iter().any(|m| before.contains(m)) {
+                return Some(format!("float-expression `as {ty}` cast (truncating)"));
+            }
+        }
+        search = abs + 4;
+    }
+    None
+}
+
+/// A discovered `pub fn` signature.
+struct FnSig {
+    name: String,
+    line: usize,
+    returns_result: bool,
+    has_must_use: bool,
+    in_test: bool,
+}
+
+/// Collects `pub fn` signatures (joined across lines up to the body brace)
+/// together with their attribute context.
+fn public_fn_signatures(file: &ScannedFile) -> Vec<FnSig> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(fn_pos) = find_pub_fn(code) else {
+            continue;
+        };
+        let name: String = code[fn_pos..]
+            .chars()
+            .skip_while(|c| !c.is_whitespace())
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        // Join signature lines until the body `{` or a `;`.
+        let mut sig = String::new();
+        for l in &file.lines[idx..file.lines.len().min(idx + 24)] {
+            sig.push_str(&l.code);
+            sig.push(' ');
+            if l.code.contains('{') || l.code.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        let returns_result = match sig.find("->") {
+            Some(arrow) => {
+                let ret = &sig[arrow + 2..];
+                let ret = ret.split('{').next().unwrap_or(ret);
+                contains_token(ret, "Result")
+            }
+            None => false,
+        };
+        // Attributes: walk upward over `#[...]` and doc lines.
+        let mut has_must_use = false;
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let above = file.lines[j].code.trim();
+            if above.starts_with("#[") {
+                if above.contains("must_use") {
+                    has_must_use = true;
+                }
+            } else if above.is_empty() {
+                // Doc comments are masked to empty; keep climbing.
+                continue;
+            } else {
+                break;
+            }
+        }
+        out.push(FnSig {
+            name,
+            line: idx + 1,
+            returns_result,
+            has_must_use,
+            in_test: line.in_test,
+        });
+    }
+    out
+}
+
+/// Finds a `pub fn` (not `pub(crate) fn`, which is not public API) on a
+/// masked line, returning the byte offset of `fn`.
+fn find_pub_fn(code: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("pub fn ") {
+        let abs = search + pos;
+        let prev = code[..abs].chars().next_back();
+        if !prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return Some(abs + 4);
+        }
+        search = abs + 7;
+    }
+    None
+}
+
+fn snippet_at(source: &str, lineno: usize) -> String {
+    source
+        .lines()
+        .nth(lineno.saturating_sub(1))
+        .unwrap_or("")
+        .trim()
+        .chars()
+        .take(120)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Violation> {
+        lint_source("crates/x/src/foo.rs", src, &Config::default())
+    }
+
+    #[test]
+    fn r1_flags_unwrap_in_library() {
+        let v = lint_lib("pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanic);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn r1_respects_test_code_and_allows() {
+        let src = "\
+fn g(o: Option<u32>) -> u32 {
+    o.expect(\"validated\") // lb-lint: allow(no-panic) -- invariant: validated upstream
+}
+#[cfg(test)]
+mod tests {
+    fn t() { None::<u32>.unwrap(); }
+}
+";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn r1_allow_without_reason_is_an_error() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() } // lb-lint: allow(no-panic)\n";
+        let v = lint_lib(src);
+        assert!(v.iter().any(|v| v.rule == Rule::BadDirective));
+        // The un-justified allow does not suppress the violation.
+        assert!(v.iter().any(|v| v.rule == Rule::NoPanic));
+    }
+
+    #[test]
+    fn r1_standalone_allow_targets_next_line() {
+        let src = "\
+// lb-lint: allow(no-panic) -- demonstration of line targeting
+fn f(o: Option<u32>) -> u32 { o.unwrap() }
+";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn r1_skips_strings_and_comments() {
+        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap() in a comment\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_float_casts_in_bound_math() {
+        let src = "pub fn f(n: u64) -> f64 { n as f64 }\n";
+        let v = lint_source("crates/lp/src/x.rs", src, &Config::default());
+        assert!(v.iter().any(|v| v.rule == Rule::NoLossyCast));
+        // Same source outside bound-math modules: no R2.
+        let v = lint_source("crates/graph/src/x.rs", src, &Config::default());
+        assert!(!v.iter().any(|v| v.rule == Rule::NoLossyCast));
+    }
+
+    #[test]
+    fn r2_flags_truncating_float_to_int() {
+        let src = "fn f(s: f64) -> u64 { (s + 1e-9).floor().max(1.0) as u64 }\n";
+        let v = lint_source("crates/join/src/agm.rs", src, &Config::default());
+        assert!(v.iter().any(|v| v.rule == Rule::NoLossyCast));
+    }
+
+    #[test]
+    fn r2_permits_pure_int_widening() {
+        let src = "fn f(s: u32) -> u64 { s as u64 }\n";
+        let v = lint_source("crates/lp/src/x.rs", src, &Config::default());
+        assert!(!v.iter().any(|v| v.rule == Rule::NoLossyCast));
+    }
+
+    #[test]
+    fn r3_requires_forbid_unsafe() {
+        let v = lint_source("crates/x/src/lib.rs", "pub fn f() {}\n", &Config::default());
+        assert!(v.iter().any(|v| v.rule == Rule::ForbidUnsafe));
+        let v = lint_source(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &Config::default(),
+        );
+        assert!(v.is_empty());
+        // Non-root files don't need it.
+        let v = lint_source(
+            "crates/x/src/util.rs",
+            "pub fn f() {}\n",
+            &Config::default(),
+        );
+        assert!(!v.iter().any(|v| v.rule == Rule::ForbidUnsafe));
+    }
+
+    #[test]
+    fn r4_requires_must_use_on_result_entry_points() {
+        let src = "pub fn solve(x: u32) -> Result<u32, String> { Ok(x) }\n";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(v.iter().any(|v| v.rule == Rule::MustUseResult));
+        let src = "#[must_use = \"solver verdicts must be checked\"]\npub fn solve(x: u32) -> Result<u32, String> { Ok(x) }\n";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn r4_multiline_signature() {
+        let src = "\
+pub fn solve(
+    x: u32,
+) -> Result<u32, String> {
+    Ok(x)
+}
+";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(v.iter().any(|v| v.rule == Rule::MustUseResult));
+    }
+
+    #[test]
+    fn r4_ignores_non_result_and_private_fns() {
+        let src = "\
+pub fn count(x: u32) -> u32 { x }
+fn helper() -> Result<(), String> { Ok(()) }
+pub(crate) fn internal() -> Result<(), String> { Ok(()) }
+";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn r5_flags_process_exit_in_library() {
+        let src = "fn die() { std::process::exit(1); }\n";
+        let v = lint_lib(src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoProcessExit));
+        // Allowed in binaries.
+        let v = lint_source("crates/core/src/bin/tool.rs", src, &Config::default());
+        assert!(!v.iter().any(|v| v.rule == Rule::NoProcessExit));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_an_error() {
+        let src = "fn f() {} // lb-lint: allow(no-such-rule) -- whatever\n";
+        let v = lint_lib(src);
+        assert!(v.iter().any(|v| v.rule == Rule::BadDirective));
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "pub fn f(n: u64) -> f64 { n as f64 } // lb-lint: allow(no-lossy-cast, no-panic) -- display only\n";
+        let v = lint_source("crates/lp/src/x.rs", src, &Config::default());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn file_kinds() {
+        assert_eq!(FileKind::classify("crates/x/src/lib.rs"), FileKind::Library);
+        assert_eq!(
+            FileKind::classify("crates/x/tests/t.rs"),
+            FileKind::TestOrBench
+        );
+        assert_eq!(
+            FileKind::classify("crates/x/benches/b.rs"),
+            FileKind::TestOrBench
+        );
+        assert_eq!(FileKind::classify("examples/e.rs"), FileKind::Example);
+        assert_eq!(FileKind::classify("tests/gate.rs"), FileKind::TestOrBench);
+        assert_eq!(
+            FileKind::classify("crates/x/src/bin/tool.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(FileKind::classify("src/main.rs"), FileKind::Bin);
+    }
+}

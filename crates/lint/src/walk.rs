@@ -1,0 +1,66 @@
+//! Workspace traversal: find every `.rs` file to lint.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into. `fixtures` holds intentionally-bad
+/// lint-test sources; `target` and `.git` are build/VCS state.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Collects all `.rs` files under `root`, workspace-relative, sorted.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders a workspace-relative path with forward slashes (stable across
+/// platforms for reporting and rule matching).
+pub fn rel_display(path: &Path) -> String {
+    path.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_fixtures() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = rust_files(root).expect("walk");
+        let rels: Vec<String> = files.iter().map(|p| rel_display(p)).collect();
+        assert!(rels.iter().any(|p| p == "crates/lint/src/walk.rs"));
+        assert!(rels.iter().any(|p| p == "crates/lp/src/rational.rs"));
+        assert!(!rels.iter().any(|p| p.contains("fixtures/")));
+        assert!(!rels.iter().any(|p| p.contains("target/")));
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixture self-tests: every rule has at least one violating fixture (the
+//! linter must flag it) and one clean fixture (the linter must stay silent).
+//!
+//! Fixtures live in `crates/lint/fixtures/`, which the workspace walker
+//! skips — they are linted here explicitly, each under a synthetic
+//! workspace-relative path that exercises the intended path classification
+//! (bound-math module, entry-point module, crate root, binary, …).
+
+use lb_lint::{lint_source, Config, Rule};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+}
+
+/// Lints a fixture under `rel_path` and returns the sorted, deduplicated set
+/// of rules that fired.
+fn rules_fired(name: &str, rel_path: &str) -> Vec<Rule> {
+    let source = fixture(name);
+    let mut rules: Vec<Rule> = lint_source(rel_path, &source, &Config::default())
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.sort_by_key(|r| r.exit_bit());
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn r1_violating_fixture_is_flagged() {
+    let v = lint_source(
+        "crates/x/src/foo.rs",
+        &fixture("r1_violating.rs"),
+        &Config::default(),
+    );
+    let r1 = v.iter().filter(|v| v.rule == Rule::NoPanic).count();
+    assert!(r1 >= 3, "expected unwrap+expect+todo to fire, got {v:?}");
+    assert!(v.iter().all(|v| v.rule == Rule::NoPanic));
+}
+
+#[test]
+fn r1_clean_fixture_is_silent() {
+    assert_eq!(rules_fired("r1_clean.rs", "crates/x/src/foo.rs"), vec![]);
+}
+
+#[test]
+fn r2_violating_fixture_is_flagged_in_bound_math_path() {
+    assert_eq!(
+        rules_fired("r2_violating.rs", "crates/lp/src/fixture.rs"),
+        vec![Rule::NoLossyCast]
+    );
+}
+
+#[test]
+fn r2_violating_fixture_is_ignored_outside_bound_math_paths() {
+    // The same source outside `lb-lp`/`lb-join::agm` is not bound
+    // arithmetic; R2 is scoped by path.
+    assert_eq!(
+        rules_fired("r2_violating.rs", "crates/graph/src/fixture.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn r2_clean_fixture_is_silent() {
+    assert_eq!(
+        rules_fired("r2_clean.rs", "crates/lp/src/fixture.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn r3_violating_fixture_is_flagged() {
+    assert_eq!(
+        rules_fired("r3_violating.rs", "crates/x/src/lib.rs"),
+        vec![Rule::ForbidUnsafe]
+    );
+}
+
+#[test]
+fn r3_only_applies_to_crate_roots() {
+    assert_eq!(
+        rules_fired("r3_violating.rs", "crates/x/src/util.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn r3_clean_fixture_is_silent() {
+    assert_eq!(rules_fired("r3_clean.rs", "crates/x/src/lib.rs"), vec![]);
+}
+
+#[test]
+fn r4_violating_fixture_is_flagged_including_multiline_signature() {
+    let v = lint_source(
+        "crates/join/src/fixture.rs",
+        &fixture("r4_violating.rs"),
+        &Config::default(),
+    );
+    let r4 = v.iter().filter(|v| v.rule == Rule::MustUseResult).count();
+    assert_eq!(r4, 2, "both solve and solve_multiline must fire: {v:?}");
+}
+
+#[test]
+fn r4_clean_fixture_is_silent() {
+    assert_eq!(
+        rules_fired("r4_clean.rs", "crates/join/src/fixture.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn r5_violating_fixture_is_flagged() {
+    assert_eq!(
+        rules_fired("r5_violating.rs", "crates/x/src/util.rs"),
+        vec![Rule::NoProcessExit]
+    );
+}
+
+#[test]
+fn r5_clean_fixture_is_silent_under_bin_path() {
+    assert_eq!(
+        rules_fired("r5_clean.rs", "crates/x/src/bin/tool.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn bad_directives_are_reported_and_do_not_suppress() {
+    let v = lint_source(
+        "crates/x/src/foo.rs",
+        &fixture("d0_bad_directive.rs"),
+        &Config::default(),
+    );
+    let d0 = v.iter().filter(|v| v.rule == Rule::BadDirective).count();
+    let r1 = v.iter().filter(|v| v.rule == Rule::NoPanic).count();
+    assert_eq!(
+        d0, 2,
+        "missing-reason and unknown-rule must both fire: {v:?}"
+    );
+    assert_eq!(
+        r1, 1,
+        "a reasonless allow must not suppress the unwrap: {v:?}"
+    );
+}
+
+#[test]
+fn good_directives_suppress_cleanly() {
+    assert_eq!(
+        rules_fired("d0_good_directive.rs", "crates/x/src/foo.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn every_rule_has_a_violating_and_a_clean_fixture() {
+    // Meta-check: the fixture corpus stays complete as rules evolve.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for code in ["r1", "r2", "r3", "r4", "r5"] {
+        for suffix in ["violating", "clean"] {
+            let name = format!("{code}_{suffix}.rs");
+            assert!(dir.join(&name).exists(), "fixture corpus is missing {name}");
+        }
+    }
+}

@@ -41,7 +41,10 @@ impl std::fmt::Display for CoverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoverError::UncoveredVertex(v) => {
-                write!(f, "vertex {v} lies in no hyperedge; edge cover LP is infeasible")
+                write!(
+                    f,
+                    "vertex {v} lies in no hyperedge; edge cover LP is infeasible"
+                )
             }
             CoverError::Lp(m) => write!(f, "LP failure: {m}"),
         }
@@ -92,6 +95,7 @@ fn vertex_by_edge(h: &Hypergraph) -> Vec<Vec<Rational>> {
 ///
 /// This is the exponent of the AGM bound: the answer to a join query with
 /// hypergraph H over relations of size ≤ N has at most N^{ρ*} tuples.
+#[must_use = "dropping the result discards the LP optimum or the failure"]
 pub fn fractional_edge_cover(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
     if let Some(v) = first_uncovered(h) {
         return Err(CoverError::UncoveredVertex(v));
@@ -109,6 +113,7 @@ pub fn fractional_edge_cover(h: &Hypergraph) -> Result<CoverSolution, CoverError
 
 /// The fractional vertex packing optimum (equal to ρ* by duality) with
 /// optimal vertex weights — the construction vector of Theorem 3.2.
+#[must_use = "dropping the result discards the LP optimum or the failure"]
 pub fn fractional_vertex_packing(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
     if let Some(v) = first_uncovered(h) {
         return Err(CoverError::UncoveredVertex(v));
@@ -124,6 +129,7 @@ pub fn fractional_vertex_packing(h: &Hypergraph) -> Result<CoverSolution, CoverE
 }
 
 /// The fractional matching number ν*(H) with optimal edge weights.
+#[must_use = "dropping the result discards the LP optimum or the failure"]
 pub fn fractional_matching(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
     let a = vertex_by_edge(h);
     let b = vec![Rational::ONE; h.num_vertices()];
@@ -136,6 +142,7 @@ pub fn fractional_matching(h: &Hypergraph) -> Result<CoverSolution, CoverError> 
 }
 
 /// The fractional vertex cover number τ*(H) with optimal vertex weights.
+#[must_use = "dropping the result discards the LP optimum or the failure"]
 pub fn fractional_vertex_cover(h: &Hypergraph) -> Result<CoverSolution, CoverError> {
     let a = vertex_by_edge(h);
     let b = vec![Rational::ONE; h.num_vertices()];
@@ -182,10 +189,7 @@ mod tests {
             assert!(total <= Rational::ONE);
         }
         // Objectives are the weight sums.
-        let csum = cover
-            .weights
-            .iter()
-            .fold(Rational::ZERO, |acc, &w| acc + w);
+        let csum = cover.weights.iter().fold(Rational::ZERO, |acc, &w| acc + w);
         assert_eq!(csum, cover.value);
     }
 

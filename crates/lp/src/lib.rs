@@ -14,14 +14,23 @@
 //! * [`covers`] — the four fractional quantities of hypergraph combinatorics:
 //!   edge cover ρ*, vertex packing (its LP dual, used to build the AGM
 //!   worst-case database), vertex cover τ*, and matching ν*.
+//! * [`intpow`] — exact `⌊N^{p/q}⌋` and exact power comparisons, so witness
+//!   domain sizes never depend on `f64` rounding.
+//! * [`convert`] — checked float↔int conversions, the only sanctioned home
+//!   for float casts in bound arithmetic (see the `no-lossy-cast` lint rule).
 
+#![forbid(unsafe_code)]
+
+pub mod convert;
 pub mod covers;
+pub mod intpow;
 pub mod rational;
 pub mod simplex;
 
 pub use covers::{
-    fractional_edge_cover, fractional_matching, fractional_vertex_cover,
-    fractional_vertex_packing, CoverSolution,
+    fractional_edge_cover, fractional_matching, fractional_vertex_cover, fractional_vertex_packing,
+    CoverSolution,
 };
+pub use intpow::{cmp_pow, floor_rational_pow, PowError};
 pub use rational::Rational;
 pub use simplex::{solve_packing, PackingSolution};

@@ -50,7 +50,10 @@ impl Rational {
 
     /// The integer `n` as a rational.
     pub fn from_int(n: i64) -> Self {
-        Rational { num: n as i128, den: 1 }
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -63,8 +66,11 @@ impl Rational {
         self.den
     }
 
-    /// Conversion to `f64` (for display and for computing `N^{ρ*}`).
+    /// Lossy conversion to `f64`, for **display only**. Bound decisions must
+    /// go through the exact integer paths (`crate::intpow::floor_rational_pow`
+    /// and `crate::intpow::cmp_pow`) instead.
     pub fn to_f64(&self) -> f64 {
+        // lb-lint: allow(no-lossy-cast) -- display-only: documented lossy; never feeds a bound decision
         self.num as f64 / self.den as f64
     }
 
@@ -106,7 +112,9 @@ impl Rational {
     }
 
     fn checked(num: Option<i128>, den: Option<i128>) -> Rational {
+        // lb-lint: allow(no-panic) -- documented panic: i128 overflow in rational ops is a bug, not bad input; operator impls cannot return Result
         let num = num.expect("rational arithmetic overflow (numerator)");
+        // lb-lint: allow(no-panic) -- documented panic: i128 overflow in rational ops is a bug, not bad input; operator impls cannot return Result
         let den = den.expect("rational arithmetic overflow (denominator)");
         Rational::new(num, den)
     }
@@ -189,10 +197,12 @@ impl Ord for Rational {
         let lhs = self
             .num
             .checked_mul(other.den)
+            // lb-lint: allow(no-panic) -- documented panic: Ord cannot return Result; cross-multiplication past i128 is unsupported
             .expect("rational comparison overflow");
         let rhs = other
             .num
             .checked_mul(self.den)
+            // lb-lint: allow(no-panic) -- documented panic: Ord cannot return Result; cross-multiplication past i128 is unsupported
             .expect("rational comparison overflow");
         lhs.cmp(&rhs)
     }

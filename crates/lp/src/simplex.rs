@@ -46,6 +46,7 @@ impl std::error::Error for LpError {}
 ///
 /// `a` is row-major: `a[i]` is the i-th constraint row (length = `c.len()`).
 #[allow(clippy::needless_range_loop)] // index used across several arrays
+#[must_use = "dropping the result discards the LP optimum or the failure"]
 pub fn solve_packing(
     a: &[Vec<Rational>],
     b: &[Rational],
@@ -147,7 +148,11 @@ pub fn solve_packing(
     // Dual values are the reduced costs of the slack columns.
     let dual: Vec<Rational> = (0..m).map(|i| t[m][n + i]).collect();
     let value = t[m][cols - 1];
-    Ok(PackingSolution { value, primal, dual })
+    Ok(PackingSolution {
+        value,
+        primal,
+        dual,
+    })
 }
 
 #[cfg(test)]
@@ -203,11 +208,7 @@ mod tests {
     #[test]
     fn textbook_2d() {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → optimum 36.
-        let a = vec![
-            vec![ri(1), ri(0)],
-            vec![ri(0), ri(2)],
-            vec![ri(3), ri(2)],
-        ];
+        let a = vec![vec![ri(1), ri(0)], vec![ri(0), ri(2)], vec![ri(3), ri(2)]];
         let b = vec![ri(4), ri(12), ri(18)];
         let c = vec![ri(3), ri(5)];
         let sol = solve_packing(&a, &b, &c).unwrap();

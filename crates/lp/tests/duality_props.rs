@@ -3,8 +3,7 @@
 
 use lb_graph::generators::random_uniform_hypergraph;
 use lb_lp::covers::{
-    fractional_edge_cover, fractional_matching, fractional_vertex_cover,
-    fractional_vertex_packing,
+    fractional_edge_cover, fractional_matching, fractional_vertex_cover, fractional_vertex_packing,
 };
 use lb_lp::Rational;
 use proptest::prelude::*;

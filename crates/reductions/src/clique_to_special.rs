@@ -56,6 +56,7 @@ pub fn solution_back(k: usize, solution: &[Value]) -> Vec<usize> {
 pub fn has_clique_via_special(g: &Graph, k: usize) -> Option<Vec<usize>> {
     let inst = reduce(g, k);
     let result = lb_csp::solver::special::solve_special(&inst)
+        // lb-lint: allow(no-panic) -- invariant: the reduction constructs a special primal graph by design
         .expect("reduction output must have a special primal graph");
     result.solution.map(|s| solution_back(k, &s))
 }

@@ -64,12 +64,19 @@ pub fn solution_back(t: usize, solution: &[Value]) -> Vec<usize> {
 /// 10⁶ (the relations are materialized).
 pub fn reduce_grouped(g: &Graph, t: usize, group_size: usize) -> CspInstance {
     let n = g.num_vertices();
-    assert!(group_size >= 1 && t.is_multiple_of(group_size), "group size must divide t");
+    assert!(
+        group_size >= 1 && t.is_multiple_of(group_size),
+        "group size must divide t"
+    );
     let k = t / group_size;
     let domain = (n as u64)
         .checked_pow(group_size as u32)
+        // lb-lint: allow(no-panic) -- documented panic: domain sizes beyond usize are unsupported on this platform
         .expect("domain overflow") as usize;
-    assert!(domain <= 1_000_000, "grouped domain too large to materialize");
+    assert!(
+        domain <= 1_000_000,
+        "grouped domain too large to materialize"
+    );
     let domain = domain.max(t);
     let mut inst = CspInstance::new(k + n, domain);
 

@@ -19,12 +19,14 @@ use std::sync::Arc;
 /// Returns the instance plus the value decoding table (`values[d]` = the
 /// original database value of CSP value `d`), so solutions map back to
 /// answer tuples.
+#[must_use = "dropping the result discards the reduced instance or the failure"]
 pub fn join_to_csp(q: &JoinQuery, db: &Database) -> Result<(CspInstance, Vec<u64>), String> {
     db.validate_for(q)?;
     let attrs = q.attributes();
     // Active domain.
     let mut value_id: BTreeMap<u64, Value> = BTreeMap::new();
     for atom in &q.atoms {
+        // lb-lint: allow(no-panic) -- invariant: join_to_csp validated the database against the query up front
         for row in db.table(&atom.relation).expect("validated").rows() {
             for &v in row {
                 let next = value_id.len() as Value;
@@ -44,10 +46,12 @@ pub fn join_to_csp(q: &JoinQuery, db: &Database) -> Result<(CspInstance, Vec<u64
         let scope: Vec<usize> = atom
             .attrs
             .iter()
+            // lb-lint: allow(no-panic) -- invariant: atom attributes are drawn from the collected attribute set
             .map(|a| attrs.binary_search(a).expect("attribute known"))
             .collect();
         let tuples: Vec<Vec<Value>> = db
             .table(&atom.relation)
+            // lb-lint: allow(no-panic) -- invariant: join_to_csp validated the database against the query up front
             .expect("validated")
             .rows()
             .iter()
@@ -102,9 +106,7 @@ pub fn csp_to_join(inst: &CspInstance) -> (JoinQuery, Database) {
 /// # Panics
 /// Panics unless the instance is binary with no repeated scope variables.
 #[allow(clippy::needless_range_loop)] // index used across several arrays
-pub fn binary_csp_to_partitioned_subiso(
-    inst: &CspInstance,
-) -> (Graph, Graph, Vec<Vec<usize>>) {
+pub fn binary_csp_to_partitioned_subiso(inst: &CspInstance) -> (Graph, Graph, Vec<Vec<usize>>) {
     assert!(inst.is_binary(), "translation needs a binary CSP");
     assert!(
         inst.constraints.iter().all(|c| c.scope[0] != c.scope[1]),
@@ -243,9 +245,6 @@ mod tests {
         let back = lb_structure::convert::structures_to_csp(&a, &b);
         assert_eq!(hom_count, bruteforce::count(&inst));
         assert_eq!(bruteforce::count(&back), bruteforce::count(&inst));
-        assert_eq!(
-            wcoj::count(&q, &db, None).unwrap(),
-            hom_count
-        );
+        assert_eq!(wcoj::count(&q, &db, None).unwrap(), hom_count);
     }
 }

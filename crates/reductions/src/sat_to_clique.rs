@@ -121,10 +121,7 @@ mod tests {
     #[test]
     fn contradictory_literals_not_adjacent() {
         use lb_sat::Lit;
-        let f = CnfFormula::from_clauses(
-            1,
-            vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
-        );
+        let f = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
         let inst = reduce(&f);
         assert_eq!(inst.graph.num_edges(), 0);
         assert!(decide_via_clique(&f).is_none());
@@ -139,11 +136,8 @@ mod tests {
             let f = generators::random_ksat(5, 8, 3, seed);
             let inst = reduce(&f);
             let pattern = lb_graph::generators::clique(inst.k);
-            let via_subiso = lb_graphalg::subiso::partitioned_subgraph_iso(
-                &pattern,
-                &inst.graph,
-                &inst.blocks,
-            );
+            let via_subiso =
+                lb_graphalg::subiso::partitioned_subgraph_iso(&pattern, &inst.graph, &inst.blocks);
             let expect = brute::solve(&f).is_some();
             assert_eq!(via_subiso.is_some(), expect, "seed {seed}");
             if let Some(m) = via_subiso {

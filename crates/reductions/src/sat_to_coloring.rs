@@ -186,7 +186,9 @@ pub fn gadget_csp_pinned(inst: &ColoringInstance) -> CspInstance {
 pub fn decide_via_coloring(f: &CnfFormula) -> bool {
     let inst = reduce(f);
     let csp = gadget_csp_pinned(&inst);
-    lb_csp::solver::treewidth_dp::solve_auto(&csp).solution.is_some()
+    lb_csp::solver::treewidth_dp::solve_auto(&csp)
+        .solution
+        .is_some()
 }
 
 #[cfg(test)]
@@ -245,25 +247,17 @@ mod tests {
     #[test]
     fn unsat_formula_not_colorable() {
         // x ∧ ¬x via width-1 clauses.
-        let f = CnfFormula::from_clauses(
-            1,
-            vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
-        );
+        let f = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
         assert!(!decide_via_coloring(&f));
     }
 
     #[test]
     fn short_clauses_padded() {
         // Width-2 and width-1 clauses exercise the padding path.
-        let f = CnfFormula::from_clauses(
-            2,
-            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0)]],
-        );
+        let f =
+            CnfFormula::from_clauses(2, vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0)]]);
         assert!(decide_via_coloring(&f));
-        let g = CnfFormula::from_clauses(
-            1,
-            vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
-        );
+        let g = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
         assert!(!decide_via_coloring(&g));
     }
 }

@@ -19,9 +19,7 @@ pub fn reduce(f: &CnfFormula) -> CspInstance {
         let scope: Vec<usize> = clause.iter().map(|l| l.var()).collect();
         let signs: Vec<bool> = clause.iter().map(|l| l.is_positive()).collect();
         let relation = Relation::from_fn(scope.len(), 2, |t| {
-            t.iter()
-                .zip(&signs)
-                .any(|(&v, &pos)| (v == 1) == pos)
+            t.iter().zip(&signs).any(|(&v, &pos)| (v == 1) == pos)
         });
         inst.add_constraint(Constraint::new(scope, Arc::new(relation)));
     }
@@ -65,7 +63,11 @@ mod tests {
         for seed in 0..10u64 {
             let f = generators::random_ksat(7, 20, 3, seed);
             let inst = reduce(&f);
-            assert_eq!(lb_csp::solver::count(&inst), brute::count(&f), "seed {seed}");
+            assert_eq!(
+                lb_csp::solver::count(&inst),
+                brute::count(&f),
+                "seed {seed}"
+            );
         }
     }
 

@@ -131,11 +131,7 @@ mod tests {
         use lb_sat::Lit;
         let f = CnfFormula::from_clauses(
             2,
-            vec![
-                vec![Lit::pos(0)],
-                vec![Lit::neg(0)],
-                vec![Lit::pos(1)],
-            ],
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0)], vec![Lit::pos(1)]],
         );
         assert!(decide_via_ov(&f).is_none());
     }

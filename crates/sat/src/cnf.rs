@@ -62,7 +62,12 @@ impl Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}", if self.is_positive() { "" } else { "¬" }, self.var())
+        write!(
+            f,
+            "{}x{}",
+            if self.is_positive() { "" } else { "¬" },
+            self.var()
+        )
     }
 }
 
@@ -166,6 +171,7 @@ impl CnfFormula {
     }
 
     /// Parses DIMACS CNF. Lines starting with `c` are comments.
+    #[must_use = "dropping the result discards the parsed formula or the parse error"]
     pub fn from_dimacs(text: &str) -> Result<Self, String> {
         let mut num_vars: Option<usize> = None;
         let mut declared_clauses = 0usize;
@@ -181,8 +187,14 @@ impl CnfFormula {
                 if parts.len() != 2 {
                     return Err(format!("malformed problem line: {line}"));
                 }
-                num_vars = Some(parts[0].parse().map_err(|e| format!("bad var count: {e}"))?);
-                declared_clauses = parts[1].parse().map_err(|e| format!("bad clause count: {e}"))?;
+                num_vars = Some(
+                    parts[0]
+                        .parse()
+                        .map_err(|e| format!("bad var count: {e}"))?,
+                );
+                declared_clauses = parts[1]
+                    .parse()
+                    .map_err(|e| format!("bad clause count: {e}"))?;
                 continue;
             }
             let nv = num_vars.ok_or("clause before problem line")?;

@@ -24,11 +24,7 @@ pub fn count_models(f: &CnfFormula) -> u64 {
 
 /// Recursive counter over a sub-problem: `clauses` restricted to the
 /// variables of `vars` (other mentioned variables are already assigned).
-fn count_rec(
-    clauses: &[Vec<Lit>],
-    assignment: &mut Vec<Option<bool>>,
-    vars: &[usize],
-) -> u64 {
+fn count_rec(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[usize]) -> u64 {
     // Unit propagation with a local trail.
     let mut trail: Vec<usize> = Vec::new();
     loop {
@@ -125,11 +121,7 @@ fn count_rec(
 }
 
 /// Branches on the first variable of the component and recurses.
-fn branch_count(
-    clauses: &[Vec<Lit>],
-    assignment: &mut Vec<Option<bool>>,
-    vars: &[usize],
-) -> u64 {
+fn branch_count(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[usize]) -> u64 {
     let v = vars[0];
     debug_assert!(assignment[v].is_none());
     let mut total = 0u64;

@@ -101,6 +101,7 @@ impl DpllSolver {
         }
         match unassigned_count {
             0 => ClauseState::Conflict,
+            // lb-lint: allow(no-panic) -- invariant: exactly one unassigned literal was counted in this clause
             1 => ClauseState::Unit(unassigned.expect("counted one")),
             _ => ClauseState::Open,
         }
@@ -143,9 +144,10 @@ impl DpllSolver {
                 }
             } else {
                 // Still must detect conflicts to terminate branches.
-                conflict = f.clauses().iter().any(|c| {
-                    matches!(Self::clause_state(c, assignment), ClauseState::Conflict)
-                });
+                conflict = f
+                    .clauses()
+                    .iter()
+                    .any(|c| matches!(Self::clause_state(c, assignment), ClauseState::Conflict));
             }
             if conflict {
                 stats.conflicts += 1;
@@ -158,7 +160,10 @@ impl DpllSolver {
                 let mut pos = vec![false; n];
                 let mut neg = vec![false; n];
                 for clause in f.clauses() {
-                    if matches!(Self::clause_state(clause, assignment), ClauseState::Satisfied) {
+                    if matches!(
+                        Self::clause_state(clause, assignment),
+                        ClauseState::Satisfied
+                    ) {
                         continue;
                     }
                     for &l in clause {
@@ -196,13 +201,14 @@ impl DpllSolver {
 
         // Branch.
         let var = match self.config.branching {
-            Branching::FirstUnassigned => {
-                (0..f.num_vars()).find(|&v| assignment[v].is_none())
-            }
+            Branching::FirstUnassigned => (0..f.num_vars()).find(|&v| assignment[v].is_none()),
             Branching::MostFrequent => {
                 let mut count = vec![0usize; f.num_vars()];
                 for clause in f.clauses() {
-                    if matches!(Self::clause_state(clause, assignment), ClauseState::Satisfied) {
+                    if matches!(
+                        Self::clause_state(clause, assignment),
+                        ClauseState::Satisfied
+                    ) {
                         continue;
                     }
                     for &l in clause {

@@ -57,9 +57,7 @@ fn random_clause(rng: &mut StdRng, n: usize, k: usize) -> Vec<Lit> {
             vars.push(v);
         }
     }
-    vars.into_iter()
-        .map(|v| Lit::new(v, rng.gen()))
-        .collect()
+    vars.into_iter().map(|v| Lit::new(v, rng.gen())).collect()
 }
 
 #[cfg(test)]

@@ -18,9 +18,11 @@
 //!   polynomial solvers for all six tractable classes;
 //! * [`generators`] — random and planted k-SAT instance generators.
 
+#![forbid(unsafe_code)]
+
 pub mod brute;
-pub mod counting;
 pub mod cnf;
+pub mod counting;
 pub mod dpll;
 pub mod generators;
 pub mod schaefer;
@@ -28,8 +30,8 @@ pub mod twosat;
 pub mod width;
 
 pub use cnf::{Clause, CnfFormula, Lit};
+pub use counting::count_models;
 pub use dpll::{Branching, DpllConfig, DpllSolver, DpllStats};
 pub use schaefer::{classify_relation_set, BooleanRelation, SchaeferClass};
-pub use counting::count_models;
 pub use twosat::solve_2sat;
 pub use width::reduce_to_3sat;

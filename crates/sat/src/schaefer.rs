@@ -74,7 +74,9 @@ impl BooleanRelation {
 
     /// Membership test.
     pub fn contains(&self, t: &[bool]) -> bool {
-        self.tuples.binary_search_by(|u| u.as_slice().cmp(t)).is_ok()
+        self.tuples
+            .binary_search_by(|u| u.as_slice().cmp(t))
+            .is_ok()
     }
 
     /// True iff no tuple is allowed (any constraint with it is unsatisfiable).
@@ -115,8 +117,7 @@ impl BooleanRelation {
     fn closed_under_binary(&self, op: fn(bool, bool) -> bool) -> bool {
         for t in &self.tuples {
             for u in &self.tuples {
-                let combined: Vec<bool> =
-                    t.iter().zip(u).map(|(&a, &b)| op(a, b)).collect();
+                let combined: Vec<bool> = t.iter().zip(u).map(|(&a, &b)| op(a, b)).collect();
                 if !self.contains(&combined) {
                     return false;
                 }
@@ -224,6 +225,7 @@ pub struct BoolCspInstance {
 
 impl BoolCspInstance {
     /// Validates scopes and relation indices.
+    #[must_use = "a dropped validation result defeats the check entirely"]
     pub fn validate(&self) -> Result<(), String> {
         for (i, (scope, rel)) in self.constraints.iter().enumerate() {
             if *rel >= self.relations.len() {
@@ -272,7 +274,11 @@ pub fn solve_in_class(inst: &BoolCspInstance, class: SchaeferClass) -> Option<Ve
         inst.relations.iter().all(|r| class.holds_for(r)),
         "relation set is not {class:?}"
     );
-    if inst.constraints.iter().any(|(_, r)| inst.relations[*r].is_empty()) {
+    if inst
+        .constraints
+        .iter()
+        .any(|(_, r)| inst.relations[*r].is_empty())
+    {
         return None;
     }
     match class {
@@ -288,6 +294,7 @@ pub fn solve_in_class(inst: &BoolCspInstance, class: SchaeferClass) -> Option<Ve
 /// Classifies and solves: `Ok(model_option)` if some tractable class
 /// applies, `Err(())` if the relation set is NP-hard per Schaefer.
 #[allow(clippy::result_unit_err)] // Err carries no data: "NP-hard" is the whole message
+#[must_use = "dropping the result discards the satisfying assignment or the failure"]
 pub fn solve_schaefer(inst: &BoolCspInstance) -> Result<Option<Vec<bool>>, ()> {
     match classify_relation_set(&inst.relations).first() {
         Some(&class) => Ok(solve_in_class(inst, class)),
@@ -439,7 +446,10 @@ fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
             ech.sort_unstable_by(|a, b| b.cmp(a));
         }
     }
-    let pivots: Vec<usize> = ech.iter().map(|&e| (63 - e.leading_zeros()) as usize).collect();
+    let pivots: Vec<usize> = ech
+        .iter()
+        .map(|&e| (63 - e.leading_zeros()) as usize)
+        .collect();
     let free: Vec<usize> = (0..dim).filter(|i| !pivots.contains(i)).collect();
     // For each free column f, the null vector has a 1 at f and at each pivot
     // row whose reduced equation involves f.
@@ -550,10 +560,7 @@ fn solve_bijunctive(inst: &BoolCspInstance) -> Option<Vec<bool>> {
                                     f.add_clause(vec![Lit::new(scope[i], !a)]);
                                 }
                             } else {
-                                f.add_clause(vec![
-                                    Lit::new(scope[i], !a),
-                                    Lit::new(scope[j], !b),
-                                ]);
+                                f.add_clause(vec![Lit::new(scope[i], !a), Lit::new(scope[j], !b)]);
                             }
                         }
                     }
@@ -562,7 +569,10 @@ fn solve_bijunctive(inst: &BoolCspInstance) -> Option<Vec<bool>> {
         }
     }
     let model = solve_2sat(&f)?;
-    debug_assert!(inst.eval(&model), "2-decomposition must be exact for majority-closed relations");
+    debug_assert!(
+        inst.eval(&model),
+        "2-decomposition must be exact for majority-closed relations"
+    );
     Some(model)
 }
 
@@ -668,11 +678,7 @@ mod tests {
         let inst = BoolCspInstance {
             num_vars: 3,
             relations: vec![unit, imp()],
-            constraints: vec![
-                (vec![0], 0),
-                (vec![0, 1], 1),
-                (vec![1, 2], 1),
-            ],
+            constraints: vec![(vec![0], 0), (vec![0, 1], 1), (vec![1, 2], 1)],
         };
         let m = solve_in_class(&inst, SchaeferClass::Horn).unwrap();
         assert_eq!(m, vec![true, true, true]);
@@ -807,10 +813,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         // For each class, a small library of relations in that class.
         let libraries: Vec<(SchaeferClass, Vec<BooleanRelation>)> = vec![
-            (SchaeferClass::Horn, vec![imp(), rel(1, &[&[1]]), rel(1, &[&[0]]),
-                rel(3, &[&[0,0,0],&[0,0,1],&[0,1,1],&[1,1,1],&[0,1,0]])]),
-            (SchaeferClass::Affine, vec![xor2(), rel(2, &[&[0,0],&[1,1]]),
-                rel(3, &[&[0,0,0],&[1,1,0],&[1,0,1],&[0,1,1]])]),
+            (
+                SchaeferClass::Horn,
+                vec![
+                    imp(),
+                    rel(1, &[&[1]]),
+                    rel(1, &[&[0]]),
+                    rel(
+                        3,
+                        &[&[0, 0, 0], &[0, 0, 1], &[0, 1, 1], &[1, 1, 1], &[0, 1, 0]],
+                    ),
+                ],
+            ),
+            (
+                SchaeferClass::Affine,
+                vec![
+                    xor2(),
+                    rel(2, &[&[0, 0], &[1, 1]]),
+                    rel(3, &[&[0, 0, 0], &[1, 1, 0], &[1, 0, 1], &[0, 1, 1]]),
+                ],
+            ),
             (SchaeferClass::Bijunctive, vec![or2(), xor2(), imp()]),
             (SchaeferClass::DualHorn, vec![or2(), imp(), rel(1, &[&[0]])]),
         ];

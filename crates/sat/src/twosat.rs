@@ -28,6 +28,7 @@ pub fn solve_2sat(f: &CnfFormula) -> Option<Vec<bool>> {
                 g.add_arc(a.negated().code(), b.code());
                 g.add_arc(b.negated().code(), a.code());
             }
+            // lb-lint: allow(no-panic) -- invariant: clause width was checked to be <= 2 above
             _ => unreachable!("width checked above"),
         }
     }
@@ -62,10 +63,7 @@ mod tests {
     #[test]
     fn satisfiable_chain() {
         // (x1 ∨ x2) ∧ (¬x2 ∨ x3) ∧ (¬x1)
-        let f = CnfFormula::from_clauses(
-            3,
-            vec![vec![l(1), l(2)], vec![l(-2), l(3)], vec![l(-1)]],
-        );
+        let f = CnfFormula::from_clauses(3, vec![vec![l(1), l(2)], vec![l(-2), l(3)], vec![l(-1)]]);
         let m = solve_2sat(&f).unwrap();
         assert!(f.eval(&m));
         assert!(!m[0] && m[1] && m[2]);

@@ -62,6 +62,7 @@ pub fn solve_hom_via_core(a: &Structure, b: &Structure) -> (Option<Vec<usize>>, 
     // compose. The retraction is a homomorphism from A to the induced
     // substructure; search for it directly.
     let retraction = find_homomorphism(a, &core)
+        // lb-lint: allow(no-panic) -- invariant: every finite structure retracts onto its core
         .expect("A retracts onto its core by definition");
     let full: Vec<usize> = retraction.iter().map(|&x| core_hom[x]).collect();
     debug_assert!(a.is_homomorphism_to(b, &full));

@@ -86,10 +86,7 @@ fn prune(a: &Structure, b: &Structure, candidates: &mut [Vec<bool>]) -> bool {
                         // Is there a B-tuple with v at `pos` whose other
                         // coordinates are still candidates?
                         let supported = b.tuples(sym).iter().any(|u| {
-                            u[pos] == v
-                                && t.iter()
-                                    .zip(u)
-                                    .all(|(&ax, &bv)| candidates[ax][bv])
+                            u[pos] == v && t.iter().zip(u).all(|(&ax, &bv)| candidates[ax][bv])
                         });
                         if !supported {
                             candidates[x][v] = false;
@@ -122,6 +119,7 @@ fn backtrack<F: FnMut(&[usize]) -> bool>(
     let x = match next {
         Some(x) => x,
         None => {
+            // lb-lint: allow(no-panic) -- invariant: a complete homomorphism assigns every vertex
             let full: Vec<usize> = h.iter().map(|o| o.expect("complete")).collect();
             debug_assert!(a.is_homomorphism_to(b, &full));
             return visit(&full);

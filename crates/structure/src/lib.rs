@@ -15,6 +15,8 @@
 //! * [`convert`] — CSP instance ⇄ (A, B) structure pair, and graphs as
 //!   single-binary-relation structures.
 
+#![forbid(unsafe_code)]
+
 pub mod convert;
 pub mod core;
 pub mod grohe;

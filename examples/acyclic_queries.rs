@@ -14,13 +14,20 @@ use std::time::Instant;
 fn main() {
     println!("GYO classification (paper §4: acyclic ⇒ polynomial time):");
     for (name, q) in [
-        ("path-4   R0(x0,x1) ⋈ R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4)", path_query(4)),
+        (
+            "path-4   R0(x0,x1) ⋈ R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4)",
+            path_query(4),
+        ),
         ("star-4", JoinQuery::star(4)),
         ("triangle", JoinQuery::triangle()),
         ("4-cycle", JoinQuery::cycle(4)),
         ("Loomis–Whitney(3)", JoinQuery::loomis_whitney(3)),
     ] {
-        println!("  {:<60} {}", name, if is_acyclic(&q) { "acyclic" } else { "CYCLIC" });
+        println!(
+            "  {:<60} {}",
+            name,
+            if is_acyclic(&q) { "acyclic" } else { "CYCLIC" }
+        );
     }
 
     // A 3-hop path query where the middle join explodes but the answer is
@@ -42,15 +49,26 @@ fn main() {
     println!("\nDead-end path query, |R0| = |R1| = {} tuples:", s * s);
     let t0 = Instant::now();
     let yk = yannakakis(&q, &db).unwrap();
-    println!("  Yannakakis (semi-join reduced): {:>10.2?}  answer = {}", t0.elapsed(), yk.len());
+    println!(
+        "  Yannakakis (semi-join reduced): {:>10.2?}  answer = {}",
+        t0.elapsed(),
+        yk.len()
+    );
 
     let t1 = Instant::now();
     let empty = is_empty_acyclic(&q, &db).unwrap();
-    println!("  emptiness sweep only:           {:>10.2?}  empty = {empty}", t1.elapsed());
+    println!(
+        "  emptiness sweep only:           {:>10.2?}  empty = {empty}",
+        t1.elapsed()
+    );
 
     let t2 = Instant::now();
     let gj = wcoj::join(&q, &db, None).unwrap();
-    println!("  Generic Join:                   {:>10.2?}  answer = {}", t2.elapsed(), gj.len());
+    println!(
+        "  Generic Join:                   {:>10.2?}  answer = {}",
+        t2.elapsed(),
+        gj.len()
+    );
 
     let t3 = Instant::now();
     let (bp, stats) = binary::left_deep_join(&q, &db).unwrap();

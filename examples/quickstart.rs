@@ -17,7 +17,10 @@ fn main() {
     println!("  fractional edge cover number ρ* = {rho} (exactly)");
     println!();
 
-    println!("{:>8} {:>12} {:>12} {:>12} {:>14}", "N", "AGM bound", "answer", "wcoj", "binary plan");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14}",
+        "N", "AGM bound", "answer", "wcoj", "binary plan"
+    );
     for n in [100u64, 400, 1600, 6400] {
         let bound = agm::agm_bound(&q, n).unwrap();
         let (db, predicted) = agm::worst_case_database(&q, n).unwrap();

@@ -19,20 +19,36 @@ fn main() {
     };
 
     let named: Vec<(&str, Vec<BooleanRelation>)> = vec![
-        ("2SAT clauses (x∨y), (x→y)", vec![
-            rel(2, &[&[0, 1], &[1, 0], &[1, 1]]),
-            rel(2, &[&[0, 0], &[0, 1], &[1, 1]]),
-        ]),
+        (
+            "2SAT clauses (x∨y), (x→y)",
+            vec![
+                rel(2, &[&[0, 1], &[1, 0], &[1, 1]]),
+                rel(2, &[&[0, 0], &[0, 1], &[1, 1]]),
+            ],
+        ),
         ("XOR equations (x⊕y=1)", vec![rel(2, &[&[0, 1], &[1, 0]])]),
-        ("Horn implications + facts", vec![
-            rel(2, &[&[0, 0], &[0, 1], &[1, 1]]),
-            rel(1, &[&[1]]),
-        ]),
-        ("1-in-3 SAT", vec![rel(3, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])]),
-        ("Not-all-equal 3SAT", vec![rel(
-            3,
-            &[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0], &[0, 1, 1], &[1, 0, 1], &[1, 1, 0]],
-        )]),
+        (
+            "Horn implications + facts",
+            vec![rel(2, &[&[0, 0], &[0, 1], &[1, 1]]), rel(1, &[&[1]])],
+        ),
+        (
+            "1-in-3 SAT",
+            vec![rel(3, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])],
+        ),
+        (
+            "Not-all-equal 3SAT",
+            vec![rel(
+                3,
+                &[
+                    &[0, 0, 1],
+                    &[0, 1, 0],
+                    &[1, 0, 0],
+                    &[0, 1, 1],
+                    &[1, 0, 1],
+                    &[1, 1, 0],
+                ],
+            )],
+        ),
     ];
 
     println!("{:<32} Schaefer classification", "relation set");

@@ -33,7 +33,11 @@ fn all_four_domains_agree_on_triangle_instances() {
         // mapping is a bijection on solutions, here we check emptiness).
         let (pattern, host, classes) = fourdomains::binary_csp_to_partitioned_subiso(&csp);
         let subiso = partitioned_subgraph_iso(&pattern, &host, &classes);
-        assert_eq!(subiso.is_some(), join_count > 0, "subiso vs join, seed {seed}");
+        assert_eq!(
+            subiso.is_some(),
+            join_count > 0,
+            "subiso vs join, seed {seed}"
+        );
         if let Some(f) = subiso {
             let assignment = fourdomains::subiso_solution_to_assignment(csp.domain_size, &f);
             assert!(csp.eval(&assignment), "seed {seed}");

@@ -1,0 +1,26 @@
+//! The static-analysis gate, wired into plain `cargo test`.
+//!
+//! This test lints every `.rs` file in the workspace with `lb-lint` and
+//! fails if any rule fires, so a panicking call or a lossy bound-arithmetic
+//! cast cannot land without either a fix or a justified
+//! `// lb-lint: allow(rule) -- reason` annotation. The same check runs as
+//! `cargo run -p lb-lint` and in CI (`.github/workflows/ci.yml`).
+
+use lb_lint::{default_workspace_root, lint_workspace, render_text, Config};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = default_workspace_root();
+    let (violations, files) = lint_workspace(root, &Config::default())
+        .unwrap_or_else(|e| panic!("lb-lint failed to walk {}: {e}", root.display()));
+    assert!(
+        files > 50,
+        "lb-lint walked only {files} files from {} — wrong workspace root?",
+        root.display()
+    );
+    assert!(
+        violations.is_empty(),
+        "lb-lint found violations (fix them or add `// lb-lint: allow(rule) -- reason`):\n{}",
+        render_text(&violations)
+    );
+}

@@ -100,8 +100,7 @@ fn grouped_reduction_trades_treewidth_for_domain() {
     let t = 4;
     let plain = domset_to_csp::reduce(&g, t);
     let grouped = domset_to_csp::reduce_grouped(&g, t, 2);
-    let tw_plain =
-        lowerbounds::graph::treewidth::treewidth_upper_bound(&plain.primal_graph()).0;
+    let tw_plain = lowerbounds::graph::treewidth::treewidth_upper_bound(&plain.primal_graph()).0;
     let tw_grouped =
         lowerbounds::graph::treewidth::treewidth_upper_bound(&grouped.primal_graph()).0;
     assert_eq!(tw_plain, 4);
@@ -119,8 +118,7 @@ fn core_computation_feeds_theorem_5_3() {
     let a = Structure::from_graph(&grid);
     let (core, _) = compute_core(&a);
     assert_eq!(core.universe(), 2);
-    let tw_core =
-        lowerbounds::graph::treewidth::treewidth_exact(&core.gaifman_graph());
+    let tw_core = lowerbounds::graph::treewidth::treewidth_exact(&core.gaifman_graph());
     assert_eq!(tw_core, 1);
     // The odd cycle is its own core: the parameter stays 2.
     let c5 = Structure::from_graph(&generators::cycle(5));

@@ -1,0 +1,393 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, integer/float
+//! range strategies, a small regex-subset string strategy (`"[ab]{0,12}"`
+//! style), and `prop_assert!` / `prop_assert_eq!`. Inputs are generated from a
+//! deterministic per-test seed so failures reproduce; there is no shrinking —
+//! the failing inputs are printed verbatim instead.
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Failure raised by `prop_assert!`-style macros inside a property test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(msg: &str) -> Self {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration (subset of upstream `proptest::test_runner`).
+
+    /// How many random cases each property test executes.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// A source of random test inputs (upstream: `Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: fmt::Debug;
+    /// Generates one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String strategy from a regex subset: concatenations of literal characters
+/// and character classes `[a-z…]`, each optionally quantified by `{m}`,
+/// `{m,n}`, `?`, `*`, or `+` (`*`/`+` capped at 16 repetitions).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                // lb-lint: allow(no-panic) -- test-harness code: a malformed strategy regex is a programmer error in a test
+                .unwrap_or_else(|| panic!("unclosed [ in strategy regex {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "bad range in strategy regex {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty class in strategy regex {pattern:?}");
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"(){}|.*+?".contains(c),
+                "unsupported regex feature {c:?} in strategy {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        // Optional quantifier.
+        let (lo, hi): (usize, usize) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                // lb-lint: allow(no-panic) -- test-harness code: a malformed strategy regex is a programmer error in a test
+                .unwrap_or_else(|| panic!("unclosed {{ in strategy regex {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let bounds = match body.split_once(',') {
+                Some((a, b)) => (parse_bound(&body, a), parse_bound(&body, b)),
+                None => {
+                    let m = parse_bound(&body, &body);
+                    (m, m)
+                }
+            };
+            i = close + 1;
+            bounds
+        } else if i < chars.len() && "?*+".contains(chars[i]) {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 16),
+                _ => (1, 16),
+            }
+        } else {
+            (1, 1)
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+fn parse_bound(body: &str, part: &str) -> usize {
+    part.trim()
+        .parse()
+        // lb-lint: allow(no-panic) -- test-harness code: a malformed strategy regex is a programmer error in a test
+        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in strategy regex"))
+}
+
+/// Derives the deterministic base seed for a named property test.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `cases` generated cases of a property test body.
+///
+/// `gen_and_run` receives a seeded RNG and must generate its inputs, run the
+/// body, and return `(description-of-inputs, body-result)`.
+pub fn run_property_test<F>(
+    test_name: &str,
+    config: &test_runner::ProptestConfig,
+    mut gen_and_run: F,
+) where
+    F: FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+{
+    let base = seed_for(test_name);
+    for case in 0..config.cases {
+        let mut rng =
+            StdRng::seed_from_u64(base ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (inputs, result) = gen_and_run(&mut rng);
+        if let Err(e) = result {
+            // lb-lint: allow(no-panic) -- test-harness code: panicking is how a property-test failure reaches the test runner
+            panic!("property `{test_name}` failed at case {case}/{}:\n  inputs: {inputs}\n  cause: {e}", config.cases);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}\n  at {}:{}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n  right: {:?}\n  at {}:{}",
+                stringify!($lhs),
+                stringify!($rhs),
+                format!($($fmt)*),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No rejection bookkeeping: an assumed-away case simply passes.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    // Without: use the default config.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $($rest)*
+        );
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property_test(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        if !s.is_empty() { s.push_str(", "); }
+                        s.push_str(&format!("{} = {:?}", stringify!($arg), $arg));
+                    )+
+                    s
+                };
+                let result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (inputs, result)
+            });
+        }
+    )*};
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..8, x in -5i64..=5, p in 0.25f64..0.75) {
+            prop_assert!((3..8).contains(&n));
+            prop_assert!((-5..=5).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&p));
+        }
+
+        #[test]
+        fn early_return_ok(n in 0usize..4) {
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert!(n > 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(a in 0u64..10, b in 0u64..10) {
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    fn regex_subset_strings() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = super::sample_regex("[ab]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+        let t = super::sample_regex("x[0-9]{2}y?", &mut rng);
+        assert!(t.starts_with('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failure_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn always_fails(n in 0usize..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}
