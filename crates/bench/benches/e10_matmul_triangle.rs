@@ -2,6 +2,7 @@
 //! detectors they power.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::matmul::{BoolMatrix, IntMatrix};
 use lowerbounds::graphalg::triangle::{find_triangle_matmul, find_triangle_naive};
@@ -30,10 +31,10 @@ fn bench(c: &mut Criterion) {
     for n in [256usize, 512] {
         let g = generators::gnp(n, 0.02, n as u64); // sparse-ish: detection nontrivial
         group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
-            b.iter(|| find_triangle_naive(g).is_some())
+            b.iter(|| find_triangle_naive(g, &Budget::unlimited()).0.is_sat())
         });
         group.bench_with_input(BenchmarkId::new("matmul", n), &g, |b, g| {
-            b.iter(|| find_triangle_matmul(g).is_some())
+            b.iter(|| find_triangle_matmul(g, &Budget::unlimited()).0.is_sat())
         });
     }
     group.finish();

@@ -2,6 +2,7 @@
 //! hypergraphs (no matmul shortcut) vs k-clique in graphs (matmul helps).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::clique::find_clique_neipol;
 use lowerbounds::graphalg::hyperclique::find_hyperclique;
@@ -12,11 +13,11 @@ fn bench(c: &mut Criterion) {
     for n in [24usize, 36] {
         let h = generators::random_uniform_hypergraph(n, 3, 0.6, n as u64);
         group.bench_with_input(BenchmarkId::new("d3_brute_k5", n), &h, |b, h| {
-            b.iter(|| find_hyperclique(h, 5).is_some())
+            b.iter(|| find_hyperclique(h, 5, &Budget::unlimited()).0.is_sat())
         });
         let g = generators::gnp(n, 0.6, n as u64);
         group.bench_with_input(BenchmarkId::new("d2_neipol_k5", n), &g, |b, g| {
-            b.iter(|| find_clique_neipol(g, 5).is_some())
+            b.iter(|| find_clique_neipol(g, 5, &Budget::unlimited()).0.is_sat())
         });
     }
     group.finish();

@@ -2,6 +2,7 @@
 //! graphs vs naive edge scans, and the Boolean triangle join query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::triangle::{find_triangle_ayz, find_triangle_naive};
 use lowerbounds::join::{boolean, generators as jgen, JoinQuery};
@@ -12,10 +13,10 @@ fn bench(c: &mut Criterion) {
     for m in [4000usize, 16000] {
         let g = generators::gnm(m / 2, m, m as u64);
         group.bench_with_input(BenchmarkId::new("ayz", m), &g, |b, g| {
-            b.iter(|| find_triangle_ayz(g).is_some())
+            b.iter(|| find_triangle_ayz(g, &Budget::unlimited()).0.is_sat())
         });
         group.bench_with_input(BenchmarkId::new("naive", m), &g, |b, g| {
-            b.iter(|| find_triangle_naive(g).is_some())
+            b.iter(|| find_triangle_naive(g, &Budget::unlimited()).0.is_sat())
         });
     }
     group.finish();
@@ -25,11 +26,16 @@ fn bench(c: &mut Criterion) {
     let q = JoinQuery::triangle();
     let db = jgen::random_binary_database(&q, 2000, 900, 9);
     group.bench_function("generic_join_early_exit", |b| {
-        b.iter(|| boolean::is_answer_empty(&q, &db).unwrap())
+        b.iter(|| {
+            boolean::is_answer_empty(&q, &db, &Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat()
+        })
     });
     let (g, _) = boolean::triangle_database_to_graph(&q, &db).unwrap();
     group.bench_function("ayz_on_tripartite_graph", |b| {
-        b.iter(|| find_triangle_ayz(&g).is_some())
+        b.iter(|| find_triangle_ayz(&g, &Budget::unlimited()).0.is_sat())
     });
     group.finish();
 }

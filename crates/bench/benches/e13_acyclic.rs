@@ -2,6 +2,7 @@
 //! on dead-end path queries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::join::acyclic::{is_empty_acyclic, yannakakis};
 use lowerbounds::join::{binary, wcoj, Atom, Database, JoinQuery, Table};
 
@@ -37,22 +38,52 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("yannakakis", n),
             &(q.clone(), db.clone()),
-            |b, (q, db)| b.iter(|| yannakakis(q, db).unwrap().len()),
+            |b, (q, db)| {
+                b.iter(|| {
+                    yannakakis(q, db, &Budget::unlimited())
+                        .unwrap()
+                        .0
+                        .unwrap_sat()
+                        .len()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("emptiness_sweep", n),
             &(q.clone(), db.clone()),
-            |b, (q, db)| b.iter(|| is_empty_acyclic(q, db).unwrap()),
+            |b, (q, db)| {
+                b.iter(|| {
+                    is_empty_acyclic(q, db, &Budget::unlimited())
+                        .unwrap()
+                        .0
+                        .unwrap_sat()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("generic_join", n),
             &(q.clone(), db.clone()),
-            |b, (q, db)| b.iter(|| wcoj::count(q, db, None).unwrap()),
+            |b, (q, db)| {
+                b.iter(|| {
+                    wcoj::count(q, db, None, &Budget::unlimited())
+                        .unwrap()
+                        .0
+                        .unwrap_sat()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("binary_plan", n),
             &(q, db),
-            |b, (q, db)| b.iter(|| binary::left_deep_join(q, db).unwrap().0.len()),
+            |b, (q, db)| {
+                b.iter(|| {
+                    binary::left_deep_join(q, db, &Budget::unlimited())
+                        .unwrap()
+                        .0
+                        .unwrap_sat()
+                        .len()
+                })
+            },
         );
     }
     group.finish();

@@ -2,6 +2,7 @@
 //! and materialize its N^{ρ*} answer, per query family.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::join::{agm, wcoj, JoinQuery};
 
 fn bench(c: &mut Criterion) {
@@ -19,7 +20,10 @@ fn bench(c: &mut Criterion) {
                 &(q.clone(), db, predicted),
                 |b, (q, db, predicted)| {
                     b.iter(|| {
-                        let count = wcoj::count(q, db, None).unwrap();
+                        let count = wcoj::count(q, db, None, &Budget::unlimited())
+                            .unwrap()
+                            .0
+                            .unwrap_sat();
                         assert_eq!(count as u128, *predicted);
                         count
                     })

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lb_bench::adversarial_triangle_db;
+use lowerbounds::engine::Budget;
 use lowerbounds::join::{binary, wcoj};
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +16,10 @@ fn bench(c: &mut Criterion) {
             &(q.clone(), db.clone(), answer),
             |b, (q, db, answer)| {
                 b.iter(|| {
-                    let c = wcoj::count(q, db, None).unwrap();
+                    let c = wcoj::count(q, db, None, &Budget::unlimited())
+                        .unwrap()
+                        .0
+                        .unwrap_sat();
                     assert_eq!(c, *answer);
                     c
                 })
@@ -26,7 +30,8 @@ fn bench(c: &mut Criterion) {
             &(q, db, answer),
             |b, (q, db, answer)| {
                 b.iter(|| {
-                    let (ans, _) = binary::left_deep_join(q, db).unwrap();
+                    let (out, _) = binary::left_deep_join(q, db, &Budget::unlimited()).unwrap();
+                    let ans = out.unwrap_sat();
                     assert_eq!(ans.len() as u64, *answer);
                     ans.len()
                 })
@@ -44,7 +49,10 @@ fn bench(c: &mut Criterion) {
         let ord: Vec<String> = order.iter().map(|s| s.to_string()).collect();
         group.bench_with_input(BenchmarkId::new("order", order.join("")), &ord, |b, ord| {
             b.iter(|| {
-                let c = wcoj::count(&q, &db, Some(ord)).unwrap();
+                let c = wcoj::count(&q, &db, Some(ord), &Budget::unlimited())
+                    .unwrap()
+                    .0
+                    .unwrap_sat();
                 assert_eq!(c, answer);
                 c
             })

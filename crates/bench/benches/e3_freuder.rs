@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lb_bench::ktree_csp;
 use lowerbounds::csp::solver::treewidth_dp;
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::treewidth::{from_elimination_order, min_degree_order, min_fill_order};
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +14,12 @@ fn bench(c: &mut Criterion) {
         for d in [3usize, 6] {
             let inst = ktree_csp(k, 24, d, 7);
             group.bench_with_input(BenchmarkId::new(format!("k{k}"), d), &inst, |b, inst| {
-                b.iter(|| treewidth_dp::solve_auto(inst).count)
+                b.iter(|| {
+                    treewidth_dp::solve_auto(inst, &Budget::unlimited())
+                        .0
+                        .unwrap_sat()
+                        .count
+                })
             });
         }
     }
@@ -30,7 +36,12 @@ fn bench(c: &mut Criterion) {
     ] {
         let td = from_elimination_order(&primal, &order);
         group.bench_with_input(BenchmarkId::new(name, td.width()), &td, |b, td| {
-            b.iter(|| treewidth_dp::solve_with_decomposition(&inst, td).count)
+            b.iter(|| {
+                treewidth_dp::solve_with_decomposition(&inst, td, &Budget::unlimited())
+                    .0
+                    .unwrap_sat()
+                    .count
+            })
         });
     }
     group.finish();

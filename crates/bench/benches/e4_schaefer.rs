@@ -2,6 +2,7 @@
 //! exponential DPLL, with the DPLL feature ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::sat::schaefer::{solve_in_class, BoolCspInstance, BooleanRelation, SchaeferClass};
 use lowerbounds::sat::{generators as sgen, Branching, DpllConfig, DpllSolver};
 use rand::rngs::StdRng;
@@ -44,7 +45,11 @@ fn bench(c: &mut Criterion) {
     for n in [100usize, 400] {
         let inst = horn_instance(n, 3 * n, n as u64);
         group.bench_with_input(BenchmarkId::new("horn_fixpoint", n), &inst, |b, inst| {
-            b.iter(|| solve_in_class(inst, SchaeferClass::Horn).is_some())
+            b.iter(|| {
+                solve_in_class(inst, SchaeferClass::Horn, &Budget::unlimited())
+                    .0
+                    .is_sat()
+            })
         });
     }
     group.finish();
@@ -73,7 +78,7 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new(name, 22), &f, |b, f| {
             let solver = DpllSolver::new(cfg);
-            b.iter(|| solver.solve(f).0.is_some())
+            b.iter(|| solver.solve(f, &Budget::unlimited()).0.is_sat())
         });
     }
     group.finish();

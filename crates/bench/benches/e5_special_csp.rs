@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowerbounds::csp::solver::special::solve_special;
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::reductions::clique_to_special;
 
@@ -15,7 +16,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("quasipoly_solver", format!("k{k}_vars{}", inst.num_vars)),
             &inst,
-            |b, inst| b.iter(|| solve_special(inst).unwrap().count),
+            |b, inst| {
+                b.iter(|| {
+                    solve_special(inst, &Budget::unlimited())
+                        .unwrap()
+                        .0
+                        .unwrap_sat()
+                        .count
+                })
+            },
         );
     }
     group.finish();

@@ -2,6 +2,7 @@
 //! brute force vs the Nešetřil–Poljak matrix-multiplication route.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::clique::{find_clique, find_clique_neipol};
 
@@ -12,10 +13,10 @@ fn bench(c: &mut Criterion) {
         for n in [40usize, 60] {
             let g = generators::gnp(n, 0.3, (n + k) as u64);
             group.bench_with_input(BenchmarkId::new(format!("brute_k{k}"), n), &g, |b, g| {
-                b.iter(|| find_clique(g, k).is_some())
+                b.iter(|| find_clique(g, k, &Budget::unlimited()).0.is_sat())
             });
             group.bench_with_input(BenchmarkId::new(format!("neipol_k{k}"), n), &g, |b, g| {
-                b.iter(|| find_clique_neipol(g, k).is_some())
+                b.iter(|| find_clique_neipol(g, k, &Budget::unlimited()).0.is_sat())
             });
         }
     }

@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lb_bench::partitioned_clique_csp;
 use lowerbounds::csp::solver::{backtracking, treewidth_dp, BacktrackConfig};
+use lowerbounds::engine::Budget;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_csp_clique_primal");
@@ -12,7 +13,12 @@ fn bench(c: &mut Criterion) {
         for d in [8usize, 14] {
             let inst = partitioned_clique_csp(k, d, 0.3, 11);
             group.bench_with_input(BenchmarkId::new(format!("dp_k{k}"), d), &inst, |b, inst| {
-                b.iter(|| treewidth_dp::solve_auto(inst).count)
+                b.iter(|| {
+                    treewidth_dp::solve_auto(inst, &Budget::unlimited())
+                        .0
+                        .unwrap_sat()
+                        .count
+                })
             });
         }
     }
@@ -45,7 +51,11 @@ fn bench(c: &mut Criterion) {
         ),
     ] {
         group.bench_with_input(BenchmarkId::new(name, 14), &inst, |b, inst| {
-            b.iter(|| backtracking::solve(inst, cfg).0.is_some())
+            b.iter(|| {
+                backtracking::solve(inst, cfg, &Budget::unlimited())
+                    .0
+                    .is_sat()
+            })
         });
     }
     group.finish();

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lowerbounds::csp::solver::treewidth_dp;
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::domset::{find_dominating_set_branching, find_dominating_set_brute};
 use lowerbounds::reductions::domset_to_csp;
@@ -14,12 +15,22 @@ fn bench(c: &mut Criterion) {
         for n in [25usize, 40] {
             let g = generators::gnm(n, n, (n * k) as u64);
             group.bench_with_input(BenchmarkId::new(format!("brute_k{k}"), n), &g, |b, g| {
-                b.iter(|| find_dominating_set_brute(g, k).is_some())
+                b.iter(|| {
+                    find_dominating_set_brute(g, k, &Budget::unlimited())
+                        .0
+                        .is_sat()
+                })
             });
             group.bench_with_input(
                 BenchmarkId::new(format!("branching_k{k}"), n),
                 &g,
-                |b, g| b.iter(|| find_dominating_set_branching(g, k).is_some()),
+                |b, g| {
+                    b.iter(|| {
+                        find_dominating_set_branching(g, k, &Budget::unlimited())
+                            .0
+                            .is_sat()
+                    })
+                },
             );
         }
     }
@@ -30,7 +41,13 @@ fn bench(c: &mut Criterion) {
     let g = generators::gnp(8, 0.3, 1);
     let inst = domset_to_csp::reduce(&g, 2);
     group.bench_function("freuder_on_reduction", |b| {
-        b.iter(|| treewidth_dp::solve_auto(&inst).solution.is_some())
+        b.iter(|| {
+            treewidth_dp::solve_auto(&inst, &Budget::unlimited())
+                .0
+                .unwrap_sat()
+                .solution
+                .is_some()
+        })
     });
     group.finish();
 }

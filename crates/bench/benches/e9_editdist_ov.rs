@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lb_bench::{random_strings, random_vector_sets};
+use lowerbounds::engine::Budget;
 use lowerbounds::graphalg::editdist::{edit_distance, edit_distance_banded};
 use lowerbounds::graphalg::ov::find_orthogonal_pair;
 use lowerbounds::reductions::sat_to_ov;
@@ -16,10 +17,10 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("full_dp", n),
             &(a.clone(), b.clone()),
-            |bn, (a, b)| bn.iter(|| edit_distance(a, b)),
+            |bn, (a, b)| bn.iter(|| edit_distance(a, b, &Budget::unlimited()).0.unwrap_sat()),
         );
         group.bench_with_input(BenchmarkId::new("banded_64", n), &(a, b), |bn, (a, b)| {
-            bn.iter(|| edit_distance_banded(a, b, 64))
+            bn.iter(|| edit_distance_banded(a, b, 64, &Budget::unlimited()).0)
         });
     }
     group.finish();
@@ -29,7 +30,7 @@ fn bench(c: &mut Criterion) {
     for n in [500usize, 2000] {
         let (a, b) = random_vector_sets(n, 64, 0.35, n as u64);
         group.bench_with_input(BenchmarkId::new("pair_scan", n), &(a, b), |bn, (a, b)| {
-            bn.iter(|| find_orthogonal_pair(a, b).is_some())
+            bn.iter(|| find_orthogonal_pair(a, b, &Budget::unlimited()).0.is_sat())
         });
     }
     group.finish();
@@ -38,7 +39,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let f = sgen::random_ksat(14, 60, 3, 4);
     group.bench_function("decide_n14", |b| {
-        b.iter(|| sat_to_ov::decide_via_ov(&f).is_some())
+        b.iter(|| {
+            sat_to_ov::decide_via_ov(&f, &Budget::unlimited())
+                .0
+                .is_sat()
+        })
     });
     group.finish();
 }

@@ -1,11 +1,16 @@
 //! Regenerates every experiment table of EXPERIMENTS.md (E1–E12).
 //!
-//! Usage: `cargo run --release -p lb-bench --bin experiments [e1|e2|…|e12|all]`
+//! Usage: `cargo run --release -p lb-bench --bin experiments [e1|e2|…|e13|all|smoke]`
 //!
 //! Each experiment prints a markdown table plus a fitted exponent, the
 //! quantity the corresponding theorem of the paper speaks about.
+//!
+//! `smoke` is the CI entry point: a seconds-fast sanity pass built on the
+//! engine layer's machine-independent operation counters instead of
+//! wall-clock sweeps, so it is stable on noisy shared runners.
 
 use lb_bench::{adversarial_triangle_db, ktree_csp, partitioned_clique_csp, random_strings};
+use lowerbounds::engine::Budget;
 use lowerbounds::experiments::{
     fit_exponent, fmt_duration, print_table, time, time_min, SamplePoint,
 };
@@ -14,6 +19,10 @@ use lowerbounds::join::{agm, binary, wcoj, JoinQuery};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if which == "smoke" {
+        smoke();
+        return;
+    }
     let all = which == "all";
     let run = |name: &str| all || which == name;
     if run("e1") {
@@ -57,6 +66,69 @@ fn main() {
     }
 }
 
+/// `smoke` — the CI sanity pass: one budgeted solver per layer over a small
+/// size grid, op-count exponents checked with [`stats_sweep`], and a
+/// zero-tick budget checked to exhaust instead of mis-reporting a verdict.
+fn smoke() {
+    use lowerbounds::csp::solver::treewidth_dp;
+    use lowerbounds::experiments::stats_sweep;
+    use lowerbounds::graphalg::clique::find_clique;
+    use lowerbounds::sat::{generators as sgen, DpllSolver};
+
+    let bu = Budget::unlimited();
+
+    // Joins: WCOJ on the AGM worst-case triangle database hits the N^{3/2}
+    // output, and its tuple counter scales with the same exponent.
+    let pts = stats_sweep(
+        &[16, 32, 64],
+        |n| {
+            let q = JoinQuery::triangle();
+            let (db, expected) = agm::worst_case_database(&q, n as u64).unwrap();
+            let (out, stats) = wcoj::count(&q, &db, None, &bu).unwrap();
+            assert_eq!(u128::from(out.unwrap_sat()), expected);
+            stats
+        },
+        |s| s.tuples,
+    );
+    let fit = fit_exponent(&pts).unwrap();
+    assert!(
+        fit.exponent > 1.2 && fit.exponent < 1.8,
+        "wcoj tuple exponent {:.2} departs from 3/2",
+        fit.exponent
+    );
+    println!(
+        "smoke: wcoj tuple exponent {:.2} (theory 1.5)",
+        fit.exponent
+    );
+
+    // SAT: DPLL decides, and a zero-tick budget exhausts instead of lying.
+    let f = sgen::random_ksat(12, 40, 3, 7);
+    let solver = DpllSolver::default();
+    assert!(!solver.solve(&f, &bu).0.is_exhausted());
+    assert!(solver.solve(&f, &Budget::ticks(0)).0.is_exhausted());
+    println!("smoke: dpll decides; zero-tick budget exhausts");
+
+    // CSP: Freuder's treewidth DP agrees with brute force on a k-tree CSP.
+    let inst = ktree_csp(2, 10, 3, 7);
+    let dp = treewidth_dp::solve_auto(&inst, &bu).0.unwrap_sat();
+    let brute = lowerbounds::csp::solver::bruteforce::count(&inst, &bu)
+        .0
+        .unwrap_sat();
+    assert_eq!(dp.count, brute);
+    assert!(treewidth_dp::solve_auto(&inst, &Budget::ticks(0))
+        .0
+        .is_exhausted());
+    println!("smoke: treewidth DP count {brute} matches brute force");
+
+    // Graph algorithms: clique search respects the budget.
+    let g = generators::gnp(24, 0.5, 7);
+    let _ = find_clique(&g, 3, &bu).0.unwrap_decided();
+    assert!(find_clique(&g, 3, &Budget::ticks(0)).0.is_exhausted());
+    println!("smoke: clique search budgeted");
+
+    println!("smoke: all checks passed");
+}
+
 /// E13 — acyclic queries (§4): Yannakakis is linear in input + output;
 /// non-semi-join-reduced plans can materialize arbitrarily large dead
 /// intermediates on the same inputs.
@@ -91,18 +163,15 @@ fn e13_acyclic() {
         db.insert("R2", Table::from_rows(2, vec![vec![u64::MAX - 1, 0]]));
         let n = (s * s) as f64;
 
-        let (ans, t_yk) = time_min(2, || yannakakis(&q, &db).unwrap());
+        let bu = Budget::unlimited();
+        let (ans, t_yk) = time_min(2, || yannakakis(&q, &db, &bu).unwrap().0.unwrap_sat()).unwrap();
         assert!(ans.is_empty());
-        let (_, t_sweep) = time_min(2, || is_empty_acyclic(&q, &db).unwrap());
-        let (_, t_gj) = time_min(2, || wcoj::count(&q, &db, None).unwrap());
+        let (_, t_sweep) = time_min(2, || is_empty_acyclic(&q, &db, &bu).unwrap()).unwrap();
+        let (_, t_gj) = time_min(2, || wcoj::count(&q, &db, None, &bu).unwrap()).unwrap();
         // Binary plan materializes s³ tuples; keep it to small sizes.
         let bin_cell = if s <= 200 {
-            let ((_, stats), t_bin) = time(|| binary::left_deep_join(&q, &db).unwrap());
-            format!(
-                "{} ({} tuples)",
-                fmt_duration(t_bin),
-                stats.total_materialized
-            )
+            let ((_, stats), t_bin) = time(|| binary::left_deep_join(&q, &db, &bu).unwrap());
+            format!("{} ({} tuples)", fmt_duration(t_bin), stats.tuples)
         } else {
             "—".to_string()
         };
@@ -118,7 +187,7 @@ fn e13_acyclic() {
             bin_cell,
         ]);
     }
-    let fit = fit_exponent(&yk_pts);
+    let fit = fit_exponent(&yk_pts).unwrap();
     rows.push(vec![
         "fit".into(),
         format!("N^{:.2} (theory 1)", fit.exponent),
@@ -159,7 +228,10 @@ fn e1_agm_bound() {
         let mut pts = Vec::new();
         for &n in &ns {
             let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
-            let measured = wcoj::count(&q, &db, None).unwrap();
+            let measured = wcoj::count(&q, &db, None, &Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat();
             assert_eq!(measured as u128, predicted);
             let bound = agm::agm_bound(&q, n).unwrap();
             pts.push(SamplePoint {
@@ -175,7 +247,7 @@ fn e1_agm_bound() {
                 format!("{:.3}", measured as f64 / bound),
             ]);
         }
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         fits.push(format!(
             "{name}: fitted answer exponent {:.3} (ρ* = {:.3}, R² = {:.4})",
             fit.exponent,
@@ -205,9 +277,14 @@ fn e2_wcoj_vs_binary() {
     let mut bin_pts = Vec::new();
     for &n in &[400u64, 1600, 6400, 25600, 102400] {
         let (q, db, answer) = adversarial_triangle_db(n);
-        let (count, t_wcoj) = time_min(3, || wcoj::count(&q, &db, None).unwrap());
+        let bu = Budget::unlimited();
+        let (count, t_wcoj) = time_min(3, || {
+            wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat()
+        })
+        .unwrap();
         assert_eq!(count, answer);
-        let ((_, stats), t_bin) = time_min(3, || binary::left_deep_join(&q, &db).unwrap());
+        let ((_, stats), t_bin) =
+            time_min(3, || binary::left_deep_join(&q, &db, &bu).unwrap()).unwrap();
         wcoj_pts.push(SamplePoint {
             size: n as f64,
             value: t_wcoj.as_secs_f64(),
@@ -238,8 +315,8 @@ fn e2_wcoj_vs_binary() {
             &rows
         )
     );
-    let fw = fit_exponent(&wcoj_pts);
-    let fb = fit_exponent(&bin_pts);
+    let fw = fit_exponent(&wcoj_pts).unwrap();
+    let fb = fit_exponent(&bin_pts).unwrap();
     println!(
         "  generic join time exponent {:.2} (theory ≈ 1); binary plan {:.2} (theory 1.5)",
         fw.exponent, fb.exponent
@@ -256,7 +333,12 @@ fn e3_freuder() {
         let mut pts = Vec::new();
         for d in [2usize, 3, 4, 6, 8] {
             let inst = ktree_csp(k, 24, d, 7 + k as u64);
-            let (result, t) = time_min(3, || treewidth_dp::solve_auto(&inst));
+            let (result, t) = time_min(3, || {
+                treewidth_dp::solve_auto(&inst, &Budget::unlimited())
+                    .0
+                    .unwrap_sat()
+            })
+            .unwrap();
             pts.push(SamplePoint {
                 size: d as f64,
                 value: t.as_secs_f64(),
@@ -268,7 +350,7 @@ fn e3_freuder() {
                 fmt_duration(t),
             ]);
         }
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         rows.push(vec![
             k.to_string(),
             "fit".into(),
@@ -347,10 +429,11 @@ fn e4_schaefer() {
 
     let mut rows = Vec::new();
     for n in [50usize, 100, 200, 400] {
+        let bu = Budget::unlimited();
         let horn = make(&horn_lib, n, 3 * n, n as u64);
-        let (_, t_horn) = time_min(3, || solve_in_class(&horn, SchaeferClass::Horn));
+        let (_, t_horn) = time_min(3, || solve_in_class(&horn, SchaeferClass::Horn, &bu)).unwrap();
         let xor = make(&xor_lib, n, 2 * n, n as u64);
-        let (_, t_xor) = time_min(3, || solve_in_class(&xor, SchaeferClass::Affine));
+        let (_, t_xor) = time_min(3, || solve_in_class(&xor, SchaeferClass::Affine, &bu)).unwrap();
         rows.push(vec![
             n.to_string(),
             fmt_duration(t_horn),
@@ -370,20 +453,21 @@ fn e4_schaefer() {
     let mut rows = Vec::new();
     for n in [16usize, 20, 24, 28] {
         let f = sgen::sparse_3sat(n, 4.27, 99);
+        let bu = Budget::unlimited();
         let full = DpllSolver::new(DpllConfig::default());
-        let ((_, stats), t_full) = time(|| full.solve(&f));
+        let ((_, stats), t_full) = time(|| full.solve(&f, &bu));
         let no_up = DpllSolver::new(DpllConfig {
             unit_propagation: false,
             pure_literal: false,
             branching: Branching::FirstUnassigned,
         });
-        let ((_, stats2), t_plain) = time(|| no_up.solve(&f));
+        let ((_, stats2), t_plain) = time(|| no_up.solve(&f, &bu));
         rows.push(vec![
             n.to_string(),
             fmt_duration(t_full),
-            stats.decisions.to_string(),
+            stats.nodes.to_string(),
             fmt_duration(t_plain),
-            stats2.decisions.to_string(),
+            stats2.nodes.to_string(),
         ]);
     }
     println!(
@@ -406,7 +490,13 @@ fn e5_special() {
     for k in [2usize, 3, 4, 5, 6] {
         let inst = clique_to_special::reduce(&g, k);
         let n_vars = inst.num_vars;
-        let (result, t) = time_min(2, || solve_special(&inst).expect("special"));
+        let (result, t) = time_min(2, || {
+            solve_special(&inst, &Budget::unlimited())
+                .expect("special")
+                .0
+                .unwrap_sat()
+        })
+        .unwrap();
         let found = result.solution.is_some();
         rows.push(vec![
             k.to_string(),
@@ -447,8 +537,9 @@ fn e6_clique() {
         let mut np_pts = Vec::new();
         for &n in &[24usize, 36, 54, 80] {
             let g = generators::turan(n, k - 1);
-            let (found_b, t_b) = time(|| find_clique(&g, k).is_some());
-            let (found_np, t_np) = time(|| find_clique_neipol(&g, k).is_some());
+            let bu = Budget::unlimited();
+            let (found_b, t_b) = time(|| find_clique(&g, k, &bu).0.is_sat());
+            let (found_np, t_np) = time(|| find_clique_neipol(&g, k, &bu).0.is_sat());
             assert!(!found_b && !found_np, "Turán graph is K_k-free");
             brute_pts.push(SamplePoint {
                 size: n as f64,
@@ -465,8 +556,8 @@ fn e6_clique() {
                 fmt_duration(t_np),
             ]);
         }
-        let fb = fit_exponent(&brute_pts);
-        let fnp = fit_exponent(&np_pts);
+        let fb = fit_exponent(&brute_pts).unwrap();
+        let fnp = fit_exponent(&np_pts).unwrap();
         rows.push(vec![
             k.to_string(),
             "fit".into(),
@@ -505,7 +596,12 @@ fn e7_csp_treewidth() {
             // p = 0.5: dense pair relations keep the DP tables near their
             // |D|^j worst case instead of collapsing by pruning.
             let inst = partitioned_clique_csp(k, d, 0.5, 11);
-            let (res, t) = time_min(2, || treewidth_dp::solve_auto(&inst));
+            let (res, t) = time_min(2, || {
+                treewidth_dp::solve_auto(&inst, &Budget::unlimited())
+                    .0
+                    .unwrap_sat()
+            })
+            .unwrap();
             pts.push(SamplePoint {
                 size: d as f64,
                 value: t.as_secs_f64().max(1e-9),
@@ -518,7 +614,7 @@ fn e7_csp_treewidth() {
                 fmt_duration(t),
             ]);
         }
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         rows.push(vec![
             k.to_string(),
             (k - 1).to_string(),
@@ -544,7 +640,7 @@ fn e7_csp_treewidth() {
             mrv,
             forward_checking: fc,
         };
-        let ((_, stats), t) = time(|| backtracking::solve(&inst, cfg));
+        let ((_, stats), t) = time(|| backtracking::solve(&inst, cfg, &Budget::unlimited()));
         ab.push(vec![
             mrv.to_string(),
             fc.to_string(),
@@ -573,7 +669,11 @@ fn e8_domset() {
         for &n in &[20usize, 30, 45, 65] {
             // Sparse graphs: no small dominating set → full enumeration.
             let g = generators::gnm(n, n, (n * k) as u64);
-            let (found, t) = time(|| find_dominating_set_brute(&g, k).is_some());
+            let (found, t) = time(|| {
+                find_dominating_set_brute(&g, k, &Budget::unlimited())
+                    .0
+                    .is_sat()
+            });
             pts.push(SamplePoint {
                 size: n as f64,
                 value: t.as_secs_f64().max(1e-9),
@@ -585,7 +685,7 @@ fn e8_domset() {
                 fmt_duration(t),
             ]);
         }
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         rows.push(vec![
             k.to_string(),
             "fit".into(),
@@ -607,8 +707,15 @@ fn e8_domset() {
         let g = generators::gnp(8, 0.3, seed);
         let t = 2;
         let inst = domset_to_csp::reduce(&g, t);
-        let (res, dt) = time(|| lowerbounds::csp::solver::treewidth_dp::solve_auto(&inst));
-        let direct = lowerbounds::graphalg::domset::find_dominating_set_branching(&g, t).is_some();
+        let bu = Budget::unlimited();
+        let (res, dt) = time(|| {
+            lowerbounds::csp::solver::treewidth_dp::solve_auto(&inst, &bu)
+                .0
+                .unwrap_sat()
+        });
+        let direct = lowerbounds::graphalg::domset::find_dominating_set_branching(&g, t, &bu)
+            .0
+            .is_sat();
         assert_eq!(res.solution.is_some(), direct);
         rows.push(vec![
             seed.to_string(),
@@ -635,14 +742,17 @@ fn e9_editdist_ov() {
     let mut pts = Vec::new();
     for &n in &[500usize, 1000, 2000, 4000] {
         let (a, b) = random_strings(n, n as u64);
-        let (d, t) = time_min(3, || edit_distance(&a, &b));
+        let (d, t) = time_min(3, || {
+            edit_distance(&a, &b, &Budget::unlimited()).0.unwrap_sat()
+        })
+        .unwrap();
         pts.push(SamplePoint {
             size: n as f64,
             value: t.as_secs_f64(),
         });
         rows.push(vec![n.to_string(), d.to_string(), fmt_duration(t)]);
     }
-    let fit = fit_exponent(&pts);
+    let fit = fit_exponent(&pts).unwrap();
     rows.push(vec![
         "fit".into(),
         String::new(),
@@ -663,7 +773,12 @@ fn e9_editdist_ov() {
         // NO instances (a shared hot coordinate): the scan must check all
         // n² pairs — the case the OV conjecture says cannot be avoided.
         let (a, b) = lb_bench::random_vector_sets_no_pair(n, 64, 0.35, n as u64);
-        let (found, t) = time_min(3, || find_orthogonal_pair(&a, &b).is_some());
+        let (found, t) = time_min(3, || {
+            find_orthogonal_pair(&a, &b, &Budget::unlimited())
+                .0
+                .is_sat()
+        })
+        .unwrap();
         assert!(!found);
         pts.push(SamplePoint {
             size: n as f64,
@@ -671,7 +786,7 @@ fn e9_editdist_ov() {
         });
         rows.push(vec![n.to_string(), found.to_string(), fmt_duration(t)]);
     }
-    let fit = fit_exponent(&pts);
+    let fit = fit_exponent(&pts).unwrap();
     rows.push(vec![
         "fit".into(),
         String::new(),
@@ -687,7 +802,11 @@ fn e9_editdist_ov() {
     );
     // SAT → OV spot check.
     let f = lowerbounds::sat::generators::random_ksat(16, 70, 3, 4);
-    let (sat, t) = time(|| lowerbounds::reductions::sat_to_ov::decide_via_ov(&f).is_some());
+    let (sat, t) = time(|| {
+        lowerbounds::reductions::sat_to_ov::decide_via_ov(&f, &Budget::unlimited())
+            .0
+            .is_sat()
+    });
     println!(
         "  SAT→OV on n=16, m=70: satisfiable = {sat}, decided via 2·2^8 vectors in {}",
         fmt_duration(t)
@@ -715,8 +834,9 @@ fn e10_matmul_triangle() {
             size: n as f64,
             value: t_strassen.as_secs_f64(),
         });
-        let (tri_mm, t_mm) = time(|| find_triangle_matmul(&g).is_some());
-        let (tri_nv, t_nv) = time(|| find_triangle_naive(&g).is_some());
+        let bu = Budget::unlimited();
+        let (tri_mm, t_mm) = time(|| find_triangle_matmul(&g, &bu).0.is_sat());
+        let (tri_nv, t_nv) = time(|| find_triangle_naive(&g, &bu).0.is_sat());
         assert_eq!(tri_mm, tri_nv);
         rows.push(vec![
             n.to_string(),
@@ -726,8 +846,8 @@ fn e10_matmul_triangle() {
             fmt_duration(t_mm),
         ]);
     }
-    let fn_ = fit_exponent(&naive_pts);
-    let fs = fit_exponent(&strassen_pts);
+    let fn_ = fit_exponent(&naive_pts).unwrap();
+    let fs = fit_exponent(&strassen_pts).unwrap();
     rows.push(vec![
         "fit".into(),
         format!("n^{:.2} (≈3)", fn_.exponent),
@@ -762,11 +882,11 @@ fn e11_hyperclique() {
     let k = 5;
     for &n in &[16usize, 24, 36, 52] {
         let h = generators::turan_hypergraph(n, 3, k - 1);
-        let (found, t3) = time(|| find_hyperclique(&h, k).is_some());
+        let (found, t3) = time(|| find_hyperclique(&h, k, &Budget::unlimited()).0.is_sat());
         assert!(!found, "Turán hypergraph is 5-hyperclique-free");
         // The d = 2 comparison: Turán graph, same class structure.
         let g = generators::turan(n, k - 1);
-        let (found2, t2) = time(|| find_clique_neipol(&g, k).is_some());
+        let (found2, t2) = time(|| find_clique_neipol(&g, k, &Budget::unlimited()).0.is_sat());
         assert!(!found2);
         pts3.push(SamplePoint {
             size: n as f64,
@@ -774,7 +894,7 @@ fn e11_hyperclique() {
         });
         rows.push(vec![n.to_string(), fmt_duration(t3), fmt_duration(t2)]);
     }
-    let fit = fit_exponent(&pts3);
+    let fit = fit_exponent(&pts3).unwrap();
     rows.push(vec![
         "fit".into(),
         format!("n^{:.1}", fit.exponent),
@@ -802,12 +922,13 @@ fn e12_ayz_sparse() {
     for &m in &[2000usize, 8000, 32000, 128000] {
         let n = m / 2; // sparse: average degree 4
         let g = generators::gnm(n, m, m as u64);
-        let (r_ayz, t_ayz) = time_min(2, || find_triangle_ayz(&g).is_some());
-        let (r_nv, t_nv) = time_min(2, || find_triangle_naive(&g).is_some());
+        let bu = Budget::unlimited();
+        let (r_ayz, t_ayz) = time_min(2, || find_triangle_ayz(&g, &bu).0.is_sat()).unwrap();
+        let (r_nv, t_nv) = time_min(2, || find_triangle_naive(&g, &bu).0.is_sat()).unwrap();
         assert_eq!(r_ayz, r_nv);
         // Dense MM route is hopeless at this n; only time it while small.
         let mm_cell = if n <= 4000 {
-            let (r_mm, t_mm) = time(|| find_triangle_matmul(&g).is_some());
+            let (r_mm, t_mm) = time(|| find_triangle_matmul(&g, &bu).0.is_sat());
             assert_eq!(r_mm, r_nv);
             fmt_duration(t_mm)
         } else {
@@ -825,7 +946,7 @@ fn e12_ayz_sparse() {
             mm_cell,
         ]);
     }
-    let fit = fit_exponent(&ayz_pts);
+    let fit = fit_exponent(&ayz_pts).unwrap();
     rows.push(vec![
         "fit".into(),
         String::new(),
@@ -844,9 +965,15 @@ fn e12_ayz_sparse() {
     // Boolean triangle join query → tripartite graph → AYZ.
     let q = JoinQuery::triangle();
     let db = lowerbounds::join::generators::random_binary_database(&q, 4000, 1500, 9);
-    let (empty_gj, t_gj) = time(|| boolean::is_answer_empty(&q, &db).unwrap());
+    let bu = Budget::unlimited();
+    let (empty_gj, t_gj) = time(|| {
+        boolean::is_answer_empty(&q, &db, &bu)
+            .unwrap()
+            .0
+            .unwrap_sat()
+    });
     let ((g, _), _) = time(|| boolean::triangle_database_to_graph(&q, &db).unwrap());
-    let (tri, t_ayz) = time(|| find_triangle_ayz(&g).is_some());
+    let (tri, t_ayz) = time(|| find_triangle_ayz(&g, &bu).0.is_sat());
     assert_eq!(!empty_gj, tri);
     println!(
         "  Boolean triangle join (N = 4000/relation): generic-join early exit {} vs AYZ-on-graph {} — answers agree.",

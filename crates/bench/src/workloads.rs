@@ -119,16 +119,21 @@ pub fn random_vector_sets_no_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lowerbounds::engine::Budget;
     use lowerbounds::join::{binary, wcoj};
 
     #[test]
     fn adversarial_db_shape() {
+        let bu = Budget::unlimited();
         let (q, db, answer) = adversarial_triangle_db(100);
         assert_eq!(db.max_table_size(), 100);
-        assert_eq!(wcoj::count(&q, &db, None).unwrap(), answer);
+        assert_eq!(
+            wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat(),
+            answer
+        );
         assert_eq!(answer, 100);
         // The binary plan materializes s³ = 1000 intermediates.
-        let (_, stats) = binary::left_deep_join(&q, &db).unwrap();
+        let (_, stats) = binary::left_deep_join(&q, &db, &bu).unwrap();
         assert_eq!(stats.max_intermediate, 1000);
     }
 

@@ -3,62 +3,120 @@
 //! ```text
 //! lbtool sat <file.cnf>            solve a DIMACS CNF with DPLL
 //! lbtool 2sat <file.cnf>           solve a width-≤2 DIMACS CNF in linear time
+//! lbtool count <file.cnf>          count the models of a DIMACS CNF
 //! lbtool treewidth <file.graph>    treewidth bounds (exact when n ≤ 22)
 //! lbtool rho-star "<query>"        ρ* and the AGM bound of a join query
 //! lbtool claims [hypothesis]       the paper's lower-bound claims
 //! ```
 //!
+//! Solver commands accept `--budget <ticks>`: the run stops with exit code 3
+//! and prints `UNKNOWN` once the solver has spent that many counted
+//! operations. Without the flag the solver runs to completion.
+//!
 //! Graph files: first line `n`, then one `u v` edge per line (0-based).
 //! Query syntax: whitespace-separated atoms like `R(a,b) S(a,c) T(b,c)`.
 
+use lowerbounds::engine::{Budget, Outcome, RunStats};
 use lowerbounds::graph::{treewidth, Graph};
 use lowerbounds::hypotheses::Hypothesis;
 use lowerbounds::join::{agm, Atom, JoinQuery};
 use lowerbounds::sat::{solve_2sat, CnfFormula, DpllSolver};
 use std::process::ExitCode;
 
+/// Distinguishes "wrong input" from "budget ran out" for the process exit
+/// code.
+enum CmdError {
+    Usage(String),
+    Exhausted(String),
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> CmdError {
+        CmdError::Usage(msg)
+    }
+}
+
+impl From<&str> for CmdError {
+    fn from(msg: &str) -> CmdError {
+        CmdError::Usage(msg.to_string())
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = match extract_budget(&mut args) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("sat") => cmd_sat(&args[1..], false),
-        Some("2sat") => cmd_sat(&args[1..], true),
-        Some("count") => cmd_count(&args[1..]),
+        Some("sat") => cmd_sat(&args[1..], false, &budget),
+        Some("2sat") => cmd_sat(&args[1..], true, &budget),
+        Some("count") => cmd_count(&args[1..], &budget),
         Some("treewidth") => cmd_treewidth(&args[1..]),
         Some("rho-star") => cmd_rho_star(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
         _ => {
-            eprintln!("usage: lbtool <sat|2sat|count|treewidth|rho-star|claims> ...");
+            eprintln!(
+                "usage: lbtool <sat|2sat|count|treewidth|rho-star|claims> [--budget <ticks>] ..."
+            );
             return ExitCode::from(2);
         }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CmdError::Usage(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CmdError::Exhausted(reason)) => {
+            println!("UNKNOWN");
+            eprintln!("{reason}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn cmd_sat(args: &[String], two: bool) -> Result<(), String> {
+/// Removes `--budget <ticks>` from the argument list and builds the
+/// corresponding [`Budget`]; unlimited when the flag is absent.
+fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
+    let Some(pos) = args.iter().position(|a| a == "--budget") else {
+        return Ok(Budget::unlimited());
+    };
+    if pos + 1 >= args.len() {
+        return Err("--budget needs a tick count".into());
+    }
+    let ticks: u64 = args[pos + 1]
+        .parse()
+        .map_err(|e| format!("bad --budget value `{}`: {e}", args[pos + 1]))?;
+    args.drain(pos..=pos + 1);
+    Ok(Budget::ticks(ticks))
+}
+
+fn report_stats(stats: &RunStats) {
+    eprintln!(
+        "nodes: {}, propagations: {}, backtracks: {}",
+        stats.nodes, stats.propagations, stats.backtracks
+    );
+}
+
+fn cmd_sat(args: &[String], two: bool, budget: &Budget) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing CNF file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let f = CnfFormula::from_dimacs(&text)?;
-    let model = if two {
+    let (outcome, stats) = if two {
         if !f.is_ksat(2) {
             return Err("formula has clauses wider than 2; use `lbtool sat`".into());
         }
-        solve_2sat(&f)
+        solve_2sat(&f, budget)
     } else {
-        let (model, stats) = DpllSolver::default().solve(&f);
-        eprintln!(
-            "decisions: {}, propagations: {}, conflicts: {}",
-            stats.decisions, stats.propagations, stats.conflicts
-        );
-        model
+        DpllSolver::default().solve(&f, budget)
     };
-    match model {
-        Some(m) => {
+    report_stats(&stats);
+    match outcome {
+        Outcome::Sat(m) => {
             let lits: Vec<String> = m
                 .iter()
                 .enumerate()
@@ -66,17 +124,24 @@ fn cmd_sat(args: &[String], two: bool) -> Result<(), String> {
                 .collect();
             println!("SATISFIABLE\nv {} 0", lits.join(" "));
         }
-        None => println!("UNSATISFIABLE"),
+        Outcome::Unsat => println!("UNSATISFIABLE"),
+        Outcome::Exhausted(r) => return Err(CmdError::Exhausted(r.to_string())),
     }
     Ok(())
 }
 
-fn cmd_count(args: &[String]) -> Result<(), String> {
+fn cmd_count(args: &[String], budget: &Budget) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing CNF file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let f = CnfFormula::from_dimacs(&text)?;
-    let count = lowerbounds::sat::count_models(&f);
-    println!("{count}");
+    let (outcome, stats) = lowerbounds::sat::count_models(&f, budget);
+    report_stats(&stats);
+    match outcome {
+        Outcome::Sat(count) => println!("{count}"),
+        // lb-lint: allow(no-panic) -- invariant: model counting completes with Sat or exhausts
+        Outcome::Unsat => unreachable!("count_models has no Unsat outcome"),
+        Outcome::Exhausted(r) => return Err(CmdError::Exhausted(r.to_string())),
+    }
     Ok(())
 }
 
@@ -111,7 +176,7 @@ fn parse_graph(text: &str) -> Result<Graph, String> {
     Ok(Graph::from_edges(n, &edges))
 }
 
-fn cmd_treewidth(args: &[String]) -> Result<(), String> {
+fn cmd_treewidth(args: &[String]) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing graph file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let g = parse_graph(&text)?;
@@ -156,7 +221,7 @@ fn parse_query(spec: &str) -> Result<JoinQuery, String> {
     Ok(JoinQuery::new(atoms))
 }
 
-fn cmd_rho_star(args: &[String]) -> Result<(), String> {
+fn cmd_rho_star(args: &[String]) -> Result<(), CmdError> {
     let spec = args.first().ok_or("missing query string")?;
     let q = parse_query(spec)?;
     let rho = agm::rho_star(&q).map_err(|e| e.to_string())?;
@@ -171,7 +236,7 @@ fn cmd_rho_star(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_claims(args: &[String]) -> Result<(), String> {
+fn cmd_claims(args: &[String]) -> Result<(), CmdError> {
     let claims = match args.first().map(String::as_str) {
         None => lowerbounds::claims::all_claims(),
         Some(name) => {

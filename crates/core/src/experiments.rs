@@ -2,11 +2,50 @@
 //!
 //! The paper's theorems are asymptotic statements; the experiments check
 //! their *shape* on finite sweeps: run an algorithm over a size grid, fit a
-//! line to (log size, log time) by least squares, and compare the slope to
-//! the predicted exponent. The `lb-bench` binaries print one table per
-//! experiment using [`print_table`]; `EXPERIMENTS.md` archives the output.
+//! line to (log size, log value) by least squares, and compare the slope to
+//! the predicted exponent. The measured value can be wall-clock time
+//! ([`time_min`]) or — preferably — a machine-independent operation count
+//! from the engine layer's [`RunStats`] ([`stats_sweep`]). The `lb-bench`
+//! binaries print one table per experiment using [`print_table`];
+//! `EXPERIMENTS.md` archives the output.
 
+use lb_engine::RunStats;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Typed failure of a measurement or fit (instead of a panic, so sweep
+/// drivers can skip degenerate configurations and keep going).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A log–log fit needs at least two sample points.
+    TooFewPoints {
+        /// How many points were supplied.
+        got: usize,
+    },
+    /// A log–log fit needs strictly positive coordinates.
+    NonPositivePoint {
+        /// Index of the offending sample point.
+        index: usize,
+    },
+    /// [`time_min`] needs at least one repetition.
+    ZeroReps,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::TooFewPoints { got } => {
+                write!(f, "need at least two points to fit, got {got}")
+            }
+            ExperimentError::NonPositivePoint { index } => {
+                write!(f, "log-log fit needs positive coordinates (point {index})")
+            }
+            ExperimentError::ZeroReps => write!(f, "time_min needs at least one repetition"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
 
 /// Times a closure once, returning its result and the wall-clock duration.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -17,8 +56,12 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 
 /// Times a closure with `reps` repetitions and returns the *minimum*
 /// duration (least noisy location statistic for CPU-bound code).
-pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
-    assert!(reps >= 1);
+///
+/// Errors with [`ExperimentError::ZeroReps`] when `reps` is zero.
+pub fn time_min<T>(
+    reps: usize,
+    mut f: impl FnMut() -> T,
+) -> Result<(T, Duration), ExperimentError> {
     let mut best: Option<Duration> = None;
     let mut out = None;
     for _ in 0..reps {
@@ -26,8 +69,10 @@ pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
         out = Some(r);
         best = Some(best.map_or(d, |b| b.min(d)));
     }
-    // lb-lint: allow(no-panic) -- invariant: reps >= 1 so the measurement loop always sets out and best
-    (out.expect("reps ≥ 1"), best.expect("reps ≥ 1"))
+    match (out, best) {
+        (Some(o), Some(b)) => Ok((o, b)),
+        _ => Err(ExperimentError::ZeroReps),
+    }
 }
 
 /// One measured point of a scaling sweep.
@@ -52,14 +97,15 @@ pub struct ExponentFit {
 
 /// Least-squares fit of `value ≈ constant · size^exponent`.
 ///
-/// # Panics
-/// Panics with fewer than two points or non-positive coordinates.
-pub fn fit_exponent(points: &[SamplePoint]) -> ExponentFit {
-    assert!(points.len() >= 2, "need at least two points to fit");
-    assert!(
-        points.iter().all(|p| p.size > 0.0 && p.value > 0.0),
-        "log-log fit needs positive coordinates"
-    );
+/// Errors when fewer than two points or a non-positive coordinate make the
+/// log–log regression undefined.
+pub fn fit_exponent(points: &[SamplePoint]) -> Result<ExponentFit, ExperimentError> {
+    if points.len() < 2 {
+        return Err(ExperimentError::TooFewPoints { got: points.len() });
+    }
+    if let Some(index) = points.iter().position(|p| p.size <= 0.0 || p.value <= 0.0) {
+        return Err(ExperimentError::NonPositivePoint { index });
+    }
     let n = points.len() as f64;
     let xs: Vec<f64> = points.iter().map(|p| p.size.ln()).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.value.ln()).collect();
@@ -80,11 +126,29 @@ pub fn fit_exponent(points: &[SamplePoint]) -> ExponentFit {
     } else {
         1.0 - ss_res / ss_tot
     };
-    ExponentFit {
+    Ok(ExponentFit {
         exponent: slope,
         constant: intercept.exp(),
         r_squared,
-    }
+    })
+}
+
+/// Runs a budgeted solver over a size grid and extracts one [`RunStats`]
+/// counter per size as the sweep's measured value — the machine-independent
+/// alternative to wall-clock sweeps. `run` produces the stats for one size;
+/// `metric` picks the counter (e.g. `|s| s.total_ops()`).
+pub fn stats_sweep(
+    sizes: &[usize],
+    mut run: impl FnMut(usize) -> RunStats,
+    metric: impl Fn(&RunStats) -> u64,
+) -> Vec<SamplePoint> {
+    sizes
+        .iter()
+        .map(|&size| SamplePoint {
+            size: size as f64,
+            value: metric(&run(size)) as f64,
+        })
+        .collect()
 }
 
 /// Renders an aligned text table (markdown-flavored) for the experiment
@@ -142,7 +206,7 @@ mod tests {
                 value: 3.0 * (i as f64).powi(2),
             })
             .collect();
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         assert!((fit.exponent - 2.0).abs() < 1e-9, "{fit:?}");
         assert!((fit.constant - 3.0).abs() < 1e-9);
         assert!(fit.r_squared > 0.999999);
@@ -158,7 +222,7 @@ mod tests {
                 value: n.powf(1.5),
             })
             .collect();
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         assert!((fit.exponent - 1.5).abs() < 1e-9);
     }
 
@@ -170,7 +234,7 @@ mod tests {
                 value: ((1 << i) as f64).powf(1.0) * (1.0 + 0.05 * ((i % 3) as f64 - 1.0)),
             })
             .collect();
-        let fit = fit_exponent(&pts);
+        let fit = fit_exponent(&pts).unwrap();
         assert!((fit.exponent - 1.0).abs() < 0.05);
         assert!(fit.r_squared > 0.99);
     }
@@ -195,18 +259,59 @@ mod tests {
         let (v, d) = time(|| 21 * 2);
         assert_eq!(v, 42);
         assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // smoke
-        let (v2, _) = time_min(3, || 7);
+        let (v2, _) = time_min(3, || 7).unwrap();
         assert_eq!(v2, 7);
         assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
     }
 
     #[test]
-    #[should_panic(expected = "at least two")]
     fn fit_needs_points() {
-        let _ = fit_exponent(&[SamplePoint {
+        let err = fit_exponent(&[SamplePoint {
             size: 1.0,
             value: 1.0,
-        }]);
+        }])
+        .unwrap_err();
+        assert_eq!(err, ExperimentError::TooFewPoints { got: 1 });
+    }
+
+    #[test]
+    fn fit_rejects_nonpositive_coordinates() {
+        let pts = [
+            SamplePoint {
+                size: 1.0,
+                value: 1.0,
+            },
+            SamplePoint {
+                size: 2.0,
+                value: 0.0,
+            },
+        ];
+        assert_eq!(
+            fit_exponent(&pts).unwrap_err(),
+            ExperimentError::NonPositivePoint { index: 1 }
+        );
+    }
+
+    #[test]
+    fn zero_reps_is_an_error() {
+        assert_eq!(time_min(0, || 1).unwrap_err(), ExperimentError::ZeroReps);
+    }
+
+    #[test]
+    fn stats_sweep_fits_counter_exponent() {
+        // A synthetic solver whose node counter grows quadratically: the
+        // op-count sweep recovers the exponent with zero timing noise.
+        let pts = stats_sweep(
+            &[10, 20, 40, 80],
+            |n| RunStats {
+                nodes: (n * n) as u64,
+                ..RunStats::default()
+            },
+            |s| s.nodes,
+        );
+        let fit = fit_exponent(&pts).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
     }
 }

@@ -21,11 +21,16 @@
 //!   upper bound;
 //! * [`experiments`] provides the shared measurement harness (timing,
 //!   log–log exponent fitting, table printing) used by the `lb-bench`
-//!   binaries that regenerate every experiment in `EXPERIMENTS.md`.
+//!   binaries that regenerate every experiment in `EXPERIMENTS.md`;
+//! * every solver entry point runs under the [`engine`] layer: it accepts a
+//!   tick/deadline [`engine::Budget`], returns a three-valued
+//!   [`engine::Outcome`] (`Sat` / `Unsat` / `Exhausted`), and reports
+//!   machine-independent [`engine::RunStats`] operation counters.
 //!
 //! # Quick start
 //!
 //! ```
+//! use lowerbounds::engine::Budget;
 //! use lowerbounds::join::{JoinQuery, agm, wcoj};
 //!
 //! // The paper's running example: the triangle query, ρ* = 3/2.
@@ -35,8 +40,10 @@
 //! // Build the AGM worst-case database (Theorem 3.2) and join it
 //! // worst-case optimally (Theorem 3.3).
 //! let (db, expected) = agm::worst_case_database(&q, 100).unwrap();
-//! let answer = wcoj::join(&q, &db, None).unwrap();
+//! let (outcome, stats) = wcoj::join(&q, &db, None, &Budget::unlimited()).unwrap();
+//! let answer = outcome.unwrap_sat();
 //! assert_eq!(answer.len() as u128, expected); // = 1000 = 100^{3/2}
+//! assert!(stats.tuples >= 1000); // machine-independent work counters
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,6 +54,8 @@ pub mod hypotheses;
 
 /// CSP instances and solvers (re-export of `lb-csp`).
 pub use lb_csp as csp;
+/// Budgets, outcomes, and run telemetry (re-export of `lb-engine`).
+pub use lb_engine as engine;
 /// Graphs, hypergraphs, treewidth (re-export of `lb-graph`).
 pub use lb_graph as graph;
 /// Graph algorithms under study (re-export of `lb-graphalg`).

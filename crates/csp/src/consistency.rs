@@ -164,6 +164,7 @@ mod tests {
     use super::*;
     use crate::instance::{Constraint, Relation};
     use crate::solver::bruteforce;
+    use lb_engine::Budget;
     use std::sync::Arc;
 
     #[test]
@@ -209,7 +210,9 @@ mod tests {
             let g = lb_graph::generators::gnp(6, 0.5, seed);
             let inst = crate::generators::random_binary_csp(&g, 3, 0.4, seed);
             let ac = enforce_arc_consistency(&inst);
-            let solutions = bruteforce::enumerate(&inst);
+            let solutions = bruteforce::enumerate(&inst, &Budget::unlimited())
+                .0
+                .unwrap_sat();
             if ac.wiped_out {
                 assert!(solutions.is_empty(), "seed {seed}");
                 continue;
@@ -224,7 +227,13 @@ mod tests {
             }
             // Restriction preserves the solution set exactly.
             let restricted = restrict_to(&inst, &ac);
-            assert_eq!(bruteforce::enumerate(&restricted), solutions, "seed {seed}");
+            assert_eq!(
+                bruteforce::enumerate(&restricted, &Budget::unlimited())
+                    .0
+                    .unwrap_sat(),
+                solutions,
+                "seed {seed}"
+            );
         }
     }
 
@@ -235,7 +244,7 @@ mod tests {
             let g = lb_graph::generators::k_tree(1, 8, seed); // a tree
             let inst = crate::generators::random_binary_csp(&g, 3, 0.5, seed);
             let ac = enforce_arc_consistency(&inst);
-            let sat = bruteforce::solve(&inst).is_some();
+            let sat = bruteforce::solve(&inst, &Budget::unlimited()).0.is_sat();
             assert_eq!(!ac.wiped_out, sat, "seed {seed}");
         }
     }

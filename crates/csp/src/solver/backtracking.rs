@@ -4,8 +4,15 @@
 //! Theorem 6.4), but with the two classic refinements — minimum-remaining-
 //! values variable ordering and forward checking — each independently
 //! toggleable for the E7 ablation.
+//!
+//! Engine mapping: assignments tried are [`RunStats::nodes`] ticks, domain
+//! values pruned by forward checking are [`RunStats::backtracks`].
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::backtracks`]: lb_engine::RunStats::backtracks
 
 use crate::instance::{Assignment, CspInstance, Value};
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Feature toggles for ablation.
 #[derive(Clone, Copy, Debug)]
@@ -27,19 +34,10 @@ impl Default for BacktrackConfig {
     }
 }
 
-/// Search statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct BacktrackStats {
-    /// Search-tree nodes visited (assignments tried).
-    pub nodes: u64,
-    /// Domain values pruned by forward checking.
-    pub prunings: u64,
-}
-
 struct Searcher<'a> {
     inst: &'a CspInstance,
     config: BacktrackConfig,
-    stats: BacktrackStats,
+    ticker: Ticker,
     /// `domains[v][d]` = still possible. Entire rows are saved/restored on
     /// backtrack via the trail.
     domains: Vec<Vec<bool>>,
@@ -50,7 +48,7 @@ struct Searcher<'a> {
 }
 
 impl<'a> Searcher<'a> {
-    fn new(inst: &'a CspInstance, config: BacktrackConfig) -> Self {
+    fn new(inst: &'a CspInstance, config: BacktrackConfig, budget: &Budget) -> Self {
         let mut by_var = vec![Vec::new(); inst.num_vars];
         for (ci, c) in inst.constraints.iter().enumerate() {
             let mut seen = c.scope.clone();
@@ -63,7 +61,7 @@ impl<'a> Searcher<'a> {
         Searcher {
             inst,
             config,
-            stats: BacktrackStats::default(),
+            ticker: Ticker::new(budget),
             domains: vec![vec![true; inst.domain_size]; inst.num_vars],
             domain_count: vec![inst.domain_size; inst.num_vars],
             assigned: vec![None; inst.num_vars],
@@ -102,8 +100,12 @@ impl<'a> Searcher<'a> {
 
     /// Forward checking from `var`: prune values of single-unassigned
     /// neighbors; records (var, value) prunings on the trail.
-    /// Returns false on wipe-out.
-    fn forward_check(&mut self, var: usize, trail: &mut Vec<(usize, Value)>) -> bool {
+    /// Returns `Ok(false)` on wipe-out, `Err` on budget exhaustion.
+    fn forward_check(
+        &mut self,
+        var: usize,
+        trail: &mut Vec<(usize, Value)>,
+    ) -> Result<bool, ExhaustReason> {
         for ci_idx in 0..self.by_var[var].len() {
             let ci = self.by_var[var][ci_idx];
             let c = &self.inst.constraints[ci];
@@ -139,15 +141,15 @@ impl<'a> Searcher<'a> {
                 if !c.relation.allows(&t) {
                     self.domains[u][d as usize] = false;
                     self.domain_count[u] -= 1;
-                    self.stats.prunings += 1;
                     trail.push((u, d));
+                    self.ticker.backtrack()?;
                 }
             }
             if self.domain_count[u] == 0 {
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 
     fn undo(&mut self, trail: &[(usize, Value)]) {
@@ -160,7 +162,7 @@ impl<'a> Searcher<'a> {
 
     /// Full search. `visit` is called on each solution; returning `true`
     /// stops the search. Returns whether the search was stopped early.
-    fn search<F: FnMut(&[Value]) -> bool>(&mut self, visit: &mut F) -> bool {
+    fn search<F: FnMut(&[Value]) -> bool>(&mut self, visit: &mut F) -> Result<bool, ExhaustReason> {
         let var = match self.pick_var() {
             Some(v) => v,
             None => {
@@ -171,71 +173,102 @@ impl<'a> Searcher<'a> {
                     .map(|a| a.expect("all assigned"))
                     .collect();
                 debug_assert!(self.inst.eval(&solution));
-                return visit(&solution);
+                return Ok(visit(&solution));
             }
         };
         for d in 0..self.inst.domain_size as Value {
             if !self.domains[var][d as usize] {
                 continue;
             }
-            self.stats.nodes += 1;
+            self.ticker.node()?;
             self.assigned[var] = Some(d);
             let mut trail: Vec<(usize, Value)> = Vec::new();
             let mut ok = self.consistent_after(var);
             if ok && self.config.forward_checking {
-                ok = self.forward_check(var, &mut trail);
+                match self.forward_check(var, &mut trail) {
+                    Ok(alive) => ok = alive,
+                    Err(reason) => {
+                        self.undo(&trail);
+                        self.assigned[var] = None;
+                        return Err(reason);
+                    }
+                }
             }
-            if ok && self.search(visit) {
-                // Leave state as-is; caller is unwinding.
-                return true;
+            if ok {
+                match self.search(visit) {
+                    Ok(true) => return Ok(true), // caller is unwinding
+                    Ok(false) => {}
+                    Err(reason) => {
+                        self.undo(&trail);
+                        self.assigned[var] = None;
+                        return Err(reason);
+                    }
+                }
             }
             self.undo(&trail);
             self.assigned[var] = None;
         }
-        false
+        Ok(false)
     }
 }
 
-/// Finds one solution; returns it with search statistics.
-pub fn solve(inst: &CspInstance, config: BacktrackConfig) -> (Option<Assignment>, BacktrackStats) {
+/// Finds one solution under `budget`: `Sat(assignment)`, `Unsat`, or
+/// `Exhausted`, plus run counters.
+pub fn solve(
+    inst: &CspInstance,
+    config: BacktrackConfig,
+    budget: &Budget,
+) -> (Outcome<Assignment>, RunStats) {
     if inst.domain_size == 0 && inst.num_vars > 0 {
-        return (None, BacktrackStats::default());
+        return (Outcome::Unsat, RunStats::default());
     }
-    let mut s = Searcher::new(inst, config);
+    let mut s = Searcher::new(inst, config, budget);
     let mut found: Option<Assignment> = None;
-    s.search(&mut |a| {
-        found = Some(a.to_vec());
-        true
-    });
-    (found, s.stats)
+    let result = s
+        .search(&mut |a| {
+            found = Some(a.to_vec());
+            true
+        })
+        .map(|_| found);
+    s.ticker.finish(result)
 }
 
-/// Counts all solutions.
-pub fn count(inst: &CspInstance, config: BacktrackConfig) -> (u64, BacktrackStats) {
+/// Counts all solutions under `budget`: `Sat(count)` (zero counts as
+/// completed) or `Exhausted`.
+pub fn count(
+    inst: &CspInstance,
+    config: BacktrackConfig,
+    budget: &Budget,
+) -> (Outcome<u64>, RunStats) {
     if inst.domain_size == 0 && inst.num_vars > 0 {
-        return (0, BacktrackStats::default());
+        return (Outcome::Sat(0), RunStats::default());
     }
-    let mut s = Searcher::new(inst, config);
+    let mut s = Searcher::new(inst, config, budget);
     let mut n = 0u64;
-    s.search(&mut |_| {
-        n += 1;
-        false
-    });
-    (n, s.stats)
+    let result = s
+        .search(&mut |_| {
+            n += 1;
+            false
+        })
+        .map(|_| Some(n));
+    s.ticker.finish(result)
 }
 
 /// Enumerates all solutions through a callback; returning `true` stops.
+/// `Sat(true)` means the visitor stopped the search, `Sat(false)` that the
+/// space was exhausted normally; `Exhausted` that the budget ran out.
 pub fn enumerate_until<F: FnMut(&[Value]) -> bool>(
     inst: &CspInstance,
     config: BacktrackConfig,
+    budget: &Budget,
     mut visit: F,
-) -> BacktrackStats {
+) -> (Outcome<bool>, RunStats) {
     if inst.domain_size == 0 && inst.num_vars > 0 {
-        return BacktrackStats::default();
+        return (Outcome::Sat(false), RunStats::default());
     }
-    let mut s = Searcher::new(inst, config);
-    s.search(&mut visit);
-    s.stats
+    let mut s = Searcher::new(inst, config, budget);
+    let result = s.search(&mut visit).map(Some);
+    s.ticker.finish(result)
 }
 
 #[cfg(test)]
@@ -267,10 +300,10 @@ mod tests {
         inst.add_constraint(Constraint::new(vec![1, 2], neq.clone()));
         inst.add_constraint(Constraint::new(vec![0, 2], neq));
         for cfg in all_configs() {
-            let (sol, _) = solve(&inst, cfg);
-            assert!(inst.eval(&sol.unwrap()));
-            let (cnt, _) = count(&inst, cfg);
-            assert_eq!(cnt, 6); // 3! proper 3-colorings of K3
+            let (sol, _) = solve(&inst, cfg, &Budget::unlimited());
+            assert!(inst.eval(&sol.unwrap_sat()));
+            let (cnt, _) = count(&inst, cfg, &Budget::unlimited());
+            assert_eq!(cnt.unwrap_sat(), 6); // 3! proper 3-colorings of K3
         }
     }
 
@@ -279,10 +312,12 @@ mod tests {
         for seed in 0..15u64 {
             let g = lb_graph::generators::gnp(6, 0.5, seed);
             let inst = generators::random_binary_csp(&g, 3, 0.4, seed);
-            let expect = bruteforce::count(&inst);
+            let expect = bruteforce::count(&inst, &Budget::unlimited())
+                .0
+                .unwrap_sat();
             for cfg in all_configs() {
-                let (cnt, _) = count(&inst, cfg);
-                assert_eq!(cnt, expect, "seed {seed}, cfg {cfg:?}");
+                let (cnt, _) = count(&inst, cfg, &Budget::unlimited());
+                assert_eq!(cnt.unwrap_sat(), expect, "seed {seed}, cfg {cfg:?}");
             }
         }
     }
@@ -296,7 +331,7 @@ mod tests {
             Arc::new(Relation::from_fn(3, 2, |t| (t[0] + t[1] + t[2]) % 2 == 0)),
         ));
         for cfg in all_configs() {
-            assert_eq!(count(&inst, cfg).0, 4);
+            assert_eq!(count(&inst, cfg, &Budget::unlimited()).0.unwrap_sat(), 4);
         }
     }
 
@@ -319,9 +354,10 @@ mod tests {
                 mrv: true,
                 forward_checking: true,
             },
+            &Budget::unlimited(),
         );
-        assert_eq!(sol.unwrap(), vec![3; 6]);
-        assert!(stats_fc.prunings > 0);
+        assert_eq!(sol.unwrap_sat(), vec![3; 6]);
+        assert!(stats_fc.backtracks > 0);
     }
 
     #[test]
@@ -329,7 +365,7 @@ mod tests {
         let mut inst = CspInstance::new(2, 3);
         inst.add_constraint(Constraint::new(vec![0, 1], Arc::new(Relation::empty(2))));
         for cfg in all_configs() {
-            assert!(solve(&inst, cfg).0.is_none());
+            assert!(solve(&inst, cfg, &Budget::unlimited()).0.is_unsat());
         }
     }
 
@@ -342,7 +378,10 @@ mod tests {
             Arc::new(Relation::disequality(4)),
         ));
         for cfg in all_configs() {
-            assert!(solve(&inst, cfg).0.is_none(), "cfg {cfg:?}");
+            assert!(
+                solve(&inst, cfg, &Budget::unlimited()).0.is_unsat(),
+                "cfg {cfg:?}"
+            );
         }
     }
 
@@ -350,8 +389,8 @@ mod tests {
     fn zero_domain() {
         let inst = CspInstance::new(2, 0);
         for cfg in all_configs() {
-            assert!(solve(&inst, cfg).0.is_none());
-            assert_eq!(count(&inst, cfg).0, 0);
+            assert!(solve(&inst, cfg, &Budget::unlimited()).0.is_unsat());
+            assert_eq!(count(&inst, cfg, &Budget::unlimited()).0.unwrap_sat(), 0);
         }
     }
 
@@ -359,10 +398,27 @@ mod tests {
     fn enumerate_early_stop() {
         let inst = CspInstance::new(2, 3);
         let mut seen = 0;
-        enumerate_until(&inst, BacktrackConfig::default(), |_| {
-            seen += 1;
-            seen == 4
-        });
+        let (out, _) = enumerate_until(
+            &inst,
+            BacktrackConfig::default(),
+            &Budget::unlimited(),
+            |_| {
+                seen += 1;
+                seen == 4
+            },
+        );
         assert_eq!(seen, 4);
+        assert!(out.unwrap_sat());
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_and_counters_are_monotone() {
+        let g = lb_graph::generators::gnp(7, 0.5, 5);
+        let inst = generators::random_binary_csp(&g, 3, 0.4, 5);
+        let (out, small) = count(&inst, BacktrackConfig::default(), &Budget::ticks(3));
+        assert!(out.is_exhausted());
+        let (full, big) = count(&inst, BacktrackConfig::default(), &Budget::unlimited());
+        assert!(full.is_sat());
+        assert!(small.le(&big));
     }
 }

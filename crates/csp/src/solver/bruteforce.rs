@@ -4,8 +4,14 @@
 //! CSP in f(|V|) · |D|^{o(|V|)} time, i.e. the exponent of this loop is
 //! essentially optimal in general. Used as the testing oracle for every
 //! other solver.
+//!
+//! Engine mapping: each assignment evaluated is one [`RunStats::nodes`]
+//! tick.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 
 use crate::instance::{Assignment, CspInstance, Value};
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Guard against astronomically large enumerations in tests.
 fn check_feasible(inst: &CspInstance) {
@@ -17,57 +23,78 @@ fn check_feasible(inst: &CspInstance) {
 }
 
 /// Finds one solution by exhaustive enumeration.
-pub fn solve(inst: &CspInstance) -> Option<Assignment> {
+pub fn solve(inst: &CspInstance, budget: &Budget) -> (Outcome<Assignment>, RunStats) {
     check_feasible(inst);
     let mut found = None;
-    enumerate_until(inst, |a| {
+    let (out, stats) = enumerate_until(inst, budget, |a| {
         found = Some(a.to_vec());
         true
     });
-    found
+    let out = match (out, found) {
+        (Outcome::Exhausted(r), _) => Outcome::Exhausted(r),
+        (_, Some(a)) => Outcome::Sat(a),
+        (_, None) => Outcome::Unsat,
+    };
+    (out, stats)
 }
 
-/// Counts all solutions.
-pub fn count(inst: &CspInstance) -> u64 {
+/// Counts all solutions: `Sat(count)` or `Exhausted`.
+pub fn count(inst: &CspInstance, budget: &Budget) -> (Outcome<u64>, RunStats) {
     check_feasible(inst);
     let mut n = 0u64;
-    enumerate_until(inst, |_| {
+    let (out, stats) = enumerate_until(inst, budget, |_| {
         n += 1;
         false
     });
-    n
+    (out.map(|_| n), stats)
 }
 
 /// Enumerates all solutions into a vector (sorted lexicographically by
-/// construction).
-pub fn enumerate(inst: &CspInstance) -> Vec<Assignment> {
+/// construction): `Sat(solutions)` or `Exhausted`.
+pub fn enumerate(inst: &CspInstance, budget: &Budget) -> (Outcome<Vec<Assignment>>, RunStats) {
     check_feasible(inst);
-    let mut out = Vec::new();
-    enumerate_until(inst, |a| {
-        out.push(a.to_vec());
+    let mut out_vec = Vec::new();
+    let (out, stats) = enumerate_until(inst, budget, |a| {
+        out_vec.push(a.to_vec());
         false
     });
-    out
+    (out.map(|_| out_vec), stats)
 }
 
 /// Core enumeration: calls `visit` on each solution in lexicographic order;
-/// stops early if `visit` returns `true`.
-pub fn enumerate_until<F: FnMut(&[Value]) -> bool>(inst: &CspInstance, mut visit: F) {
+/// stops early if `visit` returns `true`. `Sat(true)` means the visitor
+/// stopped the scan, `Sat(false)` that it ran to the end.
+pub fn enumerate_until<F: FnMut(&[Value]) -> bool>(
+    inst: &CspInstance,
+    budget: &Budget,
+    mut visit: F,
+) -> (Outcome<bool>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = enumerate_inner(inst, &mut ticker, &mut visit).map(Some);
+    ticker.finish(result)
+}
+
+fn enumerate_inner<F: FnMut(&[Value]) -> bool>(
+    inst: &CspInstance,
+    ticker: &mut Ticker,
+    visit: &mut F,
+) -> Result<bool, ExhaustReason> {
     let n = inst.num_vars;
     let d = inst.domain_size as Value;
     if d == 0 && n > 0 {
-        return; // empty domain, no assignments
+        return Ok(false); // empty domain, no assignments
     }
     let mut a: Assignment = vec![0; n];
     loop {
+        ticker.node()?;
         if inst.eval(&a) && visit(&a) {
-            return;
+            return Ok(true);
         }
         // Odometer increment (most significant digit first for lex order).
         let mut i = n;
         loop {
             if i == 0 {
-                return;
+                return Ok(false);
             }
             i -= 1;
             a[i] += 1;
@@ -76,7 +103,7 @@ pub fn enumerate_until<F: FnMut(&[Value]) -> bool>(inst: &CspInstance, mut visit
             }
             a[i] = 0;
             if i == 0 {
-                return;
+                return Ok(false);
             }
         }
     }
@@ -97,11 +124,15 @@ mod tests {
         inst
     }
 
+    fn count_unlimited(inst: &CspInstance) -> u64 {
+        count(inst, &Budget::unlimited()).0.unwrap_sat()
+    }
+
     #[test]
     fn counts_proper_colorings_of_path() {
         // Path with k colors: k·(k−1)^(n−1) proper colorings.
         let inst = neq_chain(4, 3);
-        assert_eq!(count(&inst), 3 * 2 * 2 * 2);
+        assert_eq!(count_unlimited(&inst), 3 * 2 * 2 * 2);
     }
 
     #[test]
@@ -112,14 +143,14 @@ mod tests {
         inst.add_constraint(Constraint::new(vec![0, 1], neq.clone()));
         inst.add_constraint(Constraint::new(vec![1, 2], neq.clone()));
         inst.add_constraint(Constraint::new(vec![0, 2], neq));
-        assert!(solve(&inst).is_none());
-        assert_eq!(count(&inst), 0);
+        assert!(solve(&inst, &Budget::unlimited()).0.is_unsat());
+        assert_eq!(count_unlimited(&inst), 0);
     }
 
     #[test]
     fn enumerate_is_sorted_and_complete() {
         let inst = neq_chain(3, 2);
-        let sols = enumerate(&inst);
+        let sols = enumerate(&inst, &Budget::unlimited()).0.unwrap_sat();
         assert_eq!(sols.len(), 2); // 010 and 101
         assert!(sols.windows(2).all(|w| w[0] < w[1]));
         for s in &sols {
@@ -130,24 +161,33 @@ mod tests {
     #[test]
     fn no_constraints_counts_all() {
         let inst = CspInstance::new(3, 4);
-        assert_eq!(count(&inst), 64);
+        assert_eq!(count_unlimited(&inst), 64);
     }
 
     #[test]
     fn zero_vars_one_empty_solution() {
         let inst = CspInstance::new(0, 5);
-        assert_eq!(count(&inst), 1);
-        assert_eq!(solve(&inst), Some(vec![]));
+        assert_eq!(count_unlimited(&inst), 1);
+        assert_eq!(solve(&inst, &Budget::unlimited()).0.sat(), Some(vec![]));
     }
 
     #[test]
     fn early_exit_on_first() {
         let inst = CspInstance::new(2, 10);
         let mut seen = 0;
-        enumerate_until(&inst, |_| {
+        let (out, _) = enumerate_until(&inst, &Budget::unlimited(), |_| {
             seen += 1;
             true
         });
         assert_eq!(seen, 1);
+        assert!(out.unwrap_sat());
+    }
+
+    #[test]
+    fn budget_exhausts_enumeration() {
+        let inst = CspInstance::new(3, 4);
+        let (out, stats) = count(&inst, &Budget::ticks(10));
+        assert!(out.is_exhausted());
+        assert_eq!(stats.nodes, 11); // the crossing op is still recorded
     }
 }

@@ -10,16 +10,17 @@ pub mod bruteforce;
 pub mod special;
 pub mod treewidth_dp;
 
-pub use backtracking::{BacktrackConfig, BacktrackStats};
+pub use backtracking::BacktrackConfig;
 
 use crate::instance::{Assignment, CspInstance};
+use lb_engine::{Budget, Outcome, RunStats};
 
 /// Convenience dispatch: solve with backtracking under default settings.
-pub fn solve(inst: &CspInstance) -> Option<Assignment> {
-    backtracking::solve(inst, BacktrackConfig::default()).0
+pub fn solve(inst: &CspInstance, budget: &Budget) -> (Outcome<Assignment>, RunStats) {
+    backtracking::solve(inst, BacktrackConfig::default(), budget)
 }
 
 /// Convenience dispatch: count solutions with backtracking.
-pub fn count(inst: &CspInstance) -> u64 {
-    backtracking::count(inst, BacktrackConfig::default()).0
+pub fn count(inst: &CspInstance, budget: &Budget) -> (Outcome<u64>, RunStats) {
+    backtracking::count(inst, BacktrackConfig::default(), budget)
 }

@@ -10,6 +10,7 @@
 
 use crate::instance::{Assignment, Constraint, CspInstance, Value};
 use crate::solver::bruteforce;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::special::{recognize_special, SpecialGraph};
 
 /// Result of a special-CSP solve.
@@ -33,14 +34,24 @@ impl std::fmt::Display for NotSpecial {
 
 impl std::error::Error for NotSpecial {}
 
-/// Solves a special CSP instance in n^{O(log n)} time.
+/// Solves a special CSP instance in n^{O(log n)} time under `budget`:
+/// `Sat(result)` on completion (a count of zero is still `Sat`) or
+/// `Exhausted`. The clique part delegates to the budgeted brute force and
+/// folds its counters in; the path DP ticks one [`RunStats::tuples`] per DP
+/// cell.
 ///
 /// Returns `Err(NotSpecial)` if the primal graph is not a k-clique plus a
 /// 2^k-vertex path.
+///
+/// [`RunStats::tuples`]: lb_engine::RunStats::tuples
 #[must_use = "the result carries both the solution and the reason the instance is not special"]
-pub fn solve_special(inst: &CspInstance) -> Result<SpecialResult, NotSpecial> {
+pub fn solve_special(
+    inst: &CspInstance,
+    budget: &Budget,
+) -> Result<(Outcome<SpecialResult>, RunStats), NotSpecial> {
     let primal = inst.primal_graph();
     let SpecialGraph { clique, path, .. } = recognize_special(&primal).ok_or(NotSpecial)?;
+    let mut ticker = Ticker::new(budget);
 
     // Constraint scopes are cliques of the primal graph, so each constraint
     // lives entirely inside one component.
@@ -48,11 +59,28 @@ pub fn solve_special(inst: &CspInstance) -> Result<SpecialResult, NotSpecial> {
     let path_sub = induced_subinstance(inst, &path);
 
     // Clique part: brute force over |D|^k assignments (k ≤ log₂ n).
-    let clique_count = bruteforce::count(&clique_sub.instance);
-    let clique_solution = bruteforce::solve(&clique_sub.instance);
+    let (clique_count_out, sub_stats) =
+        bruteforce::count(&clique_sub.instance, &ticker.remaining_budget());
+    ticker.absorb(&sub_stats);
+    let clique_count = match clique_count_out {
+        Outcome::Sat(c) => c,
+        Outcome::Unsat => 0,
+        Outcome::Exhausted(reason) => return Ok(ticker.finish(Err(reason))),
+    };
+    let (clique_solution_out, sub_stats) =
+        bruteforce::solve(&clique_sub.instance, &ticker.remaining_budget());
+    ticker.absorb(&sub_stats);
+    let clique_solution = match clique_solution_out {
+        Outcome::Sat(s) => Some(s),
+        Outcome::Unsat => None,
+        Outcome::Exhausted(reason) => return Ok(ticker.finish(Err(reason))),
+    };
 
     // Path part: linear DP.
-    let (path_count, path_solution) = path_dp(&path_sub.instance);
+    let (path_count, path_solution) = match path_dp(&path_sub.instance, &mut ticker) {
+        Ok(r) => r,
+        Err(reason) => return Ok(ticker.finish(Err(reason))),
+    };
 
     let count = clique_count.saturating_mul(path_count);
     let solution = match (clique_solution, path_solution) {
@@ -69,7 +97,7 @@ pub fn solve_special(inst: &CspInstance) -> Result<SpecialResult, NotSpecial> {
         }
         _ => None,
     };
-    Ok(SpecialResult { count, solution })
+    Ok(ticker.finish(Ok(Some(SpecialResult { count, solution }))))
 }
 
 struct SubInstance {
@@ -102,14 +130,17 @@ fn induced_subinstance(inst: &CspInstance, vars: &[usize]) -> SubInstance {
 /// order: constraints are unary or between consecutive variables.
 /// Returns (count, one solution).
 #[allow(clippy::needless_range_loop)] // index used across several arrays
-fn path_dp(inst: &CspInstance) -> (u64, Option<Assignment>) {
+fn path_dp(
+    inst: &CspInstance,
+    ticker: &mut Ticker,
+) -> Result<(u64, Option<Assignment>), ExhaustReason> {
     let len = inst.num_vars;
     let d = inst.domain_size;
     if len == 0 {
-        return (1, Some(vec![]));
+        return Ok((1, Some(vec![])));
     }
     if d == 0 {
-        return (0, None);
+        return Ok((0, None));
     }
     // Collect, per position, the unary predicates; per consecutive pair, the
     // binary predicates (normalized to (i, i+1) direction).
@@ -152,6 +183,7 @@ fn path_dp(inst: &CspInstance) -> (u64, Option<Assignment>) {
         let mut g = vec![0u64; d];
         let mut ch = vec![None; d];
         for b in 0..d {
+            ticker.tuple()?;
             if !allowed_unary(i, b as Value) {
                 continue;
             }
@@ -169,7 +201,7 @@ fn path_dp(inst: &CspInstance) -> (u64, Option<Assignment>) {
     }
     let count: u64 = f.iter().fold(0u64, |acc, &x| acc.saturating_add(x));
     if count == 0 {
-        return (0, None);
+        return Ok((0, None));
     }
     // Trace one solution backwards.
     let mut sol = vec![0 as Value; len];
@@ -180,7 +212,7 @@ fn path_dp(inst: &CspInstance) -> (u64, Option<Assignment>) {
         // lb-lint: allow(no-panic) -- invariant: the DP backtrace only visits reachable states, which record a parent
         sol[i - 1] = choice[i][sol[i] as usize].expect("reachable state has a parent");
     }
-    (count, Some(sol))
+    Ok((count, Some(sol)))
 }
 
 #[cfg(test)]
@@ -197,8 +229,11 @@ mod tests {
             // k = 3 → path of 8, total 11 variables; D = 2 keeps brute
             // force at 2^11.
             let inst = generators::random_special_csp(3, 2, 0.3, seed);
-            let got = solve_special(&inst).unwrap();
-            let expect = bruteforce::count(&inst);
+            let (out, _) = solve_special(&inst, &Budget::unlimited()).unwrap();
+            let got = out.unwrap_sat();
+            let expect = bruteforce::count(&inst, &Budget::unlimited())
+                .0
+                .unwrap_sat();
             assert_eq!(got.count, expect, "seed {seed}");
             if expect > 0 {
                 assert!(inst.eval(&got.solution.unwrap()));
@@ -210,7 +245,10 @@ mod tests {
     fn non_special_rejected() {
         let g = lb_graph::generators::cycle(5);
         let inst = generators::random_binary_csp(&g, 2, 0.2, 1);
-        assert_eq!(solve_special(&inst).unwrap_err(), NotSpecial);
+        assert_eq!(
+            solve_special(&inst, &Budget::unlimited()).unwrap_err(),
+            NotSpecial
+        );
     }
 
     #[test]
@@ -222,7 +260,10 @@ mod tests {
             vec![0, 1],
             Arc::new(Relation::disequality(1)),
         ));
-        let got = solve_special(&inst).unwrap();
+        let got = solve_special(&inst, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat();
         assert_eq!(got.count, 0);
         assert!(got.solution.is_none());
     }
@@ -241,9 +282,19 @@ mod tests {
                 neq.clone(),
             ));
         }
-        let got = solve_special(&inst).unwrap();
+        let got = solve_special(&inst, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat();
         // Clique part: skeleton uses full relations: 3^2 = 9 assignments;
         // path: 3·2·2·2 = 24 colorings.
         assert_eq!(got.count, 9 * 24);
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_special() {
+        let inst = generators::random_special_csp(3, 2, 0.3, 0);
+        let (out, _) = solve_special(&inst, &Budget::ticks(1)).unwrap();
+        assert!(out.is_exhausted());
     }
 }

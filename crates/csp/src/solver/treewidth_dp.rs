@@ -14,6 +14,7 @@
 //! bookkeeping simple).
 
 use crate::instance::{Assignment, CspInstance, Value};
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::treewidth::{NiceDecomposition, NiceNode};
 use lb_graph::TreeDecomposition;
 use std::collections::HashMap;
@@ -31,30 +32,58 @@ pub struct TreewidthDpResult {
     pub solution: Option<Assignment>,
 }
 
-/// Solves `inst` using the given tree decomposition of its primal graph.
+/// Solves `inst` under `budget` using the given tree decomposition of its
+/// primal graph: `Sat(result)` on completion (a count of zero is still
+/// `Sat`) or `Exhausted`.
 ///
 /// # Panics
 /// Panics if the decomposition is invalid for the primal graph.
-pub fn solve_with_decomposition(inst: &CspInstance, td: &TreeDecomposition) -> TreewidthDpResult {
+pub fn solve_with_decomposition(
+    inst: &CspInstance,
+    td: &TreeDecomposition,
+    budget: &Budget,
+) -> (Outcome<TreewidthDpResult>, RunStats) {
     let primal = inst.primal_graph();
     td.validate(&primal)
         // lb-lint: allow(no-panic) -- invariant: the decomposition was built from this instance's primal graph above
         .expect("tree decomposition invalid for the instance's primal graph");
     let nice = td.to_nice(inst.num_vars);
-    solve_with_nice(inst, &nice)
+    solve_with_nice(inst, &nice, budget)
 }
 
 /// Solves `inst` with a decomposition produced by the min-fill heuristic.
-pub fn solve_auto(inst: &CspInstance) -> TreewidthDpResult {
+pub fn solve_auto(inst: &CspInstance, budget: &Budget) -> (Outcome<TreewidthDpResult>, RunStats) {
     let primal = inst.primal_graph();
     let order = lb_graph::treewidth::min_fill_order(&primal);
     let td = lb_graph::treewidth::from_elimination_order(&primal, &order);
-    solve_with_decomposition(inst, &td)
+    solve_with_decomposition(inst, &td, budget)
 }
 
-/// Core DP over a nice decomposition.
+/// Core DP over a nice decomposition. One [`RunStats::nodes`] tick per nice
+/// node processed, one [`RunStats::tuples`] tick per DP table entry
+/// materialized; the largest table is the [`RunStats::max_intermediate`]
+/// high-water mark.
+///
+/// [`RunStats::nodes`]: lb_engine::RunStats::nodes
+/// [`RunStats::tuples`]: lb_engine::RunStats::tuples
+/// [`RunStats::max_intermediate`]: lb_engine::RunStats::max_intermediate
+pub fn solve_with_nice(
+    inst: &CspInstance,
+    nice: &NiceDecomposition,
+    budget: &Budget,
+) -> (Outcome<TreewidthDpResult>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = dp_inner(inst, nice, &mut ticker).map(Some);
+    ticker.finish(result)
+}
+
+/// The DP proper, with exhaustion propagated as `Err`.
 #[allow(clippy::needless_range_loop)] // index used across several arrays
-pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> TreewidthDpResult {
+fn dp_inner(
+    inst: &CspInstance,
+    nice: &NiceDecomposition,
+    ticker: &mut Ticker,
+) -> Result<TreewidthDpResult, ExhaustReason> {
     debug_assert!(nice.validate().is_ok());
     let d = inst.domain_size as Value;
     let num_nodes = nice.num_nodes();
@@ -82,6 +111,7 @@ pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> Treewidt
     // Bottom-up tables. Kept for the top-down solution extraction.
     let mut tables: Vec<Table> = Vec::with_capacity(num_nodes);
     for i in 0..num_nodes {
+        ticker.node()?;
         let table = match nice.kinds[i] {
             NiceNode::Leaf => {
                 let mut t = Table::new();
@@ -101,6 +131,7 @@ pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> Treewidt
                         let mut a = assign.clone();
                         a.insert(pos, val);
                         if constraints_ok(inst, &check_at[i], &nice.bags[i], &a) {
+                            ticker.tuple()?;
                             t.insert(a, cnt);
                         }
                     }
@@ -114,6 +145,7 @@ pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> Treewidt
                     .expect("forgotten var in child bag");
                 let mut t = Table::new();
                 for (assign, &cnt) in &tables[child] {
+                    ticker.tuple()?;
                     let mut a = assign.clone();
                     a.remove(pos);
                     let entry = t.entry(a).or_insert(0);
@@ -130,18 +162,20 @@ pub fn solve_with_nice(inst: &CspInstance, nice: &NiceDecomposition) -> Treewidt
                 let mut t = Table::new();
                 for (assign, &cnt) in &tables[small] {
                     if let Some(&other) = tables[large].get(assign) {
+                        ticker.tuple()?;
                         t.insert(assign.clone(), cnt.saturating_mul(other));
                     }
                 }
                 t
             }
         };
+        ticker.record_intermediate(table.len() as u64);
         tables.push(table);
     }
 
     let count = tables[nice.root].get(&Vec::new()).copied().unwrap_or(0);
     let solution = (count > 0).then(|| extract_solution(inst, nice, &tables));
-    TreewidthDpResult { count, solution }
+    Ok(TreewidthDpResult { count, solution })
 }
 
 fn constraints_ok(
@@ -240,6 +274,14 @@ mod tests {
     use crate::solver::bruteforce;
     use std::sync::Arc;
 
+    fn solve_auto_unlimited(inst: &CspInstance) -> TreewidthDpResult {
+        solve_auto(inst, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn brute_count(inst: &CspInstance) -> u64 {
+        bruteforce::count(inst, &Budget::unlimited()).0.unwrap_sat()
+    }
+
     #[test]
     fn path_coloring_count() {
         // Proper 3-colorings of a path on 5 vertices: 3·2^4 = 48.
@@ -248,7 +290,7 @@ mod tests {
         for i in 0..4 {
             inst.add_constraint(Constraint::new(vec![i, i + 1], neq.clone()));
         }
-        let r = solve_auto(&inst);
+        let r = solve_auto_unlimited(&inst);
         assert_eq!(r.count, 48);
         assert!(inst.eval(&r.solution.unwrap()));
     }
@@ -260,7 +302,7 @@ mod tests {
         inst.add_constraint(Constraint::new(vec![0, 1], neq.clone()));
         inst.add_constraint(Constraint::new(vec![1, 2], neq.clone()));
         inst.add_constraint(Constraint::new(vec![0, 2], neq));
-        let r = solve_auto(&inst);
+        let r = solve_auto_unlimited(&inst);
         assert_eq!(r.count, 0);
         assert!(r.solution.is_none());
     }
@@ -270,8 +312,8 @@ mod tests {
         for seed in 0..10u64 {
             let g = lb_graph::generators::k_tree(2, 8, seed);
             let inst = generators::random_binary_csp(&g, 3, 0.35, seed);
-            let expect = bruteforce::count(&inst);
-            let got = solve_auto(&inst);
+            let expect = brute_count(&inst);
+            let got = solve_auto_unlimited(&inst);
             assert_eq!(got.count, expect, "seed {seed}");
             if expect > 0 {
                 assert!(inst.eval(&got.solution.unwrap()), "seed {seed}");
@@ -285,8 +327,8 @@ mod tests {
             let g = lb_graph::generators::gnp(7, 0.4, seed);
             let inst = generators::random_binary_csp(&g, 2, 0.5, seed + 100);
             assert_eq!(
-                solve_auto(&inst).count,
-                bruteforce::count(&inst),
+                solve_auto_unlimited(&inst).count,
+                brute_count(&inst),
                 "seed {seed}"
             );
         }
@@ -300,7 +342,7 @@ mod tests {
         for i in 0..4 {
             inst.add_constraint(Constraint::new(vec![i, i + 1, i + 2], odd.clone()));
         }
-        assert_eq!(solve_auto(&inst).count, bruteforce::count(&inst));
+        assert_eq!(solve_auto_unlimited(&inst).count, brute_count(&inst));
     }
 
     #[test]
@@ -309,7 +351,7 @@ mod tests {
         // multiplies the count by 2.
         let mut inst = CspInstance::new(3, 2);
         inst.add_constraint(Constraint::new(vec![0, 1], Arc::new(Relation::equality(2))));
-        let r = solve_auto(&inst);
+        let r = solve_auto_unlimited(&inst);
         assert_eq!(r.count, 2 * 2);
     }
 
@@ -324,8 +366,11 @@ mod tests {
             vec![vec![0, 1], vec![1, 2], vec![2, 3]],
             vec![(0, 1), (1, 2)],
         );
-        let r = solve_with_decomposition(&inst, &td);
+        let (out, stats) = solve_with_decomposition(&inst, &td, &Budget::unlimited());
+        let r = out.unwrap_sat();
         assert_eq!(r.count, 2); // 0101 and 1010
+        assert!(stats.nodes > 0 && stats.tuples > 0);
+        assert!(stats.max_intermediate >= 2);
     }
 
     #[test]
@@ -335,14 +380,25 @@ mod tests {
         inst.add_constraint(Constraint::new(vec![0, 2], Arc::new(Relation::equality(2))));
         // Decomposition missing the {0,2} edge.
         let td = TreeDecomposition::new(vec![vec![0, 1], vec![1, 2]], vec![(0, 1)]);
-        let _ = solve_with_decomposition(&inst, &td);
+        let _ = solve_with_decomposition(&inst, &td, &Budget::unlimited());
     }
 
     #[test]
     fn zero_domain_instance() {
         let mut inst = CspInstance::new(2, 0);
         inst.constraints.clear();
-        let r = solve_auto(&inst);
+        let r = solve_auto_unlimited(&inst);
         assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_dp() {
+        let g = lb_graph::generators::k_tree(2, 8, 3);
+        let inst = generators::random_binary_csp(&g, 3, 0.35, 3);
+        let (out, small) = solve_auto(&inst, &Budget::ticks(2));
+        assert!(out.is_exhausted());
+        let (full, big) = solve_auto(&inst, &Budget::unlimited());
+        assert!(full.is_sat());
+        assert!(small.le(&big));
     }
 }

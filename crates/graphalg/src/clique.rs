@@ -8,37 +8,68 @@
 //!   t-cliques of G, detected by boolean matrix multiplication — running
 //!   time n^{ωk/3}. The k-clique conjecture (§8) says the ω/3 factor is
 //!   optimal. k ≢ 0 (mod 3) is handled by guessing k mod 3 vertices first.
+//!
+//! Engine mapping: each vertex extension tried is a [`RunStats::nodes`]
+//! tick; the Nešetřil–Poljak auxiliary-graph construction ticks one
+//! [`RunStats::propagations`] per compatibility check and absorbs the
+//! triangle detector's counters.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
 
 use crate::triangle::find_triangle_matmul;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::graph::BitSet;
 use lb_graph::Graph;
 
-/// Finds a k-clique by branch-and-prune enumeration.
-pub fn find_clique(g: &Graph, k: usize) -> Option<Vec<usize>> {
+/// Finds a k-clique by branch-and-prune enumeration: `Sat(clique)`,
+/// `Unsat`, or `Exhausted`.
+pub fn find_clique(g: &Graph, k: usize, budget: &Budget) -> (Outcome<Vec<usize>>, RunStats) {
     let mut found = None;
-    enumerate_cliques(g, k, &mut |c| {
+    let (out, stats) = enumerate_cliques(g, k, budget, &mut |c| {
         found = Some(c.to_vec());
         true
     });
-    found
+    let out = match (out, found) {
+        (Outcome::Exhausted(r), _) => Outcome::Exhausted(r),
+        (_, Some(c)) => Outcome::Sat(c),
+        (_, None) => Outcome::Unsat,
+    };
+    (out, stats)
 }
 
-/// Counts the k-cliques of `g`.
-pub fn count_cliques(g: &Graph, k: usize) -> u64 {
+/// Counts the k-cliques of `g`: `Sat(count)` or `Exhausted`.
+pub fn count_cliques(g: &Graph, k: usize, budget: &Budget) -> (Outcome<u64>, RunStats) {
     let mut n = 0u64;
-    enumerate_cliques(g, k, &mut |_| {
+    let (out, stats) = enumerate_cliques(g, k, budget, &mut |_| {
         n += 1;
         false
     });
-    n
+    (out.map(|_| n), stats)
 }
 
 /// Enumerates k-cliques (vertices ascending within each clique) through a
-/// callback; returning `true` stops.
-pub fn enumerate_cliques<F: FnMut(&[usize]) -> bool>(g: &Graph, k: usize, visit: &mut F) {
+/// callback; returning `true` stops. `Sat(true)` means the visitor stopped
+/// the scan, `Sat(false)` that it ran to the end.
+pub fn enumerate_cliques<F: FnMut(&[usize]) -> bool>(
+    g: &Graph,
+    k: usize,
+    budget: &Budget,
+    visit: &mut F,
+) -> (Outcome<bool>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = enumerate_inner(g, k, &mut ticker, visit).map(Some);
+    ticker.finish(result)
+}
+
+fn enumerate_inner<F: FnMut(&[usize]) -> bool>(
+    g: &Graph,
+    k: usize,
+    ticker: &mut Ticker,
+    visit: &mut F,
+) -> Result<bool, ExhaustReason> {
     if k == 0 {
-        visit(&[]);
-        return;
+        return Ok(visit(&[]));
     }
     let n = g.num_vertices();
     let mut full = BitSet::new(n);
@@ -46,7 +77,7 @@ pub fn enumerate_cliques<F: FnMut(&[usize]) -> bool>(g: &Graph, k: usize, visit:
         full.insert(v);
     }
     let mut current = Vec::with_capacity(k);
-    extend(g, k, &full, &mut current, visit);
+    extend(g, k, &full, &mut current, ticker, visit)
 }
 
 fn extend<F: FnMut(&[usize]) -> bool>(
@@ -54,90 +85,110 @@ fn extend<F: FnMut(&[usize]) -> bool>(
     k: usize,
     candidates: &BitSet,
     current: &mut Vec<usize>,
+    ticker: &mut Ticker,
     visit: &mut F,
-) -> bool {
+) -> Result<bool, ExhaustReason> {
     if current.len() == k {
-        return visit(current);
+        return Ok(visit(current));
     }
     let need = k - current.len();
     if candidates.count() < need {
-        return false;
+        return Ok(false);
     }
     let start = current.last().map_or(0, |&v| v + 1);
     for v in candidates.iter() {
         if v < start {
             continue;
         }
+        ticker.node()?;
         let mut next = candidates.clone();
         next.intersect_with(g.neighbor_set(v));
         current.push(v);
-        if extend(g, k, &next, current, visit) {
-            return true;
-        }
+        let hit = extend(g, k, &next, current, ticker, visit);
         current.pop();
+        if hit? {
+            return Ok(true);
+        }
     }
-    false
+    Ok(false)
 }
 
-/// Finds a k-clique via the Nešetřil–Poljak construction (n^{ωk/3}).
+/// Finds a k-clique via the Nešetřil–Poljak construction (n^{ωk/3}):
+/// `Sat(clique)`, `Unsat`, or `Exhausted`.
 ///
 /// For `k = 3t`: build the auxiliary graph on all t-cliques (adjacent iff
 /// their union is a 2t-clique) and detect a triangle by matrix
 /// multiplication. For `k = 3t+1` / `3t+2`: guess the extra vertex / edge
 /// and recurse into the common neighborhood.
-pub fn find_clique_neipol(g: &Graph, k: usize) -> Option<Vec<usize>> {
+pub fn find_clique_neipol(g: &Graph, k: usize, budget: &Budget) -> (Outcome<Vec<usize>>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = neipol_inner(g, k, &mut ticker);
+    ticker.finish(result)
+}
+
+fn neipol_inner(
+    g: &Graph,
+    k: usize,
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<usize>>, ExhaustReason> {
     match k {
-        0 => Some(vec![]),
-        1 => (g.num_vertices() > 0).then(|| vec![0]),
-        2 => g.edges().first().map(|&(u, v)| vec![u, v]),
+        0 => Ok(Some(vec![])),
+        1 => Ok((g.num_vertices() > 0).then(|| vec![0])),
+        2 => Ok(g.edges().first().map(|&(u, v)| vec![u, v])),
         _ => match k % 3 {
-            0 => neipol_3t(g, k / 3),
+            0 => neipol_3t(g, k / 3, ticker),
             1 => {
                 // Guess one vertex, search a (k−1)-clique in its
                 // neighborhood.
                 for v in 0..g.num_vertices() {
+                    ticker.node()?;
                     let nbrs: Vec<usize> = g.neighbors(v).to_vec();
                     let (sub, map) = g.induced_subgraph(&nbrs);
-                    if let Some(c) = find_clique_neipol(&sub, k - 1) {
+                    if let Some(c) = neipol_inner(&sub, k - 1, ticker)? {
                         let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
                         out.push(v);
                         out.sort_unstable();
-                        return Some(out);
+                        return Ok(Some(out));
                     }
                 }
-                None
+                Ok(None)
             }
             _ => {
                 // Guess an edge, search a (k−2)-clique in the common
                 // neighborhood.
                 for (u, v) in g.edges() {
+                    ticker.node()?;
                     let mut common = g.neighbor_set(u).clone();
                     common.intersect_with(g.neighbor_set(v));
                     let verts: Vec<usize> = common.iter().collect();
                     let (sub, map) = g.induced_subgraph(&verts);
-                    if let Some(c) = find_clique_neipol(&sub, k - 2) {
+                    if let Some(c) = neipol_inner(&sub, k - 2, ticker)? {
                         let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
                         out.push(u);
                         out.push(v);
                         out.sort_unstable();
-                        return Some(out);
+                        return Ok(Some(out));
                     }
                 }
-                None
+                Ok(None)
             }
         },
     }
 }
 
-fn neipol_3t(g: &Graph, t: usize) -> Option<Vec<usize>> {
+fn neipol_3t(
+    g: &Graph,
+    t: usize,
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<usize>>, ExhaustReason> {
     // Enumerate all t-cliques.
     let mut t_cliques: Vec<Vec<usize>> = Vec::new();
-    enumerate_cliques(g, t, &mut |c| {
+    enumerate_inner(g, t, ticker, &mut |c| {
         t_cliques.push(c.to_vec());
         false
-    });
+    })?;
     if t_cliques.is_empty() {
-        return None;
+        return Ok(None);
     }
     // Auxiliary graph: i ~ j iff union is a 2t-clique (disjoint + all cross
     // edges present).
@@ -145,12 +196,19 @@ fn neipol_3t(g: &Graph, t: usize) -> Option<Vec<usize>> {
     let mut aux = Graph::new(na);
     for i in 0..na {
         for j in (i + 1)..na {
+            ticker.propagation()?;
             if cliques_compatible(g, &t_cliques[i], &t_cliques[j]) {
                 aux.add_edge(i, j);
             }
         }
     }
-    let tri = find_triangle_matmul(&aux)?;
+    let (tri_out, tri_stats) = find_triangle_matmul(&aux, &ticker.remaining_budget());
+    ticker.absorb(&tri_stats);
+    let tri = match tri_out {
+        Outcome::Exhausted(r) => return Err(r),
+        Outcome::Unsat => return Ok(None),
+        Outcome::Sat(t) => t,
+    };
     let mut out: Vec<usize> = tri
         .iter()
         .flat_map(|&i| t_cliques[i].iter().copied())
@@ -159,7 +217,7 @@ fn neipol_3t(g: &Graph, t: usize) -> Option<Vec<usize>> {
     out.dedup();
     debug_assert_eq!(out.len(), 3 * t);
     debug_assert!(g.is_clique(&out));
-    Some(out)
+    Ok(Some(out))
 }
 
 fn cliques_compatible(g: &Graph, a: &[usize], b: &[usize]) -> bool {
@@ -178,22 +236,36 @@ mod tests {
     use super::*;
     use lb_graph::generators;
 
+    fn find_unlimited(g: &Graph, k: usize) -> Option<Vec<usize>> {
+        find_clique(g, k, &Budget::unlimited()).0.unwrap_decided()
+    }
+
+    fn count_unlimited(g: &Graph, k: usize) -> u64 {
+        count_cliques(g, k, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn neipol_unlimited(g: &Graph, k: usize) -> Option<Vec<usize>> {
+        find_clique_neipol(g, k, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
     #[test]
     fn brute_force_on_known_graphs() {
         let k5 = generators::clique(5);
-        assert!(find_clique(&k5, 5).is_some());
-        assert!(find_clique(&k5, 6).is_none());
-        assert_eq!(count_cliques(&k5, 3), 10);
-        assert_eq!(count_cliques(&k5, 5), 1);
+        assert!(find_unlimited(&k5, 5).is_some());
+        assert!(find_unlimited(&k5, 6).is_none());
+        assert_eq!(count_unlimited(&k5, 3), 10);
+        assert_eq!(count_unlimited(&k5, 5), 1);
         let c5 = generators::cycle(5);
-        assert!(find_clique(&c5, 3).is_none());
-        assert_eq!(count_cliques(&c5, 2), 5);
+        assert!(find_unlimited(&c5, 3).is_none());
+        assert_eq!(count_unlimited(&c5, 2), 5);
     }
 
     #[test]
     fn found_cliques_are_cliques() {
         let (g, planted) = generators::planted_clique(25, 6, 0.3, 5);
-        let c = find_clique(&g, 6).unwrap();
+        let c = find_unlimited(&g, 6).unwrap();
         assert!(g.is_clique(&c));
         assert_eq!(planted.len(), 6);
     }
@@ -203,8 +275,8 @@ mod tests {
         for seed in 0..10u64 {
             let g = generators::gnp(18, 0.5, seed);
             for k in 1..=6 {
-                let brute = find_clique(&g, k);
-                let neipol = find_clique_neipol(&g, k);
+                let brute = find_unlimited(&g, k);
+                let neipol = neipol_unlimited(&g, k);
                 assert_eq!(brute.is_some(), neipol.is_some(), "seed {seed}, k {k}");
                 if let Some(c) = neipol {
                     assert_eq!(c.len(), k);
@@ -218,7 +290,7 @@ mod tests {
     fn neipol_finds_planted_clique() {
         for k in [3usize, 4, 5, 6] {
             let (g, _) = generators::planted_clique(20, k, 0.2, k as u64);
-            let c = find_clique_neipol(&g, k).unwrap();
+            let c = neipol_unlimited(&g, k).unwrap();
             assert!(g.is_clique(&c));
             assert_eq!(c.len(), k);
         }
@@ -227,18 +299,40 @@ mod tests {
     #[test]
     fn zero_and_one_cliques() {
         let g = generators::path(3);
-        assert_eq!(find_clique(&g, 0), Some(vec![]));
-        assert_eq!(count_cliques(&g, 1), 3);
-        assert_eq!(find_clique_neipol(&g, 0), Some(vec![]));
-        assert!(find_clique_neipol(&g, 1).is_some());
+        assert_eq!(find_unlimited(&g, 0), Some(vec![]));
+        assert_eq!(count_unlimited(&g, 1), 3);
+        assert_eq!(neipol_unlimited(&g, 0), Some(vec![]));
+        assert!(neipol_unlimited(&g, 1).is_some());
     }
 
     #[test]
     fn clique_numbers_of_petersen() {
         // The Petersen graph is triangle-free with clique number 2.
         let g = generators::petersen();
-        assert!(find_clique(&g, 3).is_none());
-        assert!(find_clique_neipol(&g, 3).is_none());
-        assert!(find_clique_neipol(&g, 2).is_some());
+        assert!(find_unlimited(&g, 3).is_none());
+        assert!(neipol_unlimited(&g, 3).is_none());
+        assert!(neipol_unlimited(&g, 2).is_some());
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_both_algorithms() {
+        let g = generators::gnp(18, 0.5, 0);
+        // k = 10 needs ≥ 10 node ticks even to confirm a witness, so a
+        // 5-tick budget must exhaust rather than answer.
+        let (out, stats) = find_clique(&g, 10, &Budget::ticks(5));
+        assert!(out.is_exhausted());
+        assert_eq!(stats.nodes, 6); // the crossing op is still recorded
+        let (out, _) = find_clique_neipol(&g, 6, &Budget::ticks(5));
+        assert!(out.is_exhausted());
+        let (out, _) = count_cliques(&g, 3, &Budget::ticks(5));
+        assert!(out.is_exhausted());
+    }
+
+    #[test]
+    fn counters_monotone_in_budget() {
+        let g = generators::gnp(14, 0.4, 2);
+        let (_, small) = count_cliques(&g, 3, &Budget::ticks(20));
+        let (_, large) = count_cliques(&g, 3, &Budget::unlimited());
+        assert!(small.le(&large));
     }
 }

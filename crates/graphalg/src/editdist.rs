@@ -5,9 +5,26 @@
 //! rolling row, so memory is O(n)) plus a banded variant that is
 //! exact whenever the true distance is within the band — experiment E9
 //! measures the quadratic scaling.
+//!
+//! Engine mapping: both DPs tick one [`RunStats::propagations`] per table
+//! cell filled, so the counter is exactly the n·m (or band·n) work the
+//! Backurs–Indyk bound speaks about. For the banded variant,
+//! [`Outcome::Unsat`] means "the true distance exceeds the band".
+//!
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`Outcome::Unsat`]: lb_engine::Outcome::Unsat
+
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Levenshtein distance between two byte strings (unit costs).
-pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+/// `Sat(distance)` or `Exhausted`.
+pub fn edit_distance(a: &[u8], b: &[u8], budget: &Budget) -> (Outcome<usize>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = full_inner(a, b, &mut ticker).map(Some);
+    ticker.finish(result)
+}
+
+fn full_inner(a: &[u8], b: &[u8], ticker: &mut Ticker) -> Result<usize, ExhaustReason> {
     let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
     let n = a.len();
     let mut prev: Vec<usize> = (0..=n).collect();
@@ -15,6 +32,7 @@ pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
     for (j, &bc) in b.iter().enumerate() {
         cur[0] = j + 1;
         for (i, &ac) in a.iter().enumerate() {
+            ticker.propagation()?;
             let sub = prev[i] + (ac != bc) as usize;
             let del = prev[i + 1] + 1;
             let ins = cur[i] + 1;
@@ -22,17 +40,34 @@ pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[n]
+    Ok(prev[n])
 }
 
-/// Banded edit distance: exact if the true distance is ≤ `band`, otherwise
-/// returns `None`. Runs in O(band · max(n, m)).
+/// Banded edit distance: `Sat(distance)` if the true distance is ≤ `band`,
+/// `Unsat` if it exceeds the band, or `Exhausted`. Runs in
+/// O(band · max(n, m)).
+pub fn edit_distance_banded(
+    a: &[u8],
+    b: &[u8],
+    band: usize,
+    budget: &Budget,
+) -> (Outcome<usize>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = banded_inner(a, b, band, &mut ticker);
+    ticker.finish(result)
+}
+
 #[allow(clippy::needless_range_loop)] // index used across several arrays
-pub fn edit_distance_banded(a: &[u8], b: &[u8], band: usize) -> Option<usize> {
+fn banded_inner(
+    a: &[u8],
+    b: &[u8],
+    band: usize,
+    ticker: &mut Ticker,
+) -> Result<Option<usize>, ExhaustReason> {
     let n = a.len();
     let m = b.len();
     if n.abs_diff(m) > band {
-        return None;
+        return Ok(None);
     }
     const INF: usize = usize::MAX / 2;
     // dp over diagonally-banded rows: row i covers j in [i−band, i+band].
@@ -48,6 +83,7 @@ pub fn edit_distance_banded(a: &[u8], b: &[u8], band: usize) -> Option<usize> {
     for i in 1..=n {
         cur.iter_mut().for_each(|x| *x = INF);
         for j in lo(i)..=hi(i) {
+            ticker.propagation()?;
             let mut best = INF;
             if j > 0 {
                 // substitution / match from (i−1, j−1)
@@ -69,7 +105,7 @@ pub fn edit_distance_banded(a: &[u8], b: &[u8], band: usize) -> Option<usize> {
         std::mem::swap(&mut prev, &mut cur);
     }
     let d = prev[idx(n, m)];
-    (d <= band).then_some(d)
+    Ok((d <= band).then_some(d))
 }
 
 #[cfg(test)]
@@ -78,21 +114,28 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    fn ed(a: &[u8], b: &[u8]) -> usize {
+        edit_distance(a, b, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn banded(a: &[u8], b: &[u8], band: usize) -> Option<usize> {
+        edit_distance_banded(a, b, band, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
     #[test]
     fn textbook_cases() {
-        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
-        assert_eq!(edit_distance(b"", b"abc"), 3);
-        assert_eq!(edit_distance(b"abc", b"abc"), 0);
-        assert_eq!(edit_distance(b"abc", b"acb"), 2);
-        assert_eq!(edit_distance(b"a", b""), 1);
+        assert_eq!(ed(b"kitten", b"sitting"), 3);
+        assert_eq!(ed(b"", b"abc"), 3);
+        assert_eq!(ed(b"abc", b"abc"), 0);
+        assert_eq!(ed(b"abc", b"acb"), 2);
+        assert_eq!(ed(b"a", b""), 1);
     }
 
     #[test]
     fn symmetric() {
-        assert_eq!(
-            edit_distance(b"flaw", b"lawn"),
-            edit_distance(b"lawn", b"flaw")
-        );
+        assert_eq!(ed(b"flaw", b"lawn"), ed(b"lawn", b"flaw"));
     }
 
     #[test]
@@ -106,9 +149,9 @@ mod tests {
                         .collect()
                 })
                 .collect();
-            let dab = edit_distance(&s[0], &s[1]);
-            let dbc = edit_distance(&s[1], &s[2]);
-            let dac = edit_distance(&s[0], &s[2]);
+            let dab = ed(&s[0], &s[1]);
+            let dbc = ed(&s[1], &s[2]);
+            let dac = ed(&s[0], &s[2]);
             assert!(dac <= dab + dbc);
         }
     }
@@ -123,16 +166,32 @@ mod tests {
             let b: Vec<u8> = (0..rng.gen_range(0..20))
                 .map(|_| rng.gen_range(b'a'..=b'd'))
                 .collect();
-            let full = edit_distance(&a, &b);
-            let banded = edit_distance_banded(&a, &b, 20).unwrap();
-            assert_eq!(full, banded, "{a:?} vs {b:?}");
+            let full = ed(&a, &b);
+            let b_result = banded(&a, &b, 20).unwrap();
+            assert_eq!(full, b_result, "{a:?} vs {b:?}");
         }
     }
 
     #[test]
     fn banded_rejects_distant_pairs() {
-        assert_eq!(edit_distance_banded(b"aaaa", b"bbbb", 2), None);
-        assert_eq!(edit_distance_banded(b"aaaaaaa", b"a", 2), None);
-        assert_eq!(edit_distance_banded(b"abcd", b"abed", 2), Some(1));
+        assert_eq!(banded(b"aaaa", b"bbbb", 2), None);
+        assert_eq!(banded(b"aaaaaaa", b"a", 2), None);
+        assert_eq!(banded(b"abcd", b"abed", 2), Some(1));
+    }
+
+    #[test]
+    fn counter_is_the_dp_table() {
+        let (out, stats) = edit_distance(b"kitten", b"sitting", &Budget::unlimited());
+        assert_eq!(out.unwrap_sat(), 3);
+        assert_eq!(stats.propagations, 6 * 7); // every cell of the n·m table
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let b = Budget::ticks(0); // the first DP cell exhausts
+        assert!(edit_distance(b"kitten", b"sitting", &b).0.is_exhausted());
+        assert!(edit_distance_banded(b"kitten", b"sitting", 3, &b)
+            .0
+            .is_exhausted());
     }
 }

@@ -5,7 +5,17 @@
 //! Nešetřil–Poljak is known, and the conjecture states none exists — brute
 //! force n^{(1-ε)k} cannot be beaten. Experiment E11 contrasts the d = 2
 //! case (where [`crate::clique::find_clique_neipol`] wins) with d = 3.
+//!
+//! Engine mapping: the backtracking enumerators tick one
+//! [`RunStats::nodes`] per vertex tried, one [`RunStats::trie_advances`]
+//! per hyperedge-membership lookup in the incremental d-subset check, and
+//! one [`RunStats::tuples`] per complete hyperclique visited.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::trie_advances`]: lb_engine::RunStats::trie_advances
+//! [`RunStats::tuples`]: lb_engine::RunStats::tuples
 
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::Hypergraph;
 use std::collections::HashSet;
 
@@ -42,26 +52,45 @@ impl HyperedgeIndex {
 
 /// Finds a k-hyperclique by ordered backtracking with incremental
 /// d-subset checking: when vertex v joins the partial set S, only the
-/// subsets that include v need checking.
-pub fn find_hyperclique(h: &Hypergraph, k: usize) -> Option<Vec<usize>> {
+/// subsets that include v need checking. `Sat(set)`, `Unsat`, or
+/// `Exhausted`.
+pub fn find_hyperclique(
+    h: &Hypergraph,
+    k: usize,
+    budget: &Budget,
+) -> (Outcome<Vec<usize>>, RunStats) {
     let idx = HyperedgeIndex::new(h);
+    let mut ticker = Ticker::new(budget);
     let mut found = None;
-    enumerate_hypercliques(h, &idx, k, &mut |s| {
-        found = Some(s.to_vec());
-        true
-    });
-    found
+    let result = enumerate_hypercliques(
+        h,
+        &idx,
+        k,
+        &mut |s| {
+            found = Some(s.to_vec());
+            true
+        },
+        &mut ticker,
+    );
+    ticker.finish(result.map(|_| found))
 }
 
-/// Counts k-hypercliques.
-pub fn count_hypercliques(h: &Hypergraph, k: usize) -> u64 {
+/// Counts k-hypercliques. `Sat(count)` or `Exhausted`.
+pub fn count_hypercliques(h: &Hypergraph, k: usize, budget: &Budget) -> (Outcome<u64>, RunStats) {
     let idx = HyperedgeIndex::new(h);
+    let mut ticker = Ticker::new(budget);
     let mut n = 0u64;
-    enumerate_hypercliques(h, &idx, k, &mut |_| {
-        n += 1;
-        false
-    });
-    n
+    let result = enumerate_hypercliques(
+        h,
+        &idx,
+        k,
+        &mut |_| {
+            n += 1;
+            false
+        },
+        &mut ticker,
+    );
+    ticker.finish(result.map(|_| Some(n)))
 }
 
 fn enumerate_hypercliques<F: FnMut(&[usize]) -> bool>(
@@ -69,15 +98,15 @@ fn enumerate_hypercliques<F: FnMut(&[usize]) -> bool>(
     idx: &HyperedgeIndex,
     k: usize,
     visit: &mut F,
-) {
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     if k < idx.d {
         // Any k-set vacuously contains all of its (zero) d-subsets.
         let mut current = Vec::with_capacity(k);
-        enumerate_ksets(h.num_vertices(), k, 0, &mut current, visit);
-        return;
+        return enumerate_ksets(h.num_vertices(), k, 0, &mut current, visit, ticker);
     }
     let mut current = Vec::with_capacity(k);
-    extend(h, idx, k, 0, &mut current, visit);
+    extend(h, idx, k, 0, &mut current, visit, ticker)
 }
 
 fn enumerate_ksets<F: FnMut(&[usize]) -> bool>(
@@ -86,20 +115,25 @@ fn enumerate_ksets<F: FnMut(&[usize]) -> bool>(
     start: usize,
     current: &mut Vec<usize>,
     visit: &mut F,
-) -> bool {
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     if current.len() == k {
-        return visit(current);
+        ticker.tuple()?;
+        return Ok(visit(current));
     }
     for v in start..n {
+        ticker.node()?;
         current.push(v);
-        if enumerate_ksets(n, k, v + 1, current, visit) {
-            return true;
-        }
+        let hit = enumerate_ksets(n, k, v + 1, current, visit, ticker);
         current.pop();
+        if hit? {
+            return Ok(true);
+        }
     }
-    false
+    Ok(false)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn extend<F: FnMut(&[usize]) -> bool>(
     h: &Hypergraph,
     idx: &HyperedgeIndex,
@@ -107,35 +141,40 @@ fn extend<F: FnMut(&[usize]) -> bool>(
     start: usize,
     current: &mut Vec<usize>,
     visit: &mut F,
-) -> bool {
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     if current.len() == k {
-        return visit(current);
+        ticker.tuple()?;
+        return Ok(visit(current));
     }
     let n = h.num_vertices();
     // Not enough vertices left to finish.
     if n - start < k - current.len() {
-        return false;
+        return Ok(false);
     }
     'vertices: for v in start..n {
+        ticker.node()?;
         // Incremental check: if |current| ≥ d−1, every (d−1)-subset of
         // current together with v must be a hyperedge.
         if current.len() >= idx.d - 1 {
             let mut subset = vec![0usize; idx.d - 1];
-            if !check_subsets(idx, current, v, &mut subset, 0, 0) {
+            if !check_subsets(idx, current, v, &mut subset, 0, 0, ticker)? {
                 continue 'vertices;
             }
         }
         current.push(v);
-        if extend(h, idx, k, v + 1, current, visit) {
-            return true;
-        }
+        let hit = extend(h, idx, k, v + 1, current, visit, ticker);
         current.pop();
+        if hit? {
+            return Ok(true);
+        }
     }
-    false
+    Ok(false)
 }
 
 /// Checks that every (d−1)-subset of `current`, extended by `v`, forms a
 /// hyperedge.
+#[allow(clippy::too_many_arguments)]
 fn check_subsets(
     idx: &HyperedgeIndex,
     current: &[usize],
@@ -143,20 +182,22 @@ fn check_subsets(
     subset: &mut Vec<usize>,
     pos: usize,
     start: usize,
-) -> bool {
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     if pos == subset.len() {
+        ticker.trie_advance()?;
         let mut e: Vec<usize> = subset.clone();
         e.push(v);
         e.sort_unstable();
-        return idx.contains(&e);
+        return Ok(idx.contains(&e));
     }
     for i in start..current.len() {
         subset[pos] = current[i];
-        if !check_subsets(idx, current, v, subset, pos + 1, i + 1) {
-            return false;
+        if !check_subsets(idx, current, v, subset, pos + 1, i + 1, ticker)? {
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -164,10 +205,22 @@ mod tests {
     use super::*;
     use lb_graph::generators;
 
+    fn find_unlimited(h: &Hypergraph, k: usize) -> Option<Vec<usize>> {
+        find_hyperclique(h, k, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
+    fn count_unlimited(h: &Hypergraph, k: usize) -> u64 {
+        count_hypercliques(h, k, &Budget::unlimited())
+            .0
+            .unwrap_sat()
+    }
+
     #[test]
     fn planted_hyperclique_found() {
         let (h, planted) = generators::planted_hyperclique(12, 3, 5, 0.05, 3);
-        let found = find_hyperclique(&h, 5).unwrap();
+        let found = find_unlimited(&h, 5).unwrap();
         assert_eq!(found, planted);
     }
 
@@ -176,7 +229,7 @@ mod tests {
         // Very sparse random 3-uniform hypergraph: no 5-hyperclique
         // (needs C(5,3) = 10 specific edges).
         let h = generators::random_uniform_hypergraph(12, 3, 0.02, 7);
-        assert!(find_hyperclique(&h, 5).is_none());
+        assert!(find_unlimited(&h, 5).is_none());
     }
 
     #[test]
@@ -198,14 +251,14 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(count_hypercliques(&h, 4), naive, "seed {seed}");
+            assert_eq!(count_unlimited(&h, 4), naive, "seed {seed}");
         }
     }
 
     #[test]
     fn k_equal_d_is_edge_search() {
         let h = generators::random_uniform_hypergraph(10, 3, 0.1, 11);
-        assert_eq!(count_hypercliques(&h, 3), h.num_edges() as u64);
+        assert_eq!(count_unlimited(&h, 3), h.num_edges() as u64);
     }
 
     #[test]
@@ -222,11 +275,21 @@ mod tests {
             }
             for k in 2..=4 {
                 assert_eq!(
-                    count_hypercliques(&h, k),
-                    crate::clique::count_cliques(&g, k),
+                    count_unlimited(&h, k),
+                    crate::clique::count_cliques(&g, k, &Budget::unlimited())
+                        .0
+                        .unwrap_sat(),
                     "seed {seed}, k {k}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let h = generators::random_uniform_hypergraph(10, 3, 0.5, 1);
+        let b = Budget::ticks(0); // the first vertex tried exhausts
+        assert!(find_hyperclique(&h, 4, &b).0.is_exhausted());
+        assert!(count_hypercliques(&h, 4, &b).0.is_exhausted());
     }
 }

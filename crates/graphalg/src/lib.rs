@@ -22,6 +22,12 @@
 //! * [`editdist`] — the O(n²) edit-distance DP that SETH makes optimal (§7).
 //! * [`ov`] — Orthogonal Vectors, the canonical intermediate problem of
 //!   fine-grained complexity (§7).
+//!
+//! Every search and counting entry point takes a [`lb_engine::Budget`] and
+//! returns an [`lb_engine::Outcome`] paired with [`lb_engine::RunStats`]
+//! operation counters, so the n^k / n^ω / n² scaling the lower bounds talk
+//! about can be measured machine-independently. Only [`matmul`] stays an
+//! unbudgeted primitive; its callers tick before invoking it.
 
 #![forbid(unsafe_code)]
 

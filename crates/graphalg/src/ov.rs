@@ -6,6 +6,14 @@
 //! `lb-reductions::sat_to_ov` — says the quadratic pair scan cannot be
 //! improved to n^{2−ε}·poly(d). Vectors are bit-packed so a pair test costs
 //! d/64 word-ANDs.
+//!
+//! Engine mapping: the quadratic scans tick one [`RunStats::nodes`] per
+//! pair tested, so the counter is exactly the n·m work the OV conjecture
+//! says is unavoidable.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// A set of bit-packed 0/1 vectors of common dimension.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,31 +90,63 @@ impl VectorSet {
 
 /// Finds an orthogonal pair (index into `a`, index into `b`) by the
 /// quadratic scan — the algorithm the OV conjecture says is essentially
-/// optimal.
-pub fn find_orthogonal_pair(a: &VectorSet, b: &VectorSet) -> Option<(usize, usize)> {
+/// optimal. `Sat(pair)`, `Unsat`, or `Exhausted`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn find_orthogonal_pair(
+    a: &VectorSet,
+    b: &VectorSet,
+    budget: &Budget,
+) -> (Outcome<(usize, usize)>, RunStats) {
     assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let mut ticker = Ticker::new(budget);
+    let result = find_inner(a, b, &mut ticker);
+    ticker.finish(result)
+}
+
+fn find_inner(
+    a: &VectorSet,
+    b: &VectorSet,
+    ticker: &mut Ticker,
+) -> Result<Option<(usize, usize)>, ExhaustReason> {
     for i in 0..a.len() {
         for j in 0..b.len() {
+            ticker.node()?;
             if a.orthogonal(i, b, j) {
-                return Some((i, j));
+                return Ok(Some((i, j)));
             }
         }
     }
-    None
+    Ok(None)
 }
 
-/// Counts orthogonal pairs.
-pub fn count_orthogonal_pairs(a: &VectorSet, b: &VectorSet) -> u64 {
+/// Counts orthogonal pairs. `Sat(count)` or `Exhausted`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn count_orthogonal_pairs(
+    a: &VectorSet,
+    b: &VectorSet,
+    budget: &Budget,
+) -> (Outcome<u64>, RunStats) {
     assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let mut ticker = Ticker::new(budget);
+    let result = count_inner(a, b, &mut ticker).map(Some);
+    ticker.finish(result)
+}
+
+fn count_inner(a: &VectorSet, b: &VectorSet, ticker: &mut Ticker) -> Result<u64, ExhaustReason> {
     let mut n = 0u64;
     for i in 0..a.len() {
         for j in 0..b.len() {
+            ticker.node()?;
             if a.orthogonal(i, b, j) {
                 n += 1;
             }
         }
     }
-    n
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -117,13 +157,25 @@ mod tests {
         bits.iter().map(|&b| b == 1).collect()
     }
 
+    fn find(a: &VectorSet, b: &VectorSet) -> Option<(usize, usize)> {
+        find_orthogonal_pair(a, b, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
+    fn count(a: &VectorSet, b: &VectorSet) -> u64 {
+        count_orthogonal_pairs(a, b, &Budget::unlimited())
+            .0
+            .unwrap_sat()
+    }
+
     #[test]
     fn small_cases() {
         let a = VectorSet::from_bools(3, &[v(&[1, 0, 1]), v(&[0, 1, 0])]);
         let b = VectorSet::from_bools(3, &[v(&[0, 1, 0]), v(&[1, 1, 1])]);
         // a[0]·b[0] = 0 → orthogonal; every other pair overlaps.
-        assert_eq!(find_orthogonal_pair(&a, &b), Some((0, 0)));
-        assert_eq!(count_orthogonal_pairs(&a, &b), 1);
+        assert_eq!(find(&a, &b), Some((0, 0)));
+        assert_eq!(count(&a, &b), 1);
     }
 
     #[test]
@@ -131,21 +183,21 @@ mod tests {
         let a = VectorSet::from_bools(2, &[v(&[1, 0]), v(&[0, 1])]);
         let b = VectorSet::from_bools(2, &[v(&[0, 1]), v(&[1, 0])]);
         // Orthogonal pairs: (a0,b0), (a1,b1).
-        assert_eq!(count_orthogonal_pairs(&a, &b), 2);
+        assert_eq!(count(&a, &b), 2);
     }
 
     #[test]
     fn no_orthogonal_pair() {
         let a = VectorSet::from_bools(2, &[v(&[1, 1])]);
         let b = VectorSet::from_bools(2, &[v(&[1, 0]), v(&[0, 1])]);
-        assert_eq!(find_orthogonal_pair(&a, &b), None);
+        assert_eq!(find(&a, &b), None);
     }
 
     #[test]
     fn zero_vector_is_orthogonal_to_all() {
         let a = VectorSet::from_bools(4, &[v(&[0, 0, 0, 0])]);
         let b = VectorSet::from_bools(4, &[v(&[1, 1, 1, 1])]);
-        assert!(find_orthogonal_pair(&a, &b).is_some());
+        assert!(find(&a, &b).is_some());
     }
 
     #[test]
@@ -157,18 +209,36 @@ mod tests {
         y[129] = true;
         let a = VectorSet::from_bools(dim, &[x.clone()]);
         let b = VectorSet::from_bools(dim, &[y]);
-        assert_eq!(find_orthogonal_pair(&a, &b), None);
+        assert_eq!(find(&a, &b), None);
         // Flip one coordinate: now orthogonal.
         x[129] = false;
         let a2 = VectorSet::from_bools(dim, &[x]);
-        assert!(find_orthogonal_pair(&a2, &b).is_some());
+        assert!(find(&a2, &b).is_some());
     }
 
     #[test]
     fn empty_sets() {
         let a = VectorSet::new(3);
         let b = VectorSet::from_bools(3, &[v(&[0, 0, 0])]);
-        assert_eq!(find_orthogonal_pair(&a, &b), None);
+        assert_eq!(find(&a, &b), None);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn counter_is_the_pair_scan() {
+        let a = VectorSet::from_bools(2, &[v(&[1, 1]), v(&[1, 1])]);
+        let b = VectorSet::from_bools(2, &[v(&[1, 0]), v(&[0, 1]), v(&[1, 1])]);
+        let (out, stats) = count_orthogonal_pairs(&a, &b, &Budget::unlimited());
+        assert_eq!(out.unwrap_sat(), 0);
+        assert_eq!(stats.nodes, 6); // the full n·m scan
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let a = VectorSet::from_bools(2, &[v(&[1, 1]), v(&[1, 1])]);
+        let b = VectorSet::from_bools(2, &[v(&[1, 0]), v(&[0, 1])]);
+        let budget = Budget::ticks(0); // the first pair test exhausts
+        assert!(find_orthogonal_pair(&a, &b, &budget).0.is_exhausted());
+        assert!(count_orthogonal_pairs(&a, &b, &budget).0.is_exhausted());
     }
 }

@@ -6,11 +6,20 @@
 //! of a binary CSP (classes = variable domains, H = primal graph), and the
 //! vehicle for the hardness results of §5–§6: Partitioned Clique ↔ CSP with
 //! clique primal graph.
+//!
+//! Engine mapping: the backtracking search ticks one [`RunStats::nodes`]
+//! per candidate host vertex tried and one [`RunStats::propagations`] per
+//! adjacency check against an already-assigned pattern neighbor.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
 
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::Graph;
 
 /// Finds a mapping `f: V(H) → V(G)` with `f(i) ∈ classes[i]` and an edge
-/// `f(i)f(j)` in G for every edge `ij` of H.
+/// `f(i)f(j)` in G for every edge `ij` of H. `Sat(mapping)`, `Unsat`, or
+/// `Exhausted`.
 ///
 /// # Panics
 /// Panics if `classes.len() != |V(H)|` or a class member is out of range.
@@ -18,7 +27,8 @@ pub fn partitioned_subgraph_iso(
     h: &Graph,
     g: &Graph,
     classes: &[Vec<usize>],
-) -> Option<Vec<usize>> {
+    budget: &Budget,
+) -> (Outcome<Vec<usize>>, RunStats) {
     assert_eq!(
         classes.len(),
         h.num_vertices(),
@@ -30,13 +40,16 @@ pub fn partitioned_subgraph_iso(
             "class member out of range"
         );
     }
+    let mut ticker = Ticker::new(budget);
     let mut assignment: Vec<Option<usize>> = vec![None; h.num_vertices()];
     // Order pattern vertices by descending degree (most constrained first).
     let mut order: Vec<usize> = (0..h.num_vertices()).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(h.degree(v)));
-    backtrack(h, g, classes, &order, 0, &mut assignment)
+    let result = backtrack(h, g, classes, &order, 0, &mut assignment, &mut ticker);
+    ticker.finish(result)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn backtrack(
     h: &Graph,
     g: &Graph,
@@ -44,13 +57,20 @@ fn backtrack(
     order: &[usize],
     pos: usize,
     assignment: &mut Vec<Option<usize>>,
-) -> Option<Vec<usize>> {
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<usize>>, ExhaustReason> {
     if pos == order.len() {
-        // lb-lint: allow(no-panic) -- invariant: reaching full depth means every pattern vertex was assigned
-        return Some(assignment.iter().map(|a| a.expect("complete")).collect());
+        return Ok(Some(
+            assignment
+                .iter()
+                // lb-lint: allow(no-panic) -- invariant: reaching full depth means every pattern vertex was assigned
+                .map(|a| a.expect("complete"))
+                .collect(),
+        ));
     }
     let hv = order[pos];
     'candidates: for &gv in &classes[hv] {
+        ticker.node()?;
         // Respect the partition: distinct classes may share vertices in a
         // degenerate input, so enforce injectivity explicitly.
         if assignment.contains(&Some(gv)) {
@@ -58,18 +78,20 @@ fn backtrack(
         }
         for &hn in h.neighbors(hv) {
             if let Some(gn) = assignment[hn] {
+                ticker.propagation()?;
                 if !g.has_edge(gv, gn) {
                     continue 'candidates;
                 }
             }
         }
         assignment[hv] = Some(gv);
-        if let Some(sol) = backtrack(h, g, classes, order, pos + 1, assignment) {
-            return Some(sol);
-        }
+        let hit = backtrack(h, g, classes, order, pos + 1, assignment, ticker);
         assignment[hv] = None;
+        if let Some(sol) = hit? {
+            return Ok(Some(sol));
+        }
     }
-    None
+    Ok(None)
 }
 
 /// The Partitioned Clique instance of a k-clique search (§2.3, §6): H = K_k,
@@ -96,13 +118,19 @@ mod tests {
     use super::*;
     use lb_graph::generators;
 
+    fn iso(h: &Graph, g: &Graph, classes: &[Vec<usize>]) -> Option<Vec<usize>> {
+        partitioned_subgraph_iso(h, g, classes, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
     #[test]
     fn triangle_in_tripartite() {
         // Host: proper tripartite triangle on classes {0},{1},{2}.
         let g = generators::clique(3);
         let h = generators::clique(3);
         let classes = vec![vec![0], vec![1], vec![2]];
-        let f = partitioned_subgraph_iso(&h, &g, &classes).unwrap();
+        let f = iso(&h, &g, &classes).unwrap();
         assert_eq!(f, vec![0, 1, 2]);
     }
 
@@ -113,8 +141,10 @@ mod tests {
             for k in 2..=4 {
                 let (host, classes) = partitioned_clique_instance(&g, k);
                 let pattern = generators::clique(k);
-                let found = partitioned_subgraph_iso(&pattern, &host, &classes);
-                let expect = crate::clique::find_clique(&g, k).is_some();
+                let found = iso(&pattern, &host, &classes);
+                let expect = crate::clique::find_clique(&g, k, &Budget::unlimited())
+                    .0
+                    .is_sat();
                 assert_eq!(found.is_some(), expect, "seed {seed}, k {k}");
                 if let Some(f) = found {
                     // Decode: class i's vertex maps back to g-vertex f[i] mod n.
@@ -132,7 +162,7 @@ mod tests {
         let h = generators::path(3);
         let g = generators::cycle(4);
         let classes = vec![vec![0, 2], vec![1], vec![0, 2]];
-        let f = partitioned_subgraph_iso(&h, &g, &classes).unwrap();
+        let f = iso(&h, &g, &classes).unwrap();
         assert_eq!(f[1], 1);
         assert!(g.has_edge(f[0], f[1]) && g.has_edge(f[1], f[2]));
         assert_ne!(f[0], f[2]);
@@ -143,13 +173,24 @@ mod tests {
         let h = generators::clique(2);
         let g = lb_graph::Graph::new(4); // no edges
         let classes = vec![vec![0, 1], vec![2, 3]];
-        assert!(partitioned_subgraph_iso(&h, &g, &classes).is_none());
+        assert!(iso(&h, &g, &classes).is_none());
     }
 
     #[test]
     fn empty_pattern() {
         let h = lb_graph::Graph::new(0);
         let g = generators::clique(3);
-        assert_eq!(partitioned_subgraph_iso(&h, &g, &[]), Some(vec![]));
+        assert_eq!(iso(&h, &g, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let g = generators::gnp(9, 0.5, 2);
+        let (host, classes) = partitioned_clique_instance(&g, 3);
+        let pattern = generators::clique(3);
+        let b = Budget::ticks(0); // the first candidate vertex exhausts
+        let (out, stats) = partitioned_subgraph_iso(&pattern, &host, &classes, &b);
+        assert!(out.is_exhausted());
+        assert_eq!(stats.total_ops(), 1);
     }
 }

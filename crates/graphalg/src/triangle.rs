@@ -12,29 +12,61 @@
 //!
 //! All three return a witness triangle and are cross-checked against each
 //! other.
+//!
+//! Engine mapping: the naive detector ticks a [`RunStats::nodes`] per edge
+//! scanned; the matrix detector ticks one [`RunStats::propagations`] per
+//! matrix row (the budget-visible granularity of the block multiply); AYZ
+//! ticks nodes for light-vertex scans and absorbs the dense detector's
+//! counters for the heavy part.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
 
 use crate::matmul::BoolMatrix;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::Graph;
 
 /// Naive detection: for each edge, intersect the endpoints' neighborhoods.
-pub fn find_triangle_naive(g: &Graph) -> Option<[usize; 3]> {
+/// `Sat(triangle)`, `Unsat`, or `Exhausted`.
+pub fn find_triangle_naive(g: &Graph, budget: &Budget) -> (Outcome<[usize; 3]>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = naive_inner(g, &mut ticker);
+    ticker.finish(result)
+}
+
+fn naive_inner(g: &Graph, ticker: &mut Ticker) -> Result<Option<[usize; 3]>, ExhaustReason> {
     for (u, v) in g.edges() {
+        ticker.node()?;
         let nu = g.neighbor_set(u);
         let nv = g.neighbor_set(v);
         let mut common = nu.clone();
         common.intersect_with(nv);
         if let Some(w) = common.min() {
-            return Some(sorted3(u, v, w));
+            return Ok(Some(sorted3(u, v, w)));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Matrix-multiplication detection: a triangle exists iff (A²∧A) ≠ 0.
-pub fn find_triangle_matmul(g: &Graph) -> Option<[usize; 3]> {
+/// `Sat(triangle)`, `Unsat`, or `Exhausted`.
+pub fn find_triangle_matmul(g: &Graph, budget: &Budget) -> (Outcome<[usize; 3]>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = matmul_inner(g, &mut ticker);
+    ticker.finish(result)
+}
+
+fn matmul_inner(g: &Graph, ticker: &mut Ticker) -> Result<Option<[usize; 3]>, ExhaustReason> {
+    // One tick per matrix row before the block multiply: the coarsest
+    // granularity at which the budget can interrupt the O(n^ω) work.
+    for _ in 0..g.num_vertices() {
+        ticker.propagation()?;
+    }
     let a = BoolMatrix::adjacency(g);
     let a2 = a.multiply(&a);
-    let (i, j) = a2.intersection_witness(&a)?;
+    let Some((i, j)) = a2.intersection_witness(&a) else {
+        return Ok(None);
+    };
     // Find the middle vertex.
     let w = g
         .neighbor_set(i)
@@ -42,7 +74,7 @@ pub fn find_triangle_matmul(g: &Graph) -> Option<[usize; 3]> {
         .find(|&w| g.has_edge(w, j))
         // lb-lint: allow(no-panic) -- invariant: A^2[i][j] > 0 certifies a common neighbor exists
         .expect("A²[i][j] set ⇒ a common neighbor exists");
-    Some(sorted3(i, j, w))
+    Ok(Some(sorted3(i, j, w)))
 }
 
 /// Alon–Yuster–Zwick detection in m^{2ω/(ω+1)}.
@@ -50,10 +82,24 @@ pub fn find_triangle_matmul(g: &Graph) -> Option<[usize; 3]> {
 /// `omega` is the matrix-multiplication exponent used for the degree
 /// threshold; pass 2.807 for Strassen (the default via
 /// [`find_triangle_ayz`]).
-pub fn find_triangle_ayz_with_omega(g: &Graph, omega: f64) -> Option<[usize; 3]> {
+pub fn find_triangle_ayz_with_omega(
+    g: &Graph,
+    omega: f64,
+    budget: &Budget,
+) -> (Outcome<[usize; 3]>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = ayz_inner(g, omega, &mut ticker);
+    ticker.finish(result)
+}
+
+fn ayz_inner(
+    g: &Graph,
+    omega: f64,
+    ticker: &mut Ticker,
+) -> Result<Option<[usize; 3]>, ExhaustReason> {
     let m = g.num_edges();
     if m == 0 {
-        return None;
+        return Ok(None);
     }
     let delta = (m as f64).powf((omega - 1.0) / (omega + 1.0)).ceil() as usize;
 
@@ -63,11 +109,13 @@ pub fn find_triangle_ayz_with_omega(g: &Graph, omega: f64) -> Option<[usize; 3]>
         if g.degree(v) > delta {
             continue;
         }
+        ticker.node()?;
         let nbrs = g.neighbors(v);
         for (i, &x) in nbrs.iter().enumerate() {
             for &y in &nbrs[i + 1..] {
+                ticker.trie_advance()?;
                 if g.has_edge(x, y) {
-                    return Some(sorted3(v, x, y));
+                    return Ok(Some(sorted3(v, x, y)));
                 }
             }
         }
@@ -78,25 +126,39 @@ pub fn find_triangle_ayz_with_omega(g: &Graph, omega: f64) -> Option<[usize; 3]>
         .filter(|&v| g.degree(v) > delta)
         .collect();
     if heavy.len() < 3 {
-        return None;
+        return Ok(None);
     }
     let (h, map) = g.induced_subgraph(&heavy);
-    find_triangle_matmul(&h).map(|t| sorted3(map[t[0]], map[t[1]], map[t[2]]))
+    let (out, sub_stats) = find_triangle_matmul(&h, &ticker.remaining_budget());
+    ticker.absorb(&sub_stats);
+    match out {
+        Outcome::Exhausted(r) => Err(r),
+        Outcome::Unsat => Ok(None),
+        Outcome::Sat(t) => Ok(Some(sorted3(map[t[0]], map[t[1]], map[t[2]]))),
+    }
 }
 
 /// AYZ with the Strassen exponent ω = log₂7 ≈ 2.807.
-pub fn find_triangle_ayz(g: &Graph) -> Option<[usize; 3]> {
-    find_triangle_ayz_with_omega(g, 2.807)
+pub fn find_triangle_ayz(g: &Graph, budget: &Budget) -> (Outcome<[usize; 3]>, RunStats) {
+    find_triangle_ayz_with_omega(g, 2.807, budget)
 }
 
 /// Counts triangles exactly via trace-free enumeration (for tests and the
-/// counting experiments): Σ over edges of |N(u) ∩ N(v)| / 3.
-pub fn count_triangles(g: &Graph) -> u64 {
+/// counting experiments): Σ over edges of |N(u) ∩ N(v)| / 3. `Sat(count)`
+/// or `Exhausted`.
+pub fn count_triangles(g: &Graph, budget: &Budget) -> (Outcome<u64>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = count_inner(g, &mut ticker).map(Some);
+    ticker.finish(result)
+}
+
+fn count_inner(g: &Graph, ticker: &mut Ticker) -> Result<u64, ExhaustReason> {
     let mut total = 0u64;
     for (u, v) in g.edges() {
+        ticker.node()?;
         total += g.neighbor_set(u).intersection_count(g.neighbor_set(v)) as u64;
     }
-    total / 3
+    Ok(total / 3)
 }
 
 fn sorted3(a: usize, b: usize, c: usize) -> [usize; 3] {
@@ -120,11 +182,16 @@ mod tests {
     use lb_graph::generators;
 
     fn all_detectors(g: &Graph) -> [Option<[usize; 3]>; 3] {
+        let b = Budget::unlimited();
         [
-            find_triangle_naive(g),
-            find_triangle_matmul(g),
-            find_triangle_ayz(g),
+            find_triangle_naive(g, &b).0.unwrap_decided(),
+            find_triangle_matmul(g, &b).0.unwrap_decided(),
+            find_triangle_ayz(g, &b).0.unwrap_decided(),
         ]
+    }
+
+    fn count_unlimited(g: &Graph) -> u64 {
+        count_triangles(g, &Budget::unlimited()).0.unwrap_sat()
     }
 
     #[test]
@@ -133,7 +200,7 @@ mod tests {
         for t in all_detectors(&g) {
             assert!(is_triangle(&g, &t.unwrap()));
         }
-        assert_eq!(count_triangles(&g), 10);
+        assert_eq!(count_unlimited(&g), 10);
     }
 
     #[test]
@@ -142,7 +209,7 @@ mod tests {
         for t in all_detectors(&g) {
             assert!(t.is_none());
         }
-        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(count_unlimited(&g), 0);
     }
 
     #[test]
@@ -157,7 +224,7 @@ mod tests {
                     assert!(is_triangle(&g, t), "seed {seed}, detector {i}");
                 }
             }
-            assert_eq!(has, count_triangles(&g) > 0, "seed {seed}");
+            assert_eq!(has, count_unlimited(&g) > 0, "seed {seed}");
         }
     }
 
@@ -174,9 +241,10 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_graphs() {
-        assert!(find_triangle_ayz(&Graph::new(0)).is_none());
-        assert!(find_triangle_naive(&Graph::new(2)).is_none());
-        assert!(find_triangle_matmul(&generators::path(3)).is_none());
+        let b = Budget::unlimited();
+        assert!(find_triangle_ayz(&Graph::new(0), &b).0.is_unsat());
+        assert!(find_triangle_naive(&Graph::new(2), &b).0.is_unsat());
+        assert!(find_triangle_matmul(&generators::path(3), &b).0.is_unsat());
     }
 
     #[test]
@@ -193,8 +261,18 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(count_triangles(&g), brute, "seed {seed}");
+            assert_eq!(count_unlimited(&g), brute, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_every_detector() {
+        let g = generators::gnp(30, 0.3, 1);
+        let b = Budget::ticks(0); // the very first counted op exhausts
+        assert!(find_triangle_naive(&g, &b).0.is_exhausted());
+        assert!(find_triangle_matmul(&g, &b).0.is_exhausted());
+        assert!(find_triangle_ayz(&g, &b).0.is_exhausted());
+        assert!(count_triangles(&g, &b).0.is_exhausted());
     }
 
     use lb_graph::Graph;

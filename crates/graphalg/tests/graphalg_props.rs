@@ -1,6 +1,7 @@
 //! Property tests for the §5–§8 algorithm zoo: independent implementations
 //! agree, FPT answers match brute-force optima, and witnesses verify.
 
+use lb_engine::Budget;
 use lb_graph::generators;
 use lb_graphalg::clique::{count_cliques, find_clique, find_clique_neipol};
 use lb_graphalg::domset::{find_dominating_set_branching, find_dominating_set_brute};
@@ -19,10 +20,11 @@ proptest! {
     #[test]
     fn clique_routes_agree(n in 4usize..14, p in 0.2f64..0.8, seed in 0u64..10_000, k in 2usize..5) {
         let g = generators::gnp(n, p, seed);
-        let brute = find_clique(&g, k);
-        let neipol = find_clique_neipol(&g, k);
+        let unlimited = Budget::unlimited();
+        let brute = find_clique(&g, k, &unlimited).0.unwrap_decided();
+        let neipol = find_clique_neipol(&g, k, &unlimited).0.unwrap_decided();
         prop_assert_eq!(brute.is_some(), neipol.is_some());
-        prop_assert_eq!(brute.is_some(), count_cliques(&g, k) > 0);
+        prop_assert_eq!(brute.is_some(), count_cliques(&g, k, &unlimited).0.unwrap_sat() > 0);
         if let Some(c) = neipol {
             prop_assert!(g.is_clique(&c));
             prop_assert_eq!(c.len(), k);
@@ -34,12 +36,13 @@ proptest! {
     #[test]
     fn triangle_detectors_agree(n in 3usize..20, p in 0.05f64..0.6, seed in 0u64..10_000) {
         let g = generators::gnp(n, p, seed);
-        let nv = find_triangle_naive(&g);
-        let mm = find_triangle_matmul(&g);
-        let ayz = find_triangle_ayz(&g);
+        let unlimited = Budget::unlimited();
+        let nv = find_triangle_naive(&g, &unlimited).0.unwrap_decided();
+        let mm = find_triangle_matmul(&g, &unlimited).0.unwrap_decided();
+        let ayz = find_triangle_ayz(&g, &unlimited).0.unwrap_decided();
         prop_assert_eq!(nv.is_some(), mm.is_some());
         prop_assert_eq!(nv.is_some(), ayz.is_some());
-        prop_assert_eq!(nv.is_some(), count_triangles(&g) > 0);
+        prop_assert_eq!(nv.is_some(), count_triangles(&g, &unlimited).0.unwrap_sat() > 0);
         for w in [nv, mm, ayz].into_iter().flatten() {
             prop_assert!(is_triangle(&g, &w));
         }
@@ -77,8 +80,9 @@ proptest! {
     #[test]
     fn domset_routes_agree(n in 3usize..10, p in 0.1f64..0.6, seed in 0u64..10_000, k in 1usize..4) {
         let g = generators::gnp(n, p, seed);
-        let a = find_dominating_set_brute(&g, k);
-        let b = find_dominating_set_branching(&g, k);
+        let unlimited = Budget::unlimited();
+        let a = find_dominating_set_brute(&g, k, &unlimited).0.unwrap_decided();
+        let b = find_dominating_set_branching(&g, k, &unlimited).0.unwrap_decided();
         prop_assert_eq!(a.is_some(), b.is_some());
         for s in [a, b].into_iter().flatten() {
             prop_assert!(g.is_dominating_set(&s));
@@ -90,9 +94,10 @@ proptest! {
     #[test]
     fn vertex_cover_threshold(n in 3usize..11, p in 0.1f64..0.7, seed in 0u64..10_000) {
         let g = generators::gnp(n, p, seed);
-        let opt = min_vertex_cover_brute(&g).len();
+        let unlimited = Budget::unlimited();
+        let opt = min_vertex_cover_brute(&g, &unlimited).0.unwrap_sat().len();
         for k in 0..=n {
-            let fpt = vertex_cover_fpt(&g, k);
+            let fpt = vertex_cover_fpt(&g, k, &unlimited).0.unwrap_decided();
             prop_assert_eq!(fpt.is_some(), k >= opt);
             if let Some(c) = fpt {
                 prop_assert!(g.is_vertex_cover(&c));
@@ -105,11 +110,29 @@ proptest! {
     fn edit_distance_metric(sa in "[ab]{0,12}", sb in "[ab]{0,12}") {
         let a = sa.as_bytes();
         let b = sb.as_bytes();
-        let d = edit_distance(a, b);
-        prop_assert_eq!(edit_distance(b, a), d);
+        let unlimited = Budget::unlimited();
+        let d = edit_distance(a, b, &unlimited).0.unwrap_sat();
+        prop_assert_eq!(edit_distance(b, a, &unlimited).0.unwrap_sat(), d);
         prop_assert_eq!(d == 0, a == b);
         prop_assert!(d <= a.len().max(b.len()));
         prop_assert!(d >= a.len().abs_diff(b.len()));
-        prop_assert_eq!(edit_distance_banded(a, b, 12), Some(d));
+        prop_assert_eq!(edit_distance_banded(a, b, 12, &unlimited).0.unwrap_decided(), Some(d));
+    }
+
+    /// Budgets: an exhausted run never returns a verdict, and raising the
+    /// budget is monotone in every counter.
+    #[test]
+    fn budget_never_lies(n in 4usize..12, p in 0.2f64..0.7, seed in 0u64..10_000) {
+        let g = generators::gnp(n, p, seed);
+        let (full, full_stats) = find_clique(&g, 3, &Budget::unlimited());
+        let total = full_stats.total_ops();
+        for ticks in [0, total / 2, total] {
+            let (out, stats) = find_clique(&g, 3, &Budget::ticks(ticks));
+            prop_assert!(stats.le(&full_stats) || out.is_exhausted());
+            if !out.is_exhausted() {
+                // A decided outcome under a smaller budget matches the full run.
+                prop_assert_eq!(out.is_sat(), full.is_sat());
+            }
+        }
     }
 }

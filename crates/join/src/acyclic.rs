@@ -14,11 +14,23 @@
 //! Yannakakis evaluator runs a semi-join reduction sweep (up then down) and
 //! then joins bottom-up, guaranteeing every intermediate stays within the
 //! final output size.
+//!
+//! Engine mapping: each semi-join row check is a [`RunStats::propagations`]
+//! tick, each probed row in the bottom-up join a [`RunStats::nodes`] tick,
+//! and each materialized tuple a [`RunStats::tuples`] tick; intermediate
+//! sizes land in [`RunStats::max_intermediate`] (bounded by the output for
+//! a reduced instance — the property the algorithm is famous for).
+//!
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::tuples`]: lb_engine::RunStats::tuples
+//! [`RunStats::max_intermediate`]: lb_engine::RunStats::max_intermediate
 
 use crate::database::{Database, Table};
 use crate::query::{AnswerTuple, JoinQuery};
 use crate::wcoj::JoinError;
 use crate::Value;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use std::collections::{HashMap, HashSet};
 
 /// A join tree: one node per atom, edges such that for every attribute the
@@ -133,27 +145,33 @@ impl Ann {
 }
 
 /// Semi-join: keep the rows of `left` that join with some row of `right`.
-fn semi_join(left: &mut Ann, right: &Ann) {
+fn semi_join(left: &mut Ann, right: &Ann, ticker: &mut Ticker) -> Result<(), ExhaustReason> {
     let common = left.common_positions(right);
     if common.is_empty() {
         if right.rows.is_empty() {
             left.rows.clear();
         }
-        return;
+        return Ok(());
     }
     let keys: HashSet<Vec<Value>> = right
         .rows
         .iter()
         .map(|r| common.iter().map(|&(_, j)| r[j]).collect())
         .collect();
-    left.rows.retain(|r| {
+    let mut kept = Vec::with_capacity(left.rows.len());
+    for r in left.rows.drain(..) {
+        ticker.propagation()?;
         let key: Vec<Value> = common.iter().map(|&(i, _)| r[i]).collect();
-        keys.contains(&key)
-    });
+        if keys.contains(&key) {
+            kept.push(r);
+        }
+    }
+    left.rows = kept;
+    Ok(())
 }
 
 /// Join `left ⋈ right` (hash join); output schema = left ++ (right \ left).
-fn join_pair(left: &Ann, right: &Ann) -> Ann {
+fn join_pair(left: &Ann, right: &Ann, ticker: &mut Ticker) -> Result<Ann, ExhaustReason> {
     let common = left.common_positions(right);
     let right_extra: Vec<usize> = (0..right.attrs.len())
         .filter(|j| !common.iter().any(|&(_, cj)| cj == *j))
@@ -169,31 +187,22 @@ fn join_pair(left: &Ann, right: &Ann) -> Ann {
     attrs.extend(right_extra.iter().map(|&j| right.attrs[j].clone()));
     let mut rows = Vec::new();
     for lrow in &left.rows {
+        ticker.node()?;
         if let Some(matches) = index.get(&left.key(lrow, &common, true)) {
             for &ri in matches {
+                ticker.tuple()?;
                 let mut out = lrow.clone();
                 out.extend(right_extra.iter().map(|&j| right.rows[ri][j]));
                 rows.push(out);
             }
         }
     }
-    Ann { attrs, rows }
+    ticker.record_intermediate(rows.len() as u64);
+    Ok(Ann { attrs, rows })
 }
 
-/// Yannakakis' algorithm for α-acyclic full join queries: a full semi-join
-/// reduction (leaves→root, then root→leaves) followed by a bottom-up join.
-/// After reduction every intermediate result is no larger than the final
-/// answer, so the running time is O(input + output) up to hashing.
-///
-/// Returns `Err` if the query is cyclic or the database malformed.
-#[must_use = "dropping the result discards the join answers or the failure"]
-pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, JoinError> {
-    db.validate_for(q).map_err(JoinError::BadDatabase)?;
-    let tree = gyo_join_tree(q).ok_or_else(|| {
-        JoinError::BadDatabase("query is cyclic; Yannakakis needs an α-acyclic query".into())
-    })?;
-
-    // Load annotated relations, normalizing repeated attributes.
+/// Loads annotated relations, normalizing repeated attributes.
+fn load_anns(q: &JoinQuery, db: &Database) -> Vec<Ann> {
     let mut anns: Vec<Ann> = Vec::with_capacity(q.atoms.len());
     for atom in &q.atoms {
         // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
@@ -220,6 +229,38 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
             .collect();
         anns.push(Ann { attrs, rows });
     }
+    anns
+}
+
+/// Yannakakis' algorithm for α-acyclic full join queries: a full semi-join
+/// reduction (leaves→root, then root→leaves) followed by a bottom-up join.
+/// After reduction every intermediate result is no larger than the final
+/// answer, so the running time is O(input + output) up to hashing.
+///
+/// Returns `Err` if the query is cyclic or the database malformed; budget
+/// exhaustion yields [`Outcome::Exhausted`].
+#[must_use = "dropping the result discards the join answers or the failure"]
+pub fn yannakakis(
+    q: &JoinQuery,
+    db: &Database,
+    budget: &Budget,
+) -> Result<(Outcome<Vec<AnswerTuple>>, RunStats), JoinError> {
+    db.validate_for(q).map_err(JoinError::BadDatabase)?;
+    let tree = gyo_join_tree(q).ok_or_else(|| {
+        JoinError::BadDatabase("query is cyclic; Yannakakis needs an α-acyclic query".into())
+    })?;
+    let mut ticker = Ticker::new(budget);
+    let result = yannakakis_inner(q, db, &tree, &mut ticker);
+    Ok(ticker.finish(result.map(Some)))
+}
+
+fn yannakakis_inner(
+    q: &JoinQuery,
+    db: &Database,
+    tree: &JoinTree,
+    ticker: &mut Ticker,
+) -> Result<Vec<AnswerTuple>, ExhaustReason> {
+    let mut anns = load_anns(q, db);
 
     // Upward semi-join sweep: children before parents (tree.order is a
     // valid child-first order by construction).
@@ -227,7 +268,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
         let p = tree.parent[e];
         if p != usize::MAX {
             let child = anns[e].clone();
-            semi_join(&mut anns[p], &child);
+            semi_join(&mut anns[p], &child, ticker)?;
         }
     }
     // Downward sweep: parents before children.
@@ -235,7 +276,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
         let p = tree.parent[e];
         if p != usize::MAX {
             let parent_ann = anns[p].clone();
-            semi_join(&mut anns[e], &parent_ann);
+            semi_join(&mut anns[e], &parent_ann, ticker)?;
         }
     }
     // Bottom-up join along the tree order.
@@ -243,7 +284,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
     for &e in &tree.order {
         let own = anns[e].clone();
         let merged = match acc.remove(&e) {
-            Some(partial) => join_pair(&partial, &own),
+            Some(partial) => join_pair(&partial, &own, ticker)?,
             None => own,
         };
         let p = tree.parent[e];
@@ -272,7 +313,7 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
         }
         match acc.remove(&p) {
             Some(existing) => {
-                acc.insert(p, join_pair(&existing, &merged));
+                acc.insert(p, join_pair(&existing, &merged, ticker)?);
             }
             None => {
                 acc.insert(p, merged);
@@ -284,13 +325,29 @@ pub fn yannakakis(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, Join
 }
 
 /// Decides emptiness of an acyclic query with the upward semi-join sweep
-/// only — strictly linear time, no output-size term.
+/// only — strictly linear time, no output-size term. `Sat(is_empty)` or
+/// `Exhausted`.
 #[must_use = "dropping the result discards the emptiness answer or the failure"]
-pub fn is_empty_acyclic(q: &JoinQuery, db: &Database) -> Result<bool, JoinError> {
+pub fn is_empty_acyclic(
+    q: &JoinQuery,
+    db: &Database,
+    budget: &Budget,
+) -> Result<(Outcome<bool>, RunStats), JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
     let tree = gyo_join_tree(q).ok_or_else(|| {
         JoinError::BadDatabase("query is cyclic; Yannakakis needs an α-acyclic query".into())
     })?;
+    let mut ticker = Ticker::new(budget);
+    let result = is_empty_inner(q, db, &tree, &mut ticker);
+    Ok(ticker.finish(result.map(Some)))
+}
+
+fn is_empty_inner(
+    q: &JoinQuery,
+    db: &Database,
+    tree: &JoinTree,
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     let mut anns: Vec<Ann> = q
         .atoms
         .iter()
@@ -307,7 +364,7 @@ pub fn is_empty_acyclic(q: &JoinQuery, db: &Database) -> Result<bool, JoinError>
         let p = tree.parent[e];
         if p != usize::MAX {
             let child = anns[e].clone();
-            semi_join(&mut anns[p], &child);
+            semi_join(&mut anns[p], &child, ticker)?;
         } else {
             return Ok(anns[e].rows.is_empty());
         }
@@ -331,6 +388,20 @@ mod tests {
             })
             .collect();
         JoinQuery::new(atoms)
+    }
+
+    fn yannakakis_all(q: &JoinQuery, db: &Database) -> Vec<AnswerTuple> {
+        yannakakis(q, db, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
+
+    fn wcoj_all(q: &JoinQuery, db: &Database) -> Vec<AnswerTuple> {
+        wcoj::join(q, db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
     }
 
     #[test]
@@ -359,8 +430,8 @@ mod tests {
         for seed in 0..8u64 {
             let q = path_query(4);
             let db = generators::random_binary_database(&q, 30, 8, seed);
-            let a = yannakakis(&q, &db).unwrap();
-            let b = wcoj::join(&q, &db, None).unwrap();
+            let a = yannakakis_all(&q, &db);
+            let b = wcoj_all(&q, &db);
             assert_eq!(a, b, "seed {seed}");
         }
     }
@@ -370,11 +441,7 @@ mod tests {
         for seed in 0..8u64 {
             let q = JoinQuery::star(4);
             let db = generators::random_binary_database(&q, 25, 6, seed);
-            assert_eq!(
-                yannakakis(&q, &db).unwrap(),
-                wcoj::join(&q, &db, None).unwrap(),
-                "seed {seed}"
-            );
+            assert_eq!(yannakakis_all(&q, &db), wcoj_all(&q, &db), "seed {seed}");
         }
     }
 
@@ -388,11 +455,7 @@ mod tests {
         ]);
         for seed in 0..5u64 {
             let db = generators::random_database(&q, 20, 5, seed);
-            assert_eq!(
-                yannakakis(&q, &db).unwrap(),
-                wcoj::join(&q, &db, None).unwrap(),
-                "seed {seed}"
-            );
+            assert_eq!(yannakakis_all(&q, &db), wcoj_all(&q, &db), "seed {seed}");
         }
     }
 
@@ -400,8 +463,8 @@ mod tests {
     fn cyclic_query_rejected() {
         let q = JoinQuery::triangle();
         let db = generators::random_binary_database(&q, 10, 4, 0);
-        assert!(yannakakis(&q, &db).is_err());
-        assert!(is_empty_acyclic(&q, &db).is_err());
+        assert!(yannakakis(&q, &db, &Budget::unlimited()).is_err());
+        assert!(is_empty_acyclic(&q, &db, &Budget::unlimited()).is_err());
     }
 
     #[test]
@@ -409,10 +472,17 @@ mod tests {
         for seed in 0..10u64 {
             let q = path_query(5);
             let db = generators::random_binary_database(&q, 8, 6, seed);
-            let empty = is_empty_acyclic(&q, &db).unwrap();
+            let empty = is_empty_acyclic(&q, &db, &Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat();
             assert_eq!(
                 empty,
-                wcoj::count(&q, &db, None).unwrap() == 0,
+                wcoj::count(&q, &db, None, &Budget::unlimited())
+                    .unwrap()
+                    .0
+                    .unwrap_sat()
+                    == 0,
                 "seed {seed}"
             );
         }
@@ -438,9 +508,25 @@ mod tests {
         empty_link.push(vec![1000, 1000]);
         empty_link.normalize();
         db.insert("R2", empty_link);
-        let ans = yannakakis(&q, &db).unwrap();
-        assert!(ans.is_empty());
-        assert!(is_empty_acyclic(&q, &db).unwrap());
+        let (out, stats) = yannakakis(&q, &db, &Budget::unlimited()).unwrap();
+        assert!(out.unwrap_sat().is_empty());
+        // The semi-join reduction emptied everything before any join ran.
+        assert_eq!(stats.max_intermediate, 0);
+        assert!(is_empty_acyclic(&q, &db, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat());
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let q = path_query(3);
+        let db = generators::random_binary_database(&q, 30, 8, 1);
+        let (out, stats) = yannakakis(&q, &db, &Budget::ticks(5)).unwrap();
+        assert!(out.is_exhausted());
+        assert_eq!(stats.total_ops(), 6); // the crossing op is still recorded
+        let (out, _) = is_empty_acyclic(&q, &db, &Budget::ticks(5)).unwrap();
+        assert!(out.is_exhausted());
     }
 
     #[test]
@@ -459,7 +545,7 @@ mod tests {
             "S",
             Table::from_rows(2, vec![vec![1, 7], vec![3, 8], vec![2, 9]]),
         );
-        let ans = yannakakis(&q, &db).unwrap();
+        let ans = yannakakis_all(&q, &db);
         assert_eq!(ans, vec![vec![1, 7], vec![3, 8]]);
     }
 }

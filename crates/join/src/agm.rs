@@ -218,7 +218,10 @@ mod tests {
             let s = (n as f64).sqrt().floor() as u128;
             assert_eq!(answer, s * s * s, "n = {n}");
             // And the materialized join agrees.
-            let tuples = wcoj::join(&q, &db, None).unwrap();
+            let tuples = wcoj::join(&q, &db, None, &lb_engine::Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat();
             assert_eq!(tuples.len() as u128, answer, "n = {n}");
             assert!(agm_bound_holds(&q, &db, answer).unwrap());
         }
@@ -232,7 +235,10 @@ mod tests {
         let (db, answer) = worst_case_database(&q, 10).unwrap();
         assert!(db.max_table_size() <= 10);
         assert_eq!(answer, 100);
-        let tuples = wcoj::join(&q, &db, None).unwrap();
+        let tuples = wcoj::join(&q, &db, None, &lb_engine::Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat();
         assert_eq!(tuples.len() as u128, answer);
     }
 

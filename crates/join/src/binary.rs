@@ -4,23 +4,24 @@
 //! On the AGM worst-case triangle databases any pairwise plan first joins
 //! two relations of size N into an intermediate of size N² — the Ω(N²)
 //! behaviour that worst-case optimal joins avoid. Experiment E2 measures
-//! the crossover; [`JoinStats::max_intermediate`] is the quantity that
+//! the crossover; [`RunStats::max_intermediate`] is the quantity that
 //! blows up.
+//!
+//! Engine mapping: each probe row examined is a [`RunStats::nodes`] tick,
+//! each intermediate tuple materialized a [`RunStats::tuples`] tick, and
+//! every intermediate's size is recorded in
+//! [`RunStats::max_intermediate`].
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::tuples`]: lb_engine::RunStats::tuples
+//! [`RunStats::max_intermediate`]: lb_engine::RunStats::max_intermediate
 
 use crate::database::Database;
 use crate::query::{AnswerTuple, JoinQuery};
 use crate::wcoj::JoinError;
 use crate::Value;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use std::collections::HashMap;
-
-/// Statistics of a plan execution.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct JoinStats {
-    /// Largest materialized intermediate (in tuples).
-    pub max_intermediate: usize,
-    /// Total tuples materialized across all intermediates.
-    pub total_materialized: usize,
-}
 
 /// An intermediate result with its schema.
 struct Intermediate {
@@ -29,15 +30,26 @@ struct Intermediate {
 }
 
 /// Evaluates the query left-to-right with pairwise hash joins. Returns the
-/// answer (attribute order = [`JoinQuery::attributes`], sorted) and stats.
+/// answer (attribute order = [`JoinQuery::attributes`], sorted) with the
+/// run's counters; malformed inputs fail with `Err`, budget exhaustion
+/// yields [`Outcome::Exhausted`].
 #[must_use = "dropping the result discards the join answers and statistics or the failure"]
 pub fn left_deep_join(
     q: &JoinQuery,
     db: &Database,
-) -> Result<(Vec<AnswerTuple>, JoinStats), JoinError> {
+    budget: &Budget,
+) -> Result<(Outcome<Vec<AnswerTuple>>, RunStats), JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
-    let mut stats = JoinStats::default();
+    let mut ticker = Ticker::new(budget);
+    let result = left_deep_inner(q, db, &mut ticker);
+    Ok(ticker.finish(result.map(Some)))
+}
 
+fn left_deep_inner(
+    q: &JoinQuery,
+    db: &Database,
+    ticker: &mut Ticker,
+) -> Result<Vec<AnswerTuple>, ExhaustReason> {
     let mut acc: Option<Intermediate> = None;
     for atom in &q.atoms {
         // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
@@ -68,9 +80,8 @@ pub fn left_deep_join(
         acc = Some(match acc {
             None => right,
             Some(left) => {
-                let joined = hash_join(&left, &right);
-                stats.max_intermediate = stats.max_intermediate.max(joined.rows.len());
-                stats.total_materialized += joined.rows.len();
+                let joined = hash_join(&left, &right, ticker)?;
+                ticker.record_intermediate(joined.rows.len() as u64);
                 joined
             }
         });
@@ -97,11 +108,15 @@ pub fn left_deep_join(
         .collect();
     out.sort_unstable();
     out.dedup();
-    Ok((out, stats))
+    Ok(out)
 }
 
 /// Classic hash join on the common attributes; the smaller side is hashed.
-fn hash_join(left: &Intermediate, right: &Intermediate) -> Intermediate {
+fn hash_join(
+    left: &Intermediate,
+    right: &Intermediate,
+    ticker: &mut Ticker,
+) -> Result<Intermediate, ExhaustReason> {
     let common: Vec<(usize, usize)> = left
         .attrs
         .iter()
@@ -132,9 +147,11 @@ fn hash_join(left: &Intermediate, right: &Intermediate) -> Intermediate {
     attrs.extend(right_extra.iter().map(|&ri| right.attrs[ri].clone()));
     let mut rows = Vec::new();
     for prow in &probe.rows {
+        ticker.node()?;
         let key = key_of(prow, !build_is_left);
         if let Some(matches) = index.get(&key) {
             for &bi in matches {
+                ticker.tuple()?;
                 let brow = &build.rows[bi];
                 let (lrow, rrow) = if build_is_left {
                     (brow, prow)
@@ -147,7 +164,7 @@ fn hash_join(left: &Intermediate, right: &Intermediate) -> Intermediate {
             }
         }
     }
-    Intermediate { attrs, rows }
+    Ok(Intermediate { attrs, rows })
 }
 
 #[cfg(test)]
@@ -156,13 +173,25 @@ mod tests {
     use crate::generators;
     use crate::wcoj;
 
+    fn left_deep_all(q: &JoinQuery, db: &Database) -> (Vec<AnswerTuple>, RunStats) {
+        let (out, stats) = left_deep_join(q, db, &Budget::unlimited()).unwrap();
+        (out.unwrap_sat(), stats)
+    }
+
+    fn wcoj_all(q: &JoinQuery, db: &Database) -> Vec<AnswerTuple> {
+        wcoj::join(q, db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
+
     #[test]
     fn agrees_with_wcoj_on_random_triangles() {
         for seed in 0..10u64 {
             let q = JoinQuery::triangle();
             let db = generators::random_binary_database(&q, 40, 10, seed);
-            let (ans, _) = left_deep_join(&q, &db).unwrap();
-            assert_eq!(ans, wcoj::join(&q, &db, None).unwrap(), "seed {seed}");
+            let (ans, _) = left_deep_all(&q, &db);
+            assert_eq!(ans, wcoj_all(&q, &db), "seed {seed}");
         }
     }
 
@@ -171,8 +200,8 @@ mod tests {
         for seed in 0..5u64 {
             for q in [JoinQuery::star(3), JoinQuery::cycle(4)] {
                 let db = generators::random_binary_database(&q, 25, 6, seed);
-                let (ans, _) = left_deep_join(&q, &db).unwrap();
-                assert_eq!(ans, wcoj::join(&q, &db, None).unwrap());
+                let (ans, _) = left_deep_all(&q, &db);
+                assert_eq!(ans, wcoj_all(&q, &db));
             }
         }
     }
@@ -186,15 +215,26 @@ mod tests {
         // check: the intermediate exceeds every input relation.
         let q = JoinQuery::triangle();
         let (db, _) = crate::agm::worst_case_database(&q, 64).unwrap();
-        let (_, stats) = left_deep_join(&q, &db).unwrap();
+        let (_, stats) = left_deep_all(&q, &db);
         assert!(
-            stats.max_intermediate > db.max_table_size(),
+            stats.max_intermediate as usize > db.max_table_size(),
             "intermediate {} should exceed inputs {}",
             stats.max_intermediate,
             db.max_table_size()
         );
         // Exactly s³ = 512 for n = 64 (s = 8).
         assert_eq!(stats.max_intermediate, 512);
+        // Every materialized intermediate tuple was ticked.
+        assert!(stats.tuples >= stats.max_intermediate);
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let q = JoinQuery::triangle();
+        let (db, _) = crate::agm::worst_case_database(&q, 64).unwrap();
+        let (out, stats) = left_deep_join(&q, &db, &Budget::ticks(20)).unwrap();
+        assert!(out.is_exhausted());
+        assert_eq!(stats.total_ops(), 21); // the crossing op is still recorded
     }
 
     #[test]
@@ -212,8 +252,8 @@ mod tests {
             "S",
             crate::database::Table::from_rows(1, vec![vec![7], vec![8]]),
         );
-        let (ans, _) = left_deep_join(&q, &db).unwrap();
+        let (ans, _) = left_deep_all(&q, &db);
         assert_eq!(ans.len(), 4);
-        assert_eq!(ans, wcoj::join(&q, &db, None).unwrap());
+        assert_eq!(ans, wcoj_all(&q, &db));
     }
 }

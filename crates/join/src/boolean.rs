@@ -11,13 +11,19 @@
 use crate::database::Database;
 use crate::query::JoinQuery;
 use crate::wcoj::{self, JoinError};
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 use std::collections::BTreeMap;
 
-/// Decides whether the answer is empty, with Generic Join's early exit.
+/// Decides whether the answer is empty, with Generic Join's early exit:
+/// `Sat(is_empty)` or `Exhausted`.
 #[must_use = "dropping the result discards the emptiness answer or the failure"]
-pub fn is_answer_empty(q: &JoinQuery, db: &Database) -> Result<bool, JoinError> {
-    wcoj::is_empty(q, db, None)
+pub fn is_answer_empty(
+    q: &JoinQuery,
+    db: &Database,
+    budget: &Budget,
+) -> Result<(Outcome<bool>, RunStats), JoinError> {
+    wcoj::is_empty(q, db, None, budget)
 }
 
 /// Translates a **triangle query** database into a tripartite graph: one
@@ -80,13 +86,23 @@ mod tests {
     use crate::database::Table;
     use crate::generators;
 
+    fn empty_unlimited(q: &JoinQuery, db: &Database) -> bool {
+        is_answer_empty(q, db, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
+
     #[test]
     fn emptiness_matches_join_size() {
         for seed in 0..10u64 {
             let q = JoinQuery::triangle();
             let db = generators::random_binary_database(&q, 20, 8, seed);
-            let empty = is_answer_empty(&q, &db).unwrap();
-            let size = wcoj::count(&q, &db, None).unwrap();
+            let empty = empty_unlimited(&q, &db);
+            let size = wcoj::count(&q, &db, None, &Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat();
             assert_eq!(empty, size == 0, "seed {seed}");
         }
     }
@@ -113,7 +129,7 @@ mod tests {
                     }
                 }
             }
-            let empty = is_answer_empty(&q, &db).unwrap();
+            let empty = empty_unlimited(&q, &db);
             assert_eq!(!empty, has_triangle, "seed {seed}");
         }
     }

@@ -91,7 +91,10 @@ mod tests {
     fn planted_triangle_is_found() {
         let q = JoinQuery::triangle();
         let db = planted_triangle_database(10, 100, 7);
-        let ans = wcoj::join(&q, &db, None).unwrap();
+        let ans = wcoj::join(&q, &db, None, &lb_engine::Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat();
         assert!(ans.contains(&vec![0, 0, 0]));
     }
 

@@ -17,6 +17,10 @@
 //!   triangle inputs (experiment E2's contrast);
 //! * [`boolean`] — the Boolean Join Query problem (emptiness), the decision
 //!   version §8's triangle conjecture speaks about.
+//!
+//! Every evaluator takes a [`lb_engine::Budget`] and returns an
+//! [`lb_engine::Outcome`] paired with [`lb_engine::RunStats`] counters
+//! (nodes tried, trie advances, tuples materialized, largest intermediate).
 
 #![forbid(unsafe_code)]
 

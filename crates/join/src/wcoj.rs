@@ -8,10 +8,20 @@
 //! binary-searching the others. Its running time is within a log factor of
 //! N^{ρ*} — matching the unconditional lower bound of Theorem 3.2, which is
 //! what makes it *worst-case optimal*.
+//!
+//! Engine mapping: each candidate value tried is a [`RunStats::nodes`]
+//! tick, each per-relation range narrowing a [`RunStats::trie_advances`]
+//! tick, and each answer tuple emitted a [`RunStats::tuples`] tick —
+//! machine-independent proxies for the Õ(N^{ρ*}) running time.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::trie_advances`]: lb_engine::RunStats::trie_advances
+//! [`RunStats::tuples`]: lb_engine::RunStats::tuples
 
 use crate::database::Database;
 use crate::query::{AnswerTuple, JoinQuery};
 use crate::Value;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Errors from join evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,7 +129,11 @@ struct Range {
 
 /// Runs Generic Join; calls `visit` with each answer tuple **in the global
 /// variable order** (not attribute order). Returning `true` stops early.
-fn generic_join<F: FnMut(&[Value]) -> bool>(p: &Prepared, visit: &mut F) {
+fn generic_join<F: FnMut(&[Value]) -> bool>(
+    p: &Prepared,
+    ticker: &mut Ticker,
+    visit: &mut F,
+) -> Result<bool, ExhaustReason> {
     let mut ranges: Vec<Range> = p
         .atoms
         .iter()
@@ -130,7 +144,7 @@ fn generic_join<F: FnMut(&[Value]) -> bool>(p: &Prepared, visit: &mut F) {
         })
         .collect();
     let mut tuple: Vec<Value> = vec![0; p.num_vars];
-    recurse(p, 0, &mut ranges, &mut tuple, visit);
+    recurse(p, 0, &mut ranges, &mut tuple, ticker, visit)
 }
 
 fn recurse<F: FnMut(&[Value]) -> bool>(
@@ -138,10 +152,12 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
     level: usize,
     ranges: &mut Vec<Range>,
     tuple: &mut Vec<Value>,
+    ticker: &mut Ticker,
     visit: &mut F,
-) -> bool {
+) -> Result<bool, ExhaustReason> {
     if level == p.num_vars {
-        return visit(tuple);
+        ticker.tuple()?;
+        return Ok(visit(tuple));
     }
     // Atoms whose next unbound column is this variable.
     let participants: Vec<usize> = (0..p.atoms.len())
@@ -166,6 +182,7 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
         (r.lo, r.hi, r.depth)
     };
     while lo < hi {
+        ticker.node()?;
         let v = p.atoms[driver].rows[lo][depth];
         let lo_end = upper_bound(&p.atoms[driver].rows, lo, hi, depth, v);
 
@@ -173,6 +190,7 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
         let saved: Vec<Range> = participants.iter().map(|&i| ranges[i]).collect();
         let mut ok = true;
         for &i in &participants {
+            ticker.trie_advance()?;
             let r = ranges[i];
             let (nl, nh) = if i == driver {
                 (lo, lo_end)
@@ -191,8 +209,8 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
         }
         if ok {
             tuple[level] = v;
-            if recurse(p, level + 1, ranges, tuple, visit) {
-                return true;
+            if recurse(p, level + 1, ranges, tuple, ticker, visit)? {
+                return Ok(true);
             }
         }
         // Restore.
@@ -201,7 +219,7 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
         }
         lo = lo_end;
     }
-    false
+    Ok(false)
 }
 
 /// First index in [lo, hi) where `rows[idx][col] > v` (rows sorted, columns
@@ -217,13 +235,15 @@ fn equal_range(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) 
 }
 
 /// Computes the full answer; tuples are in [`JoinQuery::attributes`] order,
-/// sorted lexicographically.
+/// sorted lexicographically. Malformed inputs fail with `Err`; running out
+/// of budget yields `Ok` with [`Outcome::Exhausted`].
 #[must_use = "dropping the result discards the join answers or the failure"]
 pub fn join(
     q: &JoinQuery,
     db: &Database,
     order: Option<&[String]>,
-) -> Result<Vec<AnswerTuple>, JoinError> {
+    budget: &Budget,
+) -> Result<(Outcome<Vec<AnswerTuple>>, RunStats), JoinError> {
     let attrs = q.attributes();
     let ord: Vec<String> = order.map(|o| o.to_vec()).unwrap_or_else(|| attrs.clone());
     let p = prepare(q, db, order)?;
@@ -233,45 +253,70 @@ pub fn join(
         // lb-lint: allow(no-panic) -- invariant: the chosen order covers every atom attribute
         .map(|a| ord.iter().position(|x| x == a).expect("validated"))
         .collect();
+    let mut ticker = Ticker::new(budget);
     let mut out = Vec::new();
-    generic_join(&p, &mut |t| {
+    let result = generic_join(&p, &mut ticker, &mut |t| {
         out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
         false
     });
     out.sort_unstable();
-    Ok(out)
+    Ok(ticker.finish(result.map(|_| Some(out))))
 }
 
-/// Counts answer tuples without materializing them.
+/// Counts answer tuples without materializing them: `Sat(count)` or
+/// `Exhausted`.
 #[must_use = "dropping the result discards the answer count or the failure"]
-pub fn count(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<u64, JoinError> {
+pub fn count(
+    q: &JoinQuery,
+    db: &Database,
+    order: Option<&[String]>,
+    budget: &Budget,
+) -> Result<(Outcome<u64>, RunStats), JoinError> {
     let p = prepare(q, db, order)?;
+    let mut ticker = Ticker::new(budget);
     let mut n = 0u64;
-    generic_join(&p, &mut |_| {
+    let result = generic_join(&p, &mut ticker, &mut |_| {
         n += 1;
         false
     });
-    Ok(n)
+    Ok(ticker.finish(result.map(|_| Some(n))))
 }
 
-/// Decides emptiness with early exit (the BOOLEAN JOIN QUERY problem).
+/// Decides emptiness with early exit (the BOOLEAN JOIN QUERY problem):
+/// `Sat(is_empty)` or `Exhausted`.
 #[must_use = "dropping the result discards the emptiness answer or the failure"]
-pub fn is_empty(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<bool, JoinError> {
+pub fn is_empty(
+    q: &JoinQuery,
+    db: &Database,
+    order: Option<&[String]>,
+    budget: &Budget,
+) -> Result<(Outcome<bool>, RunStats), JoinError> {
     let p = prepare(q, db, order)?;
-    let mut nonempty = false;
-    generic_join(&p, &mut |_| {
-        nonempty = true;
-        true
-    });
-    Ok(!nonempty)
+    let mut ticker = Ticker::new(budget);
+    let result = generic_join(&p, &mut ticker, &mut |_| true);
+    Ok(ticker.finish(result.map(|nonempty| Some(!nonempty))))
 }
 
 /// Testing oracle: joins the atoms one at a time by scanning all pairs
 /// (no hashing, no sorting tricks). Exponentially slower but obviously
 /// correct; output matches [`join`]'s order.
 #[must_use = "dropping the result discards the join answers or the failure"]
-pub fn nested_loop_join(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>, JoinError> {
+pub fn nested_loop_join(
+    q: &JoinQuery,
+    db: &Database,
+    budget: &Budget,
+) -> Result<(Outcome<Vec<AnswerTuple>>, RunStats), JoinError> {
     db.validate_for(q).map_err(JoinError::BadDatabase)?;
+    let mut ticker = Ticker::new(budget);
+    let result = nested_loop_inner(q, db, &mut ticker);
+    Ok(ticker.finish(result.map(Some)))
+}
+
+fn nested_loop_inner(
+    q: &JoinQuery,
+    db: &Database,
+    ticker: &mut Ticker,
+) -> Result<Vec<AnswerTuple>, ExhaustReason> {
     let attrs = q.attributes();
     // Partial tuples: map attr index → value, grown atom by atom.
     let mut partial: Vec<Vec<Option<Value>>> = vec![vec![None; attrs.len()]];
@@ -287,6 +332,7 @@ pub fn nested_loop_join(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>
         let mut next = Vec::new();
         for pt in &partial {
             'rows: for row in table.rows() {
+                ticker.node()?;
                 let mut cand = pt.clone();
                 for (&ai, &v) in cols.iter().zip(row) {
                     match cand[ai] {
@@ -295,10 +341,12 @@ pub fn nested_loop_join(q: &JoinQuery, db: &Database) -> Result<Vec<AnswerTuple>
                         Some(_) => continue 'rows,
                     }
                 }
+                ticker.tuple()?;
                 next.push(cand);
             }
         }
         partial = next;
+        ticker.record_intermediate(partial.len() as u64);
     }
     let mut out: Vec<AnswerTuple> = partial
         .into_iter()
@@ -321,6 +369,27 @@ mod tests {
     use crate::generators;
     use crate::query::Atom;
 
+    fn join_all(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Vec<AnswerTuple> {
+        join(q, db, order, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
+
+    fn count_all(q: &JoinQuery, db: &Database) -> u64 {
+        count(q, db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
+
+    fn nested_all(q: &JoinQuery, db: &Database) -> Vec<AnswerTuple> {
+        nested_loop_join(q, db, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
+
     fn tiny_triangle_db() -> Database {
         // Edges of a 4-cycle + chord: triangles {0,1,2}.
         let pairs = vec![vec![0u64, 1], vec![1, 2], vec![0, 2], vec![2, 3]];
@@ -339,12 +408,42 @@ mod tests {
     fn triangle_join_finds_triangles() {
         let q = JoinQuery::triangle();
         let db = tiny_triangle_db();
-        let ans = join(&q, &db, None).unwrap();
+        let ans = join_all(&q, &db, None);
         // Triangle {0,1,2} in all 6 orientations.
         assert_eq!(ans.len(), 6);
         assert!(ans.contains(&vec![0, 1, 2]));
-        assert_eq!(count(&q, &db, None).unwrap(), 6);
-        assert!(!is_empty(&q, &db, None).unwrap());
+        assert_eq!(count_all(&q, &db), 6);
+        assert!(!is_empty(&q, &db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat());
+    }
+
+    #[test]
+    fn counters_reflect_the_search() {
+        let q = JoinQuery::triangle();
+        let db = tiny_triangle_db();
+        let (out, stats) = join(&q, &db, None, &Budget::unlimited()).unwrap();
+        assert_eq!(out.unwrap_sat().len(), 6);
+        assert_eq!(stats.tuples, 6);
+        assert!(stats.nodes > 0, "candidate values must be counted");
+        assert!(
+            stats.trie_advances >= stats.nodes,
+            "every candidate narrows at least its driver"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let q = JoinQuery::triangle();
+        let db = tiny_triangle_db();
+        let (out, stats) = join(&q, &db, None, &Budget::ticks(3)).unwrap();
+        assert!(out.is_exhausted());
+        assert_eq!(stats.total_ops(), 4); // the crossing op is still recorded
+        let (out, _) = count(&q, &db, None, &Budget::ticks(3)).unwrap();
+        assert!(out.is_exhausted());
+        let (out, _) = nested_loop_join(&q, &db, &Budget::ticks(3)).unwrap();
+        assert!(out.is_exhausted());
     }
 
     #[test]
@@ -352,8 +451,8 @@ mod tests {
         for seed in 0..10u64 {
             let q = JoinQuery::triangle();
             let db = generators::random_binary_database(&q, 30, 8, seed);
-            let a = join(&q, &db, None).unwrap();
-            let b = nested_loop_join(&q, &db).unwrap();
+            let a = join_all(&q, &db, None);
+            let b = nested_all(&q, &db);
             assert_eq!(a, b, "seed {seed}");
         }
     }
@@ -363,11 +462,7 @@ mod tests {
         for seed in 0..5u64 {
             let q = JoinQuery::cycle(4);
             let db = generators::random_binary_database(&q, 20, 6, seed);
-            assert_eq!(
-                join(&q, &db, None).unwrap(),
-                nested_loop_join(&q, &db).unwrap(),
-                "seed {seed}"
-            );
+            assert_eq!(join_all(&q, &db, None), nested_all(&q, &db), "seed {seed}");
         }
     }
 
@@ -376,11 +471,7 @@ mod tests {
         for seed in 0..5u64 {
             let q = JoinQuery::loomis_whitney(3);
             let db = generators::random_database(&q, 25, 5, seed);
-            assert_eq!(
-                join(&q, &db, None).unwrap(),
-                nested_loop_join(&q, &db).unwrap(),
-                "seed {seed}"
-            );
+            assert_eq!(join_all(&q, &db, None), nested_all(&q, &db), "seed {seed}");
         }
     }
 
@@ -388,13 +479,13 @@ mod tests {
     fn custom_variable_orders_agree() {
         let q = JoinQuery::triangle();
         let db = generators::random_binary_database(&q, 40, 10, 3);
-        let base = join(&q, &db, None).unwrap();
+        let base = join_all(&q, &db, None);
         for ord in [
             vec!["a".to_string(), "b".into(), "c".into()],
             vec!["c".to_string(), "b".into(), "a".into()],
             vec!["b".to_string(), "c".into(), "a".into()],
         ] {
-            assert_eq!(join(&q, &db, Some(&ord)).unwrap(), base, "order {ord:?}");
+            assert_eq!(join_all(&q, &db, Some(&ord)), base, "order {ord:?}");
         }
     }
 
@@ -404,7 +495,7 @@ mod tests {
         let db = tiny_triangle_db();
         let ord = vec!["a".to_string(), "b".into()];
         assert!(matches!(
-            join(&q, &db, Some(&ord)),
+            join(&q, &db, Some(&ord), &Budget::unlimited()),
             Err(JoinError::BadOrder(_))
         ));
     }
@@ -414,8 +505,11 @@ mod tests {
         let q = JoinQuery::triangle();
         let mut db = tiny_triangle_db();
         db.insert("S", Table::new(2));
-        assert!(is_empty(&q, &db, None).unwrap());
-        assert_eq!(count(&q, &db, None).unwrap(), 0);
+        assert!(is_empty(&q, &db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat());
+        assert_eq!(count_all(&q, &db), 0);
     }
 
     #[test]
@@ -423,7 +517,7 @@ mod tests {
         let q = JoinQuery::new(vec![Atom::new("R", &["x", "y"])]);
         let mut db = Database::new();
         db.insert("R", Table::from_rows(2, vec![vec![1, 2], vec![3, 4]]));
-        let ans = join(&q, &db, None).unwrap();
+        let ans = join_all(&q, &db, None);
         assert_eq!(ans, vec![vec![1, 2], vec![3, 4]]);
     }
 
@@ -436,7 +530,7 @@ mod tests {
             "R",
             Table::from_rows(2, vec![vec![1, 1], vec![1, 2], vec![3, 3]]),
         );
-        let ans = join(&q, &db, None).unwrap();
+        let ans = join_all(&q, &db, None);
         assert_eq!(ans, vec![vec![1], vec![3]]);
     }
 
@@ -457,16 +551,16 @@ mod tests {
             "S",
             Table::from_rows(2, vec![vec![1, 100], vec![2, 200], vec![3, 300]]),
         );
-        let ans = join(&q, &db, None).unwrap();
+        let ans = join_all(&q, &db, None);
         // Attributes sorted: [a, b, c].
         assert_eq!(ans, vec![vec![1, 10, 100], vec![2, 20, 200]]);
-        assert_eq!(ans, nested_loop_join(&q, &db).unwrap());
+        assert_eq!(ans, nested_all(&q, &db));
     }
 
     #[test]
     fn worst_case_count_equals_prediction() {
         let q = JoinQuery::triangle();
         let (db, predicted) = crate::agm::worst_case_database(&q, 49).unwrap();
-        assert_eq!(count(&q, &db, None).unwrap() as u128, predicted);
+        assert_eq!(count_all(&q, &db) as u128, predicted);
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests for the join engines: all evaluators agree, the AGM
 //! bound holds, and Yannakakis matches on acyclic queries.
 
+use lb_engine::Budget;
 use lb_join::acyclic::{is_acyclic, yannakakis};
 use lb_join::{agm, binary, generators, wcoj, Atom, JoinQuery};
 use proptest::prelude::*;
@@ -25,14 +26,15 @@ proptest! {
     fn triangle_engines_agree(rows in 3usize..25, dom in 2u64..9, seed in 0u64..10_000) {
         let q = JoinQuery::triangle();
         let db = generators::random_binary_database(&q, rows, dom, seed);
-        let a = wcoj::join(&q, &db, None).unwrap();
-        let (b, _) = binary::left_deep_join(&q, &db).unwrap();
-        let c = wcoj::nested_loop_join(&q, &db).unwrap();
+        let a = wcoj::join(&q, &db, None, &Budget::unlimited()).unwrap().0.unwrap_sat();
+        let (b_out, _) = binary::left_deep_join(&q, &db, &Budget::unlimited()).unwrap();
+        let b = b_out.unwrap_sat();
+        let c = wcoj::nested_loop_join(&q, &db, &Budget::unlimited()).unwrap().0.unwrap_sat();
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(&a, &c);
         prop_assert!(agm::agm_bound_holds(&q, &db, a.len() as u128).unwrap());
-        prop_assert_eq!(wcoj::count(&q, &db, None).unwrap() as usize, a.len());
-        prop_assert_eq!(wcoj::is_empty(&q, &db, None).unwrap(), a.is_empty());
+        prop_assert_eq!(wcoj::count(&q, &db, None, &Budget::unlimited()).unwrap().0.unwrap_sat() as usize, a.len());
+        prop_assert_eq!(wcoj::is_empty(&q, &db, None, &Budget::unlimited()).unwrap().0.unwrap_sat(), a.is_empty());
     }
 
     /// On acyclic (path) queries Yannakakis agrees with everything.
@@ -41,8 +43,8 @@ proptest! {
         let q = path_query(len);
         prop_assert!(is_acyclic(&q));
         let db = generators::random_binary_database(&q, rows, dom, seed);
-        let a = wcoj::join(&q, &db, None).unwrap();
-        let y = yannakakis(&q, &db).unwrap();
+        let a = wcoj::join(&q, &db, None, &Budget::unlimited()).unwrap().0.unwrap_sat();
+        let y = yannakakis(&q, &db, &Budget::unlimited()).unwrap().0.unwrap_sat();
         prop_assert_eq!(a, y);
     }
 
@@ -57,7 +59,7 @@ proptest! {
         };
         let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
         prop_assert!(db.max_table_size() as u64 <= n);
-        let count = wcoj::count(&q, &db, None).unwrap();
+        let count = wcoj::count(&q, &db, None, &Budget::unlimited()).unwrap().0.unwrap_sat();
         prop_assert_eq!(count as u128, predicted);
         prop_assert!(agm::agm_bound_holds(&q, &db, predicted).unwrap());
     }
@@ -72,8 +74,8 @@ proptest! {
             ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
         ];
         let ord: Vec<String> = orders[perm].iter().map(|s| s.to_string()).collect();
-        let base = wcoj::join(&q, &db, None).unwrap();
-        let other = wcoj::join(&q, &db, Some(&ord)).unwrap();
+        let base = wcoj::join(&q, &db, None, &Budget::unlimited()).unwrap().0.unwrap_sat();
+        let other = wcoj::join(&q, &db, Some(&ord), &Budget::unlimited()).unwrap().0.unwrap_sat();
         prop_assert_eq!(base, other);
     }
 }

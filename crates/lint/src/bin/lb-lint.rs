@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Exit code: a bitmask of violated rules (R1 = 1, R2 = 2, R3 = 4, R4 = 8,
-//! R5 = 16, malformed directives = 32, usage/IO error = 64); 0 when clean.
+//! R5 = 16, malformed directives = 32, R6 = 64, usage/IO error = 128);
+//! 0 when clean.
 
 use lb_lint::{clean_summary, exit_code, lint_workspace, render_json, render_text, Config};
 use std::path::PathBuf;
@@ -33,7 +34,7 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!("usage: lb-lint [--format json|text] [--root PATH]");
-                println!("exit code: bitmask R1=1 R2=2 R3=4 R4=8 R5=16 directives=32 io=64");
+                println!("exit code: bitmask R1=1 R2=2 R3=4 R4=8 R5=16 directives=32 R6=64 io=128");
                 return;
             }
             other => usage_error(&format!("unknown argument {other:?}")),
@@ -57,7 +58,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("lb-lint: IO error: {e}");
-            process::exit(64);
+            process::exit(128);
         }
     }
 }
@@ -65,5 +66,5 @@ fn main() {
 fn usage_error(msg: &str) -> ! {
     eprintln!("lb-lint: {msg}");
     eprintln!("usage: lb-lint [--format json|text] [--root PATH]");
-    process::exit(64);
+    process::exit(128);
 }

@@ -16,7 +16,11 @@
 //! * **R3 `forbid-unsafe`** — `#![forbid(unsafe_code)]` in every crate root;
 //! * **R4 `must-use-result`** — fallible public solver/join/reduction entry
 //!   points return `Result` and carry `#[must_use]`;
-//! * **R5 `no-process-exit`** — no `std::process::exit` outside `src/bin/`.
+//! * **R5 `no-process-exit`** — no `std::process::exit` outside `src/bin/`;
+//! * **R6 `no-adhoc-timing`** — no ad-hoc `Instant::now()` wall-clock timing
+//!   in solver library code: work is reported through the engine layer's
+//!   machine-independent `RunStats` counters, and wall-clock measurement
+//!   belongs to the `lowerbounds::experiments` harness (and bench/bin code).
 //!
 //! Escape hatch: a trailing comment of the form
 //! `lb-lint: allow(rule) -- reason` (the justification after `--` is

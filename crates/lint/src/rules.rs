@@ -1,4 +1,4 @@
-//! The five repo-specific lint rules and the per-file checking engine.
+//! The six repo-specific lint rules and the per-file checking engine.
 //!
 //! Rules operate on the masked lines produced by [`crate::lexer::scan`], so
 //! they never fire inside strings or comments, and they respect the
@@ -9,7 +9,7 @@ use crate::lexer::{scan, ScannedFile};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-/// The enforced rules. Codes R1–R5 index the per-rule exit-code bits.
+/// The enforced rules. Codes R1–R6 index the per-rule exit-code bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// R1: no `unwrap()`/`expect()`/`panic!`/`todo!`/`unreachable!` in
@@ -25,18 +25,23 @@ pub enum Rule {
     MustUseResult,
     /// R5: no `std::process::exit` outside `src/bin/`.
     NoProcessExit,
+    /// R6: no ad-hoc `Instant::now()` wall-clock timing in solver library
+    /// code — work is measured by the engine layer's `RunStats` counters,
+    /// and wall-clock timing lives in the `experiments` harness.
+    NoAdhocTiming,
     /// D0: a malformed `lb-lint:` directive (unknown rule, missing reason).
     BadDirective,
 }
 
 impl Rule {
     /// All real rules (excludes the directive pseudo-rule).
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoPanic,
         Rule::NoLossyCast,
         Rule::ForbidUnsafe,
         Rule::MustUseResult,
         Rule::NoProcessExit,
+        Rule::NoAdhocTiming,
     ];
 
     /// The stable kebab-case name used in `allow(...)` directives.
@@ -47,6 +52,7 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::MustUseResult => "must-use-result",
             Rule::NoProcessExit => "no-process-exit",
+            Rule::NoAdhocTiming => "no-adhoc-timing",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -59,6 +65,7 @@ impl Rule {
             Rule::ForbidUnsafe => "R3",
             Rule::MustUseResult => "R4",
             Rule::NoProcessExit => "R5",
+            Rule::NoAdhocTiming => "R6",
             Rule::BadDirective => "D0",
         }
     }
@@ -71,6 +78,7 @@ impl Rule {
             Rule::ForbidUnsafe => 4,
             Rule::MustUseResult => 8,
             Rule::NoProcessExit => 16,
+            Rule::NoAdhocTiming => 64,
             Rule::BadDirective => 32,
         }
     }
@@ -141,6 +149,9 @@ pub struct Config {
     /// Path substrings whose public `Result`-returning fns must be
     /// `#[must_use]` (solver/join/reduction entry points).
     pub entry_point_paths: Vec<String>,
+    /// Path substrings exempt from the `no-adhoc-timing` rule: the engine
+    /// layer and the experiments harness are where wall-clock time belongs.
+    pub timing_exempt_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -154,6 +165,11 @@ impl Default for Config {
                 "crates/lp/src/".into(),
                 "crates/reductions/src/".into(),
                 "crates/graphalg/src/".into(),
+            ],
+            timing_exempt_paths: vec![
+                "crates/engine/src/".into(),
+                "crates/core/src/experiments.rs".into(),
+                "vendor/".into(),
             ],
         }
     }
@@ -357,6 +373,30 @@ pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violati
                         sig.name
                     ),
                     snippet: snippet_at(source, sig.line),
+                });
+            }
+        }
+    }
+
+    // R6 — no ad-hoc wall-clock timing in solver library code.
+    let timing_exempt = config
+        .timing_exempt_paths
+        .iter()
+        .any(|p| rel_path.contains(p.as_str()));
+    if kind == FileKind::Library && !timing_exempt {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let lineno = idx + 1;
+            if contains_token(&line.code, "Instant::now()") && !allowed(lineno, Rule::NoAdhocTiming)
+            {
+                out.push(Violation {
+                    rule: Rule::NoAdhocTiming,
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    message: "`Instant::now()` in solver library code makes results machine-dependent; report work through the engine layer's `RunStats` counters (or time in the `experiments` harness), or add `// lb-lint: allow(no-adhoc-timing) -- reason`".into(),
+                    snippet: snippet_at(source, lineno),
                 });
             }
         }
@@ -671,6 +711,34 @@ pub(crate) fn internal() -> Result<(), String> { Ok(()) }
         // Allowed in binaries.
         let v = lint_source("crates/core/src/bin/tool.rs", src, &Config::default());
         assert!(!v.iter().any(|v| v.rule == Rule::NoProcessExit));
+    }
+
+    #[test]
+    fn r6_flags_adhoc_timing_in_library() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t.elapsed(); }\n";
+        let v = lint_lib(src);
+        assert!(v.iter().any(|v| v.rule == Rule::NoAdhocTiming));
+        // Exempt in the engine layer, the experiments harness, binaries,
+        // tests, benches, and examples.
+        for path in [
+            "crates/engine/src/lib.rs",
+            "crates/core/src/experiments.rs",
+            "crates/core/src/bin/tool.rs",
+            "crates/x/benches/b.rs",
+            "examples/demo.rs",
+        ] {
+            let v = lint_source(path, src, &Config::default());
+            assert!(
+                !v.iter().any(|v| v.rule == Rule::NoAdhocTiming),
+                "R6 fired under exempt path {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn r6_respects_allow_directive() {
+        let src = "fn f() { let _t = std::time::Instant::now(); } // lb-lint: allow(no-adhoc-timing) -- coarse watchdog only\n";
+        assert!(lint_lib(src).is_empty());
     }
 
     #[test]

@@ -129,6 +129,35 @@ fn r5_clean_fixture_is_silent_under_bin_path() {
 }
 
 #[test]
+fn r6_violating_fixture_is_flagged() {
+    assert_eq!(
+        rules_fired("r6_violating.rs", "crates/x/src/solver.rs"),
+        vec![Rule::NoAdhocTiming]
+    );
+}
+
+#[test]
+fn r6_is_exempt_in_engine_experiments_and_bench_code() {
+    for rel in [
+        "crates/engine/src/budget.rs",
+        "crates/core/src/experiments.rs",
+        "crates/x/src/bin/tool.rs",
+        "crates/x/benches/b.rs",
+    ] {
+        assert_eq!(
+            rules_fired("r6_violating.rs", rel),
+            vec![],
+            "R6 must not fire under {rel}"
+        );
+    }
+}
+
+#[test]
+fn r6_clean_fixture_is_silent() {
+    assert_eq!(rules_fired("r6_clean.rs", "crates/x/src/solver.rs"), vec![]);
+}
+
+#[test]
 fn bad_directives_are_reported_and_do_not_suppress() {
     let v = lint_source(
         "crates/x/src/foo.rs",
@@ -159,7 +188,7 @@ fn good_directives_suppress_cleanly() {
 fn every_rule_has_a_violating_and_a_clean_fixture() {
     // Meta-check: the fixture corpus stays complete as rules evolve.
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
-    for code in ["r1", "r2", "r3", "r4", "r5"] {
+    for code in ["r1", "r2", "r3", "r4", "r5", "r6"] {
         for suffix in ["violating", "clean"] {
             let name = format!("{code}_{suffix}.rs");
             assert!(dir.join(&name).exists(), "fixture corpus is missing {name}");

@@ -8,6 +8,7 @@
 //! algorithm.
 
 use lb_csp::{Constraint, CspInstance, Relation, Value};
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 use std::sync::Arc;
 
@@ -43,10 +44,12 @@ pub fn solution_forward(clique: &[usize]) -> Vec<Value> {
 }
 
 /// Decides k-Clique through the CSP route (for the correctness tests and
-/// experiment E7).
-pub fn has_clique_via_csp(g: &Graph, k: usize) -> Option<Vec<usize>> {
+/// experiment E7): `Sat(clique)`, `Unsat`, or `Exhausted` with the CSP
+/// solver's counters.
+pub fn has_clique_via_csp(g: &Graph, k: usize, budget: &Budget) -> (Outcome<Vec<usize>>, RunStats) {
     let inst = reduce(g, k);
-    lb_csp::solver::solve(&inst).map(|s| solution_back(&s))
+    let (out, stats) = lb_csp::solver::solve(&inst, budget);
+    (out.map(|s| solution_back(&s)), stats)
 }
 
 #[cfg(test)]
@@ -60,9 +63,11 @@ mod tests {
         for seed in 0..12u64 {
             let g = generators::gnp(10, 0.5, seed);
             for k in 2..=4 {
-                let direct = clique::find_clique(&g, k);
-                let via_csp = has_clique_via_csp(&g, k);
-                assert_eq!(direct.is_some(), via_csp.is_some(), "seed {seed}, k {k}");
+                let direct = clique::find_clique(&g, k, &Budget::unlimited()).0;
+                let via_csp = has_clique_via_csp(&g, k, &Budget::unlimited())
+                    .0
+                    .unwrap_decided();
+                assert_eq!(direct.is_sat(), via_csp.is_some(), "seed {seed}, k {k}");
                 if let Some(c) = via_csp {
                     assert!(g.is_clique(&c), "seed {seed}, k {k}");
                     assert_eq!(c.len(), k);
@@ -78,12 +83,23 @@ mod tests {
             for k in 2..=4 {
                 let inst = reduce(&g, k);
                 assert_eq!(
-                    lb_csp::solver::count(&inst),
-                    clique::count_cliques(&g, k),
+                    lb_csp::solver::count(&inst, &Budget::unlimited())
+                        .0
+                        .unwrap_sat(),
+                    clique::count_cliques(&g, k, &Budget::unlimited())
+                        .0
+                        .unwrap_sat(),
                     "seed {seed}, k {k}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let g = generators::gnp(10, 0.5, 0);
+        let b = Budget::ticks(0); // the very first solver op exhausts
+        assert!(has_clique_via_csp(&g, 3, &b).0.is_exhausted());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! optimal under the ETH.
 
 use lb_csp::{Constraint, CspInstance, Relation, Value};
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 use std::sync::Arc;
 
@@ -52,13 +53,26 @@ pub fn solution_back(k: usize, solution: &[Value]) -> Vec<usize> {
 }
 
 /// Decides k-Clique through the special-CSP route, using the
-/// quasipolynomial special solver.
-pub fn has_clique_via_special(g: &Graph, k: usize) -> Option<Vec<usize>> {
+/// quasipolynomial special solver: `Sat(clique)`, `Unsat`, or `Exhausted`
+/// with the special solver's counters.
+pub fn has_clique_via_special(
+    g: &Graph,
+    k: usize,
+    budget: &Budget,
+) -> (Outcome<Vec<usize>>, RunStats) {
     let inst = reduce(g, k);
-    let result = lb_csp::solver::special::solve_special(&inst)
+    let (out, stats) = lb_csp::solver::special::solve_special(&inst, budget)
         // lb-lint: allow(no-panic) -- invariant: the reduction constructs a special primal graph by design
         .expect("reduction output must have a special primal graph");
-    result.solution.map(|s| solution_back(k, &s))
+    let out = match out {
+        Outcome::Sat(result) => match result.solution {
+            Some(s) => Outcome::Sat(solution_back(k, &s)),
+            None => Outcome::Unsat,
+        },
+        Outcome::Unsat => Outcome::Unsat,
+        Outcome::Exhausted(r) => Outcome::Exhausted(r),
+    };
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -80,19 +94,32 @@ mod tests {
         }
     }
 
+    fn via_special_u(g: &lb_graph::Graph, k: usize) -> Option<Vec<usize>> {
+        has_clique_via_special(g, k, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
     #[test]
     fn matches_direct_clique_search() {
         for seed in 0..10u64 {
             let g = generators::gnp(9, 0.5, seed);
             for k in 2..=4 {
-                let direct = clique::find_clique(&g, k).is_some();
-                let via = has_clique_via_special(&g, k);
+                let direct = clique::find_clique(&g, k, &Budget::unlimited()).0.is_sat();
+                let via = via_special_u(&g, k);
                 assert_eq!(via.is_some(), direct, "seed {seed}, k {k}");
                 if let Some(c) = via {
                     assert!(g.is_clique(&c), "seed {seed}, k {k}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let g = generators::gnp(9, 0.5, 0);
+        let b = Budget::ticks(0); // the very first solver op exhausts
+        assert!(has_clique_via_special(&g, 3, &b).0.is_exhausted());
     }
 
     #[test]
@@ -106,7 +133,7 @@ mod tests {
     #[test]
     fn planted_clique_found_through_special_route() {
         let (g, _) = generators::planted_clique(12, 4, 0.2, 7);
-        let c = has_clique_via_special(&g, 4).expect("planted clique present");
+        let c = via_special_u(&g, 4).expect("planted clique present");
         assert!(g.is_clique(&c));
     }
 

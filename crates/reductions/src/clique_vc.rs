@@ -8,6 +8,7 @@
 //! the asymmetry at the heart of §5. The tests demonstrate both the
 //! correctness of the reduction and the parameter blow-up.
 
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 
 /// Clique(G, k) → VertexCover(Ḡ, n − k).
@@ -36,12 +37,17 @@ pub fn cover_to_clique(g: &Graph, cover: &[usize]) -> Vec<usize> {
 /// Decides k-Clique through the FPT vertex cover solver on the complement.
 /// Correct, but the "parameter" handed to the FPT algorithm is n − k — so
 /// the running time is 2^{n−k}, exponential in n: no free lunch.
-pub fn has_clique_via_vertex_cover(g: &Graph, k: usize) -> Option<Vec<usize>> {
-    let (gc, budget) = clique_to_vertex_cover(g, k);
-    let cover = lb_graphalg::vertexcover::vertex_cover_fpt(&gc, budget)?;
-    let clique = cover_to_clique(g, &cover);
+/// `Sat(clique)`, `Unsat`, or `Exhausted` with the cover search's counters.
+pub fn has_clique_via_vertex_cover(
+    g: &Graph,
+    k: usize,
+    budget: &Budget,
+) -> (Outcome<Vec<usize>>, RunStats) {
+    let (gc, cover_size) = clique_to_vertex_cover(g, k);
+    let (out, stats) = lb_graphalg::vertexcover::vertex_cover_fpt(&gc, cover_size, budget);
     // The clique has ≥ k vertices; trim to exactly k.
-    Some(clique.into_iter().take(k).collect())
+    let out = out.map(|cover| cover_to_clique(g, &cover).into_iter().take(k).collect());
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -50,13 +56,19 @@ mod tests {
     use lb_graph::generators;
     use lb_graphalg::clique::find_clique;
 
+    fn via_vc_u(g: &Graph, k: usize) -> Option<Vec<usize>> {
+        has_clique_via_vertex_cover(g, k, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
     #[test]
     fn agrees_with_direct_clique_search() {
         for seed in 0..12u64 {
             let g = generators::gnp(10, 0.5, seed);
             for k in 2..=5 {
-                let direct = find_clique(&g, k).is_some();
-                let via = has_clique_via_vertex_cover(&g, k);
+                let direct = find_clique(&g, k, &Budget::unlimited()).0.is_sat();
+                let via = via_vc_u(&g, k);
                 assert_eq!(via.is_some(), direct, "seed {seed}, k {k}");
                 if let Some(c) = via {
                     assert_eq!(c.len(), k);
@@ -88,7 +100,14 @@ mod tests {
     #[test]
     fn turan_has_no_large_clique() {
         let g = generators::turan(12, 3);
-        assert!(has_clique_via_vertex_cover(&g, 4).is_none());
-        assert!(has_clique_via_vertex_cover(&g, 3).is_some());
+        assert!(via_vc_u(&g, 4).is_none());
+        assert!(via_vc_u(&g, 3).is_some());
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let g = generators::gnp(10, 0.5, 0);
+        let b = Budget::ticks(0); // the very first cover-solver op exhausts
+        assert!(has_clique_via_vertex_cover(&g, 3, &b).0.is_exhausted());
     }
 }

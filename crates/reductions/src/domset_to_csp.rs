@@ -20,6 +20,7 @@
 //! "no |D|^{t−ε}" into "no |D|^{k−ε} at every fixed treewidth k".
 
 use lb_csp::{Constraint, CspInstance, Relation, Value};
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 use std::sync::Arc;
 
@@ -127,10 +128,16 @@ pub fn solution_back_grouped(
     out
 }
 
-/// Decides t-Dominating-Set through the (ungrouped) CSP.
-pub fn has_dominating_set_via_csp(g: &Graph, t: usize) -> Option<Vec<usize>> {
+/// Decides t-Dominating-Set through the (ungrouped) CSP: `Sat(set)`,
+/// `Unsat`, or `Exhausted` with the CSP solver's counters.
+pub fn has_dominating_set_via_csp(
+    g: &Graph,
+    t: usize,
+    budget: &Budget,
+) -> (Outcome<Vec<usize>>, RunStats) {
     let inst = reduce(g, t);
-    lb_csp::solver::solve(&inst).map(|s| solution_back(t, &s))
+    let (out, stats) = lb_csp::solver::solve(&inst, budget);
+    (out.map(|s| solution_back(t, &s)), stats)
 }
 
 #[cfg(test)]
@@ -150,13 +157,27 @@ mod tests {
         assert_eq!(lb_graph::treewidth::treewidth_exact(&primal), t);
     }
 
+    fn solve_u(inst: &CspInstance) -> Option<Vec<Value>> {
+        lb_csp::solver::solve(inst, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
+    fn branching_sat(g: &Graph, t: usize) -> bool {
+        domset::find_dominating_set_branching(g, t, &Budget::unlimited())
+            .0
+            .is_sat()
+    }
+
     #[test]
     fn matches_direct_dominating_set() {
         for seed in 0..10u64 {
             let g = generators::gnp(7, 0.3, seed);
             for t in 1..=3 {
-                let direct = domset::find_dominating_set_branching(&g, t).is_some();
-                let via = has_dominating_set_via_csp(&g, t);
+                let direct = branching_sat(&g, t);
+                let via = has_dominating_set_via_csp(&g, t, &Budget::unlimited())
+                    .0
+                    .unwrap_decided();
                 assert_eq!(via.is_some(), direct, "seed {seed}, t {t}");
                 if let Some(s) = via {
                     assert!(g.is_dominating_set(&s), "seed {seed}, t {t}");
@@ -171,9 +192,9 @@ mod tests {
         for seed in 0..8u64 {
             let g = generators::gnp(6, 0.35, seed);
             let t = 2;
-            let direct = domset::find_dominating_set_branching(&g, t).is_some();
+            let direct = branching_sat(&g, t);
             let inst = reduce_grouped(&g, t, 2);
-            let sol = lb_csp::solver::solve(&inst);
+            let sol = solve_u(&inst);
             assert_eq!(sol.is_some(), direct, "seed {seed}");
             if let Some(s) = sol {
                 let ds = solution_back_grouped(&g, t, 2, &s);
@@ -193,8 +214,8 @@ mod tests {
             let plain = reduce(&g, t);
             let grouped = reduce_grouped(&g, t, 1);
             assert_eq!(
-                lb_csp::solver::solve(&plain).is_some(),
-                lb_csp::solver::solve(&grouped).is_some(),
+                solve_u(&plain).is_some(),
+                solve_u(&grouped).is_some(),
                 "seed {seed}"
             );
         }
@@ -214,7 +235,9 @@ mod tests {
     #[test]
     fn star_dominated_by_center_via_csp() {
         let g = generators::star(5);
-        let s = has_dominating_set_via_csp(&g, 1).unwrap();
+        let s = has_dominating_set_via_csp(&g, 1, &Budget::unlimited())
+            .0
+            .unwrap_sat();
         assert_eq!(s, vec![0]);
     }
 
@@ -225,11 +248,20 @@ mod tests {
         let g = generators::gnp(6, 0.4, 3);
         let t = 2;
         let inst = reduce(&g, t);
-        let result = lb_csp::solver::treewidth_dp::solve_auto(&inst);
-        let direct = domset::find_dominating_set_branching(&g, t).is_some();
+        let result = lb_csp::solver::treewidth_dp::solve_auto(&inst, &Budget::unlimited())
+            .0
+            .unwrap_sat();
+        let direct = branching_sat(&g, t);
         assert_eq!(result.solution.is_some(), direct);
         if let Some(s) = result.solution {
             assert!(g.is_dominating_set(&solution_back(t, &s)));
         }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let g = generators::gnp(7, 0.3, 0);
+        let b = Budget::ticks(0); // the very first solver op exhausts
+        assert!(has_dominating_set_via_csp(&g, 2, &b).0.is_exhausted());
     }
 }

@@ -164,8 +164,20 @@ pub fn subiso_solution_to_assignment(domain_size: usize, f: &[usize]) -> Vec<Val
 mod tests {
     use super::*;
     use lb_csp::solver::bruteforce;
+    use lb_engine::Budget;
     use lb_graphalg::subiso::partitioned_subgraph_iso;
     use lb_join::{generators as jgen, wcoj};
+
+    fn csp_count(inst: &CspInstance) -> u64 {
+        bruteforce::count(inst, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn join_count(q: &JoinQuery, db: &Database) -> u64 {
+        wcoj::count(q, db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat()
+    }
 
     #[test]
     fn join_to_csp_counts_match() {
@@ -173,11 +185,7 @@ mod tests {
             let q = JoinQuery::triangle();
             let db = jgen::random_binary_database(&q, 25, 7, seed);
             let (inst, _) = join_to_csp(&q, &db).unwrap();
-            assert_eq!(
-                bruteforce::count(&inst),
-                wcoj::count(&q, &db, None).unwrap(),
-                "seed {seed}"
-            );
+            assert_eq!(csp_count(&inst), join_count(&q, &db), "seed {seed}");
         }
     }
 
@@ -186,9 +194,15 @@ mod tests {
         let q = JoinQuery::triangle();
         let db = jgen::planted_triangle_database(12, 50, 4);
         let (inst, values) = join_to_csp(&q, &db).unwrap();
-        let sol = lb_csp::solver::solve(&inst).expect("planted");
+        let sol = lb_csp::solver::solve(&inst, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+            .expect("planted");
         let answer = csp_solution_to_answer(&values, &sol);
-        let all = wcoj::join(&q, &db, None).unwrap();
+        let all = wcoj::join(&q, &db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat();
         assert!(all.contains(&answer));
     }
 
@@ -207,11 +221,7 @@ mod tests {
             if attrs.len() != inst.num_vars {
                 continue;
             }
-            assert_eq!(
-                wcoj::count(&q, &db, None).unwrap(),
-                bruteforce::count(&inst),
-                "seed {seed}"
-            );
+            assert_eq!(join_count(&q, &db), csp_count(&inst), "seed {seed}");
         }
     }
 
@@ -224,9 +234,11 @@ mod tests {
                 continue;
             }
             let (pattern, host, classes) = binary_csp_to_partitioned_subiso(&inst);
-            let direct = lb_csp::solver::solve(&inst);
-            let via = partitioned_subgraph_iso(&pattern, &host, &classes);
-            assert_eq!(via.is_some(), direct.is_some(), "seed {seed}");
+            let direct = lb_csp::solver::solve(&inst, &Budget::unlimited()).0;
+            let via = partitioned_subgraph_iso(&pattern, &host, &classes, &Budget::unlimited())
+                .0
+                .unwrap_decided();
+            assert_eq!(via.is_some(), direct.is_sat(), "seed {seed}");
             if let Some(f) = via {
                 let assignment = subiso_solution_to_assignment(inst.domain_size, &f);
                 assert!(inst.eval(&assignment), "seed {seed}");
@@ -241,10 +253,12 @@ mod tests {
         let db = jgen::random_binary_database(&q, 20, 6, 11);
         let (inst, _) = join_to_csp(&q, &db).unwrap();
         let (_, a, b) = lb_structure::convert::csp_to_structures(&inst);
-        let hom_count = lb_structure::hom::count_homomorphisms(&a, &b);
+        let hom_count = lb_structure::hom::count_homomorphisms(&a, &b, &Budget::unlimited())
+            .0
+            .unwrap_sat();
         let back = lb_structure::convert::structures_to_csp(&a, &b);
-        assert_eq!(hom_count, bruteforce::count(&inst));
-        assert_eq!(bruteforce::count(&back), bruteforce::count(&inst));
-        assert_eq!(wcoj::count(&q, &db, None).unwrap(), hom_count);
+        assert_eq!(hom_count, csp_count(&inst));
+        assert_eq!(csp_count(&back), csp_count(&inst));
+        assert_eq!(join_count(&q, &db), hom_count);
     }
 }

@@ -8,6 +8,7 @@
 //! vertex per clause, the clause blocks form exactly the vertex partition
 //! of PARTITIONED CLIQUE.
 
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 use lb_sat::{CnfFormula, Lit};
 
@@ -73,14 +74,18 @@ pub fn clique_to_assignment(f: &CnfFormula, inst: &CliqueInstance, clique: &[usi
 }
 
 /// Decides satisfiability through the clique instance (brute-force clique
-/// search on the compatibility graph).
-pub fn decide_via_clique(f: &CnfFormula) -> Option<Vec<bool>> {
+/// search on the compatibility graph): `Sat(assignment)`, `Unsat`, or
+/// `Exhausted` with the clique search's counters.
+pub fn decide_via_clique(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) {
     if f.num_clauses() == 0 {
-        return Some(vec![false; f.num_vars()]);
+        return (Outcome::Sat(vec![false; f.num_vars()]), RunStats::default());
     }
     let inst = reduce(f);
-    lb_graphalg::clique::find_clique(&inst.graph, inst.k)
-        .map(|clique| clique_to_assignment(f, &inst, &clique))
+    let (out, stats) = lb_graphalg::clique::find_clique(&inst.graph, inst.k, budget);
+    (
+        out.map(|clique| clique_to_assignment(f, &inst, &clique)),
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -88,12 +93,22 @@ mod tests {
     use super::*;
     use lb_sat::{brute, generators};
 
+    fn decide_u(f: &CnfFormula) -> Option<Vec<bool>> {
+        decide_via_clique(f, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
+    fn brute_sat(f: &CnfFormula) -> bool {
+        brute::solve(f, &Budget::unlimited()).0.is_sat()
+    }
+
     #[test]
     fn equisatisfiable_on_random_formulas() {
         for seed in 0..15u64 {
             let f = generators::random_ksat(6, 10, 3, seed);
-            let expect = brute::solve(&f).is_some();
-            let got = decide_via_clique(&f);
+            let expect = brute_sat(&f);
+            let got = decide_u(&f);
             assert_eq!(got.is_some(), expect, "seed {seed}");
             if let Some(a) = got {
                 assert!(f.eval(&a), "seed {seed}");
@@ -124,7 +139,7 @@ mod tests {
         let f = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
         let inst = reduce(&f);
         assert_eq!(inst.graph.num_edges(), 0);
-        assert!(decide_via_clique(&f).is_none());
+        assert!(decide_u(&f).is_none());
     }
 
     #[test]
@@ -136,10 +151,15 @@ mod tests {
             let f = generators::random_ksat(5, 8, 3, seed);
             let inst = reduce(&f);
             let pattern = lb_graph::generators::clique(inst.k);
-            let via_subiso =
-                lb_graphalg::subiso::partitioned_subgraph_iso(&pattern, &inst.graph, &inst.blocks);
-            let expect = brute::solve(&f).is_some();
-            assert_eq!(via_subiso.is_some(), expect, "seed {seed}");
+            let via_subiso = lb_graphalg::subiso::partitioned_subgraph_iso(
+                &pattern,
+                &inst.graph,
+                &inst.blocks,
+                &Budget::unlimited(),
+            )
+            .0
+            .unwrap_decided();
+            assert_eq!(via_subiso.is_some(), brute_sat(&f), "seed {seed}");
             if let Some(m) = via_subiso {
                 let a = clique_to_assignment(&f, &inst, &m);
                 assert!(f.eval(&a), "seed {seed}");

@@ -14,6 +14,7 @@
 //! out 2^{o(|V| + |C|)} algorithms for binary CSP with |D| = 3.
 
 use lb_csp::{Constraint, CspInstance, Relation, Value};
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graph::Graph;
 use lb_sat::{CnfFormula, Lit};
 use std::sync::Arc;
@@ -144,7 +145,9 @@ pub fn assignment_to_coloring(
         pin(&mut csp, pos, cp);
         pin(&mut csp, neg, cn);
     }
-    lb_csp::solver::treewidth_dp::solve_auto(&csp)
+    lb_csp::solver::treewidth_dp::solve_auto(&csp, &Budget::unlimited())
+        .0
+        .unwrap_sat()
         .solution
         .map(|s| s.into_iter().map(|v| v as usize).collect())
 }
@@ -177,24 +180,28 @@ pub fn gadget_csp_pinned(inst: &ColoringInstance) -> CspInstance {
 }
 
 /// End-to-end: is the formula satisfiable, decided via the coloring CSP?
+/// `Sat(satisfiable)` on completion, or `Exhausted` with the DP's counters.
 ///
 /// The gadget graph has small treewidth (the palette vertices are
 /// near-universal, everything else is a chain of triangles), so the
 /// instance is solved with Freuder's dynamic program rather than
 /// backtracking — chronological backtracking thrashes across the many
 /// loosely-coupled OR gadgets.
-pub fn decide_via_coloring(f: &CnfFormula) -> bool {
+pub fn decide_via_coloring(f: &CnfFormula, budget: &Budget) -> (Outcome<bool>, RunStats) {
     let inst = reduce(f);
     let csp = gadget_csp_pinned(&inst);
-    lb_csp::solver::treewidth_dp::solve_auto(&csp)
-        .solution
-        .is_some()
+    let (out, stats) = lb_csp::solver::treewidth_dp::solve_auto(&csp, budget);
+    (out.map(|r| r.solution.is_some()), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lb_sat::{brute, generators};
+
+    fn decide_u(f: &CnfFormula) -> bool {
+        decide_via_coloring(f, &Budget::unlimited()).0.unwrap_sat()
+    }
 
     #[test]
     fn linear_size() {
@@ -210,8 +217,8 @@ mod tests {
     fn equisatisfiable_on_random_formulas() {
         for seed in 0..12u64 {
             let f = generators::random_ksat(5, 18, 3, seed);
-            let expect = brute::solve(&f).is_some();
-            assert_eq!(decide_via_coloring(&f), expect, "seed {seed}");
+            let expect = brute::solve(&f, &Budget::unlimited()).0.is_sat();
+            assert_eq!(decide_u(&f), expect, "seed {seed}");
         }
     }
 
@@ -221,12 +228,15 @@ mod tests {
             let (f, _) = generators::planted_ksat(5, 15, 3, seed);
             let inst = reduce(&f);
             let csp = gadget_csp_pinned(&inst);
-            let coloring: Vec<usize> = lb_csp::solver::treewidth_dp::solve_auto(&csp)
-                .solution
-                .expect("satisfiable formula ⇒ colorable gadget")
-                .into_iter()
-                .map(|v| v as usize)
-                .collect();
+            let coloring: Vec<usize> =
+                lb_csp::solver::treewidth_dp::solve_auto(&csp, &Budget::unlimited())
+                    .0
+                    .unwrap_sat()
+                    .solution
+                    .expect("satisfiable formula ⇒ colorable gadget")
+                    .into_iter()
+                    .map(|v| v as usize)
+                    .collect();
             assert!(inst.graph.is_proper_coloring(&coloring));
             let a = coloring_to_assignment(&inst, &coloring);
             assert!(f.eval(&a), "seed {seed}");
@@ -248,7 +258,7 @@ mod tests {
     fn unsat_formula_not_colorable() {
         // x ∧ ¬x via width-1 clauses.
         let f = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
-        assert!(!decide_via_coloring(&f));
+        assert!(!decide_u(&f));
     }
 
     #[test]
@@ -256,8 +266,15 @@ mod tests {
         // Width-2 and width-1 clauses exercise the padding path.
         let f =
             CnfFormula::from_clauses(2, vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0)]]);
-        assert!(decide_via_coloring(&f));
+        assert!(decide_u(&f));
         let g = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
-        assert!(!decide_via_coloring(&g));
+        assert!(!decide_u(&g));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let f = generators::random_ksat(5, 18, 3, 0);
+        let b = Budget::ticks(0); // the very first DP op exhausts
+        assert!(decide_via_coloring(&f, &b).0.is_exhausted());
     }
 }

@@ -39,6 +39,7 @@ pub fn solution_forward(assignment: &[bool]) -> Assignment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lb_engine::Budget;
     use lb_sat::generators;
     use lb_sat::{brute, DpllSolver};
 
@@ -49,8 +50,10 @@ mod tests {
             let inst = reduce(&f);
             assert_eq!(inst.domain_size, 2);
             assert!(inst.arity() <= 3);
-            let sat = brute::solve(&f).is_some();
-            let csp = lb_csp::solver::solve(&inst);
+            let sat = brute::solve(&f, &Budget::unlimited()).0.is_sat();
+            let csp = lb_csp::solver::solve(&inst, &Budget::unlimited())
+                .0
+                .unwrap_decided();
             assert_eq!(csp.is_some(), sat, "seed {seed}");
             if let Some(s) = csp {
                 assert!(f.eval(&solution_back(&s)), "seed {seed}");
@@ -64,8 +67,10 @@ mod tests {
             let f = generators::random_ksat(7, 20, 3, seed);
             let inst = reduce(&f);
             assert_eq!(
-                lb_csp::solver::count(&inst),
-                brute::count(&f),
+                lb_csp::solver::count(&inst, &Budget::unlimited())
+                    .0
+                    .unwrap_sat(),
+                brute::count(&f, &Budget::unlimited()).0.unwrap_sat(),
                 "seed {seed}"
             );
         }
@@ -83,10 +88,12 @@ mod tests {
         for seed in 20..30u64 {
             let f = generators::random_ksat(9, 38, 3, seed);
             let inst = reduce(&f);
-            let (m, _) = DpllSolver::default().solve(&f);
+            let (m, _) = DpllSolver::default().solve(&f, &Budget::unlimited());
             assert_eq!(
-                lb_csp::solver::solve(&inst).is_some(),
-                m.is_some(),
+                lb_csp::solver::solve(&inst, &Budget::unlimited())
+                    .0
+                    .is_sat(),
+                m.is_sat(),
                 "seed {seed}"
             );
         }

@@ -9,6 +9,7 @@
 //! An O(N^{2−ε}) OV algorithm would therefore solve SAT in
 //! (2^{n/2})^{2−ε} = 2^{(1−ε/2)n}, refuting the SETH.
 
+use lb_engine::{Budget, Outcome, RunStats};
 use lb_graphalg::ov::{find_orthogonal_pair, VectorSet};
 use lb_sat::CnfFormula;
 
@@ -85,10 +86,12 @@ pub fn solution_back(inst: &OvInstance, pair: (usize, usize)) -> Vec<bool> {
     a
 }
 
-/// Decides satisfiability through the OV instance.
-pub fn decide_via_ov(f: &CnfFormula) -> Option<Vec<bool>> {
+/// Decides satisfiability through the OV instance: `Sat(assignment)`,
+/// `Unsat`, or `Exhausted` with the pair-scan counters of the OV search.
+pub fn decide_via_ov(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) {
     let inst = reduce(f);
-    find_orthogonal_pair(&inst.left, &inst.right).map(|p| solution_back(&inst, p))
+    let (out, stats) = find_orthogonal_pair(&inst.left, &inst.right, budget);
+    (out.map(|p| solution_back(&inst, p)), stats)
 }
 
 #[cfg(test)]
@@ -96,12 +99,20 @@ mod tests {
     use super::*;
     use lb_sat::{brute, generators};
 
+    fn decide_u(f: &CnfFormula) -> Option<Vec<bool>> {
+        decide_via_ov(f, &Budget::unlimited()).0.unwrap_decided()
+    }
+
+    fn brute_sat(f: &CnfFormula) -> bool {
+        brute::solve(f, &Budget::unlimited()).0.is_sat()
+    }
+
     #[test]
     fn equisatisfiable_on_random_formulas() {
         for seed in 0..20u64 {
             let f = generators::random_ksat(10, 35, 3, seed);
-            let expect = brute::solve(&f).is_some();
-            let got = decide_via_ov(&f);
+            let expect = brute_sat(&f);
+            let got = decide_u(&f);
             assert_eq!(got.is_some(), expect, "seed {seed}");
             if let Some(a) = got {
                 assert!(f.eval(&a), "seed {seed}");
@@ -113,8 +124,7 @@ mod tests {
     fn wide_clause_sat() {
         // OV handles unbounded clause width (unlike the 3SAT reductions).
         let f = generators::random_ksat(10, 12, 7, 3);
-        let expect = brute::solve(&f).is_some();
-        assert_eq!(decide_via_ov(&f).is_some(), expect);
+        assert_eq!(decide_u(&f).is_some(), brute_sat(&f));
     }
 
     #[test]
@@ -133,13 +143,20 @@ mod tests {
             2,
             vec![vec![Lit::pos(0)], vec![Lit::neg(0)], vec![Lit::pos(1)]],
         );
-        assert!(decide_via_ov(&f).is_none());
+        assert!(decide_u(&f).is_none());
     }
 
     #[test]
     fn odd_variable_count_split() {
         let (f, _) = generators::planted_ksat(7, 25, 3, 5);
-        let a = decide_via_ov(&f).expect("planted satisfiable");
+        let a = decide_u(&f).expect("planted satisfiable");
         assert!(f.eval(&a));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let f = generators::random_ksat(10, 35, 3, 0);
+        let b = Budget::ticks(0); // the very first pair test exhausts
+        assert!(decide_via_ov(&f, &b).0.is_exhausted());
     }
 }

@@ -2,12 +2,17 @@
 //! solution mapping on random instances — the machine-checkable content of
 //! the paper's lower-bound proofs.
 
+use lb_engine::Budget;
 use lb_reductions::{
     clique_to_csp, clique_to_special, clique_vc, domset_to_csp, fourdomains, sat_to_clique,
     sat_to_coloring, sat_to_csp, sat_to_ov,
 };
-use lb_sat::{brute, generators as sgen};
+use lb_sat::{brute, generators as sgen, CnfFormula};
 use proptest::prelude::*;
+
+fn brute_sat(f: &CnfFormula) -> bool {
+    brute::solve(f, &Budget::unlimited()).0.is_sat()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -17,8 +22,11 @@ proptest! {
     fn sat_csp_roundtrip(n in 3usize..8, m in 3usize..20, seed in 0u64..10_000) {
         let f = sgen::random_ksat(n, m, 3.min(n), seed);
         let inst = sat_to_csp::reduce(&f);
-        prop_assert_eq!(lb_csp::solver::count(&inst), brute::count(&f));
-        if let Some(s) = lb_csp::solver::solve(&inst) {
+        prop_assert_eq!(
+            lb_csp::solver::count(&inst, &Budget::unlimited()).0.unwrap_sat(),
+            brute::count(&f, &Budget::unlimited()).0.unwrap_sat()
+        );
+        if let Some(s) = lb_csp::solver::solve(&inst, &Budget::unlimited()).0.unwrap_decided() {
             prop_assert!(f.eval(&sat_to_csp::solution_back(&s)));
         }
     }
@@ -27,17 +35,18 @@ proptest! {
     #[test]
     fn sat_coloring_roundtrip(n in 3usize..6, m in 3usize..12, seed in 0u64..10_000) {
         let f = sgen::random_ksat(n, m, 3.min(n), seed);
-        let expect = brute::solve(&f).is_some();
-        prop_assert_eq!(sat_to_coloring::decide_via_coloring(&f), expect);
+        prop_assert_eq!(
+            sat_to_coloring::decide_via_coloring(&f, &Budget::unlimited()).0.unwrap_sat(),
+            brute_sat(&f)
+        );
     }
 
     /// 3SAT → Clique: equisatisfiable, cliques decode to models.
     #[test]
     fn sat_clique_roundtrip(n in 3usize..7, m in 2usize..9, seed in 0u64..10_000) {
         let f = sgen::random_ksat(n, m, 3.min(n), seed);
-        let expect = brute::solve(&f).is_some();
-        let got = sat_to_clique::decide_via_clique(&f);
-        prop_assert_eq!(got.is_some(), expect);
+        let got = sat_to_clique::decide_via_clique(&f, &Budget::unlimited()).0.unwrap_decided();
+        prop_assert_eq!(got.is_some(), brute_sat(&f));
         if let Some(a) = got {
             prop_assert!(f.eval(&a));
         }
@@ -47,9 +56,8 @@ proptest! {
     #[test]
     fn sat_ov_roundtrip(n in 3usize..10, m in 3usize..20, seed in 0u64..10_000) {
         let f = sgen::random_ksat(n, m, 3.min(n), seed);
-        let expect = brute::solve(&f).is_some();
-        let got = sat_to_ov::decide_via_ov(&f);
-        prop_assert_eq!(got.is_some(), expect);
+        let got = sat_to_ov::decide_via_ov(&f, &Budget::unlimited()).0.unwrap_decided();
+        prop_assert_eq!(got.is_some(), brute_sat(&f));
         if let Some(a) = got {
             prop_assert!(f.eval(&a));
         }
@@ -59,14 +67,17 @@ proptest! {
     #[test]
     fn clique_routes_agree(n in 4usize..9, p in 0.3f64..0.8, seed in 0u64..10_000, k in 2usize..4) {
         let g = lb_graph::generators::gnp(n, p, seed);
-        let direct = lb_graphalg::clique::find_clique(&g, k).is_some();
-        prop_assert_eq!(clique_to_csp::has_clique_via_csp(&g, k).is_some(), direct);
+        let direct = lb_graphalg::clique::find_clique(&g, k, &Budget::unlimited()).0.is_sat();
         prop_assert_eq!(
-            clique_to_special::has_clique_via_special(&g, k).is_some(),
+            clique_to_csp::has_clique_via_csp(&g, k, &Budget::unlimited()).0.is_sat(),
             direct
         );
         prop_assert_eq!(
-            clique_vc::has_clique_via_vertex_cover(&g, k).is_some(),
+            clique_to_special::has_clique_via_special(&g, k, &Budget::unlimited()).0.is_sat(),
+            direct
+        );
+        prop_assert_eq!(
+            clique_vc::has_clique_via_vertex_cover(&g, k, &Budget::unlimited()).0.is_sat(),
             direct
         );
     }
@@ -77,15 +88,17 @@ proptest! {
     fn domset_csp_roundtrip(n in 3usize..7, p in 0.2f64..0.6, seed in 0u64..10_000) {
         let g = lb_graph::generators::gnp(n, p, seed);
         let t = 2usize;
-        let direct = lb_graphalg::domset::find_dominating_set_branching(&g, t).is_some();
+        let direct = lb_graphalg::domset::find_dominating_set_branching(&g, t, &Budget::unlimited())
+            .0
+            .is_sat();
         let inst = domset_to_csp::reduce(&g, t);
-        let sol = lb_csp::solver::solve(&inst);
+        let sol = lb_csp::solver::solve(&inst, &Budget::unlimited()).0.unwrap_decided();
         prop_assert_eq!(sol.is_some(), direct);
         if let Some(s) = sol {
             prop_assert!(g.is_dominating_set(&domset_to_csp::solution_back(t, &s)));
         }
         let grouped = domset_to_csp::reduce_grouped(&g, t, 2);
-        let gsol = lb_csp::solver::solve(&grouped);
+        let gsol = lb_csp::solver::solve(&grouped, &Budget::unlimited()).0.unwrap_decided();
         prop_assert_eq!(gsol.is_some(), direct);
         if let Some(s) = gsol {
             prop_assert!(
@@ -102,13 +115,33 @@ proptest! {
         if inst.constraints.is_empty() {
             return Ok(());
         }
-        let direct = lb_csp::solver::bruteforce::count(&inst);
+        let direct = lb_csp::solver::bruteforce::count(&inst, &Budget::unlimited())
+            .0
+            .unwrap_sat();
         // CSP → structures.
         let (_, a, b) = lb_structure::convert::csp_to_structures(&inst);
-        prop_assert_eq!(lb_structure::hom::count_homomorphisms(&a, &b), direct);
+        prop_assert_eq!(
+            lb_structure::hom::count_homomorphisms(&a, &b, &Budget::unlimited()).0.unwrap_sat(),
+            direct
+        );
         // CSP → subiso (decision).
         let (pattern, host, classes) = fourdomains::binary_csp_to_partitioned_subiso(&inst);
-        let found = lb_graphalg::subiso::partitioned_subgraph_iso(&pattern, &host, &classes);
+        let found =
+            lb_graphalg::subiso::partitioned_subgraph_iso(&pattern, &host, &classes, &Budget::unlimited())
+                .0
+                .unwrap_decided();
         prop_assert_eq!(found.is_some(), direct > 0);
+    }
+
+    /// Every budgeted reduction route: a tiny budget yields `Exhausted`,
+    /// never a wrong verdict.
+    #[test]
+    fn tiny_budget_never_lies(n in 4usize..8, p in 0.3f64..0.7, seed in 0u64..10_000) {
+        let g = lb_graph::generators::gnp(n, p, seed);
+        let b = Budget::ticks(0);
+        prop_assert!(clique_to_csp::has_clique_via_csp(&g, 3, &b).0.is_exhausted());
+        prop_assert!(clique_to_special::has_clique_via_special(&g, 3, &b).0.is_exhausted());
+        prop_assert!(clique_vc::has_clique_via_vertex_cover(&g, 3, &b).0.is_exhausted());
+        prop_assert!(domset_to_csp::has_dominating_set_via_csp(&g, 2, &b).0.is_exhausted());
     }
 }

@@ -3,36 +3,52 @@
 //! Hypothesis 3 (paper §7) states CNF-SAT has no (2−ε)^n · m^{O(1)}
 //! algorithm — i.e. that asymptotically one cannot do much better than this
 //! module. Experiment E4/E9 measure its scaling against DPLL.
+//!
+//! Engine mapping: each assignment tried is one [`RunStats::nodes`] tick.
 
 use crate::cnf::CnfFormula;
+use lb_engine::{Budget, Outcome, RunStats, Ticker};
 
-/// Tries all 2^n assignments; returns the first satisfying one.
+/// Tries all 2^n assignments; `Sat(model)` with the first satisfying one,
+/// `Unsat`, or `Exhausted` if the budget ran out first.
 ///
 /// # Panics
 /// Panics if the formula has more than 63 variables (the enumeration
 /// counter is a `u64`) — far beyond anything feasible anyway.
-pub fn solve(f: &CnfFormula) -> Option<Vec<bool>> {
+pub fn solve(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) {
     let n = f.num_vars();
     assert!(n <= 63, "brute force limited to 63 variables");
+    let mut ticker = Ticker::new(budget);
     let mut assignment = vec![false; n];
     for bits in 0u64..(1u64 << n) {
+        if let Err(reason) = ticker.node() {
+            return ticker.finish(Err(reason));
+        }
         for (v, a) in assignment.iter_mut().enumerate() {
             *a = bits >> v & 1 == 1;
         }
         if f.eval(&assignment) {
-            return Some(assignment);
+            return ticker.finish(Ok(Some(assignment)));
         }
     }
-    None
+    ticker.finish(Ok(None))
 }
 
-/// Counts satisfying assignments by full enumeration.
-pub fn count(f: &CnfFormula) -> u64 {
+/// Counts satisfying assignments by full enumeration: `Sat(count)` (zero
+/// counts as completed) or `Exhausted`.
+///
+/// # Panics
+/// Panics if the formula has more than 63 variables.
+pub fn count(f: &CnfFormula, budget: &Budget) -> (Outcome<u64>, RunStats) {
     let n = f.num_vars();
     assert!(n <= 63, "brute force limited to 63 variables");
+    let mut ticker = Ticker::new(budget);
     let mut assignment = vec![false; n];
     let mut total = 0u64;
     for bits in 0u64..(1u64 << n) {
+        if let Err(reason) = ticker.node() {
+            return ticker.finish(Err(reason));
+        }
         for (v, a) in assignment.iter_mut().enumerate() {
             *a = bits >> v & 1 == 1;
         }
@@ -40,7 +56,7 @@ pub fn count(f: &CnfFormula) -> u64 {
             total += 1;
         }
     }
-    total
+    ticker.finish(Ok(Some(total)))
 }
 
 #[cfg(test)]
@@ -55,7 +71,7 @@ mod tests {
     #[test]
     fn satisfiable_formula() {
         let f = CnfFormula::from_clauses(2, vec![vec![l(1)], vec![l(-2)]]);
-        let a = solve(&f).unwrap();
+        let a = solve(&f, &Budget::unlimited()).0.unwrap_sat();
         assert!(f.eval(&a));
         assert_eq!(a, vec![true, false]);
     }
@@ -63,21 +79,34 @@ mod tests {
     #[test]
     fn unsatisfiable_formula() {
         let f = CnfFormula::from_clauses(1, vec![vec![l(1)], vec![l(-1)]]);
-        assert!(solve(&f).is_none());
-        assert_eq!(count(&f), 0);
+        assert!(solve(&f, &Budget::unlimited()).0.is_unsat());
+        assert_eq!(count(&f, &Budget::unlimited()).0.unwrap_sat(), 0);
     }
 
     #[test]
     fn count_xor_like() {
         // (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): exactly the two assignments with x1 ≠ x2.
         let f = CnfFormula::from_clauses(2, vec![vec![l(1), l(2)], vec![l(-1), l(-2)]]);
-        assert_eq!(count(&f), 2);
+        assert_eq!(count(&f, &Budget::unlimited()).0.unwrap_sat(), 2);
     }
 
     #[test]
     fn empty_formula_all_assignments() {
         let f = CnfFormula::new(3);
-        assert_eq!(count(&f), 8);
-        assert!(solve(&f).is_some());
+        assert_eq!(count(&f, &Budget::unlimited()).0.unwrap_sat(), 8);
+        assert!(solve(&f, &Budget::unlimited()).0.is_sat());
+    }
+
+    #[test]
+    fn budget_exhausts_and_counters_track_work() {
+        // (¬x1)…(¬x8) with the all-false model last in enumeration order is
+        // irrelevant — all-false comes first; force work with an unsat core.
+        let f = CnfFormula::from_clauses(6, vec![vec![l(1)], vec![l(-1)]]);
+        let (out, stats) = count(&f, &Budget::ticks(5));
+        assert!(out.is_exhausted());
+        assert_eq!(stats.nodes, 6); // the op that crossed the limit is counted
+        let (full, full_stats) = count(&f, &Budget::unlimited());
+        assert_eq!(full.unwrap_sat(), 0);
+        assert!(stats.le(&full_stats));
     }
 }

@@ -10,23 +10,51 @@
 //! clause-variable interaction graph is split into connected components
 //! whose counts multiply — the classic decomposition that makes counting
 //! feasible on loosely connected formulas.
+//!
+//! Engine mapping: branch values tried are [`RunStats::nodes`] ticks, unit
+//! assignments are [`RunStats::propagations`], conflicts are
+//! [`RunStats::backtracks`].
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`RunStats::backtracks`]: lb_engine::RunStats::backtracks
 
 use crate::cnf::{CnfFormula, Lit};
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Counts satisfying assignments of `f` exactly (over all `num_vars`
-/// variables, i.e. free variables contribute factors of 2).
-pub fn count_models(f: &CnfFormula) -> u64 {
+/// variables, i.e. free variables contribute factors of 2): `Sat(count)`
+/// when the count completes (zero is still `Sat(0)`), `Exhausted` when the
+/// budget runs out first.
+pub fn count_models(f: &CnfFormula, budget: &Budget) -> (Outcome<u64>, RunStats) {
     let clauses: Vec<Vec<Lit>> = f.clauses().to_vec();
     let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars()];
     let vars: Vec<usize> = (0..f.num_vars()).collect();
-    count_rec(&clauses, &mut assignment, &vars)
+    let mut ticker = Ticker::new(budget);
+    let result = count_rec(&clauses, &mut assignment, &vars, &mut ticker).map(Some);
+    ticker.finish(result)
 }
 
 /// Recursive counter over a sub-problem: `clauses` restricted to the
 /// variables of `vars` (other mentioned variables are already assigned).
-fn count_rec(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[usize]) -> u64 {
+fn count_rec(
+    clauses: &[Vec<Lit>],
+    assignment: &mut Vec<Option<bool>>,
+    vars: &[usize],
+    ticker: &mut Ticker,
+) -> Result<u64, ExhaustReason> {
     // Unit propagation with a local trail.
     let mut trail: Vec<usize> = Vec::new();
+    macro_rules! bail_if_exhausted {
+        ($tick:expr) => {
+            if let Err(reason) = $tick {
+                for &v in &trail {
+                    assignment[v] = None;
+                }
+                return Err(reason);
+            }
+        };
+    }
     loop {
         let mut unit: Option<Lit> = None;
         let mut conflict = false;
@@ -63,15 +91,17 @@ fn count_rec(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[u
             }
         }
         if conflict {
+            bail_if_exhausted!(ticker.backtrack());
             for &v in &trail {
                 assignment[v] = None;
             }
-            return 0;
+            return Ok(0);
         }
         match unit {
             Some(l) => {
                 assignment[l.var()] = Some(l.is_positive());
                 trail.push(l.var());
+                bail_if_exhausted!(ticker.propagation());
             }
             None => break,
         }
@@ -103,7 +133,15 @@ fn count_rec(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[u
         let mut covered = 0usize;
         for (comp_vars, comp_clauses) in &components {
             covered += comp_vars.len();
-            let sub = branch_count(comp_clauses, assignment, comp_vars);
+            let sub = match branch_count(comp_clauses, assignment, comp_vars, ticker) {
+                Ok(sub) => sub,
+                Err(reason) => {
+                    for &v in &trail {
+                        assignment[v] = None;
+                    }
+                    return Err(reason);
+                }
+            };
             total = total.saturating_mul(sub);
             if total == 0 {
                 break;
@@ -117,20 +155,35 @@ fn count_rec(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[u
     for &v in &trail {
         assignment[v] = None;
     }
-    result
+    Ok(result)
 }
 
 /// Branches on the first variable of the component and recurses.
-fn branch_count(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>, vars: &[usize]) -> u64 {
+fn branch_count(
+    clauses: &[Vec<Lit>],
+    assignment: &mut Vec<Option<bool>>,
+    vars: &[usize],
+    ticker: &mut Ticker,
+) -> Result<u64, ExhaustReason> {
     let v = vars[0];
     debug_assert!(assignment[v].is_none());
     let mut total = 0u64;
     for value in [false, true] {
+        if let Err(reason) = ticker.node() {
+            assignment[v] = None;
+            return Err(reason);
+        }
         assignment[v] = Some(value);
-        total = total.saturating_add(count_rec(clauses, assignment, vars));
+        match count_rec(clauses, assignment, vars, ticker) {
+            Ok(sub) => total = total.saturating_add(sub),
+            Err(reason) => {
+                assignment[v] = None;
+                return Err(reason);
+            }
+        }
         assignment[v] = None;
     }
-    total
+    Ok(total)
 }
 
 /// Connected components of the clause-variable interaction graph restricted
@@ -205,11 +258,16 @@ mod tests {
     use crate::brute;
     use crate::generators;
 
+    fn count_unlimited(f: &CnfFormula) -> u64 {
+        count_models(f, &Budget::unlimited()).0.unwrap_sat()
+    }
+
     #[test]
     fn matches_bruteforce_on_random_3sat() {
         for seed in 0..25u64 {
             let f = generators::random_ksat(10, 20, 3, seed);
-            assert_eq!(count_models(&f), brute::count(&f), "seed {seed}");
+            let expect = brute::count(&f, &Budget::unlimited()).0.unwrap_sat();
+            assert_eq!(count_unlimited(&f), expect, "seed {seed}");
         }
     }
 
@@ -218,7 +276,8 @@ mod tests {
         // Sparse instances exercise the component splitting.
         for seed in 0..15u64 {
             let f = generators::random_ksat(14, 7, 2, seed);
-            assert_eq!(count_models(&f), brute::count(&f), "seed {seed}");
+            let expect = brute::count(&f, &Budget::unlimited()).0.unwrap_sat();
+            assert_eq!(count_unlimited(&f), expect, "seed {seed}");
         }
     }
 
@@ -227,20 +286,20 @@ mod tests {
         use crate::cnf::Lit;
         // One clause over x0; x1, x2 free → 1 · 2² + ... (x0 true) = 4.
         let f = CnfFormula::from_clauses(3, vec![vec![Lit::pos(0)]]);
-        assert_eq!(count_models(&f), 4);
+        assert_eq!(count_unlimited(&f), 4);
     }
 
     #[test]
     fn empty_formula() {
         let f = CnfFormula::new(5);
-        assert_eq!(count_models(&f), 32);
+        assert_eq!(count_unlimited(&f), 32);
     }
 
     #[test]
     fn unsat_counts_zero() {
         use crate::cnf::Lit;
         let f = CnfFormula::from_clauses(2, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
-        assert_eq!(count_models(&f), 0);
+        assert_eq!(count_unlimited(&f), 0);
     }
 
     #[test]
@@ -254,7 +313,7 @@ mod tests {
                 vec![Lit::pos(2), Lit::pos(3)],
             ],
         );
-        assert_eq!(count_models(&f), 9);
+        assert_eq!(count_unlimited(&f), 9);
     }
 
     #[test]
@@ -266,6 +325,15 @@ mod tests {
             .map(|i| vec![Lit::pos(2 * i), Lit::pos(2 * i + 1)])
             .collect();
         let f = CnfFormula::from_clauses(40, clauses);
-        assert_eq!(count_models(&f), 3u64.pow(20));
+        assert_eq!(count_unlimited(&f), 3u64.pow(20));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_instead_of_undercounting() {
+        let f = generators::random_ksat(12, 24, 3, 1);
+        let (out, stats) = count_models(&f, &Budget::ticks(3));
+        assert!(out.is_exhausted());
+        let (_, full) = count_models(&f, &Budget::unlimited());
+        assert!(stats.le(&full));
     }
 }

@@ -5,8 +5,13 @@
 //! exponential cannot be removed. Unit propagation and pure-literal
 //! elimination can be toggled off individually — the ablation axis called
 //! out in DESIGN.md.
+//!
+//! Engine mapping: branching decisions are [`RunStats::nodes`], unit/pure
+//! assignments are [`RunStats::propagations`], dead ends are
+//! [`RunStats::backtracks`].
 
 use crate::cnf::{CnfFormula, Lit};
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Branching heuristics for the DPLL search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,17 +43,6 @@ impl Default for DpllConfig {
     }
 }
 
-/// Search statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DpllStats {
-    /// Branching decisions made.
-    pub decisions: u64,
-    /// Literals assigned by unit propagation or pure-literal elimination.
-    pub propagations: u64,
-    /// Dead ends encountered.
-    pub conflicts: u64,
-}
-
 /// A configurable DPLL solver.
 #[derive(Clone, Debug, Default)]
 pub struct DpllSolver {
@@ -72,18 +66,20 @@ impl DpllSolver {
         DpllSolver { config }
     }
 
-    /// Decides satisfiability; returns a model if satisfiable, plus stats.
-    pub fn solve(&self, f: &CnfFormula) -> (Option<Vec<bool>>, DpllStats) {
+    /// Decides satisfiability under `budget`: `Sat(model)`, `Unsat`, or
+    /// `Exhausted` if the budget ran out first, plus run counters.
+    pub fn solve(&self, f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) {
         let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars()];
-        let mut stats = DpllStats::default();
-        let sat = self.search(f, &mut assignment, &mut stats);
-        let model = sat.then(|| {
-            assignment
-                .iter()
-                .map(|a| a.unwrap_or(false)) // unconstrained vars: any value
-                .collect()
+        let mut ticker = Ticker::new(budget);
+        let result = self.search(f, &mut assignment, &mut ticker).map(|sat| {
+            sat.then(|| {
+                assignment
+                    .iter()
+                    .map(|a| a.unwrap_or(false)) // unconstrained vars: any value
+                    .collect()
+            })
         });
-        (model, stats)
+        ticker.finish(result)
     }
 
     fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
@@ -107,13 +103,14 @@ impl DpllSolver {
         }
     }
 
-    /// Returns true if satisfiable with the current partial assignment.
+    /// Returns `Ok(true)` if satisfiable with the current partial
+    /// assignment, `Err` if the budget ran out mid-branch.
     fn search(
         &self,
         f: &CnfFormula,
         assignment: &mut Vec<Option<bool>>,
-        stats: &mut DpllStats,
-    ) -> bool {
+        ticker: &mut Ticker,
+    ) -> Result<bool, ExhaustReason> {
         // Trail of variables assigned at this level, for backtracking.
         let mut trail: Vec<usize> = Vec::new();
         let undo = |assignment: &mut Vec<Option<bool>>, trail: &[usize]| {
@@ -121,6 +118,17 @@ impl DpllSolver {
                 assignment[v] = None;
             }
         };
+        // Budget exhaustion aborts the whole search, so the partial
+        // assignment need not be restored — but route through a single
+        // cleanup point anyway to keep the solver reusable.
+        macro_rules! bail_if_exhausted {
+            ($tick:expr) => {
+                if let Err(reason) = $tick {
+                    undo(assignment, &trail);
+                    return Err(reason);
+                }
+            };
+        }
 
         // Simplification loop: unit propagation + pure literals to fixpoint.
         loop {
@@ -136,7 +144,7 @@ impl DpllSolver {
                         ClauseState::Unit(l) => {
                             assignment[l.var()] = Some(l.is_positive());
                             trail.push(l.var());
-                            stats.propagations += 1;
+                            bail_if_exhausted!(ticker.propagation());
                             changed = true;
                         }
                         _ => {}
@@ -150,9 +158,9 @@ impl DpllSolver {
                     .any(|c| matches!(Self::clause_state(c, assignment), ClauseState::Conflict));
             }
             if conflict {
-                stats.conflicts += 1;
+                bail_if_exhausted!(ticker.backtrack());
                 undo(assignment, &trail);
-                return false;
+                return Ok(false);
             }
             if self.config.pure_literal && !changed {
                 // Polarities over unresolved clauses.
@@ -180,7 +188,7 @@ impl DpllSolver {
                     if assignment[v].is_none() && (pos[v] ^ neg[v]) {
                         assignment[v] = Some(pos[v]);
                         trail.push(v);
-                        stats.propagations += 1;
+                        bail_if_exhausted!(ticker.propagation());
                         changed = true;
                     }
                 }
@@ -196,7 +204,7 @@ impl DpllSolver {
             .iter()
             .all(|c| matches!(Self::clause_state(c, assignment), ClauseState::Satisfied));
         if all_satisfied {
-            return true;
+            return Ok(true);
         }
 
         // Branch.
@@ -226,22 +234,27 @@ impl DpllSolver {
             Some(v) => v,
             None => {
                 // No unassigned variables but not all clauses satisfied.
-                stats.conflicts += 1;
+                bail_if_exhausted!(ticker.backtrack());
                 undo(assignment, &trail);
-                return false;
+                return Ok(false);
             }
         };
 
-        stats.decisions += 1;
+        bail_if_exhausted!(ticker.node());
         for value in [true, false] {
             assignment[var] = Some(value);
-            if self.search(f, assignment, stats) {
-                return true;
+            match self.search(f, assignment, ticker) {
+                Ok(true) => return Ok(true),
+                Ok(false) => {}
+                Err(reason) => {
+                    undo(assignment, &trail);
+                    return Err(reason);
+                }
             }
         }
         assignment[var] = None;
         undo(assignment, &trail);
-        false
+        Ok(false)
     }
 }
 
@@ -279,8 +292,8 @@ mod tests {
             vec![vec![l(1), l(2)], vec![l(-1), l(3)], vec![l(-2), l(-3)]],
         );
         for cfg in all_configs() {
-            let (model, _) = DpllSolver::new(cfg).solve(&f);
-            let m = model.expect("satisfiable");
+            let (out, _) = DpllSolver::new(cfg).solve(&f, &Budget::unlimited());
+            let m = out.unwrap_decided().expect("satisfiable");
             assert!(f.eval(&m));
         }
     }
@@ -290,8 +303,8 @@ mod tests {
         // (x1) ∧ (¬x1 ∨ x2) ∧ (¬x2) is unsatisfiable.
         let f = CnfFormula::from_clauses(2, vec![vec![l(1)], vec![l(-1), l(2)], vec![l(-2)]]);
         for cfg in all_configs() {
-            let (model, _) = DpllSolver::new(cfg).solve(&f);
-            assert!(model.is_none());
+            let (out, _) = DpllSolver::new(cfg).solve(&f, &Budget::unlimited());
+            assert!(out.is_unsat());
         }
     }
 
@@ -299,9 +312,13 @@ mod tests {
     fn agrees_with_brute_force_on_random_3sat() {
         for seed in 0..20u64 {
             let f = generators::random_ksat(8, 30, 3, seed);
-            let brute_sat = brute::solve(&f).is_some();
+            let brute_sat = brute::solve(&f, &Budget::unlimited())
+                .0
+                .unwrap_decided()
+                .is_some();
             for cfg in all_configs() {
-                let (model, _) = DpllSolver::new(cfg).solve(&f);
+                let (out, _) = DpllSolver::new(cfg).solve(&f, &Budget::unlimited());
+                let model = out.unwrap_decided();
                 assert_eq!(model.is_some(), brute_sat, "seed {seed}, cfg {cfg:?}");
                 if let Some(m) = model {
                     assert!(f.eval(&m), "invalid model, seed {seed}");
@@ -324,9 +341,9 @@ mod tests {
             pure_literal: false,
             branching: Branching::FirstUnassigned,
         });
-        let (model, stats) = with.solve(&f);
-        assert!(model.is_some());
-        assert_eq!(stats.decisions, 0);
+        let (out, stats) = with.solve(&f, &Budget::unlimited());
+        assert!(out.is_sat());
+        assert_eq!(stats.nodes, 0);
         assert!(stats.propagations >= 10);
     }
 
@@ -339,16 +356,24 @@ mod tests {
             pure_literal: true,
             branching: Branching::FirstUnassigned,
         });
-        let (model, stats) = solver.solve(&f);
-        assert!(model.is_some());
-        assert_eq!(stats.decisions, 0);
+        let (out, stats) = solver.solve(&f, &Budget::unlimited());
+        assert!(out.is_sat());
+        assert_eq!(stats.nodes, 0);
     }
 
     #[test]
     fn planted_instance_is_satisfied() {
         let (f, planted) = generators::planted_ksat(12, 40, 3, 7);
         assert!(f.eval(&planted));
-        let (model, _) = DpllSolver::default().solve(&f);
-        assert!(f.eval(&model.unwrap()));
+        let (out, _) = DpllSolver::default().solve(&f, &Budget::unlimited());
+        assert!(f.eval(&out.unwrap_sat()));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_without_wrong_verdict() {
+        let f = generators::random_ksat(10, 42, 3, 3);
+        let (out, stats) = DpllSolver::default().solve(&f, &Budget::ticks(2));
+        assert!(out.is_exhausted(), "2 ticks cannot decide 42 clauses");
+        assert!(stats.total_ops() >= 2);
     }
 }

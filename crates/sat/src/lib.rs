@@ -17,6 +17,9 @@
 //!   Boolean relations as polynomial-time or NP-hard, with dedicated
 //!   polynomial solvers for all six tractable classes;
 //! * [`generators`] — random and planted k-SAT instance generators.
+//!
+//! Every solver entry point takes a [`lb_engine::Budget`] and returns an
+//! [`lb_engine::Outcome`] paired with [`lb_engine::RunStats`] counters.
 
 #![forbid(unsafe_code)]
 
@@ -31,7 +34,7 @@ pub mod width;
 
 pub use cnf::{Clause, CnfFormula, Lit};
 pub use counting::count_models;
-pub use dpll::{Branching, DpllConfig, DpllSolver, DpllStats};
-pub use schaefer::{classify_relation_set, BooleanRelation, SchaeferClass};
+pub use dpll::{Branching, DpllConfig, DpllSolver};
+pub use schaefer::{classify_relation_set, BooleanRelation, SchaeferClass, SchaeferError};
 pub use twosat::solve_2sat;
 pub use width::reduce_to_3sat;

@@ -21,9 +21,18 @@
 //!
 //! Experiment E4 runs these against DPLL/brute-force to exhibit the
 //! polynomial/NP-hard gap empirically.
+//!
+//! Engine mapping: fixpoint/Gaussian steps are [`RunStats::propagations`]
+//! ticks, brute-force assignments tried are [`RunStats::nodes`]; the
+//! bijunctive solver delegates to the budgeted 2SAT solver and folds its
+//! counters in.
+//!
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 
 use crate::cnf::{CnfFormula, Lit};
 use crate::twosat::solve_2sat;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// A Boolean relation: a set of allowed tuples of fixed arity.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,6 +212,33 @@ impl SchaeferClass {
     }
 }
 
+/// Why [`solve_schaefer`] could not run a tractable solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchaeferError {
+    /// The relation set satisfies no tractable closure property — per
+    /// Schaefer's theorem, CSP(ℛ) for this ℛ is NP-hard.
+    NpHard,
+    /// The instance failed structural validation (bad scope or relation
+    /// index); the message is [`BoolCspInstance::validate`]'s.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SchaeferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchaeferError::NpHard => {
+                write!(
+                    f,
+                    "relation set is in no tractable Schaefer class (NP-hard)"
+                )
+            }
+            SchaeferError::Invalid(msg) => write!(f, "invalid instance: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchaeferError {}
+
 /// Classifies a relation set: returns every tractable class that all
 /// relations satisfy. Empty result = CSP(ℛ) is NP-hard (Schaefer).
 pub fn classify_relation_set(rels: &[BooleanRelation]) -> Vec<SchaeferClass> {
@@ -249,64 +285,88 @@ impl BoolCspInstance {
         })
     }
 
-    /// Brute-force solver (testing oracle).
-    pub fn solve_brute(&self) -> Option<Vec<bool>> {
+    /// Brute-force solver (testing oracle): one [`RunStats::nodes`] tick per
+    /// assignment tried.
+    ///
+    /// # Panics
+    /// Panics if the instance has more than 25 variables.
+    ///
+    /// [`RunStats::nodes`]: lb_engine::RunStats::nodes
+    pub fn solve_brute(&self, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) {
         assert!(self.num_vars <= 25, "brute force limited to 25 variables");
         let n = self.num_vars;
+        let mut ticker = Ticker::new(budget);
         for bits in 0u32..(1u32 << n) {
+            if let Err(reason) = ticker.node() {
+                return ticker.finish(Err(reason));
+            }
             let a: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
             if self.eval(&a) {
-                return Some(a);
+                return ticker.finish(Ok(Some(a)));
             }
         }
-        None
+        ticker.finish(Ok(None))
     }
 }
 
 /// Solves an instance whose relation set lies in the given tractable class,
-/// in polynomial time.
+/// in polynomial time, under `budget`.
 ///
 /// # Panics
 /// Panics (in debug builds) if the relations do not actually satisfy the
 /// class's closure property — the solvers are only correct under it.
-pub fn solve_in_class(inst: &BoolCspInstance, class: SchaeferClass) -> Option<Vec<bool>> {
+pub fn solve_in_class(
+    inst: &BoolCspInstance,
+    class: SchaeferClass,
+    budget: &Budget,
+) -> (Outcome<Vec<bool>>, RunStats) {
     debug_assert!(
         inst.relations.iter().all(|r| class.holds_for(r)),
         "relation set is not {class:?}"
     );
+    let mut ticker = Ticker::new(budget);
     if inst
         .constraints
         .iter()
         .any(|(_, r)| inst.relations[*r].is_empty())
     {
-        return None;
+        return ticker.finish(Ok(None));
     }
-    match class {
-        SchaeferClass::ZeroValid => Some(vec![false; inst.num_vars]),
-        SchaeferClass::OneValid => Some(vec![true; inst.num_vars]),
-        SchaeferClass::Horn => solve_horn(inst, false),
-        SchaeferClass::DualHorn => solve_horn(inst, true),
-        SchaeferClass::Affine => solve_affine(inst),
-        SchaeferClass::Bijunctive => solve_bijunctive(inst),
-    }
+    let result = match class {
+        SchaeferClass::ZeroValid => Ok(Some(vec![false; inst.num_vars])),
+        SchaeferClass::OneValid => Ok(Some(vec![true; inst.num_vars])),
+        SchaeferClass::Horn => solve_horn(inst, false, &mut ticker),
+        SchaeferClass::DualHorn => solve_horn(inst, true, &mut ticker),
+        SchaeferClass::Affine => solve_affine(inst, &mut ticker),
+        SchaeferClass::Bijunctive => solve_bijunctive(inst, &mut ticker),
+    };
+    ticker.finish(result)
 }
 
-/// Classifies and solves: `Ok(model_option)` if some tractable class
-/// applies, `Err(())` if the relation set is NP-hard per Schaefer.
-#[allow(clippy::result_unit_err)] // Err carries no data: "NP-hard" is the whole message
+/// Classifies and solves under `budget`: the outcome/stats pair if some
+/// tractable class applies, [`SchaeferError::NpHard`] otherwise (and
+/// [`SchaeferError::Invalid`] for malformed instances).
 #[must_use = "dropping the result discards the satisfying assignment or the failure"]
-pub fn solve_schaefer(inst: &BoolCspInstance) -> Result<Option<Vec<bool>>, ()> {
+pub fn solve_schaefer(
+    inst: &BoolCspInstance,
+    budget: &Budget,
+) -> Result<(Outcome<Vec<bool>>, RunStats), SchaeferError> {
+    inst.validate().map_err(SchaeferError::Invalid)?;
     match classify_relation_set(&inst.relations).first() {
-        Some(&class) => Ok(solve_in_class(inst, class)),
-        None => Err(()),
+        Some(&class) => Ok(solve_in_class(inst, class, budget)),
+        None => Err(SchaeferError::NpHard),
     }
 }
 
 /// Horn fixpoint solver. With `dual = false`: raise lower bounds using AND
 /// closure (least model); with `dual = true`: lower upper bounds using OR
 /// closure (greatest model), implemented by negating the roles of the
-/// bounds.
-fn solve_horn(inst: &BoolCspInstance, dual: bool) -> Option<Vec<bool>> {
+/// bounds. One propagation tick per constraint visited per fixpoint pass.
+fn solve_horn(
+    inst: &BoolCspInstance,
+    dual: bool,
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<bool>>, ExhaustReason> {
     // bound[v]: current forced value in the extremal model. For Horn, start
     // all-false and raise; for dual-Horn, start all-true and lower.
     let start = dual;
@@ -314,6 +374,7 @@ fn solve_horn(inst: &BoolCspInstance, dual: bool) -> Option<Vec<bool>> {
     loop {
         let mut changed = false;
         for (scope, rel_idx) in &inst.constraints {
+            ticker.propagation()?;
             let rel = &inst.relations[*rel_idx];
             // Find the extremal tuple consistent with the current bounds:
             // Horn: AND of all tuples t with t ≥ bound|scope;
@@ -339,7 +400,10 @@ fn solve_horn(inst: &BoolCspInstance, dual: bool) -> Option<Vec<bool>> {
                         .collect(),
                 });
             }
-            let extremal = acc?; // no consistent tuple → unsatisfiable
+            let Some(extremal) = acc else {
+                // No consistent tuple → unsatisfiable.
+                return Ok(None);
+            };
             for (&v, &tv) in scope.iter().zip(&extremal) {
                 if bound[v] != tv {
                     // Horn only raises (false→true); dual only lowers.
@@ -354,13 +418,17 @@ fn solve_horn(inst: &BoolCspInstance, dual: bool) -> Option<Vec<bool>> {
         }
     }
     debug_assert!(inst.eval(&bound));
-    Some(bound)
+    Ok(Some(bound))
 }
 
 /// Affine solver: each relation equals its affine hull over GF(2); extract
 /// the defining linear equations and solve the union by Gaussian
-/// elimination.
-fn solve_affine(inst: &BoolCspInstance) -> Option<Vec<bool>> {
+/// elimination. One propagation tick per equation extracted and per
+/// elimination row-operation.
+fn solve_affine(
+    inst: &BoolCspInstance,
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<bool>>, ExhaustReason> {
     let n = inst.num_vars;
     // Equations: bitmask over variables (Vec<u64>) plus RHS bit.
     let words = n.div_ceil(64).max(1);
@@ -368,8 +436,8 @@ fn solve_affine(inst: &BoolCspInstance) -> Option<Vec<bool>> {
     for (scope, rel_idx) in &inst.constraints {
         let rel = &inst.relations[*rel_idx];
         for (coeffs_local, rhs) in affine_equations(rel) {
+            ticker.propagation()?;
             let mut row = vec![0u64; words];
-            let mut r = rhs;
             for (pos, &on) in coeffs_local.iter().enumerate() {
                 if on {
                     let v = scope[pos];
@@ -378,11 +446,10 @@ fn solve_affine(inst: &BoolCspInstance) -> Option<Vec<bool>> {
             }
             // Repeated variables in a scope XOR-cancel correctly because we
             // used ^= above; rhs unchanged.
-            let _ = &mut r;
             rows.push((row, rhs));
         }
     }
-    gaussian_solve_gf2(rows, n, words)
+    gaussian_solve_gf2(rows, n, words, ticker)
 }
 
 /// The defining equations of an affine relation: all (a, c) with a·t = c for
@@ -477,12 +544,14 @@ fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
     out
 }
 
-/// Solves a GF(2) linear system; returns any solution.
+/// Solves a GF(2) linear system; returns any solution. One propagation tick
+/// per elimination row-operation.
 fn gaussian_solve_gf2(
     mut rows: Vec<(Vec<u64>, bool)>,
     n: usize,
     words: usize,
-) -> Option<Vec<bool>> {
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<bool>>, ExhaustReason> {
     let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row index, pivot col)
     let mut rank = 0usize;
     for col in 0..n {
@@ -493,6 +562,7 @@ fn gaussian_solve_gf2(
         rows.swap(rank, i);
         for j in 0..rows.len() {
             if j != rank && rows[j].0[w] >> b & 1 == 1 {
+                ticker.propagation()?;
                 let (head, tail) = rows.split_at_mut(rank.max(j));
                 let (src, dst) = if j < rank {
                     (&tail[0], &mut head[j])
@@ -511,14 +581,14 @@ fn gaussian_solve_gf2(
     // Inconsistent if some zero row has RHS 1.
     for (row, rhs) in rows.iter().skip(rank) {
         if *rhs && row.iter().all(|&w| w == 0) {
-            return None;
+            return Ok(None);
         }
     }
     // Also check rows within 0..rank that became zero (cannot happen: they
     // have pivots), and any remaining zero=1 rows above.
     for (row, rhs) in rows.iter().take(rank) {
         if *rhs && row.iter().all(|&w| w == 0) {
-            return None;
+            return Ok(None);
         }
     }
     let mut x = vec![false; n];
@@ -527,21 +597,26 @@ fn gaussian_solve_gf2(
     for &(ri, col) in &pivots {
         x[col] = rows[ri].1;
     }
-    Some(x)
+    Ok(Some(x))
 }
 
 /// Bijunctive solver: 2-decompose every constraint into its unary and binary
-/// projections and solve the resulting 2SAT instance.
+/// projections and solve the resulting 2SAT instance on the remaining
+/// budget, folding its counters back in.
 #[allow(clippy::needless_range_loop)] // index used across several arrays
-fn solve_bijunctive(inst: &BoolCspInstance) -> Option<Vec<bool>> {
+fn solve_bijunctive(
+    inst: &BoolCspInstance,
+    ticker: &mut Ticker,
+) -> Result<Option<Vec<bool>>, ExhaustReason> {
     let mut f = CnfFormula::new(inst.num_vars);
     for (scope, rel_idx) in &inst.constraints {
+        ticker.propagation()?;
         let rel = &inst.relations[*rel_idx];
         let r = rel.arity();
         for i in 0..r {
             let proj = rel.project1(i);
             match proj.as_slice() {
-                [] => return None,
+                [] => return Ok(None),
                 [only] => f.add_clause(vec![Lit::new(scope[i], *only)]),
                 _ => {}
             }
@@ -568,12 +643,18 @@ fn solve_bijunctive(inst: &BoolCspInstance) -> Option<Vec<bool>> {
             }
         }
     }
-    let model = solve_2sat(&f)?;
+    let (out, sub_stats) = solve_2sat(&f, &ticker.remaining_budget());
+    ticker.absorb(&sub_stats);
+    let model = match out {
+        Outcome::Sat(m) => m,
+        Outcome::Unsat => return Ok(None),
+        Outcome::Exhausted(reason) => return Err(reason),
+    };
     debug_assert!(
         inst.eval(&model),
         "2-decomposition must be exact for majority-closed relations"
     );
-    Some(model)
+    Ok(Some(model))
 }
 
 #[cfg(test)]
@@ -586,6 +667,16 @@ mod tests {
 
     fn rel(arity: usize, rows: &[&[u8]]) -> BooleanRelation {
         BooleanRelation::new(arity, rows.iter().map(|r| t(r)).collect())
+    }
+
+    fn solve_class_unlimited(inst: &BoolCspInstance, class: SchaeferClass) -> Option<Vec<bool>> {
+        solve_in_class(inst, class, &Budget::unlimited())
+            .0
+            .unwrap_decided()
+    }
+
+    fn brute_unlimited(inst: &BoolCspInstance) -> Option<Vec<bool>> {
+        inst.solve_brute(&Budget::unlimited()).0.unwrap_decided()
     }
 
     /// x ∨ y (the 2SAT clause relation).
@@ -661,9 +752,9 @@ mod tests {
         inst.validate().unwrap();
         let classes = classify_relation_set(&inst.relations);
         assert!(!classes.is_empty(), "test instance must be tractable");
-        let brute = inst.solve_brute();
+        let brute = brute_unlimited(inst);
         for &class in &classes {
-            let got = solve_in_class(inst, class);
+            let got = solve_class_unlimited(inst, class);
             assert_eq!(got.is_some(), brute.is_some(), "class {class:?}");
             if let Some(m) = got {
                 assert!(inst.eval(&m), "class {class:?} returned non-model");
@@ -680,7 +771,7 @@ mod tests {
             relations: vec![unit, imp()],
             constraints: vec![(vec![0], 0), (vec![0, 1], 1), (vec![1, 2], 1)],
         };
-        let m = solve_in_class(&inst, SchaeferClass::Horn).unwrap();
+        let m = solve_class_unlimited(&inst, SchaeferClass::Horn).unwrap();
         assert_eq!(m, vec![true, true, true]);
         check_solver_matches_brute(&inst);
     }
@@ -695,8 +786,8 @@ mod tests {
             relations: vec![unit_t, unit_f, imp()],
             constraints: vec![(vec![0], 0), (vec![0, 1], 2), (vec![1], 1)],
         };
-        assert!(solve_in_class(&inst, SchaeferClass::Horn).is_none());
-        assert!(inst.solve_brute().is_none());
+        assert!(solve_class_unlimited(&inst, SchaeferClass::Horn).is_none());
+        assert!(brute_unlimited(&inst).is_none());
     }
 
     #[test]
@@ -709,7 +800,7 @@ mod tests {
             relations: vec![or2(), unit_f],
             constraints: vec![(vec![0, 1], 0), (vec![0], 1)],
         };
-        let m = solve_in_class(&inst, SchaeferClass::DualHorn).unwrap();
+        let m = solve_class_unlimited(&inst, SchaeferClass::DualHorn).unwrap();
         assert!(inst.eval(&m));
         assert!(!m[0] && m[1]);
     }
@@ -722,7 +813,7 @@ mod tests {
             relations: vec![xor2()],
             constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0)],
         };
-        let m = solve_in_class(&inst, SchaeferClass::Affine).unwrap();
+        let m = solve_class_unlimited(&inst, SchaeferClass::Affine).unwrap();
         assert!(inst.eval(&m));
         check_solver_matches_brute(&inst);
     }
@@ -735,8 +826,8 @@ mod tests {
             relations: vec![xor2()],
             constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0), (vec![2, 0], 0)],
         };
-        assert!(solve_in_class(&inst, SchaeferClass::Affine).is_none());
-        assert!(inst.solve_brute().is_none());
+        assert!(solve_class_unlimited(&inst, SchaeferClass::Affine).is_none());
+        assert!(brute_unlimited(&inst).is_none());
     }
 
     #[test]
@@ -772,7 +863,22 @@ mod tests {
             relations: vec![xor2()],
             constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0), (vec![0, 2], 0)],
         };
-        assert!(solve_in_class(&inst, SchaeferClass::Bijunctive).is_none());
+        assert!(solve_class_unlimited(&inst, SchaeferClass::Bijunctive).is_none());
+    }
+
+    #[test]
+    fn bijunctive_absorbs_twosat_counters() {
+        let inst = BoolCspInstance {
+            num_vars: 4,
+            relations: vec![or2()],
+            constraints: vec![(vec![0, 1], 0), (vec![1, 2], 0), (vec![2, 3], 0)],
+        };
+        let (out, stats) = solve_in_class(&inst, SchaeferClass::Bijunctive, &Budget::unlimited());
+        assert!(out.is_sat());
+        // The delegated 2SAT run resolves one node per variable; those
+        // counters must surface in the combined stats.
+        assert!(stats.nodes >= inst.num_vars as u64);
+        assert!(stats.propagations >= inst.constraints.len() as u64);
     }
 
     #[test]
@@ -783,9 +889,9 @@ mod tests {
             relations: vec![zv],
             constraints: vec![(vec![0, 1], 0)],
         };
-        let m0 = solve_in_class(&inst, SchaeferClass::ZeroValid).unwrap();
+        let m0 = solve_class_unlimited(&inst, SchaeferClass::ZeroValid).unwrap();
         assert_eq!(m0, vec![false, false]);
-        let m1 = solve_in_class(&inst, SchaeferClass::OneValid).unwrap();
+        let m1 = solve_class_unlimited(&inst, SchaeferClass::OneValid).unwrap();
         assert_eq!(m1, vec![true, true]);
     }
 
@@ -796,14 +902,53 @@ mod tests {
             relations: vec![xor2()],
             constraints: vec![(vec![0, 1], 0)],
         };
-        assert!(solve_schaefer(&inst_tractable).unwrap().is_some());
+        let (out, _) = solve_schaefer(&inst_tractable, &Budget::unlimited()).unwrap();
+        assert!(out.is_sat());
 
         let inst_hard = BoolCspInstance {
             num_vars: 3,
             relations: vec![one_in_three()],
             constraints: vec![(vec![0, 1, 2], 0)],
         };
-        assert!(solve_schaefer(&inst_hard).is_err());
+        assert_eq!(
+            solve_schaefer(&inst_hard, &Budget::unlimited()).unwrap_err(),
+            SchaeferError::NpHard
+        );
+    }
+
+    #[test]
+    fn solve_schaefer_rejects_invalid_instance() {
+        let inst = BoolCspInstance {
+            num_vars: 2,
+            relations: vec![xor2()],
+            constraints: vec![(vec![0, 1], 7)], // relation index out of range
+        };
+        match solve_schaefer(&inst, &Budget::unlimited()) {
+            Err(SchaeferError::Invalid(msg)) => assert!(msg.contains("relation index")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_tractable_solvers() {
+        // A Horn chain long enough that one tick cannot finish the fixpoint.
+        let unit = rel(1, &[&[1]]);
+        let inst = BoolCspInstance {
+            num_vars: 6,
+            relations: vec![unit, imp()],
+            constraints: vec![
+                (vec![0], 0),
+                (vec![0, 1], 1),
+                (vec![1, 2], 1),
+                (vec![2, 3], 1),
+                (vec![3, 4], 1),
+                (vec![4, 5], 1),
+            ],
+        };
+        let (out, _) = solve_in_class(&inst, SchaeferClass::Horn, &Budget::ticks(1));
+        assert!(out.is_exhausted());
+        let (out, _) = inst.solve_brute(&Budget::ticks(1));
+        assert!(out.is_exhausted());
     }
 
     #[test]
@@ -856,8 +1001,8 @@ mod tests {
                     relations: lib.clone(),
                     constraints,
                 };
-                let got = solve_in_class(&inst, class);
-                let brute = inst.solve_brute();
+                let got = solve_class_unlimited(&inst, class);
+                let brute = brute_unlimited(&inst);
                 assert_eq!(got.is_some(), brute.is_some(), "{class:?}");
                 if let Some(m) = got {
                     assert!(inst.eval(&m), "{class:?} produced non-model");

@@ -60,6 +60,7 @@ pub fn model_back(r: &WidthReduction, model: &[bool]) -> Vec<bool> {
 mod tests {
     use super::*;
     use crate::{brute, generators, DpllSolver};
+    use lb_engine::Budget;
 
     #[test]
     fn narrow_clauses_untouched() {
@@ -74,8 +75,9 @@ mod tests {
             let f = generators::random_ksat(8, 10, 6, seed);
             let r = reduce_to_3sat(&f);
             assert!(r.formula.is_ksat(3));
-            let expect = brute::solve(&f).is_some();
-            let (model, _) = DpllSolver::default().solve(&r.formula);
+            let expect = brute::solve(&f, &Budget::unlimited()).0.is_sat();
+            let (out, _) = DpllSolver::default().solve(&r.formula, &Budget::unlimited());
+            let model = out.unwrap_decided();
             assert_eq!(model.is_some(), expect, "seed {seed}");
             if let Some(m) = model {
                 assert!(f.eval(&model_back(&r, &m)), "seed {seed}");
@@ -98,8 +100,8 @@ mod tests {
         let r = reduce_to_3sat(&f);
         assert!(r.formula.is_ksat(3));
         assert_eq!(
-            brute::solve(&f).is_some(),
-            brute::solve(&r.formula).is_some()
+            brute::solve(&f, &Budget::unlimited()).0.is_sat(),
+            brute::solve(&r.formula, &Budget::unlimited()).0.is_sat()
         );
     }
 
@@ -110,8 +112,10 @@ mod tests {
         for seed in 0..10u64 {
             let (f, plant) = generators::planted_ksat(7, 8, 5, seed);
             let r = reduce_to_3sat(&f);
-            let (model, _) = DpllSolver::default().solve(&r.formula);
-            let m = model.expect("satisfiable original ⇒ satisfiable reduction");
+            let (out, _) = DpllSolver::default().solve(&r.formula, &Budget::unlimited());
+            let m = out
+                .sat()
+                .expect("satisfiable original ⇒ satisfiable reduction");
             assert!(f.eval(&model_back(&r, &m)));
             assert!(f.eval(&plant));
         }

@@ -79,7 +79,18 @@ mod tests {
     use super::*;
     use crate::hom::{count_homomorphisms, find_homomorphism};
     use lb_csp::solver::bruteforce;
+    use lb_engine::{Budget, Outcome};
     use lb_graph::generators;
+
+    fn csp_count(inst: &CspInstance) -> u64 {
+        bruteforce::count(inst, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn hom_count(a: &Structure, b: &Structure) -> u64 {
+        count_homomorphisms(a, b, &Budget::unlimited())
+            .0
+            .unwrap_sat()
+    }
 
     #[test]
     fn csp_solutions_equal_homomorphisms() {
@@ -87,11 +98,7 @@ mod tests {
             let g = generators::gnp(5, 0.5, seed);
             let inst = lb_csp::generators::random_binary_csp(&g, 3, 0.3, seed);
             let (_, a, b) = csp_to_structures(&inst);
-            assert_eq!(
-                bruteforce::count(&inst),
-                count_homomorphisms(&a, &b),
-                "seed {seed}"
-            );
+            assert_eq!(csp_count(&inst), hom_count(&a, &b), "seed {seed}");
         }
     }
 
@@ -100,7 +107,7 @@ mod tests {
         let g = generators::cycle(5);
         let inst = lb_csp::generators::random_binary_csp(&g, 3, 0.2, 9);
         let (_, a, b) = csp_to_structures(&inst);
-        if let Some(h) = find_homomorphism(&a, &b) {
+        if let Outcome::Sat(h) = find_homomorphism(&a, &b, &Budget::unlimited()).0 {
             let assignment: Vec<Value> = h.iter().map(|&x| x as Value).collect();
             assert!(inst.eval(&assignment));
         }
@@ -112,14 +119,14 @@ mod tests {
         let inst = lb_csp::generators::random_binary_csp(&g, 2, 0.4, 3);
         let (_, a, b) = csp_to_structures(&inst);
         let back = structures_to_csp(&a, &b);
-        assert_eq!(bruteforce::count(&inst), bruteforce::count(&back));
+        assert_eq!(csp_count(&inst), csp_count(&back));
     }
 
     #[test]
     fn graph_hom_csp_counts_colorings() {
         // Homomorphisms C5 → K3 = proper 3-colorings of C5 = 30.
         let inst = graph_hom_to_csp(&generators::cycle(5), &generators::clique(3));
-        assert_eq!(bruteforce::count(&inst), 30);
+        assert_eq!(csp_count(&inst), 30);
     }
 
     #[test]
@@ -129,6 +136,6 @@ mod tests {
         let inst = graph_hom_to_csp(&h, &g);
         let sh = Structure::from_graph(&h);
         let sg = Structure::from_graph(&g);
-        assert_eq!(bruteforce::count(&inst), count_homomorphisms(&sh, &sg));
+        assert_eq!(csp_count(&inst), hom_count(&sh, &sg));
     }
 }

@@ -8,19 +8,31 @@
 //! bounded treewidth. This module computes cores by iterated retraction:
 //! repeatedly find an endomorphism onto a proper induced substructure until
 //! none exists.
+//!
+//! Engine mapping: every entry point delegates its remaining budget to the
+//! homomorphism search of [`crate::hom`] and absorbs its counters, so the
+//! exponential retraction rounds are fully budget-visible.
 
 use crate::hom::{enumerate_homomorphisms, find_homomorphism};
 use crate::structure::Structure;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// True iff `a` is a core: it admits no homomorphism onto a proper induced
 /// substructure — equivalently, every endomorphism of `a` is surjective.
-pub fn is_core(a: &Structure) -> bool {
+/// `Sat(is_core)` or `Exhausted`.
+pub fn is_core(a: &Structure, budget: &Budget) -> (Outcome<bool>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = is_core_inner(a, &mut ticker);
+    ticker.finish(result)
+}
+
+fn is_core_inner(a: &Structure, ticker: &mut Ticker) -> Result<Option<bool>, ExhaustReason> {
     let n = a.universe();
     if n <= 1 {
-        return true;
+        return Ok(Some(true));
     }
     let mut found_noninjective = false;
-    enumerate_homomorphisms(a, a, &mut |h| {
+    let (out, stats) = enumerate_homomorphisms(a, a, &ticker.remaining_budget(), &mut |h| {
         let mut seen = vec![false; n];
         for &v in h {
             seen[v] = true;
@@ -32,40 +44,62 @@ pub fn is_core(a: &Structure) -> bool {
             false
         }
     });
-    !found_noninjective
+    ticker.absorb(&stats);
+    match out {
+        Outcome::Exhausted(r) => Err(r),
+        _ => Ok(Some(!found_noninjective)),
+    }
 }
 
-/// Computes the core of `a`: returns the core structure and the list of
-/// original element ids it retains (`map[new] = old`).
+/// Computes the core of `a`: on completion, `Sat((core, map))` where
+/// `map[new] = old` lists the original element ids the core retains.
 ///
 /// Strategy: while some endomorphism misses an element, restrict to the
 /// image and recurse. Each step shrinks the universe, so at most |A| rounds
 /// of homomorphism search run.
-pub fn compute_core(a: &Structure) -> (Structure, Vec<usize>) {
+pub fn compute_core(
+    a: &Structure,
+    budget: &Budget,
+) -> (Outcome<(Structure, Vec<usize>)>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = compute_core_inner(a, &mut ticker);
+    ticker.finish(result)
+}
+
+#[allow(clippy::type_complexity)]
+fn compute_core_inner(
+    a: &Structure,
+    ticker: &mut Ticker,
+) -> Result<Option<(Structure, Vec<usize>)>, ExhaustReason> {
     let mut current = a.clone();
     // old-id of each current element.
     let mut ids: Vec<usize> = (0..a.universe()).collect();
     loop {
         let n = current.universe();
         if n <= 1 {
-            return (current, ids);
+            return Ok(Some((current, ids)));
         }
         // Find a non-surjective endomorphism, if any.
         let mut image: Option<Vec<usize>> = None;
-        enumerate_homomorphisms(&current, &current, &mut |h| {
-            let mut seen = vec![false; n];
-            for &v in h {
-                seen[v] = true;
-            }
-            if seen.iter().any(|&s| !s) {
-                image = Some(h.to_vec());
-                true
-            } else {
-                false
-            }
-        });
+        let (out, stats) =
+            enumerate_homomorphisms(&current, &current, &ticker.remaining_budget(), &mut |h| {
+                let mut seen = vec![false; n];
+                for &v in h {
+                    seen[v] = true;
+                }
+                if seen.iter().any(|&s| !s) {
+                    image = Some(h.to_vec());
+                    true
+                } else {
+                    false
+                }
+            });
+        ticker.absorb(&stats);
+        if let Outcome::Exhausted(r) = out {
+            return Err(r);
+        }
         let Some(h) = image else {
-            return (current, ids);
+            return Ok(Some((current, ids)));
         };
         // Restrict to the image elements.
         let mut img: Vec<usize> = h.clone();
@@ -77,7 +111,9 @@ pub fn compute_core(a: &Structure) -> (Structure, Vec<usize>) {
         // so iterating still converges to the core.
         let (sub, kept) = current.induced_substructure(&img);
         debug_assert!(
-            find_homomorphism(&current, &sub).is_some(),
+            find_homomorphism(&current, &sub, &Budget::unlimited())
+                .0
+                .is_sat(),
             "h maps current into the substructure"
         );
         ids = kept.iter().map(|&k| ids[k]).collect();
@@ -87,8 +123,28 @@ pub fn compute_core(a: &Structure) -> (Structure, Vec<usize>) {
 
 /// True iff `a` and `b` are homomorphically equivalent (have homs both ways)
 /// — the equivalence under which the core is the canonical representative.
-pub fn hom_equivalent(a: &Structure, b: &Structure) -> bool {
-    find_homomorphism(a, b).is_some() && find_homomorphism(b, a).is_some()
+/// `Sat(equivalent)` or `Exhausted`.
+pub fn hom_equivalent(a: &Structure, b: &Structure, budget: &Budget) -> (Outcome<bool>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = hom_equivalent_inner(a, b, &mut ticker);
+    ticker.finish(result)
+}
+
+fn hom_equivalent_inner(
+    a: &Structure,
+    b: &Structure,
+    ticker: &mut Ticker,
+) -> Result<Option<bool>, ExhaustReason> {
+    for (x, y) in [(a, b), (b, a)] {
+        let (out, stats) = find_homomorphism(x, y, &ticker.remaining_budget());
+        ticker.absorb(&stats);
+        match out {
+            Outcome::Exhausted(r) => return Err(r),
+            Outcome::Unsat => return Ok(Some(false)),
+            Outcome::Sat(_) => {}
+        }
+    }
+    Ok(Some(true))
 }
 
 #[cfg(test)]
@@ -101,42 +157,54 @@ mod tests {
         Structure::from_graph(g)
     }
 
+    fn is_core_u(a: &Structure) -> bool {
+        is_core(a, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn core_u(a: &Structure) -> (Structure, Vec<usize>) {
+        compute_core(a, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn equiv_u(a: &Structure, b: &Structure) -> bool {
+        hom_equivalent(a, b, &Budget::unlimited()).0.unwrap_sat()
+    }
+
     #[test]
     fn cliques_are_cores() {
         for k in 1..=4 {
-            assert!(is_core(&gs(&generators::clique(k))), "K{k}");
+            assert!(is_core_u(&gs(&generators::clique(k))), "K{k}");
         }
     }
 
     #[test]
     fn odd_cycles_are_cores() {
-        assert!(is_core(&gs(&generators::cycle(5))));
-        assert!(is_core(&gs(&generators::cycle(7))));
+        assert!(is_core_u(&gs(&generators::cycle(5))));
+        assert!(is_core_u(&gs(&generators::cycle(7))));
     }
 
     #[test]
     fn even_cycle_core_is_edge() {
         // Bipartite graphs with an edge retract to K2.
-        let (core, _) = compute_core(&gs(&generators::cycle(6)));
+        let (core, _) = core_u(&gs(&generators::cycle(6)));
         assert_eq!(core.universe(), 2);
-        assert!(hom_equivalent(&core, &gs(&generators::clique(2))));
+        assert!(equiv_u(&core, &gs(&generators::clique(2))));
     }
 
     #[test]
     fn path_core_is_edge() {
-        let (core, ids) = compute_core(&gs(&generators::path(5)));
+        let (core, ids) = core_u(&gs(&generators::path(5)));
         assert_eq!(core.universe(), 2);
         assert_eq!(ids.len(), 2);
-        assert!(is_core(&core));
+        assert!(is_core_u(&core));
     }
 
     #[test]
     fn core_is_hom_equivalent_to_original() {
         let g = generators::grid(2, 3); // bipartite
         let s = gs(&g);
-        let (core, _) = compute_core(&s);
-        assert!(hom_equivalent(&s, &core));
-        assert!(is_core(&core));
+        let (core, _) = core_u(&s);
+        assert!(equiv_u(&s, &core));
+        assert!(is_core_u(&core));
         assert_eq!(core.universe(), 2);
     }
 
@@ -148,16 +216,16 @@ mod tests {
         g.add_edge(1, 2);
         g.add_edge(0, 2);
         g.add_edge(3, 4);
-        let (core, _) = compute_core(&gs(&g));
+        let (core, _) = core_u(&gs(&g));
         assert_eq!(core.universe(), 3);
-        assert!(hom_equivalent(&core, &gs(&generators::clique(3))));
+        assert!(equiv_u(&core, &gs(&generators::clique(3))));
     }
 
     #[test]
     fn single_vertex_is_core() {
         let s = gs(&lb_graph::Graph::new(1));
-        assert!(is_core(&s));
-        let (core, ids) = compute_core(&s);
+        assert!(is_core_u(&s));
+        let (core, ids) = core_u(&s);
         assert_eq!(core.universe(), 1);
         assert_eq!(ids, vec![0]);
     }
@@ -165,7 +233,7 @@ mod tests {
     #[test]
     fn edgeless_graph_core_is_single_vertex() {
         let s = gs(&lb_graph::Graph::new(4));
-        let (core, _) = compute_core(&s);
+        let (core, _) = core_u(&s);
         assert_eq!(core.universe(), 1);
     }
 
@@ -180,7 +248,7 @@ mod tests {
         p.add_tuple(0, vec![0, 1]);
         p.add_tuple(0, vec![1, 2]);
         p.add_tuple(0, vec![2, 3]);
-        assert!(is_core(&p));
+        assert!(is_core_u(&p));
     }
 
     #[test]
@@ -190,10 +258,21 @@ mod tests {
         // the grid itself has larger treewidth.
         let g = generators::grid(3, 3);
         let s = gs(&g);
-        let (core, _) = compute_core(&s);
+        let (core, _) = core_u(&s);
         let core_tw = lb_graph::treewidth::treewidth_exact(&core.gaifman_graph());
         assert_eq!(core_tw, 1);
         let grid_tw = lb_graph::treewidth::treewidth_exact(&g);
         assert!(grid_tw > core_tw);
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let s = gs(&generators::cycle(6));
+        let b = Budget::ticks(0); // the delegated hom search exhausts at once
+        assert!(is_core(&s, &b).0.is_exhausted());
+        assert!(compute_core(&s, &b).0.is_exhausted());
+        assert!(hom_equivalent(&s, &gs(&generators::clique(2)), &b)
+            .0
+            .is_exhausted());
     }
 }

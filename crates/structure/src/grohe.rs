@@ -8,6 +8,13 @@
 //! and the latter is found by Freuder's dynamic program over a tree
 //! decomposition of core(A)'s Gaifman graph — costing
 //! ‖B‖^{tw(core(A)) + 1} instead of ‖B‖^{tw(A) + 1}.
+//!
+//! Engine mapping: [`solve_hom_via_core`] delegates its remaining budget to
+//! core computation, the treewidth DP, and the retraction search in turn,
+//! absorbing each stage's [`RunStats`]; the structural facts that used to
+//! live in the ad-hoc `CoreHomStats` are reported as [`CoreHomReport`].
+//!
+//! [`RunStats`]: lb_engine::RunStats
 
 use crate::convert::structures_to_csp;
 use crate::core::compute_core;
@@ -15,11 +22,13 @@ use crate::hom::find_homomorphism;
 use crate::structure::Structure;
 use lb_csp::solver::treewidth_dp;
 use lb_csp::Value;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
-/// Statistics of a [`solve_hom_via_core`] run, showing the treewidth saving
-/// the core affords.
+/// Structural facts of a [`solve_hom_via_core`] run, showing the treewidth
+/// saving the core affords. (Operation counts live in the accompanying
+/// [`RunStats`](lb_engine::RunStats).)
 #[derive(Clone, Debug)]
-pub struct CoreHomStats {
+pub struct CoreHomReport {
     /// Universe size of A.
     pub a_size: usize,
     /// Universe size of core(A).
@@ -34,15 +43,39 @@ pub struct CoreHomStats {
 /// (core(A), B) with the treewidth DP, and (if a homomorphism exists)
 /// extends it to all of A by composing with a retraction A → core(A).
 ///
-/// Returns the homomorphism (as a full map from A's universe) and the
-/// statistics.
-pub fn solve_hom_via_core(a: &Structure, b: &Structure) -> (Option<Vec<usize>>, CoreHomStats) {
-    let (core, kept) = compute_core(a);
+/// On completion, `Sat((hom, report))` where `hom` is `None` when no
+/// homomorphism exists — the report is part of the answer either way, so
+/// the `Outcome` only distinguishes completion from exhaustion.
+#[allow(clippy::type_complexity)]
+pub fn solve_hom_via_core(
+    a: &Structure,
+    b: &Structure,
+    budget: &Budget,
+) -> (Outcome<(Option<Vec<usize>>, CoreHomReport)>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let result = via_core_inner(a, b, &mut ticker);
+    ticker.finish(result)
+}
+
+#[allow(clippy::type_complexity)]
+fn via_core_inner(
+    a: &Structure,
+    b: &Structure,
+    ticker: &mut Ticker,
+) -> Result<Option<(Option<Vec<usize>>, CoreHomReport)>, ExhaustReason> {
+    let (core_out, core_stats) = compute_core(a, &ticker.remaining_budget());
+    ticker.absorb(&core_stats);
+    let (core, _kept) = match core_out {
+        Outcome::Sat(x) => x,
+        Outcome::Exhausted(r) => return Err(r),
+        // lb-lint: allow(no-panic) -- invariant: compute_core completes with Sat or exhausts
+        Outcome::Unsat => unreachable!("compute_core has no Unsat outcome"),
+    };
     let a_gaifman = a.gaifman_graph();
     let core_gaifman = core.gaifman_graph();
     let (a_tw, _) = lb_graph::treewidth::treewidth_upper_bound(&a_gaifman);
     let (core_tw, _) = lb_graph::treewidth::treewidth_upper_bound(&core_gaifman);
-    let stats = CoreHomStats {
+    let report = CoreHomReport {
         a_size: a.universe(),
         core_size: core.universe(),
         a_treewidth: a_tw,
@@ -51,9 +84,16 @@ pub fn solve_hom_via_core(a: &Structure, b: &Structure) -> (Option<Vec<usize>>, 
 
     // Solve core(A) → B by the treewidth DP over core(A)'s Gaifman graph.
     let inst = structures_to_csp(&core, b);
-    let result = treewidth_dp::solve_auto(&inst);
-    let Some(core_hom) = result.solution else {
-        return (None, stats);
+    let (dp_out, dp_stats) = treewidth_dp::solve_auto(&inst, &ticker.remaining_budget());
+    ticker.absorb(&dp_stats);
+    let dp_result = match dp_out {
+        Outcome::Sat(r) => r,
+        Outcome::Exhausted(r) => return Err(r),
+        // lb-lint: allow(no-panic) -- invariant: the treewidth DP completes with Sat or exhausts
+        Outcome::Unsat => unreachable!("solve_auto has no Unsat outcome"),
+    };
+    let Some(core_hom) = dp_result.solution else {
+        return Ok(Some((None, report)));
     };
     let core_hom: Vec<usize> = core_hom.into_iter().map(|v: Value| v as usize).collect();
     debug_assert!(core.is_homomorphism_to(b, &core_hom));
@@ -61,22 +101,32 @@ pub fn solve_hom_via_core(a: &Structure, b: &Structure) -> (Option<Vec<usize>>, 
     // Extend to A: find a retraction A → core(A) (guaranteed to exist) and
     // compose. The retraction is a homomorphism from A to the induced
     // substructure; search for it directly.
-    let retraction = find_homomorphism(a, &core)
+    let (ret_out, ret_stats) = find_homomorphism(a, &core, &ticker.remaining_budget());
+    ticker.absorb(&ret_stats);
+    let retraction = match ret_out {
+        Outcome::Sat(h) => h,
+        Outcome::Exhausted(r) => return Err(r),
         // lb-lint: allow(no-panic) -- invariant: every finite structure retracts onto its core
-        .expect("A retracts onto its core by definition");
+        Outcome::Unsat => unreachable!("A retracts onto its core by definition"),
+    };
     let full: Vec<usize> = retraction.iter().map(|&x| core_hom[x]).collect();
     debug_assert!(a.is_homomorphism_to(b, &full));
-    let _ = kept;
-    (Some(full), stats)
+    Ok(Some((Some(full), report)))
 }
 
 /// Counts homomorphisms A → B with the treewidth DP over A's Gaifman
 /// graph — the counting analogue of Theorem 5.3's tractable side. (Counting
 /// cannot go through the core: hom *counts* are not preserved by
 /// retraction, only hom *existence* is, so the DP runs on A itself.)
-pub fn count_hom_via_treewidth(a: &Structure, b: &Structure) -> u64 {
+/// `Sat(count)` or `Exhausted`.
+pub fn count_hom_via_treewidth(
+    a: &Structure,
+    b: &Structure,
+    budget: &Budget,
+) -> (Outcome<u64>, RunStats) {
     let inst = structures_to_csp(a, b);
-    treewidth_dp::solve_auto(&inst).count
+    let (out, stats) = treewidth_dp::solve_auto(&inst, budget);
+    (out.map(|r| r.count), stats)
 }
 
 #[cfg(test)]
@@ -89,16 +139,22 @@ mod tests {
         Structure::from_graph(g)
     }
 
+    fn via_core(a: &Structure, b: &Structure) -> (Option<Vec<usize>>, CoreHomReport) {
+        solve_hom_via_core(a, b, &Budget::unlimited())
+            .0
+            .unwrap_sat()
+    }
+
     #[test]
     fn grid_pattern_collapses_to_edge() {
         // A is a 3×3 grid (tw 3, but bipartite → core K2, tw 1); B = C6.
         let a = gs(&generators::grid(3, 3));
         let b = gs(&generators::cycle(6));
-        let (hom, stats) = solve_hom_via_core(&a, &b);
+        let (hom, report) = via_core(&a, &b);
         assert!(hom.is_some());
         assert!(a.is_homomorphism_to(&b, &hom.unwrap()));
-        assert_eq!(stats.core_size, 2);
-        assert!(stats.core_treewidth < stats.a_treewidth);
+        assert_eq!(report.core_size, 2);
+        assert!(report.core_treewidth < report.a_treewidth);
     }
 
     #[test]
@@ -108,9 +164,9 @@ mod tests {
         // too (map edge-wise). Use instead: C5 (core = itself) → K2: none.
         let a = gs(&generators::cycle(5));
         let b = gs(&generators::clique(2));
-        let (hom, stats) = solve_hom_via_core(&a, &b);
+        let (hom, report) = via_core(&a, &b);
         assert!(hom.is_none());
-        assert_eq!(stats.core_size, 5);
+        assert_eq!(report.core_size, 5);
     }
 
     #[test]
@@ -120,10 +176,10 @@ mod tests {
             let gb = generators::gnp(5, 0.6, seed + 50);
             let a = gs(&ga);
             let b = gs(&gb);
-            let (via_core, _) = solve_hom_via_core(&a, &b);
-            let direct = hom_exists(&a, &b);
-            assert_eq!(via_core.is_some(), direct, "seed {seed}");
-            if let Some(h) = via_core {
+            let (hom, _) = via_core(&a, &b);
+            let direct = hom_exists(&a, &b, &Budget::unlimited()).0.unwrap_sat();
+            assert_eq!(hom.is_some(), direct, "seed {seed}");
+            if let Some(h) = hom {
                 assert!(a.is_homomorphism_to(&b, &h), "seed {seed}");
             }
         }
@@ -136,8 +192,12 @@ mod tests {
             let a = gs(&generators::gnp(5, 0.5, seed));
             let b = gs(&generators::gnp(4, 0.6, seed + 30));
             assert_eq!(
-                count_hom_via_treewidth(&a, &b),
-                count_homomorphisms(&a, &b),
+                count_hom_via_treewidth(&a, &b, &Budget::unlimited())
+                    .0
+                    .unwrap_sat(),
+                count_homomorphisms(&a, &b, &Budget::unlimited())
+                    .0
+                    .unwrap_sat(),
                 "seed {seed}"
             );
         }
@@ -148,7 +208,12 @@ mod tests {
         // hom(C5 → K3) = 30, via the DP route.
         let a = gs(&generators::cycle(5));
         let b = gs(&generators::clique(3));
-        assert_eq!(count_hom_via_treewidth(&a, &b), 30);
+        assert_eq!(
+            count_hom_via_treewidth(&a, &b, &Budget::unlimited())
+                .0
+                .unwrap_sat(),
+            30
+        );
     }
 
     #[test]
@@ -157,10 +222,19 @@ mod tests {
         // principle; via the core it is a 2-variable CSP.
         let a = gs(&generators::grid(4, 5));
         let b = gs(&generators::gnp(8, 0.5, 3));
-        let (hom, stats) = solve_hom_via_core(&a, &b);
-        assert_eq!(stats.core_size, 2);
+        let (hom, report) = via_core(&a, &b);
+        assert_eq!(report.core_size, 2);
         // b has an edge with overwhelming probability under this seed.
         assert!(hom.is_some());
         assert!(a.is_homomorphism_to(&b, &hom.unwrap()));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let a = gs(&generators::grid(3, 3));
+        let b = gs(&generators::cycle(6));
+        let budget = Budget::ticks(0); // the core computation exhausts at once
+        assert!(solve_hom_via_core(&a, &b, &budget).0.is_exhausted());
+        assert!(count_hom_via_treewidth(&a, &b, &budget).0.is_exhausted());
     }
 }

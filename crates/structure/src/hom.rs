@@ -6,44 +6,91 @@
 //! search itself is the |B|^{|A|} brute force that Theorem 5.3 says cannot
 //! be beaten in general (unless the cores of the A-side have bounded
 //! treewidth).
+//!
+//! Engine mapping: one [`RunStats::propagations`] per support check in the
+//! arc-consistency fixpoint and per tuple-compatibility check during the
+//! search, one [`RunStats::nodes`] per candidate image tried, and one
+//! [`RunStats::tuples`] per complete homomorphism visited.
+//!
+//! [`RunStats::nodes`]: lb_engine::RunStats::nodes
+//! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`RunStats::tuples`]: lb_engine::RunStats::tuples
 
 use crate::structure::Structure;
+use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
-/// Finds a homomorphism from `a` to `b`, if one exists.
-pub fn find_homomorphism(a: &Structure, b: &Structure) -> Option<Vec<usize>> {
+/// Finds a homomorphism from `a` to `b`. `Sat(hom)`, `Unsat`, or
+/// `Exhausted`.
+pub fn find_homomorphism(
+    a: &Structure,
+    b: &Structure,
+    budget: &Budget,
+) -> (Outcome<Vec<usize>>, RunStats) {
+    let mut ticker = Ticker::new(budget);
     let mut result = None;
-    search(a, b, &mut |h| {
-        result = Some(h.to_vec());
-        true
-    });
-    result
+    let r = search(
+        a,
+        b,
+        &mut |h| {
+            result = Some(h.to_vec());
+            true
+        },
+        &mut ticker,
+    );
+    ticker.finish(r.map(|_| result))
 }
 
-/// Counts all homomorphisms from `a` to `b`.
-pub fn count_homomorphisms(a: &Structure, b: &Structure) -> u64 {
+/// Counts all homomorphisms from `a` to `b`. `Sat(count)` or `Exhausted`.
+pub fn count_homomorphisms(
+    a: &Structure,
+    b: &Structure,
+    budget: &Budget,
+) -> (Outcome<u64>, RunStats) {
+    let mut ticker = Ticker::new(budget);
     let mut n = 0u64;
-    search(a, b, &mut |_| {
-        n += 1;
-        false
-    });
-    n
+    let r = search(
+        a,
+        b,
+        &mut |_| {
+            n += 1;
+            false
+        },
+        &mut ticker,
+    );
+    ticker.finish(r.map(|_| Some(n)))
 }
 
 /// Enumerates homomorphisms through a callback; `true` stops the search.
+/// `Sat(stopped_early)` or `Exhausted`.
 pub fn enumerate_homomorphisms<F: FnMut(&[usize]) -> bool>(
     a: &Structure,
     b: &Structure,
+    budget: &Budget,
     visit: &mut F,
-) {
-    search(a, b, visit);
+) -> (Outcome<bool>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let r = search(a, b, visit, &mut ticker);
+    ticker.finish(r.map(Some))
 }
 
-/// True iff `a` maps homomorphically into `b`.
-pub fn hom_exists(a: &Structure, b: &Structure) -> bool {
-    find_homomorphism(a, b).is_some()
+/// True iff `a` maps homomorphically into `b`. `Sat(exists)` or
+/// `Exhausted`.
+pub fn hom_exists(a: &Structure, b: &Structure, budget: &Budget) -> (Outcome<bool>, RunStats) {
+    let (out, stats) = find_homomorphism(a, b, budget);
+    let out = match out {
+        Outcome::Sat(_) => Outcome::Sat(true),
+        Outcome::Unsat => Outcome::Sat(false),
+        Outcome::Exhausted(r) => Outcome::Exhausted(r),
+    };
+    (out, stats)
 }
 
-fn search<F: FnMut(&[usize]) -> bool>(a: &Structure, b: &Structure, visit: &mut F) {
+fn search<F: FnMut(&[usize]) -> bool>(
+    a: &Structure,
+    b: &Structure,
+    visit: &mut F,
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     assert_eq!(
         a.num_relations(),
         b.num_relations(),
@@ -52,28 +99,33 @@ fn search<F: FnMut(&[usize]) -> bool>(a: &Structure, b: &Structure, visit: &mut 
     let na = a.universe();
     let nb = b.universe();
     if na == 0 {
-        visit(&[]);
-        return;
+        ticker.tuple()?;
+        return Ok(visit(&[]));
     }
     if nb == 0 {
-        return;
+        return Ok(false);
     }
 
     // Candidate sets after arc-consistency pre-pruning.
     let mut candidates: Vec<Vec<bool>> = vec![vec![true; nb]; na];
-    if !prune(a, b, &mut candidates) {
-        return;
+    if !prune(a, b, &mut candidates, ticker)? {
+        return Ok(false);
     }
 
     let mut h: Vec<Option<usize>> = vec![None; na];
-    backtrack(a, b, &candidates, &mut h, visit);
+    backtrack(a, b, &candidates, &mut h, visit, ticker)
 }
 
 /// Arc-consistency fixpoint: x can map to v only if every A-tuple through x
 /// extends to a B-tuple with v at x's position (checking each tuple
 /// position-wise against B's tuples). Returns false if a candidate set
 /// empties.
-fn prune(a: &Structure, b: &Structure, candidates: &mut [Vec<bool>]) -> bool {
+fn prune(
+    a: &Structure,
+    b: &Structure,
+    candidates: &mut [Vec<bool>],
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     loop {
         let mut changed = false;
         for sym in 0..a.num_relations() {
@@ -83,6 +135,7 @@ fn prune(a: &Structure, b: &Structure, candidates: &mut [Vec<bool>]) -> bool {
                         if !candidates[x][v] {
                             continue;
                         }
+                        ticker.propagation()?;
                         // Is there a B-tuple with v at `pos` whose other
                         // coordinates are still candidates?
                         let supported = b.tuples(sym).iter().any(|u| {
@@ -94,13 +147,13 @@ fn prune(a: &Structure, b: &Structure, candidates: &mut [Vec<bool>]) -> bool {
                         }
                     }
                     if candidates[x].iter().all(|&c| !c) {
-                        return false;
+                        return Ok(false);
                     }
                 }
             }
         }
         if !changed {
-            return true;
+            return Ok(true);
         }
     }
 }
@@ -111,7 +164,8 @@ fn backtrack<F: FnMut(&[usize]) -> bool>(
     candidates: &[Vec<bool>],
     h: &mut Vec<Option<usize>>,
     visit: &mut F,
-) -> bool {
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     // Most-constrained element first.
     let next = (0..a.universe())
         .filter(|&x| h[x].is_none())
@@ -122,41 +176,50 @@ fn backtrack<F: FnMut(&[usize]) -> bool>(
             // lb-lint: allow(no-panic) -- invariant: a complete homomorphism assigns every vertex
             let full: Vec<usize> = h.iter().map(|o| o.expect("complete")).collect();
             debug_assert!(a.is_homomorphism_to(b, &full));
-            return visit(&full);
+            ticker.tuple()?;
+            return Ok(visit(&full));
         }
     };
     for v in 0..b.universe() {
         if !candidates[x][v] {
             continue;
         }
+        ticker.node()?;
         h[x] = Some(v);
-        if consistent(a, b, h, x) && backtrack(a, b, candidates, h, visit) {
-            return true;
+        if consistent(a, b, h, x, ticker)? && backtrack(a, b, candidates, h, visit, ticker)? {
+            return Ok(true);
         }
     }
     h[x] = None;
-    false
+    Ok(false)
 }
 
 /// Checks every A-tuple that involves `x`: if fully mapped it must land in
 /// B; if partially mapped some compatible B-tuple must remain.
-fn consistent(a: &Structure, b: &Structure, h: &[Option<usize>], x: usize) -> bool {
+fn consistent(
+    a: &Structure,
+    b: &Structure,
+    h: &[Option<usize>],
+    x: usize,
+    ticker: &mut Ticker,
+) -> Result<bool, ExhaustReason> {
     for sym in 0..a.num_relations() {
         for t in a.tuples(sym) {
             if !t.contains(&x) {
                 continue;
             }
+            ticker.propagation()?;
             let compatible = b.tuples(sym).iter().any(|u| {
                 t.iter()
                     .zip(u)
                     .all(|(&ax, &bv)| h[ax].is_none_or(|hv| hv == bv))
             });
             if !compatible {
-                return false;
+                return Ok(false);
             }
         }
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -169,42 +232,54 @@ mod tests {
         Structure::from_graph(g)
     }
 
+    fn exists(a: &Structure, b: &Structure) -> bool {
+        hom_exists(a, b, &Budget::unlimited()).0.unwrap_sat()
+    }
+
+    fn count(a: &Structure, b: &Structure) -> u64 {
+        count_homomorphisms(a, b, &Budget::unlimited())
+            .0
+            .unwrap_sat()
+    }
+
     #[test]
     fn graph_coloring_as_homomorphism() {
         // G → K_k homomorphisms = proper k-colorings. C5 is 3-chromatic.
         let c5 = graph_structure(&generators::cycle(5));
         let k2 = graph_structure(&generators::clique(2));
         let k3 = graph_structure(&generators::clique(3));
-        assert!(!hom_exists(&c5, &k2));
-        assert!(hom_exists(&c5, &k3));
+        assert!(!exists(&c5, &k2));
+        assert!(exists(&c5, &k3));
         // Count: proper 3-colorings of C5 = (3−1)^5 + (−1)^5·(3−1) = 30.
-        assert_eq!(count_homomorphisms(&c5, &k3), 30);
+        assert_eq!(count(&c5, &k3), 30);
     }
 
     #[test]
     fn even_cycle_is_bipartite() {
         let c6 = graph_structure(&generators::cycle(6));
         let k2 = graph_structure(&generators::clique(2));
-        assert!(hom_exists(&c6, &k2));
+        assert!(exists(&c6, &k2));
         // 2-colorings of an even cycle: 2.
-        assert_eq!(count_homomorphisms(&c6, &k2), 2);
+        assert_eq!(count(&c6, &k2), 2);
     }
 
     #[test]
     fn clique_to_smaller_clique_fails() {
         let k4 = graph_structure(&generators::clique(4));
         let k3 = graph_structure(&generators::clique(3));
-        assert!(!hom_exists(&k4, &k3));
-        assert!(hom_exists(&k3, &k4));
+        assert!(!exists(&k4, &k3));
+        assert!(exists(&k3, &k4));
         // Injective maps K3 → K4: 4·3·2 = 24.
-        assert_eq!(count_homomorphisms(&k3, &k4), 24);
+        assert_eq!(count(&k3, &k4), 24);
     }
 
     #[test]
     fn homomorphism_is_verified() {
         let p3 = graph_structure(&generators::path(3));
         let k2 = graph_structure(&generators::clique(2));
-        let h = find_homomorphism(&p3, &k2).unwrap();
+        let h = find_homomorphism(&p3, &k2, &Budget::unlimited())
+            .0
+            .unwrap_sat();
         assert!(p3.is_homomorphism_to(&k2, &h));
     }
 
@@ -218,11 +293,11 @@ mod tests {
         dpath.add_tuple(0, vec![1, 2]);
         let mut arc = Structure::new(&voc, 2);
         arc.add_tuple(0, vec![0, 1]);
-        assert!(!hom_exists(&dpath, &arc));
+        assert!(!exists(&dpath, &arc));
         let mut two_cycle = Structure::new(&voc, 2);
         two_cycle.add_tuple(0, vec![0, 1]);
         two_cycle.add_tuple(0, vec![1, 0]);
-        assert!(hom_exists(&dpath, &two_cycle));
+        assert!(exists(&dpath, &two_cycle));
     }
 
     #[test]
@@ -230,7 +305,7 @@ mod tests {
         let voc = Vocabulary::digraph();
         let a = Structure::new(&voc, 0);
         let b = Structure::new(&voc, 3);
-        assert_eq!(count_homomorphisms(&a, &b), 1);
+        assert_eq!(count(&a, &b), 1);
     }
 
     #[test]
@@ -238,7 +313,7 @@ mod tests {
         let voc = Vocabulary::digraph();
         let a = Structure::new(&voc, 2);
         let b = Structure::new(&voc, 0);
-        assert_eq!(count_homomorphisms(&a, &b), 0);
+        assert_eq!(count(&a, &b), 0);
     }
 
     #[test]
@@ -246,7 +321,7 @@ mod tests {
         let voc = Vocabulary::digraph();
         let a = Structure::new(&voc, 3);
         let b = Structure::new(&voc, 4);
-        assert_eq!(count_homomorphisms(&a, &b), 64);
+        assert_eq!(count(&a, &b), 64);
     }
 
     #[test]
@@ -260,10 +335,29 @@ mod tests {
         let mut b = Structure::new(&voc, 3);
         b.add_tuple(0, vec![0, 1]);
         b.add_tuple(1, vec![1, 2]);
-        assert!(!hom_exists(&a, &b));
+        assert!(!exists(&a, &b));
         let mut b2 = Structure::new(&voc, 3);
         b2.add_tuple(0, vec![0, 1]);
         b2.add_tuple(1, vec![0, 1]);
-        assert!(hom_exists(&a, &b2));
+        assert!(exists(&a, &b2));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let c5 = graph_structure(&generators::cycle(5));
+        let k3 = graph_structure(&generators::clique(3));
+        let b = Budget::ticks(0); // the first support check exhausts
+        assert!(find_homomorphism(&c5, &k3, &b).0.is_exhausted());
+        assert!(count_homomorphisms(&c5, &k3, &b).0.is_exhausted());
+        assert!(hom_exists(&c5, &k3, &b).0.is_exhausted());
+    }
+
+    #[test]
+    fn counters_monotone_in_budget() {
+        let c5 = graph_structure(&generators::cycle(5));
+        let k3 = graph_structure(&generators::clique(3));
+        let (_, small) = count_homomorphisms(&c5, &k3, &Budget::ticks(40));
+        let (_, large) = count_homomorphisms(&c5, &k3, &Budget::unlimited());
+        assert!(small.le(&large));
     }
 }

@@ -14,6 +14,10 @@
 //!   the parameter of Theorem 5.3;
 //! * [`convert`] — CSP instance ⇄ (A, B) structure pair, and graphs as
 //!   single-binary-relation structures.
+//!
+//! Every search, counting, and core-computation entry point takes a
+//! [`lb_engine::Budget`] and returns an [`lb_engine::Outcome`] paired with
+//! [`lb_engine::RunStats`] operation counters.
 
 #![forbid(unsafe_code)]
 

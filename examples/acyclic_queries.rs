@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example acyclic_queries`
 
+use lowerbounds::engine::Budget;
 use lowerbounds::join::acyclic::{is_acyclic, is_empty_acyclic, yannakakis};
 use lowerbounds::join::{binary, wcoj, Atom, Database, JoinQuery, Table};
 use std::time::Instant;
@@ -47,8 +48,9 @@ fn main() {
     db.insert("R2", Table::from_rows(2, vec![vec![u64::MAX - 1, 0]]));
 
     println!("\nDead-end path query, |R0| = |R1| = {} tuples:", s * s);
+    let bu = Budget::unlimited();
     let t0 = Instant::now();
-    let yk = yannakakis(&q, &db).unwrap();
+    let yk = yannakakis(&q, &db, &bu).unwrap().0.unwrap_sat();
     println!(
         "  Yannakakis (semi-join reduced): {:>10.2?}  answer = {}",
         t0.elapsed(),
@@ -56,14 +58,14 @@ fn main() {
     );
 
     let t1 = Instant::now();
-    let empty = is_empty_acyclic(&q, &db).unwrap();
+    let empty = is_empty_acyclic(&q, &db, &bu).unwrap().0.unwrap_sat();
     println!(
         "  emptiness sweep only:           {:>10.2?}  empty = {empty}",
         t1.elapsed()
     );
 
     let t2 = Instant::now();
-    let gj = wcoj::join(&q, &db, None).unwrap();
+    let gj = wcoj::join(&q, &db, None, &bu).unwrap().0.unwrap_sat();
     println!(
         "  Generic Join:                   {:>10.2?}  answer = {}",
         t2.elapsed(),
@@ -71,12 +73,13 @@ fn main() {
     );
 
     let t3 = Instant::now();
-    let (bp, stats) = binary::left_deep_join(&q, &db).unwrap();
+    let (bp_out, stats) = binary::left_deep_join(&q, &db, &bu).unwrap();
+    let bp = bp_out.unwrap_sat();
     println!(
         "  binary plan:                    {:>10.2?}  answer = {} (materialized {} tuples!)",
         t3.elapsed(),
         bp.len(),
-        stats.total_materialized
+        stats.tuples
     );
     assert_eq!(yk, gj);
     assert_eq!(yk, bp);

@@ -10,6 +10,7 @@
 
 use lowerbounds::csp::generators::random_ktree_csp;
 use lowerbounds::csp::solver::{backtracking, treewidth_dp, BacktrackConfig};
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::treewidth;
 use std::time::Instant;
 
@@ -26,15 +27,19 @@ fn main() {
             let primal = inst.primal_graph();
             let (tw_ub, td) = treewidth::treewidth_upper_bound(&primal);
 
+            let bu = Budget::unlimited();
             let t0 = Instant::now();
-            let dp = treewidth_dp::solve_with_decomposition(&inst, &td);
+            let dp = treewidth_dp::solve_with_decomposition(&inst, &td, &bu)
+                .0
+                .unwrap_sat();
             let dp_time = t0.elapsed();
 
             // Backtracking must *enumerate* to count; skip it when the DP
             // already knows the count is huge.
             let bt_cell = if dp.count <= 2_000_000 {
                 let t1 = Instant::now();
-                let (bt_count, _) = backtracking::count(&inst, BacktrackConfig::default());
+                let (bt_out, _) = backtracking::count(&inst, BacktrackConfig::default(), &bu);
+                let bt_count = bt_out.unwrap_sat();
                 let bt_time = t1.elapsed();
                 assert_eq!(dp.count, bt_count, "solvers must agree");
                 format!("{bt_time:>13.2?}")

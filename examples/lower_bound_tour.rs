@@ -11,6 +11,7 @@
 //! Run with: `cargo run --release --example lower_bound_tour`
 
 use lowerbounds::claims::claims_under;
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::hypotheses::Hypothesis;
 use lowerbounds::reductions::{clique_to_csp, clique_to_special};
@@ -44,7 +45,10 @@ fn main() {
         inst.domain_size,
         inst.constraints.len()
     );
-    let solution = lowerbounds::csp::solver::solve(&inst).expect("planted clique exists");
+    let solution = lowerbounds::csp::solver::solve(&inst, &Budget::unlimited())
+        .0
+        .unwrap_decided()
+        .expect("planted clique exists");
     let clique = clique_to_csp::solution_back(&solution);
     assert!(g.is_clique(&clique));
     println!("CSP solver recovered the clique: {clique:?}");
@@ -56,7 +60,10 @@ fn main() {
         "Special CSP: k-clique part + 2^k path = {} variables (f(k) = k + 2^k)",
         inst.num_vars
     );
-    match clique_to_special::has_clique_via_special(&g, k) {
+    match clique_to_special::has_clique_via_special(&g, k, &Budget::unlimited())
+        .0
+        .unwrap_decided()
+    {
         Some(c) => {
             assert!(g.is_clique(&c));
             println!("quasipolynomial special solver found a {k}-clique: {c:?}");

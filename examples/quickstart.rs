@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use lowerbounds::engine::Budget;
 use lowerbounds::join::{agm, binary, wcoj, JoinQuery};
 use std::time::Instant;
 
@@ -25,13 +26,15 @@ fn main() {
         let bound = agm::agm_bound(&q, n).unwrap();
         let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
 
+        let bu = Budget::unlimited();
         let t0 = Instant::now();
-        let count = wcoj::count(&q, &db, None).unwrap();
+        let count = wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat();
         let wcoj_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let (ans, stats) = binary::left_deep_join(&q, &db).unwrap();
+        let (ans_out, stats) = binary::left_deep_join(&q, &db, &bu).unwrap();
         let binary_time = t1.elapsed();
+        let ans = ans_out.unwrap_sat();
 
         assert_eq!(count as u128, predicted, "Theorem 3.2 witness is exact");
         assert_eq!(ans.len(), count as usize);

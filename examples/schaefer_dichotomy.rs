@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example schaefer_dichotomy`
 
+use lowerbounds::engine::Budget;
 use lowerbounds::sat::schaefer::{
     classify_relation_set, solve_in_class, BoolCspInstance, BooleanRelation,
 };
@@ -87,8 +88,9 @@ fn main() {
     };
     let classes = classify_relation_set(&inst.relations);
     println!("Random Horn instance over {num_vars} variables: classes {classes:?}");
-    let got = solve_in_class(&inst, classes[0]);
-    let brute = inst.solve_brute();
+    let bu = Budget::unlimited();
+    let got = solve_in_class(&inst, classes[0], &bu).0.unwrap_decided();
+    let brute = inst.solve_brute(&bu).0.unwrap_decided();
     match (&got, &brute) {
         (Some(m), Some(_)) => {
             assert!(inst.eval(m));

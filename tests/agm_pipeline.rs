@@ -5,6 +5,7 @@
 //! with equality by the witness, (b) the bound is never violated on random
 //! databases, (c) both engines agree everywhere.
 
+use lowerbounds::engine::Budget;
 use lowerbounds::join::{agm, binary, generators as jgen, wcoj, JoinQuery};
 use lowerbounds::lp::Rational;
 
@@ -32,8 +33,11 @@ fn worst_case_witnesses_meet_the_bound() {
         for n in [16u64, 81, 256] {
             let (db, predicted) = agm::worst_case_database(&q, n).unwrap();
             assert!(db.max_table_size() as u64 <= n, "{q:?} n={n}");
-            let count = wcoj::count(&q, &db, None).unwrap();
-            assert_eq!(count as u128, predicted, "{q:?} n={n}");
+            let count = wcoj::count(&q, &db, None, &Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat();
+            assert_eq!(u128::from(count), predicted, "{q:?} n={n}");
             assert!(
                 agm::agm_bound_holds(&q, &db, predicted).unwrap(),
                 "{q:?} n={n}"
@@ -47,9 +51,12 @@ fn agm_bound_never_violated_on_random_databases() {
     for (q, _) in families() {
         for seed in 0..4u64 {
             let db = jgen::random_database(&q, 40, 8, seed);
-            let count = wcoj::count(&q, &db, None).unwrap();
+            let count = wcoj::count(&q, &db, None, &Budget::unlimited())
+                .unwrap()
+                .0
+                .unwrap_sat();
             assert!(
-                agm::agm_bound_holds(&q, &db, count as u128).unwrap(),
+                agm::agm_bound_holds(&q, &db, u128::from(count)).unwrap(),
                 "{q:?} seed {seed}: answer {count} exceeds AGM bound"
             );
         }
@@ -61,9 +68,10 @@ fn both_engines_agree_on_every_family() {
     for (q, _) in families() {
         for seed in 0..3u64 {
             let db = jgen::random_database(&q, 30, 6, seed);
-            let a = wcoj::join(&q, &db, None).unwrap();
-            let (b, _) = binary::left_deep_join(&q, &db).unwrap();
-            assert_eq!(a, b, "{q:?} seed {seed}");
+            let bu = Budget::unlimited();
+            let a = wcoj::join(&q, &db, None, &bu).unwrap().0.unwrap_sat();
+            let (b, _) = binary::left_deep_join(&q, &db, &bu).unwrap();
+            assert_eq!(a, b.unwrap_sat(), "{q:?} seed {seed}");
         }
     }
 }
@@ -73,8 +81,12 @@ fn boolean_emptiness_agrees_with_count() {
     for (q, _) in families() {
         for seed in 10..13u64 {
             let db = jgen::random_database(&q, 20, 10, seed);
-            let empty = lowerbounds::join::boolean::is_answer_empty(&q, &db).unwrap();
-            let count = wcoj::count(&q, &db, None).unwrap();
+            let bu = Budget::unlimited();
+            let empty = lowerbounds::join::boolean::is_answer_empty(&q, &db, &bu)
+                .unwrap()
+                .0
+                .unwrap_sat();
+            let count = wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat();
             assert_eq!(empty, count == 0, "{q:?} seed {seed}");
         }
     }

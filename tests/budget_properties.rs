@@ -1,0 +1,158 @@
+//! Property tests for the engine layer's budget contract, across every
+//! solver family: a budget may only ever cost *completeness* (the solver
+//! says `Exhausted`), never *soundness* (a wrong `Sat`/`Unsat` verdict),
+//! and raising the budget until the solver completes must reproduce the
+//! brute-force answer with monotonically growing work counters.
+
+use proptest::prelude::*;
+
+use lowerbounds::csp::solver::{backtracking, bruteforce, treewidth_dp, BacktrackConfig};
+use lowerbounds::engine::{Budget, Outcome, RunStats};
+use lowerbounds::graph::generators;
+use lowerbounds::graphalg::clique;
+use lowerbounds::join::{generators as jgen, wcoj, JoinQuery};
+use lowerbounds::sat::{brute, generators as sgen, DpllConfig, DpllSolver};
+
+/// Runs `solve` under doubling tick budgets until it completes, checking on
+/// the way that (a) every verdict delivered under a partial budget matches
+/// the oracle, and (b) the work counters grow monotonically with the
+/// budget. Returns the final decided verdict.
+fn doubling_budget_verdict<W>(
+    mut solve: impl FnMut(&Budget) -> (Outcome<W>, RunStats),
+    oracle: bool,
+) -> bool {
+    let mut ticks = 1u64;
+    let mut prev_stats: Option<RunStats> = None;
+    loop {
+        let (out, stats) = solve(&Budget::ticks(ticks));
+        if let Some(prev) = prev_stats {
+            assert!(
+                prev.le(&stats),
+                "counters shrank when the budget grew: {prev:?} then {stats:?}"
+            );
+        }
+        prev_stats = Some(stats);
+        match out {
+            Outcome::Sat(_) => {
+                assert!(oracle, "budgeted run said Sat but the oracle says Unsat");
+                return true;
+            }
+            Outcome::Unsat => {
+                assert!(!oracle, "budgeted run said Unsat but the oracle says Sat");
+                return false;
+            }
+            Outcome::Exhausted(_) => {
+                ticks = ticks
+                    .checked_mul(2)
+                    .expect("budget overflow before completion");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// DPLL: zero-tick budgets exhaust, doubling budgets converge to the
+    /// brute-force verdict with monotone counters.
+    #[test]
+    fn dpll_budget_contract(seed in 0u64..10_000, n in 4usize..8, m in 5usize..24) {
+        let f = sgen::random_ksat(n, m, 3.min(n), seed);
+        let solver = DpllSolver::new(DpllConfig::default());
+        prop_assert!(solver.solve(&f, &Budget::ticks(0)).0.is_exhausted());
+        let oracle = brute::solve(&f, &Budget::unlimited()).0.is_sat();
+        let verdict = doubling_budget_verdict(|b| solver.solve(&f, b), oracle);
+        prop_assert_eq!(verdict, oracle);
+    }
+
+    /// CSP backtracking: same contract against the brute-force counter.
+    #[test]
+    fn csp_backtracking_budget_contract(
+        seed in 0u64..10_000, n in 4usize..7, d in 2usize..4, p in 0.2f64..0.6,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let inst = lowerbounds::csp::generators::random_binary_csp(&g, d, 0.4, seed);
+        let cfg = BacktrackConfig::default();
+        prop_assert!(backtracking::solve(&inst, cfg, &Budget::ticks(0)).0.is_exhausted());
+        let oracle = bruteforce::count(&inst, &Budget::unlimited()).0.unwrap_sat() > 0;
+        let verdict = doubling_budget_verdict(|b| backtracking::solve(&inst, cfg, b), oracle);
+        prop_assert_eq!(verdict, oracle);
+    }
+
+    /// Freuder's treewidth DP: `Sat` always carries the full count, so the
+    /// doubling run must converge to the brute-force count exactly.
+    #[test]
+    fn treewidth_dp_budget_contract(
+        seed in 0u64..10_000, n in 4usize..7, d in 2usize..4, p in 0.2f64..0.6,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let inst = lowerbounds::csp::generators::random_binary_csp(&g, d, 0.4, seed);
+        prop_assert!(treewidth_dp::solve_auto(&inst, &Budget::ticks(0)).0.is_exhausted());
+        let oracle = bruteforce::count(&inst, &Budget::unlimited()).0.unwrap_sat();
+        let mut counts = Vec::new();
+        let verdict = doubling_budget_verdict(
+            |b| {
+                let (out, stats) = treewidth_dp::solve_auto(&inst, b);
+                let out = match out {
+                    Outcome::Sat(r) => {
+                        counts.push(r.count);
+                        if r.count > 0 { Outcome::Sat(()) } else { Outcome::Unsat }
+                    }
+                    Outcome::Unsat => Outcome::Unsat,
+                    Outcome::Exhausted(r) => Outcome::Exhausted(r),
+                };
+                (out, stats)
+            },
+            oracle > 0,
+        );
+        prop_assert_eq!(verdict, oracle > 0);
+        prop_assert_eq!(counts.last().copied(), Some(oracle));
+    }
+
+    /// Generic Join: a completed budgeted count equals the unlimited count;
+    /// zero ticks always exhaust.
+    #[test]
+    fn wcoj_budget_contract(seed in 0u64..10_000, rows in 5usize..25, dom in 3u64..9) {
+        let q = JoinQuery::triangle();
+        let db = jgen::random_binary_database(&q, rows, dom, seed);
+        prop_assert!(
+            wcoj::count(&q, &db, None, &Budget::ticks(0)).unwrap().0.is_exhausted()
+        );
+        let oracle = wcoj::count(&q, &db, None, &Budget::unlimited())
+            .unwrap()
+            .0
+            .unwrap_sat();
+        let mut counts = Vec::new();
+        let verdict = doubling_budget_verdict(
+            |b| {
+                let (out, stats) = wcoj::count(&q, &db, None, b).unwrap();
+                let out = match out {
+                    Outcome::Sat(c) => {
+                        counts.push(c);
+                        if c > 0 { Outcome::Sat(()) } else { Outcome::Unsat }
+                    }
+                    Outcome::Unsat => Outcome::Unsat,
+                    Outcome::Exhausted(r) => Outcome::Exhausted(r),
+                };
+                (out, stats)
+            },
+            oracle > 0,
+        );
+        prop_assert_eq!(verdict, oracle > 0);
+        prop_assert_eq!(counts.last().copied(), Some(oracle));
+    }
+
+    /// Clique search (brute and Nešetřil–Poljak): budget contract against
+    /// the unlimited run.
+    #[test]
+    fn clique_budget_contract(seed in 0u64..10_000, n in 4usize..10, p in 0.3f64..0.8) {
+        let g = generators::gnp(n, p, seed);
+        let k = 3;
+        prop_assert!(clique::find_clique(&g, k, &Budget::ticks(0)).0.is_exhausted());
+        let oracle = clique::find_clique(&g, k, &Budget::unlimited()).0.is_sat();
+        let verdict = doubling_budget_verdict(|b| clique::find_clique(&g, k, b), oracle);
+        prop_assert_eq!(verdict, oracle);
+        let vnp = doubling_budget_verdict(|b| clique::find_clique_neipol(&g, k, b), oracle);
+        prop_assert_eq!(vnp, oracle);
+    }
+}

@@ -5,6 +5,7 @@
 //! and every route must report the same solution count.
 
 use lowerbounds::csp::solver::bruteforce;
+use lowerbounds::engine::Budget;
 use lowerbounds::graphalg::subiso::partitioned_subgraph_iso;
 use lowerbounds::join::{generators as jgen, wcoj, JoinQuery};
 use lowerbounds::reductions::fourdomains;
@@ -17,22 +18,25 @@ fn all_four_domains_agree_on_triangle_instances() {
         // Domain 1: join query + database.
         let q = JoinQuery::triangle();
         let db = jgen::random_binary_database(&q, 18, 6, seed);
-        let join_count = wcoj::count(&q, &db, None).unwrap();
+        let bu = Budget::unlimited();
+        let join_count = wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat();
 
         // Domain 2: CSP.
         let (csp, _values) = fourdomains::join_to_csp(&q, &db).unwrap();
-        let csp_count = bruteforce::count(&csp);
+        let csp_count = bruteforce::count(&csp, &bu).0.unwrap_sat();
         assert_eq!(csp_count, join_count, "CSP vs join, seed {seed}");
 
         // Domain 3: relational structures / homomorphism.
         let (_, a, b) = sconvert::csp_to_structures(&csp);
-        let hom_count = hom::count_homomorphisms(&a, &b);
+        let hom_count = hom::count_homomorphisms(&a, &b, &bu).0.unwrap_sat();
         assert_eq!(hom_count, join_count, "hom vs join, seed {seed}");
 
         // Domain 4: partitioned subgraph isomorphism (decision only — the
         // mapping is a bijection on solutions, here we check emptiness).
         let (pattern, host, classes) = fourdomains::binary_csp_to_partitioned_subiso(&csp);
-        let subiso = partitioned_subgraph_iso(&pattern, &host, &classes);
+        let subiso = partitioned_subgraph_iso(&pattern, &host, &classes, &bu)
+            .0
+            .unwrap_decided();
         assert_eq!(
             subiso.is_some(),
             join_count > 0,
@@ -51,16 +55,17 @@ fn graph_homomorphism_equals_csp_on_cycles() {
     let c5 = lowerbounds::graph::generators::cycle(5);
     let k3 = lowerbounds::graph::generators::clique(3);
 
+    let bu = Budget::unlimited();
     let inst = sconvert::graph_hom_to_csp(&c5, &k3);
-    assert_eq!(bruteforce::count(&inst), 30);
+    assert_eq!(bruteforce::count(&inst, &bu).0.unwrap_sat(), 30);
 
     let sa = lowerbounds::structure::Structure::from_graph(&c5);
     let sb = lowerbounds::structure::Structure::from_graph(&k3);
-    assert_eq!(hom::count_homomorphisms(&sa, &sb), 30);
+    assert_eq!(hom::count_homomorphisms(&sa, &sb, &bu).0.unwrap_sat(), 30);
 
     // And through the join-query domain.
     let (q, db) = fourdomains::csp_to_join(&inst);
-    assert_eq!(wcoj::count(&q, &db, None).unwrap(), 30);
+    assert_eq!(wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat(), 30);
 }
 
 #[test]
@@ -68,11 +73,16 @@ fn csp_to_join_and_back_preserves_counts() {
     for seed in 0..6u64 {
         let g = lowerbounds::graph::generators::k_tree(2, 7, seed);
         let inst = lowerbounds::csp::generators::random_binary_csp(&g, 3, 0.3, seed);
-        let direct = bruteforce::count(&inst);
+        let bu = Budget::unlimited();
+        let direct = bruteforce::count(&inst, &bu).0.unwrap_sat();
         let (q, db) = fourdomains::csp_to_join(&inst);
-        let via_join = wcoj::count(&q, &db, None).unwrap();
+        let via_join = wcoj::count(&q, &db, None, &bu).unwrap().0.unwrap_sat();
         assert_eq!(via_join, direct, "seed {seed}");
         let (back, _) = fourdomains::join_to_csp(&q, &db).unwrap();
-        assert_eq!(bruteforce::count(&back), direct, "seed {seed}");
+        assert_eq!(
+            bruteforce::count(&back, &bu).0.unwrap_sat(),
+            direct,
+            "seed {seed}"
+        );
     }
 }

@@ -2,6 +2,7 @@
 //! the algorithms whose optimality they certify.
 
 use lowerbounds::csp::solver::treewidth_dp;
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::{clique, domset};
 use lowerbounds::reductions::{
@@ -15,22 +16,23 @@ fn sat_through_three_routes() {
     // four answers must coincide.
     for seed in 0..8u64 {
         let f = sgen::random_ksat(6, 22, 3, seed);
-        let direct = brute::solve(&f).is_some();
+        let bu = Budget::unlimited();
+        let direct = brute::solve(&f, &bu).0.is_sat();
 
         let csp = sat_to_csp::reduce(&f);
         assert_eq!(
-            lowerbounds::csp::solver::solve(&csp).is_some(),
+            lowerbounds::csp::solver::solve(&csp, &bu).0.is_sat(),
             direct,
             "CSP route, seed {seed}"
         );
 
         assert_eq!(
-            sat_to_coloring::decide_via_coloring(&f),
+            sat_to_coloring::decide_via_coloring(&f, &bu).0.unwrap_sat(),
             direct,
             "coloring route, seed {seed}"
         );
 
-        let ov = sat_to_ov::decide_via_ov(&f);
+        let ov = sat_to_ov::decide_via_ov(&f, &bu).0.unwrap_decided();
         assert_eq!(ov.is_some(), direct, "OV route, seed {seed}");
         if let Some(a) = ov {
             assert!(f.eval(&a), "seed {seed}");
@@ -43,20 +45,23 @@ fn clique_through_csp_and_special_routes() {
     for seed in 0..6u64 {
         let g = generators::gnp(10, 0.5, seed);
         for k in 3..=4 {
-            let direct = clique::find_clique(&g, k).is_some();
+            let bu = Budget::unlimited();
+            let direct = clique::find_clique(&g, k, &bu).0.is_sat();
             assert_eq!(
-                clique_to_csp::has_clique_via_csp(&g, k).is_some(),
+                clique_to_csp::has_clique_via_csp(&g, k, &bu).0.is_sat(),
                 direct,
                 "CSP route, seed {seed}, k {k}"
             );
             assert_eq!(
-                clique_to_special::has_clique_via_special(&g, k).is_some(),
+                clique_to_special::has_clique_via_special(&g, k, &bu)
+                    .0
+                    .is_sat(),
                 direct,
                 "special route, seed {seed}, k {k}"
             );
             // And the Nešetřil–Poljak matrix-multiplication route.
             assert_eq!(
-                clique::find_clique_neipol(&g, k).is_some(),
+                clique::find_clique_neipol(&g, k, &bu).0.is_sat(),
                 direct,
                 "NP route, seed {seed}, k {k}"
             );
@@ -72,10 +77,11 @@ fn theorem_7_2_pipeline_dominating_set_via_treewidth_dp() {
     for seed in 0..5u64 {
         let g = generators::gnp(6, 0.35, seed);
         let t = 2;
-        let direct = domset::find_dominating_set_branching(&g, t).is_some();
+        let bu = Budget::unlimited();
+        let direct = domset::find_dominating_set_branching(&g, t, &bu).0.is_sat();
 
         let inst = domset_to_csp::reduce(&g, t);
-        let dp = treewidth_dp::solve_auto(&inst);
+        let dp = treewidth_dp::solve_auto(&inst, &bu).0.unwrap_sat();
         assert_eq!(dp.solution.is_some(), direct, "plain, seed {seed}");
         if let Some(s) = dp.solution {
             let ds = domset_to_csp::solution_back(t, &s);
@@ -83,7 +89,7 @@ fn theorem_7_2_pipeline_dominating_set_via_treewidth_dp() {
         }
 
         let grouped = domset_to_csp::reduce_grouped(&g, t, 2);
-        let dp2 = treewidth_dp::solve_auto(&grouped);
+        let dp2 = treewidth_dp::solve_auto(&grouped, &bu).0.unwrap_sat();
         assert_eq!(dp2.solution.is_some(), direct, "grouped, seed {seed}");
         if let Some(s) = dp2.solution {
             let ds = domset_to_csp::solution_back_grouped(&g, t, 2, &s);
@@ -114,14 +120,15 @@ fn core_computation_feeds_theorem_5_3() {
     // the core collapses to an edge, so HOM(A, _) is easy even though A
     // itself has large treewidth.
     use lowerbounds::structure::{compute_core, Structure};
+    let bu = Budget::unlimited();
     let grid = generators::grid(3, 4);
     let a = Structure::from_graph(&grid);
-    let (core, _) = compute_core(&a);
+    let (core, _) = compute_core(&a, &bu).0.unwrap_sat();
     assert_eq!(core.universe(), 2);
     let tw_core = lowerbounds::graph::treewidth::treewidth_exact(&core.gaifman_graph());
     assert_eq!(tw_core, 1);
     // The odd cycle is its own core: the parameter stays 2.
     let c5 = Structure::from_graph(&generators::cycle(5));
-    let (core5, _) = compute_core(&c5);
+    let (core5, _) = compute_core(&c5, &bu).0.unwrap_sat();
     assert_eq!(core5.universe(), 5);
 }

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use lowerbounds::csp::solver::{backtracking, bruteforce, treewidth_dp, BacktrackConfig};
+use lowerbounds::engine::Budget;
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::triangle;
 use lowerbounds::join::{agm, wcoj, JoinQuery};
@@ -17,10 +18,11 @@ proptest! {
     fn csp_solvers_agree(seed in 0u64..10_000, n in 4usize..8, d in 2usize..4, p in 0.2f64..0.6) {
         let g = generators::gnp(n, p, seed);
         let inst = lowerbounds::csp::generators::random_binary_csp(&g, d, 0.4, seed);
-        let expect = bruteforce::count(&inst);
-        let (bt, _) = backtracking::count(&inst, BacktrackConfig::default());
-        prop_assert_eq!(bt, expect);
-        let dp = treewidth_dp::solve_auto(&inst);
+        let bu = Budget::unlimited();
+        let expect = bruteforce::count(&inst, &bu).0.unwrap_sat();
+        let (bt, _) = backtracking::count(&inst, BacktrackConfig::default(), &bu);
+        prop_assert_eq!(bt.unwrap_sat(), expect);
+        let dp = treewidth_dp::solve_auto(&inst, &bu).0.unwrap_sat();
         prop_assert_eq!(dp.count, expect);
         if expect > 0 {
             prop_assert!(inst.eval(&dp.solution.unwrap()));
@@ -31,8 +33,10 @@ proptest! {
     #[test]
     fn dpll_sound_and_complete(seed in 0u64..10_000, n in 4usize..9, m in 5usize..30) {
         let f = sgen::random_ksat(n, m, 3.min(n), seed);
-        let expect = brute::solve(&f).is_some();
-        let (model, _) = DpllSolver::new(DpllConfig::default()).solve(&f);
+        let bu = Budget::unlimited();
+        let expect = brute::solve(&f, &bu).0.is_sat();
+        let (model, _) = DpllSolver::new(DpllConfig::default()).solve(&f, &bu);
+        let model = model.unwrap_decided();
         prop_assert_eq!(model.is_some(), expect);
         if let Some(a) = model {
             prop_assert!(f.eval(&a));
@@ -45,8 +49,9 @@ proptest! {
     fn agm_bound_and_join_correctness(seed in 0u64..10_000, rows in 5usize..30, dom in 3u64..10) {
         let q = JoinQuery::triangle();
         let db = lowerbounds::join::generators::random_binary_database(&q, rows, dom, seed);
-        let fast = wcoj::join(&q, &db, None).unwrap();
-        let slow = wcoj::nested_loop_join(&q, &db).unwrap();
+        let bu = Budget::unlimited();
+        let fast = wcoj::join(&q, &db, None, &bu).unwrap().0.unwrap_sat();
+        let slow = wcoj::nested_loop_join(&q, &db, &bu).unwrap().0.unwrap_sat();
         prop_assert_eq!(&fast, &slow);
         prop_assert!(agm::agm_bound_holds(&q, &db, fast.len() as u128).unwrap());
     }
@@ -55,12 +60,13 @@ proptest! {
     #[test]
     fn triangle_detectors_agree(seed in 0u64..10_000, n in 3usize..25, p in 0.05f64..0.5) {
         let g = generators::gnp(n, p, seed);
-        let a = triangle::find_triangle_naive(&g).is_some();
-        let b = triangle::find_triangle_matmul(&g).is_some();
-        let c = triangle::find_triangle_ayz(&g).is_some();
+        let bu = Budget::unlimited();
+        let a = triangle::find_triangle_naive(&g, &bu).0.is_sat();
+        let b = triangle::find_triangle_matmul(&g, &bu).0.is_sat();
+        let c = triangle::find_triangle_ayz(&g, &bu).0.is_sat();
         prop_assert_eq!(a, b);
         prop_assert_eq!(a, c);
-        prop_assert_eq!(a, triangle::count_triangles(&g) > 0);
+        prop_assert_eq!(a, triangle::count_triangles(&g, &bu).0.unwrap_sat() > 0);
     }
 
     /// Tree decompositions from any heuristic validate and never beat the
@@ -83,9 +89,10 @@ proptest! {
     #[test]
     fn twosat_agrees_with_dpll(seed in 0u64..10_000, n in 2usize..10, m in 2usize..25) {
         let f = sgen::random_ksat(n, m, 2.min(n), seed);
-        let fast = lowerbounds::sat::solve_2sat(&f);
-        let (slow, _) = DpllSolver::new(DpllConfig::default()).solve(&f);
-        prop_assert_eq!(fast.is_some(), slow.is_some());
+        let bu = Budget::unlimited();
+        let fast = lowerbounds::sat::solve_2sat(&f, &bu).0.unwrap_decided();
+        let (slow, _) = DpllSolver::new(DpllConfig::default()).solve(&f, &bu);
+        prop_assert_eq!(fast.is_some(), slow.unwrap_decided().is_some());
         if let Some(a) = fast {
             prop_assert!(f.eval(&a));
         }
@@ -98,9 +105,10 @@ proptest! {
         use lowerbounds::structure::core::hom_equivalent;
         let g = generators::gnp(n, p, seed);
         let s = Structure::from_graph(&g);
-        let (core, kept) = compute_core(&s);
-        prop_assert!(is_core(&core));
-        prop_assert!(hom_equivalent(&s, &core));
+        let bu = Budget::unlimited();
+        let (core, kept) = compute_core(&s, &bu).0.unwrap_sat();
+        prop_assert!(is_core(&core, &bu).0.unwrap_sat());
+        prop_assert!(hom_equivalent(&s, &core, &bu).0.unwrap_sat());
         prop_assert!(kept.len() <= n);
     }
 }
