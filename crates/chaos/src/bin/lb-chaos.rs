@@ -1,0 +1,83 @@
+//! `lb-chaos` — run the adversarial fuzz harness from the command line.
+//!
+//! ```text
+//! lb-chaos smoke                          the CI gate: 1000 instances per
+//!                                         family, fixed seeds, exit 1 on
+//!                                         any panic or oracle divergence
+//! lb-chaos --seed N [--count K]           fuzz all families from seed N
+//! lb-chaos --family sat --seed N          replay/fuzz one family
+//! ```
+//!
+//! Every failure line carries the seed that reproduces it; rerunning with
+//! `--family <f> --seed <n> --count 1` replays the identical instance,
+//! fault plan, and budget.
+
+use lb_chaos::harness::{run_family, smoke, FamilyReport, SMOKE_COUNT};
+use lb_chaos::Family;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lb-chaos smoke\n       lb-chaos --seed <n> [--count <k>] [--family <sat|csp|join|graphalg>]"
+    );
+    ExitCode::from(2)
+}
+
+fn report(reports: &[FamilyReport]) -> ExitCode {
+    let mut dirty = false;
+    for r in reports {
+        println!(
+            "{:<9} {} instances, {} failure(s)",
+            r.family.name(),
+            r.instances,
+            r.failures.len()
+        );
+        for f in &r.failures {
+            dirty = true;
+            println!("{f}");
+        }
+    }
+    if dirty {
+        ExitCode::FAILURE
+    } else {
+        println!("ok: no panics, no oracle divergences");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("smoke") {
+        return report(&smoke());
+    }
+
+    let mut seed: Option<u64> = None;
+    let mut count: u64 = SMOKE_COUNT;
+    let mut families: Vec<Family> = Family::ALL.to_vec();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => seed = Some(v),
+                _ => return usage(),
+            },
+            "--count" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => count = v,
+                _ => return usage(),
+            },
+            "--family" => match it.next().and_then(|v| Family::from_name(v)) {
+                Some(f) => families = vec![f],
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(seed) = seed else {
+        return usage();
+    };
+    let reports: Vec<FamilyReport> = families
+        .into_iter()
+        .map(|f| run_family(f, seed, count, 0))
+        .collect();
+    report(&reports)
+}

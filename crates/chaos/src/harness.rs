@@ -1,0 +1,73 @@
+//! The fuzz harness: drive N seeds through each family's differential
+//! check and report.
+
+use crate::differential::{check, Failure, Family};
+
+/// Outcome of fuzzing one family.
+#[derive(Clone, Debug)]
+pub struct FamilyReport {
+    /// Which family ran.
+    pub family: Family,
+    /// How many hostile instances were checked.
+    pub instances: u64,
+    /// Every check failure, in seed order.
+    pub failures: Vec<Failure>,
+}
+
+impl FamilyReport {
+    /// True iff every instance passed.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `count` seeds (`base_seed..base_seed + count`) through `family`,
+/// stopping after `max_failures` failures (0 = collect all).
+pub fn run_family(family: Family, base_seed: u64, count: u64, max_failures: usize) -> FamilyReport {
+    let mut failures = Vec::new();
+    let mut instances = 0;
+    for seed in base_seed..base_seed.saturating_add(count) {
+        instances += 1;
+        if let Err(f) = check(family, seed) {
+            failures.push(f);
+            if max_failures != 0 && failures.len() >= max_failures {
+                break;
+            }
+        }
+    }
+    FamilyReport {
+        family,
+        instances,
+        failures,
+    }
+}
+
+/// The smoke configuration: the fixed seed set CI runs. 1000 hostile
+/// instances per family, zero tolerance.
+pub const SMOKE_BASE_SEED: u64 = 0x10b5;
+/// Instances per family in the smoke configuration.
+pub const SMOKE_COUNT: u64 = 1000;
+
+/// Runs the smoke configuration over every family.
+pub fn smoke() -> Vec<FamilyReport> {
+    Family::ALL
+        .into_iter()
+        .map(|f| run_family(f, SMOKE_BASE_SEED, SMOKE_COUNT, 3))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_clean_per_family() {
+        for family in Family::ALL {
+            let report = run_family(family, 1, 25, 0);
+            assert_eq!(report.instances, 25);
+            if let Some(f) = report.failures.first() {
+                panic!("{f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The standing tier-1 fuzz gate: the full smoke configuration — 1000
+//! hostile instances per input family under seeded fault plans and tick
+//! budgets — must produce zero panics and zero oracle divergences.
+//!
+//! This is the same run CI executes via `cargo run -p lb-chaos -- smoke`;
+//! having it as a test means plain `cargo test` enforces the panic-free
+//! public API guarantee too.
+
+use lb_chaos::harness::{smoke, SMOKE_COUNT};
+
+#[test]
+fn smoke_configuration_is_clean() {
+    let reports = smoke();
+    assert_eq!(reports.len(), 4, "one report per family");
+    for report in reports {
+        assert_eq!(
+            report.instances,
+            SMOKE_COUNT,
+            "[{}] fuzz run stopped early",
+            report.family.name()
+        );
+        if let Some(failure) = report.failures.first() {
+            panic!("{failure}");
+        }
+    }
+}

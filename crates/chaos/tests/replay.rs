@@ -1,0 +1,116 @@
+//! Replay determinism: the same `FaultPlan` + instance must yield
+//! byte-identical `Outcome` and `RunStats` across independent runs, for at
+//! least one solver in every family (sat, csp, join, graphalg).
+//!
+//! This is the acceptance test for the fault-injection contract: faults
+//! are keyed on deterministic operation counts, never the wall clock, so a
+//! failure seen once is a failure reproducible forever.
+
+use lb_chaos::hostile;
+use lb_engine::fault::with_plan;
+use lb_engine::{Budget, ExhaustReason, FaultKind, FaultPlan, Outcome};
+
+/// Runs `f` twice under `plan` and asserts both runs are identical;
+/// returns one of them.
+fn twice<R: PartialEq + std::fmt::Debug>(plan: &FaultPlan, f: impl Fn() -> R) -> R {
+    let a = with_plan(plan, &f);
+    let b = with_plan(plan, &f);
+    assert_eq!(a, b, "two runs under the same FaultPlan diverged");
+    a
+}
+
+fn injected(reason: &ExhaustReason) -> bool {
+    matches!(reason, ExhaustReason::Injected { .. })
+}
+
+#[test]
+fn sat_replay_is_deterministic() {
+    let f = hostile::cnf(0xbeef);
+    let plan = FaultPlan::new().with_point(FaultKind::Exhaust, 2);
+    let budget = Budget::unlimited();
+    let (outcome, stats) = twice(&plan, || lb_sat::DpllSolver::default().solve(&f, &budget));
+    // The plan must actually fire mid-search (the instance is big enough).
+    match outcome {
+        Outcome::Exhausted(r) => assert!(injected(&r), "wrong exhaust reason: {r}"),
+        other => panic!("fault did not fire: {other:?}"),
+    }
+    assert!(stats.total_ops() > 0);
+}
+
+#[test]
+fn csp_replay_is_deterministic() {
+    // Seed picked for a non-trivial instance (several constraints).
+    let inst = hostile::csp(11);
+    assert!(!inst.constraints.is_empty());
+    let plan = FaultPlan::from_seed(7);
+    let budget = Budget::ticks(500);
+    let first = twice(&plan, || lb_csp::solver::solve(&inst, &budget));
+    // And a plan-free replay is *also* deterministic (control).
+    let clean = twice(&FaultPlan::new(), || lb_csp::solver::solve(&inst, &budget));
+    assert!(
+        first.0.is_exhausted() || first.0 == clean.0,
+        "a fault plan may only push a run toward Exhausted, never flip a verdict"
+    );
+}
+
+#[test]
+fn join_replay_is_deterministic() {
+    use lb_join::{wcoj, Database, JoinQuery, Table};
+    let q = JoinQuery::triangle();
+    let mut db = Database::new();
+    let rows: Vec<Vec<u64>> = (0..8u64)
+        .flat_map(|x| (0..8u64).map(move |y| vec![x, y]))
+        .collect();
+    for name in ["R", "S", "T"] {
+        db.insert(name, Table::from_rows(2, rows.clone()));
+    }
+    let plan = FaultPlan::new().with_point(FaultKind::TrieAdvance, 25);
+    let budget = Budget::unlimited();
+    let result = twice(&plan, || wcoj::join(&q, &db, None, &budget));
+    let (outcome, stats) = result.expect("valid database");
+    match outcome {
+        Outcome::Exhausted(r) => assert!(injected(&r), "wrong exhaust reason: {r}"),
+        other => panic!("trie-advance fault did not fire: {other:?}"),
+    }
+    assert!(stats.trie_advances > 0);
+}
+
+#[test]
+fn graphalg_replay_is_deterministic() {
+    let g = hostile::graph(5);
+    let plan = FaultPlan::new().with_point(FaultKind::Exhaust, 10);
+    let budget = Budget::unlimited();
+    let (a_out, a_stats) = twice(&plan, || {
+        lb_graphalg::triangle::count_triangles(&g, &budget)
+    });
+    // Determinism must also hold between this pair and a third run.
+    let (b_out, b_stats) = with_plan(&plan, || {
+        lb_graphalg::triangle::count_triangles(&g, &budget)
+    });
+    assert_eq!(a_out, b_out);
+    assert_eq!(a_stats, b_stats);
+}
+
+#[test]
+fn poison_fault_replays_and_only_touches_telemetry() {
+    use lb_join::{wcoj, Database, JoinQuery, Table};
+    let q = JoinQuery::triangle();
+    let mut db = Database::new();
+    let rows: Vec<Vec<u64>> = (0..4u64)
+        .flat_map(|x| (0..4u64).map(move |y| vec![x, y]))
+        .collect();
+    for name in ["R", "S", "T"] {
+        db.insert(name, Table::from_rows(2, rows.clone()));
+    }
+    let plan = FaultPlan::new().with_point(FaultKind::PoisonIntermediate, 1);
+    let budget = Budget::unlimited();
+    let (poisoned, poisoned_stats) =
+        twice(&plan, || wcoj::count(&q, &db, None, &budget)).expect("valid database");
+    let (clean, _) = wcoj::count(&q, &db, None, &budget).expect("valid database");
+    // Poisoning the intermediate-size telemetry must never change the
+    // verdict — only the high-water mark.
+    assert_eq!(poisoned, clean);
+    if poisoned_stats.max_intermediate != 0 {
+        assert_eq!(poisoned_stats.max_intermediate, u64::MAX);
+    }
+}

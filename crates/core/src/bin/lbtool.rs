@@ -4,6 +4,7 @@
 //! lbtool sat <file.cnf>            solve a DIMACS CNF with DPLL
 //! lbtool 2sat <file.cnf>           solve a width-≤2 DIMACS CNF in linear time
 //! lbtool count <file.cnf>          count the models of a DIMACS CNF
+//! lbtool csp <file.csp>            solve a CSP instance by backtracking
 //! lbtool treewidth <file.graph>    treewidth bounds (exact when n ≤ 22)
 //! lbtool rho-star "<query>"        ρ* and the AGM bound of a join query
 //! lbtool claims [hypothesis]       the paper's lower-bound claims
@@ -15,18 +16,27 @@
 //!
 //! Graph files: first line `n`, then one `u v` edge per line (0-based).
 //! Query syntax: whitespace-separated atoms like `R(a,b) S(a,c) T(b,c)`.
+//! CSP files: header `csp <num_vars> <domain_size>`, then one constraint
+//! per line, `con <v1> <v2> ... : <t>,<t> <t>,<t> ...` (0-based variables,
+//! tuples comma-separated; `#` starts a comment).
+//!
+//! Malformed input never panics: every parser reports a typed
+//! [`ParseError`] printed as `file:line:col: message`, exit code 1.
 
-use lowerbounds::engine::{Budget, Outcome, RunStats};
+use lowerbounds::engine::{Budget, Outcome, ParseError, ParseErrorKind, RunStats};
 use lowerbounds::graph::{treewidth, Graph};
 use lowerbounds::hypotheses::Hypothesis;
 use lowerbounds::join::{agm, Atom, JoinQuery};
 use lowerbounds::sat::{solve_2sat, CnfFormula, DpllSolver};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Distinguishes "wrong input" from "budget ran out" for the process exit
-/// code.
+/// code. Parse failures keep their source position so every diagnostic is
+/// printed in the one conventional `file:line:col: message` shape.
 enum CmdError {
     Usage(String),
+    Parse { path: String, err: ParseError },
     Exhausted(String),
 }
 
@@ -39,6 +49,14 @@ impl From<String> for CmdError {
 impl From<&str> for CmdError {
     fn from(msg: &str) -> CmdError {
         CmdError::Usage(msg.to_string())
+    }
+}
+
+/// Attaches a file path to a [`ParseError`] for diagnostics.
+fn in_file(path: &str) -> impl Fn(ParseError) -> CmdError + '_ {
+    move |err| CmdError::Parse {
+        path: path.to_string(),
+        err,
     }
 }
 
@@ -55,12 +73,13 @@ fn main() -> ExitCode {
         Some("sat") => cmd_sat(&args[1..], false, &budget),
         Some("2sat") => cmd_sat(&args[1..], true, &budget),
         Some("count") => cmd_count(&args[1..], &budget),
+        Some("csp") => cmd_csp(&args[1..], &budget),
         Some("treewidth") => cmd_treewidth(&args[1..]),
         Some("rho-star") => cmd_rho_star(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lbtool <sat|2sat|count|treewidth|rho-star|claims> [--budget <ticks>] ..."
+                "usage: lbtool <sat|2sat|count|csp|treewidth|rho-star|claims> [--budget <ticks>] ..."
             );
             return ExitCode::from(2);
         }
@@ -69,6 +88,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(CmdError::Usage(msg)) => {
             eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+        Err(CmdError::Parse { path, err }) => {
+            eprintln!("{path}:{err}");
             ExitCode::FAILURE
         }
         Err(CmdError::Exhausted(reason)) => {
@@ -105,7 +128,7 @@ fn report_stats(stats: &RunStats) {
 fn cmd_sat(args: &[String], two: bool, budget: &Budget) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing CNF file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let f = CnfFormula::from_dimacs(&text)?;
+    let f = CnfFormula::from_dimacs(&text).map_err(in_file(path))?;
     let (outcome, stats) = if two {
         if !f.is_ksat(2) {
             return Err("formula has clauses wider than 2; use `lbtool sat`".into());
@@ -133,7 +156,7 @@ fn cmd_sat(args: &[String], two: bool, budget: &Budget) -> Result<(), CmdError> 
 fn cmd_count(args: &[String], budget: &Budget) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing CNF file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let f = CnfFormula::from_dimacs(&text)?;
+    let f = CnfFormula::from_dimacs(&text).map_err(in_file(path))?;
     let (outcome, stats) = lowerbounds::sat::count_models(&f, budget);
     report_stats(&stats);
     match outcome {
@@ -145,41 +168,276 @@ fn cmd_count(args: &[String], budget: &Budget) -> Result<(), CmdError> {
     Ok(())
 }
 
-fn parse_graph(text: &str) -> Result<Graph, String> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
-    let n: usize = lines
-        .next()
-        .ok_or("empty graph file")?
-        .parse()
-        .map_err(|e| format!("bad vertex count: {e}"))?;
+/// Shared tokenizer from the engine's validated-ingestion layer.
+use lowerbounds::engine::parse::tokens;
+
+/// Parses the `lbtool csp` file format:
+///
+/// ```text
+/// # comment
+/// csp <num_vars> <domain_size>
+/// con <v1> <v2> ... : <t>,<t> <t>,<t> ...
+/// ```
+///
+/// Every structural mistake — dangling scope variables, wrong-arity or
+/// out-of-domain tuples, a missing `:` — is a positioned [`ParseError`];
+/// the constructed instance always satisfies `CspInstance`'s invariants,
+/// so its (panicking) constructors are never fed bad data.
+fn parse_csp(text: &str) -> Result<lowerbounds::csp::CspInstance, ParseError> {
+    use lowerbounds::csp::{Constraint, CspInstance, Relation, Value};
+    let mut inst: Option<CspInstance> = None;
+    let mut last_line = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        last_line = lineno;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<(usize, &str)> = tokens(raw).collect();
+        let (kw_col, kw) = toks[0];
+        match kw {
+            "csp" => {
+                if inst.is_some() {
+                    return Err(ParseError::new(
+                        lineno,
+                        kw_col,
+                        ParseErrorKind::Duplicate {
+                            what: "`csp` header".to_string(),
+                        },
+                    ));
+                }
+                if toks.len() != 3 {
+                    return Err(ParseError::new(
+                        lineno,
+                        kw_col,
+                        ParseErrorKind::Malformed {
+                            what: "header (expected `csp <num_vars> <domain_size>`)".to_string(),
+                        },
+                    ));
+                }
+                let num_vars: usize = parse_num(lineno, toks[1].0, toks[1].1, "variable count")?;
+                let domain: usize = parse_num(lineno, toks[2].0, toks[2].1, "domain size")?;
+                if domain > Value::MAX as usize {
+                    return Err(ParseError::new(
+                        lineno,
+                        toks[2].0,
+                        ParseErrorKind::OutOfRange {
+                            what: "domain size".to_string(),
+                            token: toks[2].1.to_string(),
+                            limit: format!("at most {}", Value::MAX),
+                        },
+                    ));
+                }
+                inst = Some(CspInstance::new(num_vars, domain));
+            }
+            "con" => {
+                let Some(inst) = inst.as_mut() else {
+                    return Err(ParseError::new(
+                        lineno,
+                        kw_col,
+                        ParseErrorKind::Missing {
+                            what: "`csp` header before constraints".to_string(),
+                        },
+                    ));
+                };
+                let Some(sep) = toks.iter().position(|&(_, t)| t == ":") else {
+                    return Err(ParseError::new(
+                        lineno,
+                        kw_col,
+                        ParseErrorKind::Missing {
+                            what: "`:` between scope and tuples".to_string(),
+                        },
+                    ));
+                };
+                let scope_toks = &toks[1..sep];
+                if scope_toks.is_empty() {
+                    return Err(ParseError::new(
+                        lineno,
+                        kw_col,
+                        ParseErrorKind::Missing {
+                            what: "constraint scope variables".to_string(),
+                        },
+                    ));
+                }
+                let mut scope = Vec::with_capacity(scope_toks.len());
+                for &(col, tok) in scope_toks {
+                    let v: usize = parse_num(lineno, col, tok, "scope variable")?;
+                    if v >= inst.num_vars {
+                        return Err(ParseError::new(
+                            lineno,
+                            col,
+                            ParseErrorKind::OutOfRange {
+                                what: "scope variable".to_string(),
+                                token: tok.to_string(),
+                                limit: format!("{} variables declared", inst.num_vars),
+                            },
+                        ));
+                    }
+                    scope.push(v);
+                }
+                let mut tuples = Vec::new();
+                for &(col, tok) in &toks[sep + 1..] {
+                    let mut tuple = Vec::with_capacity(scope.len());
+                    for part in tok.split(',') {
+                        let v: Value = parse_num(lineno, col, part, "tuple value")?;
+                        if (v as usize) >= inst.domain_size {
+                            return Err(ParseError::new(
+                                lineno,
+                                col,
+                                ParseErrorKind::OutOfRange {
+                                    what: "tuple value".to_string(),
+                                    token: part.to_string(),
+                                    limit: format!("domain size {}", inst.domain_size),
+                                },
+                            ));
+                        }
+                        tuple.push(v);
+                    }
+                    if tuple.len() != scope.len() {
+                        return Err(ParseError::new(
+                            lineno,
+                            col,
+                            ParseErrorKind::CountMismatch {
+                                what: "tuple values".to_string(),
+                                declared: scope.len(),
+                                found: tuple.len(),
+                            },
+                        ));
+                    }
+                    tuples.push(tuple);
+                }
+                let arity = scope.len();
+                inst.add_constraint(Constraint::new(
+                    scope,
+                    Arc::new(Relation::new(arity, tuples)),
+                ));
+            }
+            _ => {
+                return Err(ParseError::new(
+                    lineno,
+                    kw_col,
+                    ParseErrorKind::Malformed {
+                        what: format!("directive `{kw}` (expected `csp` or `con`)"),
+                    },
+                ));
+            }
+        }
+    }
+    inst.ok_or_else(|| {
+        ParseError::at_eof(
+            last_line + 1,
+            ParseErrorKind::Missing {
+                what: "`csp` header".to_string(),
+            },
+        )
+    })
+}
+
+fn cmd_csp(args: &[String], budget: &Budget) -> Result<(), CmdError> {
+    let path = args.first().ok_or("missing CSP file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let inst = parse_csp(&text).map_err(in_file(path))?;
+    let (outcome, stats) = lowerbounds::csp::solver::solve(&inst, budget);
+    report_stats(&stats);
+    match outcome {
+        Outcome::Sat(a) => {
+            let vals: Vec<String> = a.iter().map(|v| v.to_string()).collect();
+            println!("SATISFIABLE\nv {}", vals.join(" "));
+        }
+        Outcome::Unsat => println!("UNSATISFIABLE"),
+        Outcome::Exhausted(r) => return Err(CmdError::Exhausted(r.to_string())),
+    }
+    Ok(())
+}
+
+/// A numeric token, or a positioned [`ParseError`] naming what it was.
+fn parse_num<T: std::str::FromStr>(
+    line: usize,
+    col: usize,
+    tok: &str,
+    what: &str,
+) -> Result<T, ParseError> {
+    tok.parse().map_err(|_| {
+        ParseError::new(
+            line,
+            col,
+            ParseErrorKind::InvalidNumber {
+                what: what.to_string(),
+                token: tok.to_string(),
+            },
+        )
+    })
+}
+
+fn parse_graph(text: &str) -> Result<Graph, ParseError> {
+    let mut n: Option<usize> = None;
     let mut edges = Vec::new();
-    for line in lines {
-        let mut it = line.split_whitespace();
-        let u: usize = it
-            .next()
-            .ok_or("bad edge line")?
-            .parse()
-            .map_err(|e| format!("bad edge: {e}"))?;
-        let v: usize = it
-            .next()
-            .ok_or("bad edge line")?
-            .parse()
-            .map_err(|e| format!("bad edge: {e}"))?;
-        edges.push((u, v));
+    let mut last_line = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        last_line = lineno;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<(usize, &str)> = tokens(raw).collect();
+        let Some(nv) = n else {
+            let (col, tok) = toks[0];
+            if toks.len() != 1 {
+                return Err(ParseError::new(
+                    lineno,
+                    toks[1].0,
+                    ParseErrorKind::TrailingGarbage {
+                        token: toks[1].1.to_string(),
+                    },
+                ));
+            }
+            n = Some(parse_num(lineno, col, tok, "vertex count")?);
+            continue;
+        };
+        if toks.len() != 2 {
+            let (col, _) = toks.get(2).copied().unwrap_or(toks[0]);
+            return Err(ParseError::new(
+                lineno,
+                col,
+                ParseErrorKind::Malformed {
+                    what: "edge line (expected `u v`)".to_string(),
+                },
+            ));
+        }
+        let endpoint = |&(col, tok): &(usize, &str)| -> Result<usize, ParseError> {
+            let v: usize = parse_num(lineno, col, tok, "edge endpoint")?;
+            if v >= nv {
+                return Err(ParseError::new(
+                    lineno,
+                    col,
+                    ParseErrorKind::OutOfRange {
+                        what: "edge endpoint".to_string(),
+                        token: tok.to_string(),
+                        limit: format!("{nv} vertices declared"),
+                    },
+                ));
+            }
+            Ok(v)
+        };
+        edges.push((endpoint(&toks[0])?, endpoint(&toks[1])?));
     }
-    if edges.iter().any(|&(u, v)| u >= n || v >= n) {
-        return Err("edge endpoint out of range".into());
-    }
+    let Some(n) = n else {
+        return Err(ParseError::at_eof(
+            last_line + 1,
+            ParseErrorKind::Missing {
+                what: "vertex count line".to_string(),
+            },
+        ));
+    };
     Ok(Graph::from_edges(n, &edges))
 }
 
 fn cmd_treewidth(args: &[String]) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing graph file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let g = parse_graph(&text)?;
+    let g = parse_graph(&text).map_err(in_file(path))?;
     let lo = treewidth::treewidth_lower_bound(&g);
     let (hi, td) = treewidth::treewidth_upper_bound(&g);
     println!("n = {}, m = {}", g.num_vertices(), g.num_edges());
@@ -197,33 +455,50 @@ fn cmd_treewidth(args: &[String]) -> Result<(), CmdError> {
     Ok(())
 }
 
-/// Parses `R(a,b) S(a,c) T(b,c)` into a [`JoinQuery`].
-fn parse_query(spec: &str) -> Result<JoinQuery, String> {
+/// Parses `R(a,b) S(a,c) T(b,c)` into a [`JoinQuery`]. The "line" of a
+/// reported error is always 1 (the query is a single command-line string);
+/// the column points into that string.
+fn parse_query(spec: &str) -> Result<JoinQuery, ParseError> {
     let mut atoms = Vec::new();
-    for token in spec.split_whitespace() {
-        let open = token
-            .find('(')
-            .ok_or_else(|| format!("atom `{token}` missing ("))?;
+    for (col, token) in tokens(spec) {
+        let malformed = |why: &str| {
+            ParseError::new(
+                1,
+                col,
+                ParseErrorKind::Malformed {
+                    what: format!("atom `{token}` ({why})"),
+                },
+            )
+        };
+        let open = token.find('(').ok_or_else(|| malformed("missing `(`"))?;
         if !token.ends_with(')') {
-            return Err(format!("atom `{token}` missing )"));
+            return Err(malformed("missing `)`"));
         }
         let name = &token[..open];
         let inner = &token[open + 1..token.len() - 1];
-        if name.is_empty() || inner.is_empty() {
-            return Err(format!("malformed atom `{token}`"));
+        if name.is_empty() {
+            return Err(malformed("missing relation name"));
         }
         let attrs: Vec<&str> = inner.split(',').map(str::trim).collect();
+        if attrs.iter().any(|a| a.is_empty()) {
+            return Err(malformed("empty attribute"));
+        }
         atoms.push(Atom::new(name, &attrs));
     }
     if atoms.is_empty() {
-        return Err("empty query".into());
+        return Err(ParseError::at_eof(
+            1,
+            ParseErrorKind::Missing {
+                what: "query atoms".to_string(),
+            },
+        ));
     }
     Ok(JoinQuery::new(atoms))
 }
 
 fn cmd_rho_star(args: &[String]) -> Result<(), CmdError> {
     let spec = args.first().ok_or("missing query string")?;
-    let q = parse_query(spec)?;
+    let q = parse_query(spec).map_err(in_file("<query>"))?;
     let rho = agm::rho_star(&q).map_err(|e| e.to_string())?;
     println!("query:   {spec}");
     println!("ρ*:      {rho} (= {:.4})", rho.to_f64());

@@ -55,7 +55,7 @@ impl<'a> Searcher<'a> {
             seen.sort_unstable();
             seen.dedup();
             for v in seen {
-                by_var[v].push(ci);
+                by_var[v].push(ci); // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
             }
         }
         Searcher {
@@ -70,9 +70,10 @@ impl<'a> Searcher<'a> {
     }
 
     fn pick_var(&self) -> Option<usize> {
+        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         let unassigned = (0..self.inst.num_vars).filter(|&v| self.assigned[v].is_none());
         if self.config.mrv {
-            unassigned.min_by_key(|&v| self.domain_count[v])
+            unassigned.min_by_key(|&v| self.domain_count[v]) // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         } else {
             let mut it = unassigned;
             it.next()
@@ -81,13 +82,15 @@ impl<'a> Searcher<'a> {
 
     /// Checks constraints that are fully assigned and involve `var`.
     fn consistent_after(&self, var: usize) -> bool {
+        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         for &ci in &self.by_var[var] {
-            let c = &self.inst.constraints[ci];
+            let c = &self.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
+                                                // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
             if c.scope.iter().all(|&v| self.assigned[v].is_some()) {
                 let t: Vec<Value> = c
                     .scope
                     .iter()
-                    // lb-lint: allow(no-panic) -- invariant: the solver projects only variables it has already assigned
+                    // lb-lint: allow(no-panic, no-unchecked-index) -- the solver projects only scope variables (< num_vars) it has already assigned
                     .map(|&v| self.assigned[v].expect("checked"))
                     .collect();
                 if !c.relation.allows(&t) {
@@ -106,13 +109,16 @@ impl<'a> Searcher<'a> {
         var: usize,
         trail: &mut Vec<(usize, Value)>,
     ) -> Result<bool, ExhaustReason> {
+        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         for ci_idx in 0..self.by_var[var].len() {
+            // lb-lint: allow(no-unchecked-index) -- var < num_vars; ci_idx < the per-variable list length by the loop bound
             let ci = self.by_var[var][ci_idx];
-            let c = &self.inst.constraints[ci];
-            // Exactly one unassigned scope variable?
+            let c = &self.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
+                                                // Exactly one unassigned scope variable?
             let mut unassigned_var = None;
             let mut multiple = false;
             for &v in &c.scope {
+                // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
                 if self.assigned[v].is_none() {
                     match unassigned_var {
                         None => unassigned_var = Some(v),
@@ -130,21 +136,24 @@ impl<'a> Searcher<'a> {
             }
             // Prune values of u not extendable to an allowed tuple.
             for d in 0..self.inst.domain_size as Value {
+                // lb-lint: allow(no-unchecked-index) -- u < num_vars; d ranges over 0..domain_size = the row length
                 if !self.domains[u][d as usize] {
                     continue;
                 }
                 let t: Vec<Value> = c
                     .scope
                     .iter()
-                    .map(|&v| self.assigned[v].unwrap_or(d))
+                    .map(|&v| self.assigned[v].unwrap_or(d)) // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
                     .collect();
                 if !c.relation.allows(&t) {
+                    // lb-lint: allow(no-unchecked-index) -- u < num_vars; d < domain_size by the loop bound
                     self.domains[u][d as usize] = false;
-                    self.domain_count[u] -= 1;
+                    self.domain_count[u] -= 1; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
                     trail.push((u, d));
                     self.ticker.backtrack()?;
                 }
             }
+            // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
             if self.domain_count[u] == 0 {
                 return Ok(false);
             }
@@ -154,9 +163,11 @@ impl<'a> Searcher<'a> {
 
     fn undo(&mut self, trail: &[(usize, Value)]) {
         for &(v, d) in trail {
-            debug_assert!(!self.domains[v][d as usize]);
-            self.domains[v][d as usize] = true;
-            self.domain_count[v] += 1;
+            // Trail entries were in range when pushed; the same bounds hold
+            // on undo.
+            debug_assert!(!self.domains[v][d as usize]); // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed
+            self.domains[v][d as usize] = true; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed
+            self.domain_count[v] += 1; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed
         }
     }
 
@@ -177,11 +188,12 @@ impl<'a> Searcher<'a> {
             }
         };
         for d in 0..self.inst.domain_size as Value {
+            // lb-lint: allow(no-unchecked-index) -- var < num_vars; d < domain_size by the loop bound
             if !self.domains[var][d as usize] {
                 continue;
             }
             self.ticker.node()?;
-            self.assigned[var] = Some(d);
+            self.assigned[var] = Some(d); // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
             let mut trail: Vec<(usize, Value)> = Vec::new();
             let mut ok = self.consistent_after(var);
             if ok && self.config.forward_checking {
@@ -189,7 +201,7 @@ impl<'a> Searcher<'a> {
                     Ok(alive) => ok = alive,
                     Err(reason) => {
                         self.undo(&trail);
-                        self.assigned[var] = None;
+                        self.assigned[var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
                         return Err(reason);
                     }
                 }
@@ -200,13 +212,13 @@ impl<'a> Searcher<'a> {
                     Ok(false) => {}
                     Err(reason) => {
                         self.undo(&trail);
-                        self.assigned[var] = None;
+                        self.assigned[var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
                         return Err(reason);
                     }
                 }
             }
             self.undo(&trail);
-            self.assigned[var] = None;
+            self.assigned[var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         }
         Ok(false)
     }

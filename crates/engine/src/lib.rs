@@ -56,9 +56,26 @@
 //! Solvers with recursive searches typically let exhaustion propagate with
 //! `?` as a `Result<_, ExhaustReason>` and convert at the entry point via
 //! [`Ticker::finish`].
+//!
+//! Two satellite modules extend the execution discipline to hostile
+//! conditions:
+//!
+//! * [`fault`] — deterministic fault injection: a seeded, serializable
+//!   [`FaultPlan`] schedule the `Ticker` consults, so any solver run can be
+//!   replayed byte-for-byte with faults at exact operation counts.
+//! * [`parse`] — the shared typed [`ParseError`] (line, column, kind) every
+//!   ingestion path reports malformed input through, keeping the public API
+//!   panic-free end to end.
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
+pub mod parse;
+
+pub use fault::{FaultKind, FaultPlan, FaultPoint};
+pub use parse::{ParseError, ParseErrorKind};
+
+use fault::ActiveFaults;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -75,6 +92,13 @@ pub enum ExhaustReason {
         /// The budget's wall-clock limit.
         limit: Duration,
     },
+    /// A fault installed via [`fault::with_plan`] fired: the run was cut
+    /// short deterministically at this tick. Like every other exhaustion,
+    /// the run makes no claim about satisfiability.
+    Injected {
+        /// The tick at which the scheduled fault fired.
+        tick: u64,
+    },
 }
 
 impl fmt::Display for ExhaustReason {
@@ -83,6 +107,9 @@ impl fmt::Display for ExhaustReason {
             ExhaustReason::Ticks { limit } => write!(f, "budget exhausted: {limit} ticks"),
             ExhaustReason::Deadline { limit } => {
                 write!(f, "budget exhausted: deadline {limit:?}")
+            }
+            ExhaustReason::Injected { tick } => {
+                write!(f, "budget exhausted: fault injected at tick {tick}")
             }
         }
     }
@@ -354,10 +381,18 @@ pub struct Ticker {
     start: Instant,
     time_limit: Option<Duration>,
     next_deadline_check: u64,
+    /// Compiled snapshot of the fault plan active (via [`fault::with_plan`])
+    /// when this ticker was constructed; `None` on the common, fault-free
+    /// path. Boxed to keep the no-faults `Ticker` small.
+    faults: Option<Box<ActiveFaults>>,
 }
 
 impl Ticker {
     /// Starts the clock on a fresh run under `budget`.
+    ///
+    /// Snapshots the thread's active [`FaultPlan`] (if one is installed via
+    /// [`fault::with_plan`]) so the whole run replays the same schedule even
+    /// if the plan changes mid-run.
     pub fn new(budget: &Budget) -> Ticker {
         Ticker {
             stats: RunStats::default(),
@@ -366,7 +401,13 @@ impl Ticker {
             // lb-lint: allow(no-adhoc-timing) -- the engine is where wall-clock budgets are implemented
             start: Instant::now(),
             time_limit: budget.time_limit(),
-            next_deadline_check: DEADLINE_CHECK_INTERVAL,
+            // The first counted op consults the clock, so an already-expired
+            // deadline exhausts immediately (mirroring `Budget::ticks(0)`);
+            // after that, checks are amortized per interval.
+            next_deadline_check: 1,
+            faults: fault::snapshot_active()
+                .filter(|p| !p.is_empty())
+                .map(|p| Box::new(ActiveFaults::compile(&p))),
         }
     }
 
@@ -374,6 +415,18 @@ impl Ticker {
         self.ticks += 1;
         if self.ticks > self.limit {
             return Err(ExhaustReason::Ticks { limit: self.limit });
+        }
+        if let Some(f) = &mut self.faults {
+            if f.fire_exhaust(self.ticks) {
+                return Err(ExhaustReason::Injected { tick: self.ticks });
+            }
+            if f.fire_deadline(self.ticks) {
+                // A simulated expiry: the solver observes the same reason a
+                // real deadline would produce, with no wall time involved.
+                return Err(ExhaustReason::Deadline {
+                    limit: self.time_limit.unwrap_or(Duration::ZERO),
+                });
+            }
         }
         if let Some(limit) = self.time_limit {
             if self.ticks >= self.next_deadline_check {
@@ -399,8 +452,20 @@ impl Ticker {
     }
 
     /// Counts one sorted-index advance (binary search / range narrowing).
+    ///
+    /// This is the operation a [`FaultKind::TrieAdvance`] failpoint targets:
+    /// the scheduled Nth advance fails with [`ExhaustReason::Injected`],
+    /// exercising the iterator edge cases (exhausted trie levels
+    /// mid-intersection) that WCOJ implementations are fragile under.
     pub fn trie_advance(&mut self) -> Result<(), ExhaustReason> {
         self.stats.trie_advances += 1;
+        let nth = self.stats.trie_advances;
+        if let Some(f) = &mut self.faults {
+            if f.fire_trie(nth) {
+                self.ticks += 1; // the failing advance is still a counted op
+                return Err(ExhaustReason::Injected { tick: self.ticks });
+            }
+        }
         self.spend()
     }
 
@@ -425,7 +490,19 @@ impl Ticker {
     }
 
     /// Records an intermediate-result high-water mark (no tick).
+    ///
+    /// A scheduled [`FaultKind::PoisonIntermediate`] failpoint poisons the
+    /// Nth recorded size to `u64::MAX` — a simulated size-counter overflow
+    /// that downstream telemetry consumers must survive.
     pub fn record_intermediate(&mut self, size: u64) {
+        let mut size = size;
+        if let Some(f) = &mut self.faults {
+            f.intermediate_calls += 1;
+            let nth = f.intermediate_calls;
+            if f.fire_poison(nth) {
+                size = u64::MAX;
+            }
+        }
         self.stats.max_intermediate = self.stats.max_intermediate.max(size);
     }
 
@@ -507,17 +584,13 @@ mod tests {
     }
 
     #[test]
-    fn deadline_in_the_past_exhausts() {
+    fn deadline_in_the_past_exhausts_on_first_op() {
+        // Mirrors the `Budget::ticks(0)` guarantee: an already-expired
+        // deadline exhausts on the very first counted operation.
         let mut t = Ticker::new(&Budget::deadline(Duration::ZERO));
-        let mut exhausted = false;
-        // The deadline is amortized: checked once per interval.
-        for _ in 0..=DEADLINE_CHECK_INTERVAL {
-            if t.node().is_err() {
-                exhausted = true;
-                break;
-            }
-        }
-        assert!(exhausted, "zero deadline must trip within one interval");
+        let err = t.node().unwrap_err();
+        assert!(matches!(err, ExhaustReason::Deadline { .. }));
+        assert_eq!(t.stats().total_ops(), 1, "the crossing op is counted");
     }
 
     #[test]

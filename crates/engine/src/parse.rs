@@ -1,0 +1,234 @@
+//! Typed parse errors for validated ingestion.
+//!
+//! Every text format the workspace ingests — DIMACS CNF, graph edge lists,
+//! CSP instance files, join-query strings, fault-plan specs — reports
+//! malformed input through one shared [`ParseError`]: a 1-based line and
+//! column plus a typed [`ParseErrorKind`]. The type lives in the engine
+//! crate (the bottom of the workspace) so `lb-sat`, `lb-join`, the CLI, and
+//! the chaos harness all speak the same error language, and a CLI can print
+//! every diagnostic in the conventional `file:line:col: message` shape:
+//!
+//! ```
+//! use lb_engine::parse::{ParseError, ParseErrorKind};
+//!
+//! let err = ParseError::new(3, 7, ParseErrorKind::InvalidNumber {
+//!     what: "literal".into(),
+//!     token: "12x".into(),
+//! });
+//! assert_eq!(format!("input.cnf:{err}"), "input.cnf:3:7: invalid literal `12x`");
+//! ```
+//!
+//! The design goal is the panic-free public API guarantee: a parser that
+//! returns `ParseError` degrades hostile input to a diagnostic and an exit
+//! code — never a panic, and never a silently garbled instance.
+
+use std::fmt;
+
+/// What went wrong, structurally. `Display` renders the human message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Something required was absent (a header, a field, a token).
+    Missing {
+        /// What was expected.
+        what: String,
+    },
+    /// A token that should have been a number was not, or did not fit.
+    InvalidNumber {
+        /// What the number represents ("vertex count", "literal", …).
+        what: String,
+        /// The offending token.
+        token: String,
+    },
+    /// A well-formed value outside its permitted range.
+    OutOfRange {
+        /// What the value represents.
+        what: String,
+        /// The offending token.
+        token: String,
+        /// Human-readable statement of the permitted range.
+        limit: String,
+    },
+    /// An empty clause in a CNF input (trivially unsatisfiable; DIMACS
+    /// inputs must state unsatisfiability with real clauses, not typos).
+    EmptyClause,
+    /// Tokens after the input (or a construct) was already complete.
+    TrailingGarbage {
+        /// The first unexpected token.
+        token: String,
+    },
+    /// A declared count disagrees with what the body actually contains.
+    CountMismatch {
+        /// What was counted ("clauses", "constraints", …).
+        what: String,
+        /// The declared count.
+        declared: usize,
+        /// The count actually found.
+        found: usize,
+    },
+    /// A header or declaration that may appear only once appeared again.
+    Duplicate {
+        /// What was duplicated.
+        what: String,
+    },
+    /// A construct that does not fit the grammar at all.
+    Malformed {
+        /// Description of the offending construct.
+        what: String,
+    },
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::Missing { what } => write!(f, "missing {what}"),
+            ParseErrorKind::InvalidNumber { what, token } => {
+                write!(f, "invalid {what} `{token}`")
+            }
+            ParseErrorKind::OutOfRange { what, token, limit } => {
+                write!(f, "{what} `{token}` out of range ({limit})")
+            }
+            ParseErrorKind::EmptyClause => write!(f, "empty clause"),
+            ParseErrorKind::TrailingGarbage { token } => {
+                write!(f, "trailing garbage `{token}`")
+            }
+            ParseErrorKind::CountMismatch {
+                what,
+                declared,
+                found,
+            } => write!(f, "declared {declared} {what}, found {found}"),
+            ParseErrorKind::Duplicate { what } => write!(f, "duplicate {what}"),
+            ParseErrorKind::Malformed { what } => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+/// A parse failure at an exact source position.
+///
+/// `Display` renders `line:col: message`; prefix the file name yourself
+/// (`format!("{path}:{err}")`) for the conventional compiler-style
+/// diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (byte-based within the line).
+    pub col: usize,
+    /// The typed failure.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Builds an error at `line:col`.
+    pub fn new(line: usize, col: usize, kind: ParseErrorKind) -> ParseError {
+        ParseError { line, col, kind }
+    }
+
+    /// An error with no meaningful position (end of input): `line` is the
+    /// line count + 1, column 1.
+    pub fn at_eof(line: usize, kind: ParseErrorKind) -> ParseError {
+        ParseError { line, col: 1, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Splits a line into whitespace-separated tokens with their 1-based
+/// starting columns — the shared tokenizer of the line-oriented formats.
+pub fn tokens(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut rest = line;
+    let mut offset = 0usize;
+    std::iter::from_fn(move || {
+        let trimmed = rest.trim_start();
+        offset += rest.len() - trimmed.len();
+        if trimmed.is_empty() {
+            return None;
+        }
+        let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+        let tok = &trimmed[..end];
+        let col = offset + 1;
+        rest = &trimmed[end..];
+        offset += end;
+        Some((col, tok))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compiler_style() {
+        let e = ParseError::new(
+            2,
+            5,
+            ParseErrorKind::Missing {
+                what: "problem line".into(),
+            },
+        );
+        assert_eq!(e.to_string(), "2:5: missing problem line");
+        assert_eq!(format!("f.cnf:{e}"), "f.cnf:2:5: missing problem line");
+    }
+
+    #[test]
+    fn kinds_render() {
+        let cases: Vec<(ParseErrorKind, &str)> = vec![
+            (
+                ParseErrorKind::InvalidNumber {
+                    what: "literal".into(),
+                    token: "x".into(),
+                },
+                "invalid literal `x`",
+            ),
+            (
+                ParseErrorKind::OutOfRange {
+                    what: "literal".into(),
+                    token: "9".into(),
+                    limit: "declared 3 variables".into(),
+                },
+                "literal `9` out of range (declared 3 variables)",
+            ),
+            (ParseErrorKind::EmptyClause, "empty clause"),
+            (
+                ParseErrorKind::TrailingGarbage { token: "zz".into() },
+                "trailing garbage `zz`",
+            ),
+            (
+                ParseErrorKind::CountMismatch {
+                    what: "clauses".into(),
+                    declared: 2,
+                    found: 3,
+                },
+                "declared 2 clauses, found 3",
+            ),
+            (
+                ParseErrorKind::Duplicate {
+                    what: "problem line".into(),
+                },
+                "duplicate problem line",
+            ),
+            (
+                ParseErrorKind::Malformed {
+                    what: "atom `R(`".into(),
+                },
+                "malformed atom `R(`",
+            ),
+        ];
+        for (kind, want) in cases {
+            assert_eq!(kind.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn tokenizer_reports_columns() {
+        let toks: Vec<(usize, &str)> = tokens("  a bb   ccc").collect();
+        assert_eq!(toks, vec![(3, "a"), (5, "bb"), (10, "ccc")]);
+        assert_eq!(tokens("").count(), 0);
+        assert_eq!(tokens("   ").count(), 0);
+    }
+}

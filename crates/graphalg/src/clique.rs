@@ -145,6 +145,7 @@ fn neipol_inner(
                     let nbrs: Vec<usize> = g.neighbors(v).to_vec();
                     let (sub, map) = g.induced_subgraph(&nbrs);
                     if let Some(c) = neipol_inner(&sub, k - 1, ticker)? {
+                        // lb-lint: allow(no-unchecked-index) -- subgraph vertices index `map` by construction
                         let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
                         out.push(v);
                         out.sort_unstable();
@@ -163,6 +164,7 @@ fn neipol_inner(
                     let verts: Vec<usize> = common.iter().collect();
                     let (sub, map) = g.induced_subgraph(&verts);
                     if let Some(c) = neipol_inner(&sub, k - 2, ticker)? {
+                        // lb-lint: allow(no-unchecked-index) -- subgraph vertices index `map` by construction
                         let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
                         out.push(u);
                         out.push(v);
@@ -197,6 +199,7 @@ fn neipol_3t(
     for i in 0..na {
         for j in (i + 1)..na {
             ticker.propagation()?;
+            // lb-lint: allow(no-unchecked-index) -- i, j < na = t_cliques.len() by the loop bounds
             if cliques_compatible(g, &t_cliques[i], &t_cliques[j]) {
                 aux.add_edge(i, j);
             }
@@ -211,6 +214,7 @@ fn neipol_3t(
     };
     let mut out: Vec<usize> = tri
         .iter()
+        // lb-lint: allow(no-unchecked-index) -- aux-graph vertices are t_cliques indices by construction
         .flat_map(|&i| t_cliques[i].iter().copied())
         .collect();
     out.sort_unstable();

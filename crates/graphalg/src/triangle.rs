@@ -134,6 +134,7 @@ fn ayz_inner(
     match out {
         Outcome::Exhausted(r) => Err(r),
         Outcome::Unsat => Ok(None),
+        // lb-lint: allow(no-unchecked-index) -- induced-subgraph vertices index `map` by construction
         Outcome::Sat(t) => Ok(Some(sorted3(map[t[0]], map[t[1]], map[t[2]]))),
     }
 }
@@ -169,11 +170,8 @@ fn sorted3(a: usize, b: usize, c: usize) -> [usize; 3] {
 
 /// Validates a triangle witness.
 pub fn is_triangle(g: &Graph, t: &[usize; 3]) -> bool {
-    t[0] != t[1]
-        && t[1] != t[2]
-        && g.has_edge(t[0], t[1])
-        && g.has_edge(t[1], t[2])
-        && g.has_edge(t[0], t[2])
+    let [a, b, c] = *t;
+    a != b && b != c && g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c)
 }
 
 #[cfg(test)]

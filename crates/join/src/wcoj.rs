@@ -103,10 +103,12 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
                     // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
                     .expect("present")
                     .1;
+                // lb-lint: allow(no-unchecked-index) -- col < arity = row.len(), checked by validate_for
                 if row[col] != row[first_col] {
                     continue 'rows;
                 }
             }
+            // lb-lint: allow(no-unchecked-index) -- distinct columns are positions within this atom's row
             rows.push(distinct.iter().map(|&(_, col)| row[col]).collect());
         }
         rows.sort_unstable();
@@ -162,7 +164,8 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
     // Atoms whose next unbound column is this variable.
     let participants: Vec<usize> = (0..p.atoms.len())
         .filter(|&i| {
-            let r = ranges[i];
+            let r = ranges[i]; // lb-lint: allow(no-unchecked-index) -- i < p.atoms.len() = ranges.len()
+                               // lb-lint: allow(no-unchecked-index) -- i < p.atoms.len(); r.depth bound-checked on the same line
             r.depth < p.atoms[i].var_ranks.len() && p.atoms[i].var_ranks[r.depth] == level
         })
         .collect();
@@ -173,34 +176,39 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
     // Smallest active range drives the intersection.
     let driver = *participants
         .iter()
-        .min_by_key(|&&i| ranges[i].hi - ranges[i].lo)
+        .min_by_key(|&&i| ranges[i].hi - ranges[i].lo) // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
         // lb-lint: allow(no-panic) -- invariant: the iterator set at this depth is nonempty by construction
         .expect("nonempty");
 
     let (mut lo, hi, depth) = {
-        let r = ranges[driver];
+        let r = ranges[driver]; // lb-lint: allow(no-unchecked-index) -- driver is a participant index < ranges.len()
         (r.lo, r.hi, r.depth)
     };
     while lo < hi {
         ticker.node()?;
+        // lb-lint: allow(no-unchecked-index) -- lo < hi <= rows.len(); depth < var_ranks.len() = projected row arity
         let v = p.atoms[driver].rows[lo][depth];
+        // lb-lint: allow(no-unchecked-index) -- driver is a participant index < p.atoms.len()
         let lo_end = upper_bound(&p.atoms[driver].rows, lo, hi, depth, v);
 
         // Narrow every participant to value v.
+        // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
         let saved: Vec<Range> = participants.iter().map(|&i| ranges[i]).collect();
         let mut ok = true;
         for &i in &participants {
             ticker.trie_advance()?;
-            let r = ranges[i];
+            let r = ranges[i]; // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
             let (nl, nh) = if i == driver {
                 (lo, lo_end)
             } else {
+                // lb-lint: allow(no-unchecked-index) -- i is a participant index < p.atoms.len()
                 equal_range(&p.atoms[i].rows, r.lo, r.hi, r.depth, v)
             };
             if nl == nh {
                 ok = false;
                 break;
             }
+            // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
             ranges[i] = Range {
                 lo: nl,
                 hi: nh,
@@ -208,14 +216,14 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
             };
         }
         if ok {
-            tuple[level] = v;
+            tuple[level] = v; // lb-lint: allow(no-unchecked-index) -- level < num_vars = tuple.len(), checked at recursion entry
             if recurse(p, level + 1, ranges, tuple, ticker, visit)? {
                 return Ok(true);
             }
         }
         // Restore.
         for (&i, &r) in participants.iter().zip(&saved) {
-            ranges[i] = r;
+            ranges[i] = r; // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
         }
         lo = lo_end;
     }
@@ -225,12 +233,12 @@ fn recurse<F: FnMut(&[Value]) -> bool>(
 /// First index in [lo, hi) where `rows[idx][col] > v` (rows sorted, columns
 /// before `col` constant on the range).
 fn upper_bound(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> usize {
-    lo + rows[lo..hi].partition_point(|r| r[col] <= v)
+    lo + rows[lo..hi].partition_point(|r| r[col] <= v) // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
 }
 
 fn equal_range(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> (usize, usize) {
-    let start = lo + rows[lo..hi].partition_point(|r| r[col] < v);
-    let end = start + rows[start..hi].partition_point(|r| r[col] == v);
+    let start = lo + rows[lo..hi].partition_point(|r| r[col] < v); // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
+    let end = start + rows[start..hi].partition_point(|r| r[col] == v); // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
     (start, end)
 }
 
@@ -256,6 +264,7 @@ pub fn join(
     let mut ticker = Ticker::new(budget);
     let mut out = Vec::new();
     let result = generic_join(&p, &mut ticker, &mut |t| {
+        // lb-lint: allow(no-unchecked-index) -- pos_of holds positions within the order, whose length is t.len()
         out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
         false
     });
@@ -335,7 +344,9 @@ fn nested_loop_inner(
                 ticker.node()?;
                 let mut cand = pt.clone();
                 for (&ai, &v) in cols.iter().zip(row) {
+                    // lb-lint: allow(no-unchecked-index) -- ai is a binary_search hit in attrs; cand.len() = attrs.len()
                     match cand[ai] {
+                        // lb-lint: allow(no-unchecked-index) -- same bound as the match scrutinee above
                         None => cand[ai] = Some(v),
                         Some(existing) if existing == v => {}
                         Some(_) => continue 'rows,

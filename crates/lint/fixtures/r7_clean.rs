@@ -1,0 +1,31 @@
+// R7 fixture: hot-path code with no unchecked indexing — `get`, iterators,
+// range slicing, array types, macros, attributes, and a justified allow.
+
+#[derive(Clone)]
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+pub fn value_of(a: &Assignment, var: usize) -> Option<bool> {
+    a.values.get(var).copied()
+}
+
+pub fn window(xs: &[u32]) -> &[u32] {
+    &xs[1..3]
+}
+
+pub fn zeros() -> [u8; 4] {
+    [0; 4]
+}
+
+pub fn collected() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+pub fn first_true(xs: &[bool]) -> Option<usize> {
+    xs.iter().position(|&b| b)
+}
+
+pub fn invariant_indexed(xs: &[u32], i: usize) -> u32 {
+    xs[i % xs.len()] // lb-lint: allow(no-unchecked-index) -- i % len() is always in range
+}

@@ -1,0 +1,14 @@
+// R7 fixture: unchecked `[i]` indexing in a solver hot path.
+// (Linted as if it lived at crates/sat/src/dpll.rs.)
+
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+pub fn value_of(a: &Assignment, var: usize) -> bool {
+    a.values[var]
+}
+
+pub fn cell(m: &[Vec<u32>], i: usize, j: usize) -> u32 {
+    m[i][j]
+}

@@ -5,8 +5,8 @@
 //! ```
 //!
 //! Exit code: a bitmask of violated rules (R1 = 1, R2 = 2, R3 = 4, R4 = 8,
-//! R5 = 16, malformed directives = 32, R6 = 64, usage/IO error = 128);
-//! 0 when clean.
+//! R5 = 16, malformed directives = 32, R6 = 64, R7 = 128, usage/IO
+//! error = 255); 0 when clean.
 
 use lb_lint::{clean_summary, exit_code, lint_workspace, render_json, render_text, Config};
 use std::path::PathBuf;
@@ -34,7 +34,9 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!("usage: lb-lint [--format json|text] [--root PATH]");
-                println!("exit code: bitmask R1=1 R2=2 R3=4 R4=8 R5=16 directives=32 R6=64 io=128");
+                println!(
+                    "exit code: bitmask R1=1 R2=2 R3=4 R4=8 R5=16 directives=32 R6=64 R7=128 io=255"
+                );
                 return;
             }
             other => usage_error(&format!("unknown argument {other:?}")),
@@ -58,7 +60,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("lb-lint: IO error: {e}");
-            process::exit(128);
+            process::exit(255);
         }
     }
 }
@@ -66,5 +68,5 @@ fn main() {
 fn usage_error(msg: &str) -> ! {
     eprintln!("lb-lint: {msg}");
     eprintln!("usage: lb-lint [--format json|text] [--root PATH]");
-    process::exit(128);
+    process::exit(255);
 }

@@ -20,7 +20,12 @@
 //! * **R6 `no-adhoc-timing`** — no ad-hoc `Instant::now()` wall-clock timing
 //!   in solver library code: work is reported through the engine layer's
 //!   machine-independent `RunStats` counters, and wall-clock measurement
-//!   belongs to the `lowerbounds::experiments` harness (and bench/bin code).
+//!   belongs to the `lowerbounds::experiments` harness (and bench/bin code);
+//! * **R7 `no-unchecked-index`** — no unchecked `[i]` indexing in solver hot
+//!   paths (DPLL, 2SAT, CSP backtracking, WCOJ, clique, triangle): on
+//!   adversarial input a stray index is a panic where the contract demands
+//!   `Exhausted` or a typed error — use `get`/iterators, or an allow naming
+//!   the bounds invariant.
 //!
 //! Escape hatch: a trailing comment of the form
 //! `lb-lint: allow(rule) -- reason` (the justification after `--` is

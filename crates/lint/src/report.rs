@@ -4,8 +4,8 @@ use crate::rules::{Rule, Violation};
 
 /// The process exit code for a set of violations: a bitmask with one bit per
 /// rule (R1 = 1, R2 = 2, R3 = 4, R4 = 8, R5 = 16, malformed directives = 32,
-/// R6 = 64), so CI logs show *which* gates failed from the code alone. Zero
-/// means clean.
+/// R6 = 64, R7 = 128), so CI logs show *which* gates failed from the code
+/// alone. Zero means clean.
 pub fn exit_code(violations: &[Violation]) -> i32 {
     violations.iter().fold(0, |acc, v| acc | v.rule.exit_bit())
 }

@@ -29,19 +29,24 @@ pub enum Rule {
     /// code — work is measured by the engine layer's `RunStats` counters,
     /// and wall-clock timing lives in the `experiments` harness.
     NoAdhocTiming,
+    /// R7: no unchecked `[i]` indexing in solver hot paths — a stray index
+    /// panics instead of returning `Exhausted`/an error; use `get`,
+    /// iterators, or a justified allow.
+    NoUncheckedIndex,
     /// D0: a malformed `lb-lint:` directive (unknown rule, missing reason).
     BadDirective,
 }
 
 impl Rule {
     /// All real rules (excludes the directive pseudo-rule).
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoPanic,
         Rule::NoLossyCast,
         Rule::ForbidUnsafe,
         Rule::MustUseResult,
         Rule::NoProcessExit,
         Rule::NoAdhocTiming,
+        Rule::NoUncheckedIndex,
     ];
 
     /// The stable kebab-case name used in `allow(...)` directives.
@@ -53,6 +58,7 @@ impl Rule {
             Rule::MustUseResult => "must-use-result",
             Rule::NoProcessExit => "no-process-exit",
             Rule::NoAdhocTiming => "no-adhoc-timing",
+            Rule::NoUncheckedIndex => "no-unchecked-index",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -66,6 +72,7 @@ impl Rule {
             Rule::MustUseResult => "R4",
             Rule::NoProcessExit => "R5",
             Rule::NoAdhocTiming => "R6",
+            Rule::NoUncheckedIndex => "R7",
             Rule::BadDirective => "D0",
         }
     }
@@ -79,6 +86,7 @@ impl Rule {
             Rule::MustUseResult => 8,
             Rule::NoProcessExit => 16,
             Rule::NoAdhocTiming => 64,
+            Rule::NoUncheckedIndex => 128,
             Rule::BadDirective => 32,
         }
     }
@@ -152,6 +160,10 @@ pub struct Config {
     /// Path substrings exempt from the `no-adhoc-timing` rule: the engine
     /// layer and the experiments harness are where wall-clock time belongs.
     pub timing_exempt_paths: Vec<String>,
+    /// Path substrings whose files carry the `no-unchecked-index` rule:
+    /// solver hot paths, where a stray `[i]` is a panic on adversarial
+    /// input rather than an `Exhausted`/error verdict.
+    pub index_checked_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -170,6 +182,14 @@ impl Default for Config {
                 "crates/engine/src/".into(),
                 "crates/core/src/experiments.rs".into(),
                 "vendor/".into(),
+            ],
+            index_checked_paths: vec![
+                "crates/sat/src/dpll.rs".into(),
+                "crates/sat/src/twosat.rs".into(),
+                "crates/csp/src/solver/backtracking.rs".into(),
+                "crates/join/src/wcoj.rs".into(),
+                "crates/graphalg/src/clique.rs".into(),
+                "crates/graphalg/src/triangle.rs".into(),
             ],
         }
     }
@@ -402,6 +422,30 @@ pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violati
         }
     }
 
+    // R7 — no unchecked `[i]` indexing in solver hot paths.
+    let is_index_checked = config
+        .index_checked_paths
+        .iter()
+        .any(|p| rel_path.contains(p.as_str()));
+    if is_index_checked && kind == FileKind::Library {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let lineno = idx + 1;
+            if unchecked_index_in(&line.code).is_some() && !allowed(lineno, Rule::NoUncheckedIndex)
+            {
+                out.push(Violation {
+                    rule: Rule::NoUncheckedIndex,
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    message: "unchecked `[i]` indexing in a solver hot path panics on an out-of-range index; use `get`/iterators, or add `// lb-lint: allow(no-unchecked-index) -- reason` stating the bounds invariant".into(),
+                    snippet: snippet_at(source, lineno),
+                });
+            }
+        }
+    }
+
     // R5 — no process::exit outside binaries.
     if kind != FileKind::Bin && kind != FileKind::TestOrBench {
         for (idx, line) in file.lines.iter().enumerate() {
@@ -473,6 +517,67 @@ fn lossy_cast_in(code: &str) -> Option<String> {
             }
         }
         search = abs + 4;
+    }
+    None
+}
+
+/// Detects a `container[index]` expression on a masked code line, returning
+/// the byte offset of the `[` if found. A `[` indexes when the preceding
+/// non-whitespace character ends an expression: an identifier character,
+/// `)`, or `]`. Not flagged: attribute brackets (`#[...]`), macro brackets
+/// (`vec![...]`, preceded by `!`), array types/literals (preceded by
+/// punctuation), and range slicing (`&xs[a..b]` — a slice-length bug, not
+/// the per-element access this rule targets).
+fn unchecked_index_in(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let before = code[..i].trim_end();
+        let Some(prev) = before.chars().next_back() else {
+            continue;
+        };
+        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        // A keyword before `[` introduces a pattern or an array literal
+        // (`let [a, b] = ..`, `return [x; 3]`), not an indexing expression.
+        if prev.is_alphanumeric() || prev == '_' {
+            let word_start = before
+                .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .map_or(0, |p| p + 1);
+            const KEYWORDS: [&str; 10] = [
+                "let", "mut", "ref", "return", "in", "match", "if", "while", "else", "box",
+            ];
+            if KEYWORDS.contains(&&before[word_start..]) {
+                continue;
+            }
+        }
+        // Find the matching `]` (nesting-aware) and skip range indexing.
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, &c) in bytes[i..].iter().enumerate() {
+            match c {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(i + j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let inner = match close {
+            Some(c) => &code[i + 1..c],
+            None => &code[i + 1..],
+        };
+        if inner.contains("..") || inner.trim().is_empty() {
+            continue;
+        }
+        return Some(i);
     }
     None
 }
@@ -739,6 +844,62 @@ pub(crate) fn internal() -> Result<(), String> { Ok(()) }
     fn r6_respects_allow_directive() {
         let src = "fn f() { let _t = std::time::Instant::now(); } // lb-lint: allow(no-adhoc-timing) -- coarse watchdog only\n";
         assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_indexing_in_hot_paths_only() {
+        let src = "fn f(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(v.iter().any(|v| v.rule == Rule::NoUncheckedIndex));
+        // The same source outside the hot-path list: no R7.
+        let v = lint_source("crates/sat/src/cnf.rs", src, &Config::default());
+        assert!(!v.iter().any(|v| v.rule == Rule::NoUncheckedIndex));
+    }
+
+    #[test]
+    fn r7_permits_ranges_attributes_macros_and_types() {
+        let src = "\
+#[derive(Clone)]
+pub struct S { xs: Vec<u32> }
+fn f(xs: &[u32]) -> &[u32] { &xs[1..3] }
+fn g() -> [u8; 4] { [0; 4] }
+fn h() -> Vec<u32> { vec![1, 2] }
+fn k(xs: &[u32], i: usize) -> Option<&u32> { xs.get(i) }
+";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(
+            !v.iter().any(|v| v.rule == Rule::NoUncheckedIndex),
+            "false positive: {v:?}"
+        );
+    }
+
+    #[test]
+    fn r7_flags_nested_and_call_result_indexing() {
+        for src in [
+            "fn f(m: &[Vec<u32>], i: usize, j: usize) -> u32 { m[i][j] }\n",
+            "fn f(xs: &[u32]) -> u32 { make()[0] }\n",
+        ] {
+            let v = lint_source("crates/join/src/wcoj.rs", src, &Config::default());
+            assert!(
+                v.iter().any(|v| v.rule == Rule::NoUncheckedIndex),
+                "missed: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn r7_respects_allow_and_test_code() {
+        let src = "\
+fn f(xs: &[u32], i: usize) -> u32 {
+    xs[i] // lb-lint: allow(no-unchecked-index) -- i < xs.len() by construction
+}
+#[cfg(test)]
+mod tests {
+    fn t(xs: &[u32]) -> u32 { xs[0] }
+}
+";
+        let v = lint_source("crates/sat/src/dpll.rs", src, &Config::default());
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -158,6 +158,34 @@ fn r6_clean_fixture_is_silent() {
 }
 
 #[test]
+fn r7_violating_fixture_is_flagged_in_hot_paths() {
+    let v = lint_source(
+        "crates/sat/src/dpll.rs",
+        &fixture("r7_violating.rs"),
+        &Config::default(),
+    );
+    let r7 = v
+        .iter()
+        .filter(|v| v.rule == Rule::NoUncheckedIndex)
+        .count();
+    assert_eq!(r7, 2, "both indexing sites must fire: {v:?}");
+}
+
+#[test]
+fn r7_violating_fixture_is_ignored_outside_hot_paths() {
+    // The same source in a non-hot-path module: R7 is scoped by path.
+    assert_eq!(
+        rules_fired("r7_violating.rs", "crates/sat/src/cnf.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn r7_clean_fixture_is_silent() {
+    assert_eq!(rules_fired("r7_clean.rs", "crates/sat/src/dpll.rs"), vec![]);
+}
+
+#[test]
 fn bad_directives_are_reported_and_do_not_suppress() {
     let v = lint_source(
         "crates/x/src/foo.rs",
@@ -188,7 +216,7 @@ fn good_directives_suppress_cleanly() {
 fn every_rule_has_a_violating_and_a_clean_fixture() {
     // Meta-check: the fixture corpus stays complete as rules evolve.
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
-    for code in ["r1", "r2", "r3", "r4", "r5", "r6"] {
+    for code in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
         for suffix in ["violating", "clean"] {
             let name = format!("{code}_{suffix}.rs");
             assert!(dir.join(&name).exists(), "fixture corpus is missing {name}");

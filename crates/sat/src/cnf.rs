@@ -1,6 +1,12 @@
 //! CNF formulas: literals, clauses, evaluation, DIMACS I/O.
 
+use lb_engine::parse::{tokens, ParseError, ParseErrorKind};
 use std::fmt;
+
+/// The largest variable count a DIMACS header may declare. [`Lit`] packs
+/// `2·var + sign` into a `u32`, so anything larger would silently wrap
+/// literal ids onto the wrong variables.
+pub const MAX_DIMACS_VARS: usize = (u32::MAX >> 1) as usize;
 
 /// A literal: variable index `0..n` plus a sign.
 ///
@@ -171,57 +177,170 @@ impl CnfFormula {
     }
 
     /// Parses DIMACS CNF. Lines starting with `c` are comments.
+    ///
+    /// Validated ingestion: every malformed input — a bad token, a literal
+    /// outside the declared variable range, a variable count that would wrap
+    /// the [`Lit`] encoding, an empty clause, trailing tokens after the
+    /// final declared clause, a clause-count mismatch — degrades to a typed
+    /// [`ParseError`] with exact line/column, never a panic and never a
+    /// silently garbled formula.
     #[must_use = "dropping the result discards the parsed formula or the parse error"]
-    pub fn from_dimacs(text: &str) -> Result<Self, String> {
+    pub fn from_dimacs(text: &str) -> Result<Self, ParseError> {
         let mut num_vars: Option<usize> = None;
         let mut declared_clauses = 0usize;
         let mut clauses: Vec<Clause> = Vec::new();
         let mut current: Clause = Vec::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('c') {
+        // Position of the open clause's first literal, for the
+        // missing-terminator diagnostic.
+        let mut open_clause_at = (0usize, 0usize);
+        let mut last_line = 0usize;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            last_line = lineno;
+            let trimmed = raw_line.trim_start();
+            if trimmed.is_empty() || trimmed.starts_with('c') {
                 continue;
             }
-            if let Some(rest) = line.strip_prefix("p cnf") {
-                let parts: Vec<&str> = rest.split_whitespace().collect();
-                if parts.len() != 2 {
-                    return Err(format!("malformed problem line: {line}"));
+            if trimmed.starts_with('p') {
+                let header_col = raw_line.len() - trimmed.len() + 1;
+                if num_vars.is_some() {
+                    return Err(ParseError::new(
+                        lineno,
+                        header_col,
+                        ParseErrorKind::Duplicate {
+                            what: "problem line".into(),
+                        },
+                    ));
                 }
-                num_vars = Some(
-                    parts[0]
-                        .parse()
-                        .map_err(|e| format!("bad var count: {e}"))?,
-                );
-                declared_clauses = parts[1]
-                    .parse()
-                    .map_err(|e| format!("bad clause count: {e}"))?;
+                let toks: Vec<(usize, &str)> = tokens(raw_line).collect();
+                if toks.len() != 4 || toks[0].1 != "p" || toks[1].1 != "cnf" {
+                    return Err(ParseError::new(
+                        lineno,
+                        header_col,
+                        ParseErrorKind::Malformed {
+                            what: "problem line (expected `p cnf <vars> <clauses>`)".into(),
+                        },
+                    ));
+                }
+                let (vars_col, vars_tok) = toks[2];
+                let nv: usize = vars_tok.parse().map_err(|_| {
+                    ParseError::new(
+                        lineno,
+                        vars_col,
+                        ParseErrorKind::InvalidNumber {
+                            what: "variable count".into(),
+                            token: vars_tok.to_string(),
+                        },
+                    )
+                })?;
+                if nv > MAX_DIMACS_VARS {
+                    return Err(ParseError::new(
+                        lineno,
+                        vars_col,
+                        ParseErrorKind::OutOfRange {
+                            what: "variable count".into(),
+                            token: vars_tok.to_string(),
+                            limit: format!("at most {MAX_DIMACS_VARS}"),
+                        },
+                    ));
+                }
+                let (count_col, count_tok) = toks[3];
+                declared_clauses = count_tok.parse().map_err(|_| {
+                    ParseError::new(
+                        lineno,
+                        count_col,
+                        ParseErrorKind::InvalidNumber {
+                            what: "clause count".into(),
+                            token: count_tok.to_string(),
+                        },
+                    )
+                })?;
+                num_vars = Some(nv);
                 continue;
             }
-            let nv = num_vars.ok_or("clause before problem line")?;
-            for tok in line.split_whitespace() {
-                let v: i64 = tok.parse().map_err(|e| format!("bad literal {tok}: {e}"))?;
+            for (col, tok) in tokens(raw_line) {
+                let Some(nv) = num_vars else {
+                    return Err(ParseError::new(
+                        lineno,
+                        col,
+                        ParseErrorKind::Missing {
+                            what: "problem line before clauses".into(),
+                        },
+                    ));
+                };
+                if clauses.len() == declared_clauses && current.is_empty() {
+                    // Every declared clause is complete: whatever follows
+                    // the final terminating `0` is garbage, not input.
+                    return Err(ParseError::new(
+                        lineno,
+                        col,
+                        ParseErrorKind::TrailingGarbage {
+                            token: tok.to_string(),
+                        },
+                    ));
+                }
+                let v: i64 = tok.parse().map_err(|_| {
+                    ParseError::new(
+                        lineno,
+                        col,
+                        ParseErrorKind::InvalidNumber {
+                            what: "literal".into(),
+                            token: tok.to_string(),
+                        },
+                    )
+                })?;
                 if v == 0 {
                     if current.is_empty() {
-                        return Err("empty clause in DIMACS input".into());
+                        return Err(ParseError::new(lineno, col, ParseErrorKind::EmptyClause));
                     }
                     clauses.push(std::mem::take(&mut current));
                 } else {
-                    let var = v.unsigned_abs() as usize - 1;
-                    if var >= nv {
-                        return Err(format!("literal {v} out of declared range"));
+                    // Range-check before narrowing so ids beyond the `Lit`
+                    // encoding cannot wrap onto the wrong variable.
+                    let var = v.unsigned_abs() - 1;
+                    if var >= nv as u64 {
+                        return Err(ParseError::new(
+                            lineno,
+                            col,
+                            ParseErrorKind::OutOfRange {
+                                what: "literal".into(),
+                                token: tok.to_string(),
+                                limit: format!("declared {nv} variables"),
+                            },
+                        ));
                     }
-                    current.push(Lit::new(var, v > 0));
+                    if current.is_empty() {
+                        open_clause_at = (lineno, col);
+                    }
+                    current.push(Lit::new(var as usize, v > 0));
                 }
             }
         }
         if !current.is_empty() {
-            return Err("unterminated clause (missing trailing 0)".into());
+            return Err(ParseError::new(
+                open_clause_at.0,
+                open_clause_at.1,
+                ParseErrorKind::Missing {
+                    what: "terminating `0` for this clause".into(),
+                },
+            ));
         }
-        let nv = num_vars.ok_or("missing problem line")?;
+        let Some(nv) = num_vars else {
+            return Err(ParseError::at_eof(
+                last_line + 1,
+                ParseErrorKind::Missing {
+                    what: "problem line".into(),
+                },
+            ));
+        };
         if clauses.len() != declared_clauses {
-            return Err(format!(
-                "declared {declared_clauses} clauses, found {}",
-                clauses.len()
+            return Err(ParseError::at_eof(
+                last_line + 1,
+                ParseErrorKind::CountMismatch {
+                    what: "clauses".into(),
+                    declared: declared_clauses,
+                    found: clauses.len(),
+                },
             ));
         }
         Ok(CnfFormula::from_clauses(nv, clauses))
@@ -292,11 +411,72 @@ mod tests {
     }
 
     #[test]
-    fn dimacs_errors() {
-        assert!(CnfFormula::from_dimacs("1 2 0").is_err());
-        assert!(CnfFormula::from_dimacs("p cnf 1 1\n2 0\n").is_err());
-        assert!(CnfFormula::from_dimacs("p cnf 2 2\n1 0\n").is_err());
-        assert!(CnfFormula::from_dimacs("p cnf 2 1\n1 2\n").is_err());
+    fn dimacs_errors_are_typed_and_positioned() {
+        let e = CnfFormula::from_dimacs("1 2 0").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Missing { .. }));
+        assert_eq!((e.line, e.col), (1, 1));
+
+        let e = CnfFormula::from_dimacs("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::OutOfRange { .. }));
+        assert_eq!((e.line, e.col), (2, 1));
+
+        let e = CnfFormula::from_dimacs("p cnf 2 2\n1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::CountMismatch { .. }));
+
+        let e = CnfFormula::from_dimacs("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Missing { .. }));
+        assert_eq!((e.line, e.col), (2, 1));
+    }
+
+    #[test]
+    fn dimacs_rejects_empty_clause_line() {
+        let e = CnfFormula::from_dimacs("p cnf 2 2\n1 0\n0\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::EmptyClause);
+        assert_eq!((e.line, e.col), (3, 1));
+    }
+
+    #[test]
+    fn dimacs_rejects_trailing_garbage_after_final_clause() {
+        let e = CnfFormula::from_dimacs("p cnf 2 1\n1 2 0\n-1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::TrailingGarbage { .. }));
+        assert_eq!((e.line, e.col), (3, 1));
+        // Same line:
+        let e = CnfFormula::from_dimacs("p cnf 2 1\n1 2 0 junk\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::TrailingGarbage { .. }));
+        assert_eq!((e.line, e.col), (2, 7));
+    }
+
+    #[test]
+    fn dimacs_rejects_var_count_that_would_wrap_lit_encoding() {
+        // Regression: `Lit` packs `2·var + sign` into a `u32`. Before the
+        // `MAX_DIMACS_VARS` guard, a header like this one was accepted and
+        // literal 4294967297 wrapped onto variable 0 — a silently garbled
+        // formula, the worst possible parse outcome.
+        let text = "p cnf 4294967298 1\n4294967297 0\n";
+        let e = CnfFormula::from_dimacs(text).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::OutOfRange { .. }));
+        assert_eq!((e.line, e.col), (1, 7));
+        // A literal past the (valid) declared range is likewise caught
+        // before any narrowing cast can wrap it.
+        let e = CnfFormula::from_dimacs("p cnf 3 1\n4294967297 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::OutOfRange { .. }));
+        assert_eq!((e.line, e.col), (2, 1));
+    }
+
+    #[test]
+    fn dimacs_rejects_duplicate_and_malformed_headers() {
+        let e = CnfFormula::from_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Duplicate { .. }));
+        let e = CnfFormula::from_dimacs("p cnf 1\n1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Malformed { .. }));
+        let e = CnfFormula::from_dimacs("p cnf x 1\n1 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::InvalidNumber { .. }));
+    }
+
+    #[test]
+    fn dimacs_accepts_clauses_spanning_and_sharing_lines() {
+        let f = CnfFormula::from_dimacs("p cnf 3 3\n1 2\n0 -1 0\n3 0\n").unwrap();
+        assert_eq!(f.num_clauses(), 3);
     }
 
     #[test]

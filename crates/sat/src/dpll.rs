@@ -86,6 +86,7 @@ impl DpllSolver {
         let mut unassigned: Option<Lit> = None;
         let mut unassigned_count = 0usize;
         for &l in clause {
+            // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
             match assignment[l.var()] {
                 Some(v) if v == l.is_positive() => return ClauseState::Satisfied,
                 Some(_) => {}
@@ -115,7 +116,7 @@ impl DpllSolver {
         let mut trail: Vec<usize> = Vec::new();
         let undo = |assignment: &mut Vec<Option<bool>>, trail: &[usize]| {
             for &v in trail {
-                assignment[v] = None;
+                assignment[v] = None; // lb-lint: allow(no-unchecked-index) -- the trail only holds assigned variable ids < num_vars
             }
         };
         // Budget exhaustion aborts the whole search, so the partial
@@ -142,6 +143,7 @@ impl DpllSolver {
                             break;
                         }
                         ClauseState::Unit(l) => {
+                            // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
                             assignment[l.var()] = Some(l.is_positive());
                             trail.push(l.var());
                             bail_if_exhausted!(ticker.propagation());
@@ -175,18 +177,20 @@ impl DpllSolver {
                         continue;
                     }
                     for &l in clause {
+                        // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
                         if assignment[l.var()].is_none() {
                             if l.is_positive() {
-                                pos[l.var()] = true;
+                                pos[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
                             } else {
-                                neg[l.var()] = true;
+                                neg[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
                             }
                         }
                     }
                 }
                 for v in 0..n {
+                    // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
                     if assignment[v].is_none() && (pos[v] ^ neg[v]) {
-                        assignment[v] = Some(pos[v]);
+                        assignment[v] = Some(pos[v]); // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
                         trail.push(v);
                         bail_if_exhausted!(ticker.propagation());
                         changed = true;
@@ -209,7 +213,7 @@ impl DpllSolver {
 
         // Branch.
         let var = match self.config.branching {
-            Branching::FirstUnassigned => (0..f.num_vars()).find(|&v| assignment[v].is_none()),
+            Branching::FirstUnassigned => assignment.iter().position(|a| a.is_none()),
             Branching::MostFrequent => {
                 let mut count = vec![0usize; f.num_vars()];
                 for clause in f.clauses() {
@@ -220,14 +224,15 @@ impl DpllSolver {
                         continue;
                     }
                     for &l in clause {
+                        // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
                         if assignment[l.var()].is_none() {
-                            count[l.var()] += 1;
+                            count[l.var()] += 1; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
                         }
                     }
                 }
                 (0..f.num_vars())
-                    .filter(|&v| assignment[v].is_none())
-                    .max_by_key(|&v| count[v])
+                    .filter(|&v| assignment[v].is_none()) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                    .max_by_key(|&v| count[v]) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
             }
         };
         let var = match var {
@@ -242,7 +247,7 @@ impl DpllSolver {
 
         bail_if_exhausted!(ticker.node());
         for value in [true, false] {
-            assignment[var] = Some(value);
+            assignment[var] = Some(value); // lb-lint: allow(no-unchecked-index) -- var came from an index over 0..num_vars
             match self.search(f, assignment, ticker) {
                 Ok(true) => return Ok(true),
                 Ok(false) => {}
@@ -252,6 +257,7 @@ impl DpllSolver {
                 }
             }
         }
+        // lb-lint: allow(no-unchecked-index) -- var came from an index over 0..num_vars
         assignment[var] = None;
         undo(assignment, &trail);
         Ok(false)

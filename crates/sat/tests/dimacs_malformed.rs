@@ -1,0 +1,60 @@
+//! Corpus test: every `bad_*.cnf` fixture must degrade to a typed
+//! [`ParseError`] — never a panic, never a silently accepted formula —
+//! and every `ok_*.cnf` fixture must parse.
+//!
+//! The corpus under `crates/sat/fixtures/` doubles as a regression store:
+//! `bad_overflow_vars.cnf` captures an input that the pre-hardening parser
+//! accepted while wrapping literal ids onto the wrong variables.
+
+use lb_sat::cnf::CnfFormula;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn fixtures() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut out = Vec::new();
+    for entry in fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "cnf") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = fs::read_to_string(&path).expect("fixture readable");
+            out.push((name, text));
+        }
+    }
+    out.sort();
+    assert!(
+        out.len() >= 12,
+        "fixture corpus unexpectedly small: {} files",
+        out.len()
+    );
+    out
+}
+
+#[test]
+fn bad_fixtures_error_without_panicking() {
+    for (name, text) in fixtures() {
+        if !name.starts_with("bad_") {
+            continue;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| CnfFormula::from_dimacs(&text)));
+        let parsed = result.unwrap_or_else(|_| panic!("{name}: parser panicked"));
+        let err = parsed.err().unwrap_or_else(|| {
+            panic!("{name}: malformed fixture was accepted");
+        });
+        // Every diagnostic carries a usable position.
+        assert!(err.line >= 1 && err.col >= 1, "{name}: bad position {err}");
+    }
+}
+
+#[test]
+fn ok_fixtures_parse() {
+    for (name, text) in fixtures() {
+        if !name.starts_with("ok_") {
+            continue;
+        }
+        let f = CnfFormula::from_dimacs(&text)
+            .unwrap_or_else(|e| panic!("{name}: valid fixture rejected: {e}"));
+        assert!(f.num_clauses() >= 1, "{name}: parsed to empty formula");
+    }
+}

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use lowerbounds::csp::solver::{backtracking, bruteforce, treewidth_dp, BacktrackConfig};
-use lowerbounds::engine::{Budget, Outcome, RunStats};
+use lowerbounds::engine::{Budget, ExhaustReason, Outcome, RunStats};
 use lowerbounds::graph::generators;
 use lowerbounds::graphalg::clique;
 use lowerbounds::join::{generators as jgen, wcoj, JoinQuery};
@@ -50,8 +50,58 @@ fn doubling_budget_verdict<W>(
     }
 }
 
+/// Asserts that a solver run under an already-expired wall-clock deadline
+/// exhausted on its *first* counted operation — the deadline mirror of the
+/// `Budget::ticks(0)` guarantee. The engine promises the first `spend`
+/// consults the clock, so the run must stop with the `Deadline` reason
+/// after at most one counted op.
+fn assert_expired_deadline_exhausts<W: std::fmt::Debug>((out, stats): (Outcome<W>, RunStats)) {
+    match out {
+        Outcome::Exhausted(ExhaustReason::Deadline { .. }) => {}
+        other => panic!("expired deadline did not exhaust with Deadline: {other:?}"),
+    }
+    assert!(
+        stats.total_ops() <= 1,
+        "expired deadline let {} ops through",
+        stats.total_ops()
+    );
+}
+
+/// A deadline that has already passed when the solver starts.
+fn expired() -> Budget {
+    Budget::deadline(std::time::Duration::ZERO)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every solver family: a wall-clock deadline that is already expired
+    /// when the run starts exhausts on the first counted op (sat, csp,
+    /// join, graphalg — mirrors the `ticks(0)` assertions below).
+    #[test]
+    fn expired_deadline_exhausts_on_first_op_every_family(
+        seed in 0u64..10_000, n in 4usize..8,
+    ) {
+        // sat: DPLL and 2SAT.
+        let f = sgen::random_ksat(n, 3 * n, 2, seed);
+        assert_expired_deadline_exhausts(DpllSolver::default().solve(&f, &expired()));
+        assert_expired_deadline_exhausts(lowerbounds::sat::solve_2sat(&f, &expired()));
+        // csp: backtracking and Freuder's treewidth DP.
+        let g = generators::gnp(n, 0.5, seed);
+        let inst = lowerbounds::csp::generators::random_binary_csp(&g, 2, 0.4, seed);
+        assert_expired_deadline_exhausts(
+            backtracking::solve(&inst, BacktrackConfig::default(), &expired()),
+        );
+        assert_expired_deadline_exhausts(treewidth_dp::solve_auto(&inst, &expired()));
+        // join: generic WCOJ on the triangle query.
+        let q = JoinQuery::triangle();
+        let db = jgen::random_binary_database(&q, 3 * n, 5, seed);
+        assert_expired_deadline_exhausts(
+            wcoj::count(&q, &db, None, &expired()).expect("valid database"),
+        );
+        // graphalg: clique search.
+        assert_expired_deadline_exhausts(clique::find_clique(&g, 3, &expired()));
+    }
 
     /// DPLL: zero-tick budgets exhaust, doubling budgets converge to the
     /// brute-force verdict with monotone counters.
