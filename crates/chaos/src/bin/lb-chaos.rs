@@ -1,24 +1,34 @@
 //! `lb-chaos` — run the adversarial fuzz harness from the command line.
 //!
 //! ```text
-//! lb-chaos smoke                          the CI gate: 1000 instances per
+//! lb-chaos smoke [--families <list>]      the CI gate: 1000 instances per
 //!                                         family, fixed seeds, exit 1 on
-//!                                         any panic or oracle divergence
+//!                                         any panic or oracle divergence;
+//!                                         --families sat,csp shards the
+//!                                         run for parallel CI jobs
+//! lb-chaos resume [--families <list>]     checkpoint/resume differential:
+//!          [--seed N] [--count K]         sliced resumes must match the
+//!                                         uninterrupted run in verdict
+//!                                         and summed stats
 //! lb-chaos --seed N [--count K]           fuzz all families from seed N
 //! lb-chaos --family sat --seed N          replay/fuzz one family
 //! ```
 //!
 //! Every failure line carries the seed that reproduces it; rerunning with
 //! `--family <f> --seed <n> --count 1` replays the identical instance,
-//! fault plan, and budget.
+//! fault plan, and budget. Even a defective shrinker cannot mask a
+//! failure: a panic while shrinking is caught and the failing seed is
+//! still printed, with a nonzero exit.
 
-use lb_chaos::harness::{run_family, smoke, FamilyReport, SMOKE_COUNT};
+use lb_chaos::harness::{
+    resume_smoke, run_family, run_resume_family, smoke_families, FamilyReport, SMOKE_COUNT,
+};
 use lb_chaos::Family;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lb-chaos smoke\n       lb-chaos --seed <n> [--count <k>] [--family <sat|csp|join|graphalg>]"
+        "usage: lb-chaos smoke [--families <f1,f2,..>]\n       lb-chaos resume [--families <f1,f2,..>] [--seed <n>] [--count <k>]\n       lb-chaos --seed <n> [--count <k>] [--family <sat|csp|join|graphalg>]"
     );
     ExitCode::from(2)
 }
@@ -45,10 +55,57 @@ fn report(reports: &[FamilyReport]) -> ExitCode {
     }
 }
 
+/// Parses a comma-separated family list (`sat,csp`); `None` on any
+/// unknown name.
+fn parse_families(spec: &str) -> Option<Vec<Family>> {
+    spec.split(',')
+        .map(|part| Family::from_name(part.trim()))
+        .collect()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("smoke") {
-        return report(&smoke());
+    let mode = args.first().map(String::as_str);
+    if matches!(mode, Some("smoke" | "resume")) {
+        let mut families: Vec<Family> = Family::ALL.to_vec();
+        let mut seed: Option<u64> = None;
+        let mut count: Option<u64> = None;
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--families" => match it.next().and_then(|v| parse_families(v)) {
+                    Some(fs) if !fs.is_empty() => families = fs,
+                    _ => return usage(),
+                },
+                "--seed" if mode == Some("resume") => match it.next().map(|v| v.parse()) {
+                    Some(Ok(v)) => seed = Some(v),
+                    _ => return usage(),
+                },
+                "--count" if mode == Some("resume") => match it.next().map(|v| v.parse()) {
+                    Some(Ok(v)) => count = Some(v),
+                    _ => return usage(),
+                },
+                _ => return usage(),
+            }
+        }
+        let reports = match mode {
+            Some("smoke") => smoke_families(&families),
+            _ => match (seed, count) {
+                (None, None) => resume_smoke(&families),
+                (s, c) => families
+                    .into_iter()
+                    .map(|f| {
+                        run_resume_family(
+                            f,
+                            s.unwrap_or(lb_chaos::harness::SMOKE_BASE_SEED),
+                            c.unwrap_or(lb_chaos::harness::RESUME_COUNT),
+                            0,
+                        )
+                    })
+                    .collect(),
+            },
+        };
+        return report(&reports);
     }
 
     let mut seed: Option<u64> = None;

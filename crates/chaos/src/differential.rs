@@ -529,3 +529,157 @@ pub fn check(family: Family, seed: u64) -> Result<(), Failure> {
         Family::Graphalg => check_graphalg(seed),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Resume differential: sliced checkpoint/resume vs. one uninterrupted run.
+// ---------------------------------------------------------------------------
+
+use lb_engine::checkpoint::{Checkpoint, ResumableOutcome};
+use lb_engine::RunStats;
+
+/// Generous convergence cap: every slice makes at least one op of
+/// progress, so a run needing this many slices is a livelock bug, not a
+/// slow instance.
+const MAX_SLICES: u32 = 100_000;
+
+/// A resumable solver entry point as driven by the differential: one
+/// budget slice, optionally continuing from a checkpoint.
+type ResumableRun<'a, W> =
+    dyn FnMut(&Budget, Option<&Checkpoint>) -> Result<(ResumableOutcome<W>, RunStats), String> + 'a;
+
+/// The core slice-equivalence check (the tentpole invariant): run the
+/// solver once uninterrupted, then again chained through adversarially
+/// small slices — some throttled by tiny tick budgets, some cut short by
+/// an injected [`FaultPlan`] — with every intermediate [`Checkpoint`]
+/// round-tripped through its byte encoding. The verdict and the summed
+/// [`RunStats`] must be identical.
+fn resume_differential<W: PartialEq + std::fmt::Debug>(
+    family: Family,
+    seed: u64,
+    what: &str,
+    run: &mut ResumableRun<'_, W>,
+) -> Result<(), Failure> {
+    let wrap = |panicked: bool, detail: String| fail(family, seed, panicked, detail);
+
+    // Baseline: one uninterrupted, fault-free run.
+    let (one_shot, full_stats) = no_panic(|| run(&Budget::unlimited(), None))
+        .map_err(|p| wrap(true, format!("{what}: one-shot run panicked: {p}")))?
+        .map_err(|e| wrap(false, format!("{what}: one-shot run errored: {e}")))?;
+    if one_shot.is_suspended() {
+        return Err(wrap(
+            false,
+            format!("{what}: suspended under an unlimited budget with no faults"),
+        ));
+    }
+
+    // Sliced: adversarial interruption points from the seed.
+    let mut rng = Rng::new(seed ^ 0x5e5e);
+    let mut from: Option<Checkpoint> = None;
+    let mut summed = RunStats::default();
+    let mut slices = 0u32;
+    let sliced = loop {
+        slices += 1;
+        if slices > MAX_SLICES {
+            return Err(wrap(
+                false,
+                format!("{what}: no verdict after {MAX_SLICES} slices (resume livelock)"),
+            ));
+        }
+        let budget = Budget::ticks(1 + rng.below(40));
+        let plan = if rng.chance(50) {
+            FaultPlan::from_seed(rng.next_u64())
+        } else {
+            FaultPlan::new()
+        };
+        let step = no_panic(|| with_plan(&plan, || run(&budget, from.as_ref())))
+            .map_err(|p| wrap(true, format!("{what}: slice {slices} panicked: {p}")))?
+            .map_err(|e| wrap(false, format!("{what}: slice {slices} errored: {e}")))?;
+        let (out, stats) = step;
+        summed.absorb(&stats);
+        match out {
+            ResumableOutcome::Suspended { checkpoint, .. } => {
+                // Round-trip through bytes: what resumes is what persists.
+                let bytes = checkpoint.to_bytes();
+                let reloaded = Checkpoint::from_bytes(&bytes).map_err(|e| {
+                    wrap(
+                        false,
+                        format!("{what}: checkpoint failed to round-trip: {e}"),
+                    )
+                })?;
+                from = Some(reloaded);
+            }
+            done => break done,
+        }
+    };
+
+    if sliced != one_shot {
+        return Err(wrap(
+            false,
+            format!("{what}: sliced verdict diverged from the one-shot run"),
+        ));
+    }
+    if summed != full_stats {
+        return Err(wrap(
+            false,
+            format!("{what}: summed slice stats {summed:?} ≠ one-shot stats {full_stats:?}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Checks one seed's slice-equivalence for `family`'s resumable solvers.
+pub fn check_resume(family: Family, seed: u64) -> Result<(), Failure> {
+    match family {
+        Family::Sat => {
+            let f = hostile::cnf(seed);
+            let solver = lb_sat::DpllSolver::default();
+            resume_differential(family, seed, "dpll", &mut |b, from| {
+                solver
+                    .solve_resumable(&f, b, from)
+                    .map_err(|e| e.to_string())
+            })
+        }
+        Family::Csp => {
+            use lb_csp::solver::{backtracking, BacktrackConfig};
+            let inst = hostile::csp(seed);
+            let config = BacktrackConfig::default();
+            resume_differential(family, seed, "csp-solve", &mut |b, from| {
+                backtracking::solve_resumable(&inst, config, b, from).map_err(|e| e.to_string())
+            })?;
+            resume_differential(family, seed, "csp-count", &mut |b, from| {
+                backtracking::count_resumable(&inst, config, b, from).map_err(|e| e.to_string())
+            })
+        }
+        Family::Join => {
+            use lb_join::wcoj;
+            let (q, db) = hostile::join_instance(seed);
+            // Broken databases are the *other* differential's concern; the
+            // resume check only runs on instances the solver accepts.
+            if wcoj::count(&q, &db, None, &Budget::ticks(0)).is_err() {
+                return Ok(());
+            }
+            resume_differential(family, seed, "join-count", &mut |b, from| {
+                wcoj::count_resumable(&q, &db, None, b, from).map_err(|e| e.to_string())
+            })?;
+            resume_differential(family, seed, "join-is-empty", &mut |b, from| {
+                wcoj::is_empty_resumable(&q, &db, None, b, from).map_err(|e| e.to_string())
+            })
+        }
+        Family::Graphalg => {
+            use lb_graphalg::{clique, triangle};
+            let g = hostile::graph(seed);
+            resume_differential(family, seed, "triangle-count", &mut |b, from| {
+                triangle::count_triangles_resumable(&g, b, from).map_err(|e| e.to_string())
+            })?;
+            resume_differential(family, seed, "triangle-find", &mut |b, from| {
+                triangle::find_triangle_naive_resumable(&g, b, from).map_err(|e| e.to_string())
+            })?;
+            resume_differential(family, seed, "clique-find", &mut |b, from| {
+                clique::find_clique_resumable(&g, 3, b, from).map_err(|e| e.to_string())
+            })?;
+            resume_differential(family, seed, "clique-count", &mut |b, from| {
+                clique::count_cliques_resumable(&g, 3, b, from).map_err(|e| e.to_string())
+            })
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! The fuzz harness: drive N seeds through each family's differential
 //! check and report.
 
-use crate::differential::{check, Failure, Family};
+use crate::differential::{check, check_resume, Failure, Family};
 
 /// Outcome of fuzzing one family.
 #[derive(Clone, Debug)]
@@ -21,14 +21,21 @@ impl FamilyReport {
     }
 }
 
-/// Runs `count` seeds (`base_seed..base_seed + count`) through `family`,
-/// stopping after `max_failures` failures (0 = collect all).
-pub fn run_family(family: Family, base_seed: u64, count: u64, max_failures: usize) -> FamilyReport {
+/// Runs `count` seeds (`base_seed..base_seed + count`) of `checker`
+/// through `family`, stopping after `max_failures` failures (0 = collect
+/// all).
+fn drive(
+    family: Family,
+    base_seed: u64,
+    count: u64,
+    max_failures: usize,
+    checker: impl Fn(Family, u64) -> Result<(), Failure>,
+) -> FamilyReport {
     let mut failures = Vec::new();
     let mut instances = 0;
     for seed in base_seed..base_seed.saturating_add(count) {
         instances += 1;
-        if let Err(f) = check(family, seed) {
+        if let Err(f) = checker(family, seed) {
             failures.push(f);
             if max_failures != 0 && failures.len() >= max_failures {
                 break;
@@ -42,17 +49,52 @@ pub fn run_family(family: Family, base_seed: u64, count: u64, max_failures: usiz
     }
 }
 
+/// Runs `count` seeds (`base_seed..base_seed + count`) through `family`,
+/// stopping after `max_failures` failures (0 = collect all).
+pub fn run_family(family: Family, base_seed: u64, count: u64, max_failures: usize) -> FamilyReport {
+    drive(family, base_seed, count, max_failures, check)
+}
+
+/// Like [`run_family`], but for the checkpoint/resume slice-equivalence
+/// differential: each seed runs a solver once uninterrupted and once
+/// chained through adversarial slices, and the two must agree.
+pub fn run_resume_family(
+    family: Family,
+    base_seed: u64,
+    count: u64,
+    max_failures: usize,
+) -> FamilyReport {
+    drive(family, base_seed, count, max_failures, check_resume)
+}
+
 /// The smoke configuration: the fixed seed set CI runs. 1000 hostile
 /// instances per family, zero tolerance.
 pub const SMOKE_BASE_SEED: u64 = 0x10b5;
 /// Instances per family in the smoke configuration.
 pub const SMOKE_COUNT: u64 = 1000;
+/// Instances per family in the resume configuration (each seed runs many
+/// slices, so the default is smaller than [`SMOKE_COUNT`]).
+pub const RESUME_COUNT: u64 = 150;
+
+/// Runs the smoke configuration over `families` (CI shards by passing a
+/// subset via `--families`).
+pub fn smoke_families(families: &[Family]) -> Vec<FamilyReport> {
+    families
+        .iter()
+        .map(|&f| run_family(f, SMOKE_BASE_SEED, SMOKE_COUNT, 3))
+        .collect()
+}
 
 /// Runs the smoke configuration over every family.
 pub fn smoke() -> Vec<FamilyReport> {
-    Family::ALL
-        .into_iter()
-        .map(|f| run_family(f, SMOKE_BASE_SEED, SMOKE_COUNT, 3))
+    smoke_families(&Family::ALL)
+}
+
+/// Runs the resume differential configuration over `families`.
+pub fn resume_smoke(families: &[Family]) -> Vec<FamilyReport> {
+    families
+        .iter()
+        .map(|&f| run_resume_family(f, SMOKE_BASE_SEED, RESUME_COUNT, 3))
         .collect()
 }
 
@@ -65,6 +107,17 @@ mod tests {
         for family in Family::ALL {
             let report = run_family(family, 1, 25, 0);
             assert_eq!(report.instances, 25);
+            if let Some(f) = report.failures.first() {
+                panic!("{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_resume_run_is_clean_per_family() {
+        for family in Family::ALL {
+            let report = run_resume_family(family, 1, 10, 0);
+            assert_eq!(report.instances, 10);
             if let Some(f) = report.failures.first() {
                 panic!("{f}");
             }

@@ -23,7 +23,9 @@
 //! * [`hostile`] — hostile-instance generators per input family (CNF,
 //!   CSP, joins, graphs) plus malformed-text generators for the parsers;
 //! * [`differential`] — the per-family checks against brute-force oracles
-//!   under seeded fault plans;
+//!   under seeded fault plans, plus the checkpoint/resume differential
+//!   (`lb-chaos resume`): sliced, adversarially interrupted runs must
+//!   match the uninterrupted run in verdict and summed stats;
 //! * [`shrink`] — greedy shrinking so every failure prints minimal;
 //! * [`harness`] — the N-seeds-per-family driver and the fixed smoke
 //!   configuration that CI runs (`cargo run -p lb-chaos -- smoke`).
@@ -40,5 +42,5 @@ pub mod hostile;
 pub mod rng;
 pub mod shrink;
 
-pub use differential::{check, Failure, Family};
-pub use harness::{run_family, smoke, FamilyReport};
+pub use differential::{check, check_resume, Failure, Family};
+pub use harness::{resume_smoke, run_family, run_resume_family, smoke, FamilyReport};

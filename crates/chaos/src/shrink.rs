@@ -76,7 +76,22 @@ fn cnf_candidates(f: &CnfFormula) -> Vec<CnfFormula> {
 
 /// Shrinks a CNF formula against the DPLL-vs-oracle check of `seed`'s plan
 /// and budget, returning a printable reproducer (DIMACS).
+///
+/// Shrinking runs *after* a check has already failed, so a defect in the
+/// shrinker itself must not mask the original failure: a panicking shrink
+/// is caught and reported alongside the unshrunk reproducer (the failure —
+/// and its nonzero exit — still carries the failing seed).
 pub fn shrink_cnf(f: &CnfFormula, seed: u64) -> String {
+    let guarded = catch_unwind(AssertUnwindSafe(|| shrink_cnf_inner(f, seed)));
+    guarded.unwrap_or_else(|_| {
+        format!(
+            "shrinker panicked (replay with seed {seed}); reproducer (unshrunk):\n{}",
+            f.to_dimacs()
+        )
+    })
+}
+
+fn shrink_cnf_inner(f: &CnfFormula, seed: u64) -> String {
     let (plan, budget) = plan_for_seed(seed);
     if !dpll_check_fails(f, &plan, &budget) {
         // The failure came from a different leg (2SAT, counting, the
@@ -119,7 +134,17 @@ fn csp_candidates(inst: &CspInstance) -> Vec<CspInstance> {
 
 /// Shrinks a CSP instance against the backtracking-vs-oracle check of
 /// `seed`'s plan and budget, returning a printable reproducer.
+///
+/// Like [`shrink_cnf`], a panicking shrink is caught and reported rather
+/// than masking the original failure.
 pub fn shrink_csp(inst: &CspInstance, seed: u64) -> String {
+    let guarded = catch_unwind(AssertUnwindSafe(|| shrink_csp_inner(inst, seed)));
+    guarded.unwrap_or_else(|_| {
+        format!("shrinker panicked (replay with seed {seed}); reproducer (unshrunk): {inst:?}")
+    })
+}
+
+fn shrink_csp_inner(inst: &CspInstance, seed: u64) -> String {
     let (plan, budget) = plan_for_seed(seed);
     if !csp_check_fails(inst, &plan, &budget) {
         return format!("reproducer (unshrunk): {inst:?}");

@@ -14,6 +14,23 @@
 //! and prints `UNKNOWN` once the solver has spent that many counted
 //! operations. Without the flag the solver runs to completion.
 //!
+//! `sat` and `csp` additionally accept:
+//!
+//! ```text
+//! --checkpoint <file>            persist the search frontier to <file>
+//! --resume <file>                continue from a previously saved frontier
+//! --checkpoint-interval <ticks>  ops between saves (default 65536)
+//! ```
+//!
+//! With `--checkpoint`, the solver runs in slices and atomically rewrites
+//! `<file>` after each one, so a killed process (even `kill -9`) loses at
+//! most one interval of work; rerunning with `--resume <file>` continues
+//! where the last save left off and reaches the same answer as an
+//! uninterrupted run. On completion the checkpoint file is removed. An
+//! exhausted budget is *resumable* when a checkpoint was saved (the
+//! `UNKNOWN` diagnostic names the file to resume from) and *terminal*
+//! otherwise (the partial search is lost).
+//!
 //! Graph files: first line `n`, then one `u v` edge per line (0-based).
 //! Query syntax: whitespace-separated atoms like `R(a,b) S(a,c) T(b,c)`.
 //! CSP files: header `csp <num_vars> <domain_size>`, then one constraint
@@ -23,21 +40,32 @@
 //! Malformed input never panics: every parser reports a typed
 //! [`ParseError`] printed as `file:line:col: message`, exit code 1.
 
+use lowerbounds::engine::checkpoint::{Checkpoint, ResumableOutcome};
 use lowerbounds::engine::{Budget, Outcome, ParseError, ParseErrorKind, RunStats};
 use lowerbounds::graph::{treewidth, Graph};
 use lowerbounds::hypotheses::Hypothesis;
 use lowerbounds::join::{agm, Atom, JoinQuery};
 use lowerbounds::sat::{solve_2sat, CnfFormula, DpllSolver};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 /// Distinguishes "wrong input" from "budget ran out" for the process exit
 /// code. Parse failures keep their source position so every diagnostic is
-/// printed in the one conventional `file:line:col: message` shape.
+/// printed in the one conventional `file:line:col: message` shape. An
+/// exhausted budget records whether a checkpoint survives it: `resumable`
+/// exhaustion names the saved frontier, `terminal` exhaustion means the
+/// partial search is lost.
 enum CmdError {
     Usage(String),
-    Parse { path: String, err: ParseError },
-    Exhausted(String),
+    Parse {
+        path: String,
+        err: ParseError,
+    },
+    Exhausted {
+        reason: String,
+        checkpoint: Option<PathBuf>,
+    },
 }
 
 impl From<String> for CmdError {
@@ -62,24 +90,29 @@ fn in_file(path: &str) -> impl Fn(ParseError) -> CmdError + '_ {
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let budget = match extract_budget(&mut args) {
-        Ok(b) => b,
+    let (budget, ck) = match parse_common_flags(&mut args) {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::from(2);
         }
     };
-    let result = match args.first().map(String::as_str) {
-        Some("sat") => cmd_sat(&args[1..], false, &budget),
-        Some("2sat") => cmd_sat(&args[1..], true, &budget),
+    let cmd = args.first().map(String::as_str);
+    if ck.active() && !matches!(cmd, Some("sat" | "csp")) {
+        eprintln!("error: --checkpoint/--resume are supported by `sat` and `csp` only");
+        return ExitCode::from(2);
+    }
+    let result = match cmd {
+        Some("sat") => cmd_sat(&args[1..], false, &budget, &ck),
+        Some("2sat") => cmd_sat(&args[1..], true, &budget, &ck),
         Some("count") => cmd_count(&args[1..], &budget),
-        Some("csp") => cmd_csp(&args[1..], &budget),
+        Some("csp") => cmd_csp(&args[1..], &budget, &ck),
         Some("treewidth") => cmd_treewidth(&args[1..]),
         Some("rho-star") => cmd_rho_star(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lbtool <sat|2sat|count|csp|treewidth|rho-star|claims> [--budget <ticks>] ..."
+                "usage: lbtool <sat|2sat|count|csp|treewidth|rho-star|claims> [--budget <ticks>] [--checkpoint <file>] [--resume <file>] ..."
             );
             return ExitCode::from(2);
         }
@@ -94,28 +127,170 @@ fn main() -> ExitCode {
             eprintln!("{path}:{err}");
             ExitCode::FAILURE
         }
-        Err(CmdError::Exhausted(reason)) => {
+        Err(CmdError::Exhausted { reason, checkpoint }) => {
             println!("UNKNOWN");
-            eprintln!("{reason}");
+            match checkpoint {
+                Some(p) => eprintln!(
+                    "{reason} (resumable: frontier saved to {}; rerun with --resume {} and a fresh --budget)",
+                    p.display(),
+                    p.display()
+                ),
+                None => eprintln!("{reason} (terminal: progress lost; rerun with a larger --budget or --checkpoint)"),
+            }
             ExitCode::from(3)
         }
     }
 }
 
-/// Removes `--budget <ticks>` from the argument list and builds the
-/// corresponding [`Budget`]; unlimited when the flag is absent.
-fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
-    let Some(pos) = args.iter().position(|a| a == "--budget") else {
-        return Ok(Budget::unlimited());
+/// Checkpoint-related command-line state shared by `sat` and `csp`.
+struct CkOpts {
+    /// Where to persist the frontier (`--checkpoint`).
+    save: Option<PathBuf>,
+    /// A frontier to continue from (`--resume`).
+    resume: Option<PathBuf>,
+    /// Ops between saves (`--checkpoint-interval`).
+    interval: u64,
+}
+
+impl CkOpts {
+    fn active(&self) -> bool {
+        self.save.is_some() || self.resume.is_some()
+    }
+}
+
+/// Removes `--budget <ticks>`, `--checkpoint <file>`, `--resume <file>`,
+/// and `--checkpoint-interval <ticks>` from the argument list; the budget
+/// is unlimited when the flag is absent.
+fn parse_common_flags(args: &mut Vec<String>) -> Result<(Budget, CkOpts), String> {
+    let budget = match extract_value(args, "--budget")? {
+        None => Budget::unlimited(),
+        Some(v) => Budget::ticks(
+            v.parse()
+                .map_err(|e| format!("bad --budget value `{v}`: {e}"))?,
+        ),
+    };
+    let save = extract_value(args, "--checkpoint")?.map(PathBuf::from);
+    let resume = extract_value(args, "--resume")?.map(PathBuf::from);
+    let interval = match extract_value(args, "--checkpoint-interval")? {
+        None => 65_536,
+        Some(v) => {
+            let n: u64 = v
+                .parse()
+                .map_err(|e| format!("bad --checkpoint-interval value `{v}`: {e}"))?;
+            if n == 0 {
+                return Err("--checkpoint-interval must be positive".into());
+            }
+            n
+        }
+    };
+    Ok((
+        budget,
+        CkOpts {
+            save,
+            resume,
+            interval,
+        },
+    ))
+}
+
+/// Removes `<flag> <value>` from the argument list, returning the value.
+fn extract_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
     };
     if pos + 1 >= args.len() {
-        return Err("--budget needs a tick count".into());
+        return Err(format!("{flag} needs a value"));
     }
-    let ticks: u64 = args[pos + 1]
-        .parse()
-        .map_err(|e| format!("bad --budget value `{}`: {e}", args[pos + 1]))?;
+    let value = args[pos + 1].clone();
     args.drain(pos..=pos + 1);
-    Ok(Budget::ticks(ticks))
+    Ok(Some(value))
+}
+
+/// Drives a resumable solver in `interval`-sized slices, atomically saving
+/// the frontier after every suspended slice, until the verdict arrives or
+/// `budget` is spent. The returned outcome is terminal: an `Exhausted`
+/// here means the total budget ran out (with the last frontier saved, if a
+/// save path was given). The checkpoint file is removed on completion.
+fn run_sliced<W>(
+    budget: &Budget,
+    ck: &CkOpts,
+    mut slice: impl FnMut(
+        &Budget,
+        Option<&Checkpoint>,
+    ) -> Result<(ResumableOutcome<W>, RunStats), String>,
+) -> Result<(Outcome<W>, RunStats), CmdError> {
+    let mut from = match &ck.resume {
+        Some(p) => Some(Checkpoint::load(p).map_err(|e| format!("{}: {e}", p.display()))?),
+        None => None,
+    };
+    let mut total = RunStats::default();
+    let mut spent = 0u64;
+    loop {
+        let slice_ticks = match budget.max_ticks() {
+            None => ck.interval,
+            Some(t) => {
+                let remaining = t.saturating_sub(spent);
+                match (remaining, &from) {
+                    (0, Some(frontier)) => {
+                        return Err(exhaust_with_save(
+                            format!("tick budget of {t} exhausted"),
+                            frontier,
+                            ck,
+                        ));
+                    }
+                    // A zero budget with no frontier yet: run one zero-tick
+                    // slice so the crossing op is still recorded, exactly
+                    // like the non-resumable path.
+                    (r, _) => r.min(ck.interval),
+                }
+            }
+        };
+        let (out, stats) =
+            slice(&Budget::ticks(slice_ticks), from.as_ref()).map_err(CmdError::Usage)?;
+        total.absorb(&stats);
+        spent += stats.total_ops();
+        match out {
+            ResumableOutcome::Suspended {
+                reason: _,
+                checkpoint,
+            } => {
+                // A suspended slice always made progress (every slice has a
+                // positive tick budget and the crossing op is counted), so
+                // looping — with or without a save path — terminates.
+                if let Some(path) = &ck.save {
+                    checkpoint
+                        .save(path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                }
+                from = Some(checkpoint);
+            }
+            done => {
+                if let Some(path) = &ck.save {
+                    // Best-effort cleanup: a completed run needs no frontier.
+                    let _ = std::fs::remove_file(path);
+                }
+                return Ok((done.into_outcome(), total));
+            }
+        }
+    }
+}
+
+/// Builds the resumable-exhaustion error, saving the final frontier first
+/// so the diagnostic only names a file that exists.
+fn exhaust_with_save(reason: String, frontier: &Checkpoint, ck: &CkOpts) -> CmdError {
+    match &ck.save {
+        Some(path) => match frontier.save(path) {
+            Ok(()) => CmdError::Exhausted {
+                reason,
+                checkpoint: Some(path.clone()),
+            },
+            Err(e) => CmdError::Usage(format!("{}: {e}", path.display())),
+        },
+        None => CmdError::Exhausted {
+            reason,
+            checkpoint: None,
+        },
+    }
 }
 
 fn report_stats(stats: &RunStats) {
@@ -125,7 +300,7 @@ fn report_stats(stats: &RunStats) {
     );
 }
 
-fn cmd_sat(args: &[String], two: bool, budget: &Budget) -> Result<(), CmdError> {
+fn cmd_sat(args: &[String], two: bool, budget: &Budget, ck: &CkOpts) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing CNF file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let f = CnfFormula::from_dimacs(&text).map_err(in_file(path))?;
@@ -134,6 +309,13 @@ fn cmd_sat(args: &[String], two: bool, budget: &Budget) -> Result<(), CmdError> 
             return Err("formula has clauses wider than 2; use `lbtool sat`".into());
         }
         solve_2sat(&f, budget)
+    } else if ck.active() {
+        let solver = DpllSolver::default();
+        run_sliced(budget, ck, |slice, from| {
+            solver
+                .solve_resumable(&f, slice, from)
+                .map_err(|e| format!("{}: {e}", describe_ck_source(ck)))
+        })?
     } else {
         DpllSolver::default().solve(&f, budget)
     };
@@ -148,9 +330,22 @@ fn cmd_sat(args: &[String], two: bool, budget: &Budget) -> Result<(), CmdError> 
             println!("SATISFIABLE\nv {} 0", lits.join(" "));
         }
         Outcome::Unsat => println!("UNSATISFIABLE"),
-        Outcome::Exhausted(r) => return Err(CmdError::Exhausted(r.to_string())),
+        Outcome::Exhausted(r) => {
+            return Err(CmdError::Exhausted {
+                reason: r.to_string(),
+                checkpoint: None,
+            })
+        }
     }
     Ok(())
+}
+
+/// Names the checkpoint file involved in a decode failure for diagnostics.
+fn describe_ck_source(ck: &CkOpts) -> String {
+    ck.resume
+        .as_deref()
+        .or(ck.save.as_deref())
+        .map_or_else(|| "<checkpoint>".to_string(), |p| p.display().to_string())
 }
 
 fn cmd_count(args: &[String], budget: &Budget) -> Result<(), CmdError> {
@@ -163,7 +358,12 @@ fn cmd_count(args: &[String], budget: &Budget) -> Result<(), CmdError> {
         Outcome::Sat(count) => println!("{count}"),
         // lb-lint: allow(no-panic) -- invariant: model counting completes with Sat or exhausts
         Outcome::Unsat => unreachable!("count_models has no Unsat outcome"),
-        Outcome::Exhausted(r) => return Err(CmdError::Exhausted(r.to_string())),
+        Outcome::Exhausted(r) => {
+            return Err(CmdError::Exhausted {
+                reason: r.to_string(),
+                checkpoint: None,
+            })
+        }
     }
     Ok(())
 }
@@ -334,11 +534,19 @@ fn parse_csp(text: &str) -> Result<lowerbounds::csp::CspInstance, ParseError> {
     })
 }
 
-fn cmd_csp(args: &[String], budget: &Budget) -> Result<(), CmdError> {
+fn cmd_csp(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError> {
+    use lowerbounds::csp::solver::{backtracking, BacktrackConfig};
     let path = args.first().ok_or("missing CSP file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let inst = parse_csp(&text).map_err(in_file(path))?;
-    let (outcome, stats) = lowerbounds::csp::solver::solve(&inst, budget);
+    let (outcome, stats) = if ck.active() {
+        run_sliced(budget, ck, |slice, from| {
+            backtracking::solve_resumable(&inst, BacktrackConfig::default(), slice, from)
+                .map_err(|e| format!("{}: {e}", describe_ck_source(ck)))
+        })?
+    } else {
+        lowerbounds::csp::solver::solve(&inst, budget)
+    };
     report_stats(&stats);
     match outcome {
         Outcome::Sat(a) => {
@@ -346,7 +554,12 @@ fn cmd_csp(args: &[String], budget: &Budget) -> Result<(), CmdError> {
             println!("SATISFIABLE\nv {}", vals.join(" "));
         }
         Outcome::Unsat => println!("UNSATISFIABLE"),
-        Outcome::Exhausted(r) => return Err(CmdError::Exhausted(r.to_string())),
+        Outcome::Exhausted(r) => {
+            return Err(CmdError::Exhausted {
+                reason: r.to_string(),
+                checkpoint: None,
+            })
+        }
     }
     Ok(())
 }

@@ -8,14 +8,32 @@
 //! Engine mapping: assignments tried are [`RunStats::nodes`] ticks, domain
 //! values pruned by forward checking are [`RunStats::backtracks`].
 //!
+//! # Preemption safety
+//!
+//! The search runs on an explicit frame stack structured as a micro-step
+//! machine: every counted operation applies its effect and advances the
+//! phase *before* spending the tick, so [`solve_resumable`] and
+//! [`count_resumable`] can suspend at any failed charge into a
+//! [`Checkpoint`] and later continue with the next operation — same
+//! verdict, same summed [`RunStats`] as one uninterrupted run.
+//!
 //! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 //! [`RunStats::backtracks`]: lb_engine::RunStats::backtracks
+//! [`RunStats`]: lb_engine::RunStats
 
 use crate::instance::{Assignment, CspInstance, Value};
+use lb_engine::checkpoint::{
+    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
+    SolverFamily,
+};
 use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
+/// Payload version of backtracking-CSP checkpoints; bumped whenever the
+/// frontier encoding below changes.
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 1;
+
 /// Feature toggles for ablation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BacktrackConfig {
     /// Pick the unassigned variable with the fewest remaining values
     /// (otherwise: lowest index first).
@@ -34,21 +52,24 @@ impl Default for BacktrackConfig {
     }
 }
 
-struct Searcher<'a> {
+/// What a resumable entry point does with solutions; serialized into the
+/// checkpoint so a `count` frontier cannot silently resume as `solve`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Solve,
+    Count,
+}
+
+/// Immutable search context: the instance, the configuration, and the
+/// constraint-by-variable index (recomputed, never serialized).
+struct Ctx<'a> {
     inst: &'a CspInstance,
     config: BacktrackConfig,
-    ticker: Ticker,
-    /// `domains[v][d]` = still possible. Entire rows are saved/restored on
-    /// backtrack via the trail.
-    domains: Vec<Vec<bool>>,
-    domain_count: Vec<usize>,
-    assigned: Vec<Option<Value>>,
-    /// Constraints indexed by variable.
     by_var: Vec<Vec<usize>>,
 }
 
-impl<'a> Searcher<'a> {
-    fn new(inst: &'a CspInstance, config: BacktrackConfig, budget: &Budget) -> Self {
+impl<'a> Ctx<'a> {
+    fn new(inst: &'a CspInstance, config: BacktrackConfig) -> Self {
         let mut by_var = vec![Vec::new(); inst.num_vars];
         for (ci, c) in inst.constraints.iter().enumerate() {
             let mut seen = c.scope.clone();
@@ -58,22 +79,18 @@ impl<'a> Searcher<'a> {
                 by_var[v].push(ci); // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
             }
         }
-        Searcher {
+        Ctx {
             inst,
             config,
-            ticker: Ticker::new(budget),
-            domains: vec![vec![true; inst.domain_size]; inst.num_vars],
-            domain_count: vec![inst.domain_size; inst.num_vars],
-            assigned: vec![None; inst.num_vars],
             by_var,
         }
     }
 
-    fn pick_var(&self) -> Option<usize> {
+    fn pick_var(&self, assigned: &[Option<Value>], domain_count: &[usize]) -> Option<usize> {
         // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-        let unassigned = (0..self.inst.num_vars).filter(|&v| self.assigned[v].is_none());
+        let unassigned = (0..self.inst.num_vars).filter(|&v| assigned[v].is_none());
         if self.config.mrv {
-            unassigned.min_by_key(|&v| self.domain_count[v]) // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+            unassigned.min_by_key(|&v| domain_count[v]) // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         } else {
             let mut it = unassigned;
             it.next()
@@ -81,17 +98,17 @@ impl<'a> Searcher<'a> {
     }
 
     /// Checks constraints that are fully assigned and involve `var`.
-    fn consistent_after(&self, var: usize) -> bool {
+    fn consistent_after(&self, assigned: &[Option<Value>], var: usize) -> bool {
         // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
         for &ci in &self.by_var[var] {
             let c = &self.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
                                                 // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
-            if c.scope.iter().all(|&v| self.assigned[v].is_some()) {
+            if c.scope.iter().all(|&v| assigned[v].is_some()) {
                 let t: Vec<Value> = c
                     .scope
                     .iter()
                     // lb-lint: allow(no-panic, no-unchecked-index) -- the solver projects only scope variables (< num_vars) it has already assigned
-                    .map(|&v| self.assigned[v].expect("checked"))
+                    .map(|&v| assigned[v].expect("checked"))
                     .collect();
                 if !c.relation.allows(&t) {
                     return false;
@@ -100,128 +117,468 @@ impl<'a> Searcher<'a> {
         }
         true
     }
+}
 
-    /// Forward checking from `var`: prune values of single-unassigned
-    /// neighbors; records (var, value) prunings on the trail.
-    /// Returns `Ok(false)` on wipe-out, `Err` on budget exhaustion.
-    fn forward_check(
+/// Where the machine resumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Pick the next variable (or recognize a complete solution).
+    Select,
+    /// Try values `>= d` for `var`.
+    NextValue { var: usize, d: Value },
+    /// The top frame's value was just assigned: check full constraints.
+    Consist,
+    /// Forward checking on the top frame's variable, resuming at constraint
+    /// `ci_idx` (within `by_var[var]`) and candidate value `d`.
+    ForwardCheck { ci_idx: usize, d: Value },
+    /// The current value failed (or its subtree is exhausted): undo and
+    /// advance.
+    Unwind,
+}
+
+/// One active assignment: variable, value tried, and the forward-checking
+/// prunes made on its behalf.
+#[derive(Clone, Debug)]
+struct Frame {
+    var: usize,
+    d: Value,
+    trail: Vec<(usize, Value)>,
+}
+
+/// The explicit-stack backtracking state. `domain_count` is derived from
+/// `domains` (and recomputed on decode).
+#[derive(Clone, Debug)]
+struct Machine {
+    /// `domains[v][d]` = still possible.
+    domains: Vec<Vec<bool>>,
+    domain_count: Vec<usize>,
+    assigned: Vec<Option<Value>>,
+    frames: Vec<Frame>,
+    phase: Phase,
+}
+
+impl Machine {
+    fn fresh(inst: &CspInstance) -> Machine {
+        Machine {
+            domains: vec![vec![true; inst.domain_size]; inst.num_vars],
+            domain_count: vec![inst.domain_size; inst.num_vars],
+            assigned: vec![None; inst.num_vars],
+            frames: Vec::new(),
+            phase: Phase::Select,
+        }
+    }
+
+    /// Runs micro-steps until the next solution (`Ok(Some(..))`, machine
+    /// positioned to continue past it), exhaustion of the search space
+    /// (`Ok(None)`), or a failed charge (`Err`, machine resumable).
+    fn run(
         &mut self,
-        var: usize,
-        trail: &mut Vec<(usize, Value)>,
-    ) -> Result<bool, ExhaustReason> {
-        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-        for ci_idx in 0..self.by_var[var].len() {
-            // lb-lint: allow(no-unchecked-index) -- var < num_vars; ci_idx < the per-variable list length by the loop bound
-            let ci = self.by_var[var][ci_idx];
-            let c = &self.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
-                                                // Exactly one unassigned scope variable?
-            let mut unassigned_var = None;
-            let mut multiple = false;
-            for &v in &c.scope {
-                // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
-                if self.assigned[v].is_none() {
-                    match unassigned_var {
-                        None => unassigned_var = Some(v),
-                        Some(u) if u == v => {}
-                        Some(_) => {
-                            multiple = true;
+        ctx: &Ctx<'_>,
+        ticker: &mut Ticker,
+    ) -> Result<Option<Assignment>, ExhaustReason> {
+        loop {
+            match self.phase {
+                Phase::Select => {
+                    match ctx.pick_var(&self.assigned, &self.domain_count) {
+                        None => {
+                            let solution: Assignment = self
+                                .assigned
+                                .iter()
+                                // lb-lint: allow(no-panic) -- invariant: a complete solution assigns every variable
+                                .map(|a| a.expect("all assigned"))
+                                .collect();
+                            debug_assert!(ctx.inst.eval(&solution));
+                            self.phase = Phase::Unwind;
+                            return Ok(Some(solution));
+                        }
+                        Some(var) => self.phase = Phase::NextValue { var, d: 0 },
+                    }
+                }
+                Phase::NextValue { var, d } => {
+                    let mut d = d;
+                    let mut open = None;
+                    while (d as usize) < ctx.inst.domain_size {
+                        // lb-lint: allow(no-unchecked-index) -- var < num_vars; d < domain_size by the loop bound
+                        if self.domains[var][d as usize] {
+                            open = Some(d);
                             break;
+                        }
+                        d += 1;
+                    }
+                    match open {
+                        None => self.phase = Phase::Unwind,
+                        Some(d) => {
+                            self.frames.push(Frame {
+                                var,
+                                d,
+                                trail: Vec::new(),
+                            });
+                            self.assigned[var] = Some(d); // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                            self.phase = Phase::Consist;
+                            ticker.node()?;
                         }
                     }
                 }
-            }
-            let Some(u) = unassigned_var else { continue };
-            if multiple {
-                continue;
-            }
-            // Prune values of u not extendable to an allowed tuple.
-            for d in 0..self.inst.domain_size as Value {
-                // lb-lint: allow(no-unchecked-index) -- u < num_vars; d ranges over 0..domain_size = the row length
-                if !self.domains[u][d as usize] {
-                    continue;
+                Phase::Consist => {
+                    let Some(frame) = self.frames.last() else {
+                        // Unreachable from valid transitions; recover by
+                        // unwinding rather than panicking.
+                        self.phase = Phase::Unwind;
+                        continue;
+                    };
+                    let var = frame.var;
+                    self.phase = if !ctx.consistent_after(&self.assigned, var) {
+                        Phase::Unwind
+                    } else if ctx.config.forward_checking {
+                        Phase::ForwardCheck { ci_idx: 0, d: 0 }
+                    } else {
+                        Phase::Select
+                    };
                 }
-                let t: Vec<Value> = c
-                    .scope
-                    .iter()
-                    .map(|&v| self.assigned[v].unwrap_or(d)) // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
-                    .collect();
-                if !c.relation.allows(&t) {
-                    // lb-lint: allow(no-unchecked-index) -- u < num_vars; d < domain_size by the loop bound
-                    self.domains[u][d as usize] = false;
-                    self.domain_count[u] -= 1; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-                    trail.push((u, d));
-                    self.ticker.backtrack()?;
+                Phase::ForwardCheck { ci_idx, d } => {
+                    let Some(frame) = self.frames.last() else {
+                        self.phase = Phase::Unwind;
+                        continue;
+                    };
+                    let var = frame.var;
+                    let mut ci_idx = ci_idx;
+                    let mut d = d;
+                    loop {
+                        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                        let Some(&ci) = ctx.by_var[var].get(ci_idx) else {
+                            self.phase = Phase::Select;
+                            break;
+                        };
+                        let c = &ctx.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
+                                                           // Exactly one unassigned scope variable?
+                        let mut unassigned_var = None;
+                        let mut multiple = false;
+                        for &v in &c.scope {
+                            // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
+                            if self.assigned[v].is_none() {
+                                match unassigned_var {
+                                    None => unassigned_var = Some(v),
+                                    Some(u) if u == v => {}
+                                    Some(_) => {
+                                        multiple = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        let (Some(u), false) = (unassigned_var, multiple) else {
+                            ci_idx += 1;
+                            d = 0;
+                            continue;
+                        };
+                        // Prune values of u not extendable to an allowed tuple.
+                        while (d as usize) < ctx.inst.domain_size {
+                            // lb-lint: allow(no-unchecked-index) -- u < num_vars; d ranges over 0..domain_size = the row length
+                            if self.domains[u][d as usize] {
+                                let t: Vec<Value> = c
+                                    .scope
+                                    .iter()
+                                    .map(|&v| self.assigned[v].unwrap_or(d)) // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
+                                    .collect();
+                                if !c.relation.allows(&t) {
+                                    // lb-lint: allow(no-unchecked-index) -- u < num_vars; d < domain_size by the loop bound
+                                    self.domains[u][d as usize] = false;
+                                    self.domain_count[u] -= 1; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                                    if let Some(top) = self.frames.last_mut() {
+                                        top.trail.push((u, d));
+                                    }
+                                    d += 1;
+                                    self.phase = Phase::ForwardCheck { ci_idx, d };
+                                    ticker.backtrack()?;
+                                    continue;
+                                }
+                            }
+                            d += 1;
+                        }
+                        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                        if self.domain_count[u] == 0 {
+                            self.phase = Phase::Unwind;
+                            break;
+                        }
+                        ci_idx += 1;
+                        d = 0;
+                    }
                 }
-            }
-            // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-            if self.domain_count[u] == 0 {
-                return Ok(false);
+                Phase::Unwind => match self.frames.pop() {
+                    None => return Ok(None),
+                    Some(frame) => {
+                        for &(v, dv) in &frame.trail {
+                            // Restore idempotently: a hostile (but
+                            // checksummed) trail must not corrupt counts.
+                            // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed and are bounds-checked on decode
+                            if !self.domains[v][dv as usize] {
+                                self.domains[v][dv as usize] = true; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed and are bounds-checked on decode
+                                self.domain_count[v] += 1; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed and are bounds-checked on decode
+                            }
+                        }
+                        self.assigned[frame.var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                        self.phase = Phase::NextValue {
+                            var: frame.var,
+                            d: frame.d + 1,
+                        };
+                    }
+                },
             }
         }
-        Ok(true)
     }
 
-    fn undo(&mut self, trail: &[(usize, Value)]) {
-        for &(v, d) in trail {
-            // Trail entries were in range when pushed; the same bounds hold
-            // on undo.
-            debug_assert!(!self.domains[v][d as usize]); // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed
-            self.domains[v][d as usize] = true; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed
-            self.domain_count[v] += 1; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed
+    fn encode(&self, digest: u64, mode: Mode, count: u64) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u64(digest)
+            .u8(match mode {
+                Mode::Solve => 0,
+                Mode::Count => 1,
+            })
+            .u64(count)
+            .usize(self.domains.len());
+        for row in &self.domains {
+            w.usize(row.len());
+            for &b in row {
+                w.bool(b);
+            }
         }
+        for a in &self.assigned {
+            w.u64(match a {
+                None => 0,
+                Some(v) => u64::from(*v) + 1,
+            });
+        }
+        w.usize(self.frames.len());
+        for frame in &self.frames {
+            w.usize(frame.var).u32(frame.d).usize(frame.trail.len());
+            for &(v, d) in &frame.trail {
+                w.usize(v).u32(d);
+            }
+        }
+        match self.phase {
+            Phase::Select => {
+                w.u8(0);
+            }
+            Phase::NextValue { var, d } => {
+                w.u8(1).usize(var).u32(d);
+            }
+            Phase::Consist => {
+                w.u8(2);
+            }
+            Phase::ForwardCheck { ci_idx, d } => {
+                w.u8(3).usize(ci_idx).u32(d);
+            }
+            Phase::Unwind => {
+                w.u8(4);
+            }
+        }
+        w.finish()
     }
 
-    /// Full search. `visit` is called on each solution; returning `true`
-    /// stops the search. Returns whether the search was stopped early.
-    fn search<F: FnMut(&[Value]) -> bool>(&mut self, visit: &mut F) -> Result<bool, ExhaustReason> {
-        let var = match self.pick_var() {
-            Some(v) => v,
-            None => {
-                let solution: Assignment = self
-                    .assigned
-                    .iter()
-                    // lb-lint: allow(no-panic) -- invariant: a complete solution assigns every variable
-                    .map(|a| a.expect("all assigned"))
-                    .collect();
-                debug_assert!(self.inst.eval(&solution));
-                return Ok(visit(&solution));
+    /// Decodes and validates a frontier against `ctx`. Returns the machine
+    /// plus the running solution count recorded by `count_resumable`.
+    fn decode(
+        ctx: &Ctx<'_>,
+        digest: u64,
+        mode: Mode,
+        ck: &Checkpoint,
+    ) -> Result<(Machine, u64), CheckpointError> {
+        ck.verify(SolverFamily::CspBacktracking, CHECKPOINT_PAYLOAD_VERSION)?;
+        let fam = SolverFamily::CspBacktracking;
+        let mut r = PayloadReader::new(ck.payload());
+        let found = r.u64()?;
+        if found != digest {
+            return Err(CheckpointError::InstanceMismatch {
+                family: fam,
+                expected: digest,
+                found,
+            });
+        }
+        let mode_at = r.offset();
+        let stored_mode = match r.u8()? {
+            0 => Mode::Solve,
+            1 => Mode::Count,
+            b => {
+                return Err(CheckpointError::Malformed {
+                    what: format!("invalid mode byte {b}"),
+                    offset: mode_at,
+                })
             }
         };
-        for d in 0..self.inst.domain_size as Value {
-            // lb-lint: allow(no-unchecked-index) -- var < num_vars; d < domain_size by the loop bound
-            if !self.domains[var][d as usize] {
-                continue;
-            }
-            self.ticker.node()?;
-            self.assigned[var] = Some(d); // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-            let mut trail: Vec<(usize, Value)> = Vec::new();
-            let mut ok = self.consistent_after(var);
-            if ok && self.config.forward_checking {
-                match self.forward_check(var, &mut trail) {
-                    Ok(alive) => ok = alive,
-                    Err(reason) => {
-                        self.undo(&trail);
-                        self.assigned[var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-                        return Err(reason);
-                    }
-                }
-            }
-            if ok {
-                match self.search(visit) {
-                    Ok(true) => return Ok(true), // caller is unwinding
-                    Ok(false) => {}
-                    Err(reason) => {
-                        self.undo(&trail);
-                        self.assigned[var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
-                        return Err(reason);
-                    }
-                }
-            }
-            self.undo(&trail);
-            self.assigned[var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+        if stored_mode != mode {
+            return Err(CheckpointError::Malformed {
+                what: format!(
+                    "checkpoint was taken by a {} run, cannot resume as {}",
+                    if stored_mode == Mode::Solve {
+                        "solve"
+                    } else {
+                        "count"
+                    },
+                    if mode == Mode::Solve {
+                        "solve"
+                    } else {
+                        "count"
+                    },
+                ),
+                offset: mode_at,
+            });
         }
-        Ok(false)
+        let count = r.u64()?;
+        let n = ctx.inst.num_vars;
+        let ds = ctx.inst.domain_size;
+        let stored_n = r.usize()?;
+        if stored_n != n {
+            return Err(CheckpointError::Malformed {
+                what: format!("checkpoint has {stored_n} variables, instance has {n}"),
+                offset: r.offset(),
+            });
+        }
+        let mut domains = Vec::with_capacity(n);
+        let mut domain_count = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row_at = r.offset();
+            let row_len = r.usize()?;
+            if row_len != ds {
+                return Err(CheckpointError::Malformed {
+                    what: format!("domain row of {row_len} values, instance domain size is {ds}"),
+                    offset: row_at,
+                });
+            }
+            let mut row = Vec::with_capacity(ds);
+            for _ in 0..ds {
+                row.push(r.bool()?);
+            }
+            domain_count.push(row.iter().filter(|&&b| b).count());
+            domains.push(row);
+        }
+        let mut assigned = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.offset();
+            let v = r.u64()?;
+            if v == 0 {
+                assigned.push(None);
+            } else if v - 1 < ds as u64 {
+                assigned.push(Some((v - 1) as Value));
+            } else {
+                return Err(CheckpointError::Malformed {
+                    what: format!("assigned value {} out of domain (< {ds} required)", v - 1),
+                    offset: at,
+                });
+            }
+        }
+        let read_value = |r: &mut PayloadReader<'_>| -> Result<Value, CheckpointError> {
+            let at = r.offset();
+            let d = r.u32()?;
+            if (d as usize) < ds {
+                Ok(d)
+            } else {
+                Err(CheckpointError::Malformed {
+                    what: format!("domain value {d} out of range (< {ds} required)"),
+                    offset: at,
+                })
+            }
+        };
+        let frame_count = r.seq_len(20, "frame stack")?;
+        let mut frames = Vec::with_capacity(frame_count);
+        for _ in 0..frame_count {
+            let var = r.usize_below(n, "frame var")?;
+            let d = read_value(&mut r)?;
+            let trail_len = r.seq_len(12, "prune trail")?;
+            let mut trail = Vec::with_capacity(trail_len);
+            for _ in 0..trail_len {
+                let v = r.usize_below(n, "trail var")?;
+                let dv = read_value(&mut r)?;
+                trail.push((v, dv));
+            }
+            frames.push(Frame { var, d, trail });
+        }
+        let tag_at = r.offset();
+        let phase = match r.u8()? {
+            0 => Phase::Select,
+            1 => {
+                let var = r.usize_below(n, "next-value var")?;
+                let at = r.offset();
+                let d = r.u32()?;
+                if (d as usize) > ds {
+                    return Err(CheckpointError::Malformed {
+                        what: format!("next-value cursor {d} out of range (<= {ds} required)"),
+                        offset: at,
+                    });
+                }
+                Phase::NextValue { var, d }
+            }
+            2 => Phase::Consist,
+            3 => {
+                let top_var =
+                    frames
+                        .last()
+                        .map(|f| f.var)
+                        .ok_or_else(|| CheckpointError::Malformed {
+                            what: "forward-check phase with an empty frame stack".into(),
+                            offset: tag_at,
+                        })?;
+                // lb-lint: allow(no-unchecked-index) -- top_var came from a decoded frame validated < num_vars
+                let ci_idx = r.usize_at_most(ctx.by_var[top_var].len(), "constraint cursor")?;
+                let at = r.offset();
+                let d = r.u32()?;
+                if (d as usize) > ds {
+                    return Err(CheckpointError::Malformed {
+                        what: format!("forward-check cursor {d} out of range (<= {ds} required)"),
+                        offset: at,
+                    });
+                }
+                Phase::ForwardCheck { ci_idx, d }
+            }
+            4 => Phase::Unwind,
+            b => {
+                return Err(CheckpointError::Malformed {
+                    what: format!("invalid phase tag {b}"),
+                    offset: tag_at,
+                })
+            }
+        };
+        if matches!(phase, Phase::Consist) && frames.is_empty() {
+            return Err(CheckpointError::Malformed {
+                what: "consistency phase with an empty frame stack".into(),
+                offset: tag_at,
+            });
+        }
+        r.finish()?;
+        Ok((
+            Machine {
+                domains,
+                domain_count,
+                assigned,
+                frames,
+                phase,
+            },
+            count,
+        ))
     }
+}
+
+/// FNV digest binding a checkpoint to (instance, configuration).
+fn instance_digest(inst: &CspInstance, config: BacktrackConfig) -> u64 {
+    let mut d = Digest::new();
+    d.str("csp-backtracking")
+        .usize(inst.num_vars)
+        .usize(inst.domain_size)
+        .usize(inst.constraints.len());
+    for c in &inst.constraints {
+        d.usize(c.scope.len());
+        for &v in &c.scope {
+            d.usize(v);
+        }
+        d.usize(c.relation.arity()).usize(c.relation.tuples().len());
+        for t in c.relation.tuples() {
+            for &v in t {
+                d.u64(u64::from(v));
+            }
+        }
+    }
+    d.u64(u64::from(config.mrv))
+        .u64(u64::from(config.forward_checking));
+    d.finish()
 }
 
 /// Finds one solution under `budget`: `Sat(assignment)`, `Unsat`, or
@@ -234,15 +591,11 @@ pub fn solve(
     if inst.domain_size == 0 && inst.num_vars > 0 {
         return (Outcome::Unsat, RunStats::default());
     }
-    let mut s = Searcher::new(inst, config, budget);
-    let mut found: Option<Assignment> = None;
-    let result = s
-        .search(&mut |a| {
-            found = Some(a.to_vec());
-            true
-        })
-        .map(|_| found);
-    s.ticker.finish(result)
+    let ctx = Ctx::new(inst, config);
+    let mut m = Machine::fresh(inst);
+    let mut ticker = Ticker::new(budget);
+    let result = m.run(&ctx, &mut ticker);
+    ticker.finish(result)
 }
 
 /// Counts all solutions under `budget`: `Sat(count)` (zero counts as
@@ -255,15 +608,18 @@ pub fn count(
     if inst.domain_size == 0 && inst.num_vars > 0 {
         return (Outcome::Sat(0), RunStats::default());
     }
-    let mut s = Searcher::new(inst, config, budget);
+    let ctx = Ctx::new(inst, config);
+    let mut m = Machine::fresh(inst);
+    let mut ticker = Ticker::new(budget);
     let mut n = 0u64;
-    let result = s
-        .search(&mut |_| {
-            n += 1;
-            false
-        })
-        .map(|_| Some(n));
-    s.ticker.finish(result)
+    let result = loop {
+        match m.run(&ctx, &mut ticker) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break Ok(Some(n)),
+            Err(reason) => break Err(reason),
+        }
+    };
+    ticker.finish(result)
 }
 
 /// Enumerates all solutions through a callback; returning `true` stops.
@@ -278,9 +634,94 @@ pub fn enumerate_until<F: FnMut(&[Value]) -> bool>(
     if inst.domain_size == 0 && inst.num_vars > 0 {
         return (Outcome::Sat(false), RunStats::default());
     }
-    let mut s = Searcher::new(inst, config, budget);
-    let result = s.search(&mut visit).map(Some);
-    s.ticker.finish(result)
+    let ctx = Ctx::new(inst, config);
+    let mut m = Machine::fresh(inst);
+    let mut ticker = Ticker::new(budget);
+    let result = loop {
+        match m.run(&ctx, &mut ticker) {
+            Ok(Some(solution)) => {
+                if visit(&solution) {
+                    break Ok(Some(true));
+                }
+            }
+            Ok(None) => break Ok(Some(false)),
+            Err(reason) => break Err(reason),
+        }
+    };
+    ticker.finish(result)
+}
+
+/// Like [`solve`], but exhaustion is a *pause*: a
+/// [`ResumableOutcome::Suspended`] carries a [`Checkpoint`] which, passed
+/// back as `from`, continues exactly where the run stopped.
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn solve_resumable(
+    inst: &CspInstance,
+    config: BacktrackConfig,
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<Assignment>, RunStats), CheckpointError> {
+    if inst.domain_size == 0 && inst.num_vars > 0 {
+        return Ok((ResumableOutcome::Unsat, RunStats::default()));
+    }
+    let ctx = Ctx::new(inst, config);
+    let digest = instance_digest(inst, config);
+    let mut m = match from {
+        Some(ck) => Machine::decode(&ctx, digest, Mode::Solve, ck)?.0,
+        None => Machine::fresh(inst),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = match m.run(&ctx, &mut ticker) {
+        Ok(Some(solution)) => ResumableOutcome::Sat(solution),
+        Ok(None) => ResumableOutcome::Unsat,
+        Err(reason) => ResumableOutcome::Suspended {
+            reason,
+            checkpoint: Checkpoint::new(
+                SolverFamily::CspBacktracking,
+                CHECKPOINT_PAYLOAD_VERSION,
+                m.encode(digest, Mode::Solve, 0),
+            ),
+        },
+    };
+    Ok((outcome, ticker.stats()))
+}
+
+/// Like [`count`], but exhaustion is a *pause*: the running solution count
+/// is part of the checkpoint, so chained resumes sum to the one-shot count.
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn count_resumable(
+    inst: &CspInstance,
+    config: BacktrackConfig,
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<u64>, RunStats), CheckpointError> {
+    if inst.domain_size == 0 && inst.num_vars > 0 {
+        return Ok((ResumableOutcome::Sat(0), RunStats::default()));
+    }
+    let ctx = Ctx::new(inst, config);
+    let digest = instance_digest(inst, config);
+    let (mut m, mut n) = match from {
+        Some(ck) => Machine::decode(&ctx, digest, Mode::Count, ck)?,
+        None => (Machine::fresh(inst), 0),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = loop {
+        match m.run(&ctx, &mut ticker) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break ResumableOutcome::Sat(n),
+            Err(reason) => {
+                break ResumableOutcome::Suspended {
+                    reason,
+                    checkpoint: Checkpoint::new(
+                        SolverFamily::CspBacktracking,
+                        CHECKPOINT_PAYLOAD_VERSION,
+                        m.encode(digest, Mode::Count, n),
+                    ),
+                }
+            }
+        }
+    };
+    Ok((outcome, ticker.stats()))
 }
 
 #[cfg(test)]
@@ -403,6 +844,8 @@ mod tests {
         for cfg in all_configs() {
             assert!(solve(&inst, cfg, &Budget::unlimited()).0.is_unsat());
             assert_eq!(count(&inst, cfg, &Budget::unlimited()).0.unwrap_sat(), 0);
+            let (out, _) = count_resumable(&inst, cfg, &Budget::unlimited(), None).unwrap();
+            assert_eq!(out, ResumableOutcome::Sat(0));
         }
     }
 
@@ -432,5 +875,59 @@ mod tests {
         let (full, big) = count(&inst, BacktrackConfig::default(), &Budget::unlimited());
         assert!(full.is_sat());
         assert!(small.le(&big));
+    }
+
+    #[test]
+    fn sliced_resume_matches_one_shot_count() {
+        for seed in 0..6u64 {
+            let g = lb_graph::generators::gnp(6, 0.5, seed);
+            let inst = generators::random_binary_csp(&g, 3, 0.4, seed);
+            for cfg in all_configs() {
+                let (one_shot, full) = count(&inst, cfg, &Budget::unlimited());
+                let mut from: Option<Checkpoint> = None;
+                let mut summed = RunStats::default();
+                let sliced = loop {
+                    let (out, stats) =
+                        count_resumable(&inst, cfg, &Budget::ticks(5), from.as_ref())
+                            .expect("clean resume");
+                    summed.absorb(&stats);
+                    match out {
+                        ResumableOutcome::Suspended { checkpoint, .. } => {
+                            let bytes = checkpoint.to_bytes();
+                            from = Some(Checkpoint::from_bytes(&bytes).expect("round trip"));
+                        }
+                        done => break done.into_outcome(),
+                    }
+                };
+                assert_eq!(sliced, one_shot, "seed {seed}, cfg {cfg:?}");
+                assert_eq!(summed, full, "seed {seed}, cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_confusion_is_rejected() {
+        let g = lb_graph::generators::gnp(6, 0.5, 2);
+        let inst = generators::random_binary_csp(&g, 3, 0.4, 2);
+        let cfg = BacktrackConfig::default();
+        let (out, _) = count_resumable(&inst, cfg, &Budget::ticks(2), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        let err = solve_resumable(&inst, cfg, &Budget::unlimited(), Some(&ck)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn config_change_is_rejected() {
+        let g = lb_graph::generators::gnp(6, 0.5, 3);
+        let inst = generators::random_binary_csp(&g, 3, 0.4, 3);
+        let (out, _) =
+            solve_resumable(&inst, BacktrackConfig::default(), &Budget::ticks(2), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        let other = BacktrackConfig {
+            mrv: false,
+            forward_checking: false,
+        };
+        let err = solve_resumable(&inst, other, &Budget::unlimited(), Some(&ck)).unwrap_err();
+        assert!(matches!(err, CheckpointError::InstanceMismatch { .. }));
     }
 }

@@ -57,7 +57,7 @@
 //! `?` as a `Result<_, ExhaustReason>` and convert at the entry point via
 //! [`Ticker::finish`].
 //!
-//! Two satellite modules extend the execution discipline to hostile
+//! Three satellite modules extend the execution discipline to hostile
 //! conditions:
 //!
 //! * [`fault`] — deterministic fault injection: a seeded, serializable
@@ -66,12 +66,21 @@
 //! * [`parse`] — the shared typed [`ParseError`] (line, column, kind) every
 //!   ingestion path reports malformed input through, keeping the public API
 //!   panic-free end to end.
+//! * [`checkpoint`] — preemption-safe persisted frontiers: exhaustion
+//!   becomes a pause, not a failure. A suspended run serializes to a
+//!   versioned, checksummed [`Checkpoint`] and resumes exactly where it
+//!   stopped, with summed [`RunStats`] equal to an uninterrupted run.
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod fault;
 pub mod parse;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
+    SolverFamily,
+};
 pub use fault::{FaultKind, FaultPlan, FaultPoint};
 pub use parse::{ParseError, ParseErrorKind};
 

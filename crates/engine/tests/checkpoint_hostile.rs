@@ -1,0 +1,173 @@
+//! Hostile checkpoint corpus: every fixture under `fixtures/checkpoints/`
+//! is a corrupted, truncated, version-skewed, or mis-tagged container, and
+//! decoding each must yield the matching typed [`CheckpointError`] — never
+//! a panic. The two container-*valid* fixtures (`wrong-family.ck`,
+//! `garbage-payload.ck`) decode here and are rejected by the solver layer
+//! instead (see the workspace-level `resume_properties` tests).
+//!
+//! The corpus is checked in; `regenerate_fixtures` (ignored by default)
+//! rebuilds it deterministically:
+//! `cargo test -p lb-engine --test checkpoint_hostile -- --ignored`
+
+use lb_engine::checkpoint::{Checkpoint, CheckpointError, SolverFamily, FORMAT_VERSION};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/checkpoints")
+}
+
+/// The well-formed container every hostile fixture is derived from. The
+/// payload is synthetic — container-level fixtures never reach a solver's
+/// payload decoder.
+fn base() -> Vec<u8> {
+    Checkpoint::new(
+        SolverFamily::Dpll,
+        1,
+        b"synthetic frontier payload for hostile container fixtures".to_vec(),
+    )
+    .to_bytes()
+}
+
+/// Patches the FNV-1a-64 trailer so corruption *before* the checksum is
+/// attributed to the right field, not reported as `Corrupted`.
+fn refresh_checksum(bytes: &mut [u8]) {
+    let body_end = bytes.len() - 8;
+    let sum = lb_engine::checkpoint::fnv1a(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// `(file name, fixture bytes)` for the whole corpus.
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let full = base();
+    let truncated = full[..12].to_vec();
+    let mut bad_magic = full.clone();
+    bad_magic[0] = b'X';
+    let mut wrong_version = full.clone();
+    wrong_version[4..6].copy_from_slice(&0xffffu16.to_le_bytes());
+    let mut bit_flipped = full.clone();
+    bit_flipped[24] ^= 0x01; // one payload bit
+    let mut unknown_family = full.clone();
+    unknown_family[6..8].copy_from_slice(&0x7777u16.to_le_bytes());
+    refresh_checksum(&mut unknown_family);
+    let mut trailing = full.clone();
+    trailing.push(0u8);
+    // Container-valid, solver-hostile: a well-formed CSP-tagged container
+    // handed to DPLL, and a well-formed DPLL-tagged container whose payload
+    // is garbage to the DPLL payload decoder.
+    let wrong_family = Checkpoint::new(
+        SolverFamily::CspBacktracking,
+        1,
+        b"well-formed container, wrong solver family".to_vec(),
+    )
+    .to_bytes();
+    let garbage_payload = full.clone();
+    vec![
+        ("truncated.ck", truncated),
+        ("bad-magic.ck", bad_magic),
+        ("wrong-version.ck", wrong_version),
+        ("bit-flipped.ck", bit_flipped),
+        ("unknown-family.ck", unknown_family),
+        ("trailing-garbage.ck", trailing),
+        ("wrong-family.ck", wrong_family),
+        ("garbage-payload.ck", garbage_payload),
+    ]
+}
+
+/// Rebuilds the checked-in corpus. Deterministic: rerunning produces
+/// byte-identical files.
+#[test]
+#[ignore = "regenerates the checked-in fixture corpus"]
+fn regenerate_fixtures() {
+    let dir = fixtures_dir();
+    std::fs::create_dir_all(&dir).expect("create fixtures dir");
+    for (name, bytes) in corpus() {
+        std::fs::write(dir.join(name), bytes).expect("write fixture");
+    }
+}
+
+/// The checked-in corpus matches what `regenerate_fixtures` would write —
+/// a drifted fixture is a silent loss of coverage.
+#[test]
+fn corpus_is_current() {
+    for (name, expected) in corpus() {
+        let on_disk = std::fs::read(fixtures_dir().join(name))
+            .unwrap_or_else(|e| panic!("fixture {name} unreadable ({e}); run the regenerator"));
+        assert_eq!(on_disk, expected, "fixture {name} drifted; regenerate");
+    }
+}
+
+/// Every fixture decodes to a *typed* error (or, for the two
+/// container-valid ones, to a checkpoint the solver layer must reject) —
+/// never a panic, from bytes or from disk.
+#[test]
+fn every_fixture_yields_a_typed_error_never_a_panic() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ck") {
+            continue;
+        }
+        seen += 1;
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let bytes = std::fs::read(&path).expect("read fixture");
+        let from_bytes = catch_unwind(AssertUnwindSafe(|| Checkpoint::from_bytes(&bytes)))
+            .unwrap_or_else(|_| panic!("{name}: from_bytes panicked"));
+        let from_disk = catch_unwind(AssertUnwindSafe(|| Checkpoint::load(&path)))
+            .unwrap_or_else(|_| panic!("{name}: load panicked"));
+        // Both decode paths agree on accept/reject.
+        assert_eq!(
+            from_bytes.is_ok(),
+            from_disk.is_ok(),
+            "{name}: from_bytes and load disagree"
+        );
+        match name.as_str() {
+            "truncated.ck" => {
+                assert!(
+                    matches!(from_bytes, Err(CheckpointError::Truncated { .. })),
+                    "{name}"
+                )
+            }
+            "bad-magic.ck" => {
+                assert!(
+                    matches!(from_bytes, Err(CheckpointError::BadMagic)),
+                    "{name}"
+                )
+            }
+            "wrong-version.ck" => assert!(
+                matches!(
+                    from_bytes,
+                    Err(CheckpointError::VersionSkew { found: 0xffff, supported }) if supported == FORMAT_VERSION
+                ),
+                "{name}"
+            ),
+            "bit-flipped.ck" => {
+                assert!(
+                    matches!(from_bytes, Err(CheckpointError::Corrupted { .. })),
+                    "{name}"
+                )
+            }
+            "unknown-family.ck" => assert!(
+                matches!(
+                    from_bytes,
+                    Err(CheckpointError::UnknownFamily { tag: 0x7777 })
+                ),
+                "{name}"
+            ),
+            "trailing-garbage.ck" => assert!(
+                matches!(from_bytes, Err(CheckpointError::TrailingGarbage { .. })),
+                "{name}"
+            ),
+            "wrong-family.ck" => assert!(
+                matches!(&from_bytes, Ok(ck) if ck.family() == SolverFamily::CspBacktracking),
+                "{name}: expected a container-valid CSP-tagged checkpoint"
+            ),
+            "garbage-payload.ck" => assert!(
+                matches!(&from_bytes, Ok(ck) if ck.family() == SolverFamily::Dpll),
+                "{name}: expected a container-valid DPLL-tagged checkpoint"
+            ),
+            other => panic!("unknown fixture {other}; add an expectation for it"),
+        }
+    }
+    assert_eq!(seen, corpus().len(), "fixture count drifted");
+}

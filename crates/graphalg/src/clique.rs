@@ -14,38 +14,287 @@
 //! [`RunStats::propagations`] per compatibility check and absorbs the
 //! triangle detector's counters.
 //!
+//! # Preemption safety
+//!
+//! The branch-and-prune enumeration runs on an explicit frame stack (one
+//! candidate list + cursor per level of the partial clique) and applies
+//! each extension's effect before spending the tick, so
+//! [`find_clique_resumable`] and [`count_cliques_resumable`] can suspend
+//! any failed charge into a [`Checkpoint`] and continue later — same
+//! verdict, same summed [`RunStats`] as an uninterrupted run. The
+//! Nešetřil–Poljak detector is deliberately *not* resumable: its progress
+//! lives inside whole matrix multiplies.
+//!
 //! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 //! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`RunStats`]: lb_engine::RunStats
 
 use crate::triangle::find_triangle_matmul;
+use lb_engine::checkpoint::{
+    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
+    SolverFamily,
+};
 use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
-use lb_graph::graph::BitSet;
 use lb_graph::Graph;
+
+/// Payload version of clique-enumeration checkpoints; bumped whenever the
+/// frontier encoding below changes.
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 1;
+
+/// One level of the partial clique: the candidate vertices compatible with
+/// `current[..depth]`, ascending, with a scan cursor.
+#[derive(Clone, Debug)]
+struct Frame {
+    cands: Vec<usize>,
+    pos: usize,
+}
+
+/// Where the machine resumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Extend (or unwind) the deepest frame.
+    Step,
+    /// A complete clique's charge has been paid; deliver it, then ascend.
+    Emit,
+}
+
+/// The explicit-stack enumeration state. Invariant: in `Step`,
+/// `frames.len() == current.len() + 1` (or both empty once finished); in
+/// `Emit`, `current.len() == k` and no frame was opened for the full level.
+#[derive(Clone, Debug)]
+struct Machine {
+    current: Vec<usize>,
+    frames: Vec<Frame>,
+    phase: Phase,
+}
+
+impl Machine {
+    fn fresh(g: &Graph, k: usize) -> Machine {
+        if k == 0 {
+            // The empty clique always exists: emit it, then finish.
+            return Machine {
+                current: Vec::new(),
+                frames: Vec::new(),
+                phase: Phase::Emit,
+            };
+        }
+        Machine {
+            current: Vec::new(),
+            frames: vec![Frame {
+                cands: (0..g.num_vertices()).collect(),
+                pos: 0,
+            }],
+            phase: Phase::Step,
+        }
+    }
+
+    /// Runs micro-steps until the next k-clique (`Ok(Some(..))`, vertices
+    /// ascending, machine positioned to continue past it), the end of the
+    /// search (`Ok(None)`), or a failed charge (`Err`, resumable).
+    fn run(
+        &mut self,
+        g: &Graph,
+        k: usize,
+        ticker: &mut Ticker,
+    ) -> Result<Option<Vec<usize>>, ExhaustReason> {
+        loop {
+            match self.phase {
+                Phase::Emit => {
+                    let out = self.current.clone();
+                    // Position past the clique: drop its last vertex and
+                    // continue scanning the frame that produced it.
+                    self.current.pop();
+                    self.phase = Phase::Step;
+                    return Ok(Some(out));
+                }
+                Phase::Step => {
+                    let Some(frame) = self.frames.last_mut() else {
+                        return Ok(None);
+                    };
+                    let need = k - self.current.len();
+                    if frame.cands.len() < need {
+                        // Prune: too few candidates left (uncharged, as in
+                        // the recursive formulation).
+                        self.frames.pop();
+                        self.current.pop();
+                        continue;
+                    }
+                    let Some(&v) = frame.cands.get(frame.pos) else {
+                        // Frame exhausted: ascend (uncharged).
+                        self.frames.pop();
+                        self.current.pop();
+                        continue;
+                    };
+                    frame.pos += 1;
+                    self.current.push(v);
+                    if self.current.len() == k {
+                        self.phase = Phase::Emit;
+                        ticker.node()?;
+                        continue;
+                    }
+                    // Candidates compatible with the extended clique. The
+                    // full intersection is kept (the prune above counts
+                    // vertices below the scan start, matching the
+                    // recursion); the cursor skips to the first above `v`.
+                    let cands: Vec<usize> = self
+                        .frames
+                        .last()
+                        .map(|f| {
+                            f.cands
+                                .iter()
+                                .copied()
+                                .filter(|&x| g.has_edge(v, x))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let pos = cands.partition_point(|&x| x <= v);
+                    self.frames.push(Frame { cands, pos });
+                    ticker.node()?;
+                }
+            }
+        }
+    }
+
+    fn encode(&self, digest: u64, mode: u8, n: u64) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u64(digest).u8(mode).u64(n);
+        w.seq_usize(&self.current);
+        w.usize(self.frames.len());
+        for f in &self.frames {
+            w.seq_usize(&f.cands);
+            w.usize(f.pos);
+        }
+        w.u8(match self.phase {
+            Phase::Step => 0,
+            Phase::Emit => 1,
+        });
+        w.finish()
+    }
+
+    fn decode(
+        g: &Graph,
+        k: usize,
+        digest: u64,
+        mode: u8,
+        ck: &Checkpoint,
+    ) -> Result<(Machine, u64), CheckpointError> {
+        ck.verify(SolverFamily::CliqueEnum, CHECKPOINT_PAYLOAD_VERSION)?;
+        let mut r = PayloadReader::new(ck.payload());
+        let found = r.u64()?;
+        if found != digest {
+            return Err(CheckpointError::InstanceMismatch {
+                family: SolverFamily::CliqueEnum,
+                expected: digest,
+                found,
+            });
+        }
+        let mode_at = r.offset();
+        let stored_mode = r.u8()?;
+        if stored_mode != mode {
+            return Err(CheckpointError::Malformed {
+                what: format!(
+                    "checkpoint mode {stored_mode} does not match entry point mode {mode}"
+                ),
+                offset: mode_at,
+            });
+        }
+        let n = r.u64()?;
+        let nv = g.num_vertices();
+        let cur_len = r.usize_at_most(k, "partial clique length")?;
+        let mut current = Vec::with_capacity(cur_len);
+        for _ in 0..cur_len {
+            current.push(r.usize_below(nv, "clique vertex")?);
+        }
+        let frame_count = r.usize_at_most(k.max(1), "frame stack length")?;
+        let mut frames = Vec::with_capacity(frame_count);
+        for _ in 0..frame_count {
+            let len = r.seq_len(8, "candidate list")?;
+            let mut cands = Vec::with_capacity(len);
+            let at = r.offset();
+            for _ in 0..len {
+                cands.push(r.usize_below(nv, "candidate vertex")?);
+            }
+            if !cands.iter().zip(cands.iter().skip(1)).all(|(a, b)| a < b) {
+                return Err(CheckpointError::Malformed {
+                    what: "candidate list is not strictly ascending".into(),
+                    offset: at,
+                });
+            }
+            let pos = r.usize_at_most(cands.len(), "candidate cursor")?;
+            frames.push(Frame { cands, pos });
+        }
+        let tag_at = r.offset();
+        let phase = match r.u8()? {
+            0 => Phase::Step,
+            1 => Phase::Emit,
+            b => {
+                return Err(CheckpointError::Malformed {
+                    what: format!("invalid phase tag {b}"),
+                    offset: tag_at,
+                })
+            }
+        };
+        let consistent = match phase {
+            Phase::Step => {
+                frames.len() == current.len() + 1 || (frames.is_empty() && current.is_empty())
+            }
+            Phase::Emit => current.len() == k && frames.len() == k,
+        };
+        if !consistent {
+            return Err(CheckpointError::Malformed {
+                what: format!(
+                    "frame stack ({}) inconsistent with partial clique ({}) in this phase",
+                    frames.len(),
+                    current.len()
+                ),
+                offset: tag_at,
+            });
+        }
+        r.finish()?;
+        Ok((
+            Machine {
+                current,
+                frames,
+                phase,
+            },
+            n,
+        ))
+    }
+}
+
+/// FNV digest binding a checkpoint to (graph, k).
+fn instance_digest(g: &Graph, k: usize) -> u64 {
+    let mut d = Digest::new();
+    d.str("clique-enum");
+    d.usize(g.num_vertices()).usize(g.num_edges()).usize(k);
+    for (u, v) in g.edges() {
+        d.usize(u).usize(v);
+    }
+    d.finish()
+}
 
 /// Finds a k-clique by branch-and-prune enumeration: `Sat(clique)`,
 /// `Unsat`, or `Exhausted`.
 pub fn find_clique(g: &Graph, k: usize, budget: &Budget) -> (Outcome<Vec<usize>>, RunStats) {
-    let mut found = None;
-    let (out, stats) = enumerate_cliques(g, k, budget, &mut |c| {
-        found = Some(c.to_vec());
-        true
-    });
-    let out = match (out, found) {
-        (Outcome::Exhausted(r), _) => Outcome::Exhausted(r),
-        (_, Some(c)) => Outcome::Sat(c),
-        (_, None) => Outcome::Unsat,
-    };
-    (out, stats)
+    let mut ticker = Ticker::new(budget);
+    let mut m = Machine::fresh(g, k);
+    let result = m.run(g, k, &mut ticker);
+    ticker.finish(result)
 }
 
 /// Counts the k-cliques of `g`: `Sat(count)` or `Exhausted`.
 pub fn count_cliques(g: &Graph, k: usize, budget: &Budget) -> (Outcome<u64>, RunStats) {
+    let mut ticker = Ticker::new(budget);
+    let mut m = Machine::fresh(g, k);
     let mut n = 0u64;
-    let (out, stats) = enumerate_cliques(g, k, budget, &mut |_| {
-        n += 1;
-        false
-    });
-    (out.map(|_| n), stats)
+    let result = loop {
+        match m.run(g, k, &mut ticker) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break Ok(Some(n)),
+            Err(reason) => break Err(reason),
+        }
+    };
+    ticker.finish(result)
 }
 
 /// Enumerates k-cliques (vertices ascending within each clique) through a
@@ -58,59 +307,84 @@ pub fn enumerate_cliques<F: FnMut(&[usize]) -> bool>(
     visit: &mut F,
 ) -> (Outcome<bool>, RunStats) {
     let mut ticker = Ticker::new(budget);
-    let result = enumerate_inner(g, k, &mut ticker, visit).map(Some);
+    let mut m = Machine::fresh(g, k);
+    let result = loop {
+        match m.run(g, k, &mut ticker) {
+            Ok(Some(c)) => {
+                if visit(&c) {
+                    break Ok(Some(true));
+                }
+            }
+            Ok(None) => break Ok(Some(false)),
+            Err(reason) => break Err(reason),
+        }
+    };
     ticker.finish(result)
 }
 
-fn enumerate_inner<F: FnMut(&[usize]) -> bool>(
+/// Like [`find_clique`], but exhaustion is a *pause*: the enumeration
+/// frontier persists in a [`Checkpoint`] and chained resumes reach the
+/// one-shot verdict with the same summed [`RunStats`].
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn find_clique_resumable(
     g: &Graph,
     k: usize,
-    ticker: &mut Ticker,
-    visit: &mut F,
-) -> Result<bool, ExhaustReason> {
-    if k == 0 {
-        return Ok(visit(&[]));
-    }
-    let n = g.num_vertices();
-    let mut full = BitSet::new(n);
-    for v in 0..n {
-        full.insert(v);
-    }
-    let mut current = Vec::with_capacity(k);
-    extend(g, k, &full, &mut current, ticker, visit)
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<Vec<usize>>, RunStats), CheckpointError> {
+    let digest = instance_digest(g, k);
+    let (mut m, _) = match from {
+        Some(ck) => Machine::decode(g, k, digest, 0, ck)?,
+        None => (Machine::fresh(g, k), 0),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = match m.run(g, k, &mut ticker) {
+        Ok(Some(c)) => ResumableOutcome::Sat(c),
+        Ok(None) => ResumableOutcome::Unsat,
+        Err(reason) => ResumableOutcome::Suspended {
+            reason,
+            checkpoint: Checkpoint::new(
+                SolverFamily::CliqueEnum,
+                CHECKPOINT_PAYLOAD_VERSION,
+                m.encode(digest, 0, 0),
+            ),
+        },
+    };
+    Ok((outcome, ticker.stats()))
 }
 
-fn extend<F: FnMut(&[usize]) -> bool>(
+/// Like [`count_cliques`], but exhaustion is a *pause*: the frontier and
+/// the running count persist in a [`Checkpoint`].
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn count_cliques_resumable(
     g: &Graph,
     k: usize,
-    candidates: &BitSet,
-    current: &mut Vec<usize>,
-    ticker: &mut Ticker,
-    visit: &mut F,
-) -> Result<bool, ExhaustReason> {
-    if current.len() == k {
-        return Ok(visit(current));
-    }
-    let need = k - current.len();
-    if candidates.count() < need {
-        return Ok(false);
-    }
-    let start = current.last().map_or(0, |&v| v + 1);
-    for v in candidates.iter() {
-        if v < start {
-            continue;
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<u64>, RunStats), CheckpointError> {
+    let digest = instance_digest(g, k);
+    let (mut m, mut n) = match from {
+        Some(ck) => Machine::decode(g, k, digest, 1, ck)?,
+        None => (Machine::fresh(g, k), 0),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = loop {
+        match m.run(g, k, &mut ticker) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break ResumableOutcome::Sat(n),
+            Err(reason) => {
+                break ResumableOutcome::Suspended {
+                    reason,
+                    checkpoint: Checkpoint::new(
+                        SolverFamily::CliqueEnum,
+                        CHECKPOINT_PAYLOAD_VERSION,
+                        m.encode(digest, 1, n),
+                    ),
+                }
+            }
         }
-        ticker.node()?;
-        let mut next = candidates.clone();
-        next.intersect_with(g.neighbor_set(v));
-        current.push(v);
-        let hit = extend(g, k, &next, current, ticker, visit);
-        current.pop();
-        if hit? {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    };
+    Ok((outcome, ticker.stats()))
 }
 
 /// Finds a k-clique via the Nešetřil–Poljak construction (n^{ωk/3}):
@@ -185,10 +459,10 @@ fn neipol_3t(
 ) -> Result<Option<Vec<usize>>, ExhaustReason> {
     // Enumerate all t-cliques.
     let mut t_cliques: Vec<Vec<usize>> = Vec::new();
-    enumerate_inner(g, t, ticker, &mut |c| {
-        t_cliques.push(c.to_vec());
-        false
-    })?;
+    let mut m = Machine::fresh(g, t);
+    while let Some(c) = m.run(g, t, ticker)? {
+        t_cliques.push(c);
+    }
     if t_cliques.is_empty() {
         return Ok(None);
     }
@@ -330,6 +604,63 @@ mod tests {
         assert!(out.is_exhausted());
         let (out, _) = count_cliques(&g, 3, &Budget::ticks(5));
         assert!(out.is_exhausted());
+    }
+
+    #[test]
+    fn sliced_resume_matches_one_shot() {
+        for seed in 0..6u64 {
+            let g = generators::gnp(16, 0.45, seed);
+            for k in [3usize, 4] {
+                let (one_shot, full) = count_cliques(&g, k, &Budget::unlimited());
+                let mut from: Option<Checkpoint> = None;
+                let mut summed = RunStats::default();
+                let sliced = loop {
+                    let (out, stats) =
+                        count_cliques_resumable(&g, k, &Budget::ticks(5), from.as_ref())
+                            .expect("clean resume");
+                    summed.absorb(&stats);
+                    match out {
+                        ResumableOutcome::Suspended { checkpoint, .. } => {
+                            let bytes = checkpoint.to_bytes();
+                            from = Some(Checkpoint::from_bytes(&bytes).expect("round trip"));
+                        }
+                        ResumableOutcome::Sat(n) => break n,
+                        ResumableOutcome::Unsat => unreachable!("count never returns Unsat"),
+                    }
+                };
+                assert_eq!(Outcome::Sat(sliced), one_shot, "seed {seed}, k {k}");
+                assert_eq!(summed, full, "seed {seed}, k {k}");
+
+                let (want, _) = find_clique(&g, k, &Budget::unlimited());
+                let mut from: Option<Checkpoint> = None;
+                let got = loop {
+                    let (out, _) = find_clique_resumable(&g, k, &Budget::ticks(5), from.as_ref())
+                        .expect("clean resume");
+                    match out {
+                        ResumableOutcome::Suspended { checkpoint, .. } => from = Some(checkpoint),
+                        ResumableOutcome::Sat(c) => break Some(c),
+                        ResumableOutcome::Unsat => break None,
+                    }
+                };
+                assert_eq!(
+                    got.is_some(),
+                    want.unwrap_decided().is_some(),
+                    "seed {seed}"
+                );
+                if let Some(c) = got {
+                    assert!(g.is_clique(&c) && c.len() == k, "seed {seed}, k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn changed_k_is_rejected_on_resume() {
+        let g = generators::gnp(16, 0.45, 0);
+        let (out, _) = count_cliques_resumable(&g, 4, &Budget::ticks(3), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        let err = count_cliques_resumable(&g, 5, &Budget::unlimited(), Some(&ck)).unwrap_err();
+        assert!(matches!(err, CheckpointError::InstanceMismatch { .. }));
     }
 
     #[test]

@@ -19,33 +19,201 @@
 //! ticks nodes for light-vertex scans and absorbs the dense detector's
 //! counters for the heavy part.
 //!
+//! # Preemption safety
+//!
+//! The naive edge scan is a one-counter state machine (next edge index,
+//! running count, pending witness) that applies each edge's effect before
+//! spending the tick, so [`find_triangle_naive_resumable`] and
+//! [`count_triangles_resumable`] can suspend any failed charge into a
+//! [`Checkpoint`] and continue later — same verdict, same summed
+//! [`RunStats`] as an uninterrupted run. The matrix and AYZ detectors are
+//! deliberately *not* resumable: their budget granularity is whole matrix
+//! multiplies, so a checkpoint could not capture useful partial progress.
+//!
 //! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 //! [`RunStats::propagations`]: lb_engine::RunStats::propagations
+//! [`RunStats`]: lb_engine::RunStats
 
 use crate::matmul::BoolMatrix;
+use lb_engine::checkpoint::{
+    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
+    SolverFamily,
+};
 use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 use lb_graph::Graph;
+
+/// Payload version of triangle-scan checkpoints; bumped whenever the
+/// frontier encoding below changes.
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 1;
+
+/// The edge-scan frontier: everything needed to continue the naive scan.
+#[derive(Clone, Debug)]
+struct Machine {
+    /// Next edge index to examine.
+    next: usize,
+    /// Running Σ|N(u) ∩ N(v)| over examined edges (count mode).
+    total: u64,
+    /// A witness found by an edge whose tick then failed: delivered first
+    /// thing on resume, without a second charge.
+    pending: Option<[usize; 3]>,
+}
+
+impl Machine {
+    fn fresh() -> Machine {
+        Machine {
+            next: 0,
+            total: 0,
+            pending: None,
+        }
+    }
+
+    /// Scans edges until a witness (`Ok(Some)`, find mode only), the end of
+    /// the edge list (`Ok(None)`), or a failed charge (`Err`, resumable).
+    fn run(
+        &mut self,
+        g: &Graph,
+        edges: &[(usize, usize)],
+        find_witness: bool,
+        ticker: &mut Ticker,
+    ) -> Result<Option<[usize; 3]>, ExhaustReason> {
+        loop {
+            if let Some(t) = self.pending.take() {
+                return Ok(Some(t));
+            }
+            let Some(&(u, v)) = edges.get(self.next) else {
+                return Ok(None);
+            };
+            let mut common = g.neighbor_set(u).clone();
+            common.intersect_with(g.neighbor_set(v));
+            if find_witness {
+                if let Some(w) = common.min() {
+                    self.pending = Some(sorted3(u, v, w));
+                }
+            } else {
+                self.total += common.count() as u64;
+            }
+            self.next += 1;
+            ticker.node()?;
+        }
+    }
+
+    fn encode(&self, digest: u64, mode: u8) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u64(digest).u8(mode).usize(self.next).u64(self.total);
+        match self.pending {
+            None => {
+                w.u8(0);
+            }
+            Some([a, b, c]) => {
+                w.u8(1).usize(a).usize(b).usize(c);
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(
+        g: &Graph,
+        num_edges: usize,
+        digest: u64,
+        mode: u8,
+        ck: &Checkpoint,
+    ) -> Result<Machine, CheckpointError> {
+        ck.verify(SolverFamily::TriangleScan, CHECKPOINT_PAYLOAD_VERSION)?;
+        let mut r = PayloadReader::new(ck.payload());
+        let found = r.u64()?;
+        if found != digest {
+            return Err(CheckpointError::InstanceMismatch {
+                family: SolverFamily::TriangleScan,
+                expected: digest,
+                found,
+            });
+        }
+        let mode_at = r.offset();
+        let stored_mode = r.u8()?;
+        if stored_mode != mode {
+            return Err(CheckpointError::Malformed {
+                what: format!(
+                    "checkpoint mode {stored_mode} does not match entry point mode {mode}"
+                ),
+                offset: mode_at,
+            });
+        }
+        let next = r.usize_at_most(num_edges, "edge cursor")?;
+        let total = r.u64()?;
+        let n = g.num_vertices();
+        let pending = match r.u8()? {
+            0 => None,
+            1 => Some([
+                r.usize_below(n, "witness vertex")?,
+                r.usize_below(n, "witness vertex")?,
+                r.usize_below(n, "witness vertex")?,
+            ]),
+            b => {
+                return Err(CheckpointError::Malformed {
+                    what: format!("invalid pending-witness tag {b}"),
+                    offset: r.offset().saturating_sub(1),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(Machine {
+            next,
+            total,
+            pending,
+        })
+    }
+}
+
+/// FNV digest binding a checkpoint to the graph.
+fn instance_digest(g: &Graph, edges: &[(usize, usize)]) -> u64 {
+    let mut d = Digest::new();
+    d.str("triangle-scan");
+    d.usize(g.num_vertices()).usize(edges.len());
+    for &(u, v) in edges {
+        d.usize(u).usize(v);
+    }
+    d.finish()
+}
 
 /// Naive detection: for each edge, intersect the endpoints' neighborhoods.
 /// `Sat(triangle)`, `Unsat`, or `Exhausted`.
 pub fn find_triangle_naive(g: &Graph, budget: &Budget) -> (Outcome<[usize; 3]>, RunStats) {
+    let edges = g.edges();
     let mut ticker = Ticker::new(budget);
-    let result = naive_inner(g, &mut ticker);
+    let mut m = Machine::fresh();
+    let result = m.run(g, &edges, true, &mut ticker);
     ticker.finish(result)
 }
 
-fn naive_inner(g: &Graph, ticker: &mut Ticker) -> Result<Option<[usize; 3]>, ExhaustReason> {
-    for (u, v) in g.edges() {
-        ticker.node()?;
-        let nu = g.neighbor_set(u);
-        let nv = g.neighbor_set(v);
-        let mut common = nu.clone();
-        common.intersect_with(nv);
-        if let Some(w) = common.min() {
-            return Ok(Some(sorted3(u, v, w)));
-        }
-    }
-    Ok(None)
+/// Like [`find_triangle_naive`], but exhaustion is a *pause*: the scan
+/// position persists in a [`Checkpoint`] and chained resumes reach the
+/// one-shot verdict with the same summed [`RunStats`].
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn find_triangle_naive_resumable(
+    g: &Graph,
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<[usize; 3]>, RunStats), CheckpointError> {
+    let edges = g.edges();
+    let digest = instance_digest(g, &edges);
+    let mut m = match from {
+        Some(ck) => Machine::decode(g, edges.len(), digest, 0, ck)?,
+        None => Machine::fresh(),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = match m.run(g, &edges, true, &mut ticker) {
+        Ok(Some(t)) => ResumableOutcome::Sat(t),
+        Ok(None) => ResumableOutcome::Unsat,
+        Err(reason) => ResumableOutcome::Suspended {
+            reason,
+            checkpoint: Checkpoint::new(
+                SolverFamily::TriangleScan,
+                CHECKPOINT_PAYLOAD_VERSION,
+                m.encode(digest, 0),
+            ),
+        },
+    };
+    Ok((outcome, ticker.stats()))
 }
 
 /// Matrix-multiplication detection: a triangle exists iff (A²∧A) ≠ 0.
@@ -148,18 +316,42 @@ pub fn find_triangle_ayz(g: &Graph, budget: &Budget) -> (Outcome<[usize; 3]>, Ru
 /// counting experiments): Σ over edges of |N(u) ∩ N(v)| / 3. `Sat(count)`
 /// or `Exhausted`.
 pub fn count_triangles(g: &Graph, budget: &Budget) -> (Outcome<u64>, RunStats) {
+    let edges = g.edges();
     let mut ticker = Ticker::new(budget);
-    let result = count_inner(g, &mut ticker).map(Some);
+    let mut m = Machine::fresh();
+    let result = m
+        .run(g, &edges, false, &mut ticker)
+        .map(|_| Some(m.total / 3));
     ticker.finish(result)
 }
 
-fn count_inner(g: &Graph, ticker: &mut Ticker) -> Result<u64, ExhaustReason> {
-    let mut total = 0u64;
-    for (u, v) in g.edges() {
-        ticker.node()?;
-        total += g.neighbor_set(u).intersection_count(g.neighbor_set(v)) as u64;
-    }
-    Ok(total / 3)
+/// Like [`count_triangles`], but exhaustion is a *pause*: the scan position
+/// and the running sum persist in a [`Checkpoint`].
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn count_triangles_resumable(
+    g: &Graph,
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<u64>, RunStats), CheckpointError> {
+    let edges = g.edges();
+    let digest = instance_digest(g, &edges);
+    let mut m = match from {
+        Some(ck) => Machine::decode(g, edges.len(), digest, 1, ck)?,
+        None => Machine::fresh(),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = match m.run(g, &edges, false, &mut ticker) {
+        Ok(_) => ResumableOutcome::Sat(m.total / 3),
+        Err(reason) => ResumableOutcome::Suspended {
+            reason,
+            checkpoint: Checkpoint::new(
+                SolverFamily::TriangleScan,
+                CHECKPOINT_PAYLOAD_VERSION,
+                m.encode(digest, 1),
+            ),
+        },
+    };
+    Ok((outcome, ticker.stats()))
 }
 
 fn sorted3(a: usize, b: usize, c: usize) -> [usize; 3] {
@@ -261,6 +453,68 @@ mod tests {
             }
             assert_eq!(count_unlimited(&g), brute, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn sliced_resume_matches_one_shot() {
+        for seed in 0..8u64 {
+            let g = generators::gnp(25, 0.15, seed);
+            // Counting: chain tiny slices, compare verdict and summed stats.
+            let (one_shot, full) = count_triangles(&g, &Budget::unlimited());
+            let mut from: Option<Checkpoint> = None;
+            let mut summed = RunStats::default();
+            let sliced = loop {
+                let (out, stats) = count_triangles_resumable(&g, &Budget::ticks(4), from.as_ref())
+                    .expect("clean resume");
+                summed.absorb(&stats);
+                match out {
+                    ResumableOutcome::Suspended { checkpoint, .. } => {
+                        let bytes = checkpoint.to_bytes();
+                        from = Some(Checkpoint::from_bytes(&bytes).expect("round trip"));
+                    }
+                    ResumableOutcome::Sat(n) => break n,
+                    ResumableOutcome::Unsat => unreachable!("count never returns Unsat"),
+                }
+            };
+            assert_eq!(Outcome::Sat(sliced), one_shot, "seed {seed}");
+            assert_eq!(summed, full, "seed {seed}");
+
+            // Finding: the sliced verdict must match the one-shot one.
+            let (want, _) = find_triangle_naive(&g, &Budget::unlimited());
+            let mut from: Option<Checkpoint> = None;
+            let got = loop {
+                let (out, _) = find_triangle_naive_resumable(&g, &Budget::ticks(4), from.as_ref())
+                    .expect("clean resume");
+                match out {
+                    ResumableOutcome::Suspended { checkpoint, .. } => from = Some(checkpoint),
+                    ResumableOutcome::Sat(t) => break Some(t),
+                    ResumableOutcome::Unsat => break None,
+                }
+            };
+            assert_eq!(got, want.unwrap_decided(), "seed {seed}");
+            if let Some(t) = got {
+                assert!(is_triangle(&g, &t), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_confusion_is_rejected() {
+        let g = generators::gnp(25, 0.15, 0);
+        let (out, _) = count_triangles_resumable(&g, &Budget::ticks(2), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        let err = find_triangle_naive_resumable(&g, &Budget::unlimited(), Some(&ck)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }));
+    }
+
+    #[test]
+    fn graph_change_is_rejected_on_resume() {
+        let g1 = generators::gnp(25, 0.15, 1);
+        let g2 = generators::gnp(25, 0.15, 2);
+        let (out, _) = count_triangles_resumable(&g1, &Budget::ticks(2), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        let err = count_triangles_resumable(&g2, &Budget::unlimited(), Some(&ck)).unwrap_err();
+        assert!(matches!(err, CheckpointError::InstanceMismatch { .. }));
     }
 
     #[test]

@@ -14,14 +14,35 @@
 //! tick, and each answer tuple emitted a [`RunStats::tuples`] tick —
 //! machine-independent proxies for the Õ(N^{ρ*}) running time.
 //!
+//! # Preemption safety
+//!
+//! The join runs on an explicit frame stack (one frame per bound variable)
+//! holding the trie-iterator positions: per-atom sorted-row ranges, the
+//! driver's candidate cursor, and the narrowing index. Every counted
+//! operation applies its effect and advances the phase *before* spending
+//! the tick, so [`count_resumable`] and [`is_empty_resumable`] can suspend
+//! at any failed charge into a [`Checkpoint`] and later continue with the
+//! next operation — same verdict, same summed [`RunStats`] as one
+//! uninterrupted run. (The materializing [`join`] is deliberately *not*
+//! resumable: its collected output would make checkpoints unbounded.)
+//!
 //! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 //! [`RunStats::trie_advances`]: lb_engine::RunStats::trie_advances
 //! [`RunStats::tuples`]: lb_engine::RunStats::tuples
+//! [`RunStats`]: lb_engine::RunStats
 
 use crate::database::Database;
 use crate::query::{AnswerTuple, JoinQuery};
 use crate::Value;
+use lb_engine::checkpoint::{
+    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
+    SolverFamily,
+};
 use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
+
+/// Payload version of generic-join checkpoints; bumped whenever the
+/// frontier encoding below changes.
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 1;
 
 /// Errors from join evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +63,39 @@ impl std::fmt::Display for JoinError {
 }
 
 impl std::error::Error for JoinError {}
+
+/// Errors from *resumable* join evaluation: either the instance is bad
+/// (as in [`JoinError`]) or the checkpoint is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The query/database/order is malformed.
+    Join(JoinError),
+    /// The checkpoint could not be decoded or does not match.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Join(e) => e.fmt(f),
+            ResumeError::Checkpoint(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<JoinError> for ResumeError {
+    fn from(e: JoinError) -> Self {
+        ResumeError::Join(e)
+    }
+}
+
+impl From<CheckpointError> for ResumeError {
+    fn from(e: CheckpointError) -> Self {
+        ResumeError::Checkpoint(e)
+    }
+}
 
 /// A prepared atom: rows re-sorted so columns follow the global variable
 /// order, repeated attributes collapsed to their diagonal.
@@ -121,113 +175,406 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
     })
 }
 
-/// Active range of an atom's sorted rows during the recursion.
-#[derive(Clone, Copy)]
+/// Active range of an atom's sorted rows during the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Range {
     lo: usize,
     hi: usize,
     depth: usize,
 }
 
-/// Runs Generic Join; calls `visit` with each answer tuple **in the global
-/// variable order** (not attribute order). Returning `true` stops early.
-fn generic_join<F: FnMut(&[Value]) -> bool>(
-    p: &Prepared,
-    ticker: &mut Ticker,
-    visit: &mut F,
-) -> Result<bool, ExhaustReason> {
-    let mut ranges: Vec<Range> = p
-        .atoms
-        .iter()
-        .map(|a| Range {
-            lo: 0,
-            hi: a.rows.len(),
-            depth: 0,
-        })
-        .collect();
-    let mut tuple: Vec<Value> = vec![0; p.num_vars];
-    recurse(p, 0, &mut ranges, &mut tuple, ticker, visit)
+/// Where the machine resumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Entering level `frames.len()`: emit a tuple or open a frame.
+    Enter,
+    /// Advance the top frame to its next candidate value.
+    Step,
+    /// Narrow the top frame's participant `idx` to the candidate value.
+    Narrow { idx: usize },
+    /// A tuple's charge has been paid; deliver it, then continue.
+    Emit,
 }
 
-fn recurse<F: FnMut(&[Value]) -> bool>(
-    p: &Prepared,
-    level: usize,
-    ranges: &mut Vec<Range>,
-    tuple: &mut Vec<Value>,
-    ticker: &mut Ticker,
-    visit: &mut F,
-) -> Result<bool, ExhaustReason> {
-    if level == p.num_vars {
-        ticker.tuple()?;
-        return Ok(visit(tuple));
-    }
-    // Atoms whose next unbound column is this variable.
-    let participants: Vec<usize> = (0..p.atoms.len())
-        .filter(|&i| {
-            let r = ranges[i]; // lb-lint: allow(no-unchecked-index) -- i < p.atoms.len() = ranges.len()
-                               // lb-lint: allow(no-unchecked-index) -- i < p.atoms.len(); r.depth bound-checked on the same line
-            r.depth < p.atoms[i].var_ranks.len() && p.atoms[i].var_ranks[r.depth] == level
-        })
-        .collect();
-    debug_assert!(
-        !participants.is_empty(),
-        "every variable occurs in some atom"
-    );
-    // Smallest active range drives the intersection.
-    let driver = *participants
-        .iter()
-        .min_by_key(|&&i| ranges[i].hi - ranges[i].lo) // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
-        // lb-lint: allow(no-panic) -- invariant: the iterator set at this depth is nonempty by construction
-        .expect("nonempty");
+/// One bound variable: the intersection state at its level.
+#[derive(Clone, Debug)]
+struct Frame {
+    /// Atoms whose next unbound column is this level's variable.
+    participants: Vec<usize>,
+    /// The participant with the smallest active range.
+    driver: usize,
+    /// Participant ranges as they were at level entry, parallel to
+    /// `participants`; restored between candidates.
+    saved: Vec<Range>,
+    /// Driver cursor: the candidate block is `rows[lo..lo_end)`.
+    lo: usize,
+    lo_end: usize,
+    hi: usize,
+    /// The candidate value being intersected.
+    v: Value,
+}
 
-    let (mut lo, hi, depth) = {
-        let r = ranges[driver]; // lb-lint: allow(no-unchecked-index) -- driver is a participant index < ranges.len()
-        (r.lo, r.hi, r.depth)
-    };
-    while lo < hi {
-        ticker.node()?;
-        // lb-lint: allow(no-unchecked-index) -- lo < hi <= rows.len(); depth < var_ranks.len() = projected row arity
-        let v = p.atoms[driver].rows[lo][depth];
-        // lb-lint: allow(no-unchecked-index) -- driver is a participant index < p.atoms.len()
-        let lo_end = upper_bound(&p.atoms[driver].rows, lo, hi, depth, v);
+/// The explicit-stack Generic Join state: trie-iterator positions per atom
+/// plus the per-level intersection frames.
+#[derive(Clone, Debug)]
+struct Machine {
+    ranges: Vec<Range>,
+    tuple: Vec<Value>,
+    frames: Vec<Frame>,
+    phase: Phase,
+}
 
-        // Narrow every participant to value v.
-        // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
-        let saved: Vec<Range> = participants.iter().map(|&i| ranges[i]).collect();
-        let mut ok = true;
-        for &i in &participants {
-            ticker.trie_advance()?;
-            let r = ranges[i]; // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
-            let (nl, nh) = if i == driver {
-                (lo, lo_end)
-            } else {
-                // lb-lint: allow(no-unchecked-index) -- i is a participant index < p.atoms.len()
-                equal_range(&p.atoms[i].rows, r.lo, r.hi, r.depth, v)
-            };
-            if nl == nh {
-                ok = false;
-                break;
-            }
-            // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
-            ranges[i] = Range {
-                lo: nl,
-                hi: nh,
-                depth: r.depth + 1,
-            };
+impl Machine {
+    fn fresh(p: &Prepared) -> Machine {
+        Machine {
+            ranges: p
+                .atoms
+                .iter()
+                .map(|a| Range {
+                    lo: 0,
+                    hi: a.rows.len(),
+                    depth: 0,
+                })
+                .collect(),
+            tuple: vec![0; p.num_vars],
+            frames: Vec::new(),
+            phase: Phase::Enter,
         }
-        if ok {
-            tuple[level] = v; // lb-lint: allow(no-unchecked-index) -- level < num_vars = tuple.len(), checked at recursion entry
-            if recurse(p, level + 1, ranges, tuple, ticker, visit)? {
-                return Ok(true);
+    }
+
+    /// Restores the top frame's participants to their entry ranges and
+    /// advances its cursor past the current candidate block.
+    fn restore_and_advance(frame: &mut Frame, ranges: &mut [Range]) {
+        for (&i, &r) in frame.participants.iter().zip(&frame.saved) {
+            if let Some(slot) = ranges.get_mut(i) {
+                *slot = r;
             }
         }
-        // Restore.
-        for (&i, &r) in participants.iter().zip(&saved) {
-            ranges[i] = r; // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
-        }
-        lo = lo_end;
+        frame.lo = frame.lo_end;
     }
-    Ok(false)
+
+    /// Runs micro-steps until the next answer tuple (`Ok(Some(..))`, in
+    /// global variable order, machine positioned to continue past it), the
+    /// end of the search (`Ok(None)`), or a failed charge (`Err`, machine
+    /// resumable).
+    fn run(
+        &mut self,
+        p: &Prepared,
+        ticker: &mut Ticker,
+    ) -> Result<Option<Vec<Value>>, ExhaustReason> {
+        loop {
+            match self.phase {
+                Phase::Enter => {
+                    let level = self.frames.len();
+                    if level == p.num_vars {
+                        self.phase = Phase::Emit;
+                        ticker.tuple()?;
+                        continue;
+                    }
+                    // Atoms whose next unbound column is this variable.
+                    let participants: Vec<usize> = p
+                        .atoms
+                        .iter()
+                        .zip(&self.ranges)
+                        .enumerate()
+                        .filter(|(_, (a, r))| a.var_ranks.get(r.depth) == Some(&level))
+                        .map(|(i, _)| i)
+                        .collect();
+                    debug_assert!(
+                        !participants.is_empty(),
+                        "every variable occurs in some atom"
+                    );
+                    // Smallest active range drives the intersection.
+                    let Some(&driver) = participants
+                        .iter()
+                        // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
+                        .min_by_key(|&&i| self.ranges[i].hi - self.ranges[i].lo)
+                    else {
+                        // Unreachable for well-formed queries; finish
+                        // soundly instead of panicking.
+                        return Ok(None);
+                    };
+                    let r = self.ranges[driver]; // lb-lint: allow(no-unchecked-index) -- driver is a participant index < ranges.len()
+                    let saved: Vec<Range> = participants.iter().map(|&i| self.ranges[i]).collect(); // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
+                    self.frames.push(Frame {
+                        participants,
+                        driver,
+                        saved,
+                        lo: r.lo,
+                        lo_end: r.lo,
+                        hi: r.hi,
+                        v: 0,
+                    });
+                    self.phase = Phase::Step;
+                }
+                Phase::Step => {
+                    let Some(frame) = self.frames.last_mut() else {
+                        return Ok(None);
+                    };
+                    if frame.lo >= frame.hi {
+                        // This level is exhausted: ascend.
+                        self.frames.pop();
+                        match self.frames.last_mut() {
+                            None => return Ok(None),
+                            Some(parent) => {
+                                Machine::restore_and_advance(parent, &mut self.ranges);
+                                // phase stays Step: the parent advances.
+                            }
+                        }
+                        continue;
+                    }
+                    let driver = frame.driver;
+                    let depth = self.ranges[driver].depth; // lb-lint: allow(no-unchecked-index) -- driver is a participant index < ranges.len()
+                                                           // lb-lint: allow(no-unchecked-index) -- lo < hi <= rows.len(); depth < var_ranks.len() = projected row arity
+                    let v = p.atoms[driver].rows[frame.lo][depth];
+                    // lb-lint: allow(no-unchecked-index) -- driver is a participant index < p.atoms.len()
+                    let lo_end = upper_bound(&p.atoms[driver].rows, frame.lo, frame.hi, depth, v);
+                    frame.v = v;
+                    frame.lo_end = lo_end;
+                    self.phase = Phase::Narrow { idx: 0 };
+                    ticker.node()?;
+                }
+                Phase::Narrow { idx } => {
+                    let Some(frame) = self.frames.last_mut() else {
+                        return Ok(None);
+                    };
+                    let Some(&i) = frame.participants.get(idx) else {
+                        // All participants narrowed: the candidate is in
+                        // the intersection. Bind it and descend.
+                        let v = frame.v;
+                        let level = self.frames.len() - 1;
+                        if let Some(slot) = self.tuple.get_mut(level) {
+                            *slot = v;
+                        }
+                        self.phase = Phase::Enter;
+                        continue;
+                    };
+                    let r = self.ranges[i]; // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
+                    let (nl, nh) = if i == frame.driver {
+                        (frame.lo, frame.lo_end)
+                    } else {
+                        // lb-lint: allow(no-unchecked-index) -- i is a participant index < p.atoms.len()
+                        equal_range(&p.atoms[i].rows, r.lo, r.hi, r.depth, frame.v)
+                    };
+                    if nl == nh {
+                        // Empty intersection: restore and move to the next
+                        // candidate. The probe is still a counted advance.
+                        Machine::restore_and_advance(frame, &mut self.ranges);
+                        self.phase = Phase::Step;
+                        ticker.trie_advance()?;
+                    } else {
+                        // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
+                        self.ranges[i] = Range {
+                            lo: nl,
+                            hi: nh,
+                            depth: r.depth + 1,
+                        };
+                        self.phase = Phase::Narrow { idx: idx + 1 };
+                        ticker.trie_advance()?;
+                    }
+                }
+                Phase::Emit => {
+                    // Deliver the bound tuple and position past it.
+                    let out = self.tuple.clone();
+                    match self.frames.last_mut() {
+                        None => self.phase = Phase::Step, // nullary query: next run() finishes
+                        Some(parent) => {
+                            Machine::restore_and_advance(parent, &mut self.ranges);
+                            self.phase = Phase::Step;
+                        }
+                    }
+                    return Ok(Some(out));
+                }
+            }
+        }
+    }
+
+    fn encode(&self, digest: u64, mode: u8, n: u64) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u64(digest).u8(mode).u64(n);
+        w.usize(self.ranges.len());
+        for r in &self.ranges {
+            w.usize(r.lo).usize(r.hi).usize(r.depth);
+        }
+        w.usize(self.tuple.len());
+        for &v in &self.tuple {
+            w.u64(v);
+        }
+        w.usize(self.frames.len());
+        for f in &self.frames {
+            w.seq_usize(&f.participants);
+            w.usize(f.driver);
+            for r in &f.saved {
+                w.usize(r.lo).usize(r.hi).usize(r.depth);
+            }
+            w.usize(f.lo).usize(f.lo_end).usize(f.hi).u64(f.v);
+        }
+        match self.phase {
+            Phase::Enter => {
+                w.u8(0);
+            }
+            Phase::Step => {
+                w.u8(1);
+            }
+            Phase::Narrow { idx } => {
+                w.u8(2).usize(idx);
+            }
+            Phase::Emit => {
+                w.u8(3);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes and validates a frontier against the prepared query. Returns
+    /// the machine plus the running answer count.
+    fn decode(
+        p: &Prepared,
+        digest: u64,
+        mode: u8,
+        ck: &Checkpoint,
+    ) -> Result<(Machine, u64), CheckpointError> {
+        ck.verify(SolverFamily::GenericJoin, CHECKPOINT_PAYLOAD_VERSION)?;
+        let fam = SolverFamily::GenericJoin;
+        let mut r = PayloadReader::new(ck.payload());
+        let found = r.u64()?;
+        if found != digest {
+            return Err(CheckpointError::InstanceMismatch {
+                family: fam,
+                expected: digest,
+                found,
+            });
+        }
+        let mode_at = r.offset();
+        let stored_mode = r.u8()?;
+        if stored_mode != mode {
+            return Err(CheckpointError::Malformed {
+                what: format!(
+                    "checkpoint mode {stored_mode} does not match entry point mode {mode}"
+                ),
+                offset: mode_at,
+            });
+        }
+        let n = r.u64()?;
+        let num_atoms = p.atoms.len();
+        let read_range =
+            |r: &mut PayloadReader<'_>, atom: usize| -> Result<Range, CheckpointError> {
+                // lb-lint: allow(no-unchecked-index) -- atom < num_atoms, checked by the caller
+                let rows = p.atoms[atom].rows.len();
+                let ranks = p.atoms[atom].var_ranks.len(); // lb-lint: allow(no-unchecked-index) -- atom < num_atoms, checked by the caller
+                let at = r.offset();
+                let lo = r.usize_at_most(rows, "range lo")?;
+                let hi = r.usize_at_most(rows, "range hi")?;
+                let depth = r.usize_at_most(ranks, "range depth")?;
+                if lo > hi {
+                    return Err(CheckpointError::Malformed {
+                        what: format!("range lo {lo} > hi {hi}"),
+                        offset: at,
+                    });
+                }
+                Ok(Range { lo, hi, depth })
+            };
+        let stored_atoms = r.usize()?;
+        if stored_atoms != num_atoms {
+            return Err(CheckpointError::Malformed {
+                what: format!("checkpoint has {stored_atoms} atoms, query has {num_atoms}"),
+                offset: r.offset(),
+            });
+        }
+        let mut ranges = Vec::with_capacity(num_atoms);
+        for atom in 0..num_atoms {
+            ranges.push(read_range(&mut r, atom)?);
+        }
+        let stored_vars = r.usize()?;
+        if stored_vars != p.num_vars {
+            return Err(CheckpointError::Malformed {
+                what: format!(
+                    "checkpoint has {stored_vars} variables, query has {}",
+                    p.num_vars
+                ),
+                offset: r.offset(),
+            });
+        }
+        let mut tuple = Vec::with_capacity(p.num_vars);
+        for _ in 0..p.num_vars {
+            tuple.push(r.u64()?);
+        }
+        let frame_count = r.usize_at_most(p.num_vars, "frame stack length")?;
+        let mut frames = Vec::with_capacity(frame_count);
+        for _ in 0..frame_count {
+            let part_len = r.seq_len(8, "participants")?;
+            let mut participants = Vec::with_capacity(part_len);
+            for _ in 0..part_len {
+                participants.push(r.usize_below(num_atoms, "participant atom")?);
+            }
+            let driver_at = r.offset();
+            let driver = r.usize_below(num_atoms, "driver atom")?;
+            if !participants.contains(&driver) {
+                return Err(CheckpointError::Malformed {
+                    what: format!("driver {driver} is not a participant"),
+                    offset: driver_at,
+                });
+            }
+            let mut saved = Vec::with_capacity(part_len);
+            for &atom in &participants {
+                saved.push(read_range(&mut r, atom)?);
+            }
+            // lb-lint: allow(no-unchecked-index) -- driver < num_atoms, validated above
+            let rows = p.atoms[driver].rows.len();
+            let at = r.offset();
+            let lo = r.usize_at_most(rows, "frame lo")?;
+            let lo_end = r.usize_at_most(rows, "frame lo_end")?;
+            let hi = r.usize_at_most(rows, "frame hi")?;
+            if lo > hi || lo_end > hi {
+                return Err(CheckpointError::Malformed {
+                    what: format!("frame cursor (lo {lo}, lo_end {lo_end}, hi {hi}) inconsistent"),
+                    offset: at,
+                });
+            }
+            let v = r.u64()?;
+            frames.push(Frame {
+                participants,
+                driver,
+                saved,
+                lo,
+                lo_end,
+                hi,
+                v,
+            });
+        }
+        let tag_at = r.offset();
+        let phase = match r.u8()? {
+            0 => Phase::Enter,
+            1 => Phase::Step,
+            2 => {
+                let bound = frames.last().map(|f| f.participants.len()).ok_or_else(|| {
+                    CheckpointError::Malformed {
+                        what: "narrow phase with an empty frame stack".into(),
+                        offset: tag_at,
+                    }
+                })?;
+                let idx = r.usize_at_most(bound, "narrow index")?;
+                Phase::Narrow { idx }
+            }
+            3 => Phase::Emit,
+            b => {
+                return Err(CheckpointError::Malformed {
+                    what: format!("invalid phase tag {b}"),
+                    offset: tag_at,
+                })
+            }
+        };
+        r.finish()?;
+        Ok((
+            Machine {
+                ranges,
+                tuple,
+                frames,
+                phase,
+            },
+            n,
+        ))
+    }
 }
 
 /// First index in [lo, hi) where `rows[idx][col] > v` (rows sorted, columns
@@ -240,6 +587,35 @@ fn equal_range(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) 
     let start = lo + rows[lo..hi].partition_point(|r| r[col] < v); // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
     let end = start + rows[start..hi].partition_point(|r| r[col] == v); // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
     (start, end)
+}
+
+/// FNV digest binding a checkpoint to (query, database, variable order).
+fn instance_digest(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> u64 {
+    let mut d = Digest::new();
+    d.str("generic-join");
+    let attrs = q.attributes();
+    let ord: Vec<String> = order.map(|o| o.to_vec()).unwrap_or_else(|| attrs.clone());
+    d.usize(ord.len());
+    for a in &ord {
+        d.str(a);
+    }
+    d.usize(q.atoms.len());
+    for atom in &q.atoms {
+        d.str(&atom.relation);
+        d.usize(atom.attrs.len());
+        for a in &atom.attrs {
+            d.str(a);
+        }
+        if let Some(table) = db.table(&atom.relation) {
+            d.usize(table.arity()).usize(table.rows().len());
+            for row in table.rows() {
+                for &v in row {
+                    d.u64(v);
+                }
+            }
+        }
+    }
+    d.finish()
 }
 
 /// Computes the full answer; tuples are in [`JoinQuery::attributes`] order,
@@ -262,14 +638,20 @@ pub fn join(
         .map(|a| ord.iter().position(|x| x == a).expect("validated"))
         .collect();
     let mut ticker = Ticker::new(budget);
+    let mut m = Machine::fresh(&p);
     let mut out = Vec::new();
-    let result = generic_join(&p, &mut ticker, &mut |t| {
-        // lb-lint: allow(no-unchecked-index) -- pos_of holds positions within the order, whose length is t.len()
-        out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
-        false
-    });
+    let result = loop {
+        match m.run(&p, &mut ticker) {
+            Ok(Some(t)) => {
+                // lb-lint: allow(no-unchecked-index) -- pos_of holds positions within the order, whose length is t.len()
+                out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
+            }
+            Ok(None) => break Ok(()),
+            Err(reason) => break Err(reason),
+        }
+    };
     out.sort_unstable();
-    Ok(ticker.finish(result.map(|_| Some(out))))
+    Ok(ticker.finish(result.map(|()| Some(out))))
 }
 
 /// Counts answer tuples without materializing them: `Sat(count)` or
@@ -283,12 +665,16 @@ pub fn count(
 ) -> Result<(Outcome<u64>, RunStats), JoinError> {
     let p = prepare(q, db, order)?;
     let mut ticker = Ticker::new(budget);
+    let mut m = Machine::fresh(&p);
     let mut n = 0u64;
-    let result = generic_join(&p, &mut ticker, &mut |_| {
-        n += 1;
-        false
-    });
-    Ok(ticker.finish(result.map(|_| Some(n))))
+    let result = loop {
+        match m.run(&p, &mut ticker) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break Ok(Some(n)),
+            Err(reason) => break Err(reason),
+        }
+    };
+    Ok(ticker.finish(result))
 }
 
 /// Decides emptiness with early exit (the BOOLEAN JOIN QUERY problem):
@@ -302,8 +688,79 @@ pub fn is_empty(
 ) -> Result<(Outcome<bool>, RunStats), JoinError> {
     let p = prepare(q, db, order)?;
     let mut ticker = Ticker::new(budget);
-    let result = generic_join(&p, &mut ticker, &mut |_| true);
-    Ok(ticker.finish(result.map(|nonempty| Some(!nonempty))))
+    let mut m = Machine::fresh(&p);
+    let result = match m.run(&p, &mut ticker) {
+        Ok(found) => Ok(Some(found.is_none())),
+        Err(reason) => Err(reason),
+    };
+    Ok(ticker.finish(result))
+}
+
+/// Like [`count`], but exhaustion is a *pause*: the trie-iterator positions
+/// and the running count persist in a [`Checkpoint`], and chained resumes
+/// sum to the one-shot answer.
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn count_resumable(
+    q: &JoinQuery,
+    db: &Database,
+    order: Option<&[String]>,
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<u64>, RunStats), ResumeError> {
+    let p = prepare(q, db, order)?;
+    let digest = instance_digest(q, db, order);
+    let (mut m, mut n) = match from {
+        Some(ck) => Machine::decode(&p, digest, 0, ck)?,
+        None => (Machine::fresh(&p), 0),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = loop {
+        match m.run(&p, &mut ticker) {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => break ResumableOutcome::Sat(n),
+            Err(reason) => {
+                break ResumableOutcome::Suspended {
+                    reason,
+                    checkpoint: Checkpoint::new(
+                        SolverFamily::GenericJoin,
+                        CHECKPOINT_PAYLOAD_VERSION,
+                        m.encode(digest, 0, n),
+                    ),
+                }
+            }
+        }
+    };
+    Ok((outcome, ticker.stats()))
+}
+
+/// Like [`is_empty`], but exhaustion is a *pause*.
+#[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+pub fn is_empty_resumable(
+    q: &JoinQuery,
+    db: &Database,
+    order: Option<&[String]>,
+    budget: &Budget,
+    from: Option<&Checkpoint>,
+) -> Result<(ResumableOutcome<bool>, RunStats), ResumeError> {
+    let p = prepare(q, db, order)?;
+    let digest = instance_digest(q, db, order);
+    let (mut m, _) = match from {
+        Some(ck) => Machine::decode(&p, digest, 1, ck)?,
+        None => (Machine::fresh(&p), 0),
+    };
+    let mut ticker = Ticker::new(budget);
+    let outcome = match m.run(&p, &mut ticker) {
+        Ok(found) => ResumableOutcome::Sat(found.is_none()),
+        Err(reason) => ResumableOutcome::Suspended {
+            reason,
+            checkpoint: Checkpoint::new(
+                SolverFamily::GenericJoin,
+                CHECKPOINT_PAYLOAD_VERSION,
+                m.encode(digest, 1, 0),
+            ),
+        },
+    };
+    Ok((outcome, ticker.stats()))
 }
 
 /// Testing oracle: joins the atoms one at a time by scanning all pairs
@@ -509,6 +966,10 @@ mod tests {
             join(&q, &db, Some(&ord), &Budget::unlimited()),
             Err(JoinError::BadOrder(_))
         ));
+        assert!(matches!(
+            count_resumable(&q, &db, Some(&ord), &Budget::unlimited(), None),
+            Err(ResumeError::Join(JoinError::BadOrder(_)))
+        ));
     }
 
     #[test]
@@ -573,5 +1034,44 @@ mod tests {
         let q = JoinQuery::triangle();
         let (db, predicted) = crate::agm::worst_case_database(&q, 49).unwrap();
         assert_eq!(count_all(&q, &db) as u128, predicted);
+    }
+
+    #[test]
+    fn sliced_resume_matches_one_shot_count() {
+        for seed in 0..6u64 {
+            let q = JoinQuery::triangle();
+            let db = generators::random_binary_database(&q, 30, 8, seed);
+            let (one_shot, full) = count(&q, &db, None, &Budget::unlimited()).unwrap();
+            let mut from: Option<Checkpoint> = None;
+            let mut summed = RunStats::default();
+            let sliced = loop {
+                let (out, stats) = count_resumable(&q, &db, None, &Budget::ticks(6), from.as_ref())
+                    .expect("clean resume");
+                summed.absorb(&stats);
+                match out {
+                    ResumableOutcome::Suspended { checkpoint, .. } => {
+                        let bytes = checkpoint.to_bytes();
+                        from = Some(Checkpoint::from_bytes(&bytes).expect("round trip"));
+                    }
+                    done => break done.into_outcome(),
+                }
+            };
+            assert_eq!(sliced, one_shot, "seed {seed}");
+            assert_eq!(summed, full, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn database_change_is_rejected_on_resume() {
+        let q = JoinQuery::triangle();
+        let db1 = generators::random_binary_database(&q, 30, 8, 1);
+        let db2 = generators::random_binary_database(&q, 30, 8, 2);
+        let (out, _) = count_resumable(&q, &db1, None, &Budget::ticks(3), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        let err = count_resumable(&q, &db2, None, &Budget::unlimited(), Some(&ck)).unwrap_err();
+        assert!(matches!(
+            err,
+            ResumeError::Checkpoint(CheckpointError::InstanceMismatch { .. })
+        ));
     }
 }

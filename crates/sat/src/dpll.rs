@@ -9,9 +9,30 @@
 //! Engine mapping: branching decisions are [`RunStats::nodes`], unit/pure
 //! assignments are [`RunStats::propagations`], dead ends are
 //! [`RunStats::backtracks`].
+//!
+//! # Preemption safety
+//!
+//! The search runs on an explicit decision stack (no recursion) structured
+//! as a micro-step machine: every counted operation applies its effect and
+//! advances the phase to the continuation point *before* spending the
+//! tick. When the budget fails mid-charge the operation is already done and
+//! counted, so [`DpllSolver::solve_resumable`] can serialize the frontier —
+//! decision stack, assignment, simplification trail, scan position — into a
+//! [`Checkpoint`] and a later call continues with the *next* operation.
+//! Chained resumes therefore produce the same verdict and the same summed
+//! [`RunStats`] as one uninterrupted run (the slice-equivalence invariant,
+//! machine-checked in `tests/resume_properties.rs`).
 
 use crate::cnf::{CnfFormula, Lit};
+use lb_engine::checkpoint::{
+    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
+    SolverFamily,
+};
 use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
+
+/// Payload version of DPLL checkpoints; bumped whenever the frontier
+/// encoding below changes.
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 1;
 
 /// Branching heuristics for the DPLL search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,7 +44,7 @@ pub enum Branching {
 }
 
 /// Feature toggles for ablation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DpllConfig {
     /// Propagate unit clauses before branching.
     pub unit_propagation: bool,
@@ -60,26 +81,463 @@ enum ClauseState {
     Open,
 }
 
+/// Where the machine resumes within the current decision level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Scanning clauses from index `clause` for units/conflicts. `changed`
+    /// records whether this fixpoint iteration assigned anything yet.
+    UnitScan { clause: usize, changed: bool },
+    /// Scanning variables from `var` against the stored purity snapshot.
+    PureScan { var: usize, changed: bool },
+    /// Simplification reached fixpoint: check satisfaction, then branch.
+    Choose,
+    /// The current subtree failed: flip or pop decisions.
+    Unwind,
+}
+
+/// One committed branching decision.
+#[derive(Clone, Debug)]
+struct Frame {
+    /// The decision variable.
+    var: usize,
+    /// False while the `true` branch is active; true once `false` is tried.
+    tried_false: bool,
+    /// Simplification assignments made at this level before the decision.
+    trail: Vec<usize>,
+}
+
+/// The explicit-stack DPLL search state. Everything needed to continue the
+/// run lives here; the formula and configuration are supplied externally
+/// and cross-checked via an FNV digest at resume time.
+#[derive(Clone, Debug)]
+struct Machine {
+    assignment: Vec<Option<bool>>,
+    /// Simplification trail of the current (deepest) level.
+    trail: Vec<usize>,
+    frames: Vec<Frame>,
+    /// Purity snapshot for the active `PureScan`, empty otherwise. Stored —
+    /// not recomputed on resume — because purity is not monotone under the
+    /// pure assignments the scan itself makes.
+    pure_pos: Vec<bool>,
+    pure_neg: Vec<bool>,
+    phase: Phase,
+}
+
+impl Machine {
+    fn fresh(f: &CnfFormula) -> Machine {
+        Machine {
+            assignment: vec![None; f.num_vars()],
+            trail: Vec::new(),
+            frames: Vec::new(),
+            pure_pos: Vec::new(),
+            pure_neg: Vec::new(),
+            phase: Phase::UnitScan {
+                clause: 0,
+                changed: false,
+            },
+        }
+    }
+
+    /// Undoes the current level's simplification trail and starts unwinding.
+    fn fail_level(&mut self) {
+        for v in self.trail.drain(..) {
+            // lb-lint: allow(no-unchecked-index) -- the trail only holds assigned variable ids < num_vars
+            self.assignment[v] = None;
+        }
+        self.phase = Phase::Unwind;
+    }
+
+    /// Computes the purity snapshot over unresolved clauses.
+    fn compute_purity(&mut self, f: &CnfFormula) {
+        let n = f.num_vars();
+        self.pure_pos = vec![false; n];
+        self.pure_neg = vec![false; n];
+        for clause in f.clauses() {
+            if matches!(
+                DpllSolver::clause_state(clause, &self.assignment),
+                ClauseState::Satisfied
+            ) {
+                continue;
+            }
+            for &l in clause {
+                // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                if self.assignment[l.var()].is_none() {
+                    if l.is_positive() {
+                        self.pure_pos[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                    } else {
+                        self.pure_neg[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs micro-steps until a verdict or a failed charge. Every counted
+    /// operation updates the machine to its continuation point *before*
+    /// spending the tick, so an `Err` return leaves the machine resumable
+    /// with nothing redone and nothing double-counted.
+    fn run(
+        &mut self,
+        f: &CnfFormula,
+        config: &DpllConfig,
+        ticker: &mut Ticker,
+    ) -> Result<bool, ExhaustReason> {
+        loop {
+            match self.phase {
+                Phase::UnitScan { clause, changed } => {
+                    let mut i = clause;
+                    let mut changed = changed;
+                    let mut conflict = false;
+                    while let Some(c) = f.clauses().get(i) {
+                        match DpllSolver::clause_state(c, &self.assignment) {
+                            ClauseState::Conflict => {
+                                conflict = true;
+                                break;
+                            }
+                            ClauseState::Unit(l) if config.unit_propagation => {
+                                // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                                self.assignment[l.var()] = Some(l.is_positive());
+                                self.trail.push(l.var());
+                                changed = true;
+                                i += 1;
+                                self.phase = Phase::UnitScan { clause: i, changed };
+                                ticker.propagation()?;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    if conflict {
+                        self.fail_level();
+                        ticker.backtrack()?;
+                    } else if config.pure_literal && !changed {
+                        self.compute_purity(f);
+                        self.phase = Phase::PureScan {
+                            var: 0,
+                            changed: false,
+                        };
+                    } else if changed {
+                        self.phase = Phase::UnitScan {
+                            clause: 0,
+                            changed: false,
+                        };
+                    } else {
+                        self.phase = Phase::Choose;
+                    }
+                }
+                Phase::PureScan { var, changed } => {
+                    let n = f.num_vars();
+                    let mut v = var;
+                    let mut changed = changed;
+                    while v < n {
+                        // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                        let pure =
+                            self.assignment[v].is_none() && (self.pure_pos[v] ^ self.pure_neg[v]); // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                        if pure {
+                            self.assignment[v] = Some(self.pure_pos[v]); // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                            self.trail.push(v);
+                            changed = true;
+                            v += 1;
+                            self.phase = Phase::PureScan { var: v, changed };
+                            ticker.propagation()?;
+                        } else {
+                            v += 1;
+                        }
+                    }
+                    self.pure_pos.clear();
+                    self.pure_neg.clear();
+                    self.phase = if changed {
+                        Phase::UnitScan {
+                            clause: 0,
+                            changed: false,
+                        }
+                    } else {
+                        Phase::Choose
+                    };
+                }
+                Phase::Choose => {
+                    let all_satisfied = f.clauses().iter().all(|c| {
+                        matches!(
+                            DpllSolver::clause_state(c, &self.assignment),
+                            ClauseState::Satisfied
+                        )
+                    });
+                    if all_satisfied {
+                        return Ok(true);
+                    }
+                    let var = match config.branching {
+                        Branching::FirstUnassigned => {
+                            self.assignment.iter().position(|a| a.is_none())
+                        }
+                        Branching::MostFrequent => {
+                            let mut count = vec![0usize; f.num_vars()];
+                            for clause in f.clauses() {
+                                if matches!(
+                                    DpllSolver::clause_state(clause, &self.assignment),
+                                    ClauseState::Satisfied
+                                ) {
+                                    continue;
+                                }
+                                for &l in clause {
+                                    // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                                    if self.assignment[l.var()].is_none() {
+                                        count[l.var()] += 1; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                                    }
+                                }
+                            }
+                            (0..f.num_vars())
+                                .filter(|&v| self.assignment[v].is_none()) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                                .max_by_key(|&v| count[v]) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                        }
+                    };
+                    match var {
+                        None => {
+                            // No unassigned variables but not all clauses
+                            // satisfied: dead end.
+                            self.fail_level();
+                            ticker.backtrack()?;
+                        }
+                        Some(var) => {
+                            let trail = std::mem::take(&mut self.trail);
+                            self.frames.push(Frame {
+                                var,
+                                tried_false: false,
+                                trail,
+                            });
+                            self.assignment[var] = Some(true); // lb-lint: allow(no-unchecked-index) -- var came from an index over 0..num_vars
+                            self.phase = Phase::UnitScan {
+                                clause: 0,
+                                changed: false,
+                            };
+                            ticker.node()?;
+                        }
+                    }
+                }
+                Phase::Unwind => match self.frames.last_mut() {
+                    None => return Ok(false),
+                    Some(top) => {
+                        if !top.tried_false {
+                            top.tried_false = true;
+                            let var = top.var;
+                            self.assignment[var] = Some(false); // lb-lint: allow(no-unchecked-index) -- frame vars came from an index over 0..num_vars
+                            self.phase = Phase::UnitScan {
+                                clause: 0,
+                                changed: false,
+                            };
+                        } else if let Some(frame) = self.frames.pop() {
+                            self.assignment[frame.var] = None; // lb-lint: allow(no-unchecked-index) -- frame vars came from an index over 0..num_vars
+                            for v in frame.trail {
+                                self.assignment[v] = None; // lb-lint: allow(no-unchecked-index) -- the trail only holds assigned variable ids < num_vars
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// The witness for a `Sat` verdict: unconstrained vars default to false.
+    fn witness(&self) -> Vec<bool> {
+        self.assignment.iter().map(|a| a.unwrap_or(false)).collect()
+    }
+
+    fn encode(&self, digest: u64) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.u64(digest).usize(self.assignment.len());
+        for a in &self.assignment {
+            w.u8(match a {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+        w.seq_usize(&self.trail);
+        w.usize(self.frames.len());
+        for frame in &self.frames {
+            w.usize(frame.var).bool(frame.tried_false);
+            w.seq_usize(&frame.trail);
+        }
+        match self.phase {
+            Phase::UnitScan { clause, changed } => {
+                w.u8(0).usize(clause).bool(changed);
+            }
+            Phase::PureScan { var, changed } => {
+                w.u8(1).usize(var).bool(changed);
+                for i in 0..self.assignment.len() {
+                    w.bool(self.pure_pos.get(i).copied().unwrap_or(false));
+                    w.bool(self.pure_neg.get(i).copied().unwrap_or(false));
+                }
+            }
+            Phase::Choose => {
+                w.u8(2);
+            }
+            Phase::Unwind => {
+                w.u8(3);
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(f: &CnfFormula, digest: u64, ck: &Checkpoint) -> Result<Machine, CheckpointError> {
+        ck.verify(SolverFamily::Dpll, CHECKPOINT_PAYLOAD_VERSION)?;
+        let mut r = PayloadReader::new(ck.payload());
+        let found = r.u64()?;
+        if found != digest {
+            return Err(CheckpointError::InstanceMismatch {
+                family: SolverFamily::Dpll,
+                expected: digest,
+                found,
+            });
+        }
+        let n = f.num_vars();
+        let stored_n = r.usize()?;
+        if stored_n != n {
+            return Err(CheckpointError::Malformed {
+                what: format!("checkpoint has {stored_n} variables, formula has {n}"),
+                offset: r.offset(),
+            });
+        }
+        let mut assignment = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.offset();
+            assignment.push(match r.u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                b => {
+                    return Err(CheckpointError::Malformed {
+                        what: format!("invalid assignment byte {b}"),
+                        offset: at,
+                    })
+                }
+            });
+        }
+        let read_trail = |r: &mut PayloadReader<'_>| -> Result<Vec<usize>, CheckpointError> {
+            let len = r.seq_len(8, "trail")?;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(r.usize_below(n, "trail var")?);
+            }
+            Ok(out)
+        };
+        let trail = read_trail(&mut r)?;
+        let frame_count = r.seq_len(17, "decision stack")?;
+        let mut frames = Vec::with_capacity(frame_count);
+        for _ in 0..frame_count {
+            let var = r.usize_below(n, "decision var")?;
+            let tried_false = r.bool()?;
+            let frame_trail = read_trail(&mut r)?;
+            frames.push(Frame {
+                var,
+                tried_false,
+                trail: frame_trail,
+            });
+        }
+        let tag_at = r.offset();
+        let (phase, pure_pos, pure_neg) = match r.u8()? {
+            0 => {
+                let clause = r.usize_at_most(f.clauses().len(), "clause index")?;
+                let changed = r.bool()?;
+                (Phase::UnitScan { clause, changed }, Vec::new(), Vec::new())
+            }
+            1 => {
+                let var = r.usize_at_most(n, "pure-scan var")?;
+                let changed = r.bool()?;
+                let mut pos = Vec::with_capacity(n);
+                let mut neg = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pos.push(r.bool()?);
+                    neg.push(r.bool()?);
+                }
+                (Phase::PureScan { var, changed }, pos, neg)
+            }
+            2 => (Phase::Choose, Vec::new(), Vec::new()),
+            3 => (Phase::Unwind, Vec::new(), Vec::new()),
+            b => {
+                return Err(CheckpointError::Malformed {
+                    what: format!("invalid phase tag {b}"),
+                    offset: tag_at,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(Machine {
+            assignment,
+            trail,
+            frames,
+            pure_pos,
+            pure_neg,
+            phase,
+        })
+    }
+}
+
 impl DpllSolver {
     /// Creates a solver with the given configuration.
     pub fn new(config: DpllConfig) -> Self {
         DpllSolver { config }
     }
 
+    /// FNV digest binding a checkpoint to (formula, configuration).
+    fn digest(&self, f: &CnfFormula) -> u64 {
+        let mut d = Digest::new();
+        d.str("dpll").usize(f.num_vars()).usize(f.clauses().len());
+        for clause in f.clauses() {
+            d.usize(clause.len());
+            for &l in clause {
+                d.usize(l.code());
+            }
+        }
+        d.u64(u64::from(self.config.unit_propagation))
+            .u64(u64::from(self.config.pure_literal))
+            .u64(match self.config.branching {
+                Branching::FirstUnassigned => 0,
+                Branching::MostFrequent => 1,
+            });
+        d.finish()
+    }
+
     /// Decides satisfiability under `budget`: `Sat(model)`, `Unsat`, or
     /// `Exhausted` if the budget ran out first, plus run counters.
     pub fn solve(&self, f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) {
-        let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars()];
+        let mut machine = Machine::fresh(f);
         let mut ticker = Ticker::new(budget);
-        let result = self.search(f, &mut assignment, &mut ticker).map(|sat| {
-            sat.then(|| {
-                assignment
-                    .iter()
-                    .map(|a| a.unwrap_or(false)) // unconstrained vars: any value
-                    .collect()
-            })
-        });
+        let result = machine
+            .run(f, &self.config, &mut ticker)
+            .map(|sat| sat.then(|| machine.witness()));
         ticker.finish(result)
+    }
+
+    /// Like [`solve`](DpllSolver::solve), but exhaustion is a *pause*: the
+    /// returned [`ResumableOutcome::Suspended`] carries a [`Checkpoint`]
+    /// which, passed back as `from`, continues the search exactly where it
+    /// stopped. Chained resumes match one uninterrupted run in verdict and
+    /// summed [`RunStats`].
+    #[must_use = "a resumable run's outcome carries the checkpoint needed to continue"]
+    pub fn solve_resumable(
+        &self,
+        f: &CnfFormula,
+        budget: &Budget,
+        from: Option<&Checkpoint>,
+    ) -> Result<(ResumableOutcome<Vec<bool>>, RunStats), CheckpointError> {
+        let digest = self.digest(f);
+        let mut machine = match from {
+            Some(ck) => Machine::decode(f, digest, ck)?,
+            None => Machine::fresh(f),
+        };
+        let mut ticker = Ticker::new(budget);
+        let outcome = match machine.run(f, &self.config, &mut ticker) {
+            Ok(true) => ResumableOutcome::Sat(machine.witness()),
+            Ok(false) => ResumableOutcome::Unsat,
+            Err(reason) => ResumableOutcome::Suspended {
+                reason,
+                checkpoint: Checkpoint::new(
+                    SolverFamily::Dpll,
+                    CHECKPOINT_PAYLOAD_VERSION,
+                    machine.encode(digest),
+                ),
+            },
+        };
+        Ok((outcome, ticker.stats()))
     }
 
     fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
@@ -102,165 +560,6 @@ impl DpllSolver {
             1 => ClauseState::Unit(unassigned.expect("counted one")),
             _ => ClauseState::Open,
         }
-    }
-
-    /// Returns `Ok(true)` if satisfiable with the current partial
-    /// assignment, `Err` if the budget ran out mid-branch.
-    fn search(
-        &self,
-        f: &CnfFormula,
-        assignment: &mut Vec<Option<bool>>,
-        ticker: &mut Ticker,
-    ) -> Result<bool, ExhaustReason> {
-        // Trail of variables assigned at this level, for backtracking.
-        let mut trail: Vec<usize> = Vec::new();
-        let undo = |assignment: &mut Vec<Option<bool>>, trail: &[usize]| {
-            for &v in trail {
-                assignment[v] = None; // lb-lint: allow(no-unchecked-index) -- the trail only holds assigned variable ids < num_vars
-            }
-        };
-        // Budget exhaustion aborts the whole search, so the partial
-        // assignment need not be restored — but route through a single
-        // cleanup point anyway to keep the solver reusable.
-        macro_rules! bail_if_exhausted {
-            ($tick:expr) => {
-                if let Err(reason) = $tick {
-                    undo(assignment, &trail);
-                    return Err(reason);
-                }
-            };
-        }
-
-        // Simplification loop: unit propagation + pure literals to fixpoint.
-        loop {
-            let mut changed = false;
-            let mut conflict = false;
-            if self.config.unit_propagation {
-                for clause in f.clauses() {
-                    match Self::clause_state(clause, assignment) {
-                        ClauseState::Conflict => {
-                            conflict = true;
-                            break;
-                        }
-                        ClauseState::Unit(l) => {
-                            // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
-                            assignment[l.var()] = Some(l.is_positive());
-                            trail.push(l.var());
-                            bail_if_exhausted!(ticker.propagation());
-                            changed = true;
-                        }
-                        _ => {}
-                    }
-                }
-            } else {
-                // Still must detect conflicts to terminate branches.
-                conflict = f
-                    .clauses()
-                    .iter()
-                    .any(|c| matches!(Self::clause_state(c, assignment), ClauseState::Conflict));
-            }
-            if conflict {
-                bail_if_exhausted!(ticker.backtrack());
-                undo(assignment, &trail);
-                return Ok(false);
-            }
-            if self.config.pure_literal && !changed {
-                // Polarities over unresolved clauses.
-                let n = f.num_vars();
-                let mut pos = vec![false; n];
-                let mut neg = vec![false; n];
-                for clause in f.clauses() {
-                    if matches!(
-                        Self::clause_state(clause, assignment),
-                        ClauseState::Satisfied
-                    ) {
-                        continue;
-                    }
-                    for &l in clause {
-                        // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
-                        if assignment[l.var()].is_none() {
-                            if l.is_positive() {
-                                pos[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
-                            } else {
-                                neg[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
-                            }
-                        }
-                    }
-                }
-                for v in 0..n {
-                    // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
-                    if assignment[v].is_none() && (pos[v] ^ neg[v]) {
-                        assignment[v] = Some(pos[v]); // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
-                        trail.push(v);
-                        bail_if_exhausted!(ticker.propagation());
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-
-        // All clauses satisfied?
-        let all_satisfied = f
-            .clauses()
-            .iter()
-            .all(|c| matches!(Self::clause_state(c, assignment), ClauseState::Satisfied));
-        if all_satisfied {
-            return Ok(true);
-        }
-
-        // Branch.
-        let var = match self.config.branching {
-            Branching::FirstUnassigned => assignment.iter().position(|a| a.is_none()),
-            Branching::MostFrequent => {
-                let mut count = vec![0usize; f.num_vars()];
-                for clause in f.clauses() {
-                    if matches!(
-                        Self::clause_state(clause, assignment),
-                        ClauseState::Satisfied
-                    ) {
-                        continue;
-                    }
-                    for &l in clause {
-                        // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
-                        if assignment[l.var()].is_none() {
-                            count[l.var()] += 1; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
-                        }
-                    }
-                }
-                (0..f.num_vars())
-                    .filter(|&v| assignment[v].is_none()) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
-                    .max_by_key(|&v| count[v]) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
-            }
-        };
-        let var = match var {
-            Some(v) => v,
-            None => {
-                // No unassigned variables but not all clauses satisfied.
-                bail_if_exhausted!(ticker.backtrack());
-                undo(assignment, &trail);
-                return Ok(false);
-            }
-        };
-
-        bail_if_exhausted!(ticker.node());
-        for value in [true, false] {
-            assignment[var] = Some(value); // lb-lint: allow(no-unchecked-index) -- var came from an index over 0..num_vars
-            match self.search(f, assignment, ticker) {
-                Ok(true) => return Ok(true),
-                Ok(false) => {}
-                Err(reason) => {
-                    undo(assignment, &trail);
-                    return Err(reason);
-                }
-            }
-        }
-        // lb-lint: allow(no-unchecked-index) -- var came from an index over 0..num_vars
-        assignment[var] = None;
-        undo(assignment, &trail);
-        Ok(false)
     }
 }
 
@@ -381,5 +680,64 @@ mod tests {
         let (out, stats) = DpllSolver::default().solve(&f, &Budget::ticks(2));
         assert!(out.is_exhausted(), "2 ticks cannot decide 42 clauses");
         assert!(stats.total_ops() >= 2);
+    }
+
+    #[test]
+    fn sliced_resume_matches_one_shot() {
+        for seed in 0..6u64 {
+            let f = generators::random_ksat(8, 30, 3, seed);
+            for cfg in all_configs() {
+                let solver = DpllSolver::new(cfg);
+                let (one_shot, full) = solver.solve(&f, &Budget::unlimited());
+                let mut from: Option<Checkpoint> = None;
+                let mut summed = RunStats::default();
+                let sliced = loop {
+                    let (out, stats) = solver
+                        .solve_resumable(&f, &Budget::ticks(7), from.as_ref())
+                        .expect("clean resume");
+                    summed.absorb(&stats);
+                    match out {
+                        ResumableOutcome::Suspended { checkpoint, .. } => {
+                            // Round-trip through bytes, like a real restart.
+                            let bytes = checkpoint.to_bytes();
+                            from = Some(Checkpoint::from_bytes(&bytes).expect("round trip"));
+                        }
+                        done => break done.into_outcome(),
+                    }
+                };
+                assert_eq!(sliced, one_shot, "seed {seed}, cfg {cfg:?}");
+                assert_eq!(summed, full, "seed {seed}, cfg {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_family_checkpoint_is_rejected() {
+        let f = generators::random_ksat(6, 20, 3, 1);
+        let solver = DpllSolver::default();
+        let (out, _) = solver
+            .solve_resumable(&f, &Budget::ticks(3), None)
+            .expect("fresh start");
+        let ck = out.checkpoint().expect("suspended").clone();
+        let alien = Checkpoint::new(SolverFamily::GenericJoin, 1, ck.payload().to_vec());
+        let err = solver
+            .solve_resumable(&f, &Budget::unlimited(), Some(&alien))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::WrongFamily { .. }));
+    }
+
+    #[test]
+    fn wrong_instance_checkpoint_is_rejected() {
+        let f1 = generators::random_ksat(8, 30, 3, 1);
+        let f2 = generators::random_ksat(8, 30, 3, 2);
+        let solver = DpllSolver::default();
+        let (out, _) = solver
+            .solve_resumable(&f1, &Budget::ticks(3), None)
+            .expect("fresh start");
+        let ck = out.checkpoint().expect("suspended").clone();
+        let err = solver
+            .solve_resumable(&f2, &Budget::unlimited(), Some(&ck))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::InstanceMismatch { .. }));
     }
 }
