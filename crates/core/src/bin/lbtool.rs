@@ -5,6 +5,9 @@
 //! lbtool 2sat <file.cnf>           solve a width-≤2 DIMACS CNF in linear time
 //! lbtool count <file.cnf>          count the models of a DIMACS CNF
 //! lbtool csp <file.csp>            solve a CSP instance by backtracking
+//! lbtool join <file.db> "<query>"  count join results worst-case optimally
+//! lbtool triangle <file.graph>     count the triangles of a graph
+//! lbtool clique <file.graph> <k>   find (or --count) k-cliques
 //! lbtool treewidth <file.graph>    treewidth bounds (exact when n ≤ 22)
 //! lbtool rho-star "<query>"        ρ* and the AGM bound of a join query
 //! lbtool claims [hypothesis]       the paper's lower-bound claims
@@ -14,7 +17,7 @@
 //! and prints `UNKNOWN` once the solver has spent that many counted
 //! operations. Without the flag the solver runs to completion.
 //!
-//! `sat` and `csp` additionally accept:
+//! `sat`, `csp`, `join`, `triangle`, and `clique` additionally accept:
 //!
 //! ```text
 //! --checkpoint <file>            persist the search frontier to <file>
@@ -36,6 +39,9 @@
 //! CSP files: header `csp <num_vars> <domain_size>`, then one constraint
 //! per line, `con <v1> <v2> ... : <t>,<t> <t>,<t> ...` (0-based variables,
 //! tuples comma-separated; `#` starts a comment).
+//! Database files: a `rel <name> <arity>` line opens a relation; each
+//! following numeric line is one of its rows. Rows are set-semantics
+//! (duplicates collapse), matching the paper's relational model.
 //!
 //! Malformed input never panics: every parser reports a typed
 //! [`ParseError`] printed as `file:line:col: message`, exit code 1.
@@ -98,8 +104,10 @@ fn main() -> ExitCode {
         }
     };
     let cmd = args.first().map(String::as_str);
-    if ck.active() && !matches!(cmd, Some("sat" | "csp")) {
-        eprintln!("error: --checkpoint/--resume are supported by `sat` and `csp` only");
+    if ck.active() && !matches!(cmd, Some("sat" | "csp" | "join" | "triangle" | "clique")) {
+        eprintln!(
+            "error: --checkpoint/--resume are supported by `sat`, `csp`, `join`, `triangle`, and `clique` only"
+        );
         return ExitCode::from(2);
     }
     let result = match cmd {
@@ -107,12 +115,15 @@ fn main() -> ExitCode {
         Some("2sat") => cmd_sat(&args[1..], true, &budget, &ck),
         Some("count") => cmd_count(&args[1..], &budget),
         Some("csp") => cmd_csp(&args[1..], &budget, &ck),
+        Some("join") => cmd_join(&args[1..], &budget, &ck),
+        Some("triangle") => cmd_triangle(&args[1..], &budget, &ck),
+        Some("clique") => cmd_clique(&args[1..], &budget, &ck),
         Some("treewidth") => cmd_treewidth(&args[1..]),
         Some("rho-star") => cmd_rho_star(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lbtool <sat|2sat|count|csp|treewidth|rho-star|claims> [--budget <ticks>] [--checkpoint <file>] [--resume <file>] ..."
+                "usage: lbtool <sat|2sat|count|csp|join|triangle|clique|treewidth|rho-star|claims> [--budget <ticks>] [--checkpoint <file>] [--resume <file>] ..."
             );
             return ExitCode::from(2);
         }
@@ -297,6 +308,15 @@ fn report_stats(stats: &RunStats) {
     eprintln!(
         "nodes: {}, propagations: {}, backtracks: {}",
         stats.nodes, stats.propagations, stats.backtracks
+    );
+}
+
+/// Like [`report_stats`], but leads with the counters join-style work
+/// actually charges (index advances and materialized tuples).
+fn report_join_stats(stats: &RunStats) {
+    eprintln!(
+        "trie advances: {}, tuples: {}, nodes: {}, backtracks: {}",
+        stats.trie_advances, stats.tuples, stats.nodes, stats.backtracks
     );
 }
 
@@ -554,6 +574,233 @@ fn cmd_csp(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError
             println!("SATISFIABLE\nv {}", vals.join(" "));
         }
         Outcome::Unsat => println!("UNSATISFIABLE"),
+        Outcome::Exhausted(r) => {
+            return Err(CmdError::Exhausted {
+                reason: r.to_string(),
+                checkpoint: None,
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `lbtool join` database format:
+///
+/// ```text
+/// # comment
+/// rel R 2
+/// 0 1
+/// 1 2
+/// rel S 2
+/// ...
+/// ```
+///
+/// Every row is validated against its relation's declared arity before it
+/// reaches [`Table`], whose constructors assert on mismatches; rows load
+/// with set semantics (sorted, deduplicated).
+fn parse_db(text: &str) -> Result<lowerbounds::join::Database, ParseError> {
+    use lowerbounds::join::{Database, Table, Value};
+    let mut db = Database::new();
+    let mut open: Option<(String, usize, Table)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<(usize, &str)> = tokens(raw).collect();
+        let (kw_col, kw) = toks[0];
+        if kw == "rel" {
+            if toks.len() != 3 {
+                return Err(ParseError::new(
+                    lineno,
+                    kw_col,
+                    ParseErrorKind::Malformed {
+                        what: "relation header (expected `rel <name> <arity>`)".to_string(),
+                    },
+                ));
+            }
+            let name = toks[1].1.to_string();
+            let arity: usize = parse_num(lineno, toks[2].0, toks[2].1, "relation arity")?;
+            if arity == 0 {
+                return Err(ParseError::new(
+                    lineno,
+                    toks[2].0,
+                    ParseErrorKind::OutOfRange {
+                        what: "relation arity".to_string(),
+                        token: toks[2].1.to_string(),
+                        limit: "at least 1".to_string(),
+                    },
+                ));
+            }
+            if let Some((prev_name, _, mut prev_table)) =
+                open.replace((name, arity, Table::new(arity)))
+            {
+                prev_table.normalize();
+                db.insert(&prev_name, prev_table);
+            }
+            continue;
+        }
+        let Some((_, arity, table)) = open.as_mut() else {
+            return Err(ParseError::new(
+                lineno,
+                kw_col,
+                ParseErrorKind::Missing {
+                    what: "`rel` header before rows".to_string(),
+                },
+            ));
+        };
+        if toks.len() != *arity {
+            return Err(ParseError::new(
+                lineno,
+                kw_col,
+                ParseErrorKind::CountMismatch {
+                    what: "row values".to_string(),
+                    declared: *arity,
+                    found: toks.len(),
+                },
+            ));
+        }
+        let mut row = Vec::with_capacity(*arity);
+        for &(col, tok) in &toks {
+            row.push(parse_num::<Value>(lineno, col, tok, "row value")?);
+        }
+        table.push(row);
+    }
+    if let Some((name, _, mut table)) = open {
+        table.normalize();
+        db.insert(&name, table);
+    }
+    Ok(db)
+}
+
+/// Maps a resumable-join error to a diagnostic: instance errors stand on
+/// their own, checkpoint errors name the file they came from.
+fn describe_resume_error(e: lowerbounds::join::wcoj::ResumeError, ck: &CkOpts) -> String {
+    use lowerbounds::join::wcoj::ResumeError;
+    match e {
+        ResumeError::Join(e) => e.to_string(),
+        ResumeError::Checkpoint(e) => format!("{}: {e}", describe_ck_source(ck)),
+    }
+}
+
+fn cmd_join(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError> {
+    use lowerbounds::join::wcoj;
+    let mut args: Vec<String> = args.to_vec();
+    let order: Option<Vec<String>> = extract_value(&mut args, "--order")?
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let path = args.first().ok_or("missing database file")?;
+    let spec = args.get(1).ok_or("missing query string")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let db = parse_db(&text).map_err(in_file(path))?;
+    let q = parse_query(spec).map_err(in_file("<query>"))?;
+    let (outcome, stats) = if ck.active() {
+        run_sliced(budget, ck, |slice, from| {
+            wcoj::count_resumable(&q, &db, order.as_deref(), slice, from)
+                .map_err(|e| describe_resume_error(e, ck))
+        })?
+    } else {
+        wcoj::count(&q, &db, order.as_deref(), budget).map_err(|e| e.to_string())?
+    };
+    report_join_stats(&stats);
+    match outcome {
+        Outcome::Sat(count) => println!("{count}"),
+        // lb-lint: allow(no-panic) -- invariant: join counting completes with Sat or exhausts
+        Outcome::Unsat => unreachable!("join counting has no Unsat outcome"),
+        Outcome::Exhausted(r) => {
+            return Err(CmdError::Exhausted {
+                reason: r.to_string(),
+                checkpoint: None,
+            })
+        }
+    }
+    Ok(())
+}
+
+fn cmd_triangle(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError> {
+    use lowerbounds::graphalg::triangle;
+    let path = args.first().ok_or("missing graph file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let g = parse_graph(&text).map_err(in_file(path))?;
+    let (outcome, stats) = if ck.active() {
+        run_sliced(budget, ck, |slice, from| {
+            triangle::count_triangles_resumable(&g, slice, from)
+                .map_err(|e| format!("{}: {e}", describe_ck_source(ck)))
+        })?
+    } else {
+        triangle::count_triangles(&g, budget)
+    };
+    report_join_stats(&stats);
+    match outcome {
+        Outcome::Sat(count) => println!("{count}"),
+        // lb-lint: allow(no-panic) -- invariant: triangle counting completes with Sat or exhausts
+        Outcome::Unsat => unreachable!("triangle counting has no Unsat outcome"),
+        Outcome::Exhausted(r) => {
+            return Err(CmdError::Exhausted {
+                reason: r.to_string(),
+                checkpoint: None,
+            })
+        }
+    }
+    Ok(())
+}
+
+fn cmd_clique(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError> {
+    use lowerbounds::graphalg::clique;
+    let mut args: Vec<String> = args.to_vec();
+    let counting = if let Some(pos) = args.iter().position(|a| a == "--count") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let path = args.first().ok_or("missing graph file")?;
+    let k: usize = match args.get(1) {
+        Some(tok) => tok
+            .parse()
+            .map_err(|e| format!("bad clique size `{tok}`: {e}"))?,
+        None => return Err("missing clique size k".into()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let g = parse_graph(&text).map_err(in_file(path))?;
+    if counting {
+        let (outcome, stats) = if ck.active() {
+            run_sliced(budget, ck, |slice, from| {
+                clique::count_cliques_resumable(&g, k, slice, from)
+                    .map_err(|e| format!("{}: {e}", describe_ck_source(ck)))
+            })?
+        } else {
+            clique::count_cliques(&g, k, budget)
+        };
+        report_stats(&stats);
+        match outcome {
+            Outcome::Sat(count) => println!("{count}"),
+            // lb-lint: allow(no-panic) -- invariant: clique counting completes with Sat or exhausts
+            Outcome::Unsat => unreachable!("clique counting has no Unsat outcome"),
+            Outcome::Exhausted(r) => {
+                return Err(CmdError::Exhausted {
+                    reason: r.to_string(),
+                    checkpoint: None,
+                })
+            }
+        }
+        return Ok(());
+    }
+    let (outcome, stats) = if ck.active() {
+        run_sliced(budget, ck, |slice, from| {
+            clique::find_clique_resumable(&g, k, slice, from)
+                .map_err(|e| format!("{}: {e}", describe_ck_source(ck)))
+        })?
+    } else {
+        clique::find_clique(&g, k, budget)
+    };
+    report_stats(&stats);
+    match outcome {
+        Outcome::Sat(vs) => {
+            let vs: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+            println!("CLIQUE\nv {}", vs.join(" "));
+        }
+        Outcome::Unsat => println!("NONE"),
         Outcome::Exhausted(r) => {
             return Err(CmdError::Exhausted {
                 reason: r.to_string(),

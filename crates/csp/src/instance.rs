@@ -251,8 +251,11 @@ impl CspInstance {
     /// some constraint scope (§2.2).
     pub fn primal_graph(&self) -> Graph {
         let mut g = Graph::new(self.num_vars);
+        // lb-lint: allow(unbudgeted-loop) -- graph construction, linear in total scope size; runs before search
         for c in &self.constraints {
+            // lb-lint: allow(unbudgeted-loop) -- graph construction, linear in total scope size; runs before search
             for (i, &u) in c.scope.iter().enumerate() {
+                // lb-lint: allow(unbudgeted-loop) -- graph construction, linear in total scope size; runs before search
                 for &v in &c.scope[i + 1..] {
                     if u != v && !g.has_edge(u, v) {
                         g.add_edge(u, v);
@@ -266,6 +269,7 @@ impl CspInstance {
     /// The hypergraph: one hyperedge per constraint scope (§2.2).
     pub fn hypergraph(&self) -> Hypergraph {
         let mut h = Hypergraph::new(self.num_vars);
+        // lb-lint: allow(unbudgeted-loop) -- hypergraph construction, linear in total scope size; runs before search
         for c in &self.constraints {
             let mut scope = c.scope.clone();
             scope.sort_unstable();

@@ -71,12 +71,14 @@ struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     fn new(inst: &'a CspInstance, config: BacktrackConfig) -> Self {
         let mut by_var = vec![Vec::new(); inst.num_vars];
+        // lb-lint: allow(unbudgeted-loop) -- one-time index construction, linear in total scope size
         for (ci, c) in inst.constraints.iter().enumerate() {
             let mut seen = c.scope.clone();
             seen.sort_unstable();
             seen.dedup();
+            // lb-lint: allow(unbudgeted-loop) -- one-time index construction, linear in total scope size
             for v in seen {
-                by_var[v].push(ci); // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
+                by_var[v].push(ci); // lb-lint: allow(no-unchecked-index, panic-reachability) -- scope variables are < num_vars, validated by CspInstance::add_constraint
             }
         }
         Ctx {
@@ -87,10 +89,10 @@ impl<'a> Ctx<'a> {
     }
 
     fn pick_var(&self, assigned: &[Option<Value>], domain_count: &[usize]) -> Option<usize> {
-        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+        // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
         let unassigned = (0..self.inst.num_vars).filter(|&v| assigned[v].is_none());
         if self.config.mrv {
-            unassigned.min_by_key(|&v| domain_count[v]) // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+            unassigned.min_by_key(|&v| domain_count[v]) // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
         } else {
             let mut it = unassigned;
             it.next()
@@ -99,15 +101,15 @@ impl<'a> Ctx<'a> {
 
     /// Checks constraints that are fully assigned and involve `var`.
     fn consistent_after(&self, assigned: &[Option<Value>], var: usize) -> bool {
-        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+        // lb-lint: allow(no-unchecked-index, unbudgeted-loop, panic-reachability) -- var/v index per-variable vectors sized num_vars; loop: bounded by the constraints on one variable; the caller charges per node
         for &ci in &self.by_var[var] {
-            let c = &self.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
-                                                // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
+            let c = &self.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index, panic-reachability) -- by_var holds constraint indices from enumerate()
+                                                // lb-lint: allow(no-unchecked-index, panic-reachability) -- scope variables are < num_vars, validated by CspInstance::add_constraint
             if c.scope.iter().all(|&v| assigned[v].is_some()) {
                 let t: Vec<Value> = c
                     .scope
                     .iter()
-                    // lb-lint: allow(no-panic, no-unchecked-index) -- the solver projects only scope variables (< num_vars) it has already assigned
+                    // lb-lint: allow(no-panic, no-unchecked-index, panic-reachability) -- the solver projects only scope variables (< num_vars) it has already assigned
                     .map(|&v| assigned[v].expect("checked"))
                     .collect();
                 if !c.relation.allows(&t) {
@@ -184,7 +186,7 @@ impl Machine {
                             let solution: Assignment = self
                                 .assigned
                                 .iter()
-                                // lb-lint: allow(no-panic) -- invariant: a complete solution assigns every variable
+                                // lb-lint: allow(no-panic, panic-reachability) -- invariant: a complete solution assigns every variable
                                 .map(|a| a.expect("all assigned"))
                                 .collect();
                             debug_assert!(ctx.inst.eval(&solution));
@@ -197,8 +199,9 @@ impl Machine {
                 Phase::NextValue { var, d } => {
                     let mut d = d;
                     let mut open = None;
+                    // lb-lint: allow(unbudgeted-loop) -- scans at most domain_size values for the next open value; selection charges a node
                     while (d as usize) < ctx.inst.domain_size {
-                        // lb-lint: allow(no-unchecked-index) -- var < num_vars; d < domain_size by the loop bound
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- var < num_vars; d < domain_size by the loop bound
                         if self.domains[var][d as usize] {
                             open = Some(d);
                             break;
@@ -213,7 +216,7 @@ impl Machine {
                                 d,
                                 trail: Vec::new(),
                             });
-                            self.assigned[var] = Some(d); // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                            self.assigned[var] = Some(d); // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                             self.phase = Phase::Consist;
                             ticker.node()?;
                         }
@@ -244,17 +247,18 @@ impl Machine {
                     let mut ci_idx = ci_idx;
                     let mut d = d;
                     loop {
-                        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                         let Some(&ci) = ctx.by_var[var].get(ci_idx) else {
                             self.phase = Phase::Select;
                             break;
                         };
-                        let c = &ctx.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index) -- by_var holds constraint indices from enumerate()
+                        let c = &ctx.inst.constraints[ci]; // lb-lint: allow(no-unchecked-index, panic-reachability) -- by_var holds constraint indices from enumerate()
                                                            // Exactly one unassigned scope variable?
                         let mut unassigned_var = None;
                         let mut multiple = false;
+                        // lb-lint: allow(unbudgeted-loop) -- scans one constraint scope; bounded by arity
                         for &v in &c.scope {
-                            // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
+                            // lb-lint: allow(no-unchecked-index, panic-reachability) -- scope variables are < num_vars, validated by CspInstance::add_constraint
                             if self.assigned[v].is_none() {
                                 match unassigned_var {
                                     None => unassigned_var = Some(v),
@@ -273,17 +277,17 @@ impl Machine {
                         };
                         // Prune values of u not extendable to an allowed tuple.
                         while (d as usize) < ctx.inst.domain_size {
-                            // lb-lint: allow(no-unchecked-index) -- u < num_vars; d ranges over 0..domain_size = the row length
+                            // lb-lint: allow(no-unchecked-index, panic-reachability) -- u < num_vars; d ranges over 0..domain_size = the row length
                             if self.domains[u][d as usize] {
                                 let t: Vec<Value> = c
                                     .scope
                                     .iter()
-                                    .map(|&v| self.assigned[v].unwrap_or(d)) // lb-lint: allow(no-unchecked-index) -- scope variables are < num_vars, validated by CspInstance::add_constraint
+                                    .map(|&v| self.assigned[v].unwrap_or(d)) // lb-lint: allow(no-unchecked-index, panic-reachability) -- scope variables are < num_vars, validated by CspInstance::add_constraint
                                     .collect();
                                 if !c.relation.allows(&t) {
-                                    // lb-lint: allow(no-unchecked-index) -- u < num_vars; d < domain_size by the loop bound
+                                    // lb-lint: allow(no-unchecked-index, panic-reachability) -- u < num_vars; d < domain_size by the loop bound
                                     self.domains[u][d as usize] = false;
-                                    self.domain_count[u] -= 1; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                                    self.domain_count[u] -= 1; // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                                     if let Some(top) = self.frames.last_mut() {
                                         top.trail.push((u, d));
                                     }
@@ -295,7 +299,7 @@ impl Machine {
                             }
                             d += 1;
                         }
-                        // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                         if self.domain_count[u] == 0 {
                             self.phase = Phase::Unwind;
                             break;
@@ -307,16 +311,17 @@ impl Machine {
                 Phase::Unwind => match self.frames.pop() {
                     None => return Ok(None),
                     Some(frame) => {
+                        // lb-lint: allow(unbudgeted-loop) -- undoes one frame's trail; entries were charged when pruned
                         for &(v, dv) in &frame.trail {
                             // Restore idempotently: a hostile (but
                             // checksummed) trail must not corrupt counts.
-                            // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed and are bounds-checked on decode
+                            // lb-lint: allow(no-unchecked-index, panic-reachability) -- trail entries were in range when pushed and are bounds-checked on decode
                             if !self.domains[v][dv as usize] {
-                                self.domains[v][dv as usize] = true; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed and are bounds-checked on decode
-                                self.domain_count[v] += 1; // lb-lint: allow(no-unchecked-index) -- trail entries were in range when pushed and are bounds-checked on decode
+                                self.domains[v][dv as usize] = true; // lb-lint: allow(no-unchecked-index, panic-reachability) -- trail entries were in range when pushed and are bounds-checked on decode
+                                self.domain_count[v] += 1; // lb-lint: allow(no-unchecked-index, panic-reachability) -- trail entries were in range when pushed and are bounds-checked on decode
                             }
                         }
-                        self.assigned[frame.var] = None; // lb-lint: allow(no-unchecked-index) -- var/v index per-variable vectors sized num_vars
+                        self.assigned[frame.var] = None; // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                         self.phase = Phase::NextValue {
                             var: frame.var,
                             d: frame.d + 1,
@@ -336,12 +341,15 @@ impl Machine {
             })
             .u64(count)
             .usize(self.domains.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for row in &self.domains {
             w.usize(row.len());
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
             for &b in row {
                 w.bool(b);
             }
         }
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for a in &self.assigned {
             w.u64(match a {
                 None => 0,
@@ -349,8 +357,10 @@ impl Machine {
             });
         }
         w.usize(self.frames.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for frame in &self.frames {
             w.usize(frame.var).u32(frame.d).usize(frame.trail.len());
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
             for &(v, d) in &frame.trail {
                 w.usize(v).u32(d);
             }
@@ -435,6 +445,7 @@ impl Machine {
         }
         let mut domains = Vec::with_capacity(n);
         let mut domain_count = Vec::with_capacity(n);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..n {
             let row_at = r.offset();
             let row_len = r.usize()?;
@@ -445,6 +456,7 @@ impl Machine {
                 });
             }
             let mut row = Vec::with_capacity(ds);
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..ds {
                 row.push(r.bool()?);
             }
@@ -452,6 +464,7 @@ impl Machine {
             domains.push(row);
         }
         let mut assigned = Vec::with_capacity(n);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..n {
             let at = r.offset();
             let v = r.u64()?;
@@ -480,11 +493,13 @@ impl Machine {
         };
         let frame_count = r.seq_len(20, "frame stack")?;
         let mut frames = Vec::with_capacity(frame_count);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..frame_count {
             let var = r.usize_below(n, "frame var")?;
             let d = read_value(&mut r)?;
             let trail_len = r.seq_len(12, "prune trail")?;
             let mut trail = Vec::with_capacity(trail_len);
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..trail_len {
                 let v = r.usize_below(n, "trail var")?;
                 let dv = read_value(&mut r)?;
@@ -517,7 +532,7 @@ impl Machine {
                             what: "forward-check phase with an empty frame stack".into(),
                             offset: tag_at,
                         })?;
-                // lb-lint: allow(no-unchecked-index) -- top_var came from a decoded frame validated < num_vars
+                // lb-lint: allow(no-unchecked-index, panic-reachability) -- top_var came from a decoded frame validated < num_vars
                 let ci_idx = r.usize_at_most(ctx.by_var[top_var].len(), "constraint cursor")?;
                 let at = r.offset();
                 let d = r.u32()?;
@@ -564,13 +579,17 @@ fn instance_digest(inst: &CspInstance, config: BacktrackConfig) -> u64 {
         .usize(inst.num_vars)
         .usize(inst.domain_size)
         .usize(inst.constraints.len());
+    // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in instance size; runs once per resume
     for c in &inst.constraints {
         d.usize(c.scope.len());
+        // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in instance size; runs once per resume
         for &v in &c.scope {
             d.usize(v);
         }
         d.usize(c.relation.arity()).usize(c.relation.tuples().len());
+        // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in instance size; runs once per resume
         for t in c.relation.tuples() {
+            // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in instance size; runs once per resume
             for &v in t {
                 d.u64(u64::from(v));
             }

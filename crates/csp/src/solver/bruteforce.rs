@@ -92,6 +92,7 @@ fn enumerate_inner<F: FnMut(&[Value]) -> bool>(
         }
         // Odometer increment (most significant digit first for lex order).
         let mut i = n;
+        // lb-lint: allow(unbudgeted-loop) -- odometer increment, bounded by num_vars per charged assignment
         loop {
             if i == 0 {
                 return Ok(false);

@@ -86,9 +86,11 @@ pub fn solve_special(
     let solution = match (clique_solution, path_solution) {
         (Some(cs), Some(ps)) => {
             let mut full: Assignment = vec![0; inst.num_vars];
+            // lb-lint: allow(unbudgeted-loop) -- copies one solution through the variable map; linear in vars
             for (local, &global) in clique_sub.vars.iter().enumerate() {
                 full[global] = cs[local];
             }
+            // lb-lint: allow(unbudgeted-loop) -- copies one solution through the variable map; linear in vars
             for (local, &global) in path_sub.vars.iter().enumerate() {
                 full[global] = ps[local];
             }
@@ -110,10 +112,12 @@ struct SubInstance {
 /// `vars`), taking every constraint whose scope lies inside `vars`.
 fn induced_subinstance(inst: &CspInstance, vars: &[usize]) -> SubInstance {
     let mut local_of = vec![usize::MAX; inst.num_vars];
+    // lb-lint: allow(unbudgeted-loop) -- builds the induced subinstance; linear in instance size
     for (l, &g) in vars.iter().enumerate() {
         local_of[g] = l;
     }
     let mut sub = CspInstance::new(vars.len(), inst.domain_size);
+    // lb-lint: allow(unbudgeted-loop) -- builds the induced subinstance; linear in instance size
     for c in &inst.constraints {
         if c.scope.iter().all(|&v| local_of[v] != usize::MAX) {
             let scope: Vec<usize> = c.scope.iter().map(|&v| local_of[v]).collect();
@@ -172,6 +176,7 @@ fn path_dp(
     };
 
     let mut f = vec![0u64; d];
+    // lb-lint: allow(unbudgeted-loop) -- path DP is a fixed O(len*d^2) pass, bounded by instance size
     for (v, slot) in f.iter_mut().enumerate() {
         *slot = allowed_unary(0, v as Value) as u64;
     }
@@ -187,6 +192,7 @@ fn path_dp(
             if !allowed_unary(i, b as Value) {
                 continue;
             }
+            // lb-lint: allow(unbudgeted-loop) -- path DP is a fixed O(len*d^2) pass, bounded by instance size
             for a in 0..d {
                 if f[a] > 0 && allowed_pair(i - 1, a as Value, b as Value) {
                     g[b] = g[b].saturating_add(f[a]);
@@ -205,11 +211,12 @@ fn path_dp(
     }
     // Trace one solution backwards.
     let mut sol = vec![0 as Value; len];
-    // lb-lint: allow(no-panic) -- invariant: count > 0 here, so some frequency entry is positive
+    // lb-lint: allow(no-panic, panic-reachability) -- invariant: count > 0 here, so some frequency entry is positive
     let last = f.iter().position(|&x| x > 0).expect("count > 0");
     sol[len - 1] = last as Value;
+    // lb-lint: allow(unbudgeted-loop) -- path DP is a fixed O(len*d^2) pass, bounded by instance size
     for i in (1..len).rev() {
-        // lb-lint: allow(no-panic) -- invariant: the DP backtrace only visits reachable states, which record a parent
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: the DP backtrace only visits reachable states, which record a parent
         sol[i - 1] = choice[i][sol[i] as usize].expect("reachable state has a parent");
     }
     Ok((count, Some(sol)))

@@ -45,7 +45,7 @@ pub fn solve_with_decomposition(
 ) -> (Outcome<TreewidthDpResult>, RunStats) {
     let primal = inst.primal_graph();
     td.validate(&primal)
-        // lb-lint: allow(no-panic) -- invariant: the decomposition was built from this instance's primal graph above
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: the decomposition was built from this instance's primal graph above
         .expect("tree decomposition invalid for the instance's primal graph");
     let nice = td.to_nice(inst.num_vars);
     solve_with_nice(inst, &nice, budget)
@@ -121,7 +121,7 @@ fn dp_inner(
             NiceNode::Introduce { child, var } => {
                 let pos = nice.bags[i]
                     .binary_search(&var)
-                    // lb-lint: allow(no-panic) -- invariant: niceness puts the introduced variable in the node's bag
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: niceness puts the introduced variable in the node's bag
                     .expect("introduced var in bag");
                 let mut t = Table::new();
                 // Each (child assignment, value) pair yields a distinct
@@ -141,7 +141,7 @@ fn dp_inner(
             NiceNode::Forget { child, var } => {
                 let pos = nice.bags[child]
                     .binary_search(&var)
-                    // lb-lint: allow(no-panic) -- invariant: niceness puts the forgotten variable in the child's bag
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: niceness puts the forgotten variable in the child's bag
                     .expect("forgotten var in child bag");
                 let mut t = Table::new();
                 for (assign, &cnt) in &tables[child] {
@@ -184,13 +184,14 @@ fn constraints_ok(
     bag: &[usize],
     bag_assign: &[Value],
 ) -> bool {
+    // lb-lint: allow(unbudgeted-loop) -- checks the constraints of one bag; bounded by bag size
     for &ci in constraint_ids {
         let c = &inst.constraints[ci];
         let tuple: Vec<Value> = c
             .scope
             .iter()
             .map(|v| {
-                // lb-lint: allow(no-panic) -- invariant: constraint scopes are subsets of their assigned node's bag
+                // lb-lint: allow(no-panic, panic-reachability) -- invariant: constraint scopes are subsets of their assigned node's bag
                 let pos = bag.binary_search(v).expect("scope inside bag");
                 bag_assign[pos]
             })
@@ -207,12 +208,13 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
     let mut solution: Vec<Option<Value>> = vec![None; inst.num_vars];
     // Stack of (node, chosen bag assignment).
     let mut stack: Vec<(usize, Vec<Value>)> = vec![(nice.root, Vec::new())];
+    // lb-lint: allow(unbudgeted-loop) -- walks the decomposition once to read off a solution; DP work was already charged
     while let Some((node, assign)) = stack.pop() {
         debug_assert!(tables[node].contains_key(&assign));
         match nice.kinds[node] {
             NiceNode::Leaf => {}
             NiceNode::Introduce { child, var } => {
-                // lb-lint: allow(no-panic) -- invariant: niceness puts the introduced variable in the node's bag
+                // lb-lint: allow(no-panic, panic-reachability) -- invariant: niceness puts the introduced variable in the node's bag
                 let pos = nice.bags[node].binary_search(&var).expect("var in bag");
                 let val = assign[pos];
                 match solution[var] {
@@ -229,11 +231,12 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
             NiceNode::Forget { child, var } => {
                 let pos = nice.bags[child]
                     .binary_search(&var)
-                    // lb-lint: allow(no-panic) -- invariant: niceness puts the forgotten variable in the child's bag
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: niceness puts the forgotten variable in the child's bag
                     .expect("var in child bag");
                 // Find any child value with a positive count.
                 let d = inst.domain_size as Value;
                 let mut found = None;
+                // lb-lint: allow(unbudgeted-loop) -- walks the decomposition once to read off a solution; DP work was already charged
                 for val in 0..d {
                     let mut a = assign.clone();
                     a.insert(pos, val);
@@ -244,7 +247,7 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
                 }
                 stack.push((
                     child,
-                    // lb-lint: allow(no-panic) -- invariant: a positive forget sum implies some child entry is positive
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: a positive forget sum implies some child entry is positive
                     found.expect("forget sum positive ⇒ some child entry positive"),
                 ));
             }
@@ -256,7 +259,7 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
     }
     let out: Assignment = solution
         .into_iter()
-        // lb-lint: allow(no-panic) -- invariant: a tree decomposition covers every variable in some bag
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: a tree decomposition covers every variable in some bag
         .map(|v| v.expect("every variable appears in some bag"))
         .collect();
     debug_assert!(

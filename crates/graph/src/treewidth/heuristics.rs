@@ -53,7 +53,7 @@ where
         let v = alive
             .iter()
             .min_by_key(|&v| (score(&nbr, &alive, v), v))
-            // lb-lint: allow(no-panic) -- invariant: the elimination loop runs only while the alive set is nonempty
+            // lb-lint: allow(no-panic, panic-reachability) -- invariant: the elimination loop runs only while the alive set is nonempty
             .expect("alive set nonempty");
         // Connect remaining neighbors pairwise.
         let mut rem = nbr[v].clone();

@@ -194,7 +194,7 @@ pub fn make_nice(td: &TreeDecomposition, _num_graph_vertices: usize) -> NiceDeco
             .filter(|v| to_bag.binary_search(v).is_err())
             .collect();
         for v in to_forget {
-            // lb-lint: allow(no-panic) -- invariant: v was inserted into cur before this search
+            // lb-lint: allow(no-panic, panic-reachability) -- invariant: v was inserted into cur before this search
             let pos = cur.binary_search(&v).expect("var present");
             cur.remove(pos);
             node = {

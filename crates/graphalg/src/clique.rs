@@ -160,6 +160,7 @@ impl Machine {
         w.u64(digest).u8(mode).u64(n);
         w.seq_usize(&self.current);
         w.usize(self.frames.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for f in &self.frames {
             w.seq_usize(&f.cands);
             w.usize(f.pos);
@@ -202,15 +203,18 @@ impl Machine {
         let nv = g.num_vertices();
         let cur_len = r.usize_at_most(k, "partial clique length")?;
         let mut current = Vec::with_capacity(cur_len);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..cur_len {
             current.push(r.usize_below(nv, "clique vertex")?);
         }
         let frame_count = r.usize_at_most(k.max(1), "frame stack length")?;
         let mut frames = Vec::with_capacity(frame_count);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..frame_count {
             let len = r.seq_len(8, "candidate list")?;
             let mut cands = Vec::with_capacity(len);
             let at = r.offset();
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..len {
                 cands.push(r.usize_below(nv, "candidate vertex")?);
             }
@@ -267,6 +271,7 @@ fn instance_digest(g: &Graph, k: usize) -> u64 {
     let mut d = Digest::new();
     d.str("clique-enum");
     d.usize(g.num_vertices()).usize(g.num_edges()).usize(k);
+    // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in the edge list; runs once per resume
     for (u, v) in g.edges() {
         d.usize(u).usize(v);
     }
@@ -419,7 +424,7 @@ fn neipol_inner(
                     let nbrs: Vec<usize> = g.neighbors(v).to_vec();
                     let (sub, map) = g.induced_subgraph(&nbrs);
                     if let Some(c) = neipol_inner(&sub, k - 1, ticker)? {
-                        // lb-lint: allow(no-unchecked-index) -- subgraph vertices index `map` by construction
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- subgraph vertices index `map` by construction
                         let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
                         out.push(v);
                         out.sort_unstable();
@@ -438,7 +443,7 @@ fn neipol_inner(
                     let verts: Vec<usize> = common.iter().collect();
                     let (sub, map) = g.induced_subgraph(&verts);
                     if let Some(c) = neipol_inner(&sub, k - 2, ticker)? {
-                        // lb-lint: allow(no-unchecked-index) -- subgraph vertices index `map` by construction
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- subgraph vertices index `map` by construction
                         let mut out: Vec<usize> = c.into_iter().map(|x| map[x]).collect();
                         out.push(u);
                         out.push(v);
@@ -473,7 +478,7 @@ fn neipol_3t(
     for i in 0..na {
         for j in (i + 1)..na {
             ticker.propagation()?;
-            // lb-lint: allow(no-unchecked-index) -- i, j < na = t_cliques.len() by the loop bounds
+            // lb-lint: allow(no-unchecked-index, panic-reachability) -- i, j < na = t_cliques.len() by the loop bounds
             if cliques_compatible(g, &t_cliques[i], &t_cliques[j]) {
                 aux.add_edge(i, j);
             }
@@ -488,7 +493,7 @@ fn neipol_3t(
     };
     let mut out: Vec<usize> = tri
         .iter()
-        // lb-lint: allow(no-unchecked-index) -- aux-graph vertices are t_cliques indices by construction
+        // lb-lint: allow(no-unchecked-index, panic-reachability) -- aux-graph vertices are t_cliques indices by construction
         .flat_map(|&i| t_cliques[i].iter().copied())
         .collect();
     out.sort_unstable();
@@ -499,7 +504,9 @@ fn neipol_3t(
 }
 
 fn cliques_compatible(g: &Graph, a: &[usize], b: &[usize]) -> bool {
+    // lb-lint: allow(unbudgeted-loop) -- pairwise scan of two cliques, bounded by k^2
     for &x in a {
+        // lb-lint: allow(unbudgeted-loop) -- pairwise scan of two cliques, bounded by k^2
         for &y in b {
             if x == y || !g.has_edge(x, y) {
                 return false;

@@ -110,12 +110,14 @@ fn branch_rec(
         let closed = g.closed_neighborhood(c);
         // Record which vertices become newly dominated, for undo.
         let newly: Vec<usize> = closed.iter().filter(|&x| !dominated.contains(x)).collect();
+        // lb-lint: allow(unbudgeted-loop) -- bookkeeping for one branching choice, bounded by a closed neighborhood; the branch itself is charged
         for &x in &newly {
             dominated.insert(x);
         }
         chosen.push(c);
         let hit = branch_rec(g, k, dominated, chosen, ticker);
         chosen.pop();
+        // lb-lint: allow(unbudgeted-loop) -- bookkeeping for one branching choice, bounded by a closed neighborhood; the branch itself is charged
         for &x in &newly {
             dominated.remove(x);
         }

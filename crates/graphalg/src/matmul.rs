@@ -45,6 +45,7 @@ impl BoolMatrix {
     /// The adjacency matrix of a graph.
     pub fn adjacency(g: &lb_graph::Graph) -> Self {
         let mut m = BoolMatrix::new(g.num_vertices());
+        // lb-lint: allow(unbudgeted-loop) -- builds the adjacency matrix, linear in edges
         for (u, v) in g.edges() {
             m.set(u, v, true);
             m.set(v, u, true);
@@ -78,15 +79,19 @@ impl BoolMatrix {
         let n = self.n;
         let w = self.words;
         let mut out = BoolMatrix::new(n);
+        // lb-lint: allow(unbudgeted-loop) -- dense boolean matmul, fixed O(n^3/w) bounded by dimensions fixed at construction
         for i in 0..n {
             let arow = &self.rows[i * w..(i + 1) * w];
             let orow_start = i * w;
+            // lb-lint: allow(unbudgeted-loop) -- dense boolean matmul, fixed O(n^3/w) bounded by dimensions fixed at construction
             for (kw, &bits) in arow.iter().enumerate() {
                 let mut b = bits;
+                // lb-lint: allow(unbudgeted-loop) -- dense boolean matmul, fixed O(n^3/w) bounded by dimensions fixed at construction
                 while b != 0 {
                     let k = kw * 64 + b.trailing_zeros() as usize;
                     b &= b - 1;
                     let brow = &other.rows[k * w..(k + 1) * w];
+                    // lb-lint: allow(unbudgeted-loop) -- dense boolean matmul, fixed O(n^3/w) bounded by dimensions fixed at construction
                     for (j, &bw) in brow.iter().enumerate() {
                         out.rows[orow_start + j] |= bw;
                     }
@@ -104,7 +109,9 @@ impl BoolMatrix {
 
     /// A common witness entry `(i, j)` set in both matrices, if any.
     pub fn intersection_witness(&self, other: &BoolMatrix) -> Option<(usize, usize)> {
+        // lb-lint: allow(unbudgeted-loop) -- O(n*words) scan, bounded by matrix dimensions
         for i in 0..self.n {
+            // lb-lint: allow(unbudgeted-loop) -- O(n*words) scan, bounded by matrix dimensions
             for w in 0..self.words {
                 let bits = self.rows[i * self.words + w] & other.rows[i * self.words + w];
                 if bits != 0 {
@@ -136,7 +143,9 @@ impl IntMatrix {
     /// Builds from an entry function.
     pub fn from_fn<F: FnMut(usize, usize) -> i64>(n: usize, mut f: F) -> Self {
         let mut m = IntMatrix::new(n);
+        // lb-lint: allow(unbudgeted-loop) -- fills an n x n matrix; bounded by dimensions
         for i in 0..n {
+            // lb-lint: allow(unbudgeted-loop) -- fills an n x n matrix; bounded by dimensions
             for j in 0..n {
                 m.data[i * n + j] = f(i, j);
             }

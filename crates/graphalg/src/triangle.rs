@@ -169,6 +169,7 @@ fn instance_digest(g: &Graph, edges: &[(usize, usize)]) -> u64 {
     let mut d = Digest::new();
     d.str("triangle-scan");
     d.usize(g.num_vertices()).usize(edges.len());
+    // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in the edge list; runs once per resume
     for &(u, v) in edges {
         d.usize(u).usize(v);
     }
@@ -240,7 +241,7 @@ fn matmul_inner(g: &Graph, ticker: &mut Ticker) -> Result<Option<[usize; 3]>, Ex
         .neighbor_set(i)
         .iter()
         .find(|&w| g.has_edge(w, j))
-        // lb-lint: allow(no-panic) -- invariant: A^2[i][j] > 0 certifies a common neighbor exists
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: A^2[i][j] > 0 certifies a common neighbor exists
         .expect("A²[i][j] set ⇒ a common neighbor exists");
     Ok(Some(sorted3(i, j, w)))
 }
@@ -302,7 +303,7 @@ fn ayz_inner(
     match out {
         Outcome::Exhausted(r) => Err(r),
         Outcome::Unsat => Ok(None),
-        // lb-lint: allow(no-unchecked-index) -- induced-subgraph vertices index `map` by construction
+        // lb-lint: allow(no-unchecked-index, panic-reachability) -- induced-subgraph vertices index `map` by construction
         Outcome::Sat(t) => Ok(Some(sorted3(map[t[0]], map[t[1]], map[t[2]]))),
     }
 }

@@ -52,11 +52,12 @@ fn left_deep_inner(
 ) -> Result<Vec<AnswerTuple>, ExhaustReason> {
     let mut acc: Option<Intermediate> = None;
     for atom in &q.atoms {
-        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: validate_for checked every atom's relation before the join ran
         let table = db.table(&atom.relation).expect("validated");
         // Normalize the atom to distinct attributes (diagonal filter).
         let mut attrs: Vec<String> = Vec::new();
         let mut cols: Vec<usize> = Vec::new();
+        // lb-lint: allow(unbudgeted-loop) -- scans one atom's attribute list; bounded by arity
         for (c, a) in atom.attrs.iter().enumerate() {
             if !attrs.contains(a) {
                 attrs.push(a.clone());
@@ -68,7 +69,7 @@ fn left_deep_inner(
             .iter()
             .filter(|row| {
                 atom.attrs.iter().enumerate().all(|(c, a)| {
-                    // lb-lint: allow(no-panic) -- invariant: a is drawn from atom.attrs
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: a is drawn from atom.attrs
                     let first = atom.attrs.iter().position(|x| x == a).expect("present");
                     row[c] == row[first]
                 })
@@ -87,7 +88,7 @@ fn left_deep_inner(
         });
     }
 
-    // lb-lint: allow(no-panic) -- invariant: validated queries have at least one atom
+    // lb-lint: allow(no-panic, panic-reachability) -- invariant: validated queries have at least one atom
     let acc = acc.expect("query has atoms");
     // Re-order columns to sorted attribute order and sort rows.
     let attrs = q.attributes();
@@ -97,7 +98,7 @@ fn left_deep_inner(
             acc.attrs
                 .iter()
                 .position(|x| x == a)
-                // lb-lint: allow(no-panic) -- invariant: the accumulator's schema contains every joined attribute
+                // lb-lint: allow(no-panic, panic-reachability) -- invariant: the accumulator's schema contains every joined attribute
                 .expect("all attrs joined")
         })
         .collect();
@@ -139,6 +140,7 @@ fn hash_join(
             .collect()
     };
     let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    // lb-lint: allow(unbudgeted-loop) -- build-side hash insertion, linear in the build relation; probe side charges per tuple
     for (i, row) in build.rows.iter().enumerate() {
         index.entry(key_of(row, build_is_left)).or_default().push(i);
     }

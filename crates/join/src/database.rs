@@ -118,6 +118,7 @@ impl Database {
     /// Checks that every atom of `q` has a table of matching arity.
     #[must_use = "a dropped validation result defeats the check entirely"]
     pub fn validate_for(&self, q: &JoinQuery) -> Result<(), String> {
+        // lb-lint: allow(unbudgeted-loop) -- validation pass, linear in query atoms; runs before search
         for atom in &q.atoms {
             let t = self
                 .table(&atom.relation)

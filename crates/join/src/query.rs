@@ -69,10 +69,11 @@ impl JoinQuery {
         let index = |name: &str| {
             attrs
                 .binary_search_by(|a| a.as_str().cmp(name))
-                // lb-lint: allow(no-panic) -- invariant: attrs collects every attribute of every atom by construction
+                // lb-lint: allow(no-panic, panic-reachability) -- invariant: attrs collects every attribute of every atom by construction
                 .expect("known attr")
         };
         let mut h = Hypergraph::new(attrs.len());
+        // lb-lint: allow(unbudgeted-loop) -- hypergraph construction, linear in atoms
         for atom in &self.atoms {
             let e: Vec<usize> = atom.attrs.iter().map(|a| index(a)).collect();
             h.add_edge(e);

@@ -127,15 +127,17 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
         }
         None => attrs.clone(),
     };
-    // lb-lint: allow(no-panic) -- invariant: join() verified the order covers every query attribute
+    // lb-lint: allow(no-panic, panic-reachability) -- invariant: join() verified the order covers every query attribute
     let rank_of = |name: &str| order.iter().position(|a| a == name).expect("validated");
 
     let mut atoms = Vec::with_capacity(q.atoms.len());
+    // lb-lint: allow(unbudgeted-loop) -- plan construction, linear in database size; runs once before search
     for atom in &q.atoms {
-        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: validate_for checked every atom's relation before the join ran
         let table = db.table(&atom.relation).expect("validated");
         // Distinct attributes with their first column position.
         let mut distinct: Vec<(usize, usize)> = Vec::new(); // (rank, column)
+                                                            // lb-lint: allow(unbudgeted-loop) -- plan construction, linear in database size; runs once before search
         for (col, a) in atom.attrs.iter().enumerate() {
             let r = rank_of(a);
             if !distinct.iter().any(|&(dr, _)| dr == r) {
@@ -147,22 +149,24 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
         // Filter diagonal rows (repeated attributes must agree), project to
         // distinct columns in rank order.
         let mut rows: Vec<Vec<Value>> = Vec::new();
+        // lb-lint: allow(unbudgeted-loop) -- plan construction, linear in database size; runs once before search
         'rows: for row in table.rows() {
             // Check repeated attributes agree.
+            // lb-lint: allow(unbudgeted-loop) -- plan construction, linear in database size; runs once before search
             for (col, a) in atom.attrs.iter().enumerate() {
                 let r = rank_of(a);
                 let first_col = distinct
                     .iter()
                     .find(|&&(dr, _)| dr == r)
-                    // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: validate_for checked every atom's relation before the join ran
                     .expect("present")
                     .1;
-                // lb-lint: allow(no-unchecked-index) -- col < arity = row.len(), checked by validate_for
+                // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < arity = row.len(), checked by validate_for
                 if row[col] != row[first_col] {
                     continue 'rows;
                 }
             }
-            // lb-lint: allow(no-unchecked-index) -- distinct columns are positions within this atom's row
+            // lb-lint: allow(no-unchecked-index, panic-reachability) -- distinct columns are positions within this atom's row
             rows.push(distinct.iter().map(|&(_, col)| row[col]).collect());
         }
         rows.sort_unstable();
@@ -245,6 +249,7 @@ impl Machine {
     /// Restores the top frame's participants to their entry ranges and
     /// advances its cursor past the current candidate block.
     fn restore_and_advance(frame: &mut Frame, ranges: &mut [Range]) {
+        // lb-lint: allow(unbudgeted-loop) -- restores one frame's saved ranges; bounded by participants
         for (&i, &r) in frame.participants.iter().zip(&frame.saved) {
             if let Some(slot) = ranges.get_mut(i) {
                 *slot = r;
@@ -287,15 +292,15 @@ impl Machine {
                     // Smallest active range drives the intersection.
                     let Some(&driver) = participants
                         .iter()
-                        // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- participants hold atom indices < ranges.len()
                         .min_by_key(|&&i| self.ranges[i].hi - self.ranges[i].lo)
                     else {
                         // Unreachable for well-formed queries; finish
                         // soundly instead of panicking.
                         return Ok(None);
                     };
-                    let r = self.ranges[driver]; // lb-lint: allow(no-unchecked-index) -- driver is a participant index < ranges.len()
-                    let saved: Vec<Range> = participants.iter().map(|&i| self.ranges[i]).collect(); // lb-lint: allow(no-unchecked-index) -- participants hold atom indices < ranges.len()
+                    let r = self.ranges[driver]; // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver is a participant index < ranges.len()
+                    let saved: Vec<Range> = participants.iter().map(|&i| self.ranges[i]).collect(); // lb-lint: allow(no-unchecked-index, panic-reachability) -- participants hold atom indices < ranges.len()
                     self.frames.push(Frame {
                         participants,
                         driver,
@@ -324,10 +329,10 @@ impl Machine {
                         continue;
                     }
                     let driver = frame.driver;
-                    let depth = self.ranges[driver].depth; // lb-lint: allow(no-unchecked-index) -- driver is a participant index < ranges.len()
-                                                           // lb-lint: allow(no-unchecked-index) -- lo < hi <= rows.len(); depth < var_ranks.len() = projected row arity
+                    let depth = self.ranges[driver].depth; // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver is a participant index < ranges.len()
+                                                           // lb-lint: allow(no-unchecked-index, panic-reachability) -- lo < hi <= rows.len(); depth < var_ranks.len() = projected row arity
                     let v = p.atoms[driver].rows[frame.lo][depth];
-                    // lb-lint: allow(no-unchecked-index) -- driver is a participant index < p.atoms.len()
+                    // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver is a participant index < p.atoms.len()
                     let lo_end = upper_bound(&p.atoms[driver].rows, frame.lo, frame.hi, depth, v);
                     frame.v = v;
                     frame.lo_end = lo_end;
@@ -349,11 +354,11 @@ impl Machine {
                         self.phase = Phase::Enter;
                         continue;
                     };
-                    let r = self.ranges[i]; // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
+                    let r = self.ranges[i]; // lb-lint: allow(no-unchecked-index, panic-reachability) -- i is a participant index < ranges.len()
                     let (nl, nh) = if i == frame.driver {
                         (frame.lo, frame.lo_end)
                     } else {
-                        // lb-lint: allow(no-unchecked-index) -- i is a participant index < p.atoms.len()
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- i is a participant index < p.atoms.len()
                         equal_range(&p.atoms[i].rows, r.lo, r.hi, r.depth, frame.v)
                     };
                     if nl == nh {
@@ -363,7 +368,7 @@ impl Machine {
                         self.phase = Phase::Step;
                         ticker.trie_advance()?;
                     } else {
-                        // lb-lint: allow(no-unchecked-index) -- i is a participant index < ranges.len()
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- i is a participant index < ranges.len()
                         self.ranges[i] = Range {
                             lo: nl,
                             hi: nh,
@@ -393,17 +398,21 @@ impl Machine {
         let mut w = PayloadWriter::new();
         w.u64(digest).u8(mode).u64(n);
         w.usize(self.ranges.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for r in &self.ranges {
             w.usize(r.lo).usize(r.hi).usize(r.depth);
         }
         w.usize(self.tuple.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for &v in &self.tuple {
             w.u64(v);
         }
         w.usize(self.frames.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for f in &self.frames {
             w.seq_usize(&f.participants);
             w.usize(f.driver);
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
             for r in &f.saved {
                 w.usize(r.lo).usize(r.hi).usize(r.depth);
             }
@@ -459,9 +468,9 @@ impl Machine {
         let num_atoms = p.atoms.len();
         let read_range =
             |r: &mut PayloadReader<'_>, atom: usize| -> Result<Range, CheckpointError> {
-                // lb-lint: allow(no-unchecked-index) -- atom < num_atoms, checked by the caller
+                // lb-lint: allow(no-unchecked-index, panic-reachability) -- atom < num_atoms, checked by the caller
                 let rows = p.atoms[atom].rows.len();
-                let ranks = p.atoms[atom].var_ranks.len(); // lb-lint: allow(no-unchecked-index) -- atom < num_atoms, checked by the caller
+                let ranks = p.atoms[atom].var_ranks.len(); // lb-lint: allow(no-unchecked-index, panic-reachability) -- atom < num_atoms, checked by the caller
                 let at = r.offset();
                 let lo = r.usize_at_most(rows, "range lo")?;
                 let hi = r.usize_at_most(rows, "range hi")?;
@@ -482,6 +491,7 @@ impl Machine {
             });
         }
         let mut ranges = Vec::with_capacity(num_atoms);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for atom in 0..num_atoms {
             ranges.push(read_range(&mut r, atom)?);
         }
@@ -496,14 +506,17 @@ impl Machine {
             });
         }
         let mut tuple = Vec::with_capacity(p.num_vars);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..p.num_vars {
             tuple.push(r.u64()?);
         }
         let frame_count = r.usize_at_most(p.num_vars, "frame stack length")?;
         let mut frames = Vec::with_capacity(frame_count);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..frame_count {
             let part_len = r.seq_len(8, "participants")?;
             let mut participants = Vec::with_capacity(part_len);
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..part_len {
                 participants.push(r.usize_below(num_atoms, "participant atom")?);
             }
@@ -516,10 +529,11 @@ impl Machine {
                 });
             }
             let mut saved = Vec::with_capacity(part_len);
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for &atom in &participants {
                 saved.push(read_range(&mut r, atom)?);
             }
-            // lb-lint: allow(no-unchecked-index) -- driver < num_atoms, validated above
+            // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver < num_atoms, validated above
             let rows = p.atoms[driver].rows.len();
             let at = r.offset();
             let lo = r.usize_at_most(rows, "frame lo")?;
@@ -580,12 +594,12 @@ impl Machine {
 /// First index in [lo, hi) where `rows[idx][col] > v` (rows sorted, columns
 /// before `col` constant on the range).
 fn upper_bound(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> usize {
-    lo + rows[lo..hi].partition_point(|r| r[col] <= v) // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
+    lo + rows[lo..hi].partition_point(|r| r[col] <= v) // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < the uniform projected row arity
 }
 
 fn equal_range(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> (usize, usize) {
-    let start = lo + rows[lo..hi].partition_point(|r| r[col] < v); // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
-    let end = start + rows[start..hi].partition_point(|r| r[col] == v); // lb-lint: allow(no-unchecked-index) -- col < the uniform projected row arity
+    let start = lo + rows[lo..hi].partition_point(|r| r[col] < v); // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < the uniform projected row arity
+    let end = start + rows[start..hi].partition_point(|r| r[col] == v); // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < the uniform projected row arity
     (start, end)
 }
 
@@ -596,19 +610,24 @@ fn instance_digest(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> u6
     let attrs = q.attributes();
     let ord: Vec<String> = order.map(|o| o.to_vec()).unwrap_or_else(|| attrs.clone());
     d.usize(ord.len());
+    // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in query and database; runs once per resume
     for a in &ord {
         d.str(a);
     }
     d.usize(q.atoms.len());
+    // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in query and database; runs once per resume
     for atom in &q.atoms {
         d.str(&atom.relation);
         d.usize(atom.attrs.len());
+        // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in query and database; runs once per resume
         for a in &atom.attrs {
             d.str(a);
         }
         if let Some(table) = db.table(&atom.relation) {
             d.usize(table.arity()).usize(table.rows().len());
+            // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in query and database; runs once per resume
             for row in table.rows() {
+                // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in query and database; runs once per resume
                 for &v in row {
                     d.u64(v);
                 }
@@ -634,7 +653,7 @@ pub fn join(
     // Position of each attribute (sorted order) within the variable order.
     let pos_of: Vec<usize> = attrs
         .iter()
-        // lb-lint: allow(no-panic) -- invariant: the chosen order covers every atom attribute
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: the chosen order covers every atom attribute
         .map(|a| ord.iter().position(|x| x == a).expect("validated"))
         .collect();
     let mut ticker = Ticker::new(budget);
@@ -643,7 +662,7 @@ pub fn join(
     let result = loop {
         match m.run(&p, &mut ticker) {
             Ok(Some(t)) => {
-                // lb-lint: allow(no-unchecked-index) -- pos_of holds positions within the order, whose length is t.len()
+                // lb-lint: allow(no-unchecked-index, panic-reachability) -- pos_of holds positions within the order, whose length is t.len()
                 out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
             }
             Ok(None) => break Ok(()),
@@ -787,12 +806,12 @@ fn nested_loop_inner(
     // Partial tuples: map attr index → value, grown atom by atom.
     let mut partial: Vec<Vec<Option<Value>>> = vec![vec![None; attrs.len()]];
     for atom in &q.atoms {
-        // lb-lint: allow(no-panic) -- invariant: validate_for checked every atom's relation before the join ran
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: validate_for checked every atom's relation before the join ran
         let table = db.table(&atom.relation).expect("validated");
         let cols: Vec<usize> = atom
             .attrs
             .iter()
-            // lb-lint: allow(no-panic) -- invariant: atom attributes are drawn from the sorted attribute set
+            // lb-lint: allow(no-panic, panic-reachability) -- invariant: atom attributes are drawn from the sorted attribute set
             .map(|a| attrs.binary_search(a).expect("known"))
             .collect();
         let mut next = Vec::new();
@@ -800,10 +819,11 @@ fn nested_loop_inner(
             'rows: for row in table.rows() {
                 ticker.node()?;
                 let mut cand = pt.clone();
+                // lb-lint: allow(unbudgeted-loop) -- binds one row's attributes; bounded by arity, one pass per charged tuple
                 for (&ai, &v) in cols.iter().zip(row) {
-                    // lb-lint: allow(no-unchecked-index) -- ai is a binary_search hit in attrs; cand.len() = attrs.len()
+                    // lb-lint: allow(no-unchecked-index, panic-reachability) -- ai is a binary_search hit in attrs; cand.len() = attrs.len()
                     match cand[ai] {
-                        // lb-lint: allow(no-unchecked-index) -- same bound as the match scrutinee above
+                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- same bound as the match scrutinee above
                         None => cand[ai] = Some(v),
                         Some(existing) if existing == v => {}
                         Some(_) => continue 'rows,
@@ -820,7 +840,7 @@ fn nested_loop_inner(
         .into_iter()
         .map(|pt| {
             pt.into_iter()
-                // lb-lint: allow(no-panic) -- invariant: a full variable order assigns every attribute
+                // lb-lint: allow(no-panic, panic-reachability) -- invariant: a full variable order assigns every attribute
                 .map(|o| o.expect("all attrs covered"))
                 .collect()
         })

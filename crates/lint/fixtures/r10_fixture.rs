@@ -1,0 +1,17 @@
+//! R10 fixture: one checkpoint family (`encode`/`decode` plus a payload
+//! version const) whose fingerprint is compared against a baseline.
+
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 3;
+
+pub fn encode(state: &[u32], out: &mut Vec<u8>) {
+    for v in state {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+pub fn decode(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}

@@ -1,0 +1,11 @@
+//! R8 fixture (allow-suppressed): an uncharged loop carrying an
+//! invariant-stating `allow(unbudgeted-loop)` directive is accepted.
+
+pub fn solve(n: u32) -> u32 {
+    let mut acc = 0;
+    // lb-lint: allow(unbudgeted-loop) -- bounded by n; the caller charges per call
+    while acc < n {
+        acc += 1;
+    }
+    acc
+}

@@ -1,0 +1,26 @@
+//! R8 fixture (clean): every reachable loop charges the budget, either with
+//! a direct `Ticker` charge call in its body or through a charging callee.
+
+pub struct Ticker;
+
+impl Ticker {
+    pub fn node(&mut self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub fn solve(t: &mut Ticker, n: u32) -> Result<u32, ()> {
+    let mut acc = 0;
+    while acc < n {
+        t.node()?;
+        acc += 1;
+    }
+    for _ in 0..n {
+        charge_step(t)?;
+    }
+    Ok(acc)
+}
+
+fn charge_step(t: &mut Ticker) -> Result<(), ()> {
+    t.node()
+}

@@ -1,0 +1,22 @@
+//! R8 fixture: loops reachable from a public solver entry point that never
+//! charge the budget — directly in the root and transitively in a helper.
+
+pub fn solve(n: u32) -> u32 {
+    let mut acc = 0;
+    while acc < n {
+        acc += 1;
+    }
+    for i in 0..n {
+        acc += i;
+    }
+    helper(acc, n)
+}
+
+fn helper(mut acc: u32, n: u32) -> u32 {
+    loop {
+        if acc >= n {
+            return acc;
+        }
+        acc += 1;
+    }
+}

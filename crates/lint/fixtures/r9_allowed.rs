@@ -1,0 +1,21 @@
+//! R9 fixture (allow-suppressed): both discharge mechanisms. A directive on
+//! the panic site removes the site; a directive on a call line cuts that
+//! line's call-graph edges, making everything behind it unreachable.
+
+pub fn solve_site(input: Option<u32>) -> u32 {
+    site(input)
+}
+
+fn site(input: Option<u32>) -> u32 {
+    // lb-lint: allow(panic-reachability) -- contract: the caller validated input is Some
+    input.unwrap()
+}
+
+pub fn solve_edge(input: Option<u32>) -> u32 {
+    // lb-lint: allow(panic-reachability) -- edge cut: edge() is only ever called with Some
+    edge(input)
+}
+
+fn edge(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,15 @@
+//! R9 fixture (clean): the reachable surface uses typed errors throughout.
+//! The panic site in `unrelated_debugging` is NOT reachable from any public
+//! entry point, so the reachability rule correctly ignores it.
+
+pub fn solve(input: Option<u32>) -> Result<u32, &'static str> {
+    helper(input)
+}
+
+fn helper(input: Option<u32>) -> Result<u32, &'static str> {
+    input.ok_or("missing input")
+}
+
+fn unrelated_debugging(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

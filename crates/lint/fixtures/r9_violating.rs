@@ -1,0 +1,15 @@
+//! R9 fixture: panic sites transitively reachable from a public entry
+//! point — an `unwrap()` two calls deep, and (under a hot-path location)
+//! an unchecked `[i]` index.
+
+pub fn solve(input: Option<u32>, arr: &[u32]) -> u32 {
+    helper(input) + pick(arr, 0)
+}
+
+fn helper(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+fn pick(arr: &[u32], i: usize) -> u32 {
+    arr[i]
+}

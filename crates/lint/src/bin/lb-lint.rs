@@ -1,14 +1,19 @@
 //! The `lb-lint` CLI.
 //!
 //! ```text
-//! cargo run -p lb-lint [-- --format json|text] [--root PATH]
+//! lb-lint [check] [--format json|text] [--root PATH] [--legacy-exit-bits]
+//! lb-lint --write-baseline [--root PATH]
+//! lb-lint graph [--root PATH]
 //! ```
 //!
-//! Exit code: a bitmask of violated rules (R1 = 1, R2 = 2, R3 = 4, R4 = 8,
-//! R5 = 16, malformed directives = 32, R6 = 64, R7 = 128, usage/IO
-//! error = 255); 0 when clean.
+//! Exit codes: 0 clean, 1 violations (details in the output), 2 usage or IO
+//! error. `--legacy-exit-bits` restores the pre-v2 per-rule bitmask
+//! (R1 = 1 … R7 = 128, directives = 32; R8–R10 surface as bit 1).
+//! `--write-baseline` re-pins the R10 checkpoint-schema baseline and exits 0.
 
-use lb_lint::{clean_summary, exit_code, lint_workspace, render_json, render_text, Config};
+use lb_lint::{
+    analyze_workspace, clean_summary, exit_code, exit_code_legacy, render_json, render_text, Config,
+};
 use std::path::PathBuf;
 use std::process;
 
@@ -17,10 +22,30 @@ enum Format {
     Json,
 }
 
+enum Cmd {
+    Check,
+    Graph,
+    WriteBaseline,
+}
+
 fn main() {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let mut cmd = Cmd::Check;
+    let mut legacy_bits = false;
+    let mut args = std::env::args().skip(1).peekable();
+    if let Some(first) = args.peek() {
+        match first.as_str() {
+            "check" => {
+                args.next();
+            }
+            "graph" => {
+                cmd = Cmd::Graph;
+                args.next();
+            }
+            _ => {}
+        }
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
@@ -32,11 +57,10 @@ fn main() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => usage_error("--root expects a path"),
             },
+            "--write-baseline" => cmd = Cmd::WriteBaseline,
+            "--legacy-exit-bits" => legacy_bits = true,
             "--help" | "-h" => {
-                println!("usage: lb-lint [--format json|text] [--root PATH]");
-                println!(
-                    "exit code: bitmask R1=1 R2=2 R3=4 R4=8 R5=16 directives=32 R6=64 R7=128 io=255"
-                );
+                print_help();
                 return;
             }
             other => usage_error(&format!("unknown argument {other:?}")),
@@ -44,29 +68,73 @@ fn main() {
     }
     let root = root.unwrap_or_else(|| lb_lint::default_workspace_root().to_path_buf());
     let config = Config::default();
-    match lint_workspace(&root, &config) {
-        Ok((violations, files)) => {
-            match format {
-                Format::Text => {
-                    if violations.is_empty() {
-                        print!("{}", clean_summary(files));
+    match cmd {
+        Cmd::Graph => match lb_lint::graph_dump_workspace(&root, &config) {
+            Ok(dump) => print!("{dump}"),
+            Err(e) => io_error(&e),
+        },
+        Cmd::WriteBaseline => match lb_lint::write_baseline(&root, &config) {
+            Ok(content) => {
+                eprintln!(
+                    "lb-lint: wrote {} ({} famil{})",
+                    config.baseline_file,
+                    content.lines().filter(|l| !l.starts_with('#')).count(),
+                    if content.lines().filter(|l| !l.starts_with('#')).count() == 1 {
+                        "y"
                     } else {
-                        print!("{}", render_text(&violations));
+                        "ies"
+                    }
+                );
+            }
+            Err(e) => io_error(&e),
+        },
+        Cmd::Check => match analyze_workspace(&root, &config) {
+            Ok(analysis) => {
+                match format {
+                    Format::Text => {
+                        if analysis.violations.is_empty() {
+                            print!("{}", clean_summary(analysis.files_checked));
+                        } else {
+                            print!("{}", render_text(&analysis.violations));
+                        }
+                    }
+                    Format::Json => {
+                        print!(
+                            "{}",
+                            render_json(&analysis.violations, analysis.files_checked)
+                        )
                     }
                 }
-                Format::Json => print!("{}", render_json(&violations)),
+                let code = if legacy_bits {
+                    exit_code_legacy(&analysis.violations)
+                } else {
+                    exit_code(&analysis.violations)
+                };
+                process::exit(code);
             }
-            process::exit(exit_code(&violations));
-        }
-        Err(e) => {
-            eprintln!("lb-lint: IO error: {e}");
-            process::exit(255);
-        }
+            Err(e) => io_error(&e),
+        },
     }
+}
+
+fn print_help() {
+    println!("usage: lb-lint [check] [--format json|text] [--root PATH] [--legacy-exit-bits]");
+    println!("       lb-lint --write-baseline [--root PATH]");
+    println!("       lb-lint graph [--root PATH]");
+    println!("exit codes: 0 clean, 1 violations, 2 usage/io");
+    println!("  --legacy-exit-bits: pre-v2 bitmask (R1=1 R2=2 R3=4 R4=8 R5=16");
+    println!("                      directives=32 R6=64 R7=128; R8-R10 -> bit 1)");
+    println!("  --write-baseline:   re-pin the R10 checkpoint-schema baseline");
+    println!("  graph:              dump the workspace call graph (deterministic)");
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("lb-lint: {msg}");
-    eprintln!("usage: lb-lint [--format json|text] [--root PATH]");
-    process::exit(255);
+    eprintln!("usage: lb-lint [check|graph] [--format json|text] [--root PATH] [--legacy-exit-bits] [--write-baseline]");
+    process::exit(2);
+}
+
+fn io_error(e: &std::io::Error) -> ! {
+    eprintln!("lb-lint: IO error: {e}");
+    process::exit(2);
 }

@@ -27,6 +27,24 @@
 //!   `Exhausted` or a typed error — use `get`/iterators, or an allow naming
 //!   the bounds invariant.
 //!
+//! On top of the token-level rules, a **semantic layer** ([`items`],
+//! [`graph`], [`semantic`]) parses `fn`/`impl` items, builds a
+//! workspace-wide call graph, and proves three invariants that lb-chaos
+//! previously only spot-checked dynamically:
+//!
+//! * **R8 `unbudgeted-loop`** — every loop transitively reachable from a
+//!   public solver entry point charges the `Budget` (directly or through a
+//!   callee), so exhaustion can always cancel and checkpoint;
+//! * **R9 `panic-reachability`** — no panic site is transitively reachable
+//!   from the panic-free public API surface without an explicit
+//!   `allow(panic-reachability)` stating the invariant (an R1 allow is a
+//!   local justification and does not discharge the reachability proof);
+//! * **R10 `checkpoint-schema-drift`** — checkpoint encode/decode bodies are
+//!   fingerprinted into a committed baseline
+//!   (`crates/lint/checkpoint-schema.baseline`); a body change without a
+//!   `CHECKPOINT_PAYLOAD_VERSION` bump fails the gate, and
+//!   `lb-lint --write-baseline` re-pins intentionally.
+//!
 //! Escape hatch: a trailing comment of the form
 //! `lb-lint: allow(rule) -- reason` (the justification after `--` is
 //! mandatory; an allow without one is itself reported). A directive alone on
@@ -38,28 +56,83 @@
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod walk;
 
-pub use report::{clean_summary, exit_code, render_json, render_text};
-pub use rules::{lint_source, Config, FileKind, Rule, Violation};
+pub use report::{clean_summary, exit_code, exit_code_legacy, render_json, render_text};
+pub use rules::{lint_source, CheckpointSpec, Config, FileKind, Rule, Violation};
+pub use semantic::SemanticStats;
 
 use std::io;
 use std::path::Path;
 
-/// Lints every `.rs` file under `root` (skipping `target`, `.git`, and lint
-/// `fixtures`). Returns all violations plus the number of files checked.
-pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<(Vec<Violation>, usize)> {
+/// The result of a full workspace analysis: all violations (token-level and
+/// semantic), the file count, and semantic coverage statistics.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+    /// Semantic-layer coverage statistics (roots, loops, panic sites…).
+    pub stats: SemanticStats,
+}
+
+/// Reads every `.rs` file under `root` (skipping `target`, `.git`, and lint
+/// `fixtures`) into `(relative path, source)` pairs, sorted by path.
+fn read_workspace(root: &Path) -> io::Result<Vec<(String, String)>> {
     let files = walk::rust_files(root)?;
-    let mut violations = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for rel in &files {
         let rel_str = walk::rel_display(rel);
         let source = std::fs::read_to_string(root.join(rel))?;
-        violations.extend(rules::lint_source(&rel_str, &source, config));
+        out.push((rel_str, source));
     }
-    Ok((violations, files.len()))
+    Ok(out)
+}
+
+/// Runs the full analysis (token rules R1–R7 per file, then the semantic
+/// rules R8–R10 over the workspace call graph).
+pub fn analyze_workspace(root: &Path, config: &Config) -> io::Result<Analysis> {
+    let files = read_workspace(root)?;
+    let mut violations = Vec::new();
+    for (rel, source) in &files {
+        violations.extend(rules::lint_source(rel, source, config));
+    }
+    let (semantic_violations, stats) = semantic::check(root, &files, config);
+    violations.extend(semantic_violations);
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(Analysis {
+        violations,
+        files_checked: files.len(),
+        stats,
+    })
+}
+
+/// Lints every `.rs` file under `root`. Returns all violations plus the
+/// number of files checked. (Compatibility wrapper over
+/// [`analyze_workspace`].)
+pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<(Vec<Violation>, usize)> {
+    let a = analyze_workspace(root, config)?;
+    Ok((a.violations, a.files_checked))
+}
+
+/// Dumps the workspace call graph (deterministic text, for `lb-lint graph`).
+pub fn graph_dump_workspace(root: &Path, config: &Config) -> io::Result<String> {
+    let files = read_workspace(root)?;
+    Ok(semantic::graph_dump(&files, config))
+}
+
+/// Recomputes and writes the R10 checkpoint-schema baseline under `root`,
+/// returning the file content (for `lb-lint --write-baseline`).
+pub fn write_baseline(root: &Path, config: &Config) -> io::Result<String> {
+    let files = read_workspace(root)?;
+    semantic::write_baseline(root, &files, config)
 }
 
 /// The workspace root as seen from this crate (two levels above the crate
@@ -83,5 +156,16 @@ mod tests {
     fn lint_workspace_runs() {
         let (_, files) = lint_workspace(default_workspace_root(), &Config::default()).unwrap();
         assert!(files > 50, "expected a real workspace, saw {files} files");
+    }
+
+    #[test]
+    fn analysis_reports_semantic_coverage() {
+        let a = analyze_workspace(default_workspace_root(), &Config::default()).unwrap();
+        assert!(
+            !a.stats.root_names.is_empty(),
+            "semantic layer found no entry-point roots"
+        );
+        assert!(a.stats.loops_checked > 0, "no reachable loops examined");
+        assert!(a.stats.families_checked >= 5, "checkpoint families missing");
     }
 }

@@ -1,13 +1,23 @@
-//! Violation reporting: text and JSON rendering, per-rule exit codes.
+//! Violation reporting: text and JSON rendering, exit codes.
 
 use crate::rules::{Rule, Violation};
 
-/// The process exit code for a set of violations: a bitmask with one bit per
-/// rule (R1 = 1, R2 = 2, R3 = 4, R4 = 8, R5 = 16, malformed directives = 32,
-/// R6 = 64, R7 = 128), so CI logs show *which* gates failed from the code
-/// alone. Zero means clean.
+/// The process exit code for a set of violations: 1 when any rule fired
+/// (details are in the rendered output), 0 when clean. Usage/IO errors exit
+/// 2 (see the CLI). The historical per-rule bitmask lives on behind
+/// `--legacy-exit-bits` as [`exit_code_legacy`].
 pub fn exit_code(violations: &[Violation]) -> i32 {
-    violations.iter().fold(0, |acc, v| acc | v.rule.exit_bit())
+    i32::from(!violations.is_empty())
+}
+
+/// The legacy bitmask exit code (`--legacy-exit-bits`): one bit per rule
+/// (R1 = 1, R2 = 2, R3 = 4, R4 = 8, R5 = 16, malformed directives = 32,
+/// R6 = 64, R7 = 128). The bitmask was exhausted before R8–R10 existed, so
+/// violations of those rules surface as the generic bit 1.
+pub fn exit_code_legacy(violations: &[Violation]) -> i32 {
+    violations
+        .iter()
+        .fold(0, |acc, v| acc | v.rule.legacy_exit_bit().unwrap_or(1))
 }
 
 /// Renders violations as human-readable text, one block per violation.
@@ -36,16 +46,20 @@ pub fn render_text(violations: &[Violation]) -> String {
     out
 }
 
-/// Renders violations as a JSON array (hand-rolled: the linter is
-/// zero-dependency by design).
-pub fn render_json(violations: &[Violation]) -> String {
-    let mut out = String::from("[");
+/// Renders the report as a deterministic JSON object (hand-rolled: the
+/// linter is zero-dependency by design). Violations appear in their sorted
+/// (path, line, rule) order, so byte-identical inputs give byte-identical
+/// reports.
+pub fn render_json(violations: &[Violation], files_checked: usize) -> String {
+    let mut out = format!(
+        "{{\n  \"version\": 2,\n  \"files_checked\": {files_checked},\n  \"violations\": ["
+    );
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n  {{\"rule\": {}, \"code\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            "\n    {{\"rule\": {}, \"code\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
             json_string(v.rule.name()),
             json_string(v.rule.code()),
             json_string(&v.path),
@@ -55,9 +69,9 @@ pub fn render_json(violations: &[Violation]) -> String {
         ));
     }
     out.push_str(if violations.is_empty() {
-        "]\n"
+        "]\n}\n"
     } else {
-        "\n]\n"
+        "\n  ]\n}\n"
     });
     out
 }
@@ -109,11 +123,35 @@ mod tests {
         )
     }
 
+    fn with_rule(rule: Rule) -> Violation {
+        Violation {
+            rule,
+            path: "crates/x/src/foo.rs".into(),
+            line: 1,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
     #[test]
-    fn exit_code_bits() {
+    fn exit_codes() {
         let v = sample();
         assert_eq!(exit_code(&v), 1);
         assert_eq!(exit_code(&[]), 0);
+    }
+
+    #[test]
+    fn legacy_exit_code_bits() {
+        let v = sample();
+        assert_eq!(exit_code_legacy(&v), 1);
+        assert_eq!(exit_code_legacy(&[]), 0);
+        assert_eq!(exit_code_legacy(&[with_rule(Rule::NoUncheckedIndex)]), 128);
+        // R8–R10 have no bit of their own: generic bit 1.
+        assert_eq!(exit_code_legacy(&[with_rule(Rule::UnbudgetedLoop)]), 1);
+        assert_eq!(
+            exit_code_legacy(&[with_rule(Rule::CheckpointSchemaDrift)]),
+            1
+        );
     }
 
     #[test]
@@ -127,13 +165,19 @@ mod tests {
 
     #[test]
     fn json_is_escaped_and_structured() {
-        let json = render_json(&sample());
-        assert!(json.starts_with('['));
+        let json = render_json(&sample(), 3);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"version\": 2"));
+        assert!(json.contains("\"files_checked\": 3"));
         assert!(json.contains("\"rule\": \"no-panic\""));
         assert!(json.contains("\"line\": 1"));
-        // The snippet contains quotes that must be escaped.
-        assert!(!json.contains("\"snippet\": \"pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\"\n"));
-        assert_eq!(render_json(&[]), "[]\n");
+        let empty = render_json(&[], 0);
+        assert!(empty.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(render_json(&sample(), 9), render_json(&sample(), 9));
     }
 
     #[test]

@@ -33,13 +33,25 @@ pub enum Rule {
     /// panics instead of returning `Exhausted`/an error; use `get`,
     /// iterators, or a justified allow.
     NoUncheckedIndex,
+    /// R8: every loop transitively reachable from a public solver entry
+    /// point must charge the budget (directly or through a callee), so no
+    /// reachable loop can spin uncancellable and uncheckpointable.
+    UnbudgetedLoop,
+    /// R9: no panic site (`panic!`/`unwrap`/`expect`/`unreachable!`/
+    /// unchecked index) may be transitively reachable from the panic-free
+    /// public API surface without an explicit `allow(panic-reachability)`.
+    PanicReachability,
+    /// R10: a checkpoint family's encode/decode bodies changed without a
+    /// matching `CHECKPOINT_PAYLOAD_VERSION` bump (token-stream fingerprint
+    /// vs the committed baseline; re-pin with `lb-lint --write-baseline`).
+    CheckpointSchemaDrift,
     /// D0: a malformed `lb-lint:` directive (unknown rule, missing reason).
     BadDirective,
 }
 
 impl Rule {
     /// All real rules (excludes the directive pseudo-rule).
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 10] = [
         Rule::NoPanic,
         Rule::NoLossyCast,
         Rule::ForbidUnsafe,
@@ -47,6 +59,9 @@ impl Rule {
         Rule::NoProcessExit,
         Rule::NoAdhocTiming,
         Rule::NoUncheckedIndex,
+        Rule::UnbudgetedLoop,
+        Rule::PanicReachability,
+        Rule::CheckpointSchemaDrift,
     ];
 
     /// The stable kebab-case name used in `allow(...)` directives.
@@ -59,6 +74,9 @@ impl Rule {
             Rule::NoProcessExit => "no-process-exit",
             Rule::NoAdhocTiming => "no-adhoc-timing",
             Rule::NoUncheckedIndex => "no-unchecked-index",
+            Rule::UnbudgetedLoop => "unbudgeted-loop",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::CheckpointSchemaDrift => "checkpoint-schema-drift",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -73,21 +91,27 @@ impl Rule {
             Rule::NoProcessExit => "R5",
             Rule::NoAdhocTiming => "R6",
             Rule::NoUncheckedIndex => "R7",
+            Rule::UnbudgetedLoop => "R8",
+            Rule::PanicReachability => "R9",
+            Rule::CheckpointSchemaDrift => "R10",
             Rule::BadDirective => "D0",
         }
     }
 
-    /// The exit-code bit for this rule.
-    pub fn exit_bit(self) -> i32 {
+    /// The legacy (`--legacy-exit-bits`) exit-code bit for this rule. Rules
+    /// added after the bitmask was exhausted (R8–R10) have no bit of their
+    /// own; under the legacy scheme they surface as the generic bit 1.
+    pub fn legacy_exit_bit(self) -> Option<i32> {
         match self {
-            Rule::NoPanic => 1,
-            Rule::NoLossyCast => 2,
-            Rule::ForbidUnsafe => 4,
-            Rule::MustUseResult => 8,
-            Rule::NoProcessExit => 16,
-            Rule::NoAdhocTiming => 64,
-            Rule::NoUncheckedIndex => 128,
-            Rule::BadDirective => 32,
+            Rule::NoPanic => Some(1),
+            Rule::NoLossyCast => Some(2),
+            Rule::ForbidUnsafe => Some(4),
+            Rule::MustUseResult => Some(8),
+            Rule::NoProcessExit => Some(16),
+            Rule::NoAdhocTiming => Some(64),
+            Rule::NoUncheckedIndex => Some(128),
+            Rule::BadDirective => Some(32),
+            Rule::UnbudgetedLoop | Rule::PanicReachability | Rule::CheckpointSchemaDrift => None,
         }
     }
 
@@ -147,8 +171,22 @@ pub struct Violation {
     pub snippet: String,
 }
 
+/// One checkpoint family watched by R10: where its encode/decode functions
+/// and payload-version const live.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Stable family name used in the baseline file.
+    pub family: String,
+    /// Workspace-relative file holding the payload codec.
+    pub file: String,
+    /// Names of the encode/decode functions whose bodies are fingerprinted.
+    pub fns: Vec<String>,
+    /// Name of the payload-version const that must be bumped on change.
+    pub version_const: String,
+}
+
 /// Linter configuration: which paths are bound-math (R2) and entry-point
-/// (R4) modules.
+/// (R4) modules, plus the semantic-analysis scope (R8–R10).
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Path substrings whose files carry the `no-lossy-cast` rule
@@ -164,6 +202,26 @@ pub struct Config {
     /// solver hot paths, where a stray `[i]` is a panic on adversarial
     /// input rather than an `Exhausted`/error verdict.
     pub index_checked_paths: Vec<String>,
+    /// Path substrings whose public entry-point fns are the roots of R8/R9
+    /// reachability (the surface lb-chaos guarantees panic-free).
+    pub api_root_paths: Vec<String>,
+    /// Path substrings whose reachable loops must charge the budget (R8).
+    pub solver_loop_paths: Vec<String>,
+    /// Entry-point name prefixes (`solve…`, `count…`, `find_…`).
+    pub root_prefixes: Vec<String>,
+    /// Entry-point name suffixes (`…_resumable`, `…_join`).
+    pub root_suffixes: Vec<String>,
+    /// Entry-point exact names (`join`, `is_empty`, `from_dimacs`).
+    pub root_exact: Vec<String>,
+    /// Method names whose calls charge the budget (`Ticker` charge points).
+    pub charge_methods: Vec<String>,
+    /// Path substrings excluded from semantic analysis entirely (vendored
+    /// std-only test-support crates are not part of the solver surface).
+    pub semantic_exclude_paths: Vec<String>,
+    /// The checkpoint families fingerprinted by R10.
+    pub checkpoint_specs: Vec<CheckpointSpec>,
+    /// Workspace-relative path of the committed R10 baseline file.
+    pub baseline_file: String,
 }
 
 impl Default for Config {
@@ -191,14 +249,81 @@ impl Default for Config {
                 "crates/graphalg/src/clique.rs".into(),
                 "crates/graphalg/src/triangle.rs".into(),
             ],
+            api_root_paths: vec![
+                "crates/sat/src/".into(),
+                "crates/csp/src/".into(),
+                "crates/join/src/".into(),
+                "crates/graphalg/src/".into(),
+            ],
+            solver_loop_paths: vec![
+                "crates/sat/src/".into(),
+                "crates/csp/src/".into(),
+                "crates/join/src/".into(),
+                "crates/graphalg/src/".into(),
+            ],
+            root_prefixes: vec!["solve".into(), "count".into(), "find_".into()],
+            root_suffixes: vec!["_resumable".into(), "_join".into()],
+            root_exact: vec!["join".into(), "is_empty".into(), "from_dimacs".into()],
+            charge_methods: vec![
+                "node".into(),
+                "propagation".into(),
+                "trie_advance".into(),
+                "tuple".into(),
+                "tuples".into(),
+                "backtrack".into(),
+                "absorb".into(),
+            ],
+            semantic_exclude_paths: vec!["vendor/".into()],
+            checkpoint_specs: vec![
+                CheckpointSpec {
+                    family: "dpll".into(),
+                    file: "crates/sat/src/dpll.rs".into(),
+                    fns: vec!["encode".into(), "decode".into()],
+                    version_const: "CHECKPOINT_PAYLOAD_VERSION".into(),
+                },
+                CheckpointSpec {
+                    family: "csp-backtracking".into(),
+                    file: "crates/csp/src/solver/backtracking.rs".into(),
+                    fns: vec!["encode".into(), "decode".into()],
+                    version_const: "CHECKPOINT_PAYLOAD_VERSION".into(),
+                },
+                CheckpointSpec {
+                    family: "generic-join".into(),
+                    file: "crates/join/src/wcoj.rs".into(),
+                    fns: vec!["encode".into(), "decode".into()],
+                    version_const: "CHECKPOINT_PAYLOAD_VERSION".into(),
+                },
+                CheckpointSpec {
+                    family: "triangle-scan".into(),
+                    file: "crates/graphalg/src/triangle.rs".into(),
+                    fns: vec!["encode".into(), "decode".into()],
+                    version_const: "CHECKPOINT_PAYLOAD_VERSION".into(),
+                },
+                CheckpointSpec {
+                    family: "clique-enum".into(),
+                    file: "crates/graphalg/src/clique.rs".into(),
+                    fns: vec!["encode".into(), "decode".into()],
+                    version_const: "CHECKPOINT_PAYLOAD_VERSION".into(),
+                },
+            ],
+            baseline_file: "crates/lint/checkpoint-schema.baseline".into(),
         }
     }
 }
 
 /// Allows parsed from `lb-lint:` directives: line → rules allowed there.
-struct Allows {
-    by_line: HashMap<usize, BTreeSet<Rule>>,
-    errors: Vec<(usize, String)>,
+pub(crate) struct Allows {
+    pub(crate) by_line: HashMap<usize, BTreeSet<Rule>>,
+    pub(crate) errors: Vec<(usize, String)>,
+}
+
+impl Allows {
+    /// Whether `rule` is allowed on `line`.
+    pub(crate) fn allowed(&self, line: usize, rule: Rule) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|set| set.contains(&rule))
+    }
 }
 
 /// Parses every `lb-lint:` directive in the file.
@@ -206,7 +331,7 @@ struct Allows {
 /// Syntax: `lb-lint: allow(rule[, rule…]) -- reason`. A directive on a line
 /// with code applies to that line; a directive alone on a line applies to
 /// the next line carrying code.
-fn parse_allows(file: &ScannedFile) -> Allows {
+pub(crate) fn parse_allows(file: &ScannedFile) -> Allows {
     let mut by_line: HashMap<usize, BTreeSet<Rule>> = HashMap::new();
     let mut errors = Vec::new();
     for (idx, line) in file.lines.iter().enumerate() {
@@ -470,7 +595,7 @@ pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Violati
 /// needle starts with an identifier character, the preceding character must
 /// not be one (so `my_panic!` does not match `panic!`). Needles starting
 /// with punctuation (`.unwrap()`) match anywhere.
-fn contains_token(code: &str, needle: &str) -> bool {
+pub(crate) fn contains_token(code: &str, needle: &str) -> bool {
     let needs_boundary = needle
         .chars()
         .next()
@@ -528,7 +653,7 @@ fn lossy_cast_in(code: &str) -> Option<String> {
 /// (`vec![...]`, preceded by `!`), array types/literals (preceded by
 /// punctuation), and range slicing (`&xs[a..b]` — a slice-length bug, not
 /// the per-element access this rule targets).
-fn unchecked_index_in(code: &str) -> Option<usize> {
+pub(crate) fn unchecked_index_in(code: &str) -> Option<usize> {
     let bytes = code.as_bytes();
     for (i, &b) in bytes.iter().enumerate() {
         if b != b'[' {
@@ -666,7 +791,7 @@ fn find_pub_fn(code: &str) -> Option<usize> {
     None
 }
 
-fn snippet_at(source: &str, lineno: usize) -> String {
+pub(crate) fn snippet_at(source: &str, lineno: usize) -> String {
     source
         .lines()
         .nth(lineno.saturating_sub(1))

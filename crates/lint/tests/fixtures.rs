@@ -6,7 +6,7 @@
 //! workspace-relative path that exercises the intended path classification
 //! (bound-math module, entry-point module, crate root, binary, …).
 
-use lb_lint::{lint_source, Config, Rule};
+use lb_lint::{lint_source, semantic, CheckpointSpec, Config, Rule, Violation};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -24,7 +24,7 @@ fn rules_fired(name: &str, rel_path: &str) -> Vec<Rule> {
         .into_iter()
         .map(|v| v.rule)
         .collect();
-    rules.sort_by_key(|r| r.exit_bit());
+    rules.sort();
     rules.dedup();
     rules
 }
@@ -212,14 +212,238 @@ fn good_directives_suppress_cleanly() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Semantic rules (R8–R10): fixtures are linted as one-file workspaces through
+// `semantic::check`, under a config that points the path-scoped knobs at the
+// synthetic `crates/s/src/` crate.
+// ---------------------------------------------------------------------------
+
+/// A config whose R8/R9 scopes cover the synthetic fixture crate. R10 is off
+/// (no checkpoint specs); the R10 tests below opt in with a spec.
+fn sem_config() -> Config {
+    Config {
+        api_root_paths: vec!["crates/s/src/".into()],
+        solver_loop_paths: vec!["crates/s/src/".into()],
+        index_checked_paths: vec!["crates/s/src/hot.rs".into()],
+        checkpoint_specs: Vec::new(),
+        ..Config::default()
+    }
+}
+
+/// Runs only the semantic rules on a fixture mounted at `rel_path`.
+fn semantic_violations(name: &str, rel_path: &str, config: &Config) -> Vec<Violation> {
+    semantic_violations_under(name, rel_path, config, Path::new("/nonexistent"))
+}
+
+fn semantic_violations_under(
+    name: &str,
+    rel_path: &str,
+    config: &Config,
+    root: &Path,
+) -> Vec<Violation> {
+    let files = vec![(rel_path.to_string(), fixture(name))];
+    let (violations, _) = semantic::check(root, &files, config);
+    violations
+}
+
+#[test]
+fn r8_violating_fixture_flags_direct_and_transitive_loops() {
+    let v = semantic_violations("r8_violating.rs", "crates/s/src/solver.rs", &sem_config());
+    let lines: Vec<usize> = v
+        .iter()
+        .filter(|v| v.rule == Rule::UnbudgetedLoop)
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![6, 9, 16],
+        "while + for in the root and loop in the helper must fire: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("solve -> helper")),
+        "the helper violation must carry its call chain: {v:?}"
+    );
+}
+
+#[test]
+fn r8_clean_fixture_is_silent() {
+    let v = semantic_violations("r8_clean.rs", "crates/s/src/solver.rs", &sem_config());
+    assert!(v.is_empty(), "charged loops must not fire: {v:?}");
+}
+
+#[test]
+fn r8_allowed_fixture_is_suppressed() {
+    let v = semantic_violations("r8_allowed.rs", "crates/s/src/solver.rs", &sem_config());
+    assert!(v.is_empty(), "allow(unbudgeted-loop) must suppress: {v:?}");
+}
+
+#[test]
+fn r9_violating_fixture_flags_reachable_panic_sites() {
+    // Outside the hot-path location only the unwrap fires; the `[i]` site is
+    // R7-scoped.
+    let v = semantic_violations("r9_violating.rs", "crates/s/src/solver.rs", &sem_config());
+    let r9: Vec<&Violation> = v
+        .iter()
+        .filter(|v| v.rule == Rule::PanicReachability)
+        .collect();
+    assert_eq!(r9.len(), 1, "exactly the unwrap must fire: {v:?}");
+    assert_eq!(r9[0].line, 10);
+    assert!(
+        r9[0].message.contains("solve -> helper"),
+        "diagnostic must name the reachability chain: {}",
+        r9[0].message
+    );
+
+    // Mounted as a hot-path file, the unchecked index is a site too.
+    let v = semantic_violations("r9_violating.rs", "crates/s/src/hot.rs", &sem_config());
+    let lines: Vec<usize> = v
+        .iter()
+        .filter(|v| v.rule == Rule::PanicReachability)
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![10, 14],
+        "unwrap and `[i]` must both fire: {v:?}"
+    );
+}
+
+#[test]
+fn r9_clean_fixture_ignores_unreachable_panic_sites() {
+    let v = semantic_violations("r9_clean.rs", "crates/s/src/solver.rs", &sem_config());
+    assert!(
+        v.is_empty(),
+        "an unreachable unwrap must not fire R9: {v:?}"
+    );
+}
+
+#[test]
+fn r9_allowed_fixture_accepts_site_and_edge_directives() {
+    let v = semantic_violations("r9_allowed.rs", "crates/s/src/solver.rs", &sem_config());
+    assert!(
+        v.is_empty(),
+        "site allows and edge cuts must both suppress: {v:?}"
+    );
+}
+
+/// A config with one R10 family pointing at the fixture and a baseline
+/// file name resolved against the fixtures directory as workspace root.
+fn r10_config(baseline: &str) -> Config {
+    Config {
+        api_root_paths: vec!["crates/s/src/".into()],
+        solver_loop_paths: vec!["crates/s/src/".into()],
+        checkpoint_specs: vec![CheckpointSpec {
+            family: "fixture".into(),
+            file: "crates/s/src/ck.rs".into(),
+            fns: vec!["encode".into(), "decode".into()],
+            version_const: "CHECKPOINT_PAYLOAD_VERSION".into(),
+        }],
+        baseline_file: baseline.into(),
+        ..Config::default()
+    }
+}
+
+fn fixtures_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+#[test]
+fn r10_body_change_without_version_bump_is_drift() {
+    let v = semantic_violations_under(
+        "r10_fixture.rs",
+        "crates/s/src/ck.rs",
+        &r10_config("r10_baseline_drift.txt"),
+        &fixtures_root(),
+    );
+    assert_eq!(v.len(), 1, "exactly the drift must fire: {v:?}");
+    assert_eq!(v[0].rule, Rule::CheckpointSchemaDrift);
+    assert_eq!(v[0].line, 4, "must anchor at the version const: {v:?}");
+    assert!(
+        v[0].message.contains("bump the payload version"),
+        "drift without a bump asks for a version bump: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn r10_version_mismatch_asks_for_a_repin() {
+    let v = semantic_violations_under(
+        "r10_fixture.rs",
+        "crates/s/src/ck.rs",
+        &r10_config("r10_baseline_stale.txt"),
+        &fixtures_root(),
+    );
+    assert_eq!(v.len(), 1, "exactly the stale entry must fire: {v:?}");
+    assert!(
+        v[0].message.contains("re-pin"),
+        "a stale version asks for a re-pin: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn r10_missing_baseline_is_one_actionable_violation() {
+    let v = semantic_violations_under(
+        "r10_fixture.rs",
+        "crates/s/src/ck.rs",
+        &r10_config("no-such-baseline.txt"),
+        &fixtures_root(),
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(
+        v[0].message.contains("--write-baseline"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
+fn r10_matching_baseline_is_clean() {
+    // Render the baseline from the fixture itself, park it in a scratch
+    // root, and verify the check round-trips to silence.
+    let files = vec![("crates/s/src/ck.rs".to_string(), fixture("r10_fixture.rs"))];
+    let config = r10_config("generated-baseline.txt");
+    let content = semantic::render_baseline(&files, &config).expect("fixture fingerprints");
+    let root = std::env::temp_dir().join(format!("lb-lint-r10-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("scratch root");
+    std::fs::write(root.join("generated-baseline.txt"), &content).expect("write baseline");
+    let (v, _) = semantic::check(&root, &files, &config);
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(v.is_empty(), "a matching baseline must be clean: {v:?}");
+}
+
+#[test]
+fn r10_allowed_fixture_suppresses_drift() {
+    let v = semantic_violations_under(
+        "r10_allowed.rs",
+        "crates/s/src/ck.rs",
+        &r10_config("r10_baseline_drift.txt"),
+        &fixtures_root(),
+    );
+    assert!(
+        v.is_empty(),
+        "allow(checkpoint-schema-drift) at the const must suppress: {v:?}"
+    );
+}
+
 #[test]
 fn every_rule_has_a_violating_and_a_clean_fixture() {
     // Meta-check: the fixture corpus stays complete as rules evolve.
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
-    for code in ["r1", "r2", "r3", "r4", "r5", "r6", "r7"] {
+    let dir = fixtures_root();
+    for code in ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"] {
         for suffix in ["violating", "clean"] {
             let name = format!("{code}_{suffix}.rs");
             assert!(dir.join(&name).exists(), "fixture corpus is missing {name}");
         }
+    }
+    for name in [
+        "r8_allowed.rs",
+        "r9_allowed.rs",
+        "r10_fixture.rs",
+        "r10_allowed.rs",
+        "r10_baseline_drift.txt",
+        "r10_baseline_stale.txt",
+    ] {
+        assert!(dir.join(name).exists(), "fixture corpus is missing {name}");
     }
 }

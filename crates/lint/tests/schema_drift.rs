@@ -1,0 +1,138 @@
+//! Property tests tying R10 (`checkpoint-schema-drift`) to reality: the
+//! fingerprint must move when an encoder body changes, must NOT move for
+//! comment-only edits, and `--write-baseline` must round-trip byte-identically
+//! against the committed baseline.
+
+use lb_lint::semantic::fingerprint_fns;
+use lb_lint::{items, lexer, Config, Rule};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    lb_lint::default_workspace_root()
+}
+
+fn dpll_source() -> String {
+    std::fs::read_to_string(workspace_root().join("crates/sat/src/dpll.rs"))
+        .expect("crates/sat/src/dpll.rs must exist")
+}
+
+fn ck_fns() -> Vec<String> {
+    vec!["encode".to_string(), "decode".to_string()]
+}
+
+/// Inserts `line` into `src` just after 1-indexed line `after`.
+fn insert_after(src: &str, after: usize, line: &str) -> String {
+    let mut lines: Vec<&str> = src.lines().collect();
+    assert!(after < lines.len(), "insertion point inside the file");
+    lines.insert(after, line);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[test]
+fn mutating_the_real_encoder_body_moves_the_fingerprint() {
+    let src = dpll_source();
+    let scanned = lexer::scan(&src);
+    let (before, found) = fingerprint_fns(&scanned, &ck_fns());
+    assert_eq!(
+        found,
+        vec!["decode".to_string(), "encode".to_string()],
+        "both checkpoint fns must be located in dpll.rs"
+    );
+
+    let body = items::parse(&scanned)
+        .fns
+        .iter()
+        .find(|f| f.name == "encode")
+        .expect("dpll.rs has an encode fn")
+        .body
+        .expect("encode has a body");
+    assert!(body.end > body.start, "encode body spans multiple lines");
+
+    let mutated = insert_after(&src, body.start, "        let _schema_probe = 0;");
+    let (after, _) = fingerprint_fns(&lexer::scan(&mutated), &ck_fns());
+    assert_ne!(
+        before, after,
+        "a statement added to the encoder body must change the fingerprint"
+    );
+}
+
+#[test]
+fn comment_only_edits_do_not_move_the_fingerprint() {
+    let src = dpll_source();
+    let scanned = lexer::scan(&src);
+    let (before, _) = fingerprint_fns(&scanned, &ck_fns());
+
+    let body = items::parse(&scanned)
+        .fns
+        .iter()
+        .find(|f| f.name == "encode")
+        .expect("dpll.rs has an encode fn")
+        .body
+        .expect("encode has a body");
+
+    let commented = insert_after(
+        &src,
+        body.start,
+        "        // a comment inside the encoder body",
+    );
+    let (after, _) = fingerprint_fns(&lexer::scan(&commented), &ck_fns());
+    assert_eq!(
+        before, after,
+        "comments must not participate in the schema fingerprint"
+    );
+}
+
+#[test]
+fn write_baseline_round_trips_byte_identically() {
+    let root = workspace_root();
+    let scratch = std::env::temp_dir().join(format!("lb-lint-schema-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    // `root.join(absolute)` is the absolute path, so an absolute
+    // `baseline_file` redirects the baseline out of the repo.
+    let config = Config {
+        baseline_file: scratch.join("baseline.txt").to_string_lossy().into_owned(),
+        ..Config::default()
+    };
+
+    let first = lb_lint::write_baseline(root, &config).expect("first write");
+    let analysis = lb_lint::analyze_workspace(root, &config).expect("workspace analysis");
+    let r10: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::CheckpointSchemaDrift)
+        .collect();
+    assert!(
+        r10.is_empty(),
+        "a freshly written baseline must satisfy R10: {r10:?}"
+    );
+
+    let second = lb_lint::write_baseline(root, &config).expect("second write");
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert_eq!(first, second, "write-baseline must be deterministic");
+}
+
+#[test]
+fn committed_baseline_matches_what_write_baseline_produces() {
+    let root = workspace_root();
+    let config = Config::default();
+    let committed = std::fs::read_to_string(root.join(&config.baseline_file))
+        .expect("the R10 baseline must be committed");
+    let files: Vec<(String, String)> = config
+        .checkpoint_specs
+        .iter()
+        .map(|spec| {
+            let source = std::fs::read_to_string(root.join(&spec.file))
+                .unwrap_or_else(|_| panic!("checkpoint file {} must exist", spec.file));
+            (spec.file.clone(), source)
+        })
+        .collect();
+    let rendered =
+        lb_lint::semantic::render_baseline(&files, &config).expect("render the baseline");
+    assert_eq!(
+        committed, rendered,
+        "the committed baseline drifted from the checkpoint encoders; \
+         run `lb-lint --write-baseline` and review the payload versions"
+    );
+}

@@ -197,12 +197,12 @@ impl Ord for Rational {
         let lhs = self
             .num
             .checked_mul(other.den)
-            // lb-lint: allow(no-panic) -- documented panic: Ord cannot return Result; cross-multiplication past i128 is unsupported
+            // lb-lint: allow(no-panic, panic-reachability) -- documented panic: Ord cannot return Result; cross-multiplication past i128 is unsupported
             .expect("rational comparison overflow");
         let rhs = other
             .num
             .checked_mul(self.den)
-            // lb-lint: allow(no-panic) -- documented panic: Ord cannot return Result; cross-multiplication past i128 is unsupported
+            // lb-lint: allow(no-panic, panic-reachability) -- documented panic: Ord cannot return Result; cross-multiplication past i128 is unsupported
             .expect("rational comparison overflow");
         lhs.cmp(&rhs)
     }

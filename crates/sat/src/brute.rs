@@ -24,6 +24,7 @@ pub fn solve(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunStats) 
         if let Err(reason) = ticker.node() {
             return ticker.finish(Err(reason));
         }
+        // lb-lint: allow(unbudgeted-loop) -- odometer increment, bounded by num_vars per charged assignment
         for (v, a) in assignment.iter_mut().enumerate() {
             *a = bits >> v & 1 == 1;
         }
@@ -49,6 +50,7 @@ pub fn count(f: &CnfFormula, budget: &Budget) -> (Outcome<u64>, RunStats) {
         if let Err(reason) = ticker.node() {
             return ticker.finish(Err(reason));
         }
+        // lb-lint: allow(unbudgeted-loop) -- odometer increment, bounded by num_vars per charged assignment
         for (v, a) in assignment.iter_mut().enumerate() {
             *a = bits >> v & 1 == 1;
         }

@@ -104,6 +104,7 @@ impl CnfFormula {
     /// unsatisfiable — represent that case explicitly if you need it).
     pub fn from_clauses(num_vars: usize, clauses: Vec<Clause>) -> Self {
         let mut f = CnfFormula::new(num_vars);
+        // lb-lint: allow(unbudgeted-loop) -- formula construction, linear in input
         for c in clauses {
             f.add_clause(c);
         }
@@ -115,6 +116,7 @@ impl CnfFormula {
         clause.sort_unstable();
         clause.dedup();
         assert!(!clause.is_empty(), "empty clause");
+        // lb-lint: allow(unbudgeted-loop) -- scans one clause; bounded by clause width
         for &l in &clause {
             assert!(l.var() < self.num_vars, "literal variable out of range");
         }
@@ -194,6 +196,7 @@ impl CnfFormula {
         // missing-terminator diagnostic.
         let mut open_clause_at = (0usize, 0usize);
         let mut last_line = 0usize;
+        // lb-lint: allow(unbudgeted-loop) -- single parsing pass, linear in the input text
         for (idx, raw_line) in text.lines().enumerate() {
             let lineno = idx + 1;
             last_line = lineno;
@@ -258,6 +261,7 @@ impl CnfFormula {
                 num_vars = Some(nv);
                 continue;
             }
+            // lb-lint: allow(unbudgeted-loop) -- single parsing pass, linear in the input text
             for (col, tok) in tokens(raw_line) {
                 let Some(nv) = num_vars else {
                     return Err(ParseError::new(

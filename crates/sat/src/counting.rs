@@ -48,6 +48,7 @@ fn count_rec(
     macro_rules! bail_if_exhausted {
         ($tick:expr) => {
             if let Err(reason) = $tick {
+                // lb-lint: allow(unbudgeted-loop) -- undoes the propagation trail; entries were charged when propagated
                 for &v in &trail {
                     assignment[v] = None;
                 }
@@ -58,10 +59,12 @@ fn count_rec(
     loop {
         let mut unit: Option<Lit> = None;
         let mut conflict = false;
+        // lb-lint: allow(unbudgeted-loop) -- scans clauses for a unit; bounded by formula size per charged node
         for clause in clauses {
             let mut unassigned: Option<Lit> = None;
             let mut count = 0;
             let mut satisfied = false;
+            // lb-lint: allow(unbudgeted-loop) -- scans one clause; bounded by clause width
             for &l in clause {
                 match assignment[l.var()] {
                     Some(v) if v == l.is_positive() => {
@@ -92,6 +95,7 @@ fn count_rec(
         }
         if conflict {
             bail_if_exhausted!(ticker.backtrack());
+            // lb-lint: allow(unbudgeted-loop) -- undoes the propagation trail; entries were charged when propagated
             for &v in &trail {
                 assignment[v] = None;
             }
@@ -136,6 +140,7 @@ fn count_rec(
             let sub = match branch_count(comp_clauses, assignment, comp_vars, ticker) {
                 Ok(sub) => sub,
                 Err(reason) => {
+                    // lb-lint: allow(unbudgeted-loop) -- undoes the propagation trail; entries were charged when propagated
                     for &v in &trail {
                         assignment[v] = None;
                     }
@@ -152,6 +157,7 @@ fn count_rec(
         total
     };
 
+    // lb-lint: allow(unbudgeted-loop) -- undoes the propagation trail; entries were charged when propagated
     for &v in &trail {
         assignment[v] = None;
     }
@@ -195,6 +201,7 @@ fn split_components(
 ) -> Vec<(Vec<usize>, Vec<Vec<Lit>>)> {
     // Union-find over unassigned variables.
     let mut index = std::collections::HashMap::new();
+    // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
     for (i, &v) in unassigned.iter().enumerate() {
         index.insert(v, i);
     }
@@ -206,12 +213,14 @@ fn split_components(
         }
         parent[x]
     }
+    // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
     for clause in active {
         let vs: Vec<usize> = clause
             .iter()
             .filter(|l| assignment[l.var()].is_none())
             .map(|l| index[&l.var()])
             .collect();
+        // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
         for w in vs.windows(2) {
             let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
             if a != b {
@@ -223,13 +232,16 @@ fn split_components(
     let mut comp_vars: std::collections::HashMap<usize, Vec<usize>> =
         std::collections::HashMap::new();
     let mut touched: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
     for clause in active {
+        // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
         for l in clause.iter() {
             if assignment[l.var()].is_none() {
                 touched.insert(l.var());
             }
         }
     }
+    // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
     for &v in unassigned {
         if touched.contains(&v) {
             let root = find(&mut parent, index[&v]);
@@ -237,6 +249,7 @@ fn split_components(
         }
     }
     let mut out: Vec<(Vec<usize>, Vec<Vec<Lit>>)> = Vec::new();
+    // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
     for (root, vs) in comp_vars {
         let cs: Vec<Vec<Lit>> = active
             .iter()

@@ -140,8 +140,9 @@ impl Machine {
 
     /// Undoes the current level's simplification trail and starts unwinding.
     fn fail_level(&mut self) {
+        // lb-lint: allow(unbudgeted-loop) -- drains the trail of a failed level; entries were charged when assigned
         for v in self.trail.drain(..) {
-            // lb-lint: allow(no-unchecked-index) -- the trail only holds assigned variable ids < num_vars
+            // lb-lint: allow(no-unchecked-index, panic-reachability) -- the trail only holds assigned variable ids < num_vars
             self.assignment[v] = None;
         }
         self.phase = Phase::Unwind;
@@ -152,6 +153,7 @@ impl Machine {
         let n = f.num_vars();
         self.pure_pos = vec![false; n];
         self.pure_neg = vec![false; n];
+        // lb-lint: allow(unbudgeted-loop) -- single purity scan, linear in the clause database
         for clause in f.clauses() {
             if matches!(
                 DpllSolver::clause_state(clause, &self.assignment),
@@ -159,13 +161,14 @@ impl Machine {
             ) {
                 continue;
             }
+            // lb-lint: allow(unbudgeted-loop) -- single purity scan, linear in the clause database
             for &l in clause {
-                // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                 if self.assignment[l.var()].is_none() {
                     if l.is_positive() {
-                        self.pure_pos[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                        self.pure_pos[l.var()] = true; // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                     } else {
-                        self.pure_neg[l.var()] = true; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                        self.pure_neg[l.var()] = true; // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                     }
                 }
             }
@@ -195,7 +198,7 @@ impl Machine {
                                 break;
                             }
                             ClauseState::Unit(l) if config.unit_propagation => {
-                                // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                                // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                                 self.assignment[l.var()] = Some(l.is_positive());
                                 self.trail.push(l.var());
                                 changed = true;
@@ -231,9 +234,9 @@ impl Machine {
                     while v < n {
                         // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
                         let pure =
-                            self.assignment[v].is_none() && (self.pure_pos[v] ^ self.pure_neg[v]); // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                            self.assignment[v].is_none() && (self.pure_pos[v] ^ self.pure_neg[v]); // lb-lint: allow(no-unchecked-index, panic-reachability) -- v < num_vars = len of the per-variable vectors
                         if pure {
-                            self.assignment[v] = Some(self.pure_pos[v]); // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                            self.assignment[v] = Some(self.pure_pos[v]); // lb-lint: allow(no-unchecked-index, panic-reachability) -- v < num_vars = len of the per-variable vectors
                             self.trail.push(v);
                             changed = true;
                             v += 1;
@@ -270,6 +273,7 @@ impl Machine {
                         }
                         Branching::MostFrequent => {
                             let mut count = vec![0usize; f.num_vars()];
+                            // lb-lint: allow(unbudgeted-loop) -- unit scan, linear in the clause database per charged node
                             for clause in f.clauses() {
                                 if matches!(
                                     DpllSolver::clause_state(clause, &self.assignment),
@@ -277,16 +281,17 @@ impl Machine {
                                 ) {
                                     continue;
                                 }
+                                // lb-lint: allow(unbudgeted-loop) -- scans one clause; bounded by clause width
                                 for &l in clause {
-                                    // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                                    // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                                     if self.assignment[l.var()].is_none() {
-                                        count[l.var()] += 1; // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+                                        count[l.var()] += 1; // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                                     }
                                 }
                             }
                             (0..f.num_vars())
-                                .filter(|&v| self.assignment[v].is_none()) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
-                                .max_by_key(|&v| count[v]) // lb-lint: allow(no-unchecked-index) -- v < num_vars = len of the per-variable vectors
+                                .filter(|&v| self.assignment[v].is_none()) // lb-lint: allow(no-unchecked-index, panic-reachability) -- v < num_vars = len of the per-variable vectors
+                                .max_by_key(|&v| count[v]) // lb-lint: allow(no-unchecked-index, panic-reachability) -- v < num_vars = len of the per-variable vectors
                         }
                     };
                     match var {
@@ -303,7 +308,7 @@ impl Machine {
                                 tried_false: false,
                                 trail,
                             });
-                            self.assignment[var] = Some(true); // lb-lint: allow(no-unchecked-index) -- var came from an index over 0..num_vars
+                            self.assignment[var] = Some(true); // lb-lint: allow(no-unchecked-index, panic-reachability) -- var came from an index over 0..num_vars
                             self.phase = Phase::UnitScan {
                                 clause: 0,
                                 changed: false,
@@ -318,15 +323,16 @@ impl Machine {
                         if !top.tried_false {
                             top.tried_false = true;
                             let var = top.var;
-                            self.assignment[var] = Some(false); // lb-lint: allow(no-unchecked-index) -- frame vars came from an index over 0..num_vars
+                            self.assignment[var] = Some(false); // lb-lint: allow(no-unchecked-index, panic-reachability) -- frame vars came from an index over 0..num_vars
                             self.phase = Phase::UnitScan {
                                 clause: 0,
                                 changed: false,
                             };
                         } else if let Some(frame) = self.frames.pop() {
-                            self.assignment[frame.var] = None; // lb-lint: allow(no-unchecked-index) -- frame vars came from an index over 0..num_vars
+                            self.assignment[frame.var] = None; // lb-lint: allow(no-unchecked-index, panic-reachability) -- frame vars came from an index over 0..num_vars
+                                                               // lb-lint: allow(unbudgeted-loop) -- unwinds one frame's trail; assignments were charged when made
                             for v in frame.trail {
-                                self.assignment[v] = None; // lb-lint: allow(no-unchecked-index) -- the trail only holds assigned variable ids < num_vars
+                                self.assignment[v] = None; // lb-lint: allow(no-unchecked-index, panic-reachability) -- the trail only holds assigned variable ids < num_vars
                             }
                         }
                     }
@@ -343,6 +349,7 @@ impl Machine {
     fn encode(&self, digest: u64) -> Vec<u8> {
         let mut w = PayloadWriter::new();
         w.u64(digest).usize(self.assignment.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for a in &self.assignment {
             w.u8(match a {
                 None => 0,
@@ -352,6 +359,7 @@ impl Machine {
         }
         w.seq_usize(&self.trail);
         w.usize(self.frames.len());
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for frame in &self.frames {
             w.usize(frame.var).bool(frame.tried_false);
             w.seq_usize(&frame.trail);
@@ -362,6 +370,7 @@ impl Machine {
             }
             Phase::PureScan { var, changed } => {
                 w.u8(1).usize(var).bool(changed);
+                // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
                 for i in 0..self.assignment.len() {
                     w.bool(self.pure_pos.get(i).copied().unwrap_or(false));
                     w.bool(self.pure_neg.get(i).copied().unwrap_or(false));
@@ -397,6 +406,7 @@ impl Machine {
             });
         }
         let mut assignment = Vec::with_capacity(n);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..n {
             let at = r.offset();
             assignment.push(match r.u8()? {
@@ -414,6 +424,7 @@ impl Machine {
         let read_trail = |r: &mut PayloadReader<'_>| -> Result<Vec<usize>, CheckpointError> {
             let len = r.seq_len(8, "trail")?;
             let mut out = Vec::with_capacity(len);
+            // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..len {
                 out.push(r.usize_below(n, "trail var")?);
             }
@@ -422,6 +433,7 @@ impl Machine {
         let trail = read_trail(&mut r)?;
         let frame_count = r.seq_len(17, "decision stack")?;
         let mut frames = Vec::with_capacity(frame_count);
+        // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..frame_count {
             let var = r.usize_below(n, "decision var")?;
             let tried_false = r.bool()?;
@@ -444,6 +456,7 @@ impl Machine {
                 let changed = r.bool()?;
                 let mut pos = Vec::with_capacity(n);
                 let mut neg = Vec::with_capacity(n);
+                // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
                 for _ in 0..n {
                     pos.push(r.bool()?);
                     neg.push(r.bool()?);
@@ -481,8 +494,10 @@ impl DpllSolver {
     fn digest(&self, f: &CnfFormula) -> u64 {
         let mut d = Digest::new();
         d.str("dpll").usize(f.num_vars()).usize(f.clauses().len());
+        // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in the formula; runs once per resume
         for clause in f.clauses() {
             d.usize(clause.len());
+            // lb-lint: allow(unbudgeted-loop) -- digest pass, linear in the formula; runs once per resume
             for &l in clause {
                 d.usize(l.code());
             }
@@ -543,8 +558,9 @@ impl DpllSolver {
     fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
         let mut unassigned: Option<Lit> = None;
         let mut unassigned_count = 0usize;
+        // lb-lint: allow(unbudgeted-loop) -- scans one clause; bounded by clause width
         for &l in clause {
-            // lb-lint: allow(no-unchecked-index) -- l.var() < num_vars, validated by CnfFormula::add_clause
+            // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
             match assignment[l.var()] {
                 Some(v) if v == l.is_positive() => return ClauseState::Satisfied,
                 Some(_) => {}
@@ -556,7 +572,7 @@ impl DpllSolver {
         }
         match unassigned_count {
             0 => ClauseState::Conflict,
-            // lb-lint: allow(no-panic) -- invariant: exactly one unassigned literal was counted in this clause
+            // lb-lint: allow(no-panic, panic-reachability) -- invariant: exactly one unassigned literal was counted in this clause
             1 => ClauseState::Unit(unassigned.expect("counted one")),
             _ => ClauseState::Open,
         }

@@ -124,7 +124,9 @@ impl BooleanRelation {
     }
 
     fn closed_under_binary(&self, op: fn(bool, bool) -> bool) -> bool {
+        // lb-lint: allow(unbudgeted-loop) -- closure check over the tuple set, bounded by |R|^2
         for t in &self.tuples {
+            // lb-lint: allow(unbudgeted-loop) -- closure check over the tuple set, bounded by |R|^2
             for u in &self.tuples {
                 let combined: Vec<bool> = t.iter().zip(u).map(|(&a, &b)| op(a, b)).collect();
                 if !self.contains(&combined) {
@@ -136,8 +138,11 @@ impl BooleanRelation {
     }
 
     fn closed_under_ternary(&self, op: fn(bool, bool, bool) -> bool) -> bool {
+        // lb-lint: allow(unbudgeted-loop) -- closure check over the tuple set, bounded by |R|^3
         for t in &self.tuples {
+            // lb-lint: allow(unbudgeted-loop) -- closure check over the tuple set, bounded by |R|^3
             for u in &self.tuples {
+                // lb-lint: allow(unbudgeted-loop) -- closure check over the tuple set, bounded by |R|^3
                 for v in &self.tuples {
                     let combined: Vec<bool> = t
                         .iter()
@@ -263,6 +268,7 @@ impl BoolCspInstance {
     /// Validates scopes and relation indices.
     #[must_use = "a dropped validation result defeats the check entirely"]
     pub fn validate(&self) -> Result<(), String> {
+        // lb-lint: allow(unbudgeted-loop) -- validation pass, linear in constraints; runs before solving
         for (i, (scope, rel)) in self.constraints.iter().enumerate() {
             if *rel >= self.relations.len() {
                 return Err(format!("constraint {i}: relation index out of range"));
@@ -380,6 +386,7 @@ fn solve_horn(
             // Horn: AND of all tuples t with t ≥ bound|scope;
             // dual: OR of all tuples t with t ≤ bound|scope.
             let mut acc: Option<Vec<bool>> = None;
+            // lb-lint: allow(unbudgeted-loop) -- polynomial Horn pass, bounded by relation tuples and arity
             for t in rel.tuples() {
                 let consistent = if dual {
                     // t ≤ bound: wherever bound is false, t must be false.
@@ -404,6 +411,7 @@ fn solve_horn(
                 // No consistent tuple → unsatisfiable.
                 return Ok(None);
             };
+            // lb-lint: allow(unbudgeted-loop) -- polynomial Horn pass, bounded by relation tuples and arity
             for (&v, &tv) in scope.iter().zip(&extremal) {
                 if bound[v] != tv {
                     // Horn only raises (false→true); dual only lowers.
@@ -438,6 +446,7 @@ fn solve_affine(
         for (coeffs_local, rhs) in affine_equations(rel) {
             ticker.propagation()?;
             let mut row = vec![0u64; words];
+            // lb-lint: allow(unbudgeted-loop) -- polynomial affine pass, bounded by constraint arity
             for (pos, &on) in coeffs_local.iter().enumerate() {
                 if on {
                     let v = scope[pos];
@@ -469,8 +478,10 @@ fn affine_equations(rel: &BooleanRelation) -> Vec<(Vec<bool>, bool)> {
             .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
     };
     let m0 = to_mask(t0);
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) basis extraction, bounded by tuple count times arity
     for t in tuples {
         let mut v = to_mask(t) ^ m0;
+        // lb-lint: allow(unbudgeted-loop) -- GF(2) basis extraction, bounded by tuple count times arity
         for &b in &basis {
             let pivot = 63 - b.leading_zeros();
             if v >> pivot & 1 == 1 {
@@ -500,8 +511,10 @@ fn affine_equations(rel: &BooleanRelation) -> Vec<(Vec<bool>, bool)> {
 fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
     // Row-reduce `rows` to echelon form with pivot tracking.
     let mut ech: Vec<u64> = Vec::new();
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, O(r^3) in relation arity
     for &row in rows {
         let mut v = row;
+        // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, O(r^3) in relation arity
         for &e in &ech {
             let pivot = 63 - e.leading_zeros();
             if v >> pivot & 1 == 1 {
@@ -523,16 +536,20 @@ fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
     let mut out = Vec::new();
     // Fully reduce echelon form (back-substitution) for clean reads.
     let mut reduced = ech.clone();
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, O(r^3) in relation arity
     for i in 0..reduced.len() {
         let pivot = 63 - reduced[i].leading_zeros();
+        // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, O(r^3) in relation arity
         for j in 0..reduced.len() {
             if i != j && reduced[j] >> pivot & 1 == 1 {
                 reduced[j] ^= reduced[i];
             }
         }
     }
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, O(r^3) in relation arity
     for &f in &free {
         let mut v: u64 = 1 << f;
+        // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, O(r^3) in relation arity
         for row in &reduced {
             let pivot = (63 - row.leading_zeros()) as usize;
             if row >> f & 1 == 1 {
@@ -569,6 +586,7 @@ fn gaussian_solve_gf2(
                 } else {
                     (&head[rank], &mut tail[0])
                 };
+                // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, polynomial in instance size
                 for k in 0..words {
                     dst.0[k] ^= src.0[k];
                 }
@@ -579,6 +597,7 @@ fn gaussian_solve_gf2(
         rank += 1;
     }
     // Inconsistent if some zero row has RHS 1.
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, polynomial in instance size
     for (row, rhs) in rows.iter().skip(rank) {
         if *rhs && row.iter().all(|&w| w == 0) {
             return Ok(None);
@@ -586,6 +605,7 @@ fn gaussian_solve_gf2(
     }
     // Also check rows within 0..rank that became zero (cannot happen: they
     // have pivots), and any remaining zero=1 rows above.
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, polynomial in instance size
     for (row, rhs) in rows.iter().take(rank) {
         if *rhs && row.iter().all(|&w| w == 0) {
             return Ok(None);
@@ -594,6 +614,7 @@ fn gaussian_solve_gf2(
     let mut x = vec![false; n];
     // Free variables default to false; pivots read off the (fully reduced)
     // rows: x[pivot] = rhs ⊕ Σ_{free j in row} x[j] = rhs (free are false).
+    // lb-lint: allow(unbudgeted-loop) -- GF(2) Gaussian elimination, polynomial in instance size
     for &(ri, col) in &pivots {
         x[col] = rows[ri].1;
     }
@@ -613,6 +634,7 @@ fn solve_bijunctive(
         ticker.propagation()?;
         let rel = &inst.relations[*rel_idx];
         let r = rel.arity();
+        // lb-lint: allow(unbudgeted-loop) -- 2-SAT closure over O(r^2) value pairs, polynomial in instance size
         for i in 0..r {
             let proj = rel.project1(i);
             match proj.as_slice() {
@@ -621,10 +643,14 @@ fn solve_bijunctive(
                 _ => {}
             }
         }
+        // lb-lint: allow(unbudgeted-loop) -- 2-SAT closure over O(r^2) value pairs, polynomial in instance size
         for i in 0..r {
+            // lb-lint: allow(unbudgeted-loop) -- 2-SAT closure over O(r^2) value pairs, polynomial in instance size
             for j in (i + 1)..r {
                 let allowed = rel.project2(i, j);
+                // lb-lint: allow(unbudgeted-loop) -- 2-SAT closure over O(r^2) value pairs, polynomial in instance size
                 for a in [false, true] {
+                    // lb-lint: allow(unbudgeted-loop) -- 2-SAT closure over O(r^2) value pairs, polynomial in instance size
                     for b in [false, true] {
                         if !allowed.contains(&(a, b)) {
                             if scope[i] == scope[j] {

@@ -38,7 +38,7 @@ pub fn solve_2sat(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunSt
                 g.add_arc(a.negated().code(), b.code());
                 g.add_arc(b.negated().code(), a.code());
             }
-            // lb-lint: allow(no-panic) -- invariant: clause width was checked to be <= 2 above
+            // lb-lint: allow(no-panic, panic-reachability) -- invariant: clause width was checked to be <= 2 above
             _ => unreachable!("width checked above"),
         }
     }
@@ -48,9 +48,9 @@ pub fn solve_2sat(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunSt
         if let Err(reason) = ticker.node() {
             return ticker.finish(Err(reason));
         }
-        // lb-lint: allow(no-unchecked-index) -- literal codes are < 2n, the graph size
+        // lb-lint: allow(no-unchecked-index, panic-reachability) -- literal codes are < 2n, the graph size
         let pos = scc.comp[Lit::pos(v).code()];
-        // lb-lint: allow(no-unchecked-index) -- literal codes are < 2n, the graph size
+        // lb-lint: allow(no-unchecked-index, panic-reachability) -- literal codes are < 2n, the graph size
         let neg = scc.comp[Lit::neg(v).code()];
         if pos == neg {
             return ticker.finish(Ok(None));
@@ -58,7 +58,7 @@ pub fn solve_2sat(f: &CnfFormula, budget: &Budget) -> (Outcome<Vec<bool>>, RunSt
         // Tarjan numbers components in reverse topological order, so the
         // literal whose component index is *smaller* is "later" in
         // topological order and must be set true.
-        model[v] = pos < neg; // lb-lint: allow(no-unchecked-index) -- v ranges over 0..n = model.len()
+        model[v] = pos < neg; // lb-lint: allow(no-unchecked-index, panic-reachability) -- v ranges over 0..n = model.len()
     }
     debug_assert!(f.eval(&model), "2SAT model must satisfy the formula");
     ticker.finish(Ok(Some(model)))

@@ -1,26 +1,76 @@
 //! The static-analysis gate, wired into plain `cargo test`.
 //!
-//! This test lints every `.rs` file in the workspace with `lb-lint` and
-//! fails if any rule fires, so a panicking call or a lossy bound-arithmetic
-//! cast cannot land without either a fix or a justified
-//! `// lb-lint: allow(rule) -- reason` annotation. The same check runs as
-//! `cargo run -p lb-lint` and in CI (`.github/workflows/ci.yml`).
+//! This test lints every `.rs` file in the workspace with `lb-lint` — the
+//! token rules R1–R7 plus the call-graph semantic rules R8–R10 — and fails
+//! if any rule fires, so a panicking call, an unbudgeted solver loop, or a
+//! silent checkpoint-schema change cannot land without either a fix or a
+//! justified `// lb-lint: allow(rule) -- reason` annotation. The same check
+//! runs as `cargo run -p lb-lint` and in CI (`.github/workflows/ci.yml`).
 
-use lb_lint::{default_workspace_root, lint_workspace, render_text, Config};
+use lb_lint::{analyze_workspace, default_workspace_root, render_text, Config};
 
 #[test]
 fn workspace_is_lint_clean() {
     let root = default_workspace_root();
-    let (violations, files) = lint_workspace(root, &Config::default())
+    let analysis = analyze_workspace(root, &Config::default())
         .unwrap_or_else(|e| panic!("lb-lint failed to walk {}: {e}", root.display()));
     assert!(
-        files > 50,
-        "lb-lint walked only {files} files from {} — wrong workspace root?",
+        analysis.files_checked > 50,
+        "lb-lint walked only {} files from {} — wrong workspace root?",
+        analysis.files_checked,
         root.display()
     );
     assert!(
-        violations.is_empty(),
+        analysis.violations.is_empty(),
         "lb-lint found violations (fix them or add `// lb-lint: allow(rule) -- reason`):\n{}",
-        render_text(&violations)
+        render_text(&analysis.violations)
+    );
+}
+
+#[test]
+fn semantic_analysis_actually_covers_the_solvers() {
+    // A zero-violation result is only meaningful if the semantic layer saw
+    // the workspace: the call graph must root at the real solver entry
+    // points and traverse real loops and panic sites. These floors catch a
+    // misconfigured path scope silently emptying a rule.
+    let root = default_workspace_root();
+    let analysis = analyze_workspace(root, &Config::default())
+        .unwrap_or_else(|e| panic!("lb-lint failed to walk {}: {e}", root.display()));
+    let stats = &analysis.stats;
+
+    for expected in [
+        "DpllSolver::solve",
+        "DpllSolver::solve_resumable",
+        "solve_2sat",
+        "count_resumable",
+        "count_triangles_resumable",
+        "find_clique_resumable",
+    ] {
+        assert!(
+            stats.root_names.iter().any(|n| n == expected),
+            "`{expected}` is missing from the R8/R9 reachability roots; \
+             roots found: {:?}",
+            stats.root_names
+        );
+    }
+    assert!(
+        stats.reachable_fns >= 100,
+        "only {} fns reachable from the roots — the call graph is too sparse",
+        stats.reachable_fns
+    );
+    assert!(
+        stats.loops_checked >= 100,
+        "R8 examined only {} loops — solver_loop_paths likely misconfigured",
+        stats.loops_checked
+    );
+    assert!(
+        stats.panic_sites >= 50,
+        "R9 saw only {} panic sites — site scanning likely broken",
+        stats.panic_sites
+    );
+    assert_eq!(
+        stats.families_checked, 5,
+        "R10 must check every checkpoint family (dpll, csp-backtracking, \
+         generic-join, triangle-scan, clique-enum)"
     );
 }
