@@ -277,8 +277,19 @@ fn run_sliced<W>(
             }
             done => {
                 if let Some(path) = &ck.save {
-                    // Best-effort cleanup: a completed run needs no frontier.
-                    let _ = std::fs::remove_file(path);
+                    // Cleanup: a completed run needs no frontier, and a stale
+                    // file here would feed a later `--resume` old state. Warn
+                    // rather than fail — the verdict itself is already in hand.
+                    // NotFound is the common completed-within-first-slice case
+                    // (no frontier was ever written), not a stale-file hazard.
+                    if let Err(e) = std::fs::remove_file(path) {
+                        if e.kind() != std::io::ErrorKind::NotFound {
+                            eprintln!(
+                                "warning: could not remove completed checkpoint {}: {e}",
+                                path.display()
+                            );
+                        }
+                    }
                 }
                 return Ok((done.into_outcome(), total));
             }

@@ -78,6 +78,7 @@ impl<'a> Ctx<'a> {
             seen.dedup();
             // lb-lint: allow(unbudgeted-loop) -- one-time index construction, linear in total scope size
             for v in seen {
+                // lb-lint: allow(unbounded-growth) -- one-time index construction, linear in total scope size
                 by_var[v].push(ci); // lb-lint: allow(no-unchecked-index, panic-reachability) -- scope variables are < num_vars, validated by CspInstance::add_constraint
             }
         }
@@ -216,6 +217,7 @@ impl Machine {
                                 d,
                                 trail: Vec::new(),
                             });
+                            ticker.record_intermediate(self.frames.len() as u64);
                             self.assigned[var] = Some(d); // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                             self.phase = Phase::Consist;
                             ticker.node()?;
@@ -290,6 +292,7 @@ impl Machine {
                                     self.domain_count[u] -= 1; // lb-lint: allow(no-unchecked-index, panic-reachability) -- var/v index per-variable vectors sized num_vars
                                     if let Some(top) = self.frames.last_mut() {
                                         top.trail.push((u, d));
+                                        ticker.record_intermediate(top.trail.len() as u64);
                                     }
                                     d += 1;
                                     self.phase = Phase::ForwardCheck { ci_idx, d };
@@ -458,10 +461,10 @@ impl Machine {
             let mut row = Vec::with_capacity(ds);
             // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..ds {
-                row.push(r.bool()?);
+                row.push(r.bool()?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             }
-            domain_count.push(row.iter().filter(|&&b| b).count());
-            domains.push(row);
+            domain_count.push(row.iter().filter(|&&b| b).count()); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
+            domains.push(row); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
         }
         let mut assigned = Vec::with_capacity(n);
         // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
@@ -469,9 +472,9 @@ impl Machine {
             let at = r.offset();
             let v = r.u64()?;
             if v == 0 {
-                assigned.push(None);
+                assigned.push(None); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             } else if v - 1 < ds as u64 {
-                assigned.push(Some((v - 1) as Value));
+                assigned.push(Some((v - 1) as Value)); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             } else {
                 return Err(CheckpointError::Malformed {
                     what: format!("assigned value {} out of domain (< {ds} required)", v - 1),
@@ -503,9 +506,9 @@ impl Machine {
             for _ in 0..trail_len {
                 let v = r.usize_below(n, "trail var")?;
                 let dv = read_value(&mut r)?;
-                trail.push((v, dv));
+                trail.push((v, dv)); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             }
-            frames.push(Frame { var, d, trail });
+            frames.push(Frame { var, d, trail }); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
         }
         let tag_at = r.offset();
         let phase = match r.u8()? {

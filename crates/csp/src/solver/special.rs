@@ -203,7 +203,7 @@ fn path_dp(
             }
         }
         f = g;
-        choice.push(ch);
+        choice.push(ch); // lb-lint: allow(unbounded-growth) -- parent-pointer table of the path DP: exactly len rows, bounded by instance size
     }
     let count: u64 = f.iter().fold(0u64, |acc, &x| acc.saturating_add(x));
     if count == 0 {

@@ -226,7 +226,7 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
                 }
                 let mut child_assign = assign;
                 child_assign.remove(pos);
-                stack.push((child, child_assign));
+                stack.push((child, child_assign)); // lb-lint: allow(unbounded-growth) -- solution-extraction stack: at most one entry per decomposition node
             }
             NiceNode::Forget { child, var } => {
                 let pos = nice.bags[child]
@@ -245,6 +245,7 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
                         break;
                     }
                 }
+                // lb-lint: allow(unbounded-growth) -- solution-extraction stack: at most one entry per decomposition node
                 stack.push((
                     child,
                     // lb-lint: allow(no-panic, panic-reachability) -- invariant: a positive forget sum implies some child entry is positive
@@ -252,8 +253,8 @@ fn extract_solution(inst: &CspInstance, nice: &NiceDecomposition, tables: &[Tabl
                 ));
             }
             NiceNode::Join { left, right } => {
-                stack.push((left, assign.clone()));
-                stack.push((right, assign));
+                stack.push((left, assign.clone())); // lb-lint: allow(unbounded-growth) -- solution-extraction stack: at most one entry per decomposition node
+                stack.push((right, assign)); // lb-lint: allow(unbounded-growth) -- solution-extraction stack: at most one entry per decomposition node
             }
         }
     }

@@ -236,6 +236,7 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+// lb-lint: allow(send-hostile-state) -- the ambient-plan API is deliberately thread-scoped: a plan installed by `with_plan` must never leak to sibling test threads, and `Ticker::new` snapshots it into the (Send-clean) ticker before any checkpoint can observe it; plan-passing callers use `Ticker::with_fault_plan` instead
 thread_local! {
     static ACTIVE_PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
 }
@@ -461,6 +462,40 @@ mod tests {
         let mut t = with_plan(&plan, || Ticker::new(&Budget::unlimited()));
         // The ticker keeps its snapshot even after the scope ended.
         assert!(t.node().is_err());
+    }
+
+    #[test]
+    fn explicit_plan_matches_ambient_plan() {
+        let plan = FaultPlan::new()
+            .with_point(FaultKind::Exhaust, 4)
+            .with_point(FaultKind::PoisonIntermediate, 1);
+        let run = |mut t: Ticker| {
+            t.record_intermediate(9);
+            let mut ops = 0u64;
+            let err = loop {
+                ops += 1;
+                if let Err(e) = t.node() {
+                    break e;
+                }
+            };
+            (ops, err, t.stats())
+        };
+        let ambient = with_plan(&plan, || run(Ticker::new(&Budget::unlimited())));
+        let explicit = run(Ticker::with_fault_plan(&Budget::unlimited(), &plan));
+        assert_eq!(
+            ambient, explicit,
+            "the two plan APIs must compile identically"
+        );
+    }
+
+    #[test]
+    fn explicit_plan_ignores_the_ambient_plan() {
+        let ambient = FaultPlan::new().with_point(FaultKind::Exhaust, 1);
+        let explicit = FaultPlan::new(); // empty: nothing may fire
+        let mut t = with_plan(&ambient, || {
+            Ticker::with_fault_plan(&Budget::unlimited(), &explicit)
+        });
+        assert!(t.node().is_ok(), "ambient exhaust@1 must not leak in");
     }
 
     #[test]

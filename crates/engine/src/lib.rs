@@ -368,6 +368,21 @@ impl RunStats {
             && self.tuples <= other.tuples
             && self.backtracks <= other.backtracks
     }
+
+    /// Equality against a fault-free `baseline`, tolerating exactly one
+    /// deviation: a [`FaultKind::PoisonIntermediate`](fault::FaultKind)
+    /// failpoint pinning `max_intermediate` to `u64::MAX`. Every tick
+    /// counter must still match exactly — poison is telemetry-only and may
+    /// never change the work performed.
+    pub fn eq_allowing_poisoned_intermediate(&self, baseline: &RunStats) -> bool {
+        self.nodes == baseline.nodes
+            && self.propagations == baseline.propagations
+            && self.trie_advances == baseline.trie_advances
+            && self.tuples == baseline.tuples
+            && self.backtracks == baseline.backtracks
+            && (self.max_intermediate == baseline.max_intermediate
+                || self.max_intermediate == u64::MAX)
+    }
 }
 
 /// How many ticks pass between wall-clock deadline checks. `Instant::now`
@@ -403,6 +418,22 @@ impl Ticker {
     /// [`fault::with_plan`]) so the whole run replays the same schedule even
     /// if the plan changes mid-run.
     pub fn new(budget: &Budget) -> Ticker {
+        Ticker::build(budget, fault::snapshot_active())
+    }
+
+    /// Starts a run under `budget` with an **explicit** fault plan, ignoring
+    /// any ambient plan installed via [`fault::with_plan`].
+    ///
+    /// This is the plan-passing alternative to the thread-local ambient API:
+    /// harnesses that construct the ticker themselves can thread the plan as
+    /// a value instead of scoping a closure, and the two paths compile the
+    /// identical schedule (see `fault` tests). An empty plan is the
+    /// fault-free fast path.
+    pub fn with_fault_plan(budget: &Budget, plan: &fault::FaultPlan) -> Ticker {
+        Ticker::build(budget, Some(plan.clone()))
+    }
+
+    fn build(budget: &Budget, plan: Option<fault::FaultPlan>) -> Ticker {
         Ticker {
             stats: RunStats::default(),
             ticks: 0,
@@ -414,7 +445,7 @@ impl Ticker {
             // deadline exhausts immediately (mirroring `Budget::ticks(0)`);
             // after that, checks are amortized per interval.
             next_deadline_check: 1,
-            faults: fault::snapshot_active()
+            faults: plan
                 .filter(|p| !p.is_empty())
                 .map(|p| Box::new(ActiveFaults::compile(&p))),
         }

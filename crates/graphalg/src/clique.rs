@@ -127,6 +127,7 @@ impl Machine {
                     };
                     frame.pos += 1;
                     self.current.push(v);
+                    ticker.record_intermediate(self.current.len() as u64);
                     if self.current.len() == k {
                         self.phase = Phase::Emit;
                         ticker.node()?;
@@ -149,6 +150,7 @@ impl Machine {
                         .unwrap_or_default();
                     let pos = cands.partition_point(|&x| x <= v);
                     self.frames.push(Frame { cands, pos });
+                    ticker.record_intermediate(self.frames.len() as u64);
                     ticker.node()?;
                 }
             }
@@ -205,7 +207,7 @@ impl Machine {
         let mut current = Vec::with_capacity(cur_len);
         // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..cur_len {
-            current.push(r.usize_below(nv, "clique vertex")?);
+            current.push(r.usize_below(nv, "clique vertex")?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
         }
         let frame_count = r.usize_at_most(k.max(1), "frame stack length")?;
         let mut frames = Vec::with_capacity(frame_count);
@@ -216,7 +218,7 @@ impl Machine {
             let at = r.offset();
             // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..len {
-                cands.push(r.usize_below(nv, "candidate vertex")?);
+                cands.push(r.usize_below(nv, "candidate vertex")?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             }
             if !cands.iter().zip(cands.iter().skip(1)).all(|(a, b)| a < b) {
                 return Err(CheckpointError::Malformed {
@@ -225,7 +227,7 @@ impl Machine {
                 });
             }
             let pos = r.usize_at_most(cands.len(), "candidate cursor")?;
-            frames.push(Frame { cands, pos });
+            frames.push(Frame { cands, pos }); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
         }
         let tag_at = r.offset();
         let phase = match r.u8()? {
@@ -467,6 +469,7 @@ fn neipol_3t(
     let mut m = Machine::fresh(g, t);
     while let Some(c) = m.run(g, t, ticker)? {
         t_cliques.push(c);
+        ticker.record_intermediate(t_cliques.len() as u64);
     }
     if t_cliques.is_empty() {
         return Ok(None);

@@ -62,6 +62,7 @@ fn brute_rec(
     for v in start..g.num_vertices() {
         ticker.node()?;
         chosen.push(v);
+        ticker.record_intermediate(chosen.len() as u64);
         let hit = brute_rec(g, k, v + 1, chosen, ticker);
         chosen.pop();
         if let Some(s) = hit? {
@@ -112,9 +113,10 @@ fn branch_rec(
         let newly: Vec<usize> = closed.iter().filter(|&x| !dominated.contains(x)).collect();
         // lb-lint: allow(unbudgeted-loop) -- bookkeeping for one branching choice, bounded by a closed neighborhood; the branch itself is charged
         for &x in &newly {
-            dominated.insert(x);
+            dominated.insert(x); // lb-lint: allow(unbounded-growth) -- fixed-capacity bitset over the n graph vertices
         }
         chosen.push(c);
+        ticker.record_intermediate(chosen.len() as u64);
         let hit = branch_rec(g, k, dominated, chosen, ticker);
         chosen.pop();
         // lb-lint: allow(unbudgeted-loop) -- bookkeeping for one branching choice, bounded by a closed neighborhood; the branch itself is charged

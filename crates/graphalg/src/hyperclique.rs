@@ -124,6 +124,7 @@ fn enumerate_ksets<F: FnMut(&[usize]) -> bool>(
     for v in start..n {
         ticker.node()?;
         current.push(v);
+        ticker.record_intermediate(current.len() as u64);
         let hit = enumerate_ksets(n, k, v + 1, current, visit, ticker);
         current.pop();
         if hit? {
@@ -163,6 +164,7 @@ fn extend<F: FnMut(&[usize]) -> bool>(
             }
         }
         current.push(v);
+        ticker.record_intermediate(current.len() as u64);
         let hit = extend(h, idx, k, v + 1, current, visit, ticker);
         current.pop();
         if hit? {

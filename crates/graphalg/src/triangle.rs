@@ -85,6 +85,9 @@ impl Machine {
             };
             let mut common = g.neighbor_set(u).clone();
             common.intersect_with(g.neighbor_set(v));
+            // The per-edge neighborhood intersection is this scan's largest
+            // materialized intermediate.
+            ticker.record_intermediate(common.count() as u64);
             if find_witness {
                 if let Some(w) = common.min() {
                     self.pending = Some(sorted3(u, v, w));

@@ -142,6 +142,7 @@ fn hash_join(
     let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     // lb-lint: allow(unbudgeted-loop) -- build-side hash insertion, linear in the build relation; probe side charges per tuple
     for (i, row) in build.rows.iter().enumerate() {
+        // lb-lint: allow(unbounded-growth) -- build-side index, linear in one input relation; the joined output below is recorded
         index.entry(key_of(row, build_is_left)).or_default().push(i);
     }
 
@@ -163,6 +164,7 @@ fn hash_join(
                 let mut out = lrow.clone();
                 out.extend(right_extra.iter().map(|&ri| rrow[ri]));
                 rows.push(out);
+                ticker.record_intermediate(rows.len() as u64);
             }
         }
     }

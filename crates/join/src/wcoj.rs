@@ -141,7 +141,7 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
         for (col, a) in atom.attrs.iter().enumerate() {
             let r = rank_of(a);
             if !distinct.iter().any(|&(dr, _)| dr == r) {
-                distinct.push((r, col));
+                distinct.push((r, col)); // lb-lint: allow(unbounded-growth) -- one entry per distinct attribute, bounded by atom arity
             }
         }
         distinct.sort_unstable();
@@ -167,11 +167,11 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
                 }
             }
             // lb-lint: allow(no-unchecked-index, panic-reachability) -- distinct columns are positions within this atom's row
-            rows.push(distinct.iter().map(|&(_, col)| row[col]).collect());
+            rows.push(distinct.iter().map(|&(_, col)| row[col]).collect()); // lb-lint: allow(unbounded-growth) -- projected copy of one input table, linear in database size
         }
         rows.sort_unstable();
         rows.dedup();
-        atoms.push(PreparedAtom { var_ranks, rows });
+        atoms.push(PreparedAtom { var_ranks, rows }); // lb-lint: allow(unbounded-growth) -- one prepared atom per query atom
     }
     Ok(Prepared {
         atoms,
@@ -310,6 +310,7 @@ impl Machine {
                         hi: r.hi,
                         v: 0,
                     });
+                    ticker.record_intermediate(self.frames.len() as u64);
                     self.phase = Phase::Step;
                 }
                 Phase::Step => {
@@ -493,7 +494,7 @@ impl Machine {
         let mut ranges = Vec::with_capacity(num_atoms);
         // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for atom in 0..num_atoms {
-            ranges.push(read_range(&mut r, atom)?);
+            ranges.push(read_range(&mut r, atom)?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
         }
         let stored_vars = r.usize()?;
         if stored_vars != p.num_vars {
@@ -508,7 +509,7 @@ impl Machine {
         let mut tuple = Vec::with_capacity(p.num_vars);
         // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..p.num_vars {
-            tuple.push(r.u64()?);
+            tuple.push(r.u64()?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
         }
         let frame_count = r.usize_at_most(p.num_vars, "frame stack length")?;
         let mut frames = Vec::with_capacity(frame_count);
@@ -518,6 +519,7 @@ impl Machine {
             let mut participants = Vec::with_capacity(part_len);
             // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..part_len {
+                // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
                 participants.push(r.usize_below(num_atoms, "participant atom")?);
             }
             let driver_at = r.offset();
@@ -531,7 +533,7 @@ impl Machine {
             let mut saved = Vec::with_capacity(part_len);
             // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for &atom in &participants {
-                saved.push(read_range(&mut r, atom)?);
+                saved.push(read_range(&mut r, atom)?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             }
             // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver < num_atoms, validated above
             let rows = p.atoms[driver].rows.len();
@@ -546,6 +548,7 @@ impl Machine {
                 });
             }
             let v = r.u64()?;
+            // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             frames.push(Frame {
                 participants,
                 driver,
@@ -664,6 +667,7 @@ pub fn join(
             Ok(Some(t)) => {
                 // lb-lint: allow(no-unchecked-index, panic-reachability) -- pos_of holds positions within the order, whose length is t.len()
                 out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
+                ticker.record_intermediate(out.len() as u64);
             }
             Ok(None) => break Ok(()),
             Err(reason) => break Err(reason),

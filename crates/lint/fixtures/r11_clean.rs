@@ -1,0 +1,37 @@
+//! R11 clean fixture: the same loop-carried growth as `r11_violating.rs`,
+//! discharged both ways the rule accepts — a direct
+//! `record_intermediate(..)` charge in the root, and a transitive one in
+//! the helper (via `note_frontier`).
+
+pub struct Ticker;
+
+impl Ticker {
+    pub fn node(&mut self) -> Result<(), ()> {
+        Ok(())
+    }
+    pub fn record_intermediate(&mut self, _n: u64) {}
+}
+
+pub fn solve(t: &mut Ticker, items: &[u32]) -> Result<u32, ()> {
+    let mut frontier = Vec::new();
+    for &x in items {
+        t.node()?;
+        frontier.push(x);
+        t.record_intermediate(frontier.len() as u64);
+    }
+    grow(t, &mut frontier)?;
+    Ok(frontier.len() as u32)
+}
+
+fn grow(t: &mut Ticker, acc: &mut Vec<u32>) -> Result<(), ()> {
+    while acc.len() < 8 {
+        t.node()?;
+        acc.push(0);
+        note_frontier(t, acc.len());
+    }
+    Ok(())
+}
+
+fn note_frontier(t: &mut Ticker, n: usize) {
+    t.record_intermediate(n as u64);
+}

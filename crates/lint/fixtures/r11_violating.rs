@@ -1,0 +1,31 @@
+//! R11 fixture: loop-carried collection growth in budget-reachable loops
+//! with no `RunStats.max_intermediate` charge anywhere on the path. Both
+//! the root's own loop and the helper's (reached via `solve -> grow`)
+//! must fire. The loops tick the budget, so R8 stays silent — this is
+//! purely an uncharged-frontier violation.
+
+pub struct Ticker;
+
+impl Ticker {
+    pub fn node(&mut self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub fn solve(t: &mut Ticker, items: &[u32]) -> Result<u32, ()> {
+    let mut frontier = Vec::new();
+    for &x in items {
+        t.node()?;
+        frontier.push(x);
+    }
+    grow(t, &mut frontier)?;
+    Ok(frontier.len() as u32)
+}
+
+fn grow(t: &mut Ticker, acc: &mut Vec<u32>) -> Result<(), ()> {
+    while acc.len() < 8 {
+        t.node()?;
+        acc.push(0);
+    }
+    Ok(())
+}

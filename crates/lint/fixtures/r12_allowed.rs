@@ -1,0 +1,19 @@
+//! R12 allow fixture: the violating shapes of `r12_violating.rs`, each
+//! suppressed with a justified allow.
+
+pub fn save() -> Result<(), ()> {
+    Ok(())
+}
+
+pub fn solve(n: u32) -> Result<u32, ()> {
+    Ok(n)
+}
+
+pub fn run() {
+    // lb-lint: allow(swallowed-result) -- best-effort cache warm-up; a miss is fine
+    let _ = solve(3);
+    save().ok(); // lb-lint: allow(swallowed-result) -- cleanup on an already-reported error path
+    // lb-lint: allow(swallowed-result) -- probe: only panic-freedom matters, not the verdict
+    let verdict = solve(4);
+    let _ignored = verdict;
+}

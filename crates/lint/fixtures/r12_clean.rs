@@ -1,0 +1,15 @@
+//! R12 clean fixture: every `Result` is propagated with `?` or read.
+
+pub fn save() -> Result<(), ()> {
+    Ok(())
+}
+
+pub fn solve(n: u32) -> Result<u32, ()> {
+    Ok(n)
+}
+
+pub fn run() -> Result<u32, ()> {
+    save()?;
+    let verdict = solve(4)?;
+    Ok(verdict)
+}

@@ -1,0 +1,24 @@
+//! R12 fixture: all three swallowed-`Result` shapes — a wildcard
+//! `let _ =`, a statement-final `.ok();`, and a bound-but-never-read
+//! `Result` of a workspace fn. The fourth binding IS read later, so it
+//! must not fire.
+
+pub fn save() -> Result<(), ()> {
+    Ok(())
+}
+
+pub fn solve(n: u32) -> Result<u32, ()> {
+    Ok(n)
+}
+
+pub fn run() -> u32 {
+    let _ = solve(3);
+    save().ok();
+    let verdict = solve(4);
+    let answer = solve(5);
+    if let Ok(a) = answer {
+        a
+    } else {
+        0
+    }
+}

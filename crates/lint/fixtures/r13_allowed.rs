@@ -1,0 +1,15 @@
+//! R13 allow fixture: a hostile field and a `thread_local!`, each carrying
+//! a justified allow (trailing for the field, standalone for the macro).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct SolverFrame {
+    pub shared: Rc<Vec<u32>>, // lb-lint: allow(send-hostile-state) -- read-only table shared within one thread, rebuilt on resume
+    pub depth: u32,
+}
+
+// lb-lint: allow(send-hostile-state) -- thread-scoped scratch, never crosses a checkpoint
+thread_local! {
+    static SCRATCH: RefCell<Vec<u32>> = RefCell::new(Vec::new());
+}

@@ -1,0 +1,8 @@
+//! R13 clean fixture: checkpoint-serializable state made of owned,
+//! `Send`-clean data only.
+
+pub struct SolverFrame {
+    pub domain: Vec<u32>,
+    pub trail: Vec<(u32, bool)>,
+    pub depth: u32,
+}

@@ -1,0 +1,16 @@
+//! R13 fixture: Send-hostile state in a checkpoint-serializable file —
+//! `Rc`, `RefCell`, and raw-pointer fields, plus a `thread_local!`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct SolverFrame {
+    pub shared: Rc<Vec<u32>>,
+    pub scratch: RefCell<Vec<u32>>,
+    pub raw: *const u8,
+    pub depth: u32,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u32>> = RefCell::new(Vec::new());
+}

@@ -4,12 +4,16 @@
 //! lb-lint [check] [--format json|text] [--root PATH] [--legacy-exit-bits]
 //! lb-lint --write-baseline [--root PATH]
 //! lb-lint graph [--root PATH]
+//! lb-lint dataflow [--root PATH]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations (details in the output), 2 usage or IO
 //! error. `--legacy-exit-bits` restores the pre-v2 per-rule bitmask
-//! (R1 = 1 … R7 = 128, directives = 32; R8–R10 surface as bit 1).
+//! (R1 = 1 … R7 = 128, directives = 32; R8–R13 surface as bit 1).
 //! `--write-baseline` re-pins the R10 checkpoint-schema baseline and exits 0.
+//! `dataflow` dumps the deterministic per-function R11–R13 summaries and
+//! exits 1 if a solver crate's dataflow coverage floor is empty (the same
+//! floors `tests/lint_gate.rs` asserts).
 
 use lb_lint::{
     analyze_workspace, clean_summary, exit_code, exit_code_legacy, render_json, render_text, Config,
@@ -25,6 +29,7 @@ enum Format {
 enum Cmd {
     Check,
     Graph,
+    Dataflow,
     WriteBaseline,
 }
 
@@ -41,6 +46,10 @@ fn main() {
             }
             "graph" => {
                 cmd = Cmd::Graph;
+                args.next();
+            }
+            "dataflow" => {
+                cmd = Cmd::Dataflow;
                 args.next();
             }
             _ => {}
@@ -71,6 +80,40 @@ fn main() {
     match cmd {
         Cmd::Graph => match lb_lint::graph_dump_workspace(&root, &config) {
             Ok(dump) => print!("{dump}"),
+            Err(e) => io_error(&e),
+        },
+        Cmd::Dataflow => match lb_lint::dataflow_dump_workspace(&root, &config) {
+            Ok(dump) => {
+                print!("{dump}");
+                // The same coverage floors tests/lint_gate.rs asserts: an
+                // empty dataflow pass over a solver crate means the rule
+                // scope is misconfigured, not that the crate is clean.
+                let analysis = match analyze_workspace(&root, &config) {
+                    Ok(a) => a,
+                    Err(e) => io_error(&e),
+                };
+                let mut floor_failed = false;
+                for name in ["sat", "csp", "join", "graphalg"] {
+                    let df = analysis
+                        .stats
+                        .dataflow
+                        .get(name)
+                        .copied()
+                        .unwrap_or_default();
+                    if df.collection_bindings == 0 || df.result_sites == 0 || df.state_structs == 0
+                    {
+                        eprintln!(
+                            "lb-lint: dataflow coverage floor failed for crate `{name}`: \
+                             collection_bindings={} result_sites={} state_structs={}",
+                            df.collection_bindings, df.result_sites, df.state_structs
+                        );
+                        floor_failed = true;
+                    }
+                }
+                if floor_failed {
+                    process::exit(1);
+                }
+            }
             Err(e) => io_error(&e),
         },
         Cmd::WriteBaseline => match lb_lint::write_baseline(&root, &config) {
@@ -121,16 +164,18 @@ fn print_help() {
     println!("usage: lb-lint [check] [--format json|text] [--root PATH] [--legacy-exit-bits]");
     println!("       lb-lint --write-baseline [--root PATH]");
     println!("       lb-lint graph [--root PATH]");
+    println!("       lb-lint dataflow [--root PATH]");
     println!("exit codes: 0 clean, 1 violations, 2 usage/io");
     println!("  --legacy-exit-bits: pre-v2 bitmask (R1=1 R2=2 R3=4 R4=8 R5=16");
-    println!("                      directives=32 R6=64 R7=128; R8-R10 -> bit 1)");
+    println!("                      directives=32 R6=64 R7=128; R8-R13 -> bit 1)");
     println!("  --write-baseline:   re-pin the R10 checkpoint-schema baseline");
     println!("  graph:              dump the workspace call graph (deterministic)");
+    println!("  dataflow:           dump per-fn R11-R13 summaries + coverage floors");
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("lb-lint: {msg}");
-    eprintln!("usage: lb-lint [check|graph] [--format json|text] [--root PATH] [--legacy-exit-bits] [--write-baseline]");
+    eprintln!("usage: lb-lint [check|graph|dataflow] [--format json|text] [--root PATH] [--legacy-exit-bits] [--write-baseline]");
     process::exit(2);
 }
 

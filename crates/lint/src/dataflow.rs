@@ -1,0 +1,894 @@
+//! Intraprocedural dataflow over the masked token stream, feeding the
+//! summary rules R11–R13.
+//!
+//! Like the rest of the linter, this is **not** a type checker. It walks
+//! each function's token range (nested `fn` items excluded, closures
+//! attributed to the enclosing function) and recovers just enough def-use
+//! structure for three questions:
+//!
+//! * which local bindings are collections, and where they were declared
+//!   relative to the loops that mutate them (R11 `unbounded-growth`) —
+//!   a `push`/`insert`/`extend`/`push_back` whose receiver outlives the
+//!   innermost enclosing loop iteration is *loop-carried* growth and must
+//!   be charged to `RunStats.max_intermediate`;
+//! * which statements discard a `Result` (`let _ =`, statement-final
+//!   `.ok();`, or a never-read binding of a workspace `Result`-returning
+//!   call) for R12 `swallowed-result`;
+//! * which struct fields hold `Send`-hostile types (`Rc`, `RefCell`,
+//!   `Cell`, raw pointers) and where `thread_local!` state lives, for
+//!   R13 `send-hostile-state`.
+//!
+//! The approximations all lean conservative for a gate: an unresolvable
+//! receiver (a parameter, a field chain, a method-chain result) is treated
+//! as loop-carried, and only an explicit charge or allow discharges it.
+//! The per-function results become summaries that [`crate::semantic`]
+//! propagates over the call graph: a growth site is "charged" when the
+//! enclosing function charges `max_intermediate` directly or calls a
+//! function in the transitively-charging set.
+
+use crate::items::{self, FnItem, ParsedFile, Span, Tok, TokKind};
+use crate::lexer::ScannedFile;
+use crate::rules::Config;
+
+/// Collection type names recognized by the binding classifier.
+const COLLECTION_TYPES: [&str; 8] = [
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "String",
+];
+
+/// Initializer method/macro words that mark a binding as a collection even
+/// without a type annotation.
+const COLLECTION_INITS: [&str; 3] = ["collect", "to_vec", "with_capacity"];
+
+/// Struct-field type words that make solver state `Send`-hostile.
+const HOSTILE_TYPE_WORDS: [&str; 5] = ["Rc", "RefCell", "Cell", "UnsafeCell", "NonNull"];
+
+/// A `let` binding seen in a function body.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Bound name (pattern bindings contribute one entry per name).
+    pub name: String,
+    /// Line of the `let`.
+    pub line: usize,
+    /// Whether the binding is collection-typed (by annotation or
+    /// initializer shape).
+    pub is_collection: bool,
+}
+
+/// One collection mutation site (`.push(` and friends).
+#[derive(Debug, Clone)]
+pub struct GrowthSite {
+    /// Line of the mutating call.
+    pub line: usize,
+    /// The growth method (`push`, `insert`, `extend`, `push_back`).
+    pub method: String,
+    /// The receiver chain as written (e.g. `self.frames`, `out`).
+    pub receiver: String,
+    /// True when the receiver outlives the innermost enclosing loop
+    /// iteration: a field access, a method-chain result, an unresolvable
+    /// name, or a local declared outside that loop.
+    pub carried: bool,
+    /// Keyword line of the innermost enclosing loop, if any.
+    pub loop_line: Option<usize>,
+}
+
+/// A candidate unused-`Result` binding: `let name = callee(...);` with no
+/// `?` and (`used_later` false) no later read of `name` in the function.
+#[derive(Debug, Clone)]
+pub struct UnusedResultCandidate {
+    /// The bound name.
+    pub name: String,
+    /// Line of the `let`.
+    pub line: usize,
+    /// Qualifier segment before `::`, if the call was path-qualified.
+    pub callee_qualifier: Option<String>,
+    /// The called name.
+    pub callee: String,
+    /// True when the callee was a `.method(...)` call.
+    pub is_method: bool,
+    /// Whether the name is read anywhere after the initializer.
+    pub used_later: bool,
+}
+
+/// Per-function dataflow summary.
+#[derive(Debug, Clone)]
+pub struct FnFlow {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub qualifier: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Body line span.
+    pub body: Span,
+    /// Whether the signature returns a `Result`.
+    pub returns_result: bool,
+    /// Lines with a direct `max_intermediate` charge call.
+    pub charge_lines: Vec<usize>,
+    /// Collection mutation sites.
+    pub grows: Vec<GrowthSite>,
+    /// Lines with a `let _ = ...;` wildcard discard.
+    pub wildcard_lets: Vec<usize>,
+    /// Lines with a statement-final `.ok();` discard.
+    pub ok_discards: Vec<usize>,
+    /// Candidate unused-`Result` bindings (filtered against the workspace
+    /// `returns_result` summaries by the semantic pass).
+    pub unused_candidates: Vec<UnusedResultCandidate>,
+    /// All bindings seen, in order.
+    pub bindings: Vec<Binding>,
+}
+
+impl FnFlow {
+    /// `Qualifier::name` or plain `name` for display.
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `Send`-hostile struct field.
+#[derive(Debug, Clone)]
+pub struct HostileField {
+    /// The struct's name.
+    pub struct_name: String,
+    /// The field's name.
+    pub field: String,
+    /// Line of the field.
+    pub line: usize,
+    /// The hostile marker found (`Rc`, `RefCell`, `*mut`, ...).
+    pub marker: String,
+}
+
+/// Dataflow results for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFlow {
+    /// Per-function summaries, in `fn`-keyword order.
+    pub fns: Vec<FnFlow>,
+    /// `Send`-hostile struct fields.
+    pub hostile_fields: Vec<HostileField>,
+    /// Lines with a `thread_local!` declaration.
+    pub thread_local_lines: Vec<usize>,
+    /// Structs parsed in the file (with or without named fields).
+    pub structs: usize,
+}
+
+/// Runs the per-function dataflow pass over one scanned+parsed file.
+pub fn analyze(scanned: &ScannedFile, parsed: &ParsedFile, config: &Config) -> FileFlow {
+    let toks = items::tokenize(scanned);
+    let close = items::match_braces(&toks);
+    let mut flow = FileFlow {
+        structs: parsed.structs.len(),
+        ..FileFlow::default()
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if matches!(&t.kind, TokKind::Word(w) if w == "thread_local")
+            && punct_at(&toks, i + 1) == Some('!')
+        {
+            flow.thread_local_lines.push(t.line);
+        }
+    }
+
+    for s in &parsed.structs {
+        for f in &s.fields {
+            if let Some(marker) = hostile_marker(&f.ty) {
+                flow.hostile_fields.push(HostileField {
+                    struct_name: s.name.clone(),
+                    field: f.name.clone(),
+                    line: f.line,
+                    marker,
+                });
+            }
+        }
+    }
+
+    for f in &parsed.fns {
+        if f.body.is_none() {
+            continue;
+        }
+        if let Some(fn_flow) = analyze_fn(&toks, &close, f, config) {
+            flow.fns.push(fn_flow);
+        }
+    }
+    flow.fns.sort_by_key(|f| f.line);
+    flow
+}
+
+/// Finds the hostile type word (or raw-pointer sigil) in a space-joined
+/// field type string, if any.
+fn hostile_marker(ty: &str) -> Option<String> {
+    let words: Vec<&str> = ty.split_whitespace().collect();
+    if let Some(w) = words.iter().find(|w| HOSTILE_TYPE_WORDS.contains(w)) {
+        return Some((*w).to_string());
+    }
+    words.windows(2).find_map(|w| {
+        (w[0] == "*" && (w[1] == "const" || w[1] == "mut")).then(|| format!("*{}", w[1]))
+    })
+}
+
+fn word_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Word(w)) => Some(w.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Locates the token index of `f`'s `fn` keyword and its body `{`.
+#[allow(clippy::needless_range_loop)] // index used across several arrays
+fn locate_fn(toks: &[Tok], close: &[usize], f: &FnItem) -> Option<(usize, usize)> {
+    let kw = (0..toks.len()).find(|&i| {
+        toks[i].line == f.line
+            && word_at(toks, i) == Some("fn")
+            && word_at(toks, i + 1) == Some(f.name.as_str())
+    })?;
+    let mut depth = 0i64;
+    for k in kw + 2..toks.len() {
+        match punct_at(toks, k) {
+            Some('(') | Some('[') => depth += 1,
+            Some(')') | Some(']') => depth -= 1,
+            Some('{') if depth <= 0 => {
+                return (close[k] < toks.len()).then_some((kw, k));
+            }
+            Some(';') if depth <= 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The token indices belonging to the function itself: its body range with
+/// nested `fn` items carved out (closures stay in).
+fn own_token_indices(toks: &[Tok], close: &[usize], open: usize) -> Vec<usize> {
+    let end = close[open];
+    let mut own = Vec::with_capacity(end.saturating_sub(open));
+    let mut k = open + 1;
+    while k < end {
+        if word_at(toks, k) == Some("fn") && word_at(toks, k + 1).is_some() {
+            // Skip the nested item wholesale (signature + body or `;`).
+            let mut depth = 0i64;
+            let mut j = k + 2;
+            while j < end {
+                match punct_at(toks, j) {
+                    Some('(') | Some('[') => depth += 1,
+                    Some(')') | Some(']') => depth -= 1,
+                    Some('{') if depth <= 0 => {
+                        j = close[j].min(end);
+                        break;
+                    }
+                    Some(';') if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            k = j + 1;
+            continue;
+        }
+        own.push(k);
+        k += 1;
+    }
+    own
+}
+
+/// Whether the signature tokens in `toks[kw..open]` declare a `Result`
+/// return type (a `Result` word after the `->` arrow).
+fn signature_returns_result(toks: &[Tok], kw: usize, open: usize) -> bool {
+    let mut depth = 0i64;
+    let mut arrow = None;
+    for k in kw..open {
+        match punct_at(toks, k) {
+            Some('(') | Some('[') => depth += 1,
+            Some(')') | Some(']') => depth -= 1,
+            Some('-') if depth == 0 && punct_at(toks, k + 1) == Some('>') => {
+                arrow = Some(k + 2);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(from) = arrow else { return false };
+    (from..open).any(|k| word_at(toks, k) == Some("Result"))
+}
+
+/// Analyzes one function's own tokens.
+fn analyze_fn(toks: &[Tok], close: &[usize], f: &FnItem, config: &Config) -> Option<FnFlow> {
+    let (kw, open) = locate_fn(toks, close, f)?;
+    let own = own_token_indices(toks, close, open);
+    let body = f.body?;
+
+    let mut flow = FnFlow {
+        name: f.name.clone(),
+        qualifier: f.qualifier.clone(),
+        line: f.line,
+        body,
+        returns_result: signature_returns_result(toks, kw, open),
+        charge_lines: Vec::new(),
+        grows: Vec::new(),
+        wildcard_lets: Vec::new(),
+        ok_discards: Vec::new(),
+        unused_candidates: Vec::new(),
+        bindings: Vec::new(),
+    };
+
+    // Pass 1: bindings and statement-level discards.
+    let mut raw_candidates: Vec<(UnusedResultCandidate, usize)> = Vec::new(); // (cand, init end pos)
+    let mut pos = 0;
+    while pos < own.len() {
+        let i = own[pos];
+        match &toks[i].kind {
+            TokKind::Word(w) if w == "let" => {
+                let in_cond =
+                    pos > 0 && matches!(word_at(toks, own[pos - 1]), Some("if") | Some("while"));
+                let info = parse_let(toks, &own, pos, in_cond);
+                if info.wildcard {
+                    flow.wildcard_lets.push(toks[i].line);
+                }
+                for name in &info.names {
+                    flow.bindings.push(Binding {
+                        name: name.clone(),
+                        line: toks[i].line,
+                        is_collection: info.is_collection,
+                    });
+                }
+                if let (false, [name], Some(call)) =
+                    (info.has_question, info.names.as_slice(), info.simple_call)
+                {
+                    raw_candidates.push((
+                        UnusedResultCandidate {
+                            name: name.clone(),
+                            line: toks[i].line,
+                            callee_qualifier: call.0,
+                            callee: call.1,
+                            is_method: call.2,
+                            used_later: false,
+                        },
+                        info.end_pos,
+                    ));
+                }
+                pos += 1;
+            }
+            TokKind::Word(w)
+                if config.intermediate_charge_methods.iter().any(|m| m == w)
+                    && punct_at(toks, i + 1) == Some('(') =>
+            {
+                flow.charge_lines.push(toks[i].line);
+                pos += 1;
+            }
+            TokKind::Word(w)
+                if w == "ok"
+                    && pos > 0
+                    && punct_at(toks, own[pos - 1]) == Some('.')
+                    && punct_at(toks, i + 1) == Some('(')
+                    && punct_at(toks, i + 2) == Some(')')
+                    && punct_at(toks, i + 3) == Some(';') =>
+            {
+                flow.ok_discards.push(toks[i].line);
+                pos += 1;
+            }
+            TokKind::Word(w)
+                if config.growth_methods.iter().any(|m| m == w)
+                    && pos > 0
+                    && punct_at(toks, own[pos - 1]) == Some('.')
+                    && punct_at(toks, i + 1) == Some('(') =>
+            {
+                let (chain, has_call) = receiver_chain(toks, &own, pos - 1);
+                let line = toks[i].line;
+                let innermost = f
+                    .loops
+                    .iter()
+                    .filter(|l| l.body.contains(line))
+                    .min_by_key(|l| l.body.len());
+                let carried = match (&chain[..], innermost) {
+                    (_, None) => false,
+                    ([], Some(_)) => true,
+                    ([single], Some(lp)) => {
+                        if has_call || single == "self" {
+                            true
+                        } else {
+                            // Latest binding of this name before the site;
+                            // carried when declared outside the loop body
+                            // (or not a local binding at all — a parameter
+                            // or captured state outlives every iteration).
+                            match flow
+                                .bindings
+                                .iter()
+                                .rev()
+                                .find(|b| b.name == *single && b.line <= line)
+                            {
+                                Some(b) => !lp.body.contains(b.line),
+                                None => true,
+                            }
+                        }
+                    }
+                    // A field access or method-chain receiver aliases state
+                    // that outlives the iteration.
+                    (_, Some(_)) => true,
+                };
+                flow.grows.push(GrowthSite {
+                    line,
+                    method: w.clone(),
+                    receiver: chain.join("."),
+                    carried,
+                    loop_line: innermost.map(|l| l.line),
+                });
+                pos += 1;
+            }
+            _ => pos += 1,
+        }
+    }
+
+    // Pass 2: resolve `used_later` for the unused-`Result` candidates.
+    for (mut cand, end_pos) in raw_candidates {
+        cand.used_later = own[end_pos.min(own.len().saturating_sub(1))..]
+            .iter()
+            .skip(1)
+            .any(|&k| word_at(toks, k) == Some(cand.name.as_str()));
+        flow.unused_candidates.push(cand);
+    }
+    Some(flow)
+}
+
+/// What one `let` statement binds and how it is initialized.
+struct LetInfo {
+    /// Bound names (lowercase pattern words; constructors skipped).
+    names: Vec<String>,
+    /// True for a pure `let _ =` wildcard.
+    wildcard: bool,
+    /// Collection-typed by annotation or initializer shape.
+    is_collection: bool,
+    /// The initializer contains a `?` (the `Result` is handled).
+    has_question: bool,
+    /// `Some((qualifier, name, is_method))` when the initializer is a
+    /// single call whose result is bound directly.
+    simple_call: Option<(Option<String>, String, bool)>,
+    /// Position (index into the `own` list) just past the statement.
+    end_pos: usize,
+}
+
+/// Parses a `let` at `own[pos]` (`in_cond` for `if let`/`while let`, whose
+/// initializer ends at the block `{` rather than `;`).
+fn parse_let(toks: &[Tok], own: &[usize], pos: usize, in_cond: bool) -> LetInfo {
+    let mut names = Vec::new();
+    let mut wildcard = false;
+    let mut p = pos + 1;
+    let mut depth = 0i64;
+    let mut pattern_toks = 0usize;
+
+    // Pattern region: up to a depth-0 `:` (not `::`), `=`, or `;`.
+    let mut terminator = ';';
+    while p < own.len() {
+        let i = own[p];
+        match &toks[i].kind {
+            TokKind::Punct('(' | '[' | '{' | '<') => depth += 1,
+            TokKind::Punct(')' | ']' | '}' | '>') => depth -= 1,
+            TokKind::Punct(':') if depth == 0 => {
+                if punct_at(toks, i + 1) == Some(':')
+                    || punct_at(toks, own[p.saturating_sub(1)]) == Some(':')
+                {
+                    // path segment inside the pattern
+                } else {
+                    terminator = ':';
+                    break;
+                }
+            }
+            TokKind::Punct('=') if depth == 0 => {
+                terminator = '=';
+                break;
+            }
+            TokKind::Punct(';') if depth == 0 => {
+                terminator = ';';
+                break;
+            }
+            TokKind::Word(w) => {
+                pattern_toks += 1;
+                // `x: T` at depth 0 ends the pattern (the `:` terminator
+                // fires next), so only exclude `field:` labels in struct
+                // patterns (depth > 0) and `path::` segments.
+                let field_label = depth > 0
+                    && punct_at(toks, i + 1) == Some(':')
+                    && punct_at(toks, i + 2) != Some(':');
+                let path_seg =
+                    punct_at(toks, i + 1) == Some(':') && punct_at(toks, i + 2) == Some(':');
+                if w == "_" {
+                    wildcard = true;
+                } else if w != "mut"
+                    && w != "ref"
+                    && !w.starts_with(char::is_uppercase)
+                    && !w.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    && !field_label
+                    && !path_seg
+                {
+                    names.push(w.clone());
+                }
+            }
+            _ => {}
+        }
+        p += 1;
+    }
+    // Only a lone `_` is a wildcard discard; `(a, _)` destructures.
+    wildcard = wildcard && pattern_toks == 1 && names.is_empty();
+
+    let mut is_collection = false;
+    if terminator == ':' {
+        // Type region: up to a depth-0 `=` or `;`.
+        p += 1;
+        depth = 0;
+        while p < own.len() {
+            let i = own[p];
+            match &toks[i].kind {
+                TokKind::Punct('(' | '[' | '{' | '<') => depth += 1,
+                TokKind::Punct(')' | ']' | '}') => depth -= 1,
+                TokKind::Punct('>') => depth = (depth - 1).max(0),
+                TokKind::Punct('=') if depth == 0 => {
+                    terminator = '=';
+                    break;
+                }
+                TokKind::Punct(';') if depth == 0 => {
+                    terminator = ';';
+                    break;
+                }
+                TokKind::Word(w) if COLLECTION_TYPES.contains(&w.as_str()) => {
+                    is_collection = true;
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+    }
+
+    let mut has_question = false;
+    let mut simple_call = None;
+    if terminator == '=' {
+        // Initializer region: to a depth-0 `;` (or the block `{` for
+        // `if let`/`while let`), also stopping at a depth-0 `else`.
+        let init_start = p + 1;
+        p = init_start;
+        depth = 0;
+        let mut call: Option<(usize, Option<String>, String, bool)> = None; // (own pos of '(', ...)
+        let mut call_close: Option<usize> = None;
+        while p < own.len() {
+            let i = own[p];
+            match &toks[i].kind {
+                TokKind::Punct('(' | '[' | '{') => {
+                    if in_cond && depth == 0 && punct_at(toks, i) == Some('{') {
+                        break;
+                    }
+                    depth += 1;
+                }
+                TokKind::Punct(')' | ']' | '}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some((open_pos, _, _, _)) = &call {
+                            if call_close.is_none() && p > *open_pos {
+                                call_close = Some(p);
+                            }
+                        }
+                    }
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                TokKind::Punct('?') => has_question = true,
+                TokKind::Word(w) if w == "else" && depth == 0 => break,
+                TokKind::Word(w)
+                    if depth == 0
+                        && call.is_none()
+                        && punct_at(toks, i + 1) == Some('(')
+                        && !w.starts_with(char::is_uppercase)
+                        && w != "match"
+                        && w != "if" =>
+                {
+                    let is_method = p > init_start && punct_at(toks, own[p - 1]) == Some('.');
+                    let qual = (!is_method
+                        && p >= init_start + 3
+                        && punct_at(toks, own[p - 1]) == Some(':')
+                        && punct_at(toks, own[p - 2]) == Some(':'))
+                    .then(|| word_at(toks, own[p - 3]).map(str::to_string))
+                    .flatten();
+                    call = Some((p + 1, qual, w.clone(), is_method));
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+        // A "simple call" binds the call result directly: the initializer's
+        // last token is the call's closing paren.
+        if let (Some((_, qual, name, is_method)), Some(cl)) = (call, call_close) {
+            if cl + 1 == p && !has_question {
+                simple_call = Some((qual, name, is_method));
+            }
+        }
+        // Initializer shape: `Vec::new()`, `vec![...]`, `.collect()`, ...
+        for &i in &own[init_start..p] {
+            if let TokKind::Word(w) = &toks[i].kind {
+                if COLLECTION_TYPES.contains(&w.as_str())
+                    || COLLECTION_INITS.contains(&w.as_str())
+                    || (w == "vec" && punct_at(toks, i + 1) == Some('!'))
+                {
+                    is_collection = true;
+                }
+            }
+        }
+    }
+
+    LetInfo {
+        names,
+        wildcard,
+        is_collection,
+        has_question,
+        simple_call,
+        end_pos: p,
+    }
+}
+
+/// Walks the receiver chain backwards from the `.` at `own[dot_pos]`.
+/// Returns the chain outer-to-inner (e.g. `["self", "frames"]`) and whether
+/// it crosses a call/index (method-chain receivers alias unknown state).
+fn receiver_chain(toks: &[Tok], own: &[usize], dot_pos: usize) -> (Vec<String>, bool) {
+    let mut chain = Vec::new();
+    let mut has_call = false;
+    let mut p = dot_pos;
+    while p > 0 {
+        let prev = own[p - 1];
+        match &toks[prev].kind {
+            TokKind::Word(w) => {
+                chain.push(w.clone());
+                p -= 1;
+                if p > 0 && punct_at(toks, own[p - 1]) == Some('.') {
+                    p -= 1;
+                    continue;
+                }
+                break;
+            }
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                if matches!(&toks[prev].kind, TokKind::Punct(')')) {
+                    has_call = true;
+                }
+                // Walk back to the matching opener.
+                let mut depth = 0i64;
+                let mut q = p - 1;
+                loop {
+                    match punct_at(toks, own[q]) {
+                        Some(')') | Some(']') => depth += 1,
+                        Some('(') | Some('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if q == 0 {
+                        break;
+                    }
+                    q -= 1;
+                }
+                if q == 0 {
+                    break;
+                }
+                p = q;
+                // The token before the opener continues the chain.
+                if matches!(&toks[own[p - 1]].kind, TokKind::Word(_)) {
+                    continue;
+                }
+                break;
+            }
+            TokKind::Punct('?') => {
+                p -= 1;
+            }
+            _ => break,
+        }
+    }
+    chain.reverse();
+    (chain, has_call)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn flow_of(src: &str) -> FileFlow {
+        let scanned = scan(src);
+        let parsed = items::parse(&scanned);
+        analyze(&scanned, &parsed, &Config::default())
+    }
+
+    #[test]
+    fn classifies_collection_bindings() {
+        let src = "\
+fn f() {
+    let mut out = Vec::new();
+    let xs: Vec<u32> = make();
+    let n = 3;
+    let s = items.iter().collect::<Vec<_>>();
+}
+";
+        let f = &flow_of(src).fns[0];
+        let cols: Vec<(&str, bool)> = f
+            .bindings
+            .iter()
+            .map(|b| (b.name.as_str(), b.is_collection))
+            .collect();
+        assert_eq!(
+            cols,
+            vec![("out", true), ("xs", true), ("n", false), ("s", true)]
+        );
+    }
+
+    #[test]
+    fn loop_local_growth_is_not_carried() {
+        let src = "\
+fn f(items: &[u32]) {
+    for x in items {
+        let mut tmp = Vec::new();
+        tmp.push(*x);
+    }
+}
+";
+        let f = &flow_of(src).fns[0];
+        assert_eq!(f.grows.len(), 1);
+        assert!(!f.grows[0].carried, "loop-local Vec must not be carried");
+    }
+
+    #[test]
+    fn loop_carried_and_field_growth_are_carried() {
+        let src = "\
+fn f(&mut self, items: &[u32]) {
+    let mut acc = Vec::new();
+    for x in items {
+        acc.push(*x);
+        self.frames.push(*x);
+        out.extend([*x]);
+    }
+}
+";
+        let f = &flow_of(src).fns[0];
+        let carried: Vec<(&str, bool)> = f
+            .grows
+            .iter()
+            .map(|g| (g.receiver.as_str(), g.carried))
+            .collect();
+        assert_eq!(
+            carried,
+            vec![("acc", true), ("self.frames", true), ("out", true)]
+        );
+        assert!(f.grows.iter().all(|g| g.loop_line == Some(3)));
+    }
+
+    #[test]
+    fn growth_outside_loops_is_not_flagged_as_carried() {
+        let src = "\
+fn f() {
+    let mut out = Vec::new();
+    out.push(1);
+}
+";
+        let f = &flow_of(src).fns[0];
+        assert_eq!(f.grows.len(), 1);
+        assert!(!f.grows[0].carried);
+        assert_eq!(f.grows[0].loop_line, None);
+    }
+
+    #[test]
+    fn discard_shapes() {
+        let src = "\
+fn f() {
+    let _ = compute();
+    save().ok();
+    let (a, _) = pair();
+}
+";
+        let f = &flow_of(src).fns[0];
+        assert_eq!(f.wildcard_lets, vec![2]);
+        assert_eq!(f.ok_discards, vec![3]);
+    }
+
+    #[test]
+    fn unused_result_candidate_and_uses() {
+        let src = "\
+fn f() {
+    let r = validate(x);
+    let used = validate(x);
+    used.report();
+    let handled = validate(x)?;
+    let chained = validate(x).is_ok();
+}
+";
+        let f = &flow_of(src).fns[0];
+        let cands: Vec<(&str, bool)> = f
+            .unused_candidates
+            .iter()
+            .map(|c| (c.name.as_str(), c.used_later))
+            .collect();
+        // `handled` has `?`; `chained` is not a simple call.
+        assert_eq!(cands, vec![("r", false), ("used", true)]);
+    }
+
+    #[test]
+    fn returns_result_and_charges() {
+        let src = "\
+fn a() -> Result<u32, E> { Ok(1) }
+fn b(t: &mut Ticker) {
+    t.record_intermediate(n);
+}
+fn c() -> u32 { 0 }
+";
+        let flow = flow_of(src);
+        assert!(flow.fns[0].returns_result);
+        assert!(!flow.fns[1].returns_result);
+        assert_eq!(flow.fns[1].charge_lines, vec![3]);
+        assert!(!flow.fns[2].returns_result);
+    }
+
+    #[test]
+    fn hostile_fields_and_thread_local() {
+        let src = "\
+struct Frame {
+    var: usize,
+    cell: RefCell<u32>,
+    shared: Rc<Graph>,
+    raw: *mut u8,
+}
+thread_local! {
+    static X: u32 = 0;
+}
+";
+        let flow = flow_of(src);
+        let markers: Vec<(&str, &str)> = flow
+            .hostile_fields
+            .iter()
+            .map(|h| (h.field.as_str(), h.marker.as_str()))
+            .collect();
+        assert_eq!(
+            markers,
+            vec![("cell", "RefCell"), ("shared", "Rc"), ("raw", "*mut")]
+        );
+        assert_eq!(flow.thread_local_lines, vec![7]);
+    }
+
+    #[test]
+    fn shadowing_resolves_to_nearest_binding() {
+        let src = "\
+fn f(items: &[u32]) {
+    let out = 3;
+    for x in items {
+        let mut out = Vec::new();
+        out.push(*x);
+    }
+}
+";
+        let f = &flow_of(src).fns[0];
+        assert_eq!(f.grows.len(), 1);
+        assert!(
+            !f.grows[0].carried,
+            "the shadowing loop-local binding is the receiver"
+        );
+    }
+
+    #[test]
+    fn method_chain_receiver_is_carried() {
+        let src = "\
+fn f(&mut self, items: &[u32]) {
+    for x in items {
+        self.frames.last_mut().trail.push(*x);
+    }
+}
+";
+        let f = &flow_of(src).fns[0];
+        assert_eq!(f.grows.len(), 1);
+        assert!(f.grows[0].carried);
+    }
+}

@@ -92,6 +92,30 @@ pub struct Call {
     pub callee: Callee,
 }
 
+/// One named field of a struct: its name and the raw token text of its
+/// type (words and punctuation joined with single spaces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// The field's type as a space-joined token string (e.g. `Vec < usize >`).
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: usize,
+}
+
+/// A parsed `struct` item with named fields (tuple structs and unit structs
+/// are recorded with an empty field list).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct name.
+    pub name: String,
+    /// Line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldItem>,
+}
+
 /// A parsed `fn` item.
 #[derive(Debug, Clone)]
 pub struct FnItem {
@@ -111,11 +135,13 @@ pub struct FnItem {
     pub calls: Vec<Call>,
 }
 
-/// All `fn` items parsed from one file, in source order.
+/// All `fn` and `struct` items parsed from one file, in source order.
 #[derive(Debug, Clone, Default)]
 pub struct ParsedFile {
     /// The functions, in order of their `fn` keyword.
     pub fns: Vec<FnItem>,
+    /// Top-level (and inline-module) structs with their named fields.
+    pub structs: Vec<StructItem>,
 }
 
 /// Words that can precede `(` without being a call.
@@ -177,7 +203,7 @@ fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
 /// For each token index, the index of the matching `}` for a `{` (and the
 /// token count for unbalanced braces, which only happen on files the Rust
 /// compiler would reject anyway).
-fn match_braces(toks: &[Tok]) -> Vec<usize> {
+pub(crate) fn match_braces(toks: &[Tok]) -> Vec<usize> {
     let mut close = vec![toks.len(); toks.len()];
     let mut stack = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -199,9 +225,11 @@ pub fn parse(file: &ScannedFile) -> ParsedFile {
     let toks = tokenize(file);
     let close = match_braces(&toks);
     let mut fns = Vec::new();
-    parse_items(&toks, &close, 0, toks.len(), None, &mut fns);
+    let mut structs = Vec::new();
+    parse_items(&toks, &close, 0, toks.len(), None, &mut fns, &mut structs);
     fns.sort_by_key(|f| f.line);
-    ParsedFile { fns }
+    structs.sort_by_key(|s| s.line);
+    ParsedFile { fns, structs }
 }
 
 /// Parses item-level constructs in `toks[i..end]` under `qualifier`.
@@ -212,6 +240,7 @@ fn parse_items(
     end: usize,
     qualifier: Option<&str>,
     fns: &mut Vec<FnItem>,
+    structs: &mut Vec<StructItem>,
 ) {
     while i < end {
         match word_at(toks, i) {
@@ -231,7 +260,7 @@ fn parse_items(
                     impl_target(&toks[i + 1..open])
                 };
                 let body_end = close[open].min(end);
-                parse_items(toks, close, open + 1, body_end, q.as_deref(), fns);
+                parse_items(toks, close, open + 1, body_end, q.as_deref(), fns, structs);
                 i = body_end + 1;
             }
             Some("mod") => {
@@ -252,13 +281,35 @@ fn parse_items(
                 i = parse_fn(toks, close, i, end, qualifier, fns);
             }
             Some("struct") | Some("enum") | Some("union") => {
+                let is_struct = word_at(toks, i) == Some("struct");
                 let Some(open) = find_block_open(toks, i + 1, end) else {
                     i = end;
                     continue;
                 };
                 i = if punct_at(toks, open) == Some('{') {
-                    close[open].min(end) + 1
+                    let body_end = close[open].min(end);
+                    if is_struct {
+                        if let Some(name) = word_at(toks, i + 1) {
+                            structs.push(StructItem {
+                                name: name.to_string(),
+                                line: toks[i].line,
+                                fields: parse_struct_fields(toks, open + 1, body_end),
+                            });
+                        }
+                    }
+                    body_end + 1
                 } else {
+                    // Unit and tuple structs carry no named fields; record
+                    // the item so dataflow sees the declaration exists.
+                    if is_struct {
+                        if let Some(name) = word_at(toks, i + 1) {
+                            structs.push(StructItem {
+                                name: name.to_string(),
+                                line: toks[i].line,
+                                fields: Vec::new(),
+                            });
+                        }
+                    }
                     open + 1
                 };
             }
@@ -311,6 +362,103 @@ fn impl_target(header: &[Tok]) -> Option<String> {
         }
     }
     last
+}
+
+/// Parses the named fields of a struct body in `toks[from..end]`: runs of
+/// `[pub[(..)]] name : type-tokens` separated by depth-0 commas. Attribute
+/// lines (`#[...]`) are skipped; generic commas are shielded by tracking
+/// paren/bracket and angle depth.
+fn parse_struct_fields(toks: &[Tok], from: usize, end: usize) -> Vec<FieldItem> {
+    let mut fields = Vec::new();
+    let mut k = from;
+    while k < end {
+        // Skip attributes on the field.
+        while punct_at(toks, k) == Some('#') && punct_at(toks, k + 1) == Some('[') {
+            let mut depth = 0i64;
+            k += 1;
+            while k < end {
+                match punct_at(toks, k) {
+                    Some('[') => depth += 1,
+                    Some(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Skip visibility.
+        if word_at(toks, k) == Some("pub") {
+            k += 1;
+            if punct_at(toks, k) == Some('(') {
+                let mut depth = 0i64;
+                while k < end {
+                    match punct_at(toks, k) {
+                        Some('(') => depth += 1,
+                        Some(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+        }
+        let Some(name) = word_at(toks, k) else {
+            k += 1;
+            continue;
+        };
+        if punct_at(toks, k + 1) != Some(':') {
+            k += 1;
+            continue;
+        }
+        let name = name.to_string();
+        let line = toks[k].line;
+        // Collect type tokens up to the next depth-0 comma (or body end).
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        let mut ty = Vec::new();
+        let mut j = k + 2;
+        while j < end {
+            match &toks[j].kind {
+                TokKind::Punct(',') if depth == 0 && angle == 0 => break,
+                TokKind::Punct(c @ ('(' | '[' | '{')) => {
+                    depth += 1;
+                    ty.push(c.to_string());
+                }
+                TokKind::Punct(c @ (')' | ']' | '}')) => {
+                    depth -= 1;
+                    ty.push(c.to_string());
+                }
+                TokKind::Punct('<') => {
+                    angle += 1;
+                    ty.push("<".to_string());
+                }
+                TokKind::Punct('>') => {
+                    angle = (angle - 1).max(0);
+                    ty.push(">".to_string());
+                }
+                TokKind::Punct(c) => ty.push(c.to_string()),
+                TokKind::Word(w) => ty.push(w.clone()),
+            }
+            j += 1;
+        }
+        fields.push(FieldItem {
+            name,
+            ty: ty.join(" "),
+            line,
+        });
+        k = j + 1;
+    }
+    fields
 }
 
 /// Parses one `fn` item starting at the `fn` keyword (`toks[i]`). Returns
@@ -708,6 +856,39 @@ trait Solver {
         assert!(p.fns[0].body.is_none());
         assert_eq!(p.fns[0].qualifier.as_deref(), Some("Solver"));
         assert_eq!(p.fns[1].calls[0].callee, Callee::Method("solve".into()));
+    }
+
+    #[test]
+    fn struct_fields_with_generics_and_attrs() {
+        let src = "\
+pub struct Frame {
+    #[allow(dead_code)]
+    pub var: usize,
+    trail: Vec<(usize, Value)>,
+    cell: RefCell<u32>,
+}
+struct Unit;
+struct Pair(u32, u32);
+enum E { A, B }
+";
+        let p = parse_src(src);
+        let names: Vec<&str> = p.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["Frame", "Unit", "Pair"]);
+        let frame = &p.structs[0];
+        let fields: Vec<(&str, &str)> = frame
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.ty.as_str()))
+            .collect();
+        assert_eq!(
+            fields,
+            vec![
+                ("var", "usize"),
+                ("trail", "Vec < ( usize , Value ) >"),
+                ("cell", "RefCell < u32 >"),
+            ]
+        );
+        assert_eq!(frame.fields[0].line, 3);
     }
 
     #[test]

@@ -45,6 +45,26 @@
 //!   `CHECKPOINT_PAYLOAD_VERSION` bump fails the gate, and
 //!   `lb-lint --write-baseline` re-pins intentionally.
 //!
+//! A **dataflow layer** ([`dataflow`]) walks each `fn` body's masked token
+//! stream, building def-use chains for collection bindings and `Result`
+//! values; per-function summaries propagate over the same call graph and
+//! drive three more rules:
+//!
+//! * **R11 `unbounded-growth`** — a loop-carried collection mutation
+//!   (`push`/`insert`/`extend`/`push_back` whose receiver outlives the
+//!   innermost loop iteration) in a budget-reachable solver loop must be
+//!   charged to `RunStats.max_intermediate` — by the enclosing function or
+//!   a transitively-charging callee — or carry an allow stating the bound;
+//! * **R12 `swallowed-result`** — library code may not discard a `Result`
+//!   unseen: no wildcard `let _ =`, no statement-final `.ok();`, no
+//!   never-read binding of a workspace `Result`-returning call;
+//! * **R13 `send-hostile-state`** — checkpoint-serializable solver state
+//!   stays `Send`-clean: no `Rc`/`RefCell`/`Cell`/`UnsafeCell`/`NonNull`/
+//!   raw-pointer fields and no `thread_local!` in the state files.
+//!
+//! `lb-lint dataflow` dumps the full fact base deterministically and floors
+//! per-crate coverage, mirroring `SemanticStats::dataflow`.
+//!
 //! Escape hatch: a trailing comment of the form
 //! `lb-lint: allow(rule) -- reason` (the justification after `--` is
 //! mandatory; an allow without one is itself reported). A directive alone on
@@ -56,6 +76,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod dataflow;
 pub mod graph;
 pub mod items;
 pub mod lexer;
@@ -66,7 +87,7 @@ pub mod walk;
 
 pub use report::{clean_summary, exit_code, exit_code_legacy, render_json, render_text};
 pub use rules::{lint_source, CheckpointSpec, Config, FileKind, Rule, Violation};
-pub use semantic::SemanticStats;
+pub use semantic::{CrateDataflow, SemanticStats};
 
 use std::io;
 use std::path::Path;
@@ -126,6 +147,13 @@ pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<(Vec<Violation
 pub fn graph_dump_workspace(root: &Path, config: &Config) -> io::Result<String> {
     let files = read_workspace(root)?;
     Ok(semantic::graph_dump(&files, config))
+}
+
+/// Dumps the per-function dataflow summaries (deterministic text, for
+/// `lb-lint dataflow`).
+pub fn dataflow_dump_workspace(root: &Path, config: &Config) -> io::Result<String> {
+    let files = read_workspace(root)?;
+    Ok(semantic::dataflow_dump(&files, config))
 }
 
 /// Recomputes and writes the R10 checkpoint-schema baseline under `root`,

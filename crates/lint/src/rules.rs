@@ -45,13 +45,28 @@ pub enum Rule {
     /// matching `CHECKPOINT_PAYLOAD_VERSION` bump (token-stream fingerprint
     /// vs the committed baseline; re-pin with `lb-lint --write-baseline`).
     CheckpointSchemaDrift,
+    /// R11: a loop-carried collection mutation (`push`/`insert`/`extend`/
+    /// `push_back` on state that outlives the loop iteration) inside a
+    /// budget-reachable loop must be charged to `RunStats.max_intermediate`
+    /// (directly or through a transitively-charging callee) — otherwise the
+    /// machine-independent cost claims silently stop covering space.
+    UnboundedGrowth,
+    /// R12: no `let _ =` / statement-final `.ok();` / unused-`Result`
+    /// discard in library code — a swallowed `Result` on the panic-free
+    /// surface turns a typed failure into silent wrong behavior.
+    SwallowedResult,
+    /// R13: no `Rc`/`RefCell`/`Cell`/raw-pointer fields (or `thread_local!`
+    /// state) in checkpoint-serializable solver state — frames must stay
+    /// `Send`-clean by construction so a future work-stealing executor
+    /// never needs `unsafe impl Send`.
+    SendHostileState,
     /// D0: a malformed `lb-lint:` directive (unknown rule, missing reason).
     BadDirective,
 }
 
 impl Rule {
     /// All real rules (excludes the directive pseudo-rule).
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 13] = [
         Rule::NoPanic,
         Rule::NoLossyCast,
         Rule::ForbidUnsafe,
@@ -62,6 +77,9 @@ impl Rule {
         Rule::UnbudgetedLoop,
         Rule::PanicReachability,
         Rule::CheckpointSchemaDrift,
+        Rule::UnboundedGrowth,
+        Rule::SwallowedResult,
+        Rule::SendHostileState,
     ];
 
     /// The stable kebab-case name used in `allow(...)` directives.
@@ -77,6 +95,9 @@ impl Rule {
             Rule::UnbudgetedLoop => "unbudgeted-loop",
             Rule::PanicReachability => "panic-reachability",
             Rule::CheckpointSchemaDrift => "checkpoint-schema-drift",
+            Rule::UnboundedGrowth => "unbounded-growth",
+            Rule::SwallowedResult => "swallowed-result",
+            Rule::SendHostileState => "send-hostile-state",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -94,12 +115,15 @@ impl Rule {
             Rule::UnbudgetedLoop => "R8",
             Rule::PanicReachability => "R9",
             Rule::CheckpointSchemaDrift => "R10",
+            Rule::UnboundedGrowth => "R11",
+            Rule::SwallowedResult => "R12",
+            Rule::SendHostileState => "R13",
             Rule::BadDirective => "D0",
         }
     }
 
     /// The legacy (`--legacy-exit-bits`) exit-code bit for this rule. Rules
-    /// added after the bitmask was exhausted (R8–R10) have no bit of their
+    /// added after the bitmask was exhausted (R8–R13) have no bit of their
     /// own; under the legacy scheme they surface as the generic bit 1.
     pub fn legacy_exit_bit(self) -> Option<i32> {
         match self {
@@ -111,7 +135,12 @@ impl Rule {
             Rule::NoAdhocTiming => Some(64),
             Rule::NoUncheckedIndex => Some(128),
             Rule::BadDirective => Some(32),
-            Rule::UnbudgetedLoop | Rule::PanicReachability | Rule::CheckpointSchemaDrift => None,
+            Rule::UnbudgetedLoop
+            | Rule::PanicReachability
+            | Rule::CheckpointSchemaDrift
+            | Rule::UnboundedGrowth
+            | Rule::SwallowedResult
+            | Rule::SendHostileState => None,
         }
     }
 
@@ -218,6 +247,18 @@ pub struct Config {
     /// Path substrings excluded from semantic analysis entirely (vendored
     /// std-only test-support crates are not part of the solver surface).
     pub semantic_exclude_paths: Vec<String>,
+    /// Method names the dataflow pass treats as collection growth (R11).
+    pub growth_methods: Vec<String>,
+    /// Method names that charge `RunStats.max_intermediate`; a growth site
+    /// is "charged" when one of these is called in the enclosing loop or
+    /// function, directly or through a transitively-charging callee.
+    pub intermediate_charge_methods: Vec<String>,
+    /// Path substrings whose library files carry the `swallowed-result`
+    /// rule (R12).
+    pub result_checked_paths: Vec<String>,
+    /// Path substrings whose structs are checkpoint-serializable solver
+    /// state and must stay `Send`-clean (R13).
+    pub state_struct_paths: Vec<String>,
     /// The checkpoint families fingerprinted by R10.
     pub checkpoint_specs: Vec<CheckpointSpec>,
     /// Workspace-relative path of the committed R10 baseline file.
@@ -274,6 +315,22 @@ impl Default for Config {
                 "absorb".into(),
             ],
             semantic_exclude_paths: vec!["vendor/".into()],
+            growth_methods: vec![
+                "push".into(),
+                "insert".into(),
+                "extend".into(),
+                "push_back".into(),
+            ],
+            intermediate_charge_methods: vec!["record_intermediate".into()],
+            result_checked_paths: vec!["crates/".into()],
+            state_struct_paths: vec![
+                "crates/sat/src/dpll.rs".into(),
+                "crates/csp/src/solver/backtracking.rs".into(),
+                "crates/join/src/wcoj.rs".into(),
+                "crates/graphalg/src/triangle.rs".into(),
+                "crates/graphalg/src/clique.rs".into(),
+                "crates/engine/src/".into(),
+            ],
             checkpoint_specs: vec![
                 CheckpointSpec {
                     family: "dpll".into(),

@@ -20,7 +20,22 @@
 //!   each checkpoint family's encode/decode bodies must match the committed
 //!   baseline unless the family's payload-version const was bumped; either
 //!   way the baseline is re-pinned with `lb-lint --write-baseline`.
+//!
+//! PR 6 adds the dataflow rules on top of the same graph, fed by the
+//! per-function summaries from [`crate::dataflow`]:
+//!
+//! * **R11 `unbounded-growth`** — a loop-carried collection mutation in a
+//!   budget-reachable solver loop must be charged to
+//!   `RunStats.max_intermediate`: the enclosing function either charges
+//!   directly or calls (transitively) a charging function.
+//! * **R12 `swallowed-result`** — no `let _ =`, statement-final `.ok();`,
+//!   or never-read binding of a workspace `Result`-returning call in
+//!   library code.
+//! * **R13 `send-hostile-state`** — no `Rc`/`RefCell`/`Cell`/raw-pointer
+//!   fields or `thread_local!` state in the checkpoint-serializable solver
+//!   state files (and the engine), so frames stay `Send` by construction.
 
+use crate::dataflow::{self, FileFlow};
 use crate::graph::CallGraph;
 use crate::items::{self, ParsedFile, Span};
 use crate::lexer::{scan, ScannedFile};
@@ -46,6 +61,28 @@ pub struct SemanticStats {
     pub panic_sites: usize,
     /// Checkpoint families checked by R10.
     pub families_checked: usize,
+    /// Per-crate dataflow coverage (R11–R13), keyed by crate name.
+    pub dataflow: BTreeMap<String, CrateDataflow>,
+}
+
+/// Dataflow coverage for one crate: how much the R11–R13 passes actually
+/// saw. The `tests/lint_gate.rs` floors require these to be nonzero per
+/// solver crate, so a path-scope misconfiguration cannot silently empty
+/// the rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrateDataflow {
+    /// Collection-typed `let` bindings classified by the dataflow pass.
+    pub collection_bindings: usize,
+    /// `Result` sites: `Result`-returning fn signatures plus discard-shaped
+    /// statements examined by R12.
+    pub result_sites: usize,
+    /// Structs parsed in the R13 state-struct files.
+    pub state_structs: usize,
+}
+
+/// The crate name under `crates/`, if any (`crates/sat/src/x.rs` → `sat`).
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
 }
 
 /// One file prepared for semantic analysis.
@@ -255,6 +292,229 @@ pub fn check(
     stats.families_checked = families;
     out.extend(r10);
 
+    // ---- R11–R13: per-function dataflow + summary propagation. ----
+    let flows: Vec<FileFlow> = sem_files
+        .iter()
+        .map(|f| dataflow::analyze(&f.scanned, &f.parsed, config))
+        .collect();
+
+    // Functions that charge `max_intermediate`, closed over callers.
+    let mut icharge_lines: HashMap<&str, HashSet<usize>> = HashMap::new();
+    for (fi, f) in sem_files.iter().enumerate() {
+        let set: HashSet<usize> = flows[fi]
+            .fns
+            .iter()
+            .flat_map(|ff| ff.charge_lines.iter().copied())
+            .collect();
+        if !set.is_empty() {
+            icharge_lines.insert(f.rel.as_str(), set);
+        }
+    }
+    let icharging =
+        graph.charging_set(|file, line| icharge_lines.get(file).is_some_and(|s| s.contains(&line)));
+
+    // Node lookup for dataflow summaries: (file, fn line, name) → node id.
+    let mut node_at: HashMap<(&str, usize, &str), usize> = HashMap::new();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        node_at.insert((n.file.as_str(), n.line, n.name.as_str()), id);
+    }
+
+    // Workspace `Result`-returning fn names, bucketed like graph
+    // resolution (free / method / type-qualified).
+    let mut free_result: HashSet<&str> = HashSet::new();
+    let mut method_result: HashSet<&str> = HashSet::new();
+    let mut qual_result: HashSet<(&str, &str)> = HashSet::new();
+    let mut qualifiers: HashSet<&str> = HashSet::new();
+    for flow in &flows {
+        for ff in &flow.fns {
+            match &ff.qualifier {
+                Some(q) => {
+                    qualifiers.insert(q.as_str());
+                    if ff.returns_result {
+                        method_result.insert(ff.name.as_str());
+                        qual_result.insert((q.as_str(), ff.name.as_str()));
+                    }
+                }
+                None => {
+                    if ff.returns_result {
+                        free_result.insert(ff.name.as_str());
+                    }
+                }
+            }
+        }
+    }
+    let callee_returns_result = |c: &dataflow::UnusedResultCandidate| {
+        if c.is_method {
+            return method_result.contains(c.callee.as_str());
+        }
+        match &c.callee_qualifier {
+            Some(q) if qualifiers.contains(q.as_str()) => {
+                qual_result.contains(&(q.as_str(), c.callee.as_str()))
+            }
+            Some(q) if q.chars().next().is_some_and(char::is_lowercase) => {
+                free_result.contains(c.callee.as_str())
+            }
+            Some(_) => false, // unknown std/external type
+            None => free_result.contains(c.callee.as_str()),
+        }
+    };
+
+    for (fi, f) in sem_files.iter().enumerate() {
+        let flow = &flows[fi];
+        let rel = f.rel.as_str();
+        let df = stats
+            .dataflow
+            .entry(crate_of(rel).unwrap_or("workspace").to_string())
+            .or_default();
+        let in_state_paths = path_matches(rel, &config.state_struct_paths);
+        if in_state_paths {
+            df.state_structs += flow.structs;
+        }
+        for ff in &flow.fns {
+            df.collection_bindings += ff.bindings.iter().filter(|b| b.is_collection).count();
+            df.result_sites += usize::from(ff.returns_result)
+                + ff.wildcard_lets.len()
+                + ff.ok_discards.len()
+                + ff.unused_candidates.len();
+        }
+
+        // R11: loop-carried growth in budget-reachable solver loops.
+        if path_matches(rel, &config.solver_loop_paths) {
+            for ff in &flow.fns {
+                let Some(&id) = node_at.get(&(rel, ff.line, ff.name.as_str())) else {
+                    continue;
+                };
+                if parents_all[id].is_none() {
+                    continue;
+                }
+                let fn_charges =
+                    !ff.charge_lines.is_empty() || graph.edges[id].iter().any(|e| icharging[e.to]);
+                for g in ff.grows.iter().filter(|g| g.carried) {
+                    let Some(loop_line) = g.loop_line else {
+                        continue;
+                    };
+                    if fn_charges || allowed(rel, g.line, Rule::UnboundedGrowth) {
+                        continue;
+                    }
+                    let chain = graph.chain_to(&parents_all, id);
+                    out.push(Violation {
+                        rule: Rule::UnboundedGrowth,
+                        path: rel.to_string(),
+                        line: g.line,
+                        message: format!(
+                            "`{}.{}(..)` grows loop-carried state in the budget-reachable \
+                             loop at line {loop_line} (via {chain}) but `{}` never charges \
+                             `RunStats.max_intermediate`; record the frontier size with \
+                             `ticker.record_intermediate(..)` or state the bound with \
+                             `// lb-lint: allow(unbounded-growth) -- reason`",
+                            g.receiver,
+                            g.method,
+                            ff.display_name()
+                        ),
+                        snippet: snippet(rel, g.line),
+                    });
+                }
+            }
+        }
+
+        // R12: swallowed `Result`s in library code.
+        if path_matches(rel, &config.result_checked_paths) {
+            for ff in &flow.fns {
+                for &line in &ff.wildcard_lets {
+                    if allowed(rel, line, Rule::SwallowedResult) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        rule: Rule::SwallowedResult,
+                        path: rel.to_string(),
+                        line,
+                        message: format!(
+                            "`let _ =` in `{}` discards a value unseen; if the discard is \
+                             deliberate, state the invariant with \
+                             `// lb-lint: allow(swallowed-result) -- reason`",
+                            ff.display_name()
+                        ),
+                        snippet: snippet(rel, line),
+                    });
+                }
+                for &line in &ff.ok_discards {
+                    if allowed(rel, line, Rule::SwallowedResult) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        rule: Rule::SwallowedResult,
+                        path: rel.to_string(),
+                        line,
+                        message: format!(
+                            "statement-final `.ok();` in `{}` swallows an error; handle it, \
+                             propagate it, or add \
+                             `// lb-lint: allow(swallowed-result) -- reason`",
+                            ff.display_name()
+                        ),
+                        snippet: snippet(rel, line),
+                    });
+                }
+                for c in &ff.unused_candidates {
+                    if c.used_later
+                        || !callee_returns_result(c)
+                        || allowed(rel, c.line, Rule::SwallowedResult)
+                    {
+                        continue;
+                    }
+                    out.push(Violation {
+                        rule: Rule::SwallowedResult,
+                        path: rel.to_string(),
+                        line: c.line,
+                        message: format!(
+                            "`{}` binds the `Result` of `{}` but never reads it; check it, \
+                             propagate it, or add \
+                             `// lb-lint: allow(swallowed-result) -- reason`",
+                            c.name, c.callee
+                        ),
+                        snippet: snippet(rel, c.line),
+                    });
+                }
+            }
+        }
+
+        // R13: Send-hostile state in checkpoint-serializable solver files.
+        if in_state_paths {
+            for h in &flow.hostile_fields {
+                if allowed(rel, h.line, Rule::SendHostileState) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: Rule::SendHostileState,
+                    path: rel.to_string(),
+                    line: h.line,
+                    message: format!(
+                        "field `{}.{}` holds `{}`, which is not `Send`-clean; checkpoint \
+                         state must be stealable across threads without `unsafe impl Send` — \
+                         use owned data, or justify with \
+                         `// lb-lint: allow(send-hostile-state) -- reason`",
+                        h.struct_name, h.field, h.marker
+                    ),
+                    snippet: snippet(rel, h.line),
+                });
+            }
+            for &line in &flow.thread_local_lines {
+                if allowed(rel, line, Rule::SendHostileState) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: Rule::SendHostileState,
+                    path: rel.to_string(),
+                    line,
+                    message: "`thread_local!` state is invisible to checkpoints and pins \
+                              behavior to the spawning thread; pass the state explicitly, or \
+                              justify with `// lb-lint: allow(send-hostile-state) -- reason`"
+                        .to_string(),
+                    snippet: snippet(rel, line),
+                });
+            }
+        }
+    }
+
     (out, stats)
 }
 
@@ -294,6 +554,85 @@ fn build_graph(sem_files: &[SemFile]) -> CallGraph {
 /// rules) and returns its deterministic dump.
 pub fn graph_dump(files: &[(String, String)], config: &Config) -> String {
     build_graph(&prepare(files, config)).dump()
+}
+
+/// Deterministic dump of the per-function dataflow summaries (for
+/// `lb-lint dataflow`): one block per function in (file, line) order, then
+/// the struct/thread-local findings and a per-crate coverage footer.
+pub fn dataflow_dump(files: &[(String, String)], config: &Config) -> String {
+    let mut sem_files = prepare(files, config);
+    // The dump is an artifact diffed across CI runs: key it by path so the
+    // output is independent of directory-walk order.
+    sem_files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    let mut out = String::new();
+    let mut per_crate: BTreeMap<String, CrateDataflow> = BTreeMap::new();
+    for f in &sem_files {
+        let flow = dataflow::analyze(&f.scanned, &f.parsed, config);
+        let df = per_crate
+            .entry(crate_of(&f.rel).unwrap_or("workspace").to_string())
+            .or_default();
+        if path_matches(&f.rel, &config.state_struct_paths) {
+            df.state_structs += flow.structs;
+        }
+        for ff in &flow.fns {
+            let collections = ff.bindings.iter().filter(|b| b.is_collection).count();
+            df.collection_bindings += collections;
+            df.result_sites += usize::from(ff.returns_result)
+                + ff.wildcard_lets.len()
+                + ff.ok_discards.len()
+                + ff.unused_candidates.len();
+            out.push_str(&format!(
+                "fn {}:{} {} result={} charges={} bindings={}/{}\n",
+                f.rel,
+                ff.line,
+                ff.display_name(),
+                ff.returns_result,
+                ff.charge_lines.len(),
+                collections,
+                ff.bindings.len(),
+            ));
+            for g in &ff.grows {
+                out.push_str(&format!(
+                    "  grow {}.{} at {} carried={} loop={}\n",
+                    g.receiver,
+                    g.method,
+                    g.line,
+                    g.carried,
+                    g.loop_line.map_or("-".to_string(), |l| l.to_string()),
+                ));
+            }
+            for &l in &ff.wildcard_lets {
+                out.push_str(&format!("  discard wildcard-let at {l}\n"));
+            }
+            for &l in &ff.ok_discards {
+                out.push_str(&format!("  discard ok at {l}\n"));
+            }
+            for c in &ff.unused_candidates {
+                if !c.used_later {
+                    out.push_str(&format!(
+                        "  discard unused `{}` = {}(..) at {}\n",
+                        c.name, c.callee, c.line
+                    ));
+                }
+            }
+        }
+        for h in &flow.hostile_fields {
+            out.push_str(&format!(
+                "hostile {}:{} {}.{} {}\n",
+                f.rel, h.line, h.struct_name, h.field, h.marker
+            ));
+        }
+        for &l in &flow.thread_local_lines {
+            out.push_str(&format!("thread-local {}:{}\n", f.rel, l));
+        }
+    }
+    for (name, df) in &per_crate {
+        out.push_str(&format!(
+            "crate {name} collection_bindings={} result_sites={} state_structs={}\n",
+            df.collection_bindings, df.result_sites, df.state_structs
+        ));
+    }
+    out
 }
 
 /// Whether a masked code line contains a direct budget charge call. The

@@ -230,9 +230,27 @@ fn sem_config() -> Config {
     }
 }
 
+/// `sem_config` extended so the fixture tree also carries the R13
+/// state-struct rule (the default config points R13 at the real solver
+/// files, which a fixture path never matches).
+fn df_config() -> Config {
+    Config {
+        state_struct_paths: vec!["crates/s/src/".into()],
+        ..sem_config()
+    }
+}
+
 /// Runs only the semantic rules on a fixture mounted at `rel_path`.
 fn semantic_violations(name: &str, rel_path: &str, config: &Config) -> Vec<Violation> {
     semantic_violations_under(name, rel_path, config, Path::new("/nonexistent"))
+}
+
+/// Like [`semantic_violations`], but on an in-memory source — used by the
+/// gate-flip tests that mutate a clean fixture and expect the rule to fire.
+fn semantic_violations_src(source: String, rel_path: &str, config: &Config) -> Vec<Violation> {
+    let files = vec![(rel_path.to_string(), source)];
+    let (violations, _) = semantic::check(Path::new("/nonexistent"), &files, config);
+    violations
 }
 
 fn semantic_violations_under(
@@ -427,10 +445,175 @@ fn r10_allowed_fixture_suppresses_drift() {
 }
 
 #[test]
+fn r11_violating_fixture_flags_root_and_helper_growth() {
+    let v = semantic_violations("r11_violating.rs", "crates/s/src/solver.rs", &df_config());
+    let growth: Vec<&Violation> = v
+        .iter()
+        .filter(|v| v.rule == Rule::UnboundedGrowth)
+        .collect();
+    assert_eq!(
+        growth.len(),
+        2,
+        "frontier.push in solve and acc.push in grow must both fire: {v:?}"
+    );
+    assert!(
+        v.iter().all(|v| v.rule == Rule::UnboundedGrowth),
+        "the budgeted loops must not co-fire other rules: {v:?}"
+    );
+    assert!(
+        growth
+            .iter()
+            .any(|v| v.message.contains("via solve -> grow")),
+        "the helper violation must carry its root-to-loop call chain: {v:?}"
+    );
+    assert!(
+        growth
+            .iter()
+            .all(|v| v.message.contains("record_intermediate")),
+        "the diagnostic must name the fix: {v:?}"
+    );
+}
+
+#[test]
+fn r11_clean_fixture_accepts_direct_and_transitive_charges() {
+    let v = semantic_violations("r11_clean.rs", "crates/s/src/solver.rs", &df_config());
+    assert!(
+        v.is_empty(),
+        "a direct charge and a charge via note_frontier must both discharge: {v:?}"
+    );
+}
+
+#[test]
+fn r11_allowed_fixture_accepts_standalone_and_trailing_allows() {
+    let v = semantic_violations("r11_allowed.rs", "crates/s/src/solver.rs", &df_config());
+    assert!(v.is_empty(), "justified allows must suppress R11: {v:?}");
+}
+
+#[test]
+fn r11_gate_flips_when_the_charge_is_removed() {
+    // Acceptance: deleting the `record_intermediate` charges from the
+    // clean fixture leaves an uncharged push in a budget-reachable loop.
+    let mutated: String = fixture("r11_clean.rs")
+        .lines()
+        .filter(|l| !l.contains("record_intermediate"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let v = semantic_violations_src(mutated, "crates/s/src/solver.rs", &df_config());
+    assert!(
+        v.iter().any(|v| v.rule == Rule::UnboundedGrowth),
+        "removing the charge must flip the gate to failing: {v:?}"
+    );
+}
+
+#[test]
+fn r12_violating_fixture_flags_all_three_discard_shapes() {
+    let v = semantic_violations("r12_violating.rs", "crates/s/src/solver.rs", &df_config());
+    let lines: Vec<usize> = v
+        .iter()
+        .filter(|v| v.rule == Rule::SwallowedResult)
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(
+        lines,
+        vec![15, 16, 17],
+        "wildcard let, .ok(); and the never-read binding must fire — and \
+         `answer` (read later) must not: {v:?}"
+    );
+    assert!(v.iter().all(|v| v.rule == Rule::SwallowedResult), "{v:?}");
+}
+
+#[test]
+fn r12_clean_fixture_is_silent() {
+    let v = semantic_violations("r12_clean.rs", "crates/s/src/solver.rs", &df_config());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn r12_allowed_fixture_accepts_per_shape_allows() {
+    let v = semantic_violations("r12_allowed.rs", "crates/s/src/solver.rs", &df_config());
+    assert!(v.is_empty(), "justified allows must suppress R12: {v:?}");
+}
+
+#[test]
+fn r12_gate_flips_on_a_new_bare_discard() {
+    // Acceptance: appending a bare `let _ = solve(3);` to the clean
+    // fixture must fail the gate.
+    let mutated = format!(
+        "{}\npub fn probe() {{\n    let _ = solve(3);\n}}\n",
+        fixture("r12_clean.rs")
+    );
+    let v = semantic_violations_src(mutated, "crates/s/src/solver.rs", &df_config());
+    assert!(
+        v.iter().any(|v| v.rule == Rule::SwallowedResult),
+        "a new wildcard discard must flip the gate to failing: {v:?}"
+    );
+}
+
+#[test]
+fn r13_violating_fixture_flags_every_hostile_marker() {
+    let v = semantic_violations("r13_violating.rs", "crates/s/src/state.rs", &df_config());
+    let r13: Vec<&Violation> = v
+        .iter()
+        .filter(|v| v.rule == Rule::SendHostileState)
+        .collect();
+    assert_eq!(
+        r13.len(),
+        4,
+        "Rc, RefCell, and raw-pointer fields plus thread_local! must fire: {v:?}"
+    );
+    for marker in ["Rc", "RefCell", "thread_local"] {
+        assert!(
+            r13.iter().any(|v| v.message.contains(marker)),
+            "diagnostics must name the {marker} marker: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn r13_is_scoped_to_state_struct_paths() {
+    // The same source outside `state_struct_paths` is not checkpoint
+    // state; R13 must stay silent under the narrower sem_config.
+    let v = semantic_violations("r13_violating.rs", "crates/s/src/state.rs", &sem_config());
+    assert!(
+        !v.iter().any(|v| v.rule == Rule::SendHostileState),
+        "R13 is path-scoped: {v:?}"
+    );
+}
+
+#[test]
+fn r13_clean_fixture_is_silent() {
+    let v = semantic_violations("r13_clean.rs", "crates/s/src/state.rs", &df_config());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn r13_allowed_fixture_accepts_field_and_macro_allows() {
+    let v = semantic_violations("r13_allowed.rs", "crates/s/src/state.rs", &df_config());
+    assert!(v.is_empty(), "justified allows must suppress R13: {v:?}");
+}
+
+#[test]
+fn r13_gate_flips_when_an_rc_field_is_added() {
+    // Acceptance: inserting an `Rc` field into the clean state struct
+    // must fail the gate.
+    let mutated = fixture("r13_clean.rs").replace(
+        "pub depth: u32,",
+        "pub shared: std::rc::Rc<Vec<u32>>,\n    pub depth: u32,",
+    );
+    let v = semantic_violations_src(mutated, "crates/s/src/state.rs", &df_config());
+    assert!(
+        v.iter().any(|v| v.rule == Rule::SendHostileState),
+        "a new Rc field must flip the gate to failing: {v:?}"
+    );
+}
+
+#[test]
 fn every_rule_has_a_violating_and_a_clean_fixture() {
     // Meta-check: the fixture corpus stays complete as rules evolve.
     let dir = fixtures_root();
-    for code in ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"] {
+    for code in [
+        "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r11", "r12", "r13",
+    ] {
         for suffix in ["violating", "clean"] {
             let name = format!("{code}_{suffix}.rs");
             assert!(dir.join(&name).exists(), "fixture corpus is missing {name}");
@@ -439,6 +622,9 @@ fn every_rule_has_a_violating_and_a_clean_fixture() {
     for name in [
         "r8_allowed.rs",
         "r9_allowed.rs",
+        "r11_allowed.rs",
+        "r12_allowed.rs",
+        "r13_allowed.rs",
         "r10_fixture.rs",
         "r10_allowed.rs",
         "r10_baseline_drift.txt",

@@ -63,13 +63,10 @@ pub fn reduce(f: &CnfFormula) -> CliqueInstance {
 /// assignment (unconstrained variables default to false).
 pub fn clique_to_assignment(f: &CnfFormula, inst: &CliqueInstance, clique: &[usize]) -> Vec<bool> {
     let mut assignment = vec![false; f.num_vars()];
-    let mut forced = vec![false; f.num_vars()];
     for &v in clique {
         let l = inst.literal[v];
         assignment[l.var()] = l.is_positive();
-        forced[l.var()] = true;
     }
-    let _ = forced;
     assignment
 }
 

@@ -297,7 +297,7 @@ impl CnfFormula {
                     if current.is_empty() {
                         return Err(ParseError::new(lineno, col, ParseErrorKind::EmptyClause));
                     }
-                    clauses.push(std::mem::take(&mut current));
+                    clauses.push(std::mem::take(&mut current)); // lb-lint: allow(unbounded-growth) -- parser output, linear in the input text and capped by the declared clause count
                 } else {
                     // Range-check before narrowing so ids beyond the `Lit`
                     // encoding cannot wrap onto the wrong variable.
@@ -316,7 +316,7 @@ impl CnfFormula {
                     if current.is_empty() {
                         open_clause_at = (lineno, col);
                     }
-                    current.push(Lit::new(var as usize, v > 0));
+                    current.push(Lit::new(var as usize, v > 0)); // lb-lint: allow(unbounded-growth) -- parser output, linear in the input text
                 }
             }
         }

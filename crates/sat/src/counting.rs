@@ -105,6 +105,7 @@ fn count_rec(
             Some(l) => {
                 assignment[l.var()] = Some(l.is_positive());
                 trail.push(l.var());
+                ticker.record_intermediate(trail.len() as u64);
                 bail_if_exhausted!(ticker.propagation());
             }
             None => break,
@@ -203,7 +204,7 @@ fn split_components(
     let mut index = std::collections::HashMap::new();
     // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
     for (i, &v) in unassigned.iter().enumerate() {
-        index.insert(v, i);
+        index.insert(v, i); // lb-lint: allow(unbounded-growth) -- linear in the active formula, charged at the enclosing branch node
     }
     let mut parent: Vec<usize> = (0..unassigned.len()).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
@@ -237,7 +238,7 @@ fn split_components(
         // lb-lint: allow(unbudgeted-loop) -- component decomposition, linear in the active formula per charged branch node
         for l in clause.iter() {
             if assignment[l.var()].is_none() {
-                touched.insert(l.var());
+                touched.insert(l.var()); // lb-lint: allow(unbounded-growth) -- linear in the active formula, charged at the enclosing branch node
             }
         }
     }
@@ -245,7 +246,7 @@ fn split_components(
     for &v in unassigned {
         if touched.contains(&v) {
             let root = find(&mut parent, index[&v]);
-            comp_vars.entry(root).or_default().push(v);
+            comp_vars.entry(root).or_default().push(v); // lb-lint: allow(unbounded-growth) -- linear in the active formula, charged at the enclosing branch node
         }
     }
     let mut out: Vec<(Vec<usize>, Vec<Vec<Lit>>)> = Vec::new();
@@ -260,7 +261,7 @@ fn split_components(
             })
             .map(|c| (*c).clone())
             .collect();
-        out.push((vs, cs));
+        out.push((vs, cs)); // lb-lint: allow(unbounded-growth) -- linear in the active formula, charged at the enclosing branch node
     }
     out
 }

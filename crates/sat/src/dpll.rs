@@ -201,6 +201,7 @@ impl Machine {
                                 // lb-lint: allow(no-unchecked-index, panic-reachability) -- l.var() < num_vars, validated by CnfFormula::add_clause
                                 self.assignment[l.var()] = Some(l.is_positive());
                                 self.trail.push(l.var());
+                                ticker.record_intermediate(self.trail.len() as u64);
                                 changed = true;
                                 i += 1;
                                 self.phase = Phase::UnitScan { clause: i, changed };
@@ -238,6 +239,7 @@ impl Machine {
                         if pure {
                             self.assignment[v] = Some(self.pure_pos[v]); // lb-lint: allow(no-unchecked-index, panic-reachability) -- v < num_vars = len of the per-variable vectors
                             self.trail.push(v);
+                            ticker.record_intermediate(self.trail.len() as u64);
                             changed = true;
                             v += 1;
                             self.phase = Phase::PureScan { var: v, changed };
@@ -308,6 +310,7 @@ impl Machine {
                                 tried_false: false,
                                 trail,
                             });
+                            ticker.record_intermediate(self.frames.len() as u64);
                             self.assignment[var] = Some(true); // lb-lint: allow(no-unchecked-index, panic-reachability) -- var came from an index over 0..num_vars
                             self.phase = Phase::UnitScan {
                                 clause: 0,
@@ -409,6 +412,7 @@ impl Machine {
         // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
         for _ in 0..n {
             let at = r.offset();
+            // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             assignment.push(match r.u8()? {
                 0 => None,
                 1 => Some(false),
@@ -426,7 +430,7 @@ impl Machine {
             let mut out = Vec::with_capacity(len);
             // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
             for _ in 0..len {
-                out.push(r.usize_below(n, "trail var")?);
+                out.push(r.usize_below(n, "trail var")?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             }
             Ok(out)
         };
@@ -438,6 +442,7 @@ impl Machine {
             let var = r.usize_below(n, "decision var")?;
             let tried_false = r.bool()?;
             let frame_trail = read_trail(&mut r)?;
+            // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             frames.push(Frame {
                 var,
                 tried_false,
@@ -458,8 +463,8 @@ impl Machine {
                 let mut neg = Vec::with_capacity(n);
                 // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
                 for _ in 0..n {
-                    pos.push(r.bool()?);
-                    neg.push(r.bool()?);
+                    pos.push(r.bool()?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
+                    neg.push(r.bool()?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
                 }
                 (Phase::PureScan { var, changed }, pos, neg)
             }

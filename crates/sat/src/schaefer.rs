@@ -456,6 +456,7 @@ fn solve_affine(
             // Repeated variables in a scope XOR-cancel correctly because we
             // used ^= above; rhs unchanged.
             rows.push((row, rhs));
+            ticker.record_intermediate(rows.len() as u64);
         }
     }
     gaussian_solve_gf2(rows, n, words, ticker)
@@ -489,7 +490,7 @@ fn affine_equations(rel: &BooleanRelation) -> Vec<(Vec<bool>, bool)> {
             }
         }
         if v != 0 {
-            basis.push(v);
+            basis.push(v); // lb-lint: allow(unbounded-growth) -- GF(2) basis over GF(2)^r: at most r <= 64 independent vectors
             basis.sort_unstable_by(|a, b| b.cmp(a));
         }
     }
@@ -522,7 +523,7 @@ fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
             }
         }
         if v != 0 {
-            ech.push(v);
+            ech.push(v); // lb-lint: allow(unbounded-growth) -- GF(2) echelon basis: at most dim <= 64 independent rows
             ech.sort_unstable_by(|a, b| b.cmp(a));
         }
     }
@@ -556,7 +557,7 @@ fn null_space(rows: &[u64], dim: usize) -> Vec<u64> {
                 v |= 1 << pivot;
             }
         }
-        out.push(v);
+        out.push(v); // lb-lint: allow(unbounded-growth) -- one null vector per free column: at most dim <= 64
     }
     out
 }
@@ -594,6 +595,7 @@ fn gaussian_solve_gf2(
             }
         }
         pivots.push((rank, col));
+        ticker.record_intermediate(pivots.len() as u64);
         rank += 1;
     }
     // Inconsistent if some zero row has RHS 1.

@@ -253,6 +253,54 @@ proptest! {
         sliced_budget_matches_one_shot(|b, from| clique::find_clique_resumable(&g, 3, b, from));
     }
 
+    /// Every solver family charges `RunStats.max_intermediate`: the
+    /// high-water mark is monotone under doubling budgets (a longer run of
+    /// the same deterministic trace can only observe a larger frontier) and
+    /// nonzero on instances that force real search. `RunStats::le` excludes
+    /// the mark, so this is the only place the charge itself is pinned.
+    #[test]
+    fn max_intermediate_charged_every_family(seed in 0u64..10_000, n in 4usize..7) {
+        fn doubling_max_intermediate<W>(
+            mut solve: impl FnMut(&Budget) -> (Outcome<W>, RunStats),
+        ) -> u64 {
+            let mut ticks = 1u64;
+            let mut prev = 0u64;
+            loop {
+                let (out, stats) = solve(&Budget::ticks(ticks));
+                assert!(
+                    stats.max_intermediate >= prev,
+                    "max_intermediate shrank when the budget grew: {prev} then {}",
+                    stats.max_intermediate
+                );
+                prev = stats.max_intermediate;
+                if !out.is_exhausted() {
+                    return prev;
+                }
+                ticks = ticks.checked_mul(2).expect("budget overflow before completion");
+            }
+        }
+        // sat: DPLL must stack a decision frame or a propagation trail.
+        let f = sgen::random_ksat(n, 3 * n, 3.min(n), seed);
+        let solver = DpllSolver::default();
+        prop_assert!(doubling_max_intermediate(|b| solver.solve(&f, b)) > 0);
+        // csp: backtracking pushes at least the first decision frame.
+        let kg = generators::clique(n);
+        let inst = lowerbounds::csp::generators::random_binary_csp(&kg, 2, 0.4, seed);
+        let cfg = BacktrackConfig::default();
+        prop_assert!(doubling_max_intermediate(|b| backtracking::solve(&inst, cfg, b)) > 0);
+        // join: the WCOJ machine stacks a frame per bound variable.
+        let q = JoinQuery::triangle();
+        let db = jgen::random_binary_database(&q, 3 * n, 5, seed);
+        prop_assert!(
+            doubling_max_intermediate(|b| wcoj::count(&q, &db, None, b).expect("valid database")) > 0
+        );
+        // graphalg on K_n: every edge has a common neighbor, and the clique
+        // machine extends a nonempty partial clique.
+        use lowerbounds::graphalg::triangle;
+        prop_assert!(doubling_max_intermediate(|b| triangle::count_triangles(&kg, b)) > 0);
+        prop_assert!(doubling_max_intermediate(|b| clique::find_clique(&kg, 3, b)) > 0);
+    }
+
     /// Clique search (brute and Nešetřil–Poljak): budget contract against
     /// the unlimited run.
     #[test]

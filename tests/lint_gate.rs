@@ -1,10 +1,12 @@
 //! The static-analysis gate, wired into plain `cargo test`.
 //!
 //! This test lints every `.rs` file in the workspace with `lb-lint` — the
-//! token rules R1–R7 plus the call-graph semantic rules R8–R10 — and fails
-//! if any rule fires, so a panicking call, an unbudgeted solver loop, or a
-//! silent checkpoint-schema change cannot land without either a fix or a
-//! justified `// lb-lint: allow(rule) -- reason` annotation. The same check
+//! token rules R1–R7, the call-graph semantic rules R8–R10, and the
+//! dataflow rules R11–R13 — and fails if any rule fires, so a panicking
+//! call, an unbudgeted solver loop, a silent checkpoint-schema change, an
+//! uncharged frontier, a swallowed `Result`, or a `Send`-hostile state
+//! field cannot land without either a fix or a justified
+//! `// lb-lint: allow(rule) -- reason` annotation. The same check
 //! runs as `cargo run -p lb-lint` and in CI (`.github/workflows/ci.yml`).
 
 use lb_lint::{analyze_workspace, default_workspace_root, render_text, Config};
@@ -73,4 +75,27 @@ fn semantic_analysis_actually_covers_the_solvers() {
         "R10 must check every checkpoint family (dpll, csp-backtracking, \
          generic-join, triangle-scan, clique-enum)"
     );
+
+    // The R11–R13 dataflow pass must have real coverage in every solver
+    // crate: collection bindings tracked, `Result` sites examined, and
+    // checkpoint state structs scanned. An empty entry means the dataflow
+    // layer silently stopped seeing that crate.
+    for name in ["sat", "csp", "join", "graphalg"] {
+        let df = stats
+            .dataflow
+            .get(name)
+            .unwrap_or_else(|| panic!("no dataflow coverage recorded for crate `{name}`"));
+        assert!(
+            df.collection_bindings > 0,
+            "R11 tracked no collection bindings in `{name}`"
+        );
+        assert!(
+            df.result_sites > 0,
+            "R12 examined no `Result` sites in `{name}`"
+        );
+        assert!(
+            df.state_structs > 0,
+            "R13 scanned no checkpoint state structs in `{name}`"
+        );
+    }
 }
