@@ -1,0 +1,559 @@
+//! The committed WCOJ perf trajectory: pinned workloads, machine-independent
+//! op-count baselines, and the drift check CI runs against `BENCH_wcoj.json`.
+//!
+//! Each [`Workload`] is fully pinned (query shape, generator seed, sizes),
+//! so the leapfrog engine's [`RunStats`] are bit-for-bit reproducible on any
+//! machine — that is the side CI asserts. Wall-clock is recorded alongside
+//! as *informational* context (useful for eyeballing a local run, never
+//! compared: shared runners are too noisy). The frozen pre-leapfrog
+//! machine's op counts ride along in the same file so the skew win the
+//! heavy/light split delivers is recorded, not just claimed.
+//!
+//! The JSON codec is hand-rolled (writer + minimal recursive-descent
+//! reader) because the workspace is std-only by policy; the format is the
+//! flat schema below, nothing more.
+
+use lowerbounds::engine::{Budget, RunStats};
+use lowerbounds::experiments::time;
+use lowerbounds::join::{generators, reference, wcoj, Database, JoinQuery, Table};
+
+/// Bumped when the workload list or JSON schema changes shape.
+pub const SCHEMA: &str = "bench-wcoj-v1";
+
+/// Relative op-count drift tolerated by [`compare`] before CI fails.
+/// Op counts are deterministic, so any drift means the algorithm changed;
+/// the tolerance only keeps genuinely cosmetic changes (a handful of ops
+/// on a small workload) from demanding a ceremony re-pin.
+pub const TOLERANCE: f64 = 0.05;
+
+/// One pinned workload instance.
+pub struct Workload {
+    /// Stable identifier, the JSON key CI compares by.
+    pub name: &'static str,
+    /// What the workload exercises, for the README table.
+    pub what: &'static str,
+    query: JoinQuery,
+    db: Database,
+}
+
+/// The measured baselines of one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    pub name: String,
+    /// The (algorithm-independent) answer count.
+    pub answer: u64,
+    /// Leapfrog engine op counters — the compared side.
+    pub leapfrog: RunStats,
+    /// Frozen pre-leapfrog generic join, for the recorded skew win.
+    pub reference: RunStats,
+    /// Informational wall-clock of the leapfrog run, microseconds.
+    pub wall_clock_us: u64,
+}
+
+/// A full bench report (what `BENCH_wcoj.json` holds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    pub schema: String,
+    pub tolerance: f64,
+    pub workloads: Vec<Measurement>,
+}
+
+/// The disjoint heavy-hitter triangle: one hub value shared by `R.a` and
+/// `S.a` plus long disjoint tails. The old generic join probes every tail
+/// value; leapfrog gallops over both tails in O(log) seeks — the workload
+/// that records the skew win.
+fn heavy_hitter_db(hub: u64, tail: u64) -> Database {
+    let mut db = Database::new();
+    let mut r: Vec<Vec<u64>> = (0..hub).map(|b| vec![0, b]).collect();
+    r.extend((1..=tail).map(|i| vec![i, i]));
+    db.insert("R", Table::from_rows(2, r));
+    let mut s: Vec<Vec<u64>> = (0..hub).map(|c| vec![0, c]).collect();
+    s.extend((1..=tail).map(|i| vec![10_000 + i, i]));
+    db.insert("S", Table::from_rows(2, s));
+    let mut t: Vec<Vec<u64>> = (0..hub).map(|x| vec![x, x]).collect();
+    t.extend((0..hub).map(|x| vec![x, (x + 1) % hub]));
+    db.insert("T", Table::from_rows(2, t));
+    db
+}
+
+/// The pinned workload list. Order is stable; names are the compare keys.
+pub fn workloads() -> Vec<Workload> {
+    let triangle = JoinQuery::triangle();
+    let (agm_db, _) =
+        // lb-lint: allow(no-panic) -- invariant: the pinned size 256 is a valid AGM instance size
+        lowerbounds::join::agm::worst_case_database(&triangle, 256).expect("pinned size");
+    vec![
+        Workload {
+            name: "triangle_uniform",
+            what: "triangle over uniform random pairs",
+            query: JoinQuery::triangle(),
+            db: generators::random_binary_database(&JoinQuery::triangle(), 400, 40, 0xBEEF1),
+        },
+        Workload {
+            name: "cycle4_uniform",
+            what: "4-cycle over uniform random pairs",
+            query: JoinQuery::cycle(4),
+            db: generators::random_binary_database(&JoinQuery::cycle(4), 300, 28, 0xBEEF2),
+        },
+        Workload {
+            name: "clique4_uniform",
+            what: "4-clique (6 edge atoms) over uniform random pairs",
+            query: JoinQuery::clique(4),
+            db: generators::random_binary_database(&JoinQuery::clique(4), 180, 16, 0xBEEF3),
+        },
+        Workload {
+            name: "triangle_agm_worst",
+            what: "Theorem 3.2 AGM worst-case triangle database (n = 256)",
+            query: triangle,
+            db: agm_db,
+        },
+        Workload {
+            name: "triangle_skew_zipf",
+            what: "triangle over Zipf-like heavy-hitter pairs",
+            query: JoinQuery::triangle(),
+            db: generators::skewed_binary_database(&JoinQuery::triangle(), 500, 64, 0xBEEF4),
+        },
+        Workload {
+            name: "skew_heavy_hitter",
+            what: "hub value + long disjoint tails (the galloping showcase)",
+            query: JoinQuery::triangle(),
+            db: heavy_hitter_db(32, 400),
+        },
+    ]
+}
+
+/// Runs every pinned workload on both engines and collects the report.
+pub fn run() -> Report {
+    let bu = Budget::unlimited();
+    let workloads = workloads()
+        .into_iter()
+        .map(|w| {
+            let ((out, leapfrog), wall) =
+                // lb-lint: allow(no-panic) -- invariant: pinned workloads are well-formed by construction
+                time(|| wcoj::count(&w.query, &w.db, None, &bu).expect("pinned instance"));
+            let answer = out.unwrap_sat();
+            let (ref_out, reference) =
+                // lb-lint: allow(no-panic) -- invariant: pinned workloads are well-formed by construction
+                reference::count(&w.query, &w.db, None, &bu).expect("pinned instance");
+            assert_eq!(
+                ref_out.unwrap_sat(),
+                answer,
+                "{}: engines disagree on the answer",
+                w.name
+            );
+            Measurement {
+                name: w.name.to_string(),
+                answer,
+                leapfrog,
+                reference,
+                wall_clock_us: wall.as_micros().min(u128::from(u64::MAX)) as u64,
+            }
+        })
+        .collect();
+    Report {
+        schema: SCHEMA.to_string(),
+        tolerance: TOLERANCE,
+        workloads,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer.
+// ---------------------------------------------------------------------------
+
+fn stats_json(out: &mut String, key: &str, s: &RunStats) {
+    out.push_str(&format!(
+        "      \"{key}\": {{\"nodes\": {}, \"propagations\": {}, \"trie_advances\": {}, \"tuples\": {}, \"backtracks\": {}, \"max_intermediate\": {}, \"total_ops\": {}}}",
+        s.nodes, s.propagations, s.trie_advances, s.tuples, s.backtracks, s.max_intermediate,
+        s.total_ops()
+    ));
+}
+
+/// Serializes a report as stable, diff-friendly JSON (one workload per
+/// block, keys in a fixed order).
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", report.schema));
+    out.push_str(&format!("  \"tolerance\": {},\n", report.tolerance));
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in report.workloads.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", m.name));
+        out.push_str(&format!("      \"answer\": {},\n", m.answer));
+        stats_json(&mut out, "leapfrog", &m.leapfrog);
+        out.push_str(",\n");
+        stats_json(&mut out, "reference", &m.reference);
+        out.push_str(",\n");
+        out.push_str(&format!("      \"wall_clock_us\": {}\n", m.wall_clock_us));
+        out.push_str(if i + 1 < report.workloads.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader: a minimal recursive-descent parser for exactly the subset
+// the writer emits (objects, arrays, strings, non-negative numbers).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    Str(String),
+    Num(f64),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+type ParseResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn error<T>(&self, what: &str) -> ParseResult<T> {
+        Err(format!("byte {}: {what}", self.at))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn consume(&mut self, b: u8) -> ParseResult<()> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            self.error(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        self.consume(b'"')?;
+        let start = self.at;
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b'"' {
+                let s = std::str::from_utf8(self.bytes.get(start..self.at).unwrap_or(&[]))
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?
+                    .to_string();
+                self.at += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return self.error("escapes are not part of the bench schema");
+            }
+            self.at += 1;
+        }
+        self.error("unterminated string")
+    }
+
+    fn number(&mut self) -> ParseResult<f64> {
+        self.skip_ws();
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(|b| {
+            b.is_ascii_digit() || *b == b'.' || *b == b'-' || *b == b'e' || *b == b'E' || *b == b'+'
+        }) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(self.bytes.get(start..self.at).unwrap_or(&[]))
+            .map_err(|_| "invalid UTF-8 in number".to_string())?;
+        text.parse::<f64>()
+            .map_err(|e| format!("byte {start}: bad number `{text}`: {e}"))
+    }
+
+    fn value(&mut self) -> ParseResult<Json> {
+        match self.peek() {
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(Json::Object(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.consume(b':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Json::Object(fields));
+                        }
+                        _ => return self.error("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return self.error("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b) if b.is_ascii_digit() || b == b'-' => Ok(Json::Num(self.number()?)),
+            _ => self.error("expected a value"),
+        }
+    }
+}
+
+impl Json {
+    fn field<'a>(&'a self, key: &str) -> ParseResult<&'a Json> {
+        match self {
+            Json::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            _ => Err(format!("`{key}` looked up on a non-object")),
+        }
+    }
+
+    fn as_u64(&self) -> ParseResult<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+            _ => Err("expected a non-negative integer".to_string()),
+        }
+    }
+
+    fn as_f64(&self) -> ParseResult<f64> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err("expected a number".to_string()),
+        }
+    }
+
+    fn as_str(&self) -> ParseResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected a string".to_string()),
+        }
+    }
+}
+
+fn stats_from(v: &Json) -> ParseResult<RunStats> {
+    Ok(RunStats {
+        nodes: v.field("nodes")?.as_u64()?,
+        propagations: v.field("propagations")?.as_u64()?,
+        trie_advances: v.field("trie_advances")?.as_u64()?,
+        tuples: v.field("tuples")?.as_u64()?,
+        backtracks: v.field("backtracks")?.as_u64()?,
+        max_intermediate: v.field("max_intermediate")?.as_u64()?,
+    })
+}
+
+/// Parses a committed `BENCH_wcoj.json`.
+pub fn from_json(text: &str) -> ParseResult<Report> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    let schema = root.field("schema")?.as_str()?.to_string();
+    if schema != SCHEMA {
+        return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
+    }
+    let tolerance = root.field("tolerance")?.as_f64()?;
+    let mut workloads = Vec::new();
+    let Json::Array(items) = root.field("workloads")? else {
+        return Err("`workloads` must be an array".to_string());
+    };
+    for item in items {
+        workloads.push(Measurement {
+            name: item.field("name")?.as_str()?.to_string(),
+            answer: item.field("answer")?.as_u64()?,
+            leapfrog: stats_from(item.field("leapfrog")?)?,
+            reference: stats_from(item.field("reference")?)?,
+            wall_clock_us: item.field("wall_clock_us")?.as_u64()?,
+        });
+    }
+    Ok(Report {
+        schema,
+        tolerance,
+        workloads,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Drift check.
+// ---------------------------------------------------------------------------
+
+/// Compares a fresh run against the committed baseline: answers must match
+/// exactly, leapfrog op counts within `committed.tolerance` relative drift
+/// (both directions — an op-count *improvement* beyond tolerance also
+/// demands a conscious re-pin). Wall-clock is never compared. Returns the
+/// list of human-readable violations (empty = green).
+pub fn compare(committed: &Report, fresh: &Report) -> Vec<String> {
+    let mut problems = Vec::new();
+    for want in &committed.workloads {
+        let Some(got) = fresh.workloads.iter().find(|m| m.name == want.name) else {
+            problems.push(format!(
+                "{}: workload missing from the fresh run",
+                want.name
+            ));
+            continue;
+        };
+        if got.answer != want.answer {
+            problems.push(format!(
+                "{}: answer {} ≠ committed {}",
+                want.name, got.answer, want.answer
+            ));
+        }
+        let w = want.leapfrog.total_ops() as f64;
+        let g = got.leapfrog.total_ops() as f64;
+        let drift = if w == 0.0 {
+            if g == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (g - w).abs() / w
+        };
+        if drift > committed.tolerance {
+            problems.push(format!(
+                "{}: leapfrog total_ops {} drifted {:.1}% from committed {} (tolerance {:.0}%)",
+                want.name,
+                got.leapfrog.total_ops(),
+                drift * 100.0,
+                want.leapfrog.total_ops(),
+                committed.tolerance * 100.0
+            ));
+        }
+    }
+    for got in &fresh.workloads {
+        if !committed.workloads.iter().any(|m| m.name == got.name) {
+            problems.push(format!(
+                "{}: new workload not in the committed baseline (re-pin with --write)",
+                got.name
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = Report {
+            schema: SCHEMA.to_string(),
+            tolerance: TOLERANCE,
+            workloads: vec![Measurement {
+                name: "w".into(),
+                answer: 7,
+                leapfrog: RunStats {
+                    nodes: 1,
+                    propagations: 0,
+                    trie_advances: 2,
+                    tuples: 7,
+                    backtracks: 0,
+                    max_intermediate: 3,
+                },
+                reference: RunStats::default(),
+                wall_clock_us: 12,
+            }],
+        };
+        let parsed = from_json(&to_json(&report)).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn compare_flags_drift_and_blesses_identity() {
+        let a = run_small();
+        assert!(compare(&a, &a).is_empty());
+        let mut b = a.clone();
+        b.workloads[0].leapfrog.nodes *= 3;
+        let problems = compare(&a, &b);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("drifted"));
+        let mut c = a.clone();
+        c.workloads[0].answer += 1;
+        assert!(compare(&a, &c)[0].contains("answer"));
+        let mut d = a.clone();
+        d.workloads.remove(0);
+        assert!(compare(&a, &d)[0].contains("missing"));
+    }
+
+    /// A miniature report (not the pinned workloads — those are exercised
+    /// by `tests/bench_baseline.rs` against the committed file).
+    fn run_small() -> Report {
+        let q = JoinQuery::triangle();
+        let db = heavy_hitter_db(8, 20);
+        let (out, stats) = wcoj::count(&q, &db, None, &Budget::unlimited()).unwrap();
+        Report {
+            schema: SCHEMA.to_string(),
+            tolerance: TOLERANCE,
+            workloads: vec![Measurement {
+                name: "mini".into(),
+                answer: out.unwrap_sat(),
+                leapfrog: stats,
+                reference: stats,
+                wall_clock_us: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("{\"schema\": \"nope\"}").is_err());
+        assert!(from_json("[]").is_err());
+    }
+
+    #[test]
+    fn heavy_hitter_workload_records_the_skew_win() {
+        // The acceptance criterion: the committed file must show leapfrog
+        // beating the reference on the pinned skewed workloads.
+        let report = run();
+        let hh = report
+            .workloads
+            .iter()
+            .find(|m| m.name == "skew_heavy_hitter")
+            .expect("pinned workload present");
+        assert!(
+            hh.leapfrog.total_ops() * 2 < hh.reference.total_ops(),
+            "skew win must be at least 2x: {} vs {}",
+            hh.leapfrog.total_ops(),
+            hh.reference.total_ops()
+        );
+    }
+}

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_wcoj;
 pub mod workloads;
 
 pub use workloads::*;

@@ -328,12 +328,19 @@ pub fn check_csp(seed: u64) -> Result<(), Failure> {
     Ok(())
 }
 
-/// Checks one join seed: generic WCOJ against the nested-loop oracle.
+/// Checks one join seed: leapfrog WCOJ against the nested-loop oracle.
 /// Broken databases must yield `JoinError` from both, never a panic.
+/// Every fourth seed draws a skewed heavy-hitter instance instead of the
+/// generic hostile one, so the heavy/light split's leapfrog path gets
+/// dedicated differential coverage.
 pub fn check_join(seed: u64) -> Result<(), Failure> {
     use lb_join::wcoj;
 
-    let (q, db) = hostile::join_instance(seed);
+    let (q, db) = if seed.is_multiple_of(4) {
+        hostile::skewed_join_instance(seed)
+    } else {
+        hostile::join_instance(seed)
+    };
     let (plan, budget) = plan_for_seed(seed);
     let oracle = wcoj::nested_loop_join(&q, &db, &Budget::unlimited());
 
@@ -656,7 +663,13 @@ pub fn check_resume(family: Family, seed: u64) -> Result<(), Failure> {
         }
         Family::Join => {
             use lb_join::wcoj;
-            let (q, db) = hostile::join_instance(seed);
+            // Every fourth seed exercises the heavy/light split's leapfrog
+            // frames (Bind-phase checkpoints) instead of the generic shape.
+            let (q, db) = if seed.is_multiple_of(4) {
+                hostile::skewed_join_instance(seed)
+            } else {
+                hostile::join_instance(seed)
+            };
             // Broken databases are the *other* differential's concern; the
             // resume check only runs on instances the solver accepts.
             if wcoj::count(&q, &db, None, &Budget::ticks(0)).is_err() {

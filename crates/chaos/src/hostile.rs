@@ -249,6 +249,53 @@ pub fn join_instance(seed: u64) -> (JoinQuery, Database) {
     (q, db)
 }
 
+/// A hostile *skewed* join instance: two or three atoms sharing the
+/// attribute `a`, with heavy-hitter (Zipf-like) tables — value 0 carries
+/// ~40% of the mass, and each table seeds four distinct leading values so
+/// the first variable's intersection is a *heavy* block (the WCOJ
+/// heavy/light threshold floors at 4). Always well-formed — the
+/// broken-database legs stay with [`join_instance`] — and small enough
+/// (≤ 12 rows, domain ≤ 6) that the nested-loop oracle stays cheap.
+pub fn skewed_join_instance(seed: u64) -> (JoinQuery, Database) {
+    let mut rng = Rng::new(seed ^ 0x5fe1);
+    let tail_pool = ["b", "c", "d"];
+    let mut atoms = vec![
+        Atom::new("R", &["a", *rng.pick(&tail_pool)]),
+        Atom::new("S", &["a", *rng.pick(&tail_pool)]),
+    ];
+    if rng.chance(50) {
+        let x = *rng.pick(&tail_pool);
+        let y = *rng.pick(&tail_pool);
+        atoms.push(Atom::new("T", &[x, y]));
+    }
+    let q = JoinQuery::new(atoms);
+    let mut db = Database::new();
+    for atom in &q.atoms {
+        let arity = atom.attrs.len();
+        let mut rows: Vec<Vec<u64>> = Vec::new();
+        // Four distinct leading values guarantee the first variable's
+        // range clears the heavy threshold in every participant.
+        for lead in 0..4u64 {
+            rows.push(
+                (0..arity)
+                    .map(|col| if col == 0 { lead } else { rng.below(6) })
+                    .collect(),
+            );
+        }
+        let extra = rng.range(4, 8) as usize;
+        for _ in 0..extra {
+            // Zipf-ish: the hub value 0 is heavily over-represented.
+            rows.push(
+                (0..arity)
+                    .map(|_| if rng.chance(40) { 0 } else { rng.below(6) })
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        db.insert(&atom.relation, Table::from_rows(arity, rows));
+    }
+    (q, db)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +309,29 @@ mod tests {
         let (q1, _) = join_instance(9);
         let (q2, _) = join_instance(9);
         assert_eq!(q1.atoms.len(), q2.atoms.len());
+        let (q3, db3) = skewed_join_instance(9);
+        let (q4, db4) = skewed_join_instance(9);
+        assert_eq!(q3.atoms.len(), q4.atoms.len());
+        assert_eq!(db3.max_table_size(), db4.max_table_size());
+    }
+
+    #[test]
+    fn skewed_join_instances_clear_the_heavy_threshold() {
+        for seed in 0..100u64 {
+            let (q, db) = skewed_join_instance(seed);
+            db.validate_for(&q).expect("always well-formed");
+            // R and S share `a` as their first attribute, and each table
+            // holds at least four distinct leading values — the floor of
+            // the WCOJ heavy threshold — so the first variable's
+            // intersection runs in leapfrog (heavy) mode.
+            for name in ["R", "S"] {
+                let t = db.table(name).expect("present");
+                let mut leads: Vec<u64> = t.rows().iter().map(|r| r[0]).collect();
+                leads.sort_unstable();
+                leads.dedup();
+                assert!(leads.len() >= 4, "seed {seed}: {name} lead width");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! lbtool count <file.cnf>          count the models of a DIMACS CNF
 //! lbtool csp <file.csp>            solve a CSP instance by backtracking
 //! lbtool join <file.db> "<query>"  count join results worst-case optimally
+//!                                  (--print streams the tuples themselves;
+//!                                  --stats-json emits RunStats as JSON)
 //! lbtool triangle <file.graph>     count the triangles of a graph
 //! lbtool clique <file.graph> <k>   find (or --count) k-cliques
 //! lbtool treewidth <file.graph>    treewidth bounds (exact when n ≤ 22)
@@ -204,6 +206,15 @@ fn parse_common_flags(args: &mut Vec<String>) -> Result<(Budget, CkOpts), String
     ))
 }
 
+/// Removes a bare `<flag>` from the argument list, reporting its presence.
+fn extract_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
 /// Removes `<flag> <value>` from the argument list, returning the value.
 fn extract_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     let Some(pos) = args.iter().position(|a| a == flag) else {
@@ -328,6 +339,21 @@ fn report_join_stats(stats: &RunStats) {
     eprintln!(
         "trie advances: {}, tuples: {}, nodes: {}, backtracks: {}",
         stats.trie_advances, stats.tuples, stats.nodes, stats.backtracks
+    );
+}
+
+/// Prints the final [`RunStats`] as one machine-readable JSON line on
+/// stdout (`--stats-json`) — the hook the bench harness scrapes.
+fn print_stats_json(stats: &RunStats) {
+    println!(
+        "{{\"nodes\":{},\"propagations\":{},\"trie_advances\":{},\"tuples\":{},\"backtracks\":{},\"max_intermediate\":{},\"total_ops\":{}}}",
+        stats.nodes,
+        stats.propagations,
+        stats.trie_advances,
+        stats.tuples,
+        stats.backtracks,
+        stats.max_intermediate,
+        stats.total_ops()
     );
 }
 
@@ -700,6 +726,11 @@ fn cmd_join(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdErro
     let mut args: Vec<String> = args.to_vec();
     let order: Option<Vec<String>> = extract_value(&mut args, "--order")?
         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let stats_json = extract_flag(&mut args, "--stats-json");
+    let print = extract_flag(&mut args, "--print");
+    if print && ck.active() {
+        return Err("--print streams tuples and cannot be combined with --checkpoint/--resume (count without --print to run resumably)".into());
+    }
     let path = args.first().ok_or("missing database file")?;
     let spec = args.get(1).ok_or("missing query string")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -710,7 +741,21 @@ fn cmd_join(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdErro
             wcoj::count_resumable(&q, &db, order.as_deref(), slice, from)
                 .map_err(|e| describe_resume_error(e, ck))
         })?
+    } else if print {
+        // Stream each tuple as it is found (attribute order, one line
+        // each) — memory stays flat no matter how large the answer is.
+        wcoj::join_foreach(&q, &db, order.as_deref(), budget, |t| {
+            let line = t
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<String>>()
+                .join(" ");
+            println!("{line}");
+        })
+        .map_err(|e| e.to_string())?
     } else {
+        // `count` itself streams through `join_foreach` internally: no
+        // answer tuple is ever materialized for a count-only run.
         wcoj::count(&q, &db, order.as_deref(), budget).map_err(|e| e.to_string())?
     };
     report_join_stats(&stats);
@@ -724,6 +769,9 @@ fn cmd_join(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdErro
                 checkpoint: None,
             })
         }
+    }
+    if stats_json {
+        print_stats_json(&stats);
     }
     Ok(())
 }

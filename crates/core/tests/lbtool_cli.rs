@@ -108,6 +108,61 @@ fn join_counts_and_checkpoint_roundtrip_reaches_the_same_answer() {
 }
 
 #[test]
+fn join_stats_json_emits_machine_readable_counters() {
+    let s = Scratch::new("statsjson");
+    let db = s.write("t.db", TRIANGLE_DB);
+    let out = lbtool(&s.0, &["join", &db, TRIANGLE_QUERY, "--stats-json"]);
+    assert_eq!(exit(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("1"), "count line comes first");
+    let json = lines.next().expect("stats JSON line");
+    for key in [
+        "\"nodes\":",
+        "\"propagations\":",
+        "\"trie_advances\":",
+        "\"tuples\":1",
+        "\"backtracks\":",
+        "\"max_intermediate\":",
+        "\"total_ops\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(
+        json.starts_with('{') && json.trim_end().ends_with('}'),
+        "one JSON object per line: {json}"
+    );
+}
+
+#[test]
+fn join_print_streams_tuples_and_rejects_checkpointing() {
+    let s = Scratch::new("joinprint");
+    let db = s.write("t.db", TRIANGLE_DB);
+    let out = lbtool(&s.0, &["join", &db, TRIANGLE_QUERY, "--print"]);
+    assert_eq!(exit(&out), 0, "stderr: {}", stderr(&out));
+    // The streamed tuple (a=0, b=1, c=2 in attribute order), then the count.
+    assert_eq!(stdout(&out).trim(), "0 1 2\n1");
+
+    let rejected = lbtool(
+        &s.0,
+        &[
+            "join",
+            &db,
+            TRIANGLE_QUERY,
+            "--print",
+            "--checkpoint",
+            "j.ck",
+        ],
+    );
+    assert_eq!(exit(&rejected), 1, "stderr: {}", stderr(&rejected));
+    assert!(
+        stderr(&rejected).contains("--print"),
+        "diagnostic must name the conflicting flag: {}",
+        stderr(&rejected)
+    );
+}
+
+#[test]
 fn triangle_checkpoint_roundtrip_reaches_the_same_count() {
     let s = Scratch::new("triangle");
     let g = s.write("g.graph", TWO_TRIANGLES);

@@ -182,11 +182,17 @@ mod tests {
         (out.unwrap_sat(), stats)
     }
 
+    /// Collects the WCOJ answer by streaming through `join_foreach` — the
+    /// canonical consumer shape when tuples are only compared or counted.
     fn wcoj_all(q: &JoinQuery, db: &Database) -> Vec<AnswerTuple> {
-        wcoj::join(q, db, None, &Budget::unlimited())
+        let mut out = Vec::new();
+        let n = wcoj::join_foreach(q, db, None, &Budget::unlimited(), |t| out.push(t.to_vec()))
             .unwrap()
             .0
-            .unwrap_sat()
+            .unwrap_sat();
+        assert_eq!(n as usize, out.len());
+        out.sort_unstable();
+        out
     }
 
     #[test]

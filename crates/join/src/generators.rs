@@ -46,6 +46,58 @@ pub fn random_database(
     db
 }
 
+/// A skewed database for a query with **binary** atoms: same shape as
+/// [`random_binary_database`] but with a Zipf-like value distribution.
+pub fn skewed_binary_database(
+    q: &JoinQuery,
+    rows_per_relation: usize,
+    domain: u64,
+    seed: u64,
+) -> Database {
+    assert!(
+        q.atoms.iter().all(|a| a.attrs.len() == 2),
+        "binary atoms only"
+    );
+    skewed_database(q, rows_per_relation, domain, seed)
+}
+
+/// A skewed random database: each relation gets up to `rows_per_relation`
+/// tuples whose values follow a Zipf-like heavy-hitter distribution over
+/// `[0, domain)` — value 0 is the heavy hitter (drawn directly ~30% of the
+/// time), and the rest of the mass decays polynomially (a cubed uniform
+/// variate, so small values dominate). Exercises the WCOJ heavy/light
+/// split: heavy-hitter blocks go through leapfrog, sparse tails through
+/// the residual enumerate-and-probe path.
+pub fn skewed_database(
+    q: &JoinQuery,
+    rows_per_relation: usize,
+    domain: u64,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = domain.max(1);
+    let draw = |rng: &mut StdRng| -> Value {
+        if rng.gen_range(0..10u32) < 3 {
+            return 0;
+        }
+        // Cubing a uniform variate in [0, 2^20) skews the mass toward
+        // small values (P[v ≥ k] ≈ (k/domain)^{1/3}) using integer math
+        // only, keeping this path exact and platform-independent.
+        let x = rng.gen_range(0..(1u64 << 20)) as u128;
+        ((x * x * x * domain as u128) >> 60) as Value % domain
+    };
+    let mut db = Database::new();
+    for atom in &q.atoms {
+        let arity = atom.attrs.len();
+        let mut rows = Vec::with_capacity(rows_per_relation);
+        for _ in 0..rows_per_relation {
+            rows.push((0..arity).map(|_| draw(&mut rng)).collect());
+        }
+        db.insert(&atom.relation, Table::from_rows(arity, rows));
+    }
+    db
+}
+
 /// A triangle-query database guaranteed to contain at least one answer:
 /// random pairs plus the planted triangle (0, 0, 0).
 pub fn planted_triangle_database(rows_per_relation: usize, domain: u64, seed: u64) -> Database {

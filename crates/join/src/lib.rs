@@ -9,9 +9,12 @@
 //!   fractional edge cover number (computed exactly by `lb-lp`), **and** the
 //!   matching worst-case database construction of Theorem 3.2 from the
 //!   optimal dual (vertex-packing) weights;
-//! * [`wcoj`] — a Generic-Join-style worst-case optimal join (Theorem 3.3,
-//!   Ngo–Porat–Ré–Rudra / Veldhuizen) running in Õ(N^{ρ*}): sorted
-//!   relations, per-variable intersection by galloping binary search;
+//! * [`wcoj`] — a columnar Leapfrog Triejoin (Theorem 3.3,
+//!   Ngo–Porat–Ré–Rudra / Veldhuizen) running in Õ(N^{ρ*}): flat per-atom
+//!   [`trie`]s, per-variable leapfrog intersection with galloping seeks,
+//!   and the "Skew Strikes Back" heavy/light split for heavy-hitter
+//!   values ([`reference`] preserves the pre-leapfrog generic join as the
+//!   differential oracle);
 //! * [`binary`] — the classical baseline: a left-deep plan of pairwise hash
 //!   joins, which materializes Ω(N²) intermediates on the AGM-worst-case
 //!   triangle inputs (experiment E2's contrast);
@@ -31,6 +34,8 @@ pub mod boolean;
 pub mod database;
 pub mod generators;
 pub mod query;
+pub mod reference;
+pub mod trie;
 pub mod wcoj;
 
 pub use acyclic::{is_acyclic, yannakakis};

@@ -120,6 +120,24 @@ impl JoinQuery {
         JoinQuery::new(atoms)
     }
 
+    /// The k-clique query: binary atoms `E{i}_{j}(x{i}, x{j})` for every
+    /// pair `i < j` — ρ* = k/2. Supported for `3 ≤ k ≤ 10` (attribute
+    /// names sort lexicographically, so single digits keep the variable
+    /// order numeric).
+    pub fn clique(k: usize) -> Self {
+        assert!((3..=10).contains(&k));
+        let mut atoms = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                atoms.push(Atom {
+                    relation: format!("E{i}_{j}"),
+                    attrs: vec![format!("x{i}"), format!("x{j}")],
+                });
+            }
+        }
+        JoinQuery::new(atoms)
+    }
+
     /// The Loomis–Whitney query LW(n): n attributes, each atom omits one.
     /// ρ* = n/(n−1); LW(3) is (an attribute-renaming of) the triangle.
     pub fn loomis_whitney(n: usize) -> Self {
@@ -168,6 +186,17 @@ mod tests {
         assert_eq!(c.hypergraph().0.num_edges(), 4);
         let s = JoinQuery::star(3);
         assert_eq!(s.attributes().len(), 4);
+    }
+
+    #[test]
+    fn clique_shape() {
+        let q = JoinQuery::clique(4);
+        assert_eq!(q.atoms.len(), 6); // one edge atom per pair
+        assert_eq!(q.attributes(), vec!["x0", "x1", "x2", "x3"]);
+        let (g, _) = q.primal_graph();
+        assert!(g.is_clique(&[0, 1, 2, 3]));
+        // clique(3) is the triangle up to renaming.
+        assert_eq!(JoinQuery::clique(3).atoms.len(), 3);
     }
 
     #[test]

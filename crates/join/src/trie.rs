@@ -1,0 +1,289 @@
+//! Flat columnar tries for Leapfrog Triejoin (Veldhuizen, PAPERS.md).
+//!
+//! A [`Trie`] stores one atom's projected, attribute-ordered rows as
+//! per-level sorted **columns**: level ℓ holds the distinct length-(ℓ+1)
+//! prefixes' last values, grouped by parent, with a flat `child_start`
+//! offset array mapping each entry to its children's contiguous range on
+//! the next level. Built once per (query, variable order) during
+//! preparation — replacing the old per-query `projected_sorted` row
+//! clones that the generic join binary-searched row-major.
+//!
+//! Iterator state over a trie is tiny: a level index plus a `[lo, hi)`
+//! range into that level's value column — exactly the three `usize`s the
+//! WCOJ checkpoint frames serialize. [`Trie::seek`] implements the
+//! leapfrog `seek(v)` primitive with galloping (exponential probe then
+//! binary search), so a seek over a run of `g` skipped values costs
+//! O(log g) comparisons instead of the O(g) a linear scan would pay.
+
+use crate::Value;
+
+/// One trie level: the distinct prefix-extension values (grouped by
+/// parent, sorted within each group) and, for non-leaf levels, the offset
+/// of each entry's child range on the next level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Level {
+    vals: Vec<Value>,
+    /// `child_start[i]..child_start[i + 1]` is entry `i`'s child range on
+    /// the next level; empty on the deepest level, else `vals.len() + 1`
+    /// long (the last entry is the sentinel).
+    child_start: Vec<usize>,
+}
+
+/// A flat columnar trie over sorted, deduplicated, fixed-arity rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trie {
+    levels: Vec<Level>,
+    rows: usize,
+    heavy_threshold: usize,
+}
+
+/// Integer square root (largest `x` with `x·x ≤ n`).
+fn isqrt(n: usize) -> usize {
+    let mut x = 0usize;
+    // lb-lint: allow(unbudgeted-loop) -- O(√n) once at trie build, before any search runs
+    while (x + 1).saturating_mul(x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+impl Trie {
+    /// Builds a trie from rows that are sorted lexicographically,
+    /// deduplicated, and all of length `arity`. Rows violating that
+    /// contract are skipped defensively (short rows) or produce a trie
+    /// that simply reflects the given order.
+    pub fn build(rows: &[Vec<Value>], arity: usize) -> Trie {
+        let mut levels: Vec<Level> = (0..arity)
+            .map(|_| Level {
+                vals: Vec::new(),
+                child_start: Vec::new(),
+            })
+            .collect();
+        let mut prev: Option<&Vec<Value>> = None;
+        // lb-lint: allow(unbudgeted-loop) -- trie construction, linear in one relation; runs once before search
+        for row in rows {
+            if row.len() < arity {
+                continue;
+            }
+            let split = match prev {
+                None => 0,
+                Some(p) => (0..arity)
+                    .find(|&d| row.get(d) != p.get(d))
+                    .unwrap_or(arity),
+            };
+            // lb-lint: allow(unbudgeted-loop) -- opens at most `arity` entries per row; part of the linear build
+            for d in split..arity {
+                let next_len = if d + 1 < arity {
+                    levels.get(d + 1).map_or(0, |l| l.vals.len())
+                } else {
+                    0
+                };
+                let Some(v) = row.get(d).copied() else {
+                    continue;
+                };
+                if let Some(level) = levels.get_mut(d) {
+                    level.vals.push(v); // lb-lint: allow(unbounded-growth) -- the trie is a linear-size index of one input relation, built before the search
+                    if d + 1 < arity {
+                        level.child_start.push(next_len); // lb-lint: allow(unbounded-growth) -- same linear-size index as above
+                    }
+                }
+            }
+            prev = Some(row);
+        }
+        // Close every non-leaf level with its sentinel offset.
+        // lb-lint: allow(unbudgeted-loop) -- bounded by arity; finishes the one-time build
+        for d in 0..arity {
+            if d + 1 < arity {
+                let next_len = levels.get(d + 1).map_or(0, |l| l.vals.len());
+                if let Some(level) = levels.get_mut(d) {
+                    level.child_start.push(next_len); // lb-lint: allow(unbounded-growth) -- one sentinel per level, bounded by arity
+                }
+            }
+        }
+        Trie {
+            levels,
+            rows: rows.len(),
+            heavy_threshold: isqrt(rows.len()).max(4),
+        }
+    }
+
+    /// Number of levels (= the projected arity).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of source rows the trie indexes.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The heavy/light split point: a candidate range is *heavy* when it
+    /// still holds at least `max(4, ⌊√rows⌋)` distinct values (the "Skew
+    /// Strikes Back" √N regime boundary).
+    pub fn heavy_threshold(&self) -> usize {
+        self.heavy_threshold
+    }
+
+    /// Number of entries on a level (0 for out-of-range levels).
+    pub fn level_len(&self, depth: usize) -> usize {
+        self.levels.get(depth).map_or(0, |l| l.vals.len())
+    }
+
+    /// The value of entry `idx` on level `depth`.
+    pub fn value(&self, depth: usize, idx: usize) -> Option<Value> {
+        self.levels
+            .get(depth)
+            .and_then(|l| l.vals.get(idx))
+            .copied()
+    }
+
+    /// The child range of entry `idx` on level `depth`; `(0, 0)` when the
+    /// entry or a next level does not exist.
+    pub fn child_range(&self, depth: usize, idx: usize) -> (usize, usize) {
+        let Some(level) = self.levels.get(depth) else {
+            return (0, 0);
+        };
+        match (level.child_start.get(idx), level.child_start.get(idx + 1)) {
+            (Some(&lo), Some(&hi)) if lo <= hi => (lo, hi),
+            _ => (0, 0),
+        }
+    }
+
+    /// Leapfrog `seek`: the first index in `[lo, hi)` whose value is
+    /// `≥ target`, found by galloping — exponential probing from `lo`
+    /// followed by binary search on the bracketed window. Returns `hi`
+    /// when every value is smaller (or the range/level is empty).
+    pub fn seek(&self, depth: usize, lo: usize, hi: usize, target: Value) -> usize {
+        let Some(level) = self.levels.get(depth) else {
+            return hi;
+        };
+        let hi = hi.min(level.vals.len());
+        if lo >= hi {
+            return hi;
+        }
+        if level.vals.get(lo).is_none_or(|&v| v >= target) {
+            return lo;
+        }
+        // Invariant: vals[lo + offset / 2] < target.
+        let mut offset = 1usize;
+        // lb-lint: allow(unbudgeted-loop) -- O(log gap) exponential gallop inside one charged trie_advance
+        while lo + offset < hi && level.vals.get(lo + offset).is_some_and(|&v| v < target) {
+            offset *= 2;
+        }
+        let win_lo = lo + offset / 2;
+        let win_hi = (lo + offset + 1).min(hi);
+        let window = level.vals.get(win_lo..win_hi).unwrap_or(&[]);
+        win_lo + window.partition_point(|&v| v < target)
+    }
+
+    /// Exact-match probe: the index of `target` in `[lo, hi)` on `depth`,
+    /// or `None`. Uses the same galloping seek.
+    pub fn find(&self, depth: usize, lo: usize, hi: usize, target: Value) -> Option<usize> {
+        let j = self.seek(depth, lo, hi, target);
+        if j < hi && self.value(depth, j) == Some(target) {
+            Some(j)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(raw: &[&[Value]]) -> Vec<Vec<Value>> {
+        let mut out: Vec<Vec<Value>> = raw.iter().map(|r| r.to_vec()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn builds_levels_and_child_ranges() {
+        let t = Trie::build(
+            &rows(&[&[1, 10], &[1, 20], &[3, 30], &[3, 31], &[7, 10]]),
+            2,
+        );
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.level_len(0), 3); // 1, 3, 7
+        assert_eq!(t.level_len(1), 5);
+        assert_eq!(t.value(0, 0), Some(1));
+        assert_eq!(t.value(0, 2), Some(7));
+        assert_eq!(t.child_range(0, 0), (0, 2)); // 10, 20
+        assert_eq!(t.child_range(0, 1), (2, 4)); // 30, 31
+        assert_eq!(t.child_range(0, 2), (4, 5)); // 10
+        assert_eq!(t.value(1, 4), Some(10));
+        // Out-of-range accesses are total.
+        assert_eq!(t.child_range(0, 3), (0, 0));
+        assert_eq!(t.child_range(1, 0), (0, 0));
+        assert_eq!(t.value(2, 0), None);
+    }
+
+    #[test]
+    fn empty_and_unary_tries() {
+        let t = Trie::build(&[], 2);
+        assert_eq!(t.level_len(0), 0);
+        assert_eq!(t.seek(0, 0, 0, 5), 0);
+        let t = Trie::build(&rows(&[&[4], &[9], &[2]]), 1);
+        assert_eq!(t.level_len(0), 3);
+        assert_eq!(t.value(0, 0), Some(2));
+        assert_eq!(t.child_range(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn seek_is_lower_bound_on_adversarial_runs() {
+        // Adversarial shapes for galloping: long equal plateau handled by
+        // dedup (single entry), long skipped run, target past the end,
+        // target before the start, exact hits at window boundaries.
+        let vals: Vec<Value> = (0..1000u64).map(|i| i * 3).collect();
+        let raw: Vec<Vec<Value>> = vals.iter().map(|&v| vec![v]).collect();
+        let t = Trie::build(&raw, 1);
+        for target in [
+            0u64, 1, 2, 3, 4, 1497, 1498, 1499, 1500, 2996, 2997, 2998, 3000,
+        ] {
+            let expected = vals.partition_point(|&v| v < target);
+            assert_eq!(
+                t.seek(0, 0, vals.len(), target),
+                expected,
+                "target {target}"
+            );
+        }
+        // Seeks restricted to subranges respect both ends.
+        assert_eq!(t.seek(0, 100, 200, 0), 100);
+        assert_eq!(t.seek(0, 100, 200, u64::MAX), 200);
+        assert_eq!(t.seek(0, 100, 200, 3 * 150), 150);
+        // Galloping from a moving frontier (the leapfrog access pattern).
+        let mut at = 0usize;
+        for target in [5u64, 6, 600, 601, 2990] {
+            at = t.seek(0, at, vals.len(), target);
+            let expected = vals.partition_point(|&v| v < target);
+            assert_eq!(at, expected, "target {target}");
+        }
+    }
+
+    #[test]
+    fn find_reports_exact_hits_only() {
+        let t = Trie::build(&rows(&[&[2], &[4], &[8], &[16], &[32]]), 1);
+        assert_eq!(t.find(0, 0, 5, 8), Some(2));
+        assert_eq!(t.find(0, 0, 5, 9), None);
+        assert_eq!(t.find(0, 3, 5, 8), None); // outside the range
+        assert_eq!(t.find(0, 0, 5, 33), None); // past the end
+    }
+
+    #[test]
+    fn heavy_threshold_tracks_sqrt() {
+        let raw: Vec<Vec<Value>> = (0..400u64).map(|v| vec![v]).collect();
+        assert_eq!(Trie::build(&raw, 1).heavy_threshold(), 20);
+        assert_eq!(Trie::build(&raw[..9], 1).heavy_threshold(), 4); // floor of 4
+        assert_eq!(Trie::build(&[], 1).heavy_threshold(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_skipped_defensively() {
+        let t = Trie::build(&[vec![1], vec![2, 5]], 2);
+        assert_eq!(t.level_len(0), 1);
+        assert_eq!(t.value(0, 0), Some(2));
+        assert_eq!(t.child_range(0, 0), (0, 1));
+    }
+}

@@ -1,31 +1,52 @@
-//! Worst-case optimal join: Generic Join over sorted relations
-//! (paper Theorem 3.3; Ngo–Porat–Ré–Rudra, Veldhuizen's Leapfrog Triejoin).
+//! Worst-case optimal join: columnar Leapfrog Triejoin with skew handling
+//! (paper Theorem 3.3; Veldhuizen's Leapfrog Triejoin; Ngo–Ré–Rudra's
+//! "Skew Strikes Back" heavy/light split).
 //!
-//! The algorithm fixes a global variable order and proceeds one variable at
-//! a time: the candidate values of the current variable are the
-//! intersection of the matching "trie levels" of every relation containing
-//! it, computed by iterating the smallest relation's distinct values and
-//! binary-searching the others. Its running time is within a log factor of
-//! N^{ρ*} — matching the unconditional lower bound of Theorem 3.2, which is
-//! what makes it *worst-case optimal*.
+//! The algorithm fixes a global variable order and proceeds one variable
+//! at a time over per-atom columnar [`Trie`]s (built once during
+//! preparation). At each level the participants' candidate ranges are
+//! intersected in one of two modes, chosen per residual range:
 //!
-//! Engine mapping: each candidate value tried is a [`RunStats::nodes`]
-//! tick, each per-relation range narrowing a [`RunStats::trie_advances`]
-//! tick, and each answer tuple emitted a [`RunStats::tuples`] tick —
-//! machine-independent proxies for the Õ(N^{ρ*}) running time.
+//! * **heavy** — every participant's range still holds at least
+//!   `max(4, ⌊√rows⌋)` distinct values (a heavy-hitter block): run the
+//!   leapfrog intersection proper. Iterators take turns galloping
+//!   ([`Trie::seek`], exponential + binary search) to the running
+//!   maximum key; a value is charged as a [`RunStats::nodes`] candidate
+//!   only when *all* iterators agree on it, so long disjoint runs cost
+//!   O(log) seeks instead of per-value probes.
+//! * **light** — the smallest range is below its relation's √N
+//!   threshold: enumerate it directly and probe the other participants
+//!   (the residual-query path; at most √N candidates, so the AGM budget
+//!   is respected exactly as in "Skew Strikes Back").
+//!
+//! Its running time is within a log factor of N^{ρ*} — matching the
+//! unconditional lower bound of Theorem 3.2, which is what makes it
+//! *worst-case optimal*.
+//!
+//! Engine mapping: each candidate value *tried* (light) or *matched*
+//! (heavy) is a [`RunStats::nodes`] tick, each probe or leapfrog seek a
+//! [`RunStats::trie_advances`] tick, and each answer tuple emitted a
+//! [`RunStats::tuples`] tick — machine-independent proxies for the
+//! Õ(N^{ρ*}) running time. The pre-leapfrog generic join is preserved in
+//! [`crate::reference`] as the differential oracle.
 //!
 //! # Preemption safety
 //!
-//! The join runs on an explicit frame stack (one frame per bound variable)
-//! holding the trie-iterator positions: per-atom sorted-row ranges, the
-//! driver's candidate cursor, and the narrowing index. Every counted
-//! operation applies its effect and advances the phase *before* spending
-//! the tick, so [`count_resumable`] and [`is_empty_resumable`] can suspend
-//! at any failed charge into a [`Checkpoint`] and later continue with the
-//! next operation — same verdict, same summed [`RunStats`] as one
-//! uninterrupted run. (The materializing [`join`] is deliberately *not*
-//! resumable: its collected output would make checkpoints unbounded.)
+//! The join runs on an explicit frame stack (one frame per bound
+//! variable) holding the trie-iterator positions: per-atom level ranges,
+//! the light-mode cursor or the heavy-mode leapfrog state (per-iterator
+//! positions, whose turn it is, the running maximum, how many agree).
+//! Every counted operation applies its effect and advances the phase
+//! *before* spending the tick, so [`count_resumable`] and
+//! [`is_empty_resumable`] can suspend at any failed charge into a
+//! [`Checkpoint`] and later continue with the next operation — same
+//! verdict, same summed [`RunStats`] as one uninterrupted run. (The
+//! materializing [`join`] is deliberately *not* resumable: its collected
+//! output would make checkpoints unbounded; [`join_foreach`] streams
+//! instead.)
 //!
+//! [`Trie`]: crate::trie::Trie
+//! [`Trie::seek`]: crate::trie::Trie::seek
 //! [`RunStats::nodes`]: lb_engine::RunStats::nodes
 //! [`RunStats::trie_advances`]: lb_engine::RunStats::trie_advances
 //! [`RunStats::tuples`]: lb_engine::RunStats::tuples
@@ -33,6 +54,7 @@
 
 use crate::database::Database;
 use crate::query::{AnswerTuple, JoinQuery};
+use crate::trie::Trie;
 use crate::Value;
 use lb_engine::checkpoint::{
     Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
@@ -41,8 +63,10 @@ use lb_engine::checkpoint::{
 use lb_engine::{Budget, ExhaustReason, Outcome, RunStats, Ticker};
 
 /// Payload version of generic-join checkpoints; bumped whenever the
-/// frontier encoding below changes.
-pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 1;
+/// frontier encoding below changes. Version 2 is the leapfrog frame
+/// encoding (columnar trie ranges + heavy/light intersection state);
+/// version 1 was the row-major generic-join encoding.
+pub const CHECKPOINT_PAYLOAD_VERSION: u16 = 2;
 
 /// Errors from join evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,13 +121,14 @@ impl From<CheckpointError> for ResumeError {
     }
 }
 
-/// A prepared atom: rows re-sorted so columns follow the global variable
-/// order, repeated attributes collapsed to their diagonal.
+/// A prepared atom: a columnar trie over the rows re-sorted so columns
+/// follow the global variable order, repeated attributes collapsed to
+/// their diagonal.
 struct PreparedAtom {
     /// Global variable ranks of this atom's (distinct) attributes, ascending.
     var_ranks: Vec<usize>,
-    /// Rows sorted lexicographically in `var_ranks` column order.
-    rows: Vec<Vec<Value>>,
+    /// The flat columnar trie over the projected rows.
+    trie: Trie,
 }
 
 struct Prepared {
@@ -127,7 +152,7 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
         }
         None => attrs.clone(),
     };
-    // lb-lint: allow(no-panic, panic-reachability) -- invariant: join() verified the order covers every query attribute
+    // lb-lint: allow(no-panic, panic-reachability) -- invariant: the order was just verified to cover every query attribute
     let rank_of = |name: &str| order.iter().position(|a| a == name).expect("validated");
 
     let mut atoms = Vec::with_capacity(q.atoms.len());
@@ -158,7 +183,7 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
                 let first_col = distinct
                     .iter()
                     .find(|&&(dr, _)| dr == r)
-                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: validate_for checked every atom's relation before the join ran
+                    // lb-lint: allow(no-panic, panic-reachability) -- invariant: every attribute rank was entered into distinct above
                     .expect("present")
                     .1;
                 // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < arity = row.len(), checked by validate_for
@@ -171,7 +196,8 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
         }
         rows.sort_unstable();
         rows.dedup();
-        atoms.push(PreparedAtom { var_ranks, rows }); // lb-lint: allow(unbounded-growth) -- one prepared atom per query atom
+        let trie = Trie::build(&rows, var_ranks.len());
+        atoms.push(PreparedAtom { var_ranks, trie }); // lb-lint: allow(unbounded-growth) -- one prepared atom per query atom
     }
     Ok(Prepared {
         atoms,
@@ -179,7 +205,9 @@ fn prepare(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Result<Pre
     })
 }
 
-/// Active range of an atom's sorted rows during the search.
+/// Active trie range of one atom during the search: `depth` columns are
+/// bound; `[lo, hi)` indexes level `depth`'s value column (or, when the
+/// atom is fully bound, a degenerate entry range on the deepest level).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Range {
     lo: usize,
@@ -187,15 +215,50 @@ struct Range {
     depth: usize,
 }
 
+/// Upper bound for a range's `lo`/`hi` at a given depth (hostile-decode
+/// validation and defensive clamping share it).
+fn range_bound(trie: &Trie, depth: usize) -> usize {
+    let k = trie.num_levels();
+    if k == 0 {
+        0
+    } else {
+        trie.level_len(depth.min(k - 1))
+    }
+}
+
+/// Narrows a participant's range to the children of entry `j` (clamped
+/// defensively: hostile checkpoints may put `j` at the range end).
+fn descend(atom: &PreparedAtom, r: Range, j: usize) -> Range {
+    let k = atom.trie.num_levels();
+    if r.depth + 1 < k {
+        let (lo, hi) = atom.trie.child_range(r.depth, j);
+        Range {
+            lo,
+            hi,
+            depth: r.depth + 1,
+        }
+    } else {
+        let len = range_bound(&atom.trie, r.depth);
+        let lo = j.min(len);
+        Range {
+            lo,
+            hi: (j + 1).min(len).max(lo),
+            depth: r.depth + 1,
+        }
+    }
+}
+
 /// Where the machine resumes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     /// Entering level `frames.len()`: emit a tuple or open a frame.
     Enter,
-    /// Advance the top frame to its next candidate value.
+    /// Advance the top frame: next light candidate or one leapfrog step.
     Step,
-    /// Narrow the top frame's participant `idx` to the candidate value.
+    /// Light mode: probe/narrow the top frame's participant `idx`.
     Narrow { idx: usize },
+    /// Heavy mode: all iterators agreed; narrow everyone and bind.
+    Bind,
     /// A tuple's charge has been paid; deliver it, then continue.
     Emit,
 }
@@ -205,21 +268,46 @@ enum Phase {
 struct Frame {
     /// Atoms whose next unbound column is this level's variable.
     participants: Vec<usize>,
-    /// The participant with the smallest active range.
-    driver: usize,
     /// Participant ranges as they were at level entry, parallel to
     /// `participants`; restored between candidates.
     saved: Vec<Range>,
-    /// Driver cursor: the candidate block is `rows[lo..lo_end)`.
-    lo: usize,
-    lo_end: usize,
-    hi: usize,
-    /// The candidate value being intersected.
+    /// Intersection mode: leapfrog (heavy block) or enumerate-and-probe.
+    heavy: bool,
+    /// Slot (index into `participants`) of the smallest entry range; the
+    /// light-mode driver.
+    driver: usize,
+    /// Light mode: driver cursor into its level's value column.
+    cur: usize,
+    /// Heavy mode: per-iterator positions, parallel to `participants`.
+    pos: Vec<usize>,
+    /// Heavy mode: slot whose iterator moves next.
+    turn: usize,
+    /// Heavy mode: how many consecutive iterators sit on `max_v`
+    /// (0 = the round restarts at `turn`'s current position).
+    agreed: usize,
+    /// Heavy mode: the running maximum key (intersection candidate).
+    max_v: Value,
+    /// The candidate value bound at this level.
     v: Value,
 }
 
-/// The explicit-stack Generic Join state: trie-iterator positions per atom
-/// plus the per-level intersection frames.
+/// What one heavy leapfrog micro-step decided to do.
+enum LeapAction {
+    Exhausted,
+    Advance {
+        max_v: Value,
+        agreed: usize,
+        turn: usize,
+        pos: Option<usize>,
+    },
+    Agreed {
+        max_v: Value,
+        pos: Option<usize>,
+    },
+}
+
+/// The explicit-stack Leapfrog Triejoin state: trie-iterator positions
+/// per atom plus the per-level intersection frames.
 #[derive(Clone, Debug)]
 struct Machine {
     ranges: Vec<Range>,
@@ -236,7 +324,7 @@ impl Machine {
                 .iter()
                 .map(|a| Range {
                     lo: 0,
-                    hi: a.rows.len(),
+                    hi: a.trie.level_len(0),
                     depth: 0,
                 })
                 .collect(),
@@ -247,7 +335,7 @@ impl Machine {
     }
 
     /// Restores the top frame's participants to their entry ranges and
-    /// advances its cursor past the current candidate block.
+    /// advances its iterator past the current candidate.
     fn restore_and_advance(frame: &mut Frame, ranges: &mut [Range]) {
         // lb-lint: allow(unbudgeted-loop) -- restores one frame's saved ranges; bounded by participants
         for (&i, &r) in frame.participants.iter().zip(&frame.saved) {
@@ -255,7 +343,30 @@ impl Machine {
                 *slot = r;
             }
         }
-        frame.lo = frame.lo_end;
+        if frame.heavy {
+            // Move iterator 0 past the matched value and restart the round.
+            if let Some(p0) = frame.pos.get_mut(0) {
+                *p0 = p0.saturating_add(1);
+            }
+            frame.turn = 0;
+            frame.agreed = 0;
+            frame.max_v = 0;
+        } else {
+            frame.cur = frame.cur.saturating_add(1);
+        }
+    }
+
+    /// Pops the exhausted top frame and advances the parent (if any).
+    /// Returns false when the stack is empty (search over).
+    fn pop_level(&mut self) -> bool {
+        self.frames.pop();
+        match self.frames.last_mut() {
+            None => false,
+            Some(parent) => {
+                Machine::restore_and_advance(parent, &mut self.ranges);
+                true
+            }
+        }
     }
 
     /// Runs micro-steps until the next answer tuple (`Ok(Some(..))`, in
@@ -289,95 +400,297 @@ impl Machine {
                         !participants.is_empty(),
                         "every variable occurs in some atom"
                     );
-                    // Smallest active range drives the intersection.
-                    let Some(&driver) = participants
+                    let saved: Vec<Range> = participants
                         .iter()
-                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- participants hold atom indices < ranges.len()
-                        .min_by_key(|&&i| self.ranges[i].hi - self.ranges[i].lo)
+                        .map(|&i| {
+                            self.ranges.get(i).copied().unwrap_or(Range {
+                                lo: 0,
+                                hi: 0,
+                                depth: 0,
+                            })
+                        })
+                        .collect();
+                    // Smallest entry range leads the intersection.
+                    let Some(driver) = (0..participants.len())
+                        .min_by_key(|&s| saved.get(s).map_or(0, |r| r.hi.saturating_sub(r.lo)))
                     else {
                         // Unreachable for well-formed queries; finish
                         // soundly instead of panicking.
                         return Ok(None);
                     };
-                    let r = self.ranges[driver]; // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver is a participant index < ranges.len()
-                    let saved: Vec<Range> = participants.iter().map(|&i| self.ranges[i]).collect(); // lb-lint: allow(no-unchecked-index, panic-reachability) -- participants hold atom indices < ranges.len()
-                    self.frames.push(Frame {
-                        participants,
+                    let min_width = saved.get(driver).map_or(0, |r| r.hi.saturating_sub(r.lo));
+                    // Heavy/light split ("Skew Strikes Back"): leapfrog
+                    // only when even the smallest residual range is a
+                    // heavy block of its relation.
+                    let heavy = participants.len() >= 2
+                        && participants
+                            .get(driver)
+                            .and_then(|&i| p.atoms.get(i))
+                            .is_some_and(|a| min_width >= a.trie.heavy_threshold());
+                    let frame = Frame {
+                        heavy,
                         driver,
-                        saved,
-                        lo: r.lo,
-                        lo_end: r.lo,
-                        hi: r.hi,
+                        cur: if heavy {
+                            0
+                        } else {
+                            saved.get(driver).map_or(0, |r| r.lo)
+                        },
+                        pos: if heavy {
+                            saved.iter().map(|r| r.lo).collect()
+                        } else {
+                            Vec::new()
+                        },
+                        turn: 0,
+                        agreed: 0,
+                        max_v: 0,
                         v: 0,
-                    });
+                        participants,
+                        saved,
+                    };
+                    self.frames.push(frame);
                     ticker.record_intermediate(self.frames.len() as u64);
                     self.phase = Phase::Step;
                 }
                 Phase::Step => {
-                    let Some(frame) = self.frames.last_mut() else {
+                    let Some(frame) = self.frames.last() else {
                         return Ok(None);
                     };
-                    if frame.lo >= frame.hi {
-                        // This level is exhausted: ascend.
-                        self.frames.pop();
-                        match self.frames.last_mut() {
-                            None => return Ok(None),
-                            Some(parent) => {
-                                Machine::restore_and_advance(parent, &mut self.ranges);
-                                // phase stays Step: the parent advances.
+                    if frame.heavy {
+                        // One leapfrog micro-step: examine or seek the
+                        // iterator whose turn it is.
+                        let k = frame.participants.len().max(1);
+                        let slot = frame.turn % k;
+                        let sr = frame.saved.get(slot).copied().unwrap_or(Range {
+                            lo: 0,
+                            hi: 0,
+                            depth: 0,
+                        });
+                        let trie = frame
+                            .participants
+                            .get(slot)
+                            .and_then(|&i| p.atoms.get(i))
+                            .map(|a| &a.trie);
+                        let pos = frame.pos.get(slot).copied().unwrap_or(sr.hi);
+                        let action = if frame.agreed == 0 {
+                            // (Re)start the round at `slot`'s position.
+                            match trie.and_then(|t| {
+                                if pos < sr.hi {
+                                    t.value(sr.depth, pos)
+                                } else {
+                                    None
+                                }
+                            }) {
+                                None => LeapAction::Exhausted,
+                                // A single iterator trivially agrees with
+                                // itself (k == 1 must not spin forever).
+                                Some(val) if k == 1 => LeapAction::Agreed {
+                                    max_v: val,
+                                    pos: None,
+                                },
+                                Some(val) => LeapAction::Advance {
+                                    max_v: val,
+                                    agreed: 1,
+                                    turn: (slot + 1) % k,
+                                    pos: None,
+                                },
+                            }
+                        } else {
+                            let j =
+                                trie.map_or(sr.hi, |t| t.seek(sr.depth, pos, sr.hi, frame.max_v));
+                            match trie.and_then(|t| {
+                                if j < sr.hi {
+                                    t.value(sr.depth, j)
+                                } else {
+                                    None
+                                }
+                            }) {
+                                None => LeapAction::Exhausted,
+                                Some(val) if val == frame.max_v => {
+                                    if frame.agreed + 1 >= k {
+                                        LeapAction::Agreed {
+                                            max_v: val,
+                                            pos: Some(j),
+                                        }
+                                    } else {
+                                        LeapAction::Advance {
+                                            max_v: frame.max_v,
+                                            agreed: frame.agreed + 1,
+                                            turn: (slot + 1) % k,
+                                            pos: Some(j),
+                                        }
+                                    }
+                                }
+                                Some(val) => LeapAction::Advance {
+                                    max_v: val,
+                                    agreed: 1,
+                                    turn: (slot + 1) % k,
+                                    pos: Some(j),
+                                },
+                            }
+                        };
+                        match action {
+                            LeapAction::Exhausted => {
+                                if !self.pop_level() {
+                                    // Still charge the exhausting seek so a
+                                    // resumed run replays the same op count.
+                                    ticker.trie_advance()?;
+                                    return Ok(None);
+                                }
+                                self.phase = Phase::Step;
+                                ticker.trie_advance()?;
+                            }
+                            LeapAction::Advance {
+                                max_v,
+                                agreed,
+                                turn,
+                                pos,
+                            } => {
+                                let Some(frame) = self.frames.last_mut() else {
+                                    return Ok(None);
+                                };
+                                if let (Some(j), Some(pp)) = (pos, frame.pos.get_mut(slot)) {
+                                    *pp = j;
+                                }
+                                frame.max_v = max_v;
+                                frame.agreed = agreed;
+                                frame.turn = turn;
+                                ticker.trie_advance()?;
+                            }
+                            LeapAction::Agreed { max_v, pos } => {
+                                let Some(frame) = self.frames.last_mut() else {
+                                    return Ok(None);
+                                };
+                                if let (Some(j), Some(pp)) = (pos, frame.pos.get_mut(slot)) {
+                                    *pp = j;
+                                }
+                                frame.agreed = frame.participants.len();
+                                frame.max_v = max_v;
+                                frame.v = max_v;
+                                self.phase = Phase::Bind;
+                                ticker.trie_advance()?;
                             }
                         }
-                        continue;
+                    } else {
+                        // Light mode: next candidate from the driver.
+                        let hi = frame.saved.get(frame.driver).map_or(0, |r| r.hi);
+                        let next = if frame.cur < hi {
+                            frame
+                                .participants
+                                .get(frame.driver)
+                                .and_then(|&i| p.atoms.get(i))
+                                .and_then(|a| {
+                                    let depth =
+                                        frame.saved.get(frame.driver).map_or(0, |r| r.depth);
+                                    a.trie.value(depth, frame.cur)
+                                })
+                        } else {
+                            None
+                        };
+                        match next {
+                            None => {
+                                // Level exhausted: ascend (uncharged, like
+                                // the classic generic join).
+                                if !self.pop_level() {
+                                    return Ok(None);
+                                }
+                            }
+                            Some(v) => {
+                                let Some(frame) = self.frames.last_mut() else {
+                                    return Ok(None);
+                                };
+                                frame.v = v;
+                                self.phase = Phase::Narrow { idx: 0 };
+                                ticker.node()?;
+                            }
+                        }
                     }
-                    let driver = frame.driver;
-                    let depth = self.ranges[driver].depth; // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver is a participant index < ranges.len()
-                                                           // lb-lint: allow(no-unchecked-index, panic-reachability) -- lo < hi <= rows.len(); depth < var_ranks.len() = projected row arity
-                    let v = p.atoms[driver].rows[frame.lo][depth];
-                    // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver is a participant index < p.atoms.len()
-                    let lo_end = upper_bound(&p.atoms[driver].rows, frame.lo, frame.hi, depth, v);
-                    frame.v = v;
-                    frame.lo_end = lo_end;
-                    self.phase = Phase::Narrow { idx: 0 };
-                    ticker.node()?;
                 }
                 Phase::Narrow { idx } => {
+                    let level = self.frames.len().saturating_sub(1);
                     let Some(frame) = self.frames.last_mut() else {
                         return Ok(None);
                     };
-                    let Some(&i) = frame.participants.get(idx) else {
+                    let Some(&atom_i) = frame.participants.get(idx) else {
                         // All participants narrowed: the candidate is in
                         // the intersection. Bind it and descend.
                         let v = frame.v;
-                        let level = self.frames.len() - 1;
                         if let Some(slot) = self.tuple.get_mut(level) {
                             *slot = v;
                         }
                         self.phase = Phase::Enter;
                         continue;
                     };
-                    let r = self.ranges[i]; // lb-lint: allow(no-unchecked-index, panic-reachability) -- i is a participant index < ranges.len()
-                    let (nl, nh) = if i == frame.driver {
-                        (frame.lo, frame.lo_end)
+                    let r = self.ranges.get(atom_i).copied().unwrap_or(Range {
+                        lo: 0,
+                        hi: 0,
+                        depth: 0,
+                    });
+                    let found = if idx == frame.driver {
+                        // The driver's cursor already sits on the value.
+                        if frame.cur < r.hi {
+                            Some(frame.cur.max(r.lo))
+                        } else {
+                            None
+                        }
                     } else {
-                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- i is a participant index < p.atoms.len()
-                        equal_range(&p.atoms[i].rows, r.lo, r.hi, r.depth, frame.v)
+                        p.atoms
+                            .get(atom_i)
+                            .and_then(|a| a.trie.find(r.depth, r.lo, r.hi, frame.v))
                     };
-                    if nl == nh {
-                        // Empty intersection: restore and move to the next
-                        // candidate. The probe is still a counted advance.
-                        Machine::restore_and_advance(frame, &mut self.ranges);
-                        self.phase = Phase::Step;
-                        ticker.trie_advance()?;
-                    } else {
-                        // lb-lint: allow(no-unchecked-index, panic-reachability) -- i is a participant index < ranges.len()
-                        self.ranges[i] = Range {
-                            lo: nl,
-                            hi: nh,
-                            depth: r.depth + 1,
-                        };
-                        self.phase = Phase::Narrow { idx: idx + 1 };
-                        ticker.trie_advance()?;
+                    match found {
+                        Some(j) => {
+                            if let (Some(a), Some(slot)) =
+                                (p.atoms.get(atom_i), self.ranges.get_mut(atom_i))
+                            {
+                                *slot = descend(a, r, j);
+                            }
+                            self.phase = Phase::Narrow { idx: idx + 1 };
+                            ticker.trie_advance()?;
+                        }
+                        None => {
+                            // Empty intersection: restore and move to the
+                            // next candidate. The probe is still a counted
+                            // advance.
+                            Machine::restore_and_advance(frame, &mut self.ranges);
+                            self.phase = Phase::Step;
+                            ticker.trie_advance()?;
+                        }
                     }
+                }
+                Phase::Bind => {
+                    let level = self.frames.len().saturating_sub(1);
+                    let Some(frame) = self.frames.last_mut() else {
+                        return Ok(None);
+                    };
+                    // Narrow every participant to the children of its
+                    // matched entry, then bind the agreed value.
+                    // lb-lint: allow(unbudgeted-loop) -- O(participants) narrowing after the charged match below
+                    for slot in 0..frame.participants.len() {
+                        let Some(&atom_i) = frame.participants.get(slot) else {
+                            continue;
+                        };
+                        let Some(&sr) = frame.saved.get(slot) else {
+                            continue;
+                        };
+                        let j = frame
+                            .pos
+                            .get(slot)
+                            .copied()
+                            .unwrap_or(sr.lo)
+                            .clamp(sr.lo, sr.hi);
+                        if let (Some(a), Some(dst)) =
+                            (p.atoms.get(atom_i), self.ranges.get_mut(atom_i))
+                        {
+                            *dst = descend(a, sr, j);
+                        }
+                    }
+                    let v = frame.max_v;
+                    frame.v = v;
+                    if let Some(slot) = self.tuple.get_mut(level) {
+                        *slot = v;
+                    }
+                    self.phase = Phase::Enter;
+                    ticker.node()?;
                 }
                 Phase::Emit => {
                     // Deliver the bound tuple and position past it.
@@ -401,7 +714,7 @@ impl Machine {
         w.usize(self.ranges.len());
         // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for r in &self.ranges {
-            w.usize(r.lo).usize(r.hi).usize(r.depth);
+            w.usize(r.depth).usize(r.lo).usize(r.hi);
         }
         w.usize(self.tuple.len());
         // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
@@ -412,12 +725,22 @@ impl Machine {
         // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
         for f in &self.frames {
             w.seq_usize(&f.participants);
+            w.bool(f.heavy);
             w.usize(f.driver);
             // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
             for r in &f.saved {
-                w.usize(r.lo).usize(r.hi).usize(r.depth);
+                w.usize(r.depth).usize(r.lo).usize(r.hi);
             }
-            w.usize(f.lo).usize(f.lo_end).usize(f.hi).u64(f.v);
+            if f.heavy {
+                // lb-lint: allow(unbudgeted-loop) -- checkpoint serialization, linear in machine state
+                for &p in &f.pos {
+                    w.usize(p);
+                }
+                w.usize(f.turn).usize(f.agreed).u64(f.max_v);
+            } else {
+                w.usize(f.cur);
+            }
+            w.u64(f.v);
         }
         match self.phase {
             Phase::Enter => {
@@ -429,8 +752,11 @@ impl Machine {
             Phase::Narrow { idx } => {
                 w.u8(2).usize(idx);
             }
-            Phase::Emit => {
+            Phase::Bind => {
                 w.u8(3);
+            }
+            Phase::Emit => {
+                w.u8(4);
             }
         }
         w.finish()
@@ -469,13 +795,18 @@ impl Machine {
         let num_atoms = p.atoms.len();
         let read_range =
             |r: &mut PayloadReader<'_>, atom: usize| -> Result<Range, CheckpointError> {
-                // lb-lint: allow(no-unchecked-index, panic-reachability) -- atom < num_atoms, checked by the caller
-                let rows = p.atoms[atom].rows.len();
-                let ranks = p.atoms[atom].var_ranks.len(); // lb-lint: allow(no-unchecked-index, panic-reachability) -- atom < num_atoms, checked by the caller
+                let Some(pa) = p.atoms.get(atom) else {
+                    return Err(CheckpointError::Malformed {
+                        what: format!("range for unknown atom {atom}"),
+                        offset: r.offset(),
+                    });
+                };
+                let ranks = pa.var_ranks.len();
                 let at = r.offset();
-                let lo = r.usize_at_most(rows, "range lo")?;
-                let hi = r.usize_at_most(rows, "range hi")?;
                 let depth = r.usize_at_most(ranks, "range depth")?;
+                let bound = range_bound(&pa.trie, depth);
+                let lo = r.usize_at_most(bound, "range lo")?;
+                let hi = r.usize_at_most(bound, "range hi")?;
                 if lo > hi {
                     return Err(CheckpointError::Malformed {
                         what: format!("range lo {lo} > hi {hi}"),
@@ -522,12 +853,12 @@ impl Machine {
                 // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
                 participants.push(r.usize_below(num_atoms, "participant atom")?);
             }
-            let driver_at = r.offset();
-            let driver = r.usize_below(num_atoms, "driver atom")?;
-            if !participants.contains(&driver) {
+            let heavy = r.bool()?;
+            let driver = r.usize_below(part_len.max(1), "driver slot")?;
+            if part_len == 0 {
                 return Err(CheckpointError::Malformed {
-                    what: format!("driver {driver} is not a participant"),
-                    offset: driver_at,
+                    what: "frame with no participants".into(),
+                    offset: r.offset(),
                 });
             }
             let mut saved = Vec::with_capacity(part_len);
@@ -535,27 +866,59 @@ impl Machine {
             for &atom in &participants {
                 saved.push(read_range(&mut r, atom)?); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             }
-            // lb-lint: allow(no-unchecked-index, panic-reachability) -- driver < num_atoms, validated above
-            let rows = p.atoms[driver].rows.len();
-            let at = r.offset();
-            let lo = r.usize_at_most(rows, "frame lo")?;
-            let lo_end = r.usize_at_most(rows, "frame lo_end")?;
-            let hi = r.usize_at_most(rows, "frame hi")?;
-            if lo > hi || lo_end > hi {
-                return Err(CheckpointError::Malformed {
-                    what: format!("frame cursor (lo {lo}, lo_end {lo_end}, hi {hi}) inconsistent"),
-                    offset: at,
+            let mut cur = 0;
+            let mut pos = Vec::new();
+            let mut turn = 0;
+            let mut agreed = 0;
+            let mut max_v = 0;
+            if heavy {
+                // lb-lint: allow(unbudgeted-loop) -- checkpoint deserialization, linear in the length-checked payload
+                for slot in 0..part_len {
+                    let sr = saved.get(slot).copied().unwrap_or(Range {
+                        lo: 0,
+                        hi: 0,
+                        depth: 0,
+                    });
+                    let at = r.offset();
+                    let pj = r.usize_at_most(sr.hi, "leapfrog position")?;
+                    if pj < sr.lo {
+                        return Err(CheckpointError::Malformed {
+                            what: format!("leapfrog position {pj} below range lo {}", sr.lo),
+                            offset: at,
+                        });
+                    }
+                    pos.push(pj); // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
+                }
+                turn = r.usize_below(part_len, "leapfrog turn")?;
+                agreed = r.usize_at_most(part_len, "leapfrog agreement")?;
+                max_v = r.u64()?;
+            } else {
+                let sr = saved.get(driver).copied().unwrap_or(Range {
+                    lo: 0,
+                    hi: 0,
+                    depth: 0,
                 });
+                let at = r.offset();
+                cur = r.usize_at_most(sr.hi, "light cursor")?;
+                if cur < sr.lo {
+                    return Err(CheckpointError::Malformed {
+                        what: format!("light cursor {cur} below range lo {}", sr.lo),
+                        offset: at,
+                    });
+                }
             }
             let v = r.u64()?;
             // lb-lint: allow(unbounded-growth) -- rebuilds checkpointed state; bounded by the length-checked payload
             frames.push(Frame {
                 participants,
-                driver,
                 saved,
-                lo,
-                lo_end,
-                hi,
+                heavy,
+                driver,
+                cur,
+                pos,
+                turn,
+                agreed,
+                max_v,
                 v,
             });
         }
@@ -564,16 +927,33 @@ impl Machine {
             0 => Phase::Enter,
             1 => Phase::Step,
             2 => {
-                let bound = frames.last().map(|f| f.participants.len()).ok_or_else(|| {
-                    CheckpointError::Malformed {
-                        what: "narrow phase with an empty frame stack".into(),
-                        offset: tag_at,
-                    }
+                let top = frames.last().ok_or_else(|| CheckpointError::Malformed {
+                    what: "narrow phase with an empty frame stack".into(),
+                    offset: tag_at,
                 })?;
-                let idx = r.usize_at_most(bound, "narrow index")?;
+                if top.heavy {
+                    return Err(CheckpointError::Malformed {
+                        what: "narrow phase on a heavy (leapfrog) frame".into(),
+                        offset: tag_at,
+                    });
+                }
+                let idx = r.usize_at_most(top.participants.len(), "narrow index")?;
                 Phase::Narrow { idx }
             }
-            3 => Phase::Emit,
+            3 => {
+                let top = frames.last().ok_or_else(|| CheckpointError::Malformed {
+                    what: "bind phase with an empty frame stack".into(),
+                    offset: tag_at,
+                })?;
+                if !top.heavy {
+                    return Err(CheckpointError::Malformed {
+                        what: "bind phase on a light frame".into(),
+                        offset: tag_at,
+                    });
+                }
+                Phase::Bind
+            }
+            4 => Phase::Emit,
             b => {
                 return Err(CheckpointError::Malformed {
                     what: format!("invalid phase tag {b}"),
@@ -592,18 +972,6 @@ impl Machine {
             n,
         ))
     }
-}
-
-/// First index in [lo, hi) where `rows[idx][col] > v` (rows sorted, columns
-/// before `col` constant on the range).
-fn upper_bound(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> usize {
-    lo + rows[lo..hi].partition_point(|r| r[col] <= v) // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < the uniform projected row arity
-}
-
-fn equal_range(rows: &[Vec<Value>], lo: usize, hi: usize, col: usize, v: Value) -> (usize, usize) {
-    let start = lo + rows[lo..hi].partition_point(|r| r[col] < v); // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < the uniform projected row arity
-    let end = start + rows[start..hi].partition_point(|r| r[col] == v); // lb-lint: allow(no-unchecked-index, panic-reachability) -- col < the uniform projected row arity
-    (start, end)
 }
 
 /// FNV digest binding a checkpoint to (query, database, variable order).
@@ -640,6 +1008,15 @@ fn instance_digest(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> u6
     d.finish()
 }
 
+/// Positions of the sorted attributes within the chosen variable order.
+fn attr_positions(attrs: &[String], ord: &[String]) -> Vec<usize> {
+    attrs
+        .iter()
+        // lb-lint: allow(no-panic, panic-reachability) -- invariant: the chosen order covers every atom attribute
+        .map(|a| ord.iter().position(|x| x == a).expect("validated"))
+        .collect()
+}
+
 /// Computes the full answer; tuples are in [`JoinQuery::attributes`] order,
 /// sorted lexicographically. Malformed inputs fail with `Err`; running out
 /// of budget yields `Ok` with [`Outcome::Exhausted`].
@@ -653,20 +1030,19 @@ pub fn join(
     let attrs = q.attributes();
     let ord: Vec<String> = order.map(|o| o.to_vec()).unwrap_or_else(|| attrs.clone());
     let p = prepare(q, db, order)?;
-    // Position of each attribute (sorted order) within the variable order.
-    let pos_of: Vec<usize> = attrs
-        .iter()
-        // lb-lint: allow(no-panic, panic-reachability) -- invariant: the chosen order covers every atom attribute
-        .map(|a| ord.iter().position(|x| x == a).expect("validated"))
-        .collect();
+    let pos_of = attr_positions(&attrs, &ord);
     let mut ticker = Ticker::new(budget);
     let mut m = Machine::fresh(&p);
     let mut out = Vec::new();
     let result = loop {
         match m.run(&p, &mut ticker) {
             Ok(Some(t)) => {
-                // lb-lint: allow(no-unchecked-index, panic-reachability) -- pos_of holds positions within the order, whose length is t.len()
-                out.push(pos_of.iter().map(|&i| t[i]).collect::<Vec<Value>>());
+                out.push(
+                    pos_of
+                        .iter()
+                        .map(|&i| t.get(i).copied().unwrap_or(0))
+                        .collect::<Vec<Value>>(),
+                );
                 ticker.record_intermediate(out.len() as u64);
             }
             Ok(None) => break Ok(()),
@@ -677,8 +1053,47 @@ pub fn join(
     Ok(ticker.finish(result.map(|()| Some(out))))
 }
 
+/// Streams every answer tuple through `visit` without materializing the
+/// answer set: the visitor sees each tuple once, in [`JoinQuery::attributes`]
+/// column order (tuples arrive in variable-order lexicographic sequence,
+/// not sorted). Returns the number of tuples visited. This is the entry
+/// point for callers that only count, print, or aggregate — their memory
+/// stays O(num_vars) no matter how large the answer is.
+#[must_use = "dropping the result discards the visit count or the failure"]
+pub fn join_foreach<F: FnMut(&[Value])>(
+    q: &JoinQuery,
+    db: &Database,
+    order: Option<&[String]>,
+    budget: &Budget,
+    mut visit: F,
+) -> Result<(Outcome<u64>, RunStats), JoinError> {
+    let attrs = q.attributes();
+    let ord: Vec<String> = order.map(|o| o.to_vec()).unwrap_or_else(|| attrs.clone());
+    let p = prepare(q, db, order)?;
+    let pos_of = attr_positions(&attrs, &ord);
+    let mut ticker = Ticker::new(budget);
+    let mut m = Machine::fresh(&p);
+    let mut buf = vec![0; attrs.len()];
+    let mut n = 0u64;
+    let result = loop {
+        match m.run(&p, &mut ticker) {
+            Ok(Some(t)) => {
+                // lb-lint: allow(unbudgeted-loop) -- permutes one emitted tuple into attribute order; bounded by arity, one pass per charged tuple
+                for (slot, &i) in buf.iter_mut().zip(&pos_of) {
+                    *slot = t.get(i).copied().unwrap_or(0);
+                }
+                n += 1;
+                visit(&buf);
+            }
+            Ok(None) => break Ok(Some(n)),
+            Err(reason) => break Err(reason),
+        }
+    };
+    Ok(ticker.finish(result))
+}
+
 /// Counts answer tuples without materializing them: `Sat(count)` or
-/// `Exhausted`.
+/// `Exhausted`. (A thin wrapper over [`join_foreach`].)
 #[must_use = "dropping the result discards the answer count or the failure"]
 pub fn count(
     q: &JoinQuery,
@@ -686,18 +1101,7 @@ pub fn count(
     order: Option<&[String]>,
     budget: &Budget,
 ) -> Result<(Outcome<u64>, RunStats), JoinError> {
-    let p = prepare(q, db, order)?;
-    let mut ticker = Ticker::new(budget);
-    let mut m = Machine::fresh(&p);
-    let mut n = 0u64;
-    let result = loop {
-        match m.run(&p, &mut ticker) {
-            Ok(Some(_)) => n += 1,
-            Ok(None) => break Ok(Some(n)),
-            Err(reason) => break Err(reason),
-        }
-    };
-    Ok(ticker.finish(result))
+    join_foreach(q, db, order, budget, |_| {})
 }
 
 /// Decides emptiness with early exit (the BOOLEAN JOIN QUERY problem):
@@ -860,6 +1264,7 @@ mod tests {
     use crate::database::Table;
     use crate::generators;
     use crate::query::Atom;
+    use crate::reference;
 
     fn join_all(q: &JoinQuery, db: &Database, order: Option<&[String]>) -> Vec<AnswerTuple> {
         join(q, db, order, &Budget::unlimited())
@@ -896,6 +1301,23 @@ mod tests {
         db
     }
 
+    /// A triangle database with one heavy-hitter value (0) whose tails are
+    /// disjoint runs: leapfrog gallops over them in O(log) seeks while the
+    /// old generic join probes every candidate.
+    fn heavy_hitter_db(hub: u64, tail: u64) -> Database {
+        let mut db = Database::new();
+        let mut r_rows: Vec<Vec<Value>> = (0..hub).map(|b| vec![0, b]).collect();
+        r_rows.extend((1..=tail).map(|i| vec![i, i]));
+        db.insert("R", Table::from_rows(2, r_rows));
+        let mut s_rows: Vec<Vec<Value>> = (0..hub).map(|c| vec![0, c]).collect();
+        s_rows.extend((1..=tail).map(|i| vec![10_000 + i, i]));
+        db.insert("S", Table::from_rows(2, s_rows));
+        let mut t_rows: Vec<Vec<Value>> = (0..hub).map(|x| vec![x, x]).collect();
+        t_rows.extend((0..hub).map(|x| vec![x, (x + 1) % hub]));
+        db.insert("T", Table::from_rows(2, t_rows));
+        db
+    }
+
     #[test]
     fn triangle_join_finds_triangles() {
         let q = JoinQuery::triangle();
@@ -921,8 +1343,26 @@ mod tests {
         assert!(stats.nodes > 0, "candidate values must be counted");
         assert!(
             stats.trie_advances >= stats.nodes,
-            "every candidate narrows at least its driver"
+            "every candidate costs at least one seek or probe"
         );
+    }
+
+    #[test]
+    fn join_foreach_streams_in_attribute_order() {
+        let q = JoinQuery::triangle();
+        let db = tiny_triangle_db();
+        let mut seen: Vec<AnswerTuple> = Vec::new();
+        let (out, stats) = join_foreach(&q, &db, None, &Budget::unlimited(), |t| {
+            seen.push(t.to_vec())
+        })
+        .unwrap();
+        assert_eq!(out.unwrap_sat(), 6);
+        assert_eq!(stats.tuples, 6);
+        seen.sort_unstable();
+        assert_eq!(seen, join_all(&q, &db, None));
+        // The streaming entry records no materialized intermediate for
+        // the answers themselves (only the frame stack).
+        assert!(stats.max_intermediate <= 3);
     }
 
     #[test]
@@ -963,6 +1403,15 @@ mod tests {
         for seed in 0..5u64 {
             let q = JoinQuery::loomis_whitney(3);
             let db = generators::random_database(&q, 25, 5, seed);
+            assert_eq!(join_all(&q, &db, None), nested_all(&q, &db), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_nested_loop_on_skewed_inputs() {
+        for seed in 0..6u64 {
+            let q = JoinQuery::triangle();
+            let db = generators::skewed_binary_database(&q, 40, 16, seed);
             assert_eq!(join_all(&q, &db, None), nested_all(&q, &db), "seed {seed}");
         }
     }
@@ -1061,6 +1510,24 @@ mod tests {
     }
 
     #[test]
+    fn heavy_mode_beats_reference_on_disjoint_heavy_hitters() {
+        // One hub value shared by R.a and S.a, plus long disjoint tails:
+        // the reference generic join probes every tail value; leapfrog
+        // gallops over both tails in a handful of seeks.
+        let q = JoinQuery::triangle();
+        let db = heavy_hitter_db(32, 300);
+        let (new_out, new_stats) = count(&q, &db, None, &Budget::unlimited()).unwrap();
+        let (old_out, old_stats) = reference::count(&q, &db, None, &Budget::unlimited()).unwrap();
+        assert_eq!(new_out.unwrap_sat(), old_out.unwrap_sat());
+        assert!(
+            new_stats.total_ops() * 2 < old_stats.total_ops(),
+            "leapfrog should at least halve the op count on disjoint heavy tails: {} vs {}",
+            new_stats.total_ops(),
+            old_stats.total_ops()
+        );
+    }
+
+    #[test]
     fn sliced_resume_matches_one_shot_count() {
         for seed in 0..6u64 {
             let q = JoinQuery::triangle();
@@ -1086,6 +1553,33 @@ mod tests {
     }
 
     #[test]
+    fn sliced_resume_matches_one_shot_on_heavy_instances() {
+        // Slices small enough to suspend mid-leapfrog (Bind/Step phases).
+        let q = JoinQuery::triangle();
+        let db = heavy_hitter_db(16, 60);
+        let (one_shot, full) = count(&q, &db, None, &Budget::unlimited()).unwrap();
+        for ticks in [1u64, 3, 7] {
+            let mut from: Option<Checkpoint> = None;
+            let mut summed = RunStats::default();
+            let sliced = loop {
+                let (out, stats) =
+                    count_resumable(&q, &db, None, &Budget::ticks(ticks), from.as_ref())
+                        .expect("clean resume");
+                summed.absorb(&stats);
+                match out {
+                    ResumableOutcome::Suspended { checkpoint, .. } => {
+                        let bytes = checkpoint.to_bytes();
+                        from = Some(Checkpoint::from_bytes(&bytes).expect("round trip"));
+                    }
+                    done => break done.into_outcome(),
+                }
+            };
+            assert_eq!(sliced, one_shot, "ticks {ticks}");
+            assert_eq!(summed, full, "ticks {ticks}");
+        }
+    }
+
+    #[test]
     fn database_change_is_rejected_on_resume() {
         let q = JoinQuery::triangle();
         let db1 = generators::random_binary_database(&q, 30, 8, 1);
@@ -1097,5 +1591,17 @@ mod tests {
             err,
             ResumeError::Checkpoint(CheckpointError::InstanceMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn old_payload_version_is_rejected() {
+        let q = JoinQuery::triangle();
+        let db = tiny_triangle_db();
+        let (out, _) = count_resumable(&q, &db, None, &Budget::ticks(3), None).unwrap();
+        let ck = out.checkpoint().expect("suspended").clone();
+        // Re-wrap the payload under the retired v1 tag: decode must refuse.
+        let stale = Checkpoint::new(SolverFamily::GenericJoin, 1, ck.payload().to_vec());
+        let err = count_resumable(&q, &db, None, &Budget::unlimited(), Some(&stale)).unwrap_err();
+        assert!(matches!(err, ResumeError::Checkpoint(_)));
     }
 }

@@ -287,6 +287,8 @@ impl Default for Config {
                 "crates/sat/src/twosat.rs".into(),
                 "crates/csp/src/solver/backtracking.rs".into(),
                 "crates/join/src/wcoj.rs".into(),
+                "crates/join/src/trie.rs".into(),
+                "crates/join/src/reference.rs".into(),
                 "crates/graphalg/src/clique.rs".into(),
                 "crates/graphalg/src/triangle.rs".into(),
             ],
