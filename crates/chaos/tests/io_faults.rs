@@ -1,0 +1,158 @@
+//! Injected I/O faults against the atomic checkpoint save path.
+//!
+//! The claim under test is the spool's crash-safety contract: no matter
+//! where a save dies — during the tmp write, the fsync, or the rename —
+//! the destination file is always either *absent* or *the previous valid
+//! version*, a torn `.tmp` sibling is the worst surviving debris, and
+//! reading any of it back yields a typed [`CheckpointError`], never a
+//! panic and never a conjured frontier.
+
+use lb_engine::checkpoint::{tmp_sibling, Checkpoint, CheckpointError, SolverFamily};
+use lb_engine::fault::with_io_plan;
+use lb_engine::{IoFaultKind, IoFaultPlan};
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lb-io-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn ck(tag: u8) -> Checkpoint {
+    Checkpoint::new(
+        SolverFamily::Dpll,
+        1,
+        (0..64).map(|i| i ^ tag).collect::<Vec<u8>>(),
+    )
+}
+
+/// The invariant every fault must preserve: the destination is absent or
+/// loads as a complete previous version.
+fn assert_absent_or_valid(path: &Path, valid: &[Checkpoint]) {
+    if !path.exists() {
+        return;
+    }
+    let loaded = Checkpoint::load(path).expect("destination must never be torn");
+    assert!(
+        valid.iter().any(|c| c.to_bytes() == loaded.to_bytes()),
+        "destination holds bytes that were never a completed save"
+    );
+}
+
+#[test]
+fn every_stage_fault_leaves_destination_absent_or_valid() {
+    for (kind, stage) in [
+        (IoFaultKind::TmpWrite, "save-write"),
+        (IoFaultKind::Sync, "save-sync"),
+        (IoFaultKind::Rename, "save-rename"),
+    ] {
+        let path = scratch(&format!("stage-{stage}.lbck"));
+        let _fresh = std::fs::remove_file(&path);
+        let _debris = std::fs::remove_file(tmp_sibling(&path));
+        let old = ck(0x11);
+        let new = ck(0x22);
+        old.save(&path).expect("baseline save");
+
+        let plan = IoFaultPlan::new().with_point(kind, 1);
+        let err = with_io_plan(&plan, || new.save(&path))
+            .expect_err("injected fault must surface as an error");
+        match err {
+            CheckpointError::Io { error, .. } => {
+                assert!(
+                    error.contains("injected"),
+                    "{stage}: expected the injected marker, got `{error}`"
+                );
+            }
+            other => panic!("{stage}: expected CheckpointError::Io, got {other:?}"),
+        }
+        // The old version must still load; the new one must not be visible.
+        assert_absent_or_valid(&path, std::slice::from_ref(&old));
+        let survived = Checkpoint::load(&path).expect("old version intact");
+        assert_eq!(survived.to_bytes(), old.to_bytes());
+
+        // A retry with no plan active lands the new version cleanly.
+        new.save(&path).expect("retry must succeed");
+        assert_eq!(
+            Checkpoint::load(&path).expect("new version").to_bytes(),
+            new.to_bytes()
+        );
+    }
+}
+
+#[test]
+fn first_ever_save_fault_leaves_no_destination() {
+    for kind in [
+        IoFaultKind::TmpWrite,
+        IoFaultKind::Sync,
+        IoFaultKind::Rename,
+    ] {
+        let path = scratch(&format!("first-{}.lbck", kind.name()));
+        let _fresh = std::fs::remove_file(&path);
+        let _debris = std::fs::remove_file(tmp_sibling(&path));
+        let plan = IoFaultPlan::new().with_point(kind, 1);
+        with_io_plan(&plan, || ck(0x33).save(&path)).expect_err("injected fault must surface");
+        assert!(
+            !path.exists(),
+            "{}: a failed first save must not create the destination",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn torn_tmp_is_a_typed_error_never_a_frontier() {
+    let path = scratch("torn.lbck");
+    let _fresh = std::fs::remove_file(&path);
+    let plan = IoFaultPlan::new().with_point(IoFaultKind::TmpWrite, 1);
+    with_io_plan(&plan, || ck(0x44).save(&path)).expect_err("fault fires");
+    let tmp = tmp_sibling(&path);
+    assert!(tmp.exists(), "TmpWrite leaves the torn prefix behind");
+    // The torn prefix must decode as a typed error, not a checkpoint and
+    // not a panic — exactly what a restart's recovery sweep relies on.
+    let torn = Checkpoint::load(&tmp);
+    assert!(torn.is_err(), "a half-written blob must not decode");
+}
+
+#[test]
+fn seeded_fault_storms_never_tear_the_destination() {
+    let path = scratch("storm.lbck");
+    let _fresh = std::fs::remove_file(&path);
+    let _debris = std::fs::remove_file(tmp_sibling(&path));
+    let mut valid: Vec<Checkpoint> = Vec::new();
+    for seed in 0..200u64 {
+        let next = ck((seed % 251) as u8);
+        let plan = IoFaultPlan::from_seed(seed);
+        let landed = with_io_plan(&plan, || {
+            // Several saves per scope so multi-point plans hit attempts > 1;
+            // any one success makes `next` a legitimately completed version.
+            let mut landed = false;
+            for _ in 0..3 {
+                if next.save(&path).is_ok() {
+                    landed = true;
+                }
+            }
+            landed
+        });
+        if landed {
+            valid.push(next);
+        }
+        assert_absent_or_valid(&path, &valid);
+    }
+    assert!(!valid.is_empty(), "some storms must let a save through");
+}
+
+#[test]
+fn io_plans_round_trip_their_spec_string() {
+    let plan = IoFaultPlan::new()
+        .with_point(IoFaultKind::TmpWrite, 2)
+        .with_point(IoFaultKind::Rename, 1);
+    let spec = plan.to_string();
+    let reparsed: IoFaultPlan = spec.parse().expect("rendered spec must reparse");
+    assert_eq!(reparsed.to_string(), spec);
+    assert!(IoFaultPlan::from_seed(7)
+        .to_string()
+        .parse::<IoFaultPlan>()
+        .is_ok());
+    assert!("save-write@".parse::<IoFaultPlan>().is_err());
+    assert!("save-frobnicate@1".parse::<IoFaultPlan>().is_err());
+}

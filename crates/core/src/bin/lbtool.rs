@@ -13,6 +13,9 @@
 //! lbtool treewidth <file.graph>    treewidth bounds (exact when n ≤ 22)
 //! lbtool rho-star "<query>"        ρ* and the AGM bound of a join query
 //! lbtool claims [hypothesis]       the paper's lower-bound claims
+//! lbtool serve --spool <dir>       run the multi-tenant solver service
+//! lbtool submit <family> <file>    submit a job to a running service and
+//!                                  wait for its verdict
 //! ```
 //!
 //! Solver commands accept `--budget <ticks>`: the run stops with exit code 3
@@ -48,15 +51,15 @@
 //! Malformed input never panics: every parser reports a typed
 //! [`ParseError`] printed as `file:line:col: message`, exit code 1.
 
+use lb_serve::formats::{parse_csp, parse_db, parse_graph, parse_query};
 use lowerbounds::engine::checkpoint::{Checkpoint, ResumableOutcome};
-use lowerbounds::engine::{Budget, Outcome, ParseError, ParseErrorKind, RunStats};
-use lowerbounds::graph::{treewidth, Graph};
+use lowerbounds::engine::{Budget, Outcome, ParseError, RunStats};
+use lowerbounds::graph::treewidth;
 use lowerbounds::hypotheses::Hypothesis;
-use lowerbounds::join::{agm, Atom, JoinQuery};
+use lowerbounds::join::agm;
 use lowerbounds::sat::{solve_2sat, CnfFormula, DpllSolver};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
 
 /// Distinguishes "wrong input" from "budget ran out" for the process exit
 /// code. Parse failures keep their source position so every diagnostic is
@@ -123,9 +126,11 @@ fn main() -> ExitCode {
         Some("treewidth") => cmd_treewidth(&args[1..]),
         Some("rho-star") => cmd_rho_star(&args[1..]),
         Some("claims") => cmd_claims(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lbtool <sat|2sat|count|csp|join|triangle|clique|treewidth|rho-star|claims> [--budget <ticks>] [--checkpoint <file>] [--resume <file>] ..."
+                "usage: lbtool <sat|2sat|count|csp|join|triangle|clique|treewidth|rho-star|claims|serve|submit> [--budget <ticks>] [--checkpoint <file>] [--resume <file>] ..."
             );
             return ExitCode::from(2);
         }
@@ -142,14 +147,12 @@ fn main() -> ExitCode {
         }
         Err(CmdError::Exhausted { reason, checkpoint }) => {
             println!("UNKNOWN");
-            match checkpoint {
-                Some(p) => eprintln!(
-                    "{reason} (resumable: frontier saved to {}; rerun with --resume {} and a fresh --budget)",
-                    p.display(),
-                    p.display()
-                ),
-                None => eprintln!("{reason} (terminal: progress lost; rerun with a larger --budget or --checkpoint)"),
-            }
+            // Shared with lb-serve: one wording for resumable-vs-terminal
+            // exhaustion everywhere a budget can run out.
+            eprintln!(
+                "{}",
+                lowerbounds::engine::exhaustion_diagnostic(&reason, checkpoint.as_deref())
+            );
             ExitCode::from(3)
         }
     }
@@ -289,17 +292,17 @@ fn run_sliced<W>(
             done => {
                 if let Some(path) = &ck.save {
                     // Cleanup: a completed run needs no frontier, and a stale
-                    // file here would feed a later `--resume` old state. Warn
-                    // rather than fail — the verdict itself is already in hand.
-                    // NotFound is the common completed-within-first-slice case
-                    // (no frontier was ever written), not a stale-file hazard.
-                    if let Err(e) = std::fs::remove_file(path) {
-                        if e.kind() != std::io::ErrorKind::NotFound {
-                            eprintln!(
-                                "warning: could not remove completed checkpoint {}: {e}",
-                                path.display()
-                            );
-                        }
+                    // file here would feed a later `--resume` old state — as
+                    // would a stale `.tmp` sibling left by a save that was
+                    // killed between write and rename, so both are removed.
+                    // Warn rather than fail — the verdict itself is already
+                    // in hand; absence (completed within the first slice) is
+                    // not a hazard.
+                    if let Err(e) = lowerbounds::engine::cleanup_artifacts(path) {
+                        eprintln!(
+                            "warning: could not remove completed checkpoint {}: {e}",
+                            path.display()
+                        );
                     }
                 }
                 return Ok((done.into_outcome(), total));
@@ -425,172 +428,6 @@ fn cmd_count(args: &[String], budget: &Budget) -> Result<(), CmdError> {
     Ok(())
 }
 
-/// Shared tokenizer from the engine's validated-ingestion layer.
-use lowerbounds::engine::parse::tokens;
-
-/// Parses the `lbtool csp` file format:
-///
-/// ```text
-/// # comment
-/// csp <num_vars> <domain_size>
-/// con <v1> <v2> ... : <t>,<t> <t>,<t> ...
-/// ```
-///
-/// Every structural mistake — dangling scope variables, wrong-arity or
-/// out-of-domain tuples, a missing `:` — is a positioned [`ParseError`];
-/// the constructed instance always satisfies `CspInstance`'s invariants,
-/// so its (panicking) constructors are never fed bad data.
-fn parse_csp(text: &str) -> Result<lowerbounds::csp::CspInstance, ParseError> {
-    use lowerbounds::csp::{Constraint, CspInstance, Relation, Value};
-    let mut inst: Option<CspInstance> = None;
-    let mut last_line = 0;
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        last_line = lineno;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let toks: Vec<(usize, &str)> = tokens(raw).collect();
-        let (kw_col, kw) = toks[0];
-        match kw {
-            "csp" => {
-                if inst.is_some() {
-                    return Err(ParseError::new(
-                        lineno,
-                        kw_col,
-                        ParseErrorKind::Duplicate {
-                            what: "`csp` header".to_string(),
-                        },
-                    ));
-                }
-                if toks.len() != 3 {
-                    return Err(ParseError::new(
-                        lineno,
-                        kw_col,
-                        ParseErrorKind::Malformed {
-                            what: "header (expected `csp <num_vars> <domain_size>`)".to_string(),
-                        },
-                    ));
-                }
-                let num_vars: usize = parse_num(lineno, toks[1].0, toks[1].1, "variable count")?;
-                let domain: usize = parse_num(lineno, toks[2].0, toks[2].1, "domain size")?;
-                if domain > Value::MAX as usize {
-                    return Err(ParseError::new(
-                        lineno,
-                        toks[2].0,
-                        ParseErrorKind::OutOfRange {
-                            what: "domain size".to_string(),
-                            token: toks[2].1.to_string(),
-                            limit: format!("at most {}", Value::MAX),
-                        },
-                    ));
-                }
-                inst = Some(CspInstance::new(num_vars, domain));
-            }
-            "con" => {
-                let Some(inst) = inst.as_mut() else {
-                    return Err(ParseError::new(
-                        lineno,
-                        kw_col,
-                        ParseErrorKind::Missing {
-                            what: "`csp` header before constraints".to_string(),
-                        },
-                    ));
-                };
-                let Some(sep) = toks.iter().position(|&(_, t)| t == ":") else {
-                    return Err(ParseError::new(
-                        lineno,
-                        kw_col,
-                        ParseErrorKind::Missing {
-                            what: "`:` between scope and tuples".to_string(),
-                        },
-                    ));
-                };
-                let scope_toks = &toks[1..sep];
-                if scope_toks.is_empty() {
-                    return Err(ParseError::new(
-                        lineno,
-                        kw_col,
-                        ParseErrorKind::Missing {
-                            what: "constraint scope variables".to_string(),
-                        },
-                    ));
-                }
-                let mut scope = Vec::with_capacity(scope_toks.len());
-                for &(col, tok) in scope_toks {
-                    let v: usize = parse_num(lineno, col, tok, "scope variable")?;
-                    if v >= inst.num_vars {
-                        return Err(ParseError::new(
-                            lineno,
-                            col,
-                            ParseErrorKind::OutOfRange {
-                                what: "scope variable".to_string(),
-                                token: tok.to_string(),
-                                limit: format!("{} variables declared", inst.num_vars),
-                            },
-                        ));
-                    }
-                    scope.push(v);
-                }
-                let mut tuples = Vec::new();
-                for &(col, tok) in &toks[sep + 1..] {
-                    let mut tuple = Vec::with_capacity(scope.len());
-                    for part in tok.split(',') {
-                        let v: Value = parse_num(lineno, col, part, "tuple value")?;
-                        if (v as usize) >= inst.domain_size {
-                            return Err(ParseError::new(
-                                lineno,
-                                col,
-                                ParseErrorKind::OutOfRange {
-                                    what: "tuple value".to_string(),
-                                    token: part.to_string(),
-                                    limit: format!("domain size {}", inst.domain_size),
-                                },
-                            ));
-                        }
-                        tuple.push(v);
-                    }
-                    if tuple.len() != scope.len() {
-                        return Err(ParseError::new(
-                            lineno,
-                            col,
-                            ParseErrorKind::CountMismatch {
-                                what: "tuple values".to_string(),
-                                declared: scope.len(),
-                                found: tuple.len(),
-                            },
-                        ));
-                    }
-                    tuples.push(tuple);
-                }
-                let arity = scope.len();
-                inst.add_constraint(Constraint::new(
-                    scope,
-                    Arc::new(Relation::new(arity, tuples)),
-                ));
-            }
-            _ => {
-                return Err(ParseError::new(
-                    lineno,
-                    kw_col,
-                    ParseErrorKind::Malformed {
-                        what: format!("directive `{kw}` (expected `csp` or `con`)"),
-                    },
-                ));
-            }
-        }
-    }
-    inst.ok_or_else(|| {
-        ParseError::at_eof(
-            last_line + 1,
-            ParseErrorKind::Missing {
-                what: "`csp` header".to_string(),
-            },
-        )
-    })
-}
-
 fn cmd_csp(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError> {
     use lowerbounds::csp::solver::{backtracking, BacktrackConfig};
     let path = args.first().ok_or("missing CSP file")?;
@@ -619,96 +456,6 @@ fn cmd_csp(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdError
         }
     }
     Ok(())
-}
-
-/// Parses the `lbtool join` database format:
-///
-/// ```text
-/// # comment
-/// rel R 2
-/// 0 1
-/// 1 2
-/// rel S 2
-/// ...
-/// ```
-///
-/// Every row is validated against its relation's declared arity before it
-/// reaches [`Table`], whose constructors assert on mismatches; rows load
-/// with set semantics (sorted, deduplicated).
-fn parse_db(text: &str) -> Result<lowerbounds::join::Database, ParseError> {
-    use lowerbounds::join::{Database, Table, Value};
-    let mut db = Database::new();
-    let mut open: Option<(String, usize, Table)> = None;
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let toks: Vec<(usize, &str)> = tokens(raw).collect();
-        let (kw_col, kw) = toks[0];
-        if kw == "rel" {
-            if toks.len() != 3 {
-                return Err(ParseError::new(
-                    lineno,
-                    kw_col,
-                    ParseErrorKind::Malformed {
-                        what: "relation header (expected `rel <name> <arity>`)".to_string(),
-                    },
-                ));
-            }
-            let name = toks[1].1.to_string();
-            let arity: usize = parse_num(lineno, toks[2].0, toks[2].1, "relation arity")?;
-            if arity == 0 {
-                return Err(ParseError::new(
-                    lineno,
-                    toks[2].0,
-                    ParseErrorKind::OutOfRange {
-                        what: "relation arity".to_string(),
-                        token: toks[2].1.to_string(),
-                        limit: "at least 1".to_string(),
-                    },
-                ));
-            }
-            if let Some((prev_name, _, mut prev_table)) =
-                open.replace((name, arity, Table::new(arity)))
-            {
-                prev_table.normalize();
-                db.insert(&prev_name, prev_table);
-            }
-            continue;
-        }
-        let Some((_, arity, table)) = open.as_mut() else {
-            return Err(ParseError::new(
-                lineno,
-                kw_col,
-                ParseErrorKind::Missing {
-                    what: "`rel` header before rows".to_string(),
-                },
-            ));
-        };
-        if toks.len() != *arity {
-            return Err(ParseError::new(
-                lineno,
-                kw_col,
-                ParseErrorKind::CountMismatch {
-                    what: "row values".to_string(),
-                    declared: *arity,
-                    found: toks.len(),
-                },
-            ));
-        }
-        let mut row = Vec::with_capacity(*arity);
-        for &(col, tok) in &toks {
-            row.push(parse_num::<Value>(lineno, col, tok, "row value")?);
-        }
-        table.push(row);
-    }
-    if let Some((name, _, mut table)) = open {
-        table.normalize();
-        db.insert(&name, table);
-    }
-    Ok(db)
 }
 
 /// Maps a resumable-join error to a diagnostic: instance errors stand on
@@ -870,89 +617,6 @@ fn cmd_clique(args: &[String], budget: &Budget, ck: &CkOpts) -> Result<(), CmdEr
     Ok(())
 }
 
-/// A numeric token, or a positioned [`ParseError`] naming what it was.
-fn parse_num<T: std::str::FromStr>(
-    line: usize,
-    col: usize,
-    tok: &str,
-    what: &str,
-) -> Result<T, ParseError> {
-    tok.parse().map_err(|_| {
-        ParseError::new(
-            line,
-            col,
-            ParseErrorKind::InvalidNumber {
-                what: what.to_string(),
-                token: tok.to_string(),
-            },
-        )
-    })
-}
-
-fn parse_graph(text: &str) -> Result<Graph, ParseError> {
-    let mut n: Option<usize> = None;
-    let mut edges = Vec::new();
-    let mut last_line = 0;
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        last_line = lineno;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let toks: Vec<(usize, &str)> = tokens(raw).collect();
-        let Some(nv) = n else {
-            let (col, tok) = toks[0];
-            if toks.len() != 1 {
-                return Err(ParseError::new(
-                    lineno,
-                    toks[1].0,
-                    ParseErrorKind::TrailingGarbage {
-                        token: toks[1].1.to_string(),
-                    },
-                ));
-            }
-            n = Some(parse_num(lineno, col, tok, "vertex count")?);
-            continue;
-        };
-        if toks.len() != 2 {
-            let (col, _) = toks.get(2).copied().unwrap_or(toks[0]);
-            return Err(ParseError::new(
-                lineno,
-                col,
-                ParseErrorKind::Malformed {
-                    what: "edge line (expected `u v`)".to_string(),
-                },
-            ));
-        }
-        let endpoint = |&(col, tok): &(usize, &str)| -> Result<usize, ParseError> {
-            let v: usize = parse_num(lineno, col, tok, "edge endpoint")?;
-            if v >= nv {
-                return Err(ParseError::new(
-                    lineno,
-                    col,
-                    ParseErrorKind::OutOfRange {
-                        what: "edge endpoint".to_string(),
-                        token: tok.to_string(),
-                        limit: format!("{nv} vertices declared"),
-                    },
-                ));
-            }
-            Ok(v)
-        };
-        edges.push((endpoint(&toks[0])?, endpoint(&toks[1])?));
-    }
-    let Some(n) = n else {
-        return Err(ParseError::at_eof(
-            last_line + 1,
-            ParseErrorKind::Missing {
-                what: "vertex count line".to_string(),
-            },
-        ));
-    };
-    Ok(Graph::from_edges(n, &edges))
-}
-
 fn cmd_treewidth(args: &[String]) -> Result<(), CmdError> {
     let path = args.first().ok_or("missing graph file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -972,47 +636,6 @@ fn cmd_treewidth(args: &[String]) -> Result<(), CmdError> {
         );
     }
     Ok(())
-}
-
-/// Parses `R(a,b) S(a,c) T(b,c)` into a [`JoinQuery`]. The "line" of a
-/// reported error is always 1 (the query is a single command-line string);
-/// the column points into that string.
-fn parse_query(spec: &str) -> Result<JoinQuery, ParseError> {
-    let mut atoms = Vec::new();
-    for (col, token) in tokens(spec) {
-        let malformed = |why: &str| {
-            ParseError::new(
-                1,
-                col,
-                ParseErrorKind::Malformed {
-                    what: format!("atom `{token}` ({why})"),
-                },
-            )
-        };
-        let open = token.find('(').ok_or_else(|| malformed("missing `(`"))?;
-        if !token.ends_with(')') {
-            return Err(malformed("missing `)`"));
-        }
-        let name = &token[..open];
-        let inner = &token[open + 1..token.len() - 1];
-        if name.is_empty() {
-            return Err(malformed("missing relation name"));
-        }
-        let attrs: Vec<&str> = inner.split(',').map(str::trim).collect();
-        if attrs.iter().any(|a| a.is_empty()) {
-            return Err(malformed("empty attribute"));
-        }
-        atoms.push(Atom::new(name, &attrs));
-    }
-    if atoms.is_empty() {
-        return Err(ParseError::at_eof(
-            1,
-            ParseErrorKind::Missing {
-                what: "query atoms".to_string(),
-            },
-        ));
-    }
-    Ok(JoinQuery::new(atoms))
 }
 
 fn cmd_rho_star(args: &[String]) -> Result<(), CmdError> {
@@ -1058,4 +681,121 @@ fn cmd_claims(args: &[String]) -> Result<(), CmdError> {
         println!("    rules out: {} | witness: {}", c.rules_out, c.witness);
     }
     Ok(())
+}
+
+/// Removes `<flag> <number>` from the argument list, with a default.
+fn extract_num<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match extract_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_bad| format!("bad {flag} value `{v}` (expected a number)")),
+    }
+}
+
+/// `lbtool serve --spool DIR [...]` — runs the solver service in the
+/// foreground until a client sends `DRAIN`. Same knobs as `lb-serve run`.
+fn cmd_serve(args: &[String]) -> Result<(), CmdError> {
+    use lb_serve::{SchedulerConfig, ServerConfig};
+    let mut args = args.to_vec();
+    let spool = extract_value(&mut args, "--spool")?.ok_or("serve needs --spool <dir>")?;
+    let d = ServerConfig::default();
+    let sd = SchedulerConfig::default();
+    let cfg = ServerConfig {
+        addr: extract_value(&mut args, "--addr")?.unwrap_or(d.addr),
+        spool: PathBuf::from(spool),
+        sched: SchedulerConfig {
+            slice_ticks: extract_num(&mut args, "--slice-ticks", sd.slice_ticks)?,
+            workers: extract_num(&mut args, "--workers", sd.workers)?,
+            tenant_quota: extract_num(&mut args, "--tenant-quota", sd.tenant_quota)?,
+            max_active: extract_num(&mut args, "--max-active", sd.max_active)?,
+            retry_after_ms: extract_num(&mut args, "--retry-after-ms", sd.retry_after_ms)?,
+        },
+        idle_timeout_ms: extract_num(&mut args, "--idle-timeout-ms", d.idle_timeout_ms)?,
+        read_timeout_ms: extract_num(&mut args, "--read-timeout-ms", d.read_timeout_ms)?,
+        max_conns: extract_num(&mut args, "--max-conns", d.max_conns)?,
+    };
+    if let Some(stray) = args.first() {
+        return Err(format!("unknown `serve` argument `{stray}`").into());
+    }
+    let server = lb_serve::Server::bind(cfg).map_err(|e| e.to_string())?;
+    if let Some(addr) = server.local_addr() {
+        println!("listening on {addr}");
+        use std::io::Write;
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+    }
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("drained; all unsettled jobs remain spooled");
+    Ok(())
+}
+
+/// `lbtool submit <family> <file> [--addr HOST:PORT] [--tenant NAME]
+/// [--k N] [--job-budget TICKS] [--no-wait] [--timeout-ms MS]` — submits
+/// one job to a running service and (by default) polls until its verdict
+/// arrives. The payload file uses the same formats the local commands
+/// read; a `join` payload is the query line followed by the database.
+fn cmd_submit(args: &[String]) -> Result<(), CmdError> {
+    use lb_serve::client::Client;
+    use lb_serve::{JobFamily, JobSpec};
+    use std::time::Duration;
+    let mut args = args.to_vec();
+    let addr = extract_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let tenant = extract_value(&mut args, "--tenant")?.unwrap_or_else(|| "cli".to_string());
+    let k: usize = extract_num(&mut args, "--k", 0)?;
+    let budget: u64 = extract_num(&mut args, "--job-budget", 0)?;
+    let timeout_ms: u64 = extract_num(&mut args, "--timeout-ms", 120_000)?;
+    let wait = !extract_flag(&mut args, "--no-wait");
+    let family = args
+        .first()
+        .ok_or("missing job family (sat, csp, join, triangle, or clique)")?;
+    let family = JobFamily::from_name(family).ok_or_else(|| {
+        format!("unknown family `{family}` (expected sat, csp, join, triangle, or clique)")
+    })?;
+    let path = args.get(1).ok_or("missing payload file")?;
+    let payload = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = JobSpec {
+        tenant,
+        family,
+        k,
+        budget: (budget > 0).then_some(budget),
+        payload,
+    };
+    // Validate locally first so a malformed payload is reported with the
+    // file's own coordinates, not the wire protocol's.
+    spec.instance().map_err(in_file(path))?;
+    let mut client =
+        Client::connect(&addr, Duration::from_millis(5_000)).map_err(|e| e.to_string())?;
+    let id = client.submit(&spec).map_err(|e| e.to_string())?;
+    println!("submitted {id}");
+    if !wait {
+        return Ok(());
+    }
+    // Poll by iteration count, not wall clock: attempts × interval bounds
+    // the wait without consulting a timer.
+    let interval_ms = 50u64;
+    let attempts = timeout_ms / interval_ms;
+    for _ in 0..=attempts {
+        let status = client.status(&id).map_err(|e| e.to_string())?;
+        if status.state == "done" {
+            eprintln!(
+                "preemptions: {}, ticks spent: {}",
+                status.preemptions, status.spent
+            );
+            match status.verdict {
+                Some(v) => println!("{}", v.to_line()),
+                None => return Err(format!("{id}: done without a verdict").into()),
+            }
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    Err(format!(
+        "{id}: still {} after {timeout_ms} ms; rerun `lbtool submit` or query STATUS later",
+        "unsettled"
+    )
+    .into())
 }

@@ -24,6 +24,7 @@ impl Relation {
     /// # Panics
     /// Panics if some tuple has the wrong arity.
     pub fn new(arity: usize, mut tuples: Vec<Vec<Value>>) -> Self {
+        // lb-lint: allow(unbudgeted-loop) -- one pass over caller-supplied tuples at construction, not solver search
         for t in &tuples {
             assert_eq!(t.len(), arity, "tuple arity mismatch");
         }

@@ -495,21 +495,7 @@ impl Checkpoint {
     /// including `kill -9` — leaves either the old checkpoint or the new
     /// one, never a torn file.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let display = path.display().to_string();
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: display.clone(),
-            error: e.to_string(),
-        };
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        let bytes = self.to_bytes();
-        let mut file = fs::File::create(&tmp).map_err(io_err)?;
-        file.write_all(&bytes).map_err(io_err)?;
-        file.sync_all().map_err(io_err)?;
-        drop(file);
-        fs::rename(&tmp, path).map_err(io_err)?;
-        Ok(())
+        atomic_write(path, &self.to_bytes())
     }
 
     /// Reads and decodes a checkpoint file.
@@ -519,6 +505,97 @@ impl Checkpoint {
             error: e.to_string(),
         })?;
         Checkpoint::from_bytes(&bytes)
+    }
+}
+
+/// The `.tmp` staging sibling of `path` used by [`atomic_write`]: the same
+/// file name with `.tmp` appended (not a replaced extension, so
+/// `job.lbck` stages through `job.lbck.tmp`).
+pub fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    std::path::PathBuf::from(tmp)
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in the
+/// [`tmp_sibling`], are fsynced, and are renamed over `path`, so a crash —
+/// including `kill -9` — leaves either the old contents or the new ones,
+/// never a torn file. At worst a stale `.tmp` sibling survives; recovery
+/// paths remove it with [`cleanup_artifacts`].
+///
+/// Every stage consults the [`fault::IoFaultPlan`](crate::fault::IoFaultPlan)
+/// installed by [`fault::with_io_plan`](crate::fault::with_io_plan), so the
+/// chaos suite can force a torn tmp write, a failed fsync, or a failed
+/// rename at an exact save attempt and prove the destination is still
+/// either absent or a previous complete version. An injected `TmpWrite`
+/// fault deliberately leaves a *half-written* `.tmp` behind before
+/// returning the typed error — the realistic torn artifact the recovery
+/// invariant is about.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let display = path.display().to_string();
+    let io_err = |e: std::io::Error| CheckpointError::Io {
+        path: display.clone(),
+        error: e.to_string(),
+    };
+    let injected = |stage: &str| CheckpointError::Io {
+        path: display.clone(),
+        error: format!("injected io fault: {stage}"),
+    };
+    let tmp = tmp_sibling(path);
+    let attempt = crate::fault::io_attempt_begin();
+    let mut file = fs::File::create(&tmp).map_err(io_err)?;
+    if crate::fault::io_should_fail(crate::fault::IoFaultKind::TmpWrite, attempt) {
+        // Torn write: a prefix lands on disk, then the "device" gives out.
+        file.write_all(&bytes[..bytes.len() / 2]).map_err(io_err)?;
+        return Err(injected("tmp-write"));
+    }
+    file.write_all(bytes).map_err(io_err)?;
+    if crate::fault::io_should_fail(crate::fault::IoFaultKind::Sync, attempt) {
+        return Err(injected("fsync"));
+    }
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    if crate::fault::io_should_fail(crate::fault::IoFaultKind::Rename, attempt) {
+        return Err(injected("rename"));
+    }
+    fs::rename(&tmp, path).map_err(io_err)?;
+    Ok(())
+}
+
+/// Removes the artifact at `path` *and* any stale [`tmp_sibling`] left by a
+/// save that was killed between tmp-write and rename. Missing files are
+/// fine (cleanup is idempotent); the first real I/O error is returned as a
+/// typed [`CheckpointError::Io`].
+pub fn cleanup_artifacts(path: &Path) -> Result<(), CheckpointError> {
+    let mut first_err = None;
+    for target in [path.to_path_buf(), tmp_sibling(path)] {
+        if let Err(e) = fs::remove_file(&target) {
+            if e.kind() != std::io::ErrorKind::NotFound && first_err.is_none() {
+                first_err = Some(CheckpointError::Io {
+                    path: target.display().to_string(),
+                    error: e.to_string(),
+                });
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// The one shared resumable-vs-terminal exhaustion diagnostic, used by both
+/// lbtool's exit-3 path and the server's terminal-verdict detail so the two
+/// never drift apart. `saved` is the checkpoint that survives the
+/// exhaustion, if any.
+pub fn exhaustion_diagnostic(reason: &str, saved: Option<&Path>) -> String {
+    match saved {
+        Some(p) => format!(
+            "{reason} (resumable: frontier saved to {}; rerun with --resume {} and a fresh --budget)",
+            p.display(),
+            p.display()
+        ),
+        None => format!("{reason} (terminal: progress lost; rerun with a larger --budget or --checkpoint)"),
     }
 }
 

@@ -241,6 +241,266 @@ thread_local! {
     static ACTIVE_PLAN: RefCell<Option<FaultPlan>> = const { RefCell::new(None) };
 }
 
+/// Which stage of an atomic checkpoint save an [`IoFaultPlan`] point
+/// targets. The atomic-save pipeline is tmp-write → fsync → rename; a fault
+/// at any stage must leave the *destination* file untouched (the previous
+/// checkpoint, or absence), with at most a torn `.tmp` sibling behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IoFaultKind {
+    /// The write into the `.tmp` sibling fails partway: only a prefix of
+    /// the bytes lands, simulating `ENOSPC`/a crashed writer. This is the
+    /// fault that *manufactures* a torn spool file for recovery tests.
+    TmpWrite,
+    /// The `fsync` of the fully written `.tmp` file fails.
+    Sync,
+    /// The rename of the synced `.tmp` over the destination fails.
+    Rename,
+}
+
+impl IoFaultKind {
+    /// The stable name used in the serialized plan spec.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::TmpWrite => "save-write",
+            IoFaultKind::Sync => "save-sync",
+            IoFaultKind::Rename => "save-rename",
+        }
+    }
+
+    /// Parses a spec name.
+    pub fn from_name(name: &str) -> Option<IoFaultKind> {
+        match name {
+            "save-write" => Some(IoFaultKind::TmpWrite),
+            "save-sync" => Some(IoFaultKind::Sync),
+            "save-rename" => Some(IoFaultKind::Rename),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled I/O fault: `kind` fires on the `at`-th atomic-save attempt
+/// (1-based) observed inside the installing [`with_io_plan`] scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFaultPoint {
+    /// The 1-based save-attempt count at which the fault fires.
+    pub at: u64,
+    /// Which pipeline stage fails.
+    pub kind: IoFaultKind,
+}
+
+/// A deterministic schedule of injected I/O failures for the atomic
+/// checkpoint-save pipeline (`lb_engine::checkpoint::atomic_write`).
+///
+/// Where [`FaultPlan`] counts solver operations, an `IoFaultPlan` counts
+/// *save attempts*: the Nth `atomic_write` call inside a [`with_io_plan`]
+/// scope fails at the scheduled stage with a typed
+/// [`CheckpointError::Io`](crate::CheckpointError::Io) — never a panic, and
+/// never a torn destination file. The chaos suite uses this to prove the
+/// spool's crash-safety invariant without real disk failures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    points: Vec<IoFaultPoint>,
+}
+
+impl IoFaultPlan {
+    /// The empty plan: every save succeeds.
+    pub fn new() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Adds a scheduled fault (builder style). `at` is 1-based; an `at` of
+    /// zero never fires.
+    pub fn with_point(mut self, kind: IoFaultKind, at: u64) -> IoFaultPlan {
+        self.points.push(IoFaultPoint { at, kind });
+        self
+    }
+
+    /// Derives a plan deterministically from a seed: one to three faults on
+    /// the first few save attempts (saves are far rarer than solver ticks,
+    /// so small attempt counts are the interesting ones).
+    pub fn from_seed(seed: u64) -> IoFaultPlan {
+        let mut state = seed ^ 0x10_fa17;
+        let mut plan = IoFaultPlan::new();
+        let count = 1 + splitmix(&mut state) % 3;
+        for _ in 0..count {
+            let kind = match splitmix(&mut state) % 3 {
+                0 => IoFaultKind::TmpWrite,
+                1 => IoFaultKind::Sync,
+                _ => IoFaultKind::Rename,
+            };
+            let at = 1 + splitmix(&mut state) % 6;
+            plan.points.push(IoFaultPoint { at, kind });
+        }
+        plan
+    }
+
+    /// The scheduled fault points, in insertion order.
+    pub fn points(&self) -> &[IoFaultPoint] {
+        &self.points
+    }
+
+    /// True iff no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Parses the textual spec produced by [`fmt::Display`]:
+    /// comma-separated `stage@attempt` entries, e.g.
+    /// `save-write@1,save-rename@3`. The empty string is the empty plan.
+    pub fn parse(spec: &str) -> Result<IoFaultPlan, ParseError> {
+        let mut plan = IoFaultPlan::new();
+        let mut col = 1usize;
+        for entry in spec.split(',') {
+            let entry_col = col;
+            col += entry.len() + 1;
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, at)) = entry.split_once('@') else {
+                return Err(ParseError::new(
+                    1,
+                    entry_col,
+                    ParseErrorKind::Malformed {
+                        what: format!("io fault point `{entry}` (expected `stage@attempt`)"),
+                    },
+                ));
+            };
+            let kind = IoFaultKind::from_name(name.trim()).ok_or_else(|| {
+                ParseError::new(
+                    1,
+                    entry_col,
+                    ParseErrorKind::Malformed {
+                        what: format!("unknown io fault stage `{}`", name.trim()),
+                    },
+                )
+            })?;
+            let at: u64 = at.trim().parse().map_err(|_| {
+                ParseError::new(
+                    1,
+                    entry_col,
+                    ParseErrorKind::InvalidNumber {
+                        what: "io fault attempt count".into(),
+                        token: at.trim().to_string(),
+                    },
+                )
+            })?;
+            plan.points.push(IoFaultPoint { at, kind });
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for IoFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}@{}", p.kind.name(), p.at)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for IoFaultPlan {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<IoFaultPlan, ParseError> {
+        IoFaultPlan::parse(s)
+    }
+}
+
+/// Compiled I/O fault schedule with per-stage consumption cursors and the
+/// scope's running save-attempt counter.
+#[derive(Debug)]
+struct ActiveIoFaults {
+    write: Schedule,
+    sync: Schedule,
+    rename: Schedule,
+    attempts: u64,
+}
+
+impl ActiveIoFaults {
+    fn compile(plan: &IoFaultPlan) -> ActiveIoFaults {
+        let mut f = ActiveIoFaults {
+            write: Schedule::default(),
+            sync: Schedule::default(),
+            rename: Schedule::default(),
+            attempts: 0,
+        };
+        for p in &plan.points {
+            if p.at == 0 {
+                continue; // 1-based counts: zero never fires
+            }
+            match p.kind {
+                IoFaultKind::TmpWrite => f.write.at.push(p.at),
+                IoFaultKind::Sync => f.sync.at.push(p.at),
+                IoFaultKind::Rename => f.rename.at.push(p.at),
+            }
+        }
+        f.write.at.sort_unstable();
+        f.sync.at.sort_unstable();
+        f.rename.at.sort_unstable();
+        f
+    }
+}
+
+// lb-lint: allow(send-hostile-state) -- like ACTIVE_PLAN above, the io-fault schedule is deliberately thread-scoped (a plan installed by `with_io_plan` must not leak to sibling test threads); `atomic_write` consults it synchronously and nothing Send-serializable captures it
+thread_local! {
+    static ACTIVE_IO: RefCell<Option<ActiveIoFaults>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous I/O fault schedule (cursors included) when the
+/// scope ends, panic or not.
+struct RestoreIo(Option<ActiveIoFaults>);
+
+impl Drop for RestoreIo {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        ACTIVE_IO.with(|p| *p.borrow_mut() = prev);
+    }
+}
+
+/// Runs `f` with `plan` installed as this thread's active I/O fault
+/// schedule. Every `lb_engine::checkpoint::atomic_write` call inside `f`
+/// counts as one save attempt and consults the schedule. Calls nest; the
+/// previous schedule (with its consumption cursors) is restored when the
+/// scope ends, panic or not.
+pub fn with_io_plan<R>(plan: &IoFaultPlan, f: impl FnOnce() -> R) -> R {
+    let compiled = ActiveIoFaults::compile(plan);
+    let prev = ACTIVE_IO.with(|p| p.borrow_mut().replace(compiled));
+    let _restore = RestoreIo(prev);
+    f()
+}
+
+/// Begins one atomic-save attempt: bumps the scope's attempt counter and
+/// returns its 1-based value, or 0 when no I/O plan is installed (the
+/// fault-free fast path — [`io_should_fail`] never fires for attempt 0).
+pub(crate) fn io_attempt_begin() -> u64 {
+    ACTIVE_IO.with(|p| {
+        p.borrow_mut().as_mut().map_or(0, |a| {
+            a.attempts += 1;
+            a.attempts
+        })
+    })
+}
+
+/// Whether the scheduled fault for `kind` fires on save attempt `attempt`.
+/// Consumes the matching schedule point (each point fires once).
+pub(crate) fn io_should_fail(kind: IoFaultKind, attempt: u64) -> bool {
+    if attempt == 0 {
+        return false;
+    }
+    ACTIVE_IO.with(|p| {
+        p.borrow_mut().as_mut().is_some_and(|a| match kind {
+            IoFaultKind::TmpWrite => a.write.fire(attempt),
+            IoFaultKind::Sync => a.sync.fire(attempt),
+            IoFaultKind::Rename => a.rename.fire(attempt),
+        })
+    })
+}
+
 /// Restores the previously installed plan when the scope ends (also on
 /// panic, so a failing test cannot leak its plan into the next one).
 struct Restore(Option<FaultPlan>);

@@ -78,10 +78,10 @@ pub mod fault;
 pub mod parse;
 
 pub use checkpoint::{
-    Checkpoint, CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome,
-    SolverFamily,
+    atomic_write, cleanup_artifacts, exhaustion_diagnostic, tmp_sibling, Checkpoint,
+    CheckpointError, Digest, PayloadReader, PayloadWriter, ResumableOutcome, SolverFamily,
 };
-pub use fault::{FaultKind, FaultPlan, FaultPoint};
+pub use fault::{FaultKind, FaultPlan, FaultPoint, IoFaultKind, IoFaultPlan, IoFaultPoint};
 pub use parse::{ParseError, ParseErrorKind};
 
 use fault::ActiveFaults;

@@ -39,6 +39,7 @@ impl JoinQuery {
     /// if the query has no atoms.
     pub fn new(atoms: Vec<Atom>) -> Self {
         assert!(!atoms.is_empty(), "a join query needs at least one atom");
+        // lb-lint: allow(unbudgeted-loop) -- quadratic in the atom count of a parsed query, not solver search
         for (i, a) in atoms.iter().enumerate() {
             assert!(
                 atoms[i + 1..].iter().all(|b| b.relation != a.relation),

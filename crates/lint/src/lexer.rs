@@ -141,6 +141,26 @@ pub fn scan(source: &str) -> ScannedFile {
                         code.push('"');
                         i += 1;
                     }
+                    '{' if next == Some('{') => {
+                        // Escaped literal brace, not a capture.
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                    '{' => {
+                        if let Some(len) = capture_ident(&chars[i..]) {
+                            // Preserve the inline format capture's identifier
+                            // (`{e}`, `{e:?}`) so dataflow analysis sees the
+                            // read; braces and the format spec stay masked.
+                            code.push(' ');
+                            for k in 1..=len {
+                                code.push(chars[i + k]);
+                            }
+                            i += 1 + len;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
                     _ => {
                         code.push(' ');
                         i += 1;
@@ -188,6 +208,29 @@ pub fn scan(source: &str) -> ScannedFile {
     let mut file = ScannedFile { lines };
     mark_test_regions(&mut file);
     file
+}
+
+/// Detects a Rust 2021 inline format capture at `chars[0] == '{'`: an
+/// identifier (not a positional index) followed by `}` or a `:` format
+/// spec. Returns the identifier's length. Over-approximates — a brace
+/// template in a non-format string also matches — which only ever makes
+/// the swallowed-result rule *see* more reads, never fewer.
+fn capture_ident(chars: &[char]) -> Option<usize> {
+    let mut j = 1;
+    match chars.get(j) {
+        Some(c) if c.is_ascii_alphabetic() || *c == '_' => j += 1,
+        _ => return None,
+    }
+    while chars
+        .get(j)
+        .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+    {
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('}') | Some(':') => Some(j - 1),
+        _ => None,
+    }
 }
 
 /// Detects `r"`, `r#"`, `b"`, `br#"`… at the start of `chars`. Returns the
@@ -295,6 +338,23 @@ mod tests {
         assert_eq!(
             f.lines[0].code.len(),
             r#"let s = "unwrap() inside"; s.len();"#.len()
+        );
+    }
+
+    #[test]
+    fn inline_format_captures_surface_their_identifier() {
+        let f = scan(r#"eprintln!("warn: {e} at {site:?} {} {{lit}} {0}", x);"#);
+        let code = &f.lines[0].code;
+        assert!(code.contains(" e "), "capture identifier preserved: {code}");
+        assert!(code.contains("site"), "spec'd capture preserved: {code}");
+        assert!(!code.contains("warn"), "plain text still masked: {code}");
+        assert!(!code.contains("lit"), "escaped braces are literal: {code}");
+        assert!(!code.contains('{'), "braces stay masked: {code}");
+        assert!(!code.contains('0'), "positional args are not reads: {code}");
+        // Columns preserved.
+        assert_eq!(
+            code.len(),
+            r#"eprintln!("warn: {e} at {site:?} {} {{lit}} {0}", x);"#.len()
         );
     }
 

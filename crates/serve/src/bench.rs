@@ -1,0 +1,260 @@
+//! The soak load generator behind `lb-serve bench`: N tenants submit M
+//! mixed-family jobs each, honor typed backoff hints on rejection, poll
+//! every job to a settled verdict, and compare each served verdict
+//! against an in-process uninterrupted reference run.
+//!
+//! The generator is fully deterministic (chaos-instance sizes derive from
+//! the seed), so the same invocation against a server that was
+//! SIGKILLed and restarted mid-soak must produce byte-identical verdicts
+//! — that comparison is the soak harness's core invariant.
+
+use crate::client::{Client, ClientError};
+use crate::job::{JobFamily, JobSpec, Verdict};
+use crate::runner;
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Server address.
+    pub addr: String,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Jobs submitted per tenant.
+    pub jobs_per_tenant: usize,
+    /// Instance-size seed.
+    pub seed: u64,
+    /// Per-operation socket timeout, ms.
+    pub timeout_ms: u64,
+    /// Overall deadline for the whole run, ms.
+    pub deadline_ms: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            addr: "127.0.0.1:7071".to_string(),
+            tenants: 8,
+            jobs_per_tenant: 4,
+            seed: 1,
+            timeout_ms: 5_000,
+            deadline_ms: 120_000,
+        }
+    }
+}
+
+/// What one soak run observed.
+#[derive(Debug, Default)]
+pub struct BenchReport {
+    /// Jobs acknowledged with `OK <id>`.
+    pub submitted: usize,
+    /// Typed rejections absorbed by honoring the backoff hint.
+    pub backoffs: u64,
+    /// `(job id, served verdict, preemptions)` per settled job.
+    pub verdicts: Vec<(String, Verdict, u64)>,
+    /// Sum of preemptions across all jobs.
+    pub preemptions: u64,
+    /// Human-readable mismatches vs the reference run (must stay empty).
+    pub mismatches: Vec<String>,
+}
+
+/// Deterministically generates the soak job mix: families round-robin
+/// across SAT / CSP / join / triangle / clique, sizes jittered by `seed`.
+pub fn generate_specs(tenants: usize, jobs_per_tenant: usize, seed: u64) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for t in 0..tenants {
+        for j in 0..jobs_per_tenant {
+            let index = t * jobs_per_tenant + j;
+            let wobble = seed.wrapping_mul(31).wrapping_add(index as u64) % 3;
+            let spec = match index % 5 {
+                0 => JobSpec {
+                    tenant: format!("tenant{t}"),
+                    family: JobFamily::Sat,
+                    k: 0,
+                    budget: None,
+                    payload: lb_chaos::hostile::cnf(5 + wobble).to_dimacs(),
+                },
+                1 => JobSpec {
+                    tenant: format!("tenant{t}"),
+                    family: JobFamily::Csp,
+                    k: 0,
+                    budget: None,
+                    payload: crate::formats::format_csp(&lb_chaos::hostile::csp(4 + wobble)),
+                },
+                2 => JobSpec {
+                    tenant: format!("tenant{t}"),
+                    family: JobFamily::Triangle,
+                    k: 0,
+                    budget: None,
+                    payload: crate::formats::format_graph(&lb_chaos::hostile::graph(6 + wobble)),
+                },
+                3 => JobSpec {
+                    tenant: format!("tenant{t}"),
+                    family: JobFamily::Clique,
+                    k: 3,
+                    budget: None,
+                    payload: crate::formats::format_graph(&lb_chaos::hostile::graph(6 + wobble)),
+                },
+                _ => {
+                    let (q, db) = lb_chaos::hostile::join_instance(4 + wobble);
+                    JobSpec {
+                        tenant: format!("tenant{t}"),
+                        family: JobFamily::Join,
+                        k: 0,
+                        budget: None,
+                        payload: format!(
+                            "{}\n{}",
+                            crate::formats::format_query(&q),
+                            crate::formats::format_db(&q, &db)
+                        ),
+                    }
+                }
+            };
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// The uninterrupted in-process reference verdict for a spec.
+pub fn reference_verdict(spec: &JobSpec) -> Result<Verdict, String> {
+    let inst = spec.instance().map_err(|e| e.to_string())?;
+    let (v, _stats, _slices) =
+        runner::solve_to_verdict(&inst, u64::MAX, spec.budget).map_err(|e| e.to_string())?;
+    Ok(v)
+}
+
+/// Connects, retrying briefly — the soak harness calls this right after
+/// spawning (or restarting) the server process.
+pub fn connect_patiently(
+    addr: &str,
+    timeout: Duration,
+    deadline: Duration,
+) -> Result<Client, ClientError> {
+    let start = Instant::now();
+    loop {
+        match Client::connect(addr, timeout) {
+            Ok(c) => return Ok(c),
+            Err(e) if start.elapsed() >= deadline => return Err(e),
+            Err(_retry) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// One resilient operation: on a typed rejection with a backoff hint,
+/// sleep the hint and retry; on a socket error, reconnect (the server may
+/// have been killed and restarted under us) and retry.
+fn with_retry<T>(
+    client: &mut Option<Client>,
+    cfg: &BenchConfig,
+    deadline: Instant,
+    backoffs: &mut u64,
+    mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    loop {
+        if client.is_none() {
+            *client = Some(connect_patiently(
+                &cfg.addr,
+                Duration::from_millis(cfg.timeout_ms),
+                deadline.saturating_duration_since(Instant::now()),
+            )?);
+        }
+        let Some(c) = client.as_mut() else {
+            return Err(ClientError::Io("not connected".to_string()));
+        };
+        match op(c) {
+            Ok(v) => return Ok(v),
+            Err(ClientError::Rejected {
+                line,
+                retry_after_ms: Some(ms),
+            }) => {
+                if Instant::now() >= deadline {
+                    return Err(ClientError::Rejected {
+                        line,
+                        retry_after_ms: Some(ms),
+                    });
+                }
+                *backoffs += 1;
+                std::thread::sleep(Duration::from_millis(ms.clamp(1, 2_000)));
+            }
+            Err(ClientError::Io(_)) if Instant::now() < deadline => {
+                *client = None;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Drives a full soak: submit everything (absorbing typed backoff), poll
+/// every job to `done`, and diff served verdicts against the reference.
+pub fn run(cfg: &BenchConfig) -> Result<BenchReport, ClientError> {
+    let deadline = Instant::now() + Duration::from_millis(cfg.deadline_ms);
+    let specs = generate_specs(cfg.tenants, cfg.jobs_per_tenant, cfg.seed);
+    let mut report = BenchReport::default();
+    let mut client: Option<Client> = None;
+    let mut ids: Vec<(String, JobSpec)> = Vec::new();
+    for spec in specs {
+        let id = with_retry(&mut client, cfg, deadline, &mut report.backoffs, |c| {
+            c.submit(&spec)
+        })?;
+        report.submitted += 1;
+        ids.push((id, spec));
+    }
+    for (id, spec) in ids {
+        let served = loop {
+            let status = with_retry(&mut client, cfg, deadline, &mut report.backoffs, |c| {
+                c.status(&id)
+            })?;
+            if status.state == "done" {
+                break status;
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Io(format!("deadline waiting on {id}")));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        let verdict = match served.verdict {
+            Some(v) => v,
+            None => {
+                report
+                    .mismatches
+                    .push(format!("{id}: done without a verdict"));
+                continue;
+            }
+        };
+        report.preemptions += served.preemptions;
+        match reference_verdict(&spec) {
+            Ok(reference) if reference == verdict => {}
+            Ok(reference) => report.mismatches.push(format!(
+                "{id} ({} {}): served `{}` but reference says `{}`",
+                spec.tenant,
+                spec.family,
+                verdict.to_line(),
+                reference.to_line()
+            )),
+            Err(e) => report
+                .mismatches
+                .push(format!("{id}: reference run failed: {e}")),
+        }
+        report.verdicts.push((id, verdict, served.preemptions));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_specs_are_deterministic_and_valid() {
+        let a = generate_specs(8, 3, 7);
+        let b = generate_specs(8, 3, 7);
+        assert_eq!(a.len(), 24);
+        assert_eq!(a, b);
+        for spec in &a {
+            spec.instance().expect("generated spec must parse");
+            reference_verdict(spec).expect("reference run must settle");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! `lb-serve` — run the solver service or drive a soak against one.
+//!
+//! ```text
+//! lb-serve run   --spool DIR [--addr HOST:PORT] [--slice-ticks N] [--workers N]
+//!                [--tenant-quota N] [--max-active N] [--retry-after-ms MS]
+//!                [--idle-timeout-ms MS] [--read-timeout-ms MS] [--max-conns N]
+//! lb-serve bench --addr HOST:PORT [--tenants N] [--jobs N] [--seed N]
+//!                [--timeout-ms MS] [--deadline-ms MS]
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage, 4 soak invariant
+//! violated (verdict mismatch vs the uninterrupted reference).
+
+use lb_serve::bench::{self, BenchConfig};
+use lb_serve::scheduler::SchedulerConfig;
+use lb_serve::server::{Server, ServerConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lb-serve <run|bench> [options]
+  run   --spool DIR [--addr HOST:PORT] [--slice-ticks N] [--workers N]
+        [--tenant-quota N] [--max-active N] [--retry-after-ms MS]
+        [--idle-timeout-ms MS] [--read-timeout-ms MS] [--max-conns N]
+  bench --addr HOST:PORT [--tenants N] [--jobs N] [--seed N]
+        [--timeout-ms MS] [--deadline-ms MS]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("lb-serve: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(value))
+}
+
+fn take_num<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_flag(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_bad| format!("{flag} wants a number, got `{v}`")),
+    }
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let spool = take_flag(&mut args, "--spool")?.ok_or("run needs --spool DIR")?;
+    let defaults = ServerConfig::default();
+    let sched_defaults = SchedulerConfig::default();
+    let cfg = ServerConfig {
+        addr: take_flag(&mut args, "--addr")?.unwrap_or(defaults.addr),
+        spool: PathBuf::from(spool),
+        sched: SchedulerConfig {
+            slice_ticks: take_num(&mut args, "--slice-ticks", sched_defaults.slice_ticks)?,
+            workers: take_num(&mut args, "--workers", sched_defaults.workers)?,
+            tenant_quota: take_num(&mut args, "--tenant-quota", sched_defaults.tenant_quota)?,
+            max_active: take_num(&mut args, "--max-active", sched_defaults.max_active)?,
+            retry_after_ms: take_num(&mut args, "--retry-after-ms", sched_defaults.retry_after_ms)?,
+        },
+        idle_timeout_ms: take_num(&mut args, "--idle-timeout-ms", defaults.idle_timeout_ms)?,
+        read_timeout_ms: take_num(&mut args, "--read-timeout-ms", defaults.read_timeout_ms)?,
+        max_conns: take_num(&mut args, "--max-conns", defaults.max_conns)?,
+    };
+    if let Some(stray) = args.first() {
+        return Err(format!("unknown argument `{stray}`"));
+    }
+    let server = Server::bind(cfg).map_err(|e| e.to_string())?;
+    if let Some(addr) = server.local_addr() {
+        // The soak harness parses this line to find the picked port.
+        println!("listening on {addr}");
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+    }
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("drained; all unsettled jobs remain spooled");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let defaults = BenchConfig::default();
+    let cfg = BenchConfig {
+        addr: take_flag(&mut args, "--addr")?.unwrap_or(defaults.addr),
+        tenants: take_num(&mut args, "--tenants", defaults.tenants)?,
+        jobs_per_tenant: take_num(&mut args, "--jobs", defaults.jobs_per_tenant)?,
+        seed: take_num(&mut args, "--seed", defaults.seed)?,
+        timeout_ms: take_num(&mut args, "--timeout-ms", defaults.timeout_ms)?,
+        deadline_ms: take_num(&mut args, "--deadline-ms", defaults.deadline_ms)?,
+    };
+    if let Some(stray) = args.first() {
+        return Err(format!("unknown argument `{stray}`"));
+    }
+    let report = bench::run(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "soak: {} jobs submitted, {} settled, {} preemptions, {} backoffs honored",
+        report.submitted,
+        report.verdicts.len(),
+        report.preemptions,
+        report.backoffs
+    );
+    if report.mismatches.is_empty() {
+        println!("soak: every served verdict matches the uninterrupted reference");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for m in &report.mismatches {
+            eprintln!("soak MISMATCH: {m}");
+        }
+        Ok(ExitCode::from(4))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing subcommand");
+    }
+    let sub = args.remove(0);
+    let result = match sub.as_str() {
+        "run" => cmd_run(args),
+        "bench" => cmd_bench(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage(&format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.contains("needs") || msg.contains("wants") || msg.contains("unknown argument") {
+                usage(&msg)
+            } else {
+                eprintln!("lb-serve: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

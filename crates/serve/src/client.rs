@@ -1,0 +1,176 @@
+//! A small blocking client for the `lb-serve` line protocol — used by
+//! `lbtool submit`, the bench load generator, and the soak harness.
+
+use crate::job::JobSpec;
+use crate::protocol::StatusReport;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A typed client-side failure.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// Socket-level trouble (connect, read, write, server gone).
+    Io(String),
+    /// The server answered with an `ERR` line; `retry_after_ms` is the
+    /// backoff hint when the rejection carried one.
+    Rejected {
+        /// The full `ERR ...` response line.
+        line: String,
+        /// Parsed `retry-after-ms=` hint, if present.
+        retry_after_ms: Option<u64>,
+    },
+    /// The server answered, but not with a line this call understands.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Rejected { line, .. } => write!(f, "rejected: {line}"),
+            ClientError::Unexpected(line) => write!(f, "unexpected response: {line}"),
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> ClientError {
+    ClientError::Io(e.to_string())
+}
+
+/// Pulls the `retry-after-ms=<n>` hint out of an `ERR` line, if any.
+pub fn retry_after_hint(line: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry-after-ms="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// One protocol connection. Requests are strictly sequential: send, then
+/// read exactly one response line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects with a read timeout so a wedged server surfaces as a typed
+    /// error rather than a hang.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+        stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+        let reader = BufReader::new(stream.try_clone().map_err(io_err)?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends raw request text (caller supplies the trailing newlines) and
+    /// reads one response line.
+    pub fn roundtrip(&mut self, request: &str) -> Result<String, ClientError> {
+        self.writer.write_all(request.as_bytes()).map_err(io_err)?;
+        self.writer.flush().map_err(io_err)?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(io_err)?;
+        if n == 0 {
+            return Err(ClientError::Io("server closed the connection".to_string()));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    fn expect_ok(line: String) -> Result<String, ClientError> {
+        if let Some(hint) = line.strip_prefix("ERR ") {
+            return Err(ClientError::Rejected {
+                retry_after_ms: retry_after_hint(hint),
+                line,
+            });
+        }
+        Ok(line)
+    }
+
+    /// `PING` → `PONG`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let line = Self::expect_ok(self.roundtrip("PING\n")?)?;
+        if line == "PONG" {
+            Ok(())
+        } else {
+            Err(ClientError::Unexpected(line))
+        }
+    }
+
+    /// `STATS` → the raw counters line.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        Self::expect_ok(self.roundtrip("STATS\n")?)
+    }
+
+    /// `DRAIN` → graceful shutdown begins server-side.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        Self::expect_ok(self.roundtrip("DRAIN\n")?).map(|_line| ())
+    }
+
+    /// Submits a job, returning the acknowledged id. The id only comes
+    /// back once the server has the record durably spooled.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<String, ClientError> {
+        let request = render_submit(spec);
+        let line = Self::expect_ok(self.roundtrip(&request)?)?;
+        match line.strip_prefix("OK ") {
+            Some(id) => Ok(id.to_string()),
+            None => Err(ClientError::Unexpected(line)),
+        }
+    }
+
+    /// `STATUS <id>` → the parsed report.
+    pub fn status(&mut self, job_id: &str) -> Result<StatusReport, ClientError> {
+        let line = Self::expect_ok(self.roundtrip(&format!("STATUS {job_id}\n"))?)?;
+        StatusReport::from_line(&line).ok_or(ClientError::Unexpected(line))
+    }
+}
+
+/// Renders a [`JobSpec`] as the wire request (`SUBMIT` header + payload).
+pub fn render_submit(spec: &JobSpec) -> String {
+    let payload: Vec<&str> = spec.payload.lines().collect();
+    let mut request = format!("SUBMIT {} {} {}", spec.tenant, spec.family, payload.len());
+    if spec.k > 0 {
+        request.push_str(&format!(" k={}", spec.k));
+    }
+    if let Some(b) = spec.budget {
+        request.push_str(&format!(" budget={b}"));
+    }
+    request.push('\n');
+    for line in payload {
+        request.push_str(line);
+        request.push('\n');
+    }
+    request
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobFamily;
+    use crate::protocol::{parse_request_bytes, Request};
+
+    #[test]
+    fn rendered_submit_parses_back() {
+        let spec = JobSpec {
+            tenant: "acme".into(),
+            family: JobFamily::Clique,
+            k: 3,
+            budget: Some(500),
+            payload: "3\n0 1\n1 2\n0 2\n".into(),
+        };
+        let wire = render_submit(&spec);
+        match parse_request_bytes(wire.as_bytes()) {
+            Ok(Request::Submit(parsed)) => assert_eq!(parsed, spec),
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_hint_is_extracted() {
+        assert_eq!(retry_after_hint("overload retry-after-ms=250"), Some(250));
+        assert_eq!(retry_after_hint("draining"), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! `lb-serve`: a crash-safe multi-tenant solver service.
+//!
+//! The crate turns the workspace's resumable solvers (SAT, CSP, worst-case
+//! optimal join, triangle counting, clique search) into a long-running
+//! server with:
+//!
+//! - **preemptive fair scheduling** — every job runs in fixed budget
+//!   slices through the engine's checkpoint layer; an exhausted slice
+//!   suspends the job to an LBCK blob and re-queues it behind other
+//!   tenants ([`scheduler`]);
+//! - **typed admission control** — per-tenant quotas and a global cap
+//!   shed load with client-visible retry-after hints instead of hanging
+//!   ([`protocol::Reject`]);
+//! - **crash safety** — all job state persists atomically in a spool
+//!   directory, so a `kill -9` loses no acknowledged job and duplicates
+//!   no verdict ([`spool`]);
+//! - **a line protocol** with the same positioned typed-error discipline
+//!   as the DIMACS parser ([`protocol`]).
+//!
+//! The `lb-serve` binary runs the server (`run`) and the soak load
+//! generator (`bench`); `lbtool serve` / `lbtool submit` wrap the same
+//! entry points.
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod client;
+pub mod formats;
+pub mod job;
+pub mod protocol;
+pub mod runner;
+pub mod scheduler;
+pub mod server;
+pub mod spool;
+
+pub use job::{Instance, JobFamily, JobRecord, JobSpec, JobStatus, Verdict};
+pub use protocol::{Command, Reject, Request, StatusReport};
+pub use scheduler::{Scheduler, SchedulerConfig};
+pub use server::{Server, ServerConfig};
+pub use spool::{Spool, SpoolError};

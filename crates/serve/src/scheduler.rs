@@ -1,0 +1,510 @@
+//! The multi-tenant scheduler: per-tenant FIFO queues drained round-robin
+//! by a worker pool, with **preemption through the checkpoint layer** —
+//! every job runs in fixed-size budget slices, and a job whose slice
+//! exhausts is suspended to an LBCK blob in the spool and re-queued behind
+//! its tenant's other work. One adversarial AGM-worst-case query can hold
+//! a worker for at most one slice.
+//!
+//! Admission control is typed and immediate: a tenant over its quota, a
+//! full server, or a draining server each get a distinct [`Reject`] with a
+//! client-visible retry-after hint — load is shed, connections never hang
+//! waiting for queue space.
+//!
+//! Every state transition that must survive `kill -9` goes through the
+//! [`Spool`] before it is acknowledged: records before `OK`, checkpoints
+//! before re-queueing, verdicts before a job is reported `done`.
+
+use crate::job::{Instance, JobRecord, JobSpec, JobStatus, Verdict};
+use crate::protocol::{Reject, StatusReport};
+use crate::runner::{self, SliceOutcome};
+use crate::spool::Spool;
+use lb_engine::{exhaustion_diagnostic, Budget, Checkpoint};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Ticks per slice — the preemption quantum.
+    pub slice_ticks: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Max unsettled jobs a single tenant may hold queued/running.
+    pub tenant_quota: usize,
+    /// Max unsettled jobs server-wide (admission cap).
+    pub max_active: usize,
+    /// Base client backoff hint for quota/overload rejections, ms.
+    pub retry_after_ms: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            slice_ticks: 65_536,
+            workers: 2,
+            tenant_quota: 16,
+            max_active: 256,
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// One job's in-memory state alongside its persisted record.
+struct Entry {
+    rec: JobRecord,
+    instance: Option<Arc<Instance>>,
+    running: bool,
+    resume: Option<Checkpoint>,
+}
+
+#[derive(Default)]
+struct Counters {
+    slices: u64,
+    preemptions: u64,
+    rejected: u64,
+    done: u64,
+    ticks: u64,
+}
+
+struct State {
+    jobs: BTreeMap<String, Entry>,
+    queues: BTreeMap<String, VecDeque<String>>,
+    ring: VecDeque<String>,
+    active: usize,
+    per_tenant: BTreeMap<String, usize>,
+    draining: bool,
+    next_job_number: u64,
+    counters: Counters,
+}
+
+/// The scheduler: shared by the accept loop (submissions, status) and the
+/// worker pool (slices).
+pub struct Scheduler {
+    spool: Spool,
+    cfg: SchedulerConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+fn lock_state<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
+    // A worker that panicked mid-slice poisons the mutex; the state it
+    // guards is still consistent (transitions happen under the lock), so
+    // recover rather than cascade the panic through every connection.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Scheduler {
+    /// Opens the spool, replays every surviving record, and returns the
+    /// scheduler with recovered jobs queued exactly where they left off.
+    pub fn recover(
+        spool: Spool,
+        cfg: SchedulerConfig,
+    ) -> Result<(Arc<Scheduler>, RecoveryReport), crate::spool::SpoolError> {
+        let recovered = spool.recover()?;
+        let mut report = RecoveryReport {
+            resumed: 0,
+            settled: 0,
+            stale_tmp_removed: recovered.stale_tmp_removed,
+            skipped: recovered
+                .skipped
+                .iter()
+                .map(|(p, e)| format!("{}: {e}", p.display()))
+                .collect(),
+            discarded_checkpoints: Vec::new(),
+        };
+        let mut state = State {
+            jobs: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            ring: VecDeque::new(),
+            active: 0,
+            per_tenant: BTreeMap::new(),
+            draining: false,
+            next_job_number: recovered.next_job_number,
+            counters: Counters::default(),
+        };
+        for rec in recovered.records {
+            let id = rec.id.clone();
+            match &rec.status {
+                JobStatus::Done(_) => {
+                    // Settled: serve STATUS from the record, never re-run —
+                    // the no-duplicated-verdicts half of the invariant.
+                    report.settled += 1;
+                    state.jobs.insert(
+                        id,
+                        Entry {
+                            rec,
+                            instance: None,
+                            running: false,
+                            resume: None,
+                        },
+                    );
+                }
+                JobStatus::Queued => {
+                    let (resume, discarded) = spool.resume_point(&rec);
+                    if let Some(why) = discarded {
+                        report
+                            .discarded_checkpoints
+                            .push(format!("{}: {why}", rec.id));
+                    }
+                    let instance = match rec.spec.instance() {
+                        Ok(i) => Arc::new(i),
+                        Err(e) => {
+                            // A complete record whose payload no longer
+                            // parses (format drift): settle it as a typed
+                            // UNKNOWN rather than wedge the queue.
+                            let mut rec = rec;
+                            rec.status = JobStatus::Done(Verdict::Unknown(format!(
+                                "payload no longer parses: {e}"
+                            )));
+                            spool.save_record(&rec)?;
+                            report.settled += 1;
+                            state.jobs.insert(
+                                rec.id.clone(),
+                                Entry {
+                                    rec,
+                                    instance: None,
+                                    running: false,
+                                    resume: None,
+                                },
+                            );
+                            continue;
+                        }
+                    };
+                    report.resumed += 1;
+                    enqueue(&mut state, &id, &rec.spec.tenant);
+                    state.active += 1;
+                    *state.per_tenant.entry(rec.spec.tenant.clone()).or_insert(0) += 1;
+                    state.jobs.insert(
+                        id,
+                        Entry {
+                            rec,
+                            instance: Some(instance),
+                            running: false,
+                            resume,
+                        },
+                    );
+                }
+            }
+        }
+        Ok((
+            Arc::new(Scheduler {
+                spool,
+                cfg,
+                state: Mutex::new(state),
+                wake: Condvar::new(),
+            }),
+            report,
+        ))
+    }
+
+    /// Spawns the worker pool. Workers exit after [`Scheduler::drain`].
+    pub fn spawn_workers(self: &Arc<Self>) -> Vec<thread::JoinHandle<()>> {
+        (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let sched = Arc::clone(self);
+                thread::spawn(move || sched.worker_loop())
+            })
+            .collect()
+    }
+
+    /// Admission control + durable enqueue. `OK <id>` semantics: the id is
+    /// returned only after the record is atomically on disk, so an
+    /// acknowledged job is never lost.
+    pub fn submit(&self, spec: JobSpec) -> Result<String, Reject> {
+        let instance = match spec.instance() {
+            Ok(i) => Arc::new(i),
+            Err(e) => return Err(Reject::Parse(e)),
+        };
+        let (id, rec) = {
+            let mut state = lock_state(&self.state);
+            if state.draining {
+                state.counters.rejected += 1;
+                return Err(Reject::Draining);
+            }
+            if state.active >= self.cfg.max_active {
+                state.counters.rejected += 1;
+                let hint = self.backoff_hint(&state);
+                return Err(Reject::Overload {
+                    retry_after_ms: hint,
+                });
+            }
+            let held = state.per_tenant.get(&spec.tenant).copied().unwrap_or(0);
+            if held >= self.cfg.tenant_quota {
+                state.counters.rejected += 1;
+                let hint = self.backoff_hint(&state);
+                return Err(Reject::Quota {
+                    tenant: spec.tenant.clone(),
+                    limit: self.cfg.tenant_quota,
+                    retry_after_ms: hint,
+                });
+            }
+            let n = state.next_job_number;
+            state.next_job_number += 1;
+            let id = format!("j{n}");
+            let rec = JobRecord {
+                id: id.clone(),
+                spec,
+                status: JobStatus::Queued,
+                preemptions: 0,
+                spent: 0,
+            };
+            (id, rec)
+        };
+        // Persist outside the lock: fsync latency must not serialize the
+        // whole scheduler. The id was reserved atomically above.
+        if let Err(e) = self.spool.save_record(&rec) {
+            return Err(Reject::Parse(lb_engine::ParseError::new(
+                1,
+                1,
+                lb_engine::ParseErrorKind::Malformed {
+                    what: format!("spool write failed: {e}"),
+                },
+            )));
+        }
+        let tenant = rec.spec.tenant.clone();
+        let mut state = lock_state(&self.state);
+        state.active += 1;
+        *state.per_tenant.entry(tenant.clone()).or_insert(0) += 1;
+        enqueue(&mut state, &id, &tenant);
+        state.jobs.insert(
+            id.clone(),
+            Entry {
+                rec,
+                instance: Some(instance),
+                running: false,
+                resume: None,
+            },
+        );
+        drop(state);
+        self.wake.notify_one();
+        Ok(id)
+    }
+
+    /// Scales the retry hint with load: the deeper the backlog per worker,
+    /// the longer clients are told to back off.
+    fn backoff_hint(&self, state: &State) -> u64 {
+        let per_worker = state.active as u64 / self.cfg.workers.max(1) as u64;
+        self.cfg.retry_after_ms.saturating_mul(1 + per_worker / 4)
+    }
+
+    /// One job's state, or `None` for an id this spool never issued.
+    pub fn status(&self, id: &str) -> Option<StatusReport> {
+        let state = lock_state(&self.state);
+        let entry = state.jobs.get(id)?;
+        let (status, verdict) = match &entry.rec.status {
+            JobStatus::Done(v) => ("done", Some(v.clone())),
+            JobStatus::Queued if entry.running => ("running", None),
+            JobStatus::Queued => ("queued", None),
+        };
+        Some(StatusReport {
+            job_id: id.to_string(),
+            state: status.to_string(),
+            preemptions: entry.rec.preemptions,
+            spent: entry.rec.spent,
+            verdict,
+        })
+    }
+
+    /// The one-line `STATS` response.
+    pub fn stats_line(&self) -> String {
+        let state = lock_state(&self.state);
+        let running = state.jobs.values().filter(|e| e.running).count();
+        let queued = state.active - running;
+        format!(
+            "STATS jobs={} queued={} running={} done={} tenants={} slices={} preemptions={} rejected={} ticks={}",
+            state.jobs.len(),
+            queued,
+            running,
+            state.counters.done,
+            state.per_tenant.values().filter(|&&n| n > 0).count(),
+            state.counters.slices,
+            state.counters.preemptions,
+            state.counters.rejected,
+            state.counters.ticks,
+        )
+    }
+
+    /// Begins graceful drain: admission closes immediately, workers stop
+    /// picking up slices, and every unsettled job stays spooled for the
+    /// next start. Idempotent.
+    pub fn drain(&self) {
+        let mut state = lock_state(&self.state);
+        state.draining = true;
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// True once drain was requested and no slice is still in flight.
+    pub fn drained(&self) -> bool {
+        let state = lock_state(&self.state);
+        state.draining && state.jobs.values().all(|e| !e.running)
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (id, instance, resume, slice) = {
+                let mut state = lock_state(&self.state);
+                loop {
+                    if state.draining {
+                        return;
+                    }
+                    if let Some(id) = pick_next(&mut state) {
+                        let Some(entry) = state.jobs.get_mut(&id) else {
+                            continue;
+                        };
+                        let Some(instance) = entry.instance.clone() else {
+                            continue;
+                        };
+                        entry.running = true;
+                        let resume = entry.resume.take();
+                        break (id, instance, resume, self.cfg.slice_ticks.max(1));
+                    }
+                    state = self.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let result = runner::solve_slice(&instance, &Budget::ticks(slice), resume.as_ref());
+            self.settle_slice(&id, result);
+        }
+    }
+
+    /// Applies one finished slice's outcome under the lock, persisting
+    /// whatever must survive a crash before the job becomes visible in its
+    /// new state.
+    fn settle_slice(
+        &self,
+        id: &str,
+        result: Result<(SliceOutcome, lb_engine::RunStats), runner::SliceError>,
+    ) {
+        let mut state = lock_state(&self.state);
+        state.counters.slices += 1;
+        {
+            let Some(entry) = state.jobs.get_mut(id) else {
+                return;
+            };
+            entry.running = false;
+        }
+        match result {
+            Ok((SliceOutcome::Done(v), stats)) => {
+                let ticks = stats.total_ops();
+                if let Some(entry) = state.jobs.get_mut(id) {
+                    entry.rec.spent += ticks;
+                }
+                state.counters.ticks += ticks;
+                self.finish(&mut state, id, v);
+            }
+            Ok((SliceOutcome::Suspended { reason, checkpoint }, stats)) => {
+                let ticks = stats.total_ops();
+                state.counters.ticks += ticks;
+                let (over_budget, tenant) = {
+                    let Some(entry) = state.jobs.get_mut(id) else {
+                        return;
+                    };
+                    entry.rec.spent += ticks;
+                    (
+                        entry.rec.spec.budget.is_some_and(|t| entry.rec.spent >= t),
+                        entry.rec.spec.tenant.clone(),
+                    )
+                };
+                if over_budget {
+                    // Terminal exhaustion: the job's own budget is gone.
+                    // Same shared diagnostic lbtool prints on exit 3.
+                    let why = exhaustion_diagnostic(&reason.to_string(), None);
+                    self.finish(&mut state, id, Verdict::Unknown(why));
+                    return;
+                }
+                state.counters.preemptions += 1;
+                // Persist frontier then record; only then re-queue. A crash
+                // between the two replays from the older frontier — slower,
+                // never wrong.
+                if let Err(e) = self.spool.save_checkpoint(id, &checkpoint) {
+                    eprintln!("warning: {id}: could not spool checkpoint: {e}");
+                }
+                if let Some(entry) = state.jobs.get_mut(id) {
+                    entry.rec.preemptions += 1;
+                    if let Err(e) = self.spool.save_record(&entry.rec) {
+                        eprintln!("warning: {id}: could not update record: {e}");
+                    }
+                    entry.resume = Some(checkpoint);
+                }
+                enqueue(&mut state, id, &tenant);
+                drop(state);
+                self.wake.notify_one();
+            }
+            Err(e) => {
+                // A typed solver/checkpoint failure settles the job as
+                // UNKNOWN — reported, never swallowed, never panicked.
+                self.finish(&mut state, id, Verdict::Unknown(format!("error: {e}")));
+            }
+        }
+    }
+
+    /// Settles a job: verdict into the record, record onto disk, frontier
+    /// artifacts cleaned, accounting updated.
+    fn finish(&self, state: &mut State, id: &str, verdict: Verdict) {
+        let Some(entry) = state.jobs.get_mut(id) else {
+            return;
+        };
+        entry.rec.status = JobStatus::Done(verdict);
+        entry.resume = None;
+        entry.instance = None;
+        if let Err(e) = self.spool.save_record(&entry.rec) {
+            eprintln!("warning: {id}: could not persist verdict: {e}");
+        }
+        if let Err(e) = self.spool.remove_checkpoint(id) {
+            eprintln!("warning: {id}: could not remove checkpoint: {e}");
+        }
+        let tenant = entry.rec.spec.tenant.clone();
+        state.active = state.active.saturating_sub(1);
+        if let Some(n) = state.per_tenant.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+        state.counters.done += 1;
+    }
+}
+
+/// What [`Scheduler::recover`] found and did.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Jobs re-queued (resuming from a spooled frontier where one decoded).
+    pub resumed: usize,
+    /// Jobs already settled on disk (served from the record, never re-run).
+    pub settled: usize,
+    /// Stale `.tmp` files swept.
+    pub stale_tmp_removed: usize,
+    /// Undecodable record files, with their typed errors.
+    pub skipped: Vec<String>,
+    /// Checkpoints discarded as undecodable (job restarts from scratch).
+    pub discarded_checkpoints: Vec<String>,
+}
+
+/// Appends a job to its tenant's queue, registering the tenant in the
+/// round-robin ring if it just became runnable.
+fn enqueue(state: &mut State, id: &str, tenant: &str) {
+    let queue = state.queues.entry(tenant.to_string()).or_default();
+    if queue.is_empty() && !state.ring.iter().any(|t| t == tenant) {
+        state.ring.push_back(tenant.to_string());
+    }
+    queue.push_back(id.to_string());
+}
+
+/// Round-robin across tenants: take the front tenant's front job, then
+/// rotate the tenant to the back (or drop it from the ring when its queue
+/// emptied). Each tenant gets one slice per ring pass no matter how deep
+/// any single tenant's backlog is.
+fn pick_next(state: &mut State) -> Option<String> {
+    for _ in 0..state.ring.len() {
+        let tenant = state.ring.pop_front()?;
+        let Some(queue) = state.queues.get_mut(&tenant) else {
+            continue;
+        };
+        let id = queue.pop_front();
+        if !queue.is_empty() {
+            state.ring.push_back(tenant);
+        }
+        if let Some(id) = id {
+            return Some(id);
+        }
+    }
+    None
+}

@@ -1,0 +1,360 @@
+//! The blocking-socket server: a `TcpListener` accept loop handing each
+//! connection to a short-lived handler thread, all solving delegated to
+//! the shared [`Scheduler`].
+//!
+//! Robustness posture, in order of preference: **reject with a typed
+//! line, never hang.** Admission control runs before any queueing; the
+//! connection cap sheds excess connections with `ERR overload` at accept
+//! time; idle and mid-request read timeouts bound how long a silent or
+//! trickling client can hold a handler thread. `DRAIN` stops admission
+//! immediately, lets in-flight slices finish (each is bounded by the
+//! slice budget), spools everything, and exits.
+
+use crate::protocol::{self, Command, Reject, Request, MAX_LINE_BYTES};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::spool::{Spool, SpoolError};
+use lb_engine::parse::{ParseError, ParseErrorKind};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Server tuning knobs (scheduler knobs ride along).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7071` (`:0` picks a free port).
+    pub addr: String,
+    /// Spool directory root.
+    pub spool: PathBuf,
+    /// Scheduler configuration.
+    pub sched: SchedulerConfig,
+    /// How long a connection may sit idle before its command line, ms.
+    pub idle_timeout_ms: u64,
+    /// How long one read may block mid-request, ms.
+    pub read_timeout_ms: u64,
+    /// Max simultaneous connections; excess get `ERR overload`.
+    pub max_conns: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7071".to_string(),
+            spool: PathBuf::from("lb-spool"),
+            sched: SchedulerConfig::default(),
+            idle_timeout_ms: 30_000,
+            read_timeout_ms: 10_000,
+            max_conns: 64,
+        }
+    }
+}
+
+/// One line read off the wire, capped at [`MAX_LINE_BYTES`].
+enum LineRead {
+    /// A complete line (newline stripped; may be the final unterminated one).
+    Line(Vec<u8>),
+    /// The peer closed with nothing pending.
+    Eof,
+    /// The line exceeded the cap; the rest was not buffered.
+    Oversize(usize),
+    /// The read timed out.
+    TimedOut,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than the cap:
+/// a tenant streaming gigabytes without a newline costs us one buffer, not
+/// their patience's worth of memory.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut seen = 0usize;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(LineRead::TimedOut);
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(line)
+            });
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            seen += pos;
+            if seen > MAX_LINE_BYTES {
+                reader.consume(pos + 1);
+                return Ok(LineRead::Oversize(seen));
+            }
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            return Ok(LineRead::Line(line));
+        }
+        let len = buf.len();
+        seen += len;
+        if seen > MAX_LINE_BYTES {
+            // Drop what we have and drain-to-cap: the line is rejected
+            // regardless, so stop accumulating.
+            line.clear();
+            reader.consume(len);
+            return Ok(LineRead::Oversize(seen));
+        }
+        line.extend_from_slice(buf);
+        reader.consume(len);
+    }
+}
+
+fn oversize_error(lineno: usize, bytes: usize) -> ParseError {
+    ParseError::new(
+        lineno,
+        MAX_LINE_BYTES + 1,
+        ParseErrorKind::OutOfRange {
+            what: "request line length".to_string(),
+            token: format!("over {bytes} bytes"),
+            limit: format!("at most {MAX_LINE_BYTES} bytes"),
+        },
+    )
+}
+
+fn timeout_error(lineno: usize, what: &str) -> ParseError {
+    ParseError::at_eof(
+        lineno,
+        ParseErrorKind::Missing {
+            what: format!("{what} (read timed out)"),
+        },
+    )
+}
+
+/// The running server: owns the listener, the scheduler, and the worker
+/// pool; [`Server::run`] blocks until drained.
+pub struct Server {
+    listener: TcpListener,
+    sched: Arc<Scheduler>,
+    cfg: ServerConfig,
+    conns: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Binds the listener, opens/recovers the spool, and reports what
+    /// recovery found on stderr. Does not accept yet — call [`Server::run`].
+    pub fn bind(cfg: ServerConfig) -> Result<Server, SpoolError> {
+        let spool = Spool::open(&cfg.spool)?;
+        let (sched, report) = Scheduler::recover(spool, cfg.sched.clone())?;
+        if report.resumed + report.settled > 0 || report.stale_tmp_removed > 0 {
+            eprintln!(
+                "recovered spool: {} resumed, {} settled, {} stale tmp swept",
+                report.resumed, report.settled, report.stale_tmp_removed
+            );
+        }
+        for line in report
+            .skipped
+            .iter()
+            .chain(report.discarded_checkpoints.iter())
+        {
+            eprintln!("recovery: skipped {line}");
+        }
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| SpoolError::Io {
+            path: cfg.addr.clone(),
+            error: e.to_string(),
+        })?;
+        Ok(Server {
+            listener,
+            sched,
+            cfg,
+            conns: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0`).
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.listener.local_addr().ok()
+    }
+
+    /// Accepts connections until a `DRAIN` request lands, then waits for
+    /// workers to park and returns. Every connection gets its own handler
+    /// thread; over-cap connections are shed with a typed overload line.
+    pub fn run(self) -> Result<(), SpoolError> {
+        let workers = self.sched.spawn_workers();
+        // Polling accept so the loop notices drain promptly even when no
+        // connection arrives to tell it.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| SpoolError::Io {
+                path: self.cfg.addr.clone(),
+                error: e.to_string(),
+            })?;
+        let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.sched.drained() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let live = self.conns.fetch_add(1, Ordering::SeqCst);
+                    if live >= self.cfg.max_conns {
+                        self.conns.fetch_sub(1, Ordering::SeqCst);
+                        shed_connection(stream, self.cfg.sched.retry_after_ms);
+                        continue;
+                    }
+                    let sched = Arc::clone(&self.sched);
+                    let cfg = self.cfg.clone();
+                    let conns = Arc::clone(&self.conns);
+                    handlers.push(thread::spawn(move || {
+                        handle_connection(stream, &sched, &cfg);
+                        conns.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("accept error: {e}");
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _join = h.join();
+        }
+        for w in workers {
+            let _join = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Over-cap accept path: one typed line, then close. The write gets a
+/// short timeout so a hostile unread socket cannot wedge the accept loop.
+fn shed_connection(stream: TcpStream, retry_after_ms: u64) {
+    let _cfg = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut stream = stream;
+    let line = Reject::Overload { retry_after_ms }.to_line();
+    let _shed = writeln!(stream, "{line}");
+}
+
+fn respond(stream: &mut TcpStream, line: &str) -> bool {
+    writeln!(stream, "{line}").is_ok() && stream.flush().is_ok()
+}
+
+/// Serves one connection: requests in a loop until the peer closes, the
+/// idle timeout fires with nothing pending, or an unrecoverable read error.
+fn handle_connection(stream: TcpStream, sched: &Arc<Scheduler>, cfg: &ServerConfig) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = stream;
+    let _cfg =
+        write_half.set_write_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+    let mut reader = BufReader::new(read_half);
+    loop {
+        // Idle timeout while waiting for a command line: silent close.
+        let _cfg = reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(cfg.idle_timeout_ms.max(1))));
+        let cmd_raw = match read_line_capped(&mut reader) {
+            Ok(LineRead::Line(l)) => l,
+            Ok(LineRead::Eof) | Ok(LineRead::TimedOut) => return,
+            Ok(LineRead::Oversize(n)) => {
+                let reject = Reject::Parse(oversize_error(1, n));
+                let _sent = respond(&mut write_half, &reject.to_line());
+                return;
+            }
+            Err(_) => return,
+        };
+        // Tighter timeout once a request is in flight.
+        let _cfg = reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+        let cmd = match protocol::parse_command(&cmd_raw) {
+            Ok(c) => c,
+            Err(e) => {
+                // A malformed command line gets its typed error; the
+                // connection stays usable (the next line starts a fresh
+                // request).
+                if !respond(&mut write_half, &Reject::Parse(e).to_line()) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let wanted = match &cmd {
+            Command::Submit { payload_lines, .. } => *payload_lines,
+            _ => 0,
+        };
+        let mut payload: Vec<Vec<u8>> = Vec::new();
+        let mut failed: Option<Reject> = None;
+        while payload.len() < wanted {
+            match read_line_capped(&mut reader) {
+                Ok(LineRead::Line(l)) => payload.push(l),
+                Ok(LineRead::Eof) => {
+                    failed = Some(Reject::Parse(ParseError::at_eof(
+                        2 + payload.len(),
+                        ParseErrorKind::CountMismatch {
+                            what: "payload lines".to_string(),
+                            declared: wanted,
+                            found: payload.len(),
+                        },
+                    )));
+                    break;
+                }
+                Ok(LineRead::TimedOut) => {
+                    failed = Some(Reject::Parse(timeout_error(
+                        2 + payload.len(),
+                        "payload line",
+                    )));
+                    break;
+                }
+                Ok(LineRead::Oversize(n)) => {
+                    failed = Some(Reject::Parse(oversize_error(2 + payload.len(), n)));
+                    break;
+                }
+                Err(_) => return,
+            }
+        }
+        if let Some(reject) = failed {
+            // A truncated or oversized submission poisons stream framing:
+            // answer with the typed error, then close.
+            let _sent = respond(&mut write_half, &reject.to_line());
+            return;
+        }
+        let request = match protocol::assemble(cmd, &payload, 2) {
+            Ok(r) => r,
+            Err(e) => {
+                if !respond(&mut write_half, &Reject::Parse(e).to_line()) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match request {
+            Request::Ping => "PONG".to_string(),
+            Request::Stats => sched.stats_line(),
+            Request::Drain => {
+                sched.drain();
+                "OK draining".to_string()
+            }
+            Request::Status { job_id } => match sched.status(&job_id) {
+                Some(report) => report.to_line(),
+                None => Reject::UnknownJob { job_id }.to_line(),
+            },
+            Request::Submit(spec) => match sched.submit(spec) {
+                Ok(id) => format!("OK {id}"),
+                Err(reject) => reject.to_line(),
+            },
+        };
+        if !respond(&mut write_half, &reply) {
+            return;
+        }
+    }
+}

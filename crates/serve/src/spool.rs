@@ -1,0 +1,252 @@
+//! The spool directory: everything the server must not lose across
+//! `kill -9`.
+//!
+//! ```text
+//! <spool>/jobs/<id>.job    versioned text record (see [`crate::job`])
+//! <spool>/ckpt/<id>.lbck   the job's LBCK frontier, absent when none
+//! ```
+//!
+//! **Recovery invariant.** Every write lands through
+//! [`lb_engine::atomic_write`] (tmp + fsync + rename), so after a crash
+//! each file is either absent or a complete previous version — at worst a
+//! stale `.tmp` sibling survives, which [`Spool::open`] sweeps. A job whose
+//! submission was acknowledged (`OK <id>` is only sent after its record is
+//! on disk) is therefore never lost; a job whose record says `done` is
+//! never re-run (no duplicated verdicts); a `queued` record resumes from
+//! its spooled checkpoint, or from scratch when the checkpoint is absent
+//! or fails to decode — losing at most one slice of work, never soundness.
+
+use crate::job::{JobRecord, JobStatus};
+use lb_engine::checkpoint::{atomic_write, cleanup_artifacts, Checkpoint, CheckpointError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A typed spool failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpoolError {
+    /// Filesystem trouble, with the path involved.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The OS error text.
+        error: String,
+    },
+    /// A checkpoint-layer failure (atomic write, LBCK decode).
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for SpoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpoolError::Io { path, error } => write!(f, "{path}: {error}"),
+            SpoolError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CheckpointError> for SpoolError {
+    fn from(e: CheckpointError) -> SpoolError {
+        SpoolError::Checkpoint(e)
+    }
+}
+
+fn io_err(path: &Path) -> impl Fn(std::io::Error) -> SpoolError + '_ {
+    move |e| SpoolError::Io {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    }
+}
+
+/// What [`Spool::recover`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Every decodable record, `done` and `queued` alike.
+    pub records: Vec<JobRecord>,
+    /// Files that failed to decode, with the typed error rendered —
+    /// logged and skipped, never panicked over.
+    pub skipped: Vec<(PathBuf, String)>,
+    /// Stale `.tmp` siblings removed by the startup sweep.
+    pub stale_tmp_removed: usize,
+    /// The next fresh job number (max recovered id + 1).
+    pub next_job_number: u64,
+}
+
+/// Handle on a spool directory (creates `jobs/` and `ckpt/` on open).
+#[derive(Clone, Debug)]
+pub struct Spool {
+    jobs: PathBuf,
+    ckpt: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool under `root`.
+    pub fn open(root: &Path) -> Result<Spool, SpoolError> {
+        let jobs = root.join("jobs");
+        let ckpt = root.join("ckpt");
+        fs::create_dir_all(&jobs).map_err(io_err(&jobs))?;
+        fs::create_dir_all(&ckpt).map_err(io_err(&ckpt))?;
+        Ok(Spool { jobs, ckpt })
+    }
+
+    /// The record path for a job id.
+    pub fn job_path(&self, id: &str) -> PathBuf {
+        self.jobs.join(format!("{id}.job"))
+    }
+
+    /// The checkpoint path for a job id.
+    pub fn ckpt_path(&self, id: &str) -> PathBuf {
+        self.ckpt.join(format!("{id}.lbck"))
+    }
+
+    /// Atomically persists a job record. Once this returns, the job
+    /// survives any crash.
+    pub fn save_record(&self, rec: &JobRecord) -> Result<(), SpoolError> {
+        atomic_write(&self.job_path(&rec.id), rec.encode().as_bytes())?;
+        Ok(())
+    }
+
+    /// Atomically persists a job's frontier checkpoint.
+    pub fn save_checkpoint(&self, id: &str, ck: &Checkpoint) -> Result<(), SpoolError> {
+        ck.save(&self.ckpt_path(id))?;
+        Ok(())
+    }
+
+    /// Loads a job's frontier, if one was spooled. `Ok(None)` when absent;
+    /// a present-but-undecodable blob is the typed error (the caller
+    /// restarts the job from scratch — sound, merely slower).
+    pub fn load_checkpoint(&self, id: &str) -> Result<Option<Checkpoint>, CheckpointError> {
+        let path = self.ckpt_path(id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        Checkpoint::load(&path).map(Some)
+    }
+
+    /// Removes a settled job's checkpoint and any stale `.tmp` sibling.
+    pub fn remove_checkpoint(&self, id: &str) -> Result<(), SpoolError> {
+        cleanup_artifacts(&self.ckpt_path(id))?;
+        Ok(())
+    }
+
+    /// Sweeps `.tmp` siblings left by a save that was killed between
+    /// tmp-write and rename. Returns how many were removed.
+    fn sweep_stale_tmp(&self) -> Result<usize, SpoolError> {
+        let mut removed = 0;
+        for dir in [&self.jobs, &self.ckpt] {
+            let entries = fs::read_dir(dir).map_err(io_err(dir))?;
+            for entry in entries {
+                let entry = entry.map_err(io_err(dir))?;
+                let path = entry.path();
+                let is_tmp = path.extension().is_some_and(|e| e.to_str() == Some("tmp"));
+                if is_tmp {
+                    fs::remove_file(&path).map_err(io_err(&path))?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Scans the spool after a (possibly violent) restart: sweeps stale
+    /// `.tmp` files, decodes every record, and reports what survived.
+    /// Undecodable records are skipped with their typed error — corruption
+    /// never panics and never conjures a verdict.
+    pub fn recover(&self) -> Result<Recovered, SpoolError> {
+        let mut out = Recovered {
+            stale_tmp_removed: self.sweep_stale_tmp()?,
+            ..Recovered::default()
+        };
+        let entries = fs::read_dir(&self.jobs).map_err(io_err(&self.jobs))?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(io_err(&self.jobs))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e.to_str() == Some("job")) {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        for path in paths {
+            let text = match fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    out.skipped.push((path, e.to_string()));
+                    continue;
+                }
+            };
+            match JobRecord::decode(&text) {
+                Ok(rec) => {
+                    let n = rec
+                        .id
+                        .strip_prefix('j')
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(0);
+                    out.next_job_number = out.next_job_number.max(n + 1);
+                    out.records.push(rec);
+                }
+                Err(e) => out.skipped.push((path, e.to_string())),
+            }
+        }
+        if out.next_job_number == 0 {
+            out.next_job_number = 1;
+        }
+        Ok(out)
+    }
+
+    /// A `queued` record's resume point: its spooled checkpoint when it
+    /// decodes, otherwise none (restart from scratch) plus the rendered
+    /// reason it was discarded.
+    pub fn resume_point(&self, rec: &JobRecord) -> (Option<Checkpoint>, Option<String>) {
+        if !matches!(rec.status, JobStatus::Queued) {
+            return (None, None);
+        }
+        match self.load_checkpoint(&rec.id) {
+            Ok(found) => (found, None),
+            Err(e) => (None, Some(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobFamily, JobSpec, Verdict};
+
+    fn rec(id: &str, status: JobStatus) -> JobRecord {
+        JobRecord {
+            id: id.into(),
+            spec: JobSpec {
+                tenant: "t0".into(),
+                family: JobFamily::Triangle,
+                k: 0,
+                budget: None,
+                payload: "3\n0 1\n1 2\n0 2\n".into(),
+            },
+            status,
+            preemptions: 0,
+            spent: 0,
+        }
+    }
+
+    #[test]
+    fn records_survive_and_ids_advance() {
+        let dir = std::env::temp_dir().join(format!("lbserve-spool-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spool = Spool::open(&dir).unwrap();
+        spool.save_record(&rec("j1", JobStatus::Queued)).unwrap();
+        spool
+            .save_record(&rec("j4", JobStatus::Done(Verdict::Count(1))))
+            .unwrap();
+        // A stale tmp sibling, as a killed save would leave it.
+        fs::write(spool.job_path("j9").with_extension("job.tmp"), b"half").unwrap();
+        // A torn record that must be skipped with a typed error.
+        fs::write(spool.job_path("j5"), "lbjob 1\nid j5\n").unwrap();
+
+        let recovered = spool.recover().unwrap();
+        assert_eq!(recovered.records.len(), 2);
+        assert_eq!(recovered.skipped.len(), 1);
+        assert_eq!(recovered.stale_tmp_removed, 1);
+        assert_eq!(recovered.next_job_number, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -47,6 +47,10 @@ fn semantic_analysis_actually_covers_the_solvers() {
         "count_resumable",
         "count_triangles_resumable",
         "find_clique_resumable",
+        // The server's slice executor: every scheduler-driven solver run
+        // goes through it, so R8/R9 must treat it as a root.
+        "solve_slice",
+        "solve_to_verdict",
     ] {
         assert!(
             stats.root_names.iter().any(|n| n == expected),
@@ -80,7 +84,7 @@ fn semantic_analysis_actually_covers_the_solvers() {
     // crate: collection bindings tracked, `Result` sites examined, and
     // checkpoint state structs scanned. An empty entry means the dataflow
     // layer silently stopped seeing that crate.
-    for name in ["sat", "csp", "join", "graphalg"] {
+    for name in ["sat", "csp", "join", "graphalg", "serve"] {
         let df = stats
             .dataflow
             .get(name)
