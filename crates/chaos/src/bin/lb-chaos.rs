@@ -10,6 +10,12 @@
 //!          [--seed N] [--count K]         sliced resumes must match the
 //!                                         uninterrupted run in verdict
 //!                                         and summed stats
+//! lb-chaos serve [--seed N] [--storms K]  network-level chaos soak: seeded
+//!          [--server-bin PATH]            storms of hostile connections,
+//!          [--deadline-ms MS]             injected faults, and SIGKILLs
+//!                                         against a live lb-serve; every
+//!                                         job must end verdict-or-
+//!                                         quarantine, never limbo
 //! lb-chaos --seed N [--count K]           fuzz all families from seed N
 //! lb-chaos --family sat --seed N          replay/fuzz one family
 //! ```
@@ -23,14 +29,79 @@
 use lb_chaos::harness::{
     resume_smoke, run_family, run_resume_family, smoke_families, FamilyReport, SMOKE_COUNT,
 };
+use lb_chaos::storm::{run_storms, sibling_server_bin, StormConfig};
 use lb_chaos::Family;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lb-chaos smoke [--families <f1,f2,..>]\n       lb-chaos resume [--families <f1,f2,..>] [--seed <n>] [--count <k>]\n       lb-chaos --seed <n> [--count <k>] [--family <sat|csp|join|graphalg>]"
+        "usage: lb-chaos smoke [--families <f1,f2,..>]\n       lb-chaos resume [--families <f1,f2,..>] [--seed <n>] [--count <k>]\n       lb-chaos serve [--seed <n>] [--storms <k>] [--server-bin <path>] [--deadline-ms <ms>]\n       lb-chaos --seed <n> [--count <k>] [--family <sat|csp|join|graphalg>]"
     );
     ExitCode::from(2)
+}
+
+/// `lb-chaos serve` — run the storm soak and report per-seed failures,
+/// each with its replay line.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(default_bin) = sibling_server_bin() else {
+        // Still allow an explicit --server-bin below.
+        return cmd_serve_with(args, None);
+    };
+    cmd_serve_with(args, Some(default_bin))
+}
+
+fn cmd_serve_with(args: &[String], default_bin: Option<std::path::PathBuf>) -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut storms: u64 = 8;
+    let mut deadline_ms: u64 = 60_000;
+    let mut bin = default_bin;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => seed = v,
+                _ => return usage(),
+            },
+            "--storms" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => storms = v,
+                _ => return usage(),
+            },
+            "--deadline-ms" => match it.next().map(|v| v.parse()) {
+                Some(Ok(v)) => deadline_ms = v,
+                _ => return usage(),
+            },
+            "--server-bin" => match it.next() {
+                Some(p) => bin = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(bin) = bin else {
+        eprintln!("lb-chaos serve: no lb-serve binary next to lb-chaos; pass --server-bin PATH");
+        return ExitCode::from(2);
+    };
+    let cfg = StormConfig {
+        base_seed: seed,
+        storms,
+        deadline_ms,
+        ..StormConfig::new(bin)
+    };
+    let report = run_storms(&cfg);
+    println!(
+        "serve soak: {} storms, {} jobs acknowledged, {} settled to the reference verdict, \
+         {} quarantined with evidence, {} kill/restart cycles",
+        report.storms, report.jobs, report.settled, report.quarantined, report.kills
+    );
+    if report.failures.is_empty() {
+        println!("ok: every job ended verdict-or-quarantine; no hangs, no lost jobs");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            println!("storm FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn report(reports: &[FamilyReport]) -> ExitCode {
@@ -66,6 +137,9 @@ fn parse_families(spec: &str) -> Option<Vec<Family>> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
+    if mode == Some("serve") {
+        return cmd_serve(&args[1..]);
+    }
     if matches!(mode, Some("smoke" | "resume")) {
         let mut families: Vec<Family> = Family::ALL.to_vec();
         let mut seed: Option<u64> = None;

@@ -28,7 +28,11 @@
 //!   match the uninterrupted run in verdict and summed stats;
 //! * [`shrink`] — greedy shrinking so every failure prints minimal;
 //! * [`harness`] — the N-seeds-per-family driver and the fixed smoke
-//!   configuration that CI runs (`cargo run -p lb-chaos -- smoke`).
+//!   configuration that CI runs (`cargo run -p lb-chaos -- smoke`);
+//! * [`storm`] — the network-level chaos soak against a live `lb-serve`
+//!   process (`lb-chaos serve`): seeded storms of hostile connections,
+//!   injected spool and socket faults, and SIGKILL/restart cycles, with
+//!   the verdict-or-quarantine invariant checked per job.
 //!
 //! Replay: a failure report's seed is its reproducer —
 //! `cargo run -p lb-chaos -- --family sat --seed N` reruns exactly the
@@ -41,6 +45,7 @@ pub mod harness;
 pub mod hostile;
 pub mod rng;
 pub mod shrink;
+pub mod storm;
 
 pub use differential::{check, check_resume, Failure, Family};
 pub use harness::{resume_smoke, run_family, run_resume_family, smoke, FamilyReport};

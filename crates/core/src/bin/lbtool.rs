@@ -714,10 +714,24 @@ fn cmd_serve(args: &[String]) -> Result<(), CmdError> {
             tenant_quota: extract_num(&mut args, "--tenant-quota", sd.tenant_quota)?,
             max_active: extract_num(&mut args, "--max-active", sd.max_active)?,
             retry_after_ms: extract_num(&mut args, "--retry-after-ms", sd.retry_after_ms)?,
+            max_attempts: extract_num(&mut args, "--max-attempts", sd.max_attempts)?,
+            retry_backoff_ms: extract_num(&mut args, "--retry-backoff-ms", sd.retry_backoff_ms)?,
+            io_fault_seed: extract_value(&mut args, "--io-fault-seed")?
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_bad| format!("bad --io-fault-seed `{v}`"))
+                })
+                .transpose()?,
         },
         idle_timeout_ms: extract_num(&mut args, "--idle-timeout-ms", d.idle_timeout_ms)?,
         read_timeout_ms: extract_num(&mut args, "--read-timeout-ms", d.read_timeout_ms)?,
         max_conns: extract_num(&mut args, "--max-conns", d.max_conns)?,
+        net_fault_seed: extract_value(&mut args, "--net-fault-seed")?
+            .map(|v| {
+                v.parse()
+                    .map_err(|_bad| format!("bad --net-fault-seed `{v}`"))
+            })
+            .transpose()?,
     };
     if let Some(stray) = args.first() {
         return Err(format!("unknown `serve` argument `{stray}`").into());
@@ -739,7 +753,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CmdError> {
 /// arrives. The payload file uses the same formats the local commands
 /// read; a `join` payload is the query line followed by the database.
 fn cmd_submit(args: &[String]) -> Result<(), CmdError> {
-    use lb_serve::client::Client;
+    use lb_serve::client::{retry_with_backoff, Backoff, Client};
     use lb_serve::{JobFamily, JobSpec};
     use std::time::Duration;
     let mut args = args.to_vec();
@@ -767,10 +781,21 @@ fn cmd_submit(args: &[String]) -> Result<(), CmdError> {
     // Validate locally first so a malformed payload is reported with the
     // file's own coordinates, not the wire protocol's.
     spec.instance().map_err(in_file(path))?;
-    let mut client =
-        Client::connect(&addr, Duration::from_millis(5_000)).map_err(|e| e.to_string())?;
-    let id = client.submit(&spec).map_err(|e| e.to_string())?;
+    // Retryable rejections (overload, quota, draining — anything with a
+    // retry-after hint) and connection trouble get the seeded jittered
+    // backoff; permanent rejections surface immediately.
+    let policy = Backoff::default();
+    let (mut client, id, backoffs) = retry_with_backoff(&policy, |_attempt| {
+        let mut client = Client::connect(&addr, Duration::from_millis(5_000))?;
+        let id = client.submit(&spec)?;
+        Ok((client, id))
+    })
+    .map(|((client, id), backoffs)| (client, id, backoffs))
+    .map_err(|e| e.to_string())?;
     println!("submitted {id}");
+    if backoffs > 0 {
+        eprintln!("absorbed {backoffs} typed rejection(s) before admission");
+    }
     if !wait {
         return Ok(());
     }
@@ -789,6 +814,22 @@ fn cmd_submit(args: &[String]) -> Result<(), CmdError> {
                 Some(v) => println!("{}", v.to_line()),
                 None => return Err(format!("{id}: done without a verdict").into()),
             }
+            return Ok(());
+        }
+        if status.state == "quarantined" {
+            // The survival ladder gave up on this job: surface the typed
+            // verdict and evidence instead of polling forever.
+            eprintln!(
+                "attempts: {}, preemptions: {}, ticks spent: {}",
+                status.attempts, status.preemptions, status.spent
+            );
+            println!(
+                "QUARANTINED {}",
+                status
+                    .evidence
+                    .as_deref()
+                    .unwrap_or("(no evidence recorded)")
+            );
             return Ok(());
         }
         std::thread::sleep(Duration::from_millis(interval_ms));

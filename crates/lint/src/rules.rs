@@ -287,6 +287,11 @@ impl Default for Config {
                 "crates/serve/src/server.rs".into(),
                 "crates/serve/src/client.rs".into(),
                 "crates/serve/src/bench.rs".into(),
+                // Retry-backoff parking (`not_before`) is wall-clock by
+                // definition; slice accounting stays tick-based.
+                "crates/serve/src/scheduler.rs".into(),
+                // The storm soak drives a live server under deadlines.
+                "crates/chaos/src/storm.rs".into(),
                 "vendor/".into(),
             ],
             index_checked_paths: vec![
@@ -337,6 +342,12 @@ impl Default for Config {
             result_checked_paths: vec!["crates/".into()],
             state_struct_paths: vec![
                 "crates/serve/src/job.rs".into(),
+                // Survival-layer shared state: scheduler entries cross the
+                // worker/accept-thread boundary, and a FaultStream's two
+                // cloned halves share their fault schedule — both must
+                // stay Send-clean.
+                "crates/serve/src/scheduler.rs".into(),
+                "crates/serve/src/netfault.rs".into(),
                 "crates/sat/src/dpll.rs".into(),
                 "crates/csp/src/solver/backtracking.rs".into(),
                 "crates/join/src/wcoj.rs".into(),

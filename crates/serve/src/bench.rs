@@ -8,10 +8,98 @@
 //! SIGKILLed and restarted mid-soak must produce byte-identical verdicts
 //! — that comparison is the soak harness's core invariant.
 
-use crate::client::{Client, ClientError};
+use crate::client::{Backoff, Client, ClientError};
 use crate::job::{JobFamily, JobSpec, Verdict};
 use crate::runner;
 use std::time::{Duration, Instant};
+
+/// SplitMix64 behind the instance generators. Self-contained on purpose:
+/// the load generator lives in the product crate, and the chaos harness
+/// depends on *us* — reaching back into `lb-chaos` here would make the
+/// dependency arrow point both ways.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Random 3-CNF in DIMACS text: `vars` variables, `3 * vars` clauses of
+/// three distinct variables with random polarities.
+fn gen_cnf(rng: &mut u64, vars: u64) -> String {
+    let n = vars.max(3);
+    let m = n * 3;
+    let mut out = format!("p cnf {n} {m}\n");
+    for _ in 0..m {
+        let mut seen: Vec<u64> = Vec::new();
+        while seen.len() < 3 {
+            let v = 1 + splitmix(rng) % n;
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        for v in seen {
+            let sign = if splitmix(rng).is_multiple_of(2) {
+                ""
+            } else {
+                "-"
+            };
+            out.push_str(&format!("{sign}{v} "));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Random binary CSP text: `vars` variables over a 3-value domain, one
+/// constraint per adjacent pair, each allowing 3–6 random tuples.
+fn gen_csp(rng: &mut u64, vars: u64) -> String {
+    let n = vars.max(2);
+    let domain = 3u64;
+    let mut out = format!("csp {n} {domain}\n");
+    for v in 0..n - 1 {
+        let tuples = 3 + splitmix(rng) % 4;
+        let list: Vec<String> = (0..tuples)
+            .map(|_| format!("{},{}", splitmix(rng) % domain, splitmix(rng) % domain))
+            .collect();
+        out.push_str(&format!("con {} {} : {}\n", v, v + 1, list.join(" ")));
+    }
+    out
+}
+
+/// Random graph text: `n` vertices, each pair an edge with probability
+/// one half.
+fn gen_graph(rng: &mut u64, n: u64) -> String {
+    let n = n.max(3);
+    let mut out = format!("{n}\n");
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if splitmix(rng).is_multiple_of(2) {
+                out.push_str(&format!("{u} {v}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Random triangle-join payload: the query line `R(a,b) S(b,c) T(c,a)`
+/// followed by three relations of random pairs over `0..size`.
+fn gen_join(rng: &mut u64, size: u64) -> String {
+    let size = size.max(3);
+    let mut out = "R(a,b) S(b,c) T(c,a)\n".to_string();
+    for name in ["R", "S", "T"] {
+        out.push_str(&format!("rel {name} 2\n"));
+        for _ in 0..size * 2 {
+            out.push_str(&format!(
+                "{} {}\n",
+                splitmix(rng) % size,
+                splitmix(rng) % size
+            ));
+        }
+    }
+    out
+}
 
 /// Load-generator knobs.
 #[derive(Clone, Debug)]
@@ -65,52 +153,24 @@ pub fn generate_specs(tenants: usize, jobs_per_tenant: usize, seed: u64) -> Vec<
     for t in 0..tenants {
         for j in 0..jobs_per_tenant {
             let index = t * jobs_per_tenant + j;
-            let wobble = seed.wrapping_mul(31).wrapping_add(index as u64) % 3;
-            let spec = match index % 5 {
-                0 => JobSpec {
-                    tenant: format!("tenant{t}"),
-                    family: JobFamily::Sat,
-                    k: 0,
-                    budget: None,
-                    payload: lb_chaos::hostile::cnf(5 + wobble).to_dimacs(),
-                },
-                1 => JobSpec {
-                    tenant: format!("tenant{t}"),
-                    family: JobFamily::Csp,
-                    k: 0,
-                    budget: None,
-                    payload: crate::formats::format_csp(&lb_chaos::hostile::csp(4 + wobble)),
-                },
-                2 => JobSpec {
-                    tenant: format!("tenant{t}"),
-                    family: JobFamily::Triangle,
-                    k: 0,
-                    budget: None,
-                    payload: crate::formats::format_graph(&lb_chaos::hostile::graph(6 + wobble)),
-                },
-                3 => JobSpec {
-                    tenant: format!("tenant{t}"),
-                    family: JobFamily::Clique,
-                    k: 3,
-                    budget: None,
-                    payload: crate::formats::format_graph(&lb_chaos::hostile::graph(6 + wobble)),
-                },
-                _ => {
-                    let (q, db) = lb_chaos::hostile::join_instance(4 + wobble);
-                    JobSpec {
-                        tenant: format!("tenant{t}"),
-                        family: JobFamily::Join,
-                        k: 0,
-                        budget: None,
-                        payload: format!(
-                            "{}\n{}",
-                            crate::formats::format_query(&q),
-                            crate::formats::format_db(&q, &db)
-                        ),
-                    }
-                }
+            let mut rng = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index as u64 + 1);
+            let wobble = splitmix(&mut rng) % 3;
+            let (family, k, payload) = match index % 5 {
+                0 => (JobFamily::Sat, 0, gen_cnf(&mut rng, 5 + wobble)),
+                1 => (JobFamily::Csp, 0, gen_csp(&mut rng, 4 + wobble)),
+                2 => (JobFamily::Triangle, 0, gen_graph(&mut rng, 6 + wobble)),
+                3 => (JobFamily::Clique, 3, gen_graph(&mut rng, 6 + wobble)),
+                _ => (JobFamily::Join, 0, gen_join(&mut rng, 4 + wobble)),
             };
-            specs.push(spec);
+            specs.push(JobSpec {
+                tenant: format!("tenant{t}"),
+                family,
+                k,
+                budget: None,
+                payload,
+            });
         }
     }
     specs
@@ -142,8 +202,10 @@ pub fn connect_patiently(
 }
 
 /// One resilient operation: on a typed rejection with a backoff hint,
-/// sleep the hint and retry; on a socket error, reconnect (the server may
-/// have been killed and restarted under us) and retry.
+/// sleep the jittered [`Backoff`] delay (never less than the hint) and
+/// retry; on a socket error, reconnect (the server may have been killed
+/// and restarted under us) and retry. Only the overall deadline ends the
+/// loop — the soak rides out arbitrarily long storms.
 fn with_retry<T>(
     client: &mut Option<Client>,
     cfg: &BenchConfig,
@@ -151,6 +213,11 @@ fn with_retry<T>(
     backoffs: &mut u64,
     mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
 ) -> Result<T, ClientError> {
+    let policy = Backoff {
+        seed: cfg.seed,
+        ..Backoff::default()
+    };
+    let mut attempt: u32 = 0;
     loop {
         if client.is_none() {
             *client = Some(connect_patiently(
@@ -175,11 +242,13 @@ fn with_retry<T>(
                     });
                 }
                 *backoffs += 1;
-                std::thread::sleep(Duration::from_millis(ms.clamp(1, 2_000)));
+                std::thread::sleep(policy.delay(attempt, Some(ms)));
+                attempt = attempt.saturating_add(1);
             }
             Err(ClientError::Io(_)) if Instant::now() < deadline => {
                 *client = None;
-                std::thread::sleep(Duration::from_millis(50));
+                std::thread::sleep(policy.delay(attempt, None));
+                attempt = attempt.saturating_add(1);
             }
             Err(e) => return Err(e),
         }
@@ -206,7 +275,9 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, ClientError> {
             let status = with_retry(&mut client, cfg, deadline, &mut report.backoffs, |c| {
                 c.status(&id)
             })?;
-            if status.state == "done" {
+            // "quarantined" is terminal too: the poll must not spin on a
+            // dead-lettered job waiting for a verdict that will never come.
+            if status.state == "done" || status.state == "quarantined" {
                 break status;
             }
             if Instant::now() >= deadline {
@@ -214,6 +285,17 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, ClientError> {
             }
             std::thread::sleep(Duration::from_millis(25));
         };
+        if served.state == "quarantined" {
+            // Under a clean-weather bench a quarantine is a failure: no
+            // fault was injected, so nothing should have climbed the
+            // ladder. (The chaos storm harness has its own, laxer
+            // invariant: verdict-or-quarantine-with-evidence.)
+            report.mismatches.push(format!(
+                "{id}: quarantined instead of settling: {}",
+                served.evidence.as_deref().unwrap_or("(no evidence)")
+            ));
+            continue;
+        }
         let verdict = match served.verdict {
             Some(v) => v,
             None => {

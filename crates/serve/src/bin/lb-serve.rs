@@ -3,6 +3,8 @@
 //! ```text
 //! lb-serve run   --spool DIR [--addr HOST:PORT] [--slice-ticks N] [--workers N]
 //!                [--tenant-quota N] [--max-active N] [--retry-after-ms MS]
+//!                [--max-attempts N] [--retry-backoff-ms MS]
+//!                [--io-fault-seed N] [--net-fault-seed N]
 //!                [--idle-timeout-ms MS] [--read-timeout-ms MS] [--max-conns N]
 //! lb-serve bench --addr HOST:PORT [--tenants N] [--jobs N] [--seed N]
 //!                [--timeout-ms MS] [--deadline-ms MS]
@@ -21,6 +23,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: lb-serve <run|bench> [options]
   run   --spool DIR [--addr HOST:PORT] [--slice-ticks N] [--workers N]
         [--tenant-quota N] [--max-active N] [--retry-after-ms MS]
+        [--max-attempts N] [--retry-backoff-ms MS]
+        [--io-fault-seed N] [--net-fault-seed N]
         [--idle-timeout-ms MS] [--read-timeout-ms MS] [--max-conns N]
   bench --addr HOST:PORT [--tenants N] [--jobs N] [--seed N]
         [--timeout-ms MS] [--deadline-ms MS]";
@@ -57,6 +61,17 @@ fn take_num<T: std::str::FromStr>(
     }
 }
 
+/// Pulls an optional `--flag N` seed out of `args`: absent means "off".
+fn take_seed(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    match take_flag(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_bad| format!("{flag} wants a number, got `{v}`")),
+    }
+}
+
 fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     let spool = take_flag(&mut args, "--spool")?.ok_or("run needs --spool DIR")?;
     let defaults = ServerConfig::default();
@@ -70,10 +85,18 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
             tenant_quota: take_num(&mut args, "--tenant-quota", sched_defaults.tenant_quota)?,
             max_active: take_num(&mut args, "--max-active", sched_defaults.max_active)?,
             retry_after_ms: take_num(&mut args, "--retry-after-ms", sched_defaults.retry_after_ms)?,
+            max_attempts: take_num(&mut args, "--max-attempts", sched_defaults.max_attempts)?,
+            retry_backoff_ms: take_num(
+                &mut args,
+                "--retry-backoff-ms",
+                sched_defaults.retry_backoff_ms,
+            )?,
+            io_fault_seed: take_seed(&mut args, "--io-fault-seed")?,
         },
         idle_timeout_ms: take_num(&mut args, "--idle-timeout-ms", defaults.idle_timeout_ms)?,
         read_timeout_ms: take_num(&mut args, "--read-timeout-ms", defaults.read_timeout_ms)?,
         max_conns: take_num(&mut args, "--max-conns", defaults.max_conns)?,
+        net_fault_seed: take_seed(&mut args, "--net-fault-seed")?,
     };
     if let Some(stray) = args.first() {
         return Err(format!("unknown argument `{stray}`"));

@@ -46,6 +46,106 @@ pub fn retry_after_hint(line: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Client-side retry policy: exponential backoff with deterministic
+/// seeded jitter, honoring server `retry-after-ms` hints.
+///
+/// The jitter is a pure function of `seed` and the attempt number — two
+/// clients with different seeds spread out, one client replays exactly.
+/// When the server's rejection carries a `retry-after-ms` hint, the wait
+/// is at least that long: the server knows its own backlog better than
+/// any client-side curve does.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    /// First delay, in ms (later delays double, pre-jitter).
+    pub base_ms: u64,
+    /// Hard per-delay cap, in ms.
+    pub cap_ms: u64,
+    /// Total tries before giving up with the last error.
+    pub attempts: u32,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            base_ms: 25,
+            cap_ms: 2_000,
+            attempts: 6,
+            seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// The wait after failed try `attempt` (0-based), folding in the
+    /// server's `retry-after-ms` hint when one came back.
+    pub fn delay(&self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap_ms);
+        // Deterministic jitter in [3/4, 5/4] of the exponential step.
+        let mut state = self.seed ^ (u64::from(attempt) << 32) ^ 0x00ba_c0ff;
+        let jittered = exp.saturating_sub(exp / 4) + splitmix(&mut state) % (exp / 2).max(1);
+        Duration::from_millis(jittered.max(hint_ms.unwrap_or(0)).min(self.cap_ms))
+    }
+}
+
+/// Whether an error is worth retrying: rejections that carry a backoff
+/// hint (overload, quota, draining) and socket-level trouble (the server
+/// may be mid-restart). Typed rejections without a hint — parse errors,
+/// unknown jobs — are permanent and surface immediately.
+fn retryable(e: &ClientError) -> Option<Option<u64>> {
+    match e {
+        ClientError::Io(_) => Some(None),
+        ClientError::Rejected {
+            retry_after_ms: Some(ms),
+            ..
+        } => Some(Some(*ms)),
+        _ => None,
+    }
+}
+
+/// Runs `op` under `policy`, sleeping the jittered backoff between
+/// retryable failures. `op` receives the 0-based attempt number (callers
+/// reconnect per try). Returns the value and how many backoffs were
+/// taken; the last error when every try failed.
+pub fn retry_with_backoff<T>(
+    policy: &Backoff,
+    mut op: impl FnMut(u32) -> Result<T, ClientError>,
+) -> Result<(T, u32), ClientError> {
+    let mut backoffs = 0u32;
+    let tries = policy.attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok((v, backoffs)),
+            Err(e) => {
+                let Some(hint) = retryable(&e) else {
+                    return Err(e);
+                };
+                if attempt + 1 >= tries {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay(attempt, hint));
+                backoffs += 1;
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// SplitMix64, same generator as `lb_engine::fault` (kept private — the
+/// client must not grow a public RNG surface).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// One protocol connection. Requests are strictly sequential: send, then
 /// read exactly one response line.
 pub struct Client {
@@ -76,6 +176,16 @@ impl Client {
         let n = self.reader.read_line(&mut line).map_err(io_err)?;
         if n == 0 {
             return Err(ClientError::Io("server closed the connection".to_string()));
+        }
+        // A response without its newline is a torn write (the server died
+        // mid-line): `OK j3` delivered as `OK j` would otherwise be
+        // trusted as an ack for the wrong job id. Typed I/O error instead
+        // — the retry layer reconnects and reissues.
+        if !line.ends_with('\n') {
+            return Err(ClientError::Io(format!(
+                "connection closed mid-response (torn line `{}`)",
+                line.trim_end()
+            )));
         }
         Ok(line.trim_end().to_string())
     }
@@ -172,5 +282,71 @@ mod tests {
     fn retry_hint_is_extracted() {
         assert_eq!(retry_after_hint("overload retry-after-ms=250"), Some(250));
         assert_eq!(retry_after_hint("draining"), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_honors_hints() {
+        let policy = Backoff {
+            base_ms: 100,
+            cap_ms: 1_000,
+            attempts: 5,
+            seed: 42,
+        };
+        for attempt in 0..5 {
+            assert_eq!(
+                policy.delay(attempt, None),
+                policy.delay(attempt, None),
+                "same seed and attempt must give the same delay"
+            );
+            let d = policy.delay(attempt, None).as_millis() as u64;
+            assert!(d <= 1_000, "delay {d} exceeds the cap");
+        }
+        // A server hint is a floor (still capped).
+        assert!(policy.delay(0, Some(400)).as_millis() >= 400);
+        assert_eq!(policy.delay(0, Some(9_999)).as_millis(), 1_000);
+        // Different seeds spread out somewhere on the curve.
+        let other = Backoff { seed: 43, ..policy };
+        assert!((0..5).any(|a| policy.delay(a, None) != other.delay(a, None)));
+    }
+
+    #[test]
+    fn retry_gives_up_on_permanent_rejections() {
+        let policy = Backoff {
+            base_ms: 1,
+            cap_ms: 1,
+            attempts: 4,
+            seed: 7,
+        };
+        let mut calls = 0u32;
+        let result: Result<((), u32), _> = retry_with_backoff(&policy, |_attempt| {
+            calls += 1;
+            Err(ClientError::Rejected {
+                line: "ERR parse".into(),
+                retry_after_ms: None,
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1, "a hint-less rejection must not be retried");
+    }
+
+    #[test]
+    fn retry_retries_io_then_succeeds() {
+        let policy = Backoff {
+            base_ms: 1,
+            cap_ms: 1,
+            attempts: 4,
+            seed: 7,
+        };
+        let mut calls = 0u32;
+        let (value, backoffs) = retry_with_backoff(&policy, |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(ClientError::Io("refused".into()))
+            } else {
+                Ok("up")
+            }
+        })
+        .unwrap();
+        assert_eq!((value, backoffs, calls), ("up", 2, 3));
     }
 }

@@ -18,7 +18,8 @@ use lb_sat::CnfFormula;
 use std::fmt;
 
 /// Record format version: bump when the encoding below changes shape.
-pub const RECORD_VERSION: u32 = 1;
+/// Version 2 added the `attempts` field and the `quarantined` status.
+pub const RECORD_VERSION: u32 = 2;
 
 /// The solver families a job can ask for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -196,7 +197,8 @@ impl Verdict {
 
 /// Where a job is in its lifecycle, as persisted. `Running` never hits
 /// disk: a SIGKILL mid-slice must find the job re-queueable, so on disk a
-/// job is either still owed work (`Queued`) or settled (`Done`).
+/// job is either still owed work (`Queued`), settled (`Done`), or
+/// dead-lettered (`Quarantined`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobStatus {
     /// Owed work; may have a spooled checkpoint to resume from.
@@ -204,6 +206,13 @@ pub enum JobStatus {
     /// Settled with a verdict; never re-run (the no-duplicate-verdicts
     /// invariant).
     Done(Verdict),
+    /// Terminal without a verdict: the job climbed the whole retry ladder
+    /// and was dead-lettered. The one-line reason rides in the record; the
+    /// full per-attempt evidence lives next to it in the quarantine area.
+    Quarantined {
+        /// One-line summary of what sent the job to the dead-letter area.
+        reason: String,
+    },
 }
 
 /// One job's persisted state: the spec plus scheduling progress.
@@ -219,6 +228,10 @@ pub struct JobRecord {
     pub preemptions: u64,
     /// Ticks spent so far across all slices (the metering unit).
     pub spent: u64,
+    /// Failed attempts so far (slice errors, spool faults, livelocked
+    /// slices, discarded checkpoints) — the retry-ladder rung. Reaching
+    /// the configured maximum quarantines the job.
+    pub attempts: u64,
 }
 
 impl JobRecord {
@@ -235,11 +248,20 @@ impl JobRecord {
         out.push_str(&format!("budget {}\n", self.spec.budget.unwrap_or(0)));
         out.push_str(&format!("preemptions {}\n", self.preemptions));
         out.push_str(&format!("spent {}\n", self.spent));
+        out.push_str(&format!("attempts {}\n", self.attempts));
         match &self.status {
             JobStatus::Queued => out.push_str("status queued\n"),
             JobStatus::Done(v) => {
                 out.push_str("status done\n");
                 out.push_str(&format!("verdict {}\n", v.to_line()));
+            }
+            JobStatus::Quarantined { reason } => {
+                out.push_str("status quarantined\n");
+                // The reason is free text but must stay one line.
+                out.push_str(&format!(
+                    "reason {}\n",
+                    reason.replace(['\n', '\r'], " ").trim()
+                ));
             }
         }
         let payload_lines = self.spec.payload.lines().count();
@@ -338,6 +360,8 @@ impl JobRecord {
         let preemptions: u64 = formats::parse_num(lineno, 13, &preemptions, "preemption count")?;
         let (lineno, spent) = field("spent")?;
         let spent: u64 = formats::parse_num(lineno, 7, &spent, "spent ticks")?;
+        let (lineno, attempts) = field("attempts")?;
+        let attempts: u64 = formats::parse_num(lineno, 10, &attempts, "attempt count")?;
         let (lineno, status) = field("status")?;
         let status = match status.as_str() {
             "queued" => JobStatus::Queued,
@@ -353,6 +377,10 @@ impl JobRecord {
                     )
                 })?;
                 JobStatus::Done(v)
+            }
+            "quarantined" => {
+                let (_, reason) = field("reason")?;
+                JobStatus::Quarantined { reason }
             }
             other => {
                 return Err(ParseError::new(
@@ -429,6 +457,7 @@ impl JobRecord {
             status,
             preemptions,
             spent,
+            attempts,
         })
     }
 }
@@ -450,6 +479,7 @@ mod tests {
             status,
             preemptions: 4,
             spent: 321,
+            attempts: 2,
         }
     }
 
@@ -461,6 +491,9 @@ mod tests {
             JobStatus::Done(Verdict::Unsat),
             JobStatus::Done(Verdict::Count(42)),
             JobStatus::Done(Verdict::Unknown("tick budget of 500 exhausted".into())),
+            JobStatus::Quarantined {
+                reason: "3 attempts exhausted: checkpoint: bad magic".into(),
+            },
         ] {
             let rec = sample(status);
             let back = JobRecord::decode(&rec.encode()).unwrap();
@@ -485,6 +518,21 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn quarantine_reason_is_flattened_to_one_line() {
+        let mut rec = sample(JobStatus::Quarantined {
+            reason: "line one\nline two".into(),
+        });
+        let back = JobRecord::decode(&rec.encode()).unwrap();
+        match back.status {
+            JobStatus::Quarantined { ref reason } => assert_eq!(reason, "line one line two"),
+            ref other => panic!("expected quarantined, got {other:?}"),
+        }
+        // Encoding is stable once flattened.
+        rec.status = back.status.clone();
+        assert_eq!(JobRecord::decode(&rec.encode()).unwrap(), rec);
     }
 
     #[test]

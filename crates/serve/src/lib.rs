@@ -14,6 +14,14 @@
 //! - **crash safety** — all job state persists atomically in a spool
 //!   directory, so a `kill -9` loses no acknowledged job and duplicates
 //!   no verdict ([`spool`]);
+//! - **a survival ladder** — jobs that repeatedly fail (corrupt
+//!   checkpoints, injected I/O faults, budget livelock) climb an
+//!   attempt/backoff ladder and land in a durable quarantine with
+//!   evidence instead of retrying forever ([`scheduler`], [`spool`]);
+//! - **deterministic network chaos** — seeded connection-level fault
+//!   injection (torn writes, disconnects, slow-loris trickle, read
+//!   timeouts) for soaking the server through hostile weather
+//!   ([`netfault`]);
 //! - **a line protocol** with the same positioned typed-error discipline
 //!   as the DIMACS parser ([`protocol`]).
 //!
@@ -27,6 +35,7 @@ pub mod bench;
 pub mod client;
 pub mod formats;
 pub mod job;
+pub mod netfault;
 pub mod protocol;
 pub mod runner;
 pub mod scheduler;

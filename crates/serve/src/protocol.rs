@@ -4,7 +4,8 @@
 //! PING                                     → PONG
 //! STATS                                    → STATS jobs=.. active=.. ...
 //! DRAIN                                    → OK draining
-//! STATUS <job-id>                          → STATUS <id> <state> preemptions=.. spent=.. [verdict=..]
+//! STATUS <job-id>                          → STATUS <id> <state> preemptions=.. spent=.. attempts=..
+//!                                                   [verdict=..] [evidence=..]
 //! SUBMIT <tenant> <family> <nlines> [k=<n>] [budget=<ticks>]
 //! <nlines payload lines>                   → OK <job-id>
 //! ```
@@ -412,8 +413,12 @@ pub enum Reject {
         /// Suggested client backoff, milliseconds.
         retry_after_ms: u64,
     },
-    /// Server is draining; submissions are permanently refused.
-    Draining,
+    /// Server is draining; this instance refuses new submissions, but a
+    /// restarted one will take them — the hint tells clients when to try.
+    Draining {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+    },
     /// STATUS for an id this spool has never seen.
     UnknownJob {
         /// The unknown id.
@@ -434,7 +439,9 @@ impl Reject {
             Reject::Overload { retry_after_ms } => {
                 format!("ERR overload retry-after-ms={retry_after_ms}")
             }
-            Reject::Draining => "ERR draining".to_string(),
+            Reject::Draining { retry_after_ms } => {
+                format!("ERR draining retry-after-ms={retry_after_ms}")
+            }
             Reject::UnknownJob { job_id } => format!("ERR unknown-job {job_id}"),
         }
     }
@@ -442,9 +449,9 @@ impl Reject {
     /// The backoff hint, when this rejection carries one.
     pub fn retry_after_ms(&self) -> Option<u64> {
         match self {
-            Reject::Quota { retry_after_ms, .. } | Reject::Overload { retry_after_ms } => {
-                Some(*retry_after_ms)
-            }
+            Reject::Quota { retry_after_ms, .. }
+            | Reject::Overload { retry_after_ms }
+            | Reject::Draining { retry_after_ms } => Some(*retry_after_ms),
             _ => None,
         }
     }
@@ -455,26 +462,34 @@ impl Reject {
 pub struct StatusReport {
     /// The job id.
     pub job_id: String,
-    /// `queued`, `running`, or `done`.
+    /// `queued`, `running`, `done`, or `quarantined`.
     pub state: String,
     /// Preemption count so far.
     pub preemptions: u64,
     /// Ticks spent so far (the metering unit).
     pub spent: u64,
+    /// Failed-attempt count so far (the retry-ladder rung).
+    pub attempts: u64,
     /// The verdict, once done.
     pub verdict: Option<Verdict>,
+    /// The one-line quarantine reason, once quarantined.
+    pub evidence: Option<String>,
 }
 
 impl StatusReport {
-    /// Renders the single `STATUS` response line.
+    /// Renders the single `STATUS` response line. A report carries a
+    /// verdict or evidence, never both; evidence is trailing free text.
     pub fn to_line(&self) -> String {
         let mut line = format!(
-            "STATUS {} {} preemptions={} spent={}",
-            self.job_id, self.state, self.preemptions, self.spent
+            "STATUS {} {} preemptions={} spent={} attempts={}",
+            self.job_id, self.state, self.preemptions, self.spent, self.attempts
         );
         if let Some(v) = &self.verdict {
             line.push_str(" verdict=");
             line.push_str(&v.to_line());
+        } else if let Some(e) = &self.evidence {
+            line.push_str(" evidence=");
+            line.push_str(&e.replace(['\n', '\r'], " "));
         }
         line
     }
@@ -482,21 +497,27 @@ impl StatusReport {
     /// Parses [`StatusReport::to_line`] output (the client side).
     pub fn from_line(line: &str) -> Option<StatusReport> {
         let rest = line.strip_prefix("STATUS ")?;
-        let (head, verdict) = match rest.split_once(" verdict=") {
-            Some((h, v)) => (h, Some(Verdict::from_line(v)?)),
-            None => (rest, None),
+        let (head, verdict, evidence) = if let Some((h, v)) = rest.split_once(" verdict=") {
+            (h, Some(Verdict::from_line(v)?), None)
+        } else if let Some((h, e)) = rest.split_once(" evidence=") {
+            (h, None, Some(e.to_string()))
+        } else {
+            (rest, None, None)
         };
         let mut parts = head.split_whitespace();
         let job_id = parts.next()?.to_string();
         let state = parts.next()?.to_string();
         let preemptions = parts.next()?.strip_prefix("preemptions=")?.parse().ok()?;
         let spent = parts.next()?.strip_prefix("spent=")?.parse().ok()?;
+        let attempts = parts.next()?.strip_prefix("attempts=")?.parse().ok()?;
         Some(StatusReport {
             job_id,
             state,
             preemptions,
             spent,
+            attempts,
             verdict,
+            evidence,
         })
     }
 }

@@ -16,12 +16,15 @@
 
 use crate::job::{Instance, JobRecord, JobSpec, JobStatus, Verdict};
 use crate::protocol::{Reject, StatusReport};
-use crate::runner::{self, SliceOutcome};
+use crate::runner::{self, SliceError, SliceOutcome};
 use crate::spool::Spool;
+use lb_engine::fault::{with_io_plan, IoFaultPlan};
 use lb_engine::{exhaustion_diagnostic, Budget, Checkpoint};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Debug)]
@@ -36,6 +39,15 @@ pub struct SchedulerConfig {
     pub max_active: usize,
     /// Base client backoff hint for quota/overload rejections, ms.
     pub retry_after_ms: u64,
+    /// Failed attempts before a job is quarantined (min 1).
+    pub max_attempts: u64,
+    /// Base server-side backoff between a job's failed attempt and its
+    /// next slice, ms; doubles per attempt, capped at 5 s.
+    pub retry_backoff_ms: u64,
+    /// Chaos knob: seed for deterministic [`IoFaultPlan`]s injected into
+    /// every fourth slice's settle path. `None` (the default) injects
+    /// nothing — production runs never fault themselves.
+    pub io_fault_seed: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -46,6 +58,9 @@ impl Default for SchedulerConfig {
             tenant_quota: 16,
             max_active: 256,
             retry_after_ms: 100,
+            max_attempts: 3,
+            retry_backoff_ms: 50,
+            io_fault_seed: None,
         }
     }
 }
@@ -56,6 +71,14 @@ struct Entry {
     instance: Option<Arc<Instance>>,
     running: bool,
     resume: Option<Checkpoint>,
+    /// Earliest moment the job may take its next slice (retry backoff).
+    not_before: Option<Instant>,
+    /// One line per failed attempt — flushed to the quarantine evidence
+    /// file if the job dead-letters.
+    evidence: Vec<String>,
+    /// Consecutive suspended slices with zero tick progress (the budget
+    /// livelock detector).
+    stalled: u64,
 }
 
 #[derive(Default)]
@@ -65,6 +88,8 @@ struct Counters {
     rejected: u64,
     done: u64,
     ticks: u64,
+    retries: u64,
+    quarantined: u64,
 }
 
 struct State {
@@ -75,6 +100,9 @@ struct State {
     per_tenant: BTreeMap<String, usize>,
     draining: bool,
     next_job_number: u64,
+    /// Raw dead-lettered ids (the record itself was corrupt): id →
+    /// evidence line, so `STATUS` can still answer for them.
+    dead_lettered: BTreeMap<String, String>,
     counters: Counters,
 }
 
@@ -85,6 +113,9 @@ pub struct Scheduler {
     cfg: SchedulerConfig,
     state: Mutex<State>,
     wake: Condvar,
+    /// Slices handed out so far — the deterministic index the chaos
+    /// io-fault schedule keys on.
+    slices_started: AtomicU64,
 }
 
 fn lock_state<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
@@ -105,11 +136,18 @@ impl Scheduler {
         let mut report = RecoveryReport {
             resumed: 0,
             settled: 0,
+            quarantined: recovered.quarantined.len(),
+            restarted_from_scratch: 0,
             stale_tmp_removed: recovered.stale_tmp_removed,
             skipped: recovered
                 .skipped
                 .iter()
                 .map(|(p, e)| format!("{}: {e}", p.display()))
+                .collect(),
+            dead_lettered: recovered
+                .dead_lettered
+                .iter()
+                .map(|(id, e)| format!("{id}: {e}"))
                 .collect(),
             discarded_checkpoints: Vec::new(),
         };
@@ -121,8 +159,23 @@ impl Scheduler {
             per_tenant: BTreeMap::new(),
             draining: false,
             next_job_number: recovered.next_job_number,
+            dead_lettered: recovered.dead_lettered.into_iter().collect(),
             counters: Counters::default(),
         };
+        let settled_entry = |rec: JobRecord| Entry {
+            rec,
+            instance: None,
+            running: false,
+            resume: None,
+            not_before: None,
+            evidence: Vec::new(),
+            stalled: 0,
+        };
+        for rec in recovered.quarantined {
+            // Terminal: serve STATUS from the dead-letter record, never
+            // re-run. Not counted active — the tenant's quota is free.
+            state.jobs.insert(rec.id.clone(), settled_entry(rec));
+        }
         for rec in recovered.records {
             let id = rec.id.clone();
             match &rec.status {
@@ -130,22 +183,46 @@ impl Scheduler {
                     // Settled: serve STATUS from the record, never re-run —
                     // the no-duplicated-verdicts half of the invariant.
                     report.settled += 1;
-                    state.jobs.insert(
-                        id,
-                        Entry {
-                            rec,
-                            instance: None,
-                            running: false,
-                            resume: None,
-                        },
-                    );
+                    state.jobs.insert(id, settled_entry(rec));
+                }
+                JobStatus::Quarantined { .. } => {
+                    // A quarantined record still under jobs/ (legacy or a
+                    // hand-edited spool): honor it as terminal.
+                    report.quarantined += 1;
+                    state.jobs.insert(id, settled_entry(rec));
                 }
                 JobStatus::Queued => {
                     let (resume, discarded) = spool.resume_point(&rec);
+                    let mut rec = rec;
+                    let mut evidence = Vec::new();
                     if let Some(why) = discarded {
+                        // Degraded-checkpoint recovery: the frontier blob
+                        // failed typed decode, so the job restarts from
+                        // scratch — one rung up the ladder, never lost,
+                        // never wedging the queue.
+                        rec.attempts += 1;
+                        evidence.push(format!(
+                            "attempt {}: checkpoint discarded on recovery: {why}",
+                            rec.attempts
+                        ));
                         report
                             .discarded_checkpoints
                             .push(format!("{}: {why}", rec.id));
+                        if rec.attempts >= cfg.max_attempts.max(1) {
+                            let reason = format!(
+                                "{} attempts exhausted; last: checkpoint discarded on recovery: {why}",
+                                rec.attempts
+                            );
+                            rec.status = JobStatus::Quarantined { reason };
+                            let mut text = evidence.join("\n");
+                            text.push('\n');
+                            spool.quarantine(&rec, &text)?;
+                            report.quarantined += 1;
+                            state.jobs.insert(rec.id.clone(), settled_entry(rec));
+                            continue;
+                        }
+                        report.restarted_from_scratch += 1;
+                        spool.save_record(&rec)?;
                     }
                     let instance = match rec.spec.instance() {
                         Ok(i) => Arc::new(i),
@@ -153,21 +230,12 @@ impl Scheduler {
                             // A complete record whose payload no longer
                             // parses (format drift): settle it as a typed
                             // UNKNOWN rather than wedge the queue.
-                            let mut rec = rec;
                             rec.status = JobStatus::Done(Verdict::Unknown(format!(
                                 "payload no longer parses: {e}"
                             )));
                             spool.save_record(&rec)?;
                             report.settled += 1;
-                            state.jobs.insert(
-                                rec.id.clone(),
-                                Entry {
-                                    rec,
-                                    instance: None,
-                                    running: false,
-                                    resume: None,
-                                },
-                            );
+                            state.jobs.insert(rec.id.clone(), settled_entry(rec));
                             continue;
                         }
                     };
@@ -182,6 +250,9 @@ impl Scheduler {
                             instance: Some(instance),
                             running: false,
                             resume,
+                            not_before: None,
+                            evidence,
+                            stalled: 0,
                         },
                     );
                 }
@@ -193,6 +264,7 @@ impl Scheduler {
                 cfg,
                 state: Mutex::new(state),
                 wake: Condvar::new(),
+                slices_started: AtomicU64::new(0),
             }),
             report,
         ))
@@ -220,7 +292,12 @@ impl Scheduler {
             let mut state = lock_state(&self.state);
             if state.draining {
                 state.counters.rejected += 1;
-                return Err(Reject::Draining);
+                // This instance never reopens admission, but its successor
+                // will recover the spool — tell clients when to retry.
+                let hint = self.backoff_hint(&state);
+                return Err(Reject::Draining {
+                    retry_after_ms: hint,
+                });
             }
             if state.active >= self.cfg.max_active {
                 state.counters.rejected += 1;
@@ -248,6 +325,7 @@ impl Scheduler {
                 status: JobStatus::Queued,
                 preemptions: 0,
                 spent: 0,
+                attempts: 0,
             };
             (id, rec)
         };
@@ -274,6 +352,9 @@ impl Scheduler {
                 instance: Some(instance),
                 running: false,
                 resume: None,
+                not_before: None,
+                evidence: Vec::new(),
+                stalled: 0,
             },
         );
         drop(state);
@@ -291,18 +372,34 @@ impl Scheduler {
     /// One job's state, or `None` for an id this spool never issued.
     pub fn status(&self, id: &str) -> Option<StatusReport> {
         let state = lock_state(&self.state);
-        let entry = state.jobs.get(id)?;
-        let (status, verdict) = match &entry.rec.status {
-            JobStatus::Done(v) => ("done", Some(v.clone())),
-            JobStatus::Queued if entry.running => ("running", None),
-            JobStatus::Queued => ("queued", None),
+        let Some(entry) = state.jobs.get(id) else {
+            // A raw dead-lettered id (its record never decoded) still
+            // answers: quarantined, with the decode error as evidence.
+            let why = state.dead_lettered.get(id)?;
+            return Some(StatusReport {
+                job_id: id.to_string(),
+                state: "quarantined".to_string(),
+                preemptions: 0,
+                spent: 0,
+                attempts: 0,
+                verdict: None,
+                evidence: Some(why.clone()),
+            });
+        };
+        let (status, verdict, evidence) = match &entry.rec.status {
+            JobStatus::Done(v) => ("done", Some(v.clone()), None),
+            JobStatus::Quarantined { reason } => ("quarantined", None, Some(reason.clone())),
+            JobStatus::Queued if entry.running => ("running", None, None),
+            JobStatus::Queued => ("queued", None, None),
         };
         Some(StatusReport {
             job_id: id.to_string(),
             state: status.to_string(),
             preemptions: entry.rec.preemptions,
             spent: entry.rec.spent,
+            attempts: entry.rec.attempts,
             verdict,
+            evidence,
         })
     }
 
@@ -311,15 +408,23 @@ impl Scheduler {
         let state = lock_state(&self.state);
         let running = state.jobs.values().filter(|e| e.running).count();
         let queued = state.active - running;
+        let quarantined = state
+            .jobs
+            .values()
+            .filter(|e| matches!(e.rec.status, JobStatus::Quarantined { .. }))
+            .count()
+            + state.dead_lettered.len();
         format!(
-            "STATS jobs={} queued={} running={} done={} tenants={} slices={} preemptions={} rejected={} ticks={}",
-            state.jobs.len(),
+            "STATS jobs={} queued={} running={} done={} quarantined={} tenants={} slices={} preemptions={} retries={} rejected={} ticks={}",
+            state.jobs.len() + state.dead_lettered.len(),
             queued,
             running,
             state.counters.done,
+            quarantined,
             state.per_tenant.values().filter(|&&n| n > 0).count(),
             state.counters.slices,
             state.counters.preemptions,
+            state.counters.retries,
             state.counters.rejected,
             state.counters.ticks,
         )
@@ -349,7 +454,9 @@ impl Scheduler {
                     if state.draining {
                         return;
                     }
-                    if let Some(id) = pick_next(&mut state) {
+                    let now = Instant::now();
+                    let (pick, wake_at) = pick_next(&mut state, now);
+                    if let Some(id) = pick {
                         let Some(entry) = state.jobs.get_mut(&id) else {
                             continue;
                         };
@@ -357,15 +464,121 @@ impl Scheduler {
                             continue;
                         };
                         entry.running = true;
+                        entry.not_before = None;
                         let resume = entry.resume.take();
                         break (id, instance, resume, self.cfg.slice_ticks.max(1));
                     }
-                    state = self.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+                    // Park until new work arrives — or until the earliest
+                    // backing-off job becomes runnable again.
+                    state = match wake_at {
+                        Some(at) => {
+                            let wait = at.saturating_duration_since(now);
+                            self.wake
+                                .wait_timeout(state, wait)
+                                .unwrap_or_else(|e| e.into_inner())
+                                .0
+                        }
+                        None => self.wake.wait(state).unwrap_or_else(|e| e.into_inner()),
+                    };
                 }
             };
+            let slice_no = self.slices_started.fetch_add(1, Ordering::SeqCst) + 1;
             let result = runner::solve_slice(&instance, &Budget::ticks(slice), resume.as_ref());
-            self.settle_slice(&id, result);
+            match self.cfg.io_fault_seed {
+                // Chaos mode: every fourth settle runs under a seeded
+                // I/O fault schedule, so spool writes fail on a
+                // deterministic (per slice index) plan.
+                Some(seed) if slice_no.is_multiple_of(4) => {
+                    let plan = IoFaultPlan::from_seed(seed ^ slice_no);
+                    with_io_plan(&plan, || self.settle_slice(&id, result));
+                }
+                _ => self.settle_slice(&id, result),
+            }
         }
+    }
+
+    /// Exponential per-attempt backoff: base doubles each rung, capped.
+    fn backoff_after(&self, attempts: u64) -> Duration {
+        let base = self.cfg.retry_backoff_ms.max(1);
+        let exp = attempts.saturating_sub(1).min(16) as u32;
+        Duration::from_millis(base.saturating_mul(1u64 << exp).min(5_000))
+    }
+
+    /// One rung up the retry ladder: bump the attempt counter, log the
+    /// evidence line, and either re-queue with exponential backoff or —
+    /// once `max_attempts` is reached — dead-letter the job. Set
+    /// `discard_resume` when the in-memory frontier itself is suspect
+    /// (corrupt checkpoint): the retry then restarts from scratch.
+    fn fail_attempt(&self, state: &mut State, id: &str, why: &str, discard_resume: bool) {
+        let (attempts, tenant) = {
+            let Some(entry) = state.jobs.get_mut(id) else {
+                return;
+            };
+            entry.rec.attempts += 1;
+            entry
+                .evidence
+                .push(format!("attempt {}: {why}", entry.rec.attempts));
+            if discard_resume {
+                entry.resume = None;
+            }
+            (entry.rec.attempts, entry.rec.spec.tenant.clone())
+        };
+        if discard_resume {
+            if let Err(e) = self.spool.remove_checkpoint(id) {
+                eprintln!("warning: {id}: could not remove checkpoint: {e}");
+            }
+        }
+        if attempts >= self.cfg.max_attempts.max(1) {
+            self.quarantine_job(
+                state,
+                id,
+                &format!("{attempts} attempts exhausted; last: {why}"),
+            );
+            return;
+        }
+        state.counters.retries += 1;
+        let delay = self.backoff_after(attempts);
+        if let Some(entry) = state.jobs.get_mut(id) {
+            // Persist the bumped counter so a crash cannot reset the
+            // ladder; a failed write here only delays quarantine by one
+            // restart — sound either way.
+            if let Err(e) = self.spool.save_record(&entry.rec) {
+                eprintln!("warning: {id}: could not persist attempt count: {e}");
+            }
+            entry.not_before = Some(Instant::now() + delay);
+        }
+        enqueue(state, id, &tenant);
+        // notify_all: parked workers must recompute their wait deadline.
+        self.wake.notify_all();
+    }
+
+    /// Terminal dead-lettering: the record flips to `Quarantined`, moves
+    /// (with its accumulated evidence) into the spool's quarantine area,
+    /// and the tenant's quota slot frees up. The job is never re-run.
+    fn quarantine_job(&self, state: &mut State, id: &str, reason: &str) {
+        let Some(entry) = state.jobs.get_mut(id) else {
+            return;
+        };
+        entry.rec.status = JobStatus::Quarantined {
+            reason: reason.to_string(),
+        };
+        entry.resume = None;
+        entry.instance = None;
+        entry.not_before = None;
+        let mut evidence = entry.evidence.join("\n");
+        evidence.push('\n');
+        let rec = entry.rec.clone();
+        let tenant = rec.spec.tenant.clone();
+        if let Err(e) = self.spool.quarantine(&rec, &evidence) {
+            // Disk may still say `queued`: after a crash the job re-runs
+            // and climbs the ladder again — sound, merely slower.
+            eprintln!("warning: {id}: could not dead-letter: {e}");
+        }
+        state.active = state.active.saturating_sub(1);
+        if let Some(n) = state.per_tenant.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+        state.counters.quarantined += 1;
     }
 
     /// Applies one finished slice's outcome under the lock, persisting
@@ -396,13 +609,19 @@ impl Scheduler {
             Ok((SliceOutcome::Suspended { reason, checkpoint }, stats)) => {
                 let ticks = stats.total_ops();
                 state.counters.ticks += ticks;
-                let (over_budget, tenant) = {
+                let (over_budget, stalled, tenant) = {
                     let Some(entry) = state.jobs.get_mut(id) else {
                         return;
                     };
                     entry.rec.spent += ticks;
+                    if ticks == 0 {
+                        entry.stalled += 1;
+                    } else {
+                        entry.stalled = 0;
+                    }
                     (
                         entry.rec.spec.budget.is_some_and(|t| entry.rec.spent >= t),
+                        entry.stalled,
                         entry.rec.spec.tenant.clone(),
                     )
                 };
@@ -413,28 +632,66 @@ impl Scheduler {
                     self.finish(&mut state, id, Verdict::Unknown(why));
                     return;
                 }
+                if stalled >= self.cfg.max_attempts.max(1) {
+                    // Budget livelock: slices keep suspending without a
+                    // single tick of progress. Keep the frontier (it is
+                    // not corrupt, just stuck) and climb the ladder.
+                    if let Some(entry) = state.jobs.get_mut(id) {
+                        entry.stalled = 0;
+                        entry.resume = Some(checkpoint);
+                    }
+                    self.fail_attempt(
+                        &mut state,
+                        id,
+                        &format!("budget livelock: {stalled} consecutive zero-progress slices"),
+                        false,
+                    );
+                    return;
+                }
                 state.counters.preemptions += 1;
                 // Persist frontier then record; only then re-queue. A crash
                 // between the two replays from the older frontier — slower,
-                // never wrong.
-                if let Err(e) = self.spool.save_checkpoint(id, &checkpoint) {
-                    eprintln!("warning: {id}: could not spool checkpoint: {e}");
-                }
-                if let Some(entry) = state.jobs.get_mut(id) {
-                    entry.rec.preemptions += 1;
-                    if let Err(e) = self.spool.save_record(&entry.rec) {
-                        eprintln!("warning: {id}: could not update record: {e}");
+                // never wrong. A *failed* save is a ladder rung: the job
+                // keeps its in-memory frontier, but repeated spool faults
+                // quarantine it instead of silently degrading forever.
+                let saved_ckpt = self.spool.save_checkpoint(id, &checkpoint);
+                let saved_rec = match state.jobs.get_mut(id) {
+                    Some(entry) => {
+                        entry.rec.preemptions += 1;
+                        entry.resume = Some(checkpoint);
+                        self.spool.save_record(&entry.rec)
                     }
-                    entry.resume = Some(checkpoint);
+                    None => return,
+                };
+                if let Err(e) = saved_ckpt.and(saved_rec) {
+                    self.fail_attempt(
+                        &mut state,
+                        id,
+                        &format!("could not spool progress: {e}"),
+                        false,
+                    );
+                    return;
                 }
                 enqueue(&mut state, id, &tenant);
                 drop(state);
                 self.wake.notify_one();
             }
-            Err(e) => {
-                // A typed solver/checkpoint failure settles the job as
-                // UNKNOWN — reported, never swallowed, never panicked.
-                self.finish(&mut state, id, Verdict::Unknown(format!("error: {e}")));
+            Err(SliceError::Checkpoint(e)) => {
+                // The frontier blob failed to decode or re-encode: discard
+                // it and retry from scratch — repeated corruption
+                // quarantines the job with the typed error as evidence.
+                self.fail_attempt(&mut state, id, &format!("checkpoint: {e}"), true);
+            }
+            Err(SliceError::Instance(e)) => {
+                // The solver rejected the instance itself (e.g. a join
+                // query naming a relation the database does not hold):
+                // deterministic, so retrying cannot help. Settle as a
+                // typed UNKNOWN — reported, never swallowed.
+                self.finish(
+                    &mut state,
+                    id,
+                    Verdict::Unknown(format!("error: instance: {e}")),
+                );
             }
         }
     }
@@ -476,6 +733,16 @@ pub struct RecoveryReport {
     pub skipped: Vec<String>,
     /// Checkpoints discarded as undecodable (job restarts from scratch).
     pub discarded_checkpoints: Vec<String>,
+    /// Jobs already quarantined on disk, plus jobs quarantined *during*
+    /// this recovery because the discarded checkpoint exhausted their
+    /// attempt ladder.
+    pub quarantined: usize,
+    /// Jobs whose checkpoint was discarded but whose ladder still had
+    /// rungs left: re-queued from scratch with `attempts` bumped.
+    pub restarted_from_scratch: usize,
+    /// Undecodable record files moved to the quarantine dead-letter area,
+    /// as `"<id>: <evidence>"` lines.
+    pub dead_lettered: Vec<String>,
 }
 
 /// Appends a job to its tenant's queue, registering the tenant in the
@@ -492,19 +759,220 @@ fn enqueue(state: &mut State, id: &str, tenant: &str) {
 /// rotate the tenant to the back (or drop it from the ring when its queue
 /// emptied). Each tenant gets one slice per ring pass no matter how deep
 /// any single tenant's backlog is.
-fn pick_next(state: &mut State) -> Option<String> {
-    for _ in 0..state.ring.len() {
-        let tenant = state.ring.pop_front()?;
-        let Some(queue) = state.queues.get_mut(&tenant) else {
+///
+/// Jobs parked behind a retry backoff (`not_before` in the future) are
+/// skipped in place: the second return value is the earliest instant any
+/// skipped job becomes runnable, so a worker with nothing to do knows how
+/// long to sleep instead of spinning.
+fn pick_next(state: &mut State, now: Instant) -> (Option<String>, Option<Instant>) {
+    let mut wake_at: Option<Instant> = None;
+    let State {
+        ring, queues, jobs, ..
+    } = state;
+    for _ in 0..ring.len() {
+        let Some(tenant) = ring.pop_front() else {
+            break;
+        };
+        let Some(queue) = queues.get_mut(&tenant) else {
             continue;
         };
         let id = queue.pop_front();
-        if !queue.is_empty() {
-            state.ring.push_back(tenant);
+        let Some(id) = id else {
+            if !queue.is_empty() {
+                ring.push_back(tenant);
+            }
+            continue;
+        };
+        let parked_until = jobs
+            .get(&id)
+            .and_then(|e| e.not_before)
+            .filter(|&t| t > now);
+        if let Some(until) = parked_until {
+            // Still cooling off: put the job back where it was and give
+            // the rest of the ring a chance this pass.
+            queue.push_front(id);
+            ring.push_back(tenant);
+            wake_at = Some(match wake_at {
+                Some(t) => t.min(until),
+                None => until,
+            });
+            continue;
         }
-        if let Some(id) = id {
-            return Some(id);
+        if !queue.is_empty() {
+            ring.push_back(tenant);
+        }
+        return (Some(id), wake_at);
+    }
+    (None, wake_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobFamily;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(test: &str) -> (PathBuf, Spool) {
+        let dir = std::env::temp_dir().join(format!("lbserve-sched-{test}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spool = Spool::open(&dir).unwrap();
+        (dir, spool)
+    }
+
+    fn spec(tenant: &str) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            family: JobFamily::Triangle,
+            k: 0,
+            budget: None,
+            payload: "3\n0 1\n1 2\n0 2\n".into(),
         }
     }
-    None
+
+    fn cfg(max_attempts: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            max_attempts,
+            retry_backoff_ms: 10,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn fail_attempt_backs_off_then_quarantines_with_evidence() {
+        let (dir, spool) = scratch("ladder");
+        let (sched, _) = Scheduler::recover(spool.clone(), cfg(2)).unwrap();
+        let id = sched.submit(spec("acme")).unwrap();
+
+        // First strike: re-queued behind a backoff, counter persisted.
+        {
+            let mut state = lock_state(&sched.state);
+            sched.fail_attempt(&mut state, &id, "checkpoint: bad magic", true);
+        }
+        let status = sched.status(&id).unwrap();
+        assert_eq!((status.state.as_str(), status.attempts), ("queued", 1));
+        let on_disk = JobRecord::decode(&fs::read_to_string(spool.job_path(&id)).unwrap()).unwrap();
+        assert_eq!(on_disk.attempts, 1, "ladder rung must survive a crash");
+        {
+            let state = lock_state(&sched.state);
+            assert!(
+                state.jobs[&id].not_before.is_some(),
+                "a failed attempt must park the job behind a backoff"
+            );
+            assert_eq!(state.counters.retries, 1);
+        }
+
+        // Second strike exhausts max_attempts=2: terminal quarantine.
+        {
+            let mut state = lock_state(&sched.state);
+            sched.fail_attempt(&mut state, &id, "checkpoint: bad magic", true);
+        }
+        let status = sched.status(&id).unwrap();
+        assert_eq!(status.state, "quarantined");
+        assert!(status.evidence.unwrap().contains("2 attempts exhausted"));
+        // Durable dead-letter: record moved, both attempt lines in the
+        // evidence file, tenant quota slot freed.
+        assert!(!spool.job_path(&id).exists());
+        let evidence = spool.load_evidence(&id).unwrap();
+        assert!(evidence.contains("attempt 1:") && evidence.contains("attempt 2:"));
+        {
+            let state = lock_state(&sched.state);
+            assert_eq!(state.active, 0, "quarantine frees the admission slot");
+            assert_eq!(state.per_tenant["acme"], 0);
+            assert_eq!(state.counters.quarantined, 1);
+        }
+        assert!(sched.stats_line().contains("quarantined=1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt_and_caps() {
+        let (dir, spool) = scratch("backoff");
+        let (sched, _) = Scheduler::recover(spool, cfg(10)).unwrap();
+        assert_eq!(sched.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(sched.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(sched.backoff_after(4), Duration::from_millis(80));
+        assert_eq!(sched.backoff_after(60), Duration::from_millis(5_000));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pick_next_skips_parked_jobs_and_reports_the_wake_time() {
+        let (dir, spool) = scratch("park");
+        let (sched, _) = Scheduler::recover(spool, cfg(3)).unwrap();
+        let parked = sched.submit(spec("slow")).unwrap();
+        let runnable = sched.submit(spec("fast")).unwrap();
+        let now = Instant::now();
+        let until = now + Duration::from_millis(500);
+        let mut state = lock_state(&sched.state);
+        state.jobs.get_mut(&parked).unwrap().not_before = Some(until);
+
+        // The parked tenant is skipped in place; the runnable one is
+        // handed out, and the wake hint points at the parked job.
+        let (pick, wake) = pick_next(&mut state, now);
+        assert_eq!(pick.as_deref(), Some(runnable.as_str()));
+        let (pick2, wake2) = pick_next(&mut state, now);
+        assert_eq!(pick2, None, "only the parked job remains");
+        assert_eq!(wake.or(wake2), Some(until));
+
+        // Once the backoff expires the job is runnable again.
+        let (pick3, _) = pick_next(&mut state, until + Duration::from_millis(1));
+        assert_eq!(pick3.as_deref(), Some(parked.as_str()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_livelock_climbs_the_ladder_but_keeps_the_frontier() {
+        let (dir, spool) = scratch("livelock");
+        let (sched, _) = Scheduler::recover(spool, cfg(3)).unwrap();
+        let id = sched.submit(spec("acme")).unwrap();
+        let suspend = || {
+            // A suspended slice that made zero tick progress.
+            let instance = {
+                let state = lock_state(&sched.state);
+                Arc::clone(state.jobs[&id].instance.as_ref().unwrap())
+            };
+            let ck = runner::solve_slice(&instance, &Budget::ticks(1), None);
+            let checkpoint = match ck {
+                Ok((SliceOutcome::Suspended { checkpoint, .. }, _)) => checkpoint,
+                other => panic!("expected a suspension, got {other:?}"),
+            };
+            {
+                let mut state = lock_state(&sched.state);
+                state.jobs.get_mut(&id).unwrap().running = true;
+            }
+            sched.settle_slice(
+                &id,
+                Ok((
+                    SliceOutcome::Suspended {
+                        reason: lb_engine::ExhaustReason::Ticks { limit: 1 },
+                        checkpoint,
+                    },
+                    lb_engine::RunStats::default(),
+                )),
+            );
+        };
+        // Two zero-progress suspensions just count; the third (max_attempts
+        // = 3) is the livelock strike: attempts bumps, frontier kept.
+        suspend();
+        suspend();
+        {
+            let state = lock_state(&sched.state);
+            assert_eq!(state.jobs[&id].stalled, 2);
+            assert_eq!(state.jobs[&id].rec.attempts, 0);
+        }
+        suspend();
+        let status = sched.status(&id).unwrap();
+        assert_eq!(status.attempts, 1, "livelock is one rung up the ladder");
+        assert_eq!(status.state, "queued");
+        {
+            let state = lock_state(&sched.state);
+            assert_eq!(state.jobs[&id].stalled, 0, "counter resets per strike");
+            assert!(
+                state.jobs[&id].resume.is_some(),
+                "the frontier is stuck, not corrupt: it must be kept"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

@@ -10,6 +10,7 @@
 //! immediately, lets in-flight slices finish (each is bounded by the
 //! slice budget), spools everything, and exits.
 
+use crate::netfault::{FaultStream, NetFaultPlan, SessionStream};
 use crate::protocol::{self, Command, Reject, Request, MAX_LINE_BYTES};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::spool::{Spool, SpoolError};
@@ -37,6 +38,13 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Max simultaneous connections; excess get `ERR overload`.
     pub max_conns: usize,
+    /// Chaos knob: when set, every second accepted connection is served
+    /// through a [`FaultStream`] whose [`NetFaultPlan`] derives from
+    /// `seed ^ connection-index` — deterministic torn writes, disconnects,
+    /// trickles, and read timeouts on the server's own side of the wire.
+    /// Even-indexed connections stay clean so well-behaved clients keep
+    /// making progress through the storm.
+    pub net_fault_seed: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +56,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 30_000,
             read_timeout_ms: 10_000,
             max_conns: 64,
+            net_fault_seed: None,
         }
     }
 }
@@ -150,10 +159,17 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> Result<Server, SpoolError> {
         let spool = Spool::open(&cfg.spool)?;
         let (sched, report) = Scheduler::recover(spool, cfg.sched.clone())?;
-        if report.resumed + report.settled > 0 || report.stale_tmp_removed > 0 {
+        if report.resumed + report.settled + report.quarantined + report.restarted_from_scratch > 0
+            || report.stale_tmp_removed > 0
+        {
             eprintln!(
-                "recovered spool: {} resumed, {} settled, {} stale tmp swept",
-                report.resumed, report.settled, report.stale_tmp_removed
+                "recovered spool: {} resumed, {} settled, {} quarantined, \
+                 {} restarted from scratch, {} stale tmp swept",
+                report.resumed,
+                report.settled,
+                report.quarantined,
+                report.restarted_from_scratch,
+                report.stale_tmp_removed
             );
         }
         for line in report
@@ -162,6 +178,9 @@ impl Server {
             .chain(report.discarded_checkpoints.iter())
         {
             eprintln!("recovery: skipped {line}");
+        }
+        for line in &report.dead_lettered {
+            eprintln!("recovery: dead-lettered {line}");
         }
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| SpoolError::Io {
             path: cfg.addr.clone(),
@@ -194,12 +213,14 @@ impl Server {
                 error: e.to_string(),
             })?;
         let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut conn_index: u64 = 0;
         loop {
             if self.sched.drained() {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    conn_index += 1;
                     let live = self.conns.fetch_add(1, Ordering::SeqCst);
                     if live >= self.cfg.max_conns {
                         self.conns.fetch_sub(1, Ordering::SeqCst);
@@ -209,8 +230,22 @@ impl Server {
                     let sched = Arc::clone(&self.sched);
                     let cfg = self.cfg.clone();
                     let conns = Arc::clone(&self.conns);
+                    // Odd-indexed connections get the fault wrapper when
+                    // the chaos knob is on; the plan is a pure function of
+                    // seed and index, so a storm replays exactly.
+                    let wrap = match self.cfg.net_fault_seed {
+                        Some(seed) if conn_index % 2 == 1 => {
+                            Some(NetFaultPlan::from_seed(seed ^ conn_index))
+                        }
+                        _ => None,
+                    };
                     handlers.push(thread::spawn(move || {
-                        handle_connection(stream, &sched, &cfg);
+                        match wrap {
+                            Some(plan) => {
+                                handle_connection(FaultStream::new(stream, &plan), &sched, &cfg)
+                            }
+                            None => handle_connection(stream, &sched, &cfg),
+                        }
                         conns.fetch_sub(1, Ordering::SeqCst);
                     }));
                 }
@@ -237,19 +272,22 @@ impl Server {
 /// Over-cap accept path: one typed line, then close. The write gets a
 /// short timeout so a hostile unread socket cannot wedge the accept loop.
 fn shed_connection(stream: TcpStream, retry_after_ms: u64) {
+    // lb-lint: allow(swallowed-result) -- best-effort timeout on an already-shed socket; a failed config cannot wedge accept
     let _cfg = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut stream = stream;
     let line = Reject::Overload { retry_after_ms }.to_line();
     let _shed = writeln!(stream, "{line}");
 }
 
-fn respond(stream: &mut TcpStream, line: &str) -> bool {
+fn respond<W: Write>(stream: &mut W, line: &str) -> bool {
     writeln!(stream, "{line}").is_ok() && stream.flush().is_ok()
 }
 
 /// Serves one connection: requests in a loop until the peer closes, the
 /// idle timeout fires with nothing pending, or an unrecoverable read error.
-fn handle_connection(stream: TcpStream, sched: &Arc<Scheduler>, cfg: &ServerConfig) {
+/// Generic over [`SessionStream`] so the same handler serves clean sockets
+/// and fault-injected ones — the robustness posture is identical either way.
+fn handle_connection<S: SessionStream>(stream: S, sched: &Arc<Scheduler>, cfg: &ServerConfig) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };

@@ -429,3 +429,129 @@ fn oversized_request_line_is_shed_with_a_typed_error() {
         "expected oversize rejection, got `{reply}`"
     );
 }
+
+#[test]
+fn drain_settles_or_requeues_every_job_and_hints_retry() {
+    let spool = scratch_spool("drain");
+    // Pre-poison the spool: a queued record already at attempts 2 whose
+    // checkpoint blob is garbage. Recovery's discard is the third strike
+    // under the default max_attempts=3, so the server starts with one
+    // quarantined job alongside the live ones.
+    {
+        let sp = lb_serve::spool::Spool::open(&spool).expect("open spool");
+        let poisoned = lb_serve::job::JobRecord {
+            id: "j90".into(),
+            spec: heavy_spec("tenant9", JobFamily::Triangle, 64, 3),
+            status: lb_serve::job::JobStatus::Queued,
+            preemptions: 4,
+            spent: 77,
+            attempts: 2,
+        };
+        sp.save_record(&poisoned).expect("seed poisoned record");
+        std::fs::write(sp.ckpt_path("j90"), b"definitely not an LBCK blob")
+            .expect("seed garbage checkpoint");
+    }
+    let knobs = [
+        "--slice-ticks",
+        "16",
+        "--workers",
+        "2",
+        "--retry-after-ms",
+        "40",
+    ];
+    let mut server = Server::spawn(&spool, &knobs);
+    let mut client = server.connect();
+
+    // The poisoned job surfaces as quarantined-with-evidence: not lost,
+    // not hung, not silently re-run.
+    let q = client.status("j90").expect("status answers for quarantine");
+    assert_eq!(q.state, "quarantined");
+    assert!(
+        q.evidence
+            .expect("quarantine carries evidence")
+            .contains("checkpoint discarded"),
+        "evidence must name the discard"
+    );
+
+    // Two live in-flight jobs, then drain mid-flight.
+    let specs = [
+        heavy_spec("tenant0", JobFamily::Sat, 256, 5),
+        heavy_spec("tenant1", JobFamily::Join, 256, 6),
+    ];
+    let ids: Vec<String> = specs
+        .iter()
+        .map(|spec| client.submit(spec).expect("submission acknowledged"))
+        .collect();
+    client.drain().expect("drain acknowledged");
+
+    // New work is shed with the typed draining line AND a retry hint —
+    // the successor process will recover the spool, so clients should
+    // come back, not give up.
+    match client.submit(&heavy_spec("tenant2", JobFamily::Csp, 64, 7)) {
+        Err(ClientError::Rejected {
+            line,
+            retry_after_ms,
+        }) => {
+            assert!(line.contains("draining"), "expected draining: {line}");
+            assert!(
+                retry_after_ms.is_some(),
+                "draining must carry retry-after-ms: {line}"
+            );
+        }
+        other => panic!("expected draining rejection, got {other:?}"),
+    }
+
+    // While the server settles its in-flight slices, every acknowledged
+    // job answers STATUS in a defined state — settled or requeued, never
+    // limbo. (Bounded: the server waits for this connection to hang up
+    // before it exits, so the poll must not be open-ended.)
+    'alive: for _ in 0..20 {
+        for id in &ids {
+            match client.status(id) {
+                Ok(s) => assert!(
+                    matches!(
+                        s.state.as_str(),
+                        "queued" | "running" | "done" | "quarantined"
+                    ),
+                    "{id}: undefined drain-time state `{}`",
+                    s.state
+                ),
+                // Server already shut this connection down mid-poll.
+                Err(_exited) => break 'alive,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Hang up; the drained server must now exit on its own, promptly.
+    drop(client);
+    let exit_deadline = Instant::now() + Duration::from_secs(30);
+    while server.child.try_wait().expect("try_wait").is_none() {
+        assert!(
+            Instant::now() < exit_deadline,
+            "draining server never exited"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::mem::forget(server); // child already reaped
+
+    // Restart on the same spool: the requeued jobs settle to the exact
+    // reference verdict, the quarantined one stays terminal. Every job
+    // ends verdict-or-quarantine — drain loses nothing in between.
+    let mut server = Server::spawn(&spool, &knobs);
+    let mut client = server.connect();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for (id, spec) in ids.iter().zip(&specs) {
+        let status = poll_done(&mut client, id, deadline);
+        let reference = bench::reference_verdict(spec).expect("reference settles");
+        assert_eq!(
+            status.verdict.expect("done carries a verdict"),
+            reference,
+            "{id}: verdict drifted across a drain + restart"
+        );
+    }
+    let q = client.status("j90").expect("status answers after restart");
+    assert_eq!(q.state, "quarantined", "quarantine must survive restarts");
+    client.drain().expect("second drain acknowledged");
+    let _done = server.child.wait();
+    std::mem::forget(server); // child already reaped
+}

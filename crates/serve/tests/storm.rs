@@ -1,0 +1,31 @@
+//! A small in-tree leg of the network chaos soak (tier-1). CI's
+//! dedicated storm job runs 100+ seeds through `lb-chaos serve`; this
+//! keeps a handful in `cargo test` so a regression in the survival layer
+//! is caught before any workflow runs.
+//!
+//! The seed range deliberately covers both storm flavors: even seeds
+//! SIGKILL the server mid-storm and restart it on the same spool, odd
+//! seeds run straight through the socket/spool fault injection.
+
+use lb_chaos::storm::{run_storms, StormConfig};
+use std::path::PathBuf;
+
+#[test]
+fn seeded_storms_end_every_job_verdict_or_quarantine() {
+    let cfg = StormConfig {
+        base_seed: 11,
+        storms: 3,
+        ..StormConfig::new(PathBuf::from(env!("CARGO_BIN_EXE_lb-serve")))
+    };
+    let report = run_storms(&cfg);
+    assert!(
+        report.failures.is_empty(),
+        "storm failures (each line carries its replay seed):\n{}",
+        report.failures.join("\n")
+    );
+    assert_eq!(report.storms, 3);
+    // 2 tenants × 2 jobs per storm; torn-ack retries may legitimately
+    // admit extras, so this is a floor, not an exact count.
+    assert!(report.jobs >= 12, "only {} jobs acknowledged", report.jobs);
+    assert!(report.kills >= 1, "the even seed must kill/restart");
+}

@@ -102,4 +102,34 @@ fn semantic_analysis_actually_covers_the_solvers() {
             "R13 scanned no checkpoint state structs in `{name}`"
         );
     }
+
+    // Survival-layer floors. The serve crate's retry/quarantine paths are
+    // where a swallowed spool `Result` silently loses a job, and its
+    // scheduler/netfault state crosses thread boundaries — so R12/R13
+    // coverage there must stay deep, not merely nonzero. The floors sit
+    // well under current counts (199 result sites, 13 state structs at
+    // the time of writing) but far above what a path-scope regression
+    // would leave behind.
+    let serve = &stats.dataflow["serve"];
+    assert!(
+        serve.result_sites >= 150,
+        "R12 examined only {} `Result` sites in `serve` — spool/quarantine \
+         I/O is no longer fully covered",
+        serve.result_sites
+    );
+    assert!(
+        serve.state_structs >= 10,
+        "R13 scanned only {} state structs in `serve` — scheduler/netfault \
+         shared state fell out of state_struct_paths",
+        serve.state_structs
+    );
+    // The storm harness drives the survival layer from outside; its own
+    // Result discipline (every spawn/connect/kill handled) is R12-checked.
+    let chaos = &stats.dataflow["chaos"];
+    assert!(
+        chaos.result_sites >= 60,
+        "R12 examined only {} `Result` sites in `chaos` — the storm \
+         harness fell out of scope",
+        chaos.result_sites
+    );
 }
