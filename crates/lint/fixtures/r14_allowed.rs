@@ -1,0 +1,29 @@
+//! R14 allowed fixture: invariant-stating allows at the acquisition line,
+//! at the blocking site, and on the recovery idiom.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Hub {
+    a: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn held_across_allowed(&self, w: &mut std::fs::File) {
+        // lb-lint: allow(lock-discipline) -- the write must be atomic with the counter
+        let mut ga = self.a.lock();
+        w.write_all(b"x");
+        drop(ga);
+    }
+
+    pub fn site_allowed(&self, w: &mut std::fs::File) {
+        let mut ga = self.a.lock();
+        w.write_all(b"x"); // lb-lint: allow(lock-discipline) -- one bounded write, no contention
+        drop(ga);
+    }
+
+    pub fn recover_allowed(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner()); // lb-lint: allow(lock-discipline) -- fixture-local latch
+        *g
+    }
+}

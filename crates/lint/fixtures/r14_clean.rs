@@ -1,0 +1,32 @@
+//! R14 clean fixture: guards released before I/O and a consistent global
+//! lock order (`a` before `b`, everywhere).
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn released_before_io(&self, w: &mut std::fs::File) {
+        let mut ga = self.a.lock();
+        drop(ga);
+        w.write_all(b"x");
+    }
+
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn forward_again(&self) {
+        let first = self.a.lock();
+        let second = self.b.lock();
+        drop(second);
+        drop(first);
+    }
+}

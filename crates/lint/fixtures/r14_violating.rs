@@ -1,0 +1,37 @@
+//! R14 violating fixture: a guard held across blocking I/O, a lock-order
+//! cycle, and poisoned-lock recovery outside the blessed sync module.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn held_across(&self, w: &mut std::fs::File) {
+        let mut ga = self.a.lock();
+        w.write_all(b"x");
+        drop(ga);
+    }
+
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn backward(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+
+    pub fn recover_here(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *g
+    }
+}

@@ -1,0 +1,6 @@
+//! R15 allowed fixture: a stateless ack justified at the site.
+
+pub fn drain_ack() -> String {
+    // lb-lint: allow(durability-ordering) -- drain ack carries no job state
+    format!("OK draining")
+}

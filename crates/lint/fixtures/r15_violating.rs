@@ -1,0 +1,17 @@
+//! R15 violating fixture: an ack and a requeue with no durability effect
+//! on any caller chain.
+
+pub fn enqueue(_id: u32) {}
+
+pub fn ack_unsaved(id: u32) -> String {
+    format!("OK {id}")
+}
+
+pub fn requeue_unsaved(id: u32) {
+    enqueue(id);
+}
+
+pub fn top(id: u32) -> String {
+    requeue_unsaved(id);
+    ack_unsaved(id)
+}

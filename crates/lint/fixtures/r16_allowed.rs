@@ -1,0 +1,7 @@
+//! R16 allowed fixture: a deliberately untimed read justified at the site.
+
+pub fn accept_loop(mut stream: std::net::TcpStream) {
+    let mut buf = [0u8; 64];
+    // lb-lint: allow(unbounded-blocking) -- the handshake byte arrives with the connect
+    stream.read(&mut buf);
+}

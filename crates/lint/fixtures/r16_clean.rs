@@ -1,0 +1,17 @@
+//! R16 clean fixture: a timeout configured before the blocking read on the
+//! accept chain, and a helper the accept loop never reaches.
+
+pub fn accept_loop(stream: std::net::TcpStream) {
+    handle(stream);
+}
+
+pub fn handle(mut stream: std::net::TcpStream) {
+    stream.set_read_timeout(None);
+    let mut buf = [0u8; 64];
+    stream.read(&mut buf);
+}
+
+pub fn probe(mut stream: std::net::TcpStream) {
+    let mut buf = [0u8; 8];
+    stream.read(&mut buf);
+}

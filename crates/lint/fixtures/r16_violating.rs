@@ -1,0 +1,13 @@
+//! R16 violating fixture: blocking socket reads reachable from the accept
+//! loop with no timeout configured on any chain.
+
+pub fn accept_loop(mut stream: std::net::TcpStream) {
+    let mut first = [0u8; 4];
+    stream.read(&mut first);
+    handle(stream);
+}
+
+pub fn handle(mut stream: std::net::TcpStream) {
+    let mut buf = [0u8; 64];
+    stream.read(&mut buf);
+}

@@ -5,6 +5,7 @@
 //! lb-lint --write-baseline [--root PATH]
 //! lb-lint graph [--root PATH]
 //! lb-lint dataflow [--root PATH]
+//! lb-lint effects [--root PATH]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations (details in the output), 2 usage or IO
@@ -13,7 +14,8 @@
 //! `--write-baseline` re-pins the R10 checkpoint-schema baseline and exits 0.
 //! `dataflow` dumps the deterministic per-function R11–R13 summaries and
 //! exits 1 if a solver crate's dataflow coverage floor is empty (the same
-//! floors `tests/lint_gate.rs` asserts).
+//! floors `tests/lint_gate.rs` asserts). `effects` does the same for the
+//! R14–R16 effect summaries, floored on the serve crate.
 
 use lb_lint::{
     analyze_workspace, clean_summary, exit_code, exit_code_legacy, render_json, render_text, Config,
@@ -30,6 +32,7 @@ enum Cmd {
     Check,
     Graph,
     Dataflow,
+    Effects,
     WriteBaseline,
 }
 
@@ -50,6 +53,10 @@ fn main() {
             }
             "dataflow" => {
                 cmd = Cmd::Dataflow;
+                args.next();
+            }
+            "effects" => {
+                cmd = Cmd::Effects;
                 args.next();
             }
             _ => {}
@@ -116,6 +123,28 @@ fn main() {
             }
             Err(e) => io_error(&e),
         },
+        Cmd::Effects => match lb_lint::effects_dump_workspace(&root, &config) {
+            Ok(dump) => {
+                print!("{dump}");
+                // Coverage floors, mirroring tests/lint_gate.rs: an empty
+                // effect pass over the serve crate means the effect scope is
+                // misconfigured, not that the crate is disciplined.
+                let analysis = match analyze_workspace(&root, &config) {
+                    Ok(a) => a,
+                    Err(e) => io_error(&e),
+                };
+                let fx = analysis.stats.effects.get("serve").copied().unwrap_or_default();
+                if fx.lock_sites < 10 || fx.durability_sites < 5 || fx.blocking_sites < 8 {
+                    eprintln!(
+                        "lb-lint: effect coverage floor failed for crate `serve`: \
+                         lock_sites={} durability_sites={} blocking_sites={}",
+                        fx.lock_sites, fx.durability_sites, fx.blocking_sites
+                    );
+                    process::exit(1);
+                }
+            }
+            Err(e) => io_error(&e),
+        },
         Cmd::WriteBaseline => match lb_lint::write_baseline(&root, &config) {
             Ok(content) => {
                 eprintln!(
@@ -165,17 +194,20 @@ fn print_help() {
     println!("       lb-lint --write-baseline [--root PATH]");
     println!("       lb-lint graph [--root PATH]");
     println!("       lb-lint dataflow [--root PATH]");
+    println!("       lb-lint effects [--root PATH]");
     println!("exit codes: 0 clean, 1 violations, 2 usage/io");
     println!("  --legacy-exit-bits: pre-v2 bitmask (R1=1 R2=2 R3=4 R4=8 R5=16");
     println!("                      directives=32 R6=64 R7=128; R8-R13 -> bit 1)");
     println!("  --write-baseline:   re-pin the R10 checkpoint-schema baseline");
     println!("  graph:              dump the workspace call graph (deterministic)");
     println!("  dataflow:           dump per-fn R11-R13 summaries + coverage floors");
+    println!("  effects:            dump per-fn R14-R16 effect summaries + lock-order");
+    println!("                      edges + coverage floors");
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("lb-lint: {msg}");
-    eprintln!("usage: lb-lint [check|graph|dataflow] [--format json|text] [--root PATH] [--legacy-exit-bits] [--write-baseline]");
+    eprintln!("usage: lb-lint [check|graph|dataflow|effects] [--format json|text] [--root PATH] [--legacy-exit-bits] [--write-baseline]");
     process::exit(2);
 }
 

@@ -214,14 +214,14 @@ fn hostile_marker(ty: &str) -> Option<String> {
     })
 }
 
-fn word_at(toks: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn word_at(toks: &[Tok], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::Word(w)) => Some(w.as_str()),
         _ => None,
     }
 }
 
-fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+pub(crate) fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::Punct(c)) => Some(*c),
         _ => None,
@@ -230,7 +230,7 @@ fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
 
 /// Locates the token index of `f`'s `fn` keyword and its body `{`.
 #[allow(clippy::needless_range_loop)] // index used across several arrays
-fn locate_fn(toks: &[Tok], close: &[usize], f: &FnItem) -> Option<(usize, usize)> {
+pub(crate) fn locate_fn(toks: &[Tok], close: &[usize], f: &FnItem) -> Option<(usize, usize)> {
     let kw = (0..toks.len()).find(|&i| {
         toks[i].line == f.line
             && word_at(toks, i) == Some("fn")
@@ -253,7 +253,7 @@ fn locate_fn(toks: &[Tok], close: &[usize], f: &FnItem) -> Option<(usize, usize)
 
 /// The token indices belonging to the function itself: its body range with
 /// nested `fn` items carved out (closures stay in).
-fn own_token_indices(toks: &[Tok], close: &[usize], open: usize) -> Vec<usize> {
+pub(crate) fn own_token_indices(toks: &[Tok], close: &[usize], open: usize) -> Vec<usize> {
     let end = close[open];
     let mut own = Vec::with_capacity(end.saturating_sub(open));
     let mut k = open + 1;
@@ -636,7 +636,7 @@ fn parse_let(toks: &[Tok], own: &[usize], pos: usize, in_cond: bool) -> LetInfo 
 /// Walks the receiver chain backwards from the `.` at `own[dot_pos]`.
 /// Returns the chain outer-to-inner (e.g. `["self", "frames"]`) and whether
 /// it crosses a call/index (method-chain receivers alias unknown state).
-fn receiver_chain(toks: &[Tok], own: &[usize], dot_pos: usize) -> (Vec<String>, bool) {
+pub(crate) fn receiver_chain(toks: &[Tok], own: &[usize], dot_pos: usize) -> (Vec<String>, bool) {
     let mut chain = Vec::new();
     let mut has_call = false;
     let mut p = dot_pos;

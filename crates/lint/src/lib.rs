@@ -65,6 +65,30 @@
 //! `lb-lint dataflow` dumps the full fact base deterministically and floors
 //! per-crate coverage, mirroring `SemanticStats::dataflow`.
 //!
+//! An **effects layer** ([`effects`]) extracts per-function effect
+//! summaries for the serve crate — lock acquisitions with held regions,
+//! blocking I/O, durability writes, ack/requeue sites, timeout guards —
+//! and propagates them over the same call graph to enforce the
+//! concurrency and durability discipline the lb-serve soak tests probe
+//! dynamically:
+//!
+//! * **R14 `lock-discipline`** — the global lock-order graph stays
+//!   acyclic, no lock is held across blocking I/O or fsync, and
+//!   poisoned-lock recovery lives only in the blessed `lb_serve::sync`
+//!   helpers;
+//! * **R15 `durability-ordering`** — every `"OK …"` ack and scheduler
+//!   requeue is dominated by a spool save/checkpoint/quarantine on every
+//!   call chain, so a `kill -9` after the ack can never lose acknowledged
+//!   work;
+//! * **R16 `unbounded-blocking`** — every blocking socket read/write
+//!   reachable from the accept loop is dominated by a
+//!   `set_read_timeout`/`set_write_timeout`/`set_nonblocking` call, so a
+//!   silent peer cannot wedge a handler thread.
+//!
+//! `lb-lint effects` dumps the summaries, recovery sites, and lock-order
+//! edges deterministically and floors per-crate coverage, mirroring
+//! `SemanticStats::effects`.
+//!
 //! Escape hatch: a trailing comment of the form
 //! `lb-lint: allow(rule) -- reason` (the justification after `--` is
 //! mandatory; an allow without one is itself reported). A directive alone on
@@ -77,6 +101,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dataflow;
+pub mod effects;
 pub mod graph;
 pub mod items;
 pub mod lexer;
@@ -85,6 +110,7 @@ pub mod rules;
 pub mod semantic;
 pub mod walk;
 
+pub use effects::CrateEffects;
 pub use report::{clean_summary, exit_code, exit_code_legacy, render_json, render_text};
 pub use rules::{lint_source, CheckpointSpec, Config, FileKind, Rule, Violation};
 pub use semantic::{CrateDataflow, SemanticStats};
@@ -154,6 +180,13 @@ pub fn graph_dump_workspace(root: &Path, config: &Config) -> io::Result<String> 
 pub fn dataflow_dump_workspace(root: &Path, config: &Config) -> io::Result<String> {
     let files = read_workspace(root)?;
     Ok(semantic::dataflow_dump(&files, config))
+}
+
+/// Dumps the per-function effect summaries and lock-order edges
+/// (deterministic text, for `lb-lint effects`).
+pub fn effects_dump_workspace(root: &Path, config: &Config) -> io::Result<String> {
+    let files = read_workspace(root)?;
+    Ok(semantic::effects_dump(&files, config))
 }
 
 /// Recomputes and writes the R10 checkpoint-schema baseline under `root`,

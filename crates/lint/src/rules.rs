@@ -60,13 +60,29 @@ pub enum Rule {
     /// `Send`-clean by construction so a future work-stealing executor
     /// never needs `unsafe impl Send`.
     SendHostileState,
+    /// R14: lock discipline in the serve layer — the global lock-order
+    /// graph (lock B acquired while A is held, including through calls)
+    /// must be acyclic, no lock may be held across a blocking-I/O or fsync
+    /// effect, and poisoned-lock recovery (`unwrap_or_else(|e|
+    /// e.into_inner())`) must live in the one blessed `sync` helper.
+    LockDiscipline,
+    /// R15: durability ordering in serve code — every ack (`"OK …"` line
+    /// construction) or requeue effect must be dominated by a durability
+    /// effect (spool save / checkpoint / quarantine) on every caller chain;
+    /// nothing is acknowledged that a `kill -9` could lose.
+    DurabilityOrdering,
+    /// R16: every blocking socket read/write reachable from the server
+    /// accept loop must be dominated by a `set_read_timeout`/
+    /// `set_write_timeout`/`set_nonblocking` call on that stream, so a
+    /// silent or trickling peer can never wedge a handler thread.
+    UnboundedBlocking,
     /// D0: a malformed `lb-lint:` directive (unknown rule, missing reason).
     BadDirective,
 }
 
 impl Rule {
     /// All real rules (excludes the directive pseudo-rule).
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 16] = [
         Rule::NoPanic,
         Rule::NoLossyCast,
         Rule::ForbidUnsafe,
@@ -80,6 +96,9 @@ impl Rule {
         Rule::UnboundedGrowth,
         Rule::SwallowedResult,
         Rule::SendHostileState,
+        Rule::LockDiscipline,
+        Rule::DurabilityOrdering,
+        Rule::UnboundedBlocking,
     ];
 
     /// The stable kebab-case name used in `allow(...)` directives.
@@ -98,6 +117,9 @@ impl Rule {
             Rule::UnboundedGrowth => "unbounded-growth",
             Rule::SwallowedResult => "swallowed-result",
             Rule::SendHostileState => "send-hostile-state",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::DurabilityOrdering => "durability-ordering",
+            Rule::UnboundedBlocking => "unbounded-blocking",
             Rule::BadDirective => "bad-directive",
         }
     }
@@ -118,12 +140,15 @@ impl Rule {
             Rule::UnboundedGrowth => "R11",
             Rule::SwallowedResult => "R12",
             Rule::SendHostileState => "R13",
+            Rule::LockDiscipline => "R14",
+            Rule::DurabilityOrdering => "R15",
+            Rule::UnboundedBlocking => "R16",
             Rule::BadDirective => "D0",
         }
     }
 
     /// The legacy (`--legacy-exit-bits`) exit-code bit for this rule. Rules
-    /// added after the bitmask was exhausted (R8–R13) have no bit of their
+    /// added after the bitmask was exhausted (R8–R16) have no bit of their
     /// own; under the legacy scheme they surface as the generic bit 1.
     pub fn legacy_exit_bit(self) -> Option<i32> {
         match self {
@@ -140,7 +165,10 @@ impl Rule {
             | Rule::CheckpointSchemaDrift
             | Rule::UnboundedGrowth
             | Rule::SwallowedResult
-            | Rule::SendHostileState => None,
+            | Rule::SendHostileState
+            | Rule::LockDiscipline
+            | Rule::DurabilityOrdering
+            | Rule::UnboundedBlocking => None,
         }
     }
 
@@ -263,6 +291,44 @@ pub struct Config {
     pub checkpoint_specs: Vec<CheckpointSpec>,
     /// Workspace-relative path of the committed R10 baseline file.
     pub baseline_file: String,
+    /// Path substrings whose files carry the effect analysis (R14–R16):
+    /// the concurrent serve layer.
+    pub effect_paths: Vec<String>,
+    /// Free/associated fn names whose call is a lock acquisition; the lock
+    /// identity is the last component of the argument chain
+    /// (`lock_recover(&self.state)` acquires lock "state").
+    pub lock_acquire_fns: Vec<String>,
+    /// Method names whose call is a lock acquisition; the lock identity is
+    /// the last receiver-chain component (`self.state.lock()` → "state").
+    pub lock_acquire_methods: Vec<String>,
+    /// Call names (method, free, or qualified) that block: socket/file
+    /// reads and writes, fsync, accept, rename. R14 forbids holding a lock
+    /// across any of these.
+    pub blocking_methods: Vec<String>,
+    /// Macro names (`write!`, `writeln!`) that block like their method
+    /// counterparts.
+    pub blocking_macros: Vec<String>,
+    /// Call names that make job state durable (spool saves, checkpoint
+    /// writes, quarantine). R15 demands one of these dominates every
+    /// ack/requeue; R14 also treats them as blocking (they fsync).
+    pub durability_methods: Vec<String>,
+    /// Call names that bound how long a socket op may block; R16 demands
+    /// one of these dominates every blocking socket op reachable from the
+    /// accept loop.
+    pub timeout_guard_methods: Vec<String>,
+    /// Free fn names that re-queue a job (an R15 demand site, like acks).
+    pub requeue_fns: Vec<String>,
+    /// Path substrings of the files whose blocking sites are *socket*
+    /// blocking (the R16 demand set); spool fsync latency is not a socket
+    /// hang and is governed by R14/R15 instead.
+    pub socket_paths: Vec<String>,
+    /// `(path substring, fn name)` pairs naming the accept-loop roots R16
+    /// walks up to.
+    pub accept_roots: Vec<(String, String)>,
+    /// Path substrings of the one blessed poisoned-lock recovery helper
+    /// module; the `unwrap_or_else(|e| e.into_inner())` idiom anywhere
+    /// else in effect scope is an R14 violation.
+    pub blessed_recovery_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -388,6 +454,45 @@ impl Default for Config {
                 },
             ],
             baseline_file: "crates/lint/checkpoint-schema.baseline".into(),
+            effect_paths: vec!["crates/serve/src/".into()],
+            lock_acquire_fns: vec!["lock_recover".into(), "lock_state".into()],
+            lock_acquire_methods: vec!["lock".into()],
+            blocking_methods: vec![
+                "read".into(),
+                "read_line".into(),
+                "read_exact".into(),
+                "read_to_end".into(),
+                "fill_buf".into(),
+                "write".into(),
+                "write_all".into(),
+                "flush".into(),
+                "sync_all".into(),
+                "accept".into(),
+                "rename".into(),
+            ],
+            blocking_macros: vec!["write".into(), "writeln".into()],
+            durability_methods: vec![
+                "atomic_write".into(),
+                "save_record".into(),
+                "save_checkpoint".into(),
+                "quarantine".into(),
+                "sync_all".into(),
+            ],
+            timeout_guard_methods: vec![
+                "set_read_timeout".into(),
+                "set_write_timeout".into(),
+                "set_nonblocking".into(),
+            ],
+            requeue_fns: vec!["enqueue".into()],
+            socket_paths: vec![
+                "crates/serve/src/server.rs".into(),
+                "crates/serve/src/netfault.rs".into(),
+            ],
+            accept_roots: vec![
+                ("crates/serve/src/server.rs".into(), "run".into()),
+                ("crates/serve/src/server.rs".into(), "handle_connection".into()),
+            ],
+            blessed_recovery_paths: vec!["crates/serve/src/sync.rs".into()],
         }
     }
 }

@@ -36,6 +36,7 @@
 //!   state files (and the engine), so frames stay `Send` by construction.
 
 use crate::dataflow::{self, FileFlow};
+use crate::effects::{self, CrateEffects, FileEffects};
 use crate::graph::CallGraph;
 use crate::items::{self, ParsedFile, Span};
 use crate::lexer::{scan, ScannedFile};
@@ -63,6 +64,8 @@ pub struct SemanticStats {
     pub families_checked: usize,
     /// Per-crate dataflow coverage (R11–R13), keyed by crate name.
     pub dataflow: BTreeMap<String, CrateDataflow>,
+    /// Per-crate effect coverage (R14–R16), keyed by crate name.
+    pub effects: BTreeMap<String, CrateEffects>,
 }
 
 /// Dataflow coverage for one crate: how much the R11–R13 passes actually
@@ -515,7 +518,39 @@ pub fn check(
         }
     }
 
+    // ---- R14–R16: effect summaries + interprocedural propagation. ----
+    let file_effects = effect_summaries(&sem_files, config);
+    let rels: Vec<String> = sem_files.iter().map(|f| f.rel.clone()).collect();
+    for (fi, fe) in file_effects.iter().enumerate() {
+        let agg = stats
+            .effects
+            .entry(crate_of(&rels[fi]).unwrap_or("workspace").to_string())
+            .or_default();
+        effects::tally(fe, agg);
+    }
+    let (r_eff, _order) =
+        effects::check(&graph, &rels, &file_effects, config, &allowed, &snippet);
+    out.extend(r_eff);
+
     (out, stats)
+}
+
+/// Runs the per-file effect extraction over the effect-scope files; files
+/// outside the scope (and the blessed recovery module, whose whole point
+/// is to contain the recovery idiom) carry an empty summary.
+fn effect_summaries(sem_files: &[SemFile], config: &Config) -> Vec<FileEffects> {
+    sem_files
+        .iter()
+        .map(|f| {
+            if path_matches(&f.rel, &config.effect_paths)
+                && !path_matches(&f.rel, &config.blessed_recovery_paths)
+            {
+                effects::analyze(&f.scanned, &f.source, &f.parsed, config)
+            } else {
+                FileEffects::default()
+            }
+        })
+        .collect()
 }
 
 /// Prepares library files (scan + allows + item parse), skipping excluded
@@ -630,6 +665,81 @@ pub fn dataflow_dump(files: &[(String, String)], config: &Config) -> String {
         out.push_str(&format!(
             "crate {name} collection_bindings={} result_sites={} state_structs={}\n",
             df.collection_bindings, df.result_sites, df.state_structs
+        ));
+    }
+    out
+}
+
+/// Deterministic dump of the per-function effect summaries (for
+/// `lb-lint effects`): one block per effectful function in (file, line)
+/// order, the poisoned-lock recovery sites, the global lock-order edges,
+/// and a per-crate coverage footer. Diffed as a CI artifact, so the
+/// output is keyed by path — independent of directory-walk order.
+pub fn effects_dump(files: &[(String, String)], config: &Config) -> String {
+    let mut sem_files = prepare(files, config);
+    sem_files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    let graph = build_graph(&sem_files);
+    let file_effects = effect_summaries(&sem_files, config);
+    let rels: Vec<String> = sem_files.iter().map(|f| f.rel.clone()).collect();
+    let allowed = |_: &str, _: usize, _: Rule| false;
+    let snip = |_: &str, _: usize| String::new();
+    let (_viol, order) =
+        effects::check(&graph, &rels, &file_effects, config, &allowed, &snip);
+
+    let mut out = String::new();
+    let mut per_crate: BTreeMap<String, CrateEffects> = BTreeMap::new();
+    for (fi, f) in sem_files.iter().enumerate() {
+        let fe = &file_effects[fi];
+        effects::tally(
+            fe,
+            per_crate
+                .entry(crate_of(&f.rel).unwrap_or("workspace").to_string())
+                .or_default(),
+        );
+        for fx in &fe.fns {
+            if !fx.has_effects() {
+                continue;
+            }
+            out.push_str(&format!("fn {}:{} {}\n", f.rel, fx.line, fx.display_name()));
+            for l in &fx.locks {
+                out.push_str(&format!(
+                    "  lock {} at {}..{} bound={}\n",
+                    l.name, l.line, l.end_line, l.bound
+                ));
+            }
+            for s in &fx.blocking {
+                out.push_str(&format!("  blocking {} at {}\n", s.what, s.line));
+            }
+            for s in &fx.durable {
+                out.push_str(&format!("  durable {} at {}\n", s.what, s.line));
+            }
+            for s in &fx.guards {
+                out.push_str(&format!("  guard {} at {}\n", s.what, s.line));
+            }
+            for &l in &fx.acks {
+                out.push_str(&format!("  ack at {l}\n"));
+            }
+            for s in &fx.requeues {
+                out.push_str(&format!("  requeue {} at {}\n", s.what, s.line));
+            }
+        }
+        for &l in &fe.recovery_lines {
+            out.push_str(&format!("recovery {}:{}\n", f.rel, l));
+        }
+    }
+    for e in &order {
+        out.push_str(&format!("order {} -> {} at {}:{}\n", e.from, e.to, e.file, e.line));
+    }
+    for (name, ce) in &per_crate {
+        out.push_str(&format!(
+            "crate {name} lock_sites={} durability_sites={} blocking_sites={} \
+             guard_sites={} ack_sites={} requeue_sites={}\n",
+            ce.lock_sites,
+            ce.durability_sites,
+            ce.blocking_sites,
+            ce.guard_sites,
+            ce.ack_sites,
+            ce.requeue_sites
         ));
     }
     out

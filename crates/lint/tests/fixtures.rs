@@ -607,12 +607,187 @@ fn r13_gate_flips_when_an_rc_field_is_added() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Effect rules (R14–R16): fixtures are linted through `semantic::check`
+// under a config whose effect scope covers the synthetic fixture crate.
+// ---------------------------------------------------------------------------
+
+/// `sem_config` extended so the effect rules see the fixture crate: the
+/// effect scope covers `crates/s/src/`, the socket file is `net.rs`, and
+/// the accept root is its `accept_loop` (the blessed recovery module is a
+/// path no fixture mounts at, so the recovery idiom always counts).
+fn fx_config() -> Config {
+    Config {
+        effect_paths: vec!["crates/s/src/".into()],
+        socket_paths: vec!["crates/s/src/net.rs".into()],
+        accept_roots: vec![("crates/s/src/net.rs".into(), "accept_loop".into())],
+        blessed_recovery_paths: vec!["crates/s/src/blessed.rs".into()],
+        ..sem_config()
+    }
+}
+
+#[test]
+fn r14_violating_fixture_flags_held_across_cycle_and_recovery() {
+    let v = semantic_violations("r14_violating.rs", "crates/s/src/solver.rs", &fx_config());
+    assert!(
+        v.iter().all(|v| v.rule == Rule::LockDiscipline),
+        "only R14 may fire: {v:?}"
+    );
+    let mut lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![15, 21, 28, 34],
+        "held-across write, both cycle edges, and the recovery idiom: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("held across")),
+        "{v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.message.contains("lock-order cycle")),
+        "{v:?}"
+    );
+    assert!(v.iter().any(|v| v.message.contains("blessed")), "{v:?}");
+}
+
+#[test]
+fn r14_clean_fixture_is_silent() {
+    let v = semantic_violations("r14_clean.rs", "crates/s/src/solver.rs", &fx_config());
+    assert!(
+        v.is_empty(),
+        "release-before-I/O and a consistent order must be clean: {v:?}"
+    );
+}
+
+#[test]
+fn r14_allowed_fixture_accepts_acquisition_site_and_recovery_allows() {
+    let v = semantic_violations("r14_allowed.rs", "crates/s/src/solver.rs", &fx_config());
+    assert!(v.is_empty(), "justified allows must suppress R14: {v:?}");
+}
+
+#[test]
+fn r14_gate_flips_when_two_locks_are_reordered() {
+    // Acceptance: inverting the acquisition order in one function closes a
+    // lock-order cycle against the untouched sibling.
+    let mutated = fixture("r14_clean.rs").replacen(
+        "let ga = self.a.lock();\n        let gb = self.b.lock();",
+        "let gb = self.b.lock();\n        let ga = self.a.lock();",
+        1,
+    );
+    let v = semantic_violations_src(mutated, "crates/s/src/solver.rs", &fx_config());
+    assert!(
+        v.iter()
+            .any(|v| v.rule == Rule::LockDiscipline && v.message.contains("cycle")),
+        "reordering two locks must flip the gate to failing: {v:?}"
+    );
+}
+
+#[test]
+fn r15_violating_fixture_flags_ack_and_requeue_with_chains() {
+    let v = semantic_violations("r15_violating.rs", "crates/s/src/solver.rs", &fx_config());
+    assert!(
+        v.iter().all(|v| v.rule == Rule::DurabilityOrdering),
+        "only R15 may fire: {v:?}"
+    );
+    let mut lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![7, 11],
+        "the unsaved ack and the unsaved requeue must both fire: {v:?}"
+    );
+    assert!(
+        v.iter().all(|v| v.message.contains("top")),
+        "diagnostics must carry the undischarged call chain: {v:?}"
+    );
+}
+
+#[test]
+fn r15_clean_fixture_is_silent() {
+    let v = semantic_violations("r15_clean.rs", "crates/s/src/solver.rs", &fx_config());
+    assert!(
+        v.is_empty(),
+        "save-before-ack and save-before-requeue must be clean: {v:?}"
+    );
+}
+
+#[test]
+fn r15_allowed_fixture_accepts_a_stateless_ack() {
+    let v = semantic_violations("r15_allowed.rs", "crates/s/src/solver.rs", &fx_config());
+    assert!(v.is_empty(), "justified allows must suppress R15: {v:?}");
+}
+
+#[test]
+fn r15_gate_flips_when_the_ack_moves_above_the_save() {
+    // Acceptance: dropping the save that precedes the ack leaves an
+    // acknowledgment no durability effect dominates.
+    let mutated = fixture("r15_clean.rs").replacen(
+        "    spool.save_record(id);\n    format!(\"OK {id}\")",
+        "    format!(\"OK {id}\")",
+        1,
+    );
+    let v = semantic_violations_src(mutated, "crates/s/src/solver.rs", &fx_config());
+    assert!(
+        v.iter().any(|v| v.rule == Rule::DurabilityOrdering),
+        "an ack with no dominating save must flip the gate to failing: {v:?}"
+    );
+}
+
+#[test]
+fn r16_violating_fixture_flags_root_and_transitive_reads() {
+    let v = semantic_violations("r16_violating.rs", "crates/s/src/net.rs", &fx_config());
+    assert!(
+        v.iter().all(|v| v.rule == Rule::UnboundedBlocking),
+        "only R16 may fire: {v:?}"
+    );
+    let mut lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![6, 12],
+        "the read in the root and the read one call down must both fire: {v:?}"
+    );
+    assert!(
+        v.iter().all(|v| v.message.contains("accept_loop")),
+        "diagnostics must name the accept-loop chain: {v:?}"
+    );
+}
+
+#[test]
+fn r16_clean_fixture_accepts_timeouts_and_ignores_unreachable_reads() {
+    let v = semantic_violations("r16_clean.rs", "crates/s/src/net.rs", &fx_config());
+    assert!(
+        v.is_empty(),
+        "a timed read on the chain and an unreachable helper must be clean: {v:?}"
+    );
+}
+
+#[test]
+fn r16_allowed_fixture_accepts_a_justified_untimed_read() {
+    let v = semantic_violations("r16_allowed.rs", "crates/s/src/net.rs", &fx_config());
+    assert!(v.is_empty(), "justified allows must suppress R16: {v:?}");
+}
+
+#[test]
+fn r16_gate_flips_when_the_timeout_call_is_dropped() {
+    // Acceptance: deleting the `set_read_timeout` leaves the accept-chain
+    // read unguarded.
+    let mutated = fixture("r16_clean.rs").replace("    stream.set_read_timeout(None);\n", "");
+    let v = semantic_violations_src(mutated, "crates/s/src/net.rs", &fx_config());
+    assert!(
+        v.iter().any(|v| v.rule == Rule::UnboundedBlocking),
+        "dropping the timeout must flip the gate to failing: {v:?}"
+    );
+}
+
 #[test]
 fn every_rule_has_a_violating_and_a_clean_fixture() {
     // Meta-check: the fixture corpus stays complete as rules evolve.
     let dir = fixtures_root();
     for code in [
-        "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r11", "r12", "r13",
+        "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r11", "r12", "r13", "r14", "r15",
+        "r16",
     ] {
         for suffix in ["violating", "clean"] {
             let name = format!("{code}_{suffix}.rs");
@@ -625,6 +800,9 @@ fn every_rule_has_a_violating_and_a_clean_fixture() {
         "r11_allowed.rs",
         "r12_allowed.rs",
         "r13_allowed.rs",
+        "r14_allowed.rs",
+        "r15_allowed.rs",
+        "r16_allowed.rs",
         "r10_fixture.rs",
         "r10_allowed.rs",
         "r10_baseline_drift.txt",

@@ -41,6 +41,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod server;
 pub mod spool;
+pub mod sync;
 
 pub use job::{Instance, JobFamily, JobRecord, JobSpec, JobStatus, Verdict};
 pub use protocol::{Command, Reject, Request, StatusReport};

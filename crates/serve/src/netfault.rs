@@ -32,6 +32,7 @@
 //! connection is counted once, in program order. Replay a failing storm
 //! by replaying its seed; the fault schedule is a pure function of it.
 
+use crate::sync::lock_recover;
 use lb_engine::parse::{ParseError, ParseErrorKind};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -321,13 +322,12 @@ impl<S> FaultStream<S> {
         }
     }
 
-    /// Counts one op and resolves what it must do. A poisoned lock (a
-    /// panicked sibling half) counts as a dead connection — fail typed,
-    /// never propagate the panic.
+    /// Counts one op and resolves what it must do. A panicked sibling half
+    /// poisons the shared latch; the schedule it guards only ever mutates
+    /// under the lock, so recover it (via the blessed [`crate::sync`]
+    /// helper) instead of propagating the panic across halves.
     fn begin_op(&self, is_write: bool) -> Verdict {
-        let Ok(mut st) = self.state.lock() else {
-            return Verdict::Dead;
-        };
+        let mut st = lock_recover(&self.state);
         if st.dead {
             return Verdict::Dead;
         }
@@ -403,7 +403,7 @@ impl<S: Write> Write for FaultStream<S> {
     fn flush(&mut self) -> io::Result<()> {
         // Not a counted op: flush carries no new bytes, and counting it
         // would make operation counts depend on BufWriter internals.
-        if self.state.lock().map(|s| s.dead).unwrap_or(true) {
+        if lock_recover(&self.state).dead {
             return Err(reset());
         }
         self.inner.flush()

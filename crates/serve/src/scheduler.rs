@@ -18,6 +18,7 @@ use crate::job::{Instance, JobRecord, JobSpec, JobStatus, Verdict};
 use crate::protocol::{Reject, StatusReport};
 use crate::runner::{self, SliceError, SliceOutcome};
 use crate::spool::Spool;
+use crate::sync::{cond_wait, cond_wait_timeout, lock_recover};
 use lb_engine::fault::{with_io_plan, IoFaultPlan};
 use lb_engine::{exhaustion_diagnostic, Budget, Checkpoint};
 use std::collections::{BTreeMap, VecDeque};
@@ -118,11 +119,10 @@ pub struct Scheduler {
     slices_started: AtomicU64,
 }
 
-fn lock_state<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
-    // A worker that panicked mid-slice poisons the mutex; the state it
-    // guards is still consistent (transitions happen under the lock), so
-    // recover rather than cascade the panic through every connection.
-    m.lock().unwrap_or_else(|e| e.into_inner())
+/// Acquires the scheduler state lock. All poison recovery lives in
+/// [`crate::sync`]; this wrapper only pins the receiver name R14 keys on.
+fn lock_state(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    lock_recover(m)
 }
 
 impl Scheduler {
@@ -473,12 +473,9 @@ impl Scheduler {
                     state = match wake_at {
                         Some(at) => {
                             let wait = at.saturating_duration_since(now);
-                            self.wake
-                                .wait_timeout(state, wait)
-                                .unwrap_or_else(|e| e.into_inner())
-                                .0
+                            cond_wait_timeout(&self.wake, state, wait)
                         }
-                        None => self.wake.wait(state).unwrap_or_else(|e| e.into_inner()),
+                        None => cond_wait(&self.wake, state),
                     };
                 }
             };
@@ -589,6 +586,11 @@ impl Scheduler {
         id: &str,
         result: Result<(SliceOutcome, lb_engine::RunStats), runner::SliceError>,
     ) {
+        // lb-lint: allow(lock-discipline) -- persistence ordering: the slice
+        // outcome, its checkpoint, and the job's new state must land in the
+        // spool atomically with respect to concurrent submit/steal, so the
+        // saves happen under the state lock; contention is bounded because
+        // settle runs once per finished slice, not per request.
         let mut state = lock_state(&self.state);
         state.counters.slices += 1;
         {

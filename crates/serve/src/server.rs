@@ -269,11 +269,22 @@ impl Server {
     }
 }
 
+/// Timeout configuration is best-effort — a socket that rejects the option
+/// is still served — but the typed error is logged, never discarded, so
+/// R12/R16 see every timeout site honestly.
+fn log_timeout_err(what: &str, configured: io::Result<()>) {
+    if let Err(e) = configured {
+        eprintln!("timeout config failed ({what}), continuing untimed: {e}");
+    }
+}
+
 /// Over-cap accept path: one typed line, then close. The write gets a
 /// short timeout so a hostile unread socket cannot wedge the accept loop.
 fn shed_connection(stream: TcpStream, retry_after_ms: u64) {
-    // lb-lint: allow(swallowed-result) -- best-effort timeout on an already-shed socket; a failed config cannot wedge accept
-    let _cfg = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    log_timeout_err(
+        "shed write",
+        stream.set_write_timeout(Some(Duration::from_millis(500))),
+    );
     let mut stream = stream;
     let line = Reject::Overload { retry_after_ms }.to_line();
     let _shed = writeln!(stream, "{line}");
@@ -292,14 +303,19 @@ fn handle_connection<S: SessionStream>(stream: S, sched: &Arc<Scheduler>, cfg: &
         return;
     };
     let mut write_half = stream;
-    let _cfg =
-        write_half.set_write_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+    log_timeout_err(
+        "write",
+        write_half.set_write_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1)))),
+    );
     let mut reader = BufReader::new(read_half);
     loop {
         // Idle timeout while waiting for a command line: silent close.
-        let _cfg = reader
-            .get_ref()
-            .set_read_timeout(Some(Duration::from_millis(cfg.idle_timeout_ms.max(1))));
+        log_timeout_err(
+            "idle read",
+            reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(cfg.idle_timeout_ms.max(1)))),
+        );
         let cmd_raw = match read_line_capped(&mut reader) {
             Ok(LineRead::Line(l)) => l,
             Ok(LineRead::Eof) | Ok(LineRead::TimedOut) => return,
@@ -311,9 +327,12 @@ fn handle_connection<S: SessionStream>(stream: S, sched: &Arc<Scheduler>, cfg: &
             Err(_) => return,
         };
         // Tighter timeout once a request is in flight.
-        let _cfg = reader
-            .get_ref()
-            .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))));
+        log_timeout_err(
+            "request read",
+            reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1)))),
+        );
         let cmd = match protocol::parse_command(&cmd_raw) {
             Ok(c) => c,
             Err(e) => {

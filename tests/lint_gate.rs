@@ -1,11 +1,13 @@
 //! The static-analysis gate, wired into plain `cargo test`.
 //!
 //! This test lints every `.rs` file in the workspace with `lb-lint` — the
-//! token rules R1–R7, the call-graph semantic rules R8–R10, and the
-//! dataflow rules R11–R13 — and fails if any rule fires, so a panicking
-//! call, an unbudgeted solver loop, a silent checkpoint-schema change, an
-//! uncharged frontier, a swallowed `Result`, or a `Send`-hostile state
-//! field cannot land without either a fix or a justified
+//! token rules R1–R7, the call-graph semantic rules R8–R10, the dataflow
+//! rules R11–R13, and the effect rules R14–R16 — and fails if any rule
+//! fires, so a panicking call, an unbudgeted solver loop, a silent
+//! checkpoint-schema change, an uncharged frontier, a swallowed `Result`,
+//! a `Send`-hostile state field, a lock held across fsync, an ack that
+//! outruns its spool save, or an untimed socket read
+//! cannot land without either a fix or a justified
 //! `// lb-lint: allow(rule) -- reason` annotation. The same check
 //! runs as `cargo run -p lb-lint` and in CI (`.github/workflows/ci.yml`).
 
@@ -131,5 +133,33 @@ fn semantic_analysis_actually_covers_the_solvers() {
         "R12 examined only {} `Result` sites in `chaos` — the storm \
          harness fell out of scope",
         chaos.result_sites
+    );
+
+    // Effect-layer floors (R14–R16). A zero-violation effect pass is only
+    // meaningful if it saw the serve crate's real lock, durability, and
+    // blocking sites; these sit well under current counts (11 lock, 14
+    // durability, 24 blocking at the time of writing) but far above what
+    // an `effect_paths` regression would leave behind.
+    let fx = stats
+        .effects
+        .get("serve")
+        .unwrap_or_else(|| panic!("no effect coverage recorded for crate `serve`"));
+    assert!(
+        fx.lock_sites >= 10,
+        "R14 saw only {} lock sites in `serve` — scheduler/netfault \
+         acquisitions fell out of effect_paths",
+        fx.lock_sites
+    );
+    assert!(
+        fx.durability_sites >= 5,
+        "R15 saw only {} durability sites in `serve` — spool saves fell \
+         out of effect_paths",
+        fx.durability_sites
+    );
+    assert!(
+        fx.blocking_sites >= 8,
+        "R16 saw only {} blocking-I/O sites in `serve` — socket/file I/O \
+         fell out of effect_paths",
+        fx.blocking_sites
     );
 }
